@@ -1,0 +1,311 @@
+//! Statistical bootstrapping for quantile confidence intervals.
+//!
+//! The paper's comparison baseline (§5.4) is the bias-corrected and
+//! accelerated (BCa) bootstrap of Efron & Tibshirani, "which offers
+//! better accuracy for non-Gaussian data" but "struggles when there is
+//! an excessive amount of duplicate data in the sample population —
+//! leading to failure to generate any CI" (§6.4). Both the plain
+//! percentile interval and BCa are implemented here; BCa reproduces the
+//! failure mode as [`BaselineError::BootstrapDegenerate`].
+
+use rand::Rng;
+
+use crate::{BaselineError, Result};
+use spa_core::ci::ConfidenceInterval;
+use spa_stats::descriptive::{quantile_sorted, QuantileMethod};
+use spa_stats::normal::Normal;
+
+/// Number of bootstrap resamples used when the caller does not specify
+/// one. Matches common SciPy practice at the sample sizes of the paper.
+pub const DEFAULT_RESAMPLES: usize = 2000;
+
+fn validate(data: &[f64], quantile_q: f64, confidence: f64) -> Result<()> {
+    if data.len() < 2 {
+        return Err(BaselineError::EmptyData);
+    }
+    if data.iter().any(|x| x.is_nan()) {
+        return Err(BaselineError::InvalidParameter {
+            name: "data",
+            value: f64::NAN,
+            expected: "no NaN values",
+        });
+    }
+    if !(quantile_q > 0.0 && quantile_q < 1.0) {
+        return Err(BaselineError::InvalidParameter {
+            name: "quantile_q",
+            value: quantile_q,
+            expected: "a value in (0, 1)",
+        });
+    }
+    if !(confidence > 0.0 && confidence < 1.0) {
+        return Err(BaselineError::InvalidParameter {
+            name: "confidence",
+            value: confidence,
+            expected: "a value in (0, 1)",
+        });
+    }
+    Ok(())
+}
+
+/// The statistic being bootstrapped: the `q`-quantile with linear
+/// interpolation (NumPy/SciPy default, i.e. what the paper's Python
+/// tooling computed).
+fn stat(sorted: &[f64], q: f64) -> f64 {
+    quantile_sorted(sorted, q, QuantileMethod::Linear)
+}
+
+/// Draws bootstrap replicate statistics of the `q`-quantile.
+fn replicates<R: Rng + ?Sized>(
+    data: &[f64],
+    q: f64,
+    resamples: usize,
+    rng: &mut R,
+) -> Vec<f64> {
+    let n = data.len();
+    let mut out = Vec::with_capacity(resamples);
+    let mut buf = vec![0.0f64; n];
+    for _ in 0..resamples {
+        for slot in buf.iter_mut() {
+            *slot = data[rng.gen_range(0..n)];
+        }
+        buf.sort_by(|a, b| a.partial_cmp(b).expect("NaN rejected in validate"));
+        out.push(stat(&buf, q));
+    }
+    out
+}
+
+/// Percentile bootstrap CI for the `q`-quantile at level `confidence`.
+///
+/// # Errors
+///
+/// * [`BaselineError::EmptyData`] for fewer than two data points,
+/// * [`BaselineError::InvalidParameter`] for out-of-range `q`/
+///   `confidence`, zero `resamples`, or NaN data.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use spa_baselines::bootstrap::percentile_ci;
+///
+/// let data: Vec<f64> = (0..22).map(|i| i as f64).collect();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let ci = percentile_ci(&data, 0.5, 0.9, 1000, &mut rng)?;
+/// assert!(ci.contains(10.5));
+/// # Ok::<(), spa_baselines::BaselineError>(())
+/// ```
+pub fn percentile_ci<R: Rng + ?Sized>(
+    data: &[f64],
+    quantile_q: f64,
+    confidence: f64,
+    resamples: usize,
+    rng: &mut R,
+) -> Result<ConfidenceInterval> {
+    validate(data, quantile_q, confidence)?;
+    if resamples == 0 {
+        return Err(BaselineError::InvalidParameter {
+            name: "resamples",
+            value: 0.0,
+            expected: "at least one resample",
+        });
+    }
+    let mut reps = replicates(data, quantile_q, resamples, rng);
+    reps.sort_by(|a, b| a.partial_cmp(b).expect("statistics are finite"));
+    let alpha = 1.0 - confidence;
+    let lower = quantile_sorted(&reps, alpha / 2.0, QuantileMethod::Linear);
+    let upper = quantile_sorted(&reps, 1.0 - alpha / 2.0, QuantileMethod::Linear);
+    Ok(ConfidenceInterval::new(lower, upper, confidence, quantile_q))
+}
+
+/// Bias-corrected and accelerated (BCa) bootstrap CI for the
+/// `q`-quantile at level `confidence`.
+///
+/// # Errors
+///
+/// In addition to the [`percentile_ci`] error conditions, returns
+/// [`BaselineError::BootstrapDegenerate`] — the paper's "Null" outcome —
+/// when
+///
+/// * every bootstrap replicate falls on one side of the point estimate
+///   (the bias correction `z₀ = Φ⁻¹(prop)` is infinite), or
+/// * the jackknife values are all identical (the acceleration is 0/0).
+///
+/// Both happen in practice exactly when the sample contains many
+/// duplicate values (§6.4 / Fig. 15).
+pub fn bca_ci<R: Rng + ?Sized>(
+    data: &[f64],
+    quantile_q: f64,
+    confidence: f64,
+    resamples: usize,
+    rng: &mut R,
+) -> Result<ConfidenceInterval> {
+    validate(data, quantile_q, confidence)?;
+    if resamples == 0 {
+        return Err(BaselineError::InvalidParameter {
+            name: "resamples",
+            value: 0.0,
+            expected: "at least one resample",
+        });
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN rejected in validate"));
+    let theta_hat = stat(&sorted, quantile_q);
+
+    let mut reps = replicates(data, quantile_q, resamples, rng);
+    reps.sort_by(|a, b| a.partial_cmp(b).expect("statistics are finite"));
+
+    // Bias correction z0 from the fraction of replicates below the point
+    // estimate.
+    let below = reps.iter().filter(|&&r| r < theta_hat).count();
+    let prop = below as f64 / resamples as f64;
+    if prop <= 0.0 || prop >= 1.0 {
+        return Err(BaselineError::BootstrapDegenerate {
+            reason: "all bootstrap replicates on one side of the estimate (duplicate-heavy data)",
+        });
+    }
+    let std_normal = Normal::standard();
+    let z0 = std_normal
+        .inverse_cdf(prop)
+        .expect("prop checked to be in (0, 1)");
+
+    // Acceleration from the jackknife.
+    let n = data.len();
+    let mut jack = Vec::with_capacity(n);
+    let mut buf = Vec::with_capacity(n - 1);
+    for i in 0..n {
+        buf.clear();
+        buf.extend(data.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, &x)| x));
+        buf.sort_by(|a, b| a.partial_cmp(b).expect("NaN rejected in validate"));
+        jack.push(stat(&buf, quantile_q));
+    }
+    let jack_mean = jack.iter().sum::<f64>() / n as f64;
+    let num: f64 = jack.iter().map(|&j| (jack_mean - j).powi(3)).sum();
+    let den: f64 = jack.iter().map(|&j| (jack_mean - j).powi(2)).sum();
+    if den == 0.0 {
+        return Err(BaselineError::BootstrapDegenerate {
+            reason: "jackknife statistics all identical (duplicate-heavy data)",
+        });
+    }
+    let accel = num / (6.0 * den.powf(1.5));
+
+    // Adjusted percentile levels.
+    let alpha = 1.0 - confidence;
+    let z_lo = std_normal
+        .inverse_cdf(alpha / 2.0)
+        .expect("alpha/2 in (0,1)");
+    let z_hi = std_normal
+        .inverse_cdf(1.0 - alpha / 2.0)
+        .expect("1-alpha/2 in (0,1)");
+    let adjust = |z: f64| -> Result<f64> {
+        let denom = 1.0 - accel * (z0 + z);
+        if denom <= 0.0 {
+            return Err(BaselineError::BootstrapDegenerate {
+                reason: "BCa percentile adjustment left the unit interval",
+            });
+        }
+        Ok(std_normal.cdf(z0 + (z0 + z) / denom))
+    };
+    let a_lo = adjust(z_lo)?;
+    let a_hi = adjust(z_hi)?;
+    if !(a_lo > 0.0 && a_lo < 1.0 && a_hi > 0.0 && a_hi < 1.0) || a_lo >= a_hi {
+        return Err(BaselineError::BootstrapDegenerate {
+            reason: "BCa adjusted levels degenerate",
+        });
+    }
+    let lower = quantile_sorted(&reps, a_lo, QuantileMethod::Linear);
+    let upper = quantile_sorted(&reps, a_hi, QuantileMethod::Linear);
+    Ok(ConfidenceInterval::new(lower, upper, confidence, quantile_q))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let mut r = rng(1);
+        assert!(percentile_ci(&[1.0], 0.5, 0.9, 100, &mut r).is_err());
+        assert!(percentile_ci(&[1.0, 2.0], 0.0, 0.9, 100, &mut r).is_err());
+        assert!(percentile_ci(&[1.0, 2.0], 0.5, 1.0, 100, &mut r).is_err());
+        assert!(percentile_ci(&[1.0, 2.0], 0.5, 0.9, 0, &mut r).is_err());
+        assert!(percentile_ci(&[1.0, f64::NAN], 0.5, 0.9, 10, &mut r).is_err());
+        assert!(bca_ci(&[1.0], 0.5, 0.9, 100, &mut r).is_err());
+    }
+
+    #[test]
+    fn percentile_ci_brackets_the_estimate() {
+        let data: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let mut r = rng(42);
+        let ci = percentile_ci(&data, 0.5, 0.9, 2000, &mut r).unwrap();
+        assert!(ci.contains(24.5), "{ci}");
+        assert!(ci.width() > 0.0 && ci.width() < 30.0);
+    }
+
+    #[test]
+    fn bca_ci_brackets_the_estimate_on_clean_data() {
+        // Distinct, irregularly spaced values: BCa must succeed.
+        let data: Vec<f64> = (0..30).map(|i| (i as f64).powf(1.3) + 0.1 * i as f64).collect();
+        let mut r = rng(7);
+        let mut sorted = data.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let est = quantile_sorted(&sorted, 0.5, QuantileMethod::Linear);
+        let ci = bca_ci(&data, 0.5, 0.9, 2000, &mut r).unwrap();
+        assert!(ci.contains(est), "{ci} should contain {est}");
+    }
+
+    #[test]
+    fn bca_fails_on_constant_data() {
+        // The paper's §6.4 duplicate failure, in its most extreme form.
+        let data = vec![5.0; 22];
+        let mut r = rng(3);
+        let err = bca_ci(&data, 0.5, 0.9, 500, &mut r).unwrap_err();
+        assert!(matches!(err, BaselineError::BootstrapDegenerate { .. }));
+    }
+
+    #[test]
+    fn bca_fails_on_duplicate_heavy_data() {
+        // Two values, lots of duplicates: the median replicate is almost
+        // always one of the two values, so z0 degenerates with high
+        // probability. Verify at least one of several seeds fails.
+        let mut data = vec![1.0; 12];
+        data.extend(vec![2.0; 10]);
+        let mut failures = 0;
+        for seed in 0..10 {
+            let mut r = rng(seed);
+            if bca_ci(&data, 0.5, 0.9, 500, &mut r).is_err() {
+                failures += 1;
+            }
+        }
+        assert!(failures > 0, "expected BCa Null results on duplicate data");
+    }
+
+    #[test]
+    fn percentile_is_deterministic_given_seed() {
+        let data: Vec<f64> = (0..22).map(|i| (i * i % 13) as f64).collect();
+        let a = percentile_ci(&data, 0.5, 0.9, 500, &mut rng(9)).unwrap();
+        let b = percentile_ci(&data, 0.5, 0.9, 500, &mut rng(9)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn higher_confidence_widens_percentile_ci() {
+        let data: Vec<f64> = (0..40).map(|i| ((i * 37) % 100) as f64).collect();
+        let c90 = percentile_ci(&data, 0.5, 0.90, 4000, &mut rng(5)).unwrap();
+        let c99 = percentile_ci(&data, 0.5, 0.99, 4000, &mut rng(5)).unwrap();
+        assert!(c99.width() >= c90.width());
+    }
+
+    #[test]
+    fn nondefault_quantile() {
+        let data: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let ci = percentile_ci(&data, 0.9, 0.9, 2000, &mut rng(11)).unwrap();
+        // The 0.9-quantile of 0..100 is ~89; CI should be in that region.
+        assert!(ci.lower() > 70.0 && ci.upper() <= 99.0, "{ci}");
+    }
+}

@@ -1,0 +1,76 @@
+use std::fmt;
+
+use spa_stats::StatsError;
+
+/// Error type for baseline CI constructions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BaselineError {
+    /// The method needs data but none (or too little) was provided.
+    EmptyData,
+    /// A parameter lies outside its domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable description of the accepted domain.
+        expected: &'static str,
+    },
+    /// The BCa bootstrap failed to produce an interval — the "Null"
+    /// outcome of the paper's §6.4, typically caused by duplicate data
+    /// points making the bias correction or acceleration undefined.
+    BootstrapDegenerate {
+        /// Why the construction collapsed.
+        reason: &'static str,
+    },
+    /// An underlying numerical computation failed.
+    Stats(StatsError),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::EmptyData => write!(f, "not enough data"),
+            BaselineError::InvalidParameter {
+                name,
+                value,
+                expected,
+            } => write!(f, "invalid parameter `{name}` = {value}; expected {expected}"),
+            BaselineError::BootstrapDegenerate { reason } => {
+                write!(f, "bootstrap failed to produce an interval: {reason}")
+            }
+            BaselineError::Stats(e) => write!(f, "numerical error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BaselineError::Stats(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StatsError> for BaselineError {
+    fn from(e: StatsError) -> Self {
+        BaselineError::Stats(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(BaselineError::EmptyData.to_string().contains("data"));
+        let e = BaselineError::BootstrapDegenerate {
+            reason: "all bootstrap replicates identical",
+        };
+        assert!(e.to_string().contains("identical"));
+        let e = BaselineError::from(StatsError::EmptyData);
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

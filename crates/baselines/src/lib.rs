@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! Prior-art confidence-interval construction methods.
+//!
+//! The SPA paper (§2.4, §5.4, §6) compares its SMC-based confidence
+//! intervals against the three techniques the computer-architecture
+//! literature actually uses:
+//!
+//! * [`bootstrap`] — statistical bootstrapping, including the
+//!   bias-corrected and accelerated (BCa) variant, whose failure on
+//!   duplicate-heavy data (§6.4) this crate reproduces faithfully;
+//! * [`rank`] — nonparametric rank (order-statistic) intervals for
+//!   quantiles, in the normal-approximation form the paper attributes to
+//!   prior work, plus an exact binomial variant;
+//! * [`zscore`] — the Gaussian-assumption Z-score interval, plus
+//!   [`tscore`] — its small-sample Student-t correction (an extension,
+//!   used to show the paper's criticism targets the assumption rather
+//!   than the quantile choice).
+//!
+//! All constructors return the same
+//! [`ConfidenceInterval`](spa_core::ci::ConfidenceInterval) type SPA
+//! produces, so the bench harness can compare them apples-to-apples.
+
+pub mod bootstrap;
+pub mod rank;
+pub mod tscore;
+pub mod zscore;
+
+mod error;
+
+pub use error::BaselineError;
+
+/// Convenience alias used by fallible functions in this crate.
+pub type Result<T> = std::result::Result<T, BaselineError>;

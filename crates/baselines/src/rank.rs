@@ -1,0 +1,217 @@
+//! Nonparametric rank (order-statistic) confidence intervals for
+//! quantiles.
+//!
+//! A rank interval picks two order statistics `x₍l₎ ≤ x₍u₎` such that the
+//! population `q`-quantile lies between them with the requested
+//! confidence: `P(l ≤ B < u) ≥ C` where `B ~ Binom(n, q)` counts samples
+//! below the quantile. The paper (§2.4) notes that prior work compares
+//! the rank statistics through a *normal approximation* of that binomial
+//! — accurate only asymptotically, which is precisely why it misbehaves
+//! at the paper's 22-sample sizes. Both forms are provided:
+//! [`rank_ci_normal`] (the baseline the paper evaluates) and
+//! [`rank_ci_exact`] (binomial, no approximation).
+
+use crate::{BaselineError, Result};
+use spa_core::ci::ConfidenceInterval;
+use spa_stats::binomial::Binomial;
+use spa_stats::normal::Normal;
+
+fn validate(data: &[f64], q: f64, confidence: f64) -> Result<()> {
+    if data.is_empty() {
+        return Err(BaselineError::EmptyData);
+    }
+    if data.iter().any(|x| x.is_nan()) {
+        return Err(BaselineError::InvalidParameter {
+            name: "data",
+            value: f64::NAN,
+            expected: "no NaN values",
+        });
+    }
+    if !(q > 0.0 && q < 1.0) {
+        return Err(BaselineError::InvalidParameter {
+            name: "q",
+            value: q,
+            expected: "a value in (0, 1)",
+        });
+    }
+    if !(confidence > 0.0 && confidence < 1.0) {
+        return Err(BaselineError::InvalidParameter {
+            name: "confidence",
+            value: confidence,
+            expected: "a value in (0, 1)",
+        });
+    }
+    Ok(())
+}
+
+fn sorted(data: &[f64]) -> Vec<f64> {
+    let mut s = data.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).expect("NaN rejected in validate"));
+    s
+}
+
+/// Rank CI for the `q`-quantile using the normal approximation to the
+/// binomial (the form used by the prior work the paper compares
+/// against).
+///
+/// Ranks are `l = ⌊nq − z·√(nq(1−q))⌋` and `u = ⌈nq + z·√(nq(1−q))⌉ + 1`
+/// (1-based), clamped to the sample.
+///
+/// # Errors
+///
+/// [`BaselineError::EmptyData`] / [`BaselineError::InvalidParameter`] as
+/// usual.
+///
+/// # Examples
+///
+/// ```
+/// use spa_baselines::rank::rank_ci_normal;
+/// let data: Vec<f64> = (1..=22).map(f64::from).collect();
+/// let ci = rank_ci_normal(&data, 0.5, 0.9)?;
+/// assert!(ci.contains(11.5));
+/// # Ok::<(), spa_baselines::BaselineError>(())
+/// ```
+pub fn rank_ci_normal(data: &[f64], q: f64, confidence: f64) -> Result<ConfidenceInterval> {
+    validate(data, q, confidence)?;
+    let s = sorted(data);
+    let n = s.len() as f64;
+    let z = Normal::standard()
+        .inverse_cdf(0.5 + confidence / 2.0)
+        .expect("confidence validated");
+    let center = n * q;
+    let half = z * (n * q * (1.0 - q)).sqrt();
+    // 1-based ranks, clamped into the sample.
+    let l = (center - half).floor().max(1.0) as usize;
+    let u = ((center + half).ceil() as usize + 1).min(s.len());
+    let l = l.min(u);
+    Ok(ConfidenceInterval::new(
+        s[l - 1],
+        s[u - 1],
+        confidence,
+        q,
+    ))
+}
+
+/// Exact rank CI for the `q`-quantile: the narrowest pair of order
+/// statistics whose binomial coverage reaches `confidence`.
+///
+/// # Errors
+///
+/// As [`rank_ci_normal`]; additionally fails with
+/// [`BaselineError::EmptyData`] if no pair of order statistics achieves
+/// the requested coverage (too few samples for the quantile).
+pub fn rank_ci_exact(data: &[f64], q: f64, confidence: f64) -> Result<ConfidenceInterval> {
+    validate(data, q, confidence)?;
+    let s = sorted(data);
+    let n = s.len();
+    let binom = Binomial::new(n as u64, q)?;
+    // Precompute the CDF once.
+    let cdf: Vec<f64> = (0..=n as u64).map(|k| binom.cdf(k)).collect();
+    // Coverage of [x_(l), x_(u)] (1-based) is P(l ≤ B ≤ u − 1)
+    //   = cdf[u − 1] − cdf[l − 1] (with cdf[-1] = 0).
+    let coverage = |l: usize, u: usize| -> f64 {
+        let hi = cdf[u - 1];
+        let lo = if l >= 2 { cdf[l - 2] } else { 0.0 };
+        hi - lo
+    };
+    let mut best: Option<(usize, usize)> = None;
+    for l in 1..=n {
+        for u in l..=n {
+            if coverage(l, u) >= confidence {
+                let better = match best {
+                    None => true,
+                    Some((bl, bu)) => (u - l) < (bu - bl),
+                };
+                if better {
+                    best = Some((l, u));
+                }
+                break; // wider u only loosens; move to next l
+            }
+        }
+    }
+    let Some((l, u)) = best else {
+        return Err(BaselineError::EmptyData);
+    };
+    Ok(ConfidenceInterval::new(s[l - 1], s[u - 1], confidence, q))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn validates_inputs() {
+        assert!(rank_ci_normal(&[], 0.5, 0.9).is_err());
+        assert!(rank_ci_normal(&[1.0], 0.0, 0.9).is_err());
+        assert!(rank_ci_normal(&[1.0], 0.5, 1.0).is_err());
+        assert!(rank_ci_normal(&[f64::NAN], 0.5, 0.9).is_err());
+        assert!(rank_ci_exact(&[1.0, 2.0], 1.5, 0.9).is_err());
+    }
+
+    #[test]
+    fn median_interval_brackets_median() {
+        let data: Vec<f64> = (1..=22).map(f64::from).collect();
+        let n = rank_ci_normal(&data, 0.5, 0.9).unwrap();
+        assert!(n.contains(11.5), "{n}");
+        let e = rank_ci_exact(&data, 0.5, 0.9).unwrap();
+        assert!(e.contains(11.5), "{e}");
+    }
+
+    #[test]
+    fn exact_interval_has_requested_coverage() {
+        // Verify the chosen order statistics really cover with binomial
+        // probability ≥ C.
+        let data: Vec<f64> = (1..=22).map(f64::from).collect();
+        let ci = rank_ci_exact(&data, 0.5, 0.9).unwrap();
+        let l = data.iter().position(|&x| x == ci.lower()).unwrap() + 1;
+        let u = data.iter().position(|&x| x == ci.upper()).unwrap() + 1;
+        let binom = Binomial::new(22, 0.5).unwrap();
+        let cover = binom.cdf(u as u64 - 1) - if l >= 2 { binom.cdf(l as u64 - 2) } else { 0.0 };
+        assert!(cover >= 0.9, "coverage {cover}");
+    }
+
+    #[test]
+    fn upper_quantile_needs_enough_samples() {
+        // For q = 0.9 and only 5 samples, even [x_(1), x_(5)] covers with
+        // probability 1 − 0.9^5 ≈ 0.41 < 0.9: exact construction fails.
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert!(rank_ci_exact(&data, 0.9, 0.9).is_err());
+        // The normal approximation happily reports *something* — the
+        // paper's accuracy complaint in a nutshell.
+        assert!(rank_ci_normal(&data, 0.9, 0.9).is_ok());
+    }
+
+    #[test]
+    fn duplicates_are_tolerated() {
+        let data = vec![2.0; 11].into_iter().chain(vec![3.0; 11]).collect::<Vec<_>>();
+        let n = rank_ci_normal(&data, 0.5, 0.9).unwrap();
+        assert!(n.lower() <= 3.0 && n.upper() >= 2.0);
+        let e = rank_ci_exact(&data, 0.5, 0.9).unwrap();
+        assert!(e.lower() <= e.upper());
+    }
+
+    proptest! {
+        #[test]
+        fn bounds_are_order_statistics(
+            data in proptest::collection::vec(-1e3_f64..1e3, 5..60),
+            q in 0.2_f64..0.8,
+        ) {
+            let ci = rank_ci_normal(&data, q, 0.9).unwrap();
+            prop_assert!(data.contains(&ci.lower()));
+            prop_assert!(data.contains(&ci.upper()));
+            prop_assert!(ci.lower() <= ci.upper());
+        }
+
+        #[test]
+        fn exact_no_wider_than_full_range(
+            data in proptest::collection::vec(-1e3_f64..1e3, 10..60),
+        ) {
+            if let Ok(ci) = rank_ci_exact(&data, 0.5, 0.9) {
+                let lo = data.iter().copied().fold(f64::INFINITY, f64::min);
+                let hi = data.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                prop_assert!(ci.lower() >= lo && ci.upper() <= hi);
+            }
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! The Z-score (Gaussian-assumption) confidence interval.
+//!
+//! `x̄ ± z_{(1+C)/2} · s / √n` — "technically only used for Gaussian
+//! distributed data" (§2.4) yet ubiquitous in the literature, which is
+//! why the paper includes it. Note it is an interval for the *mean*;
+//! when the population is skewed it covers the median/quantile ground
+//! truth only by accident of its generous width (the 2.3–4.3× wider
+//! intervals of Fig. 7).
+
+use crate::{BaselineError, Result};
+use spa_core::ci::ConfidenceInterval;
+use spa_stats::descriptive::{mean, sample_stddev};
+use spa_stats::normal::Normal;
+
+/// Z-score CI at level `confidence`.
+///
+/// # Errors
+///
+/// * [`BaselineError::EmptyData`] for fewer than two data points (the
+///   sample standard deviation is undefined),
+/// * [`BaselineError::InvalidParameter`] for `confidence ∉ (0, 1)` or
+///   NaN data.
+///
+/// # Examples
+///
+/// ```
+/// use spa_baselines::zscore::z_ci;
+/// let data: Vec<f64> = (0..22).map(|i| 10.0 + (i % 5) as f64).collect();
+/// let ci = z_ci(&data, 0.9)?;
+/// assert!(ci.contains(12.0)); // mean ≈ 11.95
+/// # Ok::<(), spa_baselines::BaselineError>(())
+/// ```
+pub fn z_ci(data: &[f64], confidence: f64) -> Result<ConfidenceInterval> {
+    if data.len() < 2 {
+        return Err(BaselineError::EmptyData);
+    }
+    if data.iter().any(|x| x.is_nan()) {
+        return Err(BaselineError::InvalidParameter {
+            name: "data",
+            value: f64::NAN,
+            expected: "no NaN values",
+        });
+    }
+    if !(confidence > 0.0 && confidence < 1.0) {
+        return Err(BaselineError::InvalidParameter {
+            name: "confidence",
+            value: confidence,
+            expected: "a value in (0, 1)",
+        });
+    }
+    let m = mean(data);
+    let s = sample_stddev(data);
+    let z = Normal::standard()
+        .inverse_cdf(0.5 + confidence / 2.0)
+        .expect("confidence validated");
+    let half = z * s / (data.len() as f64).sqrt();
+    Ok(ConfidenceInterval::new(
+        m - half,
+        m + half,
+        confidence,
+        0.5,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_inputs() {
+        assert!(z_ci(&[], 0.9).is_err());
+        assert!(z_ci(&[1.0], 0.9).is_err());
+        assert!(z_ci(&[1.0, 2.0], 0.0).is_err());
+        assert!(z_ci(&[1.0, 2.0], 1.0).is_err());
+        assert!(z_ci(&[1.0, f64::NAN], 0.9).is_err());
+    }
+
+    #[test]
+    fn symmetric_about_the_mean() {
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ci = z_ci(&data, 0.9).unwrap();
+        assert!(((ci.lower() + ci.upper()) / 2.0 - 3.0).abs() < 1e-12);
+        assert!(ci.contains(3.0));
+    }
+
+    #[test]
+    fn known_width() {
+        // s = sqrt(2.5), n = 5, z_0.95 = 1.6449: half-width ≈ 1.1629.
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ci = z_ci(&data, 0.9).unwrap();
+        let expected_half = 1.6448536269514722 * (2.5f64).sqrt() / (5.0f64).sqrt();
+        assert!((ci.width() / 2.0 - expected_half).abs() < 1e-6);
+    }
+
+    #[test]
+    fn higher_confidence_widens() {
+        let data: Vec<f64> = (0..30).map(|i| (i % 7) as f64).collect();
+        let c90 = z_ci(&data, 0.90).unwrap();
+        let c99 = z_ci(&data, 0.99).unwrap();
+        assert!(c99.width() > c90.width());
+    }
+
+    #[test]
+    fn zero_variance_collapses_to_point() {
+        let data = [4.0, 4.0, 4.0];
+        let ci = z_ci(&data, 0.9).unwrap();
+        assert_eq!(ci.lower(), 4.0);
+        assert_eq!(ci.upper(), 4.0);
+        assert_eq!(ci.width(), 0.0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Statistical validation of the baseline CI constructions on analytic
+//! populations: each method's empirical coverage is measured against
+//! its own guarantee (or its known failure, which is the point of the
+//! paper's comparison).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+
+use spa_baselines::bootstrap::{bca_ci, percentile_ci};
+use spa_baselines::rank::{rank_ci_exact, rank_ci_normal};
+use spa_baselines::zscore::z_ci;
+
+/// Roughly normal population via the central limit of uniforms.
+fn normalish_population(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let s: f64 = (0..12).map(|_| rng.gen::<f64>()).sum();
+            50.0 + 4.0 * (s - 6.0) // mean 50, sd ≈ 4
+        })
+        .collect()
+}
+
+fn trials<F>(pop: &[f64], truth: f64, n: usize, count: usize, seed: u64, mut build: F) -> (f64, f64)
+where
+    F: FnMut(&[f64], &mut StdRng) -> Option<(f64, f64)>,
+{
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut idx: Vec<usize> = (0..pop.len()).collect();
+    let mut covered = 0usize;
+    let mut produced = 0usize;
+    for _ in 0..count {
+        let (chosen, _) = idx.partial_shuffle(&mut rng, n);
+        let sample: Vec<f64> = chosen.iter().map(|&i| pop[i]).collect();
+        if let Some((lo, hi)) = build(&sample, &mut rng) {
+            produced += 1;
+            if truth >= lo && truth <= hi {
+                covered += 1;
+            }
+        }
+    }
+    (
+        covered as f64 / produced.max(1) as f64,
+        produced as f64 / count as f64,
+    )
+}
+
+#[test]
+fn z_interval_covers_the_mean_of_gaussian_data() {
+    let pop = normalish_population(2000, 1);
+    let mean = pop.iter().sum::<f64>() / pop.len() as f64;
+    let (coverage, produced) = trials(&pop, mean, 22, 400, 2, |s, _| {
+        z_ci(s, 0.9).ok().map(|c| (c.lower(), c.upper()))
+    });
+    assert_eq!(produced, 1.0);
+    // Z on genuinely Gaussian data for its own target (the mean) works.
+    assert!(coverage >= 0.85, "z coverage {coverage}");
+}
+
+#[test]
+fn percentile_bootstrap_median_coverage_is_approximate() {
+    let pop = normalish_population(2000, 3);
+    let mut sorted = pop.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let median = sorted[sorted.len() / 2];
+    let (coverage, produced) = trials(&pop, median, 22, 300, 4, |s, rng| {
+        percentile_ci(s, 0.5, 0.9, 400, rng)
+            .ok()
+            .map(|c| (c.lower(), c.upper()))
+    });
+    assert_eq!(produced, 1.0);
+    // Asymptotic method at n = 22: allow generous slack, but it should
+    // not be wildly off on clean symmetric data.
+    assert!(coverage >= 0.75, "bootstrap coverage {coverage}");
+}
+
+#[test]
+fn exact_rank_interval_honors_its_guarantee() {
+    let pop = normalish_population(2000, 5);
+    let mut sorted = pop.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let median = sorted[sorted.len() / 2];
+    let (coverage, _) = trials(&pop, median, 22, 400, 6, |s, _| {
+        rank_ci_exact(s, 0.5, 0.9).ok().map(|c| (c.lower(), c.upper()))
+    });
+    assert!(
+        coverage >= 0.87,
+        "exact rank coverage {coverage} below guarantee"
+    );
+}
+
+#[test]
+fn normal_rank_interval_is_less_reliable_off_median() {
+    // The paper's §2.4 point: the normal approximation degrades away
+    // from the median. At q = 0.95 with 22 samples, no pair of order
+    // statistics can reach 90 % coverage (even [x_(1), x_(22)] only
+    // attains 1 − 0.95^22 ≈ 0.68), so the exact construction refuses
+    // while the approximation happily reports an interval with
+    // structurally deficient coverage.
+    let pop = normalish_population(2000, 7);
+    let mut sorted = pop.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let q95 = sorted[(0.95 * sorted.len() as f64) as usize];
+
+    assert!(rank_ci_exact(&pop[..22], 0.95, 0.9).is_err());
+
+    let (coverage, produced) = trials(&pop, q95, 22, 400, 8, |s, _| {
+        rank_ci_normal(s, 0.95, 0.9).ok().map(|c| (c.lower(), c.upper()))
+    });
+    assert_eq!(produced, 1.0);
+    // It produces *something*, but below the nominal confidence —
+    // which is exactly why the paper restricts it to the median.
+    assert!(
+        coverage < 0.9,
+        "normal rank coverage {coverage} unexpectedly met the guarantee at q = 0.95"
+    );
+}
+
+#[test]
+fn bca_and_percentile_agree_on_clean_data() {
+    let pop = normalish_population(200, 9);
+    let sample = &pop[..30];
+    let mut rng = StdRng::seed_from_u64(10);
+    let p = percentile_ci(sample, 0.5, 0.9, 2000, &mut rng).unwrap();
+    let mut rng = StdRng::seed_from_u64(10);
+    let b = bca_ci(sample, 0.5, 0.9, 2000, &mut rng).unwrap();
+    // On symmetric data the bias correction is small: intervals overlap
+    // heavily.
+    let overlap = p.upper().min(b.upper()) - p.lower().max(b.lower());
+    assert!(
+        overlap > 0.5 * p.width(),
+        "percentile {p} and BCa {b} barely overlap"
+    );
+}

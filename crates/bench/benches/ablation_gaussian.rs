@@ -1,0 +1,38 @@
+//! Ablation: is the Z-score baseline's failure just a sloppy quantile?
+//!
+//! Replacing the normal quantile with Student's t (the textbook
+//! small-sample correction) widens the interval by t/z ≈ 4.6 % at
+//! n = 22 — but both intervals target the *mean* under a Gaussian
+//! assumption, so on skewed metric distributions the t correction
+//! cannot repair the error probability. This isolates the paper's point:
+//! the assumption is the problem, not the arithmetic.
+
+use spa_bench::experiment::{eval_across_metrics, FERRET_METRICS};
+use spa_bench::trial::{Method, TrialConfig};
+
+fn main() {
+    let cfg = TrialConfig::paper(
+        spa_bench::trial_count(),
+        0.9,
+        0.5,
+        spa_bench::bootstrap_resamples(),
+    );
+    let rows = eval_across_metrics(
+        "ablation_gaussian",
+        "Gaussian-assumption baselines: Z vs Student-t (F = 0.5)",
+        &FERRET_METRICS,
+        &[Method::Spa, Method::ZScore, Method::TScore],
+        &cfg,
+        false,
+    );
+    println!("\n  t-score / Z-score width ratio (expected ~1.046 at n = 22):");
+    for r in &rows {
+        let z = r.methods.iter().find(|e| e.method == Method::ZScore).unwrap();
+        let t = r.methods.iter().find(|e| e.method == Method::TScore).unwrap();
+        println!(
+            "    {:<42} {:.4}",
+            r.label,
+            t.mean_norm_width / z.mean_norm_width
+        );
+    }
+}

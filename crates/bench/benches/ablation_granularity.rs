@@ -1,0 +1,51 @@
+//! Ablation: exact order-statistic CI vs the paper's granularity search
+//! (§4.2) at several step sizes — width and threshold-test counts.
+
+use spa_bench::population::{population, PopulationKey};
+use spa_bench::report;
+use spa_core::ci::{ci_exact, ci_granular};
+use spa_core::property::Direction;
+use spa_core::smc::SmcEngine;
+use spa_sim::metrics::Metric;
+use spa_sim::workload::parsec::Benchmark;
+
+fn main() {
+    report::header("Ablation", "Exact CI vs granularity-search CI");
+    let pop = population(PopulationKey::standard(
+        Benchmark::Ferret,
+        spa_bench::population_size(),
+    ));
+    let samples: Vec<f64> = pop.metric(Metric::L1Mpki).into_iter().take(22).collect();
+    let engine = SmcEngine::new(0.9, 0.9).expect("valid C/F");
+
+    let exact = ci_exact(&engine, &samples, Direction::AtMost).expect("enough samples");
+    let spread = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        - samples.iter().copied().fold(f64::INFINITY, f64::min);
+
+    let mut rows = vec![vec![
+        "exact (order statistics)".to_string(),
+        format!("[{:.4}, {:.4}]", exact.lower(), exact.upper()),
+        format!("{:.4}", exact.width()),
+        format!("{}", samples.len()),
+    ]];
+    for divisor in [10.0, 50.0, 250.0] {
+        let grain = spread / divisor;
+        let ci = ci_granular(&engine, &samples, Direction::AtMost, grain)
+            .expect("enough samples");
+        let tests = (spread / grain).ceil() as usize + 3;
+        rows.push(vec![
+            format!("grain = range/{divisor}"),
+            format!("[{:.4}, {:.4}]", ci.lower(), ci.upper()),
+            format!("{:.4}", ci.width()),
+            format!("~{tests}"),
+        ]);
+    }
+    report::table(
+        &["search", "interval", "width", "threshold tests"],
+        &rows,
+    );
+    println!("\n  Finer granularity converges on the exact interval at the cost of");
+    println!("  more hypothesis tests; the exact search needs only one per distinct");
+    println!("  sample value.");
+    report::write_json("ablation_granularity", &rows);
+}

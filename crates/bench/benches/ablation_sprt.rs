@@ -1,0 +1,62 @@
+//! Ablation: Clopper–Pearson sequential SMC (the paper's choice,
+//! Algorithm 1) vs Wald's SPRT (the alternative its §3.3 cites).
+//!
+//! Expected trade: SPRT uses slightly fewer samples when the true
+//! satisfaction probability is far from F; exactly at p = F the CP loop
+//! honestly refuses to converge (the paper's minimal assumption is
+//! p ≠ F) while SPRT forces an arbitrary verdict.
+
+use spa_bench::population::{population, PopulationKey};
+use spa_bench::report;
+use spa_core::property::{Direction, MetricProperty};
+use spa_core::smc::SmcEngine;
+use spa_core::sprt::Sprt;
+use spa_sim::metrics::Metric;
+use spa_sim::workload::parsec::Benchmark;
+use spa_stats::descriptive::{quantile, QuantileMethod};
+
+fn main() {
+    report::header("Ablation", "Clopper-Pearson sequential SMC vs Wald SPRT");
+    let pop = population(PopulationKey::standard(
+        Benchmark::Ferret,
+        spa_bench::population_size(),
+    ));
+    let samples = pop.metric(Metric::RuntimeSeconds);
+
+    let engine = SmcEngine::new(0.9, 0.9).expect("valid C/F");
+    let sprt = Sprt::new(0.9, 0.05, 0.1, 0.1).expect("valid SPRT");
+
+    // Thresholds at population quantiles put the true satisfaction
+    // probability of "runtime <= threshold" exactly where we want it.
+    let mut rows = Vec::new();
+    for &q in &[0.999, 0.98, 0.9, 0.7, 0.3] {
+        let threshold = quantile(&samples, q, QuantileMethod::Linear).expect("non-empty");
+        let property = MetricProperty::new(Direction::AtMost, threshold);
+        // Cycle the population so both engines can draw "fresh" samples
+        // beyond 500 if they need them.
+        let outcomes = samples.iter().cycle().take(20_000).map(|&x| property.satisfies(x));
+
+        let cp = engine.run_sequential(outcomes.clone());
+        let sp = sprt.run(outcomes);
+        rows.push(vec![
+            format!("true p = {q}"),
+            match &cp {
+                Ok(o) => format!("{} in {}", o.assertion, o.samples_used),
+                Err(_) => "no decision in 20k".into(),
+            },
+            match &sp {
+                Ok(o) => format!("{} in {}", o.assertion, o.samples_used),
+                Err(_) => "no decision in 20k".into(),
+            },
+        ]);
+    }
+    report::table(
+        &["satisfaction probability", "CP sequential (Alg. 1)", "Wald SPRT"],
+        &rows,
+    );
+    println!("\n  Away from F = 0.9 both engines decide quickly, SPRT slightly faster.");
+    println!("  Exactly AT p = F (the indifference point) neither verdict is");
+    println!("  meaningful: CP honestly fails to converge (its §3.3 assumption is");
+    println!("  p != F), while SPRT still emits a verdict — an arbitrary one.");
+    report::write_json("ablation_sprt", &rows);
+}

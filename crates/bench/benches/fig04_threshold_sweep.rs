@@ -1,0 +1,85 @@
+//! Fig. 4: per-threshold SMC confidence for the L2-doubling speedup
+//! study (512 kB → 1 MB), F = C = 0.9, 22 samples.
+//!
+//! Each point is the positive-direction Clopper–Pearson confidence of
+//! the hypothesis "speedup ≥ threshold in at least F of executions".
+//! Points above C are significant positives, points below 1 − C are
+//! significant negatives, and the band between is inconclusive — the
+//! confidence interval spans from the last positive to the first
+//! negative threshold.
+
+use spa_bench::population::{
+    population, speedup_samples, NoiseModel, PopulationKey, SystemVariant,
+};
+use spa_bench::report;
+use spa_core::clopper_pearson::Assertion;
+use spa_core::property::Direction;
+use spa_core::spa::Spa;
+use spa_sim::workload::parsec::Benchmark;
+
+fn main() {
+    report::header(
+        "Fig. 4",
+        "SMC hypothesis-test confidence vs speedup threshold (L2 512kB -> 1MB)",
+    );
+    let n = spa_bench::population_size();
+    let base = population(PopulationKey {
+        benchmark: Benchmark::Ferret,
+        system: SystemVariant::L2Small,
+        noise: NoiseModel::Paper,
+        count: n,
+        seed_start: 0,
+    });
+    let improved = population(PopulationKey {
+        benchmark: Benchmark::Ferret,
+        system: SystemVariant::L2Large,
+        noise: NoiseModel::Paper,
+        count: n,
+        seed_start: 10_000,
+    });
+    let speedups = speedup_samples(&base, &improved);
+
+    // The figure uses one batch of 22 samples (Eq. 8 minimum).
+    let spa = Spa::builder().confidence(0.9).proportion(0.9).build().expect("valid C/F");
+    let sample: Vec<f64> = speedups.iter().take(spa.required_samples() as usize).copied().collect();
+    println!(
+        "\n  using the first {} speedup samples (Eq. 8 minimum for C=F=0.9)",
+        sample.len()
+    );
+
+    let lo = sample.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = sample.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let grain = 0.01; // the paper's user-chosen granularity
+    let start = (lo / grain).floor() * grain - grain;
+    let steps = (((hi - start) / grain).ceil() as usize) + 2;
+    let thresholds: Vec<f64> = (0..steps).map(|i| start + i as f64 * grain).collect();
+
+    let points = spa
+        .sweep(&sample, Direction::AtLeast, &thresholds)
+        .expect("sweep succeeds");
+
+    println!("\n  threshold   C_CP(positive)   verdict");
+    for p in &points {
+        let verdict = match p.verdict {
+            Some(Assertion::Positive) => "positive",
+            Some(Assertion::Negative) => "negative",
+            None => "none",
+        };
+        let marker = "#".repeat((p.positive_confidence * 40.0).round() as usize);
+        println!(
+            "  {:>8.2}   {:>8.4} {:8}  {}",
+            p.threshold, p.positive_confidence, verdict, marker
+        );
+    }
+
+    let ci = spa
+        .confidence_interval(&sample, Direction::AtLeast)
+        .expect("enough samples");
+    println!(
+        "\n  resulting SPA confidence interval for the speedup: [{:.3}, {:.3}]",
+        ci.lower(),
+        ci.upper()
+    );
+    println!("  (the paper's Fig. 4 example finds [1.41, 1.48] on its data)");
+    report::write_json("fig04_threshold_sweep", &points);
+}

@@ -1,0 +1,89 @@
+//! Fig. 5: one-trial case study comparing the four CI constructions on
+//! the same 22-sample draw of the speedup data, against the population
+//! ground truth.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use spa_baselines::bootstrap::bca_ci;
+use spa_baselines::rank::rank_ci_normal;
+use spa_baselines::zscore::z_ci;
+use spa_bench::population::{
+    population, speedup_samples, NoiseModel, PopulationKey, SystemVariant,
+};
+use spa_bench::report;
+use spa_core::property::Direction;
+use spa_core::spa::Spa;
+use spa_sim::workload::parsec::Benchmark;
+use spa_stats::descriptive::{quantile, QuantileMethod};
+
+fn main() {
+    report::header(
+        "Fig. 5",
+        "CIs constructed by different techniques on one 22-sample draw",
+    );
+    let n = spa_bench::population_size();
+    let base = population(PopulationKey {
+        benchmark: Benchmark::Ferret,
+        system: SystemVariant::L2Small,
+        noise: NoiseModel::Paper,
+        count: n,
+        seed_start: 0,
+    });
+    let improved = population(PopulationKey {
+        benchmark: Benchmark::Ferret,
+        system: SystemVariant::L2Large,
+        noise: NoiseModel::Paper,
+        count: n,
+        seed_start: 10_000,
+    });
+    let speedups = speedup_samples(&base, &improved);
+    // SPA targets the F = 0.9 proportion with Direction::AtLeast, i.e.
+    // the speedup achieved by at least 90 % of paired executions — the
+    // 0.1-quantile of the population.
+    let f = 0.9;
+    let c = 0.9;
+    let ground_truth = quantile(&speedups, 1.0 - f, QuantileMethod::LowerRank).expect("non-empty");
+    let sample: Vec<f64> = speedups.iter().take(22).copied().collect();
+
+    let spa = Spa::builder().confidence(c).proportion(f).build().expect("valid C/F");
+    let spa_ci = spa
+        .confidence_interval(&sample, Direction::AtLeast)
+        .expect("enough samples");
+
+    let mut rng = StdRng::seed_from_u64(5);
+    let boot = bca_ci(&sample, 1.0 - f, c, spa_bench::bootstrap_resamples(), &mut rng);
+    let rank = rank_ci_normal(&sample, 1.0 - f, c);
+    let z = z_ci(&sample, c);
+
+    println!("\n  population ground truth (0.1-quantile of speedup): {ground_truth:.4}\n");
+    fn ci_row(ground_truth: f64, name: &str, lo: f64, hi: f64) -> Vec<String> {
+        let covers = ground_truth >= lo && ground_truth <= hi;
+        vec![
+            name.to_string(),
+            format!("[{lo:.4}, {hi:.4}]"),
+            format!("{:.4}", hi - lo),
+            if covers { "yes".into() } else { "NO".into() },
+        ]
+    }
+    fn fail_row(name: &str, e: impl std::fmt::Display) -> Vec<String> {
+        vec![name.into(), format!("failed: {e}"), "-".into(), "-".into()]
+    }
+    let mut rows = vec![ci_row(ground_truth, "SPA", spa_ci.lower(), spa_ci.upper())];
+    rows.push(match boot {
+        Ok(b) => ci_row(ground_truth, "Bootstrapping (BCa)", b.lower(), b.upper()),
+        Err(e) => fail_row("Bootstrapping (BCa)", e),
+    });
+    rows.push(match rank {
+        Ok(r) => ci_row(ground_truth, "Rank testing", r.lower(), r.upper()),
+        Err(e) => fail_row("Rank testing", e),
+    });
+    rows.push(match z {
+        Ok(zi) => ci_row(ground_truth, "Z-score", zi.lower(), zi.upper()),
+        Err(e) => fail_row("Z-score", e),
+    });
+    report::table(&["method", "interval", "width", "covers truth"], &rows);
+    println!("\n  note: a single trial is a case study, not an accuracy claim (§5.4);");
+    println!("  the 1000-trial evaluation is Figs. 6-13.");
+    report::write_json("fig05_ci_case_study", &rows);
+}

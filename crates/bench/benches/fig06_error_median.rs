@@ -1,0 +1,26 @@
+//! Fig. 6: CI error probability for ferret metrics at F = 0.5 (median),
+//! C = 0.9, all four methods, 1000 trials of 22 samples.
+//!
+//! Expected shape (paper §6.1): SPA and Z-score stay below the 0.1
+//! error threshold; bootstrapping exceeds it everywhere; rank testing
+//! exceeds it on some metrics.
+
+use spa_bench::experiment::{eval_across_metrics, FERRET_METRICS};
+use spa_bench::trial::{Method, TrialConfig};
+
+fn main() {
+    let cfg = TrialConfig::paper(
+        spa_bench::trial_count(),
+        0.9,
+        0.5,
+        spa_bench::bootstrap_resamples(),
+    );
+    eval_across_metrics(
+        "fig06_error_median",
+        "CI error probability, ferret metrics, F = 0.5",
+        &FERRET_METRICS,
+        &[Method::Spa, Method::Bootstrap, Method::RankTest, Method::ZScore],
+        &cfg,
+        false,
+    );
+}

@@ -1,0 +1,35 @@
+//! Fig. 7: normalized CI width for ferret metrics at F = 0.5.
+//!
+//! Expected shape (paper §6.1): the Z-score CI is 2.3-4.3x wider than
+//! SPA's; SPA is comparable to bootstrapping and rank testing.
+
+use spa_bench::experiment::{eval_across_metrics, FERRET_METRICS};
+use spa_bench::trial::{Method, TrialConfig};
+
+fn main() {
+    let cfg = TrialConfig::paper(
+        spa_bench::trial_count(),
+        0.9,
+        0.5,
+        spa_bench::bootstrap_resamples(),
+    );
+    let rows = eval_across_metrics(
+        "fig07_width_median",
+        "Normalized CI width, ferret metrics, F = 0.5",
+        &FERRET_METRICS,
+        &[Method::Spa, Method::Bootstrap, Method::RankTest, Method::ZScore],
+        &cfg,
+        false,
+    );
+    // The headline ratio the paper quotes: Z-score vs SPA width.
+    println!("\n  Z-score / SPA width ratios:");
+    for r in &rows {
+        let spa = r.methods.iter().find(|e| e.method == Method::Spa).unwrap();
+        let z = r.methods.iter().find(|e| e.method == Method::ZScore).unwrap();
+        println!(
+            "    {:<40} {:.2}x",
+            r.label,
+            z.mean_norm_width / spa.mean_norm_width
+        );
+    }
+}

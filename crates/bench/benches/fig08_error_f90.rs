@@ -1,0 +1,27 @@
+//! Fig. 8: CI error probability for ferret metrics at F = 0.9, SPA vs
+//! bootstrapping (the only methods applicable off the median), with
+//! bootstrap "Null" fractions.
+//!
+//! Expected shape (paper §6.2.1): SPA meets the 0.1 threshold on every
+//! metric; bootstrapping frequently exceeds it and returns Null on the
+//! integer-valued Max Load Latency metric.
+
+use spa_bench::experiment::{eval_across_metrics, FERRET_METRICS};
+use spa_bench::trial::{Method, TrialConfig};
+
+fn main() {
+    let cfg = TrialConfig::paper(
+        spa_bench::trial_count(),
+        0.9,
+        0.9,
+        spa_bench::bootstrap_resamples(),
+    );
+    eval_across_metrics(
+        "fig08_error_f90",
+        "CI error probability, ferret metrics, F = 0.9",
+        &FERRET_METRICS,
+        &[Method::Spa, Method::Bootstrap],
+        &cfg,
+        false,
+    );
+}

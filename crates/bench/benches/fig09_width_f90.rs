@@ -1,0 +1,24 @@
+//! Fig. 9: normalized CI width for ferret metrics at F = 0.9.
+//!
+//! Expected shape (paper §6.2.1): SPA's intervals are only slightly
+//! wider than bootstrapping's.
+
+use spa_bench::experiment::{eval_across_metrics, FERRET_METRICS};
+use spa_bench::trial::{Method, TrialConfig};
+
+fn main() {
+    let cfg = TrialConfig::paper(
+        spa_bench::trial_count(),
+        0.9,
+        0.9,
+        spa_bench::bootstrap_resamples(),
+    );
+    eval_across_metrics(
+        "fig09_width_f90",
+        "Normalized CI width, ferret metrics, F = 0.9",
+        &FERRET_METRICS,
+        &[Method::Spa, Method::Bootstrap],
+        &cfg,
+        false,
+    );
+}

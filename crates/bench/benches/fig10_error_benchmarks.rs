@@ -1,0 +1,25 @@
+//! Fig. 10: CI error probability across all PARSEC benchmarks for
+//! L1 Cache Misses / 1k Instructions at F = 0.9.
+//!
+//! Expected shape (paper §6.2.2): SPA within the error bound on every
+//! benchmark; bootstrapping exceeds it on most.
+
+use spa_bench::experiment::eval_across_benchmarks;
+use spa_bench::trial::{Method, TrialConfig};
+use spa_sim::metrics::Metric;
+
+fn main() {
+    let cfg = TrialConfig::paper(
+        spa_bench::trial_count(),
+        0.9,
+        0.9,
+        spa_bench::bootstrap_resamples(),
+    );
+    eval_across_benchmarks(
+        "fig10_error_benchmarks",
+        "CI error probability across benchmarks, L1 MPKI, F = 0.9",
+        Metric::L1Mpki,
+        &[Method::Spa, Method::Bootstrap],
+        &cfg,
+    );
+}

@@ -1,0 +1,21 @@
+//! Fig. 11: normalized CI width across benchmarks, L1 MPKI, F = 0.9.
+
+use spa_bench::experiment::eval_across_benchmarks;
+use spa_bench::trial::{Method, TrialConfig};
+use spa_sim::metrics::Metric;
+
+fn main() {
+    let cfg = TrialConfig::paper(
+        spa_bench::trial_count(),
+        0.9,
+        0.9,
+        spa_bench::bootstrap_resamples(),
+    );
+    eval_across_benchmarks(
+        "fig11_width_benchmarks",
+        "Normalized CI width across benchmarks, L1 MPKI, F = 0.9",
+        Metric::L1Mpki,
+        &[Method::Spa, Method::Bootstrap],
+        &cfg,
+    );
+}

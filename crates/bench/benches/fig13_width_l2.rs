@@ -1,0 +1,22 @@
+//! Fig. 13: normalized CI width across benchmarks, L2 miss probability,
+//! F = 0.9.
+
+use spa_bench::experiment::eval_across_benchmarks;
+use spa_bench::trial::{Method, TrialConfig};
+use spa_sim::metrics::Metric;
+
+fn main() {
+    let cfg = TrialConfig::paper(
+        spa_bench::trial_count(),
+        0.9,
+        0.9,
+        spa_bench::bootstrap_resamples(),
+    );
+    eval_across_benchmarks(
+        "fig13_width_l2",
+        "Normalized CI width across benchmarks, L2 miss probability, F = 0.9",
+        Metric::L2MissRate,
+        &[Method::Spa, Method::Bootstrap],
+        &cfg,
+    );
+}

@@ -1,0 +1,35 @@
+//! Fig. 15: the Fig. 8 experiment redone with every metric rounded to
+//! 3 decimal places (§6.4).
+//!
+//! Expected shape: the rounding floods the samples with duplicates, so
+//! BCa bootstrapping fails to produce a CI ("Null") in a large fraction
+//! of trials on most metrics, while SPA is unaffected.
+
+use spa_bench::experiment::{eval_across_metrics, FERRET_METRICS};
+use spa_bench::trial::{Method, TrialConfig};
+
+fn main() {
+    let cfg = TrialConfig::paper(
+        spa_bench::trial_count(),
+        0.9,
+        0.9,
+        spa_bench::bootstrap_resamples(),
+    );
+    let rows = eval_across_metrics(
+        "fig15_bootstrap_failures",
+        "Fig. 8 redone with metrics rounded to 3 decimals (duplicate data)",
+        &FERRET_METRICS,
+        &[Method::Spa, Method::Bootstrap],
+        &cfg,
+        true,
+    );
+    println!("\n  bootstrap Null fraction per metric (the figure's red bars):");
+    for r in &rows {
+        let boot = r.methods.iter().find(|e| e.method == Method::Bootstrap).unwrap();
+        let spa = r.methods.iter().find(|e| e.method == Method::Spa).unwrap();
+        println!(
+            "    {:<42} bootstrap Null = {:.2}   SPA Null = {:.2}",
+            r.label, boot.null_fraction, spa.null_fraction
+        );
+    }
+}

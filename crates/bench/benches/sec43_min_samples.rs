@@ -1,0 +1,26 @@
+//! §4.3: minimum samples required for SPA convergence (Eq. 6-8),
+//! including the published "22 samples at C = F = 0.9" figure.
+
+use spa_bench::report;
+use spa_core::min_samples::{min_samples, n_negative, n_positive};
+
+fn main() {
+    report::header("Sec. 4.3", "Minimum samples for convergence (Eq. 6-8)");
+    let mut rows = Vec::new();
+    for &c in &[0.9, 0.95, 0.99, 0.999] {
+        for &f in &[0.5, 0.8, 0.9, 0.95, 0.99] {
+            rows.push(vec![
+                format!("{c}"),
+                format!("{f}"),
+                n_positive(c, f).expect("valid C/F").to_string(),
+                n_negative(c, f).expect("valid C/F").to_string(),
+                min_samples(c, f).expect("valid C/F").to_string(),
+            ]);
+        }
+    }
+    report::table(&["C", "F", "N+ (Eq. 6)", "N- (Eq. 7)", "min samples (Eq. 8)"], &rows);
+    let headline = min_samples(0.9, 0.9).expect("valid C/F");
+    println!("\n  paper's §4.3 example: C = 0.9, F = 0.9 requires {headline} samples (N+ = 22, N- = 1)");
+    assert_eq!(headline, 22);
+    report::write_json("sec43_min_samples", &rows);
+}

@@ -1,0 +1,34 @@
+//! §6 context: coefficients of variation across ferret metrics and
+//! across benchmarks for L1 MPKI (the paper quotes 0.022-0.117 and
+//! 0.0002-0.127 respectively on its gem5 populations).
+
+use spa_bench::experiment::FERRET_METRICS;
+use spa_bench::population::{population, PopulationKey};
+use spa_bench::report;
+use spa_sim::metrics::Metric;
+use spa_sim::workload::parsec::Benchmark;
+use spa_stats::descriptive::coefficient_of_variation;
+
+fn main() {
+    report::header("Sec. 6", "Coefficient-of-variation ranges");
+    let n = spa_bench::population_size();
+
+    println!("\n  ferret, across metrics:");
+    let pop = population(PopulationKey::standard(Benchmark::Ferret, n));
+    let mut rows = Vec::new();
+    for m in FERRET_METRICS {
+        let cv = coefficient_of_variation(&pop.metric(m));
+        rows.push(vec![m.name().to_string(), format!("{cv:.5}")]);
+    }
+    report::table(&["metric", "CV"], &rows);
+
+    println!("\n  L1 MPKI, across benchmarks:");
+    let mut rows = Vec::new();
+    for b in Benchmark::ALL {
+        let pop = population(PopulationKey::standard(b, n));
+        let cv = coefficient_of_variation(&pop.metric(Metric::L1Mpki));
+        rows.push(vec![b.name().to_string(), format!("{cv:.5}")]);
+    }
+    report::table(&["benchmark", "CV"], &rows);
+    report::write_json("sec6_cv_ranges", &rows);
+}

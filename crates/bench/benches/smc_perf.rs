@@ -1,0 +1,77 @@
+//! Criterion micro-benchmarks for the analysis layer: Clopper–Pearson
+//! confidence, exact CI construction, the baselines, and raw simulator
+//! throughput. These quantify the paper's remark that "the cost of
+//! running experiments dominates the cost of statistical analysis".
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use spa_baselines::bootstrap::bca_ci;
+use spa_baselines::rank::rank_ci_normal;
+use spa_baselines::zscore::z_ci;
+use spa_core::ci::ci_exact;
+use spa_core::clopper_pearson::confidence;
+use spa_core::property::Direction;
+use spa_core::smc::SmcEngine;
+use spa_sim::config::SystemConfig;
+use spa_sim::machine::Machine;
+use spa_sim::workload::parsec::Benchmark;
+
+fn samples_22() -> Vec<f64> {
+    (0..22).map(|i| 1.0 + 0.013 * (i as f64) + 0.37 * ((i * i) as f64 % 7.0)).collect()
+}
+
+fn bench_clopper_pearson(c: &mut Criterion) {
+    c.bench_function("clopper_pearson_confidence_m20_n22", |b| {
+        b.iter(|| confidence(black_box(20), black_box(22), black_box(0.9)).unwrap())
+    });
+}
+
+fn bench_ci_methods(c: &mut Criterion) {
+    let xs = samples_22();
+    let engine = SmcEngine::new(0.9, 0.5).unwrap();
+    let mut group = c.benchmark_group("ci_construction_22_samples");
+    group.bench_function("spa_exact", |b| {
+        b.iter(|| ci_exact(&engine, black_box(&xs), Direction::AtMost).unwrap())
+    });
+    group.bench_function("bootstrap_bca_500", |b| {
+        b.iter_batched(
+            || StdRng::seed_from_u64(1),
+            |mut rng| bca_ci(black_box(&xs), 0.5, 0.9, 500, &mut rng).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("rank_normal", |b| {
+        b.iter(|| rank_ci_normal(black_box(&xs), 0.5, 0.9).unwrap())
+    });
+    group.bench_function("zscore", |b| {
+        b.iter(|| z_ci(black_box(&xs), 0.9).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let spec = Benchmark::Ferret.workload_scaled(0.25);
+    let machine = Machine::new(SystemConfig::table2(), &spec).unwrap();
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    let mut seed = 0u64;
+    group.bench_function("ferret_quarter_scale_run", |b| {
+        b.iter(|| {
+            seed += 1;
+            machine.run(black_box(seed)).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_clopper_pearson,
+    bench_ci_methods,
+    bench_simulator
+);
+criterion_main!(benches);

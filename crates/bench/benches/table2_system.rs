@@ -1,0 +1,77 @@
+//! Table 2: simulated system parameters, plus a sanity run per
+//! benchmark confirming the configuration executes.
+
+use spa_bench::report;
+use spa_sim::config::SystemConfig;
+use spa_sim::machine::Machine;
+use spa_sim::workload::parsec::Benchmark;
+
+fn main() {
+    report::header("Table 2", "Simulated system parameters");
+    let c = SystemConfig::table2();
+    let rows = vec![
+        vec!["cores".into(), format!("{} out-of-order x86 cores", c.cores)],
+        vec![
+            "L1 I".into(),
+            format!(
+                "{}KB/{}-way, {}-cycle ({} sets)",
+                c.l1i.capacity_bytes / 1024,
+                c.l1i.ways,
+                c.l1i.latency,
+                c.l1i.sets(c.block_bytes)
+            ),
+        ],
+        vec![
+            "L1 D".into(),
+            format!(
+                "{}KB/{}-way, {}-cycle ({} sets)",
+                c.l1d.capacity_bytes / 1024,
+                c.l1d.ways,
+                c.l1d.latency,
+                c.l1d.sets(c.block_bytes)
+            ),
+        ],
+        vec![
+            "shared L2".into(),
+            format!(
+                "inclusive {}MB/{}-way, {}-cycle ({} sets)",
+                c.l2.capacity_bytes / (1024 * 1024),
+                c.l2.ways,
+                c.l2.latency,
+                c.l2.sets(c.block_bytes)
+            ),
+        ],
+        vec!["cache block size".into(), format!("{}B", c.block_bytes)],
+        vec![
+            "memory".into(),
+            format!("{}-cycle DRAM + 0-4 cycle injected jitter", c.dram_latency),
+        ],
+        vec!["coherence protocol".into(), "MESI directory".into()],
+        vec![
+            "on-chip network".into(),
+            format!(
+                "crossbar with {}B links (block transfer = {} cycles)",
+                c.link_bytes,
+                c.block_transfer_cycles()
+            ),
+        ],
+    ];
+    report::table(&["parameter", "value"], &rows);
+
+    println!("\n  Sanity execution of every PARSEC workload on this system:");
+    let mut sanity = Vec::new();
+    for b in Benchmark::ALL {
+        let spec = b.workload_scaled(0.25);
+        let machine = Machine::new(SystemConfig::table2(), &spec).expect("valid machine");
+        let r = machine.run(0).expect("run succeeds");
+        sanity.push(vec![
+            b.name().to_string(),
+            format!("{}", r.metrics.runtime_cycles),
+            format!("{:.2}", r.metrics.ipc),
+            format!("{:.2}", r.metrics.l1_mpki),
+            format!("{:.2}", r.metrics.l2_mpki),
+        ]);
+    }
+    report::table(&["benchmark", "cycles", "IPC", "L1 MPKI", "L2 MPKI"], &sanity);
+    report::write_json("table2_system", &rows);
+}

@@ -1,0 +1,231 @@
+//! Shared experiment drivers behind the per-figure harnesses.
+
+use serde::Serialize;
+
+use spa_sim::metrics::Metric;
+use spa_sim::workload::parsec::Benchmark;
+
+use crate::population::{population, Population, PopulationKey};
+use crate::report;
+use crate::trial::{evaluate, Method, MethodEval, TrialConfig};
+
+/// The ferret metrics the per-metric figures (6–9) sweep.
+pub const FERRET_METRICS: [Metric; 6] = [
+    Metric::RuntimeSeconds,
+    Metric::Ipc,
+    Metric::L1Mpki,
+    Metric::L2Mpki,
+    Metric::MaxLoadLatency,
+    Metric::BranchMpki,
+];
+
+/// One figure row in JSON output.
+#[derive(Debug, Clone, Serialize)]
+pub struct EvalRow {
+    /// Metric or benchmark label.
+    pub label: String,
+    /// Ground truth (population F-quantile).
+    pub ground_truth: f64,
+    /// Per-method results.
+    pub methods: Vec<MethodEval>,
+}
+
+/// Geometric mean that tolerates zeros the way the paper's plots do
+/// (zero error probabilities are clamped to 1/trials before averaging).
+pub fn geomean(values: impl IntoIterator<Item = f64>, floor: f64) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        log_sum += v.max(floor).ln();
+        n += 1;
+    }
+    if n == 0 {
+        f64::NAN
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+/// Runs the §5.4 evaluation across ferret metrics and prints/saves both
+/// an error-probability view and a width view (the Fig. 6/7 and 8/9
+/// pairs).
+pub fn eval_across_metrics(
+    id: &str,
+    title: &str,
+    metrics: &[Metric],
+    methods: &[Method],
+    cfg: &TrialConfig,
+    round_to_3_decimals: bool,
+) -> Vec<EvalRow> {
+    report::header(id, title);
+    let pop = population(PopulationKey::standard(
+        Benchmark::Ferret,
+        crate::population_size(),
+    ));
+    let rows = eval_rows_for_population(&pop, metrics, methods, cfg, round_to_3_decimals);
+    print_eval(&rows, methods, cfg);
+    report::write_json(id, &rows);
+    rows
+}
+
+/// As [`eval_across_metrics`] but sweeping benchmarks at a fixed metric
+/// (the Fig. 10–13 pattern).
+pub fn eval_across_benchmarks(
+    id: &str,
+    title: &str,
+    metric: Metric,
+    methods: &[Method],
+    cfg: &TrialConfig,
+) -> Vec<EvalRow> {
+    report::header(id, title);
+    let mut rows = Vec::new();
+    for bench in Benchmark::ALL {
+        let pop = population(PopulationKey::standard(bench, crate::population_size()));
+        let samples = pop.metric(metric);
+        let (gt, evals) = evaluate(&samples, methods, cfg);
+        rows.push(EvalRow {
+            label: bench.name().to_owned(),
+            ground_truth: gt,
+            methods: evals,
+        });
+    }
+    print_eval(&rows, methods, cfg);
+    report::write_json(id, &rows);
+    rows
+}
+
+/// Evaluates each metric of one population.
+pub fn eval_rows_for_population(
+    pop: &Population,
+    metrics: &[Metric],
+    methods: &[Method],
+    cfg: &TrialConfig,
+    round_to_3_decimals: bool,
+) -> Vec<EvalRow> {
+    metrics
+        .iter()
+        .map(|&metric| {
+            let mut samples = pop.metric(metric);
+            if round_to_3_decimals {
+                // Fig. 15: "round the simulator metrics to 3 digits past
+                // the decimal to eliminate 'unreasonable' precision".
+                for s in &mut samples {
+                    *s = (*s * 1000.0).round() / 1000.0;
+                }
+            }
+            let (gt, evals) = evaluate(&samples, methods, cfg);
+            EvalRow {
+                label: metric.name().to_owned(),
+                ground_truth: gt,
+                methods: evals,
+            }
+        })
+        .collect()
+}
+
+/// Prints the paired error/width tables for a set of rows.
+pub fn print_eval(rows: &[EvalRow], methods: &[Method], cfg: &TrialConfig) {
+    let threshold = 1.0 - cfg.confidence;
+    println!(
+        "\n  {} trials x {} samples, C = {}, F = {}  (error must stay below {:.3})",
+        cfg.trials, cfg.samples, cfg.confidence, cfg.proportion, threshold
+    );
+
+    println!("\n  CI error probability:");
+    let mut columns = vec!["label", "ground truth"];
+    columns.extend(methods.iter().map(|m| m.name()));
+    columns.push("nulls");
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let mut cells = vec![r.label.clone(), format!("{:.6}", r.ground_truth)];
+            for e in &r.methods {
+                let flag = if e.error_probability > threshold { "*" } else { "" };
+                cells.push(format!("{:.3}{flag}", e.error_probability));
+            }
+            let nulls: Vec<String> = r
+                .methods
+                .iter()
+                .filter(|e| e.null_fraction > 0.0)
+                .map(|e| format!("{}={:.2}", e.method.name(), e.null_fraction))
+                .collect();
+            cells.push(if nulls.is_empty() {
+                "-".into()
+            } else {
+                nulls.join(" ")
+            });
+            cells
+        })
+        .collect();
+    report::table(&columns, &table_rows);
+    println!("  (* = exceeds the requested error threshold)");
+
+    println!("\n  Normalized mean CI width:");
+    let mut columns = vec!["label"];
+    columns.extend(methods.iter().map(|m| m.name()));
+    let width_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let mut cells = vec![r.label.clone()];
+            for e in &r.methods {
+                cells.push(format!("{:.4}", e.mean_norm_width));
+            }
+            cells
+        })
+        .collect();
+    report::table(&columns, &width_rows);
+
+    // Geomean summary line, as the paper reports.
+    let floor = 1.0 / cfg.trials as f64;
+    print!("\n  geomean error:");
+    for (i, m) in methods.iter().enumerate() {
+        let g = geomean(
+            rows.iter().map(|r| r.methods[i].error_probability),
+            floor,
+        );
+        print!("  {} = {:.3}", m.name(), g);
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        let g = geomean([0.1, 0.1, 0.1], 1e-3);
+        assert!((g - 0.1).abs() < 1e-12);
+        // Zero is clamped to the floor rather than zeroing the product.
+        let g = geomean([0.0, 0.1], 1e-3);
+        assert!(g > 0.0);
+        assert!(geomean(std::iter::empty::<f64>(), 1e-3).is_nan());
+    }
+
+    #[test]
+    fn rounding_changes_samples() {
+        use crate::population::{NoiseModel, SystemVariant};
+        let key = PopulationKey {
+            benchmark: Benchmark::Blackscholes,
+            system: SystemVariant::Table2,
+            noise: NoiseModel::Paper,
+            count: 30,
+            seed_start: 9200,
+        };
+        let pop = population(key);
+        let cfg = TrialConfig {
+            trials: 10,
+            samples: 22,
+            confidence: 0.9,
+            proportion: 0.5,
+            resamples: 50,
+            seed: 1,
+        };
+        let plain = eval_rows_for_population(&pop, &[Metric::Ipc], &[Method::Spa], &cfg, false);
+        let rounded = eval_rows_for_population(&pop, &[Metric::Ipc], &[Method::Spa], &cfg, true);
+        // Rounded ground truth has at most 3 decimals.
+        let gt = rounded[0].ground_truth;
+        assert!((gt * 1000.0 - (gt * 1000.0).round()).abs() < 1e-9);
+        assert_eq!(plain.len(), 1);
+    }
+}

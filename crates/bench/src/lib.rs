@@ -1,0 +1,67 @@
+#![warn(missing_docs)]
+
+//! # spa-bench — the experiment harness
+//!
+//! One target per table/figure of the paper (see `DESIGN.md` for the
+//! index). Each harness
+//!
+//! 1. obtains the required simulation populations (cached on disk under
+//!    `target/spa-populations`, so reruns are fast),
+//! 2. runs the statistical evaluation (1000 trials of 22 samples by
+//!    default, §5.4), and
+//! 3. prints the same rows/series the paper's figure reports, plus a
+//!    JSON dump under `target/spa-results`.
+//!
+//! Environment overrides for quick runs:
+//!
+//! * `SPA_POPULATION` — population size (default 500; Fig. 1 uses 1000),
+//! * `SPA_TRIALS` — trials per evaluation (default 1000),
+//! * `SPA_RESAMPLES` — bootstrap resamples (default 2000).
+
+pub mod experiment;
+pub mod population;
+pub mod report;
+pub mod trial;
+
+/// Reads a positive integer environment override.
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(default)
+}
+
+/// Population size for ground-truth populations (§5.3: 500).
+pub fn population_size() -> usize {
+    env_usize("SPA_POPULATION", 500)
+}
+
+/// Trials per CI-accuracy evaluation (§5.4: 1000).
+pub fn trial_count() -> usize {
+    env_usize("SPA_TRIALS", 1000)
+}
+
+/// Bootstrap resamples per CI construction.
+pub fn bootstrap_resamples() -> usize {
+    env_usize("SPA_RESAMPLES", 2000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_override_parsing() {
+        // Unset → default.
+        std::env::remove_var("SPA_TEST_KNOB");
+        assert_eq!(env_usize("SPA_TEST_KNOB", 7), 7);
+        std::env::set_var("SPA_TEST_KNOB", "12");
+        assert_eq!(env_usize("SPA_TEST_KNOB", 7), 12);
+        std::env::set_var("SPA_TEST_KNOB", "0");
+        assert_eq!(env_usize("SPA_TEST_KNOB", 7), 7); // zero rejected
+        std::env::set_var("SPA_TEST_KNOB", "junk");
+        assert_eq!(env_usize("SPA_TEST_KNOB", 7), 7);
+        std::env::remove_var("SPA_TEST_KNOB");
+    }
+}

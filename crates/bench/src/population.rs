@@ -1,0 +1,286 @@
+//! Simulation populations with a disk cache.
+//!
+//! Ground-truth populations (§5.3: 500 executions per benchmark) are
+//! expensive relative to the statistics, so they are generated once and
+//! cached as JSON under `target/spa-populations/`, keyed by benchmark,
+//! system variant, variability model, and population size. Delete the
+//! directory to force regeneration.
+
+use std::fs;
+use std::path::PathBuf;
+
+use serde::{Deserialize, Serialize};
+
+use spa_sim::config::SystemConfig;
+use spa_sim::metrics::{ExecutionMetrics, Metric};
+use spa_sim::runner::run_population_with;
+use spa_sim::variability::Variability;
+use spa_sim::workload::parsec::Benchmark;
+
+/// Which system the population was simulated on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SystemVariant {
+    /// The paper's Table 2 machine (3 MB L2).
+    Table2,
+    /// Table 2 with a 512 kB L2 (the §4.2 speedup study's base).
+    L2Small,
+    /// Table 2 with a 1 MB L2 (the speedup study's improved system).
+    L2Large,
+}
+
+impl SystemVariant {
+    /// Concrete configuration.
+    pub fn config(&self) -> SystemConfig {
+        match self {
+            SystemVariant::Table2 => SystemConfig::table2(),
+            SystemVariant::L2Small => SystemConfig::table2().with_l2_capacity(512 * 1024),
+            SystemVariant::L2Large => SystemConfig::table2().with_l2_capacity(1024 * 1024),
+        }
+    }
+
+    fn key(&self) -> &'static str {
+        match self {
+            SystemVariant::Table2 => "table2",
+            SystemVariant::L2Small => "l2-512k",
+            SystemVariant::L2Large => "l2-1m",
+        }
+    }
+}
+
+/// Which variability model drove the population.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum NoiseModel {
+    /// §5.2 simulation model: uniform 0–4 cycle DRAM jitter.
+    Paper,
+    /// The "real machine" OS-noise model of Fig. 1.
+    RealMachine,
+    /// Explicit jitter bound (ablations).
+    Jitter(u64),
+}
+
+impl NoiseModel {
+    /// Concrete variability model.
+    pub fn variability(&self) -> Variability {
+        match self {
+            NoiseModel::Paper => Variability::paper_default(),
+            NoiseModel::RealMachine => Variability::real_machine(),
+            NoiseModel::Jitter(0) => Variability::None,
+            NoiseModel::Jitter(n) => Variability::DramJitter { max_cycles: *n },
+        }
+    }
+
+    fn key(&self) -> String {
+        match self {
+            NoiseModel::Paper => "paper".into(),
+            NoiseModel::RealMachine => "realmachine".into(),
+            NoiseModel::Jitter(n) => format!("jitter{n}"),
+        }
+    }
+}
+
+/// A fully specified population request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PopulationKey {
+    /// Benchmark to run.
+    pub benchmark: Benchmark,
+    /// System variant.
+    pub system: SystemVariant,
+    /// Variability model.
+    pub noise: NoiseModel,
+    /// Number of executions.
+    pub count: usize,
+    /// First seed (populations with different seed bases are disjoint).
+    pub seed_start: u64,
+}
+
+impl PopulationKey {
+    /// Standard key: Table 2, paper noise, seeds from 0.
+    pub fn standard(benchmark: Benchmark, count: usize) -> Self {
+        Self {
+            benchmark,
+            system: SystemVariant::Table2,
+            noise: NoiseModel::Paper,
+            count,
+            seed_start: 0,
+        }
+    }
+
+    fn cache_file(&self) -> PathBuf {
+        cache_dir().join(format!(
+            "{}-{}-{}-n{}-s{}.json",
+            self.benchmark.name(),
+            self.system.key(),
+            self.noise.key(),
+            self.count,
+            self.seed_start,
+        ))
+    }
+}
+
+fn cache_dir() -> PathBuf {
+    // Keep the cache inside `target/` so `cargo clean` clears it.
+    let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| {
+        let mut p = std::env::current_dir().expect("cwd");
+        // Walk up to the WORKSPACE root: the outermost ancestor that
+        // contains a Cargo.toml (crate dirs inside the workspace also
+        // have one, so keep climbing while a parent qualifies).
+        let mut root = p.clone();
+        loop {
+            if p.join("Cargo.toml").exists() {
+                root = p.clone();
+            }
+            if !p.pop() {
+                break;
+            }
+        }
+        root.join("target").to_string_lossy().into_owned()
+    });
+    PathBuf::from(target).join("spa-populations")
+}
+
+/// A cached population: the metrics of every execution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Population {
+    /// The request this population answers.
+    pub key: PopulationKey,
+    /// Per-execution metrics, in seed order.
+    pub runs: Vec<ExecutionMetrics>,
+}
+
+impl Population {
+    /// Extracts one metric across the population.
+    pub fn metric(&self, metric: Metric) -> Vec<f64> {
+        self.runs.iter().map(|r| metric.extract(r)).collect()
+    }
+}
+
+/// Loads the population from cache or simulates (and caches) it.
+///
+/// # Panics
+///
+/// Panics if the simulation itself fails (a workload bug) — harnesses
+/// treat that as fatal.
+pub fn population(key: PopulationKey) -> Population {
+    let path = key.cache_file();
+    if let Ok(bytes) = fs::read(&path) {
+        if let Ok(pop) = serde_json::from_slice::<Population>(&bytes) {
+            if pop.key == key && pop.runs.len() == key.count {
+                return pop;
+            }
+        }
+    }
+    let spec = key.benchmark.workload();
+    let runs = run_population_with(
+        key.system.config(),
+        &spec,
+        key.noise.variability(),
+        key.seed_start,
+        key.count as u64,
+    )
+    .expect("simulation failed");
+    let pop = Population {
+        key,
+        runs: runs.into_iter().map(|r| r.metrics).collect(),
+    };
+    let _ = fs::create_dir_all(cache_dir());
+    if let Ok(bytes) = serde_json::to_vec(&pop) {
+        let _ = fs::write(&path, bytes);
+    }
+    pop
+}
+
+/// The speedup population of §5.2: pair execution `i` of the base
+/// system with execution `i` of the improved system and divide their
+/// runtimes (base / improved, so > 1 means the improved system wins).
+pub fn speedup_samples(base: &Population, improved: &Population) -> Vec<f64> {
+    base.runs
+        .iter()
+        .zip(&improved.runs)
+        .map(|(b, i)| b.runtime_seconds / i.runtime_seconds)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_round_trip() {
+        let key = PopulationKey {
+            benchmark: Benchmark::Blackscholes,
+            system: SystemVariant::Table2,
+            noise: NoiseModel::Paper,
+            count: 5,
+            seed_start: 9000, // unlikely to collide with real runs
+        };
+        let _ = std::fs::remove_file(key.cache_file());
+        let first = population(key);
+        assert_eq!(first.runs.len(), 5);
+        // Second call must hit the cache and agree exactly.
+        let second = population(key);
+        assert_eq!(first.runs, second.runs);
+        assert!(key.cache_file().exists());
+    }
+
+    #[test]
+    fn metric_extraction() {
+        let key = PopulationKey {
+            benchmark: Benchmark::Blackscholes,
+            system: SystemVariant::Table2,
+            noise: NoiseModel::Paper,
+            count: 4,
+            seed_start: 9100,
+        };
+        let pop = population(key);
+        let rt = pop.metric(Metric::RuntimeSeconds);
+        assert_eq!(rt.len(), 4);
+        assert!(rt.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn speedup_pairing() {
+        let a = Population {
+            key: PopulationKey::standard(Benchmark::Ferret, 2),
+            runs: vec![
+                ExecutionMetrics {
+                    runtime_seconds: 2.0,
+                    ..Default::default()
+                },
+                ExecutionMetrics {
+                    runtime_seconds: 3.0,
+                    ..Default::default()
+                },
+            ],
+        };
+        let b = Population {
+            key: PopulationKey::standard(Benchmark::Ferret, 2),
+            runs: vec![
+                ExecutionMetrics {
+                    runtime_seconds: 1.0,
+                    ..Default::default()
+                },
+                ExecutionMetrics {
+                    runtime_seconds: 2.0,
+                    ..Default::default()
+                },
+            ],
+        };
+        assert_eq!(speedup_samples(&a, &b), vec![2.0, 1.5]);
+    }
+
+    #[test]
+    fn variant_configs_differ() {
+        assert_eq!(
+            SystemVariant::L2Small.config().l2.capacity_bytes,
+            512 * 1024
+        );
+        assert_eq!(
+            SystemVariant::L2Large.config().l2.capacity_bytes,
+            1024 * 1024
+        );
+        assert_eq!(
+            SystemVariant::Table2.config().l2.capacity_bytes,
+            3 * 1024 * 1024
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! Harness output: aligned terminal tables, ASCII bar charts, and JSON
+//! result dumps under `target/spa-results/`.
+
+use std::fs;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+/// Prints a figure/table header in a consistent style.
+pub fn header(id: &str, title: &str) {
+    println!("\n================================================================");
+    println!("{id}: {title}");
+    println!("================================================================");
+}
+
+/// Prints an aligned table: `columns` are headers, `rows` pre-formatted
+/// cells.
+///
+/// # Panics
+///
+/// Panics if a row's length differs from the header's (a harness bug).
+pub fn table(columns: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = columns.iter().map(|c| c.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), columns.len(), "row/column arity mismatch");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let joined: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        println!("  {}", joined.join("  "));
+    };
+    line(columns.iter().map(|c| c.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Renders a labelled horizontal bar chart (values must be ≥ 0).
+pub fn bars(items: &[(String, f64)], width: usize, unit: &str) {
+    let max = items.iter().map(|(_, v)| *v).fold(0.0_f64, f64::max).max(1e-300);
+    let label_w = items.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    for (label, v) in items {
+        let n = ((v / max) * width as f64).round() as usize;
+        println!("  {label:<label_w$}  {:<width$}  {v:.4}{unit}", "#".repeat(n));
+    }
+}
+
+/// Directory for JSON results (inside `target/`).
+fn results_dir() -> PathBuf {
+    let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| {
+        let mut p = std::env::current_dir().expect("cwd");
+        // Walk up to the WORKSPACE root: the outermost ancestor that
+        // contains a Cargo.toml (crate dirs inside the workspace also
+        // have one, so keep climbing while a parent qualifies).
+        let mut root = p.clone();
+        loop {
+            if p.join("Cargo.toml").exists() {
+                root = p.clone();
+            }
+            if !p.pop() {
+                break;
+            }
+        }
+        root.join("target").to_string_lossy().into_owned()
+    });
+    PathBuf::from(target).join("spa-results")
+}
+
+/// Writes a JSON result artifact for the given experiment id.
+pub fn write_json<T: Serialize>(id: &str, value: &T) {
+    let dir = results_dir();
+    let _ = fs::create_dir_all(&dir);
+    let path = dir.join(format!("{id}.json"));
+    match serde_json::to_vec_pretty(value) {
+        Ok(bytes) => {
+            if let Err(e) = fs::write(&path, bytes) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                println!("  [results written to {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize {id}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_without_panicking() {
+        table(
+            &["a", "metric"],
+            &[
+                vec!["1".into(), "x".into()],
+                vec!["22".into(), "yyyy".into()],
+            ],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn table_checks_arity() {
+        table(&["a", "b"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn bars_handle_zero_and_empty() {
+        bars(&[], 10, "");
+        bars(&[("z".into(), 0.0)], 10, "%");
+    }
+
+    #[test]
+    fn json_write_round_trips() {
+        #[derive(Serialize)]
+        struct T {
+            x: u32,
+        }
+        write_json("unit-test-artifact", &T { x: 5 });
+        let path = results_dir().join("unit-test-artifact.json");
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("\"x\": 5"));
+        let _ = std::fs::remove_file(path);
+    }
+}

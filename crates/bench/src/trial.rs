@@ -1,0 +1,335 @@
+//! The CI-accuracy trial engine (§5.4).
+//!
+//! "In each trial, 22 samples are randomly drawn from the benchmark
+//! population, and the metric of interest is extracted. … each method
+//! constructs a CI which is compared against the calculated ground
+//! truth. If the CI covers the ground truth, that technique is counted
+//! to be accurate for that trial. … we calculate the mean width for
+//! each method by averaging the widths of the 1000 CIs it generated …
+//! we normalize these values by dividing the mean width by its
+//! corresponding ground truth value."
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use spa_baselines::bootstrap::bca_ci;
+use spa_baselines::rank::rank_ci_normal;
+use spa_baselines::tscore::t_ci;
+use spa_baselines::zscore::z_ci;
+use spa_core::ci::ci_exact;
+use spa_core::property::Direction;
+use spa_core::smc::SmcEngine;
+use spa_stats::descriptive::{quantile, QuantileMethod};
+
+/// A CI-construction method under evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Method {
+    /// SPA's SMC-based interval (the paper's contribution).
+    Spa,
+    /// BCa bootstrap (§2.4, [30, 32]).
+    Bootstrap,
+    /// Rank test with normal approximation (§2.4, [10, 26]).
+    RankTest,
+    /// Z-score interval (Gaussian assumption).
+    ZScore,
+    /// Student-t interval (Gaussian assumption, small-sample quantile;
+    /// an extension beyond the paper's comparison set).
+    TScore,
+}
+
+impl Method {
+    /// Figure label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::Spa => "SPA",
+            Method::Bootstrap => "Bootstrapping",
+            Method::RankTest => "Rank Testing",
+            Method::ZScore => "Z-score",
+            Method::TScore => "t-score",
+        }
+    }
+}
+
+impl std::fmt::Display for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Evaluation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrialConfig {
+    /// Number of trials (paper: 1000; Fig. 14: 100).
+    pub trials: usize,
+    /// Samples drawn per trial (paper: 22, from Eq. 8 at C = F = 0.9).
+    pub samples: usize,
+    /// Confidence level `C`.
+    pub confidence: f64,
+    /// Proportion `F` (0.5 = median evaluation of §6.1).
+    pub proportion: f64,
+    /// Bootstrap resamples.
+    pub resamples: usize,
+    /// RNG seed for the trial draws (fixed ⇒ reproducible figures).
+    pub seed: u64,
+}
+
+impl TrialConfig {
+    /// The paper's default setup for a given `C`/`F`.
+    pub fn paper(trials: usize, confidence: f64, proportion: f64, resamples: usize) -> Self {
+        Self {
+            trials,
+            samples: 22,
+            confidence,
+            proportion,
+            resamples,
+            seed: 0xC17A_B1E5,
+        }
+    }
+}
+
+/// Aggregate outcome of one method over all trials.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MethodEval {
+    /// The evaluated method.
+    pub method: Method,
+    /// Fraction of trials whose CI *missed* the ground truth, among
+    /// trials that produced a CI.
+    pub error_probability: f64,
+    /// Fraction of trials in which the method failed to produce any CI
+    /// (the paper's bootstrap "Null" bar).
+    pub null_fraction: f64,
+    /// Mean CI width over successful trials, divided by the ground
+    /// truth (the paper's normalized width).
+    pub mean_norm_width: f64,
+    /// Unnormalized mean width.
+    pub mean_width: f64,
+}
+
+/// Evaluates the requested methods on one population/metric.
+///
+/// `population` is the full ground-truth population (§5.3); the ground
+/// truth itself is its `F`-quantile under lower-rank semantics — "the
+/// proportion of executions for which a property is true".
+///
+/// # Panics
+///
+/// Panics if the population is smaller than the per-trial sample count
+/// or if the SMC engine parameters are invalid — harness configuration
+/// errors.
+pub fn evaluate(
+    population: &[f64],
+    methods: &[Method],
+    cfg: &TrialConfig,
+) -> (f64, Vec<MethodEval>) {
+    assert!(
+        population.len() >= cfg.samples,
+        "population smaller than per-trial sample size"
+    );
+    let ground_truth = quantile(population, cfg.proportion, QuantileMethod::LowerRank)
+        .expect("non-empty population");
+    let engine = SmcEngine::new(cfg.confidence, cfg.proportion).expect("valid C/F");
+
+    struct Acc {
+        misses: usize,
+        nulls: usize,
+        produced: usize,
+        width_sum: f64,
+    }
+    let mut accs: Vec<Acc> = methods
+        .iter()
+        .map(|_| Acc {
+            misses: 0,
+            nulls: 0,
+            produced: 0,
+            width_sum: 0.0,
+        })
+        .collect();
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut indices: Vec<usize> = (0..population.len()).collect();
+    let mut sample = vec![0.0_f64; cfg.samples];
+
+    for _ in 0..cfg.trials {
+        // Draw without replacement, as §5.4 describes. `partial_shuffle`
+        // returns the freshly shuffled portion first.
+        let (chosen, _) = indices.partial_shuffle(&mut rng, cfg.samples);
+        for (slot, &idx) in sample.iter_mut().zip(chosen.iter()) {
+            *slot = population[idx];
+        }
+
+        for (method, acc) in methods.iter().zip(accs.iter_mut()) {
+            let ci: Option<(f64, f64)> = match method {
+                Method::Spa => ci_exact(&engine, &sample, Direction::AtMost)
+                    .ok()
+                    .map(|c| (c.lower(), c.upper())),
+                Method::Bootstrap => bca_ci(
+                    &sample,
+                    cfg.proportion,
+                    cfg.confidence,
+                    cfg.resamples,
+                    &mut rng,
+                )
+                .ok()
+                .map(|c| (c.lower(), c.upper())),
+                Method::RankTest => rank_ci_normal(&sample, cfg.proportion, cfg.confidence)
+                    .ok()
+                    .map(|c| (c.lower(), c.upper())),
+                Method::ZScore => z_ci(&sample, cfg.confidence)
+                    .ok()
+                    .map(|c| (c.lower(), c.upper())),
+                Method::TScore => t_ci(&sample, cfg.confidence)
+                    .ok()
+                    .map(|c| (c.lower(), c.upper())),
+            };
+            match ci {
+                None => acc.nulls += 1,
+                Some((lo, hi)) => {
+                    acc.produced += 1;
+                    acc.width_sum += hi - lo;
+                    if ground_truth < lo || ground_truth > hi {
+                        acc.misses += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    let evals = methods
+        .iter()
+        .zip(accs)
+        .map(|(&method, acc)| {
+            let mean_width = if acc.produced > 0 {
+                acc.width_sum / acc.produced as f64
+            } else {
+                f64::NAN
+            };
+            MethodEval {
+                method,
+                error_probability: if acc.produced > 0 {
+                    acc.misses as f64 / acc.produced as f64
+                } else {
+                    f64::NAN
+                },
+                null_fraction: acc.nulls as f64 / cfg.trials as f64,
+                mean_norm_width: mean_width / ground_truth.abs(),
+                mean_width,
+            }
+        })
+        .collect();
+    (ground_truth, evals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic non-Gaussian population: exponential-ish spacing.
+    fn skewed_population(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let u = (i as f64 + 0.5) / n as f64;
+                10.0 - 3.0 * (1.0 - u).ln()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn spa_respects_confidence_on_skewed_data() {
+        let pop = skewed_population(500);
+        let cfg = TrialConfig {
+            trials: 300,
+            samples: 22,
+            confidence: 0.9,
+            proportion: 0.5,
+            resamples: 200,
+            seed: 42,
+        };
+        let (gt, evals) = evaluate(&pop, &[Method::Spa], &cfg);
+        assert!(gt > 10.0);
+        let spa = &evals[0];
+        assert!(
+            spa.error_probability <= 0.1 + 0.04,
+            "SPA error {} exceeds 1 − C",
+            spa.error_probability
+        );
+        assert_eq!(spa.null_fraction, 0.0);
+        assert!(spa.mean_norm_width > 0.0);
+    }
+
+    #[test]
+    fn all_methods_produce_finite_summaries() {
+        let pop = skewed_population(300);
+        let cfg = TrialConfig {
+            trials: 60,
+            samples: 22,
+            confidence: 0.9,
+            proportion: 0.5,
+            resamples: 200,
+            seed: 7,
+        };
+        let (_, evals) = evaluate(
+            &pop,
+            &[Method::Spa, Method::Bootstrap, Method::RankTest, Method::ZScore],
+            &cfg,
+        );
+        assert_eq!(evals.len(), 4);
+        for e in &evals {
+            assert!(
+                e.null_fraction < 1.0,
+                "{}: no CI ever produced",
+                e.method
+            );
+            assert!(e.mean_width.is_finite(), "{}", e.method);
+        }
+    }
+
+    #[test]
+    fn duplicate_heavy_population_breaks_bootstrap_not_spa() {
+        // Integer-valued metric with massive duplication (the §6.4 /
+        // Fig. 15 scenario).
+        let pop: Vec<f64> = (0..400).map(|i| (140 + (i % 3)) as f64).collect();
+        let cfg = TrialConfig {
+            trials: 100,
+            samples: 22,
+            confidence: 0.9,
+            proportion: 0.9,
+            resamples: 200,
+            seed: 3,
+        };
+        let (_, evals) = evaluate(&pop, &[Method::Spa, Method::Bootstrap], &cfg);
+        let spa = evals.iter().find(|e| e.method == Method::Spa).unwrap();
+        let boot = evals.iter().find(|e| e.method == Method::Bootstrap).unwrap();
+        assert_eq!(spa.null_fraction, 0.0, "SPA must never return Null");
+        assert!(
+            boot.null_fraction > 0.3,
+            "bootstrap null fraction {} too low for duplicate data",
+            boot.null_fraction
+        );
+    }
+
+    #[test]
+    fn trials_are_reproducible() {
+        let pop = skewed_population(200);
+        let cfg = TrialConfig {
+            trials: 50,
+            samples: 22,
+            confidence: 0.9,
+            proportion: 0.5,
+            resamples: 100,
+            seed: 99,
+        };
+        let a = evaluate(&pop, &[Method::Spa, Method::ZScore], &cfg);
+        let b = evaluate(&pop, &[Method::Spa, Method::ZScore], &cfg);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "population smaller")]
+    fn rejects_tiny_population() {
+        let cfg = TrialConfig::paper(10, 0.9, 0.5, 100);
+        let _ = evaluate(&[1.0, 2.0], &[Method::Spa], &cfg);
+    }
+}

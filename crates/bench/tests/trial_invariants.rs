@@ -1,0 +1,62 @@
+//! Property tests on the trial engine's aggregate invariants.
+
+use proptest::prelude::*;
+
+use spa_bench::trial::{evaluate, Method, TrialConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn evaluation_outputs_are_well_formed(
+        pop in proptest::collection::vec(0.5_f64..100.0, 40..120),
+        proportion in 0.3_f64..0.9,
+        seed in 0_u64..1000,
+    ) {
+        let cfg = TrialConfig {
+            trials: 40,
+            samples: 22,
+            confidence: 0.9,
+            proportion,
+            resamples: 60,
+            seed,
+        };
+        let methods = [Method::Spa, Method::Bootstrap, Method::RankTest,
+                       Method::ZScore, Method::TScore];
+        let (gt, evals) = evaluate(&pop, &methods, &cfg);
+        // Ground truth is a population element (lower-rank quantile).
+        prop_assert!(pop.contains(&gt));
+        prop_assert_eq!(evals.len(), methods.len());
+        for e in &evals {
+            prop_assert!((0.0..=1.0).contains(&e.null_fraction), "{:?}", e);
+            if e.null_fraction < 1.0 {
+                prop_assert!((0.0..=1.0).contains(&e.error_probability), "{:?}", e);
+                prop_assert!(e.mean_width >= 0.0, "{:?}", e);
+                prop_assert!(e.mean_norm_width >= 0.0, "{:?}", e);
+            }
+            // SPA never fails to produce an interval.
+            if e.method == Method::Spa {
+                prop_assert_eq!(e.null_fraction, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_same_results(
+        pop in proptest::collection::vec(0.5_f64..100.0, 40..80),
+        seed in 0_u64..1000,
+    ) {
+        let cfg = TrialConfig {
+            trials: 20,
+            samples: 22,
+            confidence: 0.9,
+            proportion: 0.5,
+            resamples: 40,
+            seed,
+        };
+        let a = evaluate(&pop, &[Method::Spa, Method::Bootstrap], &cfg);
+        let b = evaluate(&pop, &[Method::Spa, Method::Bootstrap], &cfg);
+        prop_assert_eq!(a.0, b.0);
+        prop_assert_eq!(a.1, b.1);
+    }
+}

@@ -1,0 +1,399 @@
+//! Hand-rolled argument parsing (no external dependencies).
+
+use spa_core::property::Direction;
+use spa_sim::workload::parsec::Benchmark;
+
+use crate::{CliError, Result};
+
+/// Statistical options common to the analysis commands.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StatOpts {
+    /// Confidence level `C`.
+    pub confidence: f64,
+    /// Proportion `F`.
+    pub proportion: f64,
+    /// Property direction.
+    pub direction: Direction,
+}
+
+impl Default for StatOpts {
+    fn default() -> Self {
+        Self {
+            confidence: 0.9,
+            proportion: 0.9,
+            direction: Direction::AtMost,
+        }
+    }
+}
+
+/// Noise model selection for `spa simulate`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NoiseArg {
+    /// Full-system model (paper default).
+    Paper,
+    /// Pure DRAM jitter with the given bound.
+    Jitter(u64),
+    /// The Fig. 1 real-machine model.
+    RealMachine,
+}
+
+/// A parsed command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Construct a confidence interval from a data file.
+    Analyze {
+        /// Input path.
+        file: String,
+        /// Column index (0-based).
+        column: usize,
+        /// Statistical options.
+        stat: StatOpts,
+        /// Also run the baseline methods.
+        all_methods: bool,
+    },
+    /// Single hypothesis test (Table 1 row 1).
+    Hypothesis {
+        /// Input path.
+        file: String,
+        /// Column index.
+        column: usize,
+        /// Property threshold.
+        threshold: f64,
+        /// Statistical options.
+        stat: StatOpts,
+    },
+    /// Per-threshold verdict table (Fig. 4 style).
+    Sweep {
+        /// Input path.
+        file: String,
+        /// Column index.
+        column: usize,
+        /// First threshold.
+        from: f64,
+        /// Last threshold.
+        to: f64,
+        /// Step size.
+        step: f64,
+        /// Statistical options.
+        stat: StatOpts,
+    },
+    /// Print Eq. 8 minimum sample counts.
+    MinSamples {
+        /// Statistical options (direction unused).
+        stat: StatOpts,
+    },
+    /// Run the bundled simulator and dump a population.
+    Simulate {
+        /// Benchmark to run.
+        benchmark: Benchmark,
+        /// Number of executions.
+        runs: u64,
+        /// First seed.
+        seed_start: u64,
+        /// L2 capacity in KiB (default: Table 2's 3072).
+        l2_kib: u64,
+        /// Variability model.
+        noise: NoiseArg,
+        /// Worker threads.
+        threads: usize,
+        /// Output CSV path (stdout when `None`).
+        out: Option<String>,
+    },
+    /// Print usage.
+    Help,
+}
+
+fn parse_flag_value<'a>(
+    flag: &str,
+    it: &mut impl Iterator<Item = &'a String>,
+) -> Result<&'a str> {
+    it.next()
+        .map(String::as_str)
+        .ok_or_else(|| CliError::Usage(format!("flag {flag} needs a value")))
+}
+
+fn parse_f64(flag: &str, v: &str) -> Result<f64> {
+    v.parse::<f64>()
+        .map_err(|_| CliError::Usage(format!("flag {flag}: `{v}` is not a number")))
+}
+
+fn parse_u64(flag: &str, v: &str) -> Result<u64> {
+    v.parse::<u64>()
+        .map_err(|_| CliError::Usage(format!("flag {flag}: `{v}` is not an integer")))
+}
+
+fn parse_direction(v: &str) -> Result<Direction> {
+    match v {
+        "at-most" | "atmost" | "le" => Ok(Direction::AtMost),
+        "at-least" | "atleast" | "ge" => Ok(Direction::AtLeast),
+        other => Err(CliError::Usage(format!(
+            "unknown direction `{other}` (use at-most or at-least)"
+        ))),
+    }
+}
+
+fn parse_noise(v: &str) -> Result<NoiseArg> {
+    if v == "paper" {
+        return Ok(NoiseArg::Paper);
+    }
+    if v == "real-machine" {
+        return Ok(NoiseArg::RealMachine);
+    }
+    if let Some(rest) = v.strip_prefix("jitter:") {
+        return Ok(NoiseArg::Jitter(parse_u64("--noise", rest)?));
+    }
+    Err(CliError::Usage(format!(
+        "unknown noise model `{v}` (use paper, jitter:N, or real-machine)"
+    )))
+}
+
+/// Parses `argv` (program name already stripped).
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] describing the first problem.
+pub fn parse(argv: &[String]) -> Result<Command> {
+    let mut it = argv.iter();
+    let Some(cmd) = it.next() else {
+        return Ok(Command::Help);
+    };
+
+    // Shared option accumulation.
+    let mut stat = StatOpts::default();
+    let mut file: Option<String> = None;
+    let mut column = 0usize;
+    let mut all_methods = false;
+    let mut threshold: Option<f64> = None;
+    let mut from: Option<f64> = None;
+    let mut to: Option<f64> = None;
+    let mut step: Option<f64> = None;
+    let mut benchmark: Option<Benchmark> = None;
+    let mut runs = 22u64;
+    let mut seed_start = 0u64;
+    let mut l2_kib = 3072u64;
+    let mut noise = NoiseArg::Paper;
+    let mut threads = 4usize;
+    let mut out: Option<String> = None;
+
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--confidence" | "-c" => {
+                stat.confidence = parse_f64(arg, parse_flag_value(arg, &mut it)?)?;
+            }
+            "--proportion" | "-f" => {
+                stat.proportion = parse_f64(arg, parse_flag_value(arg, &mut it)?)?;
+            }
+            "--direction" | "-d" => {
+                stat.direction = parse_direction(parse_flag_value(arg, &mut it)?)?;
+            }
+            "--column" => {
+                column = parse_u64(arg, parse_flag_value(arg, &mut it)?)? as usize;
+            }
+            "--all-methods" => all_methods = true,
+            "--threshold" | "-t" => {
+                threshold = Some(parse_f64(arg, parse_flag_value(arg, &mut it)?)?);
+            }
+            "--from" => from = Some(parse_f64(arg, parse_flag_value(arg, &mut it)?)?),
+            "--to" => to = Some(parse_f64(arg, parse_flag_value(arg, &mut it)?)?),
+            "--step" => step = Some(parse_f64(arg, parse_flag_value(arg, &mut it)?)?),
+            "--benchmark" | "-b" => {
+                let name = parse_flag_value(arg, &mut it)?;
+                benchmark = Some(Benchmark::from_name(name).ok_or_else(|| {
+                    CliError::Usage(format!("unknown benchmark `{name}`"))
+                })?);
+            }
+            "--runs" | "-n" => runs = parse_u64(arg, parse_flag_value(arg, &mut it)?)?,
+            "--seed-start" => {
+                seed_start = parse_u64(arg, parse_flag_value(arg, &mut it)?)?;
+            }
+            "--l2-kb" => l2_kib = parse_u64(arg, parse_flag_value(arg, &mut it)?)?,
+            "--noise" => noise = parse_noise(parse_flag_value(arg, &mut it)?)?,
+            "--threads" => {
+                threads = parse_u64(arg, parse_flag_value(arg, &mut it)?)?.max(1) as usize;
+            }
+            "--out" | "-o" => out = Some(parse_flag_value(arg, &mut it)?.to_owned()),
+            other if other.starts_with('-') => {
+                return Err(CliError::Usage(format!("unknown flag `{other}`")));
+            }
+            positional => {
+                if file.is_some() {
+                    return Err(CliError::Usage(format!(
+                        "unexpected extra argument `{positional}`"
+                    )));
+                }
+                file = Some(positional.to_owned());
+            }
+        }
+    }
+
+    let need_file = |file: Option<String>| {
+        file.ok_or_else(|| CliError::Usage("this command needs an input file".into()))
+    };
+
+    match cmd.as_str() {
+        "analyze" => Ok(Command::Analyze {
+            file: need_file(file)?,
+            column,
+            stat,
+            all_methods,
+        }),
+        "hypothesis" => Ok(Command::Hypothesis {
+            file: need_file(file)?,
+            column,
+            threshold: threshold
+                .ok_or_else(|| CliError::Usage("hypothesis needs --threshold".into()))?,
+            stat,
+        }),
+        "sweep" => {
+            let (from, to, step) = match (from, to, step) {
+                (Some(a), Some(b), Some(s)) if s > 0.0 && b >= a => (a, b, s),
+                _ => {
+                    return Err(CliError::Usage(
+                        "sweep needs --from A --to B --step S with S > 0 and B >= A".into(),
+                    ))
+                }
+            };
+            Ok(Command::Sweep {
+                file: need_file(file)?,
+                column,
+                from,
+                to,
+                step,
+                stat,
+            })
+        }
+        "min-samples" => Ok(Command::MinSamples { stat }),
+        "simulate" => Ok(Command::Simulate {
+            benchmark: benchmark
+                .ok_or_else(|| CliError::Usage("simulate needs --benchmark".into()))?,
+            runs,
+            seed_start,
+            l2_kib,
+            noise,
+            threads,
+            out,
+        }),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(CliError::Usage(format!("unknown command `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn empty_is_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("--help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn analyze_defaults() {
+        let c = parse(&argv("analyze data.txt")).unwrap();
+        assert_eq!(
+            c,
+            Command::Analyze {
+                file: "data.txt".into(),
+                column: 0,
+                stat: StatOpts::default(),
+                all_methods: false,
+            }
+        );
+    }
+
+    #[test]
+    fn analyze_with_flags() {
+        let c = parse(&argv(
+            "analyze runs.csv --column 2 -c 0.95 -f 0.5 -d at-least --all-methods",
+        ))
+        .unwrap();
+        match c {
+            Command::Analyze {
+                file,
+                column,
+                stat,
+                all_methods,
+            } => {
+                assert_eq!(file, "runs.csv");
+                assert_eq!(column, 2);
+                assert_eq!(stat.confidence, 0.95);
+                assert_eq!(stat.proportion, 0.5);
+                assert_eq!(stat.direction, Direction::AtLeast);
+                assert!(all_methods);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn hypothesis_requires_threshold() {
+        assert!(parse(&argv("hypothesis data.txt")).is_err());
+        let c = parse(&argv("hypothesis data.txt -t 1.5")).unwrap();
+        match c {
+            Command::Hypothesis { threshold, .. } => assert_eq!(threshold, 1.5),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn sweep_validates_range() {
+        assert!(parse(&argv("sweep d --from 2 --to 1 --step 0.1")).is_err());
+        assert!(parse(&argv("sweep d --from 1 --to 2 --step 0")).is_err());
+        assert!(parse(&argv("sweep d --from 1 --to 2 --step 0.5")).is_ok());
+    }
+
+    #[test]
+    fn simulate_parsing() {
+        let c = parse(&argv(
+            "simulate -b ferret -n 10 --seed-start 5 --l2-kb 512 --noise jitter:4 --threads 2 -o x.csv",
+        ))
+        .unwrap();
+        match c {
+            Command::Simulate {
+                benchmark,
+                runs,
+                seed_start,
+                l2_kib,
+                noise,
+                threads,
+                out,
+            } => {
+                assert_eq!(benchmark, Benchmark::Ferret);
+                assert_eq!(runs, 10);
+                assert_eq!(seed_start, 5);
+                assert_eq!(l2_kib, 512);
+                assert_eq!(noise, NoiseArg::Jitter(4));
+                assert_eq!(threads, 2);
+                assert_eq!(out.as_deref(), Some("x.csv"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("analyze data.txt --bogus")).is_err());
+        assert!(parse(&argv("analyze a b")).is_err());
+        assert!(parse(&argv("analyze data.txt -c notanumber")).is_err());
+        assert!(parse(&argv("analyze data.txt -d sideways")).is_err());
+        assert!(parse(&argv("simulate -b raytrace")).is_err());
+        assert!(parse(&argv("simulate")).is_err());
+        assert!(parse(&argv("analyze data.txt --noise weird")).is_err());
+        assert!(parse(&argv("analyze data.txt -c")).is_err());
+    }
+
+    #[test]
+    fn noise_forms() {
+        assert_eq!(parse_noise("paper").unwrap(), NoiseArg::Paper);
+        assert_eq!(parse_noise("jitter:16").unwrap(), NoiseArg::Jitter(16));
+        assert_eq!(parse_noise("real-machine").unwrap(), NoiseArg::RealMachine);
+        assert!(parse_noise("jitter:x").is_err());
+    }
+}

@@ -1,0 +1,436 @@
+//! Command execution: each command renders its result to a `String`.
+
+use std::fmt::Write as _;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use spa_baselines::bootstrap::bca_ci;
+use spa_baselines::rank::rank_ci_normal;
+use spa_baselines::zscore::z_ci;
+use spa_core::clopper_pearson::Assertion;
+use spa_core::min_samples::{min_samples, n_negative, n_positive};
+use spa_core::property::MetricProperty;
+use spa_core::spa::Spa;
+use spa_sim::config::SystemConfig;
+use spa_sim::machine::Machine;
+use spa_sim::metrics::Metric;
+use spa_sim::variability::Variability;
+
+use crate::args::{Command, NoiseArg, StatOpts};
+use crate::data::read_column;
+use crate::{CliError, Result, USAGE};
+
+/// Executes a parsed command, returning the text to print.
+///
+/// # Errors
+///
+/// Propagates input and statistical errors; individual baseline
+/// failures inside `analyze --all-methods` are reported inline instead.
+pub fn execute(command: Command) -> Result<String> {
+    match command {
+        Command::Help => Ok(USAGE.to_owned()),
+        Command::MinSamples { stat } => min_samples_text(&stat),
+        Command::Analyze {
+            file,
+            column,
+            stat,
+            all_methods,
+        } => analyze(&file, column, &stat, all_methods),
+        Command::Hypothesis {
+            file,
+            column,
+            threshold,
+            stat,
+        } => hypothesis(&file, column, threshold, &stat),
+        Command::Sweep {
+            file,
+            column,
+            from,
+            to,
+            step,
+            stat,
+        } => sweep(&file, column, from, to, step, &stat),
+        Command::Simulate {
+            benchmark,
+            runs,
+            seed_start,
+            l2_kib,
+            noise,
+            threads,
+            out,
+        } => simulate(benchmark, runs, seed_start, l2_kib, noise, threads, out),
+    }
+}
+
+fn spa_for(stat: &StatOpts) -> Result<Spa> {
+    Ok(Spa::builder()
+        .confidence(stat.confidence)
+        .proportion(stat.proportion)
+        .build()?)
+}
+
+fn min_samples_text(stat: &StatOpts) -> Result<String> {
+    let (c, f) = (stat.confidence, stat.proportion);
+    let mut out = String::new();
+    writeln!(out, "C = {c}, F = {f}").expect("write to string");
+    writeln!(out, "  N+ (all-true convergence, Eq. 6): {}", n_positive(c, f)?)
+        .expect("write to string");
+    writeln!(out, "  N- (all-false convergence, Eq. 7): {}", n_negative(c, f)?)
+        .expect("write to string");
+    writeln!(out, "  minimum samples for a CI (Eq. 8): {}", min_samples(c, f)?)
+        .expect("write to string");
+    Ok(out)
+}
+
+fn analyze(file: &str, column: usize, stat: &StatOpts, all_methods: bool) -> Result<String> {
+    let samples = read_column(file, column)?;
+    let spa = spa_for(stat)?;
+    let needed = spa.required_samples();
+    if (samples.len() as u64) < needed {
+        return Err(CliError::Input(format!(
+            "{} samples in {file}, but C = {} / F = {} needs at least {needed} (Eq. 8)",
+            samples.len(),
+            stat.confidence,
+            stat.proportion
+        )));
+    }
+    let ci = spa.confidence_interval(&samples, stat.direction)?;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{} samples from {file} (column {column})",
+        samples.len()
+    )
+    .expect("write to string");
+    writeln!(
+        out,
+        "SPA: with {:.1}% confidence, at least {:.1}% of executions satisfy metric {} v for v in [{:.6}, {:.6}] (width {:.6})",
+        stat.confidence * 100.0,
+        stat.proportion * 100.0,
+        stat.direction,
+        ci.lower(),
+        ci.upper(),
+        ci.width(),
+    )
+    .expect("write to string");
+
+    if all_methods {
+        // Baselines target the quantile matching SPA's direction.
+        let q = stat.direction.target_quantile(stat.proportion);
+        let mut rng = StdRng::seed_from_u64(0xC11);
+        match bca_ci(&samples, q, stat.confidence, 2000, &mut rng) {
+            Ok(b) => writeln!(
+                out,
+                "bootstrap (BCa): q{q:.2} in [{:.6}, {:.6}]",
+                b.lower(),
+                b.upper()
+            )
+            .expect("write to string"),
+            Err(e) => writeln!(out, "bootstrap (BCa): failed — {e}").expect("write to string"),
+        }
+        match rank_ci_normal(&samples, q, stat.confidence) {
+            Ok(r) => writeln!(
+                out,
+                "rank (normal):   q{q:.2} in [{:.6}, {:.6}]",
+                r.lower(),
+                r.upper()
+            )
+            .expect("write to string"),
+            Err(e) => writeln!(out, "rank (normal):   failed — {e}").expect("write to string"),
+        }
+        match z_ci(&samples, stat.confidence) {
+            Ok(z) => writeln!(
+                out,
+                "z-score:         mean in [{:.6}, {:.6}] (Gaussian assumption)",
+                z.lower(),
+                z.upper()
+            )
+            .expect("write to string"),
+            Err(e) => writeln!(out, "z-score:         failed — {e}").expect("write to string"),
+        }
+    }
+    Ok(out)
+}
+
+fn hypothesis(file: &str, column: usize, threshold: f64, stat: &StatOpts) -> Result<String> {
+    let samples = read_column(file, column)?;
+    let spa = spa_for(stat)?;
+    let property = MetricProperty::new(stat.direction, threshold);
+    let outcome = spa.hypothesis_test(&property, &samples)?;
+    let verdict = match outcome.assertion {
+        Some(Assertion::Positive) => "POSITIVE — the property holds",
+        Some(Assertion::Negative) => "NEGATIVE — the property does not hold",
+        None => "INCONCLUSIVE — collect more executions",
+    };
+    Ok(format!(
+        "hypothesis: \"{property}\" in at least {:.1}% of executions\n\
+         satisfied by {}/{} samples; C_CP = {:.4} (needed > {})\n\
+         {verdict}\n",
+        stat.proportion * 100.0,
+        outcome.satisfied,
+        outcome.samples_used,
+        outcome.achieved_confidence,
+        stat.confidence,
+    ))
+}
+
+fn sweep(
+    file: &str,
+    column: usize,
+    from: f64,
+    to: f64,
+    step: f64,
+    stat: &StatOpts,
+) -> Result<String> {
+    let samples = read_column(file, column)?;
+    let spa = spa_for(stat)?;
+    let count = ((to - from) / step).round() as usize + 1;
+    let thresholds: Vec<f64> = (0..count).map(|i| from + i as f64 * step).collect();
+    let points = spa.sweep(&samples, stat.direction, &thresholds)?;
+    let mut out = String::new();
+    writeln!(out, "threshold   C_CP(positive)   verdict").expect("write to string");
+    for p in points {
+        writeln!(
+            out,
+            "{:>9.4}   {:>14.4}   {}",
+            p.threshold,
+            p.positive_confidence,
+            match p.verdict {
+                Some(Assertion::Positive) => "positive",
+                Some(Assertion::Negative) => "negative",
+                None => "none",
+            }
+        )
+        .expect("write to string");
+    }
+    Ok(out)
+}
+
+fn simulate(
+    benchmark: spa_sim::workload::parsec::Benchmark,
+    runs: u64,
+    seed_start: u64,
+    l2_kib: u64,
+    noise: NoiseArg,
+    threads: usize,
+    out_path: Option<String>,
+) -> Result<String> {
+    let config = SystemConfig::table2().with_l2_capacity(l2_kib * 1024);
+    let variability = match noise {
+        NoiseArg::Paper => Variability::paper_default(),
+        NoiseArg::Jitter(0) => Variability::None,
+        NoiseArg::Jitter(n) => Variability::DramJitter { max_cycles: n },
+        NoiseArg::RealMachine => Variability::real_machine(),
+    };
+    let spec = benchmark.workload();
+    let machine = Machine::new(config, &spec)?.with_variability(variability);
+
+    // Fan seeds out over worker threads with a crossbeam channel; the
+    // receiver reassembles results in seed order.
+    let (seed_tx, seed_rx) = crossbeam::channel::unbounded::<u64>();
+    let (res_tx, res_rx) = crossbeam::channel::unbounded();
+    for seed in seed_start..seed_start + runs {
+        seed_tx.send(seed).expect("receiver alive");
+    }
+    drop(seed_tx);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(runs as usize).max(1) {
+            let seed_rx = seed_rx.clone();
+            let res_tx = res_tx.clone();
+            let machine = &machine;
+            scope.spawn(move || {
+                while let Ok(seed) = seed_rx.recv() {
+                    let result = machine.run(seed).map(|r| (seed, r.metrics));
+                    if res_tx.send(result).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+    });
+    drop(res_tx);
+
+    let mut rows: Vec<(u64, spa_sim::metrics::ExecutionMetrics)> = Vec::new();
+    for result in res_rx {
+        rows.push(result?);
+    }
+    rows.sort_by_key(|&(seed, _)| seed);
+
+    let mut csv = String::new();
+    write!(csv, "seed").expect("write to string");
+    for m in Metric::ALL {
+        write!(csv, ",{}", m.key()).expect("write to string");
+    }
+    writeln!(csv).expect("write to string");
+    for (seed, metrics) in &rows {
+        write!(csv, "{seed}").expect("write to string");
+        for m in Metric::ALL {
+            write!(csv, ",{}", m.extract(metrics)).expect("write to string");
+        }
+        writeln!(csv).expect("write to string");
+    }
+
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, &csv)?;
+            Ok(format!(
+                "wrote {} executions of {benchmark} to {path}\n",
+                rows.len()
+            ))
+        }
+        None => Ok(csv),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    fn temp_file(name: &str, content: &str) -> String {
+        let path = std::env::temp_dir().join(name);
+        std::fs::write(&path, content).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    fn sample_file() -> String {
+        let data: String = (0..30).map(|i| format!("{}\n", 1.0 + 0.01 * i as f64)).collect();
+        temp_file("spa_cli_test_samples.txt", &data)
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = execute(Command::Help).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn min_samples_paper_value() {
+        let out = execute(parse(&argv("min-samples -c 0.9 -f 0.9")).unwrap()).unwrap();
+        assert!(out.contains("minimum samples for a CI (Eq. 8): 22"), "{out}");
+    }
+
+    #[test]
+    fn analyze_reports_interval() {
+        let file = sample_file();
+        let out = execute(parse(&argv(&format!("analyze {file} -f 0.5"))).unwrap()).unwrap();
+        assert!(out.contains("SPA: with 90.0% confidence"), "{out}");
+        assert!(out.contains("30 samples"), "{out}");
+    }
+
+    #[test]
+    fn analyze_all_methods_adds_baselines() {
+        let file = sample_file();
+        let out = execute(
+            parse(&argv(&format!("analyze {file} -f 0.5 --all-methods"))).unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("bootstrap"), "{out}");
+        assert!(out.contains("rank"), "{out}");
+        assert!(out.contains("z-score"), "{out}");
+    }
+
+    #[test]
+    fn analyze_rejects_too_few_samples() {
+        let file = temp_file("spa_cli_test_tiny.txt", "1.0\n2.0\n3.0\n");
+        let err = execute(parse(&argv(&format!("analyze {file}"))).unwrap()).unwrap_err();
+        assert!(err.to_string().contains("needs at least 22"), "{err}");
+    }
+
+    #[test]
+    fn hypothesis_verdicts() {
+        let file = sample_file();
+        // All samples <= 10 → positive.
+        let out = execute(
+            parse(&argv(&format!("hypothesis {file} -t 10 -f 0.9"))).unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("POSITIVE"), "{out}");
+        // No samples <= 0.5 → negative.
+        let out = execute(
+            parse(&argv(&format!("hypothesis {file} -t 0.5 -f 0.9"))).unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("NEGATIVE"), "{out}");
+    }
+
+    #[test]
+    fn sweep_emits_rows() {
+        let file = sample_file();
+        let out = execute(
+            parse(&argv(&format!(
+                "sweep {file} --from 0.9 --to 1.4 --step 0.1 -f 0.5"
+            )))
+            .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(out.lines().count(), 7); // header + 6 thresholds
+        assert!(out.contains("negative"), "{out}");
+        assert!(out.contains("positive"), "{out}");
+    }
+
+    #[test]
+    fn simulate_to_csv() {
+        let path = std::env::temp_dir().join("spa_cli_test_sim.csv");
+        let _ = std::fs::remove_file(&path);
+        let out = execute(
+            parse(&argv(&format!(
+                "simulate -b blackscholes -n 4 --threads 2 --noise jitter:4 -o {}",
+                path.display()
+            )))
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("wrote 4 executions"), "{out}");
+        let csv = std::fs::read_to_string(&path).unwrap();
+        assert!(csv.starts_with("seed,runtime,"), "{csv}");
+        assert_eq!(csv.lines().count(), 5);
+        // Determinism: rerunning produces identical output.
+        let _ = execute(
+            parse(&argv(&format!(
+                "simulate -b blackscholes -n 4 --threads 4 --noise jitter:4 -o {}",
+                path.display()
+            )))
+            .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(csv, std::fs::read_to_string(&path).unwrap());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn simulate_stdout_when_no_out() {
+        let out = execute(
+            parse(&argv("simulate -b blackscholes -n 2 --noise jitter:0")).unwrap(),
+        )
+        .unwrap();
+        assert!(out.starts_with("seed,runtime,"));
+        assert_eq!(out.lines().count(), 3);
+    }
+
+    #[test]
+    fn end_to_end_simulate_then_analyze() {
+        let path = std::env::temp_dir().join("spa_cli_test_pipe.csv");
+        execute(
+            parse(&argv(&format!(
+                "simulate -b blackscholes -n 22 --threads 2 -o {}",
+                path.display()
+            )))
+            .unwrap(),
+        )
+        .unwrap();
+        // Column 1 is runtime (column 0 is the seed).
+        let out = execute(
+            parse(&argv(&format!("analyze {} --column 1", path.display()))).unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("SPA: with 90.0% confidence"), "{out}");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,101 @@
+//! Measurement-file parsing: whitespace/comma-separated numeric columns
+//! with `#` comments and tolerant header skipping.
+
+use crate::{CliError, Result};
+
+/// Parses column `column` (0-based) from text content.
+///
+/// Fields may be separated by whitespace or commas. Lines beginning with
+/// `#` are comments; lines whose selected field is not numeric are
+/// skipped (headers), but a file yielding no numbers at all is an error.
+///
+/// # Errors
+///
+/// Returns [`CliError::Input`] when no numeric values are found or when
+/// a NaN/infinite value appears.
+pub fn parse_column(content: &str, column: usize) -> Result<Vec<f64>> {
+    let mut values = Vec::new();
+    let mut saw_rows = false;
+    for line in content.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        saw_rows = true;
+        let field = line
+            .split(|c: char| c == ',' || c.is_whitespace())
+            .filter(|f| !f.is_empty())
+            .nth(column);
+        let Some(field) = field else { continue };
+        if let Ok(v) = field.parse::<f64>() {
+            if !v.is_finite() {
+                return Err(CliError::Input(format!(
+                    "non-finite value `{field}` in input"
+                )));
+            }
+            values.push(v);
+        }
+    }
+    if values.is_empty() {
+        return Err(CliError::Input(if saw_rows {
+            format!("no numeric data in column {column}")
+        } else {
+            "input file is empty".into()
+        }));
+    }
+    Ok(values)
+}
+
+/// Reads and parses a file.
+///
+/// # Errors
+///
+/// Propagates I/O failures and [`parse_column`] errors.
+pub fn read_column(path: &str, column: usize) -> Result<Vec<f64>> {
+    let content = std::fs::read_to_string(path)?;
+    parse_column(&content, column)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whitespace_and_commas() {
+        let xs = parse_column("1.0 2.0\n3.0,4.0\n", 0).unwrap();
+        assert_eq!(xs, vec![1.0, 3.0]);
+        let ys = parse_column("1.0 2.0\n3.0,4.0\n", 1).unwrap();
+        assert_eq!(ys, vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn comments_and_headers_skipped() {
+        let content = "# produced by spa simulate\nseed,runtime\n0,1.5\n1,1.7\n";
+        let xs = parse_column(content, 1).unwrap();
+        assert_eq!(xs, vec![1.5, 1.7]);
+    }
+
+    #[test]
+    fn short_rows_are_skipped() {
+        let xs = parse_column("1 10\n2\n3 30\n", 1).unwrap();
+        assert_eq!(xs, vec![10.0, 30.0]);
+    }
+
+    #[test]
+    fn empty_inputs_error() {
+        assert!(parse_column("", 0).is_err());
+        assert!(parse_column("# only comments\n", 0).is_err());
+        assert!(parse_column("a b c\nx y z\n", 1).is_err());
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        assert!(parse_column("1.0\nNaN\n", 0).is_err());
+        assert!(parse_column("inf\n", 0).is_err());
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        assert!(read_column("/nonexistent/definitely-missing.txt", 0).is_err());
+    }
+}

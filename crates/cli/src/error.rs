@@ -1,0 +1,82 @@
+use std::fmt;
+
+/// Error type for the CLI layer.
+#[derive(Debug)]
+pub enum CliError {
+    /// The command line could not be parsed.
+    Usage(String),
+    /// An input file could not be read or contained no usable data.
+    Input(String),
+    /// A statistical computation failed.
+    Core(spa_core::CoreError),
+    /// A baseline method failed (reported, not fatal, unless it was the
+    /// only requested method).
+    Baseline(spa_baselines::BaselineError),
+    /// A simulation failed.
+    Sim(spa_sim::SimError),
+    /// An I/O failure (reading input or writing output).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "usage error: {msg}"),
+            CliError::Input(msg) => write!(f, "input error: {msg}"),
+            CliError::Core(e) => write!(f, "analysis error: {e}"),
+            CliError::Baseline(e) => write!(f, "baseline error: {e}"),
+            CliError::Sim(e) => write!(f, "simulation error: {e}"),
+            CliError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Core(e) => Some(e),
+            CliError::Baseline(e) => Some(e),
+            CliError::Sim(e) => Some(e),
+            CliError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<spa_core::CoreError> for CliError {
+    fn from(e: spa_core::CoreError) -> Self {
+        CliError::Core(e)
+    }
+}
+
+impl From<spa_baselines::BaselineError> for CliError {
+    fn from(e: spa_baselines::BaselineError) -> Self {
+        CliError::Baseline(e)
+    }
+}
+
+impl From<spa_sim::SimError> for CliError {
+    fn from(e: spa_sim::SimError) -> Self {
+        CliError::Sim(e)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        assert!(CliError::Usage("bad flag".into()).to_string().contains("bad flag"));
+        assert!(CliError::Input("empty".into()).to_string().contains("empty"));
+        let io = CliError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert!(io.to_string().contains("gone"));
+        assert!(std::error::Error::source(&io).is_some());
+    }
+}

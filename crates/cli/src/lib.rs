@@ -1,0 +1,68 @@
+#![warn(missing_docs)]
+
+//! # spa-cli — the standalone SPA tool
+//!
+//! The paper distributes SPA in two forms: integrated with gem5, and "a
+//! standalone SPA for result analysis" on PyPI. This crate is the
+//! standalone form for this reproduction — a `spa` binary that analyzes
+//! measurement files (from any simulator or real hardware) and can also
+//! drive the bundled simulator to produce populations.
+//!
+//! ```console
+//! $ spa analyze runtimes.txt --confidence 0.9 --proportion 0.9
+//! $ spa hypothesis runtimes.txt --threshold 1.1 --direction at-least
+//! $ spa min-samples --confidence 0.95 --proportion 0.9
+//! $ spa simulate --benchmark ferret --runs 50 --out ferret.csv
+//! $ spa sweep runtimes.txt --from 1.0 --to 1.5 --step 0.01
+//! ```
+//!
+//! The library half exposes the argument parsing and command execution
+//! so that everything is unit-testable; `main.rs` is a thin shell.
+
+pub mod args;
+pub mod commands;
+pub mod data;
+
+mod error;
+
+pub use error::CliError;
+
+/// Convenience alias used by fallible functions in this crate.
+pub type Result<T> = std::result::Result<T, CliError>;
+
+/// Entry point shared by `main` and the tests: parses `argv` (without
+/// the program name) and runs the selected command, returning the text
+/// to print.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for unknown commands, malformed flags, broken
+/// input files, or statistical failures.
+pub fn run(argv: &[String]) -> Result<String> {
+    let command = args::parse(argv)?;
+    commands::execute(command)
+}
+
+/// The usage text shown for `spa help` and argument errors.
+pub const USAGE: &str = "\
+spa — SMC for Processor Analysis (statistically rigorous evaluation)
+
+USAGE:
+  spa analyze <file> [--column N] [--confidence C] [--proportion F]
+              [--direction at-most|at-least] [--all-methods]
+  spa hypothesis <file> --threshold T [--column N] [--confidence C]
+              [--proportion F] [--direction at-most|at-least]
+  spa sweep <file> --from A --to B --step S [--column N]
+              [--confidence C] [--proportion F] [--direction ...]
+  spa min-samples [--confidence C] [--proportion F]
+  spa simulate --benchmark NAME [--runs N] [--seed-start S]
+              [--l2-kb KB] [--noise paper|jitter:N|real-machine]
+              [--threads N] [--out FILE]
+  spa help
+
+Defaults: --confidence 0.9 --proportion 0.9 --direction at-most --column 0.
+Input files hold one or more whitespace/comma-separated numbers per
+line; lines starting with '#' and non-numeric header lines are skipped.
+Benchmarks: ferret blackscholes bodytrack canneal dedup facesim
+fluidanimate freqmine streamcluster.
+";

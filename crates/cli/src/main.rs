@@ -1,0 +1,20 @@
+//! Thin shell over [`spa_cli::run`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match spa_cli::run(&argv) {
+        Ok(text) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("spa: {e}");
+            if matches!(e, spa_cli::CliError::Usage(_)) {
+                eprintln!("\n{}", spa_cli::USAGE);
+            }
+            ExitCode::FAILURE
+        }
+    }
+}

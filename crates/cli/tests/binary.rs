@@ -1,0 +1,99 @@
+//! Black-box tests of the compiled `spa` binary.
+
+use std::process::Command;
+
+fn spa_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_spa"))
+}
+
+fn temp_samples() -> String {
+    let path = std::env::temp_dir().join("spa_binary_test_samples.txt");
+    let data: String = (0..25)
+        .map(|i| format!("{}\n", 1.0 + 0.02 * f64::from(i)))
+        .collect();
+    std::fs::write(&path, data).unwrap();
+    path.to_string_lossy().into_owned()
+}
+
+#[test]
+fn help_exits_zero() {
+    let out = spa_bin().arg("help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let out = spa_bin().output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_fails_with_usage_on_stderr() {
+    let out = spa_bin().arg("explode").output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown command"), "{err}");
+    assert!(err.contains("USAGE"), "{err}");
+}
+
+#[test]
+fn analyze_happy_path() {
+    let file = temp_samples();
+    let out = spa_bin()
+        .args(["analyze", &file, "--proportion", "0.5"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("SPA: with 90.0% confidence"), "{text}");
+}
+
+#[test]
+fn analyze_missing_file_fails_cleanly() {
+    let out = spa_bin()
+        .args(["analyze", "/definitely/not/a/file.txt"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("spa:"));
+}
+
+#[test]
+fn min_samples_matches_paper() {
+    let out = spa_bin()
+        .args(["min-samples", "-c", "0.9", "-f", "0.9"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("22"));
+}
+
+#[test]
+fn simulate_pipes_into_analyze() {
+    let csv = std::env::temp_dir().join("spa_binary_test_population.csv");
+    let out = spa_bin()
+        .args([
+            "simulate",
+            "--benchmark",
+            "blackscholes",
+            "--runs",
+            "22",
+            "--threads",
+            "2",
+            "--out",
+            &csv.to_string_lossy(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = spa_bin()
+        .args(["analyze", &csv.to_string_lossy(), "--column", "1"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("confidence"));
+    let _ = std::fs::remove_file(csv);
+}

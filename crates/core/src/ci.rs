@@ -1,0 +1,681 @@
+//! Confidence intervals for metrics, built from SMC hypothesis tests
+//! (the paper's §4.1–4.2 and Fig. 4).
+//!
+//! For a fixed sample set, SPA re-runs the fixed-sample SMC test
+//! (Algorithm 2) at different property thresholds `v` of
+//! `metric direction v`. Thresholds far on one side produce significant
+//! verdicts of one polarity, far on the other side the opposite
+//! polarity, and a band in between does not converge. The confidence
+//! interval is the closed span from the innermost threshold that still
+//! converges on the low side to the innermost that converges on the high
+//! side — the non-converging band sits strictly inside it (Fig. 4).
+//!
+//! # Coverage guarantee
+//!
+//! Following §4.1, the interval is composed from two opposing one-sided
+//! hypothesis tests, each significant at confidence `C`. Since each
+//! side errs with probability at most `1 − C`, the *guaranteed*
+//! two-sided coverage is `2C − 1`; the Clopper–Pearson tests'
+//! conservatism lifts empirical coverage to ≈ `C` at the paper's
+//! settings (its §6 experiments observe exactly this), but callers
+//! choosing unusual `(C, F)` combinations should budget for the
+//! `2C − 1` floor.
+//!
+//! Two search strategies are provided:
+//!
+//! * [`ci_exact`] inspects only the sample values themselves (the
+//!   outcome of a threshold test can only change there), giving the
+//!   tightest interval the method supports with no tuning parameter;
+//! * [`ci_granular`] reproduces the paper's user-specified-granularity
+//!   search (§4.2) and also powers the threshold [`sweep`] of Fig. 4.
+
+use serde::{Deserialize, Serialize};
+
+use crate::clopper_pearson::{positive_confidence, Assertion};
+use crate::min_samples::min_samples;
+use crate::property::{Direction, MetricProperty};
+use crate::smc::SmcEngine;
+use crate::{CoreError, Result};
+
+/// A two-sided confidence interval for a metric, produced by SPA.
+///
+/// # Examples
+///
+/// ```
+/// use spa_core::ci::ConfidenceInterval;
+/// let ci = ConfidenceInterval::new(1.41, 1.48, 0.9, 0.9);
+/// assert!(ci.contains(1.45));
+/// assert!(!ci.contains(1.5));
+/// assert!((ci.width() - 0.07).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceInterval {
+    lower: f64,
+    upper: f64,
+    confidence: f64,
+    proportion: f64,
+}
+
+impl ConfidenceInterval {
+    /// Creates an interval `[lower, upper]` tagged with the confidence
+    /// and proportion it was constructed for.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lower > upper` (NaN bounds are also rejected).
+    pub fn new(lower: f64, upper: f64, confidence: f64, proportion: f64) -> Self {
+        assert!(
+            lower <= upper,
+            "confidence interval bounds out of order: [{lower}, {upper}]"
+        );
+        Self {
+            lower,
+            upper,
+            confidence,
+            proportion,
+        }
+    }
+
+    /// Lower bound.
+    pub fn lower(&self) -> f64 {
+        self.lower
+    }
+
+    /// Upper bound.
+    pub fn upper(&self) -> f64 {
+        self.upper
+    }
+
+    /// The confidence level `C` the interval was constructed for.
+    pub fn confidence(&self) -> f64 {
+        self.confidence
+    }
+
+    /// The proportion `F` the interval targets.
+    pub fn proportion(&self) -> f64 {
+        self.proportion
+    }
+
+    /// Interval width.
+    pub fn width(&self) -> f64 {
+        self.upper - self.lower
+    }
+
+    /// Whether `value` lies inside the closed interval.
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.lower && value <= self.upper
+    }
+}
+
+impl std::fmt::Display for ConfidenceInterval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{:.6}, {:.6}] (C = {}, F = {})",
+            self.lower, self.upper, self.confidence, self.proportion
+        )
+    }
+}
+
+/// One point of a threshold sweep (Fig. 4's plotted data).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// The property threshold tested.
+    pub threshold: f64,
+    /// The positive-direction Clopper–Pearson confidence at this
+    /// threshold — Fig. 4's y-axis. Values above `C` are significant
+    /// positives; below `1 − C`, significant negatives.
+    pub positive_confidence: f64,
+    /// The Algorithm 2 verdict (`None` = inconclusive).
+    pub verdict: Option<Assertion>,
+}
+
+fn validate_samples(engine: &SmcEngine, samples: &[f64]) -> Result<()> {
+    if samples.is_empty() {
+        return Err(CoreError::EmptyData);
+    }
+    if samples.iter().any(|x| x.is_nan()) {
+        return Err(CoreError::InvalidParameter {
+            name: "samples",
+            value: f64::NAN,
+            expected: "no NaN values",
+        });
+    }
+    let needed = min_samples(engine.confidence_level(), engine.proportion())?;
+    if (samples.len() as u64) < needed {
+        return Err(CoreError::TooFewSamples {
+            needed,
+            got: samples.len() as u64,
+        });
+    }
+    Ok(())
+}
+
+/// Runs the fixed-sample SMC test for `metric direction threshold` on
+/// the samples and returns its verdict.
+fn verdict_at(
+    engine: &SmcEngine,
+    samples: &[f64],
+    direction: Direction,
+    threshold: f64,
+) -> Result<Option<Assertion>> {
+    let property = MetricProperty::new(direction, threshold);
+    let m = property.count_satisfying(samples);
+    Ok(engine.run_counts(m, samples.len() as u64)?.assertion)
+}
+
+/// The polarity a significant verdict takes for thresholds far below all
+/// samples, given the property direction.
+fn low_side_polarity(direction: Direction) -> Assertion {
+    match direction {
+        // metric ≤ v: a tiny v satisfies nothing ⇒ negative.
+        Direction::AtMost => Assertion::Negative,
+        // metric ≥ v: a tiny v satisfies everything ⇒ positive.
+        Direction::AtLeast => Assertion::Positive,
+    }
+}
+
+/// Exact SPA confidence interval: evaluates the hypothesis test at every
+/// distinct sample value (the only places the verdict can change) and
+/// returns the innermost significant thresholds on each side.
+///
+/// # Errors
+///
+/// * [`CoreError::EmptyData`] for no samples,
+/// * [`CoreError::TooFewSamples`] if fewer than Eq. 8's minimum are
+///   provided (the interval could never have two significant sides),
+/// * [`CoreError::InvalidParameter`] for NaN samples.
+///
+/// # Examples
+///
+/// ```
+/// use spa_core::ci::ci_exact;
+/// use spa_core::property::Direction;
+/// use spa_core::smc::SmcEngine;
+///
+/// # fn main() -> Result<(), spa_core::CoreError> {
+/// let engine = SmcEngine::new(0.9, 0.5)?;
+/// let samples: Vec<f64> = (1..=22).map(f64::from).collect();
+/// let ci = ci_exact(&engine, &samples, Direction::AtMost)?;
+/// // A median CI from 22 evenly spread samples brackets the middle.
+/// assert!(ci.lower() < 11.5 && ci.upper() > 11.5);
+/// # Ok(())
+/// # }
+/// ```
+pub fn ci_exact(
+    engine: &SmcEngine,
+    samples: &[f64],
+    direction: Direction,
+) -> Result<ConfidenceInterval> {
+    validate_samples(engine, samples)?;
+    let mut values: Vec<f64> = samples.to_vec();
+    values.sort_by(|a, b| a.partial_cmp(b).expect("NaN rejected above"));
+    values.dedup();
+
+    let low_polarity = low_side_polarity(direction);
+    let mut lower: Option<f64> = None; // innermost (largest) low-side threshold
+    let mut upper: Option<f64> = None; // innermost (smallest) high-side threshold
+
+    // A threshold just below the smallest sample has M = 0 (AtMost) or
+    // M = N (AtLeast); if that verdict is already significant the flip
+    // happens at or below the smallest sample, so the smallest sample is
+    // a valid (conservative) lower bound even when the verdict exactly at
+    // it is inconclusive.
+    let n = samples.len() as u64;
+    let below_min_m = match direction {
+        Direction::AtMost => 0,
+        Direction::AtLeast => n,
+    };
+    if engine.run_counts(below_min_m, n)?.assertion == Some(low_polarity) {
+        lower = Some(values[0]);
+    }
+
+    for &v in &values {
+        match verdict_at(engine, samples, direction, v)? {
+            Some(a) if a == low_polarity => lower = Some(v),
+            Some(_) => {
+                upper = Some(v);
+                break; // verdicts are monotone in the threshold
+            }
+            None => {}
+        }
+    }
+
+    // Symmetrically, a threshold just above the largest sample has
+    // M = N (AtMost) or M = 0 (AtLeast); if that opposite-polarity
+    // verdict is significant, the flip happens at or above the largest
+    // sample, making it a valid conservative upper bound (matters for
+    // duplicate-heavy data where the loop's candidates all stay
+    // inconclusive or low-polarity).
+    if upper.is_none() {
+        let above_max_m = match direction {
+            Direction::AtMost => n,
+            Direction::AtLeast => 0,
+        };
+        if engine
+            .run_counts(above_max_m, n)?
+            .assertion
+            .is_some_and(|a| a != low_polarity)
+        {
+            upper = Some(*values.last().expect("non-empty samples"));
+        }
+    }
+    let lower = lower.unwrap_or(f64::NEG_INFINITY);
+    let upper = upper.unwrap_or(f64::INFINITY);
+    Ok(ConfidenceInterval::new(
+        lower,
+        upper,
+        engine.confidence_level(),
+        engine.proportion(),
+    ))
+}
+
+/// SPA confidence interval by granularity search, as described in §4.2:
+/// thresholds are visited on a grid of spacing `granularity` covering
+/// the sample range, and the innermost significant thresholds on each
+/// side become the interval bounds.
+///
+/// # Errors
+///
+/// As [`ci_exact`], plus [`CoreError::InvalidParameter`] for a
+/// non-positive or non-finite `granularity`.
+pub fn ci_granular(
+    engine: &SmcEngine,
+    samples: &[f64],
+    direction: Direction,
+    granularity: f64,
+) -> Result<ConfidenceInterval> {
+    if !granularity.is_finite() || granularity <= 0.0 {
+        return Err(CoreError::InvalidParameter {
+            name: "granularity",
+            value: granularity,
+            expected: "a finite value > 0",
+        });
+    }
+    validate_samples(engine, samples)?;
+    let lo = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    // One step beyond each end so both extreme verdicts are reachable.
+    let start = lo - granularity;
+    let steps = (((hi + granularity) - start) / granularity).ceil() as usize + 1;
+
+    let low_polarity = low_side_polarity(direction);
+    let mut lower: Option<f64> = None;
+    let mut upper: Option<f64> = None;
+    for i in 0..=steps {
+        let v = start + i as f64 * granularity;
+        match verdict_at(engine, samples, direction, v)? {
+            Some(a) if a == low_polarity => lower = Some(v),
+            Some(_) => {
+                upper = Some(v);
+                break;
+            }
+            None => {}
+        }
+    }
+    let lower = lower.unwrap_or(f64::NEG_INFINITY);
+    let upper = upper.unwrap_or(f64::INFINITY);
+    Ok(ConfidenceInterval::new(
+        lower,
+        upper,
+        engine.confidence_level(),
+        engine.proportion(),
+    ))
+}
+
+/// SPA confidence interval by the paper's *adaptive* §4.2 procedure:
+/// start from an initial metric estimate `v0` (defaulting to the sample
+/// mean), step outward by `granularity` in each direction until the
+/// innermost significant verdict of each polarity is found.
+///
+/// Produces the same interval as [`ci_granular`] on the same grid
+/// alignment while evaluating far fewer thresholds when `v0` lands
+/// inside the inconclusive band (the common case, since the architect's
+/// estimate comes from the data).
+///
+/// # Errors
+///
+/// As [`ci_granular`].
+pub fn ci_adaptive(
+    engine: &SmcEngine,
+    samples: &[f64],
+    direction: Direction,
+    granularity: f64,
+    v0: Option<f64>,
+) -> Result<ConfidenceInterval> {
+    if !granularity.is_finite() || granularity <= 0.0 {
+        return Err(CoreError::InvalidParameter {
+            name: "granularity",
+            value: granularity,
+            expected: "a finite value > 0",
+        });
+    }
+    validate_samples(engine, samples)?;
+    let v0 = v0.unwrap_or_else(|| samples.iter().sum::<f64>() / samples.len() as f64);
+    let lo = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let low_polarity = low_side_polarity(direction);
+
+    // March downward from v0 until the low-side polarity turns
+    // significant; high-side verdicts seen on the way down mean v0
+    // overshot the band, so they tighten the upper bound instead.
+    let mut lower = None;
+    let mut upper_from_descent = None;
+    let mut v = v0;
+    while v >= lo - 2.0 * granularity {
+        match verdict_at(engine, samples, direction, v)? {
+            Some(a) if a == low_polarity => {
+                lower = Some(v);
+                break;
+            }
+            Some(_) => upper_from_descent = Some(v),
+            None => {}
+        }
+        v -= granularity;
+    }
+    // March upward for the high side (skipped if the descent already
+    // found it, which means everything above is also significant).
+    let mut upper = upper_from_descent;
+    if upper.is_none() {
+        let mut v = v0 + granularity;
+        while v <= hi + 2.0 * granularity {
+            match verdict_at(engine, samples, direction, v)? {
+                Some(a) if a != low_polarity => {
+                    upper = Some(v);
+                    break;
+                }
+                Some(_) => {
+                    // Still on the low side of the band: v0 undershot;
+                    // the innermost low-side threshold is above v0.
+                    lower = Some(v);
+                }
+                None => {}
+            }
+            v += granularity;
+        }
+    }
+    Ok(ConfidenceInterval::new(
+        lower.unwrap_or(f64::NEG_INFINITY),
+        upper.unwrap_or(f64::INFINITY),
+        engine.confidence_level(),
+        engine.proportion(),
+    ))
+}
+
+/// Evaluates the hypothesis test on a grid of thresholds and reports
+/// every point — the data behind Fig. 4.
+///
+/// # Errors
+///
+/// As [`ci_granular`].
+pub fn sweep(
+    engine: &SmcEngine,
+    samples: &[f64],
+    direction: Direction,
+    thresholds: &[f64],
+) -> Result<Vec<SweepPoint>> {
+    validate_samples(engine, samples)?;
+    let n = samples.len() as u64;
+    thresholds
+        .iter()
+        .map(|&v| {
+            let property = MetricProperty::new(direction, v);
+            let m = property.count_satisfying(samples);
+            Ok(SweepPoint {
+                threshold: v,
+                positive_confidence: positive_confidence(m, n, engine.proportion())?,
+                verdict: engine.run_counts(m, n)?.assertion,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn engine(c: f64, f: f64) -> SmcEngine {
+        SmcEngine::new(c, f).unwrap()
+    }
+
+    fn spread(n: usize) -> Vec<f64> {
+        (1..=n).map(|i| i as f64).collect()
+    }
+
+    #[test]
+    fn interval_type_behaviour() {
+        let ci = ConfidenceInterval::new(1.0, 2.0, 0.9, 0.5);
+        assert_eq!(ci.lower(), 1.0);
+        assert_eq!(ci.upper(), 2.0);
+        assert_eq!(ci.confidence(), 0.9);
+        assert_eq!(ci.proportion(), 0.5);
+        assert!(ci.contains(1.0) && ci.contains(2.0));
+        assert!(!ci.contains(0.999));
+        assert!(ci.to_string().contains("C = 0.9"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn inverted_interval_panics() {
+        let _ = ConfidenceInterval::new(2.0, 1.0, 0.9, 0.5);
+    }
+
+    #[test]
+    fn exact_ci_median_brackets_sample_median() {
+        let e = engine(0.9, 0.5);
+        let xs = spread(22);
+        let ci = ci_exact(&e, &xs, Direction::AtMost).unwrap();
+        assert!(ci.lower() < 11.5, "lower {} too high", ci.lower());
+        assert!(ci.upper() > 11.5, "upper {} too low", ci.upper());
+        assert!(ci.lower().is_finite() && ci.upper().is_finite());
+    }
+
+    #[test]
+    fn exact_ci_requires_min_samples() {
+        let e = engine(0.9, 0.9);
+        let xs = spread(10); // needs 22
+        assert!(matches!(
+            ci_exact(&e, &xs, Direction::AtMost),
+            Err(CoreError::TooFewSamples { needed: 22, got: 10 })
+        ));
+        assert!(matches!(
+            ci_exact(&e, &[], Direction::AtMost),
+            Err(CoreError::EmptyData)
+        ));
+    }
+
+    #[test]
+    fn exact_ci_rejects_nan() {
+        let e = engine(0.9, 0.5);
+        let mut xs = spread(22);
+        xs[3] = f64::NAN;
+        assert!(ci_exact(&e, &xs, Direction::AtMost).is_err());
+    }
+
+    #[test]
+    fn at_least_direction_brackets_low_quantile() {
+        // Direction::AtLeast with F = 0.9 targets the 0.1-quantile
+        // (the speedup "at least X in 90 % of runs" value).
+        let e = engine(0.9, 0.9);
+        let xs = spread(100);
+        let ci = ci_exact(&e, &xs, Direction::AtLeast).unwrap();
+        // The 0.1-quantile of 1..=100 is near 10.
+        assert!(ci.lower() <= 10.0 + 8.0 && ci.upper() >= 10.0 - 8.0);
+        assert!(ci.lower() < ci.upper());
+    }
+
+    #[test]
+    fn granular_nests_inside_exact() {
+        // Exact mode anchors bounds at sample values, which can only
+        // widen the interval relative to a fine grid search; the grid can
+        // overshoot an exact bound by at most one step.
+        let e = engine(0.9, 0.5);
+        let xs = spread(30);
+        let exact = ci_exact(&e, &xs, Direction::AtMost).unwrap();
+        let grain = 0.25;
+        let granular = ci_granular(&e, &xs, Direction::AtMost, grain).unwrap();
+        assert!(granular.lower() >= exact.lower() - grain - 1e-9);
+        assert!(granular.upper() <= exact.upper() + grain + 1e-9);
+        // The two intervals must overlap substantially.
+        assert!(granular.lower() < exact.upper());
+        assert!(exact.lower() < granular.upper());
+    }
+
+    #[test]
+    fn adaptive_matches_full_grid_scan() {
+        let e = engine(0.9, 0.5);
+        let xs = spread(30);
+        let grain = 0.25;
+        let full = ci_granular(&e, &xs, Direction::AtMost, grain).unwrap();
+        // Same grid alignment: start the adaptive search on a grid point
+        // near the sample mean (the full scan's grid starts at
+        // min - grain = 0.75, so mean 15.5 is on it).
+        let adaptive = ci_adaptive(&e, &xs, Direction::AtMost, grain, Some(15.5)).unwrap();
+        assert!((adaptive.lower() - full.lower()).abs() < 1e-9);
+        assert!((adaptive.upper() - full.upper()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adaptive_handles_v0_outside_the_band() {
+        let e = engine(0.9, 0.5);
+        let xs = spread(30);
+        let grain = 0.25;
+        let inside = ci_adaptive(&e, &xs, Direction::AtMost, grain, Some(15.5)).unwrap();
+        // v0 far below the band: the whole interval is found on the way up.
+        let low = ci_adaptive(&e, &xs, Direction::AtMost, grain, Some(2.0)).unwrap();
+        // v0 far above the band: found on the way down.
+        let high = ci_adaptive(&e, &xs, Direction::AtMost, grain, Some(28.0)).unwrap();
+        for ci in [&low, &high] {
+            assert!(
+                (ci.lower() - inside.lower()).abs() <= grain + 1e-9,
+                "lower {} vs {}",
+                ci.lower(),
+                inside.lower()
+            );
+            assert!(
+                (ci.upper() - inside.upper()).abs() <= grain + 1e-9,
+                "upper {} vs {}",
+                ci.upper(),
+                inside.upper()
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_default_v0_is_the_mean() {
+        let e = engine(0.9, 0.5);
+        let xs = spread(30);
+        let a = ci_adaptive(&e, &xs, Direction::AtMost, 0.1, None).unwrap();
+        let b = ci_adaptive(&e, &xs, Direction::AtMost, 0.1, Some(15.5)).unwrap();
+        assert!((a.lower() - b.lower()).abs() < 1e-9);
+        assert!((a.upper() - b.upper()).abs() < 1e-9);
+        assert!(ci_adaptive(&e, &xs, Direction::AtMost, 0.0, None).is_err());
+    }
+
+    #[test]
+    fn granular_rejects_bad_granularity() {
+        let e = engine(0.9, 0.5);
+        let xs = spread(22);
+        assert!(ci_granular(&e, &xs, Direction::AtMost, 0.0).is_err());
+        assert!(ci_granular(&e, &xs, Direction::AtMost, -1.0).is_err());
+        assert!(ci_granular(&e, &xs, Direction::AtMost, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn sweep_shows_fig4_structure() {
+        // Verdicts along the threshold axis must be: one polarity,
+        // then a None band, then the other polarity.
+        let e = engine(0.9, 0.9);
+        let xs = spread(22);
+        let thresholds: Vec<f64> = (0..=23).map(|i| i as f64 + 0.5).collect();
+        let points = sweep(&e, &xs, Direction::AtMost, &thresholds).unwrap();
+        let states: Vec<i8> = points
+            .iter()
+            .map(|p| match p.verdict {
+                Some(Assertion::Negative) => -1,
+                None => 0,
+                Some(Assertion::Positive) => 1,
+            })
+            .collect();
+        // Monotone non-decreasing for AtMost.
+        assert!(states.windows(2).all(|w| w[0] <= w[1]), "{states:?}");
+        assert_eq!(*states.first().unwrap(), -1);
+        assert_eq!(*states.last().unwrap(), 1);
+        // Positive confidence is non-decreasing along the sweep.
+        assert!(points
+            .windows(2)
+            .all(|w| w[0].positive_confidence <= w[1].positive_confidence + 1e-12));
+    }
+
+    #[test]
+    fn duplicate_heavy_data_still_produces_interval() {
+        // The paper's §6.4 point: unlike BCa bootstrapping, SMC is
+        // untroubled by duplicates.
+        let e = engine(0.9, 0.5);
+        let xs: Vec<f64> = std::iter::repeat_n(5.0, 11)
+            .chain(std::iter::repeat_n(7.0, 11))
+            .collect();
+        let ci = ci_exact(&e, &xs, Direction::AtMost).unwrap();
+        assert!(ci.lower().is_finite() && ci.upper().is_finite());
+        assert!(ci.contains(5.0) || ci.contains(7.0));
+    }
+
+    #[test]
+    fn constant_data_interval_is_degenerate() {
+        let e = engine(0.9, 0.5);
+        let xs = vec![3.0; 22];
+        for direction in [Direction::AtMost, Direction::AtLeast] {
+            let ci = ci_exact(&e, &xs, direction).unwrap();
+            // Only one distinct value: both bounds collapse onto it.
+            assert!(ci.contains(3.0), "{direction:?}: {ci}");
+            assert!(
+                ci.lower().is_finite() && ci.upper().is_finite(),
+                "{direction:?}: unbounded {ci}"
+            );
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn exact_ci_covers_sample_target_quantile(
+            xs in proptest::collection::vec(0.0_f64..1e3, 22..60),
+            f in 0.3_f64..0.9,
+        ) {
+            use spa_stats::descriptive::{quantile, QuantileMethod};
+            let e = engine(0.9, f);
+            prop_assume!((xs.len() as u64) >= crate::min_samples::min_samples(0.9, f).unwrap());
+            let ci = ci_exact(&e, &xs, Direction::AtMost).unwrap();
+            // The CI's None band must contain the sample F-quantile
+            // (LowerRank), because the verdict at that threshold has
+            // M/N ≥ F barely — generically inconclusive — and the
+            // interval covers the entire band between significant sides.
+            let q = quantile(&xs, f, QuantileMethod::LowerRank).unwrap();
+            prop_assert!(
+                ci.lower() <= q + 1e-9 && q <= ci.upper() + 1e-9,
+                "CI {:?} misses sample quantile {q}",
+                (ci.lower(), ci.upper())
+            );
+        }
+
+        #[test]
+        fn verdicts_monotone_in_threshold(
+            xs in proptest::collection::vec(0.0_f64..100.0, 22..40),
+            f in 0.2_f64..0.8,
+        ) {
+            let e = engine(0.9, f);
+            let mut sorted = xs.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let mut prev = -2_i8;
+            for &v in &sorted {
+                let s = match verdict_at(&e, &xs, Direction::AtMost, v).unwrap() {
+                    Some(Assertion::Negative) => -1,
+                    None => 0,
+                    Some(Assertion::Positive) => 1,
+                };
+                prop_assert!(s >= prev, "verdict regressed at {v}");
+                prev = prev.max(s);
+            }
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! The Clopper–Pearson exact confidence of an SMC assertion.
+//!
+//! This module implements Eq. 3–5 of the paper. Given `N` sample
+//! executions of which `M` satisfied the property, the statistical
+//! assertion for the hypothesis `P(φ) ≥ F` is
+//!
+//! ```text
+//! A = negative  if M/N < F
+//! A = positive  if M/N ≥ F        (Eq. 3)
+//! ```
+//!
+//! and its confidence level is the Clopper–Pearson probability mass of
+//! the binomial parameter lying on the asserted side of `F`:
+//!
+//! ```text
+//! C_CP(a,b | M,N) = (1−a)^N − (1−b)^N                      if M = 0
+//!                 = b^N − a^N                              if M = N
+//!                 = B(b | M+1, N−M) − B(a | M, N−M+1)      otherwise
+//! with (a,b) = (0,F) when M/N < F and (F,1) when M/N ≥ F.  (Eq. 4–5)
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use crate::{CoreError, Result};
+use spa_stats::beta::BetaDist;
+
+/// The verdict of an SMC hypothesis test for `P(φ) ≥ F` (the paper's
+/// Eq. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Assertion {
+    /// The hypothesis is asserted true: `M/N ≥ F`.
+    Positive,
+    /// The hypothesis is asserted false: `M/N < F`.
+    Negative,
+}
+
+impl std::fmt::Display for Assertion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Assertion::Positive => "positive",
+            Assertion::Negative => "negative",
+        })
+    }
+}
+
+/// Validates a proportion/confidence parameter in the open interval
+/// `(0, 1)`.
+pub(crate) fn check_unit_open(name: &'static str, v: f64) -> Result<()> {
+    if v > 0.0 && v < 1.0 {
+        Ok(())
+    } else {
+        Err(CoreError::InvalidParameter {
+            name,
+            value: v,
+            expected: "a value in the open interval (0, 1)",
+        })
+    }
+}
+
+/// The statistical assertion of Eq. 3.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] if `m > n`, `n == 0`, or
+/// `proportion ∉ (0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use spa_core::clopper_pearson::{assertion, Assertion};
+/// assert_eq!(assertion(20, 22, 0.9)?, Assertion::Positive);
+/// assert_eq!(assertion(10, 22, 0.9)?, Assertion::Negative);
+/// # Ok::<(), spa_core::CoreError>(())
+/// ```
+pub fn assertion(m: u64, n: u64, proportion: f64) -> Result<Assertion> {
+    validate_mn(m, n)?;
+    check_unit_open("proportion", proportion)?;
+    Ok(if (m as f64) / (n as f64) < proportion {
+        Assertion::Negative
+    } else {
+        Assertion::Positive
+    })
+}
+
+fn validate_mn(m: u64, n: u64) -> Result<()> {
+    if n == 0 {
+        return Err(CoreError::InvalidParameter {
+            name: "n",
+            value: 0.0,
+            expected: "at least one sample",
+        });
+    }
+    if m > n {
+        return Err(CoreError::InvalidParameter {
+            name: "m",
+            value: m as f64,
+            expected: "m <= n",
+        });
+    }
+    Ok(())
+}
+
+/// Clopper–Pearson confidence `C_CP(a, b | M, N)` for explicit interval
+/// bounds `a < b` (the raw Eq. 4).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] for `m > n`, `n == 0`, or
+/// bounds outside `0 ≤ a < b ≤ 1`.
+pub fn confidence_with_bounds(m: u64, n: u64, a: f64, b: f64) -> Result<f64> {
+    validate_mn(m, n)?;
+    if !(0.0..=1.0).contains(&a) || !(0.0..=1.0).contains(&b) || a >= b {
+        return Err(CoreError::InvalidParameter {
+            name: "a/b",
+            value: a,
+            expected: "bounds with 0 <= a < b <= 1",
+        });
+    }
+    let nf = n as f64;
+    let c = if m == 0 {
+        (1.0 - a).powf(nf) - (1.0 - b).powf(nf)
+    } else if m == n {
+        b.powf(nf) - a.powf(nf)
+    } else {
+        let upper = BetaDist::new(m as f64 + 1.0, (n - m) as f64)?.cdf(b);
+        let lower = BetaDist::new(m as f64, (n - m) as f64 + 1.0)?.cdf(a);
+        upper - lower
+    };
+    // Numerical noise can push the difference infinitesimally outside
+    // [0, 1]; clamp.
+    Ok(c.clamp(0.0, 1.0))
+}
+
+/// The confidence level of the Eq. 3 assertion, choosing the bounds of
+/// Eq. 5 automatically: `(a, b) = (0, F)` for a negative assertion and
+/// `(F, 1)` for a positive one.
+///
+/// # Errors
+///
+/// Same conditions as [`assertion`].
+///
+/// # Examples
+///
+/// ```
+/// use spa_core::clopper_pearson::confidence;
+/// // All 22 of 22 samples satisfied the property: the positive assertion
+/// // for F = 0.9 carries confidence 1 − 0.9²² ≈ 0.902.
+/// let c = confidence(22, 22, 0.9)?;
+/// assert!((c - (1.0 - 0.9f64.powi(22))).abs() < 1e-12);
+/// # Ok::<(), spa_core::CoreError>(())
+/// ```
+pub fn confidence(m: u64, n: u64, proportion: f64) -> Result<f64> {
+    let a = assertion(m, n, proportion)?;
+    match a {
+        Assertion::Negative => confidence_with_bounds(m, n, 0.0, proportion),
+        Assertion::Positive => confidence_with_bounds(m, n, proportion, 1.0),
+    }
+}
+
+/// The confidence that would be reported for a *positive* assertion at
+/// these counts, regardless of which side `M/N` falls on.
+///
+/// This is what Fig. 4 of the paper plots on its y-axis: points above
+/// `C` are significant positives, points below `1 − C` are significant
+/// negatives, and the band between is inconclusive.
+///
+/// # Errors
+///
+/// Same conditions as [`assertion`].
+pub fn positive_confidence(m: u64, n: u64, proportion: f64) -> Result<f64> {
+    check_unit_open("proportion", proportion)?;
+    validate_mn(m, n)?;
+    confidence_with_bounds(m, n, proportion, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn assertion_follows_eq3() {
+        assert_eq!(assertion(0, 10, 0.5).unwrap(), Assertion::Negative);
+        assert_eq!(assertion(5, 10, 0.5).unwrap(), Assertion::Positive); // M/N == F counts as positive
+        assert_eq!(assertion(4, 10, 0.5).unwrap(), Assertion::Negative);
+        assert_eq!(assertion(10, 10, 0.5).unwrap(), Assertion::Positive);
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        assert!(assertion(5, 0, 0.5).is_err());
+        assert!(assertion(11, 10, 0.5).is_err());
+        assert!(assertion(5, 10, 0.0).is_err());
+        assert!(assertion(5, 10, 1.0).is_err());
+        assert!(confidence_with_bounds(5, 10, 0.5, 0.5).is_err());
+        assert!(confidence_with_bounds(5, 10, -0.1, 0.5).is_err());
+    }
+
+    #[test]
+    fn boundary_cases_match_closed_forms() {
+        // M = 0, negative: C = 1 − (1−F)^N.
+        let c = confidence(0, 5, 0.3).unwrap();
+        assert!((c - (1.0 - 0.7_f64.powi(5))).abs() < 1e-12);
+        // M = N, positive: C = 1 − F^N.
+        let c = confidence(5, 5, 0.3).unwrap();
+        assert!((c - (1.0 - 0.3_f64.powi(5))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_convergence_numbers() {
+        // §4.3: at C = F = 0.9, 22 all-true samples suffice, 21 do not.
+        assert!(confidence(22, 22, 0.9).unwrap() >= 0.9);
+        assert!(confidence(21, 21, 0.9).unwrap() < 0.9);
+        // A single all-false sample suffices for the negative assertion.
+        assert!(confidence(0, 1, 0.9).unwrap() >= 0.9);
+    }
+
+    #[test]
+    fn interior_case_is_binomial_tail() {
+        // For a positive assertion, C = 1 − B(F | M, N−M+1)
+        //                             = P(Bin(N, F) < M)  (CP duality).
+        // Check against a direct binomial sum.
+        let (m, n, f) = (20_u64, 22_u64, 0.8_f64);
+        let c = confidence(m, n, f).unwrap();
+        let binom = spa_stats::binomial::Binomial::new(n, f).unwrap();
+        let direct: f64 = (0..m).map(|k| binom.pmf(k)).sum();
+        assert!(
+            (c - direct).abs() < 1e-10,
+            "confidence {c} vs binomial tail {direct}"
+        );
+    }
+
+    #[test]
+    fn negative_interior_case_is_binomial_tail() {
+        // For a negative assertion, C = B(F | M+1, N−M) = P(Bin(N,F) > M).
+        let (m, n, f) = (5_u64, 22_u64, 0.8_f64);
+        let c = confidence(m, n, f).unwrap();
+        let binom = spa_stats::binomial::Binomial::new(n, f).unwrap();
+        let direct: f64 = ((m + 1)..=n).map(|k| binom.pmf(k)).sum();
+        assert!(
+            (c - direct).abs() < 1e-10,
+            "confidence {c} vs binomial tail {direct}"
+        );
+    }
+
+    #[test]
+    fn positive_confidence_is_low_on_negative_side() {
+        // With very few satisfying samples the positive-direction
+        // confidence must be small (Fig. 4's lower region).
+        let c = positive_confidence(2, 22, 0.9).unwrap();
+        assert!(c < 0.1, "positive confidence {c} should be < 1 − C");
+        // And high when nearly all satisfy.
+        let c = positive_confidence(22, 22, 0.9).unwrap();
+        assert!(c > 0.9);
+    }
+
+    proptest! {
+        #[test]
+        fn confidence_in_unit_interval(n in 1_u64..200, m_frac in 0.0_f64..=1.0,
+                                       f in 0.01_f64..0.99) {
+            let m = ((n as f64) * m_frac).round() as u64;
+            let c = confidence(m.min(n), n, f).unwrap();
+            prop_assert!((0.0..=1.0).contains(&c));
+        }
+
+        #[test]
+        fn more_unanimous_samples_more_confidence(n1 in 1_u64..100, extra in 1_u64..100,
+                                                  f in 0.05_f64..0.95) {
+            // All-true runs: confidence grows with N.
+            let c1 = confidence(n1, n1, f).unwrap();
+            let c2 = confidence(n1 + extra, n1 + extra, f).unwrap();
+            prop_assert!(c2 >= c1 - 1e-12);
+        }
+
+        #[test]
+        fn assertion_and_confidence_consistent(n in 1_u64..100, m_frac in 0.0_f64..=1.0,
+                                               f in 0.05_f64..0.95) {
+            let m = ((n as f64) * m_frac).round().min(n as f64) as u64;
+            let a = assertion(m, n, f).unwrap();
+            let c = confidence(m, n, f).unwrap();
+            let cp = positive_confidence(m, n, f).unwrap();
+            match a {
+                // For a positive assertion the generic positive-direction
+                // confidence IS the assertion confidence.
+                Assertion::Positive => prop_assert!((c - cp).abs() < 1e-12),
+                // For a negative assertion the positive-direction
+                // confidence must not ALSO be convincing.
+                Assertion::Negative => prop_assert!(cp <= 0.5 + 1e-12 || c < 0.5 + 1e-12),
+            }
+        }
+    }
+}

@@ -1,0 +1,89 @@
+use std::fmt;
+
+use spa_stats::StatsError;
+
+/// Error type for the SMC engine and SPA framework.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A parameter lies outside its domain, e.g. a confidence level not
+    /// in `(0, 1)`.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable description of the accepted domain.
+        expected: &'static str,
+    },
+    /// The operation needs data but none was provided.
+    EmptyData,
+    /// Fewer samples were provided than SMC needs to converge for the
+    /// requested confidence and proportion (Eq. 8 of the paper).
+    TooFewSamples {
+        /// Samples required by Eq. 8.
+        needed: u64,
+        /// Samples actually provided.
+        got: u64,
+    },
+    /// An underlying numerical computation failed.
+    Stats(StatsError),
+    /// A property evaluation failed (e.g. an STL template referenced a
+    /// missing metric).
+    Property(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidParameter {
+                name,
+                value,
+                expected,
+            } => write!(f, "invalid parameter `{name}` = {value}; expected {expected}"),
+            CoreError::EmptyData => write!(f, "empty data set"),
+            CoreError::TooFewSamples { needed, got } => write!(
+                f,
+                "SMC needs at least {needed} samples to converge but only {got} were provided"
+            ),
+            CoreError::Stats(e) => write!(f, "numerical error: {e}"),
+            CoreError::Property(msg) => write!(f, "property evaluation failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Stats(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StatsError> for CoreError {
+    fn from(e: StatsError) -> Self {
+        CoreError::Stats(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CoreError::TooFewSamples { needed: 22, got: 5 };
+        assert!(e.to_string().contains("22"));
+        assert!(e.to_string().contains('5'));
+
+        let e = CoreError::from(StatsError::EmptyData);
+        assert!(e.to_string().contains("empty"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

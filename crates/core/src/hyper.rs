@@ -1,0 +1,221 @@
+//! Hyperproperties — the paper's §3.1/§8 future-work extension.
+//!
+//! A property judges one execution; a *hyperproperty* judges a tuple of
+//! executions taken together. The paper's motivating example: "SMC with
+//! hyperproperties enables us to study whether the performance of
+//! multiple executions will differ by less than a given threshold."
+//! Because a hyperproperty still evaluates to one boolean per tuple,
+//! the existing SMC machinery applies unchanged — tuples are the
+//! samples.
+//!
+//! # Example
+//!
+//! ```
+//! use spa_core::hyper::{pair_self, HyperProperty};
+//! use spa_core::smc::SmcEngine;
+//!
+//! # fn main() -> Result<(), spa_core::CoreError> {
+//! // Does runtime differ by less than 5 ms between any two executions,
+//! // in at least 90 % of pairs, with 90 % confidence?
+//! let runtimes: Vec<f64> = (0..44).map(|i| 1.0 + 0.001 * (i % 5) as f64).collect();
+//! let prop = HyperProperty::difference_within(0.005)?;
+//! let outcomes = pair_self(&runtimes).map(|(a, b)| prop.evaluate(a, b));
+//! let engine = SmcEngine::new(0.9, 0.9)?;
+//! let verdict = engine.run_fixed(outcomes)?;
+//! assert!(verdict.converged());
+//! # Ok(())
+//! # }
+//! ```
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::{CoreError, Result};
+
+/// A binary hyperproperty over a pair of metric observations
+/// `(a, b)` from two executions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum HyperProperty {
+    /// `|a − b| ≤ threshold` — performance stability (the paper's §3.1
+    /// example).
+    DifferenceWithin {
+        /// Maximum allowed absolute difference.
+        threshold: f64,
+    },
+    /// `lo ≤ a/b ≤ hi` — relative stability / bounded speedup.
+    RatioWithin {
+        /// Lower ratio bound.
+        lo: f64,
+        /// Upper ratio bound.
+        hi: f64,
+    },
+    /// `a < b` — ordering between paired executions of two systems
+    /// ("System X beats System Y on matched runs").
+    FirstSmaller,
+}
+
+impl HyperProperty {
+    /// `|a − b| ≤ threshold`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for a negative or
+    /// non-finite threshold.
+    pub fn difference_within(threshold: f64) -> Result<Self> {
+        if (threshold.is_nan() || threshold < 0.0) || !threshold.is_finite() {
+            return Err(CoreError::InvalidParameter {
+                name: "threshold",
+                value: threshold,
+                expected: "a finite value >= 0",
+            });
+        }
+        Ok(HyperProperty::DifferenceWithin { threshold })
+    }
+
+    /// `lo ≤ a/b ≤ hi`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] unless
+    /// `0 < lo <= hi < ∞`.
+    pub fn ratio_within(lo: f64, hi: f64) -> Result<Self> {
+        if (lo.is_nan() || lo <= 0.0) || !hi.is_finite() || hi < lo {
+            return Err(CoreError::InvalidParameter {
+                name: "lo/hi",
+                value: lo,
+                expected: "bounds with 0 < lo <= hi < inf",
+            });
+        }
+        Ok(HyperProperty::RatioWithin { lo, hi })
+    }
+
+    /// Evaluates the hyperproperty on one pair of observations.
+    pub fn evaluate(&self, a: f64, b: f64) -> bool {
+        match self {
+            HyperProperty::DifferenceWithin { threshold } => (a - b).abs() <= *threshold,
+            HyperProperty::RatioWithin { lo, hi } => {
+                let r = a / b;
+                r >= *lo && r <= *hi
+            }
+            HyperProperty::FirstSmaller => a < b,
+        }
+    }
+}
+
+impl fmt::Display for HyperProperty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HyperProperty::DifferenceWithin { threshold } => {
+                write!(f, "|m(s1) - m(s2)| <= {threshold}")
+            }
+            HyperProperty::RatioWithin { lo, hi } => {
+                write!(f, "{lo} <= m(s1)/m(s2) <= {hi}")
+            }
+            HyperProperty::FirstSmaller => write!(f, "m(s1) < m(s2)"),
+        }
+    }
+}
+
+/// Pairs one population with itself without reuse: `(x0, x1), (x2, x3),
+/// …`. Disjoint pairs keep SMC's independence assumption intact (each
+/// tuple is built from fresh executions).
+pub fn pair_self(samples: &[f64]) -> impl Iterator<Item = (f64, f64)> + Clone + '_ {
+    samples.chunks_exact(2).map(|c| (c[0], c[1]))
+}
+
+/// Pairs two populations element-wise: `(a_i, b_i)`. With seeded
+/// executions this is the "common random numbers" pairing; for the
+/// paper's §5.2 random pairing, shuffle one side first.
+pub fn pair_zip<'a>(
+    a: &'a [f64],
+    b: &'a [f64],
+) -> impl Iterator<Item = (f64, f64)> + Clone + 'a {
+    a.iter().copied().zip(b.iter().copied())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clopper_pearson::Assertion;
+    use crate::smc::SmcEngine;
+
+    #[test]
+    fn constructors_validate() {
+        assert!(HyperProperty::difference_within(-1.0).is_err());
+        assert!(HyperProperty::difference_within(f64::NAN).is_err());
+        assert!(HyperProperty::ratio_within(0.0, 1.0).is_err());
+        assert!(HyperProperty::ratio_within(2.0, 1.0).is_err());
+        assert!(HyperProperty::ratio_within(0.9, 1.1).is_ok());
+    }
+
+    #[test]
+    fn evaluation_semantics() {
+        let d = HyperProperty::difference_within(0.5).unwrap();
+        assert!(d.evaluate(1.0, 1.4));
+        assert!(d.evaluate(1.4, 1.0));
+        assert!(!d.evaluate(1.0, 1.6));
+
+        let r = HyperProperty::ratio_within(0.9, 1.1).unwrap();
+        assert!(r.evaluate(1.0, 1.0));
+        assert!(!r.evaluate(1.2, 1.0));
+
+        assert!(HyperProperty::FirstSmaller.evaluate(1.0, 2.0));
+        assert!(!HyperProperty::FirstSmaller.evaluate(2.0, 1.0));
+    }
+
+    #[test]
+    fn pairings() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let pairs: Vec<_> = pair_self(&xs).collect();
+        assert_eq!(pairs, vec![(1.0, 2.0), (3.0, 4.0)]); // odd element dropped
+
+        let ys = [10.0, 20.0];
+        let pairs: Vec<_> = pair_zip(&xs[..2], &ys).collect();
+        assert_eq!(pairs, vec![(1.0, 10.0), (2.0, 20.0)]);
+    }
+
+    #[test]
+    fn smc_over_stability_hyperproperty() {
+        // A stable population: all pairwise differences tiny.
+        let xs: Vec<f64> = (0..60).map(|i| 100.0 + 0.01 * (i % 3) as f64).collect();
+        let prop = HyperProperty::difference_within(0.1).unwrap();
+        let engine = SmcEngine::new(0.9, 0.9).unwrap();
+        let verdict = engine
+            .run_fixed(pair_self(&xs).map(|(a, b)| prop.evaluate(a, b)))
+            .unwrap();
+        assert_eq!(verdict.assertion, Some(Assertion::Positive));
+
+        // An unstable population: a big second mode breaks the bound.
+        let mut ys = xs.clone();
+        for (i, y) in ys.iter_mut().enumerate() {
+            if i % 2 == 0 {
+                *y += 50.0;
+            }
+        }
+        let verdict = engine
+            .run_fixed(pair_self(&ys).map(|(a, b)| prop.evaluate(a, b)))
+            .unwrap();
+        assert_eq!(verdict.assertion, Some(Assertion::Negative));
+    }
+
+    #[test]
+    fn smc_over_ordering_hyperproperty() {
+        // System A strictly faster than system B on every matched pair.
+        let a: Vec<f64> = (0..30).map(|i| 1.0 + 0.001 * i as f64).collect();
+        let b: Vec<f64> = a.iter().map(|x| x * 1.5).collect();
+        let engine = SmcEngine::new(0.9, 0.9).unwrap();
+        let verdict = engine
+            .run_fixed(pair_zip(&a, &b).map(|(x, y)| HyperProperty::FirstSmaller.evaluate(x, y)))
+            .unwrap();
+        assert_eq!(verdict.assertion, Some(Assertion::Positive));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert!(HyperProperty::difference_within(0.5)
+            .unwrap()
+            .to_string()
+            .contains("0.5"));
+        assert!(HyperProperty::FirstSmaller.to_string().contains('<'));
+    }
+}

@@ -1,0 +1,61 @@
+#![warn(missing_docs)]
+
+//! # spa-core — the SMC-for-Processor-Analysis engine
+//!
+//! This crate implements the contribution of *"Rigorous Evaluation of
+//! Computer Processors with Statistical Model Checking"* (MICRO 2023):
+//!
+//! * [`clopper_pearson`] — the exact confidence level of a statistical
+//!   assertion (the paper's Eq. 3–5),
+//! * [`min_samples`] — the minimum sample counts for convergence
+//!   (Eq. 6–8; 22 samples for `C = F = 0.9`),
+//! * [`smc`] — the sequential SMC loop (Algorithm 1) and the
+//!   fixed-sample-size variant used for CI construction (Algorithm 2),
+//! * [`ci`] — confidence intervals for arbitrary metrics built from
+//!   repeated SMC hypothesis tests (§4.1–4.2), in both the paper's
+//!   granularity-search form and an exact order-statistic form,
+//! * [`property`] — scalar metric properties (Table 1 rows 1–2) that
+//!   map samples to the booleans SMC consumes,
+//! * [`hyper`] — hyperproperties over tuples of executions (the paper's
+//!   §3.1/§8 future-work extension),
+//! * [`sprt`] — Wald's sequential probability ratio test, the
+//!   alternative SMC engine the paper's §3.3 contrasts against, and
+//! * [`spa`] — the push-button [`Spa`](spa::Spa) driver that manages the
+//!   engine and batches simulator executions in parallel (§4.3).
+//!
+//! # Quick start
+//!
+//! ```
+//! use spa_core::spa::{Spa, Direction};
+//!
+//! # fn main() -> Result<(), spa_core::CoreError> {
+//! // 22 samples of a metric (≥ the minimum for C = F = 0.9).
+//! let samples: Vec<f64> = (0..22).map(|i| 1.0 + 0.01 * i as f64).collect();
+//!
+//! let spa = Spa::builder()
+//!     .confidence(0.9)
+//!     .proportion(0.9)
+//!     .build()?;
+//! assert_eq!(spa.required_samples(), 22);
+//!
+//! let ci = spa.confidence_interval(&samples, Direction::AtMost)?;
+//! assert!(ci.lower() <= ci.upper());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod ci;
+pub mod clopper_pearson;
+pub mod hyper;
+pub mod min_samples;
+pub mod property;
+pub mod smc;
+pub mod spa;
+pub mod sprt;
+
+mod error;
+
+pub use error::CoreError;
+
+/// Convenience alias used by fallible functions in this crate.
+pub type Result<T> = std::result::Result<T, CoreError>;

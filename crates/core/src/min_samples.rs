@@ -1,0 +1,152 @@
+//! Minimum sample counts for SMC convergence (the paper's Eq. 6–8).
+//!
+//! The fastest path to a positive verdict is `M = N` (every execution
+//! satisfied the property); convergence then needs `1^N − F^N ≥ C`
+//! (Eq. 6). The fastest negative path is `M = 0`, needing
+//! `1 − (1−F)^N ≥ C` (Eq. 7). SPA batches at least
+//! `max(N₊, N₋)` executions (Eq. 8) so that a confidence interval can be
+//! produced whatever the data says.
+//!
+//! For the paper's running example `C = F = 0.9` these are 22 and 1, so
+//! [`min_samples`] returns 22.
+
+use crate::clopper_pearson::check_unit_open;
+use crate::Result;
+
+/// Smallest `N` such that an all-true run converges to a positive
+/// verdict: `1 − F^N ≥ C` (Eq. 6).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`](crate::CoreError::InvalidParameter)
+/// unless both arguments are in `(0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use spa_core::min_samples::n_positive;
+/// assert_eq!(n_positive(0.9, 0.9)?, 22); // the paper's §4.3 number
+/// # Ok::<(), spa_core::CoreError>(())
+/// ```
+pub fn n_positive(confidence: f64, proportion: f64) -> Result<u64> {
+    check_unit_open("confidence", confidence)?;
+    check_unit_open("proportion", proportion)?;
+    // 1 − F^N ≥ C  ⇔  N ≥ ln(1−C) / ln(F). Non-strict, exactly as the
+    // paper's Eq. 6 (its Algorithm 1 stops when C_CP ≥ C; only the
+    // fixed-sample Algorithm 2 demands the strict C_CP > C).
+    let n = ((1.0 - confidence).ln() / proportion.ln()).ceil();
+    let mut n = (n.max(1.0)) as u64;
+    // Guard against floating-point edge cases by checking the inequality
+    // directly and adjusting at most one step in each direction.
+    while 1.0 - proportion.powf(n as f64) < confidence {
+        n += 1;
+    }
+    while n > 1 && 1.0 - proportion.powf((n - 1) as f64) >= confidence {
+        n -= 1;
+    }
+    Ok(n)
+}
+
+/// Smallest `N` such that an all-false run converges to a negative
+/// verdict: `1 − (1−F)^N ≥ C` (Eq. 7).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`](crate::CoreError::InvalidParameter)
+/// unless both arguments are in `(0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use spa_core::min_samples::n_negative;
+/// assert_eq!(n_negative(0.9, 0.9)?, 1); // the paper's §4.3 number
+/// # Ok::<(), spa_core::CoreError>(())
+/// ```
+pub fn n_negative(confidence: f64, proportion: f64) -> Result<u64> {
+    // By symmetry this is n_positive with F ↦ 1 − F.
+    n_positive(confidence, 1.0 - proportion)
+}
+
+/// The minimum number of samples SPA requires before it can construct a
+/// confidence interval: `max(N₊, N₋)` (Eq. 8).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`](crate::CoreError::InvalidParameter)
+/// unless both arguments are in `(0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use spa_core::min_samples::min_samples;
+/// assert_eq!(min_samples(0.9, 0.9)?, 22);
+/// assert_eq!(min_samples(0.9, 0.5)?, 4);
+/// # Ok::<(), spa_core::CoreError>(())
+/// ```
+pub fn min_samples(confidence: f64, proportion: f64) -> Result<u64> {
+    Ok(n_positive(confidence, proportion)?.max(n_negative(confidence, proportion)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clopper_pearson::confidence;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_section_43_numbers() {
+        assert_eq!(n_positive(0.9, 0.9).unwrap(), 22);
+        assert_eq!(n_negative(0.9, 0.9).unwrap(), 1);
+        assert_eq!(min_samples(0.9, 0.9).unwrap(), 22);
+    }
+
+    #[test]
+    fn symmetric_at_half() {
+        // At F = 0.5 both directions need the same count: 1−0.5^N ≥ 0.9
+        // ⇒ N = 4.
+        assert_eq!(n_positive(0.9, 0.5).unwrap(), 4);
+        assert_eq!(n_negative(0.9, 0.5).unwrap(), 4);
+        assert_eq!(min_samples(0.9, 0.5).unwrap(), 4);
+    }
+
+    #[test]
+    fn higher_confidence_needs_more_samples() {
+        let n90 = min_samples(0.90, 0.9).unwrap();
+        let n99 = min_samples(0.99, 0.9).unwrap();
+        let n999 = min_samples(0.999, 0.9).unwrap();
+        assert!(n90 < n99 && n99 < n999);
+        // 1 − 0.9^N ≥ 0.99 ⇒ N ≥ 43.7 ⇒ 44.
+        assert_eq!(n99, 44);
+    }
+
+    #[test]
+    fn rejects_degenerate_parameters() {
+        assert!(n_positive(0.0, 0.9).is_err());
+        assert!(n_positive(1.0, 0.9).is_err());
+        assert!(n_positive(0.9, 0.0).is_err());
+        assert!(n_positive(0.9, 1.0).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn returned_n_is_minimal(c in 0.5_f64..0.999, f in 0.01_f64..0.99) {
+            let n = n_positive(c, f).unwrap();
+            // N satisfies Eq. 6…
+            prop_assert!(1.0 - f.powf(n as f64) >= c);
+            // …and N − 1 does not (unless N = 1).
+            if n > 1 {
+                prop_assert!(1.0 - f.powf((n - 1) as f64) < c);
+            }
+        }
+
+        #[test]
+        fn consistent_with_clopper_pearson(c in 0.5_f64..0.99, f in 0.05_f64..0.95) {
+            // An all-true run of exactly n_positive samples must reach
+            // confidence c under the full Eq. 4 computation.
+            let n = n_positive(c, f).unwrap();
+            prop_assert!(confidence(n, n, f).unwrap() >= c - 1e-12);
+            let n_neg = n_negative(c, f).unwrap();
+            prop_assert!(confidence(0, n_neg, f).unwrap() >= c - 1e-12);
+        }
+    }
+}

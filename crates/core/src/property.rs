@@ -1,0 +1,154 @@
+//! Scalar metric properties — the `φ` that SMC checks per execution.
+//!
+//! The SPA confidence-interval machinery sweeps a *threshold* over a
+//! fixed metric direction (paper §4.2: "metric is at least V" /
+//! "metric is no more than V"), so the central type here is
+//! [`Direction`] plus a concrete [`MetricProperty`] binding a
+//! threshold. Richer properties (Table 1 rows 3–9) live in
+//! [`spa_stl::templates`] and are consumed through
+//! [`smc`](crate::smc) directly as boolean outcomes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which side of the threshold a metric must fall on to satisfy the
+/// property.
+///
+/// `AtMost` is the natural direction for "lower is better" metrics
+/// (runtime, miss rate): the CI produced with proportion `F` then brackets
+/// the population's `F`-quantile — e.g. Fig. 1's "the F = 0.9 value of
+/// 1.33 seconds" (90 % of executions finish faster). `AtLeast` is natural
+/// for "higher is better" metrics such as speedup or IPC (Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Property: `metric ≤ threshold`.
+    AtMost,
+    /// Property: `metric ≥ threshold`.
+    AtLeast,
+}
+
+impl Direction {
+    /// Whether `value` satisfies the property at `threshold`.
+    pub fn satisfies(self, value: f64, threshold: f64) -> bool {
+        match self {
+            Direction::AtMost => value <= threshold,
+            Direction::AtLeast => value >= threshold,
+        }
+    }
+
+    /// The quantile of the metric population whose confidence interval a
+    /// threshold sweep in this direction produces, for proportion `F`.
+    ///
+    /// * `AtMost`: `P(X ≤ v) ≥ F` flips at the `F`-quantile.
+    /// * `AtLeast`: `P(X ≥ v) ≥ F` flips at the `(1−F)`-quantile.
+    pub fn target_quantile(self, proportion: f64) -> f64 {
+        match self {
+            Direction::AtMost => proportion,
+            Direction::AtLeast => 1.0 - proportion,
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Direction::AtMost => "<=",
+            Direction::AtLeast => ">=",
+        })
+    }
+}
+
+/// A concrete scalar property `metric direction threshold`
+/// (Table 1 row 1).
+///
+/// # Examples
+///
+/// ```
+/// use spa_core::property::{Direction, MetricProperty};
+/// let p = MetricProperty::new(Direction::AtMost, 1.1);
+/// assert!(p.satisfies(1.05));
+/// assert!(!p.satisfies(1.2));
+/// assert_eq!(p.to_string(), "metric <= 1.1");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MetricProperty {
+    direction: Direction,
+    threshold: f64,
+}
+
+impl MetricProperty {
+    /// Creates the property `metric direction threshold`.
+    pub fn new(direction: Direction, threshold: f64) -> Self {
+        Self {
+            direction,
+            threshold,
+        }
+    }
+
+    /// The property's direction.
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    /// The property's threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Whether a sampled metric value satisfies the property.
+    pub fn satisfies(&self, value: f64) -> bool {
+        self.direction.satisfies(value, self.threshold)
+    }
+
+    /// Number of satisfying samples — the `M` of the paper's Eq. 3.
+    pub fn count_satisfying(&self, samples: &[f64]) -> u64 {
+        samples.iter().filter(|&&x| self.satisfies(x)).count() as u64
+    }
+}
+
+impl fmt::Display for MetricProperty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "metric {} {}", self.direction, self.threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_semantics() {
+        assert!(Direction::AtMost.satisfies(1.0, 1.0));
+        assert!(Direction::AtMost.satisfies(0.5, 1.0));
+        assert!(!Direction::AtMost.satisfies(1.5, 1.0));
+        assert!(Direction::AtLeast.satisfies(1.0, 1.0));
+        assert!(Direction::AtLeast.satisfies(1.5, 1.0));
+        assert!(!Direction::AtLeast.satisfies(0.5, 1.0));
+    }
+
+    #[test]
+    fn target_quantiles() {
+        assert_eq!(Direction::AtMost.target_quantile(0.9), 0.9);
+        assert!((Direction::AtLeast.target_quantile(0.9) - 0.1).abs() < 1e-12);
+        assert_eq!(Direction::AtMost.target_quantile(0.5), 0.5);
+        assert_eq!(Direction::AtLeast.target_quantile(0.5), 0.5);
+    }
+
+    #[test]
+    fn counting() {
+        let p = MetricProperty::new(Direction::AtMost, 2.0);
+        assert_eq!(p.count_satisfying(&[1.0, 2.0, 3.0, 0.5]), 3);
+        assert_eq!(p.count_satisfying(&[]), 0);
+        let q = MetricProperty::new(Direction::AtLeast, 2.0);
+        assert_eq!(q.count_satisfying(&[1.0, 2.0, 3.0, 0.5]), 2);
+    }
+
+    #[test]
+    fn accessors_and_display() {
+        let p = MetricProperty::new(Direction::AtLeast, 1.5);
+        assert_eq!(p.direction(), Direction::AtLeast);
+        assert_eq!(p.threshold(), 1.5);
+        assert_eq!(p.to_string(), "metric >= 1.5");
+        assert_eq!(Direction::AtMost.to_string(), "<=");
+    }
+}

@@ -1,0 +1,329 @@
+//! The SMC engine: the paper's Algorithm 1 (sequential) and Algorithm 2
+//! (fixed sample size).
+//!
+//! Algorithm 1 keeps drawing sample executions, updating the assertion
+//! (Eq. 3) and its Clopper–Pearson confidence (Eq. 4–5), and stops as
+//! soon as the confidence reaches the requested level. Algorithm 2 —
+//! SPA's modification — consumes *every* provided sample and reports the
+//! assertion only if it is significant at the requested level, otherwise
+//! `None`; this keeps the sample set identical across different property
+//! thresholds so that their outcomes are directly comparable (§4.1).
+
+use serde::{Deserialize, Serialize};
+
+use crate::clopper_pearson::{assertion, check_unit_open, confidence, Assertion};
+use crate::{CoreError, Result};
+
+/// An SMC engine configured with a confidence level `C` and a proportion
+/// `F` (the hypothesis is `P(φ) ≥ F`).
+///
+/// # Examples
+///
+/// ```
+/// use spa_core::smc::SmcEngine;
+/// # fn main() -> Result<(), spa_core::CoreError> {
+/// let engine = SmcEngine::new(0.9, 0.9)?;
+/// // 22 all-true outcomes converge to a positive verdict (paper §4.3).
+/// let run = engine.run_sequential(std::iter::repeat(true))?;
+/// assert_eq!(run.samples_used, 22);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SmcEngine {
+    confidence: f64,
+    proportion: f64,
+}
+
+/// Result of the sequential Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SequentialOutcome {
+    /// The converged assertion.
+    pub assertion: Assertion,
+    /// The Clopper–Pearson confidence at termination (≥ the requested
+    /// level).
+    pub achieved_confidence: f64,
+    /// Number of satisfying samples (`M`).
+    pub satisfied: u64,
+    /// Total samples drawn (`N`).
+    pub samples_used: u64,
+}
+
+/// Result of the fixed-sample Algorithm 2.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FixedOutcome {
+    /// The assertion if significant at the requested confidence,
+    /// `None` if the test did not converge (the paper's "None" result).
+    pub assertion: Option<Assertion>,
+    /// The Clopper–Pearson confidence after all samples.
+    pub achieved_confidence: f64,
+    /// Number of satisfying samples (`M`).
+    pub satisfied: u64,
+    /// Total samples consumed (`N`).
+    pub samples_used: u64,
+}
+
+impl FixedOutcome {
+    /// Whether the test converged to a significant verdict.
+    pub fn converged(&self) -> bool {
+        self.assertion.is_some()
+    }
+}
+
+impl SmcEngine {
+    /// Creates an engine for confidence `confidence` and proportion
+    /// `proportion`, both in the open interval `(0, 1)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for out-of-range values.
+    pub fn new(confidence: f64, proportion: f64) -> Result<Self> {
+        check_unit_open("confidence", confidence)?;
+        check_unit_open("proportion", proportion)?;
+        Ok(Self {
+            confidence,
+            proportion,
+        })
+    }
+
+    /// The configured confidence level `C`.
+    pub fn confidence_level(&self) -> f64 {
+        self.confidence
+    }
+
+    /// The configured proportion `F`.
+    pub fn proportion(&self) -> f64 {
+        self.proportion
+    }
+
+    /// Algorithm 1: draws outcomes from `outcomes` until the assertion is
+    /// significant at the configured confidence, then stops.
+    ///
+    /// The iterator is only consumed as far as needed — pass an infinite
+    /// iterator backed by a simulator to get the textbook SMC loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyData`] if the iterator is exhausted
+    /// before convergence.
+    pub fn run_sequential<I>(&self, outcomes: I) -> Result<SequentialOutcome>
+    where
+        I: IntoIterator<Item = bool>,
+    {
+        let mut m = 0u64;
+        let mut n = 0u64;
+        for sat in outcomes {
+            n += 1;
+            if sat {
+                m += 1;
+            }
+            let c = confidence(m, n, self.proportion)?;
+            if c >= self.confidence {
+                return Ok(SequentialOutcome {
+                    assertion: assertion(m, n, self.proportion)?,
+                    achieved_confidence: c,
+                    satisfied: m,
+                    samples_used: n,
+                });
+            }
+        }
+        Err(CoreError::EmptyData)
+    }
+
+    /// Algorithm 2: consumes *all* outcomes, then reports the assertion
+    /// only if it is significant (`C_CP > C`), otherwise `None`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyData`] for an empty iterator.
+    pub fn run_fixed<I>(&self, outcomes: I) -> Result<FixedOutcome>
+    where
+        I: IntoIterator<Item = bool>,
+    {
+        let mut m = 0u64;
+        let mut n = 0u64;
+        for sat in outcomes {
+            n += 1;
+            if sat {
+                m += 1;
+            }
+        }
+        if n == 0 {
+            return Err(CoreError::EmptyData);
+        }
+        let c = confidence(m, n, self.proportion)?;
+        let verdict = if c > self.confidence {
+            Some(assertion(m, n, self.proportion)?)
+        } else {
+            None
+        };
+        Ok(FixedOutcome {
+            assertion: verdict,
+            achieved_confidence: c,
+            satisfied: m,
+            samples_used: n,
+        })
+    }
+
+    /// Convenience: Algorithm 2 on pre-counted totals.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] if `satisfied > total` or
+    /// `total == 0`.
+    pub fn run_counts(&self, satisfied: u64, total: u64) -> Result<FixedOutcome> {
+        let c = confidence(satisfied, total, self.proportion)?;
+        let verdict = if c > self.confidence {
+            Some(assertion(satisfied, total, self.proportion)?)
+        } else {
+            None
+        };
+        Ok(FixedOutcome {
+            assertion: verdict,
+            achieved_confidence: c,
+            satisfied,
+            samples_used: total,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn engine_validates_parameters() {
+        assert!(SmcEngine::new(0.0, 0.9).is_err());
+        assert!(SmcEngine::new(0.9, 1.0).is_err());
+        let e = SmcEngine::new(0.95, 0.8).unwrap();
+        assert_eq!(e.confidence_level(), 0.95);
+        assert_eq!(e.proportion(), 0.8);
+    }
+
+    #[test]
+    fn sequential_all_true_takes_n_positive_samples() {
+        let e = SmcEngine::new(0.9, 0.9).unwrap();
+        let out = e.run_sequential(std::iter::repeat(true)).unwrap();
+        assert_eq!(out.samples_used, 22);
+        assert_eq!(out.assertion, Assertion::Positive);
+        assert!(out.achieved_confidence >= 0.9);
+        assert_eq!(out.satisfied, 22);
+    }
+
+    #[test]
+    fn sequential_all_false_takes_n_negative_samples() {
+        let e = SmcEngine::new(0.9, 0.9).unwrap();
+        let out = e.run_sequential(std::iter::repeat(false)).unwrap();
+        assert_eq!(out.samples_used, 1);
+        assert_eq!(out.assertion, Assertion::Negative);
+    }
+
+    #[test]
+    fn sequential_exhausted_iterator_errors() {
+        let e = SmcEngine::new(0.9, 0.9).unwrap();
+        // 5 all-true samples cannot reach C = 0.9 at F = 0.9.
+        assert!(matches!(
+            e.run_sequential([true; 5]),
+            Err(CoreError::EmptyData)
+        ));
+    }
+
+    #[test]
+    fn sequential_terminates_on_mixed_stream() {
+        // Alternating outcomes: M/N → 0.5 < F, so the negative assertion
+        // eventually becomes significant.
+        let e = SmcEngine::new(0.9, 0.9).unwrap();
+        let out = e
+            .run_sequential((0..).map(|i| i % 2 == 0))
+            .unwrap();
+        assert_eq!(out.assertion, Assertion::Negative);
+        assert!(out.achieved_confidence >= 0.9);
+    }
+
+    #[test]
+    fn fixed_reports_none_when_inconclusive() {
+        let e = SmcEngine::new(0.9, 0.9).unwrap();
+        // 20 of 22 satisfied: M/N ≈ 0.909 ≥ F, but the positive assertion
+        // is weak near the boundary — confirm whatever the verdict is,
+        // the reported confidence matches Eq. 4.
+        let outcomes: Vec<bool> = (0..22).map(|i| i < 20).collect();
+        let out = e.run_fixed(outcomes).unwrap();
+        assert_eq!(out.satisfied, 20);
+        assert_eq!(out.samples_used, 22);
+        let c = confidence(20, 22, 0.9).unwrap();
+        assert_eq!(out.achieved_confidence, c);
+        assert_eq!(out.converged(), c > 0.9);
+        // Near the F boundary the test must NOT be significant.
+        assert_eq!(out.assertion, None);
+    }
+
+    #[test]
+    fn fixed_converges_far_from_boundary() {
+        let e = SmcEngine::new(0.9, 0.9).unwrap();
+        let all_true = e.run_fixed(vec![true; 22]).unwrap();
+        assert_eq!(all_true.assertion, Some(Assertion::Positive));
+        let mostly_false: Vec<bool> = (0..22).map(|i| i < 2).collect();
+        let out = e.run_fixed(mostly_false).unwrap();
+        assert_eq!(out.assertion, Some(Assertion::Negative));
+    }
+
+    #[test]
+    fn fixed_empty_errors() {
+        let e = SmcEngine::new(0.9, 0.9).unwrap();
+        assert!(matches!(
+            e.run_fixed(std::iter::empty()),
+            Err(CoreError::EmptyData)
+        ));
+    }
+
+    #[test]
+    fn counts_shortcut_matches_iterator_path() {
+        let e = SmcEngine::new(0.9, 0.5).unwrap();
+        let by_iter = e
+            .run_fixed((0..30).map(|i| i % 3 != 0))
+            .unwrap();
+        let by_counts = e.run_counts(20, 30).unwrap();
+        assert_eq!(by_iter, by_counts);
+        assert!(e.run_counts(31, 30).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn sequential_verdict_matches_final_counts(
+            outcomes in proptest::collection::vec(any::<bool>(), 200..400),
+            c in 0.5_f64..0.95,
+            f in 0.1_f64..0.9,
+        ) {
+            let e = SmcEngine::new(c, f).unwrap();
+            if let Ok(out) = e.run_sequential(outcomes.iter().copied()) {
+                // Verdict agrees with Eq. 3 on the consumed prefix.
+                let m: u64 = outcomes[..out.samples_used as usize]
+                    .iter()
+                    .filter(|&&b| b)
+                    .count() as u64;
+                prop_assert_eq!(m, out.satisfied);
+                let expect = assertion(m, out.samples_used, f).unwrap();
+                prop_assert_eq!(out.assertion, expect);
+                prop_assert!(out.achieved_confidence >= c);
+            }
+        }
+
+        #[test]
+        fn fixed_confidence_threshold_is_strict(
+            m in 0_u64..100,
+            extra in 0_u64..100,
+            c in 0.5_f64..0.95,
+            f in 0.1_f64..0.9,
+        ) {
+            let n = m + extra;
+            prop_assume!(n > 0);
+            let e = SmcEngine::new(c, f).unwrap();
+            let out = e.run_counts(m, n).unwrap();
+            match out.assertion {
+                Some(_) => prop_assert!(out.achieved_confidence > c),
+                None => prop_assert!(out.achieved_confidence <= c),
+            }
+        }
+    }
+}

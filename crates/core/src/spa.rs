@@ -1,0 +1,379 @@
+//! The push-button SPA driver (the paper's Fig. 3).
+//!
+//! [`Spa`] wraps the SMC engine with everything an architect needs:
+//! it computes the minimum sample count (Eq. 8), collects executions
+//! from a [`Sampler`] in parallel batches (§4.3), runs single hypothesis
+//! tests for explicitly stated properties, and constructs confidence
+//! intervals for metrics by threshold search (§4.1–4.2).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::ci::{ci_exact, ci_granular, sweep, ConfidenceInterval, SweepPoint};
+use crate::min_samples::min_samples;
+use crate::property::MetricProperty;
+use crate::smc::{FixedOutcome, SmcEngine};
+use crate::{CoreError, Result};
+
+pub use crate::property::Direction;
+
+/// A source of sample executions: given a seed, produce one metric
+/// observation.
+///
+/// Implementations are typically simulator adapters (run the simulator
+/// with this seed, extract the metric). The trait is object-safe and the
+/// SPA driver calls it from multiple threads, hence `Sync`.
+pub trait Sampler: Sync {
+    /// Runs one execution identified by `seed` and returns the metric of
+    /// interest.
+    fn sample(&self, seed: u64) -> f64;
+}
+
+impl<F> Sampler for F
+where
+    F: Fn(u64) -> f64 + Sync,
+{
+    fn sample(&self, seed: u64) -> f64 {
+        self(seed)
+    }
+}
+
+/// How SPA searches thresholds when constructing a confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Granularity {
+    /// Evaluate only at distinct sample values (exact, no tuning knob).
+    Exact,
+    /// The paper's §4.2 search on a grid of the given spacing.
+    Step(f64),
+}
+
+/// Builder for [`Spa`] (use [`Spa::builder`]).
+#[derive(Debug, Clone)]
+pub struct SpaBuilder {
+    confidence: f64,
+    proportion: f64,
+    granularity: Granularity,
+    batch_size: usize,
+}
+
+impl Default for SpaBuilder {
+    fn default() -> Self {
+        Self {
+            confidence: 0.9,
+            proportion: 0.9,
+            granularity: Granularity::Exact,
+            batch_size: 4,
+        }
+    }
+}
+
+impl SpaBuilder {
+    /// Sets the confidence level `C` (default 0.9).
+    pub fn confidence(mut self, c: f64) -> Self {
+        self.confidence = c;
+        self
+    }
+
+    /// Sets the proportion `F` (default 0.9).
+    pub fn proportion(mut self, f: f64) -> Self {
+        self.proportion = f;
+        self
+    }
+
+    /// Sets the threshold-search granularity (default exact).
+    pub fn granularity(mut self, g: Granularity) -> Self {
+        self.granularity = g;
+        self
+    }
+
+    /// Sets the number of simultaneous simulator executions when
+    /// collecting samples (the paper's optional batch size `b`;
+    /// default 4).
+    pub fn batch_size(mut self, b: usize) -> Self {
+        self.batch_size = b.max(1);
+        self
+    }
+
+    /// Builds the driver.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] if `C` or `F` is outside
+    /// `(0, 1)` or the granularity step is not positive.
+    pub fn build(self) -> Result<Spa> {
+        let engine = SmcEngine::new(self.confidence, self.proportion)?;
+        if let Granularity::Step(g) = self.granularity {
+            if !g.is_finite() || g <= 0.0 {
+                return Err(CoreError::InvalidParameter {
+                    name: "granularity",
+                    value: g,
+                    expected: "a finite value > 0",
+                });
+            }
+        }
+        Ok(Spa {
+            engine,
+            granularity: self.granularity,
+            batch_size: self.batch_size,
+        })
+    }
+}
+
+/// The SPA framework driver.
+///
+/// # Examples
+///
+/// Confidence interval from existing data:
+///
+/// ```
+/// use spa_core::spa::{Direction, Spa};
+/// # fn main() -> Result<(), spa_core::CoreError> {
+/// let samples: Vec<f64> = (0..30).map(|i| (i % 7) as f64).collect();
+/// let spa = Spa::builder().confidence(0.9).proportion(0.5).build()?;
+/// let ci = spa.confidence_interval(&samples, Direction::AtMost)?;
+/// assert!(ci.lower() <= ci.upper());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Spa {
+    engine: SmcEngine,
+    granularity: Granularity,
+    batch_size: usize,
+}
+
+impl Spa {
+    /// Starts building a driver.
+    pub fn builder() -> SpaBuilder {
+        SpaBuilder::default()
+    }
+
+    /// The underlying SMC engine.
+    pub fn engine(&self) -> &SmcEngine {
+        &self.engine
+    }
+
+    /// The minimum number of executions SPA must collect before a CI can
+    /// be produced (Eq. 8).
+    pub fn required_samples(&self) -> u64 {
+        min_samples(self.engine.confidence_level(), self.engine.proportion())
+            .expect("engine parameters validated at construction")
+    }
+
+    /// Runs one SMC hypothesis test for an explicitly given property on
+    /// fixed data (the "trivial" SPA path of §4.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyData`] for no samples.
+    pub fn hypothesis_test(
+        &self,
+        property: &MetricProperty,
+        samples: &[f64],
+    ) -> Result<FixedOutcome> {
+        if samples.is_empty() {
+            return Err(CoreError::EmptyData);
+        }
+        let m = property.count_satisfying(samples);
+        self.engine.run_counts(m, samples.len() as u64)
+    }
+
+    /// Constructs a confidence interval for the metric from fixed data,
+    /// using the configured threshold-search granularity.
+    ///
+    /// # Errors
+    ///
+    /// See [`ci_exact`] / [`ci_granular`].
+    pub fn confidence_interval(
+        &self,
+        samples: &[f64],
+        direction: Direction,
+    ) -> Result<ConfidenceInterval> {
+        match self.granularity {
+            Granularity::Exact => ci_exact(&self.engine, samples, direction),
+            Granularity::Step(g) => ci_granular(&self.engine, samples, direction, g),
+        }
+    }
+
+    /// Evaluates the hypothesis test across explicit thresholds (Fig. 4).
+    ///
+    /// # Errors
+    ///
+    /// See [`sweep`].
+    pub fn sweep(
+        &self,
+        samples: &[f64],
+        direction: Direction,
+        thresholds: &[f64],
+    ) -> Result<Vec<SweepPoint>> {
+        sweep(&self.engine, samples, direction, thresholds)
+    }
+
+    /// Collects at least [`required_samples`](Self::required_samples)
+    /// executions from the sampler — `batch_size` at a time on parallel
+    /// threads (§4.3) — and returns the samples in seed order.
+    ///
+    /// Seeds are `seed_start, seed_start + 1, …`, so a given
+    /// `(sampler, seed_start)` pair is fully reproducible regardless of
+    /// batch size.
+    pub fn collect_samples<S: Sampler + ?Sized>(
+        &self,
+        sampler: &S,
+        seed_start: u64,
+        count: Option<u64>,
+    ) -> Vec<f64> {
+        let total = count.unwrap_or_else(|| self.required_samples());
+        let next = AtomicU64::new(0);
+        let results: Mutex<Vec<(u64, f64)>> = Mutex::new(Vec::with_capacity(total as usize));
+        let workers = self.batch_size.min(total as usize).max(1);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    let value = sampler.sample(seed_start + i);
+                    results.lock().push((i, value));
+                });
+            }
+        });
+        let mut pairs = results.into_inner();
+        pairs.sort_by_key(|&(i, _)| i);
+        pairs.into_iter().map(|(_, v)| v).collect()
+    }
+
+    /// End-to-end SPA (Fig. 3): collect the minimum number of executions
+    /// from the sampler and construct the metric's confidence interval.
+    ///
+    /// # Errors
+    ///
+    /// Propagates CI-construction errors.
+    pub fn run<S: Sampler + ?Sized>(
+        &self,
+        sampler: &S,
+        seed_start: u64,
+        direction: Direction,
+    ) -> Result<SpaReport> {
+        let samples = self.collect_samples(sampler, seed_start, None);
+        let interval = self.confidence_interval(&samples, direction)?;
+        Ok(SpaReport { samples, interval })
+    }
+}
+
+/// The output of an end-to-end SPA run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpaReport {
+    /// The collected metric samples, in seed order.
+    pub samples: Vec<f64>,
+    /// The constructed confidence interval.
+    pub interval: ConfidenceInterval,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clopper_pearson::Assertion;
+
+    #[test]
+    fn builder_defaults_and_validation() {
+        let spa = Spa::builder().build().unwrap();
+        assert_eq!(spa.required_samples(), 22);
+        assert!(Spa::builder().confidence(1.5).build().is_err());
+        assert!(Spa::builder().proportion(0.0).build().is_err());
+        assert!(Spa::builder()
+            .granularity(Granularity::Step(0.0))
+            .build()
+            .is_err());
+        // batch_size 0 is clamped to 1 rather than rejected.
+        let spa = Spa::builder().batch_size(0).build().unwrap();
+        assert_eq!(spa.batch_size, 1);
+    }
+
+    #[test]
+    fn required_samples_median() {
+        let spa = Spa::builder().proportion(0.5).build().unwrap();
+        assert_eq!(spa.required_samples(), 4);
+    }
+
+    #[test]
+    fn hypothesis_test_direct_property() {
+        let spa = Spa::builder().confidence(0.9).proportion(0.9).build().unwrap();
+        let samples = vec![1.0; 22];
+        let p = MetricProperty::new(Direction::AtMost, 2.0);
+        let out = spa.hypothesis_test(&p, &samples).unwrap();
+        assert_eq!(out.assertion, Some(Assertion::Positive));
+        let p = MetricProperty::new(Direction::AtMost, 0.5);
+        let out = spa.hypothesis_test(&p, &samples).unwrap();
+        assert_eq!(out.assertion, Some(Assertion::Negative));
+        assert!(spa.hypothesis_test(&p, &[]).is_err());
+    }
+
+    #[test]
+    fn collect_samples_is_reproducible_across_batch_sizes() {
+        let sampler = |seed: u64| (seed as f64).sin();
+        let spa1 = Spa::builder().batch_size(1).build().unwrap();
+        let spa8 = Spa::builder().batch_size(8).build().unwrap();
+        let a = spa1.collect_samples(&sampler, 100, Some(50));
+        let b = spa8.collect_samples(&sampler, 100, Some(50));
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 50);
+        // Seed offset shifts the stream.
+        let c = spa8.collect_samples(&sampler, 101, Some(50));
+        assert_ne!(a, c);
+        assert_eq!(a[1], c[0]);
+    }
+
+    #[test]
+    fn collect_samples_default_count_is_required_samples() {
+        let spa = Spa::builder().build().unwrap();
+        let samples = spa.collect_samples(&|s: u64| s as f64, 0, None);
+        assert_eq!(samples.len() as u64, spa.required_samples());
+    }
+
+    #[test]
+    fn end_to_end_run_produces_interval() {
+        // A sampler with a deterministic spread of values.
+        let sampler = |seed: u64| 1.0 + (seed % 10) as f64 * 0.1;
+        let spa = Spa::builder()
+            .confidence(0.9)
+            .proportion(0.5)
+            .batch_size(4)
+            .build()
+            .unwrap();
+        let report = spa.run(&sampler, 0, Direction::AtMost).unwrap();
+        assert_eq!(report.samples.len() as u64, spa.required_samples());
+        assert!(report.interval.lower() <= report.interval.upper());
+        assert!(report.interval.contains(1.4) || report.interval.width() < 1.0);
+    }
+
+    #[test]
+    fn granular_mode_is_used_when_configured() {
+        let samples: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let exact = Spa::builder().proportion(0.5).build().unwrap();
+        let stepped = Spa::builder()
+            .proportion(0.5)
+            .granularity(Granularity::Step(0.5))
+            .build()
+            .unwrap();
+        let a = exact.confidence_interval(&samples, Direction::AtMost).unwrap();
+        let b = stepped
+            .confidence_interval(&samples, Direction::AtMost)
+            .unwrap();
+        assert!((a.lower() - b.lower()).abs() <= 0.5 + 1e-9);
+        assert!((a.upper() - b.upper()).abs() <= 0.5 + 1e-9);
+    }
+
+    #[test]
+    fn sweep_passthrough() {
+        let spa = Spa::builder().proportion(0.5).build().unwrap();
+        let samples: Vec<f64> = (0..22).map(|i| i as f64).collect();
+        let pts = spa
+            .sweep(&samples, Direction::AtMost, &[-1.0, 10.5, 30.0])
+            .unwrap();
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0].verdict, Some(Assertion::Negative));
+        assert_eq!(pts[2].verdict, Some(Assertion::Positive));
+    }
+}

@@ -1,0 +1,240 @@
+//! Wald's Sequential Probability Ratio Test — the *alternative* SMC
+//! engine the paper contrasts against (§3.3: "Compared to alternative
+//! methods based on Sequential Probability Ratio Tests [1, 41], this
+//! [Clopper–Pearson] method only requires a minimal assumption on the
+//! probability p ≠ F, which is rarely violated").
+//!
+//! SPRT tests `H₁: p ≥ F + δ` against `H₀: p ≤ F − δ` with user-chosen
+//! Type I/II error bounds, accumulating the log-likelihood ratio one
+//! sample at a time. Its strength is sample efficiency when the true
+//! probability sits far from `F`; its weakness is the *indifference
+//! region* `(F − δ, F + δ)`: inside it, neither hypothesis is true and
+//! termination can take arbitrarily long — the assumption the paper's
+//! chosen method avoids. The `ablation_sprt` bench quantifies both
+//! sides of that trade.
+
+use serde::{Deserialize, Serialize};
+
+use crate::clopper_pearson::{check_unit_open, Assertion};
+use crate::{CoreError, Result};
+
+/// A configured SPRT for `P(φ) ≥ F`.
+///
+/// # Examples
+///
+/// ```
+/// use spa_core::sprt::Sprt;
+/// # fn main() -> Result<(), spa_core::CoreError> {
+/// let sprt = Sprt::new(0.9, 0.05, 0.1, 0.1)?;
+/// let run = sprt.run(std::iter::repeat(true))?;
+/// assert_eq!(run.assertion, spa_core::clopper_pearson::Assertion::Positive);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sprt {
+    proportion: f64,
+    delta: f64,
+    alpha: f64,
+    beta: f64,
+}
+
+/// Result of a terminated SPRT run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SprtOutcome {
+    /// The accepted hypothesis mapped onto the paper's verdict language:
+    /// `Positive` = `p ≥ F + δ` accepted, `Negative` = `p ≤ F − δ`.
+    pub assertion: Assertion,
+    /// Samples consumed before termination.
+    pub samples_used: u64,
+    /// Satisfying samples seen.
+    pub satisfied: u64,
+    /// Final log-likelihood ratio.
+    pub log_likelihood_ratio: f64,
+}
+
+impl Sprt {
+    /// Creates the test for proportion `F`, half-width `delta` of the
+    /// indifference region, and error bounds `alpha` (false positive)
+    /// and `beta` (false negative).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] unless `F ± δ` stays
+    /// inside `(0, 1)` and both error bounds are in `(0, 1)`.
+    pub fn new(proportion: f64, delta: f64, alpha: f64, beta: f64) -> Result<Self> {
+        check_unit_open("proportion", proportion)?;
+        check_unit_open("alpha", alpha)?;
+        check_unit_open("beta", beta)?;
+        if (delta.is_nan() || delta <= 0.0) || proportion - delta <= 0.0 || proportion + delta >= 1.0 {
+            return Err(CoreError::InvalidParameter {
+                name: "delta",
+                value: delta,
+                expected: "0 < delta with 0 < F - delta and F + delta < 1",
+            });
+        }
+        Ok(Self {
+            proportion,
+            delta,
+            alpha,
+            beta,
+        })
+    }
+
+    /// Lower hypothesis probability `p₀ = F − δ`.
+    pub fn p0(&self) -> f64 {
+        self.proportion - self.delta
+    }
+
+    /// Upper hypothesis probability `p₁ = F + δ`.
+    pub fn p1(&self) -> f64 {
+        self.proportion + self.delta
+    }
+
+    /// Acceptance threshold for `H₁` (`ln((1 − β)/α)`).
+    pub fn upper_bound(&self) -> f64 {
+        ((1.0 - self.beta) / self.alpha).ln()
+    }
+
+    /// Acceptance threshold for `H₀` (`ln(β/(1 − α))`).
+    pub fn lower_bound(&self) -> f64 {
+        (self.beta / (1.0 - self.alpha)).ln()
+    }
+
+    /// Runs the test, drawing outcomes until one hypothesis is
+    /// accepted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyData`] if the iterator is exhausted
+    /// before a decision (possible when the true probability lies in
+    /// the indifference region — exactly the caveat of §3.3).
+    pub fn run<I>(&self, outcomes: I) -> Result<SprtOutcome>
+    where
+        I: IntoIterator<Item = bool>,
+    {
+        let (p0, p1) = (self.p0(), self.p1());
+        let ll_sat = (p1 / p0).ln();
+        let ll_unsat = ((1.0 - p1) / (1.0 - p0)).ln();
+        let (lo, hi) = (self.lower_bound(), self.upper_bound());
+
+        let mut llr = 0.0;
+        let mut m = 0u64;
+        for (i, sat) in outcomes.into_iter().enumerate() {
+            let n = i as u64 + 1;
+            if sat {
+                m += 1;
+                llr += ll_sat;
+            } else {
+                llr += ll_unsat;
+            }
+            if llr >= hi {
+                return Ok(SprtOutcome {
+                    assertion: Assertion::Positive,
+                    samples_used: n,
+                    satisfied: m,
+                    log_likelihood_ratio: llr,
+                });
+            }
+            if llr <= lo {
+                return Ok(SprtOutcome {
+                    assertion: Assertion::Negative,
+                    samples_used: n,
+                    satisfied: m,
+                    log_likelihood_ratio: llr,
+                });
+            }
+        }
+        Err(CoreError::EmptyData)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn validates_parameters() {
+        assert!(Sprt::new(0.9, 0.2, 0.1, 0.1).is_err()); // F + δ > 1
+        assert!(Sprt::new(0.05, 0.1, 0.1, 0.1).is_err()); // F − δ < 0
+        assert!(Sprt::new(0.5, 0.0, 0.1, 0.1).is_err());
+        assert!(Sprt::new(0.5, 0.1, 0.0, 0.1).is_err());
+        assert!(Sprt::new(0.5, 0.1, 0.1, 1.0).is_err());
+        let t = Sprt::new(0.9, 0.05, 0.1, 0.1).unwrap();
+        assert!((t.p0() - 0.85).abs() < 1e-12);
+        assert!((t.p1() - 0.95).abs() < 1e-12);
+        assert!(t.upper_bound() > 0.0);
+        assert!(t.lower_bound() < 0.0);
+    }
+
+    #[test]
+    fn unanimous_streams_decide_quickly() {
+        let t = Sprt::new(0.8, 0.1, 0.05, 0.05).unwrap();
+        let pos = t.run(std::iter::repeat(true)).unwrap();
+        assert_eq!(pos.assertion, Assertion::Positive);
+        assert!(pos.samples_used < 30, "{}", pos.samples_used);
+        let neg = t.run(std::iter::repeat(false)).unwrap();
+        assert_eq!(neg.assertion, Assertion::Negative);
+        assert!(neg.samples_used < pos.samples_used);
+    }
+
+    #[test]
+    fn exhausted_stream_errors() {
+        let t = Sprt::new(0.8, 0.1, 0.05, 0.05).unwrap();
+        assert!(matches!(t.run([true, false]), Err(CoreError::EmptyData)));
+    }
+
+    #[test]
+    fn decisions_track_the_true_probability() {
+        let t = Sprt::new(0.8, 0.05, 0.1, 0.1).unwrap();
+        let decide = |p: f64, seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            t.run((0..).map(move |_| rng.gen::<f64>() < p))
+                .unwrap()
+                .assertion
+        };
+        // Far above / below the indifference region: reliable verdicts.
+        let pos = (0..20).filter(|&s| decide(0.95, s) == Assertion::Positive).count();
+        assert!(pos >= 18, "positives: {pos}/20");
+        let neg = (0..20).filter(|&s| decide(0.6, s) == Assertion::Negative).count();
+        assert!(neg >= 18, "negatives: {neg}/20");
+    }
+
+    #[test]
+    fn sample_efficiency_beats_fixed_n_far_from_f() {
+        // With p = 0.99 and F = 0.9, SPRT needs far fewer samples than
+        // the 22 the Clopper–Pearson engine requires.
+        let t = Sprt::new(0.9, 0.05, 0.1, 0.1).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let out = t.run((0..).map(|_| rng.gen::<f64>() < 0.99)).unwrap();
+        assert_eq!(out.assertion, Assertion::Positive);
+        assert!(out.samples_used <= 22, "{}", out.samples_used);
+    }
+
+    #[test]
+    fn indifference_region_is_slow() {
+        // p exactly at F: decisions take much longer than far from F —
+        // the §3.3 caveat in numbers.
+        let t = Sprt::new(0.8, 0.05, 0.1, 0.1).unwrap();
+        let mut total_at_f = 0u64;
+        let mut total_far = 0u64;
+        for seed in 0..10 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            total_at_f += t
+                .run((0..).map(|_| rng.gen::<f64>() < 0.8))
+                .unwrap()
+                .samples_used;
+            let mut rng = StdRng::seed_from_u64(seed);
+            total_far += t
+                .run((0..).map(|_| rng.gen::<f64>() < 0.99))
+                .unwrap()
+                .samples_used;
+        }
+        assert!(
+            total_at_f > 3 * total_far,
+            "at-F {total_at_f} vs far {total_far}"
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! Statistical validation of the SPA confidence-interval construction:
+//! empirical coverage against analytic populations at several `(C, F)`
+//! combinations, and consistency between the sweep view (Fig. 4) and
+//! the interval bounds.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use spa_core::ci::{ci_exact, sweep};
+use spa_core::clopper_pearson::Assertion;
+use spa_core::min_samples::min_samples;
+use spa_core::property::Direction;
+use spa_core::smc::SmcEngine;
+
+/// A deterministic, continuous, skewed population (exponential-ish).
+fn population(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let u = (i as f64 + 0.5) / n as f64;
+            5.0 - 2.0 * (1.0 - u).ln()
+        })
+        .collect()
+}
+
+fn lower_rank_quantile(sorted_pop: &[f64], q: f64) -> f64 {
+    let k = ((q * sorted_pop.len() as f64).ceil() as usize).clamp(1, sorted_pop.len());
+    sorted_pop[k - 1]
+}
+
+fn empirical_coverage(c: f64, f: f64, trials: usize, seed: u64) -> f64 {
+    let pop = population(600);
+    let mut sorted = pop.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let truth = lower_rank_quantile(&sorted, f);
+
+    let engine = SmcEngine::new(c, f).unwrap();
+    let n = (min_samples(c, f).unwrap() as usize).max(22);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut idx: Vec<usize> = (0..pop.len()).collect();
+    let mut covered = 0usize;
+    for _ in 0..trials {
+        let (chosen, _) = idx.partial_shuffle(&mut rng, n);
+        let sample: Vec<f64> = chosen.iter().map(|&i| pop[i]).collect();
+        let ci = ci_exact(&engine, &sample, Direction::AtMost).unwrap();
+        if ci.contains(truth) {
+            covered += 1;
+        }
+    }
+    covered as f64 / trials as f64
+}
+
+#[test]
+fn coverage_meets_requested_confidence_at_paper_settings() {
+    // The paper's evaluation settings (C = 0.9 at F = 0.5 and F = 0.9,
+    // §6.1–6.2, and the Fig. 14 confidence sweep). Slack accounts for
+    // finite trials (binomial noise ≈ ±0.03 at 400 trials) plus the
+    // lower-rank ground-truth discretization.
+    for (c, f) in [(0.9, 0.5), (0.9, 0.9), (0.95, 0.5), (0.99, 0.5)] {
+        let coverage = empirical_coverage(c, f, 400, 17);
+        assert!(
+            coverage >= c - 0.05,
+            "coverage {coverage:.3} below C = {c} at F = {f}"
+        );
+    }
+}
+
+#[test]
+fn coverage_never_falls_below_the_bonferroni_floor() {
+    // The construction inverts two one-sided tests, each with error at
+    // most 1 − C, so the guaranteed two-sided coverage is 2C − 1; the
+    // Clopper–Pearson tests' conservatism usually lifts it to ≈ C (which
+    // is what the paper reports empirically), but adversarial (C, F)
+    // combinations can approach the floor — e.g. C = 0.8, F = 0.7 sits
+    // near 0.75.
+    for (c, f) in [(0.8, 0.7), (0.85, 0.6), (0.9, 0.75)] {
+        let coverage = empirical_coverage(c, f, 400, 23);
+        let floor = 2.0 * c - 1.0;
+        assert!(
+            coverage >= floor - 0.03,
+            "coverage {coverage:.3} below the 2C-1 floor {floor} at C = {c}, F = {f}"
+        );
+    }
+}
+
+#[test]
+fn higher_confidence_gives_wider_intervals() {
+    let pop = population(200);
+    let sample: Vec<f64> = pop.iter().step_by(4).copied().collect(); // 50 values
+    let narrow = ci_exact(
+        &SmcEngine::new(0.8, 0.5).unwrap(),
+        &sample,
+        Direction::AtMost,
+    )
+    .unwrap();
+    let wide = ci_exact(
+        &SmcEngine::new(0.99, 0.5).unwrap(),
+        &sample,
+        Direction::AtMost,
+    )
+    .unwrap();
+    assert!(wide.width() >= narrow.width());
+    assert!(wide.lower() <= narrow.lower());
+    assert!(wide.upper() >= narrow.upper());
+}
+
+#[test]
+fn sweep_is_consistent_with_interval_bounds() {
+    let pop = population(300);
+    let sample: Vec<f64> = pop.iter().step_by(10).copied().collect(); // 30 values
+    let engine = SmcEngine::new(0.9, 0.5).unwrap();
+    let ci = ci_exact(&engine, &sample, Direction::AtMost).unwrap();
+
+    let mut thresholds = sample.clone();
+    thresholds.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let points = sweep(&engine, &sample, Direction::AtMost, &thresholds).unwrap();
+
+    // The innermost significant thresholds on each side are exactly the
+    // interval bounds.
+    let innermost_negative = points
+        .iter()
+        .filter(|p| p.verdict == Some(Assertion::Negative))
+        .map(|p| p.threshold)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let innermost_positive = points
+        .iter()
+        .filter(|p| p.verdict == Some(Assertion::Positive))
+        .map(|p| p.threshold)
+        .fold(f64::INFINITY, f64::min);
+    assert_eq!(ci.lower(), innermost_negative);
+    assert_eq!(ci.upper(), innermost_positive);
+
+    // Every inconclusive threshold lies inside the interval.
+    for p in points.iter().filter(|p| p.verdict.is_none()) {
+        assert!(
+            ci.contains(p.threshold),
+            "inconclusive threshold {} outside {ci}",
+            p.threshold
+        );
+    }
+}
+
+#[test]
+fn at_least_and_at_most_are_mirror_images() {
+    // For a symmetric sample, the AtLeast CI at proportion F mirrors the
+    // AtMost CI at proportion F around the center.
+    let sample: Vec<f64> = (0..25).map(|i| i as f64 - 12.0).collect(); // symmetric around 0
+    let engine = SmcEngine::new(0.9, 0.8).unwrap();
+    let at_most = ci_exact(&engine, &sample, Direction::AtMost).unwrap();
+    let at_least = ci_exact(&engine, &sample, Direction::AtLeast).unwrap();
+    assert!((at_most.lower() + at_least.upper()).abs() < 1e-9);
+    assert!((at_most.upper() + at_least.lower()).abs() < 1e-9);
+}

@@ -1,0 +1,312 @@
+//! Set-associative cache arrays with LRU replacement.
+//!
+//! Used for the private L1 I/D caches and the shared L2. The array
+//! tracks block presence and recency only; coherence state lives in the
+//! [`directory`](crate::coherence) so a block's MESI status is a single
+//! source of truth.
+
+use crate::config::CacheConfig;
+
+/// A block-granular address: the full address divided by the block size.
+pub type BlockAddr = u64;
+
+/// Result of a lookup-and-fill operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// Block was present.
+    Hit,
+    /// Block was absent and has been filled; no victim was displaced.
+    MissFilled,
+    /// Block was absent and filling displaced the returned victim.
+    MissEvicted(BlockAddr),
+}
+
+/// A set-associative, LRU cache array over block addresses.
+///
+/// # Examples
+///
+/// ```
+/// use spa_sim::cache::{Access, CacheArray};
+/// use spa_sim::config::CacheConfig;
+///
+/// let cfg = CacheConfig { capacity_bytes: 256, ways: 2, latency: 1 };
+/// let mut c = CacheArray::new(&cfg, 64); // 2 sets × 2 ways
+/// assert_eq!(c.access(0), Access::MissFilled);
+/// assert_eq!(c.access(0), Access::Hit);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CacheArray {
+    sets: Vec<Vec<Entry>>,
+    ways: usize,
+    hits: u64,
+    misses: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    block: BlockAddr,
+    /// Higher = more recently used.
+    stamp: u64,
+}
+
+impl CacheArray {
+    /// Builds the array from a level config and the system block size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero sets or ways); the
+    /// system validates configs before construction.
+    pub fn new(config: &CacheConfig, block_bytes: u64) -> Self {
+        let sets = config.sets(block_bytes);
+        assert!(sets > 0 && config.ways > 0, "degenerate cache geometry");
+        Self {
+            sets: vec![Vec::with_capacity(config.ways as usize); sets as usize],
+            ways: config.ways as usize,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn set_index(&self, block: BlockAddr) -> usize {
+        (block % self.sets.len() as u64) as usize
+    }
+
+    /// Whether the block is currently present (no recency update).
+    pub fn contains(&self, block: BlockAddr) -> bool {
+        let idx = self.set_index(block);
+        self.sets[idx].iter().any(|e| e.block == block)
+    }
+
+    /// Looks up `block`, filling it on a miss; returns what happened.
+    /// Updates recency and hit/miss statistics.
+    pub fn access(&mut self, block: BlockAddr) -> Access {
+        let stamp = self.hits + self.misses + 1;
+        let idx = self.set_index(block);
+        let set = &mut self.sets[idx];
+        if let Some(e) = set.iter_mut().find(|e| e.block == block) {
+            e.stamp = stamp;
+            self.hits += 1;
+            return Access::Hit;
+        }
+        self.misses += 1;
+        if set.len() < self.ways {
+            set.push(Entry { block, stamp });
+            return Access::MissFilled;
+        }
+        // Evict the least recently used way.
+        let (victim_pos, _) = set
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| e.stamp)
+            .expect("set is full, hence non-empty");
+        let victim = set[victim_pos].block;
+        set[victim_pos] = Entry { block, stamp };
+        Access::MissEvicted(victim)
+    }
+
+    /// Touches a block (recency update) without counting a hit/miss;
+    /// used when coherence traffic revalidates a line.
+    pub fn touch(&mut self, block: BlockAddr) {
+        let stamp = self.hits + self.misses + 1;
+        let idx = self.set_index(block);
+        if let Some(e) = self.sets[idx].iter_mut().find(|e| e.block == block) {
+            e.stamp = stamp;
+        }
+    }
+
+    /// Removes a block if present (invalidation / inclusion victim).
+    /// Returns whether it was present.
+    pub fn invalidate(&mut self, block: BlockAddr) -> bool {
+        let idx = self.set_index(block);
+        let set = &mut self.sets[idx];
+        if let Some(pos) = set.iter().position(|e| e.block == block) {
+            set.swap_remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Demand hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Demand misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss rate in `[0, 1]` (`NaN` before any access).
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            f64::NAN
+        } else {
+            self.misses as f64 / self.accesses() as f64
+        }
+    }
+
+    /// Number of blocks currently resident.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// All currently resident blocks (order unspecified but
+    /// deterministic).
+    pub fn resident_blocks(&self) -> Vec<BlockAddr> {
+        self.sets
+            .iter()
+            .flat_map(|set| set.iter().map(|e| e.block))
+            .collect()
+    }
+
+    /// Empties the cache (models a context-switch/migration cold start).
+    /// Statistics are preserved.
+    pub fn clear(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn tiny(ways: u32, sets: u64) -> CacheArray {
+        let cfg = CacheConfig {
+            capacity_bytes: sets * ways as u64 * 64,
+            ways,
+            latency: 1,
+        };
+        CacheArray::new(&cfg, 64)
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = tiny(2, 2);
+        assert_eq!(c.access(10), Access::MissFilled);
+        assert_eq!(c.access(10), Access::Hit);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+        assert!((c.miss_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny(2, 1); // one set, two ways
+        c.access(1);
+        c.access(2);
+        c.access(1); // 2 is now LRU
+        match c.access(3) {
+            Access::MissEvicted(v) => assert_eq!(v, 2),
+            other => panic!("expected eviction, got {other:?}"),
+        }
+        assert!(c.contains(1));
+        assert!(c.contains(3));
+        assert!(!c.contains(2));
+    }
+
+    #[test]
+    fn touch_refreshes_recency_without_stats() {
+        let mut c = tiny(2, 1);
+        c.access(1);
+        c.access(2);
+        let (h, m) = (c.hits(), c.misses());
+        c.touch(1); // make 2 the LRU victim
+        assert_eq!((c.hits(), c.misses()), (h, m));
+        match c.access(3) {
+            Access::MissEvicted(v) => assert_eq!(v, 2),
+            other => panic!("expected eviction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = tiny(4, 2);
+        c.access(5);
+        assert!(c.invalidate(5));
+        assert!(!c.invalidate(5));
+        assert!(!c.contains(5));
+        assert_eq!(c.access(5), Access::MissFilled);
+    }
+
+    #[test]
+    fn different_sets_do_not_conflict() {
+        let mut c = tiny(1, 4); // direct-mapped, 4 sets
+        for b in 0..4 {
+            assert_eq!(c.access(b), Access::MissFilled);
+        }
+        for b in 0..4 {
+            assert_eq!(c.access(b), Access::Hit);
+        }
+        // Same set as block 0 (0 % 4 == 4 % 4) evicts it.
+        assert_eq!(c.access(4), Access::MissEvicted(0));
+    }
+
+    #[test]
+    fn miss_rate_nan_when_untouched() {
+        let c = tiny(2, 2);
+        assert!(c.miss_rate().is_nan());
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_stats() {
+        let mut c = tiny(2, 2);
+        c.access(1);
+        c.access(2);
+        let mut resident = c.resident_blocks();
+        resident.sort_unstable();
+        assert_eq!(resident, vec![1, 2]);
+        c.clear();
+        assert_eq!(c.occupancy(), 0);
+        assert!(c.resident_blocks().is_empty());
+        assert_eq!(c.misses(), 2); // stats preserved
+        assert_eq!(c.access(1), Access::MissFilled); // cold again
+    }
+
+    proptest! {
+        #[test]
+        fn occupancy_never_exceeds_capacity(
+            blocks in proptest::collection::vec(0_u64..256, 1..300),
+        ) {
+            let mut c = tiny(2, 4); // capacity 8 blocks
+            for b in blocks {
+                c.access(b);
+            }
+            prop_assert!(c.occupancy() <= 8);
+        }
+
+        #[test]
+        fn contains_iff_filled_and_not_evicted(
+            blocks in proptest::collection::vec(0_u64..64, 1..200),
+        ) {
+            let mut c = tiny(4, 4);
+            let mut last = None;
+            for b in blocks {
+                c.access(b);
+                last = Some(b);
+            }
+            // The most recently accessed block is always resident.
+            prop_assert!(c.contains(last.unwrap()));
+        }
+
+        #[test]
+        fn stats_add_up(blocks in proptest::collection::vec(0_u64..32, 1..200)) {
+            let mut c = tiny(2, 2);
+            let n = blocks.len() as u64;
+            for b in blocks {
+                c.access(b);
+            }
+            prop_assert_eq!(c.accesses(), n);
+            prop_assert_eq!(c.hits() + c.misses(), n);
+        }
+    }
+}

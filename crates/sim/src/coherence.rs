@@ -1,0 +1,404 @@
+//! MESI directory coherence (the Table 2 protocol).
+//!
+//! The directory sits beside the shared L2 and tracks, per block, which
+//! private L1 caches hold the line and in what state. Timing effects —
+//! invalidation round-trips, dirty-owner forwarding — are returned as a
+//! [`DirOutcome`] for the memory hierarchy to convert into cycles; the
+//! directory itself only maintains protocol state.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+use crate::cache::BlockAddr;
+
+/// Identifier of a core / private cache (index into the sharer mask).
+pub type CoreId = u32;
+
+/// MESI state of a block as recorded by the directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum MesiState {
+    /// No private cache holds the line.
+    #[default]
+    Invalid,
+    /// Exactly one cache holds it, clean, with write permission
+    /// obtainable silently.
+    Exclusive,
+    /// One or more caches hold read-only copies.
+    Shared,
+    /// Exactly one cache holds a dirty copy.
+    Modified,
+}
+
+/// What the directory had to do to satisfy a request; the memory
+/// hierarchy prices these into latency.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DirOutcome {
+    /// Cores whose L1 copies were invalidated.
+    pub invalidated: Vec<CoreId>,
+    /// A dirty owner had to forward/write back the line.
+    pub fetched_from_owner: Option<CoreId>,
+    /// The block's new state.
+    pub new_state: MesiState,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct DirEntry {
+    sharers: u64,
+    state: MesiStateRepr,
+}
+
+/// Internal compact state (avoids storing `MesiState::Invalid` entries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum MesiStateRepr {
+    #[default]
+    Invalid,
+    Exclusive,
+    Shared,
+    Modified,
+}
+
+impl From<MesiStateRepr> for MesiState {
+    fn from(s: MesiStateRepr) -> Self {
+        match s {
+            MesiStateRepr::Invalid => MesiState::Invalid,
+            MesiStateRepr::Exclusive => MesiState::Exclusive,
+            MesiStateRepr::Shared => MesiState::Shared,
+            MesiStateRepr::Modified => MesiState::Modified,
+        }
+    }
+}
+
+/// The MESI directory.
+///
+/// # Examples
+///
+/// ```
+/// use spa_sim::coherence::{Directory, MesiState};
+/// let mut d = Directory::new(4);
+/// let r = d.read(0, 100);
+/// assert_eq!(r.new_state, MesiState::Exclusive);
+/// let r = d.read(1, 100);
+/// assert_eq!(r.new_state, MesiState::Shared);
+/// let w = d.write(2, 100);
+/// assert_eq!(w.invalidated.len(), 2); // cores 0 and 1 lose their copies
+/// ```
+#[derive(Debug, Clone)]
+pub struct Directory {
+    entries: HashMap<BlockAddr, DirEntry>,
+    cores: u32,
+    invalidations_sent: u64,
+    owner_forwards: u64,
+}
+
+impl Directory {
+    /// Creates a directory for `cores` private caches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is 0 or greater than 64 (sharer-mask width).
+    pub fn new(cores: u32) -> Self {
+        assert!((1..=64).contains(&cores), "1..=64 cores supported");
+        Self {
+            entries: HashMap::new(),
+            cores,
+            invalidations_sent: 0,
+            owner_forwards: 0,
+        }
+    }
+
+    /// Current state of a block.
+    pub fn state(&self, block: BlockAddr) -> MesiState {
+        self.entries
+            .get(&block)
+            .map_or(MesiState::Invalid, |e| e.state.into())
+    }
+
+    /// Sharer cores of a block (including an exclusive/modified owner).
+    pub fn sharers(&self, block: BlockAddr) -> Vec<CoreId> {
+        let mask = self.entries.get(&block).map_or(0, |e| e.sharers);
+        (0..self.cores).filter(|c| mask & (1 << c) != 0).collect()
+    }
+
+    /// Handles a read (load) request from `core`.
+    pub fn read(&mut self, core: CoreId, block: BlockAddr) -> DirOutcome {
+        debug_assert!(core < self.cores);
+        let entry = self.entries.entry(block).or_default();
+        let bit = 1u64 << core;
+        match entry.state {
+            MesiStateRepr::Invalid => {
+                entry.state = MesiStateRepr::Exclusive;
+                entry.sharers = bit;
+                DirOutcome {
+                    new_state: MesiState::Exclusive,
+                    ..DirOutcome::default()
+                }
+            }
+            MesiStateRepr::Exclusive | MesiStateRepr::Shared => {
+                let was_alone = entry.sharers == bit;
+                entry.sharers |= bit;
+                entry.state = if was_alone && entry.state == MesiStateRepr::Exclusive {
+                    MesiStateRepr::Exclusive // re-read by the owner
+                } else {
+                    MesiStateRepr::Shared
+                };
+                DirOutcome {
+                    new_state: entry.state.into(),
+                    ..DirOutcome::default()
+                }
+            }
+            MesiStateRepr::Modified => {
+                let owner_bit = entry.sharers;
+                let owner = owner_bit.trailing_zeros();
+                if owner_bit == bit {
+                    // Owner re-reads its own dirty line.
+                    DirOutcome {
+                        new_state: MesiState::Modified,
+                        ..DirOutcome::default()
+                    }
+                } else {
+                    // Dirty data forwarded; both keep shared copies.
+                    self.owner_forwards += 1;
+                    entry.sharers |= bit;
+                    entry.state = MesiStateRepr::Shared;
+                    DirOutcome {
+                        fetched_from_owner: Some(owner),
+                        new_state: MesiState::Shared,
+                        invalidated: Vec::new(),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Handles a write (store) request from `core`.
+    pub fn write(&mut self, core: CoreId, block: BlockAddr) -> DirOutcome {
+        debug_assert!(core < self.cores);
+        let entry = self.entries.entry(block).or_default();
+        let bit = 1u64 << core;
+        match entry.state {
+            MesiStateRepr::Invalid => {
+                entry.state = MesiStateRepr::Modified;
+                entry.sharers = bit;
+                DirOutcome {
+                    new_state: MesiState::Modified,
+                    ..DirOutcome::default()
+                }
+            }
+            MesiStateRepr::Exclusive if entry.sharers == bit => {
+                // Silent E → M upgrade.
+                entry.state = MesiStateRepr::Modified;
+                DirOutcome {
+                    new_state: MesiState::Modified,
+                    ..DirOutcome::default()
+                }
+            }
+            MesiStateRepr::Modified if entry.sharers == bit => DirOutcome {
+                new_state: MesiState::Modified,
+                ..DirOutcome::default()
+            },
+            _ => {
+                // Invalidate every other sharer; fetch from a dirty owner.
+                let others = entry.sharers & !bit;
+                let fetched = if entry.state == MesiStateRepr::Modified && others != 0 {
+                    self.owner_forwards += 1;
+                    Some(others.trailing_zeros())
+                } else {
+                    None
+                };
+                let invalidated: Vec<CoreId> =
+                    (0..self.cores).filter(|c| others & (1 << c) != 0).collect();
+                self.invalidations_sent += invalidated.len() as u64;
+                entry.sharers = bit;
+                entry.state = MesiStateRepr::Modified;
+                DirOutcome {
+                    invalidated,
+                    fetched_from_owner: fetched,
+                    new_state: MesiState::Modified,
+                }
+            }
+        }
+    }
+
+    /// Core `core` silently drops its copy (L1 eviction).
+    pub fn evict_l1(&mut self, core: CoreId, block: BlockAddr) {
+        if let Some(entry) = self.entries.get_mut(&block) {
+            entry.sharers &= !(1u64 << core);
+            if entry.sharers == 0 {
+                self.entries.remove(&block);
+            } else if entry.state == MesiStateRepr::Exclusive
+                || entry.state == MesiStateRepr::Modified
+            {
+                // Sole owner left; remaining mask should be empty, but be
+                // safe: demote to shared.
+                entry.state = MesiStateRepr::Shared;
+            }
+        }
+    }
+
+    /// The inclusive L2 evicts `block`: every L1 copy must be
+    /// invalidated. Returns the cores that held it.
+    pub fn evict_l2(&mut self, block: BlockAddr) -> Vec<CoreId> {
+        match self.entries.remove(&block) {
+            None => Vec::new(),
+            Some(entry) => {
+                let holders: Vec<CoreId> = (0..self.cores)
+                    .filter(|c| entry.sharers & (1 << c) != 0)
+                    .collect();
+                self.invalidations_sent += holders.len() as u64;
+                holders
+            }
+        }
+    }
+
+    /// Total invalidation messages sent.
+    pub fn invalidations_sent(&self) -> u64 {
+        self.invalidations_sent
+    }
+
+    /// Total dirty-owner forwards.
+    pub fn owner_forwards(&self) -> u64 {
+        self.owner_forwards
+    }
+
+    /// Number of blocks the directory currently tracks.
+    pub fn tracked_blocks(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn first_read_gets_exclusive() {
+        let mut d = Directory::new(4);
+        let r = d.read(0, 7);
+        assert_eq!(r.new_state, MesiState::Exclusive);
+        assert!(r.invalidated.is_empty());
+        assert_eq!(d.sharers(7), vec![0]);
+    }
+
+    #[test]
+    fn second_reader_shares() {
+        let mut d = Directory::new(4);
+        d.read(0, 7);
+        let r = d.read(1, 7);
+        assert_eq!(r.new_state, MesiState::Shared);
+        assert_eq!(d.sharers(7), vec![0, 1]);
+        assert_eq!(d.state(7), MesiState::Shared);
+    }
+
+    #[test]
+    fn silent_e_to_m_upgrade() {
+        let mut d = Directory::new(4);
+        d.read(2, 9);
+        let w = d.write(2, 9);
+        assert_eq!(w.new_state, MesiState::Modified);
+        assert!(w.invalidated.is_empty());
+        assert!(w.fetched_from_owner.is_none());
+        assert_eq!(d.invalidations_sent(), 0);
+    }
+
+    #[test]
+    fn write_invalidates_sharers() {
+        let mut d = Directory::new(4);
+        d.read(0, 5);
+        d.read(1, 5);
+        d.read(3, 5);
+        let w = d.write(2, 5);
+        assert_eq!(w.invalidated, vec![0, 1, 3]);
+        assert_eq!(d.state(5), MesiState::Modified);
+        assert_eq!(d.sharers(5), vec![2]);
+        assert_eq!(d.invalidations_sent(), 3);
+    }
+
+    #[test]
+    fn read_of_modified_forwards_from_owner() {
+        let mut d = Directory::new(4);
+        d.write(1, 5);
+        let r = d.read(0, 5);
+        assert_eq!(r.fetched_from_owner, Some(1));
+        assert_eq!(r.new_state, MesiState::Shared);
+        assert_eq!(d.owner_forwards(), 1);
+        assert_eq!(d.sharers(5), vec![0, 1]);
+    }
+
+    #[test]
+    fn owner_rereads_own_dirty_line() {
+        let mut d = Directory::new(4);
+        d.write(1, 5);
+        let r = d.read(1, 5);
+        assert_eq!(r.new_state, MesiState::Modified);
+        assert!(r.fetched_from_owner.is_none());
+    }
+
+    #[test]
+    fn write_to_modified_other_owner() {
+        let mut d = Directory::new(4);
+        d.write(1, 5);
+        let w = d.write(2, 5);
+        assert_eq!(w.fetched_from_owner, Some(1));
+        assert_eq!(w.invalidated, vec![1]);
+        assert_eq!(d.sharers(5), vec![2]);
+    }
+
+    #[test]
+    fn l1_eviction_clears_sharer() {
+        let mut d = Directory::new(4);
+        d.read(0, 5);
+        d.read(1, 5);
+        d.evict_l1(0, 5);
+        assert_eq!(d.sharers(5), vec![1]);
+        d.evict_l1(1, 5);
+        assert_eq!(d.state(5), MesiState::Invalid);
+        assert_eq!(d.tracked_blocks(), 0);
+    }
+
+    #[test]
+    fn l2_eviction_back_invalidates() {
+        let mut d = Directory::new(4);
+        d.read(0, 5);
+        d.read(2, 5);
+        let holders = d.evict_l2(5);
+        assert_eq!(holders, vec![0, 2]);
+        assert_eq!(d.state(5), MesiState::Invalid);
+        assert!(d.evict_l2(5).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=64 cores")]
+    fn zero_cores_panics() {
+        let _ = Directory::new(0);
+    }
+
+    proptest! {
+        #[test]
+        fn single_writer_invariant(ops in proptest::collection::vec((0_u32..4, 0_u64..8, any::<bool>()), 1..200)) {
+            // After any sequence of reads/writes, a Modified or Exclusive
+            // block has exactly one sharer.
+            let mut d = Directory::new(4);
+            for (core, block, is_write) in ops {
+                if is_write {
+                    d.write(core, block);
+                } else {
+                    d.read(core, block);
+                }
+            }
+            for block in 0..8 {
+                match d.state(block) {
+                    MesiState::Modified | MesiState::Exclusive => {
+                        prop_assert_eq!(d.sharers(block).len(), 1);
+                    }
+                    MesiState::Shared => {
+                        prop_assert!(!d.sharers(block).is_empty());
+                    }
+                    MesiState::Invalid => {
+                        prop_assert!(d.sharers(block).is_empty());
+                    }
+                }
+            }
+        }
+    }
+}

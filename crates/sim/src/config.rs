@@ -1,0 +1,312 @@
+//! Simulated system configuration — the paper's Table 2.
+//!
+//! | Parameter | Table 2 value |
+//! |-----------|---------------|
+//! | cores | 4 out-of-order x86 cores |
+//! | L1 I | 32 KB, 2-way, 2-cycle |
+//! | L1 D | 32 KB, 8-way, 2-cycle |
+//! | shared L2 | inclusive, 3 MB, 16-way, 16-cycle |
+//! | block size | 64 B |
+//! | memory | 3 GB, 90-cycle |
+//! | coherence | MESI directory |
+//! | on-chip network | crossbar with 16 B links (= flit size) |
+//!
+//! [`SystemConfig::table2`] reproduces those values; builders allow the
+//! experiments' variations (e.g. §4.2's 512 kB → 1 MB L2 speedup study).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Result, SimError};
+
+/// Geometry and latency of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: u32,
+    /// Access (hit) latency in cycles.
+    pub latency: u64,
+}
+
+impl CacheConfig {
+    /// Number of sets for the given block size.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the geometry does not divide evenly;
+    /// [`SystemConfig::validate`] rejects such configurations first.
+    pub fn sets(&self, block_bytes: u64) -> u64 {
+        self.capacity_bytes / (self.ways as u64 * block_bytes)
+    }
+}
+
+/// Full system configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Number of cores (each runs one workload thread).
+    pub cores: u32,
+    /// Private L1 instruction cache.
+    pub l1i: CacheConfig,
+    /// Private L1 data cache.
+    pub l1d: CacheConfig,
+    /// Shared, inclusive L2.
+    pub l2: CacheConfig,
+    /// Cache block (line) size in bytes.
+    pub block_bytes: u64,
+    /// DRAM access latency in cycles (before variability injection).
+    pub dram_latency: u64,
+    /// Crossbar link width in bytes (also the flit size).
+    pub link_bytes: u64,
+    /// Crossbar per-hop latency in cycles (header routing cost).
+    pub link_latency: u64,
+    /// Branch misprediction penalty in cycles.
+    pub mispredict_penalty: u64,
+    /// TLB entries per core (fully associative, LRU).
+    pub tlb_entries: u32,
+    /// Page size in bytes (for TLB lookups).
+    pub page_bytes: u64,
+    /// TLB miss (walk) penalty in cycles.
+    pub tlb_miss_penalty: u64,
+    /// Nominal clock frequency in Hz, used only to convert cycle counts
+    /// to the seconds the paper's runtime figures report.
+    pub clock_hz: u64,
+    /// Whether to collect an STL trace and event streams during the run
+    /// (costs time and memory; population generation leaves it off).
+    pub collect_trace: bool,
+    /// Enables a next-line L2 prefetcher: every demand L2 miss also
+    /// fetches the following block into the L2 in the background.
+    /// Table 2 lists no prefetcher, so the default is off; the
+    /// `ablation_prefetch` bench quantifies its effect.
+    pub l2_next_line_prefetch: bool,
+    /// Replaces the Table 2 crossbar with a 2-D mesh network
+    /// (ablation alternative; default off).
+    pub mesh_network: bool,
+}
+
+impl SystemConfig {
+    /// The paper's Table 2 configuration.
+    pub fn table2() -> Self {
+        Self {
+            cores: 4,
+            l1i: CacheConfig {
+                capacity_bytes: 32 * 1024,
+                ways: 2,
+                latency: 2,
+            },
+            l1d: CacheConfig {
+                capacity_bytes: 32 * 1024,
+                ways: 8,
+                latency: 2,
+            },
+            l2: CacheConfig {
+                capacity_bytes: 3 * 1024 * 1024,
+                ways: 16,
+                latency: 16,
+            },
+            block_bytes: 64,
+            dram_latency: 90,
+            link_bytes: 16,
+            link_latency: 1,
+            mispredict_penalty: 14,
+            tlb_entries: 64,
+            page_bytes: 4096,
+            tlb_miss_penalty: 30,
+            clock_hz: 2_000_000_000,
+            collect_trace: false,
+            l2_next_line_prefetch: false,
+            mesh_network: false,
+        }
+    }
+
+    /// Table 2 with a different L2 capacity — the §4.2 cache-size
+    /// speedup study uses 512 kB (base) and 1 MB (improved).
+    pub fn with_l2_capacity(mut self, bytes: u64) -> Self {
+        self.l2.capacity_bytes = bytes;
+        self
+    }
+
+    /// Enables STL trace/event collection.
+    pub fn with_trace(mut self) -> Self {
+        self.collect_trace = true;
+        self
+    }
+
+    /// Enables the next-line L2 prefetcher.
+    pub fn with_prefetch(mut self) -> Self {
+        self.l2_next_line_prefetch = true;
+        self
+    }
+
+    /// Replaces the crossbar with the 2-D mesh network.
+    pub fn with_mesh(mut self) -> Self {
+        self.mesh_network = true;
+        self
+    }
+
+    /// Checks structural invariants (nonzero geometry, divisibility).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] naming the offending field.
+    pub fn validate(&self) -> Result<()> {
+        if self.cores == 0 {
+            return Err(SimError::InvalidConfig {
+                field: "cores",
+                message: "need at least one core".into(),
+            });
+        }
+        if self.block_bytes == 0 || !self.block_bytes.is_power_of_two() {
+            return Err(SimError::InvalidConfig {
+                field: "block_bytes",
+                message: format!("{} is not a power of two", self.block_bytes),
+            });
+        }
+        for (name, c) in [("l1i", &self.l1i), ("l1d", &self.l1d), ("l2", &self.l2)] {
+            if c.ways == 0 {
+                return Err(SimError::InvalidConfig {
+                    field: name,
+                    message: "zero ways".into(),
+                });
+            }
+            let way_bytes = c.ways as u64 * self.block_bytes;
+            if c.capacity_bytes == 0 || c.capacity_bytes % way_bytes != 0 {
+                return Err(SimError::InvalidConfig {
+                    field: name,
+                    message: format!(
+                        "capacity {} not divisible into {}-way sets of {}-byte blocks",
+                        c.capacity_bytes, c.ways, self.block_bytes
+                    ),
+                });
+            }
+            // Note: set counts need not be powers of two (Table 2's 3 MB
+            // 16-way L2 has 3072 sets); indexing uses modulo arithmetic.
+        }
+        if self.link_bytes == 0 || self.page_bytes == 0 || !self.page_bytes.is_power_of_two() {
+            return Err(SimError::InvalidConfig {
+                field: "link_bytes/page_bytes",
+                message: "must be nonzero (page size a power of two)".into(),
+            });
+        }
+        if self.clock_hz == 0 {
+            return Err(SimError::InvalidConfig {
+                field: "clock_hz",
+                message: "must be nonzero".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Cycles a block transfer occupies a crossbar link:
+    /// `ceil(block / link) + header`.
+    pub fn block_transfer_cycles(&self) -> u64 {
+        self.block_bytes.div_ceil(self.link_bytes) + self.link_latency
+    }
+
+    /// Converts a cycle count to seconds at the configured clock.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.clock_hz as f64
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self::table2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_matches_paper() {
+        let c = SystemConfig::table2();
+        assert_eq!(c.cores, 4);
+        assert_eq!(c.l1i.capacity_bytes, 32 * 1024);
+        assert_eq!(c.l1i.ways, 2);
+        assert_eq!(c.l1d.ways, 8);
+        assert_eq!(c.l1d.latency, 2);
+        assert_eq!(c.l2.capacity_bytes, 3 * 1024 * 1024);
+        assert_eq!(c.l2.ways, 16);
+        assert_eq!(c.l2.latency, 16);
+        assert_eq!(c.block_bytes, 64);
+        assert_eq!(c.dram_latency, 90);
+        assert_eq!(c.link_bytes, 16);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn set_counts() {
+        let c = SystemConfig::table2();
+        // 32KB / (8 × 64B) = 64 sets.
+        assert_eq!(c.l1d.sets(c.block_bytes), 64);
+        // 32KB / (2 × 64B) = 256 sets.
+        assert_eq!(c.l1i.sets(c.block_bytes), 256);
+        // 3MB / (16 × 64B) = 3072 sets.
+        assert_eq!(c.l2.sets(c.block_bytes), 3072);
+    }
+
+    #[test]
+    fn l2_variants_for_speedup_study() {
+        let base = SystemConfig::table2().with_l2_capacity(512 * 1024);
+        let improved = SystemConfig::table2().with_l2_capacity(1024 * 1024);
+        assert!(base.validate().is_ok());
+        assert!(improved.validate().is_ok());
+        assert_eq!(base.l2.sets(64), 512);
+        assert_eq!(improved.l2.sets(64), 1024);
+    }
+
+    #[test]
+    fn validation_rejects_broken_configs() {
+        let mut c = SystemConfig::table2();
+        c.cores = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = SystemConfig::table2();
+        c.block_bytes = 48;
+        assert!(c.validate().is_err());
+
+        let mut c = SystemConfig::table2();
+        c.l2.ways = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = SystemConfig::table2();
+        c.l1d.capacity_bytes = 1000; // not divisible
+        assert!(c.validate().is_err());
+
+        let mut c = SystemConfig::table2();
+        c.clock_hz = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn non_power_of_two_set_count_accepted() {
+        // 3 MB L2 with 16 ways gives 3072 sets, which is not a power of
+        // two; modulo indexing handles it, so validate must accept.
+        let c = SystemConfig::table2();
+        assert_eq!(c.l2.sets(c.block_bytes), 3072);
+        assert!(!3072_u64.is_power_of_two());
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn transfer_and_time_helpers() {
+        let c = SystemConfig::table2();
+        // 64B / 16B = 4 flits + 1 header cycle.
+        assert_eq!(c.block_transfer_cycles(), 5);
+        assert!((c.cycles_to_seconds(2_000_000_000) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_trace_toggles_collection() {
+        assert!(!SystemConfig::table2().collect_trace);
+        assert!(SystemConfig::table2().with_trace().collect_trace);
+    }
+
+    #[test]
+    fn prefetch_defaults_off() {
+        assert!(!SystemConfig::table2().l2_next_line_prefetch);
+        assert!(SystemConfig::table2().with_prefetch().l2_next_line_prefetch);
+    }
+}

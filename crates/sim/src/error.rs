@@ -1,0 +1,50 @@
+use std::fmt;
+
+/// Error type for simulator configuration and execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A configuration value is invalid (zero ways, non-power-of-two
+    /// sizes, etc.).
+    InvalidConfig {
+        /// Which field.
+        field: &'static str,
+        /// What was wrong.
+        message: String,
+    },
+    /// The simulated program deadlocked: every thread is blocked on a
+    /// synchronization primitive and no event can make progress.
+    Deadlock {
+        /// Simulated cycle at which the deadlock was detected.
+        cycle: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig { field, message } => {
+                write!(f, "invalid configuration `{field}`: {message}")
+            }
+            SimError::Deadlock { cycle } => {
+                write!(f, "simulated workload deadlocked at cycle {cycle}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::InvalidConfig {
+            field: "l2_ways",
+            message: "must be nonzero".into(),
+        };
+        assert!(e.to_string().contains("l2_ways"));
+        assert!(SimError::Deadlock { cycle: 42 }.to_string().contains("42"));
+    }
+}

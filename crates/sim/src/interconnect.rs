@@ -1,0 +1,296 @@
+//! On-chip networks: the Table 2 crossbar (default) and an optional 2-D
+//! mesh.
+//!
+//! Each core has an ingress/egress path to the shared L2; a block
+//! transfer serializes `block/link` flits plus per-hop header cycles.
+//! Links are modelled as busy-until scoreboards, so concurrent misses
+//! from the same core queue behind each other while different cores
+//! proceed in parallel — the first-order contention effect of a real
+//! network. The mesh routes each core over `hops(core)` store-and-
+//! forward links toward a centrally attached L2, so far corners pay
+//! more latency and share intermediate links; `ablation_network`
+//! quantifies the difference against the crossbar.
+
+use crate::coherence::CoreId;
+use crate::config::SystemConfig;
+
+/// The crossbar contention model.
+#[derive(Debug, Clone)]
+pub struct Crossbar {
+    /// Per-core port busy-until times (cycle at which the port frees).
+    port_free: Vec<u64>,
+    /// Transfer occupancy per block in cycles.
+    transfer_cycles: u64,
+    /// Per-hop header latency.
+    hop_latency: u64,
+    /// Total transfers serviced.
+    transfers: u64,
+    /// Total cycles requests spent waiting for a busy port.
+    contention_cycles: u64,
+}
+
+impl Crossbar {
+    /// Builds the crossbar for the given system.
+    pub fn new(config: &SystemConfig) -> Self {
+        Self {
+            port_free: vec![0; config.cores as usize],
+            transfer_cycles: config.block_transfer_cycles(),
+            hop_latency: config.link_latency,
+            transfers: 0,
+            contention_cycles: 0,
+        }
+    }
+
+    /// Schedules a block transfer on `core`'s port starting no earlier
+    /// than `now`; returns the cycle at which the transfer completes.
+    pub fn transfer(&mut self, core: CoreId, now: u64) -> u64 {
+        let port = &mut self.port_free[core as usize];
+        let start = now.max(*port);
+        self.contention_cycles += start - now;
+        let done = start + self.transfer_cycles;
+        *port = done;
+        self.transfers += 1;
+        done
+    }
+
+    /// Cost of a short control message (invalidation, ack): one hop, no
+    /// payload serialization, no port occupancy.
+    pub fn control_latency(&self) -> u64 {
+        self.hop_latency
+    }
+
+    /// Cycles one block transfer occupies a link.
+    pub fn transfer_cycles(&self) -> u64 {
+        self.transfer_cycles
+    }
+
+    /// Total block transfers serviced.
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Total cycles spent queued on busy ports.
+    pub fn contention_cycles(&self) -> u64 {
+        self.contention_cycles
+    }
+}
+
+/// A 2-D mesh with the shared L2 attached at node 0; core `c` is
+/// `1 + (c mod mesh_width)`-ish hops away using X-Y routing over a
+/// square arrangement.
+#[derive(Debug, Clone)]
+pub struct Mesh {
+    /// Busy-until per directed link (one per core path segment).
+    link_free: Vec<u64>,
+    /// Precomputed hop count per core.
+    hops: Vec<u64>,
+    transfer_cycles: u64,
+    hop_latency: u64,
+    transfers: u64,
+    contention_cycles: u64,
+}
+
+impl Mesh {
+    /// Builds the mesh for the given system: cores are laid out row-
+    /// major on the smallest square grid that fits them, with the L2 at
+    /// grid position (0, 0).
+    pub fn new(config: &SystemConfig) -> Self {
+        let n = config.cores as usize;
+        let width = (n as f64).sqrt().ceil() as u64;
+        let hops = (0..n as u64)
+            .map(|c| {
+                let (x, y) = (c % width, c / width);
+                // X-Y distance to the L2 at (0,0), plus the ejection hop.
+                x + y + 1
+            })
+            .collect();
+        Self {
+            link_free: vec![0; n],
+            hops,
+            transfer_cycles: config.block_transfer_cycles(),
+            hop_latency: config.link_latency,
+            transfers: 0,
+            contention_cycles: 0,
+        }
+    }
+
+    /// Hop count between `core` and the L2.
+    pub fn hops(&self, core: CoreId) -> u64 {
+        self.hops[core as usize]
+    }
+
+    /// Schedules a block transfer for `core` starting no earlier than
+    /// `now`; store-and-forward over its hop path.
+    pub fn transfer(&mut self, core: CoreId, now: u64) -> u64 {
+        let link = &mut self.link_free[core as usize];
+        let start = now.max(*link);
+        self.contention_cycles += start - now;
+        let done = start + self.hops[core as usize] * (self.transfer_cycles + self.hop_latency);
+        *link = done;
+        self.transfers += 1;
+        done
+    }
+
+    /// Control-message latency for `core` (one flit per hop).
+    pub fn control_latency(&self, core: CoreId) -> u64 {
+        self.hops[core as usize] * self.hop_latency
+    }
+
+    /// Total block transfers serviced.
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Total cycles spent queued on busy links.
+    pub fn contention_cycles(&self) -> u64 {
+        self.contention_cycles
+    }
+}
+
+/// The configured network, dispatching to crossbar or mesh.
+#[derive(Debug, Clone)]
+pub enum Network {
+    /// Single-hop crossbar (Table 2 default).
+    Crossbar(Crossbar),
+    /// 2-D mesh (ablation alternative).
+    Mesh(Mesh),
+}
+
+impl Network {
+    /// Builds the network selected by the config.
+    pub fn new(config: &SystemConfig) -> Self {
+        if config.mesh_network {
+            Network::Mesh(Mesh::new(config))
+        } else {
+            Network::Crossbar(Crossbar::new(config))
+        }
+    }
+
+    /// Schedules a block transfer (see the per-model methods).
+    pub fn transfer(&mut self, core: CoreId, now: u64) -> u64 {
+        match self {
+            Network::Crossbar(x) => x.transfer(core, now),
+            Network::Mesh(m) => m.transfer(core, now),
+        }
+    }
+
+    /// Control-message latency for `core`.
+    pub fn control_latency(&self, core: CoreId) -> u64 {
+        match self {
+            Network::Crossbar(x) => x.control_latency(),
+            Network::Mesh(m) => m.control_latency(core),
+        }
+    }
+
+    /// Total block transfers serviced.
+    pub fn transfers(&self) -> u64 {
+        match self {
+            Network::Crossbar(x) => x.transfers(),
+            Network::Mesh(m) => m.transfers(),
+        }
+    }
+
+    /// Total cycles spent queued.
+    pub fn contention_cycles(&self) -> u64 {
+        match self {
+            Network::Crossbar(x) => x.contention_cycles(),
+            Network::Mesh(m) => m.contention_cycles(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xbar() -> Crossbar {
+        Crossbar::new(&SystemConfig::table2())
+    }
+
+    #[test]
+    fn transfer_occupies_port() {
+        let mut x = xbar();
+        // 64B / 16B + 1 = 5 cycles.
+        assert_eq!(x.transfer_cycles(), 5);
+        let t1 = x.transfer(0, 100);
+        assert_eq!(t1, 105);
+        // A second transfer from the same core queues behind the first.
+        let t2 = x.transfer(0, 100);
+        assert_eq!(t2, 110);
+        assert_eq!(x.contention_cycles(), 5);
+    }
+
+    #[test]
+    fn different_cores_in_parallel() {
+        let mut x = xbar();
+        let a = x.transfer(0, 50);
+        let b = x.transfer(1, 50);
+        assert_eq!(a, 55);
+        assert_eq!(b, 55);
+        assert_eq!(x.contention_cycles(), 0);
+        assert_eq!(x.transfers(), 2);
+    }
+
+    #[test]
+    fn idle_port_starts_immediately() {
+        let mut x = xbar();
+        x.transfer(2, 10);
+        // Port frees at 15; a request at 20 starts at 20.
+        let done = x.transfer(2, 20);
+        assert_eq!(done, 25);
+        assert_eq!(x.contention_cycles(), 0);
+    }
+
+    #[test]
+    fn control_messages_are_cheap() {
+        let x = xbar();
+        assert_eq!(x.control_latency(), 1);
+    }
+
+    #[test]
+    fn mesh_hop_counts_on_2x2() {
+        let m = Mesh::new(&SystemConfig::table2());
+        // 4 cores on a 2x2 grid, L2 at (0,0): hops = x + y + 1.
+        assert_eq!(m.hops(0), 1);
+        assert_eq!(m.hops(1), 2);
+        assert_eq!(m.hops(2), 2);
+        assert_eq!(m.hops(3), 3);
+    }
+
+    #[test]
+    fn mesh_transfers_scale_with_distance() {
+        let mut m = Mesh::new(&SystemConfig::table2());
+        let near = m.transfer(0, 0);
+        let far = m.transfer(3, 0);
+        assert_eq!(near, 6); // 1 hop x (5 + 1)
+        assert_eq!(far, 18); // 3 hops x (5 + 1)
+        assert!(m.control_latency(3) > m.control_latency(0));
+        assert_eq!(m.transfers(), 2);
+    }
+
+    #[test]
+    fn mesh_link_contention() {
+        let mut m = Mesh::new(&SystemConfig::table2());
+        let a = m.transfer(0, 0);
+        let b = m.transfer(0, 0); // same path queues
+        assert_eq!(a, 6);
+        assert_eq!(b, 12);
+        assert_eq!(m.contention_cycles(), 6);
+    }
+
+    #[test]
+    fn network_dispatch_follows_config() {
+        let xbar_net = Network::new(&SystemConfig::table2());
+        assert!(matches!(xbar_net, Network::Crossbar(_)));
+        let mesh_net = Network::new(&SystemConfig::table2().with_mesh());
+        assert!(matches!(mesh_net, Network::Mesh(_)));
+    }
+
+    #[test]
+    fn mesh_is_slower_than_crossbar_for_far_cores() {
+        let mut net_x = Network::new(&SystemConfig::table2());
+        let mut net_m = Network::new(&SystemConfig::table2().with_mesh());
+        assert!(net_m.transfer(3, 100) > net_x.transfer(3, 100));
+        assert!(net_m.control_latency(3) > net_x.control_latency(3));
+    }
+}

@@ -1,0 +1,67 @@
+#![warn(missing_docs)]
+
+//! # spa-sim — the simulation substrate for SPA's experiments
+//!
+//! The SPA paper runs its evaluation on gem5 v22.1 (Ruby memory system)
+//! simulating the multicore x86 machine of its Table 2, executing PARSEC
+//! benchmarks with *variability injection*: a uniform random 0–4 cycle
+//! latency added to L2-miss DRAM accesses (§5.2, after Alameldeen &
+//! Wood). This crate is a from-scratch stand-in with the same essential
+//! behaviour:
+//!
+//! * the Table 2 system — 4 cores, private L1 I/D (32 KB, 2/8-way,
+//!   2-cycle), a shared inclusive L2 (3 MB, 16-way, 16-cycle), 64 B
+//!   blocks, MESI directory coherence, a crossbar with 16 B links, and
+//!   90-cycle DRAM ([`config::SystemConfig`]);
+//! * deterministic, seeded executions: a `(config, benchmark, seed)`
+//!   triple always reproduces the identical run ([`machine::Machine`]);
+//! * emergent variability: the injected DRAM jitter perturbs lock
+//!   acquisition and pipeline-queue order across threads, so workload
+//!   *assignment* — and therefore every metric — varies run to run
+//!   ([`variability`]);
+//! * synthetic multithreaded workloads modelled on the PARSEC
+//!   benchmarks the paper uses ([`workload::parsec`]), and
+//! * per-execution metrics (runtime, IPC, MPKI, max load latency, …)
+//!   plus optional STL traces/events ([`metrics::ExecutionResult`]).
+//!
+//! # Example
+//!
+//! ```
+//! use spa_sim::config::SystemConfig;
+//! use spa_sim::machine::Machine;
+//! use spa_sim::workload::parsec::Benchmark;
+//!
+//! # fn main() -> Result<(), spa_sim::SimError> {
+//! let spec = Benchmark::Ferret.workload_scaled(0.25);
+//! let machine = Machine::new(SystemConfig::table2(), &spec)?;
+//! let run = machine.run(42)?;
+//! assert!(run.metrics.runtime_cycles > 0);
+//! // Same seed ⇒ identical execution.
+//! let rerun = machine.run(42)?;
+//! assert_eq!(run.metrics, rerun.metrics);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod branch;
+pub mod cache;
+pub mod coherence;
+pub mod config;
+pub mod dram;
+pub mod interconnect;
+pub mod machine;
+pub mod memhier;
+pub mod metrics;
+pub mod rng;
+pub mod runner;
+pub mod sync;
+pub mod tlb;
+pub mod variability;
+pub mod workload;
+
+mod error;
+
+pub use error::SimError;
+
+/// Convenience alias used by fallible functions in this crate.
+pub type Result<T> = std::result::Result<T, SimError>;

@@ -1,0 +1,874 @@
+//! The simulated machine: cores executing thread programs over the
+//! memory hierarchy, coordinated by a discrete-event scheduler.
+//!
+//! Each core runs one workload thread. Cores advance in small time
+//! quanta ordered by a global event heap, so cross-core interactions
+//! (coherence, DRAM banks, locks, queues) happen in near-causal order
+//! and the whole execution is a deterministic function of
+//! `(config, workload, seed)` — the seed feeds only the variability
+//! model, exactly as in the paper's gem5 methodology (§5.2).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::branch::BranchPredictor;
+use crate::config::SystemConfig;
+use crate::memhier::MemoryHierarchy;
+use crate::metrics::{ExecutionMetrics, ExecutionResult};
+use crate::sync::{Barrier, BoundedQueue, Lock, PopResult, PushResult, Wake};
+use crate::variability::{Variability, VariabilityState};
+use crate::workload::{Op, PInstr, WorkloadSpec};
+use crate::{Result, SimError};
+
+/// Cycles a core may run ahead before yielding to the event heap.
+const QUANTUM: u64 = 400;
+/// Fixed cost of an atomic read-modify-write beyond its store.
+const RMW_COST: u64 = 3;
+/// Fixed cost of queue bookkeeping per push/pop.
+const QUEUE_COST: u64 = 4;
+/// Address of lock line `i`: `LOCK_BASE + 64·i`.
+const LOCK_BASE: u64 = 0x7000_0000;
+/// Base of the instruction address space.
+const CODE_BASE: u64 = 0x0040_0000;
+/// Cap on recorded STL events per stream (keeps traces bounded).
+const EVENT_CAP: usize = 20_000;
+
+/// A configured machine ready to run a workload.
+///
+/// # Examples
+///
+/// ```
+/// use spa_sim::config::SystemConfig;
+/// use spa_sim::machine::Machine;
+/// use spa_sim::workload::parsec::Benchmark;
+///
+/// let spec = Benchmark::Blackscholes.workload();
+/// let machine = Machine::new(SystemConfig::table2(), &spec).unwrap();
+/// let a = machine.run(1).unwrap();
+/// let b = machine.run(1).unwrap();
+/// assert_eq!(a.metrics, b.metrics); // deterministic given the seed
+/// ```
+#[derive(Debug, Clone)]
+pub struct Machine<'w> {
+    config: SystemConfig,
+    workload: &'w WorkloadSpec,
+    variability: Variability,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Parked {
+    /// Running or runnable.
+    No,
+    /// On wake, the blocking instruction has completed: advance.
+    AdvanceOnWake,
+    /// On wake, re-execute the blocking instruction (queue pops).
+    RetryOnWake,
+}
+
+#[derive(Debug)]
+struct ThreadState {
+    pc: usize,
+    time: u64,
+    item: u64,
+    in_item: Option<usize>,
+    parked: Parked,
+    done: bool,
+    instructions: u64,
+    op_counter: u64,
+    mispredicts: u64,
+}
+
+/// What a single interpreter step decided.
+enum Step {
+    Continue,
+    Blocked,
+    Finished,
+}
+
+impl<'w> Machine<'w> {
+    /// Creates a machine after validating the config and workload and
+    /// checking that the workload's thread count matches the core
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for any mismatch.
+    pub fn new(config: SystemConfig, workload: &'w WorkloadSpec) -> Result<Self> {
+        config.validate()?;
+        workload.validate()?;
+        if workload.programs.len() != config.cores as usize {
+            return Err(SimError::InvalidConfig {
+                field: "cores",
+                message: format!(
+                    "workload has {} threads but the machine has {} cores",
+                    workload.programs.len(),
+                    config.cores
+                ),
+            });
+        }
+        Ok(Self {
+            config,
+            workload,
+            variability: Variability::paper_default(),
+        })
+    }
+
+    /// Replaces the variability model (default: the paper's 0–4 cycle
+    /// DRAM jitter).
+    pub fn with_variability(mut self, v: Variability) -> Self {
+        self.variability = v;
+        self
+    }
+
+    /// Runs one execution with the given seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Deadlock`] if every unfinished thread is
+    /// blocked (a workload bug, not a data-dependent outcome).
+    pub fn run(&self, seed: u64) -> Result<ExecutionResult> {
+        Run::new(self, seed).execute()
+    }
+}
+
+/// Mutable state of one execution.
+struct Run<'m, 'w> {
+    machine: &'m Machine<'w>,
+    hier: MemoryHierarchy,
+    vstate: VariabilityState,
+    predictors: Vec<BranchPredictor>,
+    locks: Vec<Lock>,
+    barriers: Vec<Barrier>,
+    queues: Vec<BoundedQueue>,
+    queue_producers_left: Vec<u32>,
+    pool_cursors: Vec<u64>,
+    threads: Vec<ThreadState>,
+    heap: BinaryHeap<Reverse<(u64, u64, u32)>>,
+    seq: u64,
+    done_count: usize,
+    seed: u64,
+    // Trace collection (only when config.collect_trace).
+    events: Vec<(u64, &'static str)>,
+    active_samples: Vec<(u64, u32)>,
+    active: u32,
+}
+
+impl<'m, 'w> Run<'m, 'w> {
+    fn new(machine: &'m Machine<'w>, seed: u64) -> Self {
+        let w = machine.workload;
+        let cores = machine.config.cores as usize;
+        let mut heap = BinaryHeap::new();
+        let mut threads = Vec::with_capacity(cores);
+        for tid in 0..cores {
+            // Slight staggering models thread-spawn order.
+            let start = tid as u64 * 20;
+            heap.push(Reverse((start, tid as u64, tid as u32)));
+            threads.push(ThreadState {
+                pc: 0,
+                time: start,
+                item: 0,
+                in_item: None,
+                parked: Parked::No,
+                done: false,
+                instructions: 0,
+                op_counter: 0,
+                mispredicts: 0,
+            });
+        }
+        Self {
+            machine,
+            hier: MemoryHierarchy::new(machine.config),
+            vstate: machine.variability.state_for_run(seed),
+            predictors: (0..cores).map(|_| BranchPredictor::new(12)).collect(),
+            locks: (0..w.locks).map(|_| Lock::new(8)).collect(),
+            barriers: w.barriers.iter().map(|&p| Barrier::new(p, 10)).collect(),
+            queues: w
+                .queues
+                .iter()
+                .map(|q| BoundedQueue::new(q.capacity as usize, 6))
+                .collect(),
+            queue_producers_left: w.queues.iter().map(|q| q.producers).collect(),
+            pool_cursors: w.pools.iter().map(|p| p.start).collect(),
+            threads,
+            heap,
+            seq: cores as u64,
+            done_count: 0,
+            seed,
+            events: Vec::new(),
+            active_samples: Vec::new(),
+            active: cores as u32,
+        }
+    }
+
+    fn schedule(&mut self, tid: u32, at: u64) {
+        self.seq += 1;
+        self.heap.push(Reverse((at, self.seq, tid)));
+    }
+
+    fn schedule_wake(&mut self, wake: Wake) {
+        self.schedule(wake.thread, wake.at);
+    }
+
+    fn record_event(&mut self, name: &'static str, at: u64) {
+        if self.machine.config.collect_trace && self.events.len() < EVENT_CAP {
+            self.events.push((at, name));
+        }
+    }
+
+    fn record_active(&mut self, at: u64, delta: i32) {
+        self.active = (self.active as i32 + delta).max(0) as u32;
+        if self.machine.config.collect_trace {
+            self.active_samples.push((at, self.active));
+        }
+    }
+
+    fn execute(mut self) -> Result<ExecutionResult> {
+        while let Some(Reverse((at, _, tid))) = self.heap.pop() {
+            let tid = tid as usize;
+            if self.threads[tid].done {
+                continue;
+            }
+            // Resume a parked thread.
+            if self.threads[tid].parked != Parked::No {
+                let stall = self.vstate.preemption_stall();
+                let t = &mut self.threads[tid];
+                t.time = t.time.max(at) + stall;
+                if t.parked == Parked::AdvanceOnWake {
+                    t.pc += 1;
+                }
+                t.parked = Parked::No;
+                self.record_active(at, 1);
+            } else {
+                let t = &mut self.threads[tid];
+                t.time = t.time.max(at);
+            }
+            self.run_quantum(tid)?;
+        }
+        if self.done_count < self.threads.len() {
+            let cycle = self.threads.iter().map(|t| t.time).max().unwrap_or(0);
+            return Err(SimError::Deadlock { cycle });
+        }
+        Ok(self.finish())
+    }
+
+    /// Delivers any pending OS events (timer interrupts, migrations) to
+    /// this core at its current time.
+    fn deliver_os_events(&mut self, tid: usize) {
+        use crate::variability::OsEvent;
+        let now = self.threads[tid].time;
+        while let Some(event) = self.vstate.os_event(tid as u32, now) {
+            match event {
+                OsEvent::TimerInterrupt { cycles } => {
+                    self.threads[tid].time += cycles;
+                    self.kernel_activity(tid, 16);
+                }
+                OsEvent::Migration { cycles } => {
+                    // The thread lands on a cold core: direct switch cost
+                    // plus flushed private caches and predictor state.
+                    self.threads[tid].time += cycles;
+                    self.hier.flush_core(tid as u32);
+                    self.predictors[tid] = BranchPredictor::new(12);
+                    self.kernel_activity(tid, 64);
+                    self.record_event("migration", now);
+                }
+            }
+        }
+    }
+
+    /// Kernel work on this core touches kernel cache lines, displacing
+    /// application state in the shared L2 exactly as a full-system
+    /// simulation would.
+    fn kernel_activity(&mut self, tid: usize, lines: usize) {
+        for _ in 0..lines {
+            let block = self.vstate.kernel_block();
+            let now = self.threads[tid].time;
+            let out = self
+                .hier
+                .data_access(tid as u32, block * 64, false, now, &mut self.vstate);
+            self.threads[tid].time += out.latency;
+        }
+    }
+
+    fn run_quantum(&mut self, tid: usize) -> Result<()> {
+        self.deliver_os_events(tid);
+        let quantum_end = self.threads[tid].time + QUANTUM;
+        loop {
+            if self.threads[tid].time >= quantum_end {
+                let at = self.threads[tid].time;
+                self.schedule(tid as u32, at);
+                return Ok(());
+            }
+            match self.step(tid)? {
+                Step::Continue => {}
+                Step::Blocked => {
+                    self.record_active(self.threads[tid].time, -1);
+                    return Ok(());
+                }
+                Step::Finished => {
+                    self.threads[tid].done = true;
+                    self.done_count += 1;
+                    self.record_active(self.threads[tid].time, -1);
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// Executes one program instruction (or one op of the current item).
+    fn step(&mut self, tid: usize) -> Result<Step> {
+        // Inside an item: run its next op.
+        if let Some(pos) = self.threads[tid].in_item {
+            let table = match self.machine.workload.programs[tid][self.threads[tid].pc] {
+                PInstr::RunItem { table } => table as usize,
+                _ => unreachable!("in_item only set while at a RunItem instruction"),
+            };
+            let item = self.threads[tid].item as usize;
+            let ops = &self.machine.workload.tables[table][item].ops;
+            if pos < ops.len() {
+                let op = ops[pos];
+                self.threads[tid].in_item = Some(pos + 1);
+                self.exec_op(tid, op);
+                return Ok(Step::Continue);
+            }
+            self.threads[tid].in_item = None;
+            self.threads[tid].pc += 1;
+            return Ok(Step::Continue);
+        }
+
+        let pc = self.threads[tid].pc;
+        let instr = self.machine.workload.programs[tid][pc];
+        match instr {
+            PInstr::Basic(op) => {
+                self.exec_op(tid, op);
+                self.threads[tid].pc += 1;
+                Ok(Step::Continue)
+            }
+            PInstr::LockAcquire(l) => {
+                // The lock line bounces to this core (store semantics).
+                let now = self.threads[tid].time;
+                let addr = LOCK_BASE + 64 * l as u64;
+                let lat = self
+                    .hier
+                    .data_access(tid as u32, addr, true, now, &mut self.vstate)
+                    .latency;
+                let t = &mut self.threads[tid];
+                t.time += lat + RMW_COST;
+                let now = t.time;
+                if self.locks[l as usize].acquire(tid as u32, now).is_none() {
+                    self.threads[tid].pc += 1;
+                    Ok(Step::Continue)
+                } else {
+                    self.record_event("lock_contention", now);
+                    self.threads[tid].parked = Parked::AdvanceOnWake;
+                    Ok(Step::Blocked)
+                }
+            }
+            PInstr::LockRelease(l) => {
+                let now = self.threads[tid].time;
+                let addr = LOCK_BASE + 64 * l as u64;
+                let lat = self
+                    .hier
+                    .data_access(tid as u32, addr, true, now, &mut self.vstate)
+                    .latency;
+                self.threads[tid].time += lat;
+                let now = self.threads[tid].time;
+                if let Some(wake) = self.locks[l as usize].release(tid as u32, now) {
+                    self.schedule_wake(wake);
+                }
+                self.threads[tid].pc += 1;
+                Ok(Step::Continue)
+            }
+            PInstr::Barrier(b) => {
+                let now = self.threads[tid].time;
+                match self.barriers[b as usize].arrive(tid as u32, now) {
+                    None => {
+                        self.threads[tid].parked = Parked::AdvanceOnWake;
+                        Ok(Step::Blocked)
+                    }
+                    Some(wakes) => {
+                        for wake in wakes {
+                            if wake.thread as usize == tid {
+                                self.threads[tid].time = wake.at;
+                            } else {
+                                self.schedule_wake(wake);
+                            }
+                        }
+                        self.threads[tid].pc += 1;
+                        Ok(Step::Continue)
+                    }
+                }
+            }
+            PInstr::PoolPop {
+                pool,
+                jump_if_empty,
+            } => {
+                // Atomic fetch-and-increment on the pool counter line.
+                let spec = self.machine.workload.pools[pool as usize];
+                let now = self.threads[tid].time;
+                let lat = self
+                    .hier
+                    .data_access(tid as u32, spec.counter_addr, true, now, &mut self.vstate)
+                    .latency;
+                let t = &mut self.threads[tid];
+                t.time += lat + RMW_COST;
+                let cursor = &mut self.pool_cursors[pool as usize];
+                if *cursor < spec.end {
+                    self.threads[tid].item = *cursor;
+                    *cursor += 1;
+                    self.threads[tid].pc += 1;
+                } else {
+                    self.threads[tid].pc = jump_if_empty as usize;
+                }
+                Ok(Step::Continue)
+            }
+            PInstr::RunItem { .. } => {
+                self.threads[tid].in_item = Some(0);
+                Ok(Step::Continue)
+            }
+            PInstr::QueuePush(q) => {
+                let now = self.threads[tid].time;
+                let item = self.threads[tid].item;
+                match self.queues[q as usize].push(tid as u32, item, now) {
+                    PushResult::Stored(wake) => {
+                        if let Some(w) = wake {
+                            self.schedule_wake(w);
+                        }
+                        self.threads[tid].time += QUEUE_COST;
+                        self.threads[tid].pc += 1;
+                        Ok(Step::Continue)
+                    }
+                    PushResult::Blocked => {
+                        self.threads[tid].parked = Parked::AdvanceOnWake;
+                        Ok(Step::Blocked)
+                    }
+                }
+            }
+            PInstr::QueuePop {
+                queue,
+                jump_if_closed,
+            } => {
+                let now = self.threads[tid].time;
+                match self.queues[queue as usize].pop(tid as u32, now) {
+                    PopResult::Item(item) => {
+                        self.threads[tid].item = item;
+                        self.threads[tid].time += QUEUE_COST;
+                        // Space freed: a parked producer may proceed.
+                        if let Some(w) = self.queues[queue as usize].admit_parked_producer(now) {
+                            self.schedule_wake(w);
+                        }
+                        self.threads[tid].pc += 1;
+                        Ok(Step::Continue)
+                    }
+                    PopResult::Blocked => {
+                        self.threads[tid].parked = Parked::RetryOnWake;
+                        Ok(Step::Blocked)
+                    }
+                    PopResult::Closed => {
+                        self.threads[tid].pc = jump_if_closed as usize;
+                        Ok(Step::Continue)
+                    }
+                }
+            }
+            PInstr::CloseQueue(q) => {
+                let left = &mut self.queue_producers_left[q as usize];
+                *left = left.saturating_sub(1);
+                if *left == 0 {
+                    let now = self.threads[tid].time;
+                    for wake in self.queues[q as usize].close(now) {
+                        self.schedule_wake(wake);
+                    }
+                }
+                self.threads[tid].pc += 1;
+                Ok(Step::Continue)
+            }
+            PInstr::SetItem(v) => {
+                self.threads[tid].item = v;
+                self.threads[tid].pc += 1;
+                Ok(Step::Continue)
+            }
+            PInstr::Jump(t) => {
+                // Jumps cost one cycle so zero-progress loops cannot hang
+                // the scheduler.
+                self.threads[tid].time += 1;
+                self.threads[tid].pc = t as usize;
+                Ok(Step::Continue)
+            }
+            PInstr::End => Ok(Step::Finished),
+        }
+    }
+
+    fn exec_op(&mut self, tid: usize, op: Op) {
+        let core = tid as u32;
+        // Instruction fetch: stride through the benchmark's code
+        // footprint; only misses cost cycles.
+        let t = &mut self.threads[tid];
+        t.op_counter += 1;
+        let code_bytes = self.machine.workload.code_bytes.max(64);
+        let fetch_addr = CODE_BASE + (t.op_counter * 16) % code_bytes;
+        let now = t.time;
+        let fetch = self.hier.inst_fetch(core, fetch_addr, now, &mut self.vstate);
+        let t = &mut self.threads[tid];
+        t.time += fetch.latency;
+        t.instructions += op.instructions();
+
+        match op {
+            Op::Compute { cycles, .. } => {
+                self.threads[tid].time += cycles as u64;
+            }
+            Op::Load { addr } => {
+                let now = self.threads[tid].time;
+                let out = self.hier.data_access(core, addr, false, now, &mut self.vstate);
+                self.threads[tid].time += out.latency;
+                if out.l2_miss {
+                    self.record_event("l2_miss", now);
+                }
+                if out.tlb_miss {
+                    self.record_event("tlb_miss", now);
+                }
+            }
+            Op::Store { addr } => {
+                let now = self.threads[tid].time;
+                let out = self.hier.data_access(core, addr, true, now, &mut self.vstate);
+                self.threads[tid].time += out.latency;
+                if out.l2_miss {
+                    self.record_event("l2_miss", now);
+                }
+                if out.tlb_miss {
+                    self.record_event("tlb_miss", now);
+                }
+            }
+            Op::Branch { pc, taken } => {
+                let correct = self.predictors[tid].predict_and_train(pc as u64, taken);
+                if !correct {
+                    let t = &mut self.threads[tid];
+                    t.time += self.machine.config.mispredict_penalty;
+                    t.mispredicts += 1;
+                    let at = self.threads[tid].time;
+                    self.record_event("branch_mispredict", at);
+                }
+            }
+        }
+    }
+
+    fn finish(self) -> ExecutionResult {
+        let config = &self.machine.config;
+        let mut m = ExecutionMetrics {
+            runtime_cycles: self.threads.iter().map(|t| t.time).max().unwrap_or(0),
+            instructions: self.threads.iter().map(|t| t.instructions).sum(),
+            l1d_misses: self.hier.l1d_misses(),
+            l1d_accesses: self.hier.l1d_accesses(),
+            l1i_misses: self.hier.l1i_misses(),
+            l1i_accesses: self.hier.l1i_accesses(),
+            l2_misses: self.hier.l2_misses(),
+            l2_accesses: self.hier.l2_accesses(),
+            max_load_latency: self.hier.max_load_latency(),
+            avg_load_latency: self.hier.avg_load_latency(),
+            branch_mispredicts: self.threads.iter().map(|t| t.mispredicts).sum(),
+            tlb_misses: self.hier.tlb_misses(),
+            lock_contentions: self.locks.iter().map(Lock::contended).sum(),
+            invalidations: self.hier.invalidations(),
+            dram_accesses: self.hier.dram_accesses(),
+            jitter_cycles: self.hier.jitter_cycles(),
+            ..ExecutionMetrics::default()
+        };
+        m.finalize(config.clock_hz);
+
+        let stl_data = if config.collect_trace {
+            Some(self.build_stl_data(&m))
+        } else {
+            None
+        };
+        ExecutionResult {
+            seed: self.seed,
+            metrics: m,
+            stl_data,
+        }
+    }
+
+    fn build_stl_data(&self, m: &ExecutionMetrics) -> spa_stl::execution::ExecutionData {
+        let mut data = spa_stl::execution::ExecutionData::new(m.runtime_cycles);
+        for metric in crate::metrics::Metric::ALL {
+            data.set_metric(metric.key(), metric.extract(m));
+        }
+        data.set_metric("avg_load_latency", m.avg_load_latency);
+        data.set_metric("lock_contentions", m.lock_contentions as f64);
+        // Standard streams exist even when empty so properties can ask
+        // about events that happened zero times.
+        for stream in ["tlb_miss", "l2_miss", "lock_contention", "branch_mispredict", "migration"] {
+            data.declare_stream(stream);
+        }
+        // Events, sorted by time (threads emit out of order).
+        let mut events = self.events.clone();
+        events.sort_unstable();
+        for (at, name) in events {
+            data.record_event(name, at).expect("events sorted by time");
+        }
+        // Active-thread signal plus a simple power proxy.
+        let mut samples = self.active_samples.clone();
+        samples.sort_unstable_by_key(|&(at, _)| at);
+        let mut last_time = None;
+        for (at, active) in samples {
+            if last_time == Some(at) {
+                continue; // keep strictly increasing times
+            }
+            last_time = Some(at);
+            let trace = data.trace_mut();
+            trace
+                .push("active_threads", at, active as f64)
+                .expect("times strictly increasing");
+            trace
+                .push("power", at, 8.0 + 23.0 * active as f64)
+                .expect("times strictly increasing");
+        }
+        if last_time.is_none() {
+            let trace = data.trace_mut();
+            let n = self.machine.config.cores as f64;
+            trace.push("active_threads", 0, n).expect("fresh signal");
+            trace.push("power", 0, 8.0 + 23.0 * n).expect("fresh signal");
+        }
+        data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{PoolSpec, QueueSpec, WorkItem};
+
+    fn compute(cycles: u16) -> PInstr {
+        PInstr::Basic(Op::Compute {
+            cycles,
+            instructions: cycles,
+        })
+    }
+
+    fn single_thread_config() -> SystemConfig {
+        let mut c = SystemConfig::table2();
+        c.cores = 1;
+        c
+    }
+
+    #[test]
+    fn straight_line_program_runs() {
+        let w = WorkloadSpec {
+            name: "line".into(),
+            programs: vec![vec![
+                compute(10),
+                PInstr::Basic(Op::Load { addr: 0x1000 }),
+                PInstr::Basic(Op::Store { addr: 0x1000 }),
+                PInstr::Basic(Op::Branch { pc: 4, taken: true }),
+                PInstr::End,
+            ]],
+            code_bytes: 4096,
+            ..WorkloadSpec::default()
+        };
+        let m = Machine::new(single_thread_config(), &w).unwrap();
+        let r = m.run(0).unwrap();
+        assert!(r.metrics.runtime_cycles > 10);
+        assert_eq!(r.metrics.instructions, 13);
+        assert_eq!(r.metrics.l1d_accesses, 2);
+    }
+
+    #[test]
+    fn core_count_mismatch_rejected() {
+        let w = WorkloadSpec {
+            name: "one".into(),
+            programs: vec![vec![PInstr::End]],
+            code_bytes: 64,
+            ..WorkloadSpec::default()
+        };
+        assert!(Machine::new(SystemConfig::table2(), &w).is_err());
+    }
+
+    #[test]
+    fn lock_serializes_critical_sections() {
+        // Two threads increment under a lock; both must finish.
+        let prog = vec![
+            PInstr::LockAcquire(0),
+            PInstr::Basic(Op::Load { addr: 0x9000 }),
+            compute(50),
+            PInstr::Basic(Op::Store { addr: 0x9000 }),
+            PInstr::LockRelease(0),
+            PInstr::End,
+        ];
+        let w = WorkloadSpec {
+            name: "locked".into(),
+            programs: vec![prog.clone(), prog],
+            locks: 1,
+            code_bytes: 1024,
+            ..WorkloadSpec::default()
+        };
+        let mut c = SystemConfig::table2();
+        c.cores = 2;
+        let m = Machine::new(c, &w).unwrap();
+        let r = m.run(0).unwrap();
+        assert!(r.metrics.runtime_cycles > 100);
+        // The second thread contends (threads start 20 cycles apart but
+        // the critical section is 50+ cycles).
+        assert_eq!(r.metrics.lock_contentions, 1);
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        let prog_fast = vec![compute(10), PInstr::Barrier(0), PInstr::End];
+        let prog_slow = vec![compute(500), PInstr::Barrier(0), PInstr::End];
+        let w = WorkloadSpec {
+            name: "barrier".into(),
+            programs: vec![prog_fast, prog_slow],
+            barriers: vec![2],
+            code_bytes: 1024,
+            ..WorkloadSpec::default()
+        };
+        let mut c = SystemConfig::table2();
+        c.cores = 2;
+        let m = Machine::new(c, &w).unwrap();
+        let r = m.run(0).unwrap();
+        // Both threads end after the slow one arrives (≥ 500 cycles).
+        assert!(r.metrics.runtime_cycles >= 500);
+    }
+
+    #[test]
+    fn producer_consumer_queue_flows() {
+        // Producer pushes 8 items from a pool; consumer pops and runs them.
+        let items: Vec<WorkItem> = (0..8)
+            .map(|i| WorkItem {
+                ops: vec![Op::Load {
+                    addr: 0x2000 + i * 64,
+                }],
+            })
+            .collect();
+        let producer = vec![
+            PInstr::PoolPop {
+                pool: 0,
+                jump_if_empty: 3,
+            },
+            PInstr::QueuePush(0),
+            PInstr::Jump(0),
+            PInstr::CloseQueue(0),
+            PInstr::End,
+        ];
+        let consumer = vec![
+            PInstr::QueuePop {
+                queue: 0,
+                jump_if_closed: 3,
+            },
+            PInstr::RunItem { table: 0 },
+            PInstr::Jump(0),
+            PInstr::End,
+        ];
+        let w = WorkloadSpec {
+            name: "pipe".into(),
+            programs: vec![producer, consumer],
+            tables: vec![items],
+            pools: vec![PoolSpec {
+                start: 0,
+                end: 8,
+                counter_addr: 0xA000,
+            }],
+            queues: vec![QueueSpec {
+                capacity: 2,
+                producers: 1,
+            }],
+            code_bytes: 1024,
+            ..WorkloadSpec::default()
+        };
+        let mut c = SystemConfig::table2();
+        c.cores = 2;
+        let m = Machine::new(c, &w).unwrap();
+        let r = m.run(0).unwrap();
+        // All 8 item loads happened (plus pool-counter stores).
+        assert!(r.metrics.l1d_accesses >= 8);
+        assert!(r.metrics.runtime_cycles > 0);
+    }
+
+    #[test]
+    fn deadlock_is_detected() {
+        // A consumer on a queue nobody ever closes or fills.
+        let w = WorkloadSpec {
+            name: "dead".into(),
+            programs: vec![vec![
+                PInstr::QueuePop {
+                    queue: 0,
+                    jump_if_closed: 1,
+                },
+                PInstr::End,
+            ]],
+            queues: vec![QueueSpec {
+                capacity: 1,
+                producers: 1,
+            }],
+            code_bytes: 64,
+            ..WorkloadSpec::default()
+        };
+        let m = Machine::new(single_thread_config(), &w).unwrap();
+        assert!(matches!(m.run(0), Err(SimError::Deadlock { .. })));
+    }
+
+    #[test]
+    fn determinism_and_seed_sensitivity() {
+        // A memory-heavy loop whose runtime depends on DRAM jitter.
+        let items: Vec<WorkItem> = (0..32)
+            .map(|i| WorkItem {
+                ops: (0..16)
+                    .map(|j| Op::Load {
+                        // Spread far apart to miss in L2.
+                        addr: (i * 16 + j) * 64 * 4099,
+                    })
+                    .collect(),
+            })
+            .collect();
+        let prog = vec![
+            PInstr::PoolPop {
+                pool: 0,
+                jump_if_empty: 3,
+            },
+            PInstr::RunItem { table: 0 },
+            PInstr::Jump(0),
+            PInstr::End,
+        ];
+        let w = WorkloadSpec {
+            name: "jittery".into(),
+            programs: vec![prog],
+            tables: vec![items],
+            pools: vec![PoolSpec {
+                start: 0,
+                end: 32,
+                counter_addr: 0xB000,
+            }],
+            code_bytes: 2048,
+            ..WorkloadSpec::default()
+        };
+        let m = Machine::new(single_thread_config(), &w).unwrap();
+        let a = m.run(5).unwrap();
+        let b = m.run(5).unwrap();
+        assert_eq!(a.metrics, b.metrics);
+        let c = m.run(6).unwrap();
+        assert_ne!(
+            a.metrics.runtime_cycles, c.metrics.runtime_cycles,
+            "different seeds should give different jitter totals"
+        );
+    }
+
+    #[test]
+    fn trace_collection_produces_stl_data() {
+        let w = WorkloadSpec {
+            name: "traced".into(),
+            programs: vec![vec![
+                PInstr::Basic(Op::Load { addr: 0x100000 }),
+                compute(20),
+                PInstr::End,
+            ]],
+            code_bytes: 1024,
+            ..WorkloadSpec::default()
+        };
+        let m = Machine::new(single_thread_config().with_trace(), &w).unwrap();
+        let r = m.run(0).unwrap();
+        let data = r.stl_data.expect("trace requested");
+        assert!(data.metric("runtime").is_ok());
+        assert!(data.trace().has_signal("power"));
+        assert!(data.trace().has_signal("active_threads"));
+        // Untraced runs return None.
+        let m2 = Machine::new(single_thread_config(), &w).unwrap();
+        assert!(m2.run(0).unwrap().stl_data.is_none());
+    }
+}

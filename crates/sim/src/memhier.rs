@@ -1,0 +1,544 @@
+//! The full memory hierarchy: private L1 I/D → crossbar → shared
+//! inclusive L2 + MESI directory → DRAM.
+//!
+//! One call prices a complete memory operation: cache lookups, coherence
+//! actions (upgrades, invalidations, dirty forwards), crossbar
+//! occupancy, DRAM queueing, and the injected jitter. The timing is
+//! transaction-level — each access computes its completion time against
+//! busy-until scoreboards rather than exchanging individual messages —
+//! which preserves first-order contention while staying fast enough for
+//! the paper's 500-run populations.
+
+use crate::cache::{Access, BlockAddr, CacheArray};
+use crate::coherence::{CoreId, Directory, MesiState};
+use crate::config::SystemConfig;
+use crate::dram::Dram;
+use crate::interconnect::Network;
+use crate::tlb::Tlb;
+use crate::variability::VariabilityState;
+
+/// Which structures an access touched (for metric accounting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AccessOutcome {
+    /// Completion latency in cycles (includes everything).
+    pub latency: u64,
+    /// The L1 (D or I) missed.
+    pub l1_miss: bool,
+    /// The shared L2 missed (DRAM was accessed).
+    pub l2_miss: bool,
+    /// The data TLB missed (data accesses only).
+    pub tlb_miss: bool,
+}
+
+/// The assembled hierarchy.
+#[derive(Debug, Clone)]
+pub struct MemoryHierarchy {
+    config: SystemConfig,
+    l1d: Vec<CacheArray>,
+    l1i: Vec<CacheArray>,
+    dtlb: Vec<Tlb>,
+    l2: CacheArray,
+    directory: Directory,
+    network: Network,
+    dram: Dram,
+    max_load_latency: u64,
+    total_load_latency: u64,
+    loads: u64,
+    stores: u64,
+    prefetches: u64,
+    prefetch_hits_wasted: u64,
+}
+
+impl MemoryHierarchy {
+    /// Builds the hierarchy for a validated config.
+    pub fn new(config: SystemConfig) -> Self {
+        let cores = config.cores as usize;
+        Self {
+            l1d: (0..cores)
+                .map(|_| CacheArray::new(&config.l1d, config.block_bytes))
+                .collect(),
+            l1i: (0..cores)
+                .map(|_| CacheArray::new(&config.l1i, config.block_bytes))
+                .collect(),
+            dtlb: (0..cores).map(|_| Tlb::new(config.tlb_entries)).collect(),
+            l2: CacheArray::new(&config.l2, config.block_bytes),
+            directory: Directory::new(config.cores),
+            network: Network::new(&config),
+            dram: Dram::new(config.dram_latency),
+            config,
+            max_load_latency: 0,
+            total_load_latency: 0,
+            loads: 0,
+            stores: 0,
+            prefetches: 0,
+            prefetch_hits_wasted: 0,
+        }
+    }
+
+    /// Performs a data access (load or store) by `core` to byte address
+    /// `addr` issued at cycle `now`; returns the outcome with its
+    /// total latency.
+    pub fn data_access(
+        &mut self,
+        core: CoreId,
+        addr: u64,
+        is_store: bool,
+        now: u64,
+        variability: &mut VariabilityState,
+    ) -> AccessOutcome {
+        let block = addr / self.config.block_bytes;
+        let mut out = AccessOutcome::default();
+
+        // TLB first: a miss adds the page-walk penalty serially.
+        let page = addr / self.config.page_bytes;
+        let mut t = now;
+        if !self.dtlb[core as usize].access(page) {
+            out.tlb_miss = true;
+            t += self.config.tlb_miss_penalty;
+        }
+
+        // L1 lookup (fills on miss; the victim is released below).
+        t += self.config.l1d.latency;
+        match self.l1d[core as usize].access(block) {
+            Access::Hit => {
+                if is_store {
+                    // Store hits still need write permission.
+                    t = self.price_store_permission(core, block, t);
+                }
+            }
+            miss => {
+                out.l1_miss = true;
+                if let Access::MissEvicted(victim) = miss {
+                    self.directory.evict_l1(core, victim);
+                }
+                t = self.fetch_block(core, block, t, is_store, &mut out, variability);
+            }
+        }
+
+        out.latency = t.saturating_sub(now);
+        if is_store {
+            self.stores += 1;
+        } else {
+            self.loads += 1;
+            self.total_load_latency += out.latency;
+            self.max_load_latency = self.max_load_latency.max(out.latency);
+        }
+        out
+    }
+
+    /// Prices obtaining write permission for a block already in this
+    /// core's L1.
+    fn price_store_permission(&mut self, core: CoreId, block: BlockAddr, t: u64) -> u64 {
+        match self.directory.state(block) {
+            MesiState::Modified | MesiState::Exclusive
+                if self.directory.sharers(block) == vec![core] =>
+            {
+                // Silent upgrade (or already M by this core).
+                self.directory.write(core, block);
+                t
+            }
+            _ => {
+                // Upgrade miss: directory access + parallel invalidations
+                // + ack collection.
+                let outcome = self.directory.write(core, block);
+                for other in &outcome.invalidated {
+                    self.l1d[*other as usize].invalidate(block);
+                }
+                let inv_cost = if outcome.invalidated.is_empty() {
+                    0
+                } else {
+                    2 * self.network.control_latency(core)
+                };
+                t + self.config.l2.latency + inv_cost
+            }
+        }
+    }
+
+    /// Handles an L1 miss (the L1 array has already been filled by the
+    /// demand lookup): consult L2 + directory, possibly DRAM, and handle
+    /// inclusion victims. Returns the completion time.
+    fn fetch_block(
+        &mut self,
+        core: CoreId,
+        block: BlockAddr,
+        t: u64,
+        is_store: bool,
+        out: &mut AccessOutcome,
+        variability: &mut VariabilityState,
+    ) -> u64 {
+        // Request crosses the network (control) and looks up the L2.
+        let mut t = t + self.network.control_latency(core) + self.config.l2.latency;
+
+        // Coherence resolution.
+        let outcome = if is_store {
+            self.directory.write(core, block)
+        } else {
+            self.directory.read(core, block)
+        };
+        for other in &outcome.invalidated {
+            self.l1d[*other as usize].invalidate(block);
+        }
+        if !outcome.invalidated.is_empty() {
+            t += 2 * self.network.control_latency(core);
+        }
+        if let Some(owner) = outcome.fetched_from_owner {
+            // Dirty line forwarded from the owner's L1 through the
+            // network: owner L1 access + transfer.
+            t += self.config.l1d.latency;
+            t = self.network.transfer(owner, t);
+        }
+
+        // L2 array lookup/fill (demand access).
+        match self.l2.access(block) {
+            Access::Hit => {}
+            miss => {
+                out.l2_miss = true;
+                let jitter = variability.dram_jitter();
+                t = self.dram.access(block, t, jitter);
+                if let Access::MissEvicted(victim) = miss {
+                    // Inclusive L2: back-invalidate every L1 copy.
+                    for holder in self.directory.evict_l2(victim) {
+                        self.l1d[holder as usize].invalidate(victim);
+                        self.l1i[holder as usize].invalidate(victim);
+                    }
+                }
+                self.maybe_prefetch(block + 1, t, variability);
+            }
+        }
+
+        // Data block returns to the requester over its network path.
+        self.network.transfer(core, t)
+    }
+
+    /// Performs an instruction fetch by `core` at byte address `pc`
+    /// issued at cycle `now`. Hits are free (overlapped with decode);
+    /// misses go to the L2/DRAM path.
+    pub fn inst_fetch(
+        &mut self,
+        core: CoreId,
+        pc: u64,
+        now: u64,
+        variability: &mut VariabilityState,
+    ) -> AccessOutcome {
+        let block = pc / self.config.block_bytes;
+        let mut out = AccessOutcome::default();
+        match self.l1i[core as usize].access(block) {
+            Access::Hit => {}
+            _ => {
+                out.l1_miss = true;
+                let mut t = now + self.config.l1i.latency + self.network.control_latency(core);
+                t += self.config.l2.latency;
+                match self.l2.access(block) {
+                    Access::Hit => {}
+                    miss => {
+                        out.l2_miss = true;
+                        let jitter = variability.dram_jitter();
+                        t = self.dram.access(block, t, jitter);
+                        if let Access::MissEvicted(victim) = miss {
+                            for holder in self.directory.evict_l2(victim) {
+                                self.l1d[holder as usize].invalidate(victim);
+                                self.l1i[holder as usize].invalidate(victim);
+                            }
+                        }
+                    }
+                }
+                t = self.network.transfer(core, t);
+                out.latency = t - now;
+            }
+        }
+        out
+    }
+
+    /// Aggregate L1 data-cache misses across cores.
+    pub fn l1d_misses(&self) -> u64 {
+        self.l1d.iter().map(CacheArray::misses).sum()
+    }
+
+    /// Aggregate L1 data-cache accesses across cores.
+    pub fn l1d_accesses(&self) -> u64 {
+        self.l1d.iter().map(CacheArray::accesses).sum()
+    }
+
+    /// Aggregate L1 instruction-cache misses across cores.
+    pub fn l1i_misses(&self) -> u64 {
+        self.l1i.iter().map(CacheArray::misses).sum()
+    }
+
+    /// Aggregate L1 instruction-cache accesses across cores.
+    pub fn l1i_accesses(&self) -> u64 {
+        self.l1i.iter().map(CacheArray::accesses).sum()
+    }
+
+    /// Shared L2 misses.
+    pub fn l2_misses(&self) -> u64 {
+        self.l2.misses()
+    }
+
+    /// Shared L2 accesses.
+    pub fn l2_accesses(&self) -> u64 {
+        self.l2.accesses()
+    }
+
+    /// Aggregate data-TLB misses.
+    pub fn tlb_misses(&self) -> u64 {
+        self.dtlb.iter().map(Tlb::misses).sum()
+    }
+
+    /// Worst-case load latency observed (cycles).
+    pub fn max_load_latency(&self) -> u64 {
+        self.max_load_latency
+    }
+
+    /// Mean load latency (cycles; `NaN` before any load).
+    pub fn avg_load_latency(&self) -> f64 {
+        if self.loads == 0 {
+            f64::NAN
+        } else {
+            self.total_load_latency as f64 / self.loads as f64
+        }
+    }
+
+    /// Number of loads serviced.
+    pub fn loads(&self) -> u64 {
+        self.loads
+    }
+
+    /// Number of stores serviced.
+    pub fn stores(&self) -> u64 {
+        self.stores
+    }
+
+    /// Next-line L2 prefetch on a demand miss: fills `block` into the L2
+    /// in the background (occupying a DRAM bank but never stalling the
+    /// demand access).
+    fn maybe_prefetch(
+        &mut self,
+        block: BlockAddr,
+        now: u64,
+        variability: &mut VariabilityState,
+    ) {
+        if !self.config.l2_next_line_prefetch {
+            return;
+        }
+        if self.l2.contains(block) {
+            self.prefetch_hits_wasted += 1;
+            return;
+        }
+        self.prefetches += 1;
+        let jitter = variability.dram_jitter();
+        let _ = self.dram.access(block, now, jitter);
+        if let Access::MissEvicted(victim) = self.l2.access(block) {
+            for holder in self.directory.evict_l2(victim) {
+                self.l1d[holder as usize].invalidate(victim);
+                self.l1i[holder as usize].invalidate(victim);
+            }
+        }
+    }
+
+    /// Flushes one core's private caches (thread migration onto a cold
+    /// core, §2.1): every resident L1 line is dropped and released in
+    /// the directory.
+    pub fn flush_core(&mut self, core: CoreId) {
+        for block in self.l1d[core as usize].resident_blocks() {
+            self.directory.evict_l1(core, block);
+        }
+        self.l1d[core as usize].clear();
+        self.l1i[core as usize].clear();
+    }
+
+    /// Coherence invalidation messages sent.
+    pub fn invalidations(&self) -> u64 {
+        self.directory.invalidations_sent()
+    }
+
+    /// DRAM accesses performed.
+    pub fn dram_accesses(&self) -> u64 {
+        self.dram.accesses()
+    }
+
+    /// Total injected jitter cycles.
+    pub fn jitter_cycles(&self) -> u64 {
+        self.dram.jitter_cycles_total()
+    }
+
+    /// Prefetches issued (0 unless the prefetcher is enabled).
+    pub fn prefetches(&self) -> u64 {
+        self.prefetches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variability::Variability;
+
+    fn hier() -> (MemoryHierarchy, VariabilityState) {
+        (
+            MemoryHierarchy::new(SystemConfig::table2()),
+            Variability::None.state_for_run(0),
+        )
+    }
+
+    #[test]
+    fn cold_load_goes_to_dram() {
+        let (mut h, mut v) = hier();
+        let out = h.data_access(0, 0x1000, false, 0, &mut v);
+        assert!(out.l1_miss);
+        assert!(out.l2_miss);
+        assert!(out.tlb_miss);
+        // 2 (L1) + 1 (xbar) + 16 (L2) + 90 (DRAM) + 5 (transfer) + 30 (TLB walk)
+        assert_eq!(out.latency, 30 + 2 + 1 + 16 + 90 + 5);
+        assert_eq!(h.dram_accesses(), 1);
+    }
+
+    #[test]
+    fn warm_load_hits_l1() {
+        let (mut h, mut v) = hier();
+        h.data_access(0, 0x1000, false, 0, &mut v);
+        let out = h.data_access(0, 0x1000, false, 200, &mut v);
+        assert!(!out.l1_miss);
+        assert!(!out.l2_miss);
+        assert_eq!(out.latency, 2);
+        assert_eq!(h.max_load_latency(), 144);
+    }
+
+    #[test]
+    fn l2_hit_after_remote_l1_fill() {
+        let (mut h, mut v) = hier();
+        h.data_access(0, 0x1000, false, 0, &mut v);
+        // Core 1 misses its L1 but hits the shared L2.
+        let out = h.data_access(1, 0x1000, false, 500, &mut v);
+        assert!(out.l1_miss);
+        assert!(!out.l2_miss);
+        assert!(out.latency < 144, "latency {}", out.latency);
+    }
+
+    #[test]
+    fn store_to_shared_line_invalidates() {
+        let (mut h, mut v) = hier();
+        h.data_access(0, 0x2000, false, 0, &mut v);
+        h.data_access(1, 0x2000, false, 300, &mut v);
+        let inv_before = h.invalidations();
+        // Core 0 still has the line in L1; its store must upgrade.
+        let out = h.data_access(0, 0x2000, true, 600, &mut v);
+        assert!(!out.l1_miss);
+        assert!(h.invalidations() > inv_before);
+        assert!(out.latency > 2);
+    }
+
+    #[test]
+    fn dirty_forwarding_on_remote_read() {
+        let (mut h, mut v) = hier();
+        h.data_access(0, 0x3000, true, 0, &mut v); // core 0 owns M
+        let out = h.data_access(1, 0x3000, false, 400, &mut v);
+        assert!(out.l1_miss);
+        assert!(!out.l2_miss, "dirty data comes from the owner, not DRAM");
+    }
+
+    #[test]
+    fn store_after_own_store_is_silent() {
+        let (mut h, mut v) = hier();
+        h.data_access(2, 0x4000, true, 0, &mut v);
+        let out = h.data_access(2, 0x4000, true, 300, &mut v);
+        assert_eq!(out.latency, 2);
+    }
+
+    #[test]
+    fn inst_fetch_hits_are_free() {
+        let (mut h, mut v) = hier();
+        let out = h.inst_fetch(0, 0x8000, 0, &mut v);
+        assert!(out.l1_miss);
+        assert!(out.latency > 0);
+        let out = h.inst_fetch(0, 0x8000, 100, &mut v);
+        assert!(!out.l1_miss);
+        assert_eq!(out.latency, 0);
+    }
+
+    #[test]
+    fn tlb_second_access_same_page_hits() {
+        let (mut h, mut v) = hier();
+        let a = h.data_access(0, 0x1000, false, 0, &mut v);
+        let b = h.data_access(0, 0x1040, false, 200, &mut v); // same 4K page, next block
+        assert!(a.tlb_miss);
+        assert!(!b.tlb_miss);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let (mut h, mut v) = hier();
+        for i in 0..10 {
+            h.data_access(0, i * 64, false, i * 10, &mut v);
+        }
+        h.data_access(0, 0, true, 1000, &mut v);
+        assert_eq!(h.loads(), 10);
+        assert_eq!(h.stores(), 1);
+        assert_eq!(h.l1d_accesses(), 11);
+        assert!(h.avg_load_latency() > 0.0);
+    }
+
+    #[test]
+    fn flush_core_releases_lines() {
+        let (mut h, mut v) = hier();
+        h.data_access(0, 0x1000, false, 0, &mut v);
+        h.data_access(0, 0x2000, true, 100, &mut v);
+        h.flush_core(0);
+        // Both lines are gone: the next accesses miss L1 again (but hit
+        // the still-warm L2).
+        let out = h.data_access(0, 0x1000, false, 1000, &mut v);
+        assert!(out.l1_miss);
+        assert!(!out.l2_miss);
+        // The directory no longer lists core 0 anywhere, so another
+        // core's store needs no invalidation.
+        let inv = h.invalidations();
+        h.data_access(1, 0x1000, true, 2000, &mut v);
+        // Core 0 re-read the line above, so one invalidation for core 0
+        // is legitimate; flushing again and re-storing shows none.
+        h.flush_core(0);
+        h.flush_core(1);
+        h.data_access(2, 0x2000, true, 3000, &mut v);
+        assert!(h.invalidations() <= inv + 1);
+    }
+
+    #[test]
+    fn next_line_prefetch_fills_l2() {
+        let mut h = MemoryHierarchy::new(SystemConfig::table2().with_prefetch());
+        let mut v = Variability::None.state_for_run(0);
+        // Demand miss on block 0x1000/64 prefetches the next block.
+        h.data_access(0, 0x1000, false, 0, &mut v);
+        assert_eq!(h.prefetches(), 1);
+        // The next line is already in L2: the second access misses L1
+        // but NOT L2.
+        let out = h.data_access(0, 0x1000 + 64, false, 500, &mut v);
+        assert!(out.l1_miss);
+        assert!(!out.l2_miss, "prefetched line should hit in L2");
+        // Without the prefetcher the same pattern misses twice.
+        let mut h2 = MemoryHierarchy::new(SystemConfig::table2());
+        let mut v2 = Variability::None.state_for_run(0);
+        h2.data_access(0, 0x1000, false, 0, &mut v2);
+        assert_eq!(h2.prefetches(), 0);
+        let out = h2.data_access(0, 0x1000 + 64, false, 500, &mut v2);
+        assert!(out.l2_miss);
+    }
+
+    #[test]
+    fn jitter_lengthens_misses() {
+        let mut h = MemoryHierarchy::new(SystemConfig::table2());
+        let mut v = Variability::DramJitter { max_cycles: 4 }.state_for_run(9);
+        let mut total = 0u64;
+        for i in 0..50 {
+            total += h
+                .data_access(0, i * 64 * 4096, false, i * 1000, &mut v)
+                .latency;
+        }
+        let mut h2 = MemoryHierarchy::new(SystemConfig::table2());
+        let mut v2 = Variability::None.state_for_run(9);
+        let mut total2 = 0u64;
+        for i in 0..50 {
+            total2 += h2
+                .data_access(0, i * 64 * 4096, false, i * 1000, &mut v2)
+                .latency;
+        }
+        assert!(total >= total2);
+        assert_eq!(h.jitter_cycles(), total - total2);
+    }
+}

@@ -1,0 +1,242 @@
+//! Per-execution metrics — the quantities the paper's figures analyze.
+//!
+//! Fig. 6–9 evaluate CI construction over several metrics of the ferret
+//! benchmark (runtime, IPC, cache MPKIs, max load latency, branch
+//! MPKI); Fig. 10–13 sweep benchmarks at fixed metrics. The [`Metric`]
+//! enum names them uniformly so harnesses can iterate.
+
+use serde::{Deserialize, Serialize};
+
+use spa_stl::execution::ExecutionData;
+
+/// Scalar metrics of one simulated execution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct ExecutionMetrics {
+    /// End-to-end runtime in cycles (maximum over cores).
+    pub runtime_cycles: u64,
+    /// Runtime converted to seconds at the configured clock.
+    pub runtime_seconds: f64,
+    /// Total committed instructions across cores.
+    pub instructions: u64,
+    /// Aggregate instructions per cycle.
+    pub ipc: f64,
+    /// L1 data-cache misses.
+    pub l1d_misses: u64,
+    /// L1 data-cache accesses.
+    pub l1d_accesses: u64,
+    /// L1 instruction-cache misses.
+    pub l1i_misses: u64,
+    /// L1 instruction-cache accesses.
+    pub l1i_accesses: u64,
+    /// Shared L2 misses.
+    pub l2_misses: u64,
+    /// Shared L2 accesses.
+    pub l2_accesses: u64,
+    /// L1 (D+I) misses per 1000 instructions.
+    pub l1_mpki: f64,
+    /// L2 misses per 1000 instructions.
+    pub l2_mpki: f64,
+    /// L2 miss probability (misses / accesses).
+    pub l2_miss_rate: f64,
+    /// Worst-case load latency in cycles. Integer-valued by nature —
+    /// the metric whose duplicates break BCa bootstrapping (§6.4).
+    pub max_load_latency: u64,
+    /// Mean load latency in cycles.
+    pub avg_load_latency: f64,
+    /// Branch mispredictions.
+    pub branch_mispredicts: u64,
+    /// Branch mispredictions per 1000 instructions.
+    pub branch_mpki: f64,
+    /// Data-TLB misses.
+    pub tlb_misses: u64,
+    /// Lock acquisitions that had to wait.
+    pub lock_contentions: u64,
+    /// Coherence invalidation messages.
+    pub invalidations: u64,
+    /// DRAM accesses.
+    pub dram_accesses: u64,
+    /// Total injected variability cycles.
+    pub jitter_cycles: u64,
+}
+
+/// A named metric extractor — what the bench harness sweeps over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Metric {
+    /// Runtime in seconds (Fig. 1/2's metric).
+    RuntimeSeconds,
+    /// Aggregate IPC.
+    Ipc,
+    /// L1 misses per kilo-instruction (Fig. 10/11's metric).
+    L1Mpki,
+    /// L2 misses per kilo-instruction.
+    L2Mpki,
+    /// L2 miss probability (Fig. 12/13's metric).
+    L2MissRate,
+    /// Maximum load latency in cycles (integer-valued; the §6.4
+    /// bootstrap-breaking metric).
+    MaxLoadLatency,
+    /// Branch mispredictions per kilo-instruction.
+    BranchMpki,
+}
+
+impl Metric {
+    /// All metrics, in the order the figures present them.
+    pub const ALL: [Metric; 7] = [
+        Metric::RuntimeSeconds,
+        Metric::Ipc,
+        Metric::L1Mpki,
+        Metric::L2Mpki,
+        Metric::L2MissRate,
+        Metric::MaxLoadLatency,
+        Metric::BranchMpki,
+    ];
+
+    /// Human-readable name as used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Metric::RuntimeSeconds => "Runtime (s)",
+            Metric::Ipc => "IPC",
+            Metric::L1Mpki => "L1 Cache Misses / 1k Instructions",
+            Metric::L2Mpki => "L2 Cache Misses / 1k Instructions",
+            Metric::L2MissRate => "L2 Cache Miss Probability",
+            Metric::MaxLoadLatency => "Max Load Latency",
+            Metric::BranchMpki => "Branch Mispredictions / 1k Instructions",
+        }
+    }
+
+    /// Short identifier for tables and cache keys.
+    pub fn key(&self) -> &'static str {
+        match self {
+            Metric::RuntimeSeconds => "runtime",
+            Metric::Ipc => "ipc",
+            Metric::L1Mpki => "l1_mpki",
+            Metric::L2Mpki => "l2_mpki",
+            Metric::L2MissRate => "l2_miss_rate",
+            Metric::MaxLoadLatency => "max_load_latency",
+            Metric::BranchMpki => "branch_mpki",
+        }
+    }
+
+    /// Extracts the metric value from an execution's metrics.
+    pub fn extract(&self, m: &ExecutionMetrics) -> f64 {
+        match self {
+            Metric::RuntimeSeconds => m.runtime_seconds,
+            Metric::Ipc => m.ipc,
+            Metric::L1Mpki => m.l1_mpki,
+            Metric::L2Mpki => m.l2_mpki,
+            Metric::L2MissRate => m.l2_miss_rate,
+            Metric::MaxLoadLatency => m.max_load_latency as f64,
+            Metric::BranchMpki => m.branch_mpki,
+        }
+    }
+}
+
+impl std::fmt::Display for Metric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Everything one run produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionResult {
+    /// The seed the run was executed with.
+    pub seed: u64,
+    /// Scalar metrics.
+    pub metrics: ExecutionMetrics,
+    /// STL trace/events (only when the config enables collection).
+    pub stl_data: Option<ExecutionData>,
+}
+
+impl ExecutionMetrics {
+    /// Fills the derived rates (IPC, MPKIs, miss rate) from the raw
+    /// counters; call once after counters are final.
+    pub fn finalize(&mut self, clock_hz: u64) {
+        self.runtime_seconds = self.runtime_cycles as f64 / clock_hz as f64;
+        let ki = self.instructions as f64 / 1000.0;
+        if self.runtime_cycles > 0 {
+            self.ipc = self.instructions as f64 / self.runtime_cycles as f64;
+        }
+        if ki > 0.0 {
+            self.l1_mpki = (self.l1d_misses + self.l1i_misses) as f64 / ki;
+            self.l2_mpki = self.l2_misses as f64 / ki;
+            self.branch_mpki = self.branch_mispredicts as f64 / ki;
+        }
+        if self.l2_accesses > 0 {
+            self.l2_miss_rate = self.l2_misses as f64 / self.l2_accesses as f64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finalize_computes_rates() {
+        let mut m = ExecutionMetrics {
+            runtime_cycles: 2_000_000,
+            instructions: 1_000_000,
+            l1d_misses: 5_000,
+            l1i_misses: 1_000,
+            l2_misses: 600,
+            l2_accesses: 6_000,
+            branch_mispredicts: 2_500,
+            ..Default::default()
+        };
+        m.finalize(2_000_000_000);
+        assert!((m.runtime_seconds - 0.001).abs() < 1e-12);
+        assert!((m.ipc - 0.5).abs() < 1e-12);
+        assert!((m.l1_mpki - 6.0).abs() < 1e-12);
+        assert!((m.l2_mpki - 0.6).abs() < 1e-12);
+        assert!((m.l2_miss_rate - 0.1).abs() < 1e-12);
+        assert!((m.branch_mpki - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finalize_handles_zero_denominators() {
+        let mut m = ExecutionMetrics::default();
+        m.finalize(1_000_000_000);
+        assert_eq!(m.ipc, 0.0);
+        assert_eq!(m.l1_mpki, 0.0);
+        assert_eq!(m.l2_miss_rate, 0.0);
+    }
+
+    #[test]
+    fn metric_extraction() {
+        let mut m = ExecutionMetrics {
+            runtime_cycles: 1000,
+            instructions: 1500,
+            max_load_latency: 144,
+            ..Default::default()
+        };
+        m.finalize(1_000_000_000);
+        assert_eq!(Metric::MaxLoadLatency.extract(&m), 144.0);
+        assert!((Metric::Ipc.extract(&m) - 1.5).abs() < 1e-12);
+        assert_eq!(Metric::RuntimeSeconds.extract(&m), 1e-6);
+    }
+
+    #[test]
+    fn metric_names_unique() {
+        let mut keys: Vec<&str> = Metric::ALL.iter().map(|m| m.key()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), Metric::ALL.len());
+        for m in Metric::ALL {
+            assert!(!m.name().is_empty());
+            assert_eq!(m.to_string(), m.name());
+        }
+    }
+
+    #[test]
+    fn max_load_latency_is_integer_valued() {
+        // The §6.4 duplicate-data premise: the metric is a whole number
+        // of cycles even after extraction to f64.
+        let m = ExecutionMetrics {
+            max_load_latency: 197,
+            ..Default::default()
+        };
+        let v = Metric::MaxLoadLatency.extract(&m);
+        assert_eq!(v.fract(), 0.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Deterministic random-number streams.
+//!
+//! §5.2 of the paper: "Each execution itself is deterministic, with the
+//! sequence of random numbers determined by a seed that we input." This
+//! module wraps ChaCha8 (fast, portable, stability-guaranteed across
+//! platforms and releases — unlike `StdRng`) and derives independent
+//! streams for independent purposes so adding a consumer never perturbs
+//! the numbers another consumer sees.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Purpose tag for an RNG stream; each purpose gets numbers independent
+/// of every other purpose under the same seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stream {
+    /// DRAM latency jitter (the paper's variability injection).
+    DramJitter,
+    /// OS-noise model (the "real machine" population of Fig. 1).
+    OsNoise,
+    /// Workload structure generation. NOTE: workload streams are seeded
+    /// by a *fixed* workload key, not the execution seed, so the program
+    /// is identical across runs and only injected variability differs —
+    /// exactly the paper's §5.2 experimental discipline.
+    Workload,
+}
+
+impl Stream {
+    fn tag(self) -> u64 {
+        match self {
+            Stream::DramJitter => 0x9e37_79b9_7f4a_7c15,
+            Stream::OsNoise => 0xbf58_476d_1ce4_e5b9,
+            Stream::Workload => 0x94d0_49bb_1331_11eb,
+        }
+    }
+}
+
+/// A deterministic RNG bound to a `(seed, stream, lane)` triple.
+///
+/// `lane` separates per-thread or per-component streams within one
+/// purpose (e.g. one workload lane per simulated thread).
+///
+/// # Examples
+///
+/// ```
+/// use spa_sim::rng::{SimRng, Stream};
+/// let mut a = SimRng::new(7, Stream::DramJitter, 0);
+/// let mut b = SimRng::new(7, Stream::DramJitter, 0);
+/// assert_eq!(a.uniform_u64(0, 4), b.uniform_u64(0, 4));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: ChaCha8Rng,
+}
+
+impl SimRng {
+    /// Creates the RNG for `(seed, stream, lane)`.
+    pub fn new(seed: u64, stream: Stream, lane: u64) -> Self {
+        // SplitMix-style mixing of the three keys into a 32-byte seed.
+        let mut state = seed
+            .wrapping_mul(0xff51_afd7_ed55_8ccd)
+            .wrapping_add(stream.tag())
+            .wrapping_add(lane.wrapping_mul(0xc4ce_b9fe_1a85_ec53));
+        let mut bytes = [0u8; 32];
+        for chunk in bytes.chunks_exact_mut(8) {
+            state ^= state >> 30;
+            state = state.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            state ^= state >> 27;
+            state = state.wrapping_mul(0x94d0_49bb_1331_11eb);
+            state ^= state >> 31;
+            chunk.copy_from_slice(&state.to_le_bytes());
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        }
+        Self {
+            inner: ChaCha8Rng::from_seed(bytes),
+        }
+    }
+
+    /// Uniform integer in the inclusive range `[lo, hi]`.
+    pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn uniform_f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform_f64() < p
+    }
+
+    /// Geometric-ish "burst length": 1 + number of successes before the
+    /// first failure at probability `p` (capped to avoid pathologies).
+    pub fn burst(&mut self, p: f64, cap: u64) -> u64 {
+        let mut len = 1;
+        while len < cap && self.chance(p) {
+            len += 1;
+        }
+        len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_key_same_stream() {
+        let mut a = SimRng::new(1, Stream::Workload, 2);
+        let mut b = SimRng::new(1, Stream::Workload, 2);
+        let xs: Vec<u64> = (0..32).map(|_| a.uniform_u64(0, 1000)).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.uniform_u64(0, 1000)).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn different_lane_different_stream() {
+        let mut a = SimRng::new(1, Stream::Workload, 0);
+        let mut b = SimRng::new(1, Stream::Workload, 1);
+        let xs: Vec<u64> = (0..32).map(|_| a.uniform_u64(0, u64::MAX)).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.uniform_u64(0, u64::MAX)).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn different_purpose_different_stream() {
+        let mut a = SimRng::new(1, Stream::DramJitter, 0);
+        let mut b = SimRng::new(1, Stream::OsNoise, 0);
+        let xs: Vec<u64> = (0..32).map(|_| a.uniform_u64(0, u64::MAX)).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.uniform_u64(0, u64::MAX)).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn uniform_range_inclusive() {
+        let mut r = SimRng::new(3, Stream::DramJitter, 0);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            let v = r.uniform_u64(0, 4);
+            assert!(v <= 4);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all of 0..=4 should appear");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::new(5, Stream::OsNoise, 0);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+
+    #[test]
+    fn burst_respects_cap() {
+        let mut r = SimRng::new(5, Stream::OsNoise, 0);
+        for _ in 0..100 {
+            let b = r.burst(0.99, 10);
+            assert!((1..=10).contains(&b));
+        }
+        assert_eq!(r.burst(0.0, 10), 1);
+    }
+}

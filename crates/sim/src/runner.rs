@@ -1,0 +1,116 @@
+//! Population generation: many seeded executions of one configuration.
+//!
+//! §5.3 of the paper: "For each benchmark, we run 500 simulations to
+//! determine the ground truth." The runner executes seeds
+//! `0, 1, …, n−1` (or any explicit range) and returns the metric
+//! vectors the statistics layer consumes.
+
+use crate::config::SystemConfig;
+use crate::machine::Machine;
+use crate::metrics::{ExecutionResult, Metric};
+use crate::variability::Variability;
+use crate::workload::WorkloadSpec;
+use crate::Result;
+
+/// Runs `count` executions with seeds `seed_start..seed_start+count`.
+///
+/// # Errors
+///
+/// Propagates the first simulation error (e.g. a workload deadlock).
+///
+/// # Examples
+///
+/// ```
+/// use spa_sim::config::SystemConfig;
+/// use spa_sim::runner::run_population;
+/// use spa_sim::workload::parsec::Benchmark;
+///
+/// let spec = Benchmark::Blackscholes.workload_scaled(0.25);
+/// let runs = run_population(SystemConfig::table2(), &spec, 0, 5)?;
+/// assert_eq!(runs.len(), 5);
+/// # Ok::<(), spa_sim::SimError>(())
+/// ```
+pub fn run_population(
+    config: SystemConfig,
+    workload: &WorkloadSpec,
+    seed_start: u64,
+    count: u64,
+) -> Result<Vec<ExecutionResult>> {
+    run_population_with(config, workload, Variability::paper_default(), seed_start, count)
+}
+
+/// As [`run_population`] with an explicit variability model.
+///
+/// # Errors
+///
+/// Propagates the first simulation error.
+pub fn run_population_with(
+    config: SystemConfig,
+    workload: &WorkloadSpec,
+    variability: Variability,
+    seed_start: u64,
+    count: u64,
+) -> Result<Vec<ExecutionResult>> {
+    let machine = Machine::new(config, workload)?.with_variability(variability);
+    (seed_start..seed_start + count)
+        .map(|seed| machine.run(seed))
+        .collect()
+}
+
+/// Extracts one metric from a population of runs.
+pub fn extract_metric(runs: &[ExecutionResult], metric: Metric) -> Vec<f64> {
+    runs.iter().map(|r| metric.extract(&r.metrics)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::parsec::Benchmark;
+
+    #[test]
+    fn population_is_seed_deterministic() {
+        let spec = Benchmark::Blackscholes.workload_scaled(0.25);
+        let a = run_population(SystemConfig::table2(), &spec, 10, 3).unwrap();
+        let b = run_population(SystemConfig::table2(), &spec, 10, 3).unwrap();
+        assert_eq!(a.len(), 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.metrics, y.metrics);
+            assert_eq!(x.seed, y.seed);
+        }
+        assert_eq!(a[0].seed, 10);
+    }
+
+    #[test]
+    fn metric_extraction_matches_runs() {
+        let spec = Benchmark::Blackscholes.workload_scaled(0.25);
+        let runs = run_population(SystemConfig::table2(), &spec, 0, 4).unwrap();
+        let runtimes = extract_metric(&runs, Metric::RuntimeSeconds);
+        assert_eq!(runtimes.len(), 4);
+        for (r, &v) in runs.iter().zip(&runtimes) {
+            assert_eq!(v, r.metrics.runtime_seconds);
+            assert!(v > 0.0);
+        }
+    }
+
+    #[test]
+    fn variability_model_is_respected() {
+        let spec = Benchmark::Ferret.workload_scaled(0.25);
+        let none = run_population_with(
+            SystemConfig::table2(),
+            &spec,
+            Variability::None,
+            0,
+            3,
+        )
+        .unwrap();
+        // With no injection every run is identical.
+        assert_eq!(none[0].metrics, none[1].metrics);
+        assert_eq!(none[1].metrics, none[2].metrics);
+
+        let jittered = run_population(SystemConfig::table2(), &spec, 0, 3).unwrap();
+        let distinct = jittered
+            .windows(2)
+            .any(|w| w[0].metrics.runtime_cycles != w[1].metrics.runtime_cycles);
+        assert!(distinct, "jitter should perturb runtimes");
+    }
+}

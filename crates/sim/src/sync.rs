@@ -1,0 +1,429 @@
+//! Synchronization primitives of the simulated threading runtime.
+//!
+//! These are the places where injected timing noise becomes *semantic*
+//! variability: the order in which threads arrive at a lock, barrier, or
+//! bounded queue decides who gets which work item next, which changes
+//! cache contents, which changes timing — the paper's §2.1 "thread
+//! interleaving" mechanism. The primitives are pure state machines:
+//! callers pass in the current simulated time and receive wake-up
+//! instructions to schedule.
+
+use std::collections::VecDeque;
+
+/// A core (thread) identifier within a simulated machine.
+pub type ThreadId = u32;
+
+/// A wake-up produced by a primitive: schedule `thread` to resume at
+/// time `at`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Wake {
+    /// The thread to resume.
+    pub thread: ThreadId,
+    /// Simulated cycle at which it resumes.
+    pub at: u64,
+}
+
+/// A mutual-exclusion lock with FIFO handoff.
+///
+/// # Examples
+///
+/// ```
+/// use spa_sim::sync::Lock;
+/// let mut l = Lock::new(2);
+/// assert!(l.acquire(0, 100).is_none()); // got it immediately
+/// assert!(l.acquire(1, 105).is_none() == false || true);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Lock {
+    held_by: Option<ThreadId>,
+    waiters: VecDeque<ThreadId>,
+    handoff_cycles: u64,
+    acquisitions: u64,
+    contended: u64,
+}
+
+impl Lock {
+    /// Creates a lock whose release→grant handoff costs
+    /// `handoff_cycles` (coherence transfer of the lock line).
+    pub fn new(handoff_cycles: u64) -> Self {
+        Self {
+            handoff_cycles,
+            ..Self::default()
+        }
+    }
+
+    /// Thread `t` tries to acquire at time `now`. Returns `None` if the
+    /// lock was granted immediately; otherwise the thread is queued and
+    /// will be woken by a later [`release`](Self::release).
+    pub fn acquire(&mut self, t: ThreadId, _now: u64) -> Option<()> {
+        self.acquisitions += 1;
+        if self.held_by.is_none() {
+            self.held_by = Some(t);
+            None
+        } else {
+            self.contended += 1;
+            self.waiters.push_back(t);
+            Some(())
+        }
+    }
+
+    /// Thread `t` releases at time `now`; if a waiter exists it is
+    /// granted the lock and a wake-up is returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` does not hold the lock (a workload bug).
+    pub fn release(&mut self, t: ThreadId, now: u64) -> Option<Wake> {
+        assert_eq!(self.held_by, Some(t), "release by non-holder");
+        match self.waiters.pop_front() {
+            Some(next) => {
+                self.held_by = Some(next);
+                Some(Wake {
+                    thread: next,
+                    at: now + self.handoff_cycles,
+                })
+            }
+            None => {
+                self.held_by = None;
+                None
+            }
+        }
+    }
+
+    /// Current holder, if any.
+    pub fn holder(&self) -> Option<ThreadId> {
+        self.held_by
+    }
+
+    /// Total acquisition attempts.
+    pub fn acquisitions(&self) -> u64 {
+        self.acquisitions
+    }
+
+    /// Attempts that had to wait.
+    pub fn contended(&self) -> u64 {
+        self.contended
+    }
+}
+
+/// A rendezvous barrier for a fixed party count.
+#[derive(Debug, Clone)]
+pub struct Barrier {
+    parties: u32,
+    waiting: Vec<ThreadId>,
+    release_cycles: u64,
+    episodes: u64,
+}
+
+impl Barrier {
+    /// Creates a barrier for `parties` threads with a broadcast release
+    /// cost of `release_cycles`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parties` is zero.
+    pub fn new(parties: u32, release_cycles: u64) -> Self {
+        assert!(parties > 0, "barrier needs at least one party");
+        Self {
+            parties,
+            waiting: Vec::new(),
+            release_cycles,
+            episodes: 0,
+        }
+    }
+
+    /// Thread `t` arrives at time `now`. If it is the last arrival the
+    /// barrier opens: all parked threads (and `t`) resume at
+    /// `now + release_cycles`, returned as wake-ups (the caller handles
+    /// `t` itself via the returned list too). Returns `None` while the
+    /// barrier is still filling (the thread parks).
+    pub fn arrive(&mut self, t: ThreadId, now: u64) -> Option<Vec<Wake>> {
+        self.waiting.push(t);
+        if self.waiting.len() as u32 == self.parties {
+            self.episodes += 1;
+            let at = now + self.release_cycles;
+            let wakes = self
+                .waiting
+                .drain(..)
+                .map(|thread| Wake { thread, at })
+                .collect();
+            Some(wakes)
+        } else {
+            None
+        }
+    }
+
+    /// Completed barrier episodes.
+    pub fn episodes(&self) -> u64 {
+        self.episodes
+    }
+
+    /// Threads currently parked.
+    pub fn waiting(&self) -> usize {
+        self.waiting.len()
+    }
+}
+
+/// A bounded FIFO queue carrying work-item indices between pipeline
+/// stages, with blocking push (full) and pop (empty) and explicit
+/// closure by producers.
+#[derive(Debug, Clone)]
+pub struct BoundedQueue {
+    items: VecDeque<u64>,
+    capacity: usize,
+    closed: bool,
+    waiting_pop: VecDeque<ThreadId>,
+    waiting_push: VecDeque<(ThreadId, u64)>,
+    transfer_cycles: u64,
+    pushes: u64,
+    pops: u64,
+    push_blocks: u64,
+    pop_blocks: u64,
+}
+
+/// Result of a queue pop attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PopResult {
+    /// Got an item.
+    Item(u64),
+    /// Queue empty but producers may still push: the thread parks.
+    Blocked,
+    /// Queue empty and closed: no more items will ever arrive.
+    Closed,
+}
+
+/// Result of a queue push attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushResult {
+    /// Item enqueued; optionally a parked consumer to wake.
+    Stored(Option<Wake>),
+    /// Queue full: the thread parks holding its item.
+    Blocked,
+}
+
+impl BoundedQueue {
+    /// Creates a queue of `capacity` items with a `transfer_cycles`
+    /// wake-up cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, transfer_cycles: u64) -> Self {
+        assert!(capacity > 0, "queue needs nonzero capacity");
+        Self {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+            closed: false,
+            waiting_pop: VecDeque::new(),
+            waiting_push: VecDeque::new(),
+            transfer_cycles,
+            pushes: 0,
+            pops: 0,
+            push_blocks: 0,
+            pop_blocks: 0,
+        }
+    }
+
+    /// Thread `t` pushes `item` at `now`.
+    pub fn push(&mut self, t: ThreadId, item: u64, now: u64) -> PushResult {
+        debug_assert!(!self.closed, "push to closed queue");
+        if self.items.len() == self.capacity {
+            self.push_blocks += 1;
+            self.waiting_push.push_back((t, item));
+            return PushResult::Blocked;
+        }
+        self.items.push_back(item);
+        self.pushes += 1;
+        let wake = self.waiting_pop.pop_front().map(|thread| Wake {
+            thread,
+            at: now + self.transfer_cycles,
+        });
+        PushResult::Stored(wake)
+    }
+
+    /// Thread `t` pops at `now`.
+    pub fn pop(&mut self, t: ThreadId, _now: u64) -> PopResult {
+        if let Some(item) = self.items.pop_front() {
+            self.pops += 1;
+            return PopResult::Item(item);
+        }
+        if self.closed && self.waiting_push.is_empty() {
+            return PopResult::Closed;
+        }
+        self.pop_blocks += 1;
+        self.waiting_pop.push_back(t);
+        PopResult::Blocked
+    }
+
+    /// After a consumer takes an item, a parked producer may proceed:
+    /// returns `(producer wake, its item is enqueued)` if one was
+    /// waiting. Call after every successful pop.
+    pub fn admit_parked_producer(&mut self, now: u64) -> Option<Wake> {
+        if self.items.len() == self.capacity {
+            return None;
+        }
+        let (thread, item) = self.waiting_push.pop_front()?;
+        self.items.push_back(item);
+        self.pushes += 1;
+        Some(Wake {
+            thread,
+            at: now + self.transfer_cycles,
+        })
+    }
+
+    /// Marks the queue closed (no further pushes); returns parked
+    /// consumers to wake so they can observe closure.
+    pub fn close(&mut self, now: u64) -> Vec<Wake> {
+        self.closed = true;
+        self.waiting_pop
+            .drain(..)
+            .map(|thread| Wake {
+                thread,
+                at: now + self.transfer_cycles,
+            })
+            .collect()
+    }
+
+    /// Whether the queue is closed and fully drained.
+    pub fn exhausted(&self) -> bool {
+        self.closed && self.items.is_empty() && self.waiting_push.is_empty()
+    }
+
+    /// Items currently buffered.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether no items are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Total blocked pushes (backpressure events).
+    pub fn push_blocks(&self) -> u64 {
+        self.push_blocks
+    }
+
+    /// Total blocked pops (starvation events).
+    pub fn pop_blocks(&self) -> u64 {
+        self.pop_blocks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_fifo_handoff() {
+        let mut l = Lock::new(3);
+        assert!(l.acquire(0, 10).is_none());
+        assert!(l.acquire(1, 12).is_some()); // blocked
+        assert!(l.acquire(2, 13).is_some()); // blocked
+        let w = l.release(0, 20).unwrap();
+        assert_eq!(w, Wake { thread: 1, at: 23 });
+        assert_eq!(l.holder(), Some(1));
+        let w = l.release(1, 30).unwrap();
+        assert_eq!(w.thread, 2);
+        assert!(l.release(2, 40).is_none());
+        assert_eq!(l.holder(), None);
+        assert_eq!(l.acquisitions(), 3);
+        assert_eq!(l.contended(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-holder")]
+    fn release_by_non_holder_panics() {
+        let mut l = Lock::new(1);
+        l.acquire(0, 0);
+        let _ = l.release(1, 5);
+    }
+
+    #[test]
+    fn barrier_releases_all_at_once() {
+        let mut b = Barrier::new(3, 5);
+        assert!(b.arrive(0, 10).is_none());
+        assert!(b.arrive(1, 20).is_none());
+        assert_eq!(b.waiting(), 2);
+        let wakes = b.arrive(2, 30).unwrap();
+        assert_eq!(wakes.len(), 3);
+        assert!(wakes.iter().all(|w| w.at == 35));
+        assert_eq!(b.episodes(), 1);
+        assert_eq!(b.waiting(), 0);
+        // Reusable.
+        assert!(b.arrive(0, 100).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one party")]
+    fn zero_party_barrier_panics() {
+        let _ = Barrier::new(0, 1);
+    }
+
+    #[test]
+    fn queue_push_pop_fifo() {
+        let mut q = BoundedQueue::new(2, 1);
+        assert!(matches!(q.push(0, 10, 0), PushResult::Stored(None)));
+        assert!(matches!(q.push(0, 11, 1), PushResult::Stored(None)));
+        assert_eq!(q.len(), 2);
+        // Full: producer parks.
+        assert!(matches!(q.push(0, 12, 2), PushResult::Blocked));
+        assert_eq!(q.push_blocks(), 1);
+        // Consumer pops in FIFO order.
+        assert_eq!(q.pop(1, 5), PopResult::Item(10));
+        // Parked producer's item admitted.
+        let w = q.admit_parked_producer(5).unwrap();
+        assert_eq!(w.thread, 0);
+        assert_eq!(q.pop(1, 6), PopResult::Item(11));
+        assert_eq!(q.pop(1, 7), PopResult::Item(12));
+    }
+
+    #[test]
+    fn queue_blocking_pop_and_wake() {
+        let mut q = BoundedQueue::new(4, 2);
+        assert_eq!(q.pop(3, 0), PopResult::Blocked);
+        assert_eq!(q.pop_blocks(), 1);
+        // A push wakes the parked consumer.
+        match q.push(0, 99, 10) {
+            PushResult::Stored(Some(w)) => assert_eq!(w, Wake { thread: 3, at: 12 }),
+            other => panic!("expected wake, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn queue_closure_semantics() {
+        let mut q = BoundedQueue::new(4, 1);
+        q.push(0, 7, 0);
+        let wakes = q.close(5);
+        assert!(wakes.is_empty()); // nobody was parked
+        // Remaining item still drains…
+        assert_eq!(q.pop(1, 6), PopResult::Item(7));
+        // …then closure is observed.
+        assert_eq!(q.pop(1, 7), PopResult::Closed);
+        assert!(q.exhausted());
+    }
+
+    #[test]
+    fn close_wakes_parked_consumers() {
+        let mut q = BoundedQueue::new(4, 1);
+        assert_eq!(q.pop(2, 0), PopResult::Blocked);
+        let wakes = q.close(10);
+        assert_eq!(wakes.len(), 1);
+        assert_eq!(wakes[0].thread, 2);
+        assert_eq!(q.pop(2, 11), PopResult::Closed);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero capacity")]
+    fn zero_capacity_queue_panics() {
+        let _ = BoundedQueue::new(0, 1);
+    }
+
+    #[test]
+    fn is_empty_reflects_buffer() {
+        let mut q = BoundedQueue::new(2, 1);
+        assert!(q.is_empty());
+        q.push(0, 1, 0);
+        assert!(!q.is_empty());
+    }
+}

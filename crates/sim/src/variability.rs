@@ -1,0 +1,436 @@
+//! Variability injection (§2.1–2.2 / §5.2 of the paper).
+//!
+//! The simulator is deterministic, so variability must be injected. The
+//! paper's gem5 experiments combine two sources:
+//!
+//! 1. the explicit Alameldeen & Wood injection — a uniform random 0–4
+//!    cycles per L2-miss DRAM access (§5.2), and
+//! 2. the *implicit* variability of full-system simulation: gem5 boots
+//!    Ubuntu 18.04 (Table 2), so timer interrupts, kernel work, and
+//!    scheduler decisions (preemption, thread migration onto a cold
+//!    core — §2.1's "scheduling decisions") perturb every run.
+//!
+//! [`Variability::paper_default`] models both: DRAM jitter plus
+//! OS timer interrupts with occasional migrations that flush the
+//! migrating core's private caches. This reproduces the skewed,
+//! heavy-tailed metric distributions the paper's figures depend on.
+//! A pure-jitter model remains available for the injection-magnitude
+//! ablation, and [`Variability::real_machine`] layers colocated-process
+//! interference on top to produce Fig. 1's bi-modal population.
+//!
+//! All randomness derives from the execution seed, so every run is
+//! exactly replicable.
+
+use serde::{Deserialize, Serialize};
+
+use crate::rng::{SimRng, Stream};
+
+/// Which variability model to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Variability {
+    /// No injection: every run is identical (tests, ablation baseline).
+    None,
+    /// Only the uniform 0–`max_cycles` DRAM jitter (the bare Alameldeen
+    /// & Wood injection; ablations).
+    DramJitter {
+        /// Inclusive upper bound of the injected latency.
+        max_cycles: u64,
+    },
+    /// DRAM jitter plus full-system OS effects: periodic timer
+    /// interrupts with variable kernel work, occasionally migrating the
+    /// thread (cold private caches and branch predictor).
+    FullSystem {
+        /// Inclusive DRAM jitter bound.
+        max_cycles: u64,
+        /// Mean cycles between timer interrupts per core.
+        interrupt_period: u64,
+        /// Maximum kernel time per interrupt (uniform from a quarter of
+        /// this value).
+        interrupt_cost: u64,
+        /// Probability that an interrupt migrates the thread.
+        migration_prob: f64,
+        /// Direct context-switch cost of a migration (cache refills are
+        /// charged naturally by the now-cold caches).
+        migration_cost: u64,
+        /// Probability that a run executes during sustained background
+        /// kernel activity (page-cache writeback, kswapd), adding DRAM
+        /// pressure for the whole run. This minority slow mode gives
+        /// metric distributions the long right tail / secondary mode
+        /// visible in the paper's Fig. 2.
+        background_prob: f64,
+        /// Extra DRAM latency bound per access while in that mode.
+        background_latency: u64,
+    },
+    /// [`Variability::FullSystem`] plus run-level colocated-process
+    /// interference (present in a random subset of runs), reproducing
+    /// the multi-modal "real machine" populations of Fig. 1.
+    OsNoise {
+        /// Baseline jitter bound.
+        max_cycles: u64,
+        /// Probability that a given run suffers interference.
+        interference_prob: f64,
+        /// Extra DRAM latency per access while interfered (cycles).
+        interference_latency: u64,
+        /// Probability per synchronization wait of a long preemption.
+        preemption_prob: f64,
+        /// Length of such a stall in cycles.
+        preemption_cycles: u64,
+    },
+}
+
+/// An OS-level event delivered to one core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OsEvent {
+    /// Kernel work on this core for the given cycles.
+    TimerInterrupt {
+        /// Stall duration.
+        cycles: u64,
+    },
+    /// The thread is moved to a cold core: stall plus private-state
+    /// flush (the machine clears L1s and the branch predictor).
+    Migration {
+        /// Direct stall duration.
+        cycles: u64,
+    },
+}
+
+impl Variability {
+    /// The model matching the paper's §5.2 gem5 methodology: 0–4 cycle
+    /// DRAM jitter within a full-system simulation.
+    pub fn paper_default() -> Self {
+        Variability::FullSystem {
+            max_cycles: 4,
+            interrupt_period: 90_000,
+            interrupt_cost: 1_500,
+            migration_prob: 0.17,
+            migration_cost: 4_000,
+            background_prob: 0.025,
+            background_latency: 80,
+        }
+    }
+
+    /// A "real machine" model tuned to give Fig. 1's shape: ~80 % of
+    /// runs fast and tightly grouped, ~20 % pushed into a slow mode.
+    pub fn real_machine() -> Self {
+        Variability::OsNoise {
+            max_cycles: 4,
+            interference_prob: 0.2,
+            interference_latency: 60,
+            preemption_prob: 0.05,
+            preemption_cycles: 60_000,
+        }
+    }
+
+    /// Instantiates per-run state from the execution seed.
+    pub fn state_for_run(self, seed: u64) -> VariabilityState {
+        let mut rng = SimRng::new(seed, Stream::DramJitter, 0);
+        let mut noise_rng = SimRng::new(seed, Stream::OsNoise, 0);
+        let interfered = match self {
+            Variability::OsNoise {
+                interference_prob, ..
+            } => noise_rng.chance(interference_prob),
+            Variability::FullSystem {
+                background_prob, ..
+            } => noise_rng.chance(background_prob),
+            _ => false,
+        };
+        // Pre-draw so the first jitter call is independent of whether
+        // interference was sampled.
+        let _ = rng.uniform_f64();
+        let mut state = VariabilityState {
+            model: self,
+            jitter_rng: rng,
+            noise_rng,
+            interfered,
+            next_interrupt: Vec::new(),
+        };
+        state.next_interrupt = (0..64)
+            .map(|core| state.draw_interrupt_gap(core as u64))
+            .collect();
+        state
+    }
+}
+
+/// Per-run variability state (one per execution, derived from the seed).
+#[derive(Debug, Clone)]
+pub struct VariabilityState {
+    model: Variability,
+    jitter_rng: SimRng,
+    noise_rng: SimRng,
+    interfered: bool,
+    /// Per-core time of the next OS interrupt (`u64::MAX` when the model
+    /// has none).
+    next_interrupt: Vec<u64>,
+}
+
+impl VariabilityState {
+    fn os_params(&self) -> Option<(u64, u64, f64, u64)> {
+        match self.model {
+            Variability::FullSystem {
+                interrupt_period,
+                interrupt_cost,
+                migration_prob,
+                migration_cost,
+                ..
+            } => Some((
+                interrupt_period,
+                interrupt_cost,
+                migration_prob,
+                migration_cost,
+            )),
+            // The real-machine model inherits the paper-default OS
+            // behaviour.
+            Variability::OsNoise { .. } => {
+                let Variability::FullSystem {
+                    interrupt_period,
+                    interrupt_cost,
+                    migration_prob,
+                    migration_cost,
+                    ..
+                } = Variability::paper_default()
+                else {
+                    unreachable!("paper_default is FullSystem");
+                };
+                Some((
+                    interrupt_period,
+                    interrupt_cost,
+                    migration_prob,
+                    migration_cost,
+                ))
+            }
+            _ => None,
+        }
+    }
+
+    fn draw_interrupt_gap(&mut self, _core: u64) -> u64 {
+        match self.os_params() {
+            None => u64::MAX,
+            Some((period, _, _, _)) => {
+                // Uniform around the period: deterministic per seed.
+                self.noise_rng.uniform_u64(period / 2, period * 3 / 2)
+            }
+        }
+    }
+
+    /// Extra cycles to add to the DRAM access starting now.
+    pub fn dram_jitter(&mut self) -> u64 {
+        match self.model {
+            Variability::None => 0,
+            Variability::DramJitter { max_cycles } => {
+                self.jitter_rng.uniform_u64(0, max_cycles)
+            }
+            Variability::FullSystem {
+                max_cycles,
+                background_latency,
+                ..
+            } => {
+                let base = self.jitter_rng.uniform_u64(0, max_cycles);
+                if self.interfered {
+                    base + self
+                        .noise_rng
+                        .uniform_u64(background_latency / 2, background_latency)
+                } else {
+                    base
+                }
+            }
+            Variability::OsNoise {
+                max_cycles,
+                interference_latency,
+                ..
+            } => {
+                let base = self.jitter_rng.uniform_u64(0, max_cycles);
+                if self.interfered {
+                    base + self
+                        .noise_rng
+                        .uniform_u64(interference_latency / 2, interference_latency)
+                } else {
+                    base
+                }
+            }
+        }
+    }
+
+    /// Checks whether an OS event fires on `core` at or before `now`;
+    /// if so, returns it and schedules the next one.
+    pub fn os_event(&mut self, core: u32, now: u64) -> Option<OsEvent> {
+        let (period, cost, mig_prob, mig_cost) = self.os_params()?;
+        let next = self.next_interrupt.get(core as usize).copied()?;
+        if now < next {
+            return None;
+        }
+        let gap = self.noise_rng.uniform_u64(period / 2, period * 3 / 2);
+        self.next_interrupt[core as usize] = now + gap.max(1);
+        if self.noise_rng.chance(mig_prob) {
+            Some(OsEvent::Migration {
+                cycles: self.noise_rng.uniform_u64(mig_cost / 2, mig_cost),
+            })
+        } else {
+            Some(OsEvent::TimerInterrupt {
+                cycles: self.noise_rng.uniform_u64(cost / 4, cost),
+            })
+        }
+    }
+
+    /// Extra stall cycles when a thread blocks on synchronization
+    /// (models being context-switched out; nonzero only for interfered
+    /// OS-noise runs).
+    pub fn preemption_stall(&mut self) -> u64 {
+        match self.model {
+            Variability::OsNoise {
+                preemption_prob,
+                preemption_cycles,
+                ..
+            } if self.interfered
+                && self.noise_rng.chance(preemption_prob) => {
+                    self.noise_rng
+                        .uniform_u64(preemption_cycles / 2, preemption_cycles)
+                }
+            _ => 0,
+        }
+    }
+
+    /// Whether this run drew colocated-process interference.
+    pub fn interfered(&self) -> bool {
+        self.interfered
+    }
+
+    /// A pseudo-random kernel cache line (block address) touched during
+    /// OS activity; the kernel working set spans 2 MB.
+    pub fn kernel_block(&mut self) -> u64 {
+        const KERNEL_BASE_BLOCK: u64 = 0xC000_0000 / 64;
+        KERNEL_BASE_BLOCK + self.noise_rng.uniform_u64(0, 2 * 1024 * 1024 / 64 - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_injects_nothing() {
+        let mut s = Variability::None.state_for_run(1);
+        for _ in 0..50 {
+            assert_eq!(s.dram_jitter(), 0);
+            assert_eq!(s.preemption_stall(), 0);
+        }
+        assert!(s.os_event(0, 1_000_000_000).is_none());
+        assert!(!s.interfered());
+    }
+
+    #[test]
+    fn dram_jitter_bounded_and_varied() {
+        let mut s = Variability::DramJitter { max_cycles: 4 }.state_for_run(7);
+        let draws: Vec<u64> = (0..200).map(|_| s.dram_jitter()).collect();
+        assert!(draws.iter().all(|&j| j <= 4));
+        for v in 0..=4 {
+            assert!(draws.contains(&v), "jitter value {v} never drawn");
+        }
+        // Pure jitter has no OS events.
+        assert!(s.os_event(0, u64::MAX / 2).is_none());
+    }
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let a: Vec<u64> = {
+            let mut s = Variability::paper_default().state_for_run(42);
+            (0..64).map(|_| s.dram_jitter()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut s = Variability::paper_default().state_for_run(42);
+            (0..64).map(|_| s.dram_jitter()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<u64> = {
+            let mut s = Variability::paper_default().state_for_run(43);
+            (0..64).map(|_| s.dram_jitter()).collect()
+        };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn os_events_fire_and_reschedule() {
+        let mut s = Variability::paper_default().state_for_run(5);
+        // Nothing before the first scheduled interrupt.
+        assert!(s.os_event(0, 0).is_none());
+        // March time forward; we must see both event kinds eventually.
+        let mut timers = 0;
+        let mut migrations = 0;
+        let mut now = 0u64;
+        for _ in 0..300 {
+            now += 200_000;
+            while let Some(e) = s.os_event(0, now) {
+                match e {
+                    OsEvent::TimerInterrupt { cycles } => {
+                        assert!((375..=1_500).contains(&cycles));
+                        timers += 1;
+                    }
+                    OsEvent::Migration { cycles } => {
+                        assert!((2_000..=4_000).contains(&cycles));
+                        migrations += 1;
+                    }
+                }
+            }
+        }
+        assert!(timers > 100, "timers: {timers}");
+        assert!(migrations > 5, "migrations: {migrations}");
+        // Roughly the configured 10 % migration mix.
+        let frac = migrations as f64 / (timers + migrations) as f64;
+        assert!((0.02..0.3).contains(&frac), "migration fraction {frac}");
+    }
+
+    #[test]
+    fn cores_have_independent_schedules() {
+        let s = Variability::paper_default().state_for_run(11);
+        let a = s.next_interrupt[0];
+        let b = s.next_interrupt[1];
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn os_noise_interferes_in_expected_fraction_of_runs() {
+        let model = Variability::real_machine();
+        let interfered = (0..1000)
+            .filter(|&seed| model.state_for_run(seed).interfered())
+            .count();
+        assert!(
+            (120..=280).contains(&interfered),
+            "interfered in {interfered}/1000 runs"
+        );
+    }
+
+    #[test]
+    fn interfered_runs_draw_heavier_jitter() {
+        let model = Variability::real_machine();
+        let clean_seed = (0..100)
+            .find(|&s| !model.state_for_run(s).interfered())
+            .unwrap();
+        let noisy_seed = (0..100)
+            .find(|&s| model.state_for_run(s).interfered())
+            .unwrap();
+        let clean_total: u64 = {
+            let mut s = model.state_for_run(clean_seed);
+            (0..100).map(|_| s.dram_jitter()).sum()
+        };
+        let noisy_total: u64 = {
+            let mut s = model.state_for_run(noisy_seed);
+            (0..100).map(|_| s.dram_jitter()).sum()
+        };
+        assert!(
+            noisy_total > clean_total + 1000,
+            "noisy {noisy_total} vs clean {clean_total}"
+        );
+    }
+
+    #[test]
+    fn real_machine_also_has_os_events() {
+        let mut s = Variability::real_machine().state_for_run(3);
+        let mut any = false;
+        for step in 1..100u64 {
+            if s.os_event(0, step * 150_000).is_some() {
+                any = true;
+                break;
+            }
+        }
+        assert!(any, "OsNoise should inherit full-system interrupts");
+    }
+}

@@ -1,0 +1,359 @@
+//! Workload representation: ops, work items, and thread programs.
+//!
+//! A workload is data, not code: each thread runs a small program over
+//! basic ops (compute / load / store / branch) and coordination
+//! instructions (locks, barriers, bounded queues, shared work pools).
+//! Work *items* — units such as one ferret query or one canneal move —
+//! are op sequences stored in tables; programs pull item ids from pools
+//! or queues and execute them. Because item→thread assignment is decided
+//! by runtime arrival order at pools/queues, the injected DRAM jitter
+//! changes who executes what, and metrics vary run to run exactly as
+//! §2.1 of the paper describes.
+//!
+//! Workload structure is generated from a *fixed* internal key, never
+//! the execution seed, so the program is identical across runs (§5.2).
+
+pub mod parsec;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Result, SimError};
+
+/// A basic operation executed by a core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    /// Pure computation: `cycles` of latency, `instructions` committed.
+    Compute {
+        /// Latency in cycles.
+        cycles: u16,
+        /// Instructions represented.
+        instructions: u16,
+    },
+    /// A load from a byte address (1 instruction).
+    Load {
+        /// Byte address.
+        addr: u64,
+    },
+    /// A store to a byte address (1 instruction).
+    Store {
+        /// Byte address.
+        addr: u64,
+    },
+    /// A conditional branch (1 instruction) with its static PC and
+    /// dynamic outcome.
+    Branch {
+        /// Branch site address (predictor index).
+        pc: u32,
+        /// Whether the branch is taken this execution of the op.
+        taken: bool,
+    },
+}
+
+impl Op {
+    /// Instructions this op represents.
+    pub fn instructions(&self) -> u64 {
+        match self {
+            Op::Compute { instructions, .. } => *instructions as u64,
+            _ => 1,
+        }
+    }
+}
+
+/// A unit of schedulable work: one query, one transaction, one chunk.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct WorkItem {
+    /// The ops executed when a thread runs this item.
+    pub ops: Vec<Op>,
+}
+
+/// A shared pool of item ids `[start, end)` consumed in arrival order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoolSpec {
+    /// First item id.
+    pub start: u64,
+    /// One past the last item id.
+    pub end: u64,
+    /// Byte address of the pool's shared counter (its cache line
+    /// ping-pongs between consumers, as in a real work queue).
+    pub counter_addr: u64,
+}
+
+/// A bounded inter-stage queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueueSpec {
+    /// Buffer capacity in items.
+    pub capacity: u32,
+    /// Number of producer threads; the queue closes when all have
+    /// issued `CloseQueue`.
+    pub producers: u32,
+}
+
+/// One instruction of a thread program.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PInstr {
+    /// Execute a basic op.
+    Basic(Op),
+    /// Acquire a lock (blocking; includes the lock-line store).
+    LockAcquire(u16),
+    /// Release a lock.
+    LockRelease(u16),
+    /// Arrive at a barrier (blocking until all parties arrive).
+    Barrier(u16),
+    /// Pop the next item id from a pool into the item register; jump to
+    /// the given program index when the pool is empty.
+    PoolPop {
+        /// Pool index.
+        pool: u16,
+        /// Jump target when exhausted.
+        jump_if_empty: u32,
+    },
+    /// Execute the ops of the current item, reading them from the given
+    /// item table.
+    RunItem {
+        /// Item-table index.
+        table: u16,
+    },
+    /// Push the current item id to a queue (blocking when full).
+    QueuePush(u16),
+    /// Pop an item id from a queue into the item register (blocking when
+    /// empty); jump when the queue is closed and drained.
+    QueuePop {
+        /// Queue index.
+        queue: u16,
+        /// Jump target at closure.
+        jump_if_closed: u32,
+    },
+    /// Declare this producer finished with a queue.
+    CloseQueue(u16),
+    /// Set the item register explicitly (static schedules).
+    SetItem(u64),
+    /// Unconditional jump.
+    Jump(u32),
+    /// Thread finished.
+    End,
+}
+
+/// A complete multithreaded workload.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Benchmark name (e.g. `ferret`).
+    pub name: String,
+    /// One program per thread; the machine requires
+    /// `programs.len() == config.cores`.
+    pub programs: Vec<Vec<PInstr>>,
+    /// Item tables referenced by [`PInstr::RunItem`].
+    pub tables: Vec<Vec<WorkItem>>,
+    /// Shared pools.
+    pub pools: Vec<PoolSpec>,
+    /// Bounded queues.
+    pub queues: Vec<QueueSpec>,
+    /// Number of locks (lock `i` has line address `lock_base + 64·i`).
+    pub locks: u16,
+    /// Barrier party counts.
+    pub barriers: Vec<u32>,
+    /// Code footprint in bytes (drives the L1I behaviour).
+    pub code_bytes: u64,
+}
+
+impl WorkloadSpec {
+    /// Structural validation: every jump, table, pool, queue, lock and
+    /// barrier reference must exist, and pools must reference valid item
+    /// ids.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] describing the first problem.
+    pub fn validate(&self) -> Result<()> {
+        let fail = |msg: String| {
+            Err(SimError::InvalidConfig {
+                field: "workload",
+                message: msg,
+            })
+        };
+        if self.programs.is_empty() {
+            return fail("no thread programs".into());
+        }
+        let max_items: u64 = self.tables.iter().map(|t| t.len() as u64).min().unwrap_or(0);
+        for pool in &self.pools {
+            if pool.start > pool.end {
+                return fail(format!("pool range {}..{} inverted", pool.start, pool.end));
+            }
+            if !self.tables.is_empty() && pool.end > max_items {
+                return fail(format!(
+                    "pool end {} exceeds smallest table size {max_items}",
+                    pool.end
+                ));
+            }
+        }
+        for (tid, prog) in self.programs.iter().enumerate() {
+            if prog.is_empty() {
+                return fail(format!("thread {tid} has an empty program"));
+            }
+            if !matches!(prog.last(), Some(PInstr::End | PInstr::Jump(_))) {
+                return fail(format!("thread {tid} program does not end in End/Jump"));
+            }
+            for (pc, instr) in prog.iter().enumerate() {
+                let target = match instr {
+                    PInstr::Jump(t) => Some(*t),
+                    PInstr::PoolPop { jump_if_empty, .. } => Some(*jump_if_empty),
+                    PInstr::QueuePop { jump_if_closed, .. } => Some(*jump_if_closed),
+                    _ => None,
+                };
+                if let Some(t) = target {
+                    if t as usize >= prog.len() {
+                        return fail(format!("thread {tid} pc {pc}: jump to {t} out of range"));
+                    }
+                }
+                match instr {
+                    PInstr::RunItem { table } if *table as usize >= self.tables.len() => {
+                        return fail(format!("thread {tid} pc {pc}: no item table {table}"));
+                    }
+                    PInstr::PoolPop { pool, .. } if *pool as usize >= self.pools.len() => {
+                        return fail(format!("thread {tid} pc {pc}: no pool {pool}"));
+                    }
+                    PInstr::QueuePush(q) | PInstr::CloseQueue(q)
+                        if *q as usize >= self.queues.len() =>
+                    {
+                        return fail(format!("thread {tid} pc {pc}: no queue {q}"));
+                    }
+                    PInstr::QueuePop { queue, .. } if *queue as usize >= self.queues.len() => {
+                        return fail(format!("thread {tid} pc {pc}: no queue {queue}"));
+                    }
+                    PInstr::LockAcquire(l) | PInstr::LockRelease(l) if *l >= self.locks => {
+                        return fail(format!("thread {tid} pc {pc}: no lock {l}"));
+                    }
+                    PInstr::Barrier(b) if *b as usize >= self.barriers.len() => {
+                        return fail(format!("thread {tid} pc {pc}: no barrier {b}"));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total ops across all item tables (a size/effort indicator).
+    pub fn total_item_ops(&self) -> usize {
+        self.tables
+            .iter()
+            .flat_map(|t| t.iter().map(|i| i.ops.len()))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimal() -> WorkloadSpec {
+        WorkloadSpec {
+            name: "test".into(),
+            programs: vec![vec![
+                PInstr::Basic(Op::Compute {
+                    cycles: 5,
+                    instructions: 5,
+                }),
+                PInstr::End,
+            ]],
+            code_bytes: 4096,
+            ..WorkloadSpec::default()
+        }
+    }
+
+    #[test]
+    fn minimal_validates() {
+        assert!(minimal().validate().is_ok());
+    }
+
+    #[test]
+    fn empty_workload_rejected() {
+        let w = WorkloadSpec::default();
+        assert!(w.validate().is_err());
+    }
+
+    #[test]
+    fn jump_out_of_range_rejected() {
+        let mut w = minimal();
+        w.programs[0].insert(0, PInstr::Jump(99));
+        assert!(w.validate().is_err());
+    }
+
+    #[test]
+    fn dangling_references_rejected() {
+        for bad in [
+            PInstr::RunItem { table: 0 },
+            PInstr::PoolPop {
+                pool: 0,
+                jump_if_empty: 1,
+            },
+            PInstr::QueuePush(0),
+            PInstr::QueuePop {
+                queue: 0,
+                jump_if_closed: 1,
+            },
+            PInstr::CloseQueue(0),
+            PInstr::LockAcquire(0),
+            PInstr::LockRelease(0),
+            PInstr::Barrier(0),
+        ] {
+            let mut w = minimal();
+            w.programs[0].insert(0, bad);
+            assert!(w.validate().is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn program_must_terminate() {
+        let mut w = minimal();
+        w.programs[0].pop(); // drop End
+        assert!(w.validate().is_err());
+    }
+
+    #[test]
+    fn pool_bounds_checked() {
+        let mut w = minimal();
+        w.tables = vec![vec![WorkItem::default(); 4]];
+        w.pools = vec![PoolSpec {
+            start: 0,
+            end: 5, // beyond table
+            counter_addr: 0x100,
+        }];
+        assert!(w.validate().is_err());
+        w.pools[0].end = 4;
+        assert!(w.validate().is_ok());
+    }
+
+    #[test]
+    fn op_instruction_counts() {
+        assert_eq!(
+            Op::Compute {
+                cycles: 3,
+                instructions: 7
+            }
+            .instructions(),
+            7
+        );
+        assert_eq!(Op::Load { addr: 0 }.instructions(), 1);
+        assert_eq!(Op::Store { addr: 0 }.instructions(), 1);
+        assert_eq!(Op::Branch { pc: 0, taken: true }.instructions(), 1);
+    }
+
+    #[test]
+    fn total_ops_counts_tables() {
+        let mut w = minimal();
+        w.tables = vec![
+            vec![
+                WorkItem {
+                    ops: vec![Op::Load { addr: 0 }; 3],
+                },
+                WorkItem {
+                    ops: vec![Op::Load { addr: 0 }; 2],
+                },
+            ],
+            vec![WorkItem {
+                ops: vec![Op::Load { addr: 0 }; 5],
+            }],
+        ];
+        assert_eq!(w.total_item_ops(), 10);
+    }
+}

@@ -1,0 +1,1011 @@
+//! Synthetic workloads modelled on the PARSEC benchmarks the paper
+//! evaluates (§5.1: PARSEC with simsmall inputs, excluding raytrace,
+//! vips and x264; ferret is the focus because it "exhibits some of the
+//! greatest variability, due to frequent synchronization and data
+//! sharing").
+//!
+//! Each generator reproduces the benchmark's *statistical* character —
+//! parallelization style, synchronization intensity, working-set size,
+//! sharing pattern, and cost heterogeneity — rather than its
+//! computation:
+//!
+//! | Benchmark | Style | Variability driver |
+//! |-----------|-------|--------------------|
+//! | ferret | pipeline + shared worker pool | work stealing, heavy sharing |
+//! | blackscholes | static data-parallel | nearly none |
+//! | bodytrack | phased dynamic chunks + barriers | chunk assignment |
+//! | canneal | shared move pool, huge working set | cache thrash, lock order |
+//! | dedup | 4-stage pipeline, bounded queues | backpressure |
+//! | facesim | phased, neighbour sharing | invalidation order |
+//! | fluidanimate | barriers + fine-grain locks | lock convoys |
+//! | freqmine | shared pool, read-mostly tree | assignment |
+//! | streamcluster | barrier-heavy phases | straggler timing |
+//!
+//! The structure is generated from a *fixed* key (never the execution
+//! seed), so every run executes the identical program (§5.2).
+
+use serde::{Deserialize, Serialize};
+
+use crate::rng::{SimRng, Stream};
+use crate::workload::{Op, PInstr, PoolSpec, QueueSpec, WorkItem, WorkloadSpec};
+
+/// Shared read-mostly data region ("the database").
+const DB_BASE: u64 = 0x1000_0000;
+/// Shared writable region (results, counters).
+const SHARED_BASE: u64 = 0x4000_0000;
+/// Per-item private scratch regions.
+const PRIV_BASE: u64 = 0x8000_0000;
+/// Pool-counter lines.
+const POOL_BASE: u64 = 0xA000_0000;
+
+/// The PARSEC benchmarks used in the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Benchmark {
+    /// Content-based similarity search (pipeline; the paper's focus).
+    Ferret,
+    /// Option pricing (embarrassingly parallel).
+    Blackscholes,
+    /// Body tracking (phased data-parallel).
+    Bodytrack,
+    /// Simulated annealing for chip routing (cache-thrashing).
+    Canneal,
+    /// Stream deduplication (pipeline).
+    Dedup,
+    /// Face simulation (neighbour sharing).
+    Facesim,
+    /// Fluid dynamics (barriers + fine-grain locks).
+    Fluidanimate,
+    /// Frequent itemset mining (shared tree).
+    Freqmine,
+    /// Online clustering (barrier-heavy).
+    Streamcluster,
+}
+
+impl Benchmark {
+    /// All benchmarks, ferret first (the paper's ordering).
+    pub const ALL: [Benchmark; 9] = [
+        Benchmark::Ferret,
+        Benchmark::Blackscholes,
+        Benchmark::Bodytrack,
+        Benchmark::Canneal,
+        Benchmark::Dedup,
+        Benchmark::Facesim,
+        Benchmark::Fluidanimate,
+        Benchmark::Freqmine,
+        Benchmark::Streamcluster,
+    ];
+
+    /// Lower-case benchmark name as in the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Benchmark::Ferret => "ferret",
+            Benchmark::Blackscholes => "blackscholes",
+            Benchmark::Bodytrack => "bodytrack",
+            Benchmark::Canneal => "canneal",
+            Benchmark::Dedup => "dedup",
+            Benchmark::Facesim => "facesim",
+            Benchmark::Fluidanimate => "fluidanimate",
+            Benchmark::Freqmine => "freqmine",
+            Benchmark::Streamcluster => "streamcluster",
+        }
+    }
+
+    /// Parses a benchmark name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Benchmark::ALL.iter().copied().find(|b| b.name() == name)
+    }
+
+    /// Builds the benchmark's workload at standard (simsmall-like)
+    /// scale.
+    pub fn workload(&self) -> WorkloadSpec {
+        self.workload_scaled(1.0)
+    }
+
+    /// Builds the workload with item counts scaled by `scale`
+    /// (`0 < scale ≤ 4`); tests use small scales for speed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not in `(0, 4]`.
+    pub fn workload_scaled(&self, scale: f64) -> WorkloadSpec {
+        assert!(scale > 0.0 && scale <= 4.0, "scale out of range");
+        let mut spec = match self {
+            Benchmark::Ferret => ferret(scale),
+            Benchmark::Blackscholes => blackscholes(scale),
+            Benchmark::Bodytrack => bodytrack(scale),
+            Benchmark::Canneal => canneal(scale),
+            Benchmark::Dedup => dedup(scale),
+            Benchmark::Facesim => facesim(scale),
+            Benchmark::Fluidanimate => fluidanimate(scale),
+            Benchmark::Freqmine => freqmine(scale),
+            Benchmark::Streamcluster => streamcluster(scale),
+        };
+        spec.name = self.name().to_owned();
+        debug_assert!(spec.validate().is_ok(), "{:?}", spec.validate());
+        spec
+    }
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Fixed workload-structure key (never the execution seed; see §5.2).
+const WORKLOAD_KEY: u64 = 0x5EED_0F57_A71C;
+
+fn gen_for(bench: &str, lane: u64) -> SimRng {
+    // Mix the benchmark name into the lane so benchmarks differ.
+    let tag: u64 = bench.bytes().fold(0u64, |a, b| {
+        a.wrapping_mul(131).wrapping_add(b as u64)
+    });
+    SimRng::new(WORKLOAD_KEY ^ tag, Stream::Workload, lane)
+}
+
+fn scaled(n: usize, scale: f64) -> usize {
+    ((n as f64 * scale).round() as usize).max(4)
+}
+
+/// Emits `count` loads over `[base, base+span)` with `locality` of them
+/// confined to a `hot_span` window starting at `hot_off`.
+#[allow(clippy::too_many_arguments)]
+fn emit_loads(
+    ops: &mut Vec<Op>,
+    rng: &mut SimRng,
+    base: u64,
+    span: u64,
+    hot_off: u64,
+    hot_span: u64,
+    locality: f64,
+    count: usize,
+) {
+    for _ in 0..count {
+        let addr = if rng.uniform_f64() < locality {
+            base + hot_off + rng.uniform_u64(0, hot_span.saturating_sub(1).max(1))
+        } else {
+            base + rng.uniform_u64(0, span.saturating_sub(1).max(1))
+        };
+        ops.push(Op::Load { addr: addr & !7 });
+    }
+}
+
+fn emit_compute(ops: &mut Vec<Op>, rng: &mut SimRng, total_cycles: u64) {
+    let mut left = total_cycles;
+    while left > 0 {
+        let c = rng.uniform_u64(8, 40).min(left).max(1);
+        ops.push(Op::Compute {
+            cycles: c as u16,
+            instructions: (c + c / 2) as u16,
+        });
+        left -= c;
+    }
+}
+
+fn emit_branches(ops: &mut Vec<Op>, rng: &mut SimRng, site_base: u32, sites: u32, count: usize) {
+    for _ in 0..count {
+        let site = site_base + rng.uniform_u64(0, sites as u64 - 1) as u32 * 8;
+        // Mixed predictability: most branches biased, some random.
+        let bias = match site % 3 {
+            0 => 0.95,
+            1 => 0.8,
+            _ => 0.5,
+        };
+        ops.push(Op::Branch {
+            pc: site,
+            taken: rng.uniform_f64() < bias,
+        });
+    }
+}
+
+/// The standard dynamic-pool worker program:
+/// `loop { pool-pop; run item } → (optional barrier) → end`.
+fn pool_worker(pool: u16, table: u16, barrier: Option<u16>) -> Vec<PInstr> {
+    let mut prog = vec![
+        PInstr::PoolPop {
+            pool,
+            jump_if_empty: 3,
+        },
+        PInstr::RunItem { table },
+        PInstr::Jump(0),
+    ];
+    if let Some(b) = barrier {
+        prog.push(PInstr::Barrier(b));
+    }
+    prog.push(PInstr::End);
+    prog
+}
+
+// ---------------------------------------------------------------------
+// ferret: 4-stage logical pipeline mapped onto 4 cores:
+//   t0 = source (segmentation/extraction), t1+t2 = worker pool
+//   (indexing/ranking against the shared database), t3 = sink (top-K
+//   aggregation under a lock).
+// ---------------------------------------------------------------------
+fn ferret(scale: f64) -> WorkloadSpec {
+    let queries = scaled(260, scale);
+    let db_span: u64 = 1536 * 1024; // 1.5 MB database
+    // Index region re-scanned periodically by workers: ~700 KB of it is
+    // live at a time, so it fits a 1 MB L2 but thrashes a 512 kB one —
+    // the capacity sensitivity behind the paper's §4.2 speedup study.
+    let index_base: u64 = DB_BASE + 0x0800_0000;
+    let index_lines: u64 = 600 * 1024 / 64;
+    let mut index_cursor: u64 = 0;
+    let clusters = 24u64;
+    // Per-cluster hot set sized well inside the 32 KB L1D, so a worker
+    // that keeps a cluster's burst enjoys L1 hits while splitting the
+    // burst between workers makes both miss — cache affinity turns the
+    // assignment (decided by timing) into real work differences.
+    let hot_span: u64 = 12 * 1024;
+
+    let mut rng = gen_for("ferret", 0);
+    let mut source_items = Vec::with_capacity(queries);
+    let mut work_items = Vec::with_capacity(queries);
+    let mut sink_items = Vec::with_capacity(queries);
+
+    let mut cluster = 0u64;
+    for q in 0..queries {
+        // Queries arrive in bursts from the same cluster, so which
+        // worker handles consecutive queries decides cache affinity.
+        if q % 16 == 0 {
+            cluster = rng.uniform_u64(0, clusters - 1);
+        }
+
+        // Source: read the query image (sequential private region).
+        let mut ops = Vec::new();
+        let qbase = PRIV_BASE + (q as u64) * 8192;
+        for j in 0..10 {
+            ops.push(Op::Load { addr: qbase + j * 512 });
+        }
+        let n_cycles = rng.uniform_u64(60, 120);
+        emit_compute(&mut ops, &mut rng, n_cycles);
+        emit_branches(&mut ops, &mut rng, 0x1000, 12, 4);
+        source_items.push(WorkItem { ops });
+
+        // Worker: the heavy stage — probe the shared database with
+        // strong reuse of the query's cluster hot set, update the
+        // cluster's accumulator lines (which ping-pong between workers
+        // when a burst is split), then item-dependent ranking compute.
+        // Every 24th query additionally walks a stretch of the shared
+        // index; successive walks revisit the same lines, so hit rate
+        // depends on whether the L2 can hold the ~700 KB live set.
+        let mut ops = Vec::new();
+        if q % 24 == 23 {
+            for _ in 0..2304 {
+                ops.push(Op::Load {
+                    addr: index_base + (index_cursor % index_lines) * 64,
+                });
+                index_cursor += 1;
+            }
+        }
+        let n_loads = rng.uniform_u64(40, 64) as usize;
+        emit_loads(
+            &mut ops,
+            &mut rng,
+            DB_BASE,
+            db_span,
+            cluster * hot_span,
+            hot_span,
+            0.85,
+            n_loads,
+        );
+        // Accumulator read-modify-writes on four cluster-owned lines:
+        // cheap when one worker keeps the burst (silent M-state stores),
+        // expensive when the burst is split (directory ping-pong).
+        for j in 0..8 {
+            let acc = SHARED_BASE + 0x4000 + cluster * 1024 + j * 64;
+            ops.push(Op::Load { addr: acc });
+            ops.push(Op::Store { addr: acc });
+        }
+        let n_cycles = rng.uniform_u64(150, 700);
+        emit_compute(&mut ops, &mut rng, n_cycles);
+        emit_branches(&mut ops, &mut rng, 0x2000, 48, 10);
+        for j in 0..6 {
+            ops.push(Op::Store {
+                addr: PRIV_BASE + 0x0400_0000 + (q as u64) * 1024 + j * 64,
+            });
+        }
+        work_items.push(WorkItem { ops });
+
+        // Sink: merge into the shared top-K structure. Most merges are
+        // cheap, but a periodic re-rank is expensive; when one lands
+        // while the worker→sink queue is already full, the workers
+        // convoy behind it — a low-frequency bifurcation whose impact
+        // depends on run-specific timing (the variability driver the
+        // paper attributes to ferret's frequent synchronization).
+        let mut ops = Vec::new();
+        for j in 0..4 {
+            ops.push(Op::Load {
+                addr: SHARED_BASE + (q as u64 % 64) * 64 + j * 8,
+            });
+        }
+        ops.push(Op::Store {
+            addr: SHARED_BASE + (q as u64 % 64) * 64,
+        });
+        let n_cycles = if q % 10 == 9 {
+            rng.uniform_u64(4_000, 10_000)
+        } else {
+            rng.uniform_u64(30, 80)
+        };
+        emit_compute(&mut ops, &mut rng, n_cycles);
+        sink_items.push(WorkItem { ops });
+    }
+
+    let source = vec![
+        PInstr::PoolPop {
+            pool: 0,
+            jump_if_empty: 4,
+        },
+        PInstr::RunItem { table: 0 },
+        PInstr::QueuePush(0),
+        PInstr::Jump(0),
+        PInstr::CloseQueue(0),
+        PInstr::End,
+    ];
+    let worker = vec![
+        PInstr::QueuePop {
+            queue: 0,
+            jump_if_closed: 4,
+        },
+        PInstr::RunItem { table: 1 },
+        PInstr::QueuePush(1),
+        PInstr::Jump(0),
+        PInstr::CloseQueue(1),
+        PInstr::End,
+    ];
+    let sink = vec![
+        PInstr::QueuePop {
+            queue: 1,
+            jump_if_closed: 5,
+        },
+        PInstr::LockAcquire(0),
+        PInstr::RunItem { table: 2 },
+        PInstr::LockRelease(0),
+        PInstr::Jump(0),
+        PInstr::End,
+    ];
+
+    WorkloadSpec {
+        name: String::new(),
+        programs: vec![source, worker.clone(), worker, sink],
+        tables: vec![source_items, work_items, sink_items],
+        pools: vec![PoolSpec {
+            start: 0,
+            end: queries as u64,
+            counter_addr: POOL_BASE,
+        }],
+        queues: vec![
+            QueueSpec {
+                capacity: 6,
+                producers: 1,
+            },
+            QueueSpec {
+                capacity: 3,
+                producers: 2,
+            },
+        ],
+        locks: 1,
+        barriers: vec![],
+        code_bytes: 96 * 1024, // larger than L1I: some fetch misses
+    }
+}
+
+// ---------------------------------------------------------------------
+// blackscholes: static partitioning, no sharing, barrier at the end.
+// ---------------------------------------------------------------------
+fn blackscholes(scale: f64) -> WorkloadSpec {
+    let per_thread = scaled(60, scale);
+    let threads = 4usize;
+    let mut rng = gen_for("blackscholes", 0);
+    let mut items = Vec::with_capacity(per_thread * threads);
+    // Each thread's option slice is small (16 KB) and re-walked every
+    // item, so after the first pass everything is L1-resident — the
+    // near-zero variability the paper reports for blackscholes.
+    for t in 0..threads {
+        for i in 0..per_thread {
+            let mut ops = Vec::new();
+            let slice = PRIV_BASE + (t as u64) * 0x0100_0000;
+            let off = (i as u64 * 512) % (16 * 1024);
+            for j in 0..2 {
+                ops.push(Op::Load {
+                    addr: slice + (off + j * 64) % (4 * 1024),
+                });
+            }
+            let n_cycles = rng.uniform_u64(800, 840);
+            emit_compute(&mut ops, &mut rng, n_cycles);
+            emit_branches(&mut ops, &mut rng, 0x3000, 8, 3);
+            ops.push(Op::Store { addr: slice + 0x8000 + off });
+            items.push(WorkItem { ops });
+        }
+    }
+    let programs = (0..threads)
+        .map(|t| {
+            let start = (t * per_thread) as u64;
+            let mut prog = Vec::new();
+            for k in 0..per_thread as u64 {
+                prog.push(PInstr::SetItem(start + k));
+                prog.push(PInstr::RunItem { table: 0 });
+            }
+            prog.push(PInstr::Barrier(0));
+            prog.push(PInstr::End);
+            prog
+        })
+        .collect();
+    WorkloadSpec {
+        name: String::new(),
+        programs,
+        tables: vec![items],
+        pools: vec![],
+        queues: vec![],
+        locks: 0,
+        barriers: vec![4],
+        code_bytes: 16 * 1024, // fits in L1I
+    }
+}
+
+// ---------------------------------------------------------------------
+// bodytrack: phases of dynamically chunked data-parallel work with a
+// barrier between phases.
+// ---------------------------------------------------------------------
+fn bodytrack(scale: f64) -> WorkloadSpec {
+    let phases = 5usize;
+    let chunks_per_phase = scaled(36, scale);
+    let mut rng = gen_for("bodytrack", 0);
+    let frame_span: u64 = 512 * 1024;
+    let mut items = Vec::new();
+    for p in 0..phases {
+        for _ in 0..chunks_per_phase {
+            let mut ops = Vec::new();
+            let n_loads = rng.uniform_u64(10, 22) as usize;
+            let hot_off = rng.uniform_u64(0, frame_span / 2);
+            emit_loads(
+                &mut ops,
+                &mut rng,
+                DB_BASE + (p as u64) * frame_span,
+                frame_span,
+                hot_off,
+                frame_span / 8,
+                0.6,
+                n_loads,
+            );
+            let n_cycles = rng.uniform_u64(120, 420);
+        emit_compute(&mut ops, &mut rng, n_cycles);
+            emit_branches(&mut ops, &mut rng, 0x4000, 24, 6);
+            ops.push(Op::Store {
+                addr: SHARED_BASE + 0x1000 + rng.uniform_u64(0, 255) * 64,
+            });
+            items.push(WorkItem { ops });
+        }
+    }
+    let programs = (0..4)
+        .map(|_| {
+            let mut prog = Vec::new();
+            for p in 0..phases as u16 {
+                let base = prog.len() as u32;
+                prog.push(PInstr::PoolPop {
+                    pool: p,
+                    jump_if_empty: base + 3,
+                });
+                prog.push(PInstr::RunItem { table: 0 });
+                prog.push(PInstr::Jump(base));
+                prog.push(PInstr::Barrier(0));
+            }
+            prog.push(PInstr::End);
+            prog
+        })
+        .collect();
+    let pools = (0..phases as u64)
+        .map(|p| PoolSpec {
+            start: p * chunks_per_phase as u64,
+            end: (p + 1) * chunks_per_phase as u64,
+            counter_addr: POOL_BASE + p * 64,
+        })
+        .collect();
+    WorkloadSpec {
+        name: String::new(),
+        programs,
+        tables: vec![items],
+        pools,
+        queues: vec![],
+        locks: 0,
+        barriers: vec![4],
+        code_bytes: 48 * 1024,
+    }
+}
+
+// ---------------------------------------------------------------------
+// canneal: shared pool of annealing moves over a working set far larger
+// than the L2; element swaps guarded by striped locks.
+// ---------------------------------------------------------------------
+fn canneal(scale: f64) -> WorkloadSpec {
+    let moves = scaled(200, scale);
+    let netlist_span: u64 = 16 * 1024 * 1024; // 16 MB ⇒ constant L2 misses
+    let mut rng = gen_for("canneal", 0);
+    let mut items = Vec::with_capacity(moves);
+    for _ in 0..moves {
+        let mut ops = Vec::new();
+        // Evaluate two candidate elements and their neighbours: random
+        // pointer chasing across the netlist.
+        let n_loads = rng.uniform_u64(14, 22) as usize;
+        emit_loads(
+            &mut ops,
+            &mut rng,
+            DB_BASE,
+            netlist_span,
+            0,
+            netlist_span,
+            0.0,
+            n_loads,
+        );
+        let n_cycles = rng.uniform_u64(60, 160);
+        emit_compute(&mut ops, &mut rng, n_cycles);
+        emit_branches(&mut ops, &mut rng, 0x5000, 16, 5);
+        // Swap: the two element updates plus a read-modify-write of one
+        // of eight shared region-header lines — the headers are written
+        // by every thread, so their MESI state depends on interleaving.
+        for _ in 0..2 {
+            ops.push(Op::Store {
+                addr: (DB_BASE + rng.uniform_u64(0, netlist_span - 1)) & !7,
+            });
+        }
+        let header = SHARED_BASE + rng.uniform_u64(0, 7) * 64;
+        ops.push(Op::Load { addr: header });
+        ops.push(Op::Store { addr: header });
+        items.push(WorkItem { ops });
+    }
+    let programs = (0..4).map(|_| pool_worker(0, 0, None)).collect();
+    WorkloadSpec {
+        name: String::new(),
+        programs,
+        tables: vec![items],
+        pools: vec![PoolSpec {
+            start: 0,
+            end: moves as u64,
+            counter_addr: POOL_BASE,
+        }],
+        queues: vec![],
+        locks: 0,
+        barriers: vec![],
+        code_bytes: 24 * 1024,
+    }
+}
+
+// ---------------------------------------------------------------------
+// dedup: 4-stage pipeline — chunk → hash → compress → write — with
+// bounded queues and strongly heterogeneous stage costs.
+// ---------------------------------------------------------------------
+fn dedup(scale: f64) -> WorkloadSpec {
+    let chunks = scaled(220, scale);
+    let mut rng = gen_for("dedup", 0);
+    let mut chunk_items = Vec::with_capacity(chunks);
+    let mut hash_items = Vec::with_capacity(chunks);
+    let mut compress_items = Vec::with_capacity(chunks);
+    let mut write_items = Vec::with_capacity(chunks);
+    for c in 0..chunks as u64 {
+        // Chunk: sequential streaming reads.
+        let mut ops = Vec::new();
+        for j in 0..8 {
+            ops.push(Op::Load {
+                addr: DB_BASE + c * 4096 + j * 512,
+            });
+        }
+        let n_cycles = rng.uniform_u64(40, 90);
+        emit_compute(&mut ops, &mut rng, n_cycles);
+        chunk_items.push(WorkItem { ops });
+
+        // Hash: compute + small table lookups; ~30 % duplicates hash
+        // cheaply.
+        let dup = rng.chance(0.3);
+        let mut ops = Vec::new();
+        emit_loads(
+            &mut ops,
+            &mut rng,
+            SHARED_BASE + 0x10000,
+            256 * 1024,
+            0,
+            64 * 1024,
+            0.8,
+            6,
+        );
+        emit_compute(&mut ops, &mut rng, if dup { 60 } else { 200 });
+        hash_items.push(WorkItem { ops });
+
+        // Compress: the expensive stage; duplicates skip it almost
+        // entirely — strong cost heterogeneity drives backpressure.
+        let mut ops = Vec::new();
+        let n_cycles = if dup {
+            rng.uniform_u64(20, 60)
+        } else {
+            rng.uniform_u64(500, 1100)
+        };
+        emit_compute(&mut ops, &mut rng, n_cycles);
+        emit_branches(&mut ops, &mut rng, 0x6000, 32, 8);
+        compress_items.push(WorkItem { ops });
+
+        // Write: sequential output stores.
+        let mut ops = Vec::new();
+        for j in 0..6 {
+            ops.push(Op::Store {
+                addr: PRIV_BASE + 0x0800_0000 + c * 2048 + j * 64,
+            });
+        }
+        write_items.push(WorkItem { ops });
+    }
+
+    let stage = |table: u16, in_q: Option<u16>, out_q: Option<u16>, pool: Option<u16>| {
+        let mut prog = Vec::new();
+        let close_pc = 4;
+        match (in_q, pool) {
+            (Some(q), None) => prog.push(PInstr::QueuePop {
+                queue: q,
+                jump_if_closed: close_pc,
+            }),
+            (None, Some(p)) => prog.push(PInstr::PoolPop {
+                pool: p,
+                jump_if_empty: close_pc,
+            }),
+            _ => unreachable!("stage has exactly one input"),
+        }
+        prog.push(PInstr::RunItem { table });
+        match out_q {
+            Some(q) => prog.push(PInstr::QueuePush(q)),
+            None => prog.push(PInstr::Jump(0)), // sink: loop directly
+        }
+        prog.push(PInstr::Jump(0));
+        // close_pc:
+        match out_q {
+            Some(q) => prog.push(PInstr::CloseQueue(q)),
+            None => prog.push(PInstr::Jump(5)),
+        }
+        prog.push(PInstr::End);
+        prog
+    };
+
+    WorkloadSpec {
+        name: String::new(),
+        programs: vec![
+            stage(0, None, Some(0), Some(0)),
+            stage(1, Some(0), Some(1), None),
+            stage(2, Some(1), Some(2), None),
+            stage(3, Some(2), None, None),
+        ],
+        tables: vec![chunk_items, hash_items, compress_items, write_items],
+        pools: vec![PoolSpec {
+            start: 0,
+            end: chunks as u64,
+            counter_addr: POOL_BASE,
+        }],
+        queues: vec![
+            QueueSpec {
+                capacity: 8,
+                producers: 1,
+            },
+            QueueSpec {
+                capacity: 8,
+                producers: 1,
+            },
+            QueueSpec {
+                capacity: 8,
+                producers: 1,
+            },
+        ],
+        locks: 0,
+        barriers: vec![],
+        code_bytes: 64 * 1024,
+    }
+}
+
+// ---------------------------------------------------------------------
+// facesim: phased data-parallel with neighbour sharing — adjacent items
+// read overlapping regions and write boundary elements other threads
+// read next phase.
+// ---------------------------------------------------------------------
+fn facesim(scale: f64) -> WorkloadSpec {
+    let phases = 4usize;
+    let per_phase = scaled(32, scale);
+    let mesh_span: u64 = 2 * 1024 * 1024;
+    let slice = mesh_span / per_phase as u64;
+    let mut rng = gen_for("facesim", 0);
+    let mut items = Vec::new();
+    for _p in 0..phases {
+        for i in 0..per_phase as u64 {
+            let mut ops = Vec::new();
+            // Read own slice plus neighbour overlap.
+            let lo = i.saturating_sub(1) * slice;
+            let n_loads = rng.uniform_u64(12, 20) as usize;
+        emit_loads(
+                &mut ops,
+                &mut rng,
+                DB_BASE + lo,
+                slice * 3,
+                slice,
+                slice,
+                0.7,
+                n_loads,
+        );
+            let n_cycles = rng.uniform_u64(200, 380);
+        emit_compute(&mut ops, &mut rng, n_cycles);
+            emit_branches(&mut ops, &mut rng, 0x7000, 20, 5);
+            // Write boundary (shared with neighbours).
+            ops.push(Op::Store {
+                addr: DB_BASE + i * slice,
+            });
+            ops.push(Op::Store {
+                addr: DB_BASE + (i + 1) * slice - 64,
+            });
+            items.push(WorkItem { ops });
+        }
+    }
+    let programs = (0..4)
+        .map(|_| {
+            let mut prog = Vec::new();
+            for p in 0..phases as u16 {
+                let base = prog.len() as u32;
+                prog.push(PInstr::PoolPop {
+                    pool: p,
+                    jump_if_empty: base + 3,
+                });
+                prog.push(PInstr::RunItem { table: 0 });
+                prog.push(PInstr::Jump(base));
+                prog.push(PInstr::Barrier(0));
+            }
+            prog.push(PInstr::End);
+            prog
+        })
+        .collect();
+    let pools = (0..phases as u64)
+        .map(|p| PoolSpec {
+            start: p * per_phase as u64,
+            end: (p + 1) * per_phase as u64,
+            counter_addr: POOL_BASE + p * 64,
+        })
+        .collect();
+    WorkloadSpec {
+        name: String::new(),
+        programs,
+        tables: vec![items],
+        pools,
+        queues: vec![],
+        locks: 0,
+        barriers: vec![4],
+        code_bytes: 80 * 1024,
+    }
+}
+
+// ---------------------------------------------------------------------
+// fluidanimate: barriers plus fine-grain lock-protected updates of
+// shared cell lists.
+// ---------------------------------------------------------------------
+fn fluidanimate(scale: f64) -> WorkloadSpec {
+    let phases = 3usize;
+    let per_phase = scaled(40, scale);
+    let grid_span: u64 = 1024 * 1024;
+    let mut rng = gen_for("fluidanimate", 0);
+    let mut items = Vec::new();
+    for _p in 0..phases {
+        for _ in 0..per_phase {
+            let mut ops = Vec::new();
+            let n_loads = rng.uniform_u64(8, 16) as usize;
+            let hot_off = rng.uniform_u64(0, grid_span / 2);
+            emit_loads(
+                &mut ops,
+                &mut rng,
+                DB_BASE,
+                grid_span,
+                hot_off,
+                grid_span / 16,
+                0.75,
+                n_loads,
+            );
+            let n_cycles = rng.uniform_u64(90, 260);
+        emit_compute(&mut ops, &mut rng, n_cycles);
+            emit_branches(&mut ops, &mut rng, 0x8000, 16, 4);
+            // Shared cell update (the lock is taken by the program).
+            ops.push(Op::Store {
+                addr: SHARED_BASE + 0x2000 + rng.uniform_u64(0, 127) * 64,
+            });
+            items.push(WorkItem { ops });
+        }
+    }
+    let programs = (0..4)
+        .map(|t: u16| {
+            let mut prog = Vec::new();
+            for p in 0..phases as u16 {
+                let base = prog.len() as u32;
+                prog.push(PInstr::PoolPop {
+                    pool: p,
+                    jump_if_empty: base + 5,
+                });
+                // Fine-grain: lock stripe chosen by thread to create
+                // convoys that depend on arrival order.
+                prog.push(PInstr::LockAcquire(t % 2));
+                prog.push(PInstr::RunItem { table: 0 });
+                prog.push(PInstr::LockRelease(t % 2));
+                prog.push(PInstr::Jump(base));
+                prog.push(PInstr::Barrier(0));
+            }
+            prog.push(PInstr::End);
+            prog
+        })
+        .collect();
+    let pools = (0..phases as u64)
+        .map(|p| PoolSpec {
+            start: p * per_phase as u64,
+            end: (p + 1) * per_phase as u64,
+            counter_addr: POOL_BASE + p * 64,
+        })
+        .collect();
+    WorkloadSpec {
+        name: String::new(),
+        programs,
+        tables: vec![items],
+        pools,
+        queues: vec![],
+        locks: 2,
+        barriers: vec![4],
+        code_bytes: 40 * 1024,
+    }
+}
+
+// ---------------------------------------------------------------------
+// freqmine: shared pool over a read-mostly FP-tree.
+// ---------------------------------------------------------------------
+fn freqmine(scale: f64) -> WorkloadSpec {
+    let tasks = scaled(160, scale);
+    let tree_span: u64 = 2560 * 1024; // 2.5 MB
+    let mut rng = gen_for("freqmine", 0);
+    let mut items = Vec::with_capacity(tasks);
+    for _ in 0..tasks {
+        let mut ops = Vec::new();
+        // Tree descent: localized runs with random restarts.
+        let start = rng.uniform_u64(0, tree_span - 1);
+        let n_loads = rng.uniform_u64(16, 30) as usize;
+        emit_loads(
+            &mut ops,
+            &mut rng,
+            DB_BASE,
+            tree_span,
+            start.min(tree_span - 4096),
+            64 * 1024,
+            0.85,
+            n_loads,
+        );
+        let n_cycles = rng.uniform_u64(100, 500);
+        emit_compute(&mut ops, &mut rng, n_cycles);
+        emit_branches(&mut ops, &mut rng, 0x9000, 40, 8);
+        items.push(WorkItem { ops });
+    }
+    WorkloadSpec {
+        name: String::new(),
+        programs: (0..4).map(|_| pool_worker(0, 0, None)).collect(),
+        tables: vec![items],
+        pools: vec![PoolSpec {
+            start: 0,
+            end: tasks as u64,
+            counter_addr: POOL_BASE,
+        }],
+        queues: vec![],
+        locks: 0,
+        barriers: vec![],
+        code_bytes: 56 * 1024,
+    }
+}
+
+// ---------------------------------------------------------------------
+// streamcluster: many short barrier-separated phases; stragglers set
+// the pace.
+// ---------------------------------------------------------------------
+fn streamcluster(scale: f64) -> WorkloadSpec {
+    let phases = 8usize;
+    let per_phase = scaled(16, scale);
+    let points_span: u64 = 1024 * 1024;
+    let mut rng = gen_for("streamcluster", 0);
+    let mut items = Vec::new();
+    for _p in 0..phases {
+        for _ in 0..per_phase {
+            let mut ops = Vec::new();
+            let n_loads = rng.uniform_u64(10, 18) as usize;
+        emit_loads(
+                &mut ops,
+                &mut rng,
+                DB_BASE,
+                points_span,
+                0,
+                points_span / 4,
+                0.5,
+                n_loads,
+        );
+            let n_cycles = rng.uniform_u64(150, 550);
+        emit_compute(&mut ops, &mut rng, n_cycles);
+            emit_branches(&mut ops, &mut rng, 0xA000, 12, 4);
+            items.push(WorkItem { ops });
+        }
+    }
+    let programs = (0..4)
+        .map(|_| {
+            let mut prog = Vec::new();
+            for p in 0..phases as u16 {
+                let base = prog.len() as u32;
+                prog.push(PInstr::PoolPop {
+                    pool: p,
+                    jump_if_empty: base + 3,
+                });
+                prog.push(PInstr::RunItem { table: 0 });
+                prog.push(PInstr::Jump(base));
+                prog.push(PInstr::Barrier(0));
+            }
+            prog.push(PInstr::End);
+            prog
+        })
+        .collect();
+    let pools = (0..phases as u64)
+        .map(|p| PoolSpec {
+            start: p * per_phase as u64,
+            end: (p + 1) * per_phase as u64,
+            counter_addr: POOL_BASE + p * 64,
+        })
+        .collect();
+    WorkloadSpec {
+        name: String::new(),
+        programs,
+        tables: vec![items],
+        pools,
+        queues: vec![],
+        locks: 0,
+        barriers: vec![4],
+        code_bytes: 32 * 1024,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_benchmarks_validate() {
+        for b in Benchmark::ALL {
+            let w = b.workload_scaled(0.25);
+            assert!(w.validate().is_ok(), "{b}: {:?}", w.validate());
+            assert_eq!(w.programs.len(), 4, "{b} must have 4 threads");
+            assert_eq!(w.name, b.name());
+            assert!(w.total_item_ops() > 0, "{b} has no work");
+        }
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for b in Benchmark::ALL {
+            assert_eq!(Benchmark::from_name(b.name()), Some(b));
+            assert_eq!(b.to_string(), b.name());
+        }
+        assert_eq!(Benchmark::from_name("raytrace"), None);
+    }
+
+    #[test]
+    fn structure_is_deterministic() {
+        let a = Benchmark::Ferret.workload_scaled(0.25);
+        let b = Benchmark::Ferret.workload_scaled(0.25);
+        assert_eq!(a.tables, b.tables);
+        assert_eq!(a.programs, b.programs);
+    }
+
+    #[test]
+    fn benchmarks_are_distinct() {
+        let f = Benchmark::Ferret.workload_scaled(0.25);
+        let c = Benchmark::Canneal.workload_scaled(0.25);
+        assert_ne!(f.tables, c.tables);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale out of range")]
+    fn bad_scale_panics() {
+        let _ = Benchmark::Ferret.workload_scaled(0.0);
+    }
+
+    #[test]
+    fn scale_changes_item_count() {
+        let small = Benchmark::Freqmine.workload_scaled(0.25);
+        let big = Benchmark::Freqmine.workload_scaled(1.0);
+        assert!(big.tables[0].len() > small.tables[0].len());
+    }
+}

@@ -1,0 +1,179 @@
+//! Whole-simulator integration tests: every benchmark on the Table 2
+//! machine, metric sanity, and configuration sensitivity.
+
+use spa_sim::config::SystemConfig;
+use spa_sim::machine::Machine;
+use spa_sim::metrics::Metric;
+use spa_sim::variability::Variability;
+use spa_sim::workload::parsec::Benchmark;
+
+#[test]
+fn every_benchmark_completes_with_sane_metrics() {
+    for bench in Benchmark::ALL {
+        let spec = bench.workload_scaled(0.25);
+        let machine = Machine::new(SystemConfig::table2(), &spec).unwrap();
+        for seed in [0, 7, 31] {
+            let r = machine
+                .run(seed)
+                .unwrap_or_else(|e| panic!("{bench} seed {seed}: {e}"));
+            let m = &r.metrics;
+            assert!(m.runtime_cycles > 0, "{bench}: zero runtime");
+            assert!(m.instructions > 0, "{bench}: no instructions");
+            assert!(m.ipc > 0.0 && m.ipc < 16.0, "{bench}: ipc {}", m.ipc);
+            assert!(m.l1_mpki >= 0.0 && m.l1_mpki < 500.0, "{bench}: l1 {}", m.l1_mpki);
+            assert!(m.l2_mpki <= m.l1_mpki, "{bench}: L2 MPKI above L1 MPKI");
+            assert!(
+                (0.0..=1.0).contains(&m.l2_miss_rate),
+                "{bench}: l2 rate {}",
+                m.l2_miss_rate
+            );
+            assert!(m.max_load_latency >= 2, "{bench}: impossible load latency");
+            assert!(
+                m.avg_load_latency <= m.max_load_latency as f64,
+                "{bench}: avg > max load latency"
+            );
+            assert!(m.l2_accesses <= m.l1d_misses + m.l1i_misses + 1,
+                "{bench}: more L2 accesses than L1 misses");
+            assert!(m.dram_accesses <= m.l2_accesses, "{bench}: DRAM > L2 accesses");
+        }
+    }
+}
+
+#[test]
+fn pipeline_benchmarks_exercise_queues() {
+    // ferret and dedup are pipelines: all of their work items must flow
+    // through (instructions equal across seeds proves full drainage).
+    for bench in [Benchmark::Ferret, Benchmark::Dedup] {
+        let spec = bench.workload_scaled(0.25);
+        let machine = Machine::new(SystemConfig::table2(), &spec).unwrap();
+        let a = machine.run(0).unwrap().metrics.instructions;
+        let b = machine.run(99).unwrap().metrics.instructions;
+        assert_eq!(a, b, "{bench}: item loss depends on seed");
+    }
+}
+
+#[test]
+fn ferret_prefers_bigger_l2() {
+    let spec = Benchmark::Ferret.workload();
+    let small = Machine::new(
+        SystemConfig::table2().with_l2_capacity(512 * 1024),
+        &spec,
+    )
+    .unwrap();
+    let large = Machine::new(
+        SystemConfig::table2().with_l2_capacity(1024 * 1024),
+        &spec,
+    )
+    .unwrap();
+    // Average over a few common-random-number pairs: the 1 MB system
+    // must be clearly faster (the §4.2 speedup study's premise).
+    let mut small_total = 0u64;
+    let mut large_total = 0u64;
+    for seed in 0..5 {
+        small_total += small.run(seed).unwrap().metrics.runtime_cycles;
+        large_total += large.run(seed).unwrap().metrics.runtime_cycles;
+    }
+    assert!(
+        small_total as f64 > large_total as f64 * 1.2,
+        "expected ≥1.2x speedup, got {:.3}",
+        small_total as f64 / large_total as f64
+    );
+}
+
+#[test]
+fn jitter_only_runs_are_less_variable_than_full_system() {
+    let spec = Benchmark::Freqmine.workload_scaled(0.5);
+    let jitter = Machine::new(SystemConfig::table2(), &spec)
+        .unwrap()
+        .with_variability(Variability::DramJitter { max_cycles: 4 });
+    let full = Machine::new(SystemConfig::table2(), &spec).unwrap();
+
+    let spread = |machine: &Machine| -> f64 {
+        let xs: Vec<f64> = (0..12)
+            .map(|s| machine.run(s).unwrap().metrics.runtime_seconds)
+            .collect();
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        (hi - lo) / lo
+    };
+    let jitter_spread = spread(&jitter);
+    let full_spread = spread(&full);
+    assert!(
+        full_spread > jitter_spread,
+        "full-system spread {full_spread} should exceed jitter-only {jitter_spread}"
+    );
+}
+
+#[test]
+fn mesh_network_runs_and_is_slower() {
+    let spec = Benchmark::Freqmine.workload_scaled(0.25);
+    let xbar = Machine::new(SystemConfig::table2(), &spec).unwrap();
+    let mesh = Machine::new(SystemConfig::table2().with_mesh(), &spec).unwrap();
+    let mut x_total = 0u64;
+    let mut m_total = 0u64;
+    for seed in 0..3 {
+        x_total += xbar.run(seed).unwrap().metrics.runtime_cycles;
+        m_total += mesh.run(seed).unwrap().metrics.runtime_cycles;
+    }
+    assert!(
+        m_total > x_total,
+        "mesh ({m_total}) should be slower than crossbar ({x_total})"
+    );
+}
+
+#[test]
+fn prefetcher_helps_sequential_hurts_random() {
+    let run_pair = |bench: Benchmark| {
+        let spec = bench.workload_scaled(0.25);
+        let base = Machine::new(SystemConfig::table2(), &spec).unwrap();
+        let pf = Machine::new(SystemConfig::table2().with_prefetch(), &spec).unwrap();
+        let mut b = 0u64;
+        let mut p = 0u64;
+        for seed in 0..3 {
+            b += base.run(seed).unwrap().metrics.runtime_cycles;
+            p += pf.run(seed).unwrap().metrics.runtime_cycles;
+        }
+        (b, p)
+    };
+    // canneal's random pointer chases make next-line prefetch pure
+    // pollution + bandwidth waste.
+    let (base, pf) = run_pair(Benchmark::Canneal);
+    assert!(pf > base, "prefetch should hurt canneal: {base} vs {pf}");
+}
+
+#[test]
+fn metric_extraction_is_total() {
+    // Every Metric::ALL extractor yields a finite value on every
+    // benchmark.
+    for bench in [Benchmark::Canneal, Benchmark::Blackscholes] {
+        let spec = bench.workload_scaled(0.25);
+        let machine = Machine::new(SystemConfig::table2(), &spec).unwrap();
+        let m = machine.run(3).unwrap().metrics;
+        for metric in Metric::ALL {
+            let v = metric.extract(&m);
+            assert!(v.is_finite(), "{bench}/{metric}: {v}");
+            assert!(v >= 0.0, "{bench}/{metric}: negative {v}");
+        }
+    }
+}
+
+#[test]
+fn real_machine_model_is_multimodal_for_ferret() {
+    let spec = Benchmark::Ferret.workload_scaled(0.5);
+    let machine = Machine::new(SystemConfig::table2(), &spec)
+        .unwrap()
+        .with_variability(Variability::real_machine());
+    let xs: Vec<f64> = (0..60)
+        .map(|s| machine.run(s).unwrap().metrics.runtime_seconds)
+        .collect();
+    // Interfered runs must be clearly separated from clean ones: the
+    // max should sit far above the median.
+    let mut sorted = xs.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let median = sorted[sorted.len() / 2];
+    let max = sorted[sorted.len() - 1];
+    assert!(
+        max > median * 1.2,
+        "no slow mode visible: median {median}, max {max}"
+    );
+}

@@ -1,0 +1,202 @@
+//! The beta distribution.
+//!
+//! The Clopper–Pearson exact confidence in the SPA paper (Eq. 4) is written
+//! in terms of `B(x | a, b)`, the CDF of a Beta(a, b) distribution. This
+//! module wraps the special functions of [`crate::special`] in a
+//! distribution object.
+
+use crate::special::{inc_beta, inv_inc_beta, ln_beta};
+use crate::{Result, StatsError};
+
+/// A beta distribution with shape parameters `alpha` and `beta`.
+///
+/// # Examples
+///
+/// ```
+/// use spa_stats::beta::BetaDist;
+/// # fn main() -> Result<(), spa_stats::StatsError> {
+/// let b = BetaDist::new(2.0, 2.0)?;
+/// assert!((b.mean() - 0.5).abs() < 1e-15);
+/// assert!((b.cdf(0.5) - 0.5).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BetaDist {
+    alpha: f64,
+    beta: f64,
+}
+
+impl BetaDist {
+    /// Creates a beta distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] unless both shape
+    /// parameters are finite and strictly positive.
+    pub fn new(alpha: f64, beta: f64) -> Result<Self> {
+        if !alpha.is_finite() || alpha <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "alpha",
+                value: alpha,
+                expected: "a finite value > 0",
+            });
+        }
+        if !beta.is_finite() || beta <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "beta",
+                value: beta,
+                expected: "a finite value > 0",
+            });
+        }
+        Ok(Self { alpha, beta })
+    }
+
+    /// The `alpha` shape parameter.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The `beta` shape parameter.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Mean of the distribution: `α / (α + β)`.
+    pub fn mean(&self) -> f64 {
+        self.alpha / (self.alpha + self.beta)
+    }
+
+    /// Variance of the distribution.
+    pub fn variance(&self) -> f64 {
+        let s = self.alpha + self.beta;
+        self.alpha * self.beta / (s * s * (s + 1.0))
+    }
+
+    /// Probability density function at `x`.
+    ///
+    /// Returns `0` outside `[0, 1]`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        if !(0.0..=1.0).contains(&x) {
+            return 0.0;
+        }
+        if x == 0.0 || x == 1.0 {
+            // Handle boundary densities explicitly to avoid 0^0 issues.
+            return match (x == 0.0, self.alpha, self.beta) {
+                (true, a, _) if a < 1.0 => f64::INFINITY,
+                (true, a, _) if a > 1.0 => 0.0,
+                (false, _, b) if b < 1.0 => f64::INFINITY,
+                (false, _, b) if b > 1.0 => 0.0,
+                _ => ((self.alpha - 1.0) * 0.0 - ln_beta(self.alpha, self.beta)).exp(),
+            };
+        }
+        ((self.alpha - 1.0) * x.ln() + (self.beta - 1.0) * (1.0 - x).ln()
+            - ln_beta(self.alpha, self.beta))
+        .exp()
+    }
+
+    /// Cumulative distribution function `P(X ≤ x)`.
+    ///
+    /// This is the `B(x | α, β)` of the SPA paper's Eq. 4. Values of `x`
+    /// below 0 or above 1 clamp to 0 and 1 respectively.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else if x >= 1.0 {
+            1.0
+        } else {
+            // Parameters were validated in `new`; x is now in (0, 1).
+            inc_beta(self.alpha, self.beta, x).expect("validated beta cdf")
+        }
+    }
+
+    /// Inverse CDF (quantile function).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `p ∉ [0, 1]`.
+    pub fn inverse_cdf(&self, p: f64) -> Result<f64> {
+        inv_inc_beta(self.alpha, self.beta, p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rejects_invalid_shapes() {
+        assert!(BetaDist::new(0.0, 1.0).is_err());
+        assert!(BetaDist::new(1.0, -2.0).is_err());
+        assert!(BetaDist::new(f64::INFINITY, 1.0).is_err());
+        assert!(BetaDist::new(1.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn moments() {
+        let b = BetaDist::new(2.0, 6.0).unwrap();
+        assert!((b.mean() - 0.25).abs() < 1e-15);
+        assert!((b.variance() - 2.0 * 6.0 / (64.0 * 9.0)).abs() < 1e-15);
+        assert_eq!(b.alpha(), 2.0);
+        assert_eq!(b.beta(), 6.0);
+    }
+
+    #[test]
+    fn cdf_clamps_outside_support() {
+        let b = BetaDist::new(3.0, 4.0).unwrap();
+        assert_eq!(b.cdf(-0.5), 0.0);
+        assert_eq!(b.cdf(1.5), 1.0);
+    }
+
+    #[test]
+    fn pdf_outside_support_is_zero() {
+        let b = BetaDist::new(3.0, 4.0).unwrap();
+        assert_eq!(b.pdf(-0.1), 0.0);
+        assert_eq!(b.pdf(1.1), 0.0);
+    }
+
+    #[test]
+    fn pdf_boundaries() {
+        // α < 1 ⇒ density blows up at 0.
+        assert!(BetaDist::new(0.5, 2.0).unwrap().pdf(0.0).is_infinite());
+        // α > 1 ⇒ density 0 at 0.
+        assert_eq!(BetaDist::new(2.0, 2.0).unwrap().pdf(0.0), 0.0);
+        // β < 1 ⇒ density blows up at 1.
+        assert!(BetaDist::new(2.0, 0.5).unwrap().pdf(1.0).is_infinite());
+    }
+
+    #[test]
+    fn cdf_known_value() {
+        // Beta(2,3): CDF(x) = 6x^2/2 - 8x^3/... easier: I_x(2,3) = x^2(6-8x+3x^2)
+        let b = BetaDist::new(2.0, 3.0).unwrap();
+        let x: f64 = 0.4;
+        let expect = x * x * (6.0 - 8.0 * x + 3.0 * x * x);
+        assert!((b.cdf(x) - expect).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn quantile_round_trip(a in 0.3_f64..30.0, b in 0.3_f64..30.0, p in 0.001_f64..0.999) {
+            let d = BetaDist::new(a, b).unwrap();
+            let x = d.inverse_cdf(p).unwrap();
+            prop_assert!((d.cdf(x) - p).abs() < 1e-8);
+        }
+
+        #[test]
+        fn pdf_integrates_to_cdf_diff(a in 0.5_f64..10.0, b in 0.5_f64..10.0) {
+            // Trapezoidal integral of pdf over [0.2, 0.8] ≈ CDF(0.8) − CDF(0.2).
+            let d = BetaDist::new(a, b).unwrap();
+            let n = 2000;
+            let (lo, hi) = (0.2, 0.8);
+            let h = (hi - lo) / n as f64;
+            let mut integral = 0.5 * (d.pdf(lo) + d.pdf(hi));
+            for i in 1..n {
+                integral += d.pdf(lo + i as f64 * h);
+            }
+            integral *= h;
+            let diff = d.cdf(hi) - d.cdf(lo);
+            prop_assert!((integral - diff).abs() < 1e-5, "{integral} vs {diff}");
+        }
+    }
+}

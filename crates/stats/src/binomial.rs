@@ -1,0 +1,235 @@
+//! The binomial distribution.
+//!
+//! SMC treats each execution's property outcome as a Bernoulli trial, so
+//! the count `M` of satisfying executions among `N` samples is
+//! `Binom(N, p)` (paper §3.3). The rank-test baseline also needs binomial
+//! CDFs to select order statistics for a quantile confidence interval.
+
+use crate::special::{inc_beta, ln_gamma};
+use crate::{Result, StatsError};
+
+/// A binomial distribution with `n` trials and success probability `p`.
+///
+/// # Examples
+///
+/// ```
+/// use spa_stats::binomial::Binomial;
+/// # fn main() -> Result<(), spa_stats::StatsError> {
+/// let b = Binomial::new(10, 0.5)?;
+/// assert!((b.pmf(5) - 0.24609375).abs() < 1e-12);
+/// assert!((b.cdf(10) - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Binomial {
+    n: u64,
+    p: f64,
+}
+
+impl Binomial {
+    /// Creates a binomial distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `p ∉ [0, 1]`.
+    pub fn new(n: u64, p: f64) -> Result<Self> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(StatsError::InvalidParameter {
+                name: "p",
+                value: p,
+                expected: "a value in [0, 1]",
+            });
+        }
+        Ok(Self { n, p })
+    }
+
+    /// Number of trials.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Mean `np`.
+    pub fn mean(&self) -> f64 {
+        self.n as f64 * self.p
+    }
+
+    /// Variance `np(1−p)`.
+    pub fn variance(&self) -> f64 {
+        self.n as f64 * self.p * (1.0 - self.p)
+    }
+
+    /// Natural log of the binomial coefficient `C(n, k)`.
+    fn ln_choose(n: u64, k: u64) -> f64 {
+        ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
+    }
+
+    /// Probability mass function `P(X = k)`.
+    ///
+    /// Returns `0` for `k > n`.
+    pub fn pmf(&self, k: u64) -> f64 {
+        if k > self.n {
+            return 0.0;
+        }
+        if self.p == 0.0 {
+            return if k == 0 { 1.0 } else { 0.0 };
+        }
+        if self.p == 1.0 {
+            return if k == self.n { 1.0 } else { 0.0 };
+        }
+        (Self::ln_choose(self.n, k)
+            + k as f64 * self.p.ln()
+            + (self.n - k) as f64 * (1.0 - self.p).ln())
+        .exp()
+    }
+
+    /// Cumulative distribution function `P(X ≤ k)`.
+    ///
+    /// Uses the identity `P(X ≤ k) = I_{1−p}(n−k, k+1)` so the result is
+    /// accurate even for large `n`.
+    pub fn cdf(&self, k: u64) -> f64 {
+        if k >= self.n {
+            return 1.0;
+        }
+        if self.p == 0.0 {
+            return 1.0;
+        }
+        if self.p == 1.0 {
+            return 0.0; // k < n and all mass sits at n
+        }
+        inc_beta((self.n - k) as f64, k as f64 + 1.0, 1.0 - self.p)
+            .expect("validated binomial cdf")
+    }
+
+    /// Survival function `P(X > k)`.
+    pub fn sf(&self, k: u64) -> f64 {
+        1.0 - self.cdf(k)
+    }
+
+    /// Smallest `k` such that `P(X ≤ k) ≥ q` (the quantile function).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `q ∉ [0, 1]`.
+    pub fn quantile(&self, q: f64) -> Result<u64> {
+        if !(0.0..=1.0).contains(&q) {
+            return Err(StatsError::InvalidParameter {
+                name: "q",
+                value: q,
+                expected: "a value in [0, 1]",
+            });
+        }
+        // Binary search on the monotone CDF.
+        let (mut lo, mut hi) = (0_u64, self.n);
+        if self.cdf(0) >= q {
+            return Ok(0);
+        }
+        while lo + 1 < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.cdf(mid) >= q {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Ok(hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rejects_bad_p() {
+        assert!(Binomial::new(10, -0.1).is_err());
+        assert!(Binomial::new(10, 1.1).is_err());
+        assert!(Binomial::new(10, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let b = Binomial::new(20, 0.3).unwrap();
+        let total: f64 = (0..=20).map(|k| b.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let b0 = Binomial::new(5, 0.0).unwrap();
+        assert_eq!(b0.pmf(0), 1.0);
+        assert_eq!(b0.pmf(3), 0.0);
+        assert_eq!(b0.cdf(0), 1.0);
+
+        let b1 = Binomial::new(5, 1.0).unwrap();
+        assert_eq!(b1.pmf(5), 1.0);
+        assert_eq!(b1.pmf(2), 0.0);
+        assert_eq!(b1.cdf(4), 0.0);
+        assert_eq!(b1.cdf(5), 1.0);
+    }
+
+    #[test]
+    fn cdf_matches_pmf_sum() {
+        let b = Binomial::new(22, 0.9).unwrap();
+        for k in 0..=22_u64 {
+            let manual: f64 = (0..=k).map(|j| b.pmf(j)).sum();
+            assert!(
+                (b.cdf(k) - manual).abs() < 1e-10,
+                "k={k}: {} vs {manual}",
+                b.cdf(k)
+            );
+        }
+    }
+
+    #[test]
+    fn moments() {
+        let b = Binomial::new(100, 0.25).unwrap();
+        assert!((b.mean() - 25.0).abs() < 1e-12);
+        assert!((b.variance() - 18.75).abs() < 1e-12);
+        assert_eq!(b.n(), 100);
+        assert_eq!(b.p(), 0.25);
+    }
+
+    #[test]
+    fn quantile_is_smallest_k() {
+        let b = Binomial::new(22, 0.5).unwrap();
+        let k = b.quantile(0.5).unwrap();
+        assert!(b.cdf(k) >= 0.5);
+        assert!(k == 0 || b.cdf(k - 1) < 0.5);
+        assert!(b.quantile(1.5).is_err());
+    }
+
+    #[test]
+    fn pmf_beyond_n_is_zero() {
+        let b = Binomial::new(4, 0.5).unwrap();
+        assert_eq!(b.pmf(5), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn cdf_monotone(n in 1_u64..200, p in 0.0_f64..=1.0, k in 0_u64..200) {
+            let b = Binomial::new(n, p).unwrap();
+            let k = k % (n + 1);
+            if k > 0 {
+                prop_assert!(b.cdf(k) >= b.cdf(k - 1) - 1e-12);
+            }
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&b.cdf(k)));
+        }
+
+        #[test]
+        fn quantile_inverts_cdf(n in 1_u64..100, p in 0.05_f64..0.95, q in 0.01_f64..0.99) {
+            let b = Binomial::new(n, p).unwrap();
+            let k = b.quantile(q).unwrap();
+            prop_assert!(b.cdf(k) >= q - 1e-12);
+            if k > 0 {
+                prop_assert!(b.cdf(k - 1) < q + 1e-12);
+            }
+        }
+    }
+}

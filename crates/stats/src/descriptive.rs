@@ -1,0 +1,295 @@
+//! Descriptive statistics over slices of `f64`.
+//!
+//! The paper reports coefficients of variation (§6), empirical quantiles
+//! used as population ground truth (§5.3), and sample means for the
+//! Z-score baseline. All of those live here.
+
+use crate::{Result, StatsError};
+
+/// Arithmetic mean. Returns `NaN` for an empty slice (mirrors the
+/// convention of `f64` reductions); use [`try_mean`] to get an error
+/// instead.
+///
+/// # Examples
+///
+/// ```
+/// use spa_stats::descriptive::mean;
+/// assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+/// ```
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Arithmetic mean, failing on empty input.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyData`] if `xs` is empty.
+pub fn try_mean(xs: &[f64]) -> Result<f64> {
+    if xs.is_empty() {
+        Err(StatsError::EmptyData)
+    } else {
+        Ok(mean(xs))
+    }
+}
+
+/// Unbiased sample variance (divides by `n − 1`).
+///
+/// Returns `NaN` for fewer than two data points.
+pub fn sample_variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return f64::NAN;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Unbiased sample standard deviation.
+///
+/// Returns `NaN` for fewer than two data points.
+pub fn sample_stddev(xs: &[f64]) -> f64 {
+    sample_variance(xs).sqrt()
+}
+
+/// Coefficient of variation: standard deviation divided by the mean
+/// (§6 of the paper reports these per metric/benchmark).
+///
+/// Returns `NaN` for fewer than two points or a zero mean.
+pub fn coefficient_of_variation(xs: &[f64]) -> f64 {
+    let m = mean(xs);
+    if m == 0.0 {
+        return f64::NAN;
+    }
+    sample_stddev(xs) / m
+}
+
+/// How an empirical quantile interpolates between order statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum QuantileMethod {
+    /// Linear interpolation between closest ranks (R type 7, the default
+    /// of NumPy/SciPy — what the paper's Python tooling used).
+    #[default]
+    Linear,
+    /// Lower of the two closest order statistics (R type 1): the largest
+    /// data point `x` such that at least a fraction `q` of the data is
+    /// `≤ x`. This is the natural match for SMC's proportion semantics,
+    /// where ground truth is "the value below which F of the population
+    /// falls" (§5.3).
+    LowerRank,
+    /// The nearest order statistic.
+    Nearest,
+}
+
+/// Empirical `q`-quantile of `xs`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyData`] for empty input and
+/// [`StatsError::InvalidParameter`] if `q ∉ [0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use spa_stats::descriptive::{quantile, QuantileMethod};
+/// let xs = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(quantile(&xs, 0.5, QuantileMethod::Linear)?, 2.5);
+/// assert_eq!(quantile(&xs, 0.5, QuantileMethod::LowerRank)?, 2.0);
+/// # Ok::<(), spa_stats::StatsError>(())
+/// ```
+pub fn quantile(xs: &[f64], q: f64, method: QuantileMethod) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(StatsError::EmptyData);
+    }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(StatsError::InvalidParameter {
+            name: "q",
+            value: q,
+            expected: "a value in [0, 1]",
+        });
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    Ok(quantile_sorted(&sorted, q, method))
+}
+
+/// Empirical `q`-quantile of already-sorted data (ascending).
+///
+/// Skips the sort; useful when taking many quantiles of one population.
+/// `q` must be in `[0, 1]` and `sorted` non-empty (checked by
+/// `debug_assert!`).
+pub fn quantile_sorted(sorted: &[f64], q: f64, method: QuantileMethod) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    debug_assert!((0.0..=1.0).contains(&q));
+    let n = sorted.len();
+    match method {
+        QuantileMethod::Linear => {
+            let h = (n as f64 - 1.0) * q;
+            let lo = h.floor() as usize;
+            let hi = h.ceil() as usize;
+            if lo == hi {
+                sorted[lo]
+            } else {
+                sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo])
+            }
+        }
+        QuantileMethod::LowerRank => {
+            if q == 0.0 {
+                sorted[0]
+            } else {
+                let k = (q * n as f64).ceil() as usize;
+                sorted[k.clamp(1, n) - 1]
+            }
+        }
+        QuantileMethod::Nearest => {
+            let h = (n as f64 - 1.0) * q;
+            sorted[h.round() as usize]
+        }
+    }
+}
+
+/// Minimum of a slice, `NaN` if empty.
+pub fn min(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::NAN, f64::min)
+}
+
+/// Maximum of a slice, `NaN` if empty.
+pub fn max(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::NAN, f64::max)
+}
+
+/// Median (linear interpolation).
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyData`] for empty input.
+pub fn median(xs: &[f64]) -> Result<f64> {
+    quantile(xs, 0.5, QuantileMethod::Linear)
+}
+
+/// Fraction of data points `x` for which `x ≤ threshold`.
+///
+/// This is the empirical satisfaction proportion of the property
+/// "metric ≤ threshold" — the `M/N` of the paper's Eq. 3 for a
+/// less-than property.
+pub fn proportion_at_or_below(xs: &[f64], threshold: f64) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().filter(|&&x| x <= threshold).count() as f64 / xs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        // population variance is 4; sample variance = 32/7
+        assert!((sample_variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(mean(&[]).is_nan());
+        assert!(try_mean(&[]).is_err());
+        assert!(sample_variance(&[1.0]).is_nan());
+        assert!(quantile(&[], 0.5, QuantileMethod::Linear).is_err());
+        assert!(median(&[]).is_err());
+        assert!(min(&[]).is_nan());
+        assert!(max(&[]).is_nan());
+        assert!(proportion_at_or_below(&[], 0.0).is_nan());
+    }
+
+    #[test]
+    fn quantile_linear_matches_numpy() {
+        // numpy.quantile([1,2,3,4,5], 0.25) == 2.0
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&xs, 0.25, QuantileMethod::Linear).unwrap(), 2.0);
+        assert_eq!(quantile(&xs, 0.0, QuantileMethod::Linear).unwrap(), 1.0);
+        assert_eq!(quantile(&xs, 1.0, QuantileMethod::Linear).unwrap(), 5.0);
+        // numpy.quantile([1,2,3,4], 0.9) == 3.7000000000000002
+        let ys = [1.0, 2.0, 3.0, 4.0];
+        assert!((quantile(&ys, 0.9, QuantileMethod::Linear).unwrap() - 3.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_lower_rank() {
+        let xs = [10.0, 20.0, 30.0, 40.0, 50.0];
+        assert_eq!(quantile(&xs, 0.0, QuantileMethod::LowerRank).unwrap(), 10.0);
+        assert_eq!(quantile(&xs, 0.2, QuantileMethod::LowerRank).unwrap(), 10.0);
+        assert_eq!(quantile(&xs, 0.21, QuantileMethod::LowerRank).unwrap(), 20.0);
+        assert_eq!(quantile(&xs, 0.5, QuantileMethod::LowerRank).unwrap(), 30.0);
+        assert_eq!(quantile(&xs, 0.9, QuantileMethod::LowerRank).unwrap(), 50.0);
+        assert_eq!(quantile(&xs, 1.0, QuantileMethod::LowerRank).unwrap(), 50.0);
+    }
+
+    #[test]
+    fn quantile_nearest() {
+        let xs = [1.0, 2.0, 3.0];
+        assert_eq!(quantile(&xs, 0.4, QuantileMethod::Nearest).unwrap(), 2.0);
+        assert_eq!(quantile(&xs, 0.95, QuantileMethod::Nearest).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn quantile_unsorted_input() {
+        let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(median(&xs).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn quantile_rejects_out_of_range() {
+        assert!(quantile(&[1.0], -0.1, QuantileMethod::Linear).is_err());
+        assert!(quantile(&[1.0], 1.1, QuantileMethod::Linear).is_err());
+    }
+
+    #[test]
+    fn cv_definition() {
+        let xs = [1.0, 2.0, 3.0];
+        let cv = coefficient_of_variation(&xs);
+        assert!((cv - 1.0 / 2.0).abs() < 1e-12);
+        assert!(coefficient_of_variation(&[0.0, 0.0]).is_nan());
+    }
+
+    #[test]
+    fn proportion_semantics() {
+        let xs = [1.0, 2.0, 2.0, 3.0];
+        assert_eq!(proportion_at_or_below(&xs, 2.0), 0.75);
+        assert_eq!(proportion_at_or_below(&xs, 0.5), 0.0);
+        assert_eq!(proportion_at_or_below(&xs, 3.0), 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn quantile_within_range(mut xs in proptest::collection::vec(-1e6_f64..1e6, 1..100),
+                                 q in 0.0_f64..=1.0) {
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            for method in [QuantileMethod::Linear, QuantileMethod::LowerRank, QuantileMethod::Nearest] {
+                let v = quantile_sorted(&xs, q, method);
+                prop_assert!(v >= xs[0] && v <= xs[xs.len() - 1]);
+            }
+        }
+
+        #[test]
+        fn lower_rank_quantile_satisfies_proportion(
+            mut xs in proptest::collection::vec(-1e3_f64..1e3, 1..100),
+            q in 0.01_f64..1.0,
+        ) {
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let v = quantile_sorted(&xs, q, QuantileMethod::LowerRank);
+            // At least q of the data lies at or below the LowerRank quantile.
+            prop_assert!(proportion_at_or_below(&xs, v) >= q - 1e-12);
+        }
+
+        #[test]
+        fn mean_bounded_by_min_max(xs in proptest::collection::vec(-1e6_f64..1e6, 1..100)) {
+            let m = mean(&xs);
+            prop_assert!(m >= min(&xs) - 1e-9 && m <= max(&xs) + 1e-9);
+        }
+    }
+}

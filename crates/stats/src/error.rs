@@ -1,0 +1,75 @@
+use std::fmt;
+
+/// Error type for numerical-statistics operations.
+///
+/// Every fallible function in this crate returns this error. It is
+/// deliberately small: statistics code either receives a parameter outside
+/// its mathematical domain, is asked to operate on an empty data set, or an
+/// iterative scheme fails to converge.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// A distribution or function parameter lies outside its domain,
+    /// e.g. a beta shape parameter that is not strictly positive.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable description of the accepted domain.
+        expected: &'static str,
+    },
+    /// The operation needs at least one data point but the input was empty.
+    EmptyData,
+    /// An iterative numerical scheme (continued fraction, root finder)
+    /// failed to converge within its iteration budget.
+    NoConvergence {
+        /// Which algorithm failed.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::InvalidParameter {
+                name,
+                value,
+                expected,
+            } => write!(f, "invalid parameter `{name}` = {value}; expected {expected}"),
+            StatsError::EmptyData => write!(f, "empty data set"),
+            StatsError::NoConvergence { what } => {
+                write!(f, "{what} failed to converge")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StatsError::InvalidParameter {
+            name: "alpha",
+            value: -1.0,
+            expected: "a finite value > 0",
+        };
+        let s = e.to_string();
+        assert!(s.contains("alpha"));
+        assert!(s.contains("-1"));
+
+        assert_eq!(StatsError::EmptyData.to_string(), "empty data set");
+        assert!(StatsError::NoConvergence { what: "betacf" }
+            .to_string()
+            .contains("betacf"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StatsError>();
+    }
+}

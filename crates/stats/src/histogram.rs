@@ -1,0 +1,227 @@
+//! Fixed-bin histograms.
+//!
+//! Figures 1 and 2 of the paper are runtime histograms; the bench harness
+//! uses this module to bin populations and render them as ASCII so that
+//! "the shape" (bi-modality, skew) is visible directly in terminal output.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram over a fixed range with equally sized bins.
+///
+/// Values outside the configured range are counted in saturating edge
+/// bins (first/last), so no observation is silently dropped.
+///
+/// # Examples
+///
+/// ```
+/// use spa_stats::histogram::Histogram;
+/// let mut h = Histogram::new(0.0, 10.0, 5);
+/// for x in [1.0, 1.5, 6.0, 9.9] {
+///     h.record(x);
+/// }
+/// assert_eq!(h.total(), 4);
+/// assert_eq!(h.counts()[0], 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` equal bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `hi <= lo` or either bound is not finite.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(
+            lo.is_finite() && hi.is_finite() && hi > lo,
+            "histogram range must be finite and non-empty"
+        );
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+        }
+    }
+
+    /// Builds a histogram whose range covers the data with `bins` bins.
+    ///
+    /// Returns `None` for empty data. A degenerate (constant) data set
+    /// gets a tiny symmetric range around the value.
+    pub fn from_data(data: &[f64], bins: usize) -> Option<Self> {
+        if data.is_empty() {
+            return None;
+        }
+        let lo = data.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = data.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let (lo, hi) = if lo == hi {
+            (lo - 0.5, hi + 0.5)
+        } else {
+            // Widen the top edge slightly so the max lands inside.
+            (lo, hi + (hi - lo) * 1e-9)
+        };
+        let mut h = Self::new(lo, hi, bins);
+        for &x in data {
+            h.record(x);
+        }
+        Some(h)
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        let bins = self.counts.len();
+        let idx = if x < self.lo {
+            0
+        } else if x >= self.hi {
+            bins - 1
+        } else {
+            let frac = (x - self.lo) / (self.hi - self.lo);
+            ((frac * bins as f64) as usize).min(bins - 1)
+        };
+        self.counts[idx] += 1;
+    }
+
+    /// Bin counts, in ascending bin order.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of recorded observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// `(low, high)` bounds of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn bin_bounds(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.counts.len(), "bin index out of range");
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        (self.lo + i as f64 * w, self.lo + (i + 1) as f64 * w)
+    }
+
+    /// Renders the histogram as ASCII rows `low..high | ####` with the
+    /// widest bar spanning `width` characters.
+    pub fn render_ascii(&self, width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let (lo, hi) = self.bin_bounds(i);
+            let bar = "#".repeat((c as usize * width).div_ceil(max as usize).min(width));
+            out.push_str(&format!("{lo:>12.4} ..{hi:>12.4} | {bar} {c}\n"));
+        }
+        out
+    }
+
+    /// Index of the most populated bin.
+    pub fn mode_bin(&self) -> usize {
+        self.counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .map(|(i, _)| i)
+            .expect("histogram has at least one bin")
+    }
+
+    /// Counts the local maxima of the (lightly smoothed) bin profile —
+    /// a crude modality detector used in tests to confirm that the Fig. 1
+    /// "real machine" population really is multi-modal.
+    pub fn count_modes(&self, min_prominence: u64) -> usize {
+        let c = &self.counts;
+        let mut modes = 0;
+        for i in 0..c.len() {
+            let left = if i == 0 { 0 } else { c[i - 1] };
+            let right = if i + 1 == c.len() { 0 } else { c[i + 1] };
+            if c[i] > left && c[i] >= right && c[i] >= min_prominence {
+                modes += 1;
+            }
+        }
+        modes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_binning() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(0.0);
+        h.record(9.999);
+        h.record(5.0);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.counts()[5], 1);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn out_of_range_saturates() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(-5.0);
+        h.record(42.0);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[3], 1);
+        assert_eq!(h.total(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-empty")]
+    fn inverted_range_panics() {
+        let _ = Histogram::new(1.0, 0.0, 4);
+    }
+
+    #[test]
+    fn from_data_covers_everything() {
+        let data = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let h = Histogram::from_data(&data, 8).unwrap();
+        assert_eq!(h.total(), data.len() as u64);
+        assert!(Histogram::from_data(&[], 4).is_none());
+    }
+
+    #[test]
+    fn from_data_constant_input() {
+        let h = Histogram::from_data(&[2.0, 2.0, 2.0], 3).unwrap();
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn bin_bounds_partition_range() {
+        let h = Histogram::new(0.0, 10.0, 5);
+        assert_eq!(h.bin_bounds(0), (0.0, 2.0));
+        assert_eq!(h.bin_bounds(4), (8.0, 10.0));
+    }
+
+    #[test]
+    fn ascii_render_has_one_row_per_bin() {
+        let mut h = Histogram::new(0.0, 4.0, 4);
+        h.record(1.0);
+        let s = h.render_ascii(20);
+        assert_eq!(s.lines().count(), 4);
+        assert!(s.contains('#'));
+    }
+
+    #[test]
+    fn mode_detection() {
+        // Bimodal profile: peaks at bins 1 and 4.
+        let mut h = Histogram::new(0.0, 6.0, 6);
+        for x in [1.1, 1.2, 1.3, 4.1, 4.2, 4.3, 4.4] {
+            h.record(x);
+        }
+        assert_eq!(h.count_modes(2), 2);
+        assert_eq!(h.mode_bin(), 4);
+    }
+}

@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! Numerical statistics substrate for the SPA framework.
+//!
+//! The SPA paper ("Rigorous Evaluation of Computer Processors with
+//! Statistical Model Checking", MICRO 2023) relies on a handful of
+//! numerical building blocks: the regularized incomplete beta function
+//! (for the Clopper–Pearson exact confidence of Eq. 4), the normal
+//! distribution (for the Z-score baseline and the BCa bootstrap), the
+//! binomial distribution (for rank-based confidence intervals) and plain
+//! descriptive statistics (means, coefficients of variation, empirical
+//! quantiles). This crate implements all of them from scratch so the rest
+//! of the workspace has no numerical dependencies.
+//!
+//! # Example
+//!
+//! ```
+//! use spa_stats::beta::BetaDist;
+//! use spa_stats::descriptive::{mean, quantile, QuantileMethod};
+//!
+//! # fn main() -> Result<(), spa_stats::StatsError> {
+//! let b = BetaDist::new(2.0, 3.0)?;
+//! assert!((b.cdf(0.5) - 0.6875).abs() < 1e-12);
+//!
+//! let xs = [4.0, 1.0, 3.0, 2.0];
+//! assert_eq!(mean(&xs), 2.5);
+//! assert_eq!(quantile(&xs, 0.5, QuantileMethod::Linear)?, 2.5);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod beta;
+pub mod binomial;
+pub mod descriptive;
+pub mod histogram;
+pub mod normal;
+pub mod special;
+pub mod student_t;
+pub mod summary;
+
+mod error;
+
+pub use error::StatsError;
+
+/// Convenience alias used by fallible functions in this crate.
+pub type Result<T> = std::result::Result<T, StatsError>;

@@ -1,0 +1,249 @@
+//! The normal (Gaussian) distribution.
+//!
+//! Used by the Z-score confidence-interval baseline (§2.4 / §6.1 of the
+//! paper) and by the bias-corrected accelerated (BCa) bootstrap, which
+//! needs `Φ` and `Φ⁻¹`.
+
+use crate::special::erf;
+use crate::{Result, StatsError};
+
+/// A normal distribution `N(mean, sd²)`.
+///
+/// # Examples
+///
+/// ```
+/// use spa_stats::normal::Normal;
+/// # fn main() -> Result<(), spa_stats::StatsError> {
+/// let n = Normal::standard();
+/// assert!((n.cdf(0.0) - 0.5).abs() < 1e-8);
+/// let z = Normal::standard().inverse_cdf(0.975)?;
+/// assert!((z - 1.959963984540054).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    sd: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution with the given mean and standard
+    /// deviation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `sd` is not finite and
+    /// strictly positive, or if `mean` is not finite.
+    pub fn new(mean: f64, sd: f64) -> Result<Self> {
+        if !mean.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                name: "mean",
+                value: mean,
+                expected: "a finite value",
+            });
+        }
+        if !sd.is_finite() || sd <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "sd",
+                value: sd,
+                expected: "a finite value > 0",
+            });
+        }
+        Ok(Self { mean, sd })
+    }
+
+    /// The standard normal distribution `N(0, 1)`.
+    pub fn standard() -> Self {
+        Self { mean: 0.0, sd: 1.0 }
+    }
+
+    /// Mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Standard deviation of the distribution.
+    pub fn sd(&self) -> f64 {
+        self.sd
+    }
+
+    /// Probability density at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / self.sd;
+        (-(z * z) / 2.0).exp() / (self.sd * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    /// Cumulative distribution function `Φ((x − μ)/σ)`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / (self.sd * std::f64::consts::SQRT_2);
+        0.5 * (1.0 + erf(z))
+    }
+
+    /// Inverse CDF (quantile) using Acklam's rational approximation with
+    /// one Halley refinement step; accurate to ~1e-9.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `p ∉ (0, 1)`.
+    pub fn inverse_cdf(&self, p: f64) -> Result<f64> {
+        if !(p > 0.0 && p < 1.0) {
+            return Err(StatsError::InvalidParameter {
+                name: "p",
+                value: p,
+                expected: "a value in (0, 1)",
+            });
+        }
+        Ok(self.mean + self.sd * standard_normal_quantile(p))
+    }
+}
+
+/// Acklam's inverse-normal approximation for `p ∈ (0, 1)`.
+fn standard_normal_quantile(p: f64) -> f64 {
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+
+    // One Halley refinement step against the high-accuracy CDF expansion.
+    let e = 0.5 * erfc_hp(-x / std::f64::consts::SQRT_2) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+    x - u / (1.0 + x * u / 2.0)
+}
+
+/// High-precision complementary error function via series/continued
+/// fraction split (used only to polish the normal quantile).
+fn erfc_hp(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let ans = t
+        * (-z * z - 1.265_512_23
+            + t * (1.000_023_68
+                + t * (0.374_091_96
+                    + t * (0.096_784_18
+                        + t * (-0.186_288_06
+                            + t * (0.278_868_07
+                                + t * (-1.135_203_98
+                                    + t * (1.488_515_87
+                                        + t * (-0.822_152_23 + t * 0.170_872_77)))))))))
+        .exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, 0.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn standard_quantiles_match_tables() {
+        let n = Normal::standard();
+        // Classic z-values.
+        for &(p, z) in &[
+            (0.5, 0.0),
+            (0.8413447460685429, 1.0),
+            (0.975, 1.959963984540054),
+            (0.95, 1.6448536269514722),
+            (0.995, 2.5758293035489004),
+            (0.9995, 3.2905267314919255),
+        ] {
+            let q = n.inverse_cdf(p).unwrap();
+            assert!((q - z).abs() < 1e-7, "p={p}: {q} vs {z}");
+        }
+    }
+
+    #[test]
+    fn cdf_symmetry() {
+        let n = Normal::standard();
+        for &x in &[0.1, 0.7, 1.3, 2.5] {
+            assert!((n.cdf(x) + n.cdf(-x) - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn scaled_distribution() {
+        let n = Normal::new(10.0, 2.0).unwrap();
+        assert_eq!(n.mean(), 10.0);
+        assert_eq!(n.sd(), 2.0);
+        assert!((n.cdf(10.0) - 0.5).abs() < 1e-8);
+        assert!((n.inverse_cdf(0.5).unwrap() - 10.0).abs() < 1e-5);
+        // pdf peak value 1/(σ√(2π))
+        assert!((n.pdf(10.0) - 1.0 / (2.0 * (2.0 * std::f64::consts::PI).sqrt())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_cdf_rejects_boundary() {
+        let n = Normal::standard();
+        assert!(n.inverse_cdf(0.0).is_err());
+        assert!(n.inverse_cdf(1.0).is_err());
+        assert!(n.inverse_cdf(-0.5).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn quantile_round_trip(p in 0.0001_f64..0.9999) {
+            let n = Normal::standard();
+            let x = n.inverse_cdf(p).unwrap();
+            prop_assert!((n.cdf(x) - p).abs() < 1e-5, "p={p} x={x} cdf={}", n.cdf(x));
+        }
+
+        #[test]
+        fn cdf_monotone(x in -5.0_f64..5.0, dx in 0.0_f64..3.0) {
+            let n = Normal::standard();
+            prop_assert!(n.cdf(x + dx) >= n.cdf(x) - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Student's t distribution.
+//!
+//! The paper's Gaussian baseline uses the Z quantile even at 22 samples;
+//! careful practitioners substitute the t quantile, which widens the
+//! interval to account for estimating the standard deviation. The
+//! `spa-baselines` crate offers both so the bench harness can quantify
+//! how much of the Z-score's failure the t correction repairs (spoiler:
+//! it fixes the width, not the distributional assumption).
+
+use crate::special::inc_beta;
+use crate::{Result, StatsError};
+
+/// Student's t distribution with `nu` degrees of freedom.
+///
+/// # Examples
+///
+/// ```
+/// use spa_stats::student_t::StudentT;
+/// # fn main() -> Result<(), spa_stats::StatsError> {
+/// let t = StudentT::new(21.0)?;
+/// // The 97.5% t quantile at 21 dof is the classic 2.0796.
+/// let q = t.inverse_cdf(0.975)?;
+/// assert!((q - 2.0796).abs() < 1e-3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StudentT {
+    nu: f64,
+}
+
+impl StudentT {
+    /// Creates the distribution with `nu > 0` degrees of freedom.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] for non-positive or
+    /// non-finite `nu`.
+    pub fn new(nu: f64) -> Result<Self> {
+        if !nu.is_finite() || nu <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "nu",
+                value: nu,
+                expected: "a finite value > 0",
+            });
+        }
+        Ok(Self { nu })
+    }
+
+    /// Degrees of freedom.
+    pub fn nu(&self) -> f64 {
+        self.nu
+    }
+
+    /// Cumulative distribution function `P(T ≤ t)` via the incomplete
+    /// beta identity.
+    pub fn cdf(&self, t: f64) -> f64 {
+        if t == 0.0 {
+            return 0.5;
+        }
+        let x = self.nu / (self.nu + t * t);
+        let tail = 0.5 * inc_beta(self.nu / 2.0, 0.5, x).expect("valid parameters");
+        if t > 0.0 {
+            1.0 - tail
+        } else {
+            tail
+        }
+    }
+
+    /// Inverse CDF (quantile) by bisection on the symmetric CDF.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `p ∉ (0, 1)`.
+    pub fn inverse_cdf(&self, p: f64) -> Result<f64> {
+        if !(p > 0.0 && p < 1.0) {
+            return Err(StatsError::InvalidParameter {
+                name: "p",
+                value: p,
+                expected: "a value in (0, 1)",
+            });
+        }
+        if (p - 0.5).abs() < 1e-15 {
+            return Ok(0.0);
+        }
+        // Symmetry: solve for the upper tail and mirror.
+        let upper = p >= 0.5;
+        let p = if upper { p } else { 1.0 - p };
+        let (mut lo, mut hi) = (0.0_f64, 1.0_f64);
+        while self.cdf(hi) < p {
+            hi *= 2.0;
+            if hi > 1e12 {
+                break;
+            }
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.cdf(mid) < p {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            if hi - lo < 1e-12 * hi.max(1.0) {
+                break;
+            }
+        }
+        let t = 0.5 * (lo + hi);
+        Ok(if upper { t } else { -t })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rejects_bad_dof() {
+        assert!(StudentT::new(0.0).is_err());
+        assert!(StudentT::new(-3.0).is_err());
+        assert!(StudentT::new(f64::NAN).is_err());
+        assert_eq!(StudentT::new(5.0).unwrap().nu(), 5.0);
+    }
+
+    #[test]
+    fn classic_table_values() {
+        // (nu, p, t) triples from standard t tables.
+        for &(nu, p, expect) in &[
+            (1.0, 0.975, 12.706),
+            (5.0, 0.975, 2.571),
+            (10.0, 0.95, 1.812),
+            (21.0, 0.975, 2.080),
+            (21.0, 0.95, 1.721),
+            (100.0, 0.975, 1.984),
+        ] {
+            let t = StudentT::new(nu).unwrap().inverse_cdf(p).unwrap();
+            assert!(
+                (t - expect).abs() < 2e-3 * expect,
+                "nu={nu} p={p}: {t} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn symmetry() {
+        let t = StudentT::new(7.0).unwrap();
+        for &x in &[0.3, 1.0, 2.5] {
+            assert!((t.cdf(x) + t.cdf(-x) - 1.0).abs() < 1e-10);
+        }
+        assert_eq!(t.cdf(0.0), 0.5);
+        assert!((t.inverse_cdf(0.2).unwrap() + t.inverse_cdf(0.8).unwrap()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn approaches_normal_for_large_dof() {
+        let t = StudentT::new(10_000.0).unwrap();
+        let q = t.inverse_cdf(0.975).unwrap();
+        assert!((q - 1.96).abs() < 5e-3, "{q}");
+    }
+
+    #[test]
+    fn heavier_tails_than_normal_at_small_dof() {
+        let t5 = StudentT::new(5.0).unwrap().inverse_cdf(0.975).unwrap();
+        let t21 = StudentT::new(21.0).unwrap().inverse_cdf(0.975).unwrap();
+        assert!(t5 > t21);
+        assert!(t21 > 1.96);
+    }
+
+    #[test]
+    fn quantile_domain_checked() {
+        let t = StudentT::new(3.0).unwrap();
+        assert!(t.inverse_cdf(0.0).is_err());
+        assert!(t.inverse_cdf(1.0).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip(nu in 1.0_f64..200.0, p in 0.01_f64..0.99) {
+            let t = StudentT::new(nu).unwrap();
+            let x = t.inverse_cdf(p).unwrap();
+            prop_assert!((t.cdf(x) - p).abs() < 1e-6, "nu={nu} p={p} x={x}");
+        }
+
+        #[test]
+        fn cdf_monotone(nu in 0.5_f64..100.0, a in -10.0_f64..10.0, d in 0.0_f64..5.0) {
+            let t = StudentT::new(nu).unwrap();
+            prop_assert!(t.cdf(a + d) >= t.cdf(a) - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Streaming (single-pass) summary statistics.
+//!
+//! The simulator produces metrics one execution at a time; [`Summary`]
+//! accumulates count/mean/variance/min/max online using Welford's
+//! algorithm so populations never need to be buffered just to get a CV.
+
+use serde::{Deserialize, Serialize};
+
+/// Online accumulator for count, mean, variance, min and max.
+///
+/// Uses Welford's numerically stable recurrence; merging two summaries is
+/// supported for parallel accumulation.
+///
+/// # Examples
+///
+/// ```
+/// use spa_stats::summary::Summary;
+/// let mut s = Summary::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.count(), 4);
+/// assert_eq!(s.mean(), 2.5);
+/// assert!((s.sample_variance() - 5.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Summary {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Builds a summary from an iterator of values (equivalent to
+    /// `iter.collect::<Summary>()`).
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Self::new();
+        s.extend(iter);
+        s
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another summary into this one (Chan's parallel update).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.m2 += other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the observations (`NaN` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (`NaN` for fewer than 2 observations).
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            f64::NAN
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Unbiased sample standard deviation.
+    pub fn sample_stddev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Coefficient of variation (stddev / mean).
+    pub fn coefficient_of_variation(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            f64::NAN
+        } else {
+            self.sample_stddev() / m
+        }
+    }
+
+    /// Minimum observation (`NaN` when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Maximum observation (`NaN` when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        Summary::from_iter(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptive;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_summary_is_nan() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert!(s.mean().is_nan());
+        assert!(s.sample_variance().is_nan());
+        assert!(s.min().is_nan());
+        assert!(s.max().is_nan());
+    }
+
+    #[test]
+    fn single_point() {
+        let s = Summary::from_iter([7.0]);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.mean(), 7.0);
+        assert!(s.sample_variance().is_nan());
+        assert_eq!(s.min(), 7.0);
+        assert_eq!(s.max(), 7.0);
+    }
+
+    #[test]
+    fn matches_two_pass_statistics() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s: Summary = xs.iter().copied().collect();
+        assert!((s.mean() - descriptive::mean(&xs)).abs() < 1e-12);
+        assert!((s.sample_variance() - descriptive::sample_variance(&xs)).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn cv_matches_descriptive() {
+        let xs = [1.0, 2.0, 3.0];
+        let s = Summary::from_iter(xs);
+        assert!(
+            (s.coefficient_of_variation() - descriptive::coefficient_of_variation(&xs)).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn merge_empty_cases() {
+        let mut a = Summary::new();
+        let b = Summary::from_iter([1.0, 2.0]);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        let mut c = Summary::from_iter([3.0]);
+        c.merge(&Summary::new());
+        assert_eq!(c.count(), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn merge_equals_concatenation(
+            xs in proptest::collection::vec(-1e3_f64..1e3, 0..50),
+            ys in proptest::collection::vec(-1e3_f64..1e3, 0..50),
+        ) {
+            let mut merged = Summary::from_iter(xs.iter().copied());
+            merged.merge(&Summary::from_iter(ys.iter().copied()));
+
+            let all: Vec<f64> = xs.iter().chain(ys.iter()).copied().collect();
+            let direct = Summary::from_iter(all.iter().copied());
+
+            prop_assert_eq!(merged.count(), direct.count());
+            if !all.is_empty() {
+                prop_assert!((merged.mean() - direct.mean()).abs() < 1e-9);
+                prop_assert_eq!(merged.min(), direct.min());
+                prop_assert_eq!(merged.max(), direct.max());
+            }
+            if all.len() >= 2 {
+                prop_assert!((merged.sample_variance() - direct.sample_variance()).abs() < 1e-7);
+            }
+        }
+    }
+}

@@ -1,0 +1,369 @@
+//! Abstract syntax tree for the STL fragment used by SPA.
+//!
+//! Formulas are built either programmatically through the constructors
+//! here or by [`crate::parser::parse`]. `Display` renders a formula back
+//! to parseable text, so `parse(f.to_string())` round-trips.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::trace::Trace;
+use crate::Result;
+
+/// Comparison operator of an atomic predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Applies the comparison.
+    pub fn apply(self, lhs: f64, rhs: f64) -> bool {
+        match self {
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Ge => lhs >= rhs,
+        }
+    }
+
+    /// The operator with its operands swapped (`a < b` ⇔ `b > a`).
+    pub fn flipped(self) -> Self {
+        match self {
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        })
+    }
+}
+
+/// An atomic predicate `signal op threshold`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Predicate {
+    /// Signal name the predicate inspects.
+    pub signal: String,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Constant threshold.
+    pub threshold: f64,
+}
+
+impl Predicate {
+    /// Creates a predicate `signal op threshold`.
+    pub fn new(signal: impl Into<String>, op: CmpOp, threshold: f64) -> Self {
+        Self {
+            signal: signal.into(),
+            op,
+            threshold,
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.signal, self.op, self.threshold)
+    }
+}
+
+/// A (possibly right-unbounded) time interval `[lo, hi]` in cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Interval {
+    /// Inclusive lower bound.
+    pub lo: u64,
+    /// Inclusive upper bound; `None` means unbounded (evaluation clamps
+    /// to the end of the trace).
+    pub hi: Option<u64>,
+}
+
+impl Interval {
+    /// A bounded interval `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi < lo`.
+    pub fn bounded(lo: u64, hi: u64) -> Self {
+        assert!(hi >= lo, "interval upper bound below lower bound");
+        Self { lo, hi: Some(hi) }
+    }
+
+    /// The unbounded interval `[0, ∞)`.
+    pub fn unbounded() -> Self {
+        Self { lo: 0, hi: None }
+    }
+
+    /// Shifts both bounds by `t` (the evaluation-time offset).
+    pub fn offset(self, t: u64) -> Self {
+        Self {
+            lo: self.lo + t,
+            hi: self.hi.map(|h| h + t),
+        }
+    }
+
+    /// Clamps the upper bound to `end` (for unbounded intervals) and
+    /// returns concrete `(lo, hi)` bounds.
+    pub fn clamp_to(self, end: u64) -> (u64, u64) {
+        (self.lo, self.hi.unwrap_or(end).min(end).max(self.lo))
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.hi {
+            Some(hi) => write!(f, "[{},{}]", self.lo, hi),
+            None => write!(f, "[{},inf]", self.lo),
+        }
+    }
+}
+
+/// An STL formula.
+///
+/// # Examples
+///
+/// ```
+/// use spa_stl::ast::{Stl, Interval};
+///
+/// // G[0,100] (power < 5.0)
+/// let f = Stl::globally(Interval::bounded(0, 100), Stl::lt("power", 5.0));
+/// assert_eq!(f.to_string(), "G[0,100] (power < 5)");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Stl {
+    /// Constant truth.
+    True,
+    /// Constant falsehood.
+    False,
+    /// Atomic predicate on one signal.
+    Atom(Predicate),
+    /// Logical negation.
+    Not(Box<Stl>),
+    /// Conjunction.
+    And(Box<Stl>, Box<Stl>),
+    /// Disjunction.
+    Or(Box<Stl>, Box<Stl>),
+    /// Implication.
+    Implies(Box<Stl>, Box<Stl>),
+    /// `G[I] φ` — φ holds at every instant of the interval.
+    Globally(Interval, Box<Stl>),
+    /// `F[I] φ` — φ holds at some instant of the interval.
+    Eventually(Interval, Box<Stl>),
+    /// `φ U[I] ψ` — ψ eventually holds within the interval, and φ holds
+    /// until then.
+    Until(Interval, Box<Stl>, Box<Stl>),
+    /// `φ W[I] ψ` — weak until: as [`Stl::Until`], except that ψ need
+    /// never hold if φ holds throughout the interval
+    /// (`φ W ψ ≡ (φ U ψ) ∨ G φ`).
+    WeakUntil(Interval, Box<Stl>, Box<Stl>),
+    /// `φ R[I] ψ` — release: ψ must hold up to and including the instant
+    /// φ first holds; if φ never holds, ψ must hold throughout
+    /// (`φ R ψ ≡ ¬(¬φ U ¬ψ)`).
+    Release(Interval, Box<Stl>, Box<Stl>),
+}
+
+impl Stl {
+    /// Atomic `signal < threshold`.
+    pub fn lt(signal: impl Into<String>, threshold: f64) -> Self {
+        Stl::Atom(Predicate::new(signal, CmpOp::Lt, threshold))
+    }
+
+    /// Atomic `signal <= threshold`.
+    pub fn le(signal: impl Into<String>, threshold: f64) -> Self {
+        Stl::Atom(Predicate::new(signal, CmpOp::Le, threshold))
+    }
+
+    /// Atomic `signal > threshold`.
+    pub fn gt(signal: impl Into<String>, threshold: f64) -> Self {
+        Stl::Atom(Predicate::new(signal, CmpOp::Gt, threshold))
+    }
+
+    /// Atomic `signal >= threshold`.
+    pub fn ge(signal: impl Into<String>, threshold: f64) -> Self {
+        Stl::Atom(Predicate::new(signal, CmpOp::Ge, threshold))
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(inner: Stl) -> Self {
+        Stl::Not(Box::new(inner))
+    }
+
+    /// Conjunction.
+    pub fn and(lhs: Stl, rhs: Stl) -> Self {
+        Stl::And(Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Disjunction.
+    pub fn or(lhs: Stl, rhs: Stl) -> Self {
+        Stl::Or(Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Implication.
+    pub fn implies(lhs: Stl, rhs: Stl) -> Self {
+        Stl::Implies(Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Temporal `G[I] φ`.
+    pub fn globally(interval: Interval, inner: Stl) -> Self {
+        Stl::Globally(interval, Box::new(inner))
+    }
+
+    /// Temporal `F[I] φ`.
+    pub fn eventually(interval: Interval, inner: Stl) -> Self {
+        Stl::Eventually(interval, Box::new(inner))
+    }
+
+    /// Temporal `φ U[I] ψ`.
+    pub fn until(interval: Interval, lhs: Stl, rhs: Stl) -> Self {
+        Stl::Until(interval, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Temporal `φ W[I] ψ` (weak until).
+    pub fn weak_until(interval: Interval, lhs: Stl, rhs: Stl) -> Self {
+        Stl::WeakUntil(interval, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Temporal `φ R[I] ψ` (release).
+    pub fn release(interval: Interval, lhs: Stl, rhs: Stl) -> Self {
+        Stl::Release(interval, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Boolean satisfaction of the formula at the start of the trace.
+    ///
+    /// Shorthand for [`eval::satisfies`](crate::eval::satisfies) at
+    /// `t = trace.start_time()`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors (unknown signals, empty windows).
+    pub fn satisfied_by(&self, trace: &Trace) -> Result<bool> {
+        crate::eval::satisfies(self, trace, trace.start_time())
+    }
+
+    /// Names of all signals the formula mentions, deduplicated.
+    pub fn signals(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_signals(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_signals<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Stl::True | Stl::False => {}
+            Stl::Atom(p) => out.push(&p.signal),
+            Stl::Not(a) => a.collect_signals(out),
+            Stl::And(a, b) | Stl::Or(a, b) | Stl::Implies(a, b) => {
+                a.collect_signals(out);
+                b.collect_signals(out);
+            }
+            Stl::Globally(_, a) | Stl::Eventually(_, a) => a.collect_signals(out),
+            Stl::Until(_, a, b) | Stl::WeakUntil(_, a, b) | Stl::Release(_, a, b) => {
+                a.collect_signals(out);
+                b.collect_signals(out);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Stl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Stl::True => write!(f, "true"),
+            Stl::False => write!(f, "false"),
+            Stl::Atom(p) => write!(f, "{p}"),
+            Stl::Not(a) => write!(f, "!({a})"),
+            Stl::And(a, b) => write!(f, "({a}) & ({b})"),
+            Stl::Or(a, b) => write!(f, "({a}) | ({b})"),
+            Stl::Implies(a, b) => write!(f, "({a}) -> ({b})"),
+            Stl::Globally(i, a) => write!(f, "G{i} ({a})"),
+            Stl::Eventually(i, a) => write!(f, "F{i} ({a})"),
+            Stl::Until(i, a, b) => write!(f, "({a}) U{i} ({b})"),
+            Stl::WeakUntil(i, a, b) => write!(f, "({a}) W{i} ({b})"),
+            Stl::Release(i, a, b) => write!(f, "({a}) R{i} ({b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_op_semantics() {
+        assert!(CmpOp::Lt.apply(1.0, 2.0));
+        assert!(!CmpOp::Lt.apply(2.0, 2.0));
+        assert!(CmpOp::Le.apply(2.0, 2.0));
+        assert!(CmpOp::Gt.apply(3.0, 2.0));
+        assert!(CmpOp::Ge.apply(2.0, 2.0));
+    }
+
+    #[test]
+    fn cmp_op_flip() {
+        assert_eq!(CmpOp::Lt.flipped(), CmpOp::Gt);
+        assert_eq!(CmpOp::Ge.flipped(), CmpOp::Le);
+        // a op b == b op.flipped() a
+        for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            for (a, b) in [(1.0, 2.0), (2.0, 2.0), (3.0, 2.0)] {
+                assert_eq!(op.apply(a, b), op.flipped().apply(b, a));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "upper bound below lower")]
+    fn inverted_interval_panics() {
+        let _ = Interval::bounded(5, 2);
+    }
+
+    #[test]
+    fn interval_arithmetic() {
+        let i = Interval::bounded(2, 8).offset(10);
+        assert_eq!(i, Interval::bounded(12, 18));
+        assert_eq!(i.clamp_to(15), (12, 15));
+        assert_eq!(i.clamp_to(100), (12, 18));
+        let u = Interval::unbounded().offset(5);
+        assert_eq!(u.clamp_to(50), (5, 50));
+        // clamp never returns hi < lo
+        assert_eq!(Interval::bounded(10, 20).clamp_to(3), (10, 10));
+    }
+
+    #[test]
+    fn display_round_trippable_format() {
+        let f = Stl::implies(
+            Stl::gt("power", 5.0),
+            Stl::eventually(Interval::bounded(0, 10), Stl::lt("temp", 80.0)),
+        );
+        assert_eq!(f.to_string(), "(power > 5) -> (F[0,10] (temp < 80))");
+        assert_eq!(Interval::unbounded().to_string(), "[0,inf]");
+    }
+
+    #[test]
+    fn signal_collection() {
+        let f = Stl::until(
+            Interval::unbounded(),
+            Stl::and(Stl::gt("a", 0.0), Stl::lt("b", 1.0)),
+            Stl::or(Stl::ge("a", 2.0), Stl::not(Stl::le("c", 3.0))),
+        );
+        assert_eq!(f.signals(), vec!["a", "b", "c"]);
+        assert!(Stl::True.signals().is_empty());
+    }
+}

@@ -1,0 +1,100 @@
+use std::fmt;
+
+/// Error type for STL parsing and evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StlError {
+    /// The formula text could not be tokenized or parsed.
+    Parse {
+        /// Byte offset of the problem in the input.
+        position: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A formula refers to a signal the trace does not define.
+    UnknownSignal(String),
+    /// A formula refers to an event stream the execution does not define.
+    UnknownEvent(String),
+    /// A formula refers to a scalar metric the execution does not define.
+    UnknownMetric(String),
+    /// Samples for a signal were pushed with non-increasing timestamps.
+    NonMonotonicTime {
+        /// The signal involved.
+        signal: String,
+        /// The timestamp of the previous sample.
+        previous: u64,
+        /// The rejected timestamp.
+        offered: u64,
+    },
+    /// The trace is empty over the interval the formula asks about.
+    EmptyWindow {
+        /// The signal involved.
+        signal: String,
+    },
+    /// A template parameter lies outside its domain (e.g. a probability
+    /// threshold outside `[0, 1]`).
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Description of the accepted domain.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for StlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StlError::Parse { position, message } => {
+                write!(f, "parse error at byte {position}: {message}")
+            }
+            StlError::UnknownSignal(s) => write!(f, "unknown signal `{s}`"),
+            StlError::UnknownEvent(e) => write!(f, "unknown event stream `{e}`"),
+            StlError::UnknownMetric(m) => write!(f, "unknown metric `{m}`"),
+            StlError::NonMonotonicTime {
+                signal,
+                previous,
+                offered,
+            } => write!(
+                f,
+                "non-monotonic sample time for `{signal}`: {offered} after {previous}"
+            ),
+            StlError::EmptyWindow { signal } => {
+                write!(f, "no samples for `{signal}` in the evaluation window")
+            }
+            StlError::InvalidParameter { name, expected } => {
+                write!(f, "invalid template parameter `{name}`; expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StlError::Parse {
+            position: 7,
+            message: "expected `]`".into(),
+        };
+        assert!(e.to_string().contains("byte 7"));
+        assert!(StlError::UnknownSignal("ipc".into())
+            .to_string()
+            .contains("ipc"));
+        assert!(StlError::NonMonotonicTime {
+            signal: "p".into(),
+            previous: 5,
+            offered: 3
+        }
+        .to_string()
+        .contains("3 after 5"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StlError>();
+    }
+}

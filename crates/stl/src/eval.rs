@@ -1,0 +1,362 @@
+//! Boolean and quantitative (robustness) semantics for STL formulas.
+//!
+//! Signals are piecewise-constant, so the truth value of an atomic
+//! predicate only changes at sample times. Temporal operators therefore
+//! inspect the window's start instant plus every sample time inside the
+//! window — for formulas whose temporal operators are not nested this is
+//! exact; for nested temporal formulas it is the standard discrete-time
+//! approximation at trace granularity (every instant the simulator
+//! actually reported).
+
+use crate::ast::{Interval, Stl};
+use crate::trace::Trace;
+use crate::Result;
+
+/// Boolean satisfaction `(trace, t) ⊨ formula`.
+///
+/// # Errors
+///
+/// Returns an error if the formula mentions a signal the trace does not
+/// define, or asks about an instant before the signal's first sample.
+///
+/// # Examples
+///
+/// ```
+/// use spa_stl::{eval::satisfies, parser::parse, trace::Trace};
+/// # fn main() -> Result<(), spa_stl::StlError> {
+/// let mut t = Trace::new();
+/// t.push_series("x", [(0, 1.0), (10, 9.0)])?;
+/// let f = parse("F[0,10] x > 5")?;
+/// assert!(satisfies(&f, &t, 0)?);
+/// let g = parse("G[0,10] x > 5")?;
+/// assert!(!satisfies(&g, &t, 0)?);
+/// # Ok(())
+/// # }
+/// ```
+pub fn satisfies(formula: &Stl, trace: &Trace, t: u64) -> Result<bool> {
+    match formula {
+        Stl::True => Ok(true),
+        Stl::False => Ok(false),
+        Stl::Atom(p) => Ok(p.op.apply(trace.value_at(&p.signal, t)?, p.threshold)),
+        Stl::Not(a) => Ok(!satisfies(a, trace, t)?),
+        Stl::And(a, b) => Ok(satisfies(a, trace, t)? && satisfies(b, trace, t)?),
+        Stl::Or(a, b) => Ok(satisfies(a, trace, t)? || satisfies(b, trace, t)?),
+        Stl::Implies(a, b) => Ok(!satisfies(a, trace, t)? || satisfies(b, trace, t)?),
+        Stl::Globally(i, a) => {
+            for u in check_times(trace, *i, t) {
+                if !satisfies(a, trace, u)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        Stl::Eventually(i, a) => {
+            for u in check_times(trace, *i, t) {
+                if satisfies(a, trace, u)? {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+        Stl::WeakUntil(..) | Stl::Release(..) => {
+            satisfies(&desugar(formula).expect("derived operator"), trace, t)
+        }
+        Stl::Until(i, a, b) => {
+            // ψ must hold at some u in the window, with φ holding at every
+            // inspected instant from t up to (and excluding) u.
+            let times = check_times(trace, *i, t);
+            // φ must also hold on [t, window-start) for lo > 0.
+            let (lo, _) = i.offset(t).clamp_to(trace.end_time().max(t));
+            let mut phi_times: Vec<u64> = check_times(trace, Interval::bounded(0, lo - t), t);
+            phi_times.extend(&times);
+            phi_times.sort_unstable();
+            phi_times.dedup();
+            for &u in &times {
+                if satisfies(b, trace, u)? {
+                    let mut ok = true;
+                    for &v in phi_times.iter().take_while(|&&v| v < u) {
+                        if !satisfies(a, trace, v)? {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        return Ok(true);
+                    }
+                }
+            }
+            Ok(false)
+        }
+    }
+}
+
+/// Quantitative robustness `ρ(formula, trace, t)`.
+///
+/// Positive robustness implies boolean satisfaction; negative implies
+/// violation; the magnitude says by how much the nearest signal could be
+/// perturbed before the verdict flips (Donzé & Maler semantics).
+///
+/// # Errors
+///
+/// Same error conditions as [`satisfies`].
+///
+/// # Examples
+///
+/// ```
+/// use spa_stl::{eval::robustness, parser::parse, trace::Trace};
+/// # fn main() -> Result<(), spa_stl::StlError> {
+/// let mut t = Trace::new();
+/// t.push("x", 0, 3.0)?;
+/// let f = parse("x < 5")?;
+/// assert_eq!(robustness(&f, &t, 0)?, 2.0); // 5 − 3
+/// # Ok(())
+/// # }
+/// ```
+pub fn robustness(formula: &Stl, trace: &Trace, t: u64) -> Result<f64> {
+    use crate::ast::CmpOp;
+    match formula {
+        Stl::True => Ok(f64::INFINITY),
+        Stl::False => Ok(f64::NEG_INFINITY),
+        Stl::Atom(p) => {
+            let v = trace.value_at(&p.signal, t)?;
+            Ok(match p.op {
+                CmpOp::Lt | CmpOp::Le => p.threshold - v,
+                CmpOp::Gt | CmpOp::Ge => v - p.threshold,
+            })
+        }
+        Stl::Not(a) => Ok(-robustness(a, trace, t)?),
+        Stl::And(a, b) => Ok(robustness(a, trace, t)?.min(robustness(b, trace, t)?)),
+        Stl::Or(a, b) => Ok(robustness(a, trace, t)?.max(robustness(b, trace, t)?)),
+        Stl::Implies(a, b) => Ok((-robustness(a, trace, t)?).max(robustness(b, trace, t)?)),
+        Stl::Globally(i, a) => {
+            let mut r = f64::INFINITY;
+            for u in check_times(trace, *i, t) {
+                r = r.min(robustness(a, trace, u)?);
+            }
+            Ok(r)
+        }
+        Stl::Eventually(i, a) => {
+            let mut r = f64::NEG_INFINITY;
+            for u in check_times(trace, *i, t) {
+                r = r.max(robustness(a, trace, u)?);
+            }
+            Ok(r)
+        }
+        Stl::WeakUntil(..) | Stl::Release(..) => {
+            robustness(&desugar(formula).expect("derived operator"), trace, t)
+        }
+        Stl::Until(i, a, b) => {
+            // Mirror the boolean semantics exactly: φ is obliged from the
+            // evaluation instant t (not just the window start) until ψ.
+            let times = check_times(trace, *i, t);
+            let (lo, _) = i.offset(t).clamp_to(trace.end_time().max(t));
+            let mut phi_times: Vec<u64> = check_times(trace, Interval::bounded(0, lo - t), t);
+            phi_times.extend(&times);
+            phi_times.sort_unstable();
+            phi_times.dedup();
+            let mut best = f64::NEG_INFINITY;
+            for &u in &times {
+                let mut v = robustness(b, trace, u)?;
+                for &w in phi_times.iter().take_while(|&&w| w < u) {
+                    v = v.min(robustness(a, trace, w)?);
+                }
+                best = best.max(v);
+            }
+            Ok(best)
+        }
+    }
+}
+
+/// Rewrites a derived temporal operator into its core form:
+/// `φ W ψ ≡ (φ U ψ) ∨ G φ` and `φ R ψ ≡ ¬(¬φ U ¬ψ)`.
+fn desugar(formula: &Stl) -> Option<Stl> {
+    match formula {
+        Stl::WeakUntil(i, a, b) => Some(Stl::or(
+            Stl::until(*i, (**a).clone(), (**b).clone()),
+            Stl::globally(*i, (**a).clone()),
+        )),
+        Stl::Release(i, a, b) => Some(Stl::not(Stl::until(
+            *i,
+            Stl::not((**a).clone()),
+            Stl::not((**b).clone()),
+        ))),
+        _ => None,
+    }
+}
+
+/// Instants a temporal operator must inspect: the (offset, clamped)
+/// window start plus every sample time inside the window.
+fn check_times(trace: &Trace, interval: Interval, t: u64) -> Vec<u64> {
+    let shifted = interval.offset(t);
+    let (lo, hi) = shifted.clamp_to(trace.end_time().max(t));
+    let mut times = trace.event_times(lo, hi);
+    if times.first() != Some(&lo) {
+        times.insert(0, lo);
+    }
+    times
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Interval;
+    use crate::parser::parse;
+
+    fn trace() -> Trace {
+        let mut t = Trace::new();
+        // x: 1 on [0,10), 9 on [10,20), 4 from 20 on.
+        t.push_series("x", [(0, 1.0), (10, 9.0), (20, 4.0)]).unwrap();
+        // y: 0 on [0,15), 1 from 15 on.
+        t.push_series("y", [(0, 0.0), (15, 1.0)]).unwrap();
+        t
+    }
+
+    #[test]
+    fn atoms() {
+        let t = trace();
+        assert!(satisfies(&parse("x < 5").unwrap(), &t, 0).unwrap());
+        assert!(!satisfies(&parse("x < 5").unwrap(), &t, 10).unwrap());
+        assert!(satisfies(&parse("x <= 4").unwrap(), &t, 25).unwrap());
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let t = trace();
+        assert!(satisfies(&parse("x < 5 & y < 1").unwrap(), &t, 0).unwrap());
+        assert!(!satisfies(&parse("x < 5 & y >= 1").unwrap(), &t, 0).unwrap());
+        assert!(satisfies(&parse("x < 5 | y >= 1").unwrap(), &t, 0).unwrap());
+        assert!(satisfies(&parse("!(x > 5)").unwrap(), &t, 0).unwrap());
+        // Implication with false antecedent.
+        assert!(satisfies(&parse("x > 5 -> y >= 1").unwrap(), &t, 0).unwrap());
+        // True antecedent, false consequent.
+        assert!(!satisfies(&parse("x < 5 -> y >= 1").unwrap(), &t, 0).unwrap());
+    }
+
+    #[test]
+    fn globally_and_eventually() {
+        let t = trace();
+        assert!(satisfies(&parse("G[0,9] x < 5").unwrap(), &t, 0).unwrap());
+        assert!(!satisfies(&parse("G[0,10] x < 5").unwrap(), &t, 0).unwrap());
+        assert!(satisfies(&parse("F[0,10] x > 5").unwrap(), &t, 0).unwrap());
+        assert!(!satisfies(&parse("F[0,9] x > 5").unwrap(), &t, 0).unwrap());
+        // Unbounded versions clamp to the trace end.
+        assert!(satisfies(&parse("F y >= 1").unwrap(), &t, 0).unwrap());
+        assert!(!satisfies(&parse("G y >= 1").unwrap(), &t, 0).unwrap());
+    }
+
+    #[test]
+    fn evaluation_offset() {
+        let t = trace();
+        // From t = 20, x never exceeds 5 again.
+        assert!(!satisfies(&parse("F[0,100] x > 5").unwrap(), &t, 20).unwrap());
+        assert!(satisfies(&parse("G[0,100] x <= 4").unwrap(), &t, 20).unwrap());
+    }
+
+    #[test]
+    fn until_semantics() {
+        let t = trace();
+        // x stays below 10 until y rises (y rises at 15, x < 10 throughout).
+        assert!(satisfies(&parse("(x < 10) U (y >= 1)").unwrap(), &t, 0).unwrap());
+        // x < 5 fails at 10 before y rises at 15.
+        assert!(!satisfies(&parse("(x < 5) U (y >= 1)").unwrap(), &t, 0).unwrap());
+        // ψ never happens in a short window.
+        assert!(!satisfies(&parse("(x < 10) U[0,5] (y >= 1)").unwrap(), &t, 0).unwrap());
+        // ψ already true at the start ⇒ until holds trivially.
+        assert!(satisfies(&parse("(x > 100) U (y <= 0)").unwrap(), &t, 0).unwrap());
+    }
+
+    #[test]
+    fn robustness_signs_agree_with_boolean() {
+        let t = trace();
+        for src in [
+            "x < 5",
+            "x > 5",
+            "G[0,9] x < 5",
+            "F[0,10] x > 5",
+            "x < 5 & y < 1",
+            "x > 5 -> y >= 0.5",
+            "(x < 10) U (y >= 0.5)",
+        ] {
+            // Note: atoms with zero margin (e.g. `y >= 1` exactly when
+            // y == 1) have robustness 0, which is indeterminate by STL
+            // convention; the formulas above all have nonzero margins.
+            let f = parse(src).unwrap();
+            let sat = satisfies(&f, &t, 0).unwrap();
+            let rob = robustness(&f, &t, 0).unwrap();
+            assert_eq!(
+                sat,
+                rob > 0.0,
+                "boolean/robustness disagreement for `{src}`: sat={sat} rob={rob}"
+            );
+        }
+    }
+
+    #[test]
+    fn robustness_magnitudes() {
+        let t = trace();
+        let f = parse("x < 5").unwrap();
+        assert_eq!(robustness(&f, &t, 0).unwrap(), 4.0);
+        assert_eq!(robustness(&f, &t, 10).unwrap(), -4.0);
+        // G over the whole trace: min margin of x < 10 is 10-9 = 1.
+        let g = parse("G x < 10").unwrap();
+        assert_eq!(robustness(&g, &t, 0).unwrap(), 1.0);
+        // Constants.
+        assert_eq!(robustness(&Stl::True, &t, 0).unwrap(), f64::INFINITY);
+        assert_eq!(robustness(&Stl::False, &t, 0).unwrap(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn unknown_signal_propagates() {
+        let t = trace();
+        assert!(satisfies(&parse("z < 5").unwrap(), &t, 0).is_err());
+        assert!(robustness(&parse("G z < 5").unwrap(), &t, 0).is_err());
+    }
+
+    #[test]
+    fn check_times_includes_window_start() {
+        let t = trace();
+        // Window [3, 12]: samples at 10; start 3 must be inspected too.
+        let times = check_times(&t, Interval::bounded(3, 12), 0);
+        assert_eq!(times, vec![3, 10]);
+        // Offset shifts the window.
+        let times = check_times(&t, Interval::bounded(0, 5), 10);
+        assert_eq!(times, vec![10, 15]);
+    }
+
+    #[test]
+    fn weak_until_and_release_semantics() {
+        let t = trace();
+        // x < 5 W y >= 1: x < 5 fails at 10 before y rises, and x < 5
+        // does not hold globally either -> false (like strong until).
+        assert!(!satisfies(&parse("(x < 5) W (y >= 1)").unwrap(), &t, 0).unwrap());
+        // x < 100 W y >= 5: y never reaches 5, but x < 100 holds
+        // globally -> true where strong until is false.
+        assert!(!satisfies(&parse("(x < 100) U (y >= 5)").unwrap(), &t, 0).unwrap());
+        assert!(satisfies(&parse("(x < 100) W (y >= 5)").unwrap(), &t, 0).unwrap());
+        // Release: y >= 5 never "releases", so x < 100 must (and does)
+        // hold forever; x < 5 does not.
+        assert!(satisfies(&parse("(y >= 5) R (x < 100)").unwrap(), &t, 0).unwrap());
+        assert!(!satisfies(&parse("(y >= 5) R (x < 5)").unwrap(), &t, 0).unwrap());
+        // Robustness agrees in sign for a comfortable margin case.
+        let f = parse("(y >= 5) R (x < 100)").unwrap();
+        assert!(robustness(&f, &t, 0).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn paper_row8_sprinting_example() {
+        // "if we enter sprinting state, probability of staying there until
+        //  thermal alert" — the per-execution STL check:
+        //  sprint >= 1 -> (sprint >= 1 U alert >= 1)
+        let mut t = Trace::new();
+        t.push_series("sprint", [(0, 1.0), (40, 0.0)]).unwrap();
+        t.push_series("alert", [(0, 0.0), (30, 1.0)]).unwrap();
+        let f = parse("sprint >= 1 -> ((sprint >= 1) U (alert >= 1))").unwrap();
+        assert!(satisfies(&f, &t, 0).unwrap());
+
+        // Variant where sprinting ends before the alert: violated.
+        let mut t2 = Trace::new();
+        t2.push_series("sprint", [(0, 1.0), (20, 0.0)]).unwrap();
+        t2.push_series("alert", [(0, 0.0), (30, 1.0)]).unwrap();
+        assert!(!satisfies(&f, &t2, 0).unwrap());
+    }
+}

@@ -1,0 +1,179 @@
+//! Per-execution data consumed by property templates.
+//!
+//! One run of a benchmark on a (simulated or real) processor yields three
+//! kinds of observations, all of which Table 1 properties need:
+//!
+//! * **scalar metrics** — runtime, IPC, cache miss rates (one number per
+//!   execution),
+//! * **signals** — time-stamped values such as power or an in-state
+//!   indicator ([`Trace`]),
+//! * **events** — streams of timestamps such as "TLB miss at cycle
+//!   14 002".
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use crate::trace::Trace;
+use crate::{Result, StlError};
+
+/// All observations from one execution.
+///
+/// # Examples
+///
+/// ```
+/// use spa_stl::execution::ExecutionData;
+/// # fn main() -> Result<(), spa_stl::StlError> {
+/// let mut e = ExecutionData::new(1_000_000);
+/// e.set_metric("runtime_seconds", 1.27);
+/// e.record_event("tlb_miss", 500)?;
+/// e.record_event("tlb_miss", 900)?;
+/// assert_eq!(e.metric("runtime_seconds")?, 1.27);
+/// assert_eq!(e.events("tlb_miss")?.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionData {
+    duration: u64,
+    metrics: BTreeMap<String, f64>,
+    events: BTreeMap<String, Vec<u64>>,
+    trace: Trace,
+}
+
+impl ExecutionData {
+    /// Creates an empty execution record of `duration` cycles.
+    pub fn new(duration: u64) -> Self {
+        Self {
+            duration,
+            ..Self::default()
+        }
+    }
+
+    /// Total length of the execution in cycles.
+    pub fn duration(&self) -> u64 {
+        self.duration
+    }
+
+    /// Sets (or overwrites) a scalar metric.
+    pub fn set_metric(&mut self, name: &str, value: f64) {
+        self.metrics.insert(name.to_owned(), value);
+    }
+
+    /// Reads a scalar metric.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StlError::UnknownMetric`] if absent.
+    pub fn metric(&self, name: &str) -> Result<f64> {
+        self.metrics
+            .get(name)
+            .copied()
+            .ok_or_else(|| StlError::UnknownMetric(name.to_owned()))
+    }
+
+    /// Names of all scalar metrics, sorted.
+    pub fn metric_names(&self) -> impl Iterator<Item = &str> {
+        self.metrics.keys().map(String::as_str)
+    }
+
+    /// Appends an event occurrence at `time`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StlError::NonMonotonicTime`] if `time` precedes the
+    /// stream's last recorded occurrence (equal times are allowed: two
+    /// events may share a cycle).
+    pub fn record_event(&mut self, stream: &str, time: u64) -> Result<()> {
+        let times = self.events.entry(stream.to_owned()).or_default();
+        if let Some(&last) = times.last() {
+            if time < last {
+                return Err(StlError::NonMonotonicTime {
+                    signal: stream.to_owned(),
+                    previous: last,
+                    offered: time,
+                });
+            }
+        }
+        times.push(time);
+        Ok(())
+    }
+
+    /// Declares an event stream so that zero occurrences reads as an
+    /// empty stream rather than an unknown one.
+    pub fn declare_stream(&mut self, stream: &str) {
+        self.events.entry(stream.to_owned()).or_default();
+    }
+
+    /// Occurrence times of an event stream (ascending).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StlError::UnknownEvent`] if the stream was never
+    /// recorded nor declared.
+    pub fn events(&self, stream: &str) -> Result<&[u64]> {
+        self.events
+            .get(stream)
+            .map(Vec::as_slice)
+            .ok_or_else(|| StlError::UnknownEvent(stream.to_owned()))
+    }
+
+    /// Number of occurrences of a stream, 0 if never recorded.
+    pub fn event_count(&self, stream: &str) -> usize {
+        self.events.get(stream).map_or(0, Vec::len)
+    }
+
+    /// Mutable access to the execution's signal trace.
+    pub fn trace_mut(&mut self) -> &mut Trace {
+        &mut self.trace
+    }
+
+    /// The execution's signal trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_round_trip() {
+        let mut e = ExecutionData::new(100);
+        e.set_metric("ipc", 1.8);
+        e.set_metric("ipc", 1.9); // overwrite
+        assert_eq!(e.metric("ipc").unwrap(), 1.9);
+        assert!(matches!(e.metric("nope"), Err(StlError::UnknownMetric(_))));
+        assert_eq!(e.metric_names().collect::<Vec<_>>(), vec!["ipc"]);
+        assert_eq!(e.duration(), 100);
+    }
+
+    #[test]
+    fn events_are_ordered() {
+        let mut e = ExecutionData::new(100);
+        e.record_event("miss", 10).unwrap();
+        e.record_event("miss", 10).unwrap(); // same-cycle duplicates ok
+        e.record_event("miss", 20).unwrap();
+        assert!(e.record_event("miss", 5).is_err());
+        assert_eq!(e.events("miss").unwrap(), &[10, 10, 20]);
+        assert_eq!(e.event_count("miss"), 3);
+        assert_eq!(e.event_count("other"), 0);
+        assert!(e.events("other").is_err());
+    }
+
+    #[test]
+    fn declared_streams_read_as_empty() {
+        let mut e = ExecutionData::new(10);
+        e.declare_stream("quiet");
+        assert_eq!(e.events("quiet").unwrap(), &[] as &[u64]);
+        assert_eq!(e.event_count("quiet"), 0);
+        assert!(e.events("undeclared").is_err());
+    }
+
+    #[test]
+    fn trace_access() {
+        let mut e = ExecutionData::new(100);
+        e.trace_mut().push("power", 0, 3.0).unwrap();
+        assert_eq!(e.trace().value_at("power", 50).unwrap(), 3.0);
+    }
+}

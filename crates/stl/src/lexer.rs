@@ -1,0 +1,340 @@
+//! Tokenizer for the STL text syntax.
+
+use crate::{Result, StlError};
+
+/// A lexical token with its byte position in the source.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Token {
+    pub kind: TokenKind,
+    pub pos: usize,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum TokenKind {
+    /// Identifier: a signal name or the keywords `true` / `false` /
+    /// `inf` (identified contextually).
+    Ident(String),
+    /// Numeric literal.
+    Number(f64),
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+    Not,
+    Implies,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    /// `G` (globally / always)
+    Globally,
+    /// `F` (eventually / finally)
+    Eventually,
+    /// `U` (until)
+    Until,
+    /// `W` (weak until)
+    WeakUntil,
+    /// `R` (release)
+    Release,
+    Eof,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '.'
+}
+
+/// Tokenizes `src` into a vector ending in [`TokenKind::Eof`].
+pub(crate) fn tokenize(src: &str) -> Result<Vec<Token>> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let pos = i;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    pos,
+                });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    pos,
+                });
+                i += 1;
+            }
+            '[' => {
+                tokens.push(Token {
+                    kind: TokenKind::LBracket,
+                    pos,
+                });
+                i += 1;
+            }
+            ']' => {
+                tokens.push(Token {
+                    kind: TokenKind::RBracket,
+                    pos,
+                });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    pos,
+                });
+                i += 1;
+            }
+            '!' => {
+                tokens.push(Token {
+                    kind: TokenKind::Not,
+                    pos,
+                });
+                i += 1;
+            }
+            '&' => {
+                i += if bytes.get(i + 1) == Some(&b'&') { 2 } else { 1 };
+                tokens.push(Token {
+                    kind: TokenKind::And,
+                    pos,
+                });
+            }
+            '|' => {
+                i += if bytes.get(i + 1) == Some(&b'|') { 2 } else { 1 };
+                tokens.push(Token {
+                    kind: TokenKind::Or,
+                    pos,
+                });
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token {
+                        kind: TokenKind::Le,
+                        pos,
+                    });
+                    i += 2;
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Lt,
+                        pos,
+                    });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token {
+                        kind: TokenKind::Ge,
+                        pos,
+                    });
+                    i += 2;
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Gt,
+                        pos,
+                    });
+                    i += 1;
+                }
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token {
+                        kind: TokenKind::Implies,
+                        pos,
+                    });
+                    i += 2;
+                } else if bytes
+                    .get(i + 1)
+                    .is_some_and(|&b| (b as char).is_ascii_digit() || b == b'.')
+                {
+                    // Negative number literal.
+                    let (num, next) = lex_number(src, i)?;
+                    tokens.push(Token {
+                        kind: TokenKind::Number(num),
+                        pos,
+                    });
+                    i = next;
+                } else {
+                    return Err(StlError::Parse {
+                        position: pos,
+                        message: "stray `-` (expected `->` or a number)".into(),
+                    });
+                }
+            }
+            c if c.is_ascii_digit() || c == '.' => {
+                let (num, next) = lex_number(src, i)?;
+                tokens.push(Token {
+                    kind: TokenKind::Number(num),
+                    pos,
+                });
+                i = next;
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                while i < bytes.len() && is_ident_continue(bytes[i] as char) {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                let kind = match word {
+                    // Single-letter temporal operators only count as
+                    // operators when written as bare capitals.
+                    "G" => TokenKind::Globally,
+                    "F" => TokenKind::Eventually,
+                    "U" => TokenKind::Until,
+                    "W" => TokenKind::WeakUntil,
+                    "R" => TokenKind::Release,
+                    _ => TokenKind::Ident(word.to_owned()),
+                };
+                tokens.push(Token { kind, pos });
+            }
+            other => {
+                return Err(StlError::Parse {
+                    position: pos,
+                    message: format!("unexpected character `{other}`"),
+                });
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        pos: src.len(),
+    });
+    Ok(tokens)
+}
+
+fn lex_number(src: &str, start: usize) -> Result<(f64, usize)> {
+    let bytes = src.as_bytes();
+    let mut i = start;
+    if bytes[i] == b'-' {
+        i += 1;
+    }
+    let mut seen_dot = false;
+    let mut seen_exp = false;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'0'..=b'9' => i += 1,
+            b'.' if !seen_dot && !seen_exp => {
+                seen_dot = true;
+                i += 1;
+            }
+            b'e' | b'E' if !seen_exp => {
+                seen_exp = true;
+                i += 1;
+                if i < bytes.len() && (bytes[i] == b'+' || bytes[i] == b'-') {
+                    i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+    src[start..i].parse::<f64>().map(|v| (v, i)).map_err(|_| {
+        StlError::Parse {
+            position: start,
+            message: format!("malformed number `{}`", &src[start..i]),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_operators() {
+        assert_eq!(
+            kinds("< <= > >= & && | || ! ->"),
+            vec![
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::And,
+                TokenKind::And,
+                TokenKind::Or,
+                TokenKind::Or,
+                TokenKind::Not,
+                TokenKind::Implies,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_temporal_and_idents() {
+        assert_eq!(
+            kinds("G F U W R Gx power l1.miss"),
+            vec![
+                TokenKind::Globally,
+                TokenKind::Eventually,
+                TokenKind::Until,
+                TokenKind::WeakUntil,
+                TokenKind::Release,
+                TokenKind::Ident("Gx".into()),
+                TokenKind::Ident("power".into()),
+                TokenKind::Ident("l1.miss".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(
+            kinds("1 2.5 -3 1e3 2.5e-2 .5"),
+            vec![
+                TokenKind::Number(1.0),
+                TokenKind::Number(2.5),
+                TokenKind::Number(-3.0),
+                TokenKind::Number(1000.0),
+                TokenKind::Number(0.025),
+                TokenKind::Number(0.5),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_interval_syntax() {
+        assert_eq!(
+            kinds("[0,10]"),
+            vec![
+                TokenKind::LBracket,
+                TokenKind::Number(0.0),
+                TokenKind::Comma,
+                TokenKind::Number(10.0),
+                TokenKind::RBracket,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(tokenize("power @ 5").is_err());
+        assert!(tokenize("a - b").is_err());
+    }
+
+    #[test]
+    fn positions_are_byte_offsets() {
+        let toks = tokenize("ab <= 5").unwrap();
+        assert_eq!(toks[0].pos, 0);
+        assert_eq!(toks[1].pos, 3);
+        assert_eq!(toks[2].pos, 6);
+    }
+}

@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! Signal temporal logic (STL) for the SPA framework.
+//!
+//! The SPA paper (§3.3) expresses processor properties in STL so that
+//! "SMC will never misunderstand a property": every formula parses into an
+//! unambiguous tree with well-defined semantics. This crate provides
+//!
+//! * a [`Trace`](trace::Trace) type for piecewise-constant multi-signal
+//!   executions (what a simulator or hardware counter dump produces),
+//! * the STL abstract syntax tree ([`ast::Stl`]) with boolean *and*
+//!   quantitative (robustness) semantics ([`eval`]),
+//! * a text [`parser`] (`G[0,100] (power < 5 -> F[0,10] temp < 80)`), and
+//! * typed builders for the nine property templates of the paper's
+//!   Table 1 ([`templates`]), each of which evaluates to a single boolean
+//!   per execution — exactly the `φ(σ)` that the SMC engine consumes.
+//!
+//! # Example
+//!
+//! ```
+//! use spa_stl::parser::parse;
+//! use spa_stl::trace::Trace;
+//!
+//! # fn main() -> Result<(), spa_stl::StlError> {
+//! let formula = parse("G[0,10] power < 5.0")?;
+//! let mut trace = Trace::new();
+//! trace.push("power", 0, 3.0)?;
+//! trace.push("power", 6, 4.5)?;
+//! assert!(formula.satisfied_by(&trace)?);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod ast;
+pub mod eval;
+pub mod execution;
+pub mod parser;
+pub mod templates;
+pub mod trace;
+
+mod error;
+mod lexer;
+
+pub use error::StlError;
+
+/// Convenience alias used by fallible functions in this crate.
+pub type Result<T> = std::result::Result<T, StlError>;

@@ -1,0 +1,420 @@
+//! Recursive-descent parser for the STL text syntax.
+//!
+//! Grammar, loosest-binding first:
+//!
+//! ```text
+//! formula  := until ('->' formula)?          (implication, right-assoc)
+//! until    := or (('U'|'W'|'R') interval? or)?
+//! or       := and (('|' | '||') and)*
+//! and      := unary (('&' | '&&') unary)*
+//! unary    := '!' unary
+//!           | 'G' interval? unary
+//!           | 'F' interval? unary
+//!           | primary
+//! primary  := '(' formula ')' | 'true' | 'false' | comparison
+//! comparison := operand cmp operand (cmp operand)?   (chained, as in `5 > x > 2`)
+//! operand  := ident | number
+//! interval := '[' number ',' (number | 'inf') ']'
+//! ```
+//!
+//! Exactly one side of a comparison must be a signal name; chained
+//! comparisons (`A > metric > B`, Table 1 row 2) require the middle
+//! operand to be the signal.
+
+use crate::ast::{CmpOp, Interval, Predicate, Stl};
+use crate::lexer::{tokenize, Token, TokenKind};
+use crate::{Result, StlError};
+
+/// Parses an STL formula from text.
+///
+/// # Errors
+///
+/// Returns [`StlError::Parse`] with a byte position and message on any
+/// lexical or syntactic problem.
+///
+/// # Examples
+///
+/// ```
+/// use spa_stl::parser::parse;
+/// let f = parse("G[0,100] (power < 5 -> F[0,10] temp < 80)")?;
+/// assert_eq!(f.signals(), vec!["power", "temp"]);
+/// # Ok::<(), spa_stl::StlError>(())
+/// ```
+pub fn parse(src: &str) -> Result<Stl> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser { tokens, idx: 0 };
+    let formula = p.formula()?;
+    p.expect(&TokenKind::Eof, "end of input")?;
+    Ok(formula)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    idx: usize,
+}
+
+/// One side of a comparison before we know which is the signal.
+enum Operand {
+    Signal(String),
+    Constant(f64),
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.idx].kind
+    }
+
+    fn pos(&self) -> usize {
+        self.tokens[self.idx].pos
+    }
+
+    fn advance(&mut self) -> TokenKind {
+        let t = self.tokens[self.idx].kind.clone();
+        if self.idx + 1 < self.tokens.len() {
+            self.idx += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<()> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {what}")))
+        }
+    }
+
+    fn error(&self, message: String) -> StlError {
+        StlError::Parse {
+            position: self.pos(),
+            message,
+        }
+    }
+
+    fn formula(&mut self) -> Result<Stl> {
+        let lhs = self.until()?;
+        if self.eat(&TokenKind::Implies) {
+            let rhs = self.formula()?; // right-associative
+            Ok(Stl::implies(lhs, rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn until(&mut self) -> Result<Stl> {
+        let lhs = self.or()?;
+        for (token, build) in [
+            (TokenKind::Until, Stl::until as fn(_, _, _) -> Stl),
+            (TokenKind::WeakUntil, Stl::weak_until as fn(_, _, _) -> Stl),
+            (TokenKind::Release, Stl::release as fn(_, _, _) -> Stl),
+        ] {
+            if self.eat(&token) {
+                let interval = self.optional_interval()?;
+                let rhs = self.or()?;
+                return Ok(build(interval, lhs, rhs));
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn or(&mut self) -> Result<Stl> {
+        let mut lhs = self.and()?;
+        while self.eat(&TokenKind::Or) {
+            let rhs = self.and()?;
+            lhs = Stl::or(lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and(&mut self) -> Result<Stl> {
+        let mut lhs = self.unary()?;
+        while self.eat(&TokenKind::And) {
+            let rhs = self.unary()?;
+            lhs = Stl::and(lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Stl> {
+        match self.peek() {
+            TokenKind::Not => {
+                self.advance();
+                Ok(Stl::not(self.unary()?))
+            }
+            TokenKind::Globally => {
+                self.advance();
+                let interval = self.optional_interval()?;
+                Ok(Stl::globally(interval, self.unary()?))
+            }
+            TokenKind::Eventually => {
+                self.advance();
+                let interval = self.optional_interval()?;
+                Ok(Stl::eventually(interval, self.unary()?))
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Stl> {
+        match self.peek().clone() {
+            TokenKind::LParen => {
+                self.advance();
+                let inner = self.formula()?;
+                self.expect(&TokenKind::RParen, "`)`")?;
+                Ok(inner)
+            }
+            TokenKind::Ident(name) if name == "true" => {
+                self.advance();
+                Ok(Stl::True)
+            }
+            TokenKind::Ident(name) if name == "false" => {
+                self.advance();
+                Ok(Stl::False)
+            }
+            TokenKind::Ident(_) | TokenKind::Number(_) => self.comparison(),
+            _ => Err(self.error("expected a formula".into())),
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Stl> {
+        let first = self.operand()?;
+        let op1 = self.cmp_op()?;
+        let second = self.operand()?;
+
+        // Optional chained comparison: `A > metric > B`.
+        let chain = matches!(
+            self.peek(),
+            TokenKind::Lt | TokenKind::Le | TokenKind::Gt | TokenKind::Ge
+        );
+        if chain {
+            let op2 = self.cmp_op()?;
+            let third = self.operand()?;
+            let (lo_c, sig, hi_c) = match (first, second, third) {
+                (Operand::Constant(a), Operand::Signal(s), Operand::Constant(b)) => (a, s, b),
+                _ => {
+                    return Err(self.error(
+                        "chained comparison must be `constant op signal op constant`".into(),
+                    ))
+                }
+            };
+            let left = Stl::Atom(Predicate::new(sig.clone(), op1.flipped(), lo_c));
+            let right = Stl::Atom(Predicate::new(sig, op2, hi_c));
+            return Ok(Stl::and(left, right));
+        }
+
+        match (first, second) {
+            (Operand::Signal(s), Operand::Constant(c)) => {
+                Ok(Stl::Atom(Predicate::new(s, op1, c)))
+            }
+            (Operand::Constant(c), Operand::Signal(s)) => {
+                Ok(Stl::Atom(Predicate::new(s, op1.flipped(), c)))
+            }
+            (Operand::Signal(_), Operand::Signal(_)) => {
+                Err(self.error("comparison between two signals is not supported".into()))
+            }
+            (Operand::Constant(_), Operand::Constant(_)) => {
+                Err(self.error("comparison between two constants".into()))
+            }
+        }
+    }
+
+    fn operand(&mut self) -> Result<Operand> {
+        match self.advance() {
+            TokenKind::Ident(name) => Ok(Operand::Signal(name)),
+            TokenKind::Number(v) => Ok(Operand::Constant(v)),
+            _ => Err(self.error("expected a signal name or number".into())),
+        }
+    }
+
+    fn cmp_op(&mut self) -> Result<CmpOp> {
+        let op = match self.peek() {
+            TokenKind::Lt => CmpOp::Lt,
+            TokenKind::Le => CmpOp::Le,
+            TokenKind::Gt => CmpOp::Gt,
+            TokenKind::Ge => CmpOp::Ge,
+            _ => return Err(self.error("expected a comparison operator".into())),
+        };
+        self.advance();
+        Ok(op)
+    }
+
+    /// Parses `[lo, hi]` where `hi` may be `inf`; absent interval means
+    /// unbounded `[0, inf)`.
+    fn optional_interval(&mut self) -> Result<Interval> {
+        if !self.eat(&TokenKind::LBracket) {
+            return Ok(Interval::unbounded());
+        }
+        let lo = self.time_bound()?;
+        self.expect(&TokenKind::Comma, "`,`")?;
+        let hi = match self.peek().clone() {
+            TokenKind::Ident(w) if w == "inf" => {
+                self.advance();
+                None
+            }
+            _ => Some(self.time_bound()?),
+        };
+        self.expect(&TokenKind::RBracket, "`]`")?;
+        if let Some(h) = hi {
+            if h < lo {
+                return Err(self.error(format!("interval [{lo},{h}] has hi < lo")));
+            }
+        }
+        Ok(Interval { lo, hi })
+    }
+
+    fn time_bound(&mut self) -> Result<u64> {
+        match self.advance() {
+            TokenKind::Number(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => {
+                Ok(v as u64)
+            }
+            TokenKind::Number(v) => Err(self.error(format!(
+                "interval bound {v} must be a non-negative integer number of cycles"
+            ))),
+            _ => Err(self.error("expected an interval bound".into())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Interval, Stl};
+
+    #[test]
+    fn parses_atoms_both_ways() {
+        assert_eq!(parse("power < 5").unwrap(), Stl::lt("power", 5.0));
+        assert_eq!(parse("5 > power").unwrap(), Stl::lt("power", 5.0));
+        assert_eq!(parse("x >= 2.5").unwrap(), Stl::ge("x", 2.5));
+        assert_eq!(parse("2.5 <= x").unwrap(), Stl::ge("x", 2.5));
+    }
+
+    #[test]
+    fn parses_chained_comparison() {
+        // Table 1 row 2: A > metric > B.
+        let f = parse("5 > x > 2").unwrap();
+        assert_eq!(f, Stl::and(Stl::lt("x", 5.0), Stl::gt("x", 2.0)));
+    }
+
+    #[test]
+    fn rejects_bad_comparisons() {
+        assert!(parse("a < b").is_err());
+        assert!(parse("1 < 2").is_err());
+        assert!(parse("1 < a < b").is_err());
+        assert!(parse("a < 1 < 2").is_err());
+    }
+
+    #[test]
+    fn parses_boolean_structure() {
+        let f = parse("a < 1 & b > 2 | !c <= 3").unwrap();
+        // `&` binds tighter than `|`; `!` applies to the comparison.
+        assert_eq!(
+            f,
+            Stl::or(
+                Stl::and(Stl::lt("a", 1.0), Stl::gt("b", 2.0)),
+                Stl::not(Stl::le("c", 3.0))
+            )
+        );
+    }
+
+    #[test]
+    fn implication_is_right_associative() {
+        let f = parse("a < 1 -> b < 2 -> c < 3").unwrap();
+        assert_eq!(
+            f,
+            Stl::implies(
+                Stl::lt("a", 1.0),
+                Stl::implies(Stl::lt("b", 2.0), Stl::lt("c", 3.0))
+            )
+        );
+    }
+
+    #[test]
+    fn parses_temporal_operators() {
+        let f = parse("G[0,100] power < 5").unwrap();
+        assert_eq!(
+            f,
+            Stl::globally(Interval::bounded(0, 100), Stl::lt("power", 5.0))
+        );
+        let f = parse("F temp > 80").unwrap();
+        assert_eq!(
+            f,
+            Stl::eventually(Interval::unbounded(), Stl::gt("temp", 80.0))
+        );
+        let f = parse("(a < 1) U[2,8] (b > 2)").unwrap();
+        assert_eq!(
+            f,
+            Stl::until(Interval::bounded(2, 8), Stl::lt("a", 1.0), Stl::gt("b", 2.0))
+        );
+    }
+
+    #[test]
+    fn parses_inf_interval() {
+        let f = parse("G[5,inf] x < 1").unwrap();
+        assert_eq!(
+            f,
+            Stl::globally(Interval { lo: 5, hi: None }, Stl::lt("x", 1.0))
+        );
+    }
+
+    #[test]
+    fn rejects_bad_intervals() {
+        assert!(parse("G[5,2] x < 1").is_err());
+        assert!(parse("G[1.5,2] x < 1").is_err());
+        assert!(parse("G[-1,2] x < 1").is_err());
+        assert!(parse("G[1 2] x < 1").is_err());
+        assert!(parse("G[1,2 x < 1").is_err());
+    }
+
+    #[test]
+    fn parses_constants() {
+        assert_eq!(parse("true").unwrap(), Stl::True);
+        assert_eq!(parse("false").unwrap(), Stl::False);
+        assert_eq!(
+            parse("true & false").unwrap(),
+            Stl::and(Stl::True, Stl::False)
+        );
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse("a < 1 b").is_err());
+        assert!(parse("").is_err());
+        assert!(parse("(a < 1").is_err());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let sources = [
+            "power < 5",
+            "G[0,100] (power < 5)",
+            "(a < 1) -> (F[0,10] (b > 2))",
+            "((a < 1) & (b > 2)) | (!(c <= 3))",
+            "(a < 1) U[2,8] (b >= 2)",
+            "G[5,inf] (x < 1)",
+        ];
+        for src in sources {
+            let f = parse(src).unwrap();
+            let rendered = f.to_string();
+            let reparsed = parse(&rendered).unwrap();
+            assert_eq!(f, reparsed, "round-trip failed for `{src}` → `{rendered}`");
+        }
+    }
+
+    #[test]
+    fn paper_style_properties() {
+        // The examples from Table 1 that map to plain STL.
+        assert!(parse("performance > 1.5").is_ok()); // row 1
+        assert!(parse("3 > performance > 1").is_ok()); // row 2
+        assert!(parse("power > 10 -> performance > 2").is_ok()); // row 5
+        assert!(parse("service_r > 100 -> service_s > 200").is_ok()); // row 7
+    }
+}

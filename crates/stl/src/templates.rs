@@ -1,0 +1,790 @@
+//! The nine property templates of the paper's Table 1.
+//!
+//! Each template evaluates to one boolean per execution — the `φ(σ)` of
+//! the paper's Eq. 2 — which is exactly what the SMC engine consumes.
+//! Rows map as follows:
+//!
+//! | Row | Template | Example from the paper |
+//! |-----|----------|------------------------|
+//! | 1 | [`Template::MetricThreshold`]  | `performance > A` |
+//! | 2 | [`Template::MetricBetween`]    | `A > performance > B` |
+//! | 3 | [`Template::TimeInState`]      | `%time handling mispredictions < A` |
+//! | 4 | [`Template::AvgCyclesPerEvent`]| `avg #cycles between TLB misses > A` |
+//! | 5 | [`Template::MetricImplication`]| `power > A -> performance > B` |
+//! | 6 | [`Template::EventWithinWindow`]| `if error occurs, Prob[second error within C cycles] < PB` |
+//! | 7 | [`Template::LatencyImplication`]| `service time for R > A -> service time for S > B` |
+//! | 8 | [`Template::StayInStateUntil`] | `if sprinting, Prob[stay until thermal alert] < PA` |
+//! | 9 | [`Template::ConditionalEventProb`] | `Prob[new TLB miss when Prob[handling old miss] > PA] < PB` |
+//!
+//! Rows 6, 8 and 9 contain an *inner* probability over occurrences within
+//! one execution (the paper's "Prob[...]"); the template computes that
+//! empirical inner probability from the execution's event streams and
+//! compares it against the template's threshold, yielding one boolean.
+//! The *outer* probability over executions is SMC's job.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::ast::CmpOp;
+use crate::execution::ExecutionData;
+use crate::{Result, StlError};
+
+/// A Table 1 property template, evaluating one execution to a boolean.
+///
+/// # Examples
+///
+/// ```
+/// use spa_stl::ast::CmpOp;
+/// use spa_stl::execution::ExecutionData;
+/// use spa_stl::templates::Template;
+///
+/// # fn main() -> Result<(), spa_stl::StlError> {
+/// let prop = Template::metric_threshold("ipc", CmpOp::Gt, 1.5);
+/// let mut run = ExecutionData::new(1000);
+/// run.set_metric("ipc", 1.8);
+/// assert!(prop.evaluate(&run)?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Template {
+    /// Row 1: `metric op threshold`.
+    MetricThreshold {
+        /// Scalar metric name.
+        metric: String,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Threshold.
+        threshold: f64,
+    },
+    /// Row 2: `hi > metric > lo` (strict on both sides).
+    MetricBetween {
+        /// Scalar metric name.
+        metric: String,
+        /// Strict lower bound.
+        lo: f64,
+        /// Strict upper bound.
+        hi: f64,
+    },
+    /// Row 3: the fraction of execution time during which `signal`
+    /// satisfies `state_op state_value` compares `time_op` against
+    /// `time_fraction`.
+    TimeInState {
+        /// Signal holding the state indicator.
+        signal: String,
+        /// State-membership comparison operator.
+        state_op: CmpOp,
+        /// State-membership comparison value.
+        state_value: f64,
+        /// How the measured fraction compares to the threshold.
+        time_op: CmpOp,
+        /// Threshold fraction in `[0, 1]`.
+        time_fraction: f64,
+    },
+    /// Row 4: `duration / #occurrences(event) op threshold`.
+    ///
+    /// If the event never occurs, the average inter-event distance is
+    /// treated as `+∞` (so `> A` holds and `< A` fails).
+    AvgCyclesPerEvent {
+        /// Event stream name.
+        event: String,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Threshold in cycles.
+        threshold: f64,
+    },
+    /// Rows 5 and 7: `metric_a op_a A → metric_b op_b B`.
+    MetricImplication {
+        /// Antecedent metric.
+        metric_a: String,
+        /// Antecedent operator.
+        op_a: CmpOp,
+        /// Antecedent threshold.
+        a: f64,
+        /// Consequent metric.
+        metric_b: String,
+        /// Consequent operator.
+        op_b: CmpOp,
+        /// Consequent threshold.
+        b: f64,
+    },
+    /// Row 7 alias of [`Template::MetricImplication`] with latency
+    /// metrics; constructed by [`Template::latency_implication`].
+    LatencyImplication {
+        /// Latency metric of the first event/request.
+        latency_a: String,
+        /// Antecedent operator.
+        op_a: CmpOp,
+        /// Antecedent threshold.
+        a: f64,
+        /// Latency metric of the second event/request.
+        latency_b: String,
+        /// Consequent operator.
+        op_b: CmpOp,
+        /// Consequent threshold.
+        b: f64,
+    },
+    /// Row 6: among occurrences of `trigger`, the fraction followed by a
+    /// `response` occurrence within `window` cycles compares `prob_op`
+    /// against `prob`. Vacuously true when `trigger` never occurs.
+    EventWithinWindow {
+        /// Triggering event stream.
+        trigger: String,
+        /// Responding event stream.
+        response: String,
+        /// Window length `C` in cycles.
+        window: u64,
+        /// How the measured fraction compares to the threshold.
+        prob_op: CmpOp,
+        /// Probability threshold in `[0, 1]`.
+        prob: f64,
+    },
+    /// Row 8: among occurrences of `enter`, the fraction for which
+    /// `state_signal state_op state_value` holds continuously from the
+    /// occurrence until the next `until_event` compares `prob_op`
+    /// against `prob`. An `enter` with no later `until_event` counts as
+    /// *not* staying. Vacuously true when `enter` never occurs.
+    StayInStateUntil {
+        /// Event marking state entry.
+        enter: String,
+        /// Signal holding the state indicator.
+        state_signal: String,
+        /// State-membership comparison operator.
+        state_op: CmpOp,
+        /// State-membership comparison value.
+        state_value: f64,
+        /// Event that releases the obligation.
+        until_event: String,
+        /// How the measured fraction compares to the threshold.
+        prob_op: CmpOp,
+        /// Probability threshold in `[0, 1]`.
+        prob: f64,
+    },
+    /// Row 9: `Prob[event when Prob[state] inner_op inner_prob] outer_op
+    /// outer_prob`. The inner probability is the execution's
+    /// time-fraction spent in the state; when it satisfies `inner_op
+    /// inner_prob`, the outer probability is the fraction of `event`
+    /// occurrences that happen *while in the state*, compared with
+    /// `outer_op outer_prob`. When the inner condition fails (or the
+    /// event never occurs) the property is vacuously true.
+    ConditionalEventProb {
+        /// Event stream of interest.
+        event: String,
+        /// Signal holding the state indicator.
+        state_signal: String,
+        /// State-membership comparison operator.
+        state_op: CmpOp,
+        /// State-membership comparison value.
+        state_value: f64,
+        /// Inner comparison operator on the time-fraction in state.
+        inner_op: CmpOp,
+        /// Inner probability threshold in `[0, 1]`.
+        inner_prob: f64,
+        /// Outer comparison operator.
+        outer_op: CmpOp,
+        /// Outer probability threshold in `[0, 1]`.
+        outer_prob: f64,
+    },
+}
+
+impl Template {
+    /// Row 1 constructor: `metric op threshold`.
+    pub fn metric_threshold(metric: impl Into<String>, op: CmpOp, threshold: f64) -> Self {
+        Template::MetricThreshold {
+            metric: metric.into(),
+            op,
+            threshold,
+        }
+    }
+
+    /// Row 2 constructor: `hi > metric > lo`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StlError::InvalidParameter`] if `hi <= lo`.
+    pub fn metric_between(metric: impl Into<String>, lo: f64, hi: f64) -> Result<Self> {
+        if hi <= lo {
+            return Err(StlError::InvalidParameter {
+                name: "hi",
+                expected: "hi > lo",
+            });
+        }
+        Ok(Template::MetricBetween {
+            metric: metric.into(),
+            lo,
+            hi,
+        })
+    }
+
+    /// Row 5 constructor: `metric_a op_a A → metric_b op_b B`.
+    pub fn metric_implication(
+        metric_a: impl Into<String>,
+        op_a: CmpOp,
+        a: f64,
+        metric_b: impl Into<String>,
+        op_b: CmpOp,
+        b: f64,
+    ) -> Self {
+        Template::MetricImplication {
+            metric_a: metric_a.into(),
+            op_a,
+            a,
+            metric_b: metric_b.into(),
+            op_b,
+            b,
+        }
+    }
+
+    /// Row 7 constructor over latency metrics.
+    pub fn latency_implication(
+        latency_a: impl Into<String>,
+        op_a: CmpOp,
+        a: f64,
+        latency_b: impl Into<String>,
+        op_b: CmpOp,
+        b: f64,
+    ) -> Self {
+        Template::LatencyImplication {
+            latency_a: latency_a.into(),
+            op_a,
+            a,
+            latency_b: latency_b.into(),
+            op_b,
+            b,
+        }
+    }
+
+    /// Evaluates the property on one execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown metrics/events/signals or probability
+    /// thresholds outside `[0, 1]`.
+    pub fn evaluate(&self, run: &ExecutionData) -> Result<bool> {
+        match self {
+            Template::MetricThreshold {
+                metric,
+                op,
+                threshold,
+            } => Ok(op.apply(run.metric(metric)?, *threshold)),
+            Template::MetricBetween { metric, lo, hi } => {
+                let v = run.metric(metric)?;
+                Ok(v > *lo && v < *hi)
+            }
+            Template::TimeInState {
+                signal,
+                state_op,
+                state_value,
+                time_op,
+                time_fraction,
+            } => {
+                check_prob("time_fraction", *time_fraction)?;
+                let frac = run.trace().fraction_of_time(
+                    signal,
+                    run.trace().start_time(),
+                    run.trace().end_time().max(run.duration()),
+                    |v| state_op.apply(v, *state_value),
+                )?;
+                Ok(time_op.apply(frac, *time_fraction))
+            }
+            Template::AvgCyclesPerEvent {
+                event,
+                op,
+                threshold,
+            } => {
+                let count = run.event_count(event);
+                let avg = if count == 0 {
+                    f64::INFINITY
+                } else {
+                    run.duration() as f64 / count as f64
+                };
+                Ok(op.apply(avg, *threshold))
+            }
+            Template::MetricImplication {
+                metric_a,
+                op_a,
+                a,
+                metric_b,
+                op_b,
+                b,
+            } => {
+                let antecedent = op_a.apply(run.metric(metric_a)?, *a);
+                if !antecedent {
+                    return Ok(true);
+                }
+                Ok(op_b.apply(run.metric(metric_b)?, *b))
+            }
+            Template::LatencyImplication {
+                latency_a,
+                op_a,
+                a,
+                latency_b,
+                op_b,
+                b,
+            } => {
+                let antecedent = op_a.apply(run.metric(latency_a)?, *a);
+                if !antecedent {
+                    return Ok(true);
+                }
+                Ok(op_b.apply(run.metric(latency_b)?, *b))
+            }
+            Template::EventWithinWindow {
+                trigger,
+                response,
+                window,
+                prob_op,
+                prob,
+            } => {
+                check_prob("prob", *prob)?;
+                let triggers = run.events(trigger)?;
+                if triggers.is_empty() {
+                    return Ok(true);
+                }
+                let responses = run.events(response)?;
+                let mut followed = 0usize;
+                for &t in triggers {
+                    // First response strictly after the trigger.
+                    let idx = responses.partition_point(|&r| r <= t);
+                    if responses.get(idx).is_some_and(|&r| r - t <= *window) {
+                        followed += 1;
+                    }
+                }
+                let frac = followed as f64 / triggers.len() as f64;
+                Ok(prob_op.apply(frac, *prob))
+            }
+            Template::StayInStateUntil {
+                enter,
+                state_signal,
+                state_op,
+                state_value,
+                until_event,
+                prob_op,
+                prob,
+            } => {
+                check_prob("prob", *prob)?;
+                let enters = run.events(enter)?;
+                if enters.is_empty() {
+                    return Ok(true);
+                }
+                let releases = run.events(until_event)?;
+                let mut stayed = 0usize;
+                for &t in enters {
+                    let idx = releases.partition_point(|&r| r <= t);
+                    let Some(&release) = releases.get(idx) else {
+                        continue; // never released ⇒ did not stay-until
+                    };
+                    let frac = run.trace().fraction_of_time(state_signal, t, release, |v| {
+                        state_op.apply(v, *state_value)
+                    })?;
+                    if frac >= 1.0 {
+                        stayed += 1;
+                    }
+                }
+                let frac = stayed as f64 / enters.len() as f64;
+                Ok(prob_op.apply(frac, *prob))
+            }
+            Template::ConditionalEventProb {
+                event,
+                state_signal,
+                state_op,
+                state_value,
+                inner_op,
+                inner_prob,
+                outer_op,
+                outer_prob,
+            } => {
+                check_prob("inner_prob", *inner_prob)?;
+                check_prob("outer_prob", *outer_prob)?;
+                let in_state_fraction = run.trace().fraction_of_time(
+                    state_signal,
+                    run.trace().start_time(),
+                    run.trace().end_time().max(run.duration()),
+                    |v| state_op.apply(v, *state_value),
+                )?;
+                if !inner_op.apply(in_state_fraction, *inner_prob) {
+                    return Ok(true); // inner guard fails ⇒ vacuous
+                }
+                let occurrences = run.events(event)?;
+                if occurrences.is_empty() {
+                    return Ok(true);
+                }
+                let in_state = occurrences
+                    .iter()
+                    .filter(|&&t| {
+                        run.trace()
+                            .value_at(state_signal, t)
+                            .map(|v| state_op.apply(v, *state_value))
+                            .unwrap_or(false)
+                    })
+                    .count();
+                let frac = in_state as f64 / occurrences.len() as f64;
+                Ok(outer_op.apply(frac, *outer_prob))
+            }
+        }
+    }
+
+    /// Table 1 row number of this template (1–9).
+    pub fn row(&self) -> u8 {
+        match self {
+            Template::MetricThreshold { .. } => 1,
+            Template::MetricBetween { .. } => 2,
+            Template::TimeInState { .. } => 3,
+            Template::AvgCyclesPerEvent { .. } => 4,
+            Template::MetricImplication { .. } => 5,
+            Template::EventWithinWindow { .. } => 6,
+            Template::LatencyImplication { .. } => 7,
+            Template::StayInStateUntil { .. } => 8,
+            Template::ConditionalEventProb { .. } => 9,
+        }
+    }
+}
+
+fn check_prob(name: &'static str, p: f64) -> Result<()> {
+    if (0.0..=1.0).contains(&p) {
+        Ok(())
+    } else {
+        Err(StlError::InvalidParameter {
+            name,
+            expected: "a probability in [0, 1]",
+        })
+    }
+}
+
+impl fmt::Display for Template {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Template::MetricThreshold {
+                metric,
+                op,
+                threshold,
+            } => write!(f, "{metric} {op} {threshold}"),
+            Template::MetricBetween { metric, lo, hi } => {
+                write!(f, "{hi} > {metric} > {lo}")
+            }
+            Template::TimeInState {
+                signal,
+                state_op,
+                state_value,
+                time_op,
+                time_fraction,
+            } => write!(
+                f,
+                "%time[{signal} {state_op} {state_value}] {time_op} {time_fraction}"
+            ),
+            Template::AvgCyclesPerEvent {
+                event,
+                op,
+                threshold,
+            } => write!(f, "avg cycles/{event} {op} {threshold}"),
+            Template::MetricImplication {
+                metric_a,
+                op_a,
+                a,
+                metric_b,
+                op_b,
+                b,
+            } => write!(f, "{metric_a} {op_a} {a} -> {metric_b} {op_b} {b}"),
+            Template::LatencyImplication {
+                latency_a,
+                op_a,
+                a,
+                latency_b,
+                op_b,
+                b,
+            } => write!(f, "{latency_a} {op_a} {a} -> {latency_b} {op_b} {b}"),
+            Template::EventWithinWindow {
+                trigger,
+                response,
+                window,
+                prob_op,
+                prob,
+            } => write!(
+                f,
+                "{trigger} -> Prob[{response} within {window}] {prob_op} {prob}"
+            ),
+            Template::StayInStateUntil {
+                enter,
+                state_signal,
+                until_event,
+                prob_op,
+                prob,
+                ..
+            } => write!(
+                f,
+                "{enter} -> Prob[stay in {state_signal} until {until_event}] {prob_op} {prob}"
+            ),
+            Template::ConditionalEventProb {
+                event,
+                state_signal,
+                inner_op,
+                inner_prob,
+                outer_op,
+                outer_prob,
+                ..
+            } => write!(
+                f,
+                "Prob[{event} when Prob[{state_signal}] {inner_op} {inner_prob}] {outer_op} {outer_prob}"
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run() -> ExecutionData {
+        let mut e = ExecutionData::new(1000);
+        e.set_metric("performance", 2.0);
+        e.set_metric("power", 15.0);
+        e.set_metric("lat_r", 120.0);
+        e.set_metric("lat_s", 250.0);
+        // misprediction-handling indicator: active on [100, 200).
+        e.trace_mut()
+            .push_series("mispred", [(0, 0.0), (100, 1.0), (200, 0.0)])
+            .unwrap();
+        // sprint state active on [300, 600).
+        e.trace_mut()
+            .push_series("sprint", [(0, 0.0), (300, 1.0), (600, 0.0)])
+            .unwrap();
+        for t in [50, 400, 450, 800] {
+            e.record_event("tlb_miss", t).unwrap();
+        }
+        for t in [100, 110, 500] {
+            e.record_event("error", t).unwrap();
+        }
+        e.record_event("enter_sprint", 300).unwrap();
+        e.record_event("thermal_alert", 550).unwrap();
+        e
+    }
+
+    #[test]
+    fn row1_metric_threshold() {
+        let e = run();
+        assert!(Template::metric_threshold("performance", CmpOp::Gt, 1.5)
+            .evaluate(&e)
+            .unwrap());
+        assert!(!Template::metric_threshold("performance", CmpOp::Lt, 1.5)
+            .evaluate(&e)
+            .unwrap());
+        assert!(Template::metric_threshold("nope", CmpOp::Gt, 0.0)
+            .evaluate(&e)
+            .is_err());
+    }
+
+    #[test]
+    fn row2_between() {
+        let e = run();
+        assert!(Template::metric_between("performance", 1.0, 3.0)
+            .unwrap()
+            .evaluate(&e)
+            .unwrap());
+        assert!(!Template::metric_between("performance", 2.0, 3.0)
+            .unwrap()
+            .evaluate(&e)
+            .unwrap()); // strict bound
+        assert!(Template::metric_between("x", 3.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn row3_time_in_state() {
+        let e = run();
+        // mispred active 100 cycles of 1000 = 10% < 15%.
+        let t = Template::TimeInState {
+            signal: "mispred".into(),
+            state_op: CmpOp::Ge,
+            state_value: 1.0,
+            time_op: CmpOp::Lt,
+            time_fraction: 0.15,
+        };
+        assert!(t.evaluate(&e).unwrap());
+        let t = Template::TimeInState {
+            signal: "mispred".into(),
+            state_op: CmpOp::Ge,
+            state_value: 1.0,
+            time_op: CmpOp::Lt,
+            time_fraction: 0.05,
+        };
+        assert!(!t.evaluate(&e).unwrap());
+    }
+
+    #[test]
+    fn row4_avg_cycles_per_event() {
+        let e = run();
+        // 1000 cycles / 4 tlb misses = 250.
+        let t = Template::AvgCyclesPerEvent {
+            event: "tlb_miss".into(),
+            op: CmpOp::Gt,
+            threshold: 200.0,
+        };
+        assert!(t.evaluate(&e).unwrap());
+        // No occurrences ⇒ infinite average.
+        let t = Template::AvgCyclesPerEvent {
+            event: "never".into(),
+            op: CmpOp::Gt,
+            threshold: 1e12,
+        };
+        assert!(t.evaluate(&e).unwrap());
+        let t = Template::AvgCyclesPerEvent {
+            event: "never".into(),
+            op: CmpOp::Lt,
+            threshold: 1e12,
+        };
+        assert!(!t.evaluate(&e).unwrap());
+    }
+
+    #[test]
+    fn row5_metric_implication() {
+        let e = run();
+        // power > 10 -> performance > 1.5 : antecedent true, consequent true.
+        assert!(
+            Template::metric_implication("power", CmpOp::Gt, 10.0, "performance", CmpOp::Gt, 1.5)
+                .evaluate(&e)
+                .unwrap()
+        );
+        // Antecedent false ⇒ vacuously true, consequent metric not needed.
+        assert!(
+            Template::metric_implication("power", CmpOp::Gt, 100.0, "missing", CmpOp::Gt, 0.0)
+                .evaluate(&e)
+                .unwrap()
+        );
+        // Antecedent true, consequent false.
+        assert!(
+            !Template::metric_implication("power", CmpOp::Gt, 10.0, "performance", CmpOp::Gt, 5.0)
+                .evaluate(&e)
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn row6_event_within_window() {
+        let e = run();
+        // error at 100 followed by error at 110 (within 50); error at 110
+        // followed at 500? no; error at 500: none after. 1/3 followed.
+        let t = Template::EventWithinWindow {
+            trigger: "error".into(),
+            response: "error".into(),
+            window: 50,
+            prob_op: CmpOp::Lt,
+            prob: 0.5,
+        };
+        assert!(t.evaluate(&e).unwrap());
+        let t = Template::EventWithinWindow {
+            trigger: "error".into(),
+            response: "error".into(),
+            window: 50,
+            prob_op: CmpOp::Gt,
+            prob: 0.5,
+        };
+        assert!(!t.evaluate(&e).unwrap());
+        // No triggers ⇒ vacuous truth.
+        let mut e2 = ExecutionData::new(10);
+        e2.record_event("error", 5).unwrap();
+        let t = Template::EventWithinWindow {
+            trigger: "quiet".into(),
+            response: "error".into(),
+            window: 1,
+            prob_op: CmpOp::Lt,
+            prob: 0.0,
+        };
+        assert!(t.evaluate(&e2).is_err()); // unknown trigger stream
+    }
+
+    #[test]
+    fn row7_latency_implication() {
+        let e = run();
+        let t = Template::latency_implication(
+            "lat_r", CmpOp::Gt, 100.0, "lat_s", CmpOp::Gt, 200.0,
+        );
+        assert!(t.evaluate(&e).unwrap());
+        assert_eq!(t.row(), 7);
+    }
+
+    #[test]
+    fn row8_stay_in_state_until() {
+        let e = run();
+        // Entered sprint at 300; alert at 550; sprint indicator holds on
+        // [300, 550] ⇒ stayed. Fraction = 1.0.
+        let t = Template::StayInStateUntil {
+            enter: "enter_sprint".into(),
+            state_signal: "sprint".into(),
+            state_op: CmpOp::Ge,
+            state_value: 1.0,
+            until_event: "thermal_alert".into(),
+            prob_op: CmpOp::Ge,
+            prob: 0.9,
+        };
+        assert!(t.evaluate(&e).unwrap());
+
+        // If the alert only comes at 800 (after sprint ends at 600), the
+        // obligation is violated.
+        let mut e2 = run();
+        e2.record_event("late_alert", 800).unwrap();
+        let t = Template::StayInStateUntil {
+            enter: "enter_sprint".into(),
+            state_signal: "sprint".into(),
+            state_op: CmpOp::Ge,
+            state_value: 1.0,
+            until_event: "late_alert".into(),
+            prob_op: CmpOp::Ge,
+            prob: 0.9,
+        };
+        assert!(!t.evaluate(&e2).unwrap());
+    }
+
+    #[test]
+    fn row9_conditional_event_prob() {
+        let e = run();
+        // Sprint occupies 30% of time. Guard: Prob[state] > 0.2 → active.
+        // TLB misses at 400, 450 occur in sprint; 50, 800 do not → 50%.
+        let t = Template::ConditionalEventProb {
+            event: "tlb_miss".into(),
+            state_signal: "sprint".into(),
+            state_op: CmpOp::Ge,
+            state_value: 1.0,
+            inner_op: CmpOp::Gt,
+            inner_prob: 0.2,
+            outer_op: CmpOp::Lt,
+            outer_prob: 0.6,
+        };
+        assert!(t.evaluate(&e).unwrap());
+        // Guard fails (needs > 0.5 of time in sprint) ⇒ vacuously true.
+        let t = Template::ConditionalEventProb {
+            event: "tlb_miss".into(),
+            state_signal: "sprint".into(),
+            state_op: CmpOp::Ge,
+            state_value: 1.0,
+            inner_op: CmpOp::Gt,
+            inner_prob: 0.5,
+            outer_op: CmpOp::Lt,
+            outer_prob: 0.0,
+        };
+        assert!(t.evaluate(&e).unwrap());
+    }
+
+    #[test]
+    fn probability_domains_validated() {
+        let e = run();
+        let t = Template::EventWithinWindow {
+            trigger: "error".into(),
+            response: "error".into(),
+            window: 50,
+            prob_op: CmpOp::Lt,
+            prob: 1.5,
+        };
+        assert!(matches!(
+            t.evaluate(&e),
+            Err(StlError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn rows_and_display() {
+        let e = Template::metric_threshold("ipc", CmpOp::Gt, 1.0);
+        assert_eq!(e.row(), 1);
+        assert_eq!(e.to_string(), "ipc > 1");
+        let b = Template::metric_between("ipc", 1.0, 2.0).unwrap();
+        assert_eq!(b.row(), 2);
+        assert_eq!(b.to_string(), "2 > ipc > 1");
+    }
+}

@@ -1,0 +1,312 @@
+//! Piecewise-constant, multi-signal execution traces.
+//!
+//! A processor execution produces time-stamped observations: power at
+//! cycle 10, core activity at cycle 57, and so on. STL formulas are
+//! evaluated against such traces under the usual piecewise-constant
+//! interpretation: a signal holds its most recent sampled value until the
+//! next sample.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use crate::{Result, StlError};
+
+/// A time-stamped observation of one signal.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Time of the observation, in cycles.
+    pub time: u64,
+    /// Observed value.
+    pub value: f64,
+}
+
+/// A multi-signal, piecewise-constant trace.
+///
+/// Each signal is a strictly time-ordered list of [`Sample`]s; between
+/// samples the signal keeps its last value. Signal names are arbitrary
+/// identifiers (`power`, `state_sprinting`, `l2_mshr_occupancy`, …).
+///
+/// # Examples
+///
+/// ```
+/// use spa_stl::trace::Trace;
+/// # fn main() -> Result<(), spa_stl::StlError> {
+/// let mut t = Trace::new();
+/// t.push("power", 0, 2.0)?;
+/// t.push("power", 10, 5.5)?;
+/// assert_eq!(t.value_at("power", 4)?, 2.0);
+/// assert_eq!(t.value_at("power", 10)?, 5.5);
+/// assert_eq!(t.end_time(), 10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    signals: BTreeMap<String, Vec<Sample>>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a sample to `signal` at time `time`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StlError::NonMonotonicTime`] if `time` is not strictly
+    /// greater than the signal's last sample time.
+    pub fn push(&mut self, signal: &str, time: u64, value: f64) -> Result<()> {
+        let samples = self.signals.entry(signal.to_owned()).or_default();
+        if let Some(last) = samples.last() {
+            if time <= last.time {
+                return Err(StlError::NonMonotonicTime {
+                    signal: signal.to_owned(),
+                    previous: last.time,
+                    offered: time,
+                });
+            }
+        }
+        samples.push(Sample { time, value });
+        Ok(())
+    }
+
+    /// Bulk-loads a signal from `(time, value)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StlError::NonMonotonicTime`] on the first non-increasing
+    /// timestamp; samples before the offending one are kept.
+    pub fn push_series<I>(&mut self, signal: &str, series: I) -> Result<()>
+    where
+        I: IntoIterator<Item = (u64, f64)>,
+    {
+        for (t, v) in series {
+            self.push(signal, t, v)?;
+        }
+        Ok(())
+    }
+
+    /// Names of all signals in the trace, in sorted order.
+    pub fn signal_names(&self) -> impl Iterator<Item = &str> {
+        self.signals.keys().map(String::as_str)
+    }
+
+    /// Whether the trace defines `signal`.
+    pub fn has_signal(&self, signal: &str) -> bool {
+        self.signals.contains_key(signal)
+    }
+
+    /// The raw samples of `signal`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StlError::UnknownSignal`] if the signal does not exist.
+    pub fn samples(&self, signal: &str) -> Result<&[Sample]> {
+        self.signals
+            .get(signal)
+            .map(Vec::as_slice)
+            .ok_or_else(|| StlError::UnknownSignal(signal.to_owned()))
+    }
+
+    /// Piecewise-constant value of `signal` at time `t`: the value of the
+    /// latest sample at or before `t`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StlError::UnknownSignal`] for an undefined signal and
+    /// [`StlError::EmptyWindow`] if `t` precedes the first sample.
+    pub fn value_at(&self, signal: &str, t: u64) -> Result<f64> {
+        let samples = self.samples(signal)?;
+        // Latest sample with time <= t.
+        let idx = samples.partition_point(|s| s.time <= t);
+        if idx == 0 {
+            return Err(StlError::EmptyWindow {
+                signal: signal.to_owned(),
+            });
+        }
+        Ok(samples[idx - 1].value)
+    }
+
+    /// All distinct sample times across every signal that fall within
+    /// `[lo, hi]`, in ascending order. STL evaluation over
+    /// piecewise-constant signals only needs to inspect these instants.
+    pub fn event_times(&self, lo: u64, hi: u64) -> Vec<u64> {
+        let mut times: Vec<u64> = self
+            .signals
+            .values()
+            .flat_map(|ss| ss.iter().map(|s| s.time))
+            .filter(|&t| t >= lo && t <= hi)
+            .collect();
+        times.sort_unstable();
+        times.dedup();
+        times
+    }
+
+    /// The latest sample time across all signals (0 for an empty trace).
+    pub fn end_time(&self) -> u64 {
+        self.signals
+            .values()
+            .filter_map(|ss| ss.last().map(|s| s.time))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The earliest sample time across all signals (0 for an empty trace).
+    pub fn start_time(&self) -> u64 {
+        self.signals
+            .values()
+            .filter_map(|ss| ss.first().map(|s| s.time))
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Fraction of `[lo, hi]` during which `predicate` holds on the
+    /// signal's piecewise-constant value. Used by the "%time in state"
+    /// template (Table 1 row 3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StlError::UnknownSignal`] / [`StlError::EmptyWindow`]
+    /// as [`value_at`](Self::value_at) does, and
+    /// [`StlError::InvalidParameter`] if `hi < lo`.
+    pub fn fraction_of_time<P>(&self, signal: &str, lo: u64, hi: u64, predicate: P) -> Result<f64>
+    where
+        P: Fn(f64) -> bool,
+    {
+        if hi < lo {
+            return Err(StlError::InvalidParameter {
+                name: "interval",
+                expected: "hi >= lo",
+            });
+        }
+        if hi == lo {
+            return Ok(if predicate(self.value_at(signal, lo)?) {
+                1.0
+            } else {
+                0.0
+            });
+        }
+        let samples = self.samples(signal)?;
+        if samples.is_empty() || samples[0].time > lo {
+            return Err(StlError::EmptyWindow {
+                signal: signal.to_owned(),
+            });
+        }
+        // Walk the segments that intersect [lo, hi].
+        let mut held = 0u64;
+        let mut seg_start = lo;
+        let mut seg_value = self.value_at(signal, lo)?;
+        for s in samples.iter().filter(|s| s.time > lo && s.time <= hi) {
+            if predicate(seg_value) {
+                held += s.time - seg_start;
+            }
+            seg_start = s.time;
+            seg_value = s.value;
+        }
+        if predicate(seg_value) {
+            held += hi - seg_start;
+        }
+        Ok(held as f64 / (hi - lo) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> Trace {
+        let mut t = Trace::new();
+        t.push_series("x", [(0, 1.0), (10, 2.0), (20, 3.0)]).unwrap();
+        t
+    }
+
+    #[test]
+    fn piecewise_constant_lookup() {
+        let t = ramp();
+        assert_eq!(t.value_at("x", 0).unwrap(), 1.0);
+        assert_eq!(t.value_at("x", 9).unwrap(), 1.0);
+        assert_eq!(t.value_at("x", 10).unwrap(), 2.0);
+        assert_eq!(t.value_at("x", 100).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn lookup_before_first_sample_fails() {
+        let mut t = Trace::new();
+        t.push("x", 5, 1.0).unwrap();
+        assert!(matches!(
+            t.value_at("x", 0),
+            Err(StlError::EmptyWindow { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_signal() {
+        let t = ramp();
+        assert!(matches!(
+            t.value_at("y", 0),
+            Err(StlError::UnknownSignal(_))
+        ));
+        assert!(t.samples("nope").is_err());
+        assert!(t.has_signal("x"));
+        assert!(!t.has_signal("y"));
+    }
+
+    #[test]
+    fn monotonicity_enforced() {
+        let mut t = Trace::new();
+        t.push("x", 5, 1.0).unwrap();
+        assert!(t.push("x", 5, 2.0).is_err());
+        assert!(t.push("x", 4, 2.0).is_err());
+        t.push("x", 6, 2.0).unwrap();
+        // Other signals are independent.
+        t.push("y", 0, 9.0).unwrap();
+    }
+
+    #[test]
+    fn event_times_window() {
+        let mut t = ramp();
+        t.push_series("y", [(5, 0.0), (15, 1.0)]).unwrap();
+        assert_eq!(t.event_times(0, 20), vec![0, 5, 10, 15, 20]);
+        assert_eq!(t.event_times(6, 14), vec![10]);
+        assert!(t.event_times(21, 30).is_empty());
+    }
+
+    #[test]
+    fn start_end_times() {
+        let t = ramp();
+        assert_eq!(t.start_time(), 0);
+        assert_eq!(t.end_time(), 20);
+        assert_eq!(Trace::new().end_time(), 0);
+    }
+
+    #[test]
+    fn fraction_of_time_full_window() {
+        let t = ramp();
+        // x < 2.5 on [0,20): true on [0,20) except [20,20]... walk:
+        // [0,10): 1.0 true; [10,20): 2.0 true; at 20: 3.0 false → 20/20.
+        let f = t.fraction_of_time("x", 0, 20, |v| v < 2.5).unwrap();
+        assert!((f - 1.0).abs() < 1e-12);
+        // x >= 2.0 holds on [10, 20] → 10/20.
+        let f = t.fraction_of_time("x", 0, 20, |v| v >= 2.0).unwrap();
+        assert!((f - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_of_time_degenerate_interval() {
+        let t = ramp();
+        assert_eq!(t.fraction_of_time("x", 10, 10, |v| v == 2.0).unwrap(), 1.0);
+        assert_eq!(t.fraction_of_time("x", 10, 10, |v| v == 1.0).unwrap(), 0.0);
+        assert!(t.fraction_of_time("x", 10, 5, |_| true).is_err());
+    }
+
+    #[test]
+    fn signal_names_sorted() {
+        let mut t = Trace::new();
+        t.push("zeta", 0, 0.0).unwrap();
+        t.push("alpha", 0, 0.0).unwrap();
+        let names: Vec<&str> = t.signal_names().collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests over randomly generated STL formulas:
+//! `parse(display(f)) == f`, and evaluation coherence between boolean
+//! and robustness semantics on random traces.
+
+use proptest::prelude::*;
+
+use spa_stl::ast::{CmpOp, Interval, Stl};
+use spa_stl::eval::{robustness, satisfies};
+use spa_stl::parser::parse;
+use spa_stl::trace::Trace;
+
+/// Signal names used by generated formulas and traces.
+const SIGNALS: [&str; 3] = ["a", "b", "c"];
+
+fn arb_cmp() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge)
+    ]
+}
+
+fn arb_interval() -> impl Strategy<Value = Interval> {
+    (0_u64..50, 0_u64..50, any::<bool>()).prop_map(|(lo, extra, bounded)| {
+        if bounded {
+            Interval::bounded(lo, lo + extra)
+        } else {
+            Interval { lo, hi: None }
+        }
+    })
+}
+
+fn arb_atom() -> impl Strategy<Value = Stl> {
+    (0_usize..SIGNALS.len(), arb_cmp(), -50_i32..50).prop_map(|(s, op, t)| {
+        Stl::Atom(spa_stl::ast::Predicate::new(SIGNALS[s], op, t as f64))
+    })
+}
+
+fn arb_formula() -> impl Strategy<Value = Stl> {
+    let leaf = prop_oneof![arb_atom(), Just(Stl::True), Just(Stl::False)];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Stl::and(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Stl::or(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Stl::implies(a, b)),
+            inner.clone().prop_map(Stl::not),
+            (arb_interval(), inner.clone()).prop_map(|(i, a)| Stl::globally(i, a)),
+            (arb_interval(), inner.clone()).prop_map(|(i, a)| Stl::eventually(i, a)),
+            (arb_interval(), inner.clone(), inner.clone())
+                .prop_map(|(i, a, b)| Stl::until(i, a, b)),
+            (arb_interval(), inner.clone(), inner.clone())
+                .prop_map(|(i, a, b)| Stl::weak_until(i, a, b)),
+            (arb_interval(), inner.clone(), inner).prop_map(|(i, a, b)| Stl::release(i, a, b)),
+        ]
+    })
+}
+
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    // 3 signals, 1..12 samples each at strictly increasing times.
+    proptest::collection::vec(
+        (1_u64..10, -60_i32..60, -60_i32..60, -60_i32..60),
+        1..12,
+    )
+    .prop_map(|rows| {
+        let mut t = Trace::new();
+        let mut now = 0u64;
+        for (dt, a, b, c) in rows {
+            for (sig, v) in [("a", a), ("b", b), ("c", c)] {
+                t.push(sig, now, v as f64).expect("strictly increasing");
+            }
+            now += dt;
+        }
+        t
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn display_parse_round_trip(f in arb_formula()) {
+        let text = f.to_string();
+        let back = parse(&text)
+            .unwrap_or_else(|e| panic!("reparse of `{text}` failed: {e}"));
+        prop_assert_eq!(f, back);
+    }
+
+    #[test]
+    fn robustness_sign_matches_boolean(f in arb_formula(), t in arb_trace()) {
+        let sat = satisfies(&f, &t, 0).expect("signals all defined");
+        let rob = robustness(&f, &t, 0).expect("signals all defined");
+        // Strictly positive robustness implies satisfaction; strictly
+        // negative implies violation. Zero is the indeterminate boundary.
+        if rob > 0.0 {
+            prop_assert!(sat, "rob {rob} > 0 but not satisfied: {f}");
+        } else if rob < 0.0 {
+            prop_assert!(!sat, "rob {rob} < 0 but satisfied: {f}");
+        }
+    }
+
+    #[test]
+    fn negation_is_involutive(f in arb_formula(), t in arb_trace()) {
+        let direct = satisfies(&f, &t, 0).unwrap();
+        let doubled = satisfies(&Stl::not(Stl::not(f)), &t, 0).unwrap();
+        prop_assert_eq!(direct, doubled);
+    }
+
+    #[test]
+    fn weak_until_is_until_or_globally(
+        a in arb_formula(),
+        b in arb_formula(),
+        t in arb_trace(),
+        lo in 0_u64..20,
+        len in 0_u64..20,
+    ) {
+        let i = Interval::bounded(lo, lo + len);
+        let weak = satisfies(&Stl::weak_until(i, a.clone(), b.clone()), &t, 0).unwrap();
+        let strong = satisfies(&Stl::until(i, a.clone(), b), &t, 0).unwrap();
+        let globally = satisfies(&Stl::globally(i, a), &t, 0).unwrap();
+        prop_assert_eq!(weak, strong || globally);
+    }
+
+    #[test]
+    fn release_is_dual_of_until(
+        a in arb_formula(),
+        b in arb_formula(),
+        t in arb_trace(),
+        lo in 0_u64..20,
+        len in 0_u64..20,
+    ) {
+        let i = Interval::bounded(lo, lo + len);
+        let release = satisfies(&Stl::release(i, a.clone(), b.clone()), &t, 0).unwrap();
+        let dual = !satisfies(&Stl::until(i, Stl::not(a), Stl::not(b)), &t, 0).unwrap();
+        prop_assert_eq!(release, dual);
+    }
+
+    #[test]
+    fn globally_implies_eventually(f in arb_formula(), t in arb_trace(), lo in 0_u64..20, len in 0_u64..20) {
+        // On a non-empty window, G[I]φ ⇒ F[I]φ.
+        let i = Interval::bounded(lo, lo + len);
+        let g = satisfies(&Stl::globally(i, f.clone()), &t, 0).unwrap();
+        let e = satisfies(&Stl::eventually(i, f), &t, 0).unwrap();
+        prop_assert!(!g || e, "G held but F did not");
+    }
+}

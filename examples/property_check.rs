@@ -1,0 +1,61 @@
+//! Checking rich temporal properties with SMC — Table 1 beyond simple
+//! thresholds, plus the textbook sequential SMC loop (Algorithm 1)
+//! driving the simulator on demand.
+//!
+//! Run with: `cargo run --release --example property_check`
+
+use spa::core::smc::SmcEngine;
+use spa::sim::config::SystemConfig;
+use spa::sim::machine::Machine;
+use spa::sim::workload::parsec::Benchmark;
+use spa::stl::ast::CmpOp;
+use spa::stl::parser::parse;
+use spa::stl::templates::Template;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = Benchmark::Ferret.workload_scaled(0.25);
+    // Trace collection gives every run signals (power, active_threads)
+    // and event streams (tlb_miss, l2_miss, lock_contention, …).
+    let machine = Machine::new(SystemConfig::table2().with_trace(), &workload)?;
+
+    // --- 1. An STL formula over the execution trace. -----------------
+    // "Within the first 200k cycles there is a moment after which, for
+    //  50k cycles, at least two cores stay busy."
+    let formula = parse("F[0,200000] G[0,50000] active_threads >= 2")?;
+    let run = machine.run(7)?;
+    let data = run.stl_data.expect("trace enabled");
+    println!(
+        "STL `{formula}` on seed 7: {}",
+        formula.satisfied_by(data.trace())?
+    );
+
+    // --- 2. A Table 1 row 6 template (inter-event timing). -----------
+    // "If an L2 miss occurs, another follows within 2000 cycles with
+    //  probability > 0.5" — one boolean per execution.
+    let template = Template::EventWithinWindow {
+        trigger: "l2_miss".into(),
+        response: "l2_miss".into(),
+        window: 2_000,
+        prob_op: CmpOp::Gt,
+        prob: 0.5,
+    };
+    println!("template `{template}` on seed 7: {}", template.evaluate(&data)?);
+
+    // --- 3. Algorithm 1: sequential SMC over fresh executions. -------
+    // Ask: does the property hold in at least 80 % of executions, with
+    // 95 % confidence? The engine draws simulations only until the
+    // verdict is statistically significant.
+    let engine = SmcEngine::new(0.95, 0.8)?;
+    let outcomes = (0..).map(|seed| {
+        let run = machine.run(seed).expect("simulation failed");
+        template
+            .evaluate(&run.stl_data.expect("trace enabled"))
+            .expect("property evaluates")
+    });
+    let result = engine.run_sequential(outcomes)?;
+    println!(
+        "Algorithm 1 verdict: {} after {} executions (C_CP = {:.3})",
+        result.assertion, result.samples_used, result.achieved_confidence
+    );
+    Ok(())
+}

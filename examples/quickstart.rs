@@ -1,0 +1,61 @@
+//! Quickstart: statistically rigorous evaluation of one benchmark.
+//!
+//! Simulates the paper's Table 2 machine running ferret with
+//! variability injection, collects the minimum number of executions SPA
+//! needs (Eq. 8), and reports a confidence interval for runtime at the
+//! requested proportion and confidence.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use spa::core::spa::{Direction, Spa};
+use spa::sim::config::SystemConfig;
+use spa::sim::machine::Machine;
+use spa::sim::workload::parsec::Benchmark;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe the system under test (Table 2 of the paper) and the
+    //    workload (a ferret-like pipeline benchmark).
+    let config = SystemConfig::table2();
+    let workload = Benchmark::Ferret.workload_scaled(0.5);
+    let machine = Machine::new(config, &workload)?;
+
+    // 2. Configure SPA: confidence C = 0.9, proportion F = 0.9 — i.e.
+    //    "with 90 % confidence, at least 90 % of executions run within
+    //    the interval's bound".
+    let spa = Spa::builder()
+        .confidence(0.9)
+        .proportion(0.9)
+        .batch_size(4)
+        .build()?;
+    println!(
+        "SPA needs at least {} executions for C = 0.9, F = 0.9 (Eq. 8)",
+        spa.required_samples()
+    );
+
+    // 3. Let SPA drive the simulator: it runs seeds in parallel batches
+    //    and builds the interval push-button style (Fig. 3).
+    let sampler = |seed: u64| {
+        machine
+            .run(seed)
+            .expect("simulation failed")
+            .metrics
+            .runtime_seconds
+    };
+    let report = spa.run(&sampler, 0, Direction::AtMost)?;
+
+    println!(
+        "collected {} runtimes between {:.6}s and {:.6}s",
+        report.samples.len(),
+        report.samples.iter().copied().fold(f64::INFINITY, f64::min),
+        report
+            .samples
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max),
+    );
+    println!(
+        "90% of ferret executions finish within {} (at 90% confidence)",
+        report.interval
+    );
+    Ok(())
+}

@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! # SPA — SMC for Processor Analysis
+//!
+//! A Rust reproduction of *"Rigorous Evaluation of Computer Processors
+//! with Statistical Model Checking"* (MICRO 2023). This facade crate
+//! re-exports the workspace members under stable module names:
+//!
+//! * [`core`] — the SMC engine, Clopper–Pearson confidence, and the SPA
+//!   confidence-interval framework (the paper's contribution),
+//! * [`stl`] — signal temporal logic properties (the paper's Table 1),
+//! * [`stats`] — the numerical statistics substrate,
+//! * [`baselines`] — bootstrap / rank-test / Z-score comparison methods,
+//! * [`sim`] — the multicore processor simulator substrate used by the
+//!   paper's experiments (a gem5 stand-in).
+//!
+//! See the workspace `README.md` for a tour and `examples/` for runnable
+//! entry points.
+
+pub use spa_baselines as baselines;
+pub use spa_core as core;
+pub use spa_sim as sim;
+pub use spa_stats as stats;
+pub use spa_stl as stl;

@@ -1,0 +1,114 @@
+//! Cross-crate comparison of SPA against the baseline CI methods on the
+//! same simulated data — the integration-level version of §5.4/§6.4.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use spa::baselines::bootstrap::{bca_ci, percentile_ci};
+use spa::baselines::rank::{rank_ci_exact, rank_ci_normal};
+use spa::baselines::zscore::z_ci;
+use spa::baselines::BaselineError;
+use spa::core::spa::{Direction, Spa};
+use spa::sim::config::SystemConfig;
+use spa::sim::metrics::Metric;
+use spa::sim::runner::{extract_metric, run_population};
+use spa::sim::workload::parsec::Benchmark;
+
+fn sample_runtimes() -> Vec<f64> {
+    let spec = Benchmark::Bodytrack.workload_scaled(0.25);
+    let runs = run_population(SystemConfig::table2(), &spec, 0, 22).unwrap();
+    extract_metric(&runs, Metric::RuntimeSeconds)
+}
+
+#[test]
+fn all_methods_produce_comparable_median_intervals() {
+    let xs = sample_runtimes();
+    let spa = Spa::builder().confidence(0.9).proportion(0.5).build().unwrap();
+    let spa_ci = spa.confidence_interval(&xs, Direction::AtMost).unwrap();
+
+    let mut rng = StdRng::seed_from_u64(2);
+    let boot = percentile_ci(&xs, 0.5, 0.9, 1000, &mut rng).unwrap();
+    let rank = rank_ci_normal(&xs, 0.5, 0.9).unwrap();
+    let z = z_ci(&xs, 0.9).unwrap();
+
+    // All intervals overlap around the median region.
+    for (name, (lo, hi)) in [
+        ("spa", (spa_ci.lower(), spa_ci.upper())),
+        ("boot", (boot.lower(), boot.upper())),
+        ("rank", (rank.lower(), rank.upper())),
+        ("z", (z.lower(), z.upper())),
+    ] {
+        assert!(lo <= hi, "{name} interval inverted");
+        // Overlap with SPA's interval.
+        assert!(
+            lo <= spa_ci.upper() && hi >= spa_ci.lower(),
+            "{name} interval [{lo}, {hi}] does not overlap SPA's {spa_ci}"
+        );
+    }
+}
+
+#[test]
+fn spa_is_immune_to_duplicates_bootstrap_is_not() {
+    // Round runtimes hard so the sample is duplicate-heavy (the Fig. 15
+    // transformation).
+    let xs: Vec<f64> = sample_runtimes()
+        .into_iter()
+        .map(|x| (x * 10_000.0).round() / 10_000.0)
+        .collect();
+    let distinct = {
+        let mut s = xs.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        s.dedup();
+        s.len()
+    };
+    assert!(distinct < xs.len(), "rounding should create duplicates");
+
+    let spa = Spa::builder().confidence(0.9).proportion(0.9).build().unwrap();
+    let ci = spa.confidence_interval(&xs, Direction::AtMost).unwrap();
+    assert!(ci.lower().is_finite() && ci.upper().is_finite());
+
+    // BCa may or may not fail for this particular draw; across several
+    // resampling seeds on duplicate-heavy data we expect at least one
+    // degenerate outcome, and every failure must be the typed
+    // BootstrapDegenerate error.
+    let mut failures = 0;
+    for seed in 0..20 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match bca_ci(&xs, 0.9, 0.9, 300, &mut rng) {
+            Ok(_) => {}
+            Err(BaselineError::BootstrapDegenerate { .. }) => failures += 1,
+            Err(other) => panic!("unexpected bootstrap error: {other}"),
+        }
+    }
+    if distinct <= xs.len() / 2 {
+        assert!(failures > 0, "expected BCa Null results on heavy duplicates");
+    }
+}
+
+#[test]
+fn rank_exact_vs_normal_agree_roughly_at_median() {
+    let xs = sample_runtimes();
+    let exact = rank_ci_exact(&xs, 0.5, 0.9).unwrap();
+    let normal = rank_ci_normal(&xs, 0.5, 0.9).unwrap();
+    // Both are order-statistic intervals on the same sample: they must
+    // overlap substantially.
+    assert!(exact.lower() <= normal.upper());
+    assert!(normal.lower() <= exact.upper());
+}
+
+#[test]
+fn methods_share_the_interval_type() {
+    // The apples-to-apples requirement: every constructor returns
+    // spa_core's ConfidenceInterval, so downstream tooling needs no
+    // adapters.
+    let xs = sample_runtimes();
+    let mut rng = StdRng::seed_from_u64(3);
+    let intervals: Vec<spa::core::ci::ConfidenceInterval> = vec![
+        percentile_ci(&xs, 0.5, 0.9, 200, &mut rng).unwrap(),
+        rank_ci_normal(&xs, 0.5, 0.9).unwrap(),
+        z_ci(&xs, 0.9).unwrap(),
+    ];
+    for ci in intervals {
+        assert_eq!(ci.confidence(), 0.9);
+    }
+}

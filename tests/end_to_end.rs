@@ -1,0 +1,140 @@
+//! End-to-end integration: simulator → SMC engine → confidence
+//! intervals, exercising the full SPA pipeline across crates.
+
+use spa::core::min_samples::min_samples;
+use spa::core::property::MetricProperty;
+use spa::core::spa::{Direction, Spa};
+use spa::sim::config::SystemConfig;
+use spa::sim::machine::Machine;
+use spa::sim::metrics::Metric;
+use spa::sim::runner::{extract_metric, run_population};
+use spa::sim::workload::parsec::Benchmark;
+use spa::stats::descriptive::{quantile, QuantileMethod};
+
+#[test]
+fn paper_sample_count_constants() {
+    // §4.3's published numbers.
+    assert_eq!(min_samples(0.9, 0.9).unwrap(), 22);
+    let spa = Spa::builder().confidence(0.9).proportion(0.9).build().unwrap();
+    assert_eq!(spa.required_samples(), 22);
+}
+
+#[test]
+fn spa_interval_from_simulated_population() {
+    let spec = Benchmark::Freqmine.workload_scaled(0.25);
+    let runs = run_population(SystemConfig::table2(), &spec, 0, 40).unwrap();
+    let runtimes = extract_metric(&runs, Metric::RuntimeSeconds);
+
+    let spa = Spa::builder().confidence(0.9).proportion(0.9).build().unwrap();
+    let ci = spa
+        .confidence_interval(&runtimes, Direction::AtMost)
+        .unwrap();
+
+    // The interval must be finite, ordered, and inside the sample range.
+    assert!(ci.lower().is_finite() && ci.upper().is_finite());
+    assert!(ci.lower() <= ci.upper());
+    let lo = runtimes.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = runtimes.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    assert!(ci.lower() >= lo && ci.upper() <= hi);
+
+    // It must contain the sample F-quantile.
+    let q = quantile(&runtimes, 0.9, QuantileMethod::LowerRank).unwrap();
+    assert!(ci.contains(q), "{ci} should contain {q}");
+}
+
+#[test]
+fn hypothesis_tests_agree_with_population_extremes() {
+    let spec = Benchmark::Streamcluster.workload_scaled(0.25);
+    let runs = run_population(SystemConfig::table2(), &spec, 0, 25).unwrap();
+    let runtimes = extract_metric(&runs, Metric::RuntimeSeconds);
+    let spa = Spa::builder().confidence(0.9).proportion(0.9).build().unwrap();
+
+    let max = runtimes.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let min = runtimes.iter().copied().fold(f64::INFINITY, f64::min);
+
+    // "runtime <= max" holds everywhere → positive; "<= below-min" → negative.
+    let always = spa
+        .hypothesis_test(&MetricProperty::new(Direction::AtMost, max), &runtimes)
+        .unwrap();
+    assert_eq!(
+        always.assertion,
+        Some(spa::core::clopper_pearson::Assertion::Positive)
+    );
+    let never = spa
+        .hypothesis_test(
+            &MetricProperty::new(Direction::AtMost, min * 0.5),
+            &runtimes,
+        )
+        .unwrap();
+    assert_eq!(
+        never.assertion,
+        Some(spa::core::clopper_pearson::Assertion::Negative)
+    );
+}
+
+#[test]
+fn coverage_self_check_on_simulated_population() {
+    // A miniature version of the paper's §5.4 evaluation: the SPA CI at
+    // C = 0.9 must cover the population ground truth in (roughly) at
+    // least 90 % of small-sample trials. Uses a reduced population and
+    // trial count to stay fast.
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    let spec = Benchmark::Fluidanimate.workload_scaled(0.25);
+    let runs = run_population(SystemConfig::table2(), &spec, 0, 120).unwrap();
+    let population = extract_metric(&runs, Metric::RuntimeSeconds);
+    let truth = quantile(&population, 0.5, QuantileMethod::LowerRank).unwrap();
+
+    let spa = Spa::builder().confidence(0.9).proportion(0.5).build().unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let mut covered = 0;
+    let trials = 120;
+    let mut idx: Vec<usize> = (0..population.len()).collect();
+    for _ in 0..trials {
+        let (chosen, _) = idx.partial_shuffle(&mut rng, 22);
+        let sample: Vec<f64> = chosen.iter().map(|&i| population[i]).collect();
+        let ci = spa.confidence_interval(&sample, Direction::AtMost).unwrap();
+        if ci.contains(truth) {
+            covered += 1;
+        }
+    }
+    let coverage = covered as f64 / trials as f64;
+    assert!(
+        coverage >= 0.85,
+        "coverage {coverage} too low for C = 0.9 (finite-trial slack allowed)"
+    );
+}
+
+#[test]
+fn l2_doubling_speedup_is_detected() {
+    // The §4.2 study at integration scale: 1 MB beats 512 kB on ferret
+    // with a speedup interval strictly above 1.
+    let workload = Benchmark::Ferret.workload();
+    let base = Machine::new(
+        SystemConfig::table2().with_l2_capacity(512 * 1024),
+        &workload,
+    )
+    .unwrap();
+    let improved = Machine::new(
+        SystemConfig::table2().with_l2_capacity(1024 * 1024),
+        &workload,
+    )
+    .unwrap();
+    let samples: Vec<f64> = (0..22)
+        .map(|seed| {
+            let b = base.run(seed).unwrap().metrics.runtime_seconds;
+            let i = improved.run(seed).unwrap().metrics.runtime_seconds;
+            b / i
+        })
+        .collect();
+    let spa = Spa::builder().confidence(0.9).proportion(0.9).build().unwrap();
+    let ci = spa
+        .confidence_interval(&samples, Direction::AtLeast)
+        .unwrap();
+    assert!(
+        ci.lower() > 1.0,
+        "speedup CI {ci} should be strictly above 1"
+    );
+    assert!(ci.upper() < 2.0, "speedup CI {ci} implausibly large");
+}

@@ -1,0 +1,95 @@
+//! STL properties evaluated over real simulator traces — Table 1's
+//! templates and parsed formulas against executions of the Table 2
+//! machine.
+
+use spa::core::smc::SmcEngine;
+use spa::sim::config::SystemConfig;
+use spa::sim::machine::Machine;
+use spa::sim::workload::parsec::Benchmark;
+use spa::stl::ast::CmpOp;
+use spa::stl::eval::{robustness, satisfies};
+use spa::stl::parser::parse;
+use spa::stl::templates::Template;
+
+fn traced_run(seed: u64) -> spa::stl::execution::ExecutionData {
+    let spec = Benchmark::Ferret.workload_scaled(0.25);
+    let machine = Machine::new(SystemConfig::table2().with_trace(), &spec).unwrap();
+    machine.run(seed).unwrap().stl_data.expect("trace enabled")
+}
+
+#[test]
+fn parsed_formulas_evaluate_on_simulator_traces() {
+    let data = traced_run(0);
+    let trace = data.trace();
+
+    // The power proxy is always within its construction bounds
+    // (8 + 23·active, 0 ≤ active ≤ 4).
+    let f = parse("G (power >= 8 & power <= 100)").unwrap();
+    assert!(satisfies(&f, trace, trace.start_time()).unwrap());
+
+    // At some instant every core is active.
+    let f = parse("F active_threads >= 4").unwrap();
+    assert!(satisfies(&f, trace, trace.start_time()).unwrap());
+
+    // Boolean and robustness semantics agree on the verdict.
+    let f = parse("F[0,100000] power > 50").unwrap();
+    let sat = satisfies(&f, trace, trace.start_time()).unwrap();
+    let rob = robustness(&f, trace, trace.start_time()).unwrap();
+    assert_eq!(sat, rob > 0.0);
+}
+
+#[test]
+fn templates_consume_simulator_metrics_and_events() {
+    let data = traced_run(1);
+    // Row 1 on a real metric.
+    let ipc = data.metric("ipc").unwrap();
+    assert!(Template::metric_threshold("ipc", CmpOp::Gt, ipc - 0.01)
+        .evaluate(&data)
+        .unwrap());
+    // Row 4 on a real event stream.
+    let t = Template::AvgCyclesPerEvent {
+        event: "tlb_miss".into(),
+        op: CmpOp::Gt,
+        threshold: 1.0,
+    };
+    assert!(t.evaluate(&data).unwrap());
+}
+
+#[test]
+fn smc_over_template_outcomes_converges() {
+    // Evaluate a property across simulator runs and feed the booleans
+    // to Algorithm 1; with a comfortably-true property this converges
+    // positive in few samples.
+    let spec = Benchmark::Blackscholes.workload_scaled(0.25);
+    let machine = Machine::new(SystemConfig::table2().with_trace(), &spec).unwrap();
+    let template = Template::metric_threshold("runtime", CmpOp::Gt, 0.0);
+    let engine = SmcEngine::new(0.9, 0.5).unwrap();
+    let outcomes = (0..).map(|seed| {
+        let data = machine.run(seed).unwrap().stl_data.expect("trace enabled");
+        template.evaluate(&data).unwrap()
+    });
+    let result = engine.run_sequential(outcomes).unwrap();
+    assert_eq!(
+        result.assertion,
+        spa::core::clopper_pearson::Assertion::Positive
+    );
+    assert_eq!(result.samples_used, 4); // 1 − 0.5^4 ≥ 0.9
+}
+
+#[test]
+fn trace_signals_are_well_formed() {
+    let data = traced_run(2);
+    let trace = data.trace();
+    for signal in ["power", "active_threads"] {
+        assert!(trace.has_signal(signal));
+        let samples = trace.samples(signal).unwrap();
+        assert!(!samples.is_empty());
+        // Strictly increasing times (the Trace invariant).
+        assert!(samples.windows(2).all(|w| w[0].time < w[1].time));
+    }
+    // Event streams are sorted.
+    for stream in ["tlb_miss", "l2_miss"] {
+        let events = data.events(stream).unwrap();
+        assert!(events.windows(2).all(|w| w[0] <= w[1]));
+    }
+}
