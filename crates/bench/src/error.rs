@@ -1,0 +1,84 @@
+use std::fmt;
+use std::path::PathBuf;
+
+use spa_sim::SimError;
+
+/// Error type for population generation and the on-disk cache.
+///
+/// Cache-side failures ([`Io`](PopulationError::Io) and
+/// [`Json`](PopulationError::Json)) always name the offending path, so a
+/// harness log line is enough to locate — and delete — a bad cache file.
+#[derive(Debug)]
+pub enum PopulationError {
+    /// Reading or writing a cache file failed.
+    Io {
+        /// The file being read or written.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// A cache file exists but cannot be used: truncated or corrupt
+    /// JSON, a cache-format version mismatch, or contents that answer a
+    /// different population request.
+    Json {
+        /// The unusable cache file.
+        path: PathBuf,
+        /// Why it was rejected.
+        detail: String,
+    },
+    /// The simulation itself failed (a workload or configuration bug);
+    /// the population cannot be produced at all.
+    Sim(SimError),
+}
+
+impl fmt::Display for PopulationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PopulationError::Io { path, source } => {
+                write!(f, "population cache I/O failed for `{}`: {source}", path.display())
+            }
+            PopulationError::Json { path, detail } => {
+                write!(f, "population cache file `{}` is unusable: {detail}", path.display())
+            }
+            PopulationError::Sim(e) => write!(f, "population simulation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PopulationError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PopulationError::Io { source, .. } => Some(source),
+            PopulationError::Sim(e) => Some(e),
+            PopulationError::Json { .. } => None,
+        }
+    }
+}
+
+impl From<SimError> for PopulationError {
+    fn from(e: SimError) -> Self {
+        PopulationError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_path() {
+        let e = PopulationError::Json {
+            path: PathBuf::from("/tmp/ferret.json"),
+            detail: "truncated".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("/tmp/ferret.json") && s.contains("truncated"));
+
+        let e = PopulationError::Io {
+            path: PathBuf::from("/tmp/x.json"),
+            source: std::io::Error::new(std::io::ErrorKind::PermissionDenied, "nope"),
+        };
+        assert!(e.to_string().contains("/tmp/x.json"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -23,6 +23,10 @@ pub mod population;
 pub mod report;
 pub mod trial;
 
+mod error;
+
+pub use error::PopulationError;
+
 /// Reads a positive integer environment override.
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)

@@ -1,10 +1,17 @@
-//! Simulation populations with a disk cache.
+//! Simulation populations with a crash-safe disk cache.
 //!
 //! Ground-truth populations (§5.3: 500 executions per benchmark) are
 //! expensive relative to the statistics, so they are generated once and
 //! cached as JSON under `target/spa-populations/`, keyed by benchmark,
 //! system variant, variability model, and population size. Delete the
 //! directory to force regeneration.
+//!
+//! The cache is hardened against the failure modes long benchmark
+//! campaigns actually hit: writes are atomic (temp file + rename, so a
+//! killed process never leaves a half-written file under the real name),
+//! every file carries a format version, and a truncated / corrupt /
+//! version-mismatched / wrong-key file is detected, reported, and
+//! regenerated instead of panicking.
 
 use std::fs;
 use std::path::PathBuf;
@@ -16,6 +23,8 @@ use spa_sim::metrics::{ExecutionMetrics, Metric};
 use spa_sim::runner::run_population_with;
 use spa_sim::variability::Variability;
 use spa_sim::workload::parsec::Benchmark;
+
+use crate::PopulationError;
 
 /// Which system the population was simulated on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -120,7 +129,9 @@ impl PopulationKey {
 fn cache_dir() -> PathBuf {
     // Keep the cache inside `target/` so `cargo clean` clears it.
     let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| {
-        let mut p = std::env::current_dir().expect("cwd");
+        // If even the cwd is unavailable, a relative `target` still
+        // works (or fails later with a path-naming cache error).
+        let mut p = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
         // Walk up to the WORKSPACE root: the outermost ancestor that
         // contains a Cargo.toml (crate dirs inside the workspace also
         // have one, so keep climbing while a parent qualifies).
@@ -154,20 +165,125 @@ impl Population {
     }
 }
 
+/// On-disk cache format version. Bump whenever [`Population`] or the
+/// envelope changes shape; old files are then regenerated, not
+/// misparsed.
+const CACHE_FORMAT_VERSION: u32 = 1;
+
+/// The versioned on-disk representation of a cached population.
+#[derive(Debug, Deserialize)]
+struct CacheEnvelope {
+    version: u32,
+    population: Population,
+}
+
+/// Borrowed counterpart of [`CacheEnvelope`] for writing.
+#[derive(Serialize)]
+struct CacheEnvelopeRef<'a> {
+    version: u32,
+    population: &'a Population,
+}
+
+/// Loads a cached population if a usable cache file exists.
+///
+/// Returns `Ok(None)` when no cache file exists (the ordinary cold
+/// path).
+///
+/// # Errors
+///
+/// [`PopulationError::Io`] if the file exists but cannot be read, and
+/// [`PopulationError::Json`] if it exists but is unusable — truncated or
+/// corrupt JSON, a version mismatch, or contents answering a different
+/// request. Both name the path; callers may delete the file and
+/// regenerate (which is exactly what [`try_population`] does).
+pub fn load_cached(key: PopulationKey) -> Result<Option<Population>, PopulationError> {
+    let path = key.cache_file();
+    let bytes = match fs::read(&path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(PopulationError::Io { path, source: e }),
+    };
+    let envelope: CacheEnvelope =
+        serde_json::from_slice(&bytes).map_err(|e| PopulationError::Json {
+            path: path.clone(),
+            detail: format!("truncated or corrupt JSON: {e}"),
+        })?;
+    if envelope.version != CACHE_FORMAT_VERSION {
+        return Err(PopulationError::Json {
+            path,
+            detail: format!(
+                "cache format version {} (this build expects {CACHE_FORMAT_VERSION})",
+                envelope.version
+            ),
+        });
+    }
+    let pop = envelope.population;
+    if pop.key != key || pop.runs.len() != key.count {
+        return Err(PopulationError::Json {
+            path,
+            detail: format!(
+                "contents answer a different request ({:?}, {} runs)",
+                pop.key,
+                pop.runs.len()
+            ),
+        });
+    }
+    Ok(Some(pop))
+}
+
+/// Writes the population to its cache file atomically: the JSON is
+/// written to a temp file in the same directory and renamed into place,
+/// so a crash mid-write can never leave a truncated file under the real
+/// name.
+///
+/// # Errors
+///
+/// [`PopulationError::Io`] naming the path that failed.
+pub fn store_cache(pop: &Population) -> Result<(), PopulationError> {
+    let path = pop.key.cache_file();
+    let dir = cache_dir();
+    fs::create_dir_all(&dir).map_err(|e| PopulationError::Io {
+        path: dir.clone(),
+        source: e,
+    })?;
+    let envelope = CacheEnvelopeRef {
+        version: CACHE_FORMAT_VERSION,
+        population: pop,
+    };
+    let bytes = serde_json::to_vec(&envelope).map_err(|e| PopulationError::Json {
+        path: path.clone(),
+        detail: format!("serialization failed: {e}"),
+    })?;
+    let tmp = path.with_extension(format!("json.tmp.{}", std::process::id()));
+    fs::write(&tmp, &bytes).map_err(|e| PopulationError::Io {
+        path: tmp.clone(),
+        source: e,
+    })?;
+    fs::rename(&tmp, &path).map_err(|e| {
+        let _ = fs::remove_file(&tmp);
+        PopulationError::Io { path: path.clone(), source: e }
+    })
+}
+
 /// Loads the population from cache or simulates (and caches) it.
 ///
-/// # Panics
+/// An unusable cache file (truncated, corrupt, wrong version, wrong
+/// contents) is reported on stderr and regenerated — it never aborts a
+/// campaign. Failure to *write* the cache afterwards is likewise only a
+/// warning: the population itself is still returned.
 ///
-/// Panics if the simulation itself fails (a workload bug) — harnesses
-/// treat that as fatal.
-pub fn population(key: PopulationKey) -> Population {
-    let path = key.cache_file();
-    if let Ok(bytes) = fs::read(&path) {
-        if let Ok(pop) = serde_json::from_slice::<Population>(&bytes) {
-            if pop.key == key && pop.runs.len() == key.count {
-                return pop;
-            }
+/// # Errors
+///
+/// [`PopulationError::Sim`] if the simulation itself fails (a workload
+/// or configuration bug).
+pub fn try_population(key: PopulationKey) -> Result<Population, PopulationError> {
+    match load_cached(key) {
+        Ok(Some(pop)) => return Ok(pop),
+        Ok(None) => {}
+        Err(e @ (PopulationError::Io { .. } | PopulationError::Json { .. })) => {
+            eprintln!("spa-bench: regenerating population: {e}");
         }
+        Err(e) => return Err(e),
     }
     let spec = key.benchmark.workload();
     let runs = run_population_with(
@@ -176,17 +292,28 @@ pub fn population(key: PopulationKey) -> Population {
         key.noise.variability(),
         key.seed_start,
         key.count as u64,
-    )
-    .expect("simulation failed");
+    )?;
     let pop = Population {
         key,
         runs: runs.into_iter().map(|r| r.metrics).collect(),
     };
-    let _ = fs::create_dir_all(cache_dir());
-    if let Ok(bytes) = serde_json::to_vec(&pop) {
-        let _ = fs::write(&path, bytes);
+    if let Err(e) = store_cache(&pop) {
+        eprintln!("spa-bench: population cache write failed (continuing uncached): {e}");
     }
-    pop
+    Ok(pop)
+}
+
+/// Loads the population from cache or simulates (and caches) it.
+///
+/// Convenience wrapper over [`try_population`] for the figure harnesses.
+///
+/// # Panics
+///
+/// Panics if the simulation itself fails (a workload bug) — harnesses
+/// treat that as fatal. Cache problems never panic; see
+/// [`try_population`].
+pub fn population(key: PopulationKey) -> Population {
+    try_population(key).unwrap_or_else(|e| panic!("population generation failed: {e}"))
 }
 
 /// The speedup population of §5.2: pair execution `i` of the base
@@ -266,6 +393,91 @@ mod tests {
             ],
         };
         assert_eq!(speedup_samples(&a, &b), vec![2.0, 1.5]);
+    }
+
+    fn tiny_key(seed_start: u64) -> PopulationKey {
+        PopulationKey {
+            benchmark: Benchmark::Blackscholes,
+            system: SystemVariant::Table2,
+            noise: NoiseModel::Paper,
+            count: 3,
+            seed_start,
+        }
+    }
+
+    #[test]
+    fn missing_cache_is_not_an_error() {
+        let key = tiny_key(9200);
+        let _ = std::fs::remove_file(key.cache_file());
+        assert!(matches!(load_cached(key), Ok(None)));
+    }
+
+    #[test]
+    fn corrupt_cache_is_detected_and_regenerated() {
+        let key = tiny_key(9300);
+        let path = key.cache_file();
+        let _ = fs::create_dir_all(cache_dir());
+        // A truncated file — the classic kill-during-write artifact of
+        // the old non-atomic cache.
+        fs::write(&path, br#"{"version":1,"population":{"key"#).unwrap();
+        let err = load_cached(key).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("corrupt"), "{msg}");
+        assert!(msg.contains(path.file_name().unwrap().to_str().unwrap()), "{msg}");
+        // try_population recovers: regenerates and leaves a good file.
+        let pop = try_population(key).unwrap();
+        assert_eq!(pop.runs.len(), 3);
+        assert!(matches!(load_cached(key), Ok(Some(_))));
+    }
+
+    #[test]
+    fn version_mismatch_is_detected() {
+        let key = tiny_key(9400);
+        let pop = try_population(key).unwrap();
+        // Rewrite the valid file under a future version number.
+        let json = serde_json::to_string(&CacheEnvelopeRef {
+            version: CACHE_FORMAT_VERSION + 1,
+            population: &pop,
+        })
+        .unwrap();
+        fs::write(key.cache_file(), json).unwrap();
+        let err = load_cached(key).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+        // And the panicking wrapper still serves the population.
+        assert_eq!(population(key).runs.len(), 3);
+    }
+
+    #[test]
+    fn wrong_contents_are_detected() {
+        let a = tiny_key(9500);
+        let b = tiny_key(9600);
+        let pop_a = try_population(a).unwrap();
+        // Store population A under B's file name.
+        let json = serde_json::to_string(&CacheEnvelopeRef {
+            version: CACHE_FORMAT_VERSION,
+            population: &pop_a,
+        })
+        .unwrap();
+        let _ = fs::create_dir_all(cache_dir());
+        fs::write(b.cache_file(), json).unwrap();
+        let err = load_cached(b).unwrap_err();
+        assert!(err.to_string().contains("different request"), "{err}");
+        let pop_b = try_population(b).unwrap();
+        assert_eq!(pop_b.key, b);
+    }
+
+    #[test]
+    fn store_leaves_no_temp_files() {
+        let key = tiny_key(9700);
+        let _ = std::fs::remove_file(key.cache_file());
+        let pop = try_population(key).unwrap();
+        store_cache(&pop).unwrap();
+        // Only this key's temp name — other tests may be mid-write.
+        let tmp = key
+            .cache_file()
+            .with_extension(format!("json.tmp.{}", std::process::id()));
+        assert!(!tmp.exists(), "temp file left behind: {}", tmp.display());
+        assert!(key.cache_file().exists());
     }
 
     #[test]

@@ -55,7 +55,9 @@ pub fn bars(items: &[(String, f64)], width: usize, unit: &str) {
 /// Directory for JSON results (inside `target/`).
 fn results_dir() -> PathBuf {
     let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| {
-        let mut p = std::env::current_dir().expect("cwd");
+        // If even the cwd is unavailable, fall back to a relative
+        // `target`; write_json already degrades to a warning on failure.
+        let mut p = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
         // Walk up to the WORKSPACE root: the outermost ancestor that
         // contains a Cargo.toml (crate dirs inside the workspace also
         // have one, so keep climbing while a parent qualifies).

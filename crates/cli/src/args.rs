@@ -1,6 +1,7 @@
 //! Hand-rolled argument parsing (no external dependencies).
 
 use spa_core::property::Direction;
+use spa_sim::fault::FaultSpec;
 use spa_sim::workload::parsec::Benchmark;
 
 use crate::{CliError, Result};
@@ -98,6 +99,12 @@ pub enum Command {
         threads: usize,
         /// Output CSV path (stdout when `None`).
         out: Option<String>,
+        /// Extra attempts per seed after a failed execution.
+        retries: u32,
+        /// Soft per-execution time budget in seconds.
+        timeout: Option<f64>,
+        /// Injected-fault probabilities (all zero by default).
+        fault: FaultSpec,
     },
     /// Print usage.
     Help,
@@ -130,6 +137,35 @@ fn parse_direction(v: &str) -> Result<Direction> {
             "unknown direction `{other}` (use at-most or at-least)"
         ))),
     }
+}
+
+fn parse_fault(v: &str) -> Result<FaultSpec> {
+    let mut spec = FaultSpec::none();
+    for part in v.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let Some((key, prob)) = part.split_once('=') else {
+            return Err(CliError::Usage(format!(
+                "--fault: `{part}` is not of the form kind=probability"
+            )));
+        };
+        let p = parse_f64("--fault", prob)?;
+        match key {
+            "crash" => spec.crash_prob = p,
+            "timeout" => spec.timeout_prob = p,
+            "nan" => spec.nan_prob = p,
+            other => {
+                return Err(CliError::Usage(format!(
+                    "--fault: unknown fault kind `{other}` (use crash, timeout, or nan)"
+                )))
+            }
+        }
+    }
+    spec.validate()
+        .map_err(|e| CliError::Usage(format!("--fault: {e}")))?;
+    Ok(spec)
 }
 
 fn parse_noise(v: &str) -> Result<NoiseArg> {
@@ -174,6 +210,9 @@ pub fn parse(argv: &[String]) -> Result<Command> {
     let mut noise = NoiseArg::Paper;
     let mut threads = 4usize;
     let mut out: Option<String> = None;
+    let mut retries = 2u32;
+    let mut timeout: Option<f64> = None;
+    let mut fault = FaultSpec::none();
 
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -212,6 +251,22 @@ pub fn parse(argv: &[String]) -> Result<Command> {
                 threads = parse_u64(arg, parse_flag_value(arg, &mut it)?)?.max(1) as usize;
             }
             "--out" | "-o" => out = Some(parse_flag_value(arg, &mut it)?.to_owned()),
+            "--retries" => {
+                retries = u32::try_from(parse_u64(arg, parse_flag_value(arg, &mut it)?)?)
+                    .map_err(|_| {
+                        CliError::Usage("flag --retries: value is too large".into())
+                    })?;
+            }
+            "--timeout" => {
+                let secs = parse_f64(arg, parse_flag_value(arg, &mut it)?)?;
+                if !(secs.is_finite() && secs > 0.0) {
+                    return Err(CliError::Usage(format!(
+                        "flag --timeout: `{secs}` is not a positive number of seconds"
+                    )));
+                }
+                timeout = Some(secs);
+            }
+            "--fault" => fault = parse_fault(parse_flag_value(arg, &mut it)?)?,
             other if other.starts_with('-') => {
                 return Err(CliError::Usage(format!("unknown flag `{other}`")));
             }
@@ -272,6 +327,9 @@ pub fn parse(argv: &[String]) -> Result<Command> {
             noise,
             threads,
             out,
+            retries,
+            timeout,
+            fault,
         }),
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(CliError::Usage(format!("unknown command `{other}`"))),
@@ -363,6 +421,9 @@ mod tests {
                 noise,
                 threads,
                 out,
+                retries,
+                timeout,
+                fault,
             } => {
                 assert_eq!(benchmark, Benchmark::Ferret);
                 assert_eq!(runs, 10);
@@ -371,9 +432,55 @@ mod tests {
                 assert_eq!(noise, NoiseArg::Jitter(4));
                 assert_eq!(threads, 2);
                 assert_eq!(out.as_deref(), Some("x.csv"));
+                assert_eq!(retries, 2);
+                assert_eq!(timeout, None);
+                assert!(fault.is_none());
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn simulate_fault_tolerance_flags() {
+        let c = parse(&argv(
+            "simulate -b ferret --retries 5 --timeout 2.5 --fault crash=0.1,timeout=0.05,nan=0.02",
+        ))
+        .unwrap();
+        match c {
+            Command::Simulate {
+                retries,
+                timeout,
+                fault,
+                ..
+            } => {
+                assert_eq!(retries, 5);
+                assert_eq!(timeout, Some(2.5));
+                assert_eq!(fault.crash_prob, 0.1);
+                assert_eq!(fault.timeout_prob, 0.05);
+                assert_eq!(fault.nan_prob, 0.02);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_flag_rejects_bad_forms() {
+        assert!(parse(&argv("simulate -b ferret --fault crash")).is_err());
+        assert!(parse(&argv("simulate -b ferret --fault crash=oops")).is_err());
+        assert!(parse(&argv("simulate -b ferret --fault magic=0.1")).is_err());
+        assert!(parse(&argv("simulate -b ferret --fault crash=1.5")).is_err());
+        assert!(parse(&argv("simulate -b ferret --fault crash=0.6,nan=0.6")).is_err());
+        assert!(parse(&argv("simulate -b ferret --timeout 0")).is_err());
+        assert!(parse(&argv("simulate -b ferret --timeout -1")).is_err());
+        assert!(parse(&argv("simulate -b ferret --retries nope")).is_err());
+    }
+
+    #[test]
+    fn fault_flag_single_kind() {
+        let spec = parse_fault("crash=0.25").unwrap();
+        assert_eq!(spec.crash_prob, 0.25);
+        assert_eq!(spec.timeout_prob, 0.0);
+        assert_eq!(spec.nan_prob, 0.0);
     }
 
     #[test]

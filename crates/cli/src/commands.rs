@@ -1,6 +1,8 @@
 //! Command execution: each command renders its result to a `String`.
 
 use std::fmt::Write as _;
+use std::panic::AssertUnwindSafe;
+use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -9,16 +11,19 @@ use spa_baselines::bootstrap::bca_ci;
 use spa_baselines::rank::rank_ci_normal;
 use spa_baselines::zscore::z_ci;
 use spa_core::clopper_pearson::Assertion;
+use spa_core::fault::{derive_retry_seed, FailureCounts, SampleError};
 use spa_core::min_samples::{min_samples, n_negative, n_positive};
 use spa_core::property::MetricProperty;
 use spa_core::spa::Spa;
 use spa_sim::config::SystemConfig;
+use spa_sim::fault::{FaultKind, FaultSpec};
 use spa_sim::machine::Machine;
-use spa_sim::metrics::Metric;
+use spa_sim::metrics::{ExecutionMetrics, Metric};
 use spa_sim::variability::Variability;
+use spa_sim::workload::parsec::Benchmark;
 
 use crate::args::{Command, NoiseArg, StatOpts};
-use crate::data::read_column;
+use crate::data::{read_column, read_column_counted};
 use crate::{CliError, Result, USAGE};
 
 /// Executes a parsed command, returning the text to print.
@@ -59,8 +64,36 @@ pub fn execute(command: Command) -> Result<String> {
             noise,
             threads,
             out,
-        } => simulate(benchmark, runs, seed_start, l2_kib, noise, threads, out),
+            retries,
+            timeout,
+            fault,
+        } => simulate(&SimulateOpts {
+            benchmark,
+            runs,
+            seed_start,
+            l2_kib,
+            noise,
+            threads,
+            out,
+            retries,
+            timeout,
+            fault,
+        }),
     }
+}
+
+/// Bundled `simulate` parameters (mirrors [`Command::Simulate`]).
+struct SimulateOpts {
+    benchmark: Benchmark,
+    runs: u64,
+    seed_start: u64,
+    l2_kib: u64,
+    noise: NoiseArg,
+    threads: usize,
+    out: Option<String>,
+    retries: u32,
+    timeout: Option<f64>,
+    fault: FaultSpec,
 }
 
 fn spa_for(stat: &StatOpts) -> Result<Spa> {
@@ -84,7 +117,7 @@ fn min_samples_text(stat: &StatOpts) -> Result<String> {
 }
 
 fn analyze(file: &str, column: usize, stat: &StatOpts, all_methods: bool) -> Result<String> {
-    let samples = read_column(file, column)?;
+    let (samples, skipped) = read_column_counted(file, column)?;
     let spa = spa_for(stat)?;
     let needed = spa.required_samples();
     if (samples.len() as u64) < needed {
@@ -99,8 +132,13 @@ fn analyze(file: &str, column: usize, stat: &StatOpts, all_methods: bool) -> Res
     let mut out = String::new();
     writeln!(
         out,
-        "{} samples from {file} (column {column})",
-        samples.len()
+        "{} samples from {file} (column {column}){}",
+        samples.len(),
+        if skipped > 0 {
+            format!(", skipped {skipped} non-numeric rows")
+        } else {
+            String::new()
+        }
     )
     .expect("write to string");
     writeln!(
@@ -207,43 +245,102 @@ fn sweep(
     Ok(out)
 }
 
-fn simulate(
-    benchmark: spa_sim::workload::parsec::Benchmark,
-    runs: u64,
-    seed_start: u64,
-    l2_kib: u64,
-    noise: NoiseArg,
-    threads: usize,
-    out_path: Option<String>,
-) -> Result<String> {
-    let config = SystemConfig::table2().with_l2_capacity(l2_kib * 1024);
-    let variability = match noise {
+/// One execution attempt: rolls the injected-fault spec for `seed`, then
+/// runs the simulator behind a panic guard and classifies the outcome.
+///
+/// The timeout is *soft*: the attempt runs to completion and is discarded
+/// afterwards if it exceeded its budget (an in-process simulator cannot
+/// be preempted safely).
+fn run_attempt(
+    machine: &Machine,
+    seed: u64,
+    fault: &FaultSpec,
+    timeout: Option<Duration>,
+) -> std::result::Result<ExecutionMetrics, SampleError> {
+    if let Some(kind) = fault.roll(seed) {
+        return Err(match kind {
+            FaultKind::Crash => SampleError::Crash {
+                message: format!("injected crash (seed {seed})"),
+            },
+            FaultKind::Timeout => SampleError::Timeout,
+            FaultKind::NanMetric => SampleError::InvalidMetric { value: f64::NAN },
+        });
+    }
+    let start = Instant::now();
+    let run = match std::panic::catch_unwind(AssertUnwindSafe(|| machine.run(seed))) {
+        Ok(Ok(run)) => run,
+        Ok(Err(e)) => {
+            return Err(SampleError::Crash {
+                message: e.to_string(),
+            })
+        }
+        Err(_) => {
+            return Err(SampleError::Crash {
+                message: "simulator panicked".into(),
+            })
+        }
+    };
+    if let Some(budget) = timeout {
+        if start.elapsed() > budget {
+            return Err(SampleError::Timeout);
+        }
+    }
+    Ok(run.metrics)
+}
+
+fn simulate(opts: &SimulateOpts) -> Result<String> {
+    let config = SystemConfig::table2().with_l2_capacity(opts.l2_kib * 1024);
+    let variability = match opts.noise {
         NoiseArg::Paper => Variability::paper_default(),
         NoiseArg::Jitter(0) => Variability::None,
         NoiseArg::Jitter(n) => Variability::DramJitter { max_cycles: n },
         NoiseArg::RealMachine => Variability::real_machine(),
     };
+    let benchmark = opts.benchmark;
+    let runs = opts.runs;
     let spec = benchmark.workload();
     let machine = Machine::new(config, &spec)?.with_variability(variability);
+    let timeout = opts.timeout.map(Duration::from_secs_f64);
 
     // Fan seeds out over worker threads with a crossbeam channel; the
-    // receiver reassembles results in seed order.
+    // receiver reassembles results in seed order. Each seed gets
+    // 1 + retries attempts; attempt k re-runs with a derived seed so a
+    // deterministic fault does not simply repeat.
     let (seed_tx, seed_rx) = crossbeam::channel::unbounded::<u64>();
-    let (res_tx, res_rx) = crossbeam::channel::unbounded();
-    for seed in seed_start..seed_start + runs {
+    let (res_tx, res_rx) =
+        crossbeam::channel::unbounded::<(u64, Option<ExecutionMetrics>, FailureCounts)>();
+    for seed in opts.seed_start..opts.seed_start + runs {
         seed_tx.send(seed).expect("receiver alive");
     }
     drop(seed_tx);
 
     std::thread::scope(|scope| {
-        for _ in 0..threads.min(runs as usize).max(1) {
+        for _ in 0..opts.threads.min(runs as usize).max(1) {
             let seed_rx = seed_rx.clone();
             let res_tx = res_tx.clone();
             let machine = &machine;
+            let fault = &opts.fault;
             scope.spawn(move || {
                 while let Ok(seed) = seed_rx.recv() {
-                    let result = machine.run(seed).map(|r| (seed, r.metrics));
-                    if res_tx.send(result).is_err() {
+                    let mut counts = FailureCounts::default();
+                    let mut metrics = None;
+                    for attempt in 0..=opts.retries {
+                        if attempt > 0 {
+                            counts.retries += 1;
+                        }
+                        let derived = derive_retry_seed(seed, attempt);
+                        match run_attempt(machine, derived, fault, timeout) {
+                            Ok(m) => {
+                                metrics = Some(m);
+                                break;
+                            }
+                            Err(e) => counts.record(&e),
+                        }
+                    }
+                    if metrics.is_none() {
+                        counts.abandoned_seeds += 1;
+                    }
+                    if res_tx.send((seed, metrics, counts)).is_err() {
                         break;
                     }
                 }
@@ -252,11 +349,21 @@ fn simulate(
     });
     drop(res_tx);
 
-    let mut rows: Vec<(u64, spa_sim::metrics::ExecutionMetrics)> = Vec::new();
-    for result in res_rx {
-        rows.push(result?);
+    let mut failures = FailureCounts::default();
+    let mut rows: Vec<(u64, ExecutionMetrics)> = Vec::new();
+    for (seed, metrics, counts) in res_rx {
+        failures.merge(&counts);
+        if let Some(m) = metrics {
+            rows.push((seed, m));
+        }
     }
     rows.sort_by_key(|&(seed, _)| seed);
+
+    if rows.is_empty() && runs > 0 {
+        return Err(CliError::Input(format!(
+            "all {runs} executions of {benchmark} failed ({failures})"
+        )));
+    }
 
     let mut csv = String::new();
     write!(csv, "seed").expect("write to string");
@@ -272,15 +379,25 @@ fn simulate(
         writeln!(csv).expect("write to string");
     }
 
-    match out_path {
+    match &opts.out {
         Some(path) => {
-            std::fs::write(&path, &csv)?;
-            Ok(format!(
+            std::fs::write(path, &csv).map_err(|source| CliError::File {
+                path: path.clone(),
+                source,
+            })?;
+            let mut msg = format!(
                 "wrote {} executions of {benchmark} to {path}\n",
                 rows.len()
-            ))
+            );
+            if !failures.is_clean() {
+                writeln!(msg, "failures: {failures}").expect("write to string");
+            }
+            Ok(msg)
         }
-        None => Ok(csv),
+        // Failure counts ride along as a `#` comment so the CSV stays
+        // parseable; clean runs emit byte-identical output to before.
+        None if failures.is_clean() => Ok(csv),
+        None => Ok(format!("# failures: {failures}\n{csv}")),
     }
 }
 
@@ -412,6 +529,98 @@ mod tests {
         .unwrap();
         assert!(out.starts_with("seed,runtime,"));
         assert_eq!(out.lines().count(), 3);
+    }
+
+    #[test]
+    fn simulate_certain_faults_are_an_error() {
+        let err = execute(
+            parse(&argv(
+                "simulate -b blackscholes -n 3 --noise jitter:0 --retries 0 --fault crash=1.0",
+            ))
+            .unwrap(),
+        )
+        .unwrap_err();
+        let s = err.to_string();
+        assert!(s.contains("all 3 executions"), "{s}");
+        assert!(s.contains("crash=3"), "{s}");
+
+        let err = execute(
+            parse(&argv(
+                "simulate -b blackscholes -n 2 --noise jitter:0 --retries 0 --fault nan=1.0",
+            ))
+            .unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("invalid=2"), "{err}");
+    }
+
+    #[test]
+    fn simulate_soft_timeout_discards_slow_runs() {
+        // A 1 ns budget is always exceeded; every attempt is classified
+        // as a timeout and the whole batch fails.
+        let err = execute(
+            parse(&argv(
+                "simulate -b blackscholes -n 2 --noise jitter:0 --retries 0 --timeout 1e-9",
+            ))
+            .unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("timeout=2"), "{err}");
+    }
+
+    #[test]
+    fn simulate_partial_faults_comment_the_csv() {
+        // Deterministic per-seed rolls at p = 0.5 over 40 seeds: some
+        // fail, some survive, and the stdout CSV gains a `#` comment.
+        let out = execute(
+            parse(&argv(
+                "simulate -b blackscholes -n 40 --noise jitter:0 --retries 0 --fault crash=0.5",
+            ))
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(out.starts_with("# failures: "), "{out}");
+        assert!(out.contains("abandoned="), "{out}");
+        // The comment keeps the output parseable as measurement data.
+        let values = crate::data::parse_column(&out, 1).unwrap();
+        assert!(!values.is_empty() && values.len() < 40, "{}", values.len());
+    }
+
+    #[test]
+    fn simulate_retries_recover_failed_seeds() {
+        let path = std::env::temp_dir().join("spa_cli_test_retry.csv");
+        let _ = std::fs::remove_file(&path);
+        // Each retry re-rolls with a derived seed, so 20 retries recover
+        // every seed from p = 0.5 crashes while still logging failures.
+        let out = execute(
+            parse(&argv(&format!(
+                "simulate -b blackscholes -n 40 --noise jitter:0 --retries 20 --fault crash=0.5 -o {}",
+                path.display()
+            )))
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("wrote 40 executions"), "{out}");
+        assert!(out.contains("failures: "), "{out}");
+        assert!(out.contains("retries="), "{out}");
+        let csv = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(csv.lines().count(), 41);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn analyze_reports_skipped_rows() {
+        let file = temp_file(
+            "spa_cli_test_skipped.txt",
+            &format!(
+                "value\n{}",
+                (0..30)
+                    .map(|i| format!("{}\n", 1.0 + 0.01 * f64::from(i)))
+                    .collect::<String>()
+            ),
+        );
+        let out = execute(parse(&argv(&format!("analyze {file} -f 0.5"))).unwrap()).unwrap();
+        assert!(out.contains("skipped 1 non-numeric rows"), "{out}");
     }
 
     #[test]

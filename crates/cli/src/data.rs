@@ -3,19 +3,22 @@
 
 use crate::{CliError, Result};
 
-/// Parses column `column` (0-based) from text content.
+/// Parses column `column` (0-based) from text content, also counting how
+/// many data rows were skipped as non-numeric.
 ///
 /// Fields may be separated by whitespace or commas. Lines beginning with
-/// `#` are comments; lines whose selected field is not numeric are
-/// skipped (headers), but a file yielding no numbers at all is an error.
+/// `#` are comments; lines whose selected field is missing or not
+/// numeric are skipped (headers, truncated rows) and counted, but a file
+/// yielding no numbers at all is an error.
 ///
 /// # Errors
 ///
 /// Returns [`CliError::Input`] when no numeric values are found or when
 /// a NaN/infinite value appears.
-pub fn parse_column(content: &str, column: usize) -> Result<Vec<f64>> {
+pub fn parse_column_counted(content: &str, column: usize) -> Result<(Vec<f64>, usize)> {
     let mut values = Vec::new();
     let mut saw_rows = false;
+    let mut skipped = 0usize;
     for line in content.lines() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
@@ -26,7 +29,10 @@ pub fn parse_column(content: &str, column: usize) -> Result<Vec<f64>> {
             .split(|c: char| c == ',' || c.is_whitespace())
             .filter(|f| !f.is_empty())
             .nth(column);
-        let Some(field) = field else { continue };
+        let Some(field) = field else {
+            skipped += 1;
+            continue;
+        };
         if let Ok(v) = field.parse::<f64>() {
             if !v.is_finite() {
                 return Err(CliError::Input(format!(
@@ -34,6 +40,8 @@ pub fn parse_column(content: &str, column: usize) -> Result<Vec<f64>> {
                 )));
             }
             values.push(v);
+        } else {
+            skipped += 1;
         }
     }
     if values.is_empty() {
@@ -43,17 +51,40 @@ pub fn parse_column(content: &str, column: usize) -> Result<Vec<f64>> {
             "input file is empty".into()
         }));
     }
-    Ok(values)
+    Ok((values, skipped))
+}
+
+/// Parses column `column` (0-based) from text content. See
+/// [`parse_column_counted`] for the skipping rules.
+///
+/// # Errors
+///
+/// Same as [`parse_column_counted`].
+pub fn parse_column(content: &str, column: usize) -> Result<Vec<f64>> {
+    parse_column_counted(content, column).map(|(values, _)| values)
+}
+
+/// Reads and parses a file, also counting skipped non-numeric rows.
+///
+/// # Errors
+///
+/// Returns [`CliError::File`] naming `path` when it cannot be read, and
+/// [`parse_column_counted`] errors otherwise.
+pub fn read_column_counted(path: &str, column: usize) -> Result<(Vec<f64>, usize)> {
+    let content = std::fs::read_to_string(path).map_err(|source| CliError::File {
+        path: path.to_owned(),
+        source,
+    })?;
+    parse_column_counted(&content, column)
 }
 
 /// Reads and parses a file.
 ///
 /// # Errors
 ///
-/// Propagates I/O failures and [`parse_column`] errors.
+/// Same as [`read_column_counted`].
 pub fn read_column(path: &str, column: usize) -> Result<Vec<f64>> {
-    let content = std::fs::read_to_string(path)?;
-    parse_column(&content, column)
+    read_column_counted(path, column).map(|(values, _)| values)
 }
 
 #[cfg(test)]
@@ -95,7 +126,22 @@ mod tests {
     }
 
     #[test]
-    fn missing_file_errors() {
-        assert!(read_column("/nonexistent/definitely-missing.txt", 0).is_err());
+    fn missing_file_errors_name_the_path() {
+        let err = read_column("/nonexistent/definitely-missing.txt", 0).unwrap_err();
+        assert!(matches!(err, CliError::File { .. }), "{err:?}");
+        assert!(err.to_string().contains("definitely-missing.txt"), "{err}");
+    }
+
+    #[test]
+    fn skipped_rows_are_counted() {
+        let content = "# comment\nseed,runtime\n0,1.5\n1\n2,oops\n3,1.7\n";
+        let (xs, skipped) = parse_column_counted(content, 1).unwrap();
+        assert_eq!(xs, vec![1.5, 1.7]);
+        // header + short row + non-numeric field; the comment is free.
+        assert_eq!(skipped, 3);
+
+        let (clean, none) = parse_column_counted("1.0\n2.0\n", 0).unwrap();
+        assert_eq!(clean, vec![1.0, 2.0]);
+        assert_eq!(none, 0);
     }
 }

@@ -7,6 +7,14 @@ pub enum CliError {
     Usage(String),
     /// An input file could not be read or contained no usable data.
     Input(String),
+    /// Reading or writing a specific file failed; names the path so the
+    /// user knows which of their arguments is broken.
+    File {
+        /// The offending path.
+        path: String,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
     /// A statistical computation failed.
     Core(spa_core::CoreError),
     /// A baseline method failed (reported, not fatal, unless it was the
@@ -23,6 +31,9 @@ impl fmt::Display for CliError {
         match self {
             CliError::Usage(msg) => write!(f, "usage error: {msg}"),
             CliError::Input(msg) => write!(f, "input error: {msg}"),
+            CliError::File { path, source } => {
+                write!(f, "cannot access `{path}`: {source}")
+            }
             CliError::Core(e) => write!(f, "analysis error: {e}"),
             CliError::Baseline(e) => write!(f, "baseline error: {e}"),
             CliError::Sim(e) => write!(f, "simulation error: {e}"),
@@ -38,6 +49,7 @@ impl std::error::Error for CliError {
             CliError::Baseline(e) => Some(e),
             CliError::Sim(e) => Some(e),
             CliError::Io(e) => Some(e),
+            CliError::File { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -78,5 +90,12 @@ mod tests {
         let io = CliError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
         assert!(io.to_string().contains("gone"));
         assert!(std::error::Error::source(&io).is_some());
+        let file = CliError::File {
+            path: "runs.csv".into(),
+            source: std::io::Error::new(std::io::ErrorKind::NotFound, "missing"),
+        };
+        let s = file.to_string();
+        assert!(s.contains("runs.csv") && s.contains("missing"), "{s}");
+        assert!(std::error::Error::source(&file).is_some());
     }
 }

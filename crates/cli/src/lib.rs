@@ -57,10 +57,15 @@ USAGE:
   spa min-samples [--confidence C] [--proportion F]
   spa simulate --benchmark NAME [--runs N] [--seed-start S]
               [--l2-kb KB] [--noise paper|jitter:N|real-machine]
-              [--threads N] [--out FILE]
+              [--threads N] [--out FILE] [--retries N] [--timeout SECS]
+              [--fault crash=P,timeout=P,nan=P]
   spa help
 
 Defaults: --confidence 0.9 --proportion 0.9 --direction at-most --column 0.
+Simulate retries failed executions up to --retries extra times (default
+2), discards runs exceeding the soft --timeout budget, and can inject
+faults with --fault for robustness experiments; failure counts are
+reported alongside the CSV.
 Input files hold one or more whitespace/comma-separated numbers per
 line; lines starting with '#' and non-numeric header lines are skipped.
 Benchmarks: ferret blackscholes bodytrack canneal dedup facesim

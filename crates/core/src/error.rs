@@ -25,6 +25,15 @@ pub enum CoreError {
         /// Samples actually provided.
         got: u64,
     },
+    /// Fault-tolerant sampling exhausted every retry budget without
+    /// collecting a single usable sample, so no statistical statement —
+    /// however degraded — can be made.
+    SamplingFailed {
+        /// Executions requested.
+        requested: u64,
+        /// Usable samples collected.
+        collected: u64,
+    },
     /// An underlying numerical computation failed.
     Stats(StatsError),
     /// A property evaluation failed (e.g. an STL template referenced a
@@ -44,6 +53,14 @@ impl fmt::Display for CoreError {
             CoreError::TooFewSamples { needed, got } => write!(
                 f,
                 "SMC needs at least {needed} samples to converge but only {got} were provided"
+            ),
+            CoreError::SamplingFailed {
+                requested,
+                collected,
+            } => write!(
+                f,
+                "sampling failed: {collected} of {requested} requested executions \
+                 produced a usable sample after exhausting retries"
             ),
             CoreError::Stats(e) => write!(f, "numerical error: {e}"),
             CoreError::Property(msg) => write!(f, "property evaluation failed: {msg}"),

@@ -1,0 +1,460 @@
+//! Fault-tolerant sampling: fallible samplers, retry policies, and the
+//! bookkeeping SPA needs to stay statistically honest when executions
+//! fail.
+//!
+//! The paper's guarantees (§4.2–4.3) assume every requested execution
+//! returns a metric, but real sampling substrates — simulator farms,
+//! bare-metal runs, or `spa-sim` under fault injection — crash, hang,
+//! and emit garbage. This module supplies the pieces the
+//! [`Spa`](crate::spa::Spa) driver composes into a fault-tolerant
+//! pipeline:
+//!
+//! * [`SampleError`] — the three ways one execution can fail
+//!   (crash, timeout, non-finite metric),
+//! * [`FallibleSampler`] — a [`Sampler`](crate::spa::Sampler) that may
+//!   report failure instead of panicking or returning NaN,
+//! * [`RetryPolicy`] — bounded retries with deterministic per-attempt
+//!   seed derivation ([`derive_retry_seed`]) so populations remain
+//!   replicable from `(config, seed)`, plus optional exponential
+//!   backoff with deterministic jitter for external samplers,
+//! * [`FailureCounts`] — per-kind failure accounting carried through to
+//!   [`SpaReport`](crate::spa::SpaReport),
+//! * [`SampleBatch`] — the outcome of a fault-tolerant collection pass.
+//!
+//! The statistically principled part — recomputing the *achieved*
+//! confidence when fewer samples arrive than Eq. 8 requires — lives in
+//! [`min_samples::achievable_confidence`](crate::min_samples::achievable_confidence)
+//! and is applied by [`Spa::run_fallible`](crate::spa::Spa::run_fallible).
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::spa::Sampler;
+
+/// Why one sample execution failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SampleError {
+    /// The sampler crashed: a dead worker process, a simulator error, or
+    /// a panic caught by the driver's isolation layer.
+    Crash {
+        /// Human-readable description of the crash.
+        message: String,
+    },
+    /// The execution exceeded its time budget (either reported by the
+    /// sampler itself or detected by the driver's soft timeout).
+    Timeout,
+    /// The sampler returned a non-finite metric (NaN or ±∞); admitting
+    /// it would poison every downstream statistic.
+    InvalidMetric {
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for SampleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SampleError::Crash { message } => write!(f, "sampler crashed: {message}"),
+            SampleError::Timeout => write!(f, "sampler timed out"),
+            SampleError::InvalidMetric { value } => {
+                write!(f, "sampler returned non-finite metric {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SampleError {}
+
+/// A source of sample executions that can fail.
+///
+/// Like [`Sampler`](crate::spa::Sampler), implementations are typically
+/// simulator adapters; unlike it, they report crashes, timeouts, and
+/// garbage metrics as values instead of panicking. The SPA driver calls
+/// implementations from multiple threads, hence `Sync`, and additionally
+/// wraps every call in `catch_unwind`, so even a panicking
+/// implementation cannot take the batch loop down.
+pub trait FallibleSampler: Sync {
+    /// Runs one execution identified by `seed` and returns the metric of
+    /// interest, or how the execution failed.
+    fn sample(&self, seed: u64) -> std::result::Result<f64, SampleError>;
+}
+
+impl<F> FallibleSampler for F
+where
+    F: Fn(u64) -> std::result::Result<f64, SampleError> + Sync,
+{
+    fn sample(&self, seed: u64) -> std::result::Result<f64, SampleError> {
+        self(seed)
+    }
+}
+
+/// Adapts an infallible [`Sampler`] into a [`FallibleSampler`].
+///
+/// The adapter never reports `Crash` or `Timeout` itself (the driver's
+/// panic isolation and soft timeout still apply), but it does convert
+/// non-finite return values into [`SampleError::InvalidMetric`].
+#[derive(Debug, Clone, Copy)]
+pub struct Reliable<S>(pub S);
+
+impl<S: Sampler> FallibleSampler for Reliable<S> {
+    fn sample(&self, seed: u64) -> std::result::Result<f64, SampleError> {
+        let value = self.0.sample(seed);
+        if value.is_finite() {
+            Ok(value)
+        } else {
+            Err(SampleError::InvalidMetric { value })
+        }
+    }
+}
+
+/// Deterministically derives the execution seed for retry `attempt` of
+/// base seed `seed`.
+///
+/// Attempt 0 is the original seed, so a population collected without
+/// failures is byte-identical to one collected through the infallible
+/// path. Retries (`attempt ≥ 1`) mix `(seed, attempt)` through a
+/// SplitMix64-style finalizer; the mixing is a bijection for each fixed
+/// `attempt`, so distinct attempts of one seed can never collide with
+/// each other, and the whole population stays replicable from
+/// `(config, seed)` alone — no wall-clock or thread-schedule dependence.
+///
+/// # Examples
+///
+/// ```
+/// use spa_core::fault::derive_retry_seed;
+/// assert_eq!(derive_retry_seed(42, 0), 42);
+/// assert_eq!(derive_retry_seed(42, 3), derive_retry_seed(42, 3));
+/// assert_ne!(derive_retry_seed(42, 1), derive_retry_seed(42, 2));
+/// ```
+pub fn derive_retry_seed(seed: u64, attempt: u32) -> u64 {
+    if attempt == 0 {
+        return seed;
+    }
+    let mut z = seed ^ (attempt as u64).wrapping_mul(0xA076_1D64_78BD_642F);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z ^= z >> 30;
+    z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^= z >> 27;
+    z = z.wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    z
+}
+
+/// How the driver retries failed executions.
+///
+/// A policy bounds the attempts per seed, optionally spaces retries with
+/// exponential backoff (for external samplers whose failures are often
+/// transient load), and optionally imposes a soft per-execution timeout.
+/// Backoff jitter is derived deterministically from `(seed, attempt)`,
+/// never from wall-clock entropy, so two runs of the same configuration
+/// sleep identically.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use spa_core::fault::RetryPolicy;
+///
+/// // In-process sampler: 3 attempts, no delay.
+/// let quick = RetryPolicy::new(3);
+/// assert_eq!(quick.max_attempts(), 3);
+/// assert!(quick.backoff_delay(7, 2).is_zero());
+///
+/// // External sampler: backoff 10ms, 20ms, 40ms … capped at 1s.
+/// let farm = RetryPolicy::new(5)
+///     .with_backoff(Duration::from_millis(10), Duration::from_secs(1));
+/// assert!(farm.backoff_delay(7, 1) >= Duration::from_millis(5));
+/// assert!(farm.backoff_delay(7, 1) <= Duration::from_millis(10));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    max_attempts: u32,
+    base_delay: Duration,
+    max_delay: Duration,
+    jitter: bool,
+    timeout: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts per seed, no backoff, no timeout.
+    fn default() -> Self {
+        Self::new(3)
+    }
+}
+
+impl RetryPolicy {
+    /// A policy allowing `max_attempts` total attempts per seed
+    /// (clamped to at least 1).
+    pub fn new(max_attempts: u32) -> Self {
+        Self {
+            max_attempts: max_attempts.max(1),
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+            jitter: false,
+            timeout: None,
+        }
+    }
+
+    /// A single attempt per seed: failures are final.
+    pub fn no_retry() -> Self {
+        Self::new(1)
+    }
+
+    /// Enables exponential backoff before each retry: the `k`-th retry
+    /// waits `base · 2^(k−1)` capped at `max`, scaled by a deterministic
+    /// jitter factor in `[0.5, 1.0]`.
+    pub fn with_backoff(mut self, base: Duration, max: Duration) -> Self {
+        self.base_delay = base;
+        self.max_delay = max.max(base);
+        self.jitter = true;
+        self
+    }
+
+    /// Disables (or re-enables) the jitter factor of
+    /// [`with_backoff`](Self::with_backoff).
+    pub fn with_jitter(mut self, jitter: bool) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Imposes a soft per-execution time budget: an execution observed
+    /// to exceed it counts as [`SampleError::Timeout`] and is retried.
+    /// "Soft" because the driver cannot preempt an in-process sampler;
+    /// it classifies the attempt after the fact and discards the value.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Total attempts allowed per seed (≥ 1).
+    pub fn max_attempts(&self) -> u32 {
+        self.max_attempts
+    }
+
+    /// The soft per-execution time budget, if any.
+    pub fn timeout(&self) -> Option<Duration> {
+        self.timeout
+    }
+
+    /// The delay to sleep before running `attempt` (1-based for
+    /// retries; attempt 0 never waits). Deterministic in
+    /// `(seed, attempt)`.
+    pub fn backoff_delay(&self, seed: u64, attempt: u32) -> Duration {
+        if attempt == 0 || self.base_delay.is_zero() {
+            return Duration::ZERO;
+        }
+        let exp = (attempt - 1).min(32);
+        let raw = self
+            .base_delay
+            .saturating_mul(1u32 << exp.min(31))
+            .min(self.max_delay);
+        if !self.jitter {
+            return raw;
+        }
+        // Deterministic jitter in [0.5, 1.0], derived from the same
+        // mixer as retry seeds (offset so it is independent of them).
+        let h = derive_retry_seed(seed ^ 0x5EED_BACC_0FF5_E75, attempt);
+        let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+        raw.mul_f64(0.5 + 0.5 * unit)
+    }
+}
+
+/// Per-kind failure accounting for one collection pass, reported in
+/// [`SpaReport`](crate::spa::SpaReport).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FailureCounts {
+    /// Attempts that crashed (sampler error or caught panic).
+    pub crashes: u64,
+    /// Attempts that exceeded the time budget.
+    pub timeouts: u64,
+    /// Attempts that returned a non-finite metric.
+    pub invalid_metrics: u64,
+    /// Retry attempts issued (attempts beyond the first, per seed).
+    pub retries: u64,
+    /// Seeds abandoned after exhausting their retry budget.
+    pub abandoned_seeds: u64,
+}
+
+impl FailureCounts {
+    /// Total failed attempts across all kinds.
+    pub fn failed_attempts(&self) -> u64 {
+        self.crashes + self.timeouts + self.invalid_metrics
+    }
+
+    /// Whether the pass completed without a single failure.
+    pub fn is_clean(&self) -> bool {
+        self.failed_attempts() == 0
+    }
+
+    /// Records one failed attempt under its kind.
+    pub fn record(&mut self, error: &SampleError) {
+        match error {
+            SampleError::Crash { .. } => self.crashes += 1,
+            SampleError::Timeout => self.timeouts += 1,
+            SampleError::InvalidMetric { .. } => self.invalid_metrics += 1,
+        }
+    }
+
+    /// Accumulates another count set into this one.
+    pub fn merge(&mut self, other: &FailureCounts) {
+        self.crashes += other.crashes;
+        self.timeouts += other.timeouts;
+        self.invalid_metrics += other.invalid_metrics;
+        self.retries += other.retries;
+        self.abandoned_seeds += other.abandoned_seeds;
+    }
+}
+
+impl std::fmt::Display for FailureCounts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "crash={} timeout={} invalid={} (retries={}, abandoned={})",
+            self.crashes, self.timeouts, self.invalid_metrics, self.retries, self.abandoned_seeds
+        )
+    }
+}
+
+/// The outcome of one fault-tolerant collection pass
+/// ([`Spa::collect_samples_fallible`](crate::spa::Spa::collect_samples_fallible)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleBatch {
+    /// Successfully collected metric samples, in base-seed order. May be
+    /// shorter than `requested` when retry budgets were exhausted.
+    pub samples: Vec<f64>,
+    /// Per-kind failure counts for the pass.
+    pub failures: FailureCounts,
+    /// How many executions were requested.
+    pub requested: u64,
+}
+
+impl SampleBatch {
+    /// Whether every requested execution produced a sample.
+    pub fn is_complete(&self) -> bool {
+        self.samples.len() as u64 == self.requested
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sample_error_display() {
+        let e = SampleError::Crash {
+            message: "segfault".into(),
+        };
+        assert!(e.to_string().contains("segfault"));
+        assert!(SampleError::Timeout.to_string().contains("timed out"));
+        let e = SampleError::InvalidMetric { value: f64::NAN };
+        assert!(e.to_string().contains("NaN"));
+    }
+
+    #[test]
+    fn reliable_adapter_flags_non_finite() {
+        let good = Reliable(|s: u64| s as f64);
+        assert_eq!(good.sample(3), Ok(3.0));
+        let bad = Reliable(|_: u64| f64::NAN);
+        assert!(matches!(
+            bad.sample(0),
+            Err(SampleError::InvalidMetric { .. })
+        ));
+        let inf = Reliable(|_: u64| f64::INFINITY);
+        assert!(matches!(
+            inf.sample(0),
+            Err(SampleError::InvalidMetric { .. })
+        ));
+    }
+
+    #[test]
+    fn retry_policy_clamps_and_defaults() {
+        assert_eq!(RetryPolicy::new(0).max_attempts(), 1);
+        assert_eq!(RetryPolicy::default().max_attempts(), 3);
+        assert_eq!(RetryPolicy::no_retry().max_attempts(), 1);
+        assert_eq!(RetryPolicy::default().timeout(), None);
+        let t = RetryPolicy::default().with_timeout(Duration::from_secs(2));
+        assert_eq!(t.timeout(), Some(Duration::from_secs(2)));
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let p = RetryPolicy::new(10)
+            .with_backoff(Duration::from_millis(10), Duration::from_millis(100))
+            .with_jitter(false);
+        assert_eq!(p.backoff_delay(1, 0), Duration::ZERO);
+        assert_eq!(p.backoff_delay(1, 1), Duration::from_millis(10));
+        assert_eq!(p.backoff_delay(1, 2), Duration::from_millis(20));
+        assert_eq!(p.backoff_delay(1, 3), Duration::from_millis(40));
+        // Capped at max from attempt 5 on.
+        assert_eq!(p.backoff_delay(1, 5), Duration::from_millis(100));
+        assert_eq!(p.backoff_delay(1, 30), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn jittered_backoff_is_deterministic_and_bounded() {
+        let p = RetryPolicy::new(5)
+            .with_backoff(Duration::from_millis(100), Duration::from_secs(1));
+        let a = p.backoff_delay(42, 1);
+        let b = p.backoff_delay(42, 1);
+        assert_eq!(a, b);
+        assert!(a >= Duration::from_millis(50) && a <= Duration::from_millis(100));
+        // Different seeds draw different jitter (with these constants).
+        let c = p.backoff_delay(43, 1);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn failure_counts_record_and_display() {
+        let mut f = FailureCounts::default();
+        assert!(f.is_clean());
+        f.record(&SampleError::Crash {
+            message: "x".into(),
+        });
+        f.record(&SampleError::Timeout);
+        f.record(&SampleError::InvalidMetric { value: f64::NAN });
+        f.retries = 2;
+        f.abandoned_seeds = 1;
+        assert_eq!(f.failed_attempts(), 3);
+        assert!(!f.is_clean());
+        let mut g = FailureCounts::default();
+        g.merge(&f);
+        assert_eq!(g, f);
+        let s = f.to_string();
+        assert!(s.contains("crash=1") && s.contains("abandoned=1"), "{s}");
+    }
+
+    proptest! {
+        #[test]
+        fn derive_seed_is_deterministic(seed in any::<u64>(), attempt in 0u32..64) {
+            prop_assert_eq!(
+                derive_retry_seed(seed, attempt),
+                derive_retry_seed(seed, attempt)
+            );
+        }
+
+        #[test]
+        fn derive_seed_attempt_zero_is_identity(seed in any::<u64>()) {
+            prop_assert_eq!(derive_retry_seed(seed, 0), seed);
+        }
+
+        #[test]
+        fn derive_seed_attempts_never_collide(seed in any::<u64>(),
+                                              a in 1u32..1000, b in 1u32..1000) {
+            // The mixer is a bijection for fixed attempt and the attempt
+            // pre-mix is injective, so this holds exactly, not just with
+            // high probability.
+            prop_assume!(a != b);
+            prop_assert_ne!(derive_retry_seed(seed, a), derive_retry_seed(seed, b));
+        }
+
+        #[test]
+        fn backoff_delay_deterministic(seed in any::<u64>(), attempt in 0u32..16) {
+            let p = RetryPolicy::new(16)
+                .with_backoff(Duration::from_millis(7), Duration::from_millis(500));
+            prop_assert_eq!(p.backoff_delay(seed, attempt), p.backoff_delay(seed, attempt));
+            prop_assert!(p.backoff_delay(seed, attempt) <= Duration::from_millis(500));
+        }
+    }
+}

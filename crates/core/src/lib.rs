@@ -19,9 +19,12 @@
 //! * [`hyper`] — hyperproperties over tuples of executions (the paper's
 //!   §3.1/§8 future-work extension),
 //! * [`sprt`] — Wald's sequential probability ratio test, the
-//!   alternative SMC engine the paper's §3.3 contrasts against, and
+//!   alternative SMC engine the paper's §3.3 contrasts against,
 //! * [`spa`] — the push-button [`Spa`](spa::Spa) driver that manages the
-//!   engine and batches simulator executions in parallel (§4.3).
+//!   engine and batches simulator executions in parallel (§4.3), and
+//! * [`fault`] — fault-tolerant sampling: fallible samplers, retry
+//!   policies with deterministic seed derivation, and the failure
+//!   accounting behind SPA's graceful statistical degradation.
 //!
 //! # Quick start
 //!
@@ -46,6 +49,7 @@
 
 pub mod ci;
 pub mod clopper_pearson;
+pub mod fault;
 pub mod hyper;
 pub mod min_samples;
 pub mod property;

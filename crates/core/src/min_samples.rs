@@ -87,6 +87,50 @@ pub fn min_samples(confidence: f64, proportion: f64) -> Result<u64> {
     Ok(n_positive(confidence, proportion)?.max(n_negative(confidence, proportion)?))
 }
 
+/// The confidence level actually achievable with `n` samples, whatever
+/// the data says: `min(1 − F^n, 1 − (1−F)^n)` (the Eq. 6/7 bounds read
+/// backwards).
+///
+/// This is the inverse question of [`min_samples`]: instead of "how many
+/// samples does confidence `C` need?", it answers "having collected only
+/// `n` samples, what confidence can every verdict reach?". The binding
+/// constraint is the slower of the two unanimous paths (Eq. 4 with
+/// `M = N` and Eq. 5 with `M = 0`), because a confidence interval must
+/// be able to resolve thresholds in either direction. SPA's graceful
+/// degradation ([`Spa::run_fallible`](crate::spa::Spa::run_fallible))
+/// uses this to report an honest confidence when failures leave it with
+/// `N' <` [`min_samples`] samples.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`](crate::CoreError::InvalidParameter)
+/// if `n` is zero or `proportion` is not in `(0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use spa_core::min_samples::{achievable_confidence, min_samples};
+/// // 22 samples achieve the requested 0.9…
+/// assert!(achievable_confidence(22, 0.9)? >= 0.9);
+/// // …but 18 fall short, and this says by exactly how much.
+/// let achieved = achievable_confidence(18, 0.9)?;
+/// assert!(achieved < 0.9 && achieved > 0.8);
+/// # Ok::<(), spa_core::CoreError>(())
+/// ```
+pub fn achievable_confidence(n: u64, proportion: f64) -> Result<f64> {
+    if n == 0 {
+        return Err(crate::CoreError::InvalidParameter {
+            name: "n",
+            value: 0.0,
+            expected: "at least 1 sample",
+        });
+    }
+    check_unit_open("proportion", proportion)?;
+    let positive = 1.0 - proportion.powf(n as f64);
+    let negative = 1.0 - (1.0 - proportion).powf(n as f64);
+    Ok(positive.min(negative))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,6 +169,20 @@ mod tests {
         assert!(n_positive(1.0, 0.9).is_err());
         assert!(n_positive(0.9, 0.0).is_err());
         assert!(n_positive(0.9, 1.0).is_err());
+        assert!(achievable_confidence(0, 0.9).is_err());
+        assert!(achievable_confidence(10, 0.0).is_err());
+        assert!(achievable_confidence(10, 1.0).is_err());
+    }
+
+    #[test]
+    fn achievable_confidence_inverts_min_samples() {
+        // At the Eq. 8 count the requested confidence is reached…
+        assert!(achievable_confidence(22, 0.9).unwrap() >= 0.9);
+        // …and one sample short of it, it is not.
+        assert!(achievable_confidence(21, 0.9).unwrap() < 0.9);
+        // The binding path at F = 0.9 is the positive one: 1 − 0.9^n.
+        let a = achievable_confidence(10, 0.9).unwrap();
+        assert!((a - (1.0 - 0.9f64.powi(10))).abs() < 1e-12);
     }
 
     proptest! {
@@ -136,6 +194,21 @@ mod tests {
             // …and N − 1 does not (unless N = 1).
             if n > 1 {
                 prop_assert!(1.0 - f.powf((n - 1) as f64) < c);
+            }
+        }
+
+        #[test]
+        fn achievable_matches_min_samples_threshold(c in 0.5_f64..0.999,
+                                                    f in 0.05_f64..0.95,
+                                                    n in 1u64..200) {
+            // achievable_confidence(n, f) ≥ c  ⇔  n ≥ min_samples(c, f):
+            // the two functions are inverse views of Eq. 6–8.
+            let needed = min_samples(c, f).unwrap();
+            let achieved = achievable_confidence(n, f).unwrap();
+            if n >= needed {
+                prop_assert!(achieved >= c - 1e-12);
+            } else {
+                prop_assert!(achieved < c + 1e-12);
             }
         }
 

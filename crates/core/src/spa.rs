@@ -5,13 +5,26 @@
 //! from a [`Sampler`] in parallel batches (§4.3), runs single hypothesis
 //! tests for explicitly stated properties, and constructs confidence
 //! intervals for metrics by threshold search (§4.1–4.2).
+//!
+//! The fault-tolerant path ([`Spa::run_fallible`]) does all of the above
+//! against a [`FallibleSampler`]: sampler calls are panic-isolated,
+//! failed executions are retried under a [`RetryPolicy`] with
+//! deterministically derived seeds, and if retries are exhausted the
+//! report *degrades gracefully* — the confidence interval is re-derived
+//! at the confidence level the collected `N' < N` samples can actually
+//! support (Eq. 4–5), never silently reported at the requested `C`.
 
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
 use crate::ci::{ci_exact, ci_granular, sweep, ConfidenceInterval, SweepPoint};
-use crate::min_samples::min_samples;
+use crate::fault::{
+    derive_retry_seed, FailureCounts, FallibleSampler, RetryPolicy, SampleBatch, SampleError,
+};
+use crate::min_samples::{achievable_confidence, min_samples};
 use crate::property::MetricProperty;
 use crate::smc::{FixedOutcome, SmcEngine};
 use crate::{CoreError, Result};
@@ -258,7 +271,208 @@ impl Spa {
     ) -> Result<SpaReport> {
         let samples = self.collect_samples(sampler, seed_start, None);
         let interval = self.confidence_interval(&samples, direction)?;
-        Ok(SpaReport { samples, interval })
+        let confidence = self.engine.confidence_level();
+        Ok(SpaReport {
+            samples,
+            interval,
+            failures: FailureCounts::default(),
+            degraded: false,
+            requested_confidence: confidence,
+            achieved_confidence: confidence,
+        })
+    }
+
+    /// Fault-tolerant variant of [`collect_samples`](Self::collect_samples):
+    /// collects executions from a [`FallibleSampler`] in parallel batches,
+    /// isolating panics, classifying failures, and retrying per `policy`.
+    ///
+    /// Each base seed `seed_start + i` is attempted up to
+    /// [`RetryPolicy::max_attempts`] times; retry `k` runs with the
+    /// deterministically derived seed [`derive_retry_seed`]`(base, k)`
+    /// (attempt 0 is the base seed itself), so the collected population
+    /// depends only on `(sampler, seed_start, policy)` — never on thread
+    /// scheduling or wall-clock time. Seeds whose retry budget is
+    /// exhausted are dropped; the returned [`SampleBatch`] records every
+    /// failure by kind and may therefore hold fewer than `count` samples.
+    pub fn collect_samples_fallible<S: FallibleSampler + ?Sized>(
+        &self,
+        sampler: &S,
+        seed_start: u64,
+        count: Option<u64>,
+        policy: &RetryPolicy,
+    ) -> SampleBatch {
+        let total = count.unwrap_or_else(|| self.required_samples());
+        let next = AtomicU64::new(0);
+        let results: Mutex<Vec<(u64, f64)>> = Mutex::new(Vec::with_capacity(total as usize));
+        let failures: Mutex<FailureCounts> = Mutex::new(FailureCounts::default());
+        let workers = self.batch_size.min(total as usize).max(1);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    let base_seed = seed_start + i;
+                    let mut local = FailureCounts::default();
+                    let mut collected = None;
+                    for attempt in 0..policy.max_attempts() {
+                        if attempt > 0 {
+                            local.retries += 1;
+                            let delay = policy.backoff_delay(base_seed, attempt);
+                            if !delay.is_zero() {
+                                std::thread::sleep(delay);
+                            }
+                        }
+                        let seed = derive_retry_seed(base_seed, attempt);
+                        match run_one_attempt(sampler, seed, policy.timeout()) {
+                            Ok(value) => {
+                                collected = Some(value);
+                                break;
+                            }
+                            Err(error) => local.record(&error),
+                        }
+                    }
+                    if let Some(value) = collected {
+                        results.lock().push((i, value));
+                    } else {
+                        local.abandoned_seeds += 1;
+                    }
+                    failures.lock().merge(&local);
+                });
+            }
+        });
+        let mut pairs = results.into_inner();
+        pairs.sort_by_key(|&(i, _)| i);
+        SampleBatch {
+            samples: pairs.into_iter().map(|(_, v)| v).collect(),
+            failures: failures.into_inner(),
+            requested: total,
+        }
+    }
+
+    /// Fault-tolerant end-to-end SPA: like [`run`](Self::run), but
+    /// against a [`FallibleSampler`] under a [`RetryPolicy`], with
+    /// graceful statistical degradation when samples are lost.
+    ///
+    /// If every requested execution (or retry) succeeds, the report is
+    /// identical to the infallible path's. If retry budgets are
+    /// exhausted and only `N' < N` samples arrive, the confidence
+    /// interval is rebuilt at the confidence those `N'` samples can
+    /// actually support (see [`achievable_confidence`]), the report is
+    /// flagged [`degraded`](SpaReport::degraded), and
+    /// [`achieved_confidence`](SpaReport::achieved_confidence) carries
+    /// the honest level — SPA never claims the requested `C` with data
+    /// that cannot back it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::SamplingFailed`] if *no* usable samples were
+    /// collected; otherwise propagates CI-construction errors.
+    pub fn run_fallible<S: FallibleSampler + ?Sized>(
+        &self,
+        sampler: &S,
+        seed_start: u64,
+        direction: Direction,
+        policy: &RetryPolicy,
+    ) -> Result<SpaReport> {
+        let batch = self.collect_samples_fallible(sampler, seed_start, None, policy);
+        self.report_from_batch(batch, direction)
+    }
+
+    /// Builds a [`SpaReport`] from an already-collected [`SampleBatch`],
+    /// applying the graceful-degradation rules of
+    /// [`run_fallible`](Self::run_fallible).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::SamplingFailed`] for an empty batch;
+    /// otherwise propagates CI-construction errors.
+    pub fn report_from_batch(&self, batch: SampleBatch, direction: Direction) -> Result<SpaReport> {
+        let requested_confidence = self.engine.confidence_level();
+        let proportion = self.engine.proportion();
+        let collected = batch.samples.len() as u64;
+        if collected == 0 {
+            return Err(CoreError::SamplingFailed {
+                requested: batch.requested,
+                collected: 0,
+            });
+        }
+        if collected >= self.required_samples() {
+            let interval = self.confidence_interval(&batch.samples, direction)?;
+            return Ok(SpaReport {
+                samples: batch.samples,
+                interval,
+                failures: batch.failures,
+                degraded: false,
+                requested_confidence,
+                achieved_confidence: requested_confidence,
+            });
+        }
+        // Degraded mode: N' < N samples survive. Recompute the
+        // confidence those N' samples can actually deliver (Eq. 4–5 on
+        // the unanimous paths) and rebuild the interval at that level.
+        // The engine runs a hair below `achieved` because Algorithm 2
+        // converges only on the strict C_CP > C; the unanimous boundary
+        // cases sit at exactly C_CP = achieved. The reported interval is
+        // re-tagged with the honest achieved value.
+        let achieved = achievable_confidence(collected, proportion)?;
+        let engine = SmcEngine::new(achieved * (1.0 - 1e-9), proportion)?;
+        let interval = match self.granularity {
+            Granularity::Exact => ci_exact(&engine, &batch.samples, direction)?,
+            Granularity::Step(g) => ci_granular(&engine, &batch.samples, direction, g)?,
+        };
+        let interval =
+            ConfidenceInterval::new(interval.lower(), interval.upper(), achieved, proportion);
+        Ok(SpaReport {
+            samples: batch.samples,
+            interval,
+            failures: batch.failures,
+            degraded: true,
+            requested_confidence,
+            achieved_confidence: achieved,
+        })
+    }
+}
+
+/// Runs one panic-isolated, timeout-checked, finiteness-checked sampler
+/// attempt.
+fn run_one_attempt<S: FallibleSampler + ?Sized>(
+    sampler: &S,
+    seed: u64,
+    timeout: Option<Duration>,
+) -> std::result::Result<f64, SampleError> {
+    let start = Instant::now();
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| sampler.sample(seed)));
+    let elapsed = start.elapsed();
+    let value = match outcome {
+        Ok(result) => result?,
+        Err(payload) => {
+            return Err(SampleError::Crash {
+                message: panic_message(&payload),
+            })
+        }
+    };
+    // A soft budget: in-process samplers cannot be preempted, so the
+    // attempt is classified after the fact and its value discarded.
+    if let Some(budget) = timeout {
+        if elapsed > budget {
+            return Err(SampleError::Timeout);
+        }
+    }
+    if !value.is_finite() {
+        return Err(SampleError::InvalidMetric { value });
+    }
+    Ok(value)
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "sampler panicked".to_string()
     }
 }
 
@@ -267,8 +481,22 @@ impl Spa {
 pub struct SpaReport {
     /// The collected metric samples, in seed order.
     pub samples: Vec<f64>,
-    /// The constructed confidence interval.
+    /// The constructed confidence interval. In a degraded report its
+    /// confidence equals [`achieved_confidence`](Self::achieved_confidence),
+    /// not the requested level.
     pub interval: ConfidenceInterval,
+    /// Per-kind counts of failed sampler attempts. All-zero on the
+    /// infallible path and on clean fault-tolerant runs.
+    pub failures: FailureCounts,
+    /// True when retry budgets were exhausted and fewer samples arrived
+    /// than Eq. 8 requires for the requested confidence.
+    pub degraded: bool,
+    /// The confidence level `C` the run was configured for.
+    pub requested_confidence: f64,
+    /// The confidence level the collected samples actually support —
+    /// equals [`requested_confidence`](Self::requested_confidence) unless
+    /// [`degraded`](Self::degraded).
+    pub achieved_confidence: f64,
 }
 
 #[cfg(test)]
@@ -375,5 +603,190 @@ mod tests {
         assert_eq!(pts.len(), 3);
         assert_eq!(pts[0].verdict, Some(Assertion::Negative));
         assert_eq!(pts[2].verdict, Some(Assertion::Positive));
+    }
+
+    // ---- fault-tolerant path -------------------------------------------
+
+    use crate::fault::Reliable;
+    use crate::min_samples::achievable_confidence;
+
+    /// A sampler that fails deterministically (by kind chosen from the
+    /// seed) whenever `seed % modulus == 0`, and otherwise returns a
+    /// spread of values.
+    fn flaky(modulus: u64) -> impl FallibleSampler {
+        move |seed: u64| -> std::result::Result<f64, SampleError> {
+            if seed % modulus == 0 {
+                Err(match seed % 3 {
+                    0 => SampleError::Crash {
+                        message: format!("seed {seed} died"),
+                    },
+                    1 => SampleError::Timeout,
+                    _ => SampleError::InvalidMetric { value: f64::NAN },
+                })
+            } else {
+                Ok(1.0 + (seed % 10) as f64 * 0.1)
+            }
+        }
+    }
+
+    #[test]
+    fn clean_fallible_run_matches_infallible_run() {
+        let infallible = |seed: u64| 1.0 + (seed % 10) as f64 * 0.1;
+        let spa = Spa::builder().proportion(0.5).build().unwrap();
+        let plain = spa.run(&infallible, 7, Direction::AtMost).unwrap();
+        let fallible = spa
+            .run_fallible(
+                &Reliable(infallible),
+                7,
+                Direction::AtMost,
+                &RetryPolicy::default(),
+            )
+            .unwrap();
+        // Attempt 0 derives to the base seed, so a clean run is
+        // byte-identical to the infallible path.
+        assert_eq!(plain, fallible);
+        assert!(!fallible.degraded);
+        assert!(fallible.failures.is_clean());
+        assert_eq!(fallible.achieved_confidence, fallible.requested_confidence);
+    }
+
+    #[test]
+    fn fallible_collection_is_reproducible_across_batch_sizes() {
+        let sampler = flaky(5);
+        let policy = RetryPolicy::new(3);
+        let spa1 = Spa::builder().batch_size(1).build().unwrap();
+        let spa8 = Spa::builder().batch_size(8).build().unwrap();
+        let a = spa1.collect_samples_fallible(&sampler, 0, Some(60), &policy);
+        let b = spa8.collect_samples_fallible(&sampler, 0, Some(60), &policy);
+        assert_eq!(a, b);
+        assert_eq!(a.requested, 60);
+        assert!(!a.failures.is_clean());
+    }
+
+    #[test]
+    fn panicking_sampler_is_isolated_and_retried() {
+        // Panics (not Err) on every multiple of 7; retries re-roll the
+        // seed, so the seed eventually succeeds.
+        let sampler = |seed: u64| -> std::result::Result<f64, SampleError> {
+            if seed % 7 == 0 {
+                panic!("injected panic at seed {seed}");
+            }
+            Ok(seed as f64)
+        };
+        let spa = Spa::builder().batch_size(4).build().unwrap();
+        let batch = spa.collect_samples_fallible(&sampler, 0, Some(30), &RetryPolicy::new(4));
+        assert!(batch.failures.crashes >= 1);
+        assert!(batch.samples.len() >= 25);
+        // The panic payload is preserved as the crash message.
+        let one = run_one_attempt(&sampler, 0, None);
+        match one {
+            Err(SampleError::Crash { message }) => assert!(message.contains("seed 0")),
+            other => panic!("expected crash, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retries_recover_lost_seeds() {
+        // Attempt 0 fails for multiples of 4; derived retry seeds are
+        // mixed, so each seed has further chances.
+        let sampler = flaky(4);
+        let spa = Spa::builder().proportion(0.5).build().unwrap();
+        let no_retry = spa.collect_samples_fallible(&sampler, 1, Some(40), &RetryPolicy::no_retry());
+        let with_retry = spa.collect_samples_fallible(&sampler, 1, Some(40), &RetryPolicy::new(5));
+        assert!(no_retry.samples.len() < 40);
+        assert!(with_retry.samples.len() > no_retry.samples.len());
+        assert!(with_retry.failures.retries >= 1);
+        assert_eq!(
+            no_retry.failures.abandoned_seeds,
+            40 - no_retry.samples.len() as u64
+        );
+    }
+
+    #[test]
+    fn degraded_report_is_statistically_honest() {
+        // Drop enough seeds that fewer than the required 22 samples
+        // survive, with retries disabled so the loss is certain.
+        let sampler = flaky(3);
+        let spa = Spa::builder()
+            .confidence(0.9)
+            .proportion(0.9)
+            .build()
+            .unwrap();
+        let report = spa
+            .run_fallible(&sampler, 0, Direction::AtMost, &RetryPolicy::no_retry())
+            .unwrap();
+        let collected = report.samples.len() as u64;
+        assert!(collected < spa.required_samples());
+        assert!(report.degraded);
+        assert_eq!(report.requested_confidence, 0.9);
+        let expected = achievable_confidence(collected, 0.9).unwrap();
+        assert_eq!(report.achieved_confidence, expected);
+        assert!(report.achieved_confidence < 0.9);
+        assert_eq!(report.interval.confidence(), expected);
+        assert_eq!(
+            report.failures.abandoned_seeds,
+            spa.required_samples() - collected
+        );
+        assert!(report.interval.lower() <= report.interval.upper());
+    }
+
+    #[test]
+    fn all_failures_yield_sampling_failed() {
+        let sampler = |_: u64| -> std::result::Result<f64, SampleError> {
+            Err(SampleError::Timeout)
+        };
+        let spa = Spa::builder().build().unwrap();
+        let err = spa
+            .run_fallible(&sampler, 0, Direction::AtMost, &RetryPolicy::new(2))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::SamplingFailed {
+                requested: 22,
+                collected: 0
+            }
+        ));
+    }
+
+    #[test]
+    fn soft_timeout_classifies_slow_attempts() {
+        let slow = |_: u64| -> std::result::Result<f64, SampleError> {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            Ok(1.0)
+        };
+        let policy = RetryPolicy::no_retry().with_timeout(std::time::Duration::from_millis(1));
+        let spa = Spa::builder().batch_size(2).build().unwrap();
+        let batch = spa.collect_samples_fallible(&slow, 0, Some(4), &policy);
+        assert_eq!(batch.samples.len(), 0);
+        assert_eq!(batch.failures.timeouts, 4);
+        assert_eq!(batch.failures.abandoned_seeds, 4);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn degraded_achieved_confidence_never_exceeds_requested(
+            c in 0.7_f64..0.99,
+            f in 0.5_f64..0.95,
+            keep in 1u64..60,
+        ) {
+            let spa = Spa::builder().confidence(c).proportion(f).build().unwrap();
+            let keep = keep.min(spa.required_samples());
+            let batch = SampleBatch {
+                samples: (0..keep).map(|i| 1.0 + i as f64 * 0.01).collect(),
+                failures: FailureCounts::default(),
+                requested: spa.required_samples(),
+            };
+            let report = spa.report_from_batch(batch, Direction::AtMost).unwrap();
+            proptest::prop_assert!(report.achieved_confidence <= c + 1e-12);
+            if report.degraded {
+                proptest::prop_assert!(report.achieved_confidence < c);
+                proptest::prop_assert_eq!(
+                    report.achieved_confidence,
+                    achievable_confidence(keep, f).unwrap()
+                );
+            } else {
+                proptest::prop_assert_eq!(report.achieved_confidence, c);
+            }
+        }
     }
 }

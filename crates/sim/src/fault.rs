@@ -1,0 +1,225 @@
+//! Deterministic fault injection: a seeded model of executions that
+//! crash, hang, or emit garbage metrics.
+//!
+//! The fault-tolerance layer in `spa-core` needs a substrate whose
+//! failures are *reproducible*: the same `(FaultSpec, seed)` pair must
+//! fail the same way every time, or the retry/degradation pipeline
+//! cannot be tested deterministically. [`FaultSpec`] extends the
+//! variability-injection idiom ([`crate::variability`]) with one roll
+//! per execution on a dedicated RNG stream
+//! ([`Stream::FaultInjection`]), so enabling faults never perturbs the
+//! jitter or OS-noise numbers of the executions that survive.
+
+use serde::{Deserialize, Serialize};
+
+use crate::rng::{SimRng, Stream};
+use crate::{Result, SimError};
+
+/// The way one execution fails under fault injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The execution dies outright (a crashed simulator process).
+    Crash,
+    /// The execution hangs past any reasonable budget; the harness
+    /// should classify it as a timeout.
+    Timeout,
+    /// The execution completes but reports a non-finite metric.
+    NanMetric,
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultKind::Crash => write!(f, "crash"),
+            FaultKind::Timeout => write!(f, "timeout"),
+            FaultKind::NanMetric => write!(f, "nan-metric"),
+        }
+    }
+}
+
+/// Per-execution fault probabilities, rolled deterministically per seed.
+///
+/// The three probabilities partition `[0, 1)`: a single uniform draw per
+/// execution lands in the crash band, the timeout band, the NaN band, or
+/// the healthy remainder. Their sum must therefore be at most 1.
+///
+/// # Examples
+///
+/// ```
+/// use spa_sim::fault::{FaultKind, FaultSpec};
+///
+/// let spec = FaultSpec::none().with_crashes(0.2);
+/// // Deterministic: the same seed always rolls the same outcome.
+/// assert_eq!(spec.roll(7), spec.roll(7));
+/// // Roughly 20% of seeds fault, all as crashes.
+/// let faults = (0..1000).filter_map(|s| spec.roll(s)).count();
+/// assert!((120..280).contains(&faults));
+/// assert!((0..1000).filter_map(|s| spec.roll(s)).all(|k| k == FaultKind::Crash));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Probability that an execution crashes.
+    pub crash_prob: f64,
+    /// Probability that an execution hangs (reported as a timeout).
+    pub timeout_prob: f64,
+    /// Probability that an execution reports a NaN metric.
+    pub nan_prob: f64,
+}
+
+impl FaultSpec {
+    /// No faults: every execution is healthy. Identical to
+    /// `FaultSpec::default()`.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Sets the crash probability.
+    pub fn with_crashes(mut self, p: f64) -> Self {
+        self.crash_prob = p;
+        self
+    }
+
+    /// Sets the hang-as-timeout probability.
+    pub fn with_timeouts(mut self, p: f64) -> Self {
+        self.timeout_prob = p;
+        self
+    }
+
+    /// Sets the NaN-metric probability.
+    pub fn with_nan_metrics(mut self, p: f64) -> Self {
+        self.nan_prob = p;
+        self
+    }
+
+    /// Whether this spec injects no faults at all.
+    pub fn is_none(&self) -> bool {
+        self.crash_prob == 0.0 && self.timeout_prob == 0.0 && self.nan_prob == 0.0
+    }
+
+    /// Checks that every probability is a finite value in `[0, 1]` and
+    /// that the three sum to at most 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] naming the offending field.
+    pub fn validate(&self) -> Result<()> {
+        for (field, p) in [
+            ("crash_prob", self.crash_prob),
+            ("timeout_prob", self.timeout_prob),
+            ("nan_prob", self.nan_prob),
+        ] {
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                return Err(SimError::InvalidConfig {
+                    field,
+                    message: format!("probability {p} is not in [0, 1]"),
+                });
+            }
+        }
+        let total = self.crash_prob + self.timeout_prob + self.nan_prob;
+        if total > 1.0 {
+            return Err(SimError::InvalidConfig {
+                field: "fault probabilities",
+                message: format!("probabilities sum to {total}, which exceeds 1"),
+            });
+        }
+        Ok(())
+    }
+
+    /// Rolls the fault outcome for execution `seed`: `None` means the
+    /// execution is healthy. Deterministic in `(self, seed)`.
+    pub fn roll(&self, seed: u64) -> Option<FaultKind> {
+        if self.is_none() {
+            return None;
+        }
+        let u = SimRng::new(seed, Stream::FaultInjection, 0).uniform_f64();
+        if u < self.crash_prob {
+            Some(FaultKind::Crash)
+        } else if u < self.crash_prob + self.timeout_prob {
+            Some(FaultKind::Timeout)
+        } else if u < self.crash_prob + self.timeout_prob + self.nan_prob {
+            Some(FaultKind::NanMetric)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_faults() {
+        let spec = FaultSpec::none();
+        assert!(spec.is_none());
+        assert!((0..500).all(|s| spec.roll(s).is_none()));
+    }
+
+    #[test]
+    fn roll_is_deterministic() {
+        let spec = FaultSpec::none()
+            .with_crashes(0.1)
+            .with_timeouts(0.1)
+            .with_nan_metrics(0.1);
+        let a: Vec<_> = (0..200).map(|s| spec.roll(s)).collect();
+        let b: Vec<_> = (0..200).map(|s| spec.roll(s)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bands_partition_the_unit_interval() {
+        let spec = FaultSpec::none()
+            .with_crashes(0.2)
+            .with_timeouts(0.2)
+            .with_nan_metrics(0.2);
+        let mut counts = [0usize; 4];
+        for s in 0..2000 {
+            match spec.roll(s) {
+                Some(FaultKind::Crash) => counts[0] += 1,
+                Some(FaultKind::Timeout) => counts[1] += 1,
+                Some(FaultKind::NanMetric) => counts[2] += 1,
+                None => counts[3] += 1,
+            }
+        }
+        // Each band should see roughly its 20% / 40% share.
+        for (i, &c) in counts.iter().take(3).enumerate() {
+            assert!((280..=520).contains(&c), "band {i} saw {c} of 2000");
+        }
+        assert!((640..=960).contains(&counts[3]), "healthy saw {}", counts[3]);
+    }
+
+    #[test]
+    fn faults_do_not_perturb_other_streams() {
+        // The fault roll uses its own stream, so the jitter numbers an
+        // execution draws are identical with faults on or off.
+        let mut with = SimRng::new(9, Stream::DramJitter, 0);
+        let spec = FaultSpec::none().with_crashes(0.5);
+        let _ = spec.roll(9);
+        let mut without = SimRng::new(9, Stream::DramJitter, 0);
+        let a: Vec<u64> = (0..16).map(|_| with.uniform_u64(0, 4)).collect();
+        let b: Vec<u64> = (0..16).map(|_| without.uniform_u64(0, 4)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn validate_rejects_bad_probabilities() {
+        assert!(FaultSpec::none().validate().is_ok());
+        assert!(FaultSpec::none().with_crashes(-0.1).validate().is_err());
+        assert!(FaultSpec::none().with_timeouts(1.5).validate().is_err());
+        assert!(FaultSpec::none().with_nan_metrics(f64::NAN).validate().is_err());
+        let overfull = FaultSpec {
+            crash_prob: 0.5,
+            timeout_prob: 0.4,
+            nan_prob: 0.2,
+        };
+        assert!(overfull.validate().is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let spec = FaultSpec::none().with_crashes(0.25).with_nan_metrics(0.05);
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: FaultSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+}

@@ -20,9 +20,12 @@
 //!   *assignment* — and therefore every metric — varies run to run
 //!   ([`variability`]);
 //! * synthetic multithreaded workloads modelled on the PARSEC
-//!   benchmarks the paper uses ([`workload::parsec`]), and
+//!   benchmarks the paper uses ([`workload::parsec`]),
 //! * per-execution metrics (runtime, IPC, MPKI, max load latency, …)
-//!   plus optional STL traces/events ([`metrics::ExecutionResult`]).
+//!   plus optional STL traces/events ([`metrics::ExecutionResult`]), and
+//! * deterministic fault injection — seeded crash / hang / NaN-metric
+//!   faults for exercising the fault-tolerant sampling pipeline
+//!   ([`fault::FaultSpec`]).
 //!
 //! # Example
 //!
@@ -48,6 +51,7 @@ pub mod cache;
 pub mod coherence;
 pub mod config;
 pub mod dram;
+pub mod fault;
 pub mod interconnect;
 pub mod machine;
 pub mod memhier;

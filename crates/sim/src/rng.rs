@@ -23,6 +23,11 @@ pub enum Stream {
     /// is identical across runs and only injected variability differs —
     /// exactly the paper's §5.2 experimental discipline.
     Workload,
+    /// Fault injection ([`crate::fault::FaultSpec`]): whether an
+    /// execution crashes, hangs, or emits a garbage metric. A separate
+    /// stream so enabling faults never perturbs the jitter/noise numbers
+    /// of executions that survive.
+    FaultInjection,
 }
 
 impl Stream {
@@ -31,6 +36,7 @@ impl Stream {
             Stream::DramJitter => 0x9e37_79b9_7f4a_7c15,
             Stream::OsNoise => 0xbf58_476d_1ce4_e5b9,
             Stream::Workload => 0x94d0_49bb_1331_11eb,
+            Stream::FaultInjection => 0xd6e8_feb8_6659_fd93,
         }
     }
 }

@@ -23,17 +23,59 @@ pub fn mean(xs: &[f64]) -> f64 {
     xs.iter().sum::<f64>() / xs.len() as f64
 }
 
-/// Arithmetic mean, failing on empty input.
+/// Returns the index of the first NaN in `xs`, as an error.
+fn check_no_nan(xs: &[f64]) -> Result<()> {
+    match xs.iter().position(|x| x.is_nan()) {
+        Some(index) => Err(StatsError::NonFiniteData { index }),
+        None => Ok(()),
+    }
+}
+
+/// Arithmetic mean, failing on empty or NaN-containing input.
 ///
 /// # Errors
 ///
-/// Returns [`StatsError::EmptyData`] if `xs` is empty.
+/// Returns [`StatsError::EmptyData`] if `xs` is empty and
+/// [`StatsError::NonFiniteData`] if it contains a NaN (which would
+/// silently poison the result).
 pub fn try_mean(xs: &[f64]) -> Result<f64> {
     if xs.is_empty() {
-        Err(StatsError::EmptyData)
-    } else {
-        Ok(mean(xs))
+        return Err(StatsError::EmptyData);
     }
+    check_no_nan(xs)?;
+    Ok(mean(xs))
+}
+
+/// Coefficient of variation, failing instead of returning `NaN`: the
+/// checked counterpart of [`coefficient_of_variation`].
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyData`] for empty input,
+/// [`StatsError::NonFiniteData`] if the input contains a NaN, and
+/// [`StatsError::InvalidParameter`] for fewer than two data points or a
+/// zero mean (where the ratio is undefined).
+pub fn try_coefficient_of_variation(xs: &[f64]) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(StatsError::EmptyData);
+    }
+    check_no_nan(xs)?;
+    if xs.len() < 2 {
+        return Err(StatsError::InvalidParameter {
+            name: "xs.len()",
+            value: xs.len() as f64,
+            expected: "at least two data points",
+        });
+    }
+    let m = mean(xs);
+    if m == 0.0 {
+        return Err(StatsError::InvalidParameter {
+            name: "mean",
+            value: 0.0,
+            expected: "a nonzero mean (CV is stddev/mean)",
+        });
+    }
+    Ok(sample_stddev(xs) / m)
 }
 
 /// Unbiased sample variance (divides by `n − 1`).
@@ -87,8 +129,10 @@ pub enum QuantileMethod {
 ///
 /// # Errors
 ///
-/// Returns [`StatsError::EmptyData`] for empty input and
-/// [`StatsError::InvalidParameter`] if `q ∉ [0, 1]`.
+/// Returns [`StatsError::EmptyData`] for empty input,
+/// [`StatsError::InvalidParameter`] if `q ∉ [0, 1]`, and
+/// [`StatsError::NonFiniteData`] if the input contains a NaN (an
+/// order statistic of unorderable data is meaningless).
 ///
 /// # Examples
 ///
@@ -97,6 +141,7 @@ pub enum QuantileMethod {
 /// let xs = [1.0, 2.0, 3.0, 4.0];
 /// assert_eq!(quantile(&xs, 0.5, QuantileMethod::Linear)?, 2.5);
 /// assert_eq!(quantile(&xs, 0.5, QuantileMethod::LowerRank)?, 2.0);
+/// assert!(quantile(&[1.0, f64::NAN], 0.5, QuantileMethod::Linear).is_err());
 /// # Ok::<(), spa_stats::StatsError>(())
 /// ```
 pub fn quantile(xs: &[f64], q: f64, method: QuantileMethod) -> Result<f64> {
@@ -110,8 +155,9 @@ pub fn quantile(xs: &[f64], q: f64, method: QuantileMethod) -> Result<f64> {
             expected: "a value in [0, 1]",
         });
     }
+    check_no_nan(xs)?;
     let mut sorted: Vec<f64> = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    sorted.sort_by(f64::total_cmp);
     Ok(quantile_sorted(&sorted, q, method))
 }
 
@@ -164,7 +210,8 @@ pub fn max(xs: &[f64]) -> f64 {
 ///
 /// # Errors
 ///
-/// Returns [`StatsError::EmptyData`] for empty input.
+/// Returns [`StatsError::EmptyData`] for empty input and
+/// [`StatsError::NonFiniteData`] if the input contains a NaN.
 pub fn median(xs: &[f64]) -> Result<f64> {
     quantile(xs, 0.5, QuantileMethod::Linear)
 }
@@ -246,6 +293,35 @@ mod tests {
     fn quantile_rejects_out_of_range() {
         assert!(quantile(&[1.0], -0.1, QuantileMethod::Linear).is_err());
         assert!(quantile(&[1.0], 1.1, QuantileMethod::Linear).is_err());
+    }
+
+    #[test]
+    fn nan_inputs_are_rejected_with_index() {
+        let poisoned = [1.0, 2.0, f64::NAN, 4.0];
+        assert_eq!(
+            quantile(&poisoned, 0.5, QuantileMethod::Linear),
+            Err(StatsError::NonFiniteData { index: 2 })
+        );
+        assert_eq!(median(&poisoned), Err(StatsError::NonFiniteData { index: 2 }));
+        assert_eq!(try_mean(&poisoned), Err(StatsError::NonFiniteData { index: 2 }));
+        assert_eq!(
+            try_coefficient_of_variation(&poisoned),
+            Err(StatsError::NonFiniteData { index: 2 })
+        );
+        // Infinities are orderable and still admitted — only NaN poisons.
+        assert!(quantile(&[1.0, f64::INFINITY], 0.5, QuantileMethod::Linear).is_ok());
+    }
+
+    #[test]
+    fn try_cv_matches_unchecked_on_clean_data() {
+        let xs = [1.0, 2.0, 3.0];
+        assert_eq!(
+            try_coefficient_of_variation(&xs).unwrap(),
+            coefficient_of_variation(&xs)
+        );
+        assert!(try_coefficient_of_variation(&[]).is_err());
+        assert!(try_coefficient_of_variation(&[1.0]).is_err());
+        assert!(try_coefficient_of_variation(&[-1.0, 1.0]).is_err()); // zero mean
     }
 
     #[test]

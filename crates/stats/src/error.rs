@@ -20,6 +20,12 @@ pub enum StatsError {
     },
     /// The operation needs at least one data point but the input was empty.
     EmptyData,
+    /// The input contains a NaN, which would silently poison the result
+    /// (every comparison and arithmetic reduction propagates it).
+    NonFiniteData {
+        /// Index of the first NaN in the input slice.
+        index: usize,
+    },
     /// An iterative numerical scheme (continued fraction, root finder)
     /// failed to converge within its iteration budget.
     NoConvergence {
@@ -37,6 +43,9 @@ impl fmt::Display for StatsError {
                 expected,
             } => write!(f, "invalid parameter `{name}` = {value}; expected {expected}"),
             StatsError::EmptyData => write!(f, "empty data set"),
+            StatsError::NonFiniteData { index } => {
+                write!(f, "input contains NaN at index {index}")
+            }
             StatsError::NoConvergence { what } => {
                 write!(f, "{what} failed to converge")
             }
@@ -62,6 +71,9 @@ mod tests {
         assert!(s.contains("-1"));
 
         assert_eq!(StatsError::EmptyData.to_string(), "empty data set");
+        assert!(StatsError::NonFiniteData { index: 3 }
+            .to_string()
+            .contains("index 3"));
         assert!(StatsError::NoConvergence { what: "betacf" }
             .to_string()
             .contains("betacf"));

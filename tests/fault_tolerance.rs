@@ -1,0 +1,148 @@
+//! Fault-tolerance integration: fault-injected samplers → retry policy →
+//! panic isolation → graceful statistical degradation, across the
+//! `core` and `sim` crates.
+
+use spa::core::fault::{RetryPolicy, SampleError};
+use spa::core::min_samples::achievable_confidence;
+use spa::core::spa::{Direction, Spa};
+use spa::sim::fault::{FaultKind, FaultSpec};
+
+/// First window of 22 consecutive seeds in which `spec` injects at least
+/// one fault and spares at least one seed (deterministic: `roll` depends
+/// only on the seed).
+fn mixed_window(spec: FaultSpec, width: u64) -> u64 {
+    (0..1000)
+        .find(|&s| {
+            let faults = (s..s + width).filter(|&x| spec.roll(x).is_some()).count();
+            faults > 0 && (faults as u64) < width
+        })
+        .expect("a 20% fault rate must hit (and miss) within some window")
+}
+
+#[test]
+fn crash_rate_degrades_to_clopper_pearson_for_collected_count() {
+    // The acceptance scenario: a 20% crash rate with no retries loses
+    // some of the 22 requested executions, and the report's achieved
+    // confidence must be exactly the Clopper–Pearson unanimous bound for
+    // the count actually collected.
+    let spec = FaultSpec::none().with_crashes(0.2);
+    let spa = Spa::builder().confidence(0.9).proportion(0.9).build().unwrap();
+    let requested = spa.required_samples();
+    assert_eq!(requested, 22);
+    let seed_start = mixed_window(spec, requested);
+
+    let sampler = move |seed: u64| match spec.roll(seed) {
+        Some(_) => Err(SampleError::Crash {
+            message: format!("injected crash (seed {seed})"),
+        }),
+        None => Ok(10.0 + (seed % 7) as f64 * 0.05),
+    };
+    let report = spa
+        .run_fallible(&sampler, seed_start, Direction::AtMost, &RetryPolicy::no_retry())
+        .unwrap();
+
+    let surviving = (seed_start..seed_start + requested)
+        .filter(|&s| spec.roll(s).is_none())
+        .count() as u64;
+    assert!(surviving < requested);
+    assert_eq!(report.samples.len() as u64, surviving);
+    assert_eq!(report.failures.crashes, requested - surviving);
+    assert_eq!(report.failures.abandoned_seeds, requested - surviving);
+    assert_eq!(report.failures.timeouts, 0);
+    assert_eq!(report.failures.invalid_metrics, 0);
+
+    assert!(report.degraded);
+    assert_eq!(report.requested_confidence, 0.9);
+    let expected = achievable_confidence(surviving, 0.9).unwrap();
+    assert_eq!(report.achieved_confidence, expected);
+    assert!(report.achieved_confidence < 0.9);
+    assert_eq!(report.interval.confidence(), expected);
+    assert!(report.interval.lower() <= report.interval.upper());
+}
+
+#[test]
+fn mixed_fault_kinds_are_counted_per_kind_without_panicking() {
+    // All three fault kinds at once; crashes are injected as real panics
+    // so this also proves panic isolation end to end.
+    let spec = FaultSpec::none()
+        .with_crashes(0.15)
+        .with_timeouts(0.15)
+        .with_nan_metrics(0.15);
+    let sampler = move |seed: u64| match spec.roll(seed) {
+        Some(FaultKind::Crash) => panic!("injected panic (seed {seed})"),
+        Some(FaultKind::Timeout) => Err(SampleError::Timeout),
+        // A NaN metric is returned as a "successful" value; the pipeline
+        // must classify it as InvalidMetric, not admit it into the data.
+        Some(FaultKind::NanMetric) => Ok(f64::NAN),
+        None => Ok(1.0 + (seed % 5) as f64 * 0.01),
+    };
+
+    let spa = Spa::builder().confidence(0.9).proportion(0.9).build().unwrap();
+    let total = 60u64;
+    let batch = spa.collect_samples_fallible(&sampler, 0, Some(total), &RetryPolicy::no_retry());
+
+    // Census of the deterministic rolls over the same seed range.
+    let mut crashes = 0u64;
+    let mut timeouts = 0u64;
+    let mut nans = 0u64;
+    for seed in 0..total {
+        match spec.roll(seed) {
+            Some(FaultKind::Crash) => crashes += 1,
+            Some(FaultKind::Timeout) => timeouts += 1,
+            Some(FaultKind::NanMetric) => nans += 1,
+            None => {}
+        }
+    }
+    assert!(crashes > 0 && timeouts > 0 && nans > 0);
+    assert_eq!(batch.failures.crashes, crashes);
+    assert_eq!(batch.failures.timeouts, timeouts);
+    assert_eq!(batch.failures.invalid_metrics, nans);
+    assert_eq!(batch.failures.abandoned_seeds, crashes + timeouts + nans);
+    assert_eq!(batch.samples.len() as u64, total - crashes - timeouts - nans);
+    assert!(batch.samples.iter().all(|v| v.is_finite()));
+
+    // The degraded report still builds a usable interval.
+    let report = spa.report_from_batch(batch, Direction::AtMost).unwrap();
+    assert!(report.failures.crashes == crashes);
+    assert!(report.interval.lower() <= report.interval.upper());
+}
+
+#[test]
+fn retries_recover_what_no_retry_loses() {
+    let spec = FaultSpec::none().with_crashes(0.3);
+    let sampler = move |seed: u64| match spec.roll(seed) {
+        Some(_) => Err(SampleError::Crash {
+            message: "flaky".into(),
+        }),
+        None => Ok(2.0),
+    };
+    let spa = Spa::builder().confidence(0.9).proportion(0.9).build().unwrap();
+    let total = 40u64;
+
+    let fragile = spa.collect_samples_fallible(&sampler, 0, Some(total), &RetryPolicy::no_retry());
+    let sturdy = spa.collect_samples_fallible(&sampler, 0, Some(total), &RetryPolicy::new(6));
+    assert!(fragile.samples.len() < total as usize);
+    assert!(sturdy.samples.len() >= fragile.samples.len());
+    assert!(sturdy.failures.retries > 0);
+    assert!(sturdy.failures.abandoned_seeds <= fragile.failures.abandoned_seeds);
+}
+
+#[test]
+fn fallible_collection_is_deterministic_across_batch_sizes() {
+    let spec = FaultSpec::none().with_crashes(0.25).with_nan_metrics(0.1);
+    let sampler = move |seed: u64| match spec.roll(seed) {
+        Some(FaultKind::NanMetric) => Ok(f64::NAN),
+        Some(_) => Err(SampleError::Crash {
+            message: "flaky".into(),
+        }),
+        None => Ok(1.0 + (seed % 11) as f64 * 0.1),
+    };
+    let policy = RetryPolicy::new(3);
+    let serial = Spa::builder().confidence(0.9).proportion(0.9).batch_size(1).build().unwrap();
+    let parallel = Spa::builder().confidence(0.9).proportion(0.9).batch_size(8).build().unwrap();
+
+    let a = serial.collect_samples_fallible(&sampler, 7, Some(50), &policy);
+    let b = parallel.collect_samples_fallible(&sampler, 7, Some(50), &policy);
+    assert_eq!(a.samples, b.samples);
+    assert_eq!(a.failures, b.failures);
+}
