@@ -1,10 +1,23 @@
 //! Hand-rolled argument parsing (no external dependencies).
 
 use spa_core::property::Direction;
+use spa_server::spec::{JobSpec, ModeSpec, NoiseSpec, SystemSpec};
 use spa_sim::fault::FaultSpec;
 use spa_sim::workload::parsec::Benchmark;
 
 use crate::{CliError, Result};
+
+/// Default address the server commands talk to (`spa serve` binds it,
+/// `spa submit`/`status`/`shutdown` connect to it).
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7411";
+
+/// Worker-thread default: one per available hardware thread, falling
+/// back to 4 when the parallelism cannot be queried.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+}
 
 /// Statistical options common to the analysis commands.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -51,6 +64,8 @@ pub enum Command {
         stat: StatOpts,
         /// Also run the baseline methods.
         all_methods: bool,
+        /// Emit the report as JSON instead of text.
+        json: bool,
     },
     /// Single hypothesis test (Table 1 row 1).
     Hypothesis {
@@ -105,6 +120,38 @@ pub enum Command {
         timeout: Option<f64>,
         /// Injected-fault probabilities (all zero by default).
         fault: FaultSpec,
+        /// Emit the population as JSON instead of CSV.
+        json: bool,
+    },
+    /// Run the long-lived evaluation service.
+    Serve {
+        /// Bind address (port 0 picks an ephemeral port).
+        addr: String,
+        /// Concurrent jobs.
+        workers: usize,
+        /// Bounded queue depth.
+        queue_depth: usize,
+        /// Sampling threads within one job.
+        threads: usize,
+    },
+    /// Submit a job to a running server and stream its result.
+    Submit {
+        /// Server address.
+        addr: String,
+        /// The job to run.
+        spec: JobSpec,
+        /// Emit the raw JSON report instead of text.
+        json: bool,
+    },
+    /// Query a running server's counters.
+    Status {
+        /// Server address.
+        addr: String,
+    },
+    /// Ask a running server to drain and exit.
+    Shutdown {
+        /// Server address.
+        addr: String,
     },
     /// Print usage.
     Help,
@@ -168,6 +215,17 @@ fn parse_fault(v: &str) -> Result<FaultSpec> {
     Ok(spec)
 }
 
+fn parse_system(v: &str) -> Result<SystemSpec> {
+    match v {
+        "table2" => Ok(SystemSpec::Table2),
+        "l2-small" | "l2_small" => Ok(SystemSpec::L2Small),
+        "l2-large" | "l2_large" => Ok(SystemSpec::L2Large),
+        other => Err(CliError::Usage(format!(
+            "unknown system `{other}` (use table2, l2-small, or l2-large)"
+        ))),
+    }
+}
+
 fn parse_noise(v: &str) -> Result<NoiseArg> {
     if v == "paper" {
         return Ok(NoiseArg::Paper);
@@ -208,11 +266,19 @@ pub fn parse(argv: &[String]) -> Result<Command> {
     let mut seed_start = 0u64;
     let mut l2_kib = 3072u64;
     let mut noise = NoiseArg::Paper;
-    let mut threads = 4usize;
+    let mut threads = default_threads();
     let mut out: Option<String> = None;
     let mut retries = 2u32;
     let mut timeout: Option<f64> = None;
     let mut fault = FaultSpec::none();
+    let mut json = false;
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut workers = 2usize;
+    let mut queue_depth = 16usize;
+    let mut system = SystemSpec::Table2;
+    let mut metric = "runtime".to_string();
+    let mut max_rounds = 1024u64;
+    let mut round_size = 8u64;
 
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -267,6 +333,22 @@ pub fn parse(argv: &[String]) -> Result<Command> {
                 timeout = Some(secs);
             }
             "--fault" => fault = parse_fault(parse_flag_value(arg, &mut it)?)?,
+            "--json" => json = true,
+            "--addr" | "-a" => addr = parse_flag_value(arg, &mut it)?.to_owned(),
+            "--workers" => {
+                workers = parse_u64(arg, parse_flag_value(arg, &mut it)?)?.max(1) as usize;
+            }
+            "--queue-depth" => {
+                queue_depth = parse_u64(arg, parse_flag_value(arg, &mut it)?)?.max(1) as usize;
+            }
+            "--system" => system = parse_system(parse_flag_value(arg, &mut it)?)?,
+            "--metric" | "-m" => metric = parse_flag_value(arg, &mut it)?.to_owned(),
+            "--max-rounds" => {
+                max_rounds = parse_u64(arg, parse_flag_value(arg, &mut it)?)?;
+            }
+            "--round-size" => {
+                round_size = parse_u64(arg, parse_flag_value(arg, &mut it)?)?;
+            }
             other if other.starts_with('-') => {
                 return Err(CliError::Usage(format!("unknown flag `{other}`")));
             }
@@ -291,6 +373,7 @@ pub fn parse(argv: &[String]) -> Result<Command> {
             column,
             stat,
             all_methods,
+            json,
         }),
         "hypothesis" => Ok(Command::Hypothesis {
             file: need_file(file)?,
@@ -330,7 +413,51 @@ pub fn parse(argv: &[String]) -> Result<Command> {
             retries,
             timeout,
             fault,
+            json,
         }),
+        "serve" => Ok(Command::Serve {
+            addr,
+            workers,
+            queue_depth,
+            threads,
+        }),
+        "submit" => {
+            let benchmark = benchmark
+                .ok_or_else(|| CliError::Usage("submit needs --benchmark".into()))?;
+            let mode = match threshold {
+                Some(threshold) => ModeSpec::Hypothesis {
+                    direction: stat.direction,
+                    threshold,
+                    max_rounds,
+                },
+                None => ModeSpec::Interval {
+                    direction: stat.direction,
+                },
+            };
+            let noise = match noise {
+                NoiseArg::Paper => NoiseSpec::Paper,
+                NoiseArg::RealMachine => NoiseSpec::RealMachine,
+                NoiseArg::Jitter(max_cycles) => NoiseSpec::Jitter { max_cycles },
+            };
+            Ok(Command::Submit {
+                addr,
+                spec: JobSpec {
+                    benchmark: benchmark.name().to_string(),
+                    system,
+                    noise,
+                    metric,
+                    mode,
+                    confidence: stat.confidence,
+                    proportion: stat.proportion,
+                    seed_start,
+                    round_size,
+                    retries,
+                },
+                json,
+            })
+        }
+        "status" => Ok(Command::Status { addr }),
+        "shutdown" => Ok(Command::Shutdown { addr }),
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(CliError::Usage(format!("unknown command `{other}`"))),
     }
@@ -361,6 +488,7 @@ mod tests {
                 column: 0,
                 stat: StatOpts::default(),
                 all_methods: false,
+                json: false,
             }
         );
     }
@@ -377,6 +505,7 @@ mod tests {
                 column,
                 stat,
                 all_methods,
+                ..
             } => {
                 assert_eq!(file, "runs.csv");
                 assert_eq!(column, 2);
@@ -424,6 +553,7 @@ mod tests {
                 retries,
                 timeout,
                 fault,
+                ..
             } => {
                 assert_eq!(benchmark, Benchmark::Ferret);
                 assert_eq!(runs, 10);
@@ -494,6 +624,109 @@ mod tests {
         assert!(parse(&argv("simulate")).is_err());
         assert!(parse(&argv("analyze data.txt --noise weird")).is_err());
         assert!(parse(&argv("analyze data.txt -c")).is_err());
+    }
+
+    #[test]
+    fn threads_default_tracks_available_parallelism() {
+        let c = parse(&argv("simulate -b ferret")).unwrap();
+        match c {
+            Command::Simulate { threads, .. } => assert_eq!(threads, default_threads()),
+            other => panic!("{other:?}"),
+        }
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn serve_defaults_and_flags() {
+        let c = parse(&argv("serve")).unwrap();
+        assert_eq!(
+            c,
+            Command::Serve {
+                addr: DEFAULT_ADDR.into(),
+                workers: 2,
+                queue_depth: 16,
+                threads: default_threads(),
+            }
+        );
+        let c = parse(&argv(
+            "serve --addr 127.0.0.1:0 --workers 3 --queue-depth 5 --threads 2",
+        ))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Serve {
+                addr: "127.0.0.1:0".into(),
+                workers: 3,
+                queue_depth: 5,
+                threads: 2,
+            }
+        );
+    }
+
+    #[test]
+    fn submit_builds_interval_spec() {
+        let c = parse(&argv(
+            "submit -b blackscholes -a 127.0.0.1:9 --system l2-small --noise jitter:4 \
+             -m ipc -c 0.95 -f 0.5 --seed-start 7 --round-size 4 --retries 1 --json",
+        ))
+        .unwrap();
+        let Command::Submit { addr, spec, json } = c else {
+            panic!("{c:?}");
+        };
+        assert_eq!(addr, "127.0.0.1:9");
+        assert!(json);
+        assert_eq!(spec.benchmark, "blackscholes");
+        assert_eq!(spec.system, SystemSpec::L2Small);
+        assert_eq!(spec.noise, NoiseSpec::Jitter { max_cycles: 4 });
+        assert_eq!(spec.metric, "ipc");
+        assert_eq!(spec.confidence, 0.95);
+        assert_eq!(spec.proportion, 0.5);
+        assert_eq!(spec.seed_start, 7);
+        assert_eq!(spec.round_size, 4);
+        assert_eq!(spec.retries, 1);
+        assert_eq!(
+            spec.mode,
+            ModeSpec::Interval {
+                direction: Direction::AtMost
+            }
+        );
+    }
+
+    #[test]
+    fn submit_threshold_selects_hypothesis_mode() {
+        let c = parse(&argv(
+            "submit -b ferret -t 1.5 -d at-least --max-rounds 32",
+        ))
+        .unwrap();
+        let Command::Submit { spec, .. } = c else {
+            panic!("{c:?}");
+        };
+        assert_eq!(
+            spec.mode,
+            ModeSpec::Hypothesis {
+                direction: Direction::AtLeast,
+                threshold: 1.5,
+                max_rounds: 32,
+            }
+        );
+    }
+
+    #[test]
+    fn submit_requires_benchmark_and_status_parses() {
+        assert!(parse(&argv("submit")).is_err());
+        assert_eq!(
+            parse(&argv("status")).unwrap(),
+            Command::Status {
+                addr: DEFAULT_ADDR.into()
+            }
+        );
+        assert_eq!(
+            parse(&argv("shutdown -a 127.0.0.1:2")).unwrap(),
+            Command::Shutdown {
+                addr: "127.0.0.1:2".into()
+            }
+        );
+        assert!(parse(&argv("serve --system warehouse")).is_err());
     }
 
     #[test]

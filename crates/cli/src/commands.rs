@@ -14,7 +14,11 @@ use spa_core::clopper_pearson::Assertion;
 use spa_core::fault::{derive_retry_seed, FailureCounts, SampleError};
 use spa_core::min_samples::{min_samples, n_negative, n_positive};
 use spa_core::property::MetricProperty;
-use spa_core::spa::Spa;
+use spa_core::spa::{Spa, SpaReport};
+use spa_server::client;
+use spa_server::protocol::{JobResult, Response};
+use spa_server::spec::JobSpec;
+use spa_server::ServerConfig;
 use spa_sim::config::SystemConfig;
 use spa_sim::fault::{FaultKind, FaultSpec};
 use spa_sim::machine::Machine;
@@ -41,7 +45,8 @@ pub fn execute(command: Command) -> Result<String> {
             column,
             stat,
             all_methods,
-        } => analyze(&file, column, &stat, all_methods),
+            json,
+        } => analyze(&file, column, &stat, all_methods, json),
         Command::Hypothesis {
             file,
             column,
@@ -67,6 +72,7 @@ pub fn execute(command: Command) -> Result<String> {
             retries,
             timeout,
             fault,
+            json,
         } => simulate(&SimulateOpts {
             benchmark,
             runs,
@@ -78,7 +84,17 @@ pub fn execute(command: Command) -> Result<String> {
             retries,
             timeout,
             fault,
+            json,
         }),
+        Command::Serve {
+            addr,
+            workers,
+            queue_depth,
+            threads,
+        } => serve(&addr, workers, queue_depth, threads),
+        Command::Submit { addr, spec, json } => submit_job(&addr, &spec, json),
+        Command::Status { addr } => status_text(&addr),
+        Command::Shutdown { addr } => shutdown_server(&addr),
     }
 }
 
@@ -94,6 +110,14 @@ struct SimulateOpts {
     retries: u32,
     timeout: Option<f64>,
     fault: FaultSpec,
+    json: bool,
+}
+
+fn to_json_line<T: serde::Serialize>(value: &T) -> Result<String> {
+    let mut s = serde_json::to_string_pretty(value)
+        .map_err(|e| CliError::Input(format!("cannot serialize report: {e}")))?;
+    s.push('\n');
+    Ok(s)
 }
 
 fn spa_for(stat: &StatOpts) -> Result<Spa> {
@@ -116,7 +140,18 @@ fn min_samples_text(stat: &StatOpts) -> Result<String> {
     Ok(out)
 }
 
-fn analyze(file: &str, column: usize, stat: &StatOpts, all_methods: bool) -> Result<String> {
+fn analyze(
+    file: &str,
+    column: usize,
+    stat: &StatOpts,
+    all_methods: bool,
+    json: bool,
+) -> Result<String> {
+    if json && all_methods {
+        return Err(CliError::Usage(
+            "--json cannot be combined with --all-methods".into(),
+        ));
+    }
     let (samples, skipped) = read_column_counted(file, column)?;
     let spa = spa_for(stat)?;
     let needed = spa.required_samples();
@@ -129,6 +164,18 @@ fn analyze(file: &str, column: usize, stat: &StatOpts, all_methods: bool) -> Res
         )));
     }
     let ci = spa.confidence_interval(&samples, stat.direction)?;
+    if json {
+        // The same serde type a server interval job returns, so file
+        // analysis and service output are interchangeable downstream.
+        return to_json_line(&SpaReport {
+            samples,
+            interval: ci,
+            failures: FailureCounts::default(),
+            degraded: false,
+            requested_confidence: stat.confidence,
+            achieved_confidence: stat.confidence,
+        });
+    }
     let mut out = String::new();
     writeln!(
         out,
@@ -365,6 +412,41 @@ fn simulate(opts: &SimulateOpts) -> Result<String> {
         )));
     }
 
+    if opts.json {
+        #[derive(serde::Serialize)]
+        struct Row {
+            seed: u64,
+            metrics: ExecutionMetrics,
+        }
+        #[derive(serde::Serialize)]
+        struct Dump<'a> {
+            benchmark: &'a str,
+            rows: Vec<Row>,
+            failures: FailureCounts,
+        }
+        let text = to_json_line(&Dump {
+            benchmark: benchmark.name(),
+            rows: rows
+                .iter()
+                .map(|&(seed, metrics)| Row { seed, metrics })
+                .collect(),
+            failures,
+        })?;
+        return match &opts.out {
+            Some(path) => {
+                std::fs::write(path, &text).map_err(|source| CliError::File {
+                    path: path.clone(),
+                    source,
+                })?;
+                Ok(format!(
+                    "wrote {} executions of {benchmark} to {path} (JSON)\n",
+                    rows.len()
+                ))
+            }
+            None => Ok(text),
+        };
+    }
+
     let mut csv = String::new();
     write!(csv, "seed").expect("write to string");
     for m in Metric::ALL {
@@ -399,6 +481,149 @@ fn simulate(opts: &SimulateOpts) -> Result<String> {
         None if failures.is_clean() => Ok(csv),
         None => Ok(format!("# failures: {failures}\n{csv}")),
     }
+}
+
+fn serve(addr: &str, workers: usize, queue_depth: usize, threads: usize) -> Result<String> {
+    let handle = spa_server::start(ServerConfig {
+        addr: addr.to_string(),
+        workers,
+        queue_depth,
+        job_threads: threads,
+    })?;
+    // Announce the bound address immediately (port 0 resolves to an
+    // ephemeral port) so callers and scripts can scrape it; the summary
+    // string below is only printed after the drain completes.
+    {
+        use std::io::Write as _;
+        let mut stdout = std::io::stdout();
+        let _ = writeln!(
+            stdout,
+            "spa-server listening on {} ({workers} workers, queue depth {queue_depth})",
+            handle.addr()
+        );
+        let _ = stdout.flush();
+    }
+    while !handle.stats().shutting_down {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let stats = handle.stats();
+    handle.join();
+    Ok(format!(
+        "server drained and stopped: {} submitted, {} executed, {} cache hits, {} completed, {} failed\n",
+        stats.submitted, stats.executed, stats.cache_hits, stats.completed, stats.failed
+    ))
+}
+
+fn submit_job(addr: &str, spec: &JobSpec, json: bool) -> Result<String> {
+    let outcome = client::submit(addr, spec, |event| {
+        // Progress goes to stderr as it streams; stdout carries only the
+        // final (possibly JSON) report.
+        if !json {
+            if let Response::Progress {
+                samples,
+                confidence,
+                rounds,
+                ..
+            } = event
+            {
+                eprintln!(
+                    "  progress: {samples} samples over {rounds} rounds, C_CP bound {confidence:.4}"
+                );
+            }
+        }
+    })?;
+    if json {
+        return to_json_line(&outcome.result);
+    }
+    let mut out = String::new();
+    writeln!(
+        out,
+        "job {} {}",
+        outcome.job,
+        if outcome.cached {
+            "answered from cache (no sampling)"
+        } else {
+            "executed"
+        }
+    )
+    .expect("write to string");
+    match &outcome.result {
+        JobResult::Interval { report } => {
+            writeln!(
+                out,
+                "SPA: {} samples; with {:.1}% confidence the metric interval is [{:.6}, {:.6}] (width {:.6})",
+                report.samples.len(),
+                report.achieved_confidence * 100.0,
+                report.interval.lower(),
+                report.interval.upper(),
+                report.interval.width(),
+            )
+            .expect("write to string");
+            if report.degraded {
+                writeln!(
+                    out,
+                    "degraded: requested {:.4} but sampling losses allowed only {:.4} ({})",
+                    report.requested_confidence,
+                    report.achieved_confidence,
+                    report.failures,
+                )
+                .expect("write to string");
+            }
+        }
+        JobResult::Hypothesis { outcome: rounds } => {
+            match rounds.outcome {
+                Some(o) => {
+                    let verdict = match o.assertion {
+                        Assertion::Positive => "POSITIVE — the property holds",
+                        Assertion::Negative => "NEGATIVE — the property does not hold",
+                    };
+                    writeln!(
+                        out,
+                        "hypothesis: {verdict}\nsatisfied by {}/{} samples over {} rounds; C_CP = {:.4}",
+                        o.satisfied, o.samples_used, rounds.rounds_used, o.achieved_confidence,
+                    )
+                    .expect("write to string");
+                }
+                None => writeln!(
+                    out,
+                    "hypothesis: INCONCLUSIVE after {} rounds ({} samples); last C_CP = {:.4}",
+                    rounds.rounds_used, rounds.samples_used, rounds.last_confidence,
+                )
+                .expect("write to string"),
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn status_text(addr: &str) -> Result<String> {
+    let stats = client::status(addr)?;
+    Ok(format!(
+        "server at {addr}{}\n\
+         submissions: {} total, {} cache hits, {} coalesced, {} rejected\n\
+         jobs: {} executed, {} completed, {} failed, {} queued, {} running\n",
+        if stats.shutting_down {
+            " (shutting down)"
+        } else {
+            ""
+        },
+        stats.submitted,
+        stats.cache_hits,
+        stats.coalesced,
+        stats.rejected,
+        stats.executed,
+        stats.completed,
+        stats.failed,
+        stats.queued,
+        stats.running,
+    ))
+}
+
+fn shutdown_server(addr: &str) -> Result<String> {
+    client::shutdown(addr)?;
+    Ok(format!(
+        "shutdown started at {addr}; in-flight jobs will drain before exit\n"
+    ))
 }
 
 #[cfg(test)]
@@ -451,6 +676,41 @@ mod tests {
         assert!(out.contains("bootstrap"), "{out}");
         assert!(out.contains("rank"), "{out}");
         assert!(out.contains("z-score"), "{out}");
+    }
+
+    #[test]
+    fn analyze_json_emits_a_spa_report() {
+        let file = sample_file();
+        let out =
+            execute(parse(&argv(&format!("analyze {file} -f 0.5 --json"))).unwrap()).unwrap();
+        let report: SpaReport = serde_json::from_str(&out).unwrap();
+        assert_eq!(report.samples.len(), 30);
+        assert!(!report.degraded);
+        assert_eq!(report.requested_confidence, 0.9);
+        assert!(report.interval.lower() <= report.interval.upper());
+    }
+
+    #[test]
+    fn analyze_json_rejects_all_methods() {
+        let file = sample_file();
+        let err = execute(
+            parse(&argv(&format!("analyze {file} -f 0.5 --json --all-methods"))).unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("--all-methods"), "{err}");
+    }
+
+    #[test]
+    fn simulate_json_output() {
+        let out = execute(
+            parse(&argv("simulate -b blackscholes -n 2 --noise jitter:0 --json")).unwrap(),
+        )
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["benchmark"], "blackscholes");
+        assert_eq!(v["rows"].as_array().unwrap().len(), 2);
+        assert!(v["rows"][0]["metrics"]["runtime_cycles"].is_number(), "{v}");
+        assert_eq!(v["failures"]["crashes"], 0);
     }
 
     #[test]

@@ -22,6 +22,8 @@ pub enum CliError {
     Baseline(spa_baselines::BaselineError),
     /// A simulation failed.
     Sim(spa_sim::SimError),
+    /// Talking to the evaluation server failed.
+    Server(spa_server::ServerError),
     /// An I/O failure (reading input or writing output).
     Io(std::io::Error),
 }
@@ -37,6 +39,7 @@ impl fmt::Display for CliError {
             CliError::Core(e) => write!(f, "analysis error: {e}"),
             CliError::Baseline(e) => write!(f, "baseline error: {e}"),
             CliError::Sim(e) => write!(f, "simulation error: {e}"),
+            CliError::Server(e) => write!(f, "server error: {e}"),
             CliError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -48,6 +51,7 @@ impl std::error::Error for CliError {
             CliError::Core(e) => Some(e),
             CliError::Baseline(e) => Some(e),
             CliError::Sim(e) => Some(e),
+            CliError::Server(e) => Some(e),
             CliError::Io(e) => Some(e),
             CliError::File { source, .. } => Some(source),
             _ => None,
@@ -70,6 +74,12 @@ impl From<spa_baselines::BaselineError> for CliError {
 impl From<spa_sim::SimError> for CliError {
     fn from(e: spa_sim::SimError) -> Self {
         CliError::Sim(e)
+    }
+}
+
+impl From<spa_server::ServerError> for CliError {
+    fn from(e: spa_server::ServerError) -> Self {
+        CliError::Server(e)
     }
 }
 

@@ -49,7 +49,7 @@ spa — SMC for Processor Analysis (statistically rigorous evaluation)
 
 USAGE:
   spa analyze <file> [--column N] [--confidence C] [--proportion F]
-              [--direction at-most|at-least] [--all-methods]
+              [--direction at-most|at-least] [--all-methods] [--json]
   spa hypothesis <file> --threshold T [--column N] [--confidence C]
               [--proportion F] [--direction at-most|at-least]
   spa sweep <file> --from A --to B --step S [--column N]
@@ -58,10 +58,27 @@ USAGE:
   spa simulate --benchmark NAME [--runs N] [--seed-start S]
               [--l2-kb KB] [--noise paper|jitter:N|real-machine]
               [--threads N] [--out FILE] [--retries N] [--timeout SECS]
-              [--fault crash=P,timeout=P,nan=P]
+              [--fault crash=P,timeout=P,nan=P] [--json]
+  spa serve   [--addr HOST:PORT] [--workers N] [--queue-depth N]
+              [--threads N]
+  spa submit  --benchmark NAME [--addr HOST:PORT] [--threshold T]
+              [--system table2|l2-small|l2-large] [--metric KEY]
+              [--noise paper|jitter:N|real-machine] [--confidence C]
+              [--proportion F] [--direction at-most|at-least]
+              [--seed-start S] [--round-size N] [--max-rounds N]
+              [--retries N] [--json]
+  spa status   [--addr HOST:PORT]
+  spa shutdown [--addr HOST:PORT]
   spa help
 
-Defaults: --confidence 0.9 --proportion 0.9 --direction at-most --column 0.
+Defaults: --confidence 0.9 --proportion 0.9 --direction at-most --column 0;
+--threads defaults to the machine's available parallelism and --addr to
+127.0.0.1:7411.
+Serve runs the long-lived evaluation service: submissions are scheduled
+on a bounded queue, identical jobs are answered from a content-addressed
+result cache, and hypothesis jobs parallelize with bias-free fixed-size
+rounds. Submit without --threshold requests a confidence interval;
+with --threshold it runs one sequential hypothesis test.
 Simulate retries failed executions up to --retries extra times (default
 2), discards runs exceeding the soft --timeout budget, and can inject
 faults with --fault for robustness experiments; failure counts are

@@ -1,6 +1,8 @@
 //! Black-box tests of the compiled `spa` binary.
 
-use std::process::Command;
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
 
 fn spa_bin() -> Command {
     Command::new(env!("CARGO_BIN_EXE_spa"))
@@ -96,4 +98,93 @@ fn simulate_pipes_into_analyze() {
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     assert!(String::from_utf8_lossy(&out.stdout).contains("confidence"));
     let _ = std::fs::remove_file(csv);
+}
+
+#[test]
+fn analyze_json_is_machine_readable() {
+    let file = temp_samples();
+    let out = spa_bin()
+        .args(["analyze", &file, "--proportion", "0.5", "--json"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
+    assert_eq!(v["samples"].as_array().unwrap().len(), 25);
+    assert!(v["interval"].is_object(), "{v}");
+}
+
+/// Starts `spa serve` on an ephemeral port and scrapes the announced
+/// address from its first stdout line.
+fn spawn_server() -> (Child, String) {
+    let mut child = spa_bin()
+        .args(["serve", "--addr", "127.0.0.1:0", "--workers", "2", "--threads", "2"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let stdout = child.stdout.take().unwrap();
+    let mut first = String::new();
+    BufReader::new(stdout).read_line(&mut first).unwrap();
+    let addr = first
+        .split("listening on ")
+        .nth(1)
+        .unwrap_or_else(|| panic!("no address in {first:?}"))
+        .split_whitespace()
+        .next()
+        .unwrap()
+        .to_string();
+    (child, addr)
+}
+
+fn wait_exit(child: &mut Child) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while Instant::now() < deadline {
+        if child.try_wait().unwrap().is_some() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let _ = child.kill();
+    panic!("server did not exit after shutdown");
+}
+
+#[test]
+fn serve_submit_shutdown_end_to_end() {
+    let (mut server, addr) = spawn_server();
+
+    // First submission executes and returns a well-formed JSON report.
+    let submit = |extra: &[&str]| {
+        spa_bin()
+            .args([
+                "submit", "-a", &addr, "-b", "blackscholes", "--noise", "jitter:2",
+                "--seed-start", "43000", "--json",
+            ])
+            .args(extra)
+            .output()
+            .unwrap()
+    };
+    let out = submit(&[]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
+    assert_eq!(v["kind"], "interval");
+    let report = &v["report"];
+    assert_eq!(report["samples"].as_array().unwrap().len(), 22);
+    assert!(report["interval"].is_object(), "{v}");
+    assert_eq!(report["degraded"], false);
+
+    // The identical resubmission is answered from the result cache.
+    let out = submit(&[]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let again: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
+    assert_eq!(again, v, "cached report must be identical");
+
+    let out = spa_bin().args(["status", "-a", &addr]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("1 executed"), "{text}");
+    assert!(text.contains("1 cache hits"), "{text}");
+
+    let out = spa_bin().args(["shutdown", "-a", &addr]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    wait_exit(&mut server);
 }

@@ -53,6 +53,7 @@ pub mod fault;
 pub mod hyper;
 pub mod min_samples;
 pub mod property;
+pub mod rounds;
 pub mod smc;
 pub mod spa;
 pub mod sprt;

@@ -1,0 +1,481 @@
+//! Round-based aggregation for *parallel* sequential SMC.
+//!
+//! The sequential Algorithm 1 ([`SmcEngine::run_sequential`]) stops the
+//! moment its Clopper–Pearson confidence reaches the requested level —
+//! which is only statistically sound if the order in which outcomes
+//! enter the test is fixed *before* any of them is observed. A naive
+//! parallelisation that folds worker results first-come-first-served
+//! breaks that assumption: fast executions (which on real simulators
+//! correlate with the metric being measured) would systematically enter
+//! the test earlier than slow ones, biasing the stopping rule.
+//!
+//! Following Bulychev et al., *"Distributed Parametric and Statistical
+//! Model Checking"*, this module aggregates outcomes in **fixed-size
+//! rounds** instead. The seed stream is partitioned a priori into
+//! consecutive rounds of `round_size` executions (round `r` covers seeds
+//! `seed_start + r·R … seed_start + (r+1)·R − 1`); workers produce whole
+//! rounds in any order and at any speed, and the [`RoundAggregator`]
+//! folds them strictly in round-index order, evaluating the stopping
+//! rule only at complete round boundaries. Which samples are consumed —
+//! rounds `0..k` in index order — therefore never depends on thread
+//! scheduling, wall-clock time, or the sampled values themselves, so the
+//! stopping rule remains exactly as unbiased as the single-threaded
+//! loop (it is the single-threaded loop, checked every `R` samples).
+//!
+//! [`run_hypothesis_rounds`] is the bundled driver: it fans rounds out
+//! over scoped worker threads, each with a deterministic slice of the
+//! seed stream, and returns as soon as the aggregator concludes.
+//!
+//! # Examples
+//!
+//! ```
+//! use spa_core::clopper_pearson::Assertion;
+//! use spa_core::rounds::RoundAggregator;
+//! use spa_core::smc::SmcEngine;
+//!
+//! # fn main() -> Result<(), spa_core::CoreError> {
+//! let engine = SmcEngine::new(0.9, 0.9)?;
+//! let mut agg = RoundAggregator::new(engine, 11)?;
+//! // Rounds may arrive out of order; round 1 is buffered until round 0
+//! // lands.
+//! assert!(agg.submit(1, vec![true; 11])?.is_none());
+//! let outcome = agg.submit(0, vec![true; 11])?.expect("22 all-true converge");
+//! assert_eq!(outcome.assertion, Assertion::Positive);
+//! assert_eq!(outcome.samples_used, 22);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::BTreeMap;
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::clopper_pearson::{assertion, confidence};
+use crate::property::MetricProperty;
+use crate::smc::{SequentialOutcome, SmcEngine};
+use crate::spa::Sampler;
+use crate::{CoreError, Result};
+
+/// The seeds belonging to round `round` of a stream starting at
+/// `seed_start` with rounds of `round_size` executions.
+///
+/// # Examples
+///
+/// ```
+/// use spa_core::rounds::round_seeds;
+/// assert_eq!(round_seeds(100, 0, 8), 100..108);
+/// assert_eq!(round_seeds(100, 2, 8), 116..124);
+/// ```
+pub fn round_seeds(seed_start: u64, round: u64, round_size: u64) -> Range<u64> {
+    let start = seed_start + round * round_size;
+    start..start + round_size
+}
+
+/// Aggregates per-round boolean outcomes in strict round-index order and
+/// applies Algorithm 1's stopping rule only at complete round
+/// boundaries.
+///
+/// Out-of-order rounds are buffered; duplicate or wrongly sized rounds
+/// are rejected. Once the test concludes, further rounds are discarded
+/// (parallel workers legitimately overshoot the stopping point).
+#[derive(Debug)]
+pub struct RoundAggregator {
+    engine: SmcEngine,
+    round_size: u64,
+    /// Index of the next round to fold (rounds 0..next_round are folded).
+    next_round: u64,
+    /// Out-of-order rounds waiting for their predecessors.
+    buffered: BTreeMap<u64, Vec<bool>>,
+    satisfied: u64,
+    seen: u64,
+    last_confidence: f64,
+    concluded: Option<SequentialOutcome>,
+}
+
+impl RoundAggregator {
+    /// Creates an aggregator for the given engine and round size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] if `round_size` is zero.
+    pub fn new(engine: SmcEngine, round_size: u64) -> Result<Self> {
+        if round_size == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "round_size",
+                value: 0.0,
+                expected: "a round size of at least 1",
+            });
+        }
+        Ok(Self {
+            engine,
+            round_size,
+            next_round: 0,
+            buffered: BTreeMap::new(),
+            satisfied: 0,
+            seen: 0,
+            last_confidence: 0.0,
+            concluded: None,
+        })
+    }
+
+    /// The configured round size `R`.
+    pub fn round_size(&self) -> u64 {
+        self.round_size
+    }
+
+    /// Number of rounds folded into the test so far (in index order).
+    pub fn rounds_folded(&self) -> u64 {
+        self.next_round
+    }
+
+    /// Total outcomes folded so far (`rounds_folded · round_size`).
+    pub fn samples_seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Satisfying outcomes folded so far (`M`).
+    pub fn satisfied(&self) -> u64 {
+        self.satisfied
+    }
+
+    /// The Clopper–Pearson confidence after the last folded round
+    /// (0 before any round has been folded).
+    pub fn current_confidence(&self) -> f64 {
+        self.last_confidence
+    }
+
+    /// The concluded outcome, if the stopping rule has fired.
+    pub fn outcome(&self) -> Option<&SequentialOutcome> {
+        self.concluded.as_ref()
+    }
+
+    /// Whether the stopping rule has fired.
+    pub fn is_concluded(&self) -> bool {
+        self.concluded.is_some()
+    }
+
+    /// Submits one round of outcomes. Rounds may arrive in any order;
+    /// they are folded in index order and the stopping rule is evaluated
+    /// after each folded round. Returns the concluded outcome once
+    /// available (and on every later call).
+    ///
+    /// After conclusion, extra rounds are silently discarded — workers
+    /// racing past the stopping point are expected under parallelism.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] for a round whose length is not
+    /// `round_size` or that was already submitted.
+    pub fn submit(&mut self, round: u64, outcomes: Vec<bool>) -> Result<Option<SequentialOutcome>> {
+        if self.concluded.is_some() {
+            return Ok(self.concluded);
+        }
+        if outcomes.len() as u64 != self.round_size {
+            return Err(CoreError::InvalidParameter {
+                name: "round_len",
+                value: outcomes.len() as f64,
+                expected: "exactly round_size outcomes per round",
+            });
+        }
+        if round < self.next_round || self.buffered.contains_key(&round) {
+            return Err(CoreError::InvalidParameter {
+                name: "round",
+                value: round as f64,
+                expected: "each round index submitted exactly once",
+            });
+        }
+        self.buffered.insert(round, outcomes);
+        while let Some(ready) = self.buffered.remove(&self.next_round) {
+            self.next_round += 1;
+            for sat in ready {
+                self.seen += 1;
+                if sat {
+                    self.satisfied += 1;
+                }
+            }
+            let c = confidence(self.satisfied, self.seen, self.engine.proportion())?;
+            self.last_confidence = c;
+            if c >= self.engine.confidence_level() {
+                self.concluded = Some(SequentialOutcome {
+                    assertion: assertion(self.satisfied, self.seen, self.engine.proportion())?,
+                    achieved_confidence: c,
+                    satisfied: self.satisfied,
+                    samples_used: self.seen,
+                });
+                // Later rounds are never folded; drop any buffered ones.
+                self.buffered.clear();
+                break;
+            }
+        }
+        Ok(self.concluded)
+    }
+}
+
+/// The result of a round-based parallel sequential-SMC run.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RoundsOutcome {
+    /// The converged verdict, or `None` if `max_rounds` was exhausted
+    /// first.
+    pub outcome: Option<SequentialOutcome>,
+    /// Rounds folded into the test, in index order.
+    pub rounds_used: u64,
+    /// Outcomes consumed by the test (`rounds_used · round_size`).
+    pub samples_used: u64,
+    /// The Clopper–Pearson confidence after the last folded round.
+    pub last_confidence: f64,
+}
+
+/// Runs the property's sequential hypothesis test against the sampler
+/// with round-based parallel aggregation.
+///
+/// `workers` threads each claim round indices and execute that round's
+/// seed slice (`round_seeds`); the shared [`RoundAggregator`] folds
+/// completed rounds in index order and fires the stopping rule at round
+/// boundaries. The verdict depends only on
+/// `(sampler, property, seed_start, round_size)` — never on `workers`,
+/// scheduling, or timing — because the consumed prefix of the seed
+/// stream is fixed a priori.
+///
+/// At most `max_rounds` rounds are consumed; if the test has not
+/// concluded by then, [`RoundsOutcome::outcome`] is `None`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] for a zero `round_size`,
+/// `max_rounds`, or `workers`.
+pub fn run_hypothesis_rounds<S: Sampler + ?Sized>(
+    engine: &SmcEngine,
+    sampler: &S,
+    property: &MetricProperty,
+    seed_start: u64,
+    round_size: u64,
+    max_rounds: u64,
+    workers: usize,
+) -> Result<RoundsOutcome> {
+    if max_rounds == 0 {
+        return Err(CoreError::InvalidParameter {
+            name: "max_rounds",
+            value: 0.0,
+            expected: "at least one round",
+        });
+    }
+    if workers == 0 {
+        return Err(CoreError::InvalidParameter {
+            name: "workers",
+            value: 0.0,
+            expected: "at least one worker",
+        });
+    }
+    let aggregator = Mutex::new(RoundAggregator::new(*engine, round_size)?);
+    let next = AtomicU64::new(0);
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                let round = next.fetch_add(1, Ordering::Relaxed);
+                if round >= max_rounds {
+                    break;
+                }
+                let outcomes: Vec<bool> = round_seeds(seed_start, round, round_size)
+                    .map(|seed| property.satisfies(sampler.sample(seed)))
+                    .collect();
+                let mut agg = aggregator.lock();
+                // submit() cannot fail here: every index is claimed once
+                // and rounds are exactly round_size long.
+                if let Ok(Some(_)) = agg.submit(round, outcomes) {
+                    stop.store(true, Ordering::Relaxed);
+                    break;
+                }
+            });
+        }
+    });
+    let agg = aggregator.into_inner();
+    Ok(RoundsOutcome {
+        outcome: agg.outcome().copied(),
+        rounds_used: agg.rounds_folded(),
+        samples_used: agg.samples_seen(),
+        last_confidence: agg.current_confidence(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clopper_pearson::Assertion;
+    use crate::property::Direction;
+
+    fn engine() -> SmcEngine {
+        SmcEngine::new(0.9, 0.9).unwrap()
+    }
+
+    /// Reference implementation: fold the outcome stream round by round
+    /// in order, checking the stopping rule at boundaries only.
+    fn reference(
+        eng: &SmcEngine,
+        outcomes: impl Iterator<Item = bool>,
+        round_size: u64,
+    ) -> Option<SequentialOutcome> {
+        let (mut m, mut n) = (0u64, 0u64);
+        let mut in_round = 0u64;
+        for sat in outcomes {
+            n += 1;
+            in_round += 1;
+            if sat {
+                m += 1;
+            }
+            if in_round == round_size {
+                in_round = 0;
+                let c = confidence(m, n, eng.proportion()).unwrap();
+                if c >= eng.confidence_level() {
+                    return Some(SequentialOutcome {
+                        assertion: assertion(m, n, eng.proportion()).unwrap(),
+                        achieved_confidence: c,
+                        satisfied: m,
+                        samples_used: n,
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn rejects_degenerate_parameters() {
+        assert!(RoundAggregator::new(engine(), 0).is_err());
+        let sampler = |seed: u64| seed as f64;
+        let p = MetricProperty::new(Direction::AtMost, 1e9);
+        assert!(run_hypothesis_rounds(&engine(), &sampler, &p, 0, 4, 0, 1).is_err());
+        assert!(run_hypothesis_rounds(&engine(), &sampler, &p, 0, 4, 8, 0).is_err());
+        assert!(run_hypothesis_rounds(&engine(), &sampler, &p, 0, 0, 8, 1).is_err());
+    }
+
+    #[test]
+    fn all_true_concludes_at_round_boundary() {
+        // 22 all-true samples converge; with R = 8 the first boundary at
+        // or past 22 is 24.
+        let mut agg = RoundAggregator::new(engine(), 8).unwrap();
+        for r in 0..2 {
+            assert!(agg.submit(r, vec![true; 8]).unwrap().is_none());
+        }
+        let out = agg.submit(2, vec![true; 8]).unwrap().expect("round 3 concludes");
+        assert_eq!(out.samples_used, 24);
+        assert_eq!(out.assertion, Assertion::Positive);
+        assert!(out.achieved_confidence >= 0.9);
+        assert!(agg.is_concluded());
+        assert_eq!(agg.rounds_folded(), 3);
+    }
+
+    #[test]
+    fn submission_order_does_not_matter() {
+        // A deterministic mixed stream.
+        let stream = |i: u64| i % 5 != 0; // 80 % satisfied < F = 0.9 ⇒ negative eventually
+        let rounds: Vec<Vec<bool>> = (0..40u64)
+            .map(|r| (r * 4..(r + 1) * 4).map(stream).collect())
+            .collect();
+
+        let run = |order: &[usize]| {
+            let mut agg = RoundAggregator::new(engine(), 4).unwrap();
+            let mut result = None;
+            for &idx in order {
+                if agg.is_concluded() {
+                    break;
+                }
+                result = agg.submit(idx as u64, rounds[idx].clone()).unwrap();
+                if result.is_some() {
+                    break;
+                }
+            }
+            result.expect("stream converges within 40 rounds")
+        };
+
+        let in_order: Vec<usize> = (0..40).collect();
+        let mut reversed_tail = in_order.clone();
+        reversed_tail[1..].reverse();
+        let interleaved: Vec<usize> =
+            (0..20).flat_map(|i| [i * 2 + 1, i * 2]).collect();
+
+        let a = run(&in_order);
+        let b = run(&reversed_tail);
+        let c = run(&interleaved);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        // And the result matches the sequential reference truncated to
+        // round boundaries.
+        let expected = reference(&engine(), (0..160).map(stream), 4).unwrap();
+        assert_eq!(a, expected);
+    }
+
+    #[test]
+    fn duplicate_and_malformed_rounds_are_rejected() {
+        let mut agg = RoundAggregator::new(engine(), 4).unwrap();
+        agg.submit(0, vec![true; 4]).unwrap();
+        assert!(agg.submit(0, vec![true; 4]).is_err()); // already folded
+        agg.submit(2, vec![true; 4]).unwrap(); // buffered
+        assert!(agg.submit(2, vec![true; 4]).is_err()); // already buffered
+        assert!(agg.submit(3, vec![true; 3]).is_err()); // wrong size
+    }
+
+    #[test]
+    fn post_conclusion_rounds_are_discarded() {
+        let mut agg = RoundAggregator::new(engine(), 22).unwrap();
+        let out = agg.submit(0, vec![true; 22]).unwrap().unwrap();
+        assert_eq!(out.samples_used, 22);
+        // Extra rounds (even malformed ones) are ignored once concluded.
+        assert_eq!(agg.submit(1, vec![false; 22]).unwrap(), Some(out));
+        assert_eq!(agg.submit(7, vec![true; 3]).unwrap(), Some(out));
+        assert_eq!(agg.samples_seen(), 22);
+    }
+
+    #[test]
+    fn driver_is_deterministic_across_worker_counts() {
+        // Sampler with a deterministic spread; threshold in the middle.
+        let sampler = |seed: u64| (seed % 10) as f64;
+        let p = MetricProperty::new(Direction::AtMost, 8.5); // 90 % satisfy
+        let eng = engine();
+        let one = run_hypothesis_rounds(&eng, &sampler, &p, 5, 8, 64, 1).unwrap();
+        let four = run_hypothesis_rounds(&eng, &sampler, &p, 5, 8, 64, 4).unwrap();
+        let eight = run_hypothesis_rounds(&eng, &sampler, &p, 5, 8, 64, 8).unwrap();
+        assert_eq!(one, four);
+        assert_eq!(one, eight);
+        // Matches the sequential reference over the same seed stream.
+        let expected = reference(
+            &eng,
+            (0..64 * 8).map(|i| p.satisfies(sampler(5 + i))),
+            8,
+        );
+        assert_eq!(one.outcome, expected);
+    }
+
+    #[test]
+    fn driver_reports_exhaustion() {
+        // 50/50 stream at F = 0.9 converges negative quickly, so use a
+        // boundary stream that cannot converge in the budget: exactly at
+        // the proportion the confidence hovers below C.
+        let eng = SmcEngine::new(0.999999, 0.5).unwrap();
+        let sampler = |seed: u64| (seed % 2) as f64;
+        let p = MetricProperty::new(Direction::AtMost, 0.5); // half satisfy
+        let out = run_hypothesis_rounds(&eng, &sampler, &p, 0, 4, 3, 2).unwrap();
+        assert!(out.outcome.is_none());
+        assert_eq!(out.rounds_used, 3);
+        assert_eq!(out.samples_used, 12);
+        assert!(out.last_confidence < 0.999999);
+    }
+
+    #[test]
+    fn aggregator_tracks_progress_counters() {
+        let mut agg = RoundAggregator::new(engine(), 5).unwrap();
+        assert_eq!(agg.round_size(), 5);
+        assert_eq!(agg.samples_seen(), 0);
+        assert_eq!(agg.current_confidence(), 0.0);
+        agg.submit(0, vec![true, false, true, true, false]).unwrap();
+        assert_eq!(agg.samples_seen(), 5);
+        assert_eq!(agg.satisfied(), 3);
+        assert!(agg.current_confidence() > 0.0);
+        assert!(!agg.is_concluded());
+    }
+}

@@ -477,7 +477,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 }
 
 /// The output of an end-to-end SPA run.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct SpaReport {
     /// The collected metric samples, in seed order.
     pub samples: Vec<f64>,

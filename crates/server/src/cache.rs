@@ -1,0 +1,164 @@
+//! The content-addressed result cache with single-flight semantics.
+//!
+//! Keys are canonical job-spec strings ([`crate::spec::canonical_key`]);
+//! values are finished [`JobResult`]s. The cache distinguishes a
+//! *completed* entry from an *in-flight reservation*: the first
+//! submission of a key reserves it and executes; concurrent identical
+//! submissions are told which job to join instead of sampling again
+//! (single-flight — a key's simulation runs at most once, no matter how
+//! many clients race). A failed or cancelled job releases its
+//! reservation so a later submission can retry.
+//!
+//! This layer caches finished *statistics*; the expensive raw
+//! *populations* underneath are cached on disk by `spa-bench`'s
+//! versioned population cache, which interval jobs consult first — so
+//! even a cold result cache (fresh server process) reuses any
+//! simulation work a previous process already paid for.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use crate::protocol::JobResult;
+
+#[derive(Debug, Clone)]
+enum Entry {
+    InFlight { job: u64 },
+    Done { result: JobResult },
+}
+
+/// What a submission should do with its key.
+#[derive(Debug, Clone)]
+pub enum Lookup {
+    /// Completed result — answer immediately, no sampling.
+    Hit(JobResult),
+    /// An identical job is executing — subscribe to it.
+    Joined {
+        /// The in-flight job's id.
+        job: u64,
+    },
+    /// The key is now reserved for the caller's job — execute it.
+    Reserved,
+}
+
+/// The in-memory result cache.
+#[derive(Debug, Default)]
+pub struct ResultCache {
+    entries: Mutex<HashMap<String, Entry>>,
+}
+
+impl ResultCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up `key`; on a miss, atomically reserves it for `job`.
+    pub fn lookup_or_reserve(&self, key: &str, job: u64) -> Lookup {
+        let mut entries = self.entries.lock();
+        match entries.get(key) {
+            Some(Entry::Done { result }) => Lookup::Hit(result.clone()),
+            Some(Entry::InFlight { job }) => Lookup::Joined { job: *job },
+            None => {
+                entries.insert(key.to_string(), Entry::InFlight { job });
+                Lookup::Reserved
+            }
+        }
+    }
+
+    /// Publishes the finished result under `key`, replacing the
+    /// reservation.
+    pub fn complete(&self, key: &str, result: JobResult) {
+        self.entries
+            .lock()
+            .insert(key.to_string(), Entry::Done { result });
+    }
+
+    /// Releases `key`'s reservation (failed or cancelled job) so a later
+    /// submission retries instead of joining a corpse.
+    pub fn invalidate(&self, key: &str) {
+        self.entries.lock().remove(key);
+    }
+
+    /// Number of completed entries.
+    pub fn completed_len(&self) -> usize {
+        self.entries
+            .lock()
+            .values()
+            .filter(|e| matches!(e, Entry::Done { .. }))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spa_core::rounds::RoundsOutcome;
+
+    fn result(tag: u64) -> JobResult {
+        JobResult::Hypothesis {
+            outcome: RoundsOutcome {
+                outcome: None,
+                rounds_used: tag,
+                samples_used: tag * 4,
+                last_confidence: 0.5,
+            },
+        }
+    }
+
+    #[test]
+    fn first_submission_reserves() {
+        let cache = ResultCache::new();
+        assert!(matches!(cache.lookup_or_reserve("k", 1), Lookup::Reserved));
+        // Identical concurrent submission joins job 1 instead of
+        // re-reserving.
+        match cache.lookup_or_reserve("k", 2) {
+            Lookup::Joined { job } => assert_eq!(job, 1),
+            other => panic!("{other:?}"),
+        }
+        // A different key reserves independently.
+        assert!(matches!(cache.lookup_or_reserve("k2", 3), Lookup::Reserved));
+    }
+
+    #[test]
+    fn completion_turns_joins_into_hits() {
+        let cache = ResultCache::new();
+        assert!(matches!(cache.lookup_or_reserve("k", 1), Lookup::Reserved));
+        cache.complete("k", result(7));
+        match cache.lookup_or_reserve("k", 2) {
+            Lookup::Hit(JobResult::Hypothesis { outcome }) => {
+                assert_eq!(outcome.rounds_used, 7);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(cache.completed_len(), 1);
+    }
+
+    #[test]
+    fn invalidation_allows_retry() {
+        let cache = ResultCache::new();
+        assert!(matches!(cache.lookup_or_reserve("k", 1), Lookup::Reserved));
+        cache.invalidate("k");
+        // The failed reservation is gone: the next submission executes.
+        assert!(matches!(cache.lookup_or_reserve("k", 2), Lookup::Reserved));
+        assert_eq!(cache.completed_len(), 0);
+    }
+
+    #[test]
+    fn concurrent_reservations_are_single_flight() {
+        let cache = std::sync::Arc::new(ResultCache::new());
+        let mut handles = Vec::new();
+        for i in 0..16u64 {
+            let cache = cache.clone();
+            handles.push(std::thread::spawn(move || {
+                matches!(cache.lookup_or_reserve("k", i), Lookup::Reserved)
+            }));
+        }
+        let reserved = handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .filter(|&r| r)
+            .count();
+        assert_eq!(reserved, 1, "exactly one thread may win the reservation");
+    }
+}

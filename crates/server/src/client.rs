@@ -1,0 +1,114 @@
+//! Blocking client helpers for the JSON-lines protocol.
+//!
+//! These are what `spa submit` / `spa status` / `spa shutdown` use, and
+//! what tests drive the server with: plain functions over a
+//! `TcpStream`, one request per connection.
+
+use std::io::BufReader;
+use std::net::TcpStream;
+
+use crate::protocol::{read_message, write_message, JobResult, Request, Response, ServerStats};
+use crate::spec::JobSpec;
+use crate::ServerError;
+
+/// What a successful submission produced.
+#[derive(Debug, Clone)]
+pub struct SubmitOutcome {
+    /// Server-assigned job id (the executing job's id when coalesced).
+    pub job: u64,
+    /// True when the report came from the result cache without sampling.
+    pub cached: bool,
+    /// The finished result.
+    pub result: JobResult,
+    /// How many progress events were streamed before the report.
+    pub progress_events: u64,
+}
+
+/// Submits a job and blocks until its terminal response.
+///
+/// Every server message (acceptance, progress, terminal) is passed to
+/// `on_event` as it arrives, for live display.
+///
+/// # Errors
+///
+/// [`ServerError::Rejected`] with the server's typed reason,
+/// [`ServerError::JobFailed`] if the job ran and failed, plus the usual
+/// I/O, protocol, and [`ServerError::Disconnected`] failures.
+pub fn submit(
+    addr: &str,
+    spec: &JobSpec,
+    mut on_event: impl FnMut(&Response),
+) -> Result<SubmitOutcome, ServerError> {
+    let stream = TcpStream::connect(addr)?;
+    let mut writer = &stream;
+    write_message(
+        &mut writer,
+        &Request::Submit { spec: spec.clone() },
+    )?;
+    let mut reader = BufReader::new(&stream);
+    let mut progress_events = 0u64;
+    loop {
+        let resp: Response = read_message(&mut reader)?.ok_or(ServerError::Disconnected)?;
+        on_event(&resp);
+        match resp {
+            Response::Accepted { .. } => {}
+            Response::Progress { .. } => progress_events += 1,
+            Response::Rejected { reason } => return Err(ServerError::Rejected(reason)),
+            Response::Report {
+                job,
+                cached,
+                result,
+            } => {
+                return Ok(SubmitOutcome {
+                    job,
+                    cached,
+                    result,
+                    progress_events,
+                })
+            }
+            Response::Failed { error, .. } => return Err(ServerError::JobFailed(error)),
+            Response::Error { detail } => return Err(ServerError::Protocol(detail)),
+            other => {
+                return Err(ServerError::Protocol(format!(
+                    "unexpected response to submit: {other:?}"
+                )))
+            }
+        }
+    }
+}
+
+/// Fetches the server's counter snapshot.
+///
+/// # Errors
+///
+/// I/O, protocol, or disconnection failures.
+pub fn status(addr: &str) -> Result<ServerStats, ServerError> {
+    let stream = TcpStream::connect(addr)?;
+    let mut writer = &stream;
+    write_message(&mut writer, &Request::Status)?;
+    let mut reader = BufReader::new(&stream);
+    match read_message::<_, Response>(&mut reader)?.ok_or(ServerError::Disconnected)? {
+        Response::Status { stats } => Ok(stats),
+        other => Err(ServerError::Protocol(format!(
+            "unexpected response to status: {other:?}"
+        ))),
+    }
+}
+
+/// Asks the server to drain and exit.
+///
+/// # Errors
+///
+/// I/O, protocol, or disconnection failures.
+pub fn shutdown(addr: &str) -> Result<(), ServerError> {
+    let stream = TcpStream::connect(addr)?;
+    let mut writer = &stream;
+    write_message(&mut writer, &Request::Shutdown)?;
+    let mut reader = BufReader::new(&stream);
+    match read_message::<_, Response>(&mut reader)?.ok_or(ServerError::Disconnected)? {
+        Response::ShutdownStarted => Ok(()),
+        other => Err(ServerError::Protocol(format!(
+            "unexpected response to shutdown: {other:?}"
+        ))),
+    }
+}

@@ -1,0 +1,56 @@
+//! Error type shared by the client helpers and the protocol layer.
+
+use std::fmt;
+
+use crate::protocol::RejectReason;
+
+/// Everything that can go wrong talking to (or being) the evaluation
+/// service.
+#[derive(Debug)]
+pub enum ServerError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The peer sent something that is not a well-formed message.
+    Protocol(String),
+    /// The server declined the submission with a typed reason.
+    Rejected(RejectReason),
+    /// The job was accepted but its execution failed.
+    JobFailed(String),
+    /// The connection closed before a terminal response arrived.
+    Disconnected,
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Io(e) => write!(f, "i/o error: {e}"),
+            ServerError::Protocol(detail) => write!(f, "protocol error: {detail}"),
+            ServerError::Rejected(reason) => write!(f, "submission rejected: {reason}"),
+            ServerError::JobFailed(error) => write!(f, "job failed: {error}"),
+            ServerError::Disconnected => {
+                f.write_str("connection closed before a terminal response")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServerError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServerError {
+    fn from(e: std::io::Error) -> Self {
+        ServerError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for ServerError {
+    fn from(e: serde_json::Error) -> Self {
+        ServerError::Protocol(e.to_string())
+    }
+}

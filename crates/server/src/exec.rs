@@ -1,0 +1,581 @@
+//! Job execution: simulator-backed sampling with fault tolerance,
+//! round-partitioned seed streams, and progress reporting.
+//!
+//! Both job modes consume the same deterministic seed stream
+//! `seed_start, seed_start + 1, …`, partitioned into fixed rounds of
+//! `round_size` executions ([`spa_core::rounds::round_seeds`]):
+//!
+//! * **Interval** jobs need a fixed sample count (Eq. 8), so rounds are
+//!   just progress-sized chunks; the assembled sample vector is in seed
+//!   order and therefore byte-identical to what a direct
+//!   [`Spa::run`](spa_core::spa::Spa::run) with the same seeds collects.
+//!   A usable population in `spa-bench`'s on-disk cache answers without
+//!   simulating at all; a complete, failure-free fresh collection is
+//!   stored back into that cache for the next process.
+//! * **Hypothesis** jobs run Algorithm 1 under parallelism: worker
+//!   threads claim round indices, execute whole rounds, and a shared
+//!   [`RoundAggregator`] folds them in index order so the stopping rule
+//!   never depends on thread scheduling (Bulychev et al.).
+//!
+//! Every execution goes through PR 1's fault machinery: the simulator
+//! call is panic-isolated, failures are classified
+//! ([`SampleError`](spa_core::fault::SampleError)), and each seed gets
+//! `1 + retries` attempts at deterministically derived retry seeds
+//! ([`derive_retry_seed`]) — a crashed simulation never kills a worker,
+//! and a clean run is byte-identical to an infallible one.
+
+use std::ops::Range;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+use spa_bench::population::{load_cached, store_cache, Population, PopulationKey};
+use spa_core::fault::{
+    derive_retry_seed, FailureCounts, FallibleSampler, RetryPolicy, SampleBatch, SampleError,
+};
+use spa_core::min_samples::achievable_confidence;
+use spa_core::property::{Direction, MetricProperty};
+use spa_core::rounds::{round_seeds, RoundAggregator, RoundsOutcome};
+use spa_core::smc::SmcEngine;
+use spa_core::spa::Spa;
+use spa_sim::machine::Machine;
+use spa_sim::metrics::{ExecutionMetrics, Metric};
+
+use crate::protocol::JobResult;
+use crate::spec::{ModeSpec, ValidatedJob};
+
+/// A progress snapshot pushed to subscribed clients.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProgressUpdate {
+    /// Samples aggregated so far.
+    pub samples: u64,
+    /// Current Clopper–Pearson bound (see
+    /// [`Response::Progress`](crate::protocol::Response::Progress)).
+    pub confidence: f64,
+    /// Rounds folded so far.
+    pub rounds: u64,
+}
+
+/// Execution context a worker hands to [`execute`].
+pub struct ExecContext<'a> {
+    /// Intra-job sampling threads.
+    pub threads: usize,
+    /// Set externally to abandon the job between rounds.
+    pub cancel: &'a AtomicBool,
+    /// Progress sink (invoked between rounds, possibly from multiple
+    /// threads — events arrive in aggregation order).
+    pub progress: &'a (dyn Fn(ProgressUpdate) + Sync),
+}
+
+/// The simulator-backed sampler for one job: machine + metric.
+///
+/// Implements [`FallibleSampler`], so hypothesis rounds run through the
+/// same trait PR 1's pipeline uses; interval collection additionally
+/// keeps the full [`ExecutionMetrics`] so complete runs can be stored in
+/// the population cache.
+struct SimSampler<'m, 'w> {
+    machine: &'m Machine<'w>,
+    metric: Metric,
+}
+
+impl SimSampler<'_, '_> {
+    /// One panic-isolated simulator execution.
+    fn run_metrics(&self, seed: u64) -> Result<ExecutionMetrics, SampleError> {
+        match std::panic::catch_unwind(AssertUnwindSafe(|| self.machine.run(seed))) {
+            Ok(Ok(run)) => {
+                let value = self.metric.extract(&run.metrics);
+                if value.is_finite() {
+                    Ok(run.metrics)
+                } else {
+                    Err(SampleError::InvalidMetric { value })
+                }
+            }
+            Ok(Err(e)) => Err(SampleError::Crash {
+                message: e.to_string(),
+            }),
+            Err(_) => Err(SampleError::Crash {
+                message: "simulator panicked".into(),
+            }),
+        }
+    }
+}
+
+impl FallibleSampler for SimSampler<'_, '_> {
+    fn sample(&self, seed: u64) -> Result<f64, SampleError> {
+        self.run_metrics(seed).map(|m| self.metric.extract(&m))
+    }
+}
+
+/// Collects one round of seeds in parallel with per-seed retries.
+///
+/// Each seed gets up to [`RetryPolicy::max_attempts`] attempts at
+/// deterministically derived seeds; results come back sorted by seed, so
+/// the output depends only on `(attempt, seeds, policy)` — never on
+/// thread scheduling. Seeds whose budget is exhausted are dropped and
+/// counted.
+fn collect_round<T: Send>(
+    seeds: Range<u64>,
+    threads: usize,
+    policy: &RetryPolicy,
+    attempt: &(dyn Fn(u64) -> Result<T, SampleError> + Sync),
+) -> (Vec<(u64, T)>, FailureCounts) {
+    let seeds: Vec<u64> = seeds.collect();
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<(u64, T)>> = Mutex::new(Vec::with_capacity(seeds.len()));
+    let failures: Mutex<FailureCounts> = Mutex::new(FailureCounts::default());
+    let workers = threads.clamp(1, seeds.len().max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&seed) = seeds.get(i) else { break };
+                let mut local = FailureCounts::default();
+                let mut collected = None;
+                for k in 0..policy.max_attempts() {
+                    if k > 0 {
+                        local.retries += 1;
+                        let delay = policy.backoff_delay(seed, k);
+                        if !delay.is_zero() {
+                            std::thread::sleep(delay);
+                        }
+                    }
+                    match attempt(derive_retry_seed(seed, k)) {
+                        Ok(value) => {
+                            collected = Some(value);
+                            break;
+                        }
+                        Err(error) => local.record(&error),
+                    }
+                }
+                if let Some(value) = collected {
+                    results.lock().push((seed, value));
+                } else {
+                    local.abandoned_seeds += 1;
+                }
+                failures.lock().merge(&local);
+            });
+        }
+    });
+    let mut rows = results.into_inner();
+    rows.sort_by_key(|&(seed, _)| seed);
+    (rows, failures.into_inner())
+}
+
+/// Executes a validated job to a result.
+///
+/// # Errors
+///
+/// A human-readable failure description (simulator configuration error,
+/// unrecoverable sampling failure, or cancellation).
+pub fn execute(vjob: &ValidatedJob, ctx: &ExecContext<'_>) -> Result<JobResult, String> {
+    let spec = &vjob.spec;
+    let spa = Spa::builder()
+        .confidence(spec.confidence)
+        .proportion(spec.proportion)
+        .batch_size(ctx.threads)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let policy = RetryPolicy::new(spec.retries.saturating_add(1));
+    let workload = vjob.benchmark.workload();
+    let machine = Machine::new(spec.system.variant().config(), &workload)
+        .map_err(|e| e.to_string())?
+        .with_variability(spec.noise.model().variability());
+    let sampler = SimSampler {
+        machine: &machine,
+        metric: vjob.metric,
+    };
+    match spec.mode {
+        ModeSpec::Interval { direction } => run_interval(vjob, ctx, &spa, &policy, &sampler, direction),
+        ModeSpec::Hypothesis {
+            direction,
+            threshold,
+            max_rounds,
+        } => run_hypothesis(
+            vjob,
+            ctx,
+            &policy,
+            &sampler,
+            MetricProperty::new(direction, threshold),
+            max_rounds,
+        ),
+    }
+}
+
+/// The confidence `n` collected samples can support, capped at the
+/// requested level — the progress bound for interval jobs.
+fn interval_bound(collected: u64, requested: f64, proportion: f64) -> f64 {
+    if collected == 0 {
+        return 0.0;
+    }
+    achievable_confidence(collected, proportion)
+        .map(|c| c.min(requested))
+        .unwrap_or(0.0)
+}
+
+fn run_interval(
+    vjob: &ValidatedJob,
+    ctx: &ExecContext<'_>,
+    spa: &Spa,
+    policy: &RetryPolicy,
+    sampler: &SimSampler<'_, '_>,
+    direction: Direction,
+) -> Result<JobResult, String> {
+    let spec = &vjob.spec;
+    let total = spa.required_samples();
+    let rounds = total.div_ceil(spec.round_size);
+    let key = PopulationKey {
+        benchmark: vjob.benchmark,
+        system: spec.system.variant(),
+        noise: spec.noise.model(),
+        count: total as usize,
+        seed_start: spec.seed_start,
+    };
+
+    // Fast path: a previous process already simulated exactly this
+    // population — answer from the versioned on-disk cache. Cache
+    // *errors* (corrupt/stale files) fall through to regeneration.
+    if let Ok(Some(pop)) = load_cached(key) {
+        (ctx.progress)(ProgressUpdate {
+            samples: total,
+            confidence: spec.confidence,
+            rounds,
+        });
+        let batch = SampleBatch {
+            samples: pop.metric(vjob.metric),
+            failures: FailureCounts::default(),
+            requested: total,
+        };
+        let report = spa
+            .report_from_batch(batch, direction)
+            .map_err(|e| e.to_string())?;
+        return Ok(JobResult::Interval { report });
+    }
+
+    // Not preallocated to `total`: a huge-C job may be cancelled after a
+    // handful of rounds.
+    let mut rows: Vec<(u64, ExecutionMetrics)> = Vec::new();
+    let mut failures = FailureCounts::default();
+    for r in 0..rounds {
+        if ctx.cancel.load(Ordering::Relaxed) {
+            return Err("job cancelled".into());
+        }
+        let all = round_seeds(spec.seed_start, r, spec.round_size);
+        let seeds = all.start..all.end.min(spec.seed_start + total);
+        let (chunk, counts) = collect_round(seeds, ctx.threads, policy, &|seed| {
+            sampler.run_metrics(seed)
+        });
+        failures.merge(&counts);
+        rows.extend(chunk);
+        (ctx.progress)(ProgressUpdate {
+            samples: rows.len() as u64,
+            confidence: interval_bound(rows.len() as u64, spec.confidence, spec.proportion),
+            rounds: r + 1,
+        });
+    }
+
+    // Rounds were collected in index order and each round is sorted by
+    // seed, so `rows` is globally in seed order. A complete, clean
+    // collection is exactly the population a figure harness would have
+    // simulated — share it through the disk cache (best-effort).
+    if rows.len() as u64 == total && failures.is_clean() {
+        let population = Population {
+            key,
+            runs: rows.iter().map(|&(_, m)| m).collect(),
+        };
+        let _ = store_cache(&population);
+    }
+
+    let batch = SampleBatch {
+        samples: rows
+            .iter()
+            .map(|(_, m)| vjob.metric.extract(m))
+            .collect(),
+        failures,
+        requested: total,
+    };
+    let report = spa
+        .report_from_batch(batch, direction)
+        .map_err(|e| e.to_string())?;
+    Ok(JobResult::Interval { report })
+}
+
+fn run_hypothesis(
+    vjob: &ValidatedJob,
+    ctx: &ExecContext<'_>,
+    policy: &RetryPolicy,
+    sampler: &SimSampler<'_, '_>,
+    property: MetricProperty,
+    max_rounds: u64,
+) -> Result<JobResult, String> {
+    let spec = &vjob.spec;
+    let engine = SmcEngine::new(spec.confidence, spec.proportion).map_err(|e| e.to_string())?;
+    let aggregator = Mutex::new(
+        RoundAggregator::new(engine, spec.round_size).map_err(|e| e.to_string())?,
+    );
+    let next = AtomicU64::new(0);
+    let stop = AtomicBool::new(false);
+    let error: Mutex<Option<String>> = Mutex::new(None);
+    std::thread::scope(|scope| {
+        for _ in 0..ctx.threads.max(1) {
+            scope.spawn(|| loop {
+                if stop.load(Ordering::Relaxed) || ctx.cancel.load(Ordering::Relaxed) {
+                    break;
+                }
+                let r = next.fetch_add(1, Ordering::Relaxed);
+                if r >= max_rounds {
+                    break;
+                }
+                let seeds = round_seeds(spec.seed_start, r, spec.round_size);
+                // Round-level parallelism: each worker runs its round's
+                // seeds itself (single-threaded within the round).
+                let (chunk, counts) =
+                    collect_round(seeds, 1, policy, &|seed| sampler.sample(seed));
+                if (chunk.len() as u64) < spec.round_size {
+                    *error.lock() = Some(format!(
+                        "round {r}: {} of {} executions failed permanently ({counts})",
+                        spec.round_size - chunk.len() as u64,
+                        spec.round_size,
+                    ));
+                    stop.store(true, Ordering::Relaxed);
+                    break;
+                }
+                let outcomes: Vec<bool> = chunk
+                    .iter()
+                    .map(|&(_, value)| property.satisfies(value))
+                    .collect();
+                // Progress is emitted under the aggregator lock so the
+                // event stream is monotone in folded rounds.
+                let mut agg = aggregator.lock();
+                match agg.submit(r, outcomes) {
+                    Ok(concluded) => {
+                        (ctx.progress)(ProgressUpdate {
+                            samples: agg.samples_seen(),
+                            confidence: agg.current_confidence(),
+                            rounds: agg.rounds_folded(),
+                        });
+                        if concluded.is_some() {
+                            stop.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                    Err(e) => {
+                        *error.lock() = Some(e.to_string());
+                        stop.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                }
+            });
+        }
+    });
+    if ctx.cancel.load(Ordering::Relaxed) {
+        return Err("job cancelled".into());
+    }
+    if let Some(e) = error.into_inner() {
+        return Err(e);
+    }
+    let agg = aggregator.into_inner();
+    Ok(JobResult::Hypothesis {
+        outcome: RoundsOutcome {
+            outcome: agg.outcome().copied(),
+            rounds_used: agg.rounds_folded(),
+            samples_used: agg.samples_seen(),
+            last_confidence: agg.current_confidence(),
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{validate, JobSpec, ModeSpec, NoiseSpec};
+
+    fn ctx<'a>(
+        cancel: &'a AtomicBool,
+        progress: &'a (dyn Fn(ProgressUpdate) + Sync),
+    ) -> ExecContext<'a> {
+        ExecContext {
+            threads: 2,
+            cancel,
+            progress,
+        }
+    }
+
+    #[test]
+    fn collect_round_is_deterministic_across_thread_counts() {
+        let policy = RetryPolicy::no_retry();
+        let attempt = |seed: u64| -> Result<u64, SampleError> { Ok(seed * 3) };
+        let (one, f1) = collect_round(10..18, 1, &policy, &attempt);
+        let (four, f4) = collect_round(10..18, 4, &policy, &attempt);
+        assert_eq!(one, four);
+        assert_eq!(one.len(), 8);
+        assert!(one.windows(2).all(|w| w[0].0 < w[1].0), "sorted by seed");
+        assert!(f1.is_clean() && f4.is_clean());
+    }
+
+    #[test]
+    fn collect_round_retries_and_abandons() {
+        // Attempt 0 fails for every even base seed; the derived retry
+        // seed (attempt 1) is accepted, identifying itself by value.
+        let policy = RetryPolicy::new(2);
+        let attempt = |seed: u64| -> Result<u64, SampleError> {
+            if seed % 2 == 0 {
+                Err(SampleError::Timeout)
+            } else {
+                Ok(seed)
+            }
+        };
+        let (rows, counts) = collect_round(0..4, 2, &policy, &attempt);
+        // Odd base seeds succeed at attempt 0; even base seeds succeed
+        // at attempt 1 only if their derived seed is odd.
+        for &(base, value) in &rows {
+            let expected = if base % 2 == 1 {
+                base
+            } else {
+                derive_retry_seed(base, 1)
+            };
+            assert_eq!(value, expected);
+        }
+        assert!(counts.timeouts >= 2, "{counts}");
+        assert_eq!(
+            rows.len() as u64 + counts.abandoned_seeds,
+            4,
+            "every seed is either collected or abandoned"
+        );
+    }
+
+    #[test]
+    fn interval_job_reports_and_streams_progress() {
+        let spec = JobSpec {
+            noise: NoiseSpec::Jitter { max_cycles: 0 },
+            seed_start: 77_000, // avoid colliding with population-cache tests
+            round_size: 8,
+            ..JobSpec::new(
+                "blackscholes",
+                ModeSpec::Interval {
+                    direction: Direction::AtMost,
+                },
+            )
+        };
+        let vjob = validate(spec).unwrap();
+        let cancel = AtomicBool::new(false);
+        let events: Mutex<Vec<ProgressUpdate>> = Mutex::new(Vec::new());
+        let progress = |u: ProgressUpdate| events.lock().push(u);
+        let result = execute(&vjob, &ctx(&cancel, &progress)).unwrap();
+        let JobResult::Interval { report } = result else {
+            panic!("interval job must return an interval result");
+        };
+        assert_eq!(report.samples.len(), 22);
+        assert!(!report.degraded);
+        assert!(report.failures.is_clean());
+        let events = events.into_inner();
+        assert!(!events.is_empty());
+        let last = events.last().unwrap();
+        assert_eq!(last.samples, 22);
+        assert_eq!(last.confidence, 0.9);
+    }
+
+    #[test]
+    fn interval_job_matches_direct_spa_run() {
+        let spec = JobSpec {
+            noise: NoiseSpec::Jitter { max_cycles: 2 },
+            seed_start: 77_100,
+            round_size: 5, // uneven final round exercises the chunk clamp
+            ..JobSpec::new(
+                "blackscholes",
+                ModeSpec::Interval {
+                    direction: Direction::AtMost,
+                },
+            )
+        };
+        let vjob = validate(spec.clone()).unwrap();
+        let cancel = AtomicBool::new(false);
+        let progress = |_: ProgressUpdate| {};
+        let result = execute(&vjob, &ctx(&cancel, &progress)).unwrap();
+        let JobResult::Interval { report } = result else {
+            panic!("interval job must return an interval result");
+        };
+
+        // Direct Spa::run over the same machine and seed stream.
+        let workload = vjob.benchmark.workload();
+        let machine = Machine::new(spec.system.variant().config(), &workload)
+            .unwrap()
+            .with_variability(spec.noise.model().variability());
+        let metric = vjob.metric;
+        let sampler = move |seed: u64| metric.extract(&machine.run(seed).unwrap().metrics);
+        let spa = Spa::builder()
+            .confidence(spec.confidence)
+            .proportion(spec.proportion)
+            .build()
+            .unwrap();
+        let direct = spa
+            .run(&sampler, spec.seed_start, Direction::AtMost)
+            .unwrap();
+        assert_eq!(report, direct);
+    }
+
+    #[test]
+    fn cancelled_interval_job_fails_typed() {
+        let spec = JobSpec {
+            noise: NoiseSpec::Jitter { max_cycles: 0 },
+            seed_start: 77_200,
+            round_size: 1,
+            ..JobSpec::new(
+                "blackscholes",
+                ModeSpec::Interval {
+                    direction: Direction::AtMost,
+                },
+            )
+        };
+        let vjob = validate(spec).unwrap();
+        let cancel = AtomicBool::new(true); // cancelled before the first round
+        let progress = |_: ProgressUpdate| {};
+        let err = execute(&vjob, &ctx(&cancel, &progress)).unwrap_err();
+        assert!(err.contains("cancelled"), "{err}");
+    }
+
+    #[test]
+    fn hypothesis_job_concludes_and_is_deterministic() {
+        let make = |threads: usize| {
+            let spec = JobSpec {
+                noise: NoiseSpec::Jitter { max_cycles: 0 },
+                seed_start: 77_300,
+                round_size: 4,
+                mode: ModeSpec::Hypothesis {
+                    direction: Direction::AtMost,
+                    // Generous threshold: runtime is always positive and
+                    // far below 1e6 seconds, so every sample satisfies
+                    // and Algorithm 1 converges positive at the first
+                    // boundary past 22.
+                    threshold: 1e6,
+                    max_rounds: 64,
+                },
+                ..JobSpec::new("blackscholes", ModeSpec::Interval {
+                    direction: Direction::AtMost,
+                })
+            };
+            let vjob = validate(spec).unwrap();
+            let cancel = AtomicBool::new(false);
+            let progress = |_: ProgressUpdate| {};
+            let c = ExecContext {
+                threads,
+                cancel: &cancel,
+                progress: &progress,
+            };
+            execute(&vjob, &c).unwrap()
+        };
+        let JobResult::Hypothesis { outcome: a } = make(1) else {
+            panic!("hypothesis job must return a hypothesis result");
+        };
+        let JobResult::Hypothesis { outcome: b } = make(4) else {
+            panic!("hypothesis job must return a hypothesis result");
+        };
+        // All-true stream: 22 needed, rounds of 4 ⇒ concluded at 24.
+        let concluded = a.outcome.expect("must converge");
+        assert_eq!(concluded.samples_used, 24);
+        assert!(concluded.achieved_confidence >= 0.9);
+        // The verdict is identical across worker counts (bias-free
+        // round aggregation).
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,58 @@
+#![warn(missing_docs)]
+
+//! # spa-server — a long-running SMC evaluation service
+//!
+//! `spa-server` turns the SPA pipeline into a service: a daemon that
+//! accepts statistical-evaluation jobs over a JSON-lines TCP protocol,
+//! schedules them on a bounded worker pool, and answers repeated
+//! questions from a content-addressed result cache.
+//!
+//! The pieces, bottom-up:
+//!
+//! * [`spec`] — the [`JobSpec`](spec::JobSpec) wire type (benchmark,
+//!   system, noise, metric, interval-or-hypothesis mode, `C`/`F`,
+//!   seeds) and its [canonical cache key](spec::canonical_key).
+//! * [`protocol`] — JSON-lines framing plus the [`Request`] /
+//!   [`Response`] message set: submissions stream `accepted →
+//!   progress* → report|failed`.
+//! * [`cache`] — the single-flight result cache: an identical
+//!   submission either hits a completed result, joins the in-flight
+//!   job's event stream, or reserves the key and executes.
+//! * [`exec`] — job execution: fault-tolerant simulator sampling
+//!   (PR 1's retry machinery), round-partitioned seed streams, and the
+//!   bias-free parallel hypothesis runner built on
+//!   [`spa_core::rounds`].
+//! * [`server`] — the daemon: accept/handler threads, the bounded job
+//!   queue with typed backpressure, counters, and drain-then-exit
+//!   shutdown.
+//! * [`client`] — blocking helpers (`submit`/`status`/`shutdown`) the
+//!   CLI and tests use.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use spa_server::spec::{JobSpec, ModeSpec};
+//! use spa_server::{client, start, ServerConfig};
+//! use spa_core::property::Direction;
+//!
+//! let handle = start(ServerConfig::default()).unwrap();
+//! let addr = handle.addr().to_string();
+//! let spec = JobSpec::new("blackscholes", ModeSpec::Interval {
+//!     direction: Direction::AtMost,
+//! });
+//! let outcome = client::submit(&addr, &spec, |_event| {}).unwrap();
+//! assert!(!outcome.cached);
+//! handle.shutdown();
+//! ```
+
+pub mod cache;
+pub mod client;
+mod error;
+pub mod exec;
+pub mod protocol;
+pub mod server;
+pub mod spec;
+
+pub use error::ServerError;
+pub use protocol::{JobResult, RejectReason, Request, Response, ServerStats};
+pub use server::{start, ServerConfig, ServerHandle};

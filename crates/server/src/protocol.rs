@@ -1,0 +1,302 @@
+//! The JSON-lines wire protocol.
+//!
+//! One message per line, each a single JSON object tagged by `type`.
+//! A client sends a [`Request`]; the server answers with one or more
+//! [`Response`] lines. `submit` is the only streaming exchange: the
+//! server acknowledges with `accepted` (or `rejected`), emits zero or
+//! more `progress` events as rounds of samples land, and terminates the
+//! exchange with exactly one `report` or `failed`. Reports round-trip
+//! through the same serde types the library uses (`SpaReport`,
+//! `RoundsOutcome`), so a CLI client deserializes straight into the
+//! types a direct `Spa::run` would have produced.
+
+use std::io::{BufRead, Write};
+
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+
+use spa_core::rounds::RoundsOutcome;
+use spa_core::spa::SpaReport;
+
+use crate::spec::JobSpec;
+use crate::ServerError;
+
+/// A client-to-server message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum Request {
+    /// Submit a job for evaluation.
+    Submit {
+        /// The job to run.
+        spec: JobSpec,
+    },
+    /// Ask for the server's counters.
+    Status,
+    /// Begin a graceful drain-then-exit shutdown.
+    Shutdown,
+}
+
+/// Why a submission was declined.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum RejectReason {
+    /// The bounded job queue is at capacity — backpressure; retry later.
+    QueueFull {
+        /// The configured queue depth that was exceeded.
+        depth: usize,
+    },
+    /// The server is draining and accepts no new work.
+    ShuttingDown,
+    /// The spec failed validation.
+    InvalidSpec {
+        /// What was wrong with it.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::QueueFull { depth } => {
+                write!(f, "queue full (depth {depth})")
+            }
+            RejectReason::ShuttingDown => f.write_str("server is shutting down"),
+            RejectReason::InvalidSpec { detail } => write!(f, "invalid spec: {detail}"),
+        }
+    }
+}
+
+/// A finished job's payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum JobResult {
+    /// An interval-mode job: the full SPA report.
+    Interval {
+        /// The report, byte-identical to a direct `Spa::run` with the
+        /// same seed partitioning.
+        report: SpaReport,
+    },
+    /// A hypothesis-mode job: the round-aggregated sequential outcome.
+    Hypothesis {
+        /// Verdict (or round-budget exhaustion) plus sample accounting.
+        outcome: RoundsOutcome,
+    },
+}
+
+/// Server counters, as returned by [`Request::Status`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ServerStats {
+    /// Submissions received (valid or not).
+    pub submitted: u64,
+    /// Jobs whose sampling actually ran (cache misses).
+    pub executed: u64,
+    /// Submissions answered from the completed-result cache.
+    pub cache_hits: u64,
+    /// Submissions coalesced onto an identical in-flight job.
+    pub coalesced: u64,
+    /// Jobs finished successfully.
+    pub completed: u64,
+    /// Jobs that failed.
+    pub failed: u64,
+    /// Submissions rejected (queue full, shutting down, invalid).
+    pub rejected: u64,
+    /// Jobs currently waiting in the queue.
+    pub queued: u64,
+    /// Jobs currently executing on a worker.
+    pub running: u64,
+    /// Whether a drain-then-exit shutdown is underway.
+    pub shutting_down: bool,
+}
+
+/// A server-to-client message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum Response {
+    /// The submission was accepted under the given job id.
+    Accepted {
+        /// Server-assigned job id.
+        job: u64,
+        /// Canonical cache key of the spec (content address).
+        key: String,
+    },
+    /// The submission was declined.
+    Rejected {
+        /// Typed reason.
+        reason: RejectReason,
+    },
+    /// Sampling progress on an accepted job.
+    Progress {
+        /// Job id.
+        job: u64,
+        /// Samples aggregated so far.
+        samples: u64,
+        /// Current Clopper–Pearson bound: for hypothesis jobs the
+        /// confidence after the last folded round, for interval jobs
+        /// the confidence the collected samples could support.
+        confidence: f64,
+        /// Rounds folded so far.
+        rounds: u64,
+    },
+    /// Terminal: the job's result.
+    Report {
+        /// Job id.
+        job: u64,
+        /// True when answered from the result cache without sampling.
+        cached: bool,
+        /// The payload.
+        result: JobResult,
+    },
+    /// Terminal: the job failed.
+    Failed {
+        /// Job id.
+        job: u64,
+        /// What went wrong.
+        error: String,
+    },
+    /// Answer to [`Request::Status`].
+    Status {
+        /// Counter snapshot.
+        stats: ServerStats,
+    },
+    /// Acknowledges [`Request::Shutdown`]; the server now drains.
+    ShutdownStarted,
+    /// The last request line could not be understood.
+    Error {
+        /// Parse failure detail.
+        detail: String,
+    },
+}
+
+/// Serializes one message as a JSON line and flushes it.
+///
+/// # Errors
+///
+/// [`ServerError::Io`] on socket failure, [`ServerError::Protocol`] if
+/// the value cannot be serialized (unrepresentable float — should not
+/// happen for protocol types).
+pub fn write_message<W: Write, T: Serialize>(w: &mut W, msg: &T) -> Result<(), ServerError> {
+    let mut line = serde_json::to_vec(msg)?;
+    line.push(b'\n');
+    w.write_all(&line)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads the next JSON-lines message, skipping blank lines.
+///
+/// Returns `Ok(None)` on a clean EOF.
+///
+/// # Errors
+///
+/// [`ServerError::Io`] on socket failure, [`ServerError::Protocol`] for
+/// a non-JSON or wrongly shaped line.
+pub fn read_message<R: BufRead, T: DeserializeOwned>(r: &mut R) -> Result<Option<T>, ServerError> {
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if r.read_line(&mut line)? == 0 {
+            return Ok(None);
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        return serde_json::from_str(trimmed)
+            .map(Some)
+            .map_err(|e| ServerError::Protocol(format!("bad message: {e}")));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ModeSpec;
+    use spa_core::property::Direction;
+
+    fn spec() -> JobSpec {
+        JobSpec::new(
+            "blackscholes",
+            ModeSpec::Interval {
+                direction: Direction::AtMost,
+            },
+        )
+    }
+
+    #[test]
+    fn request_json_shape() {
+        let json = serde_json::to_string(&Request::Status).unwrap();
+        assert_eq!(json, r#"{"type":"status"}"#);
+        let json = serde_json::to_string(&Request::Submit { spec: spec() }).unwrap();
+        assert!(json.starts_with(r#"{"type":"submit","spec":"#), "{json}");
+        let back: Request = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, Request::Submit { spec: spec() });
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let responses = vec![
+            Response::Accepted {
+                job: 3,
+                key: "v1;bench=ferret".into(),
+            },
+            Response::Rejected {
+                reason: RejectReason::QueueFull { depth: 4 },
+            },
+            Response::Progress {
+                job: 3,
+                samples: 16,
+                confidence: 0.42,
+                rounds: 2,
+            },
+            Response::Failed {
+                job: 3,
+                error: "boom".into(),
+            },
+            Response::Status {
+                stats: ServerStats::default(),
+            },
+            Response::ShutdownStarted,
+            Response::Error {
+                detail: "bad json".into(),
+            },
+        ];
+        for resp in responses {
+            let json = serde_json::to_string(&resp).unwrap();
+            let back: Response = serde_json::from_str(&json).unwrap();
+            assert_eq!(resp, back, "{json}");
+        }
+    }
+
+    #[test]
+    fn framing_round_trips_multiple_lines() {
+        let mut buf = Vec::new();
+        write_message(&mut buf, &Request::Status).unwrap();
+        write_message(&mut buf, &Request::Shutdown).unwrap();
+        let mut reader = std::io::BufReader::new(&buf[..]);
+        let a: Request = read_message(&mut reader).unwrap().unwrap();
+        let b: Request = read_message(&mut reader).unwrap().unwrap();
+        assert_eq!(a, Request::Status);
+        assert_eq!(b, Request::Shutdown);
+        assert!(read_message::<_, Request>(&mut reader).unwrap().is_none());
+    }
+
+    #[test]
+    fn blank_lines_are_skipped_and_garbage_is_typed() {
+        let data = b"\n\n{\"type\":\"status\"}\nnot json\n";
+        let mut reader = std::io::BufReader::new(&data[..]);
+        let first: Request = read_message(&mut reader).unwrap().unwrap();
+        assert_eq!(first, Request::Status);
+        let err = read_message::<_, Request>(&mut reader).unwrap_err();
+        assert!(matches!(err, ServerError::Protocol(_)), "{err}");
+    }
+
+    #[test]
+    fn rejection_reasons_display() {
+        assert!(RejectReason::QueueFull { depth: 2 }.to_string().contains("depth 2"));
+        assert!(RejectReason::ShuttingDown.to_string().contains("shutting down"));
+        let r = RejectReason::InvalidSpec {
+            detail: "unknown benchmark".into(),
+        };
+        assert!(r.to_string().contains("unknown benchmark"));
+    }
+}

@@ -1,0 +1,632 @@
+//! The long-running evaluation service.
+//!
+//! Architecture (one process):
+//!
+//! ```text
+//! accept thread ──► handler thread per connection (JSON lines)
+//!                      │  submit: validate → cache lookup → enqueue
+//!                      ▼
+//!               bounded job queue  ──►  worker pool (crossbeam channel)
+//!                      ▲                    │ execute rounds, publish
+//!                      │ backpressure:      ▼ progress + terminal event
+//!                   try_send          jobs table + result cache
+//! ```
+//!
+//! * **Backpressure**: the queue is a bounded crossbeam channel and
+//!   submission uses `try_send` — a full queue yields a typed
+//!   [`RejectReason::QueueFull`] instead of unbounded buffering.
+//! * **Single-flight**: the jobs-table lock is held across the cache
+//!   lookup and the enqueue, so of N racing identical submissions
+//!   exactly one executes; the rest join its event stream.
+//! * **Graceful drain**: shutdown flips a flag and drops the queue's
+//!   sender. Workers drain every already-accepted job (each reaches a
+//!   terminal event — no report is lost), new submissions are rejected
+//!   with [`RejectReason::ShuttingDown`], and idle connections close at
+//!   their next read-poll tick.
+//!
+//! Lock order: a handler takes `jobs → cache` and `jobs → queue_tx`;
+//! workers take `cache` and `jobs` only one at a time (and the
+//! hypothesis executor's `aggregator → jobs` via the progress callback).
+//! No path takes `cache → jobs` or `jobs → aggregator`, so the graph is
+//! acyclic.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use parking_lot::Mutex;
+
+use crate::cache::{Lookup, ResultCache};
+use crate::exec::{self, ExecContext, ProgressUpdate};
+use crate::protocol::{write_message, JobResult, RejectReason, Request, Response, ServerStats};
+use crate::spec::{validate, ValidatedJob};
+
+/// How a [`start`]ed server is shaped.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (read it back from
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Worker threads consuming the job queue (jobs running at once).
+    pub workers: usize,
+    /// Bounded queue depth; submissions beyond it are rejected.
+    pub queue_depth: usize,
+    /// Sampling threads *within* one job's rounds.
+    pub job_threads: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_depth: 16,
+            job_threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+        }
+    }
+}
+
+enum JobState {
+    Queued,
+    Running,
+    Done(JobResult),
+    Failed(String),
+}
+
+struct JobEntry {
+    state: JobState,
+    waiters: Vec<Sender<Response>>,
+    cancel: Arc<AtomicBool>,
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    executed: AtomicU64,
+    cache_hits: AtomicU64,
+    coalesced: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    rejected: AtomicU64,
+    queued: AtomicU64,
+    running: AtomicU64,
+}
+
+struct Shared {
+    jobs: Mutex<HashMap<u64, JobEntry>>,
+    cache: ResultCache,
+    next_job: AtomicU64,
+    queue_tx: Mutex<Option<Sender<(u64, ValidatedJob)>>>,
+    stats: Counters,
+    shutting_down: AtomicBool,
+    handlers: Mutex<Vec<JoinHandle<()>>>,
+    queue_depth: usize,
+    job_threads: usize,
+}
+
+impl Shared {
+    fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            submitted: self.stats.submitted.load(Ordering::Relaxed),
+            executed: self.stats.executed.load(Ordering::Relaxed),
+            cache_hits: self.stats.cache_hits.load(Ordering::Relaxed),
+            coalesced: self.stats.coalesced.load(Ordering::Relaxed),
+            completed: self.stats.completed.load(Ordering::Relaxed),
+            failed: self.stats.failed.load(Ordering::Relaxed),
+            rejected: self.stats.rejected.load(Ordering::Relaxed),
+            queued: self.stats.queued.load(Ordering::Relaxed),
+            running: self.stats.running.load(Ordering::Relaxed),
+            shutting_down: self.shutting_down.load(Ordering::SeqCst),
+        }
+    }
+
+    fn begin_shutdown(&self) {
+        self.shutting_down.store(true, Ordering::SeqCst);
+        // Dropping the sender lets workers drain the queue and exit.
+        self.queue_tx.lock().take();
+    }
+
+    /// Sends an event to a job's live waiters, pruning dead ones.
+    fn fan_out(&self, job: u64, resp: &Response) {
+        let mut jobs = self.jobs.lock();
+        if let Some(entry) = jobs.get_mut(&job) {
+            entry.waiters.retain(|tx| tx.send(resp.clone()).is_ok());
+        }
+    }
+
+    /// Records a job's terminal state and delivers the terminal event to
+    /// every waiter.
+    fn finish(&self, job: u64, state: JobState, resp: &Response) {
+        let mut jobs = self.jobs.lock();
+        if let Some(entry) = jobs.get_mut(&job) {
+            entry.state = state;
+            for tx in entry.waiters.drain(..) {
+                let _ = tx.send(resp.clone());
+            }
+        }
+    }
+}
+
+/// A handle to a running server: its address, counters, and lifecycle.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves ephemeral port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A snapshot of the server's counters.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.snapshot()
+    }
+
+    /// Begins a drain-then-exit shutdown without blocking.
+    pub fn initiate_shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Sets every known job's cancellation flag (fast teardown; cancelled
+    /// jobs terminate with a `failed` event between rounds).
+    pub fn cancel_all(&self) {
+        let jobs = self.shared.jobs.lock();
+        for entry in jobs.values() {
+            entry.cancel.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Blocks until shutdown has been *initiated* (here or by a client's
+    /// `shutdown` request), then drains and joins all threads.
+    pub fn wait(self) {
+        while !self.shared.shutting_down.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        self.join();
+    }
+
+    /// Initiates shutdown and joins (drains in-flight jobs first).
+    pub fn shutdown(self) {
+        self.shared.begin_shutdown();
+        self.join();
+    }
+
+    /// Joins all server threads. Only returns once shutdown was
+    /// initiated; every accepted job reaches its terminal event first.
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        loop {
+            let drained: Vec<JoinHandle<()>> = {
+                let mut handlers = self.shared.handlers.lock();
+                handlers.drain(..).collect()
+            };
+            if drained.is_empty() {
+                break;
+            }
+            for h in drained {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// Binds and starts the evaluation service.
+///
+/// # Errors
+///
+/// Propagates the bind failure.
+pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let (queue_tx, queue_rx) = bounded::<(u64, ValidatedJob)>(config.queue_depth.max(1));
+    let shared = Arc::new(Shared {
+        jobs: Mutex::new(HashMap::new()),
+        cache: ResultCache::new(),
+        next_job: AtomicU64::new(0),
+        queue_tx: Mutex::new(Some(queue_tx)),
+        stats: Counters::default(),
+        shutting_down: AtomicBool::new(false),
+        handlers: Mutex::new(Vec::new()),
+        queue_depth: config.queue_depth.max(1),
+        job_threads: config.job_threads.max(1),
+    });
+    let workers = (0..config.workers.max(1))
+        .map(|_| {
+            let shared = Arc::clone(&shared);
+            let rx = queue_rx.clone();
+            std::thread::spawn(move || worker_loop(&shared, &rx))
+        })
+        .collect();
+    let accept = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || accept_loop(&shared, &listener))
+    };
+    Ok(ServerHandle {
+        shared,
+        addr,
+        accept: Some(accept),
+        workers,
+    })
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    loop {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let conn_shared = Arc::clone(shared);
+                let handle = std::thread::spawn(move || handle_conn(&conn_shared, &stream));
+                shared.handlers.lock().push(handle);
+            }
+            // Non-blocking accept: poll the shutdown flag between ticks.
+            Err(_) => std::thread::sleep(Duration::from_millis(15)),
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>, rx: &Receiver<(u64, ValidatedJob)>) {
+    // `recv` returns Err only when the sender is dropped (shutdown) AND
+    // the queue is empty — the drain guarantee.
+    while let Ok((id, vjob)) = rx.recv() {
+        shared.stats.queued.fetch_sub(1, Ordering::Relaxed);
+        shared.stats.running.fetch_add(1, Ordering::Relaxed);
+        shared.stats.executed.fetch_add(1, Ordering::Relaxed);
+        let cancel = {
+            let mut jobs = shared.jobs.lock();
+            match jobs.get_mut(&id) {
+                Some(entry) => {
+                    entry.state = JobState::Running;
+                    Arc::clone(&entry.cancel)
+                }
+                None => Arc::new(AtomicBool::new(false)),
+            }
+        };
+        let progress = |u: ProgressUpdate| {
+            shared.fan_out(
+                id,
+                &Response::Progress {
+                    job: id,
+                    samples: u.samples,
+                    confidence: u.confidence,
+                    rounds: u.rounds,
+                },
+            );
+        };
+        let ctx = ExecContext {
+            threads: shared.job_threads,
+            cancel: &cancel,
+            progress: &progress,
+        };
+        let outcome = exec::execute(&vjob, &ctx);
+        shared.stats.running.fetch_sub(1, Ordering::Relaxed);
+        match outcome {
+            Ok(result) => {
+                // Publish to the cache *before* the terminal fan-out:
+                // any submission that saw this job as in-flight has
+                // already registered its waiter (it held the jobs lock
+                // to do so), and any later one sees the completed entry.
+                shared.cache.complete(&vjob.key, result.clone());
+                shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+                let resp = Response::Report {
+                    job: id,
+                    cached: false,
+                    result: result.clone(),
+                };
+                shared.finish(id, JobState::Done(result), &resp);
+            }
+            Err(error) => {
+                shared.cache.invalidate(&vjob.key);
+                shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+                let resp = Response::Failed {
+                    job: id,
+                    error: error.clone(),
+                };
+                shared.finish(id, JobState::Failed(error), &resp);
+            }
+        }
+    }
+}
+
+/// A line accumulator over a read-timeout socket: partial lines survive
+/// poll ticks, and the shutdown flag is checked between them.
+struct LineReader<'a> {
+    stream: &'a TcpStream,
+    buf: Vec<u8>,
+}
+
+impl LineReader<'_> {
+    fn next_line(&mut self, stop: &dyn Fn() -> bool) -> std::io::Result<Option<String>> {
+        loop {
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let rest = self.buf.split_off(pos + 1);
+                let mut line = std::mem::replace(&mut self.buf, rest);
+                line.pop();
+                return Ok(Some(String::from_utf8_lossy(&line).into_owned()));
+            }
+            let mut chunk = [0u8; 4096];
+            let mut reader = self.stream;
+            match reader.read(&mut chunk) {
+                Ok(0) => return Ok(None),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if stop() {
+                        return Ok(None);
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+fn handle_conn(shared: &Arc<Shared>, stream: &TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut reader = LineReader {
+        stream,
+        buf: Vec::new(),
+    };
+    let mut writer = stream;
+    loop {
+        let line = match reader.next_line(&|| shared.shutting_down.load(Ordering::SeqCst)) {
+            Ok(Some(line)) => line,
+            // EOF, socket error, or idle at shutdown: close.
+            Ok(None) | Err(_) => break,
+        };
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let request: Request = match serde_json::from_str(trimmed) {
+            Ok(request) => request,
+            Err(e) => {
+                let resp = Response::Error {
+                    detail: format!("bad request: {e}"),
+                };
+                if write_message(&mut writer, &resp).is_err() {
+                    break;
+                }
+                continue;
+            }
+        };
+        let ok = match request {
+            Request::Status => write_message(
+                &mut writer,
+                &Response::Status {
+                    stats: shared.snapshot(),
+                },
+            )
+            .is_ok(),
+            Request::Shutdown => {
+                let ok = write_message(&mut writer, &Response::ShutdownStarted).is_ok();
+                shared.begin_shutdown();
+                ok
+            }
+            Request::Submit { spec } => handle_submit(shared, &mut writer, spec).is_ok(),
+        };
+        if !ok {
+            break;
+        }
+    }
+}
+
+/// What a submission resolved to while the jobs lock was held.
+enum Plan {
+    Reject(RejectReason),
+    Hit(JobResult),
+    AlreadyFailed(u64, String),
+    Stream(u64),
+}
+
+fn handle_submit<W: Write>(
+    shared: &Arc<Shared>,
+    writer: &mut W,
+    spec: crate::spec::JobSpec,
+) -> Result<(), crate::ServerError> {
+    shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+    let vjob = match validate(spec) {
+        Ok(vjob) => vjob,
+        Err(detail) => {
+            shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            return write_message(
+                writer,
+                &Response::Rejected {
+                    reason: RejectReason::InvalidSpec { detail },
+                },
+            );
+        }
+    };
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+        return write_message(
+            writer,
+            &Response::Rejected {
+                reason: RejectReason::ShuttingDown,
+            },
+        );
+    }
+    let id = shared.next_job.fetch_add(1, Ordering::Relaxed) + 1;
+    let key = vjob.key.clone();
+    let (ev_tx, ev_rx) = unbounded::<Response>();
+
+    // Single-flight critical section: the jobs lock spans the cache
+    // lookup, waiter registration, and the enqueue, so racing identical
+    // submissions serialize here and at most one reserves the key.
+    let plan = {
+        let mut jobs = shared.jobs.lock();
+        match shared.cache.lookup_or_reserve(&key, id) {
+            Lookup::Hit(result) => {
+                shared.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                Plan::Hit(result)
+            }
+            Lookup::Joined { job } => {
+                shared.stats.coalesced.fetch_add(1, Ordering::Relaxed);
+                match jobs.get_mut(&job) {
+                    Some(entry) => match &entry.state {
+                        JobState::Done(result) => Plan::Hit(result.clone()),
+                        JobState::Failed(error) => Plan::AlreadyFailed(job, error.clone()),
+                        JobState::Queued | JobState::Running => {
+                            entry.waiters.push(ev_tx.clone());
+                            Plan::Stream(job)
+                        }
+                    },
+                    None => Plan::AlreadyFailed(job, "in-flight job record missing".to_string()),
+                }
+            }
+            Lookup::Reserved => {
+                jobs.insert(
+                    id,
+                    JobEntry {
+                        state: JobState::Queued,
+                        waiters: vec![ev_tx.clone()],
+                        cancel: Arc::new(AtomicBool::new(false)),
+                    },
+                );
+                let sent = match shared.queue_tx.lock().as_ref() {
+                    Some(tx) => tx.try_send((id, vjob)).map_err(|e| match e {
+                        TrySendError::Full(_) => RejectReason::QueueFull {
+                            depth: shared.queue_depth,
+                        },
+                        TrySendError::Disconnected(_) => RejectReason::ShuttingDown,
+                    }),
+                    None => Err(RejectReason::ShuttingDown),
+                };
+                match sent {
+                    Ok(()) => {
+                        shared.stats.queued.fetch_add(1, Ordering::Relaxed);
+                        Plan::Stream(id)
+                    }
+                    Err(reason) => {
+                        // Undo the reservation so a later submission can
+                        // try again once there is room.
+                        jobs.remove(&id);
+                        shared.cache.invalidate(&key);
+                        shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                        Plan::Reject(reason)
+                    }
+                }
+            }
+        }
+    };
+    drop(ev_tx);
+
+    match plan {
+        Plan::Reject(reason) => write_message(writer, &Response::Rejected { reason }),
+        Plan::Hit(result) => {
+            write_message(writer, &Response::Accepted { job: id, key })?;
+            write_message(
+                writer,
+                &Response::Report {
+                    job: id,
+                    cached: true,
+                    result,
+                },
+            )
+        }
+        Plan::AlreadyFailed(job, error) => {
+            write_message(writer, &Response::Accepted { job, key })?;
+            write_message(writer, &Response::Failed { job, error })
+        }
+        Plan::Stream(job) => {
+            write_message(writer, &Response::Accepted { job, key })?;
+            loop {
+                match ev_rx.recv_timeout(Duration::from_millis(100)) {
+                    Ok(resp) => {
+                        let terminal =
+                            matches!(resp, Response::Report { .. } | Response::Failed { .. });
+                        write_message(writer, &resp)?;
+                        if terminal {
+                            return Ok(());
+                        }
+                    }
+                    Err(RecvTimeoutError::Timeout) => continue,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        return write_message(
+                            writer,
+                            &Response::Failed {
+                                job,
+                                error: "event stream dropped".to_string(),
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_reader_reassembles_partial_lines() {
+        // A loopback pair lets us write byte-by-byte across poll ticks.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        server_side
+            .set_read_timeout(Some(Duration::from_millis(20)))
+            .unwrap();
+        let writer = std::thread::spawn(move || {
+            client.write_all(b"{\"type\":").unwrap();
+            client.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(60));
+            client.write_all(b"\"status\"}\npartial").unwrap();
+            client.flush().unwrap();
+            // Closing without a trailing newline: the fragment is
+            // discarded as EOF, not delivered as a line.
+        });
+        let mut reader = LineReader {
+            stream: &server_side,
+            buf: Vec::new(),
+        };
+        let line = reader.next_line(&|| false).unwrap().unwrap();
+        assert_eq!(line, "{\"type\":\"status\"}");
+        assert_eq!(reader.next_line(&|| false).unwrap(), None);
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn line_reader_stops_when_idle_and_asked() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let _client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        server_side
+            .set_read_timeout(Some(Duration::from_millis(10)))
+            .unwrap();
+        let mut reader = LineReader {
+            stream: &server_side,
+            buf: Vec::new(),
+        };
+        // No data and stop() is true: treated as a clean close.
+        assert_eq!(reader.next_line(&|| true).unwrap(), None);
+    }
+}

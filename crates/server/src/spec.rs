@@ -1,0 +1,439 @@
+//! Job specifications and their canonical cache keys.
+//!
+//! A [`JobSpec`] is the wire form of one evaluation request: which
+//! benchmark/system/noise model to sample, which metric to evaluate,
+//! and whether to build a confidence interval (the SPA Fig. 3 flow) or
+//! run a single sequential hypothesis test with round-based parallel
+//! aggregation. All statistical parameters carry defaults matching the
+//! paper's `C = F = 0.9`.
+//!
+//! The result cache is *content-addressed*: two submissions answer from
+//! the same cache slot exactly when their [`canonical_key`]s are equal.
+//! The key is a canonicalized rendering of every field that affects the
+//! result (floats in Rust's shortest-round-trip `Display` form, mode
+//! flattened, defaults applied), so field order in the submitted JSON,
+//! omitted-vs-explicit defaults, and float spelling (`0.90` vs `0.9`)
+//! never split the cache.
+
+use serde::{Deserialize, Serialize};
+
+use spa_bench::population::{NoiseModel, SystemVariant};
+use spa_core::property::Direction;
+use spa_sim::metrics::Metric;
+use spa_sim::workload::parsec::Benchmark;
+
+/// Which simulated system to evaluate (mirrors the population cache's
+/// [`SystemVariant`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum SystemSpec {
+    /// The paper's Table 2 machine (3 MB L2).
+    #[default]
+    Table2,
+    /// Table 2 with a 512 kB L2.
+    L2Small,
+    /// Table 2 with a 1 MB L2.
+    L2Large,
+}
+
+impl SystemSpec {
+    /// The population-cache variant this spec maps to.
+    pub fn variant(self) -> SystemVariant {
+        match self {
+            SystemSpec::Table2 => SystemVariant::Table2,
+            SystemSpec::L2Small => SystemVariant::L2Small,
+            SystemSpec::L2Large => SystemVariant::L2Large,
+        }
+    }
+
+    fn key(self) -> &'static str {
+        match self {
+            SystemSpec::Table2 => "table2",
+            SystemSpec::L2Small => "l2_small",
+            SystemSpec::L2Large => "l2_large",
+        }
+    }
+}
+
+/// Which variability model drives the simulated executions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(tag = "model", rename_all = "snake_case")]
+pub enum NoiseSpec {
+    /// §5.2 simulation model: uniform 0–4 cycle DRAM jitter.
+    #[default]
+    Paper,
+    /// The Fig. 1 real-machine OS-noise model.
+    RealMachine,
+    /// Explicit DRAM-jitter bound (0 disables variability).
+    Jitter {
+        /// Maximum added DRAM latency in cycles.
+        max_cycles: u64,
+    },
+}
+
+impl NoiseSpec {
+    /// The population-cache noise model this spec maps to.
+    pub fn model(self) -> NoiseModel {
+        match self {
+            NoiseSpec::Paper => NoiseModel::Paper,
+            NoiseSpec::RealMachine => NoiseModel::RealMachine,
+            NoiseSpec::Jitter { max_cycles } => NoiseModel::Jitter(max_cycles),
+        }
+    }
+
+    fn key(self) -> String {
+        match self {
+            NoiseSpec::Paper => "paper".into(),
+            NoiseSpec::RealMachine => "real_machine".into(),
+            NoiseSpec::Jitter { max_cycles } => format!("jitter:{max_cycles}"),
+        }
+    }
+}
+
+/// What the job computes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "mode", rename_all = "snake_case")]
+pub enum ModeSpec {
+    /// End-to-end SPA (Fig. 3): collect the Eq. 8 minimum number of
+    /// executions and construct the metric's confidence interval.
+    Interval {
+        /// Property direction of the threshold search.
+        direction: Direction,
+    },
+    /// One sequential hypothesis test (Algorithm 1), parallelized with
+    /// bias-free round aggregation.
+    Hypothesis {
+        /// Property direction.
+        direction: Direction,
+        /// Property threshold.
+        threshold: f64,
+        /// Sampling budget: give up (inconclusive) after this many
+        /// rounds.
+        #[serde(default = "default_max_rounds")]
+        max_rounds: u64,
+    },
+}
+
+fn default_max_rounds() -> u64 {
+    1024
+}
+
+fn default_metric() -> String {
+    Metric::RuntimeSeconds.key().to_string()
+}
+
+fn default_level() -> f64 {
+    0.9
+}
+
+fn default_round_size() -> u64 {
+    8
+}
+
+fn default_retries() -> u32 {
+    2
+}
+
+/// The wire form of one evaluation request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// PARSEC benchmark name (see [`Benchmark::from_name`]).
+    pub benchmark: String,
+    /// System variant (default: Table 2).
+    #[serde(default)]
+    pub system: SystemSpec,
+    /// Variability model (default: the paper's).
+    #[serde(default)]
+    pub noise: NoiseSpec,
+    /// Metric key, e.g. `runtime` or `ipc` (see [`Metric::key`]).
+    #[serde(default = "default_metric")]
+    pub metric: String,
+    /// What to compute.
+    pub mode: ModeSpec,
+    /// Confidence level `C` (default 0.9).
+    #[serde(default = "default_level")]
+    pub confidence: f64,
+    /// Proportion `F` (default 0.9).
+    #[serde(default = "default_level")]
+    pub proportion: f64,
+    /// First seed of the job's seed stream.
+    #[serde(default)]
+    pub seed_start: u64,
+    /// Executions per aggregation round (default 8).
+    #[serde(default = "default_round_size")]
+    pub round_size: u64,
+    /// Extra attempts per seed after a failed execution (default 2).
+    #[serde(default = "default_retries")]
+    pub retries: u32,
+}
+
+impl JobSpec {
+    /// A spec with every optional field at its default.
+    pub fn new(benchmark: &str, mode: ModeSpec) -> Self {
+        Self {
+            benchmark: benchmark.to_string(),
+            system: SystemSpec::default(),
+            noise: NoiseSpec::default(),
+            metric: default_metric(),
+            mode,
+            confidence: default_level(),
+            proportion: default_level(),
+            seed_start: 0,
+            round_size: default_round_size(),
+            retries: default_retries(),
+        }
+    }
+}
+
+fn direction_key(d: Direction) -> &'static str {
+    match d {
+        Direction::AtMost => "at_most",
+        Direction::AtLeast => "at_least",
+    }
+}
+
+/// The canonical cache key of a spec: a stable, human-readable rendering
+/// of every result-affecting field. Equal keys ⇔ identical results (for
+/// a deterministic simulator), so the result cache maps this string to
+/// the finished report.
+pub fn canonical_key(spec: &JobSpec) -> String {
+    let mode = match spec.mode {
+        ModeSpec::Interval { direction } => format!("interval:{}", direction_key(direction)),
+        ModeSpec::Hypothesis {
+            direction,
+            threshold,
+            max_rounds,
+        } => format!(
+            "hypothesis:{}:{threshold}:{max_rounds}",
+            direction_key(direction)
+        ),
+    };
+    format!(
+        "v1;bench={};system={};noise={};metric={};mode={};c={};f={};seed={};round={};retries={}",
+        spec.benchmark,
+        spec.system.key(),
+        spec.noise.key(),
+        spec.metric,
+        mode,
+        spec.confidence,
+        spec.proportion,
+        spec.seed_start,
+        spec.round_size,
+        spec.retries,
+    )
+}
+
+/// FNV-1a 64 of the canonical key — a short content address for display
+/// and logs (the cache itself keys on the full string, so hash
+/// collisions can never alias results).
+pub fn key_hash(key: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A spec whose names have been resolved and whose parameters have been
+/// range-checked, ready to execute.
+#[derive(Debug, Clone)]
+pub struct ValidatedJob {
+    /// The original spec (canonical source of all parameters).
+    pub spec: JobSpec,
+    /// Resolved benchmark.
+    pub benchmark: Benchmark,
+    /// Resolved metric.
+    pub metric: Metric,
+    /// Canonical cache key of the spec.
+    pub key: String,
+}
+
+/// A statistical level must lie strictly inside the unit interval
+/// (mirrors the check `SmcEngine` applies at construction).
+fn check_level(name: &str, v: f64) -> Result<(), String> {
+    if v.is_finite() && 0.0 < v && v < 1.0 {
+        Ok(())
+    } else {
+        Err(format!("{name} must be inside (0, 1), got {v}"))
+    }
+}
+
+/// Validates a spec, resolving benchmark and metric names.
+///
+/// # Errors
+///
+/// A human-readable description of the first problem (unknown benchmark
+/// or metric, out-of-range `C`/`F`, zero round size, non-finite
+/// threshold, zero round budget).
+pub fn validate(spec: JobSpec) -> Result<ValidatedJob, String> {
+    let benchmark = Benchmark::from_name(&spec.benchmark)
+        .ok_or_else(|| format!("unknown benchmark `{}`", spec.benchmark))?;
+    let metric = Metric::ALL
+        .iter()
+        .copied()
+        .find(|m| m.key() == spec.metric)
+        .ok_or_else(|| format!("unknown metric `{}`", spec.metric))?;
+    check_level("confidence", spec.confidence)?;
+    check_level("proportion", spec.proportion)?;
+    if spec.round_size == 0 {
+        return Err("round_size must be at least 1".into());
+    }
+    if let ModeSpec::Hypothesis {
+        threshold,
+        max_rounds,
+        ..
+    } = spec.mode
+    {
+        if !threshold.is_finite() {
+            return Err(format!("threshold `{threshold}` is not finite"));
+        }
+        if max_rounds == 0 {
+            return Err("max_rounds must be at least 1".into());
+        }
+    }
+    let key = canonical_key(&spec);
+    Ok(ValidatedJob {
+        spec,
+        benchmark,
+        metric,
+        key,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn interval_spec() -> JobSpec {
+        JobSpec::new(
+            "blackscholes",
+            ModeSpec::Interval {
+                direction: Direction::AtMost,
+            },
+        )
+    }
+
+    #[test]
+    fn defaults_apply_on_deserialize() {
+        let json = r#"{"benchmark":"ferret","mode":{"mode":"interval","direction":"AtMost"}}"#;
+        let spec: JobSpec = serde_json::from_str(json).unwrap();
+        assert_eq!(spec.system, SystemSpec::Table2);
+        assert_eq!(spec.noise, NoiseSpec::Paper);
+        assert_eq!(spec.metric, "runtime");
+        assert_eq!(spec.confidence, 0.9);
+        assert_eq!(spec.proportion, 0.9);
+        assert_eq!(spec.round_size, 8);
+        assert_eq!(spec.retries, 2);
+        assert_eq!(spec.seed_start, 0);
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = JobSpec {
+            system: SystemSpec::L2Small,
+            noise: NoiseSpec::Jitter { max_cycles: 4 },
+            metric: "ipc".into(),
+            mode: ModeSpec::Hypothesis {
+                direction: Direction::AtLeast,
+                threshold: 1.25,
+                max_rounds: 64,
+            },
+            confidence: 0.95,
+            proportion: 0.5,
+            seed_start: 7,
+            round_size: 4,
+            retries: 1,
+            ..interval_spec()
+        };
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: JobSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn canonical_key_ignores_json_spelling() {
+        // Explicit defaults and omitted defaults canonicalize equally.
+        let a: JobSpec = serde_json::from_str(
+            r#"{"benchmark":"ferret","mode":{"mode":"interval","direction":"AtMost"}}"#,
+        )
+        .unwrap();
+        let b: JobSpec = serde_json::from_str(
+            r#"{"confidence":0.9,"metric":"runtime","benchmark":"ferret",
+                "mode":{"direction":"AtMost","mode":"interval"},"proportion":0.90}"#,
+        )
+        .unwrap();
+        assert_eq!(canonical_key(&a), canonical_key(&b));
+    }
+
+    #[test]
+    fn canonical_key_separates_different_jobs() {
+        let base = interval_spec();
+        let mut other = base.clone();
+        other.seed_start = 1;
+        assert_ne!(canonical_key(&base), canonical_key(&other));
+        let mut other = base.clone();
+        other.proportion = 0.5;
+        assert_ne!(canonical_key(&base), canonical_key(&other));
+        let mut other = base.clone();
+        other.mode = ModeSpec::Hypothesis {
+            direction: Direction::AtMost,
+            threshold: 1.0,
+            max_rounds: 64,
+        };
+        assert_ne!(canonical_key(&base), canonical_key(&other));
+    }
+
+    #[test]
+    fn key_hash_is_stable_fnv1a() {
+        // FNV-1a test vectors.
+        assert_eq!(key_hash(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(key_hash("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(key_hash(canonical_key(&interval_spec())), {
+            key_hash(&canonical_key(&interval_spec()))
+        });
+    }
+
+    #[test]
+    fn validation_resolves_names() {
+        let v = validate(interval_spec()).unwrap();
+        assert_eq!(v.benchmark, Benchmark::Blackscholes);
+        assert_eq!(v.metric, Metric::RuntimeSeconds);
+        assert_eq!(v.key, canonical_key(&v.spec));
+    }
+
+    #[test]
+    fn validation_rejects_bad_specs() {
+        let mut s = interval_spec();
+        s.benchmark = "raytrace".into();
+        assert!(validate(s).unwrap_err().contains("benchmark"));
+
+        let mut s = interval_spec();
+        s.metric = "vibes".into();
+        assert!(validate(s).unwrap_err().contains("metric"));
+
+        let mut s = interval_spec();
+        s.confidence = 1.0;
+        assert!(validate(s).is_err());
+
+        let mut s = interval_spec();
+        s.round_size = 0;
+        assert!(validate(s).unwrap_err().contains("round_size"));
+
+        let mut s = interval_spec();
+        s.mode = ModeSpec::Hypothesis {
+            direction: Direction::AtMost,
+            threshold: f64::NAN,
+            max_rounds: 8,
+        };
+        assert!(validate(s).unwrap_err().contains("finite"));
+
+        let mut s = interval_spec();
+        s.mode = ModeSpec::Hypothesis {
+            direction: Direction::AtMost,
+            threshold: 1.0,
+            max_rounds: 0,
+        };
+        assert!(validate(s).unwrap_err().contains("max_rounds"));
+    }
+}

@@ -1,0 +1,293 @@
+//! End-to-end service tests over real TCP connections.
+//!
+//! Each test starts its own server on an ephemeral port and drives it
+//! with the blocking client helpers — the same code path `spa submit`
+//! uses. Seed starts are unique per test so the shared on-disk
+//! population cache never couples them.
+
+use std::time::{Duration, Instant};
+
+use spa_core::property::Direction;
+use spa_core::spa::Spa;
+use spa_server::client;
+use spa_server::spec::{JobSpec, ModeSpec, NoiseSpec};
+use spa_server::{start, JobResult, RejectReason, ServerConfig, ServerError, ServerStats};
+
+fn config(workers: usize, queue_depth: usize) -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        queue_depth,
+        job_threads: 2,
+    }
+}
+
+fn interval_spec(seed_start: u64) -> JobSpec {
+    JobSpec {
+        noise: NoiseSpec::Jitter { max_cycles: 2 },
+        seed_start,
+        round_size: 8,
+        ..JobSpec::new(
+            "blackscholes",
+            ModeSpec::Interval {
+                direction: Direction::AtMost,
+            },
+        )
+    }
+}
+
+/// An interval job whose Eq. 8 sample requirement is astronomically
+/// large — it occupies a worker until cancelled.
+fn slow_spec(seed_start: u64) -> JobSpec {
+    JobSpec {
+        confidence: 0.99999,
+        proportion: 0.99999,
+        round_size: 64,
+        ..interval_spec(seed_start)
+    }
+}
+
+fn wait_for(deadline: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    false
+}
+
+#[test]
+fn interval_job_matches_direct_spa_run() {
+    let handle = start(config(2, 8)).unwrap();
+    let addr = handle.addr().to_string();
+    let spec = interval_spec(41_000);
+    let outcome = client::submit(&addr, &spec, |_| {}).unwrap();
+    assert!(!outcome.cached);
+    let JobResult::Interval { report } = outcome.result else {
+        panic!("interval job must return an interval result");
+    };
+
+    // The same machine, metric, and seed stream, sampled directly.
+    let benchmark = spa_sim::workload::parsec::Benchmark::Blackscholes;
+    let workload = benchmark.workload();
+    let machine = spa_sim::machine::Machine::new(
+        spa_sim::config::SystemConfig::table2(),
+        &workload,
+    )
+    .unwrap()
+    .with_variability(spa_sim::variability::Variability::DramJitter { max_cycles: 2 });
+    let sampler =
+        move |seed: u64| spa_sim::metrics::Metric::RuntimeSeconds.extract(&machine.run(seed).unwrap().metrics);
+    let spa = Spa::builder().confidence(0.9).proportion(0.9).build().unwrap();
+    let direct = spa.run(&sampler, 41_000, Direction::AtMost).unwrap();
+
+    assert_eq!(report, direct, "service report must equal a direct run");
+    handle.shutdown();
+}
+
+#[test]
+fn repeated_submit_is_answered_from_cache() {
+    let handle = start(config(2, 8)).unwrap();
+    let addr = handle.addr().to_string();
+    let spec = interval_spec(41_100);
+    let first = client::submit(&addr, &spec, |_| {}).unwrap();
+    assert!(!first.cached);
+    let second = client::submit(&addr, &spec, |_| {}).unwrap();
+    assert!(second.cached, "identical resubmission must hit the cache");
+    assert_eq!(second.progress_events, 0, "a cache hit does no sampling");
+    assert_eq!(first.result, second.result);
+    let stats = handle.stats();
+    assert_eq!(stats.executed, 1);
+    assert_eq!(stats.cache_hits, 1);
+    assert_eq!(stats.submitted, 2);
+    handle.shutdown();
+}
+
+#[test]
+fn concurrent_identical_submits_execute_once() {
+    let handle = start(config(4, 16)).unwrap();
+    let addr = handle.addr().to_string();
+    let spec = interval_spec(41_200);
+    let results: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let addr = addr.clone();
+                let spec = spec.clone();
+                scope.spawn(move || client::submit(&addr, &spec, |_| {}).unwrap())
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let stats = handle.stats();
+    assert_eq!(
+        stats.executed, 1,
+        "racing identical submissions are single-flight: {stats:?}"
+    );
+    assert_eq!(stats.submitted, 4);
+    assert_eq!(stats.cache_hits + stats.coalesced, 3);
+    for r in &results[1..] {
+        assert_eq!(r.result, results[0].result);
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn full_queue_rejects_with_typed_backpressure() {
+    let handle = start(config(1, 1)).unwrap();
+    let addr = handle.addr().to_string();
+    let submitters: Vec<_> = (0..2)
+        .map(|i| {
+            let addr = addr.clone();
+            let spec = slow_spec(41_300 + 100_000 * i);
+            std::thread::spawn(move || client::submit(&addr, &spec, |_| {}))
+        })
+        .collect();
+    // One slow job running, one filling the depth-1 queue.
+    assert!(
+        wait_for(Duration::from_secs(10), || {
+            let s = handle.stats();
+            s.running == 1 && s.queued == 1
+        }),
+        "server never reached running=1 queued=1: {:?}",
+        handle.stats()
+    );
+    let err = client::submit(&addr, &slow_spec(41_900), |_| {}).unwrap_err();
+    match err {
+        ServerError::Rejected(RejectReason::QueueFull { depth }) => assert_eq!(depth, 1),
+        other => panic!("expected a typed queue-full rejection, got {other}"),
+    }
+    assert_eq!(handle.stats().rejected, 1);
+
+    // Cancel the slow jobs; both submitters observe a typed job failure.
+    handle.cancel_all();
+    for s in submitters {
+        match s.join().unwrap() {
+            Err(ServerError::JobFailed(msg)) => assert!(msg.contains("cancelled"), "{msg}"),
+            other => panic!("cancelled job must fail, got {other:?}"),
+        }
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_drains_queued_jobs_without_losing_reports() {
+    let handle = start(config(1, 8)).unwrap();
+    let addr = handle.addr().to_string();
+    // Three distinct fast jobs on a single worker: at least two sit in
+    // the queue when shutdown begins.
+    let submitters: Vec<_> = (0..3)
+        .map(|i| {
+            let addr = addr.clone();
+            let spec = interval_spec(42_000 + 100 * i);
+            std::thread::spawn(move || client::submit(&addr, &spec, |_| {}))
+        })
+        .collect();
+    assert!(
+        wait_for(Duration::from_secs(10), || handle.stats().queued
+            + handle.stats().running
+            + handle.stats().completed
+            >= 3),
+        "jobs never arrived: {:?}",
+        handle.stats()
+    );
+    handle.initiate_shutdown();
+    // Every accepted job still reaches its terminal report.
+    for s in submitters {
+        let outcome = s.join().unwrap().expect("drained job must report");
+        assert!(matches!(outcome.result, JobResult::Interval { .. }));
+    }
+    let stats: ServerStats = handle.stats();
+    assert_eq!(stats.completed, 3, "{stats:?}");
+    assert_eq!(stats.failed, 0, "{stats:?}");
+    handle.join();
+}
+
+#[test]
+fn submissions_during_shutdown_are_rejected() {
+    let handle = start(config(1, 4)).unwrap();
+    let addr = handle.addr().to_string();
+    handle.initiate_shutdown();
+    let err = client::submit(&addr, &interval_spec(42_500), |_| {}).unwrap_err();
+    // The connection may be accepted (reject) or already closed (I/O),
+    // depending on when the accept loop observes the flag.
+    match err {
+        ServerError::Rejected(RejectReason::ShuttingDown) | ServerError::Io(_) | ServerError::Disconnected => {}
+        other => panic!("expected shutting-down rejection, got {other}"),
+    }
+    handle.join();
+}
+
+#[test]
+fn invalid_specs_get_typed_rejections() {
+    let handle = start(config(1, 4)).unwrap();
+    let addr = handle.addr().to_string();
+    let mut spec = interval_spec(42_600);
+    spec.benchmark = "raytrace".to_string();
+    match client::submit(&addr, &spec, |_| {}).unwrap_err() {
+        ServerError::Rejected(RejectReason::InvalidSpec { detail }) => {
+            assert!(detail.contains("raytrace"), "{detail}");
+        }
+        other => panic!("expected invalid-spec rejection, got {other}"),
+    }
+    let mut spec = interval_spec(42_600);
+    spec.confidence = 1.5;
+    assert!(matches!(
+        client::submit(&addr, &spec, |_| {}).unwrap_err(),
+        ServerError::Rejected(RejectReason::InvalidSpec { .. })
+    ));
+    assert_eq!(handle.stats().rejected, 2);
+    assert_eq!(handle.stats().executed, 0);
+    handle.shutdown();
+}
+
+#[test]
+fn hypothesis_jobs_stream_progress_and_conclude() {
+    let handle = start(config(2, 8)).unwrap();
+    let addr = handle.addr().to_string();
+    let spec = JobSpec {
+        noise: NoiseSpec::Jitter { max_cycles: 0 },
+        seed_start: 42_700,
+        round_size: 4,
+        mode: ModeSpec::Hypothesis {
+            direction: Direction::AtMost,
+            threshold: 1e6, // always satisfied: converges positive at 24
+            max_rounds: 64,
+        },
+        ..JobSpec::new(
+            "blackscholes",
+            ModeSpec::Interval {
+                direction: Direction::AtMost,
+            },
+        )
+    };
+    let outcome = client::submit(&addr, &spec, |_| {}).unwrap();
+    let JobResult::Hypothesis { outcome: rounds } = outcome.result else {
+        panic!("hypothesis job must return a hypothesis result");
+    };
+    let concluded = rounds.outcome.expect("must converge");
+    assert_eq!(concluded.samples_used, 24);
+    assert!(concluded.achieved_confidence >= 0.9);
+    assert!(outcome.progress_events >= 1, "rounds stream progress");
+
+    // Identical hypothesis resubmission hits the cache too.
+    let again = client::submit(&addr, &spec, |_| {}).unwrap();
+    assert!(again.cached);
+    handle.shutdown();
+}
+
+#[test]
+fn status_request_reports_counters() {
+    let handle = start(config(1, 4)).unwrap();
+    let addr = handle.addr().to_string();
+    let stats = client::status(&addr).unwrap();
+    assert_eq!(stats.submitted, 0);
+    assert!(!stats.shutting_down);
+    client::shutdown(&addr).unwrap();
+    assert!(
+        wait_for(Duration::from_secs(5), || handle.stats().shutting_down),
+        "shutdown request must flip the flag"
+    );
+    handle.join();
+}

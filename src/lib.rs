@@ -12,13 +12,16 @@
 //! * [`stats`] — the numerical statistics substrate,
 //! * [`baselines`] — bootstrap / rank-test / Z-score comparison methods,
 //! * [`sim`] — the multicore processor simulator substrate used by the
-//!   paper's experiments (a gem5 stand-in).
+//!   paper's experiments (a gem5 stand-in),
+//! * [`server`] — the long-running SMC evaluation service (job queue,
+//!   bias-free parallel rounds, result cache).
 //!
 //! See the workspace `README.md` for a tour and `examples/` for runnable
 //! entry points.
 
 pub use spa_baselines as baselines;
 pub use spa_core as core;
+pub use spa_server as server;
 pub use spa_sim as sim;
 pub use spa_stats as stats;
 pub use spa_stl as stl;
