@@ -55,12 +55,7 @@ fn stat(sorted: &[f64], q: f64) -> f64 {
 }
 
 /// Draws bootstrap replicate statistics of the `q`-quantile.
-fn replicates<R: Rng + ?Sized>(
-    data: &[f64],
-    q: f64,
-    resamples: usize,
-    rng: &mut R,
-) -> Vec<f64> {
+fn replicates<R: Rng + ?Sized>(data: &[f64], q: f64, resamples: usize, rng: &mut R) -> Vec<f64> {
     let n = data.len();
     let mut out = Vec::with_capacity(resamples);
     let mut buf = vec![0.0f64; n];
@@ -114,7 +109,9 @@ pub fn percentile_ci<R: Rng + ?Sized>(
     let alpha = 1.0 - confidence;
     let lower = quantile_sorted(&reps, alpha / 2.0, QuantileMethod::Linear);
     let upper = quantile_sorted(&reps, 1.0 - alpha / 2.0, QuantileMethod::Linear);
-    Ok(ConfidenceInterval::new(lower, upper, confidence, quantile_q))
+    Ok(ConfidenceInterval::new(
+        lower, upper, confidence, quantile_q,
+    ))
 }
 
 /// Bias-corrected and accelerated (BCa) bootstrap CI for the
@@ -126,12 +123,16 @@ pub fn percentile_ci<R: Rng + ?Sized>(
 /// [`BaselineError::BootstrapDegenerate`] — the paper's "Null" outcome —
 /// when
 ///
+/// * the data is constant (detected up front, before any RNG draw),
 /// * every bootstrap replicate falls on one side of the point estimate
-///   (the bias correction `z₀ = Φ⁻¹(prop)` is infinite), or
-/// * the jackknife values are all identical (the acceleration is 0/0).
+///   (the bias correction `z₀ = Φ⁻¹(prop)` is infinite),
+/// * the jackknife values are all identical (the acceleration is 0/0), or
+/// * the adjusted percentiles collapse to a zero-width or non-finite
+///   interval.
 ///
-/// Both happen in practice exactly when the sample contains many
-/// duplicate values (§6.4 / Fig. 15).
+/// All of these happen in practice exactly when the sample contains many
+/// duplicate values (§6.4 / Fig. 15); a success therefore always carries
+/// strictly positive width.
 pub fn bca_ci<R: Rng + ?Sized>(
     data: &[f64],
     quantile_q: f64,
@@ -149,6 +150,15 @@ pub fn bca_ci<R: Rng + ?Sized>(
     }
     let mut sorted = data.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN rejected in validate"));
+    // Constant data degenerates before any resampling: every replicate
+    // and every jackknife value equals the single observed value, so
+    // both z0 and the acceleration are undefined. Failing here keeps the
+    // outcome deterministic (no RNG draw decides it).
+    if sorted.first() == sorted.last() {
+        return Err(BaselineError::BootstrapDegenerate {
+            reason: "all data identical — the bootstrap distribution is a point mass",
+        });
+    }
     let theta_hat = stat(&sorted, quantile_q);
 
     let mut reps = replicates(data, quantile_q, resamples, rng);
@@ -174,7 +184,12 @@ pub fn bca_ci<R: Rng + ?Sized>(
     let mut buf = Vec::with_capacity(n - 1);
     for i in 0..n {
         buf.clear();
-        buf.extend(data.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, &x)| x));
+        buf.extend(
+            data.iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, &x)| x),
+        );
         buf.sort_by(|a, b| a.partial_cmp(b).expect("NaN rejected in validate"));
         jack.push(stat(&buf, quantile_q));
     }
@@ -214,7 +229,19 @@ pub fn bca_ci<R: Rng + ?Sized>(
     }
     let lower = quantile_sorted(&reps, a_lo, QuantileMethod::Linear);
     let upper = quantile_sorted(&reps, a_hi, QuantileMethod::Linear);
-    Ok(ConfidenceInterval::new(lower, upper, confidence, quantile_q))
+    // On duplicate-heavy data the replicate distribution is nearly
+    // discrete: both adjusted percentiles can land inside one flat run,
+    // collapsing the interval to a point. Reporting a zero-width "CI"
+    // would claim certainty the method does not have — surface it as the
+    // same Null outcome the paper observes (§6.4).
+    if !(lower.is_finite() && upper.is_finite()) || lower >= upper {
+        return Err(BaselineError::BootstrapDegenerate {
+            reason: "bootstrap distribution too discrete: adjusted percentiles collapse",
+        });
+    }
+    Ok(ConfidenceInterval::new(
+        lower, upper, confidence, quantile_q,
+    ))
 }
 
 #[cfg(test)]
@@ -250,7 +277,9 @@ mod tests {
     #[test]
     fn bca_ci_brackets_the_estimate_on_clean_data() {
         // Distinct, irregularly spaced values: BCa must succeed.
-        let data: Vec<f64> = (0..30).map(|i| (i as f64).powf(1.3) + 0.1 * i as f64).collect();
+        let data: Vec<f64> = (0..30)
+            .map(|i| (i as f64).powf(1.3) + 0.1 * i as f64)
+            .collect();
         let mut r = rng(7);
         let mut sorted = data.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -270,19 +299,54 @@ mod tests {
 
     #[test]
     fn bca_fails_on_duplicate_heavy_data() {
-        // Two values, lots of duplicates: the median replicate is almost
-        // always one of the two values, so z0 degenerates with high
-        // probability. Verify at least one of several seeds fails.
+        // The paper's §6.4 scenario: a population dominated by two
+        // duplicate values. With 12×1.0 and 10×2.0 the sample median is
+        // 1.0, and no bootstrap replicate's median can fall *below* the
+        // data minimum, so z₀'s defining proportion is exactly 0 — the
+        // Null outcome is deterministic, not a matter of RNG luck.
+        // Pin that: every seed must fail, with the typed error.
         let mut data = vec![1.0; 12];
         data.extend(vec![2.0; 10]);
-        let mut failures = 0;
         for seed in 0..10 {
             let mut r = rng(seed);
-            if bca_ci(&data, 0.5, 0.9, 500, &mut r).is_err() {
-                failures += 1;
+            let err = bca_ci(&data, 0.5, 0.9, 500, &mut r).unwrap_err();
+            assert!(
+                matches!(err, BaselineError::BootstrapDegenerate { .. }),
+                "seed {seed}: expected a typed degenerate-data error, got {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn bca_constant_data_fails_without_touching_the_rng() {
+        // The constant-data fast path must not consume RNG state: a
+        // failed BCa attempt followed by a percentile run gives the same
+        // answer as the percentile run alone.
+        let constant = vec![5.0; 22];
+        let data: Vec<f64> = (0..22).map(|i| i as f64).collect();
+        let mut r1 = rng(13);
+        let err = bca_ci(&constant, 0.5, 0.9, 500, &mut r1).unwrap_err();
+        assert!(matches!(err, BaselineError::BootstrapDegenerate { .. }));
+        let after_failure = percentile_ci(&data, 0.5, 0.9, 500, &mut r1).unwrap();
+        let fresh = percentile_ci(&data, 0.5, 0.9, 500, &mut rng(13)).unwrap();
+        assert_eq!(after_failure, fresh);
+    }
+
+    #[test]
+    fn bca_never_returns_collapsed_bounds() {
+        // Whatever the data, a successful BCa interval has strictly
+        // positive width; duplicate-heavy inputs must fail typed instead
+        // of collapsing.
+        for (seed, dup) in [(1u64, 4usize), (2, 8), (3, 12), (4, 16), (5, 20)] {
+            let mut data: Vec<f64> = (0..22 - dup).map(|i| i as f64 * 0.37 + 3.0).collect();
+            data.extend(std::iter::repeat_n(1.5, dup));
+            let mut r = rng(seed);
+            match bca_ci(&data, 0.5, 0.9, 400, &mut r) {
+                Ok(ci) => assert!(ci.width() > 0.0, "collapsed CI {ci} at dup={dup}"),
+                Err(BaselineError::BootstrapDegenerate { .. }) => {}
+                Err(other) => panic!("unexpected error kind: {other}"),
             }
         }
-        assert!(failures > 0, "expected BCa Null results on duplicate data");
     }
 
     #[test]

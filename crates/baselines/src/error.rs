@@ -35,7 +35,10 @@ impl fmt::Display for BaselineError {
                 name,
                 value,
                 expected,
-            } => write!(f, "invalid parameter `{name}` = {value}; expected {expected}"),
+            } => write!(
+                f,
+                "invalid parameter `{name}` = {value}; expected {expected}"
+            ),
             BaselineError::BootstrapDegenerate { reason } => {
                 write!(f, "bootstrap failed to produce an interval: {reason}")
             }

@@ -84,12 +84,7 @@ pub fn rank_ci_normal(data: &[f64], q: f64, confidence: f64) -> Result<Confidenc
     let l = (center - half).floor().max(1.0) as usize;
     let u = ((center + half).ceil() as usize + 1).min(s.len());
     let l = l.min(u);
-    Ok(ConfidenceInterval::new(
-        s[l - 1],
-        s[u - 1],
-        confidence,
-        q,
-    ))
+    Ok(ConfidenceInterval::new(s[l - 1], s[u - 1], confidence, q))
 }
 
 /// Exact rank CI for the `q`-quantile: the narrowest pair of order
@@ -184,7 +179,10 @@ mod tests {
 
     #[test]
     fn duplicates_are_tolerated() {
-        let data = vec![2.0; 11].into_iter().chain(vec![3.0; 11]).collect::<Vec<_>>();
+        let data = vec![2.0; 11]
+            .into_iter()
+            .chain(vec![3.0; 11])
+            .collect::<Vec<_>>();
         let n = rank_ci_normal(&data, 0.5, 0.9).unwrap();
         assert!(n.lower() <= 3.0 && n.upper() >= 2.0);
         let e = rank_ci_exact(&data, 0.5, 0.9).unwrap();

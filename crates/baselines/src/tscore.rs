@@ -52,15 +52,9 @@ pub fn t_ci(data: &[f64], confidence: f64) -> Result<ConfidenceInterval> {
     }
     let m = mean(data);
     let s = sample_stddev(data);
-    let t = StudentT::new((data.len() - 1) as f64)?
-        .inverse_cdf(0.5 + confidence / 2.0)?;
+    let t = StudentT::new((data.len() - 1) as f64)?.inverse_cdf(0.5 + confidence / 2.0)?;
     let half = t * s / (data.len() as f64).sqrt();
-    Ok(ConfidenceInterval::new(
-        m - half,
-        m + half,
-        confidence,
-        0.5,
-    ))
+    Ok(ConfidenceInterval::new(m - half, m + half, confidence, 0.5))
 }
 
 #[cfg(test)]
@@ -80,9 +74,7 @@ mod tests {
     fn wider_than_z_and_converging() {
         let small: Vec<f64> = (0..5).map(|i| i as f64).collect();
         let big: Vec<f64> = (0..500).map(|i| (i % 11) as f64).collect();
-        let ratio = |d: &[f64]| {
-            t_ci(d, 0.9).unwrap().width() / z_ci(d, 0.9).unwrap().width()
-        };
+        let ratio = |d: &[f64]| t_ci(d, 0.9).unwrap().width() / z_ci(d, 0.9).unwrap().width();
         let r_small = ratio(&small);
         let r_big = ratio(&big);
         assert!(r_small > 1.25, "t/z at n=5: {r_small}");

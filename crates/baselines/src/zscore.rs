@@ -54,12 +54,7 @@ pub fn z_ci(data: &[f64], confidence: f64) -> Result<ConfidenceInterval> {
         .inverse_cdf(0.5 + confidence / 2.0)
         .expect("confidence validated");
     let half = z * s / (data.len() as f64).sqrt();
-    Ok(ConfidenceInterval::new(
-        m - half,
-        m + half,
-        confidence,
-        0.5,
-    ))
+    Ok(ConfidenceInterval::new(m - half, m + half, confidence, 0.5))
 }
 
 #[cfg(test)]

@@ -83,7 +83,9 @@ fn exact_rank_interval_honors_its_guarantee() {
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
     let median = sorted[sorted.len() / 2];
     let (coverage, _) = trials(&pop, median, 22, 400, 6, |s, _| {
-        rank_ci_exact(s, 0.5, 0.9).ok().map(|c| (c.lower(), c.upper()))
+        rank_ci_exact(s, 0.5, 0.9)
+            .ok()
+            .map(|c| (c.lower(), c.upper()))
     });
     assert!(
         coverage >= 0.87,
@@ -107,7 +109,9 @@ fn normal_rank_interval_is_less_reliable_off_median() {
     assert!(rank_ci_exact(&pop[..22], 0.95, 0.9).is_err());
 
     let (coverage, produced) = trials(&pop, q95, 22, 400, 8, |s, _| {
-        rank_ci_normal(s, 0.95, 0.9).ok().map(|c| (c.lower(), c.upper()))
+        rank_ci_normal(s, 0.95, 0.9)
+            .ok()
+            .map(|c| (c.lower(), c.upper()))
     });
     assert_eq!(produced, 1.0);
     // It produces *something*, but below the nominal confidence —

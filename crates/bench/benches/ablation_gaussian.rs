@@ -27,8 +27,16 @@ fn main() {
     );
     println!("\n  t-score / Z-score width ratio (expected ~1.046 at n = 22):");
     for r in &rows {
-        let z = r.methods.iter().find(|e| e.method == Method::ZScore).unwrap();
-        let t = r.methods.iter().find(|e| e.method == Method::TScore).unwrap();
+        let z = r
+            .methods
+            .iter()
+            .find(|e| e.method == Method::ZScore)
+            .unwrap();
+        let t = r
+            .methods
+            .iter()
+            .find(|e| e.method == Method::TScore)
+            .unwrap();
         println!(
             "    {:<42} {:.4}",
             r.label,

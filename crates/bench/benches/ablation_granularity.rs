@@ -30,8 +30,7 @@ fn main() {
     ]];
     for divisor in [10.0, 50.0, 250.0] {
         let grain = spread / divisor;
-        let ci = ci_granular(&engine, &samples, Direction::AtMost, grain)
-            .expect("enough samples");
+        let ci = ci_granular(&engine, &samples, Direction::AtMost, grain).expect("enough samples");
         let tests = (spread / grain).ceil() as usize + 3;
         rows.push(vec![
             format!("grain = range/{divisor}"),
@@ -40,10 +39,7 @@ fn main() {
             format!("~{tests}"),
         ]);
     }
-    report::table(
-        &["search", "interval", "width", "threshold tests"],
-        &rows,
-    );
+    report::table(&["search", "interval", "width", "threshold tests"], &rows);
     println!("\n  Finer granularity converges on the exact interval at the cost of");
     println!("  more hypothesis tests; the exact search needs only one per distinct");
     println!("  sample value.");

@@ -41,11 +41,7 @@ fn main() {
             let (_, evals) = evaluate(&samples, &[Method::Spa], &cfg);
             format!("{:.3}", evals[0].error_probability)
         };
-        rows.push(vec![
-            format!("0-{max} cycles"),
-            format!("{cv:.5}"),
-            error,
-        ]);
+        rows.push(vec![format!("0-{max} cycles"), format!("{cv:.5}"), error]);
     }
     report::table(
         &["injected jitter", "runtime CV", "SPA CI error probability"],

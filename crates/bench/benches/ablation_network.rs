@@ -14,15 +14,22 @@ use spa_sim::workload::parsec::Benchmark;
 
 fn main() {
     report::header("Ablation", "Crossbar (Table 2) vs 2-D mesh NoC");
-    let spa = Spa::builder().confidence(0.9).proportion(0.9).build().expect("valid C/F");
+    let spa = Spa::builder()
+        .confidence(0.9)
+        .proportion(0.9)
+        .build()
+        .expect("valid C/F");
     let n = spa.required_samples();
 
     let mut rows = Vec::new();
-    for bench in [Benchmark::Canneal, Benchmark::Ferret, Benchmark::Blackscholes] {
+    for bench in [
+        Benchmark::Canneal,
+        Benchmark::Ferret,
+        Benchmark::Blackscholes,
+    ] {
         let spec = bench.workload_scaled(0.5);
         let xbar = Machine::new(SystemConfig::table2(), &spec).expect("valid machine");
-        let mesh = Machine::new(SystemConfig::table2().with_mesh(), &spec)
-            .expect("valid machine");
+        let mesh = Machine::new(SystemConfig::table2().with_mesh(), &spec).expect("valid machine");
         let speedups: Vec<f64> = (0..n)
             .map(|seed| {
                 let m = mesh.run(seed).expect("run").metrics.runtime_seconds;

@@ -12,7 +12,11 @@ use spa_sim::workload::parsec::Benchmark;
 
 fn main() {
     report::header("Ablation", "Next-line L2 prefetcher (off vs on)");
-    let spa = Spa::builder().confidence(0.9).proportion(0.9).build().expect("valid C/F");
+    let spa = Spa::builder()
+        .confidence(0.9)
+        .proportion(0.9)
+        .build()
+        .expect("valid C/F");
     let n = spa.required_samples();
 
     let mut rows = Vec::new();
@@ -24,8 +28,8 @@ fn main() {
     ] {
         let spec = bench.workload_scaled(0.5);
         let base = Machine::new(SystemConfig::table2(), &spec).expect("valid machine");
-        let pf = Machine::new(SystemConfig::table2().with_prefetch(), &spec)
-            .expect("valid machine");
+        let pf =
+            Machine::new(SystemConfig::table2().with_prefetch(), &spec).expect("valid machine");
         // Common random numbers per pair.
         let speedups: Vec<f64> = (0..n)
             .map(|seed| {
@@ -52,7 +56,12 @@ fn main() {
         ]);
     }
     report::table(
-        &["benchmark", "mean speedup", "SPA 90% CI (F = 0.9)", "verdict"],
+        &[
+            "benchmark",
+            "mean speedup",
+            "SPA 90% CI (F = 0.9)",
+            "verdict",
+        ],
         &rows,
     );
     report::write_json("ablation_prefetch", &rows);

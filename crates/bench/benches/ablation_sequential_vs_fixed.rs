@@ -50,7 +50,11 @@ fn main() {
         ]);
     }
     report::table(
-        &["property", "Alg. 1 verdict (adaptive N)", "Alg. 2 verdict (N = 22)"],
+        &[
+            "property",
+            "Alg. 1 verdict (adaptive N)",
+            "Alg. 2 verdict (N = 22)",
+        ],
         &rows,
     );
     println!("\n  Alg. 1 spends samples only until significance; Alg. 2 fixes the");

@@ -34,7 +34,11 @@ fn main() {
         let property = MetricProperty::new(Direction::AtMost, threshold);
         // Cycle the population so both engines can draw "fresh" samples
         // beyond 500 if they need them.
-        let outcomes = samples.iter().cycle().take(20_000).map(|&x| property.satisfies(x));
+        let outcomes = samples
+            .iter()
+            .cycle()
+            .take(20_000)
+            .map(|&x| property.satisfies(x));
 
         let cp = engine.run_sequential(outcomes.clone());
         let sp = sprt.run(outcomes);
@@ -51,7 +55,11 @@ fn main() {
         ]);
     }
     report::table(
-        &["satisfaction probability", "CP sequential (Alg. 1)", "Wald SPRT"],
+        &[
+            "satisfaction probability",
+            "CP sequential (Alg. 1)",
+            "Wald SPRT",
+        ],
         &rows,
     );
     println!("\n  Away from F = 0.9 both engines decide quickly, SPRT slightly faster.");

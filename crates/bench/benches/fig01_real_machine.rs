@@ -16,7 +16,10 @@ use spa_stats::descriptive::{coefficient_of_variation, quantile, QuantileMethod}
 use spa_stats::histogram::Histogram;
 
 fn main() {
-    report::header("Fig. 1", "1000 ferret runtimes on the (simulated) real machine");
+    report::header(
+        "Fig. 1",
+        "1000 ferret runtimes on the (simulated) real machine",
+    );
     let n = spa_bench::population_size().max(1000);
     let pop = population(PopulationKey {
         benchmark: Benchmark::Ferret,

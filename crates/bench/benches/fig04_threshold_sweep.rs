@@ -40,8 +40,16 @@ fn main() {
     let speedups = speedup_samples(&base, &improved);
 
     // The figure uses one batch of 22 samples (Eq. 8 minimum).
-    let spa = Spa::builder().confidence(0.9).proportion(0.9).build().expect("valid C/F");
-    let sample: Vec<f64> = speedups.iter().take(spa.required_samples() as usize).copied().collect();
+    let spa = Spa::builder()
+        .confidence(0.9)
+        .proportion(0.9)
+        .build()
+        .expect("valid C/F");
+    let sample: Vec<f64> = speedups
+        .iter()
+        .take(spa.required_samples() as usize)
+        .copied()
+        .collect();
     println!(
         "\n  using the first {} speedup samples (Eq. 8 minimum for C=F=0.9)",
         sample.len()

@@ -46,13 +46,23 @@ fn main() {
     let ground_truth = quantile(&speedups, 1.0 - f, QuantileMethod::LowerRank).expect("non-empty");
     let sample: Vec<f64> = speedups.iter().take(22).copied().collect();
 
-    let spa = Spa::builder().confidence(c).proportion(f).build().expect("valid C/F");
+    let spa = Spa::builder()
+        .confidence(c)
+        .proportion(f)
+        .build()
+        .expect("valid C/F");
     let spa_ci = spa
         .confidence_interval(&sample, Direction::AtLeast)
         .expect("enough samples");
 
     let mut rng = StdRng::seed_from_u64(5);
-    let boot = bca_ci(&sample, 1.0 - f, c, spa_bench::bootstrap_resamples(), &mut rng);
+    let boot = bca_ci(
+        &sample,
+        1.0 - f,
+        c,
+        spa_bench::bootstrap_resamples(),
+        &mut rng,
+    );
     let rank = rank_ci_normal(&sample, 1.0 - f, c);
     let z = z_ci(&sample, c);
 

@@ -19,7 +19,12 @@ fn main() {
         "fig06_error_median",
         "CI error probability, ferret metrics, F = 0.5",
         &FERRET_METRICS,
-        &[Method::Spa, Method::Bootstrap, Method::RankTest, Method::ZScore],
+        &[
+            Method::Spa,
+            Method::Bootstrap,
+            Method::RankTest,
+            Method::ZScore,
+        ],
         &cfg,
         false,
     );

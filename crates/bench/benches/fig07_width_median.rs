@@ -17,7 +17,12 @@ fn main() {
         "fig07_width_median",
         "Normalized CI width, ferret metrics, F = 0.5",
         &FERRET_METRICS,
-        &[Method::Spa, Method::Bootstrap, Method::RankTest, Method::ZScore],
+        &[
+            Method::Spa,
+            Method::Bootstrap,
+            Method::RankTest,
+            Method::ZScore,
+        ],
         &cfg,
         false,
     );
@@ -25,7 +30,11 @@ fn main() {
     println!("\n  Z-score / SPA width ratios:");
     for r in &rows {
         let spa = r.methods.iter().find(|e| e.method == Method::Spa).unwrap();
-        let z = r.methods.iter().find(|e| e.method == Method::ZScore).unwrap();
+        let z = r
+            .methods
+            .iter()
+            .find(|e| e.method == Method::ZScore)
+            .unwrap();
         println!(
             "    {:<40} {:.2}x",
             r.label,

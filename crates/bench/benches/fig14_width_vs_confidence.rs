@@ -28,7 +28,12 @@ fn main() {
         spa_bench::population_size(),
     ));
     let samples = pop.metric(Metric::L1Mpki);
-    let methods = [Method::Spa, Method::Bootstrap, Method::RankTest, Method::ZScore];
+    let methods = [
+        Method::Spa,
+        Method::Bootstrap,
+        Method::RankTest,
+        Method::ZScore,
+    ];
 
     let confidences = [0.90, 0.95, 0.99, 0.995, 0.999];
     let mut rows = Vec::new();

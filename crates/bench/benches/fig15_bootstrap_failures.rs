@@ -25,7 +25,11 @@ fn main() {
     );
     println!("\n  bootstrap Null fraction per metric (the figure's red bars):");
     for r in &rows {
-        let boot = r.methods.iter().find(|e| e.method == Method::Bootstrap).unwrap();
+        let boot = r
+            .methods
+            .iter()
+            .find(|e| e.method == Method::Bootstrap)
+            .unwrap();
         let spa = r.methods.iter().find(|e| e.method == Method::Spa).unwrap();
         println!(
             "    {:<42} bootstrap Null = {:.2}   SPA Null = {:.2}",

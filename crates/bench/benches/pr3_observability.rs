@@ -1,0 +1,20 @@
+//! PR 3 bench smoke: sampling throughput and CI-construction latency.
+//!
+//! A plain `main` (no criterion) so the CI bench-smoke job can run it in
+//! seconds: `cargo bench -p spa-bench --bench pr3_observability`. Emits
+//! `BENCH_pr3.json` at the workspace root; the measurement itself lives
+//! in [`spa_bench::obs_bench`] so the test suite's quick smoke run and
+//! this full run share one code path.
+
+use spa_bench::obs_bench;
+
+fn main() {
+    let report = obs_bench::measure(100);
+    let path = obs_bench::default_path();
+    obs_bench::write_json(&report, &path).expect("write BENCH_pr3.json");
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&report).expect("report serializes")
+    );
+    eprintln!("wrote {}", path.display());
+}

@@ -18,9 +18,14 @@ fn main() {
             ]);
         }
     }
-    report::table(&["C", "F", "N+ (Eq. 6)", "N- (Eq. 7)", "min samples (Eq. 8)"], &rows);
+    report::table(
+        &["C", "F", "N+ (Eq. 6)", "N- (Eq. 7)", "min samples (Eq. 8)"],
+        &rows,
+    );
     let headline = min_samples(0.9, 0.9).expect("valid C/F");
-    println!("\n  paper's §4.3 example: C = 0.9, F = 0.9 requires {headline} samples (N+ = 22, N- = 1)");
+    println!(
+        "\n  paper's §4.3 example: C = 0.9, F = 0.9 requires {headline} samples (N+ = 22, N- = 1)"
+    );
     assert_eq!(headline, 22);
     report::write_json("sec43_min_samples", &rows);
 }

@@ -21,7 +21,9 @@ use spa_sim::machine::Machine;
 use spa_sim::workload::parsec::Benchmark;
 
 fn samples_22() -> Vec<f64> {
-    (0..22).map(|i| 1.0 + 0.013 * (i as f64) + 0.37 * ((i * i) as f64 % 7.0)).collect()
+    (0..22)
+        .map(|i| 1.0 + 0.013 * (i as f64) + 0.37 * ((i * i) as f64 % 7.0))
+        .collect()
 }
 
 fn bench_clopper_pearson(c: &mut Criterion) {
@@ -47,9 +49,7 @@ fn bench_ci_methods(c: &mut Criterion) {
     group.bench_function("rank_normal", |b| {
         b.iter(|| rank_ci_normal(black_box(&xs), 0.5, 0.9).unwrap())
     });
-    group.bench_function("zscore", |b| {
-        b.iter(|| z_ci(black_box(&xs), 0.9).unwrap())
-    });
+    group.bench_function("zscore", |b| b.iter(|| z_ci(black_box(&xs), 0.9).unwrap()));
     group.finish();
 }
 

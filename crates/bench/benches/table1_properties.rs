@@ -140,7 +140,12 @@ fn main() {
         ]);
     }
     report::table(
-        &["property (Table 1 row)", "satisfied", "SMC verdict (F=0.8,C=0.9)", "C_CP"],
+        &[
+            "property (Table 1 row)",
+            "satisfied",
+            "SMC verdict (F=0.8,C=0.9)",
+            "C_CP",
+        ],
         &rows,
     );
     report::write_json("table1_properties", &rows);

@@ -10,7 +10,10 @@ fn main() {
     report::header("Table 2", "Simulated system parameters");
     let c = SystemConfig::table2();
     let rows = vec![
-        vec!["cores".into(), format!("{} out-of-order x86 cores", c.cores)],
+        vec![
+            "cores".into(),
+            format!("{} out-of-order x86 cores", c.cores),
+        ],
         vec![
             "L1 I".into(),
             format!(
@@ -72,6 +75,9 @@ fn main() {
             format!("{:.2}", r.metrics.l2_mpki),
         ]);
     }
-    report::table(&["benchmark", "cycles", "IPC", "L1 MPKI", "L2 MPKI"], &sanity);
+    report::table(
+        &["benchmark", "cycles", "IPC", "L1 MPKI", "L2 MPKI"],
+        &sanity,
+    );
     report::write_json("table2_system", &rows);
 }

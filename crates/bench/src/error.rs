@@ -35,10 +35,18 @@ impl fmt::Display for PopulationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PopulationError::Io { path, source } => {
-                write!(f, "population cache I/O failed for `{}`: {source}", path.display())
+                write!(
+                    f,
+                    "population cache I/O failed for `{}`: {source}",
+                    path.display()
+                )
             }
             PopulationError::Json { path, detail } => {
-                write!(f, "population cache file `{}` is unusable: {detail}", path.display())
+                write!(
+                    f,
+                    "population cache file `{}` is unusable: {detail}",
+                    path.display()
+                )
             }
             PopulationError::Sim(e) => write!(f, "population simulation failed: {e}"),
         }

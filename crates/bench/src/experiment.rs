@@ -140,7 +140,11 @@ pub fn print_eval(rows: &[EvalRow], methods: &[Method], cfg: &TrialConfig) {
         .map(|r| {
             let mut cells = vec![r.label.clone(), format!("{:.6}", r.ground_truth)];
             for e in &r.methods {
-                let flag = if e.error_probability > threshold { "*" } else { "" };
+                let flag = if e.error_probability > threshold {
+                    "*"
+                } else {
+                    ""
+                };
                 cells.push(format!("{:.3}{flag}", e.error_probability));
             }
             let nulls: Vec<String> = r
@@ -179,10 +183,7 @@ pub fn print_eval(rows: &[EvalRow], methods: &[Method], cfg: &TrialConfig) {
     let floor = 1.0 / cfg.trials as f64;
     print!("\n  geomean error:");
     for (i, m) in methods.iter().enumerate() {
-        let g = geomean(
-            rows.iter().map(|r| r.methods[i].error_probability),
-            floor,
-        );
+        let g = geomean(rows.iter().map(|r| r.methods[i].error_probability), floor);
         print!("  {} = {:.3}", m.name(), g);
     }
     println!();

@@ -19,6 +19,7 @@
 //! * `SPA_RESAMPLES` — bootstrap resamples (default 2000).
 
 pub mod experiment;
+pub mod obs_bench;
 pub mod population;
 pub mod report;
 pub mod trial;

@@ -1,0 +1,160 @@
+//! The PR 3 perf baseline: sampling throughput and CI-construction
+//! latency over the gem5-like simulated population, written to
+//! `BENCH_pr3.json` at the workspace root.
+//!
+//! This is the repo's first self-measurement hook (the observability
+//! layer's companion): the numbers give future perf PRs a trajectory to
+//! move. The same measurement runs three ways — the
+//! `pr3_observability` bench binary, the CI bench-smoke job (which
+//! uploads the JSON as an artifact), and a quick smoke test in
+//! `tests/` so every `cargo test` refreshes the file.
+
+use std::hint::black_box;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use spa_core::ci::ci_exact;
+use spa_core::property::Direction;
+use spa_core::smc::SmcEngine;
+use spa_core::spa::Spa;
+use spa_obs::{clear_subscriber, set_subscriber, NoopSubscriber, TimingHistogram};
+use spa_sim::config::SystemConfig;
+use spa_sim::machine::Machine;
+use spa_sim::workload::parsec::Benchmark;
+
+/// Measured PR 3 baseline numbers (serialized as `BENCH_pr3.json`).
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Pr3Report {
+    /// Harness identifier.
+    pub bench: &'static str,
+    /// Executions collected (Eq. 8 minimum at C = F = 0.9).
+    pub samples: u64,
+    /// Wall-clock time of the instrumented sampling run, milliseconds.
+    pub sampling_elapsed_ms: f64,
+    /// Simulator-backed sampling throughput.
+    pub samples_per_sec: f64,
+    /// Mean exact-CI construction latency, no subscriber installed.
+    pub ci_construction_ns_bare: u64,
+    /// Mean exact-CI construction latency with a no-op span subscriber —
+    /// the overhead the observability layer promises to keep negligible.
+    pub ci_construction_ns_noop_subscriber: u64,
+    /// Mean of the CI latency histogram (1µs–10ms log buckets), ns.
+    pub ci_latency_mean_ns: Option<f64>,
+    /// CI latencies below the histogram range.
+    pub ci_latency_underflow: u64,
+    /// CI latencies at or above the histogram range.
+    pub ci_latency_overflow: u64,
+}
+
+/// Mean wall-clock nanoseconds per call of `f` over `iters` calls,
+/// after a short warmup.
+fn mean_ns(iters: u32, mut f: impl FnMut()) -> u64 {
+    for _ in 0..3 {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters.max(1) {
+        f();
+    }
+    (start.elapsed().as_nanos() / u128::from(iters.max(1))) as u64
+}
+
+/// Runs the measurement: one instrumented `Spa::run` over the Table 2
+/// machine with a scaled blackscholes workload (samples/sec), then
+/// `ci_iters` exact CI constructions over the collected population,
+/// bare and with a no-op subscriber installed.
+///
+/// Panics on simulator or engine configuration errors — this is a bench
+/// harness, and its fixed configuration is known-valid.
+pub fn measure(ci_iters: u32) -> Pr3Report {
+    let workload = Benchmark::Blackscholes.workload_scaled(0.25);
+    let machine = Machine::new(SystemConfig::table2(), &workload).expect("machine config");
+    let spa = Spa::builder()
+        .confidence(0.9)
+        .proportion(0.9)
+        .batch_size(4)
+        .build()
+        .expect("spa config");
+    let sampler = |seed: u64| {
+        machine
+            .run(seed)
+            .expect("simulation failed")
+            .metrics
+            .runtime_seconds
+    };
+
+    let start = Instant::now();
+    let report = spa.run(&sampler, 0, Direction::AtMost).expect("spa run");
+    let sampling = start.elapsed();
+    let samples = report.samples.len() as u64;
+
+    let engine = SmcEngine::new(0.9, 0.9).expect("engine");
+    let histogram = TimingHistogram::new(Duration::from_micros(1), Duration::from_millis(10), 16);
+    let bare_ns = mean_ns(ci_iters, || {
+        let t = Instant::now();
+        black_box(ci_exact(&engine, black_box(&report.samples), Direction::AtMost).expect("ci"));
+        histogram.record(t.elapsed());
+    });
+    set_subscriber(Arc::new(NoopSubscriber));
+    let noop_subscriber_ns = mean_ns(ci_iters, || {
+        black_box(ci_exact(&engine, black_box(&report.samples), Direction::AtMost).expect("ci"));
+    });
+    clear_subscriber();
+    let snapshot = histogram.snapshot();
+
+    Pr3Report {
+        bench: "pr3_observability",
+        samples,
+        sampling_elapsed_ms: sampling.as_secs_f64() * 1e3,
+        samples_per_sec: samples as f64 / sampling.as_secs_f64(),
+        ci_construction_ns_bare: bare_ns,
+        ci_construction_ns_noop_subscriber: noop_subscriber_ns,
+        ci_latency_mean_ns: snapshot.mean_ns(),
+        ci_latency_underflow: snapshot.underflow,
+        ci_latency_overflow: snapshot.overflow,
+    }
+}
+
+/// The canonical output location: `BENCH_pr3.json` at the workspace
+/// root, next to `Cargo.toml`.
+pub fn default_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pr3.json")
+}
+
+/// Serializes `report` as pretty JSON (with a trailing newline) to
+/// `path`.
+///
+/// # Errors
+///
+/// I/O failures writing the file.
+pub fn write_json(report: &Pr3Report, path: &Path) -> std::io::Result<()> {
+    let mut text = serde_json::to_string_pretty(report).expect("report serializes");
+    text.push('\n');
+    std::fs::write(path, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_serializes_with_required_fields() {
+        let report = Pr3Report {
+            bench: "pr3_observability",
+            samples: 22,
+            sampling_elapsed_ms: 10.0,
+            samples_per_sec: 2200.0,
+            ci_construction_ns_bare: 1200,
+            ci_construction_ns_noop_subscriber: 1210,
+            ci_latency_mean_ns: Some(1205.0),
+            ci_latency_underflow: 0,
+            ci_latency_overflow: 0,
+        };
+        let v: serde_json::Value =
+            serde_json::from_str(&serde_json::to_string(&report).unwrap()).unwrap();
+        assert_eq!(v["samples"], 22);
+        assert!(v["samples_per_sec"].as_f64().unwrap() > 0.0);
+        assert!(v["ci_construction_ns_bare"].as_u64().unwrap() > 0);
+    }
+}

@@ -261,7 +261,10 @@ pub fn store_cache(pop: &Population) -> Result<(), PopulationError> {
     })?;
     fs::rename(&tmp, &path).map_err(|e| {
         let _ = fs::remove_file(&tmp);
-        PopulationError::Io { path: path.clone(), source: e }
+        PopulationError::Io {
+            path: path.clone(),
+            source: e,
+        }
     })
 }
 
@@ -423,7 +426,10 @@ mod tests {
         let err = load_cached(key).unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains("corrupt"), "{msg}");
-        assert!(msg.contains(path.file_name().unwrap().to_str().unwrap()), "{msg}");
+        assert!(
+            msg.contains(path.file_name().unwrap().to_str().unwrap()),
+            "{msg}"
+        );
         // try_population recovers: regenerates and leaves a good file.
         let pop = try_population(key).unwrap();
         assert_eq!(pop.runs.len(), 3);

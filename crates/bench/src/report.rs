@@ -44,11 +44,18 @@ pub fn table(columns: &[&str], rows: &[Vec<String>]) {
 
 /// Renders a labelled horizontal bar chart (values must be ≥ 0).
 pub fn bars(items: &[(String, f64)], width: usize, unit: &str) {
-    let max = items.iter().map(|(_, v)| *v).fold(0.0_f64, f64::max).max(1e-300);
+    let max = items
+        .iter()
+        .map(|(_, v)| *v)
+        .fold(0.0_f64, f64::max)
+        .max(1e-300);
     let label_w = items.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
     for (label, v) in items {
         let n = ((v / max) * width as f64).round() as usize;
-        println!("  {label:<label_w$}  {:<width$}  {v:.4}{unit}", "#".repeat(n));
+        println!(
+            "  {label:<label_w$}  {:<width$}  {v:.4}{unit}",
+            "#".repeat(n)
+        );
     }
 }
 

@@ -271,16 +271,17 @@ mod tests {
         };
         let (_, evals) = evaluate(
             &pop,
-            &[Method::Spa, Method::Bootstrap, Method::RankTest, Method::ZScore],
+            &[
+                Method::Spa,
+                Method::Bootstrap,
+                Method::RankTest,
+                Method::ZScore,
+            ],
             &cfg,
         );
         assert_eq!(evals.len(), 4);
         for e in &evals {
-            assert!(
-                e.null_fraction < 1.0,
-                "{}: no CI ever produced",
-                e.method
-            );
+            assert!(e.null_fraction < 1.0, "{}: no CI ever produced", e.method);
             assert!(e.mean_width.is_finite(), "{}", e.method);
         }
     }
@@ -300,7 +301,10 @@ mod tests {
         };
         let (_, evals) = evaluate(&pop, &[Method::Spa, Method::Bootstrap], &cfg);
         let spa = evals.iter().find(|e| e.method == Method::Spa).unwrap();
-        let boot = evals.iter().find(|e| e.method == Method::Bootstrap).unwrap();
+        let boot = evals
+            .iter()
+            .find(|e| e.method == Method::Bootstrap)
+            .unwrap();
         assert_eq!(spa.null_fraction, 0.0, "SPA must never return Null");
         assert!(
             boot.null_fraction > 0.3,

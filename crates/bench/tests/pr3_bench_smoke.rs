@@ -1,0 +1,35 @@
+//! Quick run of the PR 3 perf baseline: checks the measured numbers are
+//! sane and refreshes `BENCH_pr3.json` at the workspace root, so the
+//! perf trajectory file exists after any `cargo test` (the bench binary
+//! and the CI bench-smoke job produce the same file at higher iteration
+//! counts).
+
+use spa_bench::obs_bench;
+
+#[test]
+fn pr3_baseline_measures_and_writes_bench_json() {
+    let report = obs_bench::measure(20);
+    assert!(report.samples >= 22, "Eq. 8 floor: {}", report.samples);
+    assert!(
+        report.samples_per_sec > 0.0 && report.sampling_elapsed_ms > 0.0,
+        "throughput must be measurable: {report:?}"
+    );
+    assert!(
+        report.ci_construction_ns_bare > 0 && report.ci_construction_ns_noop_subscriber > 0,
+        "CI-construction latency must be measurable: {report:?}"
+    );
+    // Warmup (3) + timed iterations (20), minus any out-of-range.
+    let observed = 23 - report.ci_latency_underflow - report.ci_latency_overflow;
+    assert!(
+        report.ci_latency_mean_ns.is_some() || observed == 0,
+        "{report:?}"
+    );
+
+    let path = obs_bench::default_path();
+    obs_bench::write_json(&report, &path).expect("write BENCH_pr3.json");
+    let back: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&path).expect("read back")).expect("json");
+    assert_eq!(back["bench"], "pr3_observability");
+    assert!(back["samples_per_sec"].as_f64().expect("field") > 0.0);
+    assert!(back["ci_construction_ns_bare"].as_u64().expect("field") > 0);
+}

@@ -148,6 +148,13 @@ pub enum Command {
         /// Server address.
         addr: String,
     },
+    /// Query a running server's live metrics snapshot.
+    Metrics {
+        /// Server address.
+        addr: String,
+        /// Emit the raw JSON snapshot instead of text.
+        json: bool,
+    },
     /// Ask a running server to drain and exit.
     Shutdown {
         /// Server address.
@@ -157,10 +164,7 @@ pub enum Command {
     Help,
 }
 
-fn parse_flag_value<'a>(
-    flag: &str,
-    it: &mut impl Iterator<Item = &'a String>,
-) -> Result<&'a str> {
+fn parse_flag_value<'a>(flag: &str, it: &mut impl Iterator<Item = &'a String>) -> Result<&'a str> {
     it.next()
         .map(String::as_str)
         .ok_or_else(|| CliError::Usage(format!("flag {flag} needs a value")))
@@ -241,6 +245,30 @@ fn parse_noise(v: &str) -> Result<NoiseArg> {
     )))
 }
 
+/// Strips the global `--trace` flag from `argv`, returning whether it
+/// was present plus the remaining arguments.
+///
+/// `--trace` is positionless — valid before or after the command word —
+/// so it is peeled off before command parsing. It installs the
+/// stderr span subscriber ([`spa_obs::StderrSubscriber`]) for the whole
+/// invocation, whichever command runs.
+pub fn split_trace(argv: &[String]) -> (bool, Vec<String>) {
+    let mut trace = false;
+    let rest = argv
+        .iter()
+        .filter(|arg| {
+            if arg.as_str() == "--trace" {
+                trace = true;
+                false
+            } else {
+                true
+            }
+        })
+        .cloned()
+        .collect();
+    (trace, rest)
+}
+
 /// Parses `argv` (program name already stripped).
 ///
 /// # Errors
@@ -303,9 +331,10 @@ pub fn parse(argv: &[String]) -> Result<Command> {
             "--step" => step = Some(parse_f64(arg, parse_flag_value(arg, &mut it)?)?),
             "--benchmark" | "-b" => {
                 let name = parse_flag_value(arg, &mut it)?;
-                benchmark = Some(Benchmark::from_name(name).ok_or_else(|| {
-                    CliError::Usage(format!("unknown benchmark `{name}`"))
-                })?);
+                benchmark = Some(
+                    Benchmark::from_name(name)
+                        .ok_or_else(|| CliError::Usage(format!("unknown benchmark `{name}`")))?,
+                );
             }
             "--runs" | "-n" => runs = parse_u64(arg, parse_flag_value(arg, &mut it)?)?,
             "--seed-start" => {
@@ -319,9 +348,7 @@ pub fn parse(argv: &[String]) -> Result<Command> {
             "--out" | "-o" => out = Some(parse_flag_value(arg, &mut it)?.to_owned()),
             "--retries" => {
                 retries = u32::try_from(parse_u64(arg, parse_flag_value(arg, &mut it)?)?)
-                    .map_err(|_| {
-                        CliError::Usage("flag --retries: value is too large".into())
-                    })?;
+                    .map_err(|_| CliError::Usage("flag --retries: value is too large".into()))?;
             }
             "--timeout" => {
                 let secs = parse_f64(arg, parse_flag_value(arg, &mut it)?)?;
@@ -422,8 +449,8 @@ pub fn parse(argv: &[String]) -> Result<Command> {
             threads,
         }),
         "submit" => {
-            let benchmark = benchmark
-                .ok_or_else(|| CliError::Usage("submit needs --benchmark".into()))?;
+            let benchmark =
+                benchmark.ok_or_else(|| CliError::Usage("submit needs --benchmark".into()))?;
             let mode = match threshold {
                 Some(threshold) => ModeSpec::Hypothesis {
                     direction: stat.direction,
@@ -457,6 +484,7 @@ pub fn parse(argv: &[String]) -> Result<Command> {
             })
         }
         "status" => Ok(Command::Status { addr }),
+        "metrics" => Ok(Command::Metrics { addr, json }),
         "shutdown" => Ok(Command::Shutdown { addr }),
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(CliError::Usage(format!("unknown command `{other}`"))),
@@ -694,10 +722,7 @@ mod tests {
 
     #[test]
     fn submit_threshold_selects_hypothesis_mode() {
-        let c = parse(&argv(
-            "submit -b ferret -t 1.5 -d at-least --max-rounds 32",
-        ))
-        .unwrap();
+        let c = parse(&argv("submit -b ferret -t 1.5 -d at-least --max-rounds 32")).unwrap();
         let Command::Submit { spec, .. } = c else {
             panic!("{c:?}");
         };
@@ -727,6 +752,39 @@ mod tests {
             }
         );
         assert!(parse(&argv("serve --system warehouse")).is_err());
+    }
+
+    #[test]
+    fn metrics_parses_with_defaults_and_flags() {
+        assert_eq!(
+            parse(&argv("metrics")).unwrap(),
+            Command::Metrics {
+                addr: DEFAULT_ADDR.into(),
+                json: false,
+            }
+        );
+        assert_eq!(
+            parse(&argv("metrics -a 127.0.0.1:3 --json")).unwrap(),
+            Command::Metrics {
+                addr: "127.0.0.1:3".into(),
+                json: true,
+            }
+        );
+    }
+
+    #[test]
+    fn trace_flag_is_positionless_and_stripped() {
+        let (trace, rest) = split_trace(&argv("--trace analyze data.txt"));
+        assert!(trace);
+        assert_eq!(rest, argv("analyze data.txt"));
+        let (trace, rest) = split_trace(&argv("analyze --trace data.txt"));
+        assert!(trace);
+        assert_eq!(rest, argv("analyze data.txt"));
+        let (trace, rest) = split_trace(&argv("analyze data.txt"));
+        assert!(!trace);
+        assert_eq!(rest, argv("analyze data.txt"));
+        // The stripped argv parses exactly as if --trace was never there.
+        assert!(parse(&rest).is_ok());
     }
 
     #[test]

@@ -16,7 +16,7 @@ use spa_core::min_samples::{min_samples, n_negative, n_positive};
 use spa_core::property::MetricProperty;
 use spa_core::spa::{Spa, SpaReport};
 use spa_server::client;
-use spa_server::protocol::{JobResult, Response};
+use spa_server::protocol::{JobResult, MetricsReport, Response};
 use spa_server::spec::JobSpec;
 use spa_server::ServerConfig;
 use spa_sim::config::SystemConfig;
@@ -94,6 +94,7 @@ pub fn execute(command: Command) -> Result<String> {
         } => serve(&addr, workers, queue_depth, threads),
         Command::Submit { addr, spec, json } => submit_job(&addr, &spec, json),
         Command::Status { addr } => status_text(&addr),
+        Command::Metrics { addr, json } => metrics_text(&addr, json),
         Command::Shutdown { addr } => shutdown_server(&addr),
     }
 }
@@ -131,12 +132,24 @@ fn min_samples_text(stat: &StatOpts) -> Result<String> {
     let (c, f) = (stat.confidence, stat.proportion);
     let mut out = String::new();
     writeln!(out, "C = {c}, F = {f}").expect("write to string");
-    writeln!(out, "  N+ (all-true convergence, Eq. 6): {}", n_positive(c, f)?)
-        .expect("write to string");
-    writeln!(out, "  N- (all-false convergence, Eq. 7): {}", n_negative(c, f)?)
-        .expect("write to string");
-    writeln!(out, "  minimum samples for a CI (Eq. 8): {}", min_samples(c, f)?)
-        .expect("write to string");
+    writeln!(
+        out,
+        "  N+ (all-true convergence, Eq. 6): {}",
+        n_positive(c, f)?
+    )
+    .expect("write to string");
+    writeln!(
+        out,
+        "  N- (all-false convergence, Eq. 7): {}",
+        n_negative(c, f)?
+    )
+    .expect("write to string");
+    writeln!(
+        out,
+        "  minimum samples for a CI (Eq. 8): {}",
+        min_samples(c, f)?
+    )
+    .expect("write to string");
     Ok(out)
 }
 
@@ -467,10 +480,7 @@ fn simulate(opts: &SimulateOpts) -> Result<String> {
                 path: path.clone(),
                 source,
             })?;
-            let mut msg = format!(
-                "wrote {} executions of {benchmark} to {path}\n",
-                rows.len()
-            );
+            let mut msg = format!("wrote {} executions of {benchmark} to {path}\n", rows.len());
             if !failures.is_clean() {
                 writeln!(msg, "failures: {failures}").expect("write to string");
             }
@@ -563,35 +573,31 @@ fn submit_job(addr: &str, spec: &JobSpec, json: bool) -> Result<String> {
                 writeln!(
                     out,
                     "degraded: requested {:.4} but sampling losses allowed only {:.4} ({})",
-                    report.requested_confidence,
-                    report.achieved_confidence,
-                    report.failures,
+                    report.requested_confidence, report.achieved_confidence, report.failures,
                 )
                 .expect("write to string");
             }
         }
-        JobResult::Hypothesis { outcome: rounds } => {
-            match rounds.outcome {
-                Some(o) => {
-                    let verdict = match o.assertion {
-                        Assertion::Positive => "POSITIVE — the property holds",
-                        Assertion::Negative => "NEGATIVE — the property does not hold",
-                    };
-                    writeln!(
+        JobResult::Hypothesis { outcome: rounds } => match rounds.outcome {
+            Some(o) => {
+                let verdict = match o.assertion {
+                    Assertion::Positive => "POSITIVE — the property holds",
+                    Assertion::Negative => "NEGATIVE — the property does not hold",
+                };
+                writeln!(
                         out,
                         "hypothesis: {verdict}\nsatisfied by {}/{} samples over {} rounds; C_CP = {:.4}",
                         o.satisfied, o.samples_used, rounds.rounds_used, o.achieved_confidence,
                     )
                     .expect("write to string");
-                }
-                None => writeln!(
-                    out,
-                    "hypothesis: INCONCLUSIVE after {} rounds ({} samples); last C_CP = {:.4}",
-                    rounds.rounds_used, rounds.samples_used, rounds.last_confidence,
-                )
-                .expect("write to string"),
             }
-        }
+            None => writeln!(
+                out,
+                "hypothesis: INCONCLUSIVE after {} rounds ({} samples); last C_CP = {:.4}",
+                rounds.rounds_used, rounds.samples_used, rounds.last_confidence,
+            )
+            .expect("write to string"),
+        },
     }
     Ok(out)
 }
@@ -619,6 +625,75 @@ fn status_text(addr: &str) -> Result<String> {
     ))
 }
 
+fn fmt_ns(ns: u64) -> String {
+    format!("{:?}", Duration::from_nanos(ns))
+}
+
+/// Renders a metrics snapshot as text: counters and gauges by name,
+/// then each latency histogram's non-empty buckets.
+fn render_metrics(report: &MetricsReport) -> String {
+    let mut out = String::new();
+    if !report.counters.is_empty() {
+        writeln!(out, "counters:").expect("write to string");
+        for (name, value) in &report.counters {
+            writeln!(out, "  {name} = {value}").expect("write to string");
+        }
+    }
+    if !report.gauges.is_empty() {
+        writeln!(out, "gauges:").expect("write to string");
+        for (name, value) in &report.gauges {
+            writeln!(out, "  {name} = {value}").expect("write to string");
+        }
+    }
+    for timing in &report.timings {
+        let observed = timing.total + timing.underflow + timing.overflow;
+        let mean = if observed > 0 {
+            timing.sum_ns / observed
+        } else {
+            0
+        };
+        writeln!(
+            out,
+            "timing {}: {observed} observations, mean {}",
+            timing.name,
+            fmt_ns(mean),
+        )
+        .expect("write to string");
+        for bucket in &timing.buckets {
+            if bucket.count > 0 {
+                writeln!(
+                    out,
+                    "  [{}, {}): {}",
+                    fmt_ns(bucket.lo_ns),
+                    fmt_ns(bucket.hi_ns),
+                    bucket.count,
+                )
+                .expect("write to string");
+            }
+        }
+        if timing.underflow > 0 || timing.overflow > 0 {
+            writeln!(
+                out,
+                "  out of range: {} under, {} over",
+                timing.underflow, timing.overflow,
+            )
+            .expect("write to string");
+        }
+    }
+    if out.is_empty() {
+        out.push_str("no metrics recorded yet\n");
+    }
+    out
+}
+
+fn metrics_text(addr: &str, json: bool) -> Result<String> {
+    let report = client::metrics(addr)?;
+    if json {
+        return to_json_line(&report);
+    }
+    Ok(format!("metrics at {addr}\n{}", render_metrics(&report)))
+}
+
 fn shutdown_server(addr: &str) -> Result<String> {
     client::shutdown(addr)?;
     Ok(format!(
@@ -642,7 +717,9 @@ mod tests {
     }
 
     fn sample_file() -> String {
-        let data: String = (0..30).map(|i| format!("{}\n", 1.0 + 0.01 * i as f64)).collect();
+        let data: String = (0..30)
+            .map(|i| format!("{}\n", 1.0 + 0.01 * i as f64))
+            .collect();
         temp_file("spa_cli_test_samples.txt", &data)
     }
 
@@ -655,7 +732,10 @@ mod tests {
     #[test]
     fn min_samples_paper_value() {
         let out = execute(parse(&argv("min-samples -c 0.9 -f 0.9")).unwrap()).unwrap();
-        assert!(out.contains("minimum samples for a CI (Eq. 8): 22"), "{out}");
+        assert!(
+            out.contains("minimum samples for a CI (Eq. 8): 22"),
+            "{out}"
+        );
     }
 
     #[test]
@@ -669,10 +749,8 @@ mod tests {
     #[test]
     fn analyze_all_methods_adds_baselines() {
         let file = sample_file();
-        let out = execute(
-            parse(&argv(&format!("analyze {file} -f 0.5 --all-methods"))).unwrap(),
-        )
-        .unwrap();
+        let out = execute(parse(&argv(&format!("analyze {file} -f 0.5 --all-methods"))).unwrap())
+            .unwrap();
         assert!(out.contains("bootstrap"), "{out}");
         assert!(out.contains("rank"), "{out}");
         assert!(out.contains("z-score"), "{out}");
@@ -681,8 +759,7 @@ mod tests {
     #[test]
     fn analyze_json_emits_a_spa_report() {
         let file = sample_file();
-        let out =
-            execute(parse(&argv(&format!("analyze {file} -f 0.5 --json"))).unwrap()).unwrap();
+        let out = execute(parse(&argv(&format!("analyze {file} -f 0.5 --json"))).unwrap()).unwrap();
         let report: SpaReport = serde_json::from_str(&out).unwrap();
         assert_eq!(report.samples.len(), 30);
         assert!(!report.degraded);
@@ -694,7 +771,10 @@ mod tests {
     fn analyze_json_rejects_all_methods() {
         let file = sample_file();
         let err = execute(
-            parse(&argv(&format!("analyze {file} -f 0.5 --json --all-methods"))).unwrap(),
+            parse(&argv(&format!(
+                "analyze {file} -f 0.5 --json --all-methods"
+            )))
+            .unwrap(),
         )
         .unwrap_err();
         assert!(err.to_string().contains("--all-methods"), "{err}");
@@ -703,7 +783,10 @@ mod tests {
     #[test]
     fn simulate_json_output() {
         let out = execute(
-            parse(&argv("simulate -b blackscholes -n 2 --noise jitter:0 --json")).unwrap(),
+            parse(&argv(
+                "simulate -b blackscholes -n 2 --noise jitter:0 --json",
+            ))
+            .unwrap(),
         )
         .unwrap();
         let v: serde_json::Value = serde_json::from_str(&out).unwrap();
@@ -724,16 +807,12 @@ mod tests {
     fn hypothesis_verdicts() {
         let file = sample_file();
         // All samples <= 10 → positive.
-        let out = execute(
-            parse(&argv(&format!("hypothesis {file} -t 10 -f 0.9"))).unwrap(),
-        )
-        .unwrap();
+        let out =
+            execute(parse(&argv(&format!("hypothesis {file} -t 10 -f 0.9"))).unwrap()).unwrap();
         assert!(out.contains("POSITIVE"), "{out}");
         // No samples <= 0.5 → negative.
-        let out = execute(
-            parse(&argv(&format!("hypothesis {file} -t 0.5 -f 0.9"))).unwrap(),
-        )
-        .unwrap();
+        let out =
+            execute(parse(&argv(&format!("hypothesis {file} -t 0.5 -f 0.9"))).unwrap()).unwrap();
         assert!(out.contains("NEGATIVE"), "{out}");
     }
 
@@ -783,10 +862,8 @@ mod tests {
 
     #[test]
     fn simulate_stdout_when_no_out() {
-        let out = execute(
-            parse(&argv("simulate -b blackscholes -n 2 --noise jitter:0")).unwrap(),
-        )
-        .unwrap();
+        let out = execute(parse(&argv("simulate -b blackscholes -n 2 --noise jitter:0")).unwrap())
+            .unwrap();
         assert!(out.starts_with("seed,runtime,"));
         assert_eq!(out.lines().count(), 3);
     }
@@ -884,6 +961,52 @@ mod tests {
     }
 
     #[test]
+    fn render_metrics_lists_counters_gauges_and_nonempty_buckets() {
+        use spa_server::protocol::{TimingBucketReport, TimingReport};
+        let mut report = MetricsReport::default();
+        report.counters.insert("core.samples.collected".into(), 44);
+        report.gauges.insert("server.queue.depth".into(), 0);
+        report.timings.push(TimingReport {
+            name: "server.job.latency".into(),
+            buckets: vec![
+                TimingBucketReport {
+                    lo_ns: 10_000,
+                    hi_ns: 20_000,
+                    count: 0,
+                },
+                TimingBucketReport {
+                    lo_ns: 20_000,
+                    hi_ns: 40_000,
+                    count: 2,
+                },
+            ],
+            underflow: 0,
+            overflow: 1,
+            total: 2,
+            sum_ns: 90_000,
+        });
+        let out = render_metrics(&report);
+        assert!(out.contains("core.samples.collected = 44"), "{out}");
+        assert!(out.contains("server.queue.depth = 0"), "{out}");
+        assert!(
+            out.contains("timing server.job.latency: 3 observations, mean 30µs"),
+            "{out}"
+        );
+        // The empty first bucket is omitted; the populated one is shown.
+        assert!(!out.contains("[10µs, 20µs)"), "{out}");
+        assert!(out.contains("[20µs, 40µs): 2"), "{out}");
+        assert!(out.contains("out of range: 0 under, 1 over"), "{out}");
+    }
+
+    #[test]
+    fn render_metrics_empty_snapshot_says_so() {
+        assert_eq!(
+            render_metrics(&MetricsReport::default()),
+            "no metrics recorded yet\n"
+        );
+    }
+
+    #[test]
     fn end_to_end_simulate_then_analyze() {
         let path = std::env::temp_dir().join("spa_cli_test_pipe.csv");
         execute(
@@ -895,10 +1018,8 @@ mod tests {
         )
         .unwrap();
         // Column 1 is runtime (column 0 is the seed).
-        let out = execute(
-            parse(&argv(&format!("analyze {} --column 1", path.display()))).unwrap(),
-        )
-        .unwrap();
+        let out = execute(parse(&argv(&format!("analyze {} --column 1", path.display()))).unwrap())
+            .unwrap();
         assert!(out.contains("SPA: with 90.0% confidence"), "{out}");
         let _ = std::fs::remove_file(&path);
     }

@@ -95,8 +95,12 @@ mod tests {
 
     #[test]
     fn display_covers_variants() {
-        assert!(CliError::Usage("bad flag".into()).to_string().contains("bad flag"));
-        assert!(CliError::Input("empty".into()).to_string().contains("empty"));
+        assert!(CliError::Usage("bad flag".into())
+            .to_string()
+            .contains("bad flag"));
+        assert!(CliError::Input("empty".into())
+            .to_string()
+            .contains("empty"));
         let io = CliError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
         assert!(io.to_string().contains("gone"));
         assert!(std::error::Error::source(&io).is_some());

@@ -39,7 +39,13 @@ pub type Result<T> = std::result::Result<T, CliError>;
 /// Returns [`CliError`] for unknown commands, malformed flags, broken
 /// input files, or statistical failures.
 pub fn run(argv: &[String]) -> Result<String> {
-    let command = args::parse(argv)?;
+    let (trace, argv) = args::split_trace(argv);
+    if trace {
+        // Human-readable span log on stderr for the whole invocation;
+        // stdout still carries only the command's result.
+        spa_obs::set_subscriber(std::sync::Arc::new(spa_obs::StderrSubscriber));
+    }
+    let command = args::parse(&argv)?;
     commands::execute(command)
 }
 
@@ -68,12 +74,17 @@ USAGE:
               [--seed-start S] [--round-size N] [--max-rounds N]
               [--retries N] [--json]
   spa status   [--addr HOST:PORT]
+  spa metrics  [--addr HOST:PORT] [--json]
   spa shutdown [--addr HOST:PORT]
   spa help
 
 Defaults: --confidence 0.9 --proportion 0.9 --direction at-most --column 0;
 --threads defaults to the machine's available parallelism and --addr to
 127.0.0.1:7411.
+A global --trace flag (valid with any command, any position) logs
+tracing spans to stderr as they close. Metrics fetches a running
+server's live snapshot: engine counters, queue depth, cache hit/miss
+counts, and the job-latency histogram.
 Serve runs the long-lived evaluation service: submissions are scheduled
 on a bounded queue, identical jobs are answered from a content-addressed
 result cache, and hypothesis jobs parallelize with bias-free fixed-size

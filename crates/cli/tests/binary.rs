@@ -47,7 +47,11 @@ fn analyze_happy_path() {
         .args(["analyze", &file, "--proportion", "0.5"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("SPA: with 90.0% confidence"), "{text}");
 }
@@ -89,13 +93,21 @@ fn simulate_pipes_into_analyze() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = spa_bin()
         .args(["analyze", &csv.to_string_lossy(), "--column", "1"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("confidence"));
     let _ = std::fs::remove_file(csv);
 }
@@ -107,7 +119,11 @@ fn analyze_json_is_machine_readable() {
         .args(["analyze", &file, "--proportion", "0.5", "--json"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let v: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
     assert_eq!(v["samples"].as_array().unwrap().len(), 25);
     assert!(v["interval"].is_object(), "{v}");
@@ -117,7 +133,15 @@ fn analyze_json_is_machine_readable() {
 /// address from its first stdout line.
 fn spawn_server() -> (Child, String) {
     let mut child = spa_bin()
-        .args(["serve", "--addr", "127.0.0.1:0", "--workers", "2", "--threads", "2"])
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--threads",
+            "2",
+        ])
         .stdout(Stdio::piped())
         .stderr(Stdio::null())
         .spawn()
@@ -156,15 +180,27 @@ fn serve_submit_shutdown_end_to_end() {
     let submit = |extra: &[&str]| {
         spa_bin()
             .args([
-                "submit", "-a", &addr, "-b", "blackscholes", "--noise", "jitter:2",
-                "--seed-start", "43000", "--json",
+                "submit",
+                "-a",
+                &addr,
+                "-b",
+                "blackscholes",
+                "--noise",
+                "jitter:2",
+                "--seed-start",
+                "43000",
+                "--json",
             ])
             .args(extra)
             .output()
             .unwrap()
     };
     let out = submit(&[]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let v: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
     assert_eq!(v["kind"], "interval");
     let report = &v["report"];
@@ -174,7 +210,11 @@ fn serve_submit_shutdown_end_to_end() {
 
     // The identical resubmission is answered from the result cache.
     let out = submit(&[]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let again: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
     assert_eq!(again, v, "cached report must be identical");
 
@@ -185,6 +225,10 @@ fn serve_submit_shutdown_end_to_end() {
     assert!(text.contains("1 cache hits"), "{text}");
 
     let out = spa_bin().args(["shutdown", "-a", &addr]).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     wait_exit(&mut server);
 }

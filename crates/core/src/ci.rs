@@ -33,9 +33,11 @@ use serde::{Deserialize, Serialize};
 
 use crate::clopper_pearson::{positive_confidence, Assertion};
 use crate::min_samples::min_samples;
+use crate::obs_names;
 use crate::property::{Direction, MetricProperty};
 use crate::smc::SmcEngine;
 use crate::{CoreError, Result};
+use spa_obs::{metrics::global, span};
 
 /// A two-sided confidence interval for a metric, produced by SPA.
 ///
@@ -159,6 +161,7 @@ fn verdict_at(
     direction: Direction,
     threshold: f64,
 ) -> Result<Option<Assertion>> {
+    global().counter(obs_names::CI_THRESHOLD_TESTS).incr();
     let property = MetricProperty::new(direction, threshold);
     let m = property.count_satisfying(samples);
     Ok(engine.run_counts(m, samples.len() as u64)?.assertion)
@@ -207,6 +210,7 @@ pub fn ci_exact(
     samples: &[f64],
     direction: Direction,
 ) -> Result<ConfidenceInterval> {
+    let _span = span!(obs_names::SPAN_CI_SEARCH);
     validate_samples(engine, samples)?;
     let mut values: Vec<f64> = samples.to_vec();
     values.sort_by(|a, b| a.partial_cmp(b).expect("NaN rejected above"));
@@ -270,6 +274,31 @@ pub fn ci_exact(
     ))
 }
 
+/// Smallest `steps` such that `start + steps * granularity >= end`, so
+/// the inclusive grid `start, start + g, …, start + steps * g` provably
+/// covers `[start, end]` with exactly one point at or beyond `end`.
+///
+/// `ceil` on the floating-point quotient alone is not enough: the
+/// division can round *down* past an integer boundary (leaving `end`
+/// unvisited), or round *up* onto one (adding a duplicate end verdict).
+/// Computing the candidate by `ceil` and then correcting against the
+/// actually-evaluated grid expression makes the guarantee independent of
+/// rounding.
+fn granular_steps(start: f64, end: f64, granularity: f64) -> usize {
+    debug_assert!(granularity > 0.0 && end >= start);
+    let mut steps = ((end - start) / granularity).ceil() as usize;
+    // Walk down while the previous point still covers `end` (ceil
+    // rounded up), then up while the last point misses it (rounded
+    // down). Each loop runs at most once or twice in practice.
+    while steps > 0 && start + (steps - 1) as f64 * granularity >= end {
+        steps -= 1;
+    }
+    while start + steps as f64 * granularity < end {
+        steps += 1;
+    }
+    steps
+}
+
 /// SPA confidence interval by granularity search, as described in §4.2:
 /// thresholds are visited on a grid of spacing `granularity` covering
 /// the sample range, and the innermost significant thresholds on each
@@ -292,12 +321,14 @@ pub fn ci_granular(
             expected: "a finite value > 0",
         });
     }
+    let _span = span!(obs_names::SPAN_CI_SEARCH);
     validate_samples(engine, samples)?;
     let lo = samples.iter().copied().fold(f64::INFINITY, f64::min);
     let hi = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     // One step beyond each end so both extreme verdicts are reachable.
     let start = lo - granularity;
-    let steps = (((hi + granularity) - start) / granularity).ceil() as usize + 1;
+    let end = hi + granularity;
+    let steps = granular_steps(start, end, granularity);
 
     let low_polarity = low_side_polarity(direction);
     let mut lower: Option<f64> = None;
@@ -350,6 +381,7 @@ pub fn ci_adaptive(
             expected: "a finite value > 0",
         });
     }
+    let _span = span!(obs_names::SPAN_CI_SEARCH);
     validate_samples(engine, samples)?;
     let v0 = v0.unwrap_or_else(|| samples.iter().sum::<f64>() / samples.len() as f64);
     let lo = samples.iter().copied().fold(f64::INFINITY, f64::min);
@@ -477,7 +509,10 @@ mod tests {
         let xs = spread(10); // needs 22
         assert!(matches!(
             ci_exact(&e, &xs, Direction::AtMost),
-            Err(CoreError::TooFewSamples { needed: 22, got: 10 })
+            Err(CoreError::TooFewSamples {
+                needed: 22,
+                got: 10
+            })
         ));
         assert!(matches!(
             ci_exact(&e, &[], Direction::AtMost),
@@ -571,6 +606,58 @@ mod tests {
         assert!((a.lower() - b.lower()).abs() < 1e-9);
         assert!((a.upper() - b.upper()).abs() < 1e-9);
         assert!(ci_adaptive(&e, &xs, Direction::AtMost, 0.0, None).is_err());
+    }
+
+    #[test]
+    fn granular_grid_covers_exact_multiple_ranges() {
+        // When (hi - lo) + 2g is an exact multiple of g, the grid must
+        // end exactly at hi + g: one end point, not two (the old
+        // `ceil(...) + 1` construction evaluated a duplicate), and the
+        // end must be visited even when the FP quotient rounds down.
+        for (start, end, g, want) in [
+            (0.75, 30.25, 0.25, 118), // spread(30) with grain 0.25
+            (0.0, 1.0, 0.1, 10),      // 1.0 / 0.1 rounds via FP
+            (-1.0, 1.0, 0.5, 4),
+            (2.5, 2.5 + 7.0 * 0.125, 0.125, 7),
+        ] {
+            let steps = granular_steps(start, end, g);
+            assert_eq!(steps, want, "grid [{start}, {end}] by {g}");
+            assert!(
+                start + steps as f64 * g >= end,
+                "top of range unvisited for [{start}, {end}] by {g}"
+            );
+            assert!(
+                start + (steps - 1) as f64 * g < end,
+                "duplicate end verdict for [{start}, {end}] by {g}"
+            );
+        }
+    }
+
+    #[test]
+    fn granular_irregular_grain_still_covers_range() {
+        // Non-representable grains where ceil alone can misfire.
+        for (lo, hi, g) in [(1.0, 30.0, 0.3), (0.0, 1e6, 0.7), (5.0, 5.0, 0.1)] {
+            let start = lo - g;
+            let end = hi + g;
+            let steps = granular_steps(start, end, g);
+            assert!(start + steps as f64 * g >= end);
+            assert!(steps == 0 || start + (steps - 1) as f64 * g < end);
+        }
+    }
+
+    #[test]
+    fn granular_exact_multiple_range_matches_exact_ci() {
+        // End-to-end regression at an exact-multiple range: spread(30)
+        // with grain 0.25 (grid start 0.75, end 30.25, 118 steps). The
+        // granular interval must be finite and nest within one grain of
+        // the exact interval.
+        let e = engine(0.9, 0.5);
+        let xs = spread(30);
+        let exact = ci_exact(&e, &xs, Direction::AtMost).unwrap();
+        let granular = ci_granular(&e, &xs, Direction::AtMost, 0.25).unwrap();
+        assert!(granular.lower().is_finite() && granular.upper().is_finite());
+        assert!((granular.lower() - exact.lower()).abs() <= 0.25 + 1e-9);
+        assert!((granular.upper() - exact.upper()).abs() <= 0.25 + 1e-9);
     }
 
     #[test]

@@ -34,6 +34,17 @@ pub enum CoreError {
         /// Usable samples collected.
         collected: u64,
     },
+    /// A round's seed range would exceed `u64::MAX`. Wrapping instead
+    /// would silently reuse seeds from the start of the stream, biasing
+    /// rounds toward already-observed executions.
+    SeedOverflow {
+        /// First seed of the stream.
+        seed_start: u64,
+        /// Round index whose range overflowed.
+        round: u64,
+        /// Executions per round.
+        round_size: u64,
+    },
     /// An underlying numerical computation failed.
     Stats(StatsError),
     /// A property evaluation failed (e.g. an STL template referenced a
@@ -48,7 +59,10 @@ impl fmt::Display for CoreError {
                 name,
                 value,
                 expected,
-            } => write!(f, "invalid parameter `{name}` = {value}; expected {expected}"),
+            } => write!(
+                f,
+                "invalid parameter `{name}` = {value}; expected {expected}"
+            ),
             CoreError::EmptyData => write!(f, "empty data set"),
             CoreError::TooFewSamples { needed, got } => write!(
                 f,
@@ -61,6 +75,15 @@ impl fmt::Display for CoreError {
                 f,
                 "sampling failed: {collected} of {requested} requested executions \
                  produced a usable sample after exhausting retries"
+            ),
+            CoreError::SeedOverflow {
+                seed_start,
+                round,
+                round_size,
+            } => write!(
+                f,
+                "seed stream exhausted: round {round} of size {round_size} \
+                 starting at seed {seed_start} exceeds u64::MAX"
             ),
             CoreError::Stats(e) => write!(f, "numerical error: {e}"),
             CoreError::Property(msg) => write!(f, "property evaluation failed: {msg}"),

@@ -394,8 +394,8 @@ mod tests {
 
     #[test]
     fn jittered_backoff_is_deterministic_and_bounded() {
-        let p = RetryPolicy::new(5)
-            .with_backoff(Duration::from_millis(100), Duration::from_secs(1));
+        let p =
+            RetryPolicy::new(5).with_backoff(Duration::from_millis(100), Duration::from_secs(1));
         let a = p.backoff_delay(42, 1);
         let b = p.backoff_delay(42, 1);
         assert_eq!(a, b);

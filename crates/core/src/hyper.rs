@@ -126,10 +126,7 @@ pub fn pair_self(samples: &[f64]) -> impl Iterator<Item = (f64, f64)> + Clone + 
 /// Pairs two populations element-wise: `(a_i, b_i)`. With seeded
 /// executions this is the "common random numbers" pairing; for the
 /// paper's §5.2 random pairing, shuffle one side first.
-pub fn pair_zip<'a>(
-    a: &'a [f64],
-    b: &'a [f64],
-) -> impl Iterator<Item = (f64, f64)> + Clone + 'a {
+pub fn pair_zip<'a>(a: &'a [f64], b: &'a [f64]) -> impl Iterator<Item = (f64, f64)> + Clone + 'a {
     a.iter().copied().zip(b.iter().copied())
 }
 

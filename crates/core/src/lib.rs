@@ -52,6 +52,7 @@ pub mod clopper_pearson;
 pub mod fault;
 pub mod hyper;
 pub mod min_samples;
+pub mod obs_names;
 pub mod property;
 pub mod rounds;
 pub mod smc;

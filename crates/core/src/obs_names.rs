@@ -1,0 +1,46 @@
+//! The engine's observability taxonomy: every span and metric name
+//! `spa-core` emits, in one place.
+//!
+//! Instrumentation records into the process-global
+//! [`spa_obs::metrics::global`] registry and the global span subscriber.
+//! It is strictly *verdict-neutral*: spans observe time, counters
+//! observe events, and nothing here is ever consulted by a sampling or
+//! stopping decision. Counters are bumped once per batch or round, never
+//! per sample, so the hot loops stay hot.
+
+/// Span around [`Spa::collect_samples`](crate::spa::Spa::collect_samples).
+pub const SPAN_COLLECT: &str = "spa.collect_samples";
+/// Span around
+/// [`Spa::collect_samples_fallible`](crate::spa::Spa::collect_samples_fallible).
+pub const SPAN_COLLECT_FALLIBLE: &str = "spa.collect_samples_fallible";
+/// Span around an end-to-end [`Spa::run`](crate::spa::Spa::run) or
+/// [`Spa::run_fallible`](crate::spa::Spa::run_fallible).
+pub const SPAN_RUN: &str = "spa.run";
+/// Span around one sequential SMC loop (Algorithm 1).
+pub const SPAN_SEQUENTIAL: &str = "smc.sequential";
+/// Span around one fixed-sample-size SMC evaluation (Algorithm 2).
+pub const SPAN_FIXED: &str = "smc.fixed";
+/// Span around folding one round into a
+/// [`RoundAggregator`](crate::rounds::RoundAggregator).
+pub const SPAN_FOLD: &str = "rounds.fold";
+/// Span around one confidence-interval threshold search
+/// ([`ci_exact`](crate::ci::ci_exact) /
+/// [`ci_granular`](crate::ci::ci_granular)).
+pub const SPAN_CI_SEARCH: &str = "ci.search";
+
+/// Counter: executions requested from a sampler (bumped per collection
+/// call with the batch size, before any are run).
+pub const SAMPLES_REQUESTED: &str = "core.samples.requested";
+/// Counter: executions that produced a usable metric sample.
+pub const SAMPLES_COLLECTED: &str = "core.samples.collected";
+/// Counter: sampler retries performed by the fault-tolerant path.
+pub const RETRIES: &str = "core.retries";
+/// Counter: sampler panics caught and isolated.
+pub const PANICS: &str = "core.panics";
+/// Counter: SPA runs that finished in graceful statistical degradation
+/// (fewer samples than Eq. 8 requires, honest reduced confidence).
+pub const DEGRADED_RUNS: &str = "core.degraded_runs";
+/// Counter: rounds folded into round aggregators.
+pub const ROUNDS_FOLDED: &str = "core.rounds.folded";
+/// Counter: SMC hypothesis tests evaluated during CI threshold searches.
+pub const CI_THRESHOLD_TESTS: &str = "core.ci.threshold_tests";

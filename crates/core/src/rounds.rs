@@ -53,24 +53,45 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use parking_lot::Mutex;
 
 use crate::clopper_pearson::{assertion, confidence};
+use crate::obs_names;
 use crate::property::MetricProperty;
 use crate::smc::{SequentialOutcome, SmcEngine};
 use crate::spa::Sampler;
 use crate::{CoreError, Result};
+use spa_obs::{metrics::global, span};
 
 /// The seeds belonging to round `round` of a stream starting at
 /// `seed_start` with rounds of `round_size` executions.
+///
+/// # Errors
+///
+/// Returns [`CoreError::SeedOverflow`] when the round's range would
+/// exceed `u64::MAX`. The arithmetic is checked: the unchecked version
+/// panicked in debug builds and silently *wrapped* in release builds,
+/// reusing seeds from the start of the stream and biasing rounds toward
+/// already-observed executions.
 ///
 /// # Examples
 ///
 /// ```
 /// use spa_core::rounds::round_seeds;
-/// assert_eq!(round_seeds(100, 0, 8), 100..108);
-/// assert_eq!(round_seeds(100, 2, 8), 116..124);
+/// # fn main() -> Result<(), spa_core::CoreError> {
+/// assert_eq!(round_seeds(100, 0, 8)?, 100..108);
+/// assert_eq!(round_seeds(100, 2, 8)?, 116..124);
+/// assert!(round_seeds(u64::MAX - 4, 0, 8).is_err());
+/// # Ok(())
+/// # }
 /// ```
-pub fn round_seeds(seed_start: u64, round: u64, round_size: u64) -> Range<u64> {
-    let start = seed_start + round * round_size;
-    start..start + round_size
+pub fn round_seeds(seed_start: u64, round: u64, round_size: u64) -> Result<Range<u64>> {
+    round
+        .checked_mul(round_size)
+        .and_then(|offset| seed_start.checked_add(offset))
+        .and_then(|start| start.checked_add(round_size).map(|end| start..end))
+        .ok_or(CoreError::SeedOverflow {
+            seed_start,
+            round,
+            round_size,
+        })
 }
 
 /// Aggregates per-round boolean outcomes in strict round-index order and
@@ -187,8 +208,11 @@ impl RoundAggregator {
             });
         }
         self.buffered.insert(round, outcomes);
+        let _span = span!(obs_names::SPAN_FOLD);
+        let mut folded = 0u64;
         while let Some(ready) = self.buffered.remove(&self.next_round) {
             self.next_round += 1;
+            folded += 1;
             for sat in ready {
                 self.seen += 1;
                 if sat {
@@ -208,6 +232,9 @@ impl RoundAggregator {
                 self.buffered.clear();
                 break;
             }
+        }
+        if folded > 0 {
+            global().counter(obs_names::ROUNDS_FOLDED).add(folded);
         }
         Ok(self.concluded)
     }
@@ -244,7 +271,8 @@ pub struct RoundsOutcome {
 /// # Errors
 ///
 /// Returns [`CoreError::InvalidParameter`] for a zero `round_size`,
-/// `max_rounds`, or `workers`.
+/// `max_rounds`, or `workers`, and [`CoreError::SeedOverflow`] when
+/// `max_rounds` rounds from `seed_start` would run past `u64::MAX`.
 pub fn run_hypothesis_rounds<S: Sampler + ?Sized>(
     engine: &SmcEngine,
     sampler: &S,
@@ -268,6 +296,9 @@ pub fn run_hypothesis_rounds<S: Sampler + ?Sized>(
             expected: "at least one worker",
         });
     }
+    // Fail fast if any round in the budget would overflow the seed
+    // stream; workers below can then unwrap safely.
+    round_seeds(seed_start, max_rounds - 1, round_size)?;
     let aggregator = Mutex::new(RoundAggregator::new(*engine, round_size)?);
     let next = AtomicU64::new(0);
     let stop = AtomicBool::new(false);
@@ -281,7 +312,9 @@ pub fn run_hypothesis_rounds<S: Sampler + ?Sized>(
                 if round >= max_rounds {
                     break;
                 }
-                let outcomes: Vec<bool> = round_seeds(seed_start, round, round_size)
+                let seeds = round_seeds(seed_start, round, round_size)
+                    .expect("round < max_rounds was range-checked above");
+                let outcomes: Vec<bool> = seeds
                     .map(|seed| property.satisfies(sampler.sample(seed)))
                     .collect();
                 let mut agg = aggregator.lock();
@@ -355,6 +388,33 @@ mod tests {
     }
 
     #[test]
+    fn seed_overflow_is_a_typed_error() {
+        // Near the top of the seed space, the range itself overflows.
+        assert!(matches!(
+            round_seeds(u64::MAX - 4, 0, 8),
+            Err(CoreError::SeedOverflow {
+                seed_start,
+                round: 0,
+                round_size: 8,
+            }) if seed_start == u64::MAX - 4
+        ));
+        // The round offset multiplication overflows.
+        assert!(round_seeds(0, u64::MAX / 2, 4).is_err());
+        // The largest representable round still works.
+        let last = round_seeds(u64::MAX - 8, 0, 8).unwrap();
+        assert_eq!(last, u64::MAX - 8..u64::MAX);
+
+        // The driver surfaces the same typed error up front instead of
+        // wrapping mid-run.
+        let sampler = |seed: u64| seed as f64;
+        let p = MetricProperty::new(Direction::AtMost, 1e9);
+        assert!(matches!(
+            run_hypothesis_rounds(&engine(), &sampler, &p, u64::MAX - 16, 8, 64, 2),
+            Err(CoreError::SeedOverflow { .. })
+        ));
+    }
+
+    #[test]
     fn all_true_concludes_at_round_boundary() {
         // 22 all-true samples converge; with R = 8 the first boundary at
         // or past 22 is 24.
@@ -362,7 +422,10 @@ mod tests {
         for r in 0..2 {
             assert!(agg.submit(r, vec![true; 8]).unwrap().is_none());
         }
-        let out = agg.submit(2, vec![true; 8]).unwrap().expect("round 3 concludes");
+        let out = agg
+            .submit(2, vec![true; 8])
+            .unwrap()
+            .expect("round 3 concludes");
         assert_eq!(out.samples_used, 24);
         assert_eq!(out.assertion, Assertion::Positive);
         assert!(out.achieved_confidence >= 0.9);
@@ -396,8 +459,7 @@ mod tests {
         let in_order: Vec<usize> = (0..40).collect();
         let mut reversed_tail = in_order.clone();
         reversed_tail[1..].reverse();
-        let interleaved: Vec<usize> =
-            (0..20).flat_map(|i| [i * 2 + 1, i * 2]).collect();
+        let interleaved: Vec<usize> = (0..20).flat_map(|i| [i * 2 + 1, i * 2]).collect();
 
         let a = run(&in_order);
         let b = run(&reversed_tail);
@@ -443,11 +505,7 @@ mod tests {
         assert_eq!(one, four);
         assert_eq!(one, eight);
         // Matches the sequential reference over the same seed stream.
-        let expected = reference(
-            &eng,
-            (0..64 * 8).map(|i| p.satisfies(sampler(5 + i))),
-            8,
-        );
+        let expected = reference(&eng, (0..64 * 8).map(|i| p.satisfies(sampler(5 + i))), 8);
         assert_eq!(one.outcome, expected);
     }
 

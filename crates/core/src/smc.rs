@@ -12,7 +12,9 @@
 use serde::{Deserialize, Serialize};
 
 use crate::clopper_pearson::{assertion, check_unit_open, confidence, Assertion};
+use crate::obs_names;
 use crate::{CoreError, Result};
+use spa_obs::span;
 
 /// An SMC engine configured with a confidence level `C` and a proportion
 /// `F` (the hypothesis is `P(φ) ≥ F`).
@@ -110,6 +112,7 @@ impl SmcEngine {
     where
         I: IntoIterator<Item = bool>,
     {
+        let _span = span!(obs_names::SPAN_SEQUENTIAL);
         let mut m = 0u64;
         let mut n = 0u64;
         for sat in outcomes {
@@ -140,6 +143,7 @@ impl SmcEngine {
     where
         I: IntoIterator<Item = bool>,
     {
+        let _span = span!(obs_names::SPAN_FIXED);
         let mut m = 0u64;
         let mut n = 0u64;
         for sat in outcomes {
@@ -234,9 +238,7 @@ mod tests {
         // Alternating outcomes: M/N → 0.5 < F, so the negative assertion
         // eventually becomes significant.
         let e = SmcEngine::new(0.9, 0.9).unwrap();
-        let out = e
-            .run_sequential((0..).map(|i| i % 2 == 0))
-            .unwrap();
+        let out = e.run_sequential((0..).map(|i| i % 2 == 0)).unwrap();
         assert_eq!(out.assertion, Assertion::Negative);
         assert!(out.achieved_confidence >= 0.9);
     }
@@ -280,9 +282,7 @@ mod tests {
     #[test]
     fn counts_shortcut_matches_iterator_path() {
         let e = SmcEngine::new(0.9, 0.5).unwrap();
-        let by_iter = e
-            .run_fixed((0..30).map(|i| i % 3 != 0))
-            .unwrap();
+        let by_iter = e.run_fixed((0..30).map(|i| i % 3 != 0)).unwrap();
         let by_counts = e.run_counts(20, 30).unwrap();
         assert_eq!(by_iter, by_counts);
         assert!(e.run_counts(31, 30).is_err());

@@ -25,9 +25,11 @@ use crate::fault::{
     derive_retry_seed, FailureCounts, FallibleSampler, RetryPolicy, SampleBatch, SampleError,
 };
 use crate::min_samples::{achievable_confidence, min_samples};
+use crate::obs_names;
 use crate::property::MetricProperty;
 use crate::smc::{FixedOutcome, SmcEngine};
 use crate::{CoreError, Result};
+use spa_obs::{metrics::global, span};
 
 pub use crate::property::Direction;
 
@@ -236,7 +238,9 @@ impl Spa {
         seed_start: u64,
         count: Option<u64>,
     ) -> Vec<f64> {
+        let _span = span!(obs_names::SPAN_COLLECT);
         let total = count.unwrap_or_else(|| self.required_samples());
+        global().counter(obs_names::SAMPLES_REQUESTED).add(total);
         let next = AtomicU64::new(0);
         let results: Mutex<Vec<(u64, f64)>> = Mutex::new(Vec::with_capacity(total as usize));
         let workers = self.batch_size.min(total as usize).max(1);
@@ -254,6 +258,9 @@ impl Spa {
         });
         let mut pairs = results.into_inner();
         pairs.sort_by_key(|&(i, _)| i);
+        global()
+            .counter(obs_names::SAMPLES_COLLECTED)
+            .add(pairs.len() as u64);
         pairs.into_iter().map(|(_, v)| v).collect()
     }
 
@@ -269,6 +276,7 @@ impl Spa {
         seed_start: u64,
         direction: Direction,
     ) -> Result<SpaReport> {
+        let _span = span!(obs_names::SPAN_RUN);
         let samples = self.collect_samples(sampler, seed_start, None);
         let interval = self.confidence_interval(&samples, direction)?;
         let confidence = self.engine.confidence_level();
@@ -301,7 +309,9 @@ impl Spa {
         count: Option<u64>,
         policy: &RetryPolicy,
     ) -> SampleBatch {
+        let _span = span!(obs_names::SPAN_COLLECT_FALLIBLE);
         let total = count.unwrap_or_else(|| self.required_samples());
+        global().counter(obs_names::SAMPLES_REQUESTED).add(total);
         let next = AtomicU64::new(0);
         let results: Mutex<Vec<(u64, f64)>> = Mutex::new(Vec::with_capacity(total as usize));
         let failures: Mutex<FailureCounts> = Mutex::new(FailureCounts::default());
@@ -344,9 +354,15 @@ impl Spa {
         });
         let mut pairs = results.into_inner();
         pairs.sort_by_key(|&(i, _)| i);
+        let failures = failures.into_inner();
+        global()
+            .counter(obs_names::SAMPLES_COLLECTED)
+            .add(pairs.len() as u64);
+        global().counter(obs_names::RETRIES).add(failures.retries);
+        global().counter(obs_names::PANICS).add(failures.crashes);
         SampleBatch {
             samples: pairs.into_iter().map(|(_, v)| v).collect(),
-            failures: failures.into_inner(),
+            failures,
             requested: total,
         }
     }
@@ -376,6 +392,7 @@ impl Spa {
         direction: Direction,
         policy: &RetryPolicy,
     ) -> Result<SpaReport> {
+        let _span = span!(obs_names::SPAN_RUN);
         let batch = self.collect_samples_fallible(sampler, seed_start, None, policy);
         self.report_from_batch(batch, direction)
     }
@@ -416,6 +433,7 @@ impl Spa {
         // converges only on the strict C_CP > C; the unanimous boundary
         // cases sit at exactly C_CP = achieved. The reported interval is
         // re-tagged with the honest achieved value.
+        global().counter(obs_names::DEGRADED_RUNS).incr();
         let achieved = achievable_confidence(collected, proportion)?;
         let engine = SmcEngine::new(achieved * (1.0 - 1e-9), proportion)?;
         let interval = match self.granularity {
@@ -527,7 +545,11 @@ mod tests {
 
     #[test]
     fn hypothesis_test_direct_property() {
-        let spa = Spa::builder().confidence(0.9).proportion(0.9).build().unwrap();
+        let spa = Spa::builder()
+            .confidence(0.9)
+            .proportion(0.9)
+            .build()
+            .unwrap();
         let samples = vec![1.0; 22];
         let p = MetricProperty::new(Direction::AtMost, 2.0);
         let out = spa.hypothesis_test(&p, &samples).unwrap();
@@ -585,7 +607,9 @@ mod tests {
             .granularity(Granularity::Step(0.5))
             .build()
             .unwrap();
-        let a = exact.confidence_interval(&samples, Direction::AtMost).unwrap();
+        let a = exact
+            .confidence_interval(&samples, Direction::AtMost)
+            .unwrap();
         let b = stepped
             .confidence_interval(&samples, Direction::AtMost)
             .unwrap();
@@ -691,7 +715,8 @@ mod tests {
         // mixed, so each seed has further chances.
         let sampler = flaky(4);
         let spa = Spa::builder().proportion(0.5).build().unwrap();
-        let no_retry = spa.collect_samples_fallible(&sampler, 1, Some(40), &RetryPolicy::no_retry());
+        let no_retry =
+            spa.collect_samples_fallible(&sampler, 1, Some(40), &RetryPolicy::no_retry());
         let with_retry = spa.collect_samples_fallible(&sampler, 1, Some(40), &RetryPolicy::new(5));
         assert!(no_retry.samples.len() < 40);
         assert!(with_retry.samples.len() > no_retry.samples.len());
@@ -732,9 +757,8 @@ mod tests {
 
     #[test]
     fn all_failures_yield_sampling_failed() {
-        let sampler = |_: u64| -> std::result::Result<f64, SampleError> {
-            Err(SampleError::Timeout)
-        };
+        let sampler =
+            |_: u64| -> std::result::Result<f64, SampleError> { Err(SampleError::Timeout) };
         let spa = Spa::builder().build().unwrap();
         let err = spa
             .run_fallible(&sampler, 0, Direction::AtMost, &RetryPolicy::new(2))

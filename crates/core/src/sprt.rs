@@ -66,7 +66,10 @@ impl Sprt {
         check_unit_open("proportion", proportion)?;
         check_unit_open("alpha", alpha)?;
         check_unit_open("beta", beta)?;
-        if (delta.is_nan() || delta <= 0.0) || proportion - delta <= 0.0 || proportion + delta >= 1.0 {
+        if (delta.is_nan() || delta <= 0.0)
+            || proportion - delta <= 0.0
+            || proportion + delta >= 1.0
+        {
             return Err(CoreError::InvalidParameter {
                 name: "delta",
                 value: delta,
@@ -196,9 +199,13 @@ mod tests {
                 .assertion
         };
         // Far above / below the indifference region: reliable verdicts.
-        let pos = (0..20).filter(|&s| decide(0.95, s) == Assertion::Positive).count();
+        let pos = (0..20)
+            .filter(|&s| decide(0.95, s) == Assertion::Positive)
+            .count();
         assert!(pos >= 18, "positives: {pos}/20");
-        let neg = (0..20).filter(|&s| decide(0.6, s) == Assertion::Negative).count();
+        let neg = (0..20)
+            .filter(|&s| decide(0.6, s) == Assertion::Negative)
+            .count();
         assert!(neg >= 18, "negatives: {neg}/20");
     }
 

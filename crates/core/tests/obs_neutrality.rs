@@ -1,0 +1,117 @@
+//! Instrumentation must be verdict-neutral: running the engine with a
+//! subscriber installed (even the collecting one) and the global metrics
+//! registry active must produce byte-identical statistical output to an
+//! uninstrumented run.
+
+use spa_core::fault::RetryPolicy;
+use spa_core::property::MetricProperty;
+use spa_core::rounds::run_hypothesis_rounds;
+use spa_core::smc::SmcEngine;
+use spa_core::spa::{Direction, Granularity, Spa};
+use spa_obs::{clear_subscriber, set_subscriber, CollectingSubscriber, NoopSubscriber};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// The span subscriber is process-global; tests that install one must
+/// not interleave.
+static SUBSCRIBER_LOCK: Mutex<()> = Mutex::new(());
+
+fn subscriber_lock() -> MutexGuard<'static, ()> {
+    SUBSCRIBER_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn sampler(seed: u64) -> f64 {
+    1.0 + (seed % 10) as f64 * 0.1
+}
+
+#[test]
+fn reports_are_identical_with_and_without_subscribers() {
+    let _guard = subscriber_lock();
+    let spa = Spa::builder()
+        .confidence(0.9)
+        .proportion(0.5)
+        .granularity(Granularity::Step(0.05))
+        .batch_size(4)
+        .build()
+        .unwrap();
+
+    clear_subscriber();
+    let bare = spa.run(&sampler, 900, Direction::AtMost).unwrap();
+    let bare_fallible = spa
+        .run_fallible(
+            &spa_core::fault::Reliable(sampler),
+            900,
+            Direction::AtMost,
+            &RetryPolicy::default(),
+        )
+        .unwrap();
+
+    set_subscriber(Arc::new(NoopSubscriber));
+    let noop = spa.run(&sampler, 900, Direction::AtMost).unwrap();
+
+    let collector = CollectingSubscriber::new();
+    set_subscriber(collector.clone());
+    let collected = spa.run(&sampler, 900, Direction::AtMost).unwrap();
+    let collected_fallible = spa
+        .run_fallible(
+            &spa_core::fault::Reliable(sampler),
+            900,
+            Direction::AtMost,
+            &RetryPolicy::default(),
+        )
+        .unwrap();
+    clear_subscriber();
+
+    assert_eq!(bare, noop);
+    assert_eq!(bare, collected);
+    assert_eq!(bare_fallible, collected_fallible);
+    assert_eq!(bare, bare_fallible);
+
+    // The collector actually saw the instrumented regions, so the parity
+    // above is meaningful and not a disabled-instrumentation artifact.
+    let names: Vec<&str> = collector.take().iter().map(|r| r.name).collect();
+    assert!(names.contains(&spa_core::obs_names::SPAN_RUN), "{names:?}");
+    assert!(
+        names.contains(&spa_core::obs_names::SPAN_COLLECT),
+        "{names:?}"
+    );
+    assert!(
+        names.contains(&spa_core::obs_names::SPAN_CI_SEARCH),
+        "{names:?}"
+    );
+}
+
+#[test]
+fn round_driver_verdict_ignores_instrumentation() {
+    let _guard = subscriber_lock();
+    let engine = SmcEngine::new(0.9, 0.9).unwrap();
+    let property = MetricProperty::new(Direction::AtMost, 8.5);
+    let metric = |seed: u64| (seed % 10) as f64;
+
+    clear_subscriber();
+    let bare = run_hypothesis_rounds(&engine, &metric, &property, 5, 8, 64, 4).unwrap();
+
+    let collector = CollectingSubscriber::new();
+    set_subscriber(collector.clone());
+    let traced = run_hypothesis_rounds(&engine, &metric, &property, 5, 8, 64, 4).unwrap();
+    clear_subscriber();
+
+    assert_eq!(bare, traced);
+    assert!(collector
+        .take()
+        .iter()
+        .any(|r| r.name == spa_core::obs_names::SPAN_FOLD));
+}
+
+#[test]
+fn core_counters_accumulate_during_runs() {
+    let registry = spa_obs::metrics::global();
+    let before = registry.snapshot();
+    let spa = Spa::builder().proportion(0.5).build().unwrap();
+    let report = spa.run(&sampler, 1_234, Direction::AtMost).unwrap();
+    let after = registry.snapshot();
+
+    let delta = |name: &str| after.counter(name).unwrap_or(0) - before.counter(name).unwrap_or(0);
+    assert!(delta(spa_core::obs_names::SAMPLES_REQUESTED) >= report.samples.len() as u64);
+    assert!(delta(spa_core::obs_names::SAMPLES_COLLECTED) >= report.samples.len() as u64);
+    assert!(delta(spa_core::obs_names::CI_THRESHOLD_TESTS) > 0);
+}

@@ -1,0 +1,71 @@
+//! Lightweight tracing and metrics for the SPA stack.
+//!
+//! The ROADMAP's north star — a production-scale evaluation service —
+//! is unreachable blind: retry storms, cache misses, and round-fold
+//! stalls are invisible without instrumentation, and the perf trajectory
+//! cannot improve what it cannot measure. This crate provides the
+//! measurement substrate, deliberately tiny and **std-only** so any
+//! layer of the stack (down to `spa-core`'s hot loops) can depend on it
+//! without dragging in external crates.
+//!
+//! Three pieces:
+//!
+//! * [`span::Span`] / [`span!`] — scoped wall-clock timers reported to a
+//!   process-global [`span::Subscriber`] when one is installed. With no
+//!   subscriber (the default) a span costs a relaxed atomic load and a
+//!   clock read; it never allocates and never blocks.
+//! * [`metrics::MetricsRegistry`] — named atomic [`metrics::Counter`]s
+//!   and [`metrics::Gauge`]s plus latency [`timing::TimingHistogram`]s,
+//!   snapshotted into plain data ([`metrics::MetricsSnapshot`]) for
+//!   display or wire encoding. A process-global registry
+//!   ([`metrics::global`]) lets deep layers record without plumbing.
+//! * [`timing::TimingHistogram`] — a log-bucketed, lock-free latency
+//!   histogram following the same out-of-range discipline as the fixed
+//!   `spa_stats::Histogram`: values outside `[lo, hi)` are tallied in
+//!   separate underflow/overflow counters, never folded into edge
+//!   buckets.
+//!
+//! Instrumentation built on this crate is **verdict-neutral** by
+//! construction: nothing here feeds back into the statistics. Spans
+//! observe time, counters observe events, and neither is consulted by
+//! any sampling or stopping decision.
+//!
+//! # Examples
+//!
+//! ```
+//! use spa_obs::metrics::global;
+//! use spa_obs::span;
+//!
+//! let _span = span!("doc.example");
+//! global().counter("doc.events").add(3);
+//! assert!(global().snapshot().counter("doc.events").unwrap_or(0) >= 3);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod span;
+pub mod timing;
+
+pub use metrics::{global, Counter, Gauge, MetricsRegistry, MetricsSnapshot};
+pub use span::{
+    clear_subscriber, set_subscriber, subscriber_active, CollectingSubscriber, NoopSubscriber,
+    Span, SpanRecord, StderrSubscriber, Subscriber,
+};
+pub use timing::{TimingBucket, TimingHistogram, TimingSnapshot};
+
+/// Opens a [`Span`] that closes (and reports) when the returned guard is
+/// dropped.
+///
+/// # Examples
+///
+/// ```
+/// let _guard = spa_obs::span!("ci.search");
+/// // ... timed work ...
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span::Span::enter($name)
+    };
+}

@@ -1,0 +1,322 @@
+//! Named atomic counters, gauges, and latency histograms.
+//!
+//! A [`MetricsRegistry`] is a map from static names to shared handles.
+//! Handles are `Arc`s: look one up once (registration is a write-locked
+//! map insert), then record through it with relaxed atomic operations —
+//! the hot path never touches the map. [`snapshot`](MetricsRegistry::snapshot)
+//! copies everything into plain data for display or wire encoding.
+//!
+//! The process-global registry behind [`global`] lets deep layers (e.g.
+//! `spa-core`'s sampling loops) record events without any plumbing;
+//! components with their own lifecycle (e.g. one `spa-server` instance)
+//! can keep a private registry and merge snapshots at the edge.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
+
+use crate::timing::{TimingHistogram, TimingSnapshot};
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one to the counter.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous signed level (queue depth, in-flight jobs, ...).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (possibly negative) to the gauge.
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n` from the gauge.
+    pub fn sub(&self, n: i64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// The current level.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A registry of named [`Counter`]s, [`Gauge`]s, and
+/// [`TimingHistogram`]s.
+///
+/// Lookups are get-or-create and return shared handles; two lookups of
+/// the same name observe the same underlying atomic. Names should follow
+/// the dot-separated taxonomy used across the stack (e.g.
+/// `"core.samples.collected"`, `"server.job.latency"`).
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    counters: RwLock<BTreeMap<&'static str, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<&'static str, Arc<Gauge>>>,
+    timings: RwLock<BTreeMap<&'static str, Arc<TimingHistogram>>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry. `const` so a registry can live in a
+    /// `static` without lazy initialization.
+    pub const fn new() -> Self {
+        Self {
+            counters: RwLock::new(BTreeMap::new()),
+            gauges: RwLock::new(BTreeMap::new()),
+            timings: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// The counter registered under `name`, created on first use.
+    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
+        if let Some(c) = read(&self.counters).get(name) {
+            return Arc::clone(c);
+        }
+        Arc::clone(write(&self.counters).entry(name).or_default())
+    }
+
+    /// The gauge registered under `name`, created on first use.
+    pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
+        if let Some(g) = read(&self.gauges).get(name) {
+            return Arc::clone(g);
+        }
+        Arc::clone(write(&self.gauges).entry(name).or_default())
+    }
+
+    /// The timing histogram registered under `name`, created on first
+    /// use with range `[lo, hi)` and `buckets` log-spaced buckets. The
+    /// shape parameters of an already-registered histogram win; callers
+    /// are expected to use one shape per name.
+    pub fn timing(
+        &self,
+        name: &'static str,
+        lo: Duration,
+        hi: Duration,
+        buckets: usize,
+    ) -> Arc<TimingHistogram> {
+        if let Some(t) = read(&self.timings).get(name) {
+            return Arc::clone(t);
+        }
+        Arc::clone(
+            write(&self.timings)
+                .entry(name)
+                .or_insert_with(|| Arc::new(TimingHistogram::new(lo, hi, buckets))),
+        )
+    }
+
+    /// A point-in-time copy of every registered metric. Concurrent
+    /// recordings may or may not be included; each individual value is
+    /// internally consistent.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: read(&self.counters)
+                .iter()
+                .map(|(name, c)| (name.to_string(), c.get()))
+                .collect(),
+            gauges: read(&self.gauges)
+                .iter()
+                .map(|(name, g)| (name.to_string(), g.get()))
+                .collect(),
+            timings: read(&self.timings)
+                .iter()
+                .map(|(name, t)| (name.to_string(), t.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn read<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|e| e.into_inner())
+}
+
+fn write<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(|e| e.into_inner())
+}
+
+static GLOBAL: MetricsRegistry = MetricsRegistry::new();
+
+/// The process-global registry, used by instrumentation too deep to be
+/// handed a registry explicitly.
+pub fn global() -> &'static MetricsRegistry {
+    &GLOBAL
+}
+
+/// A point-in-time copy of a registry — plain data, sorted by name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values, ascending by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values, ascending by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Timing histogram snapshots, ascending by name.
+    pub timings: Vec<(String, TimingSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// The value of counter `name`, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// The value of gauge `name`, if registered.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// The snapshot of timing histogram `name`, if registered.
+    pub fn timing(&self, name: &str) -> Option<&TimingSnapshot> {
+        self.timings.iter().find(|(n, _)| n == name).map(|(_, t)| t)
+    }
+
+    /// Merges two snapshots into one, preserving name order. On a name
+    /// collision `other`'s entry wins — callers namespace their metrics
+    /// (`core.*` vs `server.*`) so collisions indicate a taxonomy bug.
+    pub fn merged(self, other: MetricsSnapshot) -> MetricsSnapshot {
+        fn merge<V>(a: Vec<(String, V)>, b: Vec<(String, V)>) -> Vec<(String, V)> {
+            let mut map: BTreeMap<String, V> = a.into_iter().collect();
+            map.extend(b);
+            map.into_iter().collect()
+        }
+        MetricsSnapshot {
+            counters: merge(self.counters, other.counters),
+            gauges: merge(self.gauges, other.gauges),
+            timings: merge(self.timings, other.timings),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookups_return_the_same_underlying_metric() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("test.same");
+        let b = reg.counter("test.same");
+        assert!(Arc::ptr_eq(&a, &b));
+        a.add(2);
+        b.incr();
+        assert_eq!(reg.counter("test.same").get(), 3);
+
+        let g1 = reg.gauge("test.level");
+        let g2 = reg.gauge("test.level");
+        assert!(Arc::ptr_eq(&g1, &g2));
+        g1.set(10);
+        g2.sub(4);
+        assert_eq!(reg.gauge("test.level").get(), 6);
+    }
+
+    #[test]
+    fn counters_are_atomic_under_contention() {
+        let reg = MetricsRegistry::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let reg = &reg;
+                scope.spawn(move || {
+                    let c = reg.counter("test.contended");
+                    for _ in 0..10_000 {
+                        c.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.counter("test.contended").get(), 80_000);
+    }
+
+    #[test]
+    fn timing_shape_is_fixed_by_first_registration() {
+        let reg = MetricsRegistry::new();
+        let t1 = reg.timing(
+            "test.lat",
+            Duration::from_nanos(100),
+            Duration::from_secs(1),
+            8,
+        );
+        let t2 = reg.timing(
+            "test.lat",
+            Duration::from_nanos(1),
+            Duration::from_secs(9),
+            99,
+        );
+        assert!(Arc::ptr_eq(&t1, &t2));
+        assert_eq!(t2.bucket_count(), 8);
+    }
+
+    #[test]
+    fn snapshot_reflects_recorded_values() {
+        let reg = MetricsRegistry::new();
+        reg.counter("test.snap.events").add(7);
+        reg.gauge("test.snap.depth").set(-2);
+        reg.timing(
+            "test.snap.lat",
+            Duration::from_micros(1),
+            Duration::from_secs(1),
+            4,
+        )
+        .record(Duration::from_millis(1));
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("test.snap.events"), Some(7));
+        assert_eq!(snap.gauge("test.snap.depth"), Some(-2));
+        assert_eq!(snap.timing("test.snap.lat").unwrap().total, 1);
+        assert_eq!(snap.counter("test.unregistered"), None);
+        assert_eq!(snap.gauge("test.unregistered"), None);
+        assert!(snap.timing("test.unregistered").is_none());
+    }
+
+    #[test]
+    fn snapshots_are_sorted_and_merge_with_other_winning() {
+        let a = MetricsRegistry::new();
+        a.counter("alpha").add(1);
+        a.counter("shared").add(10);
+        let b = MetricsRegistry::new();
+        b.counter("zeta").add(2);
+        b.counter("shared").add(99);
+
+        let merged = a.snapshot().merged(b.snapshot());
+        let names: Vec<&str> = merged.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["alpha", "shared", "zeta"]);
+        assert_eq!(merged.counter("shared"), Some(99));
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        let c = global().counter("test.global.shared");
+        let before = c.get();
+        global().counter("test.global.shared").add(5);
+        assert_eq!(c.get(), before + 5);
+        assert!(global().snapshot().counter("test.global.shared").unwrap() >= 5);
+    }
+}

@@ -1,0 +1,290 @@
+//! Scoped timing spans and the process-global subscriber.
+//!
+//! A [`Span`] measures the wall-clock time between its creation and its
+//! drop and reports the result to the installed [`Subscriber`], if any.
+//! Nesting depth is tracked per thread, so a human-readable subscriber
+//! (e.g. [`StderrSubscriber`], behind `spa --trace`) can indent child
+//! spans under their parents.
+//!
+//! The global-subscriber design keeps instrumentation call sites free of
+//! plumbing: `spa-core` opens spans without knowing whether anyone
+//! listens. When nobody does — the default — a span is a relaxed atomic
+//! load plus one `Instant::now()`; no allocation, no locking.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+/// A finished span, delivered to [`Subscriber::span_closed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// The name given to [`Span::enter`] (dot-separated taxonomy, e.g.
+    /// `"spa.collect_samples"`).
+    pub name: &'static str,
+    /// Nesting depth on the opening thread (0 = top level).
+    pub depth: usize,
+    /// Wall-clock time between enter and drop.
+    pub elapsed: Duration,
+}
+
+/// Receives closed spans. Implementations must be cheap and must never
+/// panic; they run inside `Drop`.
+pub trait Subscriber: Send + Sync {
+    /// Called once per closed span, on the thread that opened it.
+    fn span_closed(&self, record: &SpanRecord);
+}
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static SUBSCRIBER: RwLock<Option<Arc<dyn Subscriber>>> = RwLock::new(None);
+
+thread_local! {
+    static DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Installs `subscriber` as the process-global span sink, replacing any
+/// previous one.
+pub fn set_subscriber(subscriber: Arc<dyn Subscriber>) {
+    *SUBSCRIBER.write().unwrap_or_else(|e| e.into_inner()) = Some(subscriber);
+    ACTIVE.store(true, Ordering::Release);
+}
+
+/// Removes the global subscriber; spans go back to being (almost) free.
+pub fn clear_subscriber() {
+    ACTIVE.store(false, Ordering::Release);
+    *SUBSCRIBER.write().unwrap_or_else(|e| e.into_inner()) = None;
+}
+
+/// Whether a subscriber is currently installed.
+pub fn subscriber_active() -> bool {
+    ACTIVE.load(Ordering::Acquire)
+}
+
+/// A scoped wall-clock timer; construct with [`Span::enter`] or the
+/// [`span!`](crate::span!) macro and let it drop at the end of the
+/// region of interest.
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    start: Instant,
+    depth: usize,
+    armed: bool,
+}
+
+impl Span {
+    /// Opens a span. The subscriber decision is made here: a span opened
+    /// while no subscriber is installed stays silent even if one is
+    /// installed before it closes (and vice versa, closing is a no-op if
+    /// the subscriber disappeared in between).
+    pub fn enter(name: &'static str) -> Self {
+        let depth = DEPTH.with(|d| {
+            let v = d.get();
+            d.set(v + 1);
+            v
+        });
+        Self {
+            name,
+            start: Instant::now(),
+            depth,
+            armed: ACTIVE.load(Ordering::Acquire),
+        }
+    }
+
+    /// The span's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Time elapsed since the span was opened.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        if !self.armed {
+            return;
+        }
+        let guard = SUBSCRIBER.read().unwrap_or_else(|e| e.into_inner());
+        if let Some(subscriber) = guard.as_ref() {
+            subscriber.span_closed(&SpanRecord {
+                name: self.name,
+                depth: self.depth,
+                elapsed: self.start.elapsed(),
+            });
+        }
+    }
+}
+
+/// Discards every record. Installing this (rather than no subscriber)
+/// exercises the full reporting path while keeping output silent — the
+/// configuration under which instrumented runs must be byte-identical
+/// to uninstrumented ones.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSubscriber;
+
+impl Subscriber for NoopSubscriber {
+    fn span_closed(&self, _record: &SpanRecord) {}
+}
+
+/// Writes one human-readable line per closed span to stderr, indented by
+/// nesting depth — the `spa --trace` sink.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StderrSubscriber;
+
+impl Subscriber for StderrSubscriber {
+    fn span_closed(&self, record: &SpanRecord) {
+        let indent = "  ".repeat(record.depth.min(16));
+        eprintln!("[trace] {indent}{} {:?}", record.name, record.elapsed);
+    }
+}
+
+/// Buffers every record for later inspection — the test sink.
+#[derive(Debug, Default)]
+pub struct CollectingSubscriber {
+    records: Mutex<Vec<SpanRecord>>,
+}
+
+impl CollectingSubscriber {
+    /// Creates an empty collector, ready for [`set_subscriber`].
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// A copy of the records collected so far, in close order.
+    pub fn records(&self) -> Vec<SpanRecord> {
+        self.records
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Drains and returns the collected records.
+    pub fn take(&self) -> Vec<SpanRecord> {
+        std::mem::take(&mut *self.records.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+}
+
+impl Subscriber for CollectingSubscriber {
+    fn span_closed(&self, record: &SpanRecord) {
+        self.records
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(*record);
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use std::sync::Mutex;
+
+    /// Global-subscriber tests must not interleave; every test touching
+    /// the global subscriber holds this lock.
+    pub static GLOBAL_LOCK: Mutex<()> = Mutex::new(());
+
+    /// Lock that survives a poisoned mutex (a failed test elsewhere).
+    pub fn lock() -> std::sync::MutexGuard<'static, ()> {
+        GLOBAL_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsubscribed_spans_are_silent_and_cheap() {
+        let _guard = test_support::lock();
+        clear_subscriber();
+        assert!(!subscriber_active());
+        let span = Span::enter("test.silent");
+        assert_eq!(span.name(), "test.silent");
+        drop(span); // must not panic or deadlock
+    }
+
+    #[test]
+    fn nesting_depth_is_tracked_per_thread() {
+        let _guard = test_support::lock();
+        let collector = CollectingSubscriber::new();
+        set_subscriber(collector.clone());
+        {
+            let _outer = Span::enter("test.outer");
+            {
+                let _inner = Span::enter("test.inner");
+                let _innermost = Span::enter("test.innermost");
+            }
+        }
+        clear_subscriber();
+        let records = collector.take();
+        let depth = |name: &str| {
+            records
+                .iter()
+                .find(|r| r.name == name)
+                .unwrap_or_else(|| panic!("span {name} not recorded"))
+                .depth
+        };
+        assert_eq!(depth("test.outer"), 0);
+        assert_eq!(depth("test.inner"), 1);
+        assert_eq!(depth("test.innermost"), 2);
+        // Spans close innermost-first.
+        assert_eq!(records.last().unwrap().name, "test.outer");
+    }
+
+    #[test]
+    fn elapsed_time_is_monotone_with_nesting() {
+        let _guard = test_support::lock();
+        let collector = CollectingSubscriber::new();
+        set_subscriber(collector.clone());
+        {
+            let _outer = Span::enter("test.mono.outer");
+            let _inner = Span::enter("test.mono.inner");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        clear_subscriber();
+        let records = collector.take();
+        let elapsed = |name: &str| {
+            records
+                .iter()
+                .find(|r| r.name == name)
+                .expect("span recorded")
+                .elapsed
+        };
+        // The outer span contains the inner one, so its elapsed time can
+        // only be larger or equal.
+        assert!(elapsed("test.mono.outer") >= elapsed("test.mono.inner"));
+        assert!(elapsed("test.mono.inner") >= std::time::Duration::from_millis(2));
+    }
+
+    #[test]
+    fn subscriber_installed_after_enter_sees_nothing() {
+        let _guard = test_support::lock();
+        clear_subscriber();
+        let span = Span::enter("test.late");
+        let collector = CollectingSubscriber::new();
+        set_subscriber(collector.clone());
+        drop(span);
+        clear_subscriber();
+        assert!(collector.take().is_empty(), "unarmed span must stay silent");
+    }
+
+    #[test]
+    fn spans_report_from_many_threads() {
+        let _guard = test_support::lock();
+        let collector = CollectingSubscriber::new();
+        set_subscriber(collector.clone());
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    let _span = Span::enter("test.threaded");
+                });
+            }
+        });
+        clear_subscriber();
+        let records = collector.take();
+        assert_eq!(records.len(), 8);
+        // Each thread starts at depth 0.
+        assert!(records.iter().all(|r| r.depth == 0));
+    }
+}

@@ -1,0 +1,342 @@
+//! Lock-free log-bucketed latency histograms.
+//!
+//! Latencies span orders of magnitude — a cache hit answers in
+//! microseconds, a 1.15M-sample interval job in minutes — so buckets are
+//! spaced geometrically between a configured `[lo, hi)` range.
+//! Recording is a couple of relaxed atomic adds; snapshots are taken
+//! without stopping writers.
+//!
+//! Out-of-range observations follow the same discipline as the fixed
+//! `spa_stats::Histogram`: they are tallied in dedicated underflow and
+//! overflow counters and **never** folded into the edge buckets, so the
+//! bucket profile describes only in-range latencies and
+//! `total() == observed() - underflow() - overflow()` always holds.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// One bucket of a [`TimingSnapshot`]: the half-open nanosecond range
+/// `[lo_ns, hi_ns)` and the number of observations that fell inside it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimingBucket {
+    /// Inclusive lower bound, nanoseconds.
+    pub lo_ns: u64,
+    /// Exclusive upper bound, nanoseconds.
+    pub hi_ns: u64,
+    /// Observations recorded into this bucket.
+    pub count: u64,
+}
+
+/// A point-in-time copy of a [`TimingHistogram`] — plain data, safe to
+/// ship across threads or encode for the wire.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TimingSnapshot {
+    /// Buckets in ascending latency order.
+    pub buckets: Vec<TimingBucket>,
+    /// Observations below the configured range.
+    pub underflow: u64,
+    /// Observations at or above the configured range.
+    pub overflow: u64,
+    /// In-range observations (the sum of all bucket counts).
+    pub total: u64,
+    /// Sum of **all** observed latencies in nanoseconds, in-range or
+    /// not.
+    pub sum_ns: u64,
+}
+
+impl TimingSnapshot {
+    /// Total number of observations ever recorded:
+    /// `total + underflow + overflow`.
+    pub fn observed(&self) -> u64 {
+        self.total + self.underflow + self.overflow
+    }
+
+    /// Mean observed latency in nanoseconds (over all observations),
+    /// or `None` before the first observation.
+    pub fn mean_ns(&self) -> Option<f64> {
+        let n = self.observed();
+        if n == 0 {
+            None
+        } else {
+            Some(self.sum_ns as f64 / n as f64)
+        }
+    }
+}
+
+/// A thread-safe latency histogram with geometrically spaced buckets
+/// over `[lo, hi)` and separate under/overflow tallies.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use spa_obs::timing::TimingHistogram;
+///
+/// let h = TimingHistogram::new(Duration::from_micros(1), Duration::from_secs(1), 24);
+/// h.record(Duration::from_millis(3));
+/// h.record(Duration::from_nanos(10)); // below range
+/// assert_eq!(h.total(), 1);
+/// assert_eq!(h.underflow(), 1);
+/// assert_eq!(h.snapshot().observed(), 2);
+/// ```
+#[derive(Debug)]
+pub struct TimingHistogram {
+    lo_ns: u64,
+    hi_ns: u64,
+    /// Precomputed `buckets / ln(hi / lo)` so recording needs a single
+    /// `ln`.
+    scale: f64,
+    buckets: Vec<AtomicU64>,
+    underflow: AtomicU64,
+    overflow: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+impl TimingHistogram {
+    /// Creates a histogram over `[lo, hi)` with `buckets` geometrically
+    /// spaced buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets == 0`, `lo` is zero, or `hi <= lo` (a log
+    /// scale needs a strictly positive, non-empty range).
+    pub fn new(lo: Duration, hi: Duration, buckets: usize) -> Self {
+        assert!(buckets > 0, "timing histogram needs at least one bucket");
+        let lo_ns = duration_ns(lo);
+        let hi_ns = duration_ns(hi);
+        assert!(
+            lo_ns > 0 && hi_ns > lo_ns,
+            "timing histogram range must be positive and non-empty"
+        );
+        let scale = buckets as f64 / (hi_ns as f64 / lo_ns as f64).ln();
+        Self {
+            lo_ns,
+            hi_ns,
+            scale,
+            buckets: (0..buckets).map(|_| AtomicU64::new(0)).collect(),
+            underflow: AtomicU64::new(0),
+            overflow: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one latency observation.
+    pub fn record(&self, latency: Duration) {
+        self.record_ns(duration_ns(latency));
+    }
+
+    /// Records one latency observation given in nanoseconds.
+    pub fn record_ns(&self, ns: u64) {
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        if ns < self.lo_ns {
+            self.underflow.fetch_add(1, Ordering::Relaxed);
+        } else if ns >= self.hi_ns {
+            self.overflow.fetch_add(1, Ordering::Relaxed);
+        } else {
+            let idx = ((ns as f64 / self.lo_ns as f64).ln() * self.scale) as usize;
+            let idx = idx.min(self.buckets.len() - 1);
+            self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of buckets.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// The half-open nanosecond range `[lo_ns, hi_ns)` of bucket `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn bucket_bounds(&self, i: usize) -> (u64, u64) {
+        assert!(i < self.buckets.len(), "bucket index out of range");
+        let n = self.buckets.len() as f64;
+        let ratio = self.hi_ns as f64 / self.lo_ns as f64;
+        let lo = self.lo_ns as f64 * ratio.powf(i as f64 / n);
+        let hi = if i + 1 == self.buckets.len() {
+            self.hi_ns as f64
+        } else {
+            self.lo_ns as f64 * ratio.powf((i as f64 + 1.0) / n)
+        };
+        (lo.round() as u64, hi.round() as u64)
+    }
+
+    /// In-range observations (the sum of all bucket counts), consistent
+    /// with `spa_stats::Histogram::total`.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Observations below the configured range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow.load(Ordering::Relaxed)
+    }
+
+    /// Observations at or above the configured range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow.load(Ordering::Relaxed)
+    }
+
+    /// Total number of observations ever recorded, in-range or not.
+    pub fn observed(&self) -> u64 {
+        self.total() + self.underflow() + self.overflow()
+    }
+
+    /// A point-in-time copy of the histogram. Taken without stopping
+    /// writers: concurrent recordings may or may not be included, but
+    /// `total` always equals the sum of the snapshot's bucket counts.
+    pub fn snapshot(&self) -> TimingSnapshot {
+        let buckets: Vec<TimingBucket> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                let (lo_ns, hi_ns) = self.bucket_bounds(i);
+                TimingBucket {
+                    lo_ns,
+                    hi_ns,
+                    count: b.load(Ordering::Relaxed),
+                }
+            })
+            .collect();
+        let total = buckets.iter().map(|b| b.count).sum();
+        TimingSnapshot {
+            buckets,
+            underflow: self.underflow(),
+            overflow: self.overflow(),
+            total,
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Duration → u64 nanoseconds, saturating (584 years overflows u64).
+fn duration_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist() -> TimingHistogram {
+        TimingHistogram::new(Duration::from_micros(1), Duration::from_secs(1), 20)
+    }
+
+    #[test]
+    fn in_range_observations_land_in_ascending_buckets() {
+        let h = hist();
+        h.record(Duration::from_micros(2));
+        h.record(Duration::from_millis(5));
+        h.record(Duration::from_millis(800));
+        let snap = h.snapshot();
+        assert_eq!(snap.total, 3);
+        let occupied: Vec<usize> = snap
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.count > 0)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(occupied.len(), 3, "{occupied:?}");
+        assert!(occupied.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn out_of_range_goes_to_under_and_overflow() {
+        let h = hist();
+        h.record(Duration::from_nanos(5)); // below 1 µs
+        h.record(Duration::from_secs(10)); // above 1 s
+        h.record(Duration::from_secs(1)); // hi itself is exclusive
+        h.record(Duration::from_millis(1));
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 1);
+        assert_eq!(h.observed(), 4);
+        let snap = h.snapshot();
+        assert_eq!(snap.observed(), 4);
+        assert_eq!(snap.total, snap.observed() - snap.underflow - snap.overflow);
+        // Edge buckets are untouched by out-of-range values.
+        assert_eq!(snap.buckets.first().unwrap().count, 0);
+        assert_eq!(snap.buckets.last().unwrap().count, 0);
+    }
+
+    #[test]
+    fn bucket_bounds_tile_the_range() {
+        let h = hist();
+        let n = h.bucket_count();
+        let (first_lo, _) = h.bucket_bounds(0);
+        let (_, last_hi) = h.bucket_bounds(n - 1);
+        assert_eq!(first_lo, 1_000);
+        assert_eq!(last_hi, 1_000_000_000);
+        for i in 1..n {
+            let (_, prev_hi) = h.bucket_bounds(i - 1);
+            let (lo, hi) = h.bucket_bounds(i);
+            assert_eq!(prev_hi, lo, "buckets must tile without gaps");
+            assert!(hi > lo);
+        }
+    }
+
+    #[test]
+    fn boundary_values_respect_half_open_buckets() {
+        // lo itself is in-range (bucket 0); every recorded in-range value
+        // must land in the bucket whose bounds contain it.
+        let h = TimingHistogram::new(Duration::from_nanos(100), Duration::from_nanos(100_000), 12);
+        for ns in [100u64, 101, 999, 1_000, 50_000, 99_999] {
+            h.record_ns(ns);
+        }
+        assert_eq!(h.total(), 6);
+        let snap = h.snapshot();
+        for b in snap.buckets.iter().filter(|b| b.count > 0) {
+            assert!(b.lo_ns < b.hi_ns);
+        }
+        // Sum of in-bucket counts matches total.
+        assert_eq!(snap.buckets.iter().map(|b| b.count).sum::<u64>(), 6);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = TimingHistogram::new(Duration::from_nanos(10), Duration::from_micros(10), 16);
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let h = &h;
+                scope.spawn(move || {
+                    for i in 0..1000u64 {
+                        // Mix of in-range, underflow, and overflow.
+                        h.record_ns(1 + (i * 7 + t * 13) % 20_000);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.observed(), 8 * 1000);
+        assert_eq!(h.observed(), h.total() + h.underflow() + h.overflow());
+    }
+
+    #[test]
+    fn mean_tracks_all_observations() {
+        let h = hist();
+        assert_eq!(h.snapshot().mean_ns(), None);
+        h.record_ns(1_000);
+        h.record_ns(3_000);
+        assert_eq!(h.snapshot().mean_ns(), Some(2_000.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn zero_buckets_panics() {
+        let _ = TimingHistogram::new(Duration::from_nanos(1), Duration::from_secs(1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and non-empty")]
+    fn zero_lo_panics() {
+        let _ = TimingHistogram::new(Duration::ZERO, Duration::from_secs(1), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and non-empty")]
+    fn inverted_range_panics() {
+        let _ = TimingHistogram::new(Duration::from_secs(2), Duration::from_secs(1), 4);
+    }
+}

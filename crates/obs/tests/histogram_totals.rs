@@ -1,0 +1,75 @@
+//! Property tests for the timing histogram's accounting invariants:
+//! every observation is counted exactly once, either in a bucket or in
+//! one of the out-of-range tallies.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+use spa_obs::timing::TimingHistogram;
+
+proptest! {
+    /// `total() == observed() - underflow() - overflow()` for any mix of
+    /// in-range and out-of-range observations, any histogram shape.
+    #[test]
+    fn totals_account_for_every_observation(
+        lo_ns in 1u64..1_000_000,
+        span_factor in 2u64..10_000,
+        buckets in 1usize..64,
+        samples in proptest::collection::vec(0u64..10_000_000_000, 0..200),
+    ) {
+        let hi_ns = lo_ns.saturating_mul(span_factor);
+        let h = TimingHistogram::new(
+            Duration::from_nanos(lo_ns),
+            Duration::from_nanos(hi_ns),
+            buckets,
+        );
+        let mut expect_under = 0u64;
+        let mut expect_over = 0u64;
+        let mut expect_in = 0u64;
+        for &ns in &samples {
+            h.record_ns(ns);
+            if ns < lo_ns {
+                expect_under += 1;
+            } else if ns >= hi_ns {
+                expect_over += 1;
+            } else {
+                expect_in += 1;
+            }
+        }
+        prop_assert_eq!(h.observed(), samples.len() as u64);
+        prop_assert_eq!(h.underflow(), expect_under);
+        prop_assert_eq!(h.overflow(), expect_over);
+        prop_assert_eq!(h.total(), expect_in);
+        prop_assert_eq!(h.total(), h.observed() - h.underflow() - h.overflow());
+
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.buckets.iter().map(|b| b.count).sum::<u64>(), snap.total);
+        prop_assert_eq!(snap.total, snap.observed() - snap.underflow - snap.overflow);
+    }
+
+    /// Every in-range observation lands in a bucket whose bounds contain
+    /// it (up to the rounding applied when bounds are materialized).
+    #[test]
+    fn buckets_tile_without_gaps(
+        lo_ns in 1u64..1_000,
+        span_factor in 2u64..100_000,
+        buckets in 1usize..48,
+    ) {
+        let hi_ns = lo_ns.saturating_mul(span_factor);
+        let h = TimingHistogram::new(
+            Duration::from_nanos(lo_ns),
+            Duration::from_nanos(hi_ns),
+            buckets,
+        );
+        let (first_lo, _) = h.bucket_bounds(0);
+        let (_, last_hi) = h.bucket_bounds(buckets - 1);
+        prop_assert_eq!(first_lo, lo_ns);
+        prop_assert_eq!(last_hi, hi_ns);
+        for i in 1..buckets {
+            let (_, prev_hi) = h.bucket_bounds(i - 1);
+            let (lo, hi) = h.bucket_bounds(i);
+            prop_assert_eq!(prev_hi, lo);
+            prop_assert!(hi > lo);
+        }
+    }
+}

@@ -7,7 +7,9 @@
 use std::io::BufReader;
 use std::net::TcpStream;
 
-use crate::protocol::{read_message, write_message, JobResult, Request, Response, ServerStats};
+use crate::protocol::{
+    read_message, write_message, JobResult, MetricsReport, Request, Response, ServerStats,
+};
 use crate::spec::JobSpec;
 use crate::ServerError;
 
@@ -41,10 +43,7 @@ pub fn submit(
 ) -> Result<SubmitOutcome, ServerError> {
     let stream = TcpStream::connect(addr)?;
     let mut writer = &stream;
-    write_message(
-        &mut writer,
-        &Request::Submit { spec: spec.clone() },
-    )?;
+    write_message(&mut writer, &Request::Submit { spec: spec.clone() })?;
     let mut reader = BufReader::new(&stream);
     let mut progress_events = 0u64;
     loop {
@@ -88,9 +87,28 @@ pub fn status(addr: &str) -> Result<ServerStats, ServerError> {
     write_message(&mut writer, &Request::Status)?;
     let mut reader = BufReader::new(&stream);
     match read_message::<_, Response>(&mut reader)?.ok_or(ServerError::Disconnected)? {
-        Response::Status { stats } => Ok(stats),
+        Response::Status { stats, .. } => Ok(stats),
         other => Err(ServerError::Protocol(format!(
             "unexpected response to status: {other:?}"
+        ))),
+    }
+}
+
+/// Fetches the server's merged metrics snapshot (the live `/metrics`
+/// surface: server registry plus the engine's process-global registry).
+///
+/// # Errors
+///
+/// I/O, protocol, or disconnection failures.
+pub fn metrics(addr: &str) -> Result<MetricsReport, ServerError> {
+    let stream = TcpStream::connect(addr)?;
+    let mut writer = &stream;
+    write_message(&mut writer, &Request::Metrics)?;
+    let mut reader = BufReader::new(&stream);
+    match read_message::<_, Response>(&mut reader)?.ok_or(ServerError::Disconnected)? {
+        Response::Metrics { metrics } => Ok(metrics),
+        other => Err(ServerError::Protocol(format!(
+            "unexpected response to metrics: {other:?}"
         ))),
     }
 }

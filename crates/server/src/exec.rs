@@ -35,10 +35,12 @@ use spa_core::fault::{
     derive_retry_seed, FailureCounts, FallibleSampler, RetryPolicy, SampleBatch, SampleError,
 };
 use spa_core::min_samples::achievable_confidence;
+use spa_core::obs_names;
 use spa_core::property::{Direction, MetricProperty};
 use spa_core::rounds::{round_seeds, RoundAggregator, RoundsOutcome};
 use spa_core::smc::SmcEngine;
 use spa_core::spa::Spa;
+use spa_obs::metrics::global;
 use spa_sim::machine::Machine;
 use spa_sim::metrics::{ExecutionMetrics, Metric};
 
@@ -120,7 +122,11 @@ fn collect_round<T: Send>(
     policy: &RetryPolicy,
     attempt: &(dyn Fn(u64) -> Result<T, SampleError> + Sync),
 ) -> (Vec<(u64, T)>, FailureCounts) {
+    let _span = spa_obs::span!(obs_names::SPAN_COLLECT);
     let seeds: Vec<u64> = seeds.collect();
+    global()
+        .counter(obs_names::SAMPLES_REQUESTED)
+        .add(seeds.len() as u64);
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<(u64, T)>> = Mutex::new(Vec::with_capacity(seeds.len()));
     let failures: Mutex<FailureCounts> = Mutex::new(FailureCounts::default());
@@ -159,7 +165,14 @@ fn collect_round<T: Send>(
     });
     let mut rows = results.into_inner();
     rows.sort_by_key(|&(seed, _)| seed);
-    (rows, failures.into_inner())
+    let counts = failures.into_inner();
+    let registry = global();
+    registry
+        .counter(obs_names::SAMPLES_COLLECTED)
+        .add(rows.len() as u64);
+    registry.counter(obs_names::RETRIES).add(counts.retries);
+    registry.counter(obs_names::PANICS).add(counts.crashes);
+    (rows, counts)
 }
 
 /// Executes a validated job to a result.
@@ -186,7 +199,9 @@ pub fn execute(vjob: &ValidatedJob, ctx: &ExecContext<'_>) -> Result<JobResult, 
         metric: vjob.metric,
     };
     match spec.mode {
-        ModeSpec::Interval { direction } => run_interval(vjob, ctx, &spa, &policy, &sampler, direction),
+        ModeSpec::Interval { direction } => {
+            run_interval(vjob, ctx, &spa, &policy, &sampler, direction)
+        }
         ModeSpec::Hypothesis {
             direction,
             threshold,
@@ -252,6 +267,10 @@ fn run_interval(
         return Ok(JobResult::Interval { report });
     }
 
+    // Fail fast if the final round would run the seed stream past
+    // u64::MAX; rounds below can then unwrap safely.
+    round_seeds(spec.seed_start, rounds - 1, spec.round_size).map_err(|e| e.to_string())?;
+
     // Not preallocated to `total`: a huge-C job may be cancelled after a
     // handful of rounds.
     let mut rows: Vec<(u64, ExecutionMetrics)> = Vec::new();
@@ -260,7 +279,8 @@ fn run_interval(
         if ctx.cancel.load(Ordering::Relaxed) {
             return Err("job cancelled".into());
         }
-        let all = round_seeds(spec.seed_start, r, spec.round_size);
+        let all = round_seeds(spec.seed_start, r, spec.round_size)
+            .expect("r < rounds was range-checked above");
         let seeds = all.start..all.end.min(spec.seed_start + total);
         let (chunk, counts) = collect_round(seeds, ctx.threads, policy, &|seed| {
             sampler.run_metrics(seed)
@@ -287,10 +307,7 @@ fn run_interval(
     }
 
     let batch = SampleBatch {
-        samples: rows
-            .iter()
-            .map(|(_, m)| vjob.metric.extract(m))
-            .collect(),
+        samples: rows.iter().map(|(_, m)| vjob.metric.extract(m)).collect(),
         failures,
         requested: total,
     };
@@ -310,9 +327,15 @@ fn run_hypothesis(
 ) -> Result<JobResult, String> {
     let spec = &vjob.spec;
     let engine = SmcEngine::new(spec.confidence, spec.proportion).map_err(|e| e.to_string())?;
-    let aggregator = Mutex::new(
-        RoundAggregator::new(engine, spec.round_size).map_err(|e| e.to_string())?,
-    );
+    // Fail fast on seed-stream exhaustion instead of wrapping mid-run.
+    round_seeds(
+        spec.seed_start,
+        max_rounds.saturating_sub(1),
+        spec.round_size,
+    )
+    .map_err(|e| e.to_string())?;
+    let aggregator =
+        Mutex::new(RoundAggregator::new(engine, spec.round_size).map_err(|e| e.to_string())?);
     let next = AtomicU64::new(0);
     let stop = AtomicBool::new(false);
     let error: Mutex<Option<String>> = Mutex::new(None);
@@ -326,11 +349,11 @@ fn run_hypothesis(
                 if r >= max_rounds {
                     break;
                 }
-                let seeds = round_seeds(spec.seed_start, r, spec.round_size);
+                let seeds = round_seeds(spec.seed_start, r, spec.round_size)
+                    .expect("r < max_rounds was range-checked above");
                 // Round-level parallelism: each worker runs its round's
                 // seeds itself (single-threaded within the round).
-                let (chunk, counts) =
-                    collect_round(seeds, 1, policy, &|seed| sampler.sample(seed));
+                let (chunk, counts) = collect_round(seeds, 1, policy, &|seed| sampler.sample(seed));
                 if (chunk.len() as u64) < spec.round_size {
                     *error.lock() = Some(format!(
                         "round {r}: {} of {} executions failed permanently ({counts})",
@@ -550,9 +573,12 @@ mod tests {
                     threshold: 1e6,
                     max_rounds: 64,
                 },
-                ..JobSpec::new("blackscholes", ModeSpec::Interval {
-                    direction: Direction::AtMost,
-                })
+                ..JobSpec::new(
+                    "blackscholes",
+                    ModeSpec::Interval {
+                        direction: Direction::AtMost,
+                    },
+                )
             };
             let vjob = validate(spec).unwrap();
             let cancel = AtomicBool::new(false);

@@ -49,10 +49,11 @@ pub mod cache;
 pub mod client;
 mod error;
 pub mod exec;
+pub mod obs_names;
 pub mod protocol;
 pub mod server;
 pub mod spec;
 
 pub use error::ServerError;
-pub use protocol::{JobResult, RejectReason, Request, Response, ServerStats};
+pub use protocol::{JobResult, MetricsReport, RejectReason, Request, Response, ServerStats};
 pub use server::{start, ServerConfig, ServerHandle};

@@ -1,0 +1,19 @@
+//! The service's observability taxonomy: every metric name `spa-server`
+//! records into its per-instance registry.
+//!
+//! Engine-side names (`core.*`, see [`spa_core::obs_names`]) live in the
+//! process-global registry; the `metrics` protocol request merges both
+//! into one snapshot. The namespaces are disjoint by construction.
+
+/// Counter: submissions answered from the completed-result cache.
+pub const CACHE_HITS: &str = "server.cache.hits";
+/// Counter: submissions that reserved the cache key and executed.
+pub const CACHE_MISSES: &str = "server.cache.misses";
+/// Counter: submissions coalesced onto an identical in-flight job
+/// (single-flight waits).
+pub const CACHE_JOINED: &str = "server.cache.joined";
+/// Gauge: jobs currently waiting in the bounded queue.
+pub const QUEUE_DEPTH: &str = "server.queue.depth";
+/// Timing histogram: wall-clock latency of job execution, dequeue to
+/// terminal state.
+pub const JOB_LATENCY: &str = "server.job.latency";

@@ -10,6 +10,7 @@
 //! `RoundsOutcome`), so a CLI client deserializes straight into the
 //! types a direct `Spa::run` would have produced.
 
+use std::collections::BTreeMap;
 use std::io::{BufRead, Write};
 
 use serde::de::DeserializeOwned;
@@ -17,6 +18,7 @@ use serde::{Deserialize, Serialize};
 
 use spa_core::rounds::RoundsOutcome;
 use spa_core::spa::SpaReport;
+use spa_obs::{MetricsSnapshot, TimingSnapshot};
 
 use crate::spec::JobSpec;
 use crate::ServerError;
@@ -32,6 +34,9 @@ pub enum Request {
     },
     /// Ask for the server's counters.
     Status,
+    /// Ask for the full metrics snapshot (server registry merged with
+    /// the engine's process-global registry).
+    Metrics,
     /// Begin a graceful drain-then-exit shutdown.
     Shutdown,
 }
@@ -108,6 +113,97 @@ pub struct ServerStats {
     pub shutting_down: bool,
 }
 
+/// One bucket of a latency histogram on the wire: the half-open
+/// nanosecond range `[lo_ns, hi_ns)` and its observation count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimingBucketReport {
+    /// Inclusive lower bound, nanoseconds.
+    pub lo_ns: u64,
+    /// Exclusive upper bound, nanoseconds.
+    pub hi_ns: u64,
+    /// Observations in this bucket.
+    pub count: u64,
+}
+
+/// One named latency histogram on the wire.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimingReport {
+    /// Metric name (e.g. `server.job.latency`).
+    pub name: String,
+    /// Log-spaced buckets in ascending latency order.
+    pub buckets: Vec<TimingBucketReport>,
+    /// Observations below the histogram's range.
+    pub underflow: u64,
+    /// Observations at or above the histogram's range.
+    pub overflow: u64,
+    /// In-range observations (sum of the bucket counts).
+    pub total: u64,
+    /// Sum of all observed latencies in nanoseconds.
+    pub sum_ns: u64,
+}
+
+fn timing_report(name: String, snap: TimingSnapshot) -> TimingReport {
+    TimingReport {
+        name,
+        buckets: snap
+            .buckets
+            .iter()
+            .map(|b| TimingBucketReport {
+                lo_ns: b.lo_ns,
+                hi_ns: b.hi_ns,
+                count: b.count,
+            })
+            .collect(),
+        underflow: snap.underflow,
+        overflow: snap.overflow,
+        total: snap.total,
+        sum_ns: snap.sum_ns,
+    }
+}
+
+/// A point-in-time metrics snapshot on the wire, as carried by
+/// [`Response::Metrics`] and embedded in [`Response::Status`].
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MetricsReport {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Latency histograms, ascending by name.
+    pub timings: Vec<TimingReport>,
+}
+
+impl MetricsReport {
+    /// The value of counter `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// The value of gauge `name`, if present.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The latency histogram `name`, if present.
+    pub fn timing(&self, name: &str) -> Option<&TimingReport> {
+        self.timings.iter().find(|t| t.name == name)
+    }
+}
+
+impl From<MetricsSnapshot> for MetricsReport {
+    fn from(snap: MetricsSnapshot) -> Self {
+        MetricsReport {
+            counters: snap.counters.into_iter().collect(),
+            gauges: snap.gauges.into_iter().collect(),
+            timings: snap
+                .timings
+                .into_iter()
+                .map(|(name, t)| timing_report(name, t))
+                .collect(),
+        }
+    }
+}
+
 /// A server-to-client message.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[serde(tag = "type", rename_all = "snake_case")]
@@ -157,6 +253,15 @@ pub enum Response {
     Status {
         /// Counter snapshot.
         stats: ServerStats,
+        /// Point-in-time metrics snapshot taken alongside the counters
+        /// (absent in messages from pre-metrics servers).
+        #[serde(default)]
+        metrics: MetricsReport,
+    },
+    /// Answer to [`Request::Metrics`].
+    Metrics {
+        /// The merged server + engine metrics snapshot.
+        metrics: MetricsReport,
     },
     /// Acknowledges [`Request::Shutdown`]; the server now drains.
     ShutdownStarted,
@@ -254,6 +359,27 @@ mod tests {
             },
             Response::Status {
                 stats: ServerStats::default(),
+                metrics: MetricsReport::default(),
+            },
+            Response::Metrics {
+                metrics: MetricsReport {
+                    counters: [("server.cache.hits".to_string(), 3)].into_iter().collect(),
+                    gauges: [("server.queue.depth".to_string(), -1)]
+                        .into_iter()
+                        .collect(),
+                    timings: vec![TimingReport {
+                        name: "server.job.latency".into(),
+                        buckets: vec![TimingBucketReport {
+                            lo_ns: 1_000,
+                            hi_ns: 2_000,
+                            count: 5,
+                        }],
+                        underflow: 0,
+                        overflow: 1,
+                        total: 5,
+                        sum_ns: 9_999,
+                    }],
+                },
             },
             Response::ShutdownStarted,
             Response::Error {
@@ -291,9 +417,56 @@ mod tests {
     }
 
     #[test]
+    fn metrics_report_converts_from_registry_snapshot() {
+        let registry = spa_obs::MetricsRegistry::new();
+        registry.counter("proto.test.events").add(4);
+        registry.gauge("proto.test.depth").set(2);
+        registry
+            .timing(
+                "proto.test.lat",
+                std::time::Duration::from_micros(1),
+                std::time::Duration::from_secs(1),
+                6,
+            )
+            .record(std::time::Duration::from_millis(2));
+        let report = MetricsReport::from(registry.snapshot());
+        assert_eq!(report.counter("proto.test.events"), Some(4));
+        assert_eq!(report.gauge("proto.test.depth"), Some(2));
+        let lat = report.timing("proto.test.lat").unwrap();
+        assert_eq!(lat.total, 1);
+        assert_eq!(lat.buckets.len(), 6);
+        assert_eq!(lat.buckets.iter().map(|b| b.count).sum::<u64>(), 1);
+        assert_eq!(report.counter("proto.test.missing"), None);
+
+        // And the wire type round-trips through JSON.
+        let json = serde_json::to_string(&report).unwrap();
+        let back: MetricsReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+    }
+
+    #[test]
+    fn status_without_metrics_field_still_parses() {
+        // Backward compatibility: a status line from a pre-metrics server
+        // deserializes with an empty snapshot.
+        let json = r#"{"type":"status","stats":{"submitted":1,"executed":1,"cache_hits":0,"coalesced":0,"completed":1,"failed":0,"rejected":0,"queued":0,"running":0,"shutting_down":false}}"#;
+        let resp: Response = serde_json::from_str(json).unwrap();
+        match resp {
+            Response::Status { stats, metrics } => {
+                assert_eq!(stats.submitted, 1);
+                assert_eq!(metrics, MetricsReport::default());
+            }
+            other => panic!("expected status, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn rejection_reasons_display() {
-        assert!(RejectReason::QueueFull { depth: 2 }.to_string().contains("depth 2"));
-        assert!(RejectReason::ShuttingDown.to_string().contains("shutting down"));
+        assert!(RejectReason::QueueFull { depth: 2 }
+            .to_string()
+            .contains("depth 2"));
+        assert!(RejectReason::ShuttingDown
+            .to_string()
+            .contains("shutting down"));
         let r = RejectReason::InvalidSpec {
             detail: "unknown benchmark".into(),
         };

@@ -36,15 +36,25 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use parking_lot::Mutex;
+use spa_obs::MetricsRegistry;
 
 use crate::cache::{Lookup, ResultCache};
 use crate::exec::{self, ExecContext, ProgressUpdate};
-use crate::protocol::{write_message, JobResult, RejectReason, Request, Response, ServerStats};
+use crate::obs_names;
+use crate::protocol::{
+    write_message, JobResult, MetricsReport, RejectReason, Request, Response, ServerStats,
+};
 use crate::spec::{validate, ValidatedJob};
+
+/// Shape of the job-latency histogram: dequeue-to-terminal latencies
+/// from tens of microseconds (cache-adjacent trivial jobs) to a minute.
+const JOB_LATENCY_LO: Duration = Duration::from_micros(10);
+const JOB_LATENCY_HI: Duration = Duration::from_secs(60);
+const JOB_LATENCY_BUCKETS: usize = 32;
 
 /// How a [`start`]ed server is shaped.
 #[derive(Debug, Clone)]
@@ -105,6 +115,9 @@ struct Shared {
     next_job: AtomicU64,
     queue_tx: Mutex<Option<Sender<(u64, ValidatedJob)>>>,
     stats: Counters,
+    /// This instance's metrics (`server.*` names); merged with the
+    /// engine's process-global registry when a snapshot is requested.
+    metrics: MetricsRegistry,
     shutting_down: AtomicBool,
     handlers: Mutex<Vec<JoinHandle<()>>>,
     queue_depth: usize,
@@ -112,6 +125,14 @@ struct Shared {
 }
 
 impl Shared {
+    /// The merged server + engine metrics snapshot, in wire form.
+    fn metrics_report(&self) -> MetricsReport {
+        spa_obs::metrics::global()
+            .snapshot()
+            .merged(self.metrics.snapshot())
+            .into()
+    }
+
     fn snapshot(&self) -> ServerStats {
         ServerStats {
             submitted: self.stats.submitted.load(Ordering::Relaxed),
@@ -171,6 +192,12 @@ impl ServerHandle {
     /// A snapshot of the server's counters.
     pub fn stats(&self) -> ServerStats {
         self.shared.snapshot()
+    }
+
+    /// The merged server + engine metrics snapshot, as the `metrics`
+    /// protocol request would return it.
+    pub fn metrics(&self) -> MetricsReport {
+        self.shared.metrics_report()
     }
 
     /// Begins a drain-then-exit shutdown without blocking.
@@ -242,6 +269,7 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
         next_job: AtomicU64::new(0),
         queue_tx: Mutex::new(Some(queue_tx)),
         stats: Counters::default(),
+        metrics: MetricsRegistry::new(),
         shutting_down: AtomicBool::new(false),
         handlers: Mutex::new(Vec::new()),
         queue_depth: config.queue_depth.max(1),
@@ -288,8 +316,10 @@ fn worker_loop(shared: &Arc<Shared>, rx: &Receiver<(u64, ValidatedJob)>) {
     // the queue is empty — the drain guarantee.
     while let Ok((id, vjob)) = rx.recv() {
         shared.stats.queued.fetch_sub(1, Ordering::Relaxed);
+        shared.metrics.gauge(obs_names::QUEUE_DEPTH).sub(1);
         shared.stats.running.fetch_add(1, Ordering::Relaxed);
         shared.stats.executed.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
         let cancel = {
             let mut jobs = shared.jobs.lock();
             match jobs.get_mut(&id) {
@@ -317,6 +347,15 @@ fn worker_loop(shared: &Arc<Shared>, rx: &Receiver<(u64, ValidatedJob)>) {
             progress: &progress,
         };
         let outcome = exec::execute(&vjob, &ctx);
+        shared
+            .metrics
+            .timing(
+                obs_names::JOB_LATENCY,
+                JOB_LATENCY_LO,
+                JOB_LATENCY_HI,
+                JOB_LATENCY_BUCKETS,
+            )
+            .record(started.elapsed());
         shared.stats.running.fetch_sub(1, Ordering::Relaxed);
         match outcome {
             Ok(result) => {
@@ -419,6 +458,14 @@ fn handle_conn(shared: &Arc<Shared>, stream: &TcpStream) {
                 &mut writer,
                 &Response::Status {
                     stats: shared.snapshot(),
+                    metrics: shared.metrics_report(),
+                },
+            )
+            .is_ok(),
+            Request::Metrics => write_message(
+                &mut writer,
+                &Response::Metrics {
+                    metrics: shared.metrics_report(),
                 },
             )
             .is_ok(),
@@ -482,10 +529,12 @@ fn handle_submit<W: Write>(
         match shared.cache.lookup_or_reserve(&key, id) {
             Lookup::Hit(result) => {
                 shared.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.counter(obs_names::CACHE_HITS).incr();
                 Plan::Hit(result)
             }
             Lookup::Joined { job } => {
                 shared.stats.coalesced.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.counter(obs_names::CACHE_JOINED).incr();
                 match jobs.get_mut(&job) {
                     Some(entry) => match &entry.state {
                         JobState::Done(result) => Plan::Hit(result.clone()),
@@ -519,6 +568,8 @@ fn handle_submit<W: Write>(
                 match sent {
                     Ok(()) => {
                         shared.stats.queued.fetch_add(1, Ordering::Relaxed);
+                        shared.metrics.counter(obs_names::CACHE_MISSES).incr();
+                        shared.metrics.gauge(obs_names::QUEUE_DEPTH).add(1);
                         Plan::Stream(id)
                     }
                     Err(reason) => {

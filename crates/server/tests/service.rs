@@ -72,15 +72,18 @@ fn interval_job_matches_direct_spa_run() {
     // The same machine, metric, and seed stream, sampled directly.
     let benchmark = spa_sim::workload::parsec::Benchmark::Blackscholes;
     let workload = benchmark.workload();
-    let machine = spa_sim::machine::Machine::new(
-        spa_sim::config::SystemConfig::table2(),
-        &workload,
-    )
-    .unwrap()
-    .with_variability(spa_sim::variability::Variability::DramJitter { max_cycles: 2 });
-    let sampler =
-        move |seed: u64| spa_sim::metrics::Metric::RuntimeSeconds.extract(&machine.run(seed).unwrap().metrics);
-    let spa = Spa::builder().confidence(0.9).proportion(0.9).build().unwrap();
+    let machine =
+        spa_sim::machine::Machine::new(spa_sim::config::SystemConfig::table2(), &workload)
+            .unwrap()
+            .with_variability(spa_sim::variability::Variability::DramJitter { max_cycles: 2 });
+    let sampler = move |seed: u64| {
+        spa_sim::metrics::Metric::RuntimeSeconds.extract(&machine.run(seed).unwrap().metrics)
+    };
+    let spa = Spa::builder()
+        .confidence(0.9)
+        .proportion(0.9)
+        .build()
+        .unwrap();
     let direct = spa.run(&sampler, 41_000, Direction::AtMost).unwrap();
 
     assert_eq!(report, direct, "service report must equal a direct run");
@@ -213,7 +216,9 @@ fn submissions_during_shutdown_are_rejected() {
     // The connection may be accepted (reject) or already closed (I/O),
     // depending on when the accept loop observes the flag.
     match err {
-        ServerError::Rejected(RejectReason::ShuttingDown) | ServerError::Io(_) | ServerError::Disconnected => {}
+        ServerError::Rejected(RejectReason::ShuttingDown)
+        | ServerError::Io(_)
+        | ServerError::Disconnected => {}
         other => panic!("expected shutting-down rejection, got {other}"),
     }
     handle.join();
@@ -274,6 +279,92 @@ fn hypothesis_jobs_stream_progress_and_conclude() {
     // Identical hypothesis resubmission hits the cache too.
     let again = client::submit(&addr, &spec, |_| {}).unwrap();
     assert!(again.cached);
+    handle.shutdown();
+}
+
+#[test]
+fn metrics_request_exposes_live_counters_and_latency() {
+    let handle = start(config(2, 8)).unwrap();
+    let addr = handle.addr().to_string();
+
+    // Before any job: the server-side registry is empty of cache
+    // activity and the job-latency histogram has seen nothing.
+    let before = client::metrics(&addr).unwrap();
+    assert_eq!(before.counter(spa_server::obs_names::CACHE_HITS), None);
+
+    let spec = interval_spec(42_800);
+    let first = client::submit(&addr, &spec, |_| {}).unwrap();
+    assert!(!first.cached);
+
+    let metrics = client::metrics(&addr).unwrap();
+    // Engine counters (process-global, merged in): the run collected
+    // samples, so the sample counters are non-zero.
+    let collected = metrics
+        .counter(spa_core::obs_names::SAMPLES_COLLECTED)
+        .expect("sample counter registered");
+    assert!(
+        collected >= 22,
+        "one interval job collects >= 22: {collected}"
+    );
+    assert!(
+        metrics
+            .counter(spa_core::obs_names::SAMPLES_REQUESTED)
+            .unwrap_or(0)
+            >= 22
+    );
+    assert!(
+        metrics
+            .counter(spa_core::obs_names::CI_THRESHOLD_TESTS)
+            .unwrap_or(0)
+            > 0
+    );
+    // Server-side: one miss executed, the job latency landed in a
+    // bucket, and the queue gauge returned to zero.
+    assert_eq!(
+        metrics.counter(spa_server::obs_names::CACHE_MISSES),
+        Some(1)
+    );
+    assert_eq!(metrics.gauge(spa_server::obs_names::QUEUE_DEPTH), Some(0));
+    let latency = metrics
+        .timing(spa_server::obs_names::JOB_LATENCY)
+        .expect("job latency histogram registered");
+    assert_eq!(latency.total + latency.underflow + latency.overflow, 1);
+    assert_eq!(
+        latency.buckets.iter().map(|b| b.count).sum::<u64>(),
+        latency.total
+    );
+    assert!(latency.sum_ns > 0);
+
+    // Resubmitting the identical spec is a cache hit — and the metrics
+    // surface shows the increment.
+    let second = client::submit(&addr, &spec, |_| {}).unwrap();
+    assert!(second.cached);
+    let after = client::metrics(&addr).unwrap();
+    assert_eq!(after.counter(spa_server::obs_names::CACHE_HITS), Some(1));
+    assert_eq!(after.counter(spa_server::obs_names::CACHE_MISSES), Some(1));
+    assert_eq!(
+        after
+            .timing(spa_server::obs_names::JOB_LATENCY)
+            .unwrap()
+            .total
+            + after
+                .timing(spa_server::obs_names::JOB_LATENCY)
+                .unwrap()
+                .underflow
+            + after
+                .timing(spa_server::obs_names::JOB_LATENCY)
+                .unwrap()
+                .overflow,
+        1,
+        "a cache hit must not run (and therefore not time) a job"
+    );
+
+    // The same snapshot rides along in `status`.
+    let handle_metrics = handle.metrics();
+    assert_eq!(
+        handle_metrics.counter(spa_server::obs_names::CACHE_HITS),
+        Some(1)
+    );
     handle.shutdown();
 }
 

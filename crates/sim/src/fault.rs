@@ -185,7 +185,11 @@ mod tests {
         for (i, &c) in counts.iter().take(3).enumerate() {
             assert!((280..=520).contains(&c), "band {i} saw {c} of 2000");
         }
-        assert!((640..=960).contains(&counts[3]), "healthy saw {}", counts[3]);
+        assert!(
+            (640..=960).contains(&counts[3]),
+            "healthy saw {}",
+            counts[3]
+        );
     }
 
     #[test]
@@ -206,7 +210,10 @@ mod tests {
         assert!(FaultSpec::none().validate().is_ok());
         assert!(FaultSpec::none().with_crashes(-0.1).validate().is_err());
         assert!(FaultSpec::none().with_timeouts(1.5).validate().is_err());
-        assert!(FaultSpec::none().with_nan_metrics(f64::NAN).validate().is_err());
+        assert!(FaultSpec::none()
+            .with_nan_metrics(f64::NAN)
+            .validate()
+            .is_err());
         let overfull = FaultSpec {
             crash_prob: 0.5,
             timeout_prob: 0.4,

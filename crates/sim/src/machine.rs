@@ -506,7 +506,9 @@ impl<'m, 'w> Run<'m, 'w> {
         let code_bytes = self.machine.workload.code_bytes.max(64);
         let fetch_addr = CODE_BASE + (t.op_counter * 16) % code_bytes;
         let now = t.time;
-        let fetch = self.hier.inst_fetch(core, fetch_addr, now, &mut self.vstate);
+        let fetch = self
+            .hier
+            .inst_fetch(core, fetch_addr, now, &mut self.vstate);
         let t = &mut self.threads[tid];
         t.time += fetch.latency;
         t.instructions += op.instructions();
@@ -517,7 +519,9 @@ impl<'m, 'w> Run<'m, 'w> {
             }
             Op::Load { addr } => {
                 let now = self.threads[tid].time;
-                let out = self.hier.data_access(core, addr, false, now, &mut self.vstate);
+                let out = self
+                    .hier
+                    .data_access(core, addr, false, now, &mut self.vstate);
                 self.threads[tid].time += out.latency;
                 if out.l2_miss {
                     self.record_event("l2_miss", now);
@@ -528,7 +532,9 @@ impl<'m, 'w> Run<'m, 'w> {
             }
             Op::Store { addr } => {
                 let now = self.threads[tid].time;
-                let out = self.hier.data_access(core, addr, true, now, &mut self.vstate);
+                let out = self
+                    .hier
+                    .data_access(core, addr, true, now, &mut self.vstate);
                 self.threads[tid].time += out.latency;
                 if out.l2_miss {
                     self.record_event("l2_miss", now);
@@ -594,7 +600,13 @@ impl<'m, 'w> Run<'m, 'w> {
         data.set_metric("lock_contentions", m.lock_contentions as f64);
         // Standard streams exist even when empty so properties can ask
         // about events that happened zero times.
-        for stream in ["tlb_miss", "l2_miss", "lock_contention", "branch_mispredict", "migration"] {
+        for stream in [
+            "tlb_miss",
+            "l2_miss",
+            "lock_contention",
+            "branch_mispredict",
+            "migration",
+        ] {
             data.declare_stream(stream);
         }
         // Events, sorted by time (threads emit out of order).
@@ -624,7 +636,9 @@ impl<'m, 'w> Run<'m, 'w> {
             let trace = data.trace_mut();
             let n = self.machine.config.cores as f64;
             trace.push("active_threads", 0, n).expect("fresh signal");
-            trace.push("power", 0, 8.0 + 23.0 * n).expect("fresh signal");
+            trace
+                .push("power", 0, 8.0 + 23.0 * n)
+                .expect("fresh signal");
         }
         data
     }

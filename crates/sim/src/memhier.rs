@@ -311,12 +311,7 @@ impl MemoryHierarchy {
     /// Next-line L2 prefetch on a demand miss: fills `block` into the L2
     /// in the background (occupying a DRAM bank but never stalling the
     /// demand access).
-    fn maybe_prefetch(
-        &mut self,
-        block: BlockAddr,
-        now: u64,
-        variability: &mut VariabilityState,
-    ) {
+    fn maybe_prefetch(&mut self, block: BlockAddr, now: u64, variability: &mut VariabilityState) {
         if !self.config.l2_next_line_prefetch {
             return;
         }

@@ -36,7 +36,13 @@ pub fn run_population(
     seed_start: u64,
     count: u64,
 ) -> Result<Vec<ExecutionResult>> {
-    run_population_with(config, workload, Variability::paper_default(), seed_start, count)
+    run_population_with(
+        config,
+        workload,
+        Variability::paper_default(),
+        seed_start,
+        count,
+    )
 }
 
 /// As [`run_population`] with an explicit variability model.
@@ -95,14 +101,8 @@ mod tests {
     #[test]
     fn variability_model_is_respected() {
         let spec = Benchmark::Ferret.workload_scaled(0.25);
-        let none = run_population_with(
-            SystemConfig::table2(),
-            &spec,
-            Variability::None,
-            0,
-            3,
-        )
-        .unwrap();
+        let none =
+            run_population_with(SystemConfig::table2(), &spec, Variability::None, 0, 3).unwrap();
         // With no injection every run is identical.
         assert_eq!(none[0].metrics, none[1].metrics);
         assert_eq!(none[1].metrics, none[2].metrics);

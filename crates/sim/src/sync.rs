@@ -396,7 +396,7 @@ mod tests {
         q.push(0, 7, 0);
         let wakes = q.close(5);
         assert!(wakes.is_empty()); // nobody was parked
-        // Remaining item still drains…
+                                   // Remaining item still drains…
         assert_eq!(q.pop(1, 6), PopResult::Item(7));
         // …then closure is observed.
         assert_eq!(q.pop(1, 7), PopResult::Closed);

@@ -216,9 +216,7 @@ impl VariabilityState {
     pub fn dram_jitter(&mut self) -> u64 {
         match self.model {
             Variability::None => 0,
-            Variability::DramJitter { max_cycles } => {
-                self.jitter_rng.uniform_u64(0, max_cycles)
-            }
+            Variability::DramJitter { max_cycles } => self.jitter_rng.uniform_u64(0, max_cycles),
             Variability::FullSystem {
                 max_cycles,
                 background_latency,
@@ -280,11 +278,9 @@ impl VariabilityState {
                 preemption_prob,
                 preemption_cycles,
                 ..
-            } if self.interfered
-                && self.noise_rng.chance(preemption_prob) => {
-                    self.noise_rng
-                        .uniform_u64(preemption_cycles / 2, preemption_cycles)
-                }
+            } if self.interfered && self.noise_rng.chance(preemption_prob) => self
+                .noise_rng
+                .uniform_u64(preemption_cycles / 2, preemption_cycles),
             _ => 0,
         }
     }

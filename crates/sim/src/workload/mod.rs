@@ -173,7 +173,12 @@ impl WorkloadSpec {
         if self.programs.is_empty() {
             return fail("no thread programs".into());
         }
-        let max_items: u64 = self.tables.iter().map(|t| t.len() as u64).min().unwrap_or(0);
+        let max_items: u64 = self
+            .tables
+            .iter()
+            .map(|t| t.len() as u64)
+            .min()
+            .unwrap_or(0);
         for pool in &self.pools {
             if pool.start > pool.end {
                 return fail(format!("pool range {}..{} inverted", pool.start, pool.end));

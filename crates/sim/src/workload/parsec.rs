@@ -137,9 +137,9 @@ const WORKLOAD_KEY: u64 = 0x5EED_0F57_A71C;
 
 fn gen_for(bench: &str, lane: u64) -> SimRng {
     // Mix the benchmark name into the lane so benchmarks differ.
-    let tag: u64 = bench.bytes().fold(0u64, |a, b| {
-        a.wrapping_mul(131).wrapping_add(b as u64)
-    });
+    let tag: u64 = bench
+        .bytes()
+        .fold(0u64, |a, b| a.wrapping_mul(131).wrapping_add(b as u64));
     SimRng::new(WORKLOAD_KEY ^ tag, Stream::Workload, lane)
 }
 
@@ -225,9 +225,9 @@ fn pool_worker(pool: u16, table: u16, barrier: Option<u16>) -> Vec<PInstr> {
 fn ferret(scale: f64) -> WorkloadSpec {
     let queries = scaled(260, scale);
     let db_span: u64 = 1536 * 1024; // 1.5 MB database
-    // Index region re-scanned periodically by workers: ~700 KB of it is
-    // live at a time, so it fits a 1 MB L2 but thrashes a 512 kB one —
-    // the capacity sensitivity behind the paper's §4.2 speedup study.
+                                    // Index region re-scanned periodically by workers: ~700 KB of it is
+                                    // live at a time, so it fits a 1 MB L2 but thrashes a 512 kB one —
+                                    // the capacity sensitivity behind the paper's §4.2 speedup study.
     let index_base: u64 = DB_BASE + 0x0800_0000;
     let index_lines: u64 = 600 * 1024 / 64;
     let mut index_cursor: u64 = 0;
@@ -255,7 +255,9 @@ fn ferret(scale: f64) -> WorkloadSpec {
         let mut ops = Vec::new();
         let qbase = PRIV_BASE + (q as u64) * 8192;
         for j in 0..10 {
-            ops.push(Op::Load { addr: qbase + j * 512 });
+            ops.push(Op::Load {
+                addr: qbase + j * 512,
+            });
         }
         let n_cycles = rng.uniform_u64(60, 120);
         emit_compute(&mut ops, &mut rng, n_cycles);
@@ -414,7 +416,9 @@ fn blackscholes(scale: f64) -> WorkloadSpec {
             let n_cycles = rng.uniform_u64(800, 840);
             emit_compute(&mut ops, &mut rng, n_cycles);
             emit_branches(&mut ops, &mut rng, 0x3000, 8, 3);
-            ops.push(Op::Store { addr: slice + 0x8000 + off });
+            ops.push(Op::Store {
+                addr: slice + 0x8000 + off,
+            });
             items.push(WorkItem { ops });
         }
     }
@@ -469,7 +473,7 @@ fn bodytrack(scale: f64) -> WorkloadSpec {
                 n_loads,
             );
             let n_cycles = rng.uniform_u64(120, 420);
-        emit_compute(&mut ops, &mut rng, n_cycles);
+            emit_compute(&mut ops, &mut rng, n_cycles);
             emit_branches(&mut ops, &mut rng, 0x4000, 24, 6);
             ops.push(Op::Store {
                 addr: SHARED_BASE + 0x1000 + rng.uniform_u64(0, 255) * 64,
@@ -713,7 +717,7 @@ fn facesim(scale: f64) -> WorkloadSpec {
             // Read own slice plus neighbour overlap.
             let lo = i.saturating_sub(1) * slice;
             let n_loads = rng.uniform_u64(12, 20) as usize;
-        emit_loads(
+            emit_loads(
                 &mut ops,
                 &mut rng,
                 DB_BASE + lo,
@@ -722,9 +726,9 @@ fn facesim(scale: f64) -> WorkloadSpec {
                 slice,
                 0.7,
                 n_loads,
-        );
+            );
             let n_cycles = rng.uniform_u64(200, 380);
-        emit_compute(&mut ops, &mut rng, n_cycles);
+            emit_compute(&mut ops, &mut rng, n_cycles);
             emit_branches(&mut ops, &mut rng, 0x7000, 20, 5);
             // Write boundary (shared with neighbours).
             ops.push(Op::Store {
@@ -798,7 +802,7 @@ fn fluidanimate(scale: f64) -> WorkloadSpec {
                 n_loads,
             );
             let n_cycles = rng.uniform_u64(90, 260);
-        emit_compute(&mut ops, &mut rng, n_cycles);
+            emit_compute(&mut ops, &mut rng, n_cycles);
             emit_branches(&mut ops, &mut rng, 0x8000, 16, 4);
             // Shared cell update (the lock is taken by the program).
             ops.push(Op::Store {
@@ -905,7 +909,7 @@ fn streamcluster(scale: f64) -> WorkloadSpec {
         for _ in 0..per_phase {
             let mut ops = Vec::new();
             let n_loads = rng.uniform_u64(10, 18) as usize;
-        emit_loads(
+            emit_loads(
                 &mut ops,
                 &mut rng,
                 DB_BASE,
@@ -914,9 +918,9 @@ fn streamcluster(scale: f64) -> WorkloadSpec {
                 points_span / 4,
                 0.5,
                 n_loads,
-        );
+            );
             let n_cycles = rng.uniform_u64(150, 550);
-        emit_compute(&mut ops, &mut rng, n_cycles);
+            emit_compute(&mut ops, &mut rng, n_cycles);
             emit_branches(&mut ops, &mut rng, 0xA000, 12, 4);
             items.push(WorkItem { ops });
         }

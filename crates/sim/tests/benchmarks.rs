@@ -20,7 +20,11 @@ fn every_benchmark_completes_with_sane_metrics() {
             assert!(m.runtime_cycles > 0, "{bench}: zero runtime");
             assert!(m.instructions > 0, "{bench}: no instructions");
             assert!(m.ipc > 0.0 && m.ipc < 16.0, "{bench}: ipc {}", m.ipc);
-            assert!(m.l1_mpki >= 0.0 && m.l1_mpki < 500.0, "{bench}: l1 {}", m.l1_mpki);
+            assert!(
+                m.l1_mpki >= 0.0 && m.l1_mpki < 500.0,
+                "{bench}: l1 {}",
+                m.l1_mpki
+            );
             assert!(m.l2_mpki <= m.l1_mpki, "{bench}: L2 MPKI above L1 MPKI");
             assert!(
                 (0.0..=1.0).contains(&m.l2_miss_rate),
@@ -32,9 +36,14 @@ fn every_benchmark_completes_with_sane_metrics() {
                 m.avg_load_latency <= m.max_load_latency as f64,
                 "{bench}: avg > max load latency"
             );
-            assert!(m.l2_accesses <= m.l1d_misses + m.l1i_misses + 1,
-                "{bench}: more L2 accesses than L1 misses");
-            assert!(m.dram_accesses <= m.l2_accesses, "{bench}: DRAM > L2 accesses");
+            assert!(
+                m.l2_accesses <= m.l1d_misses + m.l1i_misses + 1,
+                "{bench}: more L2 accesses than L1 misses"
+            );
+            assert!(
+                m.dram_accesses <= m.l2_accesses,
+                "{bench}: DRAM > L2 accesses"
+            );
         }
     }
 }
@@ -55,16 +64,8 @@ fn pipeline_benchmarks_exercise_queues() {
 #[test]
 fn ferret_prefers_bigger_l2() {
     let spec = Benchmark::Ferret.workload();
-    let small = Machine::new(
-        SystemConfig::table2().with_l2_capacity(512 * 1024),
-        &spec,
-    )
-    .unwrap();
-    let large = Machine::new(
-        SystemConfig::table2().with_l2_capacity(1024 * 1024),
-        &spec,
-    )
-    .unwrap();
+    let small = Machine::new(SystemConfig::table2().with_l2_capacity(512 * 1024), &spec).unwrap();
+    let large = Machine::new(SystemConfig::table2().with_l2_capacity(1024 * 1024), &spec).unwrap();
     // Average over a few common-random-number pairs: the 1 MB system
     // must be clearly faster (the §4.2 speedup study's premise).
     let mut small_total = 0u64;

@@ -102,8 +102,7 @@ impl Binomial {
         if self.p == 1.0 {
             return 0.0; // k < n and all mass sits at n
         }
-        inc_beta((self.n - k) as f64, k as f64 + 1.0, 1.0 - self.p)
-            .expect("validated binomial cdf")
+        inc_beta((self.n - k) as f64, k as f64 + 1.0, 1.0 - self.p).expect("validated binomial cdf")
     }
 
     /// Survival function `P(X > k)`.

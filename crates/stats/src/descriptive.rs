@@ -270,7 +270,10 @@ mod tests {
         let xs = [10.0, 20.0, 30.0, 40.0, 50.0];
         assert_eq!(quantile(&xs, 0.0, QuantileMethod::LowerRank).unwrap(), 10.0);
         assert_eq!(quantile(&xs, 0.2, QuantileMethod::LowerRank).unwrap(), 10.0);
-        assert_eq!(quantile(&xs, 0.21, QuantileMethod::LowerRank).unwrap(), 20.0);
+        assert_eq!(
+            quantile(&xs, 0.21, QuantileMethod::LowerRank).unwrap(),
+            20.0
+        );
         assert_eq!(quantile(&xs, 0.5, QuantileMethod::LowerRank).unwrap(), 30.0);
         assert_eq!(quantile(&xs, 0.9, QuantileMethod::LowerRank).unwrap(), 50.0);
         assert_eq!(quantile(&xs, 1.0, QuantileMethod::LowerRank).unwrap(), 50.0);
@@ -302,8 +305,14 @@ mod tests {
             quantile(&poisoned, 0.5, QuantileMethod::Linear),
             Err(StatsError::NonFiniteData { index: 2 })
         );
-        assert_eq!(median(&poisoned), Err(StatsError::NonFiniteData { index: 2 }));
-        assert_eq!(try_mean(&poisoned), Err(StatsError::NonFiniteData { index: 2 }));
+        assert_eq!(
+            median(&poisoned),
+            Err(StatsError::NonFiniteData { index: 2 })
+        );
+        assert_eq!(
+            try_mean(&poisoned),
+            Err(StatsError::NonFiniteData { index: 2 })
+        );
         assert_eq!(
             try_coefficient_of_variation(&poisoned),
             Err(StatsError::NonFiniteData { index: 2 })

@@ -41,7 +41,10 @@ impl fmt::Display for StatsError {
                 name,
                 value,
                 expected,
-            } => write!(f, "invalid parameter `{name}` = {value}; expected {expected}"),
+            } => write!(
+                f,
+                "invalid parameter `{name}` = {value}; expected {expected}"
+            ),
             StatsError::EmptyData => write!(f, "empty data set"),
             StatsError::NonFiniteData { index } => {
                 write!(f, "input contains NaN at index {index}")

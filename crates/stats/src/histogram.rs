@@ -8,18 +8,25 @@ use serde::{Deserialize, Serialize};
 
 /// A histogram over a fixed range with equally sized bins.
 ///
-/// Values outside the configured range are counted in saturating edge
-/// bins (first/last), so no observation is silently dropped.
+/// Values outside the configured range are **not** folded into the edge
+/// bins — they are tallied in separate [`underflow`](Self::underflow) and
+/// [`overflow`](Self::overflow) counters so that bin counts (and anything
+/// built on them, like [`mode_bin`](Self::mode_bin)) describe only
+/// in-range observations. [`total`](Self::total) likewise counts in-range
+/// observations only; [`observed`](Self::observed) adds the out-of-range
+/// tallies back in, so no observation is silently dropped.
 ///
 /// # Examples
 ///
 /// ```
 /// use spa_stats::histogram::Histogram;
 /// let mut h = Histogram::new(0.0, 10.0, 5);
-/// for x in [1.0, 1.5, 6.0, 9.9] {
+/// for x in [1.0, 1.5, 6.0, 9.9, -2.0] {
 ///     h.record(x);
 /// }
-/// assert_eq!(h.total(), 4);
+/// assert_eq!(h.total(), 4); // in-range only
+/// assert_eq!(h.underflow(), 1);
+/// assert_eq!(h.observed(), 5);
 /// assert_eq!(h.counts()[0], 2);
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -27,6 +34,10 @@ pub struct Histogram {
     lo: f64,
     hi: f64,
     counts: Vec<u64>,
+    #[serde(default)]
+    underflow: u64,
+    #[serde(default)]
+    overflow: u64,
 }
 
 impl Histogram {
@@ -45,6 +56,8 @@ impl Histogram {
             lo,
             hi,
             counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
         }
     }
 
@@ -72,17 +85,22 @@ impl Histogram {
     }
 
     /// Records one observation.
+    ///
+    /// Observations below `lo` increment [`underflow`](Self::underflow),
+    /// observations at or above `hi` increment
+    /// [`overflow`](Self::overflow); neither touches any bin, so edge-bin
+    /// counts stay faithful to the configured range.
     pub fn record(&mut self, x: f64) {
         let bins = self.counts.len();
-        let idx = if x < self.lo {
-            0
+        if x < self.lo {
+            self.underflow += 1;
         } else if x >= self.hi {
-            bins - 1
+            self.overflow += 1;
         } else {
             let frac = (x - self.lo) / (self.hi - self.lo);
-            ((frac * bins as f64) as usize).min(bins - 1)
-        };
-        self.counts[idx] += 1;
+            let idx = ((frac * bins as f64) as usize).min(bins - 1);
+            self.counts[idx] += 1;
+        }
     }
 
     /// Bin counts, in ascending bin order.
@@ -90,9 +108,27 @@ impl Histogram {
         &self.counts
     }
 
-    /// Total number of recorded observations.
+    /// Number of observations that fell below the configured range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Number of observations that fell at or above the configured range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total number of **in-range** recorded observations (the sum of all
+    /// bin counts). Out-of-range observations are excluded; see
+    /// [`observed`](Self::observed) for the grand total.
     pub fn total(&self) -> u64 {
         self.counts.iter().sum()
+    }
+
+    /// Total number of observations ever recorded, in-range or not:
+    /// `total() + underflow() + overflow()`.
+    pub fn observed(&self) -> u64 {
+        self.total() + self.underflow + self.overflow
     }
 
     /// `(low, high)` bounds of bin `i`.
@@ -163,13 +199,42 @@ mod tests {
     }
 
     #[test]
-    fn out_of_range_saturates() {
+    fn out_of_range_is_tracked_separately() {
         let mut h = Histogram::new(0.0, 1.0, 4);
         h.record(-5.0);
         h.record(42.0);
-        assert_eq!(h.counts()[0], 1);
-        assert_eq!(h.counts()[3], 1);
-        assert_eq!(h.total(), 2);
+        h.record(0.5);
+        // Edge bins are untouched by out-of-range values.
+        assert_eq!(h.counts()[0], 0);
+        assert_eq!(h.counts()[3], 0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 1, "total() is in-range only");
+        assert_eq!(h.observed(), 3);
+    }
+
+    #[test]
+    fn top_edge_is_exclusive_and_counts_as_overflow() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(1.0); // hi itself is out of the half-open range
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.overflow(), 1);
+    }
+
+    #[test]
+    fn out_of_range_does_not_disturb_mode_detection() {
+        let mut h = Histogram::new(0.0, 6.0, 6);
+        for x in [1.1, 1.2, 4.1, 4.2, 4.3] {
+            h.record(x);
+        }
+        // A storm of out-of-range values used to inflate the edge bins
+        // and fabricate modes there.
+        for _ in 0..100 {
+            h.record(-1.0);
+            h.record(99.0);
+        }
+        assert_eq!(h.mode_bin(), 4);
+        assert_eq!(h.count_modes(2), 2);
     }
 
     #[test]

@@ -262,8 +262,7 @@ pub fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let y = 1.0
-        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
-            * t
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
             + 0.254_829_592)
             * t
             * (-x * x).exp();
@@ -347,7 +346,13 @@ mod tests {
 
     #[test]
     fn inv_inc_beta_round_trip() {
-        for &(a, b) in &[(0.5, 0.5), (1.0, 3.0), (2.0, 2.0), (10.0, 4.0), (30.0, 70.0)] {
+        for &(a, b) in &[
+            (0.5, 0.5),
+            (1.0, 3.0),
+            (2.0, 2.0),
+            (10.0, 4.0),
+            (30.0, 70.0),
+        ] {
             for &p in &[0.01, 0.1, 0.5, 0.9, 0.99] {
                 let x = inv_inc_beta(a, b, p).unwrap();
                 assert_close(inc_beta(a, b, x).unwrap(), p, 1e-9);

@@ -61,7 +61,10 @@ impl fmt::Display for StlError {
                 write!(f, "no samples for `{signal}` in the evaluation window")
             }
             StlError::InvalidParameter { name, expected } => {
-                write!(f, "invalid template parameter `{name}`; expected {expected}")
+                write!(
+                    f,
+                    "invalid template parameter `{name}`; expected {expected}"
+                )
             }
         }
     }

@@ -205,7 +205,8 @@ mod tests {
     fn trace() -> Trace {
         let mut t = Trace::new();
         // x: 1 on [0,10), 9 on [10,20), 4 from 20 on.
-        t.push_series("x", [(0, 1.0), (10, 9.0), (20, 4.0)]).unwrap();
+        t.push_series("x", [(0, 1.0), (10, 9.0), (20, 4.0)])
+            .unwrap();
         // y: 0 on [0,15), 1 from 15 on.
         t.push_series("y", [(0, 0.0), (15, 1.0)]).unwrap();
         t

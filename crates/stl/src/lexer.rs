@@ -105,14 +105,22 @@ pub(crate) fn tokenize(src: &str) -> Result<Vec<Token>> {
                 i += 1;
             }
             '&' => {
-                i += if bytes.get(i + 1) == Some(&b'&') { 2 } else { 1 };
+                i += if bytes.get(i + 1) == Some(&b'&') {
+                    2
+                } else {
+                    1
+                };
                 tokens.push(Token {
                     kind: TokenKind::And,
                     pos,
                 });
             }
             '|' => {
-                i += if bytes.get(i + 1) == Some(&b'|') { 2 } else { 1 };
+                i += if bytes.get(i + 1) == Some(&b'|') {
+                    2
+                } else {
+                    1
+                };
                 tokens.push(Token {
                     kind: TokenKind::Or,
                     pos,
@@ -239,12 +247,13 @@ fn lex_number(src: &str, start: usize) -> Result<(f64, usize)> {
             _ => break,
         }
     }
-    src[start..i].parse::<f64>().map(|v| (v, i)).map_err(|_| {
-        StlError::Parse {
+    src[start..i]
+        .parse::<f64>()
+        .map(|v| (v, i))
+        .map_err(|_| StlError::Parse {
             position: start,
             message: format!("malformed number `{}`", &src[start..i]),
-        }
-    })
+        })
 }
 
 #[cfg(test)]

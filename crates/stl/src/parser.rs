@@ -212,9 +212,7 @@ impl Parser {
         }
 
         match (first, second) {
-            (Operand::Signal(s), Operand::Constant(c)) => {
-                Ok(Stl::Atom(Predicate::new(s, op1, c)))
-            }
+            (Operand::Signal(s), Operand::Constant(c)) => Ok(Stl::Atom(Predicate::new(s, op1, c))),
             (Operand::Constant(c), Operand::Signal(s)) => {
                 Ok(Stl::Atom(Predicate::new(s, op1.flipped(), c)))
             }
@@ -352,7 +350,11 @@ mod tests {
         let f = parse("(a < 1) U[2,8] (b > 2)").unwrap();
         assert_eq!(
             f,
-            Stl::until(Interval::bounded(2, 8), Stl::lt("a", 1.0), Stl::gt("b", 2.0))
+            Stl::until(
+                Interval::bounded(2, 8),
+                Stl::lt("a", 1.0),
+                Stl::gt("b", 2.0)
+            )
         );
     }
 

@@ -373,9 +373,11 @@ impl Template {
                     let Some(&release) = releases.get(idx) else {
                         continue; // never released ⇒ did not stay-until
                     };
-                    let frac = run.trace().fraction_of_time(state_signal, t, release, |v| {
-                        state_op.apply(v, *state_value)
-                    })?;
+                    let frac = run
+                        .trace()
+                        .fraction_of_time(state_signal, t, release, |v| {
+                            state_op.apply(v, *state_value)
+                        })?;
                     if frac >= 1.0 {
                         stayed += 1;
                     }
@@ -637,11 +639,16 @@ mod tests {
     fn row5_metric_implication() {
         let e = run();
         // power > 10 -> performance > 1.5 : antecedent true, consequent true.
-        assert!(
-            Template::metric_implication("power", CmpOp::Gt, 10.0, "performance", CmpOp::Gt, 1.5)
-                .evaluate(&e)
-                .unwrap()
-        );
+        assert!(Template::metric_implication(
+            "power",
+            CmpOp::Gt,
+            10.0,
+            "performance",
+            CmpOp::Gt,
+            1.5
+        )
+        .evaluate(&e)
+        .unwrap());
         // Antecedent false ⇒ vacuously true, consequent metric not needed.
         assert!(
             Template::metric_implication("power", CmpOp::Gt, 100.0, "missing", CmpOp::Gt, 0.0)
@@ -649,11 +656,16 @@ mod tests {
                 .unwrap()
         );
         // Antecedent true, consequent false.
-        assert!(
-            !Template::metric_implication("power", CmpOp::Gt, 10.0, "performance", CmpOp::Gt, 5.0)
-                .evaluate(&e)
-                .unwrap()
-        );
+        assert!(!Template::metric_implication(
+            "power",
+            CmpOp::Gt,
+            10.0,
+            "performance",
+            CmpOp::Gt,
+            5.0
+        )
+        .evaluate(&e)
+        .unwrap());
     }
 
     #[test]
@@ -693,9 +705,7 @@ mod tests {
     #[test]
     fn row7_latency_implication() {
         let e = run();
-        let t = Template::latency_implication(
-            "lat_r", CmpOp::Gt, 100.0, "lat_s", CmpOp::Gt, 200.0,
-        );
+        let t = Template::latency_implication("lat_r", CmpOp::Gt, 100.0, "lat_s", CmpOp::Gt, 200.0);
         assert!(t.evaluate(&e).unwrap());
         assert_eq!(t.row(), 7);
     }

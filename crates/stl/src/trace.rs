@@ -218,7 +218,8 @@ mod tests {
 
     fn ramp() -> Trace {
         let mut t = Trace::new();
-        t.push_series("x", [(0, 1.0), (10, 2.0), (20, 3.0)]).unwrap();
+        t.push_series("x", [(0, 1.0), (10, 2.0), (20, 3.0)])
+            .unwrap();
         t
     }
 

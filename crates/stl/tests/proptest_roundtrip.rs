@@ -32,9 +32,8 @@ fn arb_interval() -> impl Strategy<Value = Interval> {
 }
 
 fn arb_atom() -> impl Strategy<Value = Stl> {
-    (0_usize..SIGNALS.len(), arb_cmp(), -50_i32..50).prop_map(|(s, op, t)| {
-        Stl::Atom(spa_stl::ast::Predicate::new(SIGNALS[s], op, t as f64))
-    })
+    (0_usize..SIGNALS.len(), arb_cmp(), -50_i32..50)
+        .prop_map(|(s, op, t)| Stl::Atom(spa_stl::ast::Predicate::new(SIGNALS[s], op, t as f64)))
 }
 
 fn arb_formula() -> impl Strategy<Value = Stl> {
@@ -58,21 +57,19 @@ fn arb_formula() -> impl Strategy<Value = Stl> {
 
 fn arb_trace() -> impl Strategy<Value = Trace> {
     // 3 signals, 1..12 samples each at strictly increasing times.
-    proptest::collection::vec(
-        (1_u64..10, -60_i32..60, -60_i32..60, -60_i32..60),
-        1..12,
-    )
-    .prop_map(|rows| {
-        let mut t = Trace::new();
-        let mut now = 0u64;
-        for (dt, a, b, c) in rows {
-            for (sig, v) in [("a", a), ("b", b), ("c", c)] {
-                t.push(sig, now, v as f64).expect("strictly increasing");
+    proptest::collection::vec((1_u64..10, -60_i32..60, -60_i32..60, -60_i32..60), 1..12).prop_map(
+        |rows| {
+            let mut t = Trace::new();
+            let mut now = 0u64;
+            for (dt, a, b, c) in rows {
+                for (sig, v) in [("a", a), ("b", b), ("c", c)] {
+                    t.push(sig, now, v as f64).expect("strictly increasing");
+                }
+                now += dt;
             }
-            now += dt;
-        }
-        t
-    })
+            t
+        },
+    )
 }
 
 proptest! {

@@ -23,8 +23,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // around 1.05 s with a handful of noisy-neighbour outliers — the
     // bi-modal shape of the paper's Fig. 1.
     let measurements = vec![
-        1.041, 1.052, 1.048, 1.061, 1.043, 1.055, 1.049, 1.058, 1.047, 1.053, 1.050, 1.045,
-        1.062, 1.057, 1.051, 1.046, 1.338, 1.059, 1.044, 1.352, 1.054, 1.310,
+        1.041, 1.052, 1.048, 1.061, 1.043, 1.055, 1.049, 1.058, 1.047, 1.053, 1.050, 1.045, 1.062,
+        1.057, 1.051, 1.046, 1.338, 1.059, 1.044, 1.352, 1.054, 1.310,
     ];
 
     println!("measurement histogram:");

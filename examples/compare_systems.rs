@@ -56,8 +56,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // (b) The full confidence interval (§4.1-4.2).
     let ci = spa.confidence_interval(&samples, Direction::AtLeast)?;
-    println!(
-        "with 90% confidence, >=90% of executions speed up by at least a factor in {ci}"
-    );
+    println!("with 90% confidence, >=90% of executions speed up by at least a factor in {ci}");
     Ok(())
 }

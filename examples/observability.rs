@@ -1,0 +1,73 @@
+//! Observability: tracing spans and live engine metrics.
+//!
+//! Installs a span subscriber, runs one SPA evaluation against the
+//! simulator, and prints the spans that closed plus the global metrics
+//! registry's counters — the same data `spa --trace <command>` streams
+//! to stderr and `spa metrics` fetches from a running server.
+//!
+//! Instrumentation is verdict-neutral: the report below is byte-for-byte
+//! what an uninstrumented run would have produced.
+//!
+//! Run with: `cargo run --release --example observability`
+
+use spa::core::spa::{Direction, Spa};
+use spa::obs::{clear_subscriber, global, set_subscriber, CollectingSubscriber};
+use spa::sim::config::SystemConfig;
+use spa::sim::machine::Machine;
+use spa::sim::workload::parsec::Benchmark;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The system under test: the paper's Table 2 machine running a
+    // blackscholes-like workload with the default variability model.
+    let workload = Benchmark::Blackscholes.workload_scaled(0.5);
+    let machine = Machine::new(SystemConfig::table2(), &workload)?;
+    let spa = Spa::builder()
+        .confidence(0.9)
+        .proportion(0.9)
+        .batch_size(4)
+        .build()?;
+
+    // 1. Install a subscriber. `CollectingSubscriber` buffers records
+    //    for inspection; `StderrSubscriber` (what `spa --trace` uses)
+    //    prints them live instead.
+    let collector = CollectingSubscriber::new();
+    set_subscriber(collector.clone());
+
+    // 2. Run the evaluation exactly as without instrumentation.
+    let sampler = |seed: u64| {
+        machine
+            .run(seed)
+            .expect("simulation failed")
+            .metrics
+            .runtime_seconds
+    };
+    let report = spa.run(&sampler, 0, Direction::AtMost)?;
+    clear_subscriber();
+
+    println!(
+        "evaluated {} executions: 90% run within {} (at 90% confidence)",
+        report.samples.len(),
+        report.interval
+    );
+
+    // 3. The spans that closed during the run, indented by nesting.
+    println!("\nspans (in close order):");
+    for record in collector.take() {
+        println!(
+            "  {:indent$}{} {:?}",
+            "",
+            record.name,
+            record.elapsed,
+            indent = record.depth * 2
+        );
+    }
+
+    // 4. The process-global metrics registry accumulated counters along
+    //    the way; a server merges these into its `metrics` response.
+    let snapshot = global().snapshot();
+    println!("\nglobal counters:");
+    for (name, value) in &snapshot.counters {
+        println!("  {name} = {value}");
+    }
+    Ok(())
+}

@@ -39,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         prob_op: CmpOp::Gt,
         prob: 0.5,
     };
-    println!("template `{template}` on seed 7: {}", template.evaluate(&data)?);
+    println!(
+        "template `{template}` on seed 7: {}",
+        template.evaluate(&data)?
+    );
 
     // --- 3. Algorithm 1: sequential SMC over fresh executions. -------
     // Ask: does the property hold in at least 80 % of executions, with

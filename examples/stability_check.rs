@@ -21,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Each hyperproperty sample consumes a *pair* of fresh executions,
     // so collect 2 × the minimum sample count.
     let needed = 2 * min_samples(0.9, 0.8)?;
-    println!("running {needed} executions ({} disjoint pairs)…", needed / 2);
+    println!(
+        "running {needed} executions ({} disjoint pairs)…",
+        needed / 2
+    );
     let runtimes: Vec<f64> = (0..needed)
         .map(|seed| -> Result<f64, spa::sim::SimError> {
             Ok(machine.run(seed)?.metrics.runtime_seconds)
@@ -36,8 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             s[s.len() / 2]
         };
         let prop = HyperProperty::difference_within(median * percent / 100.0)?;
-        let verdict =
-            engine.run_fixed(pair_self(&runtimes).map(|(a, b)| prop.evaluate(a, b)))?;
+        let verdict = engine.run_fixed(pair_self(&runtimes).map(|(a, b)| prop.evaluate(a, b)))?;
         println!(
             "within {percent:>4}% of median runtime: {:<22} (satisfied {}/{} pairs, C_CP = {:.3})",
             match verdict.assertion {

@@ -14,13 +14,16 @@
 //! * [`sim`] — the multicore processor simulator substrate used by the
 //!   paper's experiments (a gem5 stand-in),
 //! * [`server`] — the long-running SMC evaluation service (job queue,
-//!   bias-free parallel rounds, result cache).
+//!   bias-free parallel rounds, result cache),
+//! * [`obs`] — the observability layer: tracing spans, the metrics
+//!   registry, and latency histograms (always verdict-neutral).
 //!
 //! See the workspace `README.md` for a tour and `examples/` for runnable
 //! entry points.
 
 pub use spa_baselines as baselines;
 pub use spa_core as core;
+pub use spa_obs as obs;
 pub use spa_server as server;
 pub use spa_sim as sim;
 pub use spa_stats as stats;

@@ -23,7 +23,11 @@ fn sample_runtimes() -> Vec<f64> {
 #[test]
 fn all_methods_produce_comparable_median_intervals() {
     let xs = sample_runtimes();
-    let spa = Spa::builder().confidence(0.9).proportion(0.5).build().unwrap();
+    let spa = Spa::builder()
+        .confidence(0.9)
+        .proportion(0.5)
+        .build()
+        .unwrap();
     let spa_ci = spa.confidence_interval(&xs, Direction::AtMost).unwrap();
 
     let mut rng = StdRng::seed_from_u64(2);
@@ -63,7 +67,11 @@ fn spa_is_immune_to_duplicates_bootstrap_is_not() {
     };
     assert!(distinct < xs.len(), "rounding should create duplicates");
 
-    let spa = Spa::builder().confidence(0.9).proportion(0.9).build().unwrap();
+    let spa = Spa::builder()
+        .confidence(0.9)
+        .proportion(0.9)
+        .build()
+        .unwrap();
     let ci = spa.confidence_interval(&xs, Direction::AtMost).unwrap();
     assert!(ci.lower().is_finite() && ci.upper().is_finite());
 
@@ -81,7 +89,10 @@ fn spa_is_immune_to_duplicates_bootstrap_is_not() {
         }
     }
     if distinct <= xs.len() / 2 {
-        assert!(failures > 0, "expected BCa Null results on heavy duplicates");
+        assert!(
+            failures > 0,
+            "expected BCa Null results on heavy duplicates"
+        );
     }
 }
 

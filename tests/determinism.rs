@@ -23,8 +23,9 @@ fn simulator_runs_are_bit_identical_per_seed() {
 fn different_seeds_differ_only_through_injection() {
     let spec = Benchmark::Canneal.workload_scaled(0.25);
     // With injection disabled, seeds are irrelevant.
-    let machine =
-        Machine::new(SystemConfig::table2(), &spec).unwrap().with_variability(Variability::None);
+    let machine = Machine::new(SystemConfig::table2(), &spec)
+        .unwrap()
+        .with_variability(Variability::None);
     let a = machine.run(1).unwrap();
     let b = machine.run(2).unwrap();
     assert_eq!(a.metrics, b.metrics);
@@ -52,8 +53,7 @@ fn workload_structure_is_seed_independent() {
 fn spa_pipeline_is_reproducible_across_batch_sizes() {
     let spec = Benchmark::Blackscholes.workload_scaled(0.25);
     let machine = Machine::new(SystemConfig::table2(), &spec).unwrap();
-    let sampler =
-        |seed: u64| machine.run(seed).unwrap().metrics.runtime_seconds;
+    let sampler = |seed: u64| machine.run(seed).unwrap().metrics.runtime_seconds;
 
     let serial = Spa::builder().batch_size(1).build().unwrap();
     let parallel = Spa::builder().batch_size(8).build().unwrap();

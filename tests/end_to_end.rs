@@ -15,7 +15,11 @@ use spa::stats::descriptive::{quantile, QuantileMethod};
 fn paper_sample_count_constants() {
     // §4.3's published numbers.
     assert_eq!(min_samples(0.9, 0.9).unwrap(), 22);
-    let spa = Spa::builder().confidence(0.9).proportion(0.9).build().unwrap();
+    let spa = Spa::builder()
+        .confidence(0.9)
+        .proportion(0.9)
+        .build()
+        .unwrap();
     assert_eq!(spa.required_samples(), 22);
 }
 
@@ -25,7 +29,11 @@ fn spa_interval_from_simulated_population() {
     let runs = run_population(SystemConfig::table2(), &spec, 0, 40).unwrap();
     let runtimes = extract_metric(&runs, Metric::RuntimeSeconds);
 
-    let spa = Spa::builder().confidence(0.9).proportion(0.9).build().unwrap();
+    let spa = Spa::builder()
+        .confidence(0.9)
+        .proportion(0.9)
+        .build()
+        .unwrap();
     let ci = spa
         .confidence_interval(&runtimes, Direction::AtMost)
         .unwrap();
@@ -47,7 +55,11 @@ fn hypothesis_tests_agree_with_population_extremes() {
     let spec = Benchmark::Streamcluster.workload_scaled(0.25);
     let runs = run_population(SystemConfig::table2(), &spec, 0, 25).unwrap();
     let runtimes = extract_metric(&runs, Metric::RuntimeSeconds);
-    let spa = Spa::builder().confidence(0.9).proportion(0.9).build().unwrap();
+    let spa = Spa::builder()
+        .confidence(0.9)
+        .proportion(0.9)
+        .build()
+        .unwrap();
 
     let max = runtimes.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     let min = runtimes.iter().copied().fold(f64::INFINITY, f64::min);
@@ -86,7 +98,11 @@ fn coverage_self_check_on_simulated_population() {
     let population = extract_metric(&runs, Metric::RuntimeSeconds);
     let truth = quantile(&population, 0.5, QuantileMethod::LowerRank).unwrap();
 
-    let spa = Spa::builder().confidence(0.9).proportion(0.5).build().unwrap();
+    let spa = Spa::builder()
+        .confidence(0.9)
+        .proportion(0.5)
+        .build()
+        .unwrap();
     let mut rng = rand::rngs::StdRng::seed_from_u64(11);
     let mut covered = 0;
     let trials = 120;
@@ -128,7 +144,11 @@ fn l2_doubling_speedup_is_detected() {
             b / i
         })
         .collect();
-    let spa = Spa::builder().confidence(0.9).proportion(0.9).build().unwrap();
+    let spa = Spa::builder()
+        .confidence(0.9)
+        .proportion(0.9)
+        .build()
+        .unwrap();
     let ci = spa
         .confidence_interval(&samples, Direction::AtLeast)
         .unwrap();

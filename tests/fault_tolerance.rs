@@ -26,7 +26,11 @@ fn crash_rate_degrades_to_clopper_pearson_for_collected_count() {
     // confidence must be exactly the Clopper–Pearson unanimous bound for
     // the count actually collected.
     let spec = FaultSpec::none().with_crashes(0.2);
-    let spa = Spa::builder().confidence(0.9).proportion(0.9).build().unwrap();
+    let spa = Spa::builder()
+        .confidence(0.9)
+        .proportion(0.9)
+        .build()
+        .unwrap();
     let requested = spa.required_samples();
     assert_eq!(requested, 22);
     let seed_start = mixed_window(spec, requested);
@@ -38,7 +42,12 @@ fn crash_rate_degrades_to_clopper_pearson_for_collected_count() {
         None => Ok(10.0 + (seed % 7) as f64 * 0.05),
     };
     let report = spa
-        .run_fallible(&sampler, seed_start, Direction::AtMost, &RetryPolicy::no_retry())
+        .run_fallible(
+            &sampler,
+            seed_start,
+            Direction::AtMost,
+            &RetryPolicy::no_retry(),
+        )
         .unwrap();
 
     let surviving = (seed_start..seed_start + requested)
@@ -77,7 +86,11 @@ fn mixed_fault_kinds_are_counted_per_kind_without_panicking() {
         None => Ok(1.0 + (seed % 5) as f64 * 0.01),
     };
 
-    let spa = Spa::builder().confidence(0.9).proportion(0.9).build().unwrap();
+    let spa = Spa::builder()
+        .confidence(0.9)
+        .proportion(0.9)
+        .build()
+        .unwrap();
     let total = 60u64;
     let batch = spa.collect_samples_fallible(&sampler, 0, Some(total), &RetryPolicy::no_retry());
 
@@ -98,7 +111,10 @@ fn mixed_fault_kinds_are_counted_per_kind_without_panicking() {
     assert_eq!(batch.failures.timeouts, timeouts);
     assert_eq!(batch.failures.invalid_metrics, nans);
     assert_eq!(batch.failures.abandoned_seeds, crashes + timeouts + nans);
-    assert_eq!(batch.samples.len() as u64, total - crashes - timeouts - nans);
+    assert_eq!(
+        batch.samples.len() as u64,
+        total - crashes - timeouts - nans
+    );
     assert!(batch.samples.iter().all(|v| v.is_finite()));
 
     // The degraded report still builds a usable interval.
@@ -116,7 +132,11 @@ fn retries_recover_what_no_retry_loses() {
         }),
         None => Ok(2.0),
     };
-    let spa = Spa::builder().confidence(0.9).proportion(0.9).build().unwrap();
+    let spa = Spa::builder()
+        .confidence(0.9)
+        .proportion(0.9)
+        .build()
+        .unwrap();
     let total = 40u64;
 
     let fragile = spa.collect_samples_fallible(&sampler, 0, Some(total), &RetryPolicy::no_retry());
@@ -138,8 +158,18 @@ fn fallible_collection_is_deterministic_across_batch_sizes() {
         None => Ok(1.0 + (seed % 11) as f64 * 0.1),
     };
     let policy = RetryPolicy::new(3);
-    let serial = Spa::builder().confidence(0.9).proportion(0.9).batch_size(1).build().unwrap();
-    let parallel = Spa::builder().confidence(0.9).proportion(0.9).batch_size(8).build().unwrap();
+    let serial = Spa::builder()
+        .confidence(0.9)
+        .proportion(0.9)
+        .batch_size(1)
+        .build()
+        .unwrap();
+    let parallel = Spa::builder()
+        .confidence(0.9)
+        .proportion(0.9)
+        .batch_size(8)
+        .build()
+        .unwrap();
 
     let a = serial.collect_samples_fallible(&sampler, 7, Some(50), &policy);
     let b = parallel.collect_samples_fallible(&sampler, 7, Some(50), &policy);
