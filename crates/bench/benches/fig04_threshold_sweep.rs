@@ -62,9 +62,17 @@ fn main() {
     let steps = (((hi - start) / grain).ceil() as usize) + 2;
     let thresholds: Vec<f64> = (0..steps).map(|i| start + i as f64 * grain).collect();
 
+    let sweep_start = std::time::Instant::now();
     let points = spa
         .sweep(&sample, Direction::AtLeast, &thresholds)
         .expect("sweep succeeds");
+    let sweep_elapsed = sweep_start.elapsed();
+    println!(
+        "\n  swept {} thresholds in {:.3} ms ({:.0} thresholds/sec via the indexed CI engine)",
+        thresholds.len(),
+        sweep_elapsed.as_secs_f64() * 1e3,
+        thresholds.len() as f64 / sweep_elapsed.as_secs_f64().max(1e-9),
+    );
 
     println!("\n  threshold   C_CP(positive)   verdict");
     for p in &points {

@@ -1,0 +1,21 @@
+//! PR 4 bench: the indexed CI-construction engine vs the pre-engine
+//! linear scans on a dense Fig. 4-style threshold sweep.
+//!
+//! A plain `main` (no criterion) so the CI bench-smoke job can run it in
+//! seconds: `cargo bench -p spa-bench --bench pr4_ci_engine`. Emits
+//! `BENCH_pr4.json` at the workspace root; the measurement itself lives
+//! in [`spa_bench::ci_bench`] so the test suite's quick smoke run and
+//! this full run share one code path.
+
+use spa_bench::ci_bench;
+
+fn main() {
+    let report = ci_bench::measure(60, 400);
+    let path = ci_bench::default_path();
+    ci_bench::write_json(&report, &path).expect("write BENCH_pr4.json");
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&report).expect("report serializes")
+    );
+    eprintln!("wrote {}", path.display());
+}

@@ -12,9 +12,9 @@ use rand::SeedableRng;
 use spa_baselines::bootstrap::bca_ci;
 use spa_baselines::rank::rank_ci_normal;
 use spa_baselines::zscore::z_ci;
-use spa_core::ci::ci_exact;
-use spa_core::clopper_pearson::confidence;
-use spa_core::property::Direction;
+use spa_core::ci::{ci_exact, sweep};
+use spa_core::clopper_pearson::{confidence, positive_confidence};
+use spa_core::property::{Direction, MetricProperty};
 use spa_core::smc::SmcEngine;
 use spa_sim::config::SystemConfig;
 use spa_sim::machine::Machine;
@@ -53,6 +53,40 @@ fn bench_ci_methods(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_threshold_sweep(c: &mut Criterion) {
+    // The indexed CI engine against the per-threshold recomputation it
+    // replaced, on a dense 1000-point grid over 22 samples.
+    let xs = samples_22();
+    let engine = SmcEngine::new(0.9, 0.9).unwrap();
+    let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let grain = (hi - lo) / 998.0;
+    let thresholds: Vec<f64> = (0..=1000)
+        .map(|i| (lo - grain) + i as f64 * grain)
+        .collect();
+    let mut group = c.benchmark_group("threshold_sweep_1000_points");
+    group.bench_function("indexed_engine", |b| {
+        b.iter(|| sweep(&engine, black_box(&xs), Direction::AtLeast, &thresholds).unwrap())
+    });
+    group.bench_function("per_threshold_recompute", |b| {
+        b.iter(|| {
+            let n = xs.len() as u64;
+            thresholds
+                .iter()
+                .map(|&v| {
+                    let m =
+                        MetricProperty::new(Direction::AtLeast, v).count_satisfying(black_box(&xs));
+                    (
+                        positive_confidence(m, n, engine.proportion()).unwrap(),
+                        engine.run_counts(m, n).unwrap().assertion,
+                    )
+                })
+                .collect::<Vec<_>>()
+        })
+    });
+    group.finish();
+}
+
 fn bench_simulator(c: &mut Criterion) {
     let spec = Benchmark::Ferret.workload_scaled(0.25);
     let machine = Machine::new(SystemConfig::table2(), &spec).unwrap();
@@ -72,6 +106,7 @@ criterion_group!(
     benches,
     bench_clopper_pearson,
     bench_ci_methods,
+    bench_threshold_sweep,
     bench_simulator
 );
 criterion_main!(benches);

@@ -1,0 +1,324 @@
+//! The PR 4 perf measurement: the indexed CI-construction engine
+//! against the pre-engine linear scans, written to `BENCH_pr4.json` at
+//! the workspace root.
+//!
+//! The workload is the Fig. 4 study — ferret L2-doubling speedups,
+//! `C = F = 0.9`, `Direction::AtLeast`, 22 samples (Eq. 8 minimum) — on
+//! a much denser threshold grid than the figure plots, which is exactly
+//! where the engine pays off: the naive sweep costs an O(n) count plus
+//! two Clopper–Pearson evaluations *per threshold*, while the engine
+//! costs an O(log n) indexed count per threshold plus O(distinct
+//! counts) Clopper–Pearson evaluations *total*.
+//!
+//! The baseline here is rebuilt from the same public pieces the old
+//! code used (`MetricProperty::count_satisfying`, `positive_confidence`,
+//! `SmcEngine::run_counts`) — the verbatim pre-engine code survives only
+//! as spa-core's `#[cfg(test)]` differential oracle. Before timing
+//! anything, [`measure`] asserts the two paths agree bit-for-bit, so
+//! the reported speedup is never comparing different answers.
+//!
+//! Like the PR 3 baseline, the same measurement runs three ways: the
+//! `pr4_ci_engine` bench binary, the CI bench-smoke job (which checks
+//! the ≥ 5× sweep-speedup acceptance floor and uploads the JSON), and a
+//! quick smoke test so every `cargo test` refreshes the file.
+
+use std::hint::black_box;
+use std::path::{Path, PathBuf};
+
+use spa_core::ci::{ci_exact, sweep, SweepPoint};
+use spa_core::clopper_pearson::{positive_confidence, Assertion};
+use spa_core::obs_names;
+use spa_core::property::{Direction, MetricProperty};
+use spa_core::smc::SmcEngine;
+use spa_obs::metrics::global;
+use spa_sim::machine::Machine;
+use spa_sim::workload::parsec::Benchmark;
+
+use crate::obs_bench::mean_ns;
+use crate::population::SystemVariant;
+
+/// Measured PR 4 engine-vs-naive numbers (serialized as
+/// `BENCH_pr4.json`).
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Pr4Report {
+    /// Harness identifier.
+    pub bench: &'static str,
+    /// Speedup executions in the sample (Eq. 8 minimum at C = F = 0.9).
+    pub samples: u64,
+    /// Thresholds in the dense Fig. 4-style sweep grid.
+    pub grid_points: u64,
+    /// Pre-engine sweep throughput: O(n) count + fresh Clopper–Pearson
+    /// per threshold.
+    pub naive_thresholds_per_sec: f64,
+    /// Indexed-engine sweep throughput over the identical grid.
+    pub indexed_thresholds_per_sec: f64,
+    /// `indexed_thresholds_per_sec / naive_thresholds_per_sec` — the
+    /// PR's acceptance headline (floor: 5×).
+    pub sweep_speedup: f64,
+    /// End-to-end exact-CI latency of the pre-engine linear scan, ns.
+    pub naive_ci_exact_ns: u64,
+    /// End-to-end exact-CI latency through the engine (bisection over
+    /// order statistics), ns.
+    pub indexed_ci_exact_ns: u64,
+    /// `naive_ci_exact_ns / indexed_ci_exact_ns`.
+    pub ci_exact_speedup: f64,
+    /// `core.ci.index_hits` accumulated by one indexed sweep: every
+    /// threshold answered by the sorted-sample index.
+    pub index_hits_per_sweep: u64,
+    /// `core.ci.cp_cache_hits` accumulated by one indexed sweep:
+    /// thresholds whose Clopper–Pearson evaluation was served from the
+    /// per-count memo instead of recomputed.
+    pub cp_cache_hits_per_sweep: u64,
+}
+
+/// The Fig. 4 speedup sample at smoke-test cost: 22 paired
+/// quarter-scale ferret executions on the 512 kB and 1 MB L2 variants,
+/// paper variability, fixed seeds.
+fn speedup_sample() -> Vec<f64> {
+    let spec = Benchmark::Ferret.workload_scaled(0.25);
+    let small = Machine::new(SystemVariant::L2Small.config(), &spec).expect("machine config");
+    let large = Machine::new(SystemVariant::L2Large.config(), &spec).expect("machine config");
+    (0..22)
+        .map(|seed| {
+            let base = small.run(seed).expect("simulation failed");
+            let improved = large.run(10_000 + seed).expect("simulation failed");
+            base.metrics.runtime_seconds / improved.metrics.runtime_seconds
+        })
+        .collect()
+}
+
+/// The pre-engine sweep, rebuilt from public API: per threshold, an
+/// O(n) satisfaction count, a fresh positive Clopper–Pearson
+/// confidence, and a fresh Algorithm 2 verdict.
+fn naive_sweep(
+    engine: &SmcEngine,
+    samples: &[f64],
+    direction: Direction,
+    thresholds: &[f64],
+) -> Vec<SweepPoint> {
+    let n = samples.len() as u64;
+    thresholds
+        .iter()
+        .map(|&v| {
+            let m = MetricProperty::new(direction, v).count_satisfying(samples);
+            SweepPoint {
+                threshold: v,
+                positive_confidence: positive_confidence(m, n, engine.proportion())
+                    .expect("valid counts"),
+                verdict: engine.run_counts(m, n).expect("valid counts").assertion,
+            }
+        })
+        .collect()
+}
+
+/// The pre-engine exact CI, rebuilt from public API: an ascending
+/// linear scan over the distinct sample values, one O(n) count and one
+/// fresh verdict per value, stopping at the first high-polarity
+/// verdict.
+fn naive_ci_exact_bounds(engine: &SmcEngine, samples: &[f64], direction: Direction) -> (f64, f64) {
+    let mut values = samples.to_vec();
+    values.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in bench data"));
+    values.dedup();
+    let n = samples.len() as u64;
+    let low_polarity = match direction {
+        Direction::AtMost => Assertion::Negative,
+        Direction::AtLeast => Assertion::Positive,
+    };
+
+    let below_min_m = match direction {
+        Direction::AtMost => 0,
+        Direction::AtLeast => n,
+    };
+    let below = engine.run_counts(below_min_m, n).expect("valid counts");
+    let mut lower = (below.assertion == Some(low_polarity)).then(|| values[0]);
+    let mut upper = None;
+    for &v in &values {
+        let m = MetricProperty::new(direction, v).count_satisfying(samples);
+        match engine.run_counts(m, n).expect("valid counts").assertion {
+            Some(a) if a == low_polarity => lower = Some(v),
+            Some(_) => {
+                upper = Some(v);
+                break;
+            }
+            None => {}
+        }
+    }
+    if upper.is_none() {
+        let above_max_m = match direction {
+            Direction::AtMost => n,
+            Direction::AtLeast => 0,
+        };
+        let above = engine.run_counts(above_max_m, n).expect("valid counts");
+        if above.assertion.is_some_and(|a| a != low_polarity) {
+            upper = values.last().copied();
+        }
+    }
+    (
+        lower.unwrap_or(f64::NEG_INFINITY),
+        upper.unwrap_or(f64::INFINITY),
+    )
+}
+
+fn assert_sweeps_identical(naive: &[SweepPoint], indexed: &[SweepPoint]) {
+    assert_eq!(naive.len(), indexed.len());
+    for (a, b) in naive.iter().zip(indexed) {
+        assert_eq!(a.threshold.to_bits(), b.threshold.to_bits());
+        assert_eq!(
+            a.positive_confidence.to_bits(),
+            b.positive_confidence.to_bits(),
+            "positive confidence diverged at threshold {}",
+            a.threshold
+        );
+        assert_eq!(a.verdict, b.verdict, "verdict diverged at {}", a.threshold);
+    }
+}
+
+/// Runs the measurement: builds the Fig. 4 speedup sample, lays a dense
+/// ~2000-point threshold grid over it, asserts the naive and indexed
+/// paths agree bit-for-bit, then times sweeps (`sweep_iters` each) and
+/// end-to-end exact CI constructions (`ci_iters` each), and reads the
+/// engine's counters off one additional sweep.
+///
+/// Panics on simulator or engine configuration errors, and on any
+/// naive/indexed disagreement — this is a bench harness with a
+/// known-valid fixed configuration.
+pub fn measure(sweep_iters: u32, ci_iters: u32) -> Pr4Report {
+    let sample = speedup_sample();
+    let engine = SmcEngine::new(0.9, 0.9).expect("valid C/F");
+    let direction = Direction::AtLeast;
+
+    let lo = sample.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = sample.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    // Fig. 4 plots ~a hundred grid points; the engine's regime is the
+    // dense sweep, so lay ~2000 points across the same span (one grain
+    // beyond each end, like the figure's grid).
+    let grain = (hi - lo) / 1998.0;
+    let thresholds: Vec<f64> = (0..=2000)
+        .map(|i| (lo - grain) + i as f64 * grain)
+        .collect();
+
+    let naive_points = naive_sweep(&engine, &sample, direction, &thresholds);
+    let indexed_points = sweep(&engine, &sample, direction, &thresholds).expect("sweep");
+    assert_sweeps_identical(&naive_points, &indexed_points);
+
+    let naive_sweep_ns = mean_ns(sweep_iters, || {
+        black_box(naive_sweep(
+            &engine,
+            black_box(&sample),
+            direction,
+            black_box(&thresholds),
+        ));
+    });
+    let indexed_sweep_ns = mean_ns(sweep_iters, || {
+        black_box(
+            sweep(
+                &engine,
+                black_box(&sample),
+                direction,
+                black_box(&thresholds),
+            )
+            .unwrap(),
+        );
+    });
+
+    let (naive_lower, naive_upper) = naive_ci_exact_bounds(&engine, &sample, direction);
+    let indexed_ci = ci_exact(&engine, &sample, direction).expect("ci");
+    assert_eq!(naive_lower.to_bits(), indexed_ci.lower().to_bits());
+    assert_eq!(naive_upper.to_bits(), indexed_ci.upper().to_bits());
+
+    let naive_ci_ns = mean_ns(ci_iters, || {
+        black_box(naive_ci_exact_bounds(
+            &engine,
+            black_box(&sample),
+            direction,
+        ));
+    });
+    let indexed_ci_ns = mean_ns(ci_iters, || {
+        black_box(ci_exact(&engine, black_box(&sample), direction).unwrap());
+    });
+
+    // One more sweep with counter deltas around it: the engine flushes
+    // its tallies into the global registry when dropped (at the end of
+    // the `sweep` call).
+    let before = global().snapshot();
+    let _ = sweep(&engine, &sample, direction, &thresholds).expect("sweep");
+    let after = global().snapshot();
+    let delta = |name: &str| after.counter(name).unwrap_or(0) - before.counter(name).unwrap_or(0);
+
+    let per_sec = |ns: u64| thresholds.len() as f64 / (ns.max(1) as f64 / 1e9);
+    Pr4Report {
+        bench: "pr4_ci_engine",
+        samples: sample.len() as u64,
+        grid_points: thresholds.len() as u64,
+        naive_thresholds_per_sec: per_sec(naive_sweep_ns),
+        indexed_thresholds_per_sec: per_sec(indexed_sweep_ns),
+        sweep_speedup: naive_sweep_ns as f64 / indexed_sweep_ns.max(1) as f64,
+        naive_ci_exact_ns: naive_ci_ns,
+        indexed_ci_exact_ns: indexed_ci_ns,
+        ci_exact_speedup: naive_ci_ns as f64 / indexed_ci_ns.max(1) as f64,
+        index_hits_per_sweep: delta(obs_names::CI_INDEX_HITS),
+        cp_cache_hits_per_sweep: delta(obs_names::CP_CACHE_HITS),
+    }
+}
+
+/// The canonical output location: `BENCH_pr4.json` at the workspace
+/// root, next to `Cargo.toml`.
+pub fn default_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pr4.json")
+}
+
+/// Serializes `report` as pretty JSON (with a trailing newline) to
+/// `path`.
+///
+/// # Errors
+///
+/// I/O failures writing the file.
+pub fn write_json(report: &Pr4Report, path: &Path) -> std::io::Result<()> {
+    let mut text = serde_json::to_string_pretty(report).expect("report serializes");
+    text.push('\n');
+    std::fs::write(path, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_serializes_with_required_fields() {
+        let report = Pr4Report {
+            bench: "pr4_ci_engine",
+            samples: 22,
+            grid_points: 2001,
+            naive_thresholds_per_sec: 1.0e6,
+            indexed_thresholds_per_sec: 2.0e7,
+            sweep_speedup: 20.0,
+            naive_ci_exact_ns: 9000,
+            indexed_ci_exact_ns: 3000,
+            ci_exact_speedup: 3.0,
+            index_hits_per_sweep: 2001,
+            cp_cache_hits_per_sweep: 1978,
+        };
+        let v: serde_json::Value =
+            serde_json::from_str(&serde_json::to_string(&report).unwrap()).unwrap();
+        assert_eq!(v["bench"], "pr4_ci_engine");
+        assert_eq!(v["grid_points"], 2001);
+        assert!(v["sweep_speedup"].as_f64().unwrap() > 1.0);
+        assert!(v["index_hits_per_sweep"].as_u64().unwrap() > 0);
+    }
+
+    #[test]
+    fn naive_sweep_agrees_with_engine_on_synthetic_data() {
+        // Cheap cross-check that does not touch the simulator: the
+        // public-API naive baseline and the engine must agree bitwise.
+        let xs: Vec<f64> = (0..30).map(|i| 1.0 + 0.1 * i as f64).collect();
+        let engine = SmcEngine::new(0.9, 0.5).unwrap();
+        let thresholds: Vec<f64> = (0..400).map(|i| 0.5 + 0.01 * i as f64).collect();
+        let naive = naive_sweep(&engine, &xs, Direction::AtMost, &thresholds);
+        let indexed = sweep(&engine, &xs, Direction::AtMost, &thresholds).unwrap();
+        assert_sweeps_identical(&naive, &indexed);
+        let (lo, hi) = naive_ci_exact_bounds(&engine, &xs, Direction::AtMost);
+        let ci = ci_exact(&engine, &xs, Direction::AtMost).unwrap();
+        assert_eq!(lo.to_bits(), ci.lower().to_bits());
+        assert_eq!(hi.to_bits(), ci.upper().to_bits());
+    }
+}

@@ -49,7 +49,7 @@ pub struct Pr3Report {
 
 /// Mean wall-clock nanoseconds per call of `f` over `iters` calls,
 /// after a short warmup.
-fn mean_ns(iters: u32, mut f: impl FnMut()) -> u64 {
+pub(crate) fn mean_ns(iters: u32, mut f: impl FnMut()) -> u64 {
     for _ in 0..3 {
         f();
     }

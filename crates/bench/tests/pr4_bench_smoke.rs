@@ -1,0 +1,45 @@
+//! Quick run of the PR 4 engine-vs-naive measurement: checks the
+//! numbers are sane (including that the indexed engine actually beats
+//! the naive scan) and refreshes `BENCH_pr4.json` at the workspace
+//! root, so the perf file exists after any `cargo test`. The bench
+//! binary and the CI bench-smoke job produce the same file at higher
+//! iteration counts — and CI enforces the ≥ 5× sweep-speedup floor on
+//! that run, where the machine is idle; here a conservative > 1× guards
+//! against regressions without flaking under parallel test load.
+
+use spa_bench::ci_bench;
+
+#[test]
+fn pr4_engine_measures_and_writes_bench_json() {
+    let report = ci_bench::measure(5, 20);
+    assert_eq!(report.samples, 22, "Eq. 8 minimum sample");
+    assert!(report.grid_points > 1000, "dense sweep: {report:?}");
+    assert!(
+        report.naive_thresholds_per_sec > 0.0 && report.indexed_thresholds_per_sec > 0.0,
+        "throughputs must be measurable: {report:?}"
+    );
+    assert!(
+        report.sweep_speedup > 1.0,
+        "indexed sweep should beat the naive scan: {report:?}"
+    );
+    assert!(
+        report.naive_ci_exact_ns > 0 && report.indexed_ci_exact_ns > 0,
+        "CI latencies must be measurable: {report:?}"
+    );
+    // Every grid threshold is answered through the index, and nearly
+    // all of them (all but the distinct success counts) hit the
+    // Clopper–Pearson memo.
+    assert_eq!(report.index_hits_per_sweep, report.grid_points);
+    assert!(
+        report.cp_cache_hits_per_sweep >= report.grid_points - 2 * (report.samples + 1),
+        "memo should serve almost every threshold: {report:?}"
+    );
+
+    let path = ci_bench::default_path();
+    ci_bench::write_json(&report, &path).expect("write BENCH_pr4.json");
+    let back: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&path).expect("read back")).expect("json");
+    assert_eq!(back["bench"], "pr4_ci_engine");
+    assert!(back["sweep_speedup"].as_f64().expect("field") > 1.0);
+    assert!(back["indexed_thresholds_per_sec"].as_f64().expect("field") > 0.0);
+}

@@ -28,16 +28,32 @@
 //!   tightest interval the method supports with no tuning parameter;
 //! * [`ci_granular`] reproduces the paper's user-specified-granularity
 //!   search (§4.2) and also powers the threshold [`sweep`] of Fig. 4.
+//!
+//! # Search engine
+//!
+//! All strategies run on the [`CiEngine`](crate::ci_engine::CiEngine):
+//! success counts come from a sorted-sample index (O(log n) per
+//! threshold instead of an O(n) scan), Clopper–Pearson confidences are
+//! memoized per count, and — because verdicts are monotone along the
+//! threshold axis — the linear walks of the paper's description are
+//! replaced by bisection over the candidate thresholds. The candidates
+//! themselves (distinct sample values for [`ci_exact`], the §4.2 grid
+//! for [`ci_granular`], the outward marches for [`ci_adaptive`]) are
+//! exactly the ones the naive walk would visit, so every interval is
+//! bit-identical to the pre-engine linear scans; the old scans are kept
+//! as a `#[cfg(test)]` oracle (see [`naive`]) and a differential suite
+//! enforces equality.
 
 use serde::{Deserialize, Serialize};
 
-use crate::clopper_pearson::{positive_confidence, Assertion};
+use crate::ci_engine::{partition_point_by, CiEngine};
+use crate::clopper_pearson::Assertion;
 use crate::min_samples::min_samples;
 use crate::obs_names;
-use crate::property::{Direction, MetricProperty};
+use crate::property::Direction;
 use crate::smc::SmcEngine;
 use crate::{CoreError, Result};
-use spa_obs::{metrics::global, span};
+use spa_obs::span;
 
 /// A two-sided confidence interval for a metric, produced by SPA.
 ///
@@ -153,18 +169,15 @@ fn validate_samples(engine: &SmcEngine, samples: &[f64]) -> Result<()> {
     Ok(())
 }
 
-/// Runs the fixed-sample SMC test for `metric direction threshold` on
-/// the samples and returns its verdict.
-fn verdict_at(
-    engine: &SmcEngine,
-    samples: &[f64],
-    direction: Direction,
-    threshold: f64,
-) -> Result<Option<Assertion>> {
-    global().counter(obs_names::CI_THRESHOLD_TESTS).incr();
-    let property = MetricProperty::new(direction, threshold);
-    let m = property.count_satisfying(samples);
-    Ok(engine.run_counts(m, samples.len() as u64)?.assertion)
+fn validate_granularity(granularity: f64) -> Result<()> {
+    if !granularity.is_finite() || granularity <= 0.0 {
+        return Err(CoreError::InvalidParameter {
+            name: "granularity",
+            value: granularity,
+            expected: "a finite value > 0",
+        });
+    }
+    Ok(())
 }
 
 /// The polarity a significant verdict takes for thresholds far below all
@@ -178,9 +191,25 @@ fn low_side_polarity(direction: Direction) -> Assertion {
     }
 }
 
+/// Rank of a verdict along the ascending threshold axis: 0 for a
+/// significant low-polarity verdict, 1 for inconclusive, 2 for a
+/// significant high-polarity verdict. Monotone non-decreasing in the
+/// threshold, which is what lets the searches bisect.
+fn state_rank(verdict: Option<Assertion>, low_polarity: Assertion) -> u8 {
+    match verdict {
+        Some(a) if a == low_polarity => 0,
+        None => 1,
+        Some(_) => 2,
+    }
+}
+
 /// Exact SPA confidence interval: evaluates the hypothesis test at every
 /// distinct sample value (the only places the verdict can change) and
 /// returns the innermost significant thresholds on each side.
+///
+/// The candidate values are sorted and the verdict sequence along them
+/// is monotone, so the two boundaries are found by bisection — O(log n)
+/// threshold tests instead of a full scan — with bit-identical results.
 ///
 /// # Errors
 ///
@@ -212,9 +241,8 @@ pub fn ci_exact(
 ) -> Result<ConfidenceInterval> {
     let _span = span!(obs_names::SPAN_CI_SEARCH);
     validate_samples(engine, samples)?;
-    let mut values: Vec<f64> = samples.to_vec();
-    values.sort_by(|a, b| a.partial_cmp(b).expect("NaN rejected above"));
-    values.dedup();
+    let mut eng = CiEngine::new(engine, samples)?;
+    let values: Vec<f64> = eng.index().distinct().to_vec();
 
     let low_polarity = low_side_polarity(direction);
     let mut lower: Option<f64> = None; // innermost (largest) low-side threshold
@@ -225,40 +253,45 @@ pub fn ci_exact(
     // happens at or below the smallest sample, so the smallest sample is
     // a valid (conservative) lower bound even when the verdict exactly at
     // it is inconclusive.
-    let n = samples.len() as u64;
+    let n = eng.index().len();
     let below_min_m = match direction {
         Direction::AtMost => 0,
         Direction::AtLeast => n,
     };
-    if engine.run_counts(below_min_m, n)?.assertion == Some(low_polarity) {
+    if eng.verdict_for_count(below_min_m)? == Some(low_polarity) {
         lower = Some(values[0]);
     }
 
-    for &v in &values {
-        match verdict_at(engine, samples, direction, v)? {
-            Some(a) if a == low_polarity => lower = Some(v),
-            Some(_) => {
-                upper = Some(v);
-                break; // verdicts are monotone in the threshold
-            }
-            None => {}
-        }
+    // Bisect for the end of the low-polarity prefix, then for the start
+    // of the high-polarity suffix.
+    let first_not_low = partition_point_by(values.len(), |i| {
+        Ok(state_rank(eng.verdict_at(direction, values[i])?, low_polarity) == 0)
+    })?;
+    if first_not_low > 0 {
+        lower = Some(values[first_not_low - 1]);
     }
-
-    // Symmetrically, a threshold just above the largest sample has
-    // M = N (AtMost) or M = 0 (AtLeast); if that opposite-polarity
-    // verdict is significant, the flip happens at or above the largest
-    // sample, making it a valid conservative upper bound (matters for
-    // duplicate-heavy data where the loop's candidates all stay
-    // inconclusive or low-polarity).
-    if upper.is_none() {
+    let first_high = first_not_low
+        + partition_point_by(values.len() - first_not_low, |j| {
+            Ok(state_rank(
+                eng.verdict_at(direction, values[first_not_low + j])?,
+                low_polarity,
+            ) < 2)
+        })?;
+    if first_high < values.len() {
+        upper = Some(values[first_high]);
+    } else {
+        // Symmetrically, a threshold just above the largest sample has
+        // M = N (AtMost) or M = 0 (AtLeast); if that opposite-polarity
+        // verdict is significant, the flip happens at or above the largest
+        // sample, making it a valid conservative upper bound (matters for
+        // duplicate-heavy data where the in-range candidates all stay
+        // inconclusive or low-polarity).
         let above_max_m = match direction {
             Direction::AtMost => n,
             Direction::AtLeast => 0,
         };
-        if engine
-            .run_counts(above_max_m, n)?
-            .assertion
+        if eng
+            .verdict_for_count(above_max_m)?
             .is_some_and(|a| a != low_polarity)
         {
             upper = Some(*values.last().expect("non-empty samples"));
@@ -280,10 +313,18 @@ pub fn ci_exact(
 ///
 /// `ceil` on the floating-point quotient alone is not enough: the
 /// division can round *down* past an integer boundary (leaving `end`
-/// unvisited), or round *up* onto one (adding a duplicate end verdict).
+/// unvisited), or round *up* onto one (adding a duplicate end verdict —
+/// notably when `end - start` is an exact multiple of `granularity`).
 /// Computing the candidate by `ceil` and then correcting against the
 /// actually-evaluated grid expression makes the guarantee independent of
-/// rounding.
+/// rounding: after the two correction loops,
+/// `start + (steps - 1) * g < end <= start + steps * g` holds, which
+/// rules out a duplicated final grid point.
+///
+/// Interior grid points can still alias (`start + i*g == start + (i+1)*g`
+/// when `g` is below the local ulp); the searches tolerate those
+/// duplicates — bisection never reports a bound twice — and
+/// [`ci_adaptive`] guards its marches against the same plateau.
 fn granular_steps(start: f64, end: f64, granularity: f64) -> usize {
     debug_assert!(granularity > 0.0 && end >= start);
     let mut steps = ((end - start) / granularity).ceil() as usize;
@@ -304,6 +345,11 @@ fn granular_steps(start: f64, end: f64, granularity: f64) -> usize {
 /// the sample range, and the innermost significant thresholds on each
 /// side become the interval bounds.
 ///
+/// The grid points are `start + i * granularity` exactly as the paper's
+/// linear walk evaluates them; only the visit order changes (monotone
+/// bisection), so the bounds are bit-identical to that walk while
+/// evaluating O(log steps) thresholds.
+///
 /// # Errors
 ///
 /// As [`ci_exact`], plus [`CoreError::InvalidParameter`] for a
@@ -314,35 +360,37 @@ pub fn ci_granular(
     direction: Direction,
     granularity: f64,
 ) -> Result<ConfidenceInterval> {
-    if !granularity.is_finite() || granularity <= 0.0 {
-        return Err(CoreError::InvalidParameter {
-            name: "granularity",
-            value: granularity,
-            expected: "a finite value > 0",
-        });
-    }
+    validate_granularity(granularity)?;
     let _span = span!(obs_names::SPAN_CI_SEARCH);
     validate_samples(engine, samples)?;
-    let lo = samples.iter().copied().fold(f64::INFINITY, f64::min);
-    let hi = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut eng = CiEngine::new(engine, samples)?;
+    let lo = eng.index().min();
+    let hi = eng.index().max();
     // One step beyond each end so both extreme verdicts are reachable.
     let start = lo - granularity;
     let end = hi + granularity;
     let steps = granular_steps(start, end, granularity);
+    let grid = |i: usize| start + i as f64 * granularity;
 
     let low_polarity = low_side_polarity(direction);
     let mut lower: Option<f64> = None;
     let mut upper: Option<f64> = None;
-    for i in 0..=steps {
-        let v = start + i as f64 * granularity;
-        match verdict_at(engine, samples, direction, v)? {
-            Some(a) if a == low_polarity => lower = Some(v),
-            Some(_) => {
-                upper = Some(v);
-                break;
-            }
-            None => {}
-        }
+    let points = steps + 1; // the grid is inclusive: i in 0..=steps
+    let first_not_low = partition_point_by(points, |i| {
+        Ok(state_rank(eng.verdict_at(direction, grid(i))?, low_polarity) == 0)
+    })?;
+    if first_not_low > 0 {
+        lower = Some(grid(first_not_low - 1));
+    }
+    let first_high = first_not_low
+        + partition_point_by(points - first_not_low, |j| {
+            Ok(state_rank(
+                eng.verdict_at(direction, grid(first_not_low + j))?,
+                low_polarity,
+            ) < 2)
+        })?;
+    if first_high < points {
+        upper = Some(grid(first_high));
     }
     let lower = lower.unwrap_or(f64::NEG_INFINITY);
     let upper = upper.unwrap_or(f64::INFINITY);
@@ -354,6 +402,27 @@ pub fn ci_granular(
     ))
 }
 
+/// Materializes the thresholds an outward march visits, reproducing the
+/// exact floating-point sequence of repeated `±granularity` steps (which
+/// is *not* the same as `v0 ± i*g` under rounding). `step` is applied
+/// repeatedly while `keep_going` holds; a plateau (the step no longer
+/// changes the value because `granularity` is below the local ulp) ends
+/// the march — the equivalent naive loop would re-test the same
+/// threshold forever.
+fn march(v0: f64, keep_going: impl Fn(f64) -> bool, step: impl Fn(f64) -> f64) -> Vec<f64> {
+    let mut candidates = Vec::new();
+    let mut v = v0;
+    while keep_going(v) {
+        candidates.push(v);
+        let next = step(v);
+        if next == v {
+            break;
+        }
+        v = next;
+    }
+    candidates
+}
+
 /// SPA confidence interval by the paper's *adaptive* §4.2 procedure:
 /// start from an initial metric estimate `v0` (defaulting to the sample
 /// mean), step outward by `granularity` in each direction until the
@@ -362,7 +431,10 @@ pub fn ci_granular(
 /// Produces the same interval as [`ci_granular`] on the same grid
 /// alignment while evaluating far fewer thresholds when `v0` lands
 /// inside the inconclusive band (the common case, since the architect's
-/// estimate comes from the data).
+/// estimate comes from the data). The marches are bisected like the
+/// other searches, and a `granularity` below the ulp of the search range
+/// terminates with an unbounded side instead of re-testing one
+/// threshold forever.
 ///
 /// # Errors
 ///
@@ -374,56 +446,62 @@ pub fn ci_adaptive(
     granularity: f64,
     v0: Option<f64>,
 ) -> Result<ConfidenceInterval> {
-    if !granularity.is_finite() || granularity <= 0.0 {
-        return Err(CoreError::InvalidParameter {
-            name: "granularity",
-            value: granularity,
-            expected: "a finite value > 0",
-        });
-    }
+    validate_granularity(granularity)?;
     let _span = span!(obs_names::SPAN_CI_SEARCH);
     validate_samples(engine, samples)?;
+    let mut eng = CiEngine::new(engine, samples)?;
     let v0 = v0.unwrap_or_else(|| samples.iter().sum::<f64>() / samples.len() as f64);
-    let lo = samples.iter().copied().fold(f64::INFINITY, f64::min);
-    let hi = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let lo = eng.index().min();
+    let hi = eng.index().max();
     let low_polarity = low_side_polarity(direction);
 
     // March downward from v0 until the low-side polarity turns
     // significant; high-side verdicts seen on the way down mean v0
     // overshot the band, so they tighten the upper bound instead.
-    let mut lower = None;
-    let mut upper_from_descent = None;
-    let mut v = v0;
-    while v >= lo - 2.0 * granularity {
-        match verdict_at(engine, samples, direction, v)? {
-            Some(a) if a == low_polarity => {
-                lower = Some(v);
-                break;
-            }
-            Some(_) => upper_from_descent = Some(v),
-            None => {}
-        }
-        v -= granularity;
-    }
+    // Along the descent (thresholds decreasing) the state ranks are
+    // monotone non-increasing: a high-polarity prefix, then the band,
+    // then low-polarity.
+    let descent = march(v0, |v| v >= lo - 2.0 * granularity, |v| v - granularity);
+    let high_run = partition_point_by(descent.len(), |i| {
+        Ok(state_rank(eng.verdict_at(direction, descent[i])?, low_polarity) == 2)
+    })?;
+    // The innermost high-side verdict seen on the way down is the last
+    // (smallest) element of that prefix.
+    let mut upper = (high_run > 0).then(|| descent[high_run - 1]);
+    let first_low = high_run
+        + partition_point_by(descent.len() - high_run, |j| {
+            Ok(state_rank(
+                eng.verdict_at(direction, descent[high_run + j])?,
+                low_polarity,
+            ) > 0)
+        })?;
+    let mut lower = (first_low < descent.len()).then(|| descent[first_low]);
+
     // March upward for the high side (skipped if the descent already
-    // found it, which means everything above is also significant).
-    let mut upper = upper_from_descent;
+    // found it, which means everything above is also significant). Low
+    // verdicts on the way up mean v0 undershot the band: the innermost
+    // low-side threshold is the last (largest) of that prefix.
     if upper.is_none() {
-        let mut v = v0 + granularity;
-        while v <= hi + 2.0 * granularity {
-            match verdict_at(engine, samples, direction, v)? {
-                Some(a) if a != low_polarity => {
-                    upper = Some(v);
-                    break;
-                }
-                Some(_) => {
-                    // Still on the low side of the band: v0 undershot;
-                    // the innermost low-side threshold is above v0.
-                    lower = Some(v);
-                }
-                None => {}
-            }
-            v += granularity;
+        let ascent = march(
+            v0 + granularity,
+            |v| v <= hi + 2.0 * granularity,
+            |v| v + granularity,
+        );
+        let low_run = partition_point_by(ascent.len(), |i| {
+            Ok(state_rank(eng.verdict_at(direction, ascent[i])?, low_polarity) == 0)
+        })?;
+        if low_run > 0 {
+            lower = Some(ascent[low_run - 1]);
+        }
+        let first_high = low_run
+            + partition_point_by(ascent.len() - low_run, |j| {
+                Ok(state_rank(
+                    eng.verdict_at(direction, ascent[low_run + j])?,
+                    low_polarity,
+                ) < 2)
+            })?;
+        if first_high < ascent.len() {
+            upper = Some(ascent[first_high]);
         }
     }
     Ok(ConfidenceInterval::new(
@@ -437,6 +515,11 @@ pub fn ci_adaptive(
 /// Evaluates the hypothesis test on a grid of thresholds and reports
 /// every point — the data behind Fig. 4.
 ///
+/// One [`CiEngine`] serves the whole sweep: each threshold costs an
+/// indexed count plus memoized confidences, so a dense sweep performs
+/// only O(distinct counts) beta evaluations regardless of how many
+/// thresholds it visits.
+///
 /// # Errors
 ///
 /// As [`ci_granular`].
@@ -447,19 +530,234 @@ pub fn sweep(
     thresholds: &[f64],
 ) -> Result<Vec<SweepPoint>> {
     validate_samples(engine, samples)?;
-    let n = samples.len() as u64;
+    let mut eng = CiEngine::new(engine, samples)?;
     thresholds
         .iter()
         .map(|&v| {
-            let property = MetricProperty::new(direction, v);
-            let m = property.count_satisfying(samples);
+            let m = eng.count(direction, v);
             Ok(SweepPoint {
                 threshold: v,
-                positive_confidence: positive_confidence(m, n, engine.proportion())?,
-                verdict: engine.run_counts(m, n)?.assertion,
+                positive_confidence: eng.positive_confidence_for_count(m)?,
+                verdict: eng.verdict_for_count(m)?,
             })
         })
         .collect()
+}
+
+/// The pre-engine linear-scan implementations, kept verbatim as the
+/// differential-testing oracle: the optimized searches must return
+/// bit-identical results to these on every input.
+///
+/// The only intentional deviations: the oracle skips span
+/// instrumentation; [`naive::ci_adaptive`] carries the same plateau
+/// guard as the optimized search (the original loop would hang when
+/// `granularity` is below the ulp of the range — on every input where
+/// the original terminated, the guard never fires and the results are
+/// unchanged); and [`naive::ci_granular`] skips consecutive duplicate
+/// grid values (re-testing an identical threshold returns the identical
+/// verdict, so the walk's bounds cannot change).
+#[cfg(test)]
+pub(crate) mod naive {
+    use super::*;
+    use crate::clopper_pearson::positive_confidence;
+    use crate::property::MetricProperty;
+    use spa_obs::metrics::global;
+
+    /// Runs the fixed-sample SMC test for `metric direction threshold`
+    /// on the samples and returns its verdict (O(n) count, two beta
+    /// evaluations).
+    pub(crate) fn verdict_at(
+        engine: &SmcEngine,
+        samples: &[f64],
+        direction: Direction,
+        threshold: f64,
+    ) -> Result<Option<Assertion>> {
+        global().counter(obs_names::CI_THRESHOLD_TESTS).incr();
+        let property = MetricProperty::new(direction, threshold);
+        let m = property.count_satisfying(samples);
+        Ok(engine.run_counts(m, samples.len() as u64)?.assertion)
+    }
+
+    pub(crate) fn ci_exact(
+        engine: &SmcEngine,
+        samples: &[f64],
+        direction: Direction,
+    ) -> Result<ConfidenceInterval> {
+        validate_samples(engine, samples)?;
+        let mut values: Vec<f64> = samples.to_vec();
+        values.sort_by(|a, b| a.partial_cmp(b).expect("NaN rejected above"));
+        values.dedup();
+
+        let low_polarity = low_side_polarity(direction);
+        let mut lower: Option<f64> = None;
+        let mut upper: Option<f64> = None;
+
+        let n = samples.len() as u64;
+        let below_min_m = match direction {
+            Direction::AtMost => 0,
+            Direction::AtLeast => n,
+        };
+        if engine.run_counts(below_min_m, n)?.assertion == Some(low_polarity) {
+            lower = Some(values[0]);
+        }
+
+        for &v in &values {
+            match verdict_at(engine, samples, direction, v)? {
+                Some(a) if a == low_polarity => lower = Some(v),
+                Some(_) => {
+                    upper = Some(v);
+                    break; // verdicts are monotone in the threshold
+                }
+                None => {}
+            }
+        }
+
+        if upper.is_none() {
+            let above_max_m = match direction {
+                Direction::AtMost => n,
+                Direction::AtLeast => 0,
+            };
+            if engine
+                .run_counts(above_max_m, n)?
+                .assertion
+                .is_some_and(|a| a != low_polarity)
+            {
+                upper = Some(*values.last().expect("non-empty samples"));
+            }
+        }
+        Ok(ConfidenceInterval::new(
+            lower.unwrap_or(f64::NEG_INFINITY),
+            upper.unwrap_or(f64::INFINITY),
+            engine.confidence_level(),
+            engine.proportion(),
+        ))
+    }
+
+    pub(crate) fn ci_granular(
+        engine: &SmcEngine,
+        samples: &[f64],
+        direction: Direction,
+        granularity: f64,
+    ) -> Result<ConfidenceInterval> {
+        validate_granularity(granularity)?;
+        validate_samples(engine, samples)?;
+        let lo = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let start = lo - granularity;
+        let end = hi + granularity;
+        let steps = granular_steps(start, end, granularity);
+
+        let low_polarity = low_side_polarity(direction);
+        let mut lower: Option<f64> = None;
+        let mut upper: Option<f64> = None;
+        let mut previous: Option<f64> = None;
+        for i in 0..=steps {
+            let v = start + i as f64 * granularity;
+            // Skip plateau duplicates (granularity below the local ulp):
+            // re-testing an identical threshold cannot change the walk.
+            if previous == Some(v) {
+                continue;
+            }
+            previous = Some(v);
+            match verdict_at(engine, samples, direction, v)? {
+                Some(a) if a == low_polarity => lower = Some(v),
+                Some(_) => {
+                    upper = Some(v);
+                    break;
+                }
+                None => {}
+            }
+        }
+        Ok(ConfidenceInterval::new(
+            lower.unwrap_or(f64::NEG_INFINITY),
+            upper.unwrap_or(f64::INFINITY),
+            engine.confidence_level(),
+            engine.proportion(),
+        ))
+    }
+
+    pub(crate) fn ci_adaptive(
+        engine: &SmcEngine,
+        samples: &[f64],
+        direction: Direction,
+        granularity: f64,
+        v0: Option<f64>,
+    ) -> Result<ConfidenceInterval> {
+        validate_granularity(granularity)?;
+        validate_samples(engine, samples)?;
+        let v0 = v0.unwrap_or_else(|| samples.iter().sum::<f64>() / samples.len() as f64);
+        let lo = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let low_polarity = low_side_polarity(direction);
+
+        let mut lower = None;
+        let mut upper_from_descent = None;
+        let mut v = v0;
+        while v >= lo - 2.0 * granularity {
+            match verdict_at(engine, samples, direction, v)? {
+                Some(a) if a == low_polarity => {
+                    lower = Some(v);
+                    break;
+                }
+                Some(_) => upper_from_descent = Some(v),
+                None => {}
+            }
+            let next = v - granularity;
+            if next == v {
+                break; // plateau guard; the unguarded loop never ends
+            }
+            v = next;
+        }
+        let mut upper = upper_from_descent;
+        if upper.is_none() {
+            let mut v = v0 + granularity;
+            while v <= hi + 2.0 * granularity {
+                match verdict_at(engine, samples, direction, v)? {
+                    Some(a) if a != low_polarity => {
+                        upper = Some(v);
+                        break;
+                    }
+                    Some(_) => {
+                        lower = Some(v);
+                    }
+                    None => {}
+                }
+                let next = v + granularity;
+                if next == v {
+                    break; // plateau guard
+                }
+                v = next;
+            }
+        }
+        Ok(ConfidenceInterval::new(
+            lower.unwrap_or(f64::NEG_INFINITY),
+            upper.unwrap_or(f64::INFINITY),
+            engine.confidence_level(),
+            engine.proportion(),
+        ))
+    }
+
+    pub(crate) fn sweep(
+        engine: &SmcEngine,
+        samples: &[f64],
+        direction: Direction,
+        thresholds: &[f64],
+    ) -> Result<Vec<SweepPoint>> {
+        validate_samples(engine, samples)?;
+        let n = samples.len() as u64;
+        thresholds
+            .iter()
+            .map(|&v| {
+                let property = MetricProperty::new(direction, v);
+                let m = property.count_satisfying(samples);
+                Ok(SweepPoint {
+                    threshold: v,
+                    positive_confidence: positive_confidence(m, n, engine.proportion())?,
+                    verdict: engine.run_counts(m, n)?.assertion,
+                })
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -634,6 +932,57 @@ mod tests {
     }
 
     #[test]
+    fn granular_grid_never_duplicates_the_end_point() {
+        // Regression: exact-multiple ranges (including FP-hostile large
+        // magnitudes and non-representable grains) must visit exactly
+        // one grid point at or beyond `end`.
+        for (start, end, g) in [
+            (0.0, 2.0, 0.1),
+            (0.3, 0.3 + 50.0 * 0.1, 0.1),
+            (1e9, 1e9 + 128.0, 0.5),
+            (-30.25, -0.75, 0.25),
+            (0.0, 0.7 * 11.0, 0.7),
+        ] {
+            let steps = granular_steps(start, end, g);
+            let covered = (0..=steps).filter(|&i| start + i as f64 * g >= end).count();
+            assert_eq!(
+                covered, 1,
+                "grid [{start}, {end}] by {g}: {covered} end points"
+            );
+        }
+    }
+
+    #[test]
+    fn granular_plateau_grid_terminates_and_is_finite() {
+        // Granularity below the local ulp: interior grid points alias
+        // (1e16 + 0.5 == 1e16), the walk-equivalent grid is plateau-heavy,
+        // and the search must still terminate with the same interval the
+        // deduplicated naive walk finds.
+        let e = engine(0.9, 0.5);
+        let xs: Vec<f64> = (0..22).map(|i| 1e16 + 4.0 * i as f64).collect();
+        let ci = ci_granular(&e, &xs, Direction::AtMost, 0.5).unwrap();
+        let oracle = naive::ci_granular(&e, &xs, Direction::AtMost, 0.5).unwrap();
+        assert_eq!(ci.lower().to_bits(), oracle.lower().to_bits());
+        assert_eq!(ci.upper().to_bits(), oracle.upper().to_bits());
+        assert!(ci.lower().is_finite() && ci.upper().is_finite());
+    }
+
+    #[test]
+    fn adaptive_plateau_guard_terminates() {
+        // Regression: with granularity far below the ulp of the sample
+        // range, the original adaptive loop (`v -= g`) re-tested one
+        // threshold forever. The guarded march terminates; with a step
+        // that cannot move, neither side can resolve, so the interval is
+        // honestly unbounded.
+        let e = engine(0.9, 0.5);
+        let xs: Vec<f64> = (0..22).map(|i| 1e16 + 4.0 * i as f64).collect();
+        let ci = ci_adaptive(&e, &xs, Direction::AtMost, 1e-4, None).unwrap();
+        let oracle = naive::ci_adaptive(&e, &xs, Direction::AtMost, 1e-4, None).unwrap();
+        assert_eq!(ci.lower().to_bits(), oracle.lower().to_bits());
+        assert_eq!(ci.upper().to_bits(), oracle.upper().to_bits());
+    }
+
+    #[test]
     fn granular_irregular_grain_still_covers_range() {
         // Non-representable grains where ceil alone can misfire.
         for (lo, hi, g) in [(1.0, 30.0, 0.3), (0.0, 1e6, 0.7), (5.0, 5.0, 0.1)] {
@@ -755,7 +1104,7 @@ mod tests {
             sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
             let mut prev = -2_i8;
             for &v in &sorted {
-                let s = match verdict_at(&e, &xs, Direction::AtMost, v).unwrap() {
+                let s = match naive::verdict_at(&e, &xs, Direction::AtMost, v).unwrap() {
                     Some(Assertion::Negative) => -1,
                     None => 0,
                     Some(Assertion::Positive) => 1,

@@ -1,0 +1,567 @@
+//! The fast CI-construction engine behind [`ci`](crate::ci).
+//!
+//! SPA's threshold search (§4.1–4.2) is the hottest path in the whole
+//! system: every candidate threshold needs the success count `M` and a
+//! Clopper–Pearson confidence, and a single run evaluates dozens to
+//! thousands of thresholds over one fixed sample set. The naive shape —
+//! an O(n) scan per count and two incomplete-beta evaluations per
+//! confidence — does `O(thresholds × n)` comparisons and
+//! `O(thresholds)` beta evaluations.
+//!
+//! This module removes both costs without changing a single output bit:
+//!
+//! * [`SortedSamples`] sorts the sample set once, after which the count
+//!   at any threshold is an O(log n) [`partition_point`] — shared across
+//!   every threshold of a run and across [`sweep`](crate::ci::sweep)
+//!   entries;
+//! * [`CiEngine`] memoizes Clopper–Pearson confidences keyed on the
+//!   count `M` (for a fixed run, `N` and the proportion `F` never
+//!   change, so `M` is the whole key) and exploits verdict monotonicity
+//!   for an early exit: once a count is known to be a significant
+//!   negative, every smaller count is too, without touching the beta
+//!   function (and symmetrically for positives);
+//! * the callers in [`ci`](crate::ci) replace their linear grid walks
+//!   with monotone bisection over the same candidate thresholds.
+//!
+//! Because a memoized confidence is the *same* `f64` the naive code
+//! would have computed, and bisection visits a subset of the naive
+//! walk's thresholds while returning the same boundary elements, every
+//! interval is bit-identical to the pre-engine code. The naive scans are
+//! kept as a `#[cfg(test)]` oracle in [`ci`](crate::ci) and the
+//! differential suite in this module proves the equivalence over
+//! thousands of randomized cases.
+//!
+//! Instrumentation: engine work is counted locally and flushed to the
+//! global registry on drop (once per construction, keeping hot loops
+//! hot) under [`obs_names::CI_INDEX_HITS`],
+//! [`obs_names::CP_CACHE_HITS`], and
+//! [`obs_names::CI_THRESHOLD_TESTS`].
+//!
+//! [`partition_point`]: slice::partition_point
+
+use crate::clopper_pearson::{assertion, confidence, positive_confidence, Assertion};
+use crate::obs_names;
+use crate::property::Direction;
+use crate::smc::SmcEngine;
+use crate::{CoreError, Result};
+use spa_obs::metrics::global;
+
+/// A sample set sorted once so that the success count of any threshold
+/// test is an O(log n) binary search instead of an O(n) scan.
+///
+/// # Examples
+///
+/// ```
+/// use spa_core::ci_engine::SortedSamples;
+/// use spa_core::property::Direction;
+///
+/// let idx = SortedSamples::new(&[3.0, 1.0, 2.0, 2.0]).unwrap();
+/// assert_eq!(idx.count_satisfying(Direction::AtMost, 2.0), 3);
+/// assert_eq!(idx.count_satisfying(Direction::AtLeast, 2.0), 3);
+/// assert_eq!(idx.distinct(), &[1.0, 2.0, 3.0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SortedSamples {
+    sorted: Vec<f64>,
+    distinct: Vec<f64>,
+}
+
+impl SortedSamples {
+    /// Sorts `samples` into an index.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::EmptyData`] for an empty slice,
+    /// [`CoreError::InvalidParameter`] for NaN samples.
+    pub fn new(samples: &[f64]) -> Result<Self> {
+        if samples.is_empty() {
+            return Err(CoreError::EmptyData);
+        }
+        if samples.iter().any(|x| x.is_nan()) {
+            return Err(CoreError::InvalidParameter {
+                name: "samples",
+                value: f64::NAN,
+                expected: "no NaN values",
+            });
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN rejected above"));
+        let mut distinct = sorted.clone();
+        distinct.dedup();
+        Ok(Self { sorted, distinct })
+    }
+
+    /// Number of samples `N` (with duplicates).
+    pub fn len(&self) -> u64 {
+        self.sorted.len() as u64
+    }
+
+    /// Always false — construction rejects empty sample sets.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("construction rejects empty data")
+    }
+
+    /// The distinct sample values in ascending order — the only
+    /// thresholds where a verdict can change.
+    pub fn distinct(&self) -> &[f64] {
+        &self.distinct
+    }
+
+    /// The success count `M` of `metric direction threshold` — Eq. 3's
+    /// numerator — in O(log n).
+    ///
+    /// Agrees exactly with
+    /// [`MetricProperty::count_satisfying`](crate::property::MetricProperty::count_satisfying):
+    /// a NaN threshold satisfies nothing (every comparison with NaN is
+    /// false), `AtMost` counts `x <= t`, `AtLeast` counts `x >= t`.
+    pub fn count_satisfying(&self, direction: Direction, threshold: f64) -> u64 {
+        if threshold.is_nan() {
+            return 0;
+        }
+        match direction {
+            Direction::AtMost => self.sorted.partition_point(|&x| x <= threshold) as u64,
+            Direction::AtLeast => {
+                (self.sorted.len() - self.sorted.partition_point(|&x| x < threshold)) as u64
+            }
+        }
+    }
+}
+
+/// The memoizing threshold-test engine for one `(SmcEngine, samples)`
+/// pair: indexed counts plus cached Clopper–Pearson confidences.
+///
+/// Construct once per CI search or sweep; every threshold test then
+/// costs an O(log n) count and (at most) one beta evaluation per
+/// *distinct count* rather than per threshold.
+#[derive(Debug)]
+pub struct CiEngine {
+    smc: SmcEngine,
+    index: SortedSamples,
+    /// Memoized Eq. 4–5 assertion confidence by count `M` (the cache key
+    /// is `(M, N, F)`; `N` and `F` are fixed per engine, so a dense
+    /// `M`-indexed table suffices).
+    conf: Vec<Option<f64>>,
+    /// Memoized positive-direction confidence by count (Fig. 4's
+    /// y-axis, used by sweeps).
+    pos_conf: Vec<Option<f64>>,
+    /// Monotonicity-aware early-exit bounds: every count `<= neg_known`
+    /// is a significant negative, every count `>= pos_known` a
+    /// significant positive (verdicts are monotone in `M`).
+    neg_known: Option<u64>,
+    pos_known: Option<u64>,
+    index_hits: u64,
+    cp_cache_hits: u64,
+    threshold_tests: u64,
+}
+
+impl CiEngine {
+    /// Builds the engine: sorts the samples and prepares empty caches.
+    ///
+    /// # Errors
+    ///
+    /// As [`SortedSamples::new`].
+    pub fn new(engine: &SmcEngine, samples: &[f64]) -> Result<Self> {
+        let index = SortedSamples::new(samples)?;
+        let slots = index.sorted.len() + 1;
+        Ok(Self {
+            smc: *engine,
+            index,
+            conf: vec![None; slots],
+            pos_conf: vec![None; slots],
+            neg_known: None,
+            pos_known: None,
+            index_hits: 0,
+            cp_cache_hits: 0,
+            threshold_tests: 0,
+        })
+    }
+
+    /// The sorted-sample index.
+    pub fn index(&self) -> &SortedSamples {
+        &self.index
+    }
+
+    /// The underlying SMC engine parameters.
+    pub fn smc(&self) -> &SmcEngine {
+        &self.smc
+    }
+
+    /// Indexed success count for a threshold (bumps
+    /// [`obs_names::CI_INDEX_HITS`] on flush).
+    pub fn count(&mut self, direction: Direction, threshold: f64) -> u64 {
+        self.index_hits += 1;
+        self.index.count_satisfying(direction, threshold)
+    }
+
+    /// Memoized Eq. 4–5 confidence for count `m` — the same `f64`
+    /// [`confidence`] would return, computed at most once per count.
+    fn confidence_for(&mut self, m: u64) -> Result<f64> {
+        if let Some(c) = self.conf[m as usize] {
+            self.cp_cache_hits += 1;
+            return Ok(c);
+        }
+        let c = confidence(m, self.index.len(), self.smc.proportion())?;
+        self.conf[m as usize] = Some(c);
+        Ok(c)
+    }
+
+    /// The Algorithm 2 verdict for count `m`, exactly as
+    /// [`SmcEngine::run_counts`] would decide it (significant iff
+    /// `C_CP > C`, strictly), with memoization and monotone early exit.
+    pub fn verdict_for_count(&mut self, m: u64) -> Result<Option<Assertion>> {
+        if let Some(k) = self.neg_known {
+            if m <= k {
+                self.cp_cache_hits += 1;
+                return Ok(Some(Assertion::Negative));
+            }
+        }
+        if let Some(k) = self.pos_known {
+            if m >= k {
+                self.cp_cache_hits += 1;
+                return Ok(Some(Assertion::Positive));
+            }
+        }
+        let c = self.confidence_for(m)?;
+        let verdict = if c > self.smc.confidence_level() {
+            Some(assertion(m, self.index.len(), self.smc.proportion())?)
+        } else {
+            None
+        };
+        match verdict {
+            Some(Assertion::Negative) => {
+                self.neg_known = Some(self.neg_known.map_or(m, |k| k.max(m)));
+            }
+            Some(Assertion::Positive) => {
+                self.pos_known = Some(self.pos_known.map_or(m, |k| k.min(m)));
+            }
+            None => {}
+        }
+        Ok(verdict)
+    }
+
+    /// Runs one fixed-sample SMC threshold test (count + verdict) —
+    /// the engine-backed equivalent of the naive per-threshold test.
+    pub fn verdict_at(
+        &mut self,
+        direction: Direction,
+        threshold: f64,
+    ) -> Result<Option<Assertion>> {
+        self.threshold_tests += 1;
+        let m = self.count(direction, threshold);
+        self.verdict_for_count(m)
+    }
+
+    /// Memoized positive-direction confidence for count `m` (sweeps).
+    pub fn positive_confidence_for_count(&mut self, m: u64) -> Result<f64> {
+        if let Some(c) = self.pos_conf[m as usize] {
+            self.cp_cache_hits += 1;
+            return Ok(c);
+        }
+        let c = positive_confidence(m, self.index.len(), self.smc.proportion())?;
+        self.pos_conf[m as usize] = Some(c);
+        Ok(c)
+    }
+}
+
+impl Drop for CiEngine {
+    /// Flushes the locally accumulated counters to the global registry —
+    /// one `add` per counter per engine lifetime, never per threshold.
+    fn drop(&mut self) {
+        let registry = global();
+        if self.threshold_tests > 0 {
+            registry
+                .counter(obs_names::CI_THRESHOLD_TESTS)
+                .add(self.threshold_tests);
+        }
+        if self.index_hits > 0 {
+            registry
+                .counter(obs_names::CI_INDEX_HITS)
+                .add(self.index_hits);
+        }
+        if self.cp_cache_hits > 0 {
+            registry
+                .counter(obs_names::CP_CACHE_HITS)
+                .add(self.cp_cache_hits);
+        }
+    }
+}
+
+/// `slice::partition_point` over a virtual `0..len` range with a
+/// fallible predicate: the index of the first element for which `pred`
+/// is false, assuming `pred` is monotone (a true-prefix then a
+/// false-suffix).
+pub(crate) fn partition_point_by<F>(len: usize, mut pred: F) -> Result<usize>
+where
+    F: FnMut(usize) -> Result<bool>,
+{
+    let mut lo = 0usize;
+    let mut hi = len;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if pred(mid)? {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ci::{self, naive, ConfidenceInterval};
+    use crate::min_samples::min_samples;
+    use crate::property::MetricProperty;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn index_counts_match_linear_scan_on_edge_values() {
+        let xs = [2.0, 2.0, 2.0, 5.0, 7.0, 7.0];
+        let idx = SortedSamples::new(&xs).unwrap();
+        for direction in [Direction::AtMost, Direction::AtLeast] {
+            for t in [
+                f64::NEG_INFINITY,
+                1.9,
+                2.0,
+                2.5,
+                5.0,
+                6.9,
+                7.0,
+                7.1,
+                f64::INFINITY,
+                f64::NAN,
+            ] {
+                let want = MetricProperty::new(direction, t).count_satisfying(&xs);
+                assert_eq!(
+                    idx.count_satisfying(direction, t),
+                    want,
+                    "{direction:?} at {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn index_rejects_bad_input() {
+        assert!(matches!(SortedSamples::new(&[]), Err(CoreError::EmptyData)));
+        assert!(SortedSamples::new(&[1.0, f64::NAN]).is_err());
+        let idx = SortedSamples::new(&[3.0, 1.0]).unwrap();
+        assert_eq!((idx.min(), idx.max(), idx.len()), (1.0, 3.0, 2));
+        assert!(!idx.is_empty());
+    }
+
+    #[test]
+    fn partition_point_by_matches_std() {
+        let xs = [1, 1, 2, 3, 3, 3, 9];
+        for pivot in 0..=10 {
+            let want = xs.partition_point(|&x| x < pivot);
+            let got = partition_point_by(xs.len(), |i| Ok(xs[i] < pivot)).unwrap();
+            assert_eq!(got, want, "pivot {pivot}");
+        }
+        assert_eq!(partition_point_by(0, |_| Ok(true)).unwrap(), 0);
+        assert!(partition_point_by(3, |_| Err(CoreError::EmptyData)).is_err());
+    }
+
+    #[test]
+    fn memoized_confidences_are_the_same_bits() {
+        let smc = SmcEngine::new(0.9, 0.8).unwrap();
+        let xs: Vec<f64> = (0..30).map(|i| i as f64 * 0.37).collect();
+        let mut eng = CiEngine::new(&smc, &xs).unwrap();
+        for m in 0..=30u64 {
+            let direct = confidence(m, 30, 0.8).unwrap();
+            // First call computes, second must hit the cache; both equal
+            // the direct evaluation bit-for-bit.
+            assert_eq!(eng.confidence_for(m).unwrap().to_bits(), direct.to_bits());
+            assert_eq!(eng.confidence_for(m).unwrap().to_bits(), direct.to_bits());
+            let pos = positive_confidence(m, 30, 0.8).unwrap();
+            assert_eq!(
+                eng.positive_confidence_for_count(m).unwrap().to_bits(),
+                pos.to_bits()
+            );
+        }
+        assert!(eng.cp_cache_hits > 0);
+    }
+
+    #[test]
+    fn early_exit_bounds_agree_with_direct_verdicts() {
+        let smc = SmcEngine::new(0.9, 0.5).unwrap();
+        let xs: Vec<f64> = (0..40).map(f64::from).collect();
+        let mut eng = CiEngine::new(&smc, &xs).unwrap();
+        let n = eng.index().len();
+        // Establish the extreme verdicts first so the monotone bounds are
+        // active, then confirm every interior count still matches a fresh
+        // engine's direct answer.
+        eng.verdict_for_count(0).unwrap();
+        eng.verdict_for_count(n).unwrap();
+        for m in 0..=n {
+            let mut fresh = CiEngine::new(&smc, &xs).unwrap();
+            assert_eq!(
+                eng.verdict_for_count(m).unwrap(),
+                fresh.verdict_for_count(m).unwrap(),
+                "count {m}"
+            );
+        }
+    }
+
+    fn assert_ci_eq(case: &str, got: &ConfidenceInterval, want: &ConfidenceInterval) {
+        assert_eq!(
+            got.lower().to_bits(),
+            want.lower().to_bits(),
+            "{case}: lower {} vs {}",
+            got.lower(),
+            want.lower()
+        );
+        assert_eq!(
+            got.upper().to_bits(),
+            want.upper().to_bits(),
+            "{case}: upper {} vs {}",
+            got.upper(),
+            want.upper()
+        );
+        assert_eq!(got.confidence(), want.confidence(), "{case}: confidence");
+        assert_eq!(got.proportion(), want.proportion(), "{case}: proportion");
+    }
+
+    fn random_samples(rng: &mut ChaCha8Rng, kind: usize, n: usize) -> Vec<f64> {
+        match kind {
+            // Continuous: ties essentially impossible.
+            0 => (0..n).map(|_| rng.gen_range(-50.0..150.0)).collect(),
+            // Quantized: heavy ties at one-decimal values.
+            1 => (0..n)
+                .map(|_| (rng.gen_range(0.0..20.0) * 10.0_f64).round() / 10.0)
+                .collect(),
+            // Few distinct values: the §6.4 duplicate-heavy regime.
+            2 => {
+                let pool = [1.5, 2.0, 7.25];
+                (0..n).map(|_| pool[rng.gen_range(0..pool.len())]).collect()
+            }
+            // All samples equal.
+            _ => vec![rng.gen_range(-5.0..5.0); n],
+        }
+    }
+
+    /// The acceptance-criteria differential suite: ≥ 1000 randomized
+    /// `(engine, samples, direction)` cases where every optimized search
+    /// must reproduce the naive oracle bit-for-bit — including ties,
+    /// all-equal samples, and thresholds outside the data range.
+    #[test]
+    fn differential_optimized_matches_naive_oracle() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x5AD1FF);
+        let confidences = [0.8, 0.9, 0.95, 0.99];
+        let proportions = [0.3, 0.5, 0.8, 0.9];
+        let mut cases = 0usize;
+        for round in 0..320 {
+            let c = confidences[rng.gen_range(0..confidences.len())];
+            let f = proportions[rng.gen_range(0..proportions.len())];
+            let smc = SmcEngine::new(c, f).unwrap();
+            let needed = min_samples(c, f).unwrap() as usize;
+            let n = needed + rng.gen_range(0..40);
+            let kind = round % 4;
+            let xs = random_samples(&mut rng, kind, n);
+            let direction = if rng.gen_bool(0.5) {
+                Direction::AtMost
+            } else {
+                Direction::AtLeast
+            };
+            let tag = format!("round {round}: C={c} F={f} n={n} kind={kind} {direction:?}");
+
+            let exact = ci::ci_exact(&smc, &xs, direction).unwrap();
+            assert_ci_eq(
+                &format!("{tag} exact"),
+                &exact,
+                &naive::ci_exact(&smc, &xs, direction).unwrap(),
+            );
+
+            let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let range = (hi - lo).max(1e-3);
+            let granularity = range / rng.gen_range(3..60) as f64;
+            assert_ci_eq(
+                &format!("{tag} granular g={granularity}"),
+                &ci::ci_granular(&smc, &xs, direction, granularity).unwrap(),
+                &naive::ci_granular(&smc, &xs, direction, granularity).unwrap(),
+            );
+
+            let v0s = [
+                None,
+                Some(lo - range),
+                Some(hi + range),
+                Some(lo + range * rng.gen_range(0.0..1.0)),
+            ];
+            let v0 = v0s[rng.gen_range(0..v0s.len())];
+            assert_ci_eq(
+                &format!("{tag} adaptive v0={v0:?} g={granularity}"),
+                &ci::ci_adaptive(&smc, &xs, direction, granularity, v0).unwrap(),
+                &naive::ci_adaptive(&smc, &xs, direction, granularity, v0).unwrap(),
+            );
+
+            // Sweep over thresholds inside, outside, and exactly at
+            // sample values.
+            let mut thresholds = vec![
+                lo - 3.0 * range - 1.0,
+                hi + 3.0 * range + 1.0,
+                xs[rng.gen_range(0..xs.len())],
+            ];
+            for _ in 0..8 {
+                thresholds.push(lo - range + rng.gen_range(0.0..1.0) * 3.0 * range);
+            }
+            let fast = ci::sweep(&smc, &xs, direction, &thresholds).unwrap();
+            let slow = naive::sweep(&smc, &xs, direction, &thresholds).unwrap();
+            assert_eq!(fast.len(), slow.len());
+            for (a, b) in fast.iter().zip(&slow) {
+                assert_eq!(a.threshold.to_bits(), b.threshold.to_bits(), "{tag} sweep");
+                assert_eq!(
+                    a.positive_confidence.to_bits(),
+                    b.positive_confidence.to_bits(),
+                    "{tag} sweep at {}",
+                    a.threshold
+                );
+                assert_eq!(a.verdict, b.verdict, "{tag} sweep at {}", a.threshold);
+            }
+            cases += 4;
+        }
+        assert!(cases >= 1000, "only {cases} differential cases ran");
+    }
+
+    proptest! {
+        #[test]
+        fn index_counts_match_linear_scan(
+            xs in proptest::collection::vec(-100.0_f64..100.0, 1..80),
+            t in -120.0_f64..120.0,
+        ) {
+            let idx = SortedSamples::new(&xs).unwrap();
+            for direction in [Direction::AtMost, Direction::AtLeast] {
+                let want = MetricProperty::new(direction, t).count_satisfying(&xs);
+                prop_assert_eq!(idx.count_satisfying(direction, t), want);
+            }
+        }
+
+        #[test]
+        fn index_counts_match_at_sample_values(
+            xs in proptest::collection::vec(-10.0_f64..10.0, 1..40),
+            pick in any::<prop::sample::Index>(),
+        ) {
+            // Thresholds exactly at sample values are where the
+            // inclusive/exclusive partition split can go wrong.
+            let idx = SortedSamples::new(&xs).unwrap();
+            let t = xs[pick.index(xs.len())];
+            for direction in [Direction::AtMost, Direction::AtLeast] {
+                let want = MetricProperty::new(direction, t).count_satisfying(&xs);
+                prop_assert_eq!(idx.count_satisfying(direction, t), want);
+            }
+        }
+    }
+}

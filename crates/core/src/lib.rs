@@ -14,6 +14,10 @@
 //! * [`ci`] — confidence intervals for arbitrary metrics built from
 //!   repeated SMC hypothesis tests (§4.1–4.2), in both the paper's
 //!   granularity-search form and an exact order-statistic form,
+//! * [`ci_engine`] — the fast CI-construction engine behind [`ci`]: a
+//!   sorted-sample index for O(log n) threshold counts, memoized
+//!   Clopper–Pearson confidences, and the bisection primitives that
+//!   replace linear threshold walks,
 //! * [`property`] — scalar metric properties (Table 1 rows 1–2) that
 //!   map samples to the booleans SMC consumes,
 //! * [`hyper`] — hyperproperties over tuples of executions (the paper's
@@ -48,6 +52,7 @@
 //! ```
 
 pub mod ci;
+pub mod ci_engine;
 pub mod clopper_pearson;
 pub mod fault;
 pub mod hyper;

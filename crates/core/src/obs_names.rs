@@ -44,3 +44,10 @@ pub const DEGRADED_RUNS: &str = "core.degraded_runs";
 pub const ROUNDS_FOLDED: &str = "core.rounds.folded";
 /// Counter: SMC hypothesis tests evaluated during CI threshold searches.
 pub const CI_THRESHOLD_TESTS: &str = "core.ci.threshold_tests";
+/// Counter: threshold success counts served by the sorted-sample index
+/// (each an O(log n) `partition_point` replacing an O(n) scan).
+pub const CI_INDEX_HITS: &str = "core.ci.index_hits";
+/// Counter: Clopper–Pearson evaluations answered from the
+/// [`CiEngine`](crate::ci_engine::CiEngine) memo cache or its monotone
+/// early-exit bounds instead of fresh incomplete-beta evaluations.
+pub const CP_CACHE_HITS: &str = "core.ci.cp_cache_hits";

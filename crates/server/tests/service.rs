@@ -318,6 +318,14 @@ fn metrics_request_exposes_live_counters_and_latency() {
             .unwrap_or(0)
             > 0
     );
+    // The interval was built by the indexed CI engine: its success
+    // counts came from the sorted-sample index.
+    assert!(
+        metrics
+            .counter(spa_core::obs_names::CI_INDEX_HITS)
+            .unwrap_or(0)
+            > 0
+    );
     // Server-side: one miss executed, the job latency landed in a
     // bucket, and the queue gauge returned to zero.
     assert_eq!(

@@ -1,0 +1,202 @@
+//! Seeded parse → pretty-print → parse round-trips: Table 1-shaped
+//! formulas built from the `Stl` constructors, plus `ChaCha8Rng`-driven
+//! random formula generation (deterministic, complementing the
+//! proptest-based suite). Every formula must reparse to an identical AST
+//! and produce bit-identical robustness on random traces.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use spa_stl::ast::{CmpOp, Interval, Predicate, Stl};
+use spa_stl::eval::{robustness, satisfies};
+use spa_stl::parser::parse;
+use spa_stl::trace::Trace;
+
+const SIGNALS: [&str; 3] = ["a", "b", "c"];
+
+fn assert_round_trips(f: &Stl) {
+    let text = f.to_string();
+    let back = parse(&text).unwrap_or_else(|e| panic!("reparse of `{text}` failed: {e}"));
+    assert_eq!(f, &back, "AST changed across `{text}`");
+}
+
+/// Robustness and satisfaction of the reparsed formula must be
+/// bit-identical to the original's on the same trace.
+fn assert_equal_semantics(f: &Stl, trace: &Trace) {
+    let back = parse(&f.to_string()).unwrap();
+    let r1 = robustness(f, trace, 0).unwrap();
+    let r2 = robustness(&back, trace, 0).unwrap();
+    assert_eq!(
+        r1.to_bits(),
+        r2.to_bits(),
+        "robustness diverged for `{f}`: {r1} vs {r2}"
+    );
+    assert_eq!(
+        satisfies(f, trace, 0).unwrap(),
+        satisfies(&back, trace, 0).unwrap(),
+        "satisfaction diverged for `{f}`"
+    );
+}
+
+/// Formulas in the shape of the paper's Table 1 rows, expressed over
+/// trace signals with the `Stl` constructors.
+fn table1_formulas() -> Vec<Stl> {
+    vec![
+        // Row 1: metric op threshold.
+        Stl::gt("a", 1.5),
+        Stl::le("b", 40.0),
+        // Row 2: B > metric > A as a conjunction of strict atoms.
+        Stl::and(Stl::gt("a", 0.25), Stl::lt("a", 12.75)),
+        // Row 3: the system stays in a state (time-in-state via G).
+        Stl::globally(Interval::bounded(0, 30), Stl::ge("c", 0.5)),
+        // Row 4: an event becomes common enough eventually.
+        Stl::eventually(Interval::unbounded(), Stl::gt("b", 3.25)),
+        // Rows 5 and 7: metric_a > A implies metric_b > B.
+        Stl::implies(Stl::gt("a", 2.0), Stl::gt("b", 8.5)),
+        // Row 6: every request is answered within a window.
+        Stl::globally(
+            Interval::unbounded(),
+            Stl::implies(
+                Stl::gt("a", 0.5),
+                Stl::eventually(Interval::bounded(0, 16), Stl::gt("b", 0.5)),
+            ),
+        ),
+        // Row 8: stay in a state until a release event.
+        Stl::until(
+            Interval::bounded(0, 25),
+            Stl::ge("a", 1.0),
+            Stl::gt("c", 2.5),
+        ),
+        // Row 9 flavour: nested temporal quantification.
+        Stl::globally(
+            Interval::bounded(0, 20),
+            Stl::implies(
+                Stl::ge("c", 0.75),
+                Stl::eventually(Interval::bounded(0, 10), Stl::lt("a", 5.0)),
+            ),
+        ),
+    ]
+}
+
+fn random_cmp(rng: &mut ChaCha8Rng) -> CmpOp {
+    match rng.gen_range(0..4) {
+        0 => CmpOp::Lt,
+        1 => CmpOp::Le,
+        2 => CmpOp::Gt,
+        _ => CmpOp::Ge,
+    }
+}
+
+fn random_interval(rng: &mut ChaCha8Rng) -> Interval {
+    let lo = rng.gen_range(0..40);
+    if rng.gen_bool(0.3) {
+        Interval { lo, hi: None }
+    } else {
+        Interval::bounded(lo, lo + rng.gen_range(0..40))
+    }
+}
+
+fn random_atom(rng: &mut ChaCha8Rng) -> Stl {
+    let signal = SIGNALS[rng.gen_range(0..SIGNALS.len())];
+    // Quarter-step thresholds: exactly representable, and exercise
+    // fractional display/parse.
+    let threshold = rng.gen_range(-200..200) as f64 * 0.25;
+    Stl::Atom(Predicate::new(signal, random_cmp(rng), threshold))
+}
+
+fn random_formula(rng: &mut ChaCha8Rng, depth: usize) -> Stl {
+    if depth == 0 || rng.gen_bool(0.3) {
+        return match rng.gen_range(0..6) {
+            0 => Stl::True,
+            1 => Stl::False,
+            _ => random_atom(rng),
+        };
+    }
+    let d = depth - 1;
+    match rng.gen_range(0..9) {
+        0 => Stl::not(random_formula(rng, d)),
+        1 => Stl::and(random_formula(rng, d), random_formula(rng, d)),
+        2 => Stl::or(random_formula(rng, d), random_formula(rng, d)),
+        3 => Stl::implies(random_formula(rng, d), random_formula(rng, d)),
+        4 => Stl::globally(random_interval(rng), random_formula(rng, d)),
+        5 => Stl::eventually(random_interval(rng), random_formula(rng, d)),
+        6 => Stl::until(
+            random_interval(rng),
+            random_formula(rng, d),
+            random_formula(rng, d),
+        ),
+        7 => Stl::weak_until(
+            random_interval(rng),
+            random_formula(rng, d),
+            random_formula(rng, d),
+        ),
+        _ => Stl::release(
+            random_interval(rng),
+            random_formula(rng, d),
+            random_formula(rng, d),
+        ),
+    }
+}
+
+fn random_trace(rng: &mut ChaCha8Rng) -> Trace {
+    let mut t = Trace::new();
+    let mut now = 0u64;
+    for _ in 0..rng.gen_range(1..14) {
+        for sig in SIGNALS {
+            let v = rng.gen_range(-60..60) as f64 * 0.5;
+            t.push(sig, now, v).expect("strictly increasing times");
+        }
+        now += rng.gen_range(1..10);
+    }
+    t
+}
+
+#[test]
+fn table1_shapes_round_trip() {
+    for f in table1_formulas() {
+        assert_round_trips(&f);
+    }
+}
+
+#[test]
+fn table1_shapes_evaluate_identically_after_reparse() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x57A1_0001);
+    for f in table1_formulas() {
+        for _ in 0..20 {
+            let trace = random_trace(&mut rng);
+            assert_equal_semantics(&f, &trace);
+        }
+    }
+}
+
+#[test]
+fn random_formulas_round_trip() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x57A1_0002);
+    for _ in 0..500 {
+        let f = random_formula(&mut rng, 3);
+        assert_round_trips(&f);
+    }
+}
+
+#[test]
+fn random_formulas_evaluate_identically_after_reparse() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x57A1_0003);
+    for _ in 0..200 {
+        let f = random_formula(&mut rng, 3);
+        let trace = random_trace(&mut rng);
+        assert_equal_semantics(&f, &trace);
+    }
+}
+
+#[test]
+fn display_is_stable_across_a_reparse_cycle() {
+    // display ∘ parse must be idempotent: the canonical text of the
+    // reparsed AST equals the original canonical text.
+    let mut rng = ChaCha8Rng::seed_from_u64(0x57A1_0004);
+    for _ in 0..200 {
+        let f = random_formula(&mut rng, 3);
+        let once = f.to_string();
+        let twice = parse(&once).unwrap().to_string();
+        assert_eq!(once, twice);
+    }
+}

@@ -50,6 +50,29 @@ fn workload_structure_is_seed_independent() {
 }
 
 #[test]
+fn spa_report_json_is_byte_identical_across_worker_counts() {
+    // The CLI's `--threads` maps onto `Spa`'s batch size; 1 worker vs 8
+    // workers with the same seed must produce byte-identical serialized
+    // reports — not just equal values — so that cached or archived
+    // artifacts (spa-server's result cache, CI baselines) never churn
+    // with the executor's parallelism. This locks the worker-count
+    // invariance of PR 2 in against the indexed CI engine.
+    let spec = Benchmark::Ferret.workload_scaled(0.25);
+    let machine = Machine::new(SystemConfig::table2(), &spec).unwrap();
+    let sampler = |seed: u64| machine.run(seed).unwrap().metrics.runtime_seconds;
+
+    let single = Spa::builder().batch_size(1).build().unwrap();
+    let eight = Spa::builder().batch_size(8).build().unwrap();
+    for seed in [0, 42] {
+        let a = single.run(&sampler, seed, Direction::AtMost).unwrap();
+        let b = eight.run(&sampler, seed, Direction::AtMost).unwrap();
+        let a_json = serde_json::to_vec(&a).unwrap();
+        let b_json = serde_json::to_vec(&b).unwrap();
+        assert_eq!(a_json, b_json, "seed {seed}: serialized reports diverged");
+    }
+}
+
+#[test]
 fn spa_pipeline_is_reproducible_across_batch_sizes() {
     let spec = Benchmark::Blackscholes.workload_scaled(0.25);
     let machine = Machine::new(SystemConfig::table2(), &spec).unwrap();
