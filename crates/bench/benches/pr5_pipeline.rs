@@ -1,0 +1,21 @@
+//! PR 5 bench: the trace-to-verdict pipeline's recording and STL
+//! evaluation overhead vs the scalar sampling path.
+//!
+//! A plain `main` (no criterion) so the CI bench-smoke job can run it in
+//! seconds: `cargo bench -p spa-bench --bench pr5_pipeline`. Emits
+//! `BENCH_pr5.json` at the workspace root; the measurement itself lives
+//! in [`spa_bench::pipeline_bench`] so the test suite's quick smoke run
+//! and this full run share one code path.
+
+use spa_bench::pipeline_bench;
+
+fn main() {
+    let report = pipeline_bench::measure(40, 2000);
+    let path = pipeline_bench::default_path();
+    pipeline_bench::write_json(&report, &path).expect("write BENCH_pr5.json");
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&report).expect("report serializes")
+    );
+    eprintln!("wrote {}", path.display());
+}

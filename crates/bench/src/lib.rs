@@ -21,6 +21,7 @@
 pub mod ci_bench;
 pub mod experiment;
 pub mod obs_bench;
+pub mod pipeline_bench;
 pub mod population;
 pub mod report;
 pub mod trial;

@@ -1,0 +1,180 @@
+//! The PR 5 perf measurement: what the trace-to-verdict pipeline costs
+//! on top of the scalar sampling path, written to `BENCH_pr5.json` at
+//! the workspace root.
+//!
+//! The workload is a quarter-scale blackscholes execution on the
+//! Table 2 machine, fixed seeds. Four costs are measured:
+//!
+//! * the scalar path — one `MachineSource` execution reduced to an IPC
+//!   sample by `MetricEvaluator` (the pre-PR `Sampler` workload),
+//! * the traced path — the same execution with the `TraceRecorder`
+//!   active, reduced to a boolean-satisfaction sample by
+//!   `StlEvaluator`,
+//! * per-trace STL evaluation alone (boolean and robustness), on one
+//!   pre-recorded execution, isolating the formula-evaluation cost
+//!   from the simulation cost.
+//!
+//! The headline is `trace_overhead_ratio` — traced-sample cost over
+//! scalar-sample cost — which bounds what a `property` job pays
+//! relative to an `interval` job on the same machine. Before timing
+//! anything, [`measure`] cross-checks both paths the way the PR 3/4
+//! harnesses do: the scalar pipeline sample must equal direct metric
+//! extraction, and boolean/robustness semantics must agree in sign.
+//!
+//! Like the PR 3/4 baselines, the same measurement runs three ways: the
+//! `pr5_pipeline` bench binary, the CI bench-smoke job (which uploads
+//! the JSON), and a quick smoke test so every `cargo test` refreshes
+//! the file.
+
+use std::hint::black_box;
+use std::path::{Path, PathBuf};
+
+use spa_core::pipeline::{Evaluator, Pipeline};
+use spa_sim::config::SystemConfig;
+use spa_sim::machine::Machine;
+use spa_sim::metrics::Metric;
+use spa_sim::pipeline::{MachineSource, MetricEvaluator, PropertySemantics, StlEvaluator};
+use spa_sim::workload::parsec::Benchmark;
+use spa_stl::parser::parse;
+
+use crate::obs_bench::mean_ns;
+
+/// The Table 1-style formula the traced path evaluates. Row 8's shape
+/// (a bounded eventually over a performance signal) on the recorded
+/// `ipc` trace.
+pub const FORMULA: &str = "F[0,end] (ipc > 0.1)";
+
+/// Measured PR 5 pipeline-overhead numbers (serialized as
+/// `BENCH_pr5.json`).
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Pr5Report {
+    /// Harness identifier.
+    pub bench: &'static str,
+    /// The STL formula the traced path checks (canonical rendering).
+    pub formula: String,
+    /// One scalar pipeline sample (untraced execution + IPC
+    /// extraction), ns.
+    pub scalar_sample_ns: u64,
+    /// One traced pipeline sample (recorder-active execution + boolean
+    /// STL evaluation), ns.
+    pub traced_sample_ns: u64,
+    /// `traced_sample_ns / scalar_sample_ns` — the PR's headline: the
+    /// cost of making traces first-class on this workload.
+    pub trace_overhead_ratio: f64,
+    /// Per-trace boolean STL evaluation on a pre-recorded execution,
+    /// ns (no simulation in the loop).
+    pub stl_eval_boolean_ns: u64,
+    /// Per-trace robustness STL evaluation on the same execution, ns.
+    pub stl_eval_robustness_ns: u64,
+    /// Samples per second through the scalar pipeline.
+    pub scalar_samples_per_sec: f64,
+    /// Samples per second through the traced pipeline.
+    pub traced_samples_per_sec: f64,
+}
+
+/// Runs the measurement: builds untraced and traced Table 2 machines on
+/// a quarter-scale blackscholes workload, cross-checks both pipeline
+/// paths, then times `run_iters` full pipeline samples per path and
+/// `eval_iters` isolated STL evaluations per semantics.
+///
+/// Panics on simulator or parse errors and on any cross-check
+/// disagreement — this is a bench harness with a known-valid fixed
+/// configuration.
+pub fn measure(run_iters: u32, eval_iters: u32) -> Pr5Report {
+    let spec = Benchmark::Blackscholes.workload_scaled(0.25);
+    let scalar_machine = Machine::new(SystemConfig::table2(), &spec).expect("machine config");
+    let traced_machine =
+        Machine::new(SystemConfig::table2().with_trace(), &spec).expect("machine config");
+    let formula = parse(FORMULA).expect("valid formula");
+
+    let metric_eval = MetricEvaluator::new(Metric::Ipc);
+    let boolean_eval = StlEvaluator::new(formula.clone(), PropertySemantics::Boolean);
+    let robust_eval = StlEvaluator::new(formula.clone(), PropertySemantics::Robustness);
+    let scalar_pipeline = Pipeline::new(MachineSource::new(&scalar_machine), metric_eval);
+    let traced_pipeline = Pipeline::new(MachineSource::new(&traced_machine), boolean_eval.clone());
+
+    // Cross-checks before timing: the scalar pipeline sample is exactly
+    // direct extraction, and the two STL semantics agree in sign.
+    use spa_core::fault::FallibleSampler;
+    let direct = Metric::Ipc.extract(&scalar_machine.run(0).expect("simulation failed").metrics);
+    assert_eq!(scalar_pipeline.sample(0), Ok(direct));
+    let recorded = traced_machine.run(0).expect("simulation failed");
+    let boolean = boolean_eval.evaluate(&recorded).expect("boolean eval");
+    let robust = robust_eval.evaluate(&recorded).expect("robustness eval");
+    assert_eq!(boolean == 1.0, robust > 0.0, "semantics disagree in sign");
+
+    let mut seed = 0u64;
+    let scalar_ns = mean_ns(run_iters, || {
+        seed += 1;
+        black_box(scalar_pipeline.sample(black_box(seed))).expect("scalar sample");
+    });
+    let mut seed = 0u64;
+    let traced_ns = mean_ns(run_iters, || {
+        seed += 1;
+        black_box(traced_pipeline.sample(black_box(seed))).expect("traced sample");
+    });
+
+    let boolean_ns = mean_ns(eval_iters, || {
+        black_box(boolean_eval.evaluate(black_box(&recorded))).expect("boolean eval");
+    });
+    let robust_ns = mean_ns(eval_iters, || {
+        black_box(robust_eval.evaluate(black_box(&recorded))).expect("robustness eval");
+    });
+
+    let per_sec = |ns: u64| 1e9 / ns.max(1) as f64;
+    Pr5Report {
+        bench: "pr5_pipeline",
+        formula: formula.to_string(),
+        scalar_sample_ns: scalar_ns,
+        traced_sample_ns: traced_ns,
+        trace_overhead_ratio: traced_ns as f64 / scalar_ns.max(1) as f64,
+        stl_eval_boolean_ns: boolean_ns,
+        stl_eval_robustness_ns: robust_ns,
+        scalar_samples_per_sec: per_sec(scalar_ns),
+        traced_samples_per_sec: per_sec(traced_ns),
+    }
+}
+
+/// The canonical output location: `BENCH_pr5.json` at the workspace
+/// root, next to `Cargo.toml`.
+pub fn default_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pr5.json")
+}
+
+/// Serializes `report` as pretty JSON (with a trailing newline) to
+/// `path`.
+///
+/// # Errors
+///
+/// I/O failures writing the file.
+pub fn write_json(report: &Pr5Report, path: &Path) -> std::io::Result<()> {
+    let mut text = serde_json::to_string_pretty(report).expect("report serializes");
+    text.push('\n');
+    std::fs::write(path, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_serializes_with_required_fields() {
+        let report = Pr5Report {
+            bench: "pr5_pipeline",
+            formula: "F[0,inf] (ipc > 0.1)".into(),
+            scalar_sample_ns: 100_000,
+            traced_sample_ns: 120_000,
+            trace_overhead_ratio: 1.2,
+            stl_eval_boolean_ns: 900,
+            stl_eval_robustness_ns: 1100,
+            scalar_samples_per_sec: 1e4,
+            traced_samples_per_sec: 8e3,
+        };
+        let v: serde_json::Value =
+            serde_json::from_str(&serde_json::to_string(&report).unwrap()).unwrap();
+        assert_eq!(v["bench"], "pr5_pipeline");
+        assert!(v["trace_overhead_ratio"].as_f64().unwrap() > 1.0);
+        assert!(v["stl_eval_boolean_ns"].as_u64().unwrap() > 0);
+        assert!(v["formula"].as_str().unwrap().contains("ipc"));
+    }
+}

@@ -1,0 +1,42 @@
+//! Quick run of the PR 5 pipeline-overhead measurement: checks the
+//! numbers are sane and refreshes `BENCH_pr5.json` at the workspace
+//! root, so the perf file exists after any `cargo test`. The bench
+//! binary and the CI bench-smoke job produce the same file at higher
+//! iteration counts. No speedup floor here — the traced path is
+//! *expected* to cost more than the scalar path; the guard is that the
+//! overhead stays a small multiple, not that it wins.
+
+use spa_bench::pipeline_bench;
+
+#[test]
+fn pr5_pipeline_measures_and_writes_bench_json() {
+    let report = pipeline_bench::measure(5, 50);
+    assert!(
+        report.scalar_sample_ns > 0 && report.traced_sample_ns > 0,
+        "sample costs must be measurable: {report:?}"
+    );
+    assert!(
+        report.stl_eval_boolean_ns > 0 && report.stl_eval_robustness_ns > 0,
+        "STL evaluation costs must be measurable: {report:?}"
+    );
+    assert!(
+        report.trace_overhead_ratio > 0.0,
+        "overhead ratio must be positive: {report:?}"
+    );
+    // The per-trace STL evaluation is far cheaper than a simulation:
+    // recording traces pays once per run, evaluating them is almost free.
+    assert!(
+        report.stl_eval_boolean_ns < report.traced_sample_ns,
+        "STL evaluation should be cheaper than a traced run: {report:?}"
+    );
+    // The formula is stored in canonical (parsed Display) form.
+    assert!(report.formula.contains("ipc"), "{report:?}");
+
+    let path = pipeline_bench::default_path();
+    pipeline_bench::write_json(&report, &path).expect("write BENCH_pr5.json");
+    let back: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&path).expect("read back")).expect("json");
+    assert_eq!(back["bench"], "pr5_pipeline");
+    assert!(back["trace_overhead_ratio"].as_f64().expect("field") > 0.0);
+    assert!(back["traced_samples_per_sec"].as_f64().expect("field") > 0.0);
+}

@@ -123,6 +123,31 @@ pub enum Command {
         /// Emit the population as JSON instead of CSV.
         json: bool,
     },
+    /// Check an STL property against recorded simulator traces.
+    Check {
+        /// Benchmark to run.
+        benchmark: Benchmark,
+        /// The STL formula source text.
+        property: String,
+        /// Report quantitative robustness instead of boolean verdicts.
+        robustness: bool,
+        /// Number of executions (`None`: the Eq. 8 minimum).
+        runs: Option<u64>,
+        /// First seed.
+        seed_start: u64,
+        /// L2 capacity in KiB (default: Table 2's 3072).
+        l2_kib: u64,
+        /// Variability model.
+        noise: NoiseArg,
+        /// Worker threads.
+        threads: usize,
+        /// Extra attempts per seed after a failed execution.
+        retries: u32,
+        /// Statistical options (direction unused).
+        stat: StatOpts,
+        /// Emit the report as JSON instead of text.
+        json: bool,
+    },
     /// Run the long-lived evaluation service.
     Serve {
         /// Bind address (port 0 picks an ephemeral port).
@@ -290,7 +315,9 @@ pub fn parse(argv: &[String]) -> Result<Command> {
     let mut to: Option<f64> = None;
     let mut step: Option<f64> = None;
     let mut benchmark: Option<Benchmark> = None;
-    let mut runs = 22u64;
+    let mut runs: Option<u64> = None;
+    let mut property: Option<String> = None;
+    let mut robustness = false;
     let mut seed_start = 0u64;
     let mut l2_kib = 3072u64;
     let mut noise = NoiseArg::Paper;
@@ -336,7 +363,11 @@ pub fn parse(argv: &[String]) -> Result<Command> {
                         .ok_or_else(|| CliError::Usage(format!("unknown benchmark `{name}`")))?,
                 );
             }
-            "--runs" | "-n" => runs = parse_u64(arg, parse_flag_value(arg, &mut it)?)?,
+            "--runs" | "-n" => runs = Some(parse_u64(arg, parse_flag_value(arg, &mut it)?)?),
+            "--property" | "-p" => {
+                property = Some(parse_flag_value(arg, &mut it)?.to_owned());
+            }
+            "--robustness" => robustness = true,
             "--seed-start" => {
                 seed_start = parse_u64(arg, parse_flag_value(arg, &mut it)?)?;
             }
@@ -431,7 +462,7 @@ pub fn parse(argv: &[String]) -> Result<Command> {
         "simulate" => Ok(Command::Simulate {
             benchmark: benchmark
                 .ok_or_else(|| CliError::Usage("simulate needs --benchmark".into()))?,
-            runs,
+            runs: runs.unwrap_or(22),
             seed_start,
             l2_kib,
             noise,
@@ -440,6 +471,19 @@ pub fn parse(argv: &[String]) -> Result<Command> {
             retries,
             timeout,
             fault,
+            json,
+        }),
+        "check" => Ok(Command::Check {
+            benchmark: benchmark.ok_or_else(|| CliError::Usage("check needs --benchmark".into()))?,
+            property: property.ok_or_else(|| CliError::Usage("check needs --property".into()))?,
+            robustness,
+            runs,
+            seed_start,
+            l2_kib,
+            noise,
+            threads,
+            retries,
+            stat,
             json,
         }),
         "serve" => Ok(Command::Serve {
@@ -451,13 +495,22 @@ pub fn parse(argv: &[String]) -> Result<Command> {
         "submit" => {
             let benchmark =
                 benchmark.ok_or_else(|| CliError::Usage("submit needs --benchmark".into()))?;
-            let mode = match threshold {
-                Some(threshold) => ModeSpec::Hypothesis {
+            let mode = match (property, threshold) {
+                (Some(_), Some(_)) => {
+                    return Err(CliError::Usage(
+                        "submit takes --property or --threshold, not both".into(),
+                    ))
+                }
+                (Some(formula), None) => ModeSpec::Property {
+                    formula,
+                    robustness,
+                },
+                (None, Some(threshold)) => ModeSpec::Hypothesis {
                     direction: stat.direction,
                     threshold,
                     max_rounds,
                 },
-                None => ModeSpec::Interval {
+                (None, None) => ModeSpec::Interval {
                     direction: stat.direction,
                 },
             };
@@ -734,6 +787,91 @@ mod tests {
                 max_rounds: 32,
             }
         );
+    }
+
+    #[test]
+    fn check_parses_with_defaults_and_flags() {
+        let c = parse(&argv("check -b ferret -p G[0,end](ipc>0.8)")).unwrap();
+        match c {
+            Command::Check {
+                benchmark,
+                property,
+                robustness,
+                runs,
+                seed_start,
+                l2_kib,
+                noise,
+                threads,
+                retries,
+                stat,
+                json,
+            } => {
+                assert_eq!(benchmark, Benchmark::Ferret);
+                assert_eq!(property, "G[0,end](ipc>0.8)");
+                assert!(!robustness);
+                assert_eq!(runs, None);
+                assert_eq!(seed_start, 0);
+                assert_eq!(l2_kib, 3072);
+                assert_eq!(noise, NoiseArg::Paper);
+                assert_eq!(threads, default_threads());
+                assert_eq!(retries, 2);
+                assert_eq!(stat, StatOpts::default());
+                assert!(!json);
+            }
+            other => panic!("{other:?}"),
+        }
+        let c = parse(&argv(
+            "check -b blackscholes --property F[0,100](occupancy>=1) --robustness \
+             -n 8 --seed-start 42 --noise jitter:2 --threads 3 -c 0.95 -f 0.5 --json",
+        ))
+        .unwrap();
+        match c {
+            Command::Check {
+                property,
+                robustness,
+                runs,
+                seed_start,
+                noise,
+                threads,
+                stat,
+                json,
+                ..
+            } => {
+                assert_eq!(property, "F[0,100](occupancy>=1)");
+                assert!(robustness);
+                assert_eq!(runs, Some(8));
+                assert_eq!(seed_start, 42);
+                assert_eq!(noise, NoiseArg::Jitter(2));
+                assert_eq!(threads, 3);
+                assert_eq!(stat.confidence, 0.95);
+                assert_eq!(stat.proportion, 0.5);
+                assert!(json);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn check_requires_benchmark_and_property() {
+        assert!(parse(&argv("check -p G[0,end](ipc>0.8)")).is_err());
+        assert!(parse(&argv("check -b ferret")).is_err());
+    }
+
+    #[test]
+    fn submit_property_selects_property_mode() {
+        let c = parse(&argv("submit -b ferret -p G[0,end](ipc>0.8) --robustness")).unwrap();
+        let Command::Submit { spec, .. } = c else {
+            panic!("{c:?}");
+        };
+        assert_eq!(
+            spec.mode,
+            ModeSpec::Property {
+                formula: "G[0,end](ipc>0.8)".into(),
+                robustness: true,
+            }
+        );
+        // A property and a threshold are mutually exclusive job modes.
+        assert!(parse(&argv("submit -b ferret -p G[0,end](ipc>0.8) -t 1.5")).is_err());
     }
 
     #[test]

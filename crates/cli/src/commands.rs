@@ -11,7 +11,7 @@ use spa_baselines::bootstrap::bca_ci;
 use spa_baselines::rank::rank_ci_normal;
 use spa_baselines::zscore::z_ci;
 use spa_core::clopper_pearson::Assertion;
-use spa_core::fault::{derive_retry_seed, FailureCounts, SampleError};
+use spa_core::fault::{derive_retry_seed, FailureCounts, RetryPolicy, SampleError};
 use spa_core::min_samples::{min_samples, n_negative, n_positive};
 use spa_core::property::MetricProperty;
 use spa_core::spa::{Spa, SpaReport};
@@ -19,12 +19,15 @@ use spa_server::client;
 use spa_server::protocol::{JobResult, MetricsReport, Response};
 use spa_server::spec::JobSpec;
 use spa_server::ServerConfig;
+use spa_sim::check::run_check;
 use spa_sim::config::SystemConfig;
 use spa_sim::fault::{FaultKind, FaultSpec};
 use spa_sim::machine::Machine;
 use spa_sim::metrics::{ExecutionMetrics, Metric};
+use spa_sim::pipeline::PropertySemantics;
 use spa_sim::variability::Variability;
 use spa_sim::workload::parsec::Benchmark;
+use spa_stl::StlError;
 
 use crate::args::{Command, NoiseArg, StatOpts};
 use crate::data::{read_column, read_column_counted};
@@ -86,6 +89,31 @@ pub fn execute(command: Command) -> Result<String> {
             fault,
             json,
         }),
+        Command::Check {
+            benchmark,
+            property,
+            robustness,
+            runs,
+            seed_start,
+            l2_kib,
+            noise,
+            threads,
+            retries,
+            stat,
+            json,
+        } => check(&CheckOpts {
+            benchmark,
+            property,
+            robustness,
+            runs,
+            seed_start,
+            l2_kib,
+            noise,
+            threads,
+            retries,
+            stat,
+            json,
+        }),
         Command::Serve {
             addr,
             workers,
@@ -112,6 +140,150 @@ struct SimulateOpts {
     timeout: Option<f64>,
     fault: FaultSpec,
     json: bool,
+}
+
+/// Bundled `check` parameters (mirrors [`Command::Check`]).
+struct CheckOpts {
+    benchmark: Benchmark,
+    property: String,
+    robustness: bool,
+    runs: Option<u64>,
+    seed_start: u64,
+    l2_kib: u64,
+    noise: NoiseArg,
+    threads: usize,
+    retries: u32,
+    stat: StatOpts,
+    json: bool,
+}
+
+/// Maps the CLI noise flag onto the simulator's variability model
+/// (shared by `simulate` and `check` so the two cannot drift).
+fn variability_for(noise: NoiseArg) -> Variability {
+    match noise {
+        NoiseArg::Paper => Variability::paper_default(),
+        NoiseArg::Jitter(0) => Variability::None,
+        NoiseArg::Jitter(n) => Variability::DramJitter { max_cycles: n },
+        NoiseArg::RealMachine => Variability::real_machine(),
+    }
+}
+
+/// Renders an STL parse error with a caret span under the offending
+/// token, e.g.
+///
+/// ```text
+/// invalid property (parse error at byte 8): expected `]`
+///   G[0,end (ipc > 0.8)
+///           ^
+/// ```
+///
+/// Columns are counted in characters (not bytes) so the caret lines up
+/// even when the formula contains multi-byte characters; a zero-length
+/// span (end of input) still gets one caret.
+fn render_parse_error(formula: &str, position: usize, len: usize, message: &str) -> String {
+    let col = formula
+        .get(..position)
+        .map_or(position, |prefix| prefix.chars().count());
+    let width = formula
+        .get(position..position + len.max(1))
+        .map_or_else(|| len.max(1), |token| token.chars().count().max(1));
+    format!(
+        "invalid property (parse error at byte {position}): {message}\n  {formula}\n  {}{}",
+        " ".repeat(col),
+        "^".repeat(width),
+    )
+}
+
+fn check(opts: &CheckOpts) -> Result<String> {
+    let formula = spa_stl::parser::parse(&opts.property).map_err(|e| match e {
+        StlError::Parse {
+            position,
+            len,
+            message,
+        } => CliError::Usage(render_parse_error(&opts.property, position, len, &message)),
+        other => CliError::Usage(format!("invalid property: {other}")),
+    })?;
+    let config = SystemConfig::table2()
+        .with_l2_capacity(opts.l2_kib * 1024)
+        .with_trace();
+    let spec = opts.benchmark.workload();
+    let machine = Machine::new(config, &spec)?.with_variability(variability_for(opts.noise));
+    // The batch size only sets how many seeds are claimed per wave; the
+    // report is byte-identical for any --threads value (the pipeline
+    // reassembles samples in seed order).
+    let spa = Spa::builder()
+        .confidence(opts.stat.confidence)
+        .proportion(opts.stat.proportion)
+        .batch_size(opts.threads.max(1))
+        .build()?;
+    let semantics = if opts.robustness {
+        PropertySemantics::Robustness
+    } else {
+        PropertySemantics::Boolean
+    };
+    let policy = RetryPolicy::new(opts.retries.saturating_add(1));
+    let report = run_check(
+        &machine,
+        &formula,
+        semantics,
+        &spa,
+        opts.seed_start,
+        opts.runs,
+        &policy,
+    )?;
+    if opts.json {
+        return to_json_line(&report);
+    }
+    let mut out = String::new();
+    writeln!(
+        out,
+        "property: {} ({} semantics) on {}",
+        report.formula,
+        if report.robustness {
+            "robustness"
+        } else {
+            "boolean"
+        },
+        opts.benchmark,
+    )
+    .expect("write to string");
+    writeln!(
+        out,
+        "satisfied by {}/{} traces ({:.1}%); C_CP = {:.4}",
+        report.satisfied,
+        report.evaluated,
+        report.satisfaction_rate * 100.0,
+        report.outcome.achieved_confidence,
+    )
+    .expect("write to string");
+    let verdict = match report.outcome.assertion {
+        Some(Assertion::Positive) => format!(
+            "POSITIVE — with {:.1}% confidence, at least {:.1}% of executions satisfy it",
+            report.confidence * 100.0,
+            report.proportion * 100.0,
+        ),
+        Some(Assertion::Negative) => format!(
+            "NEGATIVE — with {:.1}% confidence, less than {:.1}% of executions satisfy it",
+            report.confidence * 100.0,
+            report.proportion * 100.0,
+        ),
+        None => "INCONCLUSIVE — collect more executions".into(),
+    };
+    writeln!(out, "{verdict}").expect("write to string");
+    if let Some(interval) = &report.robustness_interval {
+        writeln!(
+            out,
+            "robustness margin: at least {:.1}% of executions have margin >= v for v in [{:.6}, {:.6}]",
+            report.proportion * 100.0,
+            interval.lower(),
+            interval.upper(),
+        )
+        .expect("write to string");
+    }
+    if !report.failures.is_clean() {
+        writeln!(out, "failures: {}", report.failures).expect("write to string");
+    }
+    Ok(out)
 }
 
 fn to_json_line<T: serde::Serialize>(value: &T) -> Result<String> {
@@ -350,12 +522,7 @@ fn run_attempt(
 
 fn simulate(opts: &SimulateOpts) -> Result<String> {
     let config = SystemConfig::table2().with_l2_capacity(opts.l2_kib * 1024);
-    let variability = match opts.noise {
-        NoiseArg::Paper => Variability::paper_default(),
-        NoiseArg::Jitter(0) => Variability::None,
-        NoiseArg::Jitter(n) => Variability::DramJitter { max_cycles: n },
-        NoiseArg::RealMachine => Variability::real_machine(),
-    };
+    let variability = variability_for(opts.noise);
     let benchmark = opts.benchmark;
     let runs = opts.runs;
     let spec = benchmark.workload();
@@ -576,6 +743,45 @@ fn submit_job(addr: &str, spec: &JobSpec, json: bool) -> Result<String> {
                     report.requested_confidence, report.achieved_confidence, report.failures,
                 )
                 .expect("write to string");
+            }
+        }
+        JobResult::Property { report } => {
+            writeln!(
+                out,
+                "property: {} ({} semantics)",
+                report.formula,
+                if report.robustness {
+                    "robustness"
+                } else {
+                    "boolean"
+                },
+            )
+            .expect("write to string");
+            let verdict = match report.outcome.assertion {
+                Some(Assertion::Positive) => "POSITIVE — the property holds",
+                Some(Assertion::Negative) => "NEGATIVE — the property does not hold",
+                None => "INCONCLUSIVE — collect more executions",
+            };
+            writeln!(
+                out,
+                "satisfied by {}/{} traces ({:.1}%); C_CP = {:.4}\n{verdict}",
+                report.satisfied,
+                report.evaluated,
+                report.satisfaction_rate * 100.0,
+                report.outcome.achieved_confidence,
+            )
+            .expect("write to string");
+            if let Some(interval) = &report.robustness_interval {
+                writeln!(
+                    out,
+                    "robustness margin interval: [{:.6}, {:.6}]",
+                    interval.lower(),
+                    interval.upper(),
+                )
+                .expect("write to string");
+            }
+            if !report.failures.is_clean() {
+                writeln!(out, "failures: {}", report.failures).expect("write to string");
             }
         }
         JobResult::Hypothesis { outcome: rounds } => match rounds.outcome {
@@ -1004,6 +1210,67 @@ mod tests {
             render_metrics(&MetricsReport::default()),
             "no metrics recorded yet\n"
         );
+    }
+
+    #[test]
+    fn check_boolean_property_end_to_end() {
+        let out = execute(
+            parse(&argv(
+                "check -b blackscholes -p G[0,end](occupancy>=0) -f 0.5 --noise jitter:0",
+            ))
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("POSITIVE"), "{out}");
+        assert!(out.contains("boolean semantics"), "{out}");
+        // The formula echoes back in canonical (parsed Display) form.
+        assert!(
+            out.contains(&spa_stl::parser::parse("G[0,end](occupancy>=0)")
+                .unwrap()
+                .to_string()),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn check_json_is_byte_identical_across_thread_counts() {
+        let run = |threads: usize| {
+            execute(
+                parse(&argv(&format!(
+                    "check -b blackscholes -p F[0,end](ipc>0.1) --robustness -n 6 \
+                     --seed-start 3 -f 0.5 --noise jitter:2 --threads {threads} --json"
+                )))
+                .unwrap(),
+            )
+            .unwrap()
+        };
+        let one = run(1);
+        assert_eq!(one, run(4), "verdict must not depend on parallelism");
+        let v: serde_json::Value = serde_json::from_str(&one).unwrap();
+        assert_eq!(v["requested"], 6);
+        assert_eq!(v["robustness"], true);
+        assert!(v["robustness_interval"].is_object(), "{v}");
+        assert!(v["satisfaction_rate"].is_number(), "{v}");
+    }
+
+    #[test]
+    fn check_renders_caret_on_parse_error() {
+        let err = execute(parse(&argv("check -b ferret -p G[0,end](ipc>")).unwrap()).unwrap_err();
+        let s = err.to_string();
+        assert!(s.contains("parse error at byte"), "{s}");
+        assert!(s.contains("G[0,end](ipc>"), "{s}");
+        assert!(s.contains('^'), "{s}");
+    }
+
+    #[test]
+    fn parse_error_caret_aligns_under_the_token() {
+        let rendered = render_parse_error("G[0,wat] x > 1", 4, 3, "expected a number");
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines[1], "  G[0,wat] x > 1");
+        assert_eq!(lines[2], "      ^^^");
+        // A zero-length span (end of input) still gets one caret.
+        let rendered = render_parse_error("G[0,", 4, 0, "unexpected end of input");
+        assert_eq!(rendered.lines().last().unwrap(), "      ^");
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! $ spa hypothesis runtimes.txt --threshold 1.1 --direction at-least
 //! $ spa min-samples --confidence 0.95 --proportion 0.9
 //! $ spa simulate --benchmark ferret --runs 50 --out ferret.csv
+//! $ spa check --benchmark ferret --property "G[0,end](ipc > 0.8)"
 //! $ spa sweep runtimes.txt --from 1.0 --to 1.5 --step 0.01
 //! ```
 //!
@@ -65,9 +66,14 @@ USAGE:
               [--l2-kb KB] [--noise paper|jitter:N|real-machine]
               [--threads N] [--out FILE] [--retries N] [--timeout SECS]
               [--fault crash=P,timeout=P,nan=P] [--json]
+  spa check   --benchmark NAME --property FORMULA [--robustness]
+              [--runs N] [--seed-start S] [--l2-kb KB]
+              [--noise paper|jitter:N|real-machine] [--threads N]
+              [--retries N] [--confidence C] [--proportion F] [--json]
   spa serve   [--addr HOST:PORT] [--workers N] [--queue-depth N]
               [--threads N]
   spa submit  --benchmark NAME [--addr HOST:PORT] [--threshold T]
+              [--property FORMULA] [--robustness]
               [--system table2|l2-small|l2-large] [--metric KEY]
               [--noise paper|jitter:N|real-machine] [--confidence C]
               [--proportion F] [--direction at-most|at-least]
@@ -89,7 +95,13 @@ Serve runs the long-lived evaluation service: submissions are scheduled
 on a bounded queue, identical jobs are answered from a content-addressed
 result cache, and hypothesis jobs parallelize with bias-free fixed-size
 rounds. Submit without --threshold requests a confidence interval;
-with --threshold it runs one sequential hypothesis test.
+with --threshold it runs one sequential hypothesis test; with
+--property it checks an STL formula against recorded traces.
+Check runs seeded traced executions and evaluates an STL property per
+trace, e.g. `spa check -b ferret --property \"G[0,end](ipc > 0.8)\"`;
+traced signals are ipc, l1d_miss_rate, l2_miss_rate, and occupancy.
+--runs defaults to the Eq. 8 minimum; --robustness reports quantitative
+margins with a confidence interval instead of boolean verdicts.
 Simulate retries failed executions up to --retries extra times (default
 2), discards runs exceeding the soft --timeout budget, and can inject
 faults with --fault for robustness experiments; failure counts are

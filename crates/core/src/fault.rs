@@ -99,12 +99,12 @@ pub struct Reliable<S>(pub S);
 
 impl<S: Sampler> FallibleSampler for Reliable<S> {
     fn sample(&self, seed: u64) -> std::result::Result<f64, SampleError> {
-        let value = self.0.sample(seed);
-        if value.is_finite() {
-            Ok(value)
-        } else {
-            Err(SampleError::InvalidMetric { value })
-        }
+        // The adapter is the scalar pipeline in miniature: the sampler is
+        // the observation source, IdentityEvaluator the evaluation stage.
+        crate::pipeline::Evaluator::evaluate(
+            &crate::pipeline::IdentityEvaluator,
+            &self.0.sample(seed),
+        )
     }
 }
 

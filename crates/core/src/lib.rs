@@ -25,10 +25,14 @@
 //! * [`sprt`] — Wald's sequential probability ratio test, the
 //!   alternative SMC engine the paper's §3.3 contrasts against,
 //! * [`spa`] — the push-button [`Spa`](spa::Spa) driver that manages the
-//!   engine and batches simulator executions in parallel (§4.3), and
+//!   engine and batches simulator executions in parallel (§4.3),
 //! * [`fault`] — fault-tolerant sampling: fallible samplers, retry
 //!   policies with deterministic seed derivation, and the failure
-//!   accounting behind SPA's graceful statistical degradation.
+//!   accounting behind SPA's graceful statistical degradation, and
+//! * [`pipeline`] — the staged sampling pipeline (observation source →
+//!   evaluator) that every collection loop is an adapter over, letting
+//!   trace-valued workloads (STL properties over simulator traces) plug
+//!   into the same SMC machinery as scalar metrics.
 //!
 //! # Quick start
 //!
@@ -58,6 +62,7 @@ pub mod fault;
 pub mod hyper;
 pub mod min_samples;
 pub mod obs_names;
+pub mod pipeline;
 pub mod property;
 pub mod rounds;
 pub mod smc;

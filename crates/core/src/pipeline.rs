@@ -1,0 +1,320 @@
+//! The staged sampling pipeline: observation sources and evaluators.
+//!
+//! The paper's workflow (§4, Fig. 3) is *simulate → record → evaluate →
+//! feed SMC*: an execution produces a raw observation (a scalar metric,
+//! or a full signal trace), an evaluator maps that observation to the
+//! `f64` sample SMC consumes (the metric itself, or an STL verdict over
+//! the trace). Before this module, every consumer wired those two
+//! stages together ad hoc inside a bespoke closure; now they are
+//! first-class:
+//!
+//! * [`SampleSource`] — stage 1: given a seed, produce one raw
+//!   observation (fallibly — sources crash, time out, emit garbage),
+//! * [`Evaluator`] — stage 2: map an observation to one `f64` sample,
+//! * [`Pipeline`] — the composition, which is itself a
+//!   [`FallibleSampler`] and therefore plugs directly into the existing
+//!   retry/panic-isolation/degradation machinery of
+//!   [`Spa`](crate::spa::Spa),
+//! * [`SamplerSource`] / [`FnSource`] / [`IdentityEvaluator`] — adapters
+//!   that express the pre-existing scalar API (`Sampler`,
+//!   `FallibleSampler`, [`Reliable`](crate::fault::Reliable)) as
+//!   pipeline stages, and
+//! * [`collect_indexed`] — the shared claim-by-index parallel collection
+//!   engine behind [`Spa::collect_samples`](crate::spa::Spa::collect_samples),
+//!   [`Spa::collect_samples_fallible`](crate::spa::Spa::collect_samples_fallible),
+//!   and the server's round collector.
+//!
+//! The adapters are behavior-preserving: a scalar workload routed
+//! through the pipeline produces byte-identical reports to the
+//! pre-pipeline code (enforced by the differential tests in
+//! `tests/determinism.rs`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::fault::{FallibleSampler, SampleError};
+use crate::spa::Sampler;
+
+/// Stage 1 of the pipeline: a seed-addressed source of raw observations.
+///
+/// An observation is whatever one execution produces before any
+/// statistical interpretation — a scalar metric, a struct of metrics, or
+/// a recorded signal trace. Sources are called from multiple threads
+/// (hence `Sync`) and report failures as values so the driver's retry
+/// machinery can classify them.
+pub trait SampleSource: Sync {
+    /// The raw observation one execution produces.
+    type Obs;
+
+    /// Runs one execution identified by `seed` and returns its raw
+    /// observation.
+    ///
+    /// # Errors
+    ///
+    /// A [`SampleError`] classifying how the execution failed.
+    fn observe(&self, seed: u64) -> std::result::Result<Self::Obs, SampleError>;
+}
+
+/// Stage 2 of the pipeline: maps one observation to the `f64` sample
+/// SMC consumes.
+///
+/// Evaluators are pure with respect to the observation (no seed, no
+/// shared mutable state), which is what makes the pipeline reproducible:
+/// the sample depends only on what the source observed.
+pub trait Evaluator: Sync {
+    /// The observation type this evaluator consumes.
+    type Obs;
+
+    /// Maps one observation to a sample.
+    ///
+    /// # Errors
+    ///
+    /// A [`SampleError`] when the observation cannot be evaluated (e.g.
+    /// a non-finite metric, or a trace missing a signal the property
+    /// refers to).
+    fn evaluate(&self, obs: &Self::Obs) -> std::result::Result<f64, SampleError>;
+}
+
+/// The two stages composed: `observe(seed)` then `evaluate(obs)`.
+///
+/// A `Pipeline` is itself a [`FallibleSampler`], so it plugs directly
+/// into [`Spa::run_fallible`](crate::spa::Spa::run_fallible) and
+/// inherits panic isolation, per-seed retries, and graceful statistical
+/// degradation unchanged.
+///
+/// # Examples
+///
+/// ```
+/// use spa_core::fault::FallibleSampler;
+/// use spa_core::pipeline::{FnSource, IdentityEvaluator, Pipeline};
+///
+/// let p = Pipeline::new(FnSource(|seed: u64| Ok(seed as f64)), IdentityEvaluator);
+/// assert_eq!(p.sample(3), Ok(3.0));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Pipeline<S, E> {
+    source: S,
+    evaluator: E,
+}
+
+impl<S, E> Pipeline<S, E> {
+    /// Composes a source and an evaluator.
+    pub fn new(source: S, evaluator: E) -> Self {
+        Self { source, evaluator }
+    }
+
+    /// The source stage.
+    pub fn source(&self) -> &S {
+        &self.source
+    }
+
+    /// The evaluator stage.
+    pub fn evaluator(&self) -> &E {
+        &self.evaluator
+    }
+}
+
+impl<S, E> FallibleSampler for Pipeline<S, E>
+where
+    S: SampleSource,
+    E: Evaluator<Obs = S::Obs>,
+{
+    fn sample(&self, seed: u64) -> std::result::Result<f64, SampleError> {
+        let obs = self.source.observe(seed)?;
+        self.evaluator.evaluate(&obs)
+    }
+}
+
+/// Adapts an infallible scalar [`Sampler`] into a [`SampleSource`] whose
+/// observation is the metric itself.
+///
+/// Composed with [`IdentityEvaluator`] this reproduces
+/// [`Reliable`](crate::fault::Reliable) exactly: the source never fails,
+/// and the evaluator rejects non-finite values.
+#[derive(Debug, Clone, Copy)]
+pub struct SamplerSource<S>(pub S);
+
+impl<S: Sampler> SampleSource for SamplerSource<S> {
+    type Obs = f64;
+
+    fn observe(&self, seed: u64) -> std::result::Result<f64, SampleError> {
+        Ok(self.0.sample(seed))
+    }
+}
+
+/// Adapts a fallible closure (or any [`FallibleSampler`]) into a
+/// [`SampleSource`] with `f64` observations.
+#[derive(Debug, Clone, Copy)]
+pub struct FnSource<S>(pub S);
+
+impl<S: FallibleSampler> SampleSource for FnSource<S> {
+    type Obs = f64;
+
+    fn observe(&self, seed: u64) -> std::result::Result<f64, SampleError> {
+        self.0.sample(seed)
+    }
+}
+
+/// The trivial evaluator for scalar pipelines: passes a finite `f64`
+/// observation through unchanged and classifies NaN/±∞ as
+/// [`SampleError::InvalidMetric`].
+///
+/// This is the evaluation stage of the legacy scalar path —
+/// [`Reliable`](crate::fault::Reliable) delegates its finiteness check
+/// here.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdentityEvaluator;
+
+impl Evaluator for IdentityEvaluator {
+    type Obs = f64;
+
+    fn evaluate(&self, obs: &f64) -> std::result::Result<f64, SampleError> {
+        if obs.is_finite() {
+            Ok(*obs)
+        } else {
+            Err(SampleError::InvalidMetric { value: *obs })
+        }
+    }
+}
+
+/// The shared parallel collection engine: runs `work(i)` for every index
+/// `i in 0..total` across `workers` scoped threads and returns the
+/// produced values sorted by index.
+///
+/// Indices are claimed with a relaxed atomic fetch-add, so the partition
+/// of indices onto threads is scheduling-dependent — but the *output* is
+/// not: each index's work is a pure function of `i`, results are
+/// reassembled in index order, and `work` returning `None` (a
+/// permanently failed index) simply leaves a gap. Every collection loop
+/// in the workspace (scalar, fault-tolerant, and the server's
+/// round-partitioned collector) is an adapter over this one engine, so
+/// they cannot drift apart.
+///
+/// Spans and observability counters stay at the call sites: the engine
+/// itself is accounting-neutral.
+pub fn collect_indexed<T: Send>(
+    total: u64,
+    workers: usize,
+    work: &(dyn Fn(u64) -> Option<T> + Sync),
+) -> Vec<(u64, T)> {
+    let next = AtomicU64::new(0);
+    let results: Mutex<Vec<(u64, T)>> = Mutex::new(Vec::with_capacity(total as usize));
+    let workers = workers.max(1);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    break;
+                }
+                if let Some(value) = work(i) {
+                    results.lock().push((i, value));
+                }
+            });
+        }
+    });
+    let mut pairs = results.into_inner();
+    pairs.sort_by_key(|&(i, _)| i);
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::Reliable;
+    use crate::property::Direction;
+    use crate::spa::Spa;
+
+    #[test]
+    fn pipeline_composes_source_and_evaluator() {
+        struct Doubler;
+        impl Evaluator for Doubler {
+            type Obs = f64;
+            fn evaluate(&self, obs: &f64) -> std::result::Result<f64, SampleError> {
+                Ok(obs * 2.0)
+            }
+        }
+        let p = Pipeline::new(FnSource(|seed: u64| Ok(seed as f64)), Doubler);
+        assert_eq!(p.sample(21), Ok(42.0));
+        assert_eq!(p.source().observe(21), Ok(21.0));
+        assert_eq!(p.evaluator().evaluate(&21.0), Ok(42.0));
+    }
+
+    #[test]
+    fn source_errors_short_circuit_evaluation() {
+        let p = Pipeline::new(
+            FnSource(|_: u64| Err(SampleError::Timeout)),
+            IdentityEvaluator,
+        );
+        assert_eq!(p.sample(0), Err(SampleError::Timeout));
+    }
+
+    #[test]
+    fn identity_evaluator_matches_reliable() {
+        // The pipeline spelling of the scalar path agrees with Reliable
+        // on both finite and non-finite values.
+        for value in [1.5, 0.0, -3.25, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let via_reliable = Reliable(move |_: u64| value).sample(0);
+            let via_pipeline =
+                Pipeline::new(SamplerSource(move |_: u64| value), IdentityEvaluator).sample(0);
+            match (via_reliable, via_pipeline) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b),
+                (
+                    Err(SampleError::InvalidMetric { value: a }),
+                    Err(SampleError::InvalidMetric { value: b }),
+                ) => assert_eq!(a.is_nan(), b.is_nan()),
+                (a, b) => panic!("diverged: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_runs_end_to_end_through_spa() {
+        // A Pipeline is a FallibleSampler, so the full fault-tolerant
+        // driver accepts it unchanged.
+        let p = Pipeline::new(
+            FnSource(|seed: u64| Ok(1.0 + (seed % 10) as f64 * 0.1)),
+            IdentityEvaluator,
+        );
+        let spa = Spa::builder().proportion(0.5).build().unwrap();
+        let report = spa
+            .run_fallible(
+                &p,
+                7,
+                Direction::AtMost,
+                &crate::fault::RetryPolicy::default(),
+            )
+            .unwrap();
+        let direct = spa
+            .run(
+                &|seed: u64| 1.0 + (seed % 10) as f64 * 0.1,
+                7,
+                Direction::AtMost,
+            )
+            .unwrap();
+        assert_eq!(report, direct);
+    }
+
+    #[test]
+    fn collect_indexed_is_deterministic_across_worker_counts() {
+        let work = |i: u64| Some(i * 3);
+        let one = collect_indexed(40, 1, &work);
+        let eight = collect_indexed(40, 8, &work);
+        assert_eq!(one, eight);
+        assert_eq!(one.len(), 40);
+        assert!(one.windows(2).all(|w| w[0].0 < w[1].0), "sorted by index");
+    }
+
+    #[test]
+    fn collect_indexed_skips_none_and_clamps_workers() {
+        let work = |i: u64| (i % 2 == 0).then_some(i);
+        // workers = 0 is clamped to 1 rather than deadlocking.
+        let rows = collect_indexed(10, 0, &work);
+        assert_eq!(
+            rows.iter().map(|&(i, _)| i).collect::<Vec<_>>(),
+            [0, 2, 4, 6, 8]
+        );
+        assert!(collect_indexed::<u64>(0, 4, &|_| None).is_empty());
+    }
+}

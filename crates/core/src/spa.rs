@@ -15,7 +15,6 @@
 //! support (Eq. 4–5), never silently reported at the requested `C`.
 
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
@@ -26,6 +25,7 @@ use crate::fault::{
 };
 use crate::min_samples::{achievable_confidence, min_samples};
 use crate::obs_names;
+use crate::pipeline::collect_indexed;
 use crate::property::MetricProperty;
 use crate::smc::{FixedOutcome, SmcEngine};
 use crate::{CoreError, Result};
@@ -241,23 +241,8 @@ impl Spa {
         let _span = span!(obs_names::SPAN_COLLECT);
         let total = count.unwrap_or_else(|| self.required_samples());
         global().counter(obs_names::SAMPLES_REQUESTED).add(total);
-        let next = AtomicU64::new(0);
-        let results: Mutex<Vec<(u64, f64)>> = Mutex::new(Vec::with_capacity(total as usize));
         let workers = self.batch_size.min(total as usize).max(1);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= total {
-                        break;
-                    }
-                    let value = sampler.sample(seed_start + i);
-                    results.lock().push((i, value));
-                });
-            }
-        });
-        let mut pairs = results.into_inner();
-        pairs.sort_by_key(|&(i, _)| i);
+        let pairs = collect_indexed(total, workers, &|i| Some(sampler.sample(seed_start + i)));
         global()
             .counter(obs_names::SAMPLES_COLLECTED)
             .add(pairs.len() as u64);
@@ -312,48 +297,35 @@ impl Spa {
         let _span = span!(obs_names::SPAN_COLLECT_FALLIBLE);
         let total = count.unwrap_or_else(|| self.required_samples());
         global().counter(obs_names::SAMPLES_REQUESTED).add(total);
-        let next = AtomicU64::new(0);
-        let results: Mutex<Vec<(u64, f64)>> = Mutex::new(Vec::with_capacity(total as usize));
         let failures: Mutex<FailureCounts> = Mutex::new(FailureCounts::default());
         let workers = self.batch_size.min(total as usize).max(1);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= total {
+        let pairs = collect_indexed(total, workers, &|i| {
+            let base_seed = seed_start + i;
+            let mut local = FailureCounts::default();
+            let mut collected = None;
+            for attempt in 0..policy.max_attempts() {
+                if attempt > 0 {
+                    local.retries += 1;
+                    let delay = policy.backoff_delay(base_seed, attempt);
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
+                }
+                let seed = derive_retry_seed(base_seed, attempt);
+                match run_one_attempt(sampler, seed, policy.timeout()) {
+                    Ok(value) => {
+                        collected = Some(value);
                         break;
                     }
-                    let base_seed = seed_start + i;
-                    let mut local = FailureCounts::default();
-                    let mut collected = None;
-                    for attempt in 0..policy.max_attempts() {
-                        if attempt > 0 {
-                            local.retries += 1;
-                            let delay = policy.backoff_delay(base_seed, attempt);
-                            if !delay.is_zero() {
-                                std::thread::sleep(delay);
-                            }
-                        }
-                        let seed = derive_retry_seed(base_seed, attempt);
-                        match run_one_attempt(sampler, seed, policy.timeout()) {
-                            Ok(value) => {
-                                collected = Some(value);
-                                break;
-                            }
-                            Err(error) => local.record(&error),
-                        }
-                    }
-                    if let Some(value) = collected {
-                        results.lock().push((i, value));
-                    } else {
-                        local.abandoned_seeds += 1;
-                    }
-                    failures.lock().merge(&local);
-                });
+                    Err(error) => local.record(&error),
+                }
             }
+            if collected.is_none() {
+                local.abandoned_seeds += 1;
+            }
+            failures.lock().merge(&local);
+            collected
         });
-        let mut pairs = results.into_inner();
-        pairs.sort_by_key(|&(i, _)| i);
         let failures = failures.into_inner();
         global()
             .counter(obs_names::SAMPLES_COLLECTED)

@@ -1,0 +1,89 @@
+//! Differential tests for the staged pipeline refactor.
+//!
+//! The pipeline adapters ([`SamplerSource`], [`FnSource`],
+//! [`IdentityEvaluator`]) claim to be behavior-preserving: a scalar
+//! workload routed through [`Pipeline`] must produce *byte-identical*
+//! reports to the pre-pipeline scalar path, for any batch size. These
+//! tests serialize both sides with `serde_json` and compare the bytes,
+//! so even a formatting-neutral numeric drift (e.g. `-0.0` vs `0.0`)
+//! would be caught.
+
+use spa_core::fault::{RetryPolicy, SampleError};
+use spa_core::pipeline::{FnSource, IdentityEvaluator, Pipeline, SamplerSource};
+use spa_core::spa::{Direction, Spa};
+
+/// A deterministic scalar sampler with enough structure to exercise the
+/// CI machinery (values spread over [1.0, 1.9]).
+fn scalar(seed: u64) -> f64 {
+    1.0 + (seed % 10) as f64 * 0.1
+}
+
+/// A deterministic fallible sampler: every 5th seed times out once per
+/// attempt parity, every 7th reports NaN.
+fn flaky(seed: u64) -> Result<f64, SampleError> {
+    if seed % 7 == 0 {
+        return Err(SampleError::InvalidMetric { value: f64::NAN });
+    }
+    if seed % 5 == 0 {
+        return Err(SampleError::Timeout);
+    }
+    Ok(scalar(seed))
+}
+
+fn json<T: serde::Serialize>(value: &T) -> String {
+    serde_json::to_string(value).expect("report serializes")
+}
+
+#[test]
+fn scalar_reports_are_byte_identical_through_the_pipeline() {
+    let spa = Spa::builder().proportion(0.5).build().unwrap();
+    let direct = spa.run(&scalar, 11, Direction::AtMost).unwrap();
+    let piped = spa
+        .run_fallible(
+            &Pipeline::new(SamplerSource(scalar), IdentityEvaluator),
+            11,
+            Direction::AtMost,
+            &RetryPolicy::no_retry(),
+        )
+        .unwrap();
+    assert_eq!(json(&direct), json(&piped));
+}
+
+#[test]
+fn fallible_reports_are_byte_identical_through_the_pipeline() {
+    let spa = Spa::builder().proportion(0.5).build().unwrap();
+    let policy = RetryPolicy::new(2);
+    let direct = spa.collect_samples_fallible(&flaky, 3, Some(40), &policy);
+    let piped = spa.collect_samples_fallible(
+        &Pipeline::new(FnSource(flaky), IdentityEvaluator),
+        3,
+        Some(40),
+        &policy,
+    );
+    assert_eq!(json(&direct), json(&piped));
+    // The failure accounting is preserved too, not just the samples.
+    assert_eq!(direct.failures, piped.failures);
+}
+
+#[test]
+fn pipeline_reports_are_byte_identical_across_batch_sizes() {
+    let mut renders = Vec::new();
+    for batch in [1usize, 4, 16] {
+        let spa = Spa::builder()
+            .proportion(0.5)
+            .batch_size(batch)
+            .build()
+            .unwrap();
+        let report = spa
+            .run_fallible(
+                &Pipeline::new(FnSource(flaky), IdentityEvaluator),
+                0,
+                Direction::AtLeast,
+                &RetryPolicy::new(3),
+            )
+            .unwrap();
+        renders.push(json(&report));
+    }
+    assert_eq!(renders[0], renders[1]);
+    assert_eq!(renders[1], renders[2]);
+}

@@ -16,6 +16,11 @@
 //!   threads claim round indices, execute whole rounds, and a shared
 //!   [`RoundAggregator`] folds them in index order so the stopping rule
 //!   never depends on thread scheduling (Bulychev et al.).
+//! * **Property** jobs run the trace-to-verdict pipeline: traced
+//!   executions, one STL verdict per trace, and the fixed-sample SMC
+//!   test over the verdicts — delegated wholesale to
+//!   [`spa_sim::check::run_check`] so the server, CLI, and library
+//!   entry points share one code path.
 //!
 //! Every execution goes through PR 1's fault machinery: the simulator
 //! call is panic-isolated, failures are classified
@@ -26,7 +31,7 @@
 
 use std::ops::Range;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 
@@ -36,13 +41,16 @@ use spa_core::fault::{
 };
 use spa_core::min_samples::achievable_confidence;
 use spa_core::obs_names;
+use spa_core::pipeline::collect_indexed;
 use spa_core::property::{Direction, MetricProperty};
 use spa_core::rounds::{round_seeds, RoundAggregator, RoundsOutcome};
 use spa_core::smc::SmcEngine;
 use spa_core::spa::Spa;
 use spa_obs::metrics::global;
+use spa_sim::check::run_check;
 use spa_sim::machine::Machine;
 use spa_sim::metrics::{ExecutionMetrics, Metric};
+use spa_sim::pipeline::PropertySemantics;
 
 use crate::protocol::JobResult;
 use crate::spec::{ModeSpec, ValidatedJob};
@@ -111,11 +119,14 @@ impl FallibleSampler for SimSampler<'_, '_> {
 
 /// Collects one round of seeds in parallel with per-seed retries.
 ///
-/// Each seed gets up to [`RetryPolicy::max_attempts`] attempts at
-/// deterministically derived seeds; results come back sorted by seed, so
-/// the output depends only on `(attempt, seeds, policy)` — never on
-/// thread scheduling. Seeds whose budget is exhausted are dropped and
-/// counted.
+/// An adapter over the workspace's shared claim-by-index engine
+/// ([`collect_indexed`]): index `i` maps to the round's `i`-th seed,
+/// the retry loop runs inside the per-index work function, and the
+/// engine reassembles rows in index (= seed) order. Each seed gets up
+/// to [`RetryPolicy::max_attempts`] attempts at deterministically
+/// derived seeds, so the output depends only on
+/// `(attempt, seeds, policy)` — never on thread scheduling. Seeds whose
+/// budget is exhausted are dropped and counted.
 fn collect_round<T: Send>(
     seeds: Range<u64>,
     threads: usize,
@@ -127,44 +138,36 @@ fn collect_round<T: Send>(
     global()
         .counter(obs_names::SAMPLES_REQUESTED)
         .add(seeds.len() as u64);
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<(u64, T)>> = Mutex::new(Vec::with_capacity(seeds.len()));
     let failures: Mutex<FailureCounts> = Mutex::new(FailureCounts::default());
     let workers = threads.clamp(1, seeds.len().max(1));
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(&seed) = seeds.get(i) else { break };
-                let mut local = FailureCounts::default();
-                let mut collected = None;
-                for k in 0..policy.max_attempts() {
-                    if k > 0 {
-                        local.retries += 1;
-                        let delay = policy.backoff_delay(seed, k);
-                        if !delay.is_zero() {
-                            std::thread::sleep(delay);
-                        }
-                    }
-                    match attempt(derive_retry_seed(seed, k)) {
-                        Ok(value) => {
-                            collected = Some(value);
-                            break;
-                        }
-                        Err(error) => local.record(&error),
-                    }
+    let pairs = collect_indexed(seeds.len() as u64, workers, &|i| {
+        let seed = seeds[i as usize];
+        let mut local = FailureCounts::default();
+        let mut collected = None;
+        for k in 0..policy.max_attempts() {
+            if k > 0 {
+                local.retries += 1;
+                let delay = policy.backoff_delay(seed, k);
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
                 }
-                if let Some(value) = collected {
-                    results.lock().push((seed, value));
-                } else {
-                    local.abandoned_seeds += 1;
+            }
+            match attempt(derive_retry_seed(seed, k)) {
+                Ok(value) => {
+                    collected = Some(value);
+                    break;
                 }
-                failures.lock().merge(&local);
-            });
+                Err(error) => local.record(&error),
+            }
         }
+        if collected.is_none() {
+            local.abandoned_seeds += 1;
+        }
+        failures.lock().merge(&local);
+        collected.map(|value| (seed, value))
     });
-    let mut rows = results.into_inner();
-    rows.sort_by_key(|&(seed, _)| seed);
+    // Seeds ascend within a round, so index order is seed order.
+    let rows: Vec<(u64, T)> = pairs.into_iter().map(|(_, row)| row).collect();
     let counts = failures.into_inner();
     let registry = global();
     registry
@@ -191,16 +194,23 @@ pub fn execute(vjob: &ValidatedJob, ctx: &ExecContext<'_>) -> Result<JobResult, 
         .map_err(|e| e.to_string())?;
     let policy = RetryPolicy::new(spec.retries.saturating_add(1));
     let workload = vjob.benchmark.workload();
-    let machine = Machine::new(spec.system.variant().config(), &workload)
+    // Property jobs need per-run signal traces; the scalar modes keep
+    // trace collection off so their executions (and caches) are
+    // untouched by the pipeline work.
+    let config = match &spec.mode {
+        ModeSpec::Property { .. } => spec.system.variant().config().with_trace(),
+        ModeSpec::Interval { .. } | ModeSpec::Hypothesis { .. } => spec.system.variant().config(),
+    };
+    let machine = Machine::new(config, &workload)
         .map_err(|e| e.to_string())?
         .with_variability(spec.noise.model().variability());
     let sampler = SimSampler {
         machine: &machine,
         metric: vjob.metric,
     };
-    match spec.mode {
+    match &spec.mode {
         ModeSpec::Interval { direction } => {
-            run_interval(vjob, ctx, &spa, &policy, &sampler, direction)
+            run_interval(vjob, ctx, &spa, &policy, &sampler, *direction)
         }
         ModeSpec::Hypothesis {
             direction,
@@ -211,9 +221,12 @@ pub fn execute(vjob: &ValidatedJob, ctx: &ExecContext<'_>) -> Result<JobResult, 
             ctx,
             &policy,
             &sampler,
-            MetricProperty::new(direction, threshold),
-            max_rounds,
+            MetricProperty::new(*direction, *threshold),
+            *max_rounds,
         ),
+        ModeSpec::Property { robustness, .. } => {
+            run_property(vjob, ctx, &spa, &policy, &machine, *robustness)
+        }
     }
 }
 
@@ -315,6 +328,56 @@ fn run_interval(
         .report_from_batch(batch, direction)
         .map_err(|e| e.to_string())?;
     Ok(JobResult::Interval { report })
+}
+
+/// Executes a property-mode job: a thin wrapper over the library's
+/// [`run_check`], so the server's verdict is identical to what the CLI
+/// and a direct library call produce for the same seed stream (the
+/// `Spa` was built with `batch_size = ctx.threads`, and `run_check`'s
+/// collection is index-deterministic, so the thread count never changes
+/// the report).
+///
+/// Property populations are traced executions, not `ExecutionMetrics`
+/// rows, so the on-disk population cache is bypassed; the server's
+/// result cache still keys the finished report by the spec's canonical
+/// formula rendering.
+fn run_property(
+    vjob: &ValidatedJob,
+    ctx: &ExecContext<'_>,
+    spa: &Spa,
+    policy: &RetryPolicy,
+    machine: &Machine<'_>,
+    robustness: bool,
+) -> Result<JobResult, String> {
+    let spec = &vjob.spec;
+    if ctx.cancel.load(Ordering::Relaxed) {
+        return Err("job cancelled".into());
+    }
+    let formula = vjob
+        .property
+        .as_ref()
+        .ok_or("property job without a validated formula")?;
+    let semantics = if robustness {
+        PropertySemantics::Robustness
+    } else {
+        PropertySemantics::Boolean
+    };
+    let report = run_check(
+        machine,
+        formula,
+        semantics,
+        spa,
+        spec.seed_start,
+        None,
+        policy,
+    )
+    .map_err(|e| e.to_string())?;
+    (ctx.progress)(ProgressUpdate {
+        samples: report.evaluated,
+        confidence: interval_bound(report.evaluated, spec.confidence, spec.proportion),
+        rounds: report.evaluated.div_ceil(spec.round_size.max(1)),
+    });
+    Ok(JobResult::Property { report })
 }
 
 fn run_hypothesis(
@@ -555,6 +618,85 @@ mod tests {
         let progress = |_: ProgressUpdate| {};
         let err = execute(&vjob, &ctx(&cancel, &progress)).unwrap_err();
         assert!(err.contains("cancelled"), "{err}");
+    }
+
+    #[test]
+    fn property_job_checks_traces_end_to_end() {
+        let spec = JobSpec {
+            noise: NoiseSpec::Jitter { max_cycles: 0 },
+            seed_start: 77_400,
+            proportion: 0.5, // Eq. 8 minimum drops to 4 executions
+            mode: ModeSpec::Property {
+                formula: "G[0,end] (occupancy >= 0)".into(),
+                robustness: false,
+            },
+            ..JobSpec::new(
+                "blackscholes",
+                ModeSpec::Interval {
+                    direction: Direction::AtMost,
+                },
+            )
+        };
+        let vjob = validate(spec).unwrap();
+        let cancel = AtomicBool::new(false);
+        let events: Mutex<Vec<ProgressUpdate>> = Mutex::new(Vec::new());
+        let progress = |u: ProgressUpdate| events.lock().push(u);
+        let result = execute(&vjob, &ctx(&cancel, &progress)).unwrap();
+        let JobResult::Property { report } = result else {
+            panic!("property job must return a property result");
+        };
+        assert_eq!(report.evaluated, report.requested);
+        assert_eq!(report.satisfied, report.evaluated, "trivially true");
+        assert!(report.outcome.assertion.is_some());
+        assert!(report.failures.is_clean());
+        // The report carries the canonical formula spelling, not the
+        // submitted one.
+        let canonical = spa_stl::parser::parse("G[0,end] (occupancy >= 0)")
+            .unwrap()
+            .to_string();
+        assert_eq!(report.formula, canonical);
+        let events = events.into_inner();
+        assert!(!events.is_empty());
+        assert_eq!(events.last().unwrap().samples, report.evaluated);
+    }
+
+    #[test]
+    fn property_job_is_identical_across_thread_counts() {
+        let make = |threads: usize| {
+            let spec = JobSpec {
+                noise: NoiseSpec::Jitter { max_cycles: 2 },
+                seed_start: 77_500,
+                proportion: 0.5,
+                mode: ModeSpec::Property {
+                    formula: "F[0,end] (ipc > 0.1)".into(),
+                    robustness: true,
+                },
+                ..JobSpec::new(
+                    "blackscholes",
+                    ModeSpec::Interval {
+                        direction: Direction::AtMost,
+                    },
+                )
+            };
+            let vjob = validate(spec).unwrap();
+            let cancel = AtomicBool::new(false);
+            let progress = |_: ProgressUpdate| {};
+            let c = ExecContext {
+                threads,
+                cancel: &cancel,
+                progress: &progress,
+            };
+            execute(&vjob, &c).unwrap()
+        };
+        let JobResult::Property { report: a } = make(1) else {
+            panic!("property job must return a property result");
+        };
+        let JobResult::Property { report: b } = make(4) else {
+            panic!("property job must return a property result");
+        };
+        assert_eq!(a, b, "thread count must not change the verdict");
+        assert!(a.robustness);
+        assert!(a.robustness_interval.is_some());
     }
 
     #[test]

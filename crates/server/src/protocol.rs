@@ -86,6 +86,13 @@ pub enum JobResult {
         /// Verdict (or round-budget exhaustion) plus sample accounting.
         outcome: RoundsOutcome,
     },
+    /// A property-mode job: the trace-to-verdict check report.
+    Property {
+        /// The report, identical to what a direct
+        /// [`spa_sim::check::run_check`] over the same seed stream
+        /// produces.
+        report: spa_sim::check::PropertyReport,
+    },
 }
 
 /// Server counters, as returned by [`Request::Status`].
@@ -391,6 +398,39 @@ mod tests {
             let back: Response = serde_json::from_str(&json).unwrap();
             assert_eq!(resp, back, "{json}");
         }
+    }
+
+    #[test]
+    fn property_results_round_trip() {
+        // A realistic report without running the simulator: the SMC
+        // outcome comes from the real engine, the rest is hand-filled.
+        let outcome = spa_core::smc::SmcEngine::new(0.9, 0.5)
+            .unwrap()
+            .run_counts(4, 4)
+            .unwrap();
+        let resp = Response::Report {
+            job: 9,
+            cached: false,
+            result: JobResult::Property {
+                report: spa_sim::check::PropertyReport {
+                    formula: "G[0,inf] (ipc > 0.8)".into(),
+                    robustness: false,
+                    requested: 4,
+                    evaluated: 4,
+                    satisfied: 4,
+                    satisfaction_rate: 1.0,
+                    outcome,
+                    confidence: 0.9,
+                    proportion: 0.5,
+                    robustness_interval: None,
+                    failures: spa_core::fault::FailureCounts::default(),
+                },
+            },
+        };
+        let json = serde_json::to_string(&resp).unwrap();
+        assert!(json.contains(r#""kind":"property""#), "{json}");
+        let back: Response = serde_json::from_str(&json).unwrap();
+        assert_eq!(resp, back);
     }
 
     #[test]

@@ -2,10 +2,11 @@
 //!
 //! A [`JobSpec`] is the wire form of one evaluation request: which
 //! benchmark/system/noise model to sample, which metric to evaluate,
-//! and whether to build a confidence interval (the SPA Fig. 3 flow) or
+//! and whether to build a confidence interval (the SPA Fig. 3 flow),
 //! run a single sequential hypothesis test with round-based parallel
-//! aggregation. All statistical parameters carry defaults matching the
-//! paper's `C = F = 0.9`.
+//! aggregation, or check an STL property over recorded traces. All
+//! statistical parameters carry defaults matching the paper's
+//! `C = F = 0.9`.
 //!
 //! The result cache is *content-addressed*: two submissions answer from
 //! the same cache slot exactly when their [`canonical_key`]s are equal.
@@ -91,7 +92,7 @@ impl NoiseSpec {
 }
 
 /// What the job computes.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[serde(tag = "mode", rename_all = "snake_case")]
 pub enum ModeSpec {
     /// End-to-end SPA (Fig. 3): collect the Eq. 8 minimum number of
@@ -111,6 +112,19 @@ pub enum ModeSpec {
         /// rounds.
         #[serde(default = "default_max_rounds")]
         max_rounds: u64,
+    },
+    /// A per-execution STL property over recorded signal traces: traced
+    /// executions, one boolean/robustness verdict per trace, and the
+    /// fixed-sample SMC test (Algorithm 2) over the verdicts.
+    Property {
+        /// STL formula text (the `spa_stl::parser` grammar, e.g.
+        /// `G[0,end] (ipc > 0.8)`). Parsed — and rejected with a byte
+        /// position on error — at submission time.
+        formula: String,
+        /// Evaluate quantitative robustness instead of boolean
+        /// satisfaction.
+        #[serde(default)]
+        robustness: bool,
     },
 }
 
@@ -197,16 +211,31 @@ fn direction_key(d: Direction) -> &'static str {
 /// a deterministic simulator), so the result cache maps this string to
 /// the finished report.
 pub fn canonical_key(spec: &JobSpec) -> String {
-    let mode = match spec.mode {
-        ModeSpec::Interval { direction } => format!("interval:{}", direction_key(direction)),
+    let mode = match &spec.mode {
+        ModeSpec::Interval { direction } => format!("interval:{}", direction_key(*direction)),
         ModeSpec::Hypothesis {
             direction,
             threshold,
             max_rounds,
         } => format!(
             "hypothesis:{}:{threshold}:{max_rounds}",
-            direction_key(direction)
+            direction_key(*direction)
         ),
+        // The formula is canonicalized through the parser's AST Display,
+        // so spelling variants (`end` vs `inf`, whitespace, redundant
+        // parens) share a cache slot. An unparseable formula — which
+        // validation rejects before any cache lookup — keys on its raw
+        // text.
+        ModeSpec::Property {
+            formula,
+            robustness,
+        } => {
+            let semantics = if *robustness { "robustness" } else { "boolean" };
+            let canonical = spa_stl::parser::parse(formula)
+                .map(|f| f.to_string())
+                .unwrap_or_else(|_| formula.clone());
+            format!("property:{semantics}:{canonical}")
+        }
     };
     format!(
         "v1;bench={};system={};noise={};metric={};mode={};c={};f={};seed={};round={};retries={}",
@@ -245,6 +274,8 @@ pub struct ValidatedJob {
     pub benchmark: Benchmark,
     /// Resolved metric.
     pub metric: Metric,
+    /// The parsed STL formula (property mode only).
+    pub property: Option<spa_stl::ast::Stl>,
     /// Canonical cache key of the spec.
     pub key: String,
 }
@@ -265,7 +296,7 @@ fn check_level(name: &str, v: f64) -> Result<(), String> {
 ///
 /// A human-readable description of the first problem (unknown benchmark
 /// or metric, out-of-range `C`/`F`, zero round size, non-finite
-/// threshold, zero round budget).
+/// threshold, zero round budget, unparseable STL formula).
 pub fn validate(spec: JobSpec) -> Result<ValidatedJob, String> {
     let benchmark = Benchmark::from_name(&spec.benchmark)
         .ok_or_else(|| format!("unknown benchmark `{}`", spec.benchmark))?;
@@ -279,24 +310,35 @@ pub fn validate(spec: JobSpec) -> Result<ValidatedJob, String> {
     if spec.round_size == 0 {
         return Err("round_size must be at least 1".into());
     }
-    if let ModeSpec::Hypothesis {
-        threshold,
-        max_rounds,
-        ..
-    } = spec.mode
-    {
-        if !threshold.is_finite() {
-            return Err(format!("threshold `{threshold}` is not finite"));
+    match &spec.mode {
+        ModeSpec::Hypothesis {
+            threshold,
+            max_rounds,
+            ..
+        } => {
+            if !threshold.is_finite() {
+                return Err(format!("threshold `{threshold}` is not finite"));
+            }
+            if *max_rounds == 0 {
+                return Err("max_rounds must be at least 1".into());
+            }
         }
-        if max_rounds == 0 {
-            return Err("max_rounds must be at least 1".into());
-        }
+        ModeSpec::Interval { .. } | ModeSpec::Property { .. } => {}
     }
+    // Parse the property at submission time: a bad formula is rejected
+    // before the job ever reaches the queue, with the parser's byte
+    // position in the message.
+    let property = if let ModeSpec::Property { formula, .. } = &spec.mode {
+        Some(spa_stl::parser::parse(formula).map_err(|e| format!("invalid property: {e}"))?)
+    } else {
+        None
+    };
     let key = canonical_key(&spec);
     Ok(ValidatedJob {
         spec,
         benchmark,
         metric,
+        property,
         key,
     })
 }
@@ -382,6 +424,66 @@ mod tests {
             max_rounds: 64,
         };
         assert_ne!(canonical_key(&base), canonical_key(&other));
+    }
+
+    fn property_spec(formula: &str) -> JobSpec {
+        JobSpec::new(
+            "blackscholes",
+            ModeSpec::Property {
+                formula: formula.into(),
+                robustness: false,
+            },
+        )
+    }
+
+    #[test]
+    fn property_specs_validate_and_parse_the_formula() {
+        let v = validate(property_spec("G[0,end] (ipc > 0.8)")).unwrap();
+        let formula = v.property.expect("property mode stores the parsed AST");
+        assert_eq!(formula, spa_stl::parser::parse("G[0,inf] (ipc > 0.8)").unwrap());
+        // Non-property modes leave the slot empty.
+        assert!(validate(interval_spec()).unwrap().property.is_none());
+    }
+
+    #[test]
+    fn property_specs_reject_bad_formulas_with_a_position() {
+        let err = validate(property_spec("G[0,end] (ipc >")).unwrap_err();
+        assert!(err.contains("invalid property"), "{err}");
+        assert!(err.contains("byte"), "parser position surfaces: {err}");
+    }
+
+    #[test]
+    fn property_robustness_defaults_off_on_the_wire() {
+        let json = r#"{"benchmark":"ferret","mode":{"mode":"property","formula":"ipc > 0.8"}}"#;
+        let spec: JobSpec = serde_json::from_str(json).unwrap();
+        assert_eq!(
+            spec.mode,
+            ModeSpec::Property {
+                formula: "ipc > 0.8".into(),
+                robustness: false,
+            }
+        );
+        assert!(validate(spec).is_ok());
+    }
+
+    #[test]
+    fn property_keys_canonicalize_formula_spelling() {
+        // `end` vs `inf`, whitespace, and redundant parens all map to
+        // the same canonical AST rendering — one cache slot.
+        let a = property_spec("G[0,end](ipc>0.8)");
+        let b = property_spec("G[0,inf]  (ipc > 0.8)");
+        assert_eq!(canonical_key(&a), canonical_key(&b));
+        // Semantics splits the slot: robustness samples differ from
+        // boolean ones even for the same formula.
+        let mut c = a.clone();
+        c.mode = ModeSpec::Property {
+            formula: "G[0,end](ipc>0.8)".into(),
+            robustness: true,
+        };
+        assert_ne!(canonical_key(&a), canonical_key(&c));
+        // And a different formula is a different job.
+        let d = property_spec("G[0,end](ipc>0.9)");
+        assert_ne!(canonical_key(&a), canonical_key(&d));
     }
 
     #[test]

@@ -1,0 +1,264 @@
+//! End-to-end property checking: the trace-to-verdict pipeline.
+//!
+//! This is the paper's full workflow as one call: run seeded traced
+//! executions through [`MachineSource`] → [`StlEvaluator`], count how
+//! many traces satisfy the STL property, and run the fixed-sample SMC
+//! test (Algorithm 2) on the counts. Both the CLI's `spa check` and the
+//! server's `property` job mode are thin wrappers over [`run_check`],
+//! so the three entry points (library, CLI, server) cannot drift apart.
+//!
+//! # Examples
+//!
+//! ```
+//! use spa_core::fault::RetryPolicy;
+//! use spa_core::spa::Spa;
+//! use spa_sim::check::run_check;
+//! use spa_sim::config::SystemConfig;
+//! use spa_sim::machine::Machine;
+//! use spa_sim::pipeline::PropertySemantics;
+//! use spa_sim::workload::parsec::Benchmark;
+//! use spa_stl::parser::parse;
+//!
+//! # fn main() -> Result<(), spa_core::CoreError> {
+//! let spec = Benchmark::Blackscholes.workload_scaled(0.2);
+//! let machine = Machine::new(SystemConfig::table2().with_trace(), &spec).unwrap();
+//! let formula = parse("G[0,end] (occupancy >= 0)").unwrap();
+//! let spa = Spa::builder().proportion(0.5).build()?;
+//! let report = run_check(
+//!     &machine,
+//!     &formula,
+//!     PropertySemantics::Boolean,
+//!     &spa,
+//!     0,
+//!     None,
+//!     &RetryPolicy::no_retry(),
+//! )?;
+//! assert_eq!(report.satisfied, report.evaluated); // trivially true property
+//! # Ok(())
+//! # }
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use spa_core::ci::ConfidenceInterval;
+use spa_core::fault::{FailureCounts, RetryPolicy};
+use spa_core::pipeline::Pipeline;
+use spa_core::smc::FixedOutcome;
+use spa_core::spa::{Direction, Spa};
+use spa_core::CoreError;
+use spa_stl::ast::Stl;
+
+use crate::machine::Machine;
+use crate::pipeline::{MachineSource, PropertySemantics, StlEvaluator};
+
+/// The verdict of one end-to-end property check.
+///
+/// Serialization is deterministic given the inputs: field order is
+/// fixed and every value is a pure function of `(machine, formula,
+/// semantics, spa, seed_start, count)` — the CLI's byte-identity test
+/// across `--threads` counts relies on this.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PropertyReport {
+    /// Canonical rendering of the checked formula (the parsed AST's
+    /// `Display`, not the user's original spelling).
+    pub formula: String,
+    /// Whether samples are robustness values rather than 0/1 outcomes.
+    pub robustness: bool,
+    /// Executions requested.
+    pub requested: u64,
+    /// Traces successfully evaluated (after retries).
+    pub evaluated: u64,
+    /// Traces satisfying the property (robustness `> 0` under
+    /// robustness semantics).
+    pub satisfied: u64,
+    /// `satisfied / evaluated`.
+    pub satisfaction_rate: f64,
+    /// The fixed-sample SMC verdict on the satisfaction counts
+    /// (Algorithm 2): the asserted direction, if any, and the exact
+    /// Clopper–Pearson confidence achieved.
+    pub outcome: FixedOutcome,
+    /// Requested confidence level `C`.
+    pub confidence: f64,
+    /// Requested proportion `F`.
+    pub proportion: f64,
+    /// Confidence interval over the robustness samples (robustness
+    /// semantics only).
+    pub robustness_interval: Option<ConfidenceInterval>,
+    /// Failure accounting from the fault-tolerant collection loop.
+    pub failures: FailureCounts,
+}
+
+/// Runs the full trace-to-verdict pipeline: seeded traced executions,
+/// per-trace STL evaluation, and the fixed-sample SMC test over the
+/// outcomes.
+///
+/// `machine` must have trace collection enabled
+/// ([`SystemConfig::with_trace`](crate::config::SystemConfig::with_trace)),
+/// otherwise every execution fails evaluation and the check reports
+/// [`CoreError::SamplingFailed`]. `count` defaults to the SPA driver's
+/// minimum sample count (Eq. 8) when `None`.
+///
+/// # Errors
+///
+/// [`CoreError::SamplingFailed`] when no trace could be evaluated, or
+/// an engine error from the SMC/CI computation.
+pub fn run_check(
+    machine: &Machine<'_>,
+    formula: &Stl,
+    semantics: PropertySemantics,
+    spa: &Spa,
+    seed_start: u64,
+    count: Option<u64>,
+    policy: &RetryPolicy,
+) -> Result<PropertyReport, CoreError> {
+    let pipeline = Pipeline::new(
+        MachineSource::new(machine),
+        StlEvaluator::new(formula.clone(), semantics),
+    );
+    let batch = spa.collect_samples_fallible(&pipeline, seed_start, count, policy);
+    let evaluated = batch.samples.len() as u64;
+    if evaluated == 0 {
+        return Err(CoreError::SamplingFailed {
+            requested: batch.requested,
+            collected: 0,
+        });
+    }
+    let satisfied = match semantics {
+        PropertySemantics::Boolean => batch.samples.iter().filter(|&&v| v > 0.5).count(),
+        PropertySemantics::Robustness => batch.samples.iter().filter(|&&v| v > 0.0).count(),
+    } as u64;
+    let outcome = spa.engine().run_counts(satisfied, evaluated)?;
+    let robustness_interval = match semantics {
+        PropertySemantics::Boolean => None,
+        PropertySemantics::Robustness => {
+            Some(spa.confidence_interval(&batch.samples, Direction::AtLeast)?)
+        }
+    };
+    Ok(PropertyReport {
+        formula: formula.to_string(),
+        robustness: semantics == PropertySemantics::Robustness,
+        requested: batch.requested,
+        evaluated,
+        satisfied,
+        satisfaction_rate: satisfied as f64 / evaluated as f64,
+        outcome,
+        confidence: spa.engine().confidence_level(),
+        proportion: spa.engine().proportion(),
+        robustness_interval,
+        failures: batch.failures,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use crate::workload::parsec::Benchmark;
+    use spa_core::clopper_pearson::Assertion;
+    use spa_stl::parser::parse;
+
+    fn setup() -> (crate::workload::WorkloadSpec, Spa) {
+        let spec = Benchmark::Blackscholes.workload_scaled(0.2);
+        let spa = Spa::builder()
+            .confidence(0.9)
+            .proportion(0.5)
+            .build()
+            .unwrap();
+        (spec, spa)
+    }
+
+    #[test]
+    fn trivially_true_property_asserts_positive() {
+        let (spec, spa) = setup();
+        let machine = Machine::new(SystemConfig::table2().with_trace(), &spec).unwrap();
+        let formula = parse("G[0,end] (occupancy >= 0)").unwrap();
+        let report = run_check(
+            &machine,
+            &formula,
+            PropertySemantics::Boolean,
+            &spa,
+            100,
+            None,
+            &RetryPolicy::no_retry(),
+        )
+        .unwrap();
+        assert_eq!(report.satisfied, report.evaluated);
+        assert_eq!(report.satisfaction_rate, 1.0);
+        assert_eq!(report.outcome.assertion, Some(Assertion::Positive));
+        assert!(report.robustness_interval.is_none());
+        assert!(!report.robustness);
+        assert!(report.failures.is_clean());
+        // The formula is stored in canonical (parsed Display) form.
+        assert_eq!(report.formula, formula.to_string());
+    }
+
+    #[test]
+    fn robustness_semantics_produce_an_interval() {
+        let (spec, spa) = setup();
+        let machine = Machine::new(SystemConfig::table2().with_trace(), &spec).unwrap();
+        let formula = parse("G[0,end] (occupancy >= 0)").unwrap();
+        let report = run_check(
+            &machine,
+            &formula,
+            PropertySemantics::Robustness,
+            &spa,
+            100,
+            None,
+            &RetryPolicy::no_retry(),
+        )
+        .unwrap();
+        assert!(report.robustness);
+        let interval = report.robustness_interval.expect("robustness mode");
+        assert!(interval.lower() <= interval.upper());
+        assert_eq!(report.satisfied, report.evaluated, "all margins positive");
+    }
+
+    #[test]
+    fn untraced_machine_fails_with_sampling_error() {
+        let (spec, spa) = setup();
+        let machine = Machine::new(SystemConfig::table2(), &spec).unwrap();
+        let formula = parse("G[0,end] (occupancy >= 0)").unwrap();
+        let err = run_check(
+            &machine,
+            &formula,
+            PropertySemantics::Boolean,
+            &spa,
+            0,
+            Some(4),
+            &RetryPolicy::no_retry(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::SamplingFailed { .. }));
+    }
+
+    #[test]
+    fn reports_are_identical_across_batch_sizes() {
+        // The check inherits collect_indexed's index-determinism, so
+        // parallelism never changes the verdict.
+        let (spec, _) = setup();
+        let machine = Machine::new(SystemConfig::table2().with_trace(), &spec).unwrap();
+        let formula = parse("F[0,end] (ipc > 0.1)").unwrap();
+        let mut reports = Vec::new();
+        for batch in [1usize, 4] {
+            let spa = Spa::builder()
+                .confidence(0.9)
+                .proportion(0.5)
+                .batch_size(batch)
+                .build()
+                .unwrap();
+            reports.push(
+                run_check(
+                    &machine,
+                    &formula,
+                    PropertySemantics::Boolean,
+                    &spa,
+                    7,
+                    Some(8),
+                    &RetryPolicy::no_retry(),
+                )
+                .unwrap(),
+            );
+        }
+        assert_eq!(reports[0], reports[1]);
+    }
+}

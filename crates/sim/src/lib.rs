@@ -22,10 +22,17 @@
 //! * synthetic multithreaded workloads modelled on the PARSEC
 //!   benchmarks the paper uses ([`workload::parsec`]),
 //! * per-execution metrics (runtime, IPC, MPKI, max load latency, …)
-//!   plus optional STL traces/events ([`metrics::ExecutionResult`]), and
+//!   plus optional STL traces/events ([`metrics::ExecutionResult`]),
 //! * deterministic fault injection — seeded crash / hang / NaN-metric
 //!   faults for exercising the fault-tolerant sampling pipeline
-//!   ([`fault::FaultSpec`]).
+//!   ([`fault::FaultSpec`]),
+//! * recorded performance signals (IPC, miss rates, occupancy over
+//!   cycles) sampled at quantum boundaries ([`trace_recorder`]),
+//! * pipeline stages adapting the machine to `spa-core`'s staged
+//!   sampling abstraction — scalar metrics or per-trace STL verdicts
+//!   ([`pipeline`]), and
+//! * the end-to-end trace-to-verdict property check shared by the CLI
+//!   and server ([`check`]).
 //!
 //! # Example
 //!
@@ -48,6 +55,7 @@
 
 pub mod branch;
 pub mod cache;
+pub mod check;
 pub mod coherence;
 pub mod config;
 pub mod dram;
@@ -56,10 +64,12 @@ pub mod interconnect;
 pub mod machine;
 pub mod memhier;
 pub mod metrics;
+pub mod pipeline;
 pub mod rng;
 pub mod runner;
 pub mod sync;
 pub mod tlb;
+pub mod trace_recorder;
 pub mod variability;
 pub mod workload;
 

@@ -16,6 +16,7 @@ use crate::config::SystemConfig;
 use crate::memhier::MemoryHierarchy;
 use crate::metrics::{ExecutionMetrics, ExecutionResult};
 use crate::sync::{Barrier, BoundedQueue, Lock, PopResult, PushResult, Wake};
+use crate::trace_recorder::TraceRecorder;
 use crate::variability::{Variability, VariabilityState};
 use crate::workload::{Op, PInstr, WorkloadSpec};
 use crate::{Result, SimError};
@@ -151,6 +152,7 @@ struct Run<'m, 'w> {
     events: Vec<(u64, &'static str)>,
     active_samples: Vec<(u64, u32)>,
     active: u32,
+    recorder: Option<TraceRecorder>,
 }
 
 impl<'m, 'w> Run<'m, 'w> {
@@ -197,6 +199,10 @@ impl<'m, 'w> Run<'m, 'w> {
             events: Vec::new(),
             active_samples: Vec::new(),
             active: cores as u32,
+            recorder: machine
+                .config
+                .collect_trace
+                .then(|| TraceRecorder::new(machine.config.cores)),
         }
     }
 
@@ -222,6 +228,30 @@ impl<'m, 'w> Run<'m, 'w> {
         }
     }
 
+    /// Samples the recorder's performance signals after a core yields
+    /// to the event heap (so every quantum boundary produces at most
+    /// one sample per core, at that core's current time).
+    fn record_trace_point(&mut self, tid: usize) {
+        let at = self.threads[tid].time;
+        let instructions = self.threads.iter().map(|t| t.instructions).sum();
+        let l1d_misses = self.hier.l1d_misses();
+        let l1d_accesses = self.hier.l1d_accesses();
+        let l2_misses = self.hier.l2_misses();
+        let l2_accesses = self.hier.l2_accesses();
+        let active = self.active;
+        if let Some(recorder) = self.recorder.as_mut() {
+            recorder.record(
+                at,
+                instructions,
+                l1d_misses,
+                l1d_accesses,
+                l2_misses,
+                l2_accesses,
+                active,
+            );
+        }
+    }
+
     fn execute(mut self) -> Result<ExecutionResult> {
         while let Some(Reverse((at, _, tid))) = self.heap.pop() {
             let tid = tid as usize;
@@ -243,6 +273,9 @@ impl<'m, 'w> Run<'m, 'w> {
                 t.time = t.time.max(at);
             }
             self.run_quantum(tid)?;
+            if self.recorder.is_some() {
+                self.record_trace_point(tid);
+            }
         }
         if self.done_count < self.threads.len() {
             let cycle = self.threads.iter().map(|t| t.time).max().unwrap_or(0);
@@ -640,6 +673,11 @@ impl<'m, 'w> Run<'m, 'w> {
                 .push("power", 0, 8.0 + 23.0 * n)
                 .expect("fresh signal");
         }
+        // Performance signals (IPC, miss rates, occupancy) sampled at
+        // quantum boundaries by the recorder.
+        if let Some(recorder) = &self.recorder {
+            recorder.write_into(data.trace_mut());
+        }
         data
     }
 }
@@ -881,6 +919,19 @@ mod tests {
         assert!(data.metric("runtime").is_ok());
         assert!(data.trace().has_signal("power"));
         assert!(data.trace().has_signal("active_threads"));
+        // Recorder-derived performance signals are present and defined
+        // over the whole run.
+        for signal in crate::trace_recorder::RECORDED_SIGNALS {
+            assert!(data.trace().has_signal(signal), "missing {signal}");
+            assert!(data.trace().value_at(signal, 0).is_ok());
+            assert!(data.trace().value_at(signal, data.duration()).is_ok());
+        }
+        // The final cumulative IPC sample agrees with the scalar metric.
+        let end_ipc = data
+            .trace()
+            .value_at("ipc", data.trace().end_time())
+            .unwrap();
+        assert!((end_ipc - r.metrics.ipc).abs() < 0.25, "ipc close to metric");
         // Untraced runs return None.
         let m2 = Machine::new(single_thread_config(), &w).unwrap();
         assert!(m2.run(0).unwrap().stl_data.is_none());

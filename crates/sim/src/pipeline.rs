@@ -1,0 +1,304 @@
+//! Simulator-backed pipeline stages: the sim side of the paper's
+//! *simulate → record → evaluate → feed SMC* workflow.
+//!
+//! [`spa_core::pipeline`] defines the staged sampling abstraction
+//! (observation source → evaluator); this module provides the concrete
+//! stages for simulator workloads:
+//!
+//! * [`MachineSource`] — stage 1: one seeded [`Machine`] execution per
+//!   observation, with simulator errors and panics classified as
+//!   [`SampleError`]s so SPA's retry machinery can handle them,
+//! * [`MetricEvaluator`] — stage 2 for the scalar path: extract one
+//!   [`Metric`] from the execution's end-of-run counters,
+//! * [`StlEvaluator`] — stage 2 for the trace path: evaluate a parsed
+//!   STL formula over the execution's recorded signal trace, yielding
+//!   a boolean-satisfaction (0/1) or quantitative-robustness sample.
+//!
+//! Composed with [`Pipeline`](spa_core::pipeline::Pipeline), either
+//! evaluator turns a machine into a
+//! [`FallibleSampler`](spa_core::fault::FallibleSampler) that plugs
+//! directly into [`Spa`](spa_core::spa::Spa).
+//!
+//! # Examples
+//!
+//! Checking `G[0,end] (occupancy >= 0)` with boolean semantics:
+//!
+//! ```
+//! use spa_core::fault::FallibleSampler;
+//! use spa_core::pipeline::Pipeline;
+//! use spa_sim::config::SystemConfig;
+//! use spa_sim::machine::Machine;
+//! use spa_sim::pipeline::{MachineSource, PropertySemantics, StlEvaluator};
+//! use spa_sim::workload::parsec::Benchmark;
+//! use spa_stl::parser::parse;
+//!
+//! let spec = Benchmark::Blackscholes.workload_scaled(0.2);
+//! let machine = Machine::new(SystemConfig::table2().with_trace(), &spec).unwrap();
+//! let formula = parse("G[0,end] (occupancy >= 0)").unwrap();
+//! let pipeline = Pipeline::new(
+//!     MachineSource::new(&machine),
+//!     StlEvaluator::new(formula, PropertySemantics::Boolean),
+//! );
+//! assert_eq!(pipeline.sample(1), Ok(1.0));
+//! ```
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use spa_core::fault::SampleError;
+use spa_core::pipeline::{Evaluator, SampleSource};
+use spa_stl::ast::Stl;
+use spa_stl::eval::{robustness, satisfies};
+
+use crate::machine::Machine;
+use crate::metrics::{ExecutionResult, Metric};
+
+/// Stage 1: a seed-addressed source of simulator executions.
+///
+/// Each observation is one full [`ExecutionResult`] — scalar metrics
+/// plus, when the machine's config enables trace collection, the
+/// recorded STL trace. Simulator errors (e.g. workload deadlocks) and
+/// panics surface as [`SampleError::Crash`], keeping the machine usable
+/// from SPA's fault-tolerant driver.
+#[derive(Debug, Clone, Copy)]
+pub struct MachineSource<'m, 'w> {
+    machine: &'m Machine<'w>,
+}
+
+impl<'m, 'w> MachineSource<'m, 'w> {
+    /// A source drawing observations from `machine`.
+    pub fn new(machine: &'m Machine<'w>) -> Self {
+        Self { machine }
+    }
+}
+
+impl SampleSource for MachineSource<'_, '_> {
+    type Obs = ExecutionResult;
+
+    fn observe(&self, seed: u64) -> Result<ExecutionResult, SampleError> {
+        match catch_unwind(AssertUnwindSafe(|| self.machine.run(seed))) {
+            Ok(Ok(result)) => Ok(result),
+            Ok(Err(e)) => Err(SampleError::Crash {
+                message: e.to_string(),
+            }),
+            Err(_) => Err(SampleError::Crash {
+                message: "simulator panicked".to_owned(),
+            }),
+        }
+    }
+}
+
+/// Stage 2, scalar path: extracts one end-of-run [`Metric`] from an
+/// execution.
+///
+/// This is the streaming replacement for
+/// `run_population` + `extract_metric`: each execution is reduced to
+/// its `f64` sample as soon as it finishes, so no intermediate
+/// `Vec<ExecutionResult>` is materialized.
+#[derive(Debug, Clone, Copy)]
+pub struct MetricEvaluator {
+    metric: Metric,
+}
+
+impl MetricEvaluator {
+    /// An evaluator extracting `metric`.
+    pub fn new(metric: Metric) -> Self {
+        Self { metric }
+    }
+
+    /// The extracted metric.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// Extracts the metric value without the finiteness check.
+    pub fn extract(&self, result: &ExecutionResult) -> f64 {
+        self.metric.extract(&result.metrics)
+    }
+}
+
+impl Evaluator for MetricEvaluator {
+    type Obs = ExecutionResult;
+
+    fn evaluate(&self, obs: &ExecutionResult) -> Result<f64, SampleError> {
+        let value = self.extract(obs);
+        if value.is_finite() {
+            Ok(value)
+        } else {
+            Err(SampleError::InvalidMetric { value })
+        }
+    }
+}
+
+/// Which STL semantics an [`StlEvaluator`] samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PropertySemantics {
+    /// Boolean satisfaction: 1.0 when the trace satisfies the formula,
+    /// 0.0 otherwise. These are the `φ(σ)` Bernoulli outcomes the
+    /// paper's SMC engine consumes (Algorithm 1/2).
+    Boolean,
+    /// Quantitative robustness (Donzé & Maler): how strongly the trace
+    /// satisfies (positive) or violates (negative) the formula, as a
+    /// real-valued sample suitable for CI construction.
+    Robustness,
+}
+
+/// Stage 2, trace path: evaluates a parsed STL formula over each
+/// execution's recorded signal trace.
+///
+/// The machine feeding this evaluator must have trace collection
+/// enabled ([`SystemConfig::with_trace`](crate::config::SystemConfig::with_trace));
+/// an execution without a trace is reported as [`SampleError::Crash`],
+/// since retrying cannot help. STL evaluation errors (unknown signal,
+/// empty window) are likewise crashes, and a non-finite robustness
+/// value (the vacuous `±∞` of `true`/`false` subformulas dominating)
+/// maps to [`SampleError::InvalidMetric`] to preserve the pipeline's
+/// finite-sample invariant.
+#[derive(Debug, Clone)]
+pub struct StlEvaluator {
+    formula: Stl,
+    semantics: PropertySemantics,
+}
+
+impl StlEvaluator {
+    /// An evaluator for `formula` under `semantics`.
+    pub fn new(formula: Stl, semantics: PropertySemantics) -> Self {
+        Self { formula, semantics }
+    }
+
+    /// The evaluated formula.
+    pub fn formula(&self) -> &Stl {
+        &self.formula
+    }
+
+    /// The sampling semantics.
+    pub fn semantics(&self) -> PropertySemantics {
+        self.semantics
+    }
+}
+
+impl Evaluator for StlEvaluator {
+    type Obs = ExecutionResult;
+
+    fn evaluate(&self, obs: &ExecutionResult) -> Result<f64, SampleError> {
+        let data = obs.stl_data.as_ref().ok_or_else(|| SampleError::Crash {
+            message: "execution carried no STL trace (enable SystemConfig::with_trace)".to_owned(),
+        })?;
+        let trace = data.trace();
+        let t = trace.start_time();
+        match self.semantics {
+            PropertySemantics::Boolean => match satisfies(&self.formula, trace, t) {
+                Ok(sat) => Ok(if sat { 1.0 } else { 0.0 }),
+                Err(e) => Err(SampleError::Crash {
+                    message: format!("STL evaluation failed: {e}"),
+                }),
+            },
+            PropertySemantics::Robustness => match robustness(&self.formula, trace, t) {
+                Ok(value) if value.is_finite() => Ok(value),
+                Ok(value) => Err(SampleError::InvalidMetric { value }),
+                Err(e) => Err(SampleError::Crash {
+                    message: format!("STL evaluation failed: {e}"),
+                }),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use crate::workload::parsec::Benchmark;
+    use crate::workload::{PInstr, WorkloadSpec};
+    use spa_core::pipeline::Pipeline;
+    use spa_stl::parser::parse;
+
+    fn traced_machine(spec: &WorkloadSpec) -> Machine<'_> {
+        Machine::new(SystemConfig::table2().with_trace(), spec).unwrap()
+    }
+
+    #[test]
+    fn metric_evaluator_streams_the_scalar_path() {
+        let spec = Benchmark::Blackscholes.workload_scaled(0.2);
+        let machine = Machine::new(SystemConfig::table2(), &spec).unwrap();
+        let pipeline = Pipeline::new(
+            MachineSource::new(&machine),
+            MetricEvaluator::new(Metric::Ipc),
+        );
+        use spa_core::fault::FallibleSampler;
+        let sample = pipeline.sample(3).unwrap();
+        let direct = Metric::Ipc.extract(&machine.run(3).unwrap().metrics);
+        assert_eq!(sample, direct);
+    }
+
+    #[test]
+    fn boolean_and_robustness_semantics_agree_in_sign() {
+        let spec = Benchmark::Blackscholes.workload_scaled(0.2);
+        let machine = traced_machine(&spec);
+        let run = machine.run(9).unwrap();
+        for src in ["G[0,end] (occupancy >= 0)", "F[0,end] (ipc > 1000)"] {
+            let formula = parse(src).unwrap();
+            let boolean = StlEvaluator::new(formula.clone(), PropertySemantics::Boolean)
+                .evaluate(&run)
+                .unwrap();
+            let rob = StlEvaluator::new(formula, PropertySemantics::Robustness)
+                .evaluate(&run)
+                .unwrap();
+            assert!(boolean == 0.0 || boolean == 1.0);
+            assert_eq!(
+                boolean == 1.0,
+                rob > 0.0,
+                "{src}: boolean {boolean} vs robustness {rob}"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_trace_is_a_crash_not_a_panic() {
+        let spec = Benchmark::Blackscholes.workload_scaled(0.2);
+        let machine = Machine::new(SystemConfig::table2(), &spec).unwrap();
+        let run = machine.run(0).unwrap();
+        let err = StlEvaluator::new(
+            parse("G[0,end] (ipc > 0)").unwrap(),
+            PropertySemantics::Boolean,
+        )
+        .evaluate(&run)
+        .unwrap_err();
+        assert!(matches!(err, SampleError::Crash { .. }));
+    }
+
+    #[test]
+    fn unknown_signal_is_a_crash() {
+        let spec = Benchmark::Blackscholes.workload_scaled(0.2);
+        let machine = traced_machine(&spec);
+        let run = machine.run(0).unwrap();
+        let err = StlEvaluator::new(
+            parse("G[0,end] (no_such_signal > 0)").unwrap(),
+            PropertySemantics::Boolean,
+        )
+        .evaluate(&run)
+        .unwrap_err();
+        assert!(matches!(err, SampleError::Crash { .. }));
+    }
+
+    #[test]
+    fn simulator_errors_surface_as_sample_errors() {
+        // A self-deadlocking program: the second acquire of a
+        // non-reentrant lock can never succeed.
+        let mut config = SystemConfig::table2();
+        config.cores = 1;
+        let spec = WorkloadSpec {
+            name: "deadlock".into(),
+            programs: vec![vec![
+                PInstr::LockAcquire(0),
+                PInstr::LockAcquire(0),
+                PInstr::End,
+            ]],
+            locks: 1,
+            code_bytes: 64,
+            ..WorkloadSpec::default()
+        };
+        let machine = Machine::new(config, &spec).unwrap();
+        let err = MachineSource::new(&machine).observe(0).unwrap_err();
+        assert!(matches!(err, SampleError::Crash { .. }));
+    }
+}

@@ -8,6 +8,7 @@
 use crate::config::SystemConfig;
 use crate::machine::Machine;
 use crate::metrics::{ExecutionResult, Metric};
+use crate::pipeline::MetricEvaluator;
 use crate::variability::Variability;
 use crate::workload::WorkloadSpec;
 use crate::Result;
@@ -64,8 +65,75 @@ pub fn run_population_with(
 }
 
 /// Extracts one metric from a population of runs.
+///
+/// Prefer [`run_metric_population`] when the full [`ExecutionResult`]s
+/// are not otherwise needed: it streams each run through the metric
+/// evaluation stage instead of materializing the whole population
+/// first.
 pub fn extract_metric(runs: &[ExecutionResult], metric: Metric) -> Vec<f64> {
     runs.iter().map(|r| metric.extract(&r.metrics)).collect()
+}
+
+/// Runs `count` executions and streams each through the pipeline's
+/// metric evaluation stage, returning only the metric samples.
+///
+/// Equivalent to [`run_population`] followed by [`extract_metric`], but
+/// each `ExecutionResult` (metrics struct plus any recorded trace) is
+/// dropped as soon as its sample is extracted — the scalar path never
+/// holds the whole population in memory.
+///
+/// # Errors
+///
+/// Propagates the first simulation error.
+///
+/// # Examples
+///
+/// ```
+/// use spa_sim::config::SystemConfig;
+/// use spa_sim::metrics::Metric;
+/// use spa_sim::runner::run_metric_population;
+/// use spa_sim::workload::parsec::Benchmark;
+///
+/// let spec = Benchmark::Blackscholes.workload_scaled(0.25);
+/// let ipc = run_metric_population(SystemConfig::table2(), &spec, 0, 5, Metric::Ipc)?;
+/// assert_eq!(ipc.len(), 5);
+/// # Ok::<(), spa_sim::SimError>(())
+/// ```
+pub fn run_metric_population(
+    config: SystemConfig,
+    workload: &WorkloadSpec,
+    seed_start: u64,
+    count: u64,
+    metric: Metric,
+) -> Result<Vec<f64>> {
+    run_metric_population_with(
+        config,
+        workload,
+        Variability::paper_default(),
+        seed_start,
+        count,
+        metric,
+    )
+}
+
+/// As [`run_metric_population`] with an explicit variability model.
+///
+/// # Errors
+///
+/// Propagates the first simulation error.
+pub fn run_metric_population_with(
+    config: SystemConfig,
+    workload: &WorkloadSpec,
+    variability: Variability,
+    seed_start: u64,
+    count: u64,
+    metric: Metric,
+) -> Result<Vec<f64>> {
+    let machine = Machine::new(config, workload)?.with_variability(variability);
+    let evaluator = MetricEvaluator::new(metric);
+    (seed_start..seed_start + count)
+        .map(|seed| machine.run(seed).map(|run| evaluator.extract(&run)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -96,6 +164,16 @@ mod tests {
             assert_eq!(v, r.metrics.runtime_seconds);
             assert!(v > 0.0);
         }
+    }
+
+    #[test]
+    fn streamed_metrics_match_materialized_extraction() {
+        let spec = Benchmark::Blackscholes.workload_scaled(0.25);
+        let runs = run_population(SystemConfig::table2(), &spec, 5, 4).unwrap();
+        let materialized = extract_metric(&runs, Metric::Ipc);
+        let streamed =
+            run_metric_population(SystemConfig::table2(), &spec, 5, 4, Metric::Ipc).unwrap();
+        assert_eq!(materialized, streamed);
     }
 
     #[test]

@@ -1,0 +1,229 @@
+//! Per-run trace recording: piecewise-constant performance signals
+//! sampled at scheduling-quantum boundaries.
+//!
+//! The paper's STL workflow (§4, Table 1) monitors temporal properties
+//! over *signal traces*, not end-of-run scalars. The machine already
+//! records event streams and an active-thread signal; this module adds
+//! the derived performance signals properties most often reference —
+//! cumulative IPC, L1D/L2 miss rates, and core occupancy — each sampled
+//! whenever a core yields to the event heap. Samples are buffered here
+//! and written into a [`spa_stl::trace::Trace`] at the end of the run,
+//! where per-signal times must be strictly increasing.
+
+use spa_stl::trace::Trace;
+
+/// The signals a [`TraceRecorder`] emits, in emission order.
+pub const RECORDED_SIGNALS: [&str; 4] = ["ipc", "l1d_miss_rate", "l2_miss_rate", "occupancy"];
+
+/// Cap on recorded samples per run (keeps traces bounded, mirroring the
+/// machine's event cap).
+const SAMPLE_CAP: usize = 20_000;
+
+/// One buffered observation of every recorded signal at a given cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Point {
+    at: u64,
+    ipc: f64,
+    l1d_miss_rate: f64,
+    l2_miss_rate: f64,
+    occupancy: f64,
+}
+
+/// Buffers piecewise-constant signal samples during a run and writes
+/// them into an STL trace afterwards.
+///
+/// Recording order follows the (deterministic) event-heap schedule, so
+/// for a fixed `(config, workload, seed)` the emitted trace is
+/// byte-stable — the determinism guard in `tests/trace_golden.rs`
+/// enforces this.
+///
+/// # Examples
+///
+/// ```
+/// use spa_sim::trace_recorder::TraceRecorder;
+/// use spa_stl::trace::Trace;
+///
+/// let mut rec = TraceRecorder::new(2);
+/// rec.record(100, 250, 5, 50, 1, 5, 2);
+/// let mut trace = Trace::new();
+/// rec.write_into(&mut trace);
+/// assert_eq!(trace.value_at("ipc", 100).unwrap(), 2.5);
+/// assert_eq!(trace.value_at("occupancy", 100).unwrap(), 1.0);
+/// // A baseline sample makes every signal defined from cycle 0.
+/// assert_eq!(trace.value_at("ipc", 0).unwrap(), 0.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TraceRecorder {
+    cores: u32,
+    points: Vec<Point>,
+}
+
+impl TraceRecorder {
+    /// A recorder for a machine with `cores` cores.
+    pub fn new(cores: u32) -> Self {
+        Self {
+            cores,
+            points: Vec::new(),
+        }
+    }
+
+    /// Records one sample of every signal at cycle `at` from cumulative
+    /// machine counters.
+    ///
+    /// Rates guard their denominators: IPC is 0 at cycle 0 and miss
+    /// rates are 0 before the first access. Samples past the cap are
+    /// dropped silently — the trace stays valid, just coarser at the
+    /// tail.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record(
+        &mut self,
+        at: u64,
+        instructions: u64,
+        l1d_misses: u64,
+        l1d_accesses: u64,
+        l2_misses: u64,
+        l2_accesses: u64,
+        active: u32,
+    ) {
+        if self.points.len() >= SAMPLE_CAP {
+            return;
+        }
+        let rate = |misses: u64, accesses: u64| {
+            if accesses > 0 {
+                misses as f64 / accesses as f64
+            } else {
+                0.0
+            }
+        };
+        let ipc = if at > 0 {
+            instructions as f64 / at as f64
+        } else {
+            0.0
+        };
+        self.points.push(Point {
+            at,
+            ipc,
+            l1d_miss_rate: rate(l1d_misses, l1d_accesses),
+            l2_miss_rate: rate(l2_misses, l2_accesses),
+            occupancy: active as f64 / f64::from(self.cores.max(1)),
+        });
+    }
+
+    /// Number of buffered samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Writes the buffered samples into `trace` as the four
+    /// [`RECORDED_SIGNALS`].
+    ///
+    /// Samples are sorted by time and deduplicated keeping the first
+    /// sample per instant (the same convention the machine uses for its
+    /// active-thread signal), satisfying the trace's strictly-increasing
+    /// time requirement. A baseline sample at cycle 0 (zero IPC and miss
+    /// rates, full occupancy) is synthesized when none was recorded, so
+    /// `value_at` is defined over the whole run.
+    pub fn write_into(&self, trace: &mut Trace) {
+        let mut points = self.points.clone();
+        points.sort_by_key(|p| p.at);
+        let mut last_time = None;
+        if points.first().map_or(true, |p| p.at > 0) {
+            let baseline = Point {
+                at: 0,
+                ipc: 0.0,
+                l1d_miss_rate: 0.0,
+                l2_miss_rate: 0.0,
+                occupancy: 1.0,
+            };
+            Self::push_point(trace, &baseline);
+            last_time = Some(0);
+        }
+        for point in &points {
+            if last_time == Some(point.at) {
+                continue; // keep strictly increasing times
+            }
+            last_time = Some(point.at);
+            Self::push_point(trace, point);
+        }
+    }
+
+    fn push_point(trace: &mut Trace, point: &Point) {
+        let values = [
+            point.ipc,
+            point.l1d_miss_rate,
+            point.l2_miss_rate,
+            point.occupancy,
+        ];
+        for (signal, value) in RECORDED_SIGNALS.iter().zip(values) {
+            trace
+                .push(signal, point.at, value)
+                .expect("times strictly increasing");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signals_are_written_in_time_order_with_baseline() {
+        let mut rec = TraceRecorder::new(4);
+        // Recorded out of order, with a duplicate instant.
+        rec.record(200, 400, 10, 100, 2, 10, 4);
+        rec.record(100, 150, 5, 50, 1, 5, 2);
+        rec.record(200, 999, 99, 100, 9, 10, 1); // dup: first at t=200 wins
+        let mut trace = Trace::new();
+        rec.write_into(&mut trace);
+
+        for signal in RECORDED_SIGNALS {
+            assert!(trace.has_signal(signal), "missing {signal}");
+        }
+        // Baseline synthesized at t=0.
+        assert_eq!(trace.value_at("ipc", 0).unwrap(), 0.0);
+        assert_eq!(trace.value_at("occupancy", 0).unwrap(), 1.0);
+        // Sorted samples, first-per-instant kept.
+        assert_eq!(trace.value_at("ipc", 100).unwrap(), 1.5);
+        assert_eq!(trace.value_at("ipc", 200).unwrap(), 2.0);
+        assert_eq!(trace.value_at("occupancy", 200).unwrap(), 1.0);
+        assert_eq!(trace.value_at("l1d_miss_rate", 100).unwrap(), 0.1);
+        assert_eq!(trace.value_at("l2_miss_rate", 200).unwrap(), 0.2);
+    }
+
+    #[test]
+    fn rates_guard_zero_denominators() {
+        let mut rec = TraceRecorder::new(1);
+        rec.record(0, 0, 0, 0, 0, 0, 1);
+        let mut trace = Trace::new();
+        rec.write_into(&mut trace);
+        assert_eq!(trace.value_at("ipc", 0).unwrap(), 0.0);
+        assert_eq!(trace.value_at("l1d_miss_rate", 0).unwrap(), 0.0);
+        assert_eq!(trace.value_at("l2_miss_rate", 0).unwrap(), 0.0);
+        assert_eq!(trace.value_at("occupancy", 0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn empty_recorder_still_emits_defined_signals() {
+        let rec = TraceRecorder::new(8);
+        let mut trace = Trace::new();
+        rec.write_into(&mut trace);
+        for signal in RECORDED_SIGNALS {
+            assert!(trace.has_signal(signal));
+            assert!(trace.value_at(signal, 12345).is_ok());
+        }
+    }
+
+    #[test]
+    fn sample_cap_bounds_memory() {
+        let mut rec = TraceRecorder::new(1);
+        for t in 0..(SAMPLE_CAP as u64 + 100) {
+            rec.record(t + 1, t, 0, 0, 0, 0, 1);
+        }
+        assert_eq!(rec.len(), SAMPLE_CAP);
+    }
+}

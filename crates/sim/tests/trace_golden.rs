@@ -1,0 +1,71 @@
+//! Determinism guard: a seeded traced run's recorded trace is
+//! byte-stable.
+//!
+//! The trace-to-verdict pipeline relies on executions being a pure
+//! function of `(config, workload, seed)`: retries, thread counts, and
+//! re-runs must all see the identical trace. This test serializes a
+//! fixed-seed run's full `ExecutionData` and compares it byte-for-byte
+//! against a checked-in golden file. The golden file is self-blessing:
+//! a fresh checkout writes it on first run, every later run (and every
+//! CI job, which runs tests twice via build + test) must reproduce it
+//! exactly.
+
+use std::fs;
+use std::path::PathBuf;
+
+use spa_sim::config::SystemConfig;
+use spa_sim::machine::Machine;
+use spa_sim::workload::parsec::Benchmark;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/trace_blackscholes_seed42.json")
+}
+
+fn render_trace() -> String {
+    let spec = Benchmark::Blackscholes.workload_scaled(0.2);
+    let machine = Machine::new(SystemConfig::table2().with_trace(), &spec).unwrap();
+    let run = machine.run(42).unwrap();
+    let data = run.stl_data.expect("trace collection enabled");
+    let mut json = serde_json::to_string_pretty(&data).expect("trace serializes");
+    json.push('\n');
+    json
+}
+
+#[test]
+fn recorded_trace_is_byte_stable() {
+    let first = render_trace();
+    let second = render_trace();
+    assert_eq!(first, second, "same seed must serialize identically");
+
+    let path = golden_path();
+    match fs::read_to_string(&path) {
+        Ok(golden) => assert_eq!(
+            first,
+            golden,
+            "recorded trace drifted from the golden file; delete {} to \
+             re-bless after an intentional trace-format change",
+            path.display()
+        ),
+        Err(_) => {
+            // First run in a fresh checkout: bless the golden file.
+            fs::create_dir_all(path.parent().expect("golden dir")).expect("create golden dir");
+            fs::write(&path, &first).expect("write golden file");
+        }
+    }
+}
+
+#[test]
+fn traced_signals_cover_the_whole_run() {
+    let spec = Benchmark::Blackscholes.workload_scaled(0.2);
+    let machine = Machine::new(SystemConfig::table2().with_trace(), &spec).unwrap();
+    let data = machine.run(42).unwrap().stl_data.unwrap();
+    for signal in spa_sim::trace_recorder::RECORDED_SIGNALS {
+        let samples = data.trace().samples(signal).expect("signal recorded");
+        assert!(!samples.is_empty());
+        assert_eq!(samples[0].time, 0, "{signal} defined from cycle 0");
+        assert!(
+            samples.windows(2).all(|w| w[0].time < w[1].time),
+            "{signal} times strictly increasing"
+        );
+    }
+}

@@ -7,6 +7,9 @@ pub enum StlError {
     Parse {
         /// Byte offset of the problem in the input.
         position: usize,
+        /// Byte length of the offending token (0 at end of input), so
+        /// renderers can place a caret span under the exact lexeme.
+        len: usize,
         /// What went wrong.
         message: String,
     },
@@ -43,7 +46,9 @@ pub enum StlError {
 impl fmt::Display for StlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            StlError::Parse { position, message } => {
+            StlError::Parse {
+                position, message, ..
+            } => {
                 write!(f, "parse error at byte {position}: {message}")
             }
             StlError::UnknownSignal(s) => write!(f, "unknown signal `{s}`"),
@@ -80,6 +85,7 @@ mod tests {
     fn display_is_informative() {
         let e = StlError::Parse {
             position: 7,
+            len: 1,
             message: "expected `]`".into(),
         };
         assert!(e.to_string().contains("byte 7"));

@@ -344,6 +344,61 @@ mod tests {
     }
 
     #[test]
+    fn empty_trace_errors_on_atoms_but_not_constants() {
+        let t = Trace::new();
+        // Any signal reference is an unknown-signal error…
+        assert!(matches!(
+            satisfies(&parse("x > 0").unwrap(), &t, 0),
+            Err(crate::StlError::UnknownSignal(_))
+        ));
+        // …even under a temporal operator, because the clamped window
+        // still inspects its start instant.
+        assert!(satisfies(&parse("G[0,10] x > 0").unwrap(), &t, 0).is_err());
+        assert!(robustness(&parse("F x > 0").unwrap(), &t, 0).is_err());
+        // Signal-free formulas evaluate fine over an empty trace.
+        assert!(satisfies(&Stl::globally(Interval::unbounded(), Stl::True), &t, 0).unwrap());
+        assert_eq!(robustness(&Stl::True, &t, 0).unwrap(), f64::INFINITY);
+    }
+
+    #[test]
+    fn single_sample_trace_extends_piecewise_constant() {
+        let mut t = Trace::new();
+        t.push("x", 0, 3.0).unwrap();
+        // The lone sample's value holds at every later instant…
+        assert!(satisfies(&parse("x < 5").unwrap(), &t, 0).unwrap());
+        assert!(satisfies(&parse("x < 5").unwrap(), &t, 1_000_000).unwrap());
+        assert_eq!(robustness(&parse("x < 5").unwrap(), &t, 500).unwrap(), 2.0);
+        // …so temporal windows far past end_time() (= 0 here) still
+        // evaluate, clamped to the single defined instant.
+        assert!(satisfies(&parse("G[0,1000] x < 5").unwrap(), &t, 0).unwrap());
+        assert!(!satisfies(&parse("F[0,1000] x > 5").unwrap(), &t, 0).unwrap());
+        // An instant before the first sample is an empty window.
+        let mut late = Trace::new();
+        late.push("x", 10, 3.0).unwrap();
+        assert!(matches!(
+            satisfies(&parse("x < 5").unwrap(), &late, 5),
+            Err(crate::StlError::EmptyWindow { .. })
+        ));
+    }
+
+    #[test]
+    fn interval_bounds_past_end_of_trace_clamp() {
+        let t = trace(); // end_time() = 20, x holds 4 from 20 on.
+        // Window [50,100] lies entirely past the trace end; it clamps to
+        // the single instant 50, where x's held value is 4.
+        assert!(satisfies(&parse("G[50,100] x < 5").unwrap(), &t, 0).unwrap());
+        assert!(!satisfies(&parse("F[50,100] x > 5").unwrap(), &t, 0).unwrap());
+        assert_eq!(
+            robustness(&parse("G[50,100] x < 5").unwrap(), &t, 0).unwrap(),
+            1.0
+        );
+        // A window straddling the end clamps its upper bound: only the
+        // samples up to end_time() plus the window start are inspected.
+        assert_eq!(check_times(&t, Interval::bounded(15, 100), 0), vec![15, 20]);
+        assert!(satisfies(&parse("F[15,100] x <= 4").unwrap(), &t, 0).unwrap());
+    }
+
+    #[test]
     fn paper_row8_sprinting_example() {
         // "if we enter sprinting state, probability of staying there until
         //  thermal alert" — the per-execution STL check:

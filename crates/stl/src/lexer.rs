@@ -2,17 +2,20 @@
 
 use crate::{Result, StlError};
 
-/// A lexical token with its byte position in the source.
+/// A lexical token with its byte span in the source.
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) struct Token {
     pub kind: TokenKind,
+    /// Byte offset of the token's first character.
     pub pos: usize,
+    /// Byte length of the token's lexeme (0 for [`TokenKind::Eof`]).
+    pub len: usize,
 }
 
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) enum TokenKind {
     /// Identifier: a signal name or the keywords `true` / `false` /
-    /// `inf` (identified contextually).
+    /// `inf` / `end` (identified contextually).
     Ident(String),
     /// Numeric literal.
     Number(f64),
@@ -55,6 +58,9 @@ pub(crate) fn tokenize(src: &str) -> Result<Vec<Token>> {
     let bytes = src.as_bytes();
     let mut tokens = Vec::new();
     let mut i = 0;
+    let mut push = |kind: TokenKind, pos: usize, len: usize| {
+        tokens.push(Token { kind, pos, len });
+    };
     while i < bytes.len() {
         let c = bytes[i] as char;
         let pos = i;
@@ -63,105 +69,60 @@ pub(crate) fn tokenize(src: &str) -> Result<Vec<Token>> {
                 i += 1;
             }
             '(' => {
-                tokens.push(Token {
-                    kind: TokenKind::LParen,
-                    pos,
-                });
+                push(TokenKind::LParen, pos, 1);
                 i += 1;
             }
             ')' => {
-                tokens.push(Token {
-                    kind: TokenKind::RParen,
-                    pos,
-                });
+                push(TokenKind::RParen, pos, 1);
                 i += 1;
             }
             '[' => {
-                tokens.push(Token {
-                    kind: TokenKind::LBracket,
-                    pos,
-                });
+                push(TokenKind::LBracket, pos, 1);
                 i += 1;
             }
             ']' => {
-                tokens.push(Token {
-                    kind: TokenKind::RBracket,
-                    pos,
-                });
+                push(TokenKind::RBracket, pos, 1);
                 i += 1;
             }
             ',' => {
-                tokens.push(Token {
-                    kind: TokenKind::Comma,
-                    pos,
-                });
+                push(TokenKind::Comma, pos, 1);
                 i += 1;
             }
             '!' => {
-                tokens.push(Token {
-                    kind: TokenKind::Not,
-                    pos,
-                });
+                push(TokenKind::Not, pos, 1);
                 i += 1;
             }
             '&' => {
-                i += if bytes.get(i + 1) == Some(&b'&') {
-                    2
-                } else {
-                    1
-                };
-                tokens.push(Token {
-                    kind: TokenKind::And,
-                    pos,
-                });
+                let len = if bytes.get(i + 1) == Some(&b'&') { 2 } else { 1 };
+                push(TokenKind::And, pos, len);
+                i += len;
             }
             '|' => {
-                i += if bytes.get(i + 1) == Some(&b'|') {
-                    2
-                } else {
-                    1
-                };
-                tokens.push(Token {
-                    kind: TokenKind::Or,
-                    pos,
-                });
+                let len = if bytes.get(i + 1) == Some(&b'|') { 2 } else { 1 };
+                push(TokenKind::Or, pos, len);
+                i += len;
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token {
-                        kind: TokenKind::Le,
-                        pos,
-                    });
+                    push(TokenKind::Le, pos, 2);
                     i += 2;
                 } else {
-                    tokens.push(Token {
-                        kind: TokenKind::Lt,
-                        pos,
-                    });
+                    push(TokenKind::Lt, pos, 1);
                     i += 1;
                 }
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token {
-                        kind: TokenKind::Ge,
-                        pos,
-                    });
+                    push(TokenKind::Ge, pos, 2);
                     i += 2;
                 } else {
-                    tokens.push(Token {
-                        kind: TokenKind::Gt,
-                        pos,
-                    });
+                    push(TokenKind::Gt, pos, 1);
                     i += 1;
                 }
             }
             '-' => {
                 if bytes.get(i + 1) == Some(&b'>') {
-                    tokens.push(Token {
-                        kind: TokenKind::Implies,
-                        pos,
-                    });
+                    push(TokenKind::Implies, pos, 2);
                     i += 2;
                 } else if bytes
                     .get(i + 1)
@@ -169,24 +130,19 @@ pub(crate) fn tokenize(src: &str) -> Result<Vec<Token>> {
                 {
                     // Negative number literal.
                     let (num, next) = lex_number(src, i)?;
-                    tokens.push(Token {
-                        kind: TokenKind::Number(num),
-                        pos,
-                    });
+                    push(TokenKind::Number(num), pos, next - pos);
                     i = next;
                 } else {
                     return Err(StlError::Parse {
                         position: pos,
+                        len: 1,
                         message: "stray `-` (expected `->` or a number)".into(),
                     });
                 }
             }
             c if c.is_ascii_digit() || c == '.' => {
                 let (num, next) = lex_number(src, i)?;
-                tokens.push(Token {
-                    kind: TokenKind::Number(num),
-                    pos,
-                });
+                push(TokenKind::Number(num), pos, next - pos);
                 i = next;
             }
             c if is_ident_start(c) => {
@@ -205,11 +161,12 @@ pub(crate) fn tokenize(src: &str) -> Result<Vec<Token>> {
                     "R" => TokenKind::Release,
                     _ => TokenKind::Ident(word.to_owned()),
                 };
-                tokens.push(Token { kind, pos });
+                push(kind, pos, i - start);
             }
             other => {
                 return Err(StlError::Parse {
                     position: pos,
+                    len: 1,
                     message: format!("unexpected character `{other}`"),
                 });
             }
@@ -218,6 +175,7 @@ pub(crate) fn tokenize(src: &str) -> Result<Vec<Token>> {
     tokens.push(Token {
         kind: TokenKind::Eof,
         pos: src.len(),
+        len: 0,
     });
     Ok(tokens)
 }
@@ -252,6 +210,7 @@ fn lex_number(src: &str, start: usize) -> Result<(f64, usize)> {
         .map(|v| (v, i))
         .map_err(|_| StlError::Parse {
             position: start,
+            len: i - start,
             message: format!("malformed number `{}`", &src[start..i]),
         })
 }
@@ -345,5 +304,35 @@ mod tests {
         assert_eq!(toks[0].pos, 0);
         assert_eq!(toks[1].pos, 3);
         assert_eq!(toks[2].pos, 6);
+    }
+
+    #[test]
+    fn lengths_span_the_lexeme() {
+        let toks = tokenize("power <= 2.5e-2 -> (x)").unwrap();
+        let spans: Vec<(usize, usize)> = toks.iter().map(|t| (t.pos, t.len)).collect();
+        assert_eq!(
+            spans,
+            vec![
+                (0, 5),  // power
+                (6, 2),  // <=
+                (9, 6),  // 2.5e-2
+                (16, 2), // ->
+                (19, 1), // (
+                (20, 1), // x
+                (21, 1), // )
+                (22, 0), // Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexical_errors_carry_spans() {
+        match tokenize("power @ 5") {
+            Err(StlError::Parse { position, len, .. }) => {
+                assert_eq!(position, 6);
+                assert_eq!(len, 1);
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
     }
 }

@@ -14,7 +14,7 @@
 //! primary  := '(' formula ')' | 'true' | 'false' | comparison
 //! comparison := operand cmp operand (cmp operand)?   (chained, as in `5 > x > 2`)
 //! operand  := ident | number
-//! interval := '[' number ',' (number | 'inf') ']'
+//! interval := '[' number ',' (number | 'inf' | 'end') ']'
 //! ```
 //!
 //! Exactly one side of a comparison must be a signal name; chained
@@ -29,8 +29,8 @@ use crate::{Result, StlError};
 ///
 /// # Errors
 ///
-/// Returns [`StlError::Parse`] with a byte position and message on any
-/// lexical or syntactic problem.
+/// Returns [`StlError::Parse`] with the byte span of the offending
+/// token and a message on any lexical or syntactic problem.
 ///
 /// # Examples
 ///
@@ -68,6 +68,10 @@ impl Parser {
         self.tokens[self.idx].pos
     }
 
+    fn len(&self) -> usize {
+        self.tokens[self.idx].len
+    }
+
     fn advance(&mut self) -> TokenKind {
         let t = self.tokens[self.idx].kind.clone();
         if self.idx + 1 < self.tokens.len() {
@@ -94,8 +98,13 @@ impl Parser {
     }
 
     fn error(&self, message: String) -> StlError {
+        Self::error_at(self.pos(), self.len(), message)
+    }
+
+    fn error_at(position: usize, len: usize, message: String) -> StlError {
         StlError::Parse {
-            position: self.pos(),
+            position,
+            len,
             message,
         }
     }
@@ -226,10 +235,15 @@ impl Parser {
     }
 
     fn operand(&mut self) -> Result<Operand> {
+        let (pos, len) = (self.pos(), self.len());
         match self.advance() {
             TokenKind::Ident(name) => Ok(Operand::Signal(name)),
             TokenKind::Number(v) => Ok(Operand::Constant(v)),
-            _ => Err(self.error("expected a signal name or number".into())),
+            _ => Err(Self::error_at(
+                pos,
+                len,
+                "expected a signal name or number".into(),
+            )),
         }
     }
 
@@ -245,8 +259,9 @@ impl Parser {
         Ok(op)
     }
 
-    /// Parses `[lo, hi]` where `hi` may be `inf`; absent interval means
-    /// unbounded `[0, inf)`.
+    /// Parses `[lo, hi]` where `hi` may be `inf` or `end` (both mean
+    /// "to the end of the trace"); absent interval means unbounded
+    /// `[0, inf)`.
     fn optional_interval(&mut self) -> Result<Interval> {
         if !self.eat(&TokenKind::LBracket) {
             return Ok(Interval::unbounded());
@@ -254,7 +269,7 @@ impl Parser {
         let lo = self.time_bound()?;
         self.expect(&TokenKind::Comma, "`,`")?;
         let hi = match self.peek().clone() {
-            TokenKind::Ident(w) if w == "inf" => {
+            TokenKind::Ident(w) if w == "inf" || w == "end" => {
                 self.advance();
                 None
             }
@@ -270,14 +285,21 @@ impl Parser {
     }
 
     fn time_bound(&mut self) -> Result<u64> {
+        let (pos, len) = (self.pos(), self.len());
         match self.advance() {
             TokenKind::Number(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => {
                 Ok(v as u64)
             }
-            TokenKind::Number(v) => Err(self.error(format!(
-                "interval bound {v} must be a non-negative integer number of cycles"
-            ))),
-            _ => Err(self.error("expected an interval bound".into())),
+            TokenKind::Number(v) => Err(Self::error_at(
+                pos,
+                len,
+                format!("interval bound {v} must be a non-negative integer number of cycles"),
+            )),
+            _ => Err(Self::error_at(
+                pos,
+                len,
+                "expected an interval bound".into(),
+            )),
         }
     }
 }
@@ -365,6 +387,39 @@ mod tests {
             f,
             Stl::globally(Interval { lo: 5, hi: None }, Stl::lt("x", 1.0))
         );
+    }
+
+    #[test]
+    fn end_is_a_synonym_for_inf() {
+        // `G[0,end] φ` reads "over the whole trace": evaluation clamps
+        // the unbounded interval to the trace's end time.
+        assert_eq!(
+            parse("G[0,end] (ipc > 0.8)").unwrap(),
+            parse("G[0,inf] (ipc > 0.8)").unwrap()
+        );
+        // Only as an interval bound — elsewhere `end` is a signal name.
+        assert_eq!(parse("end > 1").unwrap(), Stl::gt("end", 1.0));
+    }
+
+    #[test]
+    fn errors_carry_the_offending_token_span() {
+        // A bad interval bound is reported under the bound itself
+        // (`1.5` at byte 2, three bytes long), and trailing garbage
+        // under the trailing token.
+        match parse("G[1.5,2] x < 1") {
+            Err(StlError::Parse { position, len, .. }) => {
+                assert_eq!(position, 2);
+                assert_eq!(len, 3);
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        match parse("a < 1 b") {
+            Err(StlError::Parse { position, len, .. }) => {
+                assert_eq!(position, 6);
+                assert_eq!(len, 1);
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -25,7 +25,7 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
-use crate::ast::CmpOp;
+use crate::ast::{CmpOp, Predicate, Stl};
 use crate::execution::ExecutionData;
 use crate::{Result, StlError};
 
@@ -189,6 +189,21 @@ pub enum Template {
 
 impl Template {
     /// Row 1 constructor: `metric op threshold`.
+    ///
+    /// # Examples
+    ///
+    /// The constructed template's rendering parses back to the
+    /// identical STL AST:
+    ///
+    /// ```
+    /// use spa_stl::ast::CmpOp;
+    /// use spa_stl::parser::parse;
+    /// use spa_stl::templates::Template;
+    ///
+    /// let t = Template::metric_threshold("ipc", CmpOp::Gt, 1.5);
+    /// assert_eq!(parse(&t.to_string())?, t.to_stl().unwrap());
+    /// # Ok::<(), spa_stl::StlError>(())
+    /// ```
     pub fn metric_threshold(metric: impl Into<String>, op: CmpOp, threshold: f64) -> Self {
         Template::MetricThreshold {
             metric: metric.into(),
@@ -202,6 +217,20 @@ impl Template {
     /// # Errors
     ///
     /// Returns [`StlError::InvalidParameter`] if `hi <= lo`.
+    ///
+    /// # Examples
+    ///
+    /// The chained-comparison rendering parses back to the identical
+    /// STL AST:
+    ///
+    /// ```
+    /// use spa_stl::parser::parse;
+    /// use spa_stl::templates::Template;
+    ///
+    /// let t = Template::metric_between("runtime", 0.9, 1.1)?;
+    /// assert_eq!(parse(&t.to_string())?, t.to_stl().unwrap());
+    /// # Ok::<(), spa_stl::StlError>(())
+    /// ```
     pub fn metric_between(metric: impl Into<String>, lo: f64, hi: f64) -> Result<Self> {
         if hi <= lo {
             return Err(StlError::InvalidParameter {
@@ -217,6 +246,20 @@ impl Template {
     }
 
     /// Row 5 constructor: `metric_a op_a A → metric_b op_b B`.
+    ///
+    /// # Examples
+    ///
+    /// The implication rendering parses back to the identical STL AST:
+    ///
+    /// ```
+    /// use spa_stl::ast::CmpOp;
+    /// use spa_stl::parser::parse;
+    /// use spa_stl::templates::Template;
+    ///
+    /// let t = Template::metric_implication("power", CmpOp::Gt, 10.0, "ipc", CmpOp::Gt, 1.5);
+    /// assert_eq!(parse(&t.to_string())?, t.to_stl().unwrap());
+    /// # Ok::<(), spa_stl::StlError>(())
+    /// ```
     pub fn metric_implication(
         metric_a: impl Into<String>,
         op_a: CmpOp,
@@ -236,6 +279,22 @@ impl Template {
     }
 
     /// Row 7 constructor over latency metrics.
+    ///
+    /// # Examples
+    ///
+    /// The implication rendering parses back to the identical STL AST:
+    ///
+    /// ```
+    /// use spa_stl::ast::CmpOp;
+    /// use spa_stl::parser::parse;
+    /// use spa_stl::templates::Template;
+    ///
+    /// let t = Template::latency_implication(
+    ///     "lat_r", CmpOp::Gt, 100.0, "lat_s", CmpOp::Gt, 200.0,
+    /// );
+    /// assert_eq!(parse(&t.to_string())?, t.to_stl().unwrap());
+    /// # Ok::<(), spa_stl::StlError>(())
+    /// ```
     pub fn latency_implication(
         latency_a: impl Into<String>,
         op_a: CmpOp,
@@ -422,6 +481,51 @@ impl Template {
                 let frac = in_state as f64 / occurrences.len() as f64;
                 Ok(outer_op.apply(frac, *outer_prob))
             }
+        }
+    }
+
+    /// The template as a plain STL formula, for rows expressible as
+    /// pure STL over scalar-valued signals (1, 2, 5 and 7).
+    ///
+    /// The returned AST is exactly what [`crate::parser::parse`]
+    /// produces for the template's [`Display`](fmt::Display) rendering,
+    /// so templates and the text syntax stay interchangeable. Rows with
+    /// an inner per-execution probability (3, 4, 6, 8, 9) have no plain
+    /// STL equivalent and return `None`.
+    pub fn to_stl(&self) -> Option<Stl> {
+        match self {
+            Template::MetricThreshold {
+                metric,
+                op,
+                threshold,
+            } => Some(Stl::Atom(Predicate::new(metric.clone(), *op, *threshold))),
+            Template::MetricBetween { metric, lo, hi } => Some(Stl::and(
+                Stl::lt(metric.clone(), *hi),
+                Stl::gt(metric.clone(), *lo),
+            )),
+            Template::MetricImplication {
+                metric_a,
+                op_a,
+                a,
+                metric_b,
+                op_b,
+                b,
+            } => Some(Stl::implies(
+                Stl::Atom(Predicate::new(metric_a.clone(), *op_a, *a)),
+                Stl::Atom(Predicate::new(metric_b.clone(), *op_b, *b)),
+            )),
+            Template::LatencyImplication {
+                latency_a,
+                op_a,
+                a,
+                latency_b,
+                op_b,
+                b,
+            } => Some(Stl::implies(
+                Stl::Atom(Predicate::new(latency_a.clone(), *op_a, *a)),
+                Stl::Atom(Predicate::new(latency_b.clone(), *op_b, *b)),
+            )),
+            _ => None,
         }
     }
 
@@ -796,5 +900,36 @@ mod tests {
         let b = Template::metric_between("ipc", 1.0, 2.0).unwrap();
         assert_eq!(b.row(), 2);
         assert_eq!(b.to_string(), "2 > ipc > 1");
+    }
+
+    #[test]
+    fn scalar_templates_round_trip_through_the_parser() {
+        use crate::parser::parse;
+        let templates = [
+            Template::metric_threshold("ipc", CmpOp::Ge, 1.25),
+            Template::metric_between("runtime", 0.9, 1.1).unwrap(),
+            Template::metric_implication("power", CmpOp::Gt, 10.0, "ipc", CmpOp::Gt, 1.5),
+            Template::latency_implication("lat_r", CmpOp::Gt, 100.0, "lat_s", CmpOp::Le, 200.0),
+        ];
+        for t in templates {
+            let ast = t.to_stl().expect("scalar row");
+            assert_eq!(
+                parse(&t.to_string()).unwrap(),
+                ast,
+                "template `{t}` must parse to its own AST"
+            );
+            // And the AST's own rendering round-trips too.
+            assert_eq!(parse(&ast.to_string()).unwrap(), ast);
+        }
+    }
+
+    #[test]
+    fn probabilistic_templates_have_no_plain_stl_form() {
+        let t = Template::AvgCyclesPerEvent {
+            event: "tlb_miss".into(),
+            op: CmpOp::Gt,
+            threshold: 50.0,
+        };
+        assert!(t.to_stl().is_none());
     }
 }
