@@ -158,6 +158,10 @@ pub enum Command {
         queue_depth: usize,
         /// Sampling threads within one job.
         threads: usize,
+        /// Directory for the durable result store (`None`: in-memory only).
+        state_dir: Option<String>,
+        /// Default per-job deadline in milliseconds (`None`: unlimited).
+        deadline_ms: Option<u64>,
     },
     /// Submit a job to a running server and stream its result.
     Submit {
@@ -334,6 +338,8 @@ pub fn parse(argv: &[String]) -> Result<Command> {
     let mut metric = "runtime".to_string();
     let mut max_rounds = 1024u64;
     let mut round_size = 8u64;
+    let mut state_dir: Option<String> = None;
+    let mut deadline_ms: Option<u64> = None;
 
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -407,6 +413,12 @@ pub fn parse(argv: &[String]) -> Result<Command> {
             "--round-size" => {
                 round_size = parse_u64(arg, parse_flag_value(arg, &mut it)?)?;
             }
+            "--state-dir" => {
+                state_dir = Some(parse_flag_value(arg, &mut it)?.to_owned());
+            }
+            "--deadline" => {
+                deadline_ms = Some(parse_u64(arg, parse_flag_value(arg, &mut it)?)?);
+            }
             other if other.starts_with('-') => {
                 return Err(CliError::Usage(format!("unknown flag `{other}`")));
             }
@@ -474,7 +486,8 @@ pub fn parse(argv: &[String]) -> Result<Command> {
             json,
         }),
         "check" => Ok(Command::Check {
-            benchmark: benchmark.ok_or_else(|| CliError::Usage("check needs --benchmark".into()))?,
+            benchmark: benchmark
+                .ok_or_else(|| CliError::Usage("check needs --benchmark".into()))?,
             property: property.ok_or_else(|| CliError::Usage("check needs --property".into()))?,
             robustness,
             runs,
@@ -491,6 +504,8 @@ pub fn parse(argv: &[String]) -> Result<Command> {
             workers,
             queue_depth,
             threads,
+            state_dir,
+            deadline_ms,
         }),
         "submit" => {
             let benchmark =
@@ -532,6 +547,7 @@ pub fn parse(argv: &[String]) -> Result<Command> {
                     seed_start,
                     round_size,
                     retries,
+                    deadline_ms,
                 },
                 json,
             })
@@ -727,10 +743,13 @@ mod tests {
                 workers: 2,
                 queue_depth: 16,
                 threads: default_threads(),
+                state_dir: None,
+                deadline_ms: None,
             }
         );
         let c = parse(&argv(
-            "serve --addr 127.0.0.1:0 --workers 3 --queue-depth 5 --threads 2",
+            "serve --addr 127.0.0.1:0 --workers 3 --queue-depth 5 --threads 2 \
+             --state-dir /tmp/spa-state --deadline 5000",
         ))
         .unwrap();
         assert_eq!(
@@ -740,8 +759,12 @@ mod tests {
                 workers: 3,
                 queue_depth: 5,
                 threads: 2,
+                state_dir: Some("/tmp/spa-state".into()),
+                deadline_ms: Some(5000),
             }
         );
+        assert!(parse(&argv("serve --state-dir")).is_err());
+        assert!(parse(&argv("serve --deadline soon")).is_err());
     }
 
     #[test]
@@ -765,6 +788,7 @@ mod tests {
         assert_eq!(spec.seed_start, 7);
         assert_eq!(spec.round_size, 4);
         assert_eq!(spec.retries, 1);
+        assert_eq!(spec.deadline_ms, None);
         assert_eq!(
             spec.mode,
             ModeSpec::Interval {
@@ -787,6 +811,15 @@ mod tests {
                 max_rounds: 32,
             }
         );
+    }
+
+    #[test]
+    fn submit_deadline_flag_sets_the_qos_knob() {
+        let c = parse(&argv("submit -b ferret --deadline 250")).unwrap();
+        let Command::Submit { spec, .. } = c else {
+            panic!("{c:?}");
+        };
+        assert_eq!(spec.deadline_ms, Some(250));
     }
 
     #[test]

@@ -119,7 +119,9 @@ pub fn execute(command: Command) -> Result<String> {
             workers,
             queue_depth,
             threads,
-        } => serve(&addr, workers, queue_depth, threads),
+            state_dir,
+            deadline_ms,
+        } => serve(&addr, workers, queue_depth, threads, state_dir, deadline_ms),
         Command::Submit { addr, spec, json } => submit_job(&addr, &spec, json),
         Command::Status { addr } => status_text(&addr),
         Command::Metrics { addr, json } => metrics_text(&addr, json),
@@ -660,12 +662,23 @@ fn simulate(opts: &SimulateOpts) -> Result<String> {
     }
 }
 
-fn serve(addr: &str, workers: usize, queue_depth: usize, threads: usize) -> Result<String> {
+fn serve(
+    addr: &str,
+    workers: usize,
+    queue_depth: usize,
+    threads: usize,
+    state_dir: Option<String>,
+    deadline_ms: Option<u64>,
+) -> Result<String> {
+    let state = state_dir.map(std::path::PathBuf::from);
     let handle = spa_server::start(ServerConfig {
         addr: addr.to_string(),
         workers,
         queue_depth,
         job_threads: threads,
+        state_dir: state.clone(),
+        default_deadline: deadline_ms.map(Duration::from_millis),
+        ..ServerConfig::default()
     })?;
     // Announce the bound address immediately (port 0 resolves to an
     // ephemeral port) so callers and scripts can scrape it; the summary
@@ -678,6 +691,9 @@ fn serve(addr: &str, workers: usize, queue_depth: usize, threads: usize) -> Resu
             "spa-server listening on {} ({workers} workers, queue depth {queue_depth})",
             handle.addr()
         );
+        if let Some(dir) = &state {
+            let _ = writeln!(stdout, "durable store at {}", dir.display());
+        }
         let _ = stdout.flush();
     }
     while !handle.stats().shutting_down {
@@ -1225,9 +1241,11 @@ mod tests {
         assert!(out.contains("boolean semantics"), "{out}");
         // The formula echoes back in canonical (parsed Display) form.
         assert!(
-            out.contains(&spa_stl::parser::parse("G[0,end](occupancy>=0)")
-                .unwrap()
-                .to_string()),
+            out.contains(
+                &spa_stl::parser::parse("G[0,end](occupancy>=0)")
+                    .unwrap()
+                    .to_string()
+            ),
             "{out}"
         );
     }

@@ -71,14 +71,14 @@ USAGE:
               [--noise paper|jitter:N|real-machine] [--threads N]
               [--retries N] [--confidence C] [--proportion F] [--json]
   spa serve   [--addr HOST:PORT] [--workers N] [--queue-depth N]
-              [--threads N]
+              [--threads N] [--state-dir DIR] [--deadline MS]
   spa submit  --benchmark NAME [--addr HOST:PORT] [--threshold T]
               [--property FORMULA] [--robustness]
               [--system table2|l2-small|l2-large] [--metric KEY]
               [--noise paper|jitter:N|real-machine] [--confidence C]
               [--proportion F] [--direction at-most|at-least]
               [--seed-start S] [--round-size N] [--max-rounds N]
-              [--retries N] [--json]
+              [--retries N] [--deadline MS] [--json]
   spa status   [--addr HOST:PORT]
   spa metrics  [--addr HOST:PORT] [--json]
   spa shutdown [--addr HOST:PORT]
@@ -94,8 +94,11 @@ counts, and the job-latency histogram.
 Serve runs the long-lived evaluation service: submissions are scheduled
 on a bounded queue, identical jobs are answered from a content-addressed
 result cache, and hypothesis jobs parallelize with bias-free fixed-size
-rounds. Submit without --threshold requests a confidence interval;
-with --threshold it runs one sequential hypothesis test; with
+rounds. With --state-dir the server journals completed results to disk
+and answers them from cache after a crash or restart; --deadline sets a
+default per-job time budget in milliseconds (submit's --deadline
+overrides it per job). Submit without --threshold requests a confidence
+interval; with --threshold it runs one sequential hypothesis test; with
 --property it checks an STL formula against recorded traces.
 Check runs seeded traced executions and evaluates an STL property per
 trace, e.g. `spa check -b ferret --property \"G[0,end](ipc > 0.8)\"`;

@@ -232,6 +232,22 @@ impl RetryPolicy {
         self.max_attempts
     }
 
+    /// Whether another attempt fits the budget after `attempts_made`
+    /// attempts have already run. The same arithmetic as the retry
+    /// loop, exposed for callers that track attempts externally (the
+    /// server's job-requeue supervisor).
+    ///
+    /// ```
+    /// use spa_core::fault::RetryPolicy;
+    /// let policy = RetryPolicy::new(3);
+    /// assert!(policy.allows_retry(1));
+    /// assert!(policy.allows_retry(2));
+    /// assert!(!policy.allows_retry(3));
+    /// ```
+    pub fn allows_retry(&self, attempts_made: u32) -> bool {
+        attempts_made < self.max_attempts
+    }
+
     /// The soft per-execution time budget, if any.
     pub fn timeout(&self) -> Option<Duration> {
         self.timeout

@@ -1,0 +1,141 @@
+//! PR 6 bench: the durable result store's cost on the submit path.
+//!
+//! A plain `main` (no criterion) so the CI bench-smoke job can run it in
+//! seconds: `cargo bench -p spa-server --bench pr6_durability`. Starts
+//! two live servers — one in-memory, one journaling to a scratch state
+//! directory — drives the same cold-seed interval workload through
+//! each over real TCP, and reports the journal's submit-path overhead
+//! ratio plus a raw append microbenchmark. Emits `BENCH_pr6.json` at
+//! the workspace root; CI floors the ratio at 1.10.
+//!
+//! The two modes use disjoint seed ranges (900_xxx vs 901_xxx) so the
+//! shared on-disk population cache cannot turn one mode's sampling into
+//! the other's cache hit and skew the ratio.
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use serde::Serialize;
+use spa_core::property::Direction;
+use spa_server::client;
+use spa_server::spec::{JobSpec, ModeSpec, NoiseSpec};
+use spa_server::store::DurableStore;
+use spa_server::{start, JobResult, ServerConfig};
+
+/// Submits per mode; enough to average out scheduler noise while
+/// keeping the bench inside CI's smoke budget.
+const SUBMITS: u64 = 8;
+/// Records in the raw append microbenchmark.
+const APPENDS: u64 = 256;
+
+#[derive(Serialize)]
+struct Pr6Report {
+    submits_per_mode: u64,
+    journal_off_mean_ms: f64,
+    journal_on_mean_ms: f64,
+    /// journal-on / journal-off submit latency; 1.0 = free.
+    overhead_ratio: f64,
+    append_records: u64,
+    append_mean_us: f64,
+}
+
+fn spec(seed_start: u64) -> JobSpec {
+    JobSpec {
+        noise: NoiseSpec::Jitter { max_cycles: 2 },
+        seed_start,
+        round_size: 8,
+        ..JobSpec::new(
+            "blackscholes",
+            ModeSpec::Interval {
+                direction: Direction::AtMost,
+            },
+        )
+    }
+}
+
+/// Mean wall-clock milliseconds per submit against `config`, one fresh
+/// job per cold seed so every submit samples rather than hitting the
+/// result cache.
+fn measure_mode(config: ServerConfig, seed_base: u64) -> (f64, JobResult) {
+    let handle = start(config).expect("start server");
+    let addr = handle.addr().to_string();
+    let mut total_ms = 0.0;
+    let mut last = None;
+    for i in 0..SUBMITS {
+        let spec = spec(seed_base + i * 100);
+        let begin = Instant::now();
+        let outcome = client::submit(&addr, &spec, |_| {}).expect("submit");
+        total_ms += begin.elapsed().as_secs_f64() * 1e3;
+        assert!(!outcome.cached, "bench seeds must be cold");
+        last = Some(outcome.result);
+    }
+    handle.shutdown();
+    (
+        total_ms / SUBMITS as f64,
+        last.expect("at least one submit"),
+    )
+}
+
+/// Mean microseconds per raw journal append of a representative result.
+fn measure_append(dir: &Path, sample: &JobResult) -> f64 {
+    let (mut store, _, _) = DurableStore::open(dir).expect("open store");
+    let begin = Instant::now();
+    for i in 0..APPENDS {
+        store
+            .append(&format!("bench-key-{i}"), sample)
+            .expect("append");
+    }
+    begin.elapsed().as_secs_f64() * 1e6 / APPENDS as f64
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("spa-bench-pr6-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_depth: 16,
+        job_threads: 2,
+        ..ServerConfig::default()
+    }
+}
+
+fn main() {
+    let (off_ms, _) = measure_mode(config(), 900_000);
+
+    let state = scratch("state");
+    let (on_ms, sample) = measure_mode(
+        ServerConfig {
+            state_dir: Some(state.clone()),
+            ..config()
+        },
+        901_000,
+    );
+    let _ = std::fs::remove_dir_all(&state);
+
+    let append_dir = scratch("append");
+    let append_us = measure_append(&append_dir, &sample);
+    let _ = std::fs::remove_dir_all(&append_dir);
+
+    let report = Pr6Report {
+        submits_per_mode: SUBMITS,
+        journal_off_mean_ms: off_ms,
+        journal_on_mean_ms: on_ms,
+        overhead_ratio: on_ms / off_ms,
+        append_records: APPENDS,
+        append_mean_us: append_us,
+    };
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pr6.json");
+    let mut text = serde_json::to_string_pretty(&report).expect("report serializes");
+    text.push('\n');
+    std::fs::write(&path, text).expect("write BENCH_pr6.json");
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&report).expect("report serializes")
+    );
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,168 @@
+//! Seeded fault injection for the chaos tests.
+//!
+//! A [`ChaosSpec`] on [`ServerConfig`](crate::ServerConfig) arms an
+//! injection point at every round boundary of every executing job (the
+//! worker's `tick` hook): with configured probabilities the hook
+//! panics — simulating a worker killed mid-round, isolated and requeued
+//! by the supervisor machinery — or stalls for a bounded time,
+//! simulating a hung worker for the heartbeat monitor to catch.
+//!
+//! Every decision is a pure function of
+//! `(seed, job id, generation, round)` through a SplitMix64-style
+//! mixer, so a chaos test replays identically, and — crucially — a
+//! *requeued* execution (same job, next generation) rolls differently
+//! from the attempt that was killed, letting tests drive a job through
+//! failure into a byte-identical recovery. The optional budget caps the
+//! total number of injected faults so a `kill_prob = 1.0` test still
+//! terminates.
+//!
+//! This layer exists for `crates/server/tests/chaos.rs`; production
+//! configurations leave it `None`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// What faults to inject, and how often.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ChaosSpec {
+    /// Seed of the deterministic per-roll stream.
+    pub seed: u64,
+    /// Probability that a round boundary panics the worker.
+    pub kill_prob: f64,
+    /// Probability that a round boundary stalls the worker (evaluated
+    /// after `kill_prob`; the two are mutually exclusive per roll).
+    pub hang_prob: f64,
+    /// Duration of an injected stall, in milliseconds.
+    pub hang_ms: u64,
+    /// Cap on total injected faults across the server's lifetime
+    /// (0 = unlimited). With the cap exhausted, rolls are still made —
+    /// determinism — but no fault fires.
+    pub budget: u64,
+}
+
+/// The armed injection layer: a spec plus its fault accounting.
+#[derive(Debug)]
+pub struct ChaosState {
+    spec: ChaosSpec,
+    used: AtomicU64,
+}
+
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z ^= z >> 30;
+    z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^= z >> 27;
+    z = z.wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    z
+}
+
+impl ChaosState {
+    /// Arms `spec` with a zeroed fault budget.
+    pub fn new(spec: ChaosSpec) -> Self {
+        ChaosState {
+            spec,
+            used: AtomicU64::new(0),
+        }
+    }
+
+    /// Faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// The deterministic uniform-[0,1) roll for one round boundary.
+    fn roll(&self, job: u64, generation: u64, round: u64) -> f64 {
+        let mut h = self.spec.seed;
+        for v in [job, generation, round] {
+            h = mix64(h ^ mix64(v));
+        }
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Claims one unit of the fault budget (always succeeds when the
+    /// budget is unlimited).
+    fn take_token(&self) -> bool {
+        if self.spec.budget == 0 {
+            self.used.fetch_add(1, Ordering::SeqCst);
+            return true;
+        }
+        self.used
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |used| {
+                (used < self.spec.budget).then_some(used + 1)
+            })
+            .is_ok()
+    }
+
+    /// The worker-side injection point: called from the execution tick
+    /// at each round boundary. May panic (caught by the worker's
+    /// isolation layer) or sleep `hang_ms`.
+    pub fn inject(&self, job: u64, generation: u64, round: u64) {
+        let u = self.roll(job, generation, round);
+        if u < self.spec.kill_prob {
+            if self.take_token() {
+                panic!("chaos: injected worker kill (job {job} gen {generation} round {round})");
+            }
+        } else if u < self.spec.kill_prob + self.spec.hang_prob
+            && self.spec.hang_ms > 0
+            && self.take_token()
+        {
+            std::thread::sleep(std::time::Duration::from_millis(self.spec.hang_ms));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rolls_are_deterministic_and_generation_sensitive() {
+        let a = ChaosState::new(ChaosSpec {
+            seed: 7,
+            ..ChaosSpec::default()
+        });
+        let b = ChaosState::new(ChaosSpec {
+            seed: 7,
+            ..ChaosSpec::default()
+        });
+        for round in 0..32 {
+            assert_eq!(a.roll(1, 0, round), b.roll(1, 0, round));
+            assert!((0.0..1.0).contains(&a.roll(1, 0, round)));
+        }
+        // A requeued execution rolls a different stream.
+        assert_ne!(a.roll(1, 0, 0), a.roll(1, 1, 0));
+        assert_ne!(a.roll(1, 0, 0), a.roll(2, 0, 0));
+    }
+
+    #[test]
+    fn kill_injection_panics_within_budget_only() {
+        let chaos = ChaosState::new(ChaosSpec {
+            seed: 1,
+            kill_prob: 1.0,
+            budget: 2,
+            ..ChaosSpec::default()
+        });
+        for round in 0..2 {
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                chaos.inject(9, 0, round)
+            }));
+            assert!(r.is_err(), "round {round} must inject a kill");
+        }
+        assert_eq!(chaos.injected(), 2);
+        // Budget exhausted: the same roll no longer fires.
+        chaos.inject(9, 0, 2);
+        assert_eq!(chaos.injected(), 2);
+    }
+
+    #[test]
+    fn zero_probabilities_inject_nothing() {
+        let chaos = ChaosState::new(ChaosSpec {
+            seed: 3,
+            ..ChaosSpec::default()
+        });
+        for round in 0..64 {
+            chaos.inject(1, 0, round);
+        }
+        assert_eq!(chaos.injected(), 0);
+    }
+}

@@ -1,17 +1,135 @@
-//! Blocking client helpers for the JSON-lines protocol.
+//! Blocking client helpers for the JSON-lines protocol, hardened for an
+//! unreliable server.
 //!
 //! These are what `spa submit` / `spa status` / `spa shutdown` use, and
 //! what tests drive the server with: plain functions over a
-//! `TcpStream`, one request per connection.
+//! `TcpStream`, one request per connection. Every connection is made
+//! with a connect timeout and carries read/write timeouts
+//! ([`ClientConfig`]), so a dead or wedged server surfaces as a typed
+//! [`ClientError::TimedOut`] instead of hanging the caller forever.
+//! Transport failures *before any response arrives* are retried with
+//! bounded exponential backoff (reconnect-with-backoff); once the
+//! server has answered, errors are returned as-is — the caller can
+//! resubmit safely anyway, since submissions are content-addressed and
+//! idempotent.
 
 use std::io::BufReader;
-use std::net::TcpStream;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use crate::protocol::{
     read_message, write_message, JobResult, MetricsReport, Request, Response, ServerStats,
 };
 use crate::spec::JobSpec;
 use crate::ServerError;
+
+/// The client's error type (an alias: client and protocol layers share
+/// [`ServerError`]).
+pub type ClientError = ServerError;
+
+/// Time budgets and the reconnect policy for one logical request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientConfig {
+    /// TCP connect budget per attempt.
+    pub connect_timeout: Duration,
+    /// Read/write budget per socket operation. For a streamed
+    /// submission this bounds the *gap between events* (progress
+    /// arrives at round boundaries), not the job's total runtime.
+    pub io_timeout: Duration,
+    /// Total connection attempts per logical request (≥ 1).
+    pub attempts: u32,
+    /// Base reconnect delay; attempt `k` waits `backoff · 2^(k−1)`.
+    pub backoff: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(2),
+            io_timeout: Duration::from_secs(30),
+            attempts: 3,
+            backoff: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Maps socket-timeout I/O errors to the typed variant.
+fn normalize(err: ServerError) -> ServerError {
+    match err {
+        ServerError::Io(e)
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+            ) =>
+        {
+            ServerError::TimedOut
+        }
+        other => other,
+    }
+}
+
+/// Whether a failed exchange is worth a reconnect: transport-level
+/// failures only — typed rejections and job failures are final.
+fn retryable(err: &ServerError) -> bool {
+    matches!(
+        err,
+        ServerError::Io(_) | ServerError::TimedOut | ServerError::Disconnected
+    )
+}
+
+fn reconnect_delay(config: &ClientConfig, attempt: u32) -> Duration {
+    config
+        .backoff
+        .saturating_mul(1u32 << attempt.saturating_sub(1).min(16))
+}
+
+/// Connects with the config's budgets and arms the socket timeouts.
+fn connect(addr: &str, config: &ClientConfig) -> Result<TcpStream, ServerError> {
+    let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+    let mut last: Option<std::io::Error> = None;
+    for a in addrs {
+        match TcpStream::connect_timeout(&a, config.connect_timeout) {
+            Ok(stream) => {
+                stream.set_read_timeout(Some(config.io_timeout))?;
+                stream.set_write_timeout(Some(config.io_timeout))?;
+                let _ = stream.set_nodelay(true);
+                return Ok(stream);
+            }
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(match last {
+        Some(e) => normalize(ServerError::Io(e)),
+        None => ServerError::Protocol(format!("address `{addr}` resolved to nothing")),
+    })
+}
+
+/// Runs `exchange` against a fresh connection, retrying transport
+/// failures up to the config's attempt budget with exponential backoff.
+fn with_retries<T>(
+    addr: &str,
+    config: &ClientConfig,
+    mut exchange: impl FnMut(TcpStream) -> Result<T, (bool, ServerError)>,
+) -> Result<T, ServerError> {
+    let attempts = config.attempts.max(1);
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        let (responded, err) = match connect(addr, config) {
+            Ok(stream) => match exchange(stream) {
+                Ok(value) => return Ok(value),
+                Err((responded, err)) => (responded, normalize(err)),
+            },
+            Err(err) => (false, err),
+        };
+        // Once the server has spoken, a mid-exchange failure is the
+        // caller's to interpret — blind replay could double-report.
+        if responded || !retryable(&err) || attempt >= attempts {
+            return Err(err);
+        }
+        std::thread::sleep(reconnect_delay(config, attempt));
+    }
+}
 
 /// What a successful submission produced.
 #[derive(Debug, Clone)]
@@ -26,7 +144,8 @@ pub struct SubmitOutcome {
     pub progress_events: u64,
 }
 
-/// Submits a job and blocks until its terminal response.
+/// Submits a job and blocks until its terminal response, with the
+/// default [`ClientConfig`].
 ///
 /// Every server message (acceptance, progress, terminal) is passed to
 /// `on_event` as it arrives, for live display.
@@ -34,64 +153,103 @@ pub struct SubmitOutcome {
 /// # Errors
 ///
 /// [`ServerError::Rejected`] with the server's typed reason,
-/// [`ServerError::JobFailed`] if the job ran and failed, plus the usual
-/// I/O, protocol, and [`ServerError::Disconnected`] failures.
+/// [`ServerError::JobFailed`] if the job ran and failed,
+/// [`ClientError::TimedOut`] when the server goes silent past the time
+/// and reconnect budgets, plus the usual I/O, protocol, and
+/// [`ServerError::Disconnected`] failures.
 pub fn submit(
     addr: &str,
     spec: &JobSpec,
-    mut on_event: impl FnMut(&Response),
+    on_event: impl FnMut(&Response),
 ) -> Result<SubmitOutcome, ServerError> {
-    let stream = TcpStream::connect(addr)?;
-    let mut writer = &stream;
-    write_message(&mut writer, &Request::Submit { spec: spec.clone() })?;
-    let mut reader = BufReader::new(&stream);
-    let mut progress_events = 0u64;
-    loop {
-        let resp: Response = read_message(&mut reader)?.ok_or(ServerError::Disconnected)?;
-        on_event(&resp);
-        match resp {
-            Response::Accepted { .. } => {}
-            Response::Progress { .. } => progress_events += 1,
-            Response::Rejected { reason } => return Err(ServerError::Rejected(reason)),
-            Response::Report {
-                job,
-                cached,
-                result,
-            } => {
-                return Ok(SubmitOutcome {
-                    job,
-                    cached,
-                    result,
-                    progress_events,
-                })
-            }
-            Response::Failed { error, .. } => return Err(ServerError::JobFailed(error)),
-            Response::Error { detail } => return Err(ServerError::Protocol(detail)),
-            other => {
-                return Err(ServerError::Protocol(format!(
-                    "unexpected response to submit: {other:?}"
-                )))
-            }
-        }
-    }
+    submit_with(addr, spec, &ClientConfig::default(), on_event)
 }
 
-/// Fetches the server's counter snapshot.
+/// [`submit`] with explicit time budgets and reconnect policy.
+/// Reconnects only happen before the server's first response; after
+/// that, failures surface directly.
 ///
 /// # Errors
 ///
-/// I/O, protocol, or disconnection failures.
+/// As [`submit`].
+pub fn submit_with(
+    addr: &str,
+    spec: &JobSpec,
+    config: &ClientConfig,
+    mut on_event: impl FnMut(&Response),
+) -> Result<SubmitOutcome, ServerError> {
+    with_retries(addr, config, |stream| {
+        let mut responded = false;
+        let mut run = || -> Result<SubmitOutcome, ServerError> {
+            let mut writer = &stream;
+            write_message(&mut writer, &Request::Submit { spec: spec.clone() })?;
+            let mut reader = BufReader::new(&stream);
+            let mut progress_events = 0u64;
+            loop {
+                let resp: Response = read_message(&mut reader)?.ok_or(ServerError::Disconnected)?;
+                responded = true;
+                on_event(&resp);
+                match resp {
+                    Response::Accepted { .. } => {}
+                    Response::Progress { .. } => progress_events += 1,
+                    Response::Rejected { reason } => return Err(ServerError::Rejected(reason)),
+                    Response::Report {
+                        job,
+                        cached,
+                        result,
+                    } => {
+                        return Ok(SubmitOutcome {
+                            job,
+                            cached,
+                            result,
+                            progress_events,
+                        })
+                    }
+                    Response::Failed { error, .. } => return Err(ServerError::JobFailed(error)),
+                    Response::Error { detail } => return Err(ServerError::Protocol(detail)),
+                    other => {
+                        return Err(ServerError::Protocol(format!(
+                            "unexpected response to submit: {other:?}"
+                        )))
+                    }
+                }
+            }
+        };
+        run().map_err(|e| (responded, e))
+    })
+}
+
+/// Fetches the server's counter snapshot with the default config.
+///
+/// # Errors
+///
+/// I/O, timeout, protocol, or disconnection failures.
 pub fn status(addr: &str) -> Result<ServerStats, ServerError> {
-    let stream = TcpStream::connect(addr)?;
-    let mut writer = &stream;
-    write_message(&mut writer, &Request::Status)?;
-    let mut reader = BufReader::new(&stream);
-    match read_message::<_, Response>(&mut reader)?.ok_or(ServerError::Disconnected)? {
-        Response::Status { stats, .. } => Ok(stats),
-        other => Err(ServerError::Protocol(format!(
-            "unexpected response to status: {other:?}"
-        ))),
-    }
+    status_with(addr, &ClientConfig::default())
+}
+
+/// [`status`] with explicit time budgets. The exchange is read-only and
+/// idempotent, so transport failures retry it whole.
+///
+/// # Errors
+///
+/// As [`status`].
+pub fn status_with(addr: &str, config: &ClientConfig) -> Result<ServerStats, ServerError> {
+    with_retries(addr, config, |stream| {
+        let mut run = || -> Result<ServerStats, ServerError> {
+            let mut writer = &stream;
+            write_message(&mut writer, &Request::Status)?;
+            let mut reader = BufReader::new(&stream);
+            match read_message::<_, Response>(&mut reader)?.ok_or(ServerError::Disconnected)? {
+                Response::Status { stats, .. } => Ok(stats),
+                other => Err(ServerError::Protocol(format!(
+                    "unexpected response to status: {other:?}"
+                ))),
+            }
+        };
+        // Idempotent: retry even after a partial response.
+        run().map_err(|e| (false, e))
+    })
 }
 
 /// Fetches the server's merged metrics snapshot (the live `/metrics`
@@ -99,34 +257,131 @@ pub fn status(addr: &str) -> Result<ServerStats, ServerError> {
 ///
 /// # Errors
 ///
-/// I/O, protocol, or disconnection failures.
+/// I/O, timeout, protocol, or disconnection failures.
 pub fn metrics(addr: &str) -> Result<MetricsReport, ServerError> {
-    let stream = TcpStream::connect(addr)?;
-    let mut writer = &stream;
-    write_message(&mut writer, &Request::Metrics)?;
-    let mut reader = BufReader::new(&stream);
-    match read_message::<_, Response>(&mut reader)?.ok_or(ServerError::Disconnected)? {
-        Response::Metrics { metrics } => Ok(metrics),
-        other => Err(ServerError::Protocol(format!(
-            "unexpected response to metrics: {other:?}"
-        ))),
-    }
+    metrics_with(addr, &ClientConfig::default())
+}
+
+/// [`metrics`] with explicit time budgets (idempotent, retried whole).
+///
+/// # Errors
+///
+/// As [`metrics`].
+pub fn metrics_with(addr: &str, config: &ClientConfig) -> Result<MetricsReport, ServerError> {
+    with_retries(addr, config, |stream| {
+        let mut run = || -> Result<MetricsReport, ServerError> {
+            let mut writer = &stream;
+            write_message(&mut writer, &Request::Metrics)?;
+            let mut reader = BufReader::new(&stream);
+            match read_message::<_, Response>(&mut reader)?.ok_or(ServerError::Disconnected)? {
+                Response::Metrics { metrics } => Ok(metrics),
+                other => Err(ServerError::Protocol(format!(
+                    "unexpected response to metrics: {other:?}"
+                ))),
+            }
+        };
+        run().map_err(|e| (false, e))
+    })
 }
 
 /// Asks the server to drain and exit.
 ///
 /// # Errors
 ///
-/// I/O, protocol, or disconnection failures.
+/// I/O, timeout, protocol, or disconnection failures.
 pub fn shutdown(addr: &str) -> Result<(), ServerError> {
-    let stream = TcpStream::connect(addr)?;
-    let mut writer = &stream;
-    write_message(&mut writer, &Request::Shutdown)?;
-    let mut reader = BufReader::new(&stream);
-    match read_message::<_, Response>(&mut reader)?.ok_or(ServerError::Disconnected)? {
-        Response::ShutdownStarted => Ok(()),
-        other => Err(ServerError::Protocol(format!(
-            "unexpected response to shutdown: {other:?}"
-        ))),
+    shutdown_with(addr, &ClientConfig::default())
+}
+
+/// [`shutdown`] with explicit time budgets. Idempotent (a repeated
+/// shutdown request is a no-op server-side), so retried whole.
+///
+/// # Errors
+///
+/// As [`shutdown`].
+pub fn shutdown_with(addr: &str, config: &ClientConfig) -> Result<(), ServerError> {
+    with_retries(addr, config, |stream| {
+        let mut run = || -> Result<(), ServerError> {
+            let mut writer = &stream;
+            write_message(&mut writer, &Request::Shutdown)?;
+            let mut reader = BufReader::new(&stream);
+            match read_message::<_, Response>(&mut reader)?.ok_or(ServerError::Disconnected)? {
+                Response::ShutdownStarted => Ok(()),
+                other => Err(ServerError::Protocol(format!(
+                    "unexpected response to shutdown: {other:?}"
+                ))),
+            }
+        };
+        run().map_err(|e| (false, e))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ModeSpec;
+    use spa_core::property::Direction;
+    use std::net::TcpListener;
+
+    fn tiny_config() -> ClientConfig {
+        ClientConfig {
+            connect_timeout: Duration::from_millis(500),
+            io_timeout: Duration::from_millis(50),
+            attempts: 2,
+            backoff: Duration::from_millis(1),
+        }
+    }
+
+    #[test]
+    fn submit_times_out_typed_against_a_silent_server() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        // Accept both reconnect attempts and hold the sockets open
+        // without ever answering — the wedged-server scenario.
+        let silent = std::thread::spawn(move || {
+            let held: Vec<TcpStream> = listener.incoming().take(2).map(|s| s.unwrap()).collect();
+            std::thread::sleep(Duration::from_millis(400));
+            drop(held);
+        });
+        let spec = JobSpec::new(
+            "blackscholes",
+            ModeSpec::Interval {
+                direction: Direction::AtMost,
+            },
+        );
+        let err = submit_with(&addr, &spec, &tiny_config(), |_| {}).unwrap_err();
+        assert!(matches!(err, ServerError::TimedOut), "{err:?}");
+        silent.join().unwrap();
+    }
+
+    #[test]
+    fn connect_failure_is_typed_after_bounded_retries() {
+        // Bind then drop: connecting to the freed port is refused (or
+        // at worst times out) — either way a typed transport error, not
+        // a hang.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        drop(listener);
+        let started = std::time::Instant::now();
+        let err = status_with(&addr, &tiny_config()).unwrap_err();
+        assert!(
+            matches!(err, ServerError::Io(_) | ServerError::TimedOut),
+            "{err:?}"
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "retries are bounded"
+        );
+    }
+
+    #[test]
+    fn reconnect_delay_grows_exponentially() {
+        let config = ClientConfig {
+            backoff: Duration::from_millis(10),
+            ..ClientConfig::default()
+        };
+        assert_eq!(reconnect_delay(&config, 1), Duration::from_millis(10));
+        assert_eq!(reconnect_delay(&config, 2), Duration::from_millis(20));
+        assert_eq!(reconnect_delay(&config, 3), Duration::from_millis(40));
     }
 }

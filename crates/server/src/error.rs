@@ -18,6 +18,9 @@ pub enum ServerError {
     JobFailed(String),
     /// The connection closed before a terminal response arrived.
     Disconnected,
+    /// The operation exceeded the client's time budget (connect, read,
+    /// or write timeout) and its reconnect budget.
+    TimedOut,
 }
 
 impl fmt::Display for ServerError {
@@ -30,6 +33,7 @@ impl fmt::Display for ServerError {
             ServerError::Disconnected => {
                 f.write_str("connection closed before a terminal response")
             }
+            ServerError::TimedOut => f.write_str("timed out waiting for the server"),
         }
     }
 }

@@ -29,9 +29,11 @@
 //! ([`derive_retry_seed`]) — a crashed simulation never kills a worker,
 //! and a clean run is byte-identical to an infallible one.
 
+use std::fmt;
 use std::ops::Range;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
 
 use parking_lot::Mutex;
 
@@ -67,15 +69,74 @@ pub struct ProgressUpdate {
     pub rounds: u64,
 }
 
+/// Why a job stopped without a result.
+///
+/// The typed variants drive server policy — a [`Deadline`] failure
+/// counts under `server.jobs.expired` and is never retried, while a
+/// cancellation is the server's own doing — and reach clients through
+/// the failure message ([`Display`](fmt::Display)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The job's cancel flag was set (shutdown, or the job was requeued
+    /// out from under this execution).
+    Cancelled,
+    /// The job's wall-clock deadline passed at a round boundary.
+    Deadline,
+    /// Anything else: simulator configuration error, unrecoverable
+    /// sampling failure, statistical-engine error.
+    Failed(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Cancelled => f.write_str("job cancelled"),
+            ExecError::Deadline => f.write_str("deadline exceeded"),
+            ExecError::Failed(detail) => f.write_str(detail),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Shorthand for the ubiquitous `map_err` into [`ExecError::Failed`].
+fn failed(e: impl fmt::Display) -> ExecError {
+    ExecError::Failed(e.to_string())
+}
+
 /// Execution context a worker hands to [`execute`].
 pub struct ExecContext<'a> {
     /// Intra-job sampling threads.
     pub threads: usize,
     /// Set externally to abandon the job between rounds.
     pub cancel: &'a AtomicBool,
+    /// Absolute wall-clock deadline, checked at round boundaries.
+    pub deadline: Option<Instant>,
+    /// Round-boundary hook, called with the round index before the
+    /// cancel/deadline checks. The server beats the job's supervision
+    /// heartbeat here (and the chaos layer injects faults); tests can
+    /// pass `&|_| ()`.
+    pub tick: &'a (dyn Fn(u64) + Sync),
     /// Progress sink (invoked between rounds, possibly from multiple
     /// threads — events arrive in aggregation order).
     pub progress: &'a (dyn Fn(ProgressUpdate) + Sync),
+}
+
+impl ExecContext<'_> {
+    /// The round-boundary checkpoint: beats the tick hook, then aborts
+    /// with a typed error if the job was cancelled or its deadline has
+    /// passed. Called before every round (and once up front by modes
+    /// without a server-side round loop).
+    pub fn checkpoint(&self, round: u64) -> Result<(), ExecError> {
+        (self.tick)(round);
+        if self.cancel.load(Ordering::Relaxed) {
+            return Err(ExecError::Cancelled);
+        }
+        if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            return Err(ExecError::Deadline);
+        }
+        Ok(())
+    }
 }
 
 /// The simulator-backed sampler for one job: machine + metric.
@@ -182,16 +243,19 @@ fn collect_round<T: Send>(
 ///
 /// # Errors
 ///
-/// A human-readable failure description (simulator configuration error,
-/// unrecoverable sampling failure, or cancellation).
-pub fn execute(vjob: &ValidatedJob, ctx: &ExecContext<'_>) -> Result<JobResult, String> {
+/// A typed [`ExecError`]: cancellation and deadline expiry are
+/// distinguished variants (checked at round boundaries via
+/// [`ExecContext::checkpoint`]); everything else — simulator
+/// configuration error, unrecoverable sampling failure — carries a
+/// human-readable description.
+pub fn execute(vjob: &ValidatedJob, ctx: &ExecContext<'_>) -> Result<JobResult, ExecError> {
     let spec = &vjob.spec;
     let spa = Spa::builder()
         .confidence(spec.confidence)
         .proportion(spec.proportion)
         .batch_size(ctx.threads)
         .build()
-        .map_err(|e| e.to_string())?;
+        .map_err(failed)?;
     let policy = RetryPolicy::new(spec.retries.saturating_add(1));
     let workload = vjob.benchmark.workload();
     // Property jobs need per-run signal traces; the scalar modes keep
@@ -202,7 +266,7 @@ pub fn execute(vjob: &ValidatedJob, ctx: &ExecContext<'_>) -> Result<JobResult, 
         ModeSpec::Interval { .. } | ModeSpec::Hypothesis { .. } => spec.system.variant().config(),
     };
     let machine = Machine::new(config, &workload)
-        .map_err(|e| e.to_string())?
+        .map_err(failed)?
         .with_variability(spec.noise.model().variability());
     let sampler = SimSampler {
         machine: &machine,
@@ -248,7 +312,7 @@ fn run_interval(
     policy: &RetryPolicy,
     sampler: &SimSampler<'_, '_>,
     direction: Direction,
-) -> Result<JobResult, String> {
+) -> Result<JobResult, ExecError> {
     let spec = &vjob.spec;
     let total = spa.required_samples();
     let rounds = total.div_ceil(spec.round_size);
@@ -274,24 +338,20 @@ fn run_interval(
             failures: FailureCounts::default(),
             requested: total,
         };
-        let report = spa
-            .report_from_batch(batch, direction)
-            .map_err(|e| e.to_string())?;
+        let report = spa.report_from_batch(batch, direction).map_err(failed)?;
         return Ok(JobResult::Interval { report });
     }
 
     // Fail fast if the final round would run the seed stream past
     // u64::MAX; rounds below can then unwrap safely.
-    round_seeds(spec.seed_start, rounds - 1, spec.round_size).map_err(|e| e.to_string())?;
+    round_seeds(spec.seed_start, rounds - 1, spec.round_size).map_err(failed)?;
 
     // Not preallocated to `total`: a huge-C job may be cancelled after a
     // handful of rounds.
     let mut rows: Vec<(u64, ExecutionMetrics)> = Vec::new();
     let mut failures = FailureCounts::default();
     for r in 0..rounds {
-        if ctx.cancel.load(Ordering::Relaxed) {
-            return Err("job cancelled".into());
-        }
+        ctx.checkpoint(r)?;
         let all = round_seeds(spec.seed_start, r, spec.round_size)
             .expect("r < rounds was range-checked above");
         let seeds = all.start..all.end.min(spec.seed_start + total);
@@ -324,9 +384,7 @@ fn run_interval(
         failures,
         requested: total,
     };
-    let report = spa
-        .report_from_batch(batch, direction)
-        .map_err(|e| e.to_string())?;
+    let report = spa.report_from_batch(batch, direction).map_err(failed)?;
     Ok(JobResult::Interval { report })
 }
 
@@ -348,15 +406,15 @@ fn run_property(
     policy: &RetryPolicy,
     machine: &Machine<'_>,
     robustness: bool,
-) -> Result<JobResult, String> {
+) -> Result<JobResult, ExecError> {
     let spec = &vjob.spec;
-    if ctx.cancel.load(Ordering::Relaxed) {
-        return Err("job cancelled".into());
-    }
+    // Property collection is delegated wholesale, so the one checkpoint
+    // runs up front (heartbeat, cancel, deadline).
+    ctx.checkpoint(0)?;
     let formula = vjob
         .property
         .as_ref()
-        .ok_or("property job without a validated formula")?;
+        .ok_or_else(|| failed("property job without a validated formula"))?;
     let semantics = if robustness {
         PropertySemantics::Robustness
     } else {
@@ -371,7 +429,7 @@ fn run_property(
         None,
         policy,
     )
-    .map_err(|e| e.to_string())?;
+    .map_err(failed)?;
     (ctx.progress)(ProgressUpdate {
         samples: report.evaluated,
         confidence: interval_bound(report.evaluated, spec.confidence, spec.proportion),
@@ -387,29 +445,36 @@ fn run_hypothesis(
     sampler: &SimSampler<'_, '_>,
     property: MetricProperty,
     max_rounds: u64,
-) -> Result<JobResult, String> {
+) -> Result<JobResult, ExecError> {
     let spec = &vjob.spec;
-    let engine = SmcEngine::new(spec.confidence, spec.proportion).map_err(|e| e.to_string())?;
+    let engine = SmcEngine::new(spec.confidence, spec.proportion).map_err(failed)?;
     // Fail fast on seed-stream exhaustion instead of wrapping mid-run.
     round_seeds(
         spec.seed_start,
         max_rounds.saturating_sub(1),
         spec.round_size,
     )
-    .map_err(|e| e.to_string())?;
-    let aggregator =
-        Mutex::new(RoundAggregator::new(engine, spec.round_size).map_err(|e| e.to_string())?);
+    .map_err(failed)?;
+    let aggregator = Mutex::new(RoundAggregator::new(engine, spec.round_size).map_err(failed)?);
     let next = AtomicU64::new(0);
     let stop = AtomicBool::new(false);
+    let aborted: Mutex<Option<ExecError>> = Mutex::new(None);
     let error: Mutex<Option<String>> = Mutex::new(None);
     std::thread::scope(|scope| {
         for _ in 0..ctx.threads.max(1) {
             scope.spawn(|| loop {
-                if stop.load(Ordering::Relaxed) || ctx.cancel.load(Ordering::Relaxed) {
+                if stop.load(Ordering::Relaxed) {
                     break;
                 }
                 let r = next.fetch_add(1, Ordering::Relaxed);
                 if r >= max_rounds {
+                    break;
+                }
+                // Round-boundary checkpoint: heartbeat + cancel +
+                // deadline, on whichever thread claimed the round.
+                if let Err(e) = ctx.checkpoint(r) {
+                    *aborted.lock() = Some(e);
+                    stop.store(true, Ordering::Relaxed);
                     break;
                 }
                 let seeds = round_seeds(spec.seed_start, r, spec.round_size)
@@ -454,11 +519,16 @@ fn run_hypothesis(
             });
         }
     });
+    if let Some(e) = aborted.into_inner() {
+        return Err(e);
+    }
+    // Workers that all exhausted `max_rounds` before a late cancel never
+    // hit a checkpoint — honour the flag here too.
     if ctx.cancel.load(Ordering::Relaxed) {
-        return Err("job cancelled".into());
+        return Err(ExecError::Cancelled);
     }
     if let Some(e) = error.into_inner() {
-        return Err(e);
+        return Err(ExecError::Failed(e));
     }
     let agg = aggregator.into_inner();
     Ok(JobResult::Hypothesis {
@@ -483,6 +553,8 @@ mod tests {
         ExecContext {
             threads: 2,
             cancel,
+            deadline: None,
+            tick: &|_| (),
             progress,
         }
     }
@@ -617,7 +689,43 @@ mod tests {
         let cancel = AtomicBool::new(true); // cancelled before the first round
         let progress = |_: ProgressUpdate| {};
         let err = execute(&vjob, &ctx(&cancel, &progress)).unwrap_err();
-        assert!(err.contains("cancelled"), "{err}");
+        assert_eq!(err, ExecError::Cancelled);
+        assert!(err.to_string().contains("cancelled"), "{err}");
+    }
+
+    #[test]
+    fn expired_deadline_fails_typed_and_ticks_each_round() {
+        let spec = JobSpec {
+            noise: NoiseSpec::Jitter { max_cycles: 0 },
+            seed_start: 77_600,
+            round_size: 1,
+            ..JobSpec::new(
+                "blackscholes",
+                ModeSpec::Interval {
+                    direction: Direction::AtMost,
+                },
+            )
+        };
+        let vjob = validate(spec).unwrap();
+        let cancel = AtomicBool::new(false);
+        let progress = |_: ProgressUpdate| {};
+        let ticks = AtomicU64::new(0);
+        let tick = |_round: u64| {
+            ticks.fetch_add(1, Ordering::Relaxed);
+        };
+        // A deadline already in the past fails the first checkpoint —
+        // but the tick (heartbeat) still fires before the check.
+        let c = ExecContext {
+            threads: 2,
+            cancel: &cancel,
+            deadline: Some(Instant::now() - std::time::Duration::from_millis(1)),
+            tick: &tick,
+            progress: &progress,
+        };
+        let err = execute(&vjob, &c).unwrap_err();
+        assert_eq!(err, ExecError::Deadline);
+        assert!(err.to_string().contains("deadline"), "{err}");
+        assert_eq!(ticks.load(Ordering::Relaxed), 1);
     }
 
     #[test]
@@ -684,6 +792,8 @@ mod tests {
             let c = ExecContext {
                 threads,
                 cancel: &cancel,
+                deadline: None,
+                tick: &|_| (),
                 progress: &progress,
             };
             execute(&vjob, &c).unwrap()
@@ -728,6 +838,8 @@ mod tests {
             let c = ExecContext {
                 threads,
                 cancel: &cancel,
+                deadline: None,
+                tick: &|_| (),
                 progress: &progress,
             };
             execute(&vjob, &c).unwrap()

@@ -18,15 +18,23 @@
 //! * [`cache`] — the single-flight result cache: an identical
 //!   submission either hits a completed result, joins the in-flight
 //!   job's event stream, or reserves the key and executes.
+//! * [`store`] — the crash-safe durable store behind the cache: a
+//!   CRC-framed append-only journal plus an atomically-renamed
+//!   snapshot, replayed (and truncated at the first corrupt record) on
+//!   startup.
 //! * [`exec`] — job execution: fault-tolerant simulator sampling
 //!   (PR 1's retry machinery), round-partitioned seed streams, and the
 //!   bias-free parallel hypothesis runner built on
 //!   [`spa_core::rounds`].
 //! * [`server`] — the daemon: accept/handler threads, the bounded job
-//!   queue with typed backpressure, counters, and drain-then-exit
-//!   shutdown.
+//!   queue with typed backpressure, per-job deadlines and per-client
+//!   quotas, a supervisor that requeues jobs whose workers panic or
+//!   hang, counters, and drain-then-exit shutdown.
+//! * [`chaos`] — seeded fault injection (worker kills and stalls at
+//!   round boundaries) for the crash-recovery test suite.
 //! * [`client`] — blocking helpers (`submit`/`status`/`shutdown`) the
-//!   CLI and tests use.
+//!   CLI and tests use, with timeouts and bounded
+//!   reconnect-with-backoff.
 //!
 //! # Example
 //!
@@ -46,6 +54,7 @@
 //! ```
 
 pub mod cache;
+pub mod chaos;
 pub mod client;
 mod error;
 pub mod exec;
@@ -53,6 +62,7 @@ pub mod obs_names;
 pub mod protocol;
 pub mod server;
 pub mod spec;
+pub mod store;
 
 pub use error::ServerError;
 pub use protocol::{JobResult, MetricsReport, RejectReason, Request, Response, ServerStats};

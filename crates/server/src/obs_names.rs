@@ -17,3 +17,22 @@ pub const QUEUE_DEPTH: &str = "server.queue.depth";
 /// Timing histogram: wall-clock latency of job execution, dequeue to
 /// terminal state.
 pub const JOB_LATENCY: &str = "server.job.latency";
+/// Counter: completed results recovered from the durable store at
+/// startup (snapshot + journal replay).
+pub const STORE_REPLAYED: &str = "server.store.replayed";
+/// Counter: store files whose unreadable tail (or, on a version
+/// mismatch, whole body) was discarded during recovery.
+pub const STORE_TRUNCATED: &str = "server.store.truncated";
+/// Counter: best-effort durable-store writes (append/compaction) that
+/// failed; the in-memory cache still serves the result.
+pub const STORE_ERRORS: &str = "server.store.errors";
+/// Counter: jobs that aborted with a typed `deadline exceeded` failure.
+pub const JOBS_EXPIRED: &str = "server.jobs.expired";
+/// Counter: jobs requeued after their worker panicked or hung.
+pub const JOBS_REQUEUED: &str = "server.jobs.requeued";
+/// Counter: worker threads (re)spawned by the supervisor to replace a
+/// dead or hung one.
+pub const WORKERS_RESTARTED: &str = "server.workers.restarted";
+/// Counter: socket-option failures (`TCP_NODELAY`, read timeout) on
+/// accepted connections.
+pub const CONN_SOCKOPT_ERRORS: &str = "server.conn.sockopt_errors";

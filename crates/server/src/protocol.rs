@@ -57,6 +57,13 @@ pub enum RejectReason {
         /// What was wrong with it.
         detail: String,
     },
+    /// This client already has its quota of in-flight streamed
+    /// submissions — admission control beside `queue_full`; retry after
+    /// one finishes.
+    QuotaExceeded {
+        /// The configured per-client in-flight limit.
+        limit: usize,
+    },
 }
 
 impl std::fmt::Display for RejectReason {
@@ -67,6 +74,9 @@ impl std::fmt::Display for RejectReason {
             }
             RejectReason::ShuttingDown => f.write_str("server is shutting down"),
             RejectReason::InvalidSpec { detail } => write!(f, "invalid spec: {detail}"),
+            RejectReason::QuotaExceeded { limit } => {
+                write!(f, "per-client in-flight quota exceeded (limit {limit})")
+            }
         }
     }
 }
@@ -354,6 +364,9 @@ mod tests {
             Response::Rejected {
                 reason: RejectReason::QueueFull { depth: 4 },
             },
+            Response::Rejected {
+                reason: RejectReason::QuotaExceeded { limit: 2 },
+            },
             Response::Progress {
                 job: 3,
                 samples: 16,
@@ -511,5 +524,8 @@ mod tests {
             detail: "unknown benchmark".into(),
         };
         assert!(r.to_string().contains("unknown benchmark"));
+        assert!(RejectReason::QuotaExceeded { limit: 2 }
+            .to_string()
+            .contains("limit 2"));
     }
 }

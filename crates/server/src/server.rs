@@ -4,35 +4,59 @@
 //!
 //! ```text
 //! accept thread ──► handler thread per connection (JSON lines)
-//!                      │  submit: validate → cache lookup → enqueue
+//!                      │  submit: validate → quota → cache lookup → enqueue
 //!                      ▼
 //!               bounded job queue  ──►  worker pool (crossbeam channel)
 //!                      ▲                    │ execute rounds, publish
 //!                      │ backpressure:      ▼ progress + terminal event
 //!                   try_send          jobs table + result cache
+//!                      ▲                    │ completed results
+//!               supervisor thread           ▼
+//!               (heartbeats, respawn)  durable store (journal + snapshot)
 //! ```
 //!
-//! * **Backpressure**: the queue is a bounded crossbeam channel and
-//!   submission uses `try_send` — a full queue yields a typed
-//!   [`RejectReason::QueueFull`] instead of unbounded buffering.
+//! * **Backpressure and admission control**: the queue is a bounded
+//!   crossbeam channel and submission uses `try_send` — a full queue
+//!   yields a typed [`RejectReason::QueueFull`]; a client over its
+//!   configured in-flight quota yields [`RejectReason::QuotaExceeded`].
 //! * **Single-flight**: the jobs-table lock is held across the cache
 //!   lookup and the enqueue, so of N racing identical submissions
 //!   exactly one executes; the rest join its event stream.
+//! * **Durability**: with a `state_dir` configured, every published
+//!   result is appended (flushed) to a CRC-framed journal and replayed
+//!   on the next startup — a `kill -9` loses at most the in-flight
+//!   record. Graceful shutdown compacts into an atomically-renamed
+//!   snapshot ([`crate::store`]).
+//! * **Deadlines**: a job's wall-clock budget (per-spec `deadline_ms`
+//!   or the server default) is checked at round boundaries; expiry is a
+//!   typed failure that releases the cache reservation and counts under
+//!   `server.jobs.expired`.
+//! * **Supervision**: executions run under a panic guard and beat a
+//!   per-job heartbeat at every round. A panicked execution is requeued
+//!   under a bounded [`RetryPolicy`] budget; a hung one (stale
+//!   heartbeat past `hang_timeout`) is requeued the same way while a
+//!   replacement worker thread is spawned — each published result is
+//!   *generation*-gated, so a zombie execution can never clobber its
+//!   successor's result.
 //! * **Graceful drain**: shutdown flips a flag and drops the queue's
 //!   sender. Workers drain every already-accepted job (each reaches a
 //!   terminal event — no report is lost), new submissions are rejected
 //!   with [`RejectReason::ShuttingDown`], and idle connections close at
 //!   their next read-poll tick.
 //!
-//! Lock order: a handler takes `jobs → cache` and `jobs → queue_tx`;
-//! workers take `cache` and `jobs` only one at a time (and the
-//! hypothesis executor's `aggregator → jobs` via the progress callback).
-//! No path takes `cache → jobs` or `jobs → aggregator`, so the graph is
+//! Lock order: a handler takes `jobs → cache`, `jobs → quota`, and
+//! `jobs → queue_tx`; workers publish under `jobs → cache` and persist
+//! under `store → cache`; the supervisor takes `jobs`, `worker_handles`,
+//! and `jobs → queue_tx` one at a time (plus the hypothesis executor's
+//! `aggregator → jobs` via the progress callback). No path takes
+//! `cache → jobs`, `quota → jobs`, or `cache → store`, so the graph is
 //! acyclic.
 
 use std::collections::HashMap;
 use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -40,21 +64,27 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use parking_lot::Mutex;
+use spa_core::fault::RetryPolicy;
 use spa_obs::MetricsRegistry;
 
 use crate::cache::{Lookup, ResultCache};
-use crate::exec::{self, ExecContext, ProgressUpdate};
+use crate::chaos::{ChaosSpec, ChaosState};
+use crate::exec::{self, ExecContext, ExecError, ProgressUpdate};
 use crate::obs_names;
 use crate::protocol::{
     write_message, JobResult, MetricsReport, RejectReason, Request, Response, ServerStats,
 };
 use crate::spec::{validate, ValidatedJob};
+use crate::store::DurableStore;
 
 /// Shape of the job-latency histogram: dequeue-to-terminal latencies
 /// from tens of microseconds (cache-adjacent trivial jobs) to a minute.
 const JOB_LATENCY_LO: Duration = Duration::from_micros(10);
 const JOB_LATENCY_HI: Duration = Duration::from_secs(60);
 const JOB_LATENCY_BUCKETS: usize = 32;
+
+/// How often the supervisor sweeps heartbeats and worker handles.
+const SUPERVISOR_TICK: Duration = Duration::from_millis(25);
 
 /// How a [`start`]ed server is shaped.
 #[derive(Debug, Clone)]
@@ -68,6 +98,24 @@ pub struct ServerConfig {
     pub queue_depth: usize,
     /// Sampling threads *within* one job's rounds.
     pub job_threads: usize,
+    /// Directory for the durable result store (`None` = in-memory only;
+    /// results do not survive a restart).
+    pub state_dir: Option<PathBuf>,
+    /// Default wall-clock budget for jobs whose spec carries no
+    /// `deadline_ms` (`None` = unlimited).
+    pub default_deadline: Option<Duration>,
+    /// Maximum streamed submissions a single client IP may have in
+    /// flight (0 = unlimited).
+    pub client_quota: usize,
+    /// Heartbeat staleness past which a running job's worker is deemed
+    /// hung and the job requeued (`None` disables hang detection).
+    pub hang_timeout: Option<Duration>,
+    /// Retry budget for jobs whose workers panic or hang: total
+    /// executions per job, [`RetryPolicy::backoff_delay`] between them.
+    pub requeue_policy: RetryPolicy,
+    /// Seeded fault injection for the chaos tests (`None` in
+    /// production).
+    pub chaos: Option<ChaosSpec>,
 }
 
 impl Default for ServerConfig {
@@ -79,6 +127,12 @@ impl Default for ServerConfig {
             job_threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(4),
+            state_dir: None,
+            default_deadline: None,
+            client_quota: 0,
+            hang_timeout: None,
+            requeue_policy: RetryPolicy::new(3),
+            chaos: None,
         }
     }
 }
@@ -93,7 +147,24 @@ enum JobState {
 struct JobEntry {
     state: JobState,
     waiters: Vec<Sender<Response>>,
+    /// Cancel flag of the entry's *current* generation; replaced (with
+    /// the old one set) when the job is requeued.
     cancel: Arc<AtomicBool>,
+    /// The validated job, kept here so a requeue can re-enqueue without
+    /// the original submission's help.
+    vjob: ValidatedJob,
+    /// Absolute wall-clock deadline, fixed at submission.
+    deadline: Option<Instant>,
+    /// Milliseconds since [`Shared::epoch`] of the last round-boundary
+    /// tick; the supervisor's hang detector reads it.
+    heartbeat: Arc<AtomicU64>,
+    /// Bumped on every requeue. Queue items, publications, and failures
+    /// all carry the generation they belong to; stale ones are
+    /// discarded.
+    generation: u64,
+    /// Executions started (1 for the initial attempt), bounded by the
+    /// requeue policy.
+    attempts: u32,
 }
 
 #[derive(Default)]
@@ -112,19 +183,43 @@ struct Counters {
 struct Shared {
     jobs: Mutex<HashMap<u64, JobEntry>>,
     cache: ResultCache,
+    /// The durable store, if a `state_dir` was configured. Appends and
+    /// compactions are best-effort: an I/O error counts under
+    /// `server.store.errors` and the in-memory cache still answers.
+    store: Mutex<Option<DurableStore>>,
     next_job: AtomicU64,
-    queue_tx: Mutex<Option<Sender<(u64, ValidatedJob)>>>,
+    queue_tx: Mutex<Option<Sender<(u64, u64)>>>,
+    /// Kept so replacement workers can be spawned after startup.
+    queue_rx: Receiver<(u64, u64)>,
     stats: Counters,
     /// This instance's metrics (`server.*` names); merged with the
     /// engine's process-global registry when a snapshot is requested.
     metrics: MetricsRegistry,
     shutting_down: AtomicBool,
     handlers: Mutex<Vec<JoinHandle<()>>>,
+    worker_handles: Mutex<Vec<JoinHandle<()>>>,
+    /// Cleared by [`ServerHandle::abort`] so a simulated crash leaves
+    /// the journal exactly as the last append flushed it.
+    compact_on_exit: AtomicBool,
+    /// Per-client-IP in-flight streamed submissions.
+    quota: Mutex<HashMap<IpAddr, usize>>,
+    /// Reference instant for heartbeat arithmetic.
+    epoch: Instant,
     queue_depth: usize,
     job_threads: usize,
+    client_quota: usize,
+    default_deadline: Option<Duration>,
+    hang_timeout: Option<Duration>,
+    requeue_policy: RetryPolicy,
+    chaos: Option<Arc<ChaosState>>,
 }
 
 impl Shared {
+    /// Milliseconds since this server's epoch (heartbeat clock).
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
     /// The merged server + engine metrics snapshot, in wire form.
     fn metrics_report(&self) -> MetricsReport {
         spa_obs::metrics::global()
@@ -162,14 +257,126 @@ impl Shared {
         }
     }
 
-    /// Records a job's terminal state and delivers the terminal event to
-    /// every waiter.
-    fn finish(&self, job: u64, state: JobState, resp: &Response) {
+    /// Publishes a finished result: cache, jobs table, waiters, then —
+    /// outside the jobs lock — the durable store. Generation-gated: a
+    /// result produced by a superseded execution (the job was requeued
+    /// out from under it) is discarded.
+    fn publish_success(&self, job: u64, generation: u64, key: &str, result: JobResult) {
+        let published = {
+            let mut jobs = self.jobs.lock();
+            match jobs.get_mut(&job) {
+                Some(entry) if entry.generation == generation => {
+                    // Cache publication happens under the jobs lock:
+                    // any submission that saw this job as in-flight has
+                    // already registered its waiter (it held the jobs
+                    // lock to do so), and any later one sees the
+                    // completed entry.
+                    self.cache.complete(key, result.clone());
+                    self.stats.completed.fetch_add(1, Ordering::Relaxed);
+                    entry.state = JobState::Done(result.clone());
+                    let resp = Response::Report {
+                        job,
+                        cached: false,
+                        result: result.clone(),
+                    };
+                    for tx in entry.waiters.drain(..) {
+                        let _ = tx.send(resp.clone());
+                    }
+                    true
+                }
+                _ => false,
+            }
+        };
+        if published {
+            self.persist(key, &result);
+        }
+    }
+
+    /// Records a terminal failure: releases the cache reservation and
+    /// delivers the typed failure to every waiter. Generation-gated
+    /// like [`publish_success`].
+    fn fail_job(&self, job: u64, generation: u64, key: &str, error: &ExecError) {
         let mut jobs = self.jobs.lock();
-        if let Some(entry) = jobs.get_mut(&job) {
-            entry.state = state;
-            for tx in entry.waiters.drain(..) {
-                let _ = tx.send(resp.clone());
+        let Some(entry) = jobs.get_mut(&job) else {
+            return;
+        };
+        if entry.generation != generation {
+            return;
+        }
+        if matches!(error, ExecError::Deadline) {
+            self.metrics.counter(obs_names::JOBS_EXPIRED).incr();
+        }
+        self.cache.invalidate(key);
+        self.stats.failed.fetch_add(1, Ordering::Relaxed);
+        let message = error.to_string();
+        entry.state = JobState::Failed(message.clone());
+        let resp = Response::Failed {
+            job,
+            error: message,
+        };
+        for tx in entry.waiters.drain(..) {
+            let _ = tx.send(resp.clone());
+        }
+    }
+
+    /// Appends a published result to the durable store and compacts when
+    /// the journal has grown past its threshold. Best-effort: I/O
+    /// failures count under `server.store.errors` and are otherwise
+    /// swallowed — the in-memory cache still serves the result.
+    fn persist(&self, key: &str, result: &JobResult) {
+        let mut store = self.store.lock();
+        let Some(store) = store.as_mut() else {
+            return;
+        };
+        if store.append(key, result).is_err() {
+            self.metrics.counter(obs_names::STORE_ERRORS).incr();
+        }
+        if store.should_compact() {
+            let entries = self.cache.completed_entries();
+            if store.compact(&entries).is_err() {
+                self.metrics.counter(obs_names::STORE_ERRORS).incr();
+            }
+        }
+    }
+
+    /// Charges one in-flight submission against `peer`'s quota.
+    ///
+    /// `Ok(None)` means quotas are disabled (or the peer is unknown);
+    /// `Ok(Some(guard))` holds the slot until the guard drops;
+    /// `Err(limit)` means the client is at its limit.
+    fn try_acquire_quota(&self, peer: Option<IpAddr>) -> Result<Option<QuotaGuard<'_>>, usize> {
+        let limit = self.client_quota;
+        if limit == 0 {
+            return Ok(None);
+        }
+        let Some(ip) = peer else {
+            return Ok(None);
+        };
+        let mut quota = self.quota.lock();
+        let n = quota.entry(ip).or_insert(0);
+        if *n >= limit {
+            return Err(limit);
+        }
+        *n += 1;
+        Ok(Some(QuotaGuard { shared: self, ip }))
+    }
+}
+
+/// Holds one unit of a client's in-flight quota; releasing is a `Drop`,
+/// so a handler that dies mid-stream (client disconnect, write error)
+/// can never leak its slot.
+struct QuotaGuard<'a> {
+    shared: &'a Shared,
+    ip: IpAddr,
+}
+
+impl Drop for QuotaGuard<'_> {
+    fn drop(&mut self) {
+        let mut quota = self.shared.quota.lock();
+        if let Some(n) = quota.get_mut(&self.ip) {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                quota.remove(&self.ip);
             }
         }
     }
@@ -180,7 +387,7 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     addr: SocketAddr,
     accept: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -229,14 +436,40 @@ impl ServerHandle {
         self.join();
     }
 
+    /// Tears the server down like a crash, for recovery tests: in-flight
+    /// jobs are cancelled and — unlike [`shutdown`](Self::shutdown) —
+    /// the durable store is *not* compacted, so the journal stays
+    /// exactly as the last append flushed it (what a `kill -9` would
+    /// leave behind, with the listening port still released cleanly).
+    pub fn abort(self) {
+        self.shared.compact_on_exit.store(false, Ordering::SeqCst);
+        self.cancel_all();
+        self.shared.begin_shutdown();
+        self.join();
+    }
+
     /// Joins all server threads. Only returns once shutdown was
-    /// initiated; every accepted job reaches its terminal event first.
+    /// initiated; every accepted job reaches its terminal event first,
+    /// and (on graceful exit with a store) the journal is compacted
+    /// into the snapshot.
     pub fn join(mut self) {
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
-        for h in self.workers.drain(..) {
+        if let Some(h) = self.supervisor.take() {
             let _ = h.join();
+        }
+        loop {
+            let drained: Vec<JoinHandle<()>> = {
+                let mut workers = self.shared.worker_handles.lock();
+                workers.drain(..).collect()
+            };
+            if drained.is_empty() {
+                break;
+            }
+            for h in drained {
+                let _ = h.join();
+            }
         }
         loop {
             let drained: Vec<JoinHandle<()>> = {
@@ -250,38 +483,89 @@ impl ServerHandle {
                 let _ = h.join();
             }
         }
+        if self.shared.compact_on_exit.load(Ordering::SeqCst) {
+            let mut store = self.shared.store.lock();
+            if let Some(store) = store.as_mut() {
+                let entries = self.shared.cache.completed_entries();
+                if store.compact(&entries).is_err() {
+                    self.shared.metrics.counter(obs_names::STORE_ERRORS).incr();
+                }
+            }
+        }
     }
 }
 
 /// Binds and starts the evaluation service.
 ///
+/// With [`ServerConfig::state_dir`] set, the durable store is opened
+/// first and every recovered result is preloaded into the cache
+/// (`server.store.replayed` / `server.store.truncated` record what
+/// recovery found).
+///
 /// # Errors
 ///
-/// Propagates the bind failure.
+/// Propagates the bind failure and durable-store open failures
+/// (unwritable state directory). Corrupt store *contents* are not
+/// errors — they surface as truncation counters.
 pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
-    let (queue_tx, queue_rx) = bounded::<(u64, ValidatedJob)>(config.queue_depth.max(1));
+    let (queue_tx, queue_rx) = bounded::<(u64, u64)>(config.queue_depth.max(1));
+
+    let mut store = None;
+    let mut recovered = Vec::new();
+    let mut recovery = crate::store::RecoveryStats::default();
+    if let Some(dir) = &config.state_dir {
+        let (opened, entries, stats) = DurableStore::open(dir)?;
+        store = Some(opened);
+        recovered = entries;
+        recovery = stats;
+    }
+
     let shared = Arc::new(Shared {
         jobs: Mutex::new(HashMap::new()),
         cache: ResultCache::new(),
+        store: Mutex::new(store),
         next_job: AtomicU64::new(0),
         queue_tx: Mutex::new(Some(queue_tx)),
+        queue_rx,
         stats: Counters::default(),
         metrics: MetricsRegistry::new(),
         shutting_down: AtomicBool::new(false),
         handlers: Mutex::new(Vec::new()),
+        worker_handles: Mutex::new(Vec::new()),
+        compact_on_exit: AtomicBool::new(true),
+        quota: Mutex::new(HashMap::new()),
+        epoch: Instant::now(),
         queue_depth: config.queue_depth.max(1),
         job_threads: config.job_threads.max(1),
+        client_quota: config.client_quota,
+        default_deadline: config.default_deadline,
+        hang_timeout: config.hang_timeout,
+        requeue_policy: config.requeue_policy.clone(),
+        chaos: config.chaos.map(|spec| Arc::new(ChaosState::new(spec))),
     });
-    let workers = (0..config.workers.max(1))
-        .map(|_| {
-            let shared = Arc::clone(&shared);
-            let rx = queue_rx.clone();
-            std::thread::spawn(move || worker_loop(&shared, &rx))
-        })
-        .collect();
+    shared.cache.preload(recovered);
+    shared
+        .metrics
+        .counter(obs_names::STORE_REPLAYED)
+        .add(recovery.replayed);
+    shared
+        .metrics
+        .counter(obs_names::STORE_TRUNCATED)
+        .add(recovery.truncated);
+
+    {
+        let mut workers = shared.worker_handles.lock();
+        for _ in 0..config.workers.max(1) {
+            workers.push(spawn_worker(&shared));
+        }
+    }
+    let supervisor = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || supervisor_loop(&shared))
+    };
     let accept = {
         let shared = Arc::clone(&shared);
         std::thread::spawn(move || accept_loop(&shared, &listener))
@@ -290,7 +574,15 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
         shared,
         addr,
         accept: Some(accept),
-        workers,
+        supervisor: Some(supervisor),
+    })
+}
+
+fn spawn_worker(shared: &Arc<Shared>) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    std::thread::spawn(move || {
+        let rx = shared.queue_rx.clone();
+        worker_loop(&shared, &rx);
     })
 }
 
@@ -311,25 +603,196 @@ fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
     }
 }
 
-fn worker_loop(shared: &Arc<Shared>, rx: &Receiver<(u64, ValidatedJob)>) {
+/// The supervisor: respawns worker threads that died (an injected or
+/// real panic that escaped the execution guard) and requeues jobs whose
+/// heartbeat went stale (hung worker) under the bounded retry budget.
+fn supervisor_loop(shared: &Arc<Shared>) {
+    while !shared.shutting_down.load(Ordering::SeqCst) {
+        std::thread::sleep(SUPERVISOR_TICK);
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            // Workers exiting the drain are not casualties.
+            break;
+        }
+
+        // Dead workers: join the corpse, spawn a replacement.
+        {
+            let mut workers = shared.worker_handles.lock();
+            let mut i = 0;
+            while i < workers.len() {
+                if workers[i].is_finished() {
+                    let _ = workers.remove(i).join();
+                    workers.push(spawn_worker(shared));
+                    shared.metrics.counter(obs_names::WORKERS_RESTARTED).incr();
+                } else {
+                    i += 1;
+                }
+            }
+        }
+
+        // Hung workers: a running job whose heartbeat is stale. The
+        // stuck thread cannot be killed, so it is disowned — its
+        // generation's cancel flag stops it at the next checkpoint it
+        // ever reaches, its publications are generation-gated away —
+        // and a replacement worker takes over the queue.
+        let Some(limit) = shared.hang_timeout else {
+            continue;
+        };
+        let limit_ms = limit.as_millis() as u64;
+        let now = shared.now_ms();
+        let hung: Vec<(u64, u64)> = {
+            let jobs = shared.jobs.lock();
+            jobs.iter()
+                .filter(|(_, entry)| {
+                    matches!(entry.state, JobState::Running)
+                        && now.saturating_sub(entry.heartbeat.load(Ordering::Relaxed)) > limit_ms
+                })
+                .map(|(&id, entry)| (id, entry.generation))
+                .collect()
+        };
+        for (id, generation) in hung {
+            shared.worker_handles.lock().push(spawn_worker(shared));
+            shared.metrics.counter(obs_names::WORKERS_RESTARTED).incr();
+            requeue_or_fail(shared, id, generation, "worker hung (stale heartbeat)");
+        }
+    }
+}
+
+/// Requeues a job for another execution under the retry budget, or
+/// fails it terminally when the budget is spent. Generation-gated: a
+/// stale request (the job already moved on) is a no-op.
+fn requeue_or_fail(shared: &Arc<Shared>, job: u64, generation: u64, reason: &str) {
+    enum Decision {
+        Requeue {
+            next_generation: u64,
+            attempts_made: u32,
+            key: String,
+        },
+        Exhausted {
+            attempts_made: u32,
+            key: String,
+        },
+    }
+    let decision = {
+        let mut jobs = shared.jobs.lock();
+        let Some(entry) = jobs.get_mut(&job) else {
+            return;
+        };
+        if entry.generation != generation {
+            return;
+        }
+        let attempts_made = entry.attempts;
+        if shared.requeue_policy.allows_retry(attempts_made) {
+            // Disown the old execution: its cancel flag stops a merely
+            // hung worker at its next checkpoint, and the generation
+            // bump gates out anything it still publishes.
+            entry.cancel.store(true, Ordering::Relaxed);
+            entry.cancel = Arc::new(AtomicBool::new(false));
+            entry.generation += 1;
+            entry.attempts += 1;
+            entry.state = JobState::Queued;
+            entry.heartbeat.store(shared.now_ms(), Ordering::Relaxed);
+            Decision::Requeue {
+                next_generation: entry.generation,
+                attempts_made,
+                key: entry.vjob.key.clone(),
+            }
+        } else {
+            Decision::Exhausted {
+                attempts_made,
+                key: entry.vjob.key.clone(),
+            }
+        }
+    };
+    match decision {
+        Decision::Requeue {
+            next_generation,
+            attempts_made,
+            key,
+        } => {
+            let delay = shared.requeue_policy.backoff_delay(job, attempts_made);
+            if !delay.is_zero() {
+                std::thread::sleep(delay);
+            }
+            let sent = match shared.queue_tx.lock().as_ref() {
+                Some(tx) => tx.try_send((job, next_generation)).is_ok(),
+                None => false,
+            };
+            if sent {
+                shared.stats.queued.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.gauge(obs_names::QUEUE_DEPTH).add(1);
+                shared.metrics.counter(obs_names::JOBS_REQUEUED).incr();
+            } else {
+                shared.fail_job(
+                    job,
+                    next_generation,
+                    &key,
+                    &ExecError::Failed(format!("{reason}; requeue failed: queue unavailable")),
+                );
+            }
+        }
+        Decision::Exhausted { attempts_made, key } => {
+            shared.fail_job(
+                job,
+                generation,
+                &key,
+                &ExecError::Failed(format!(
+                    "{reason} ({attempts_made} attempts, retry budget exhausted)"
+                )),
+            );
+        }
+    }
+}
+
+/// Extracts the human-readable payload of a caught panic.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>, rx: &Receiver<(u64, u64)>) {
     // `recv` returns Err only when the sender is dropped (shutdown) AND
     // the queue is empty — the drain guarantee.
-    while let Ok((id, vjob)) = rx.recv() {
+    while let Ok((id, generation)) = rx.recv() {
         shared.stats.queued.fetch_sub(1, Ordering::Relaxed);
         shared.metrics.gauge(obs_names::QUEUE_DEPTH).sub(1);
+        // Claim the job: only the entry's current generation in state
+        // Queued is runnable; anything else is a stale queue item.
+        let claim = {
+            let mut jobs = shared.jobs.lock();
+            match jobs.get_mut(&id) {
+                Some(entry)
+                    if entry.generation == generation
+                        && matches!(entry.state, JobState::Queued) =>
+                {
+                    entry.state = JobState::Running;
+                    entry.heartbeat.store(shared.now_ms(), Ordering::Relaxed);
+                    Some((
+                        entry.vjob.clone(),
+                        Arc::clone(&entry.cancel),
+                        Arc::clone(&entry.heartbeat),
+                        entry.deadline,
+                    ))
+                }
+                _ => None,
+            }
+        };
+        let Some((vjob, cancel, heartbeat, deadline)) = claim else {
+            continue;
+        };
+        // A deadline that expired while the job sat in the queue fails
+        // it without burning an execution.
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            shared.fail_job(id, generation, &vjob.key, &ExecError::Deadline);
+            continue;
+        }
         shared.stats.running.fetch_add(1, Ordering::Relaxed);
         shared.stats.executed.fetch_add(1, Ordering::Relaxed);
         let started = Instant::now();
-        let cancel = {
-            let mut jobs = shared.jobs.lock();
-            match jobs.get_mut(&id) {
-                Some(entry) => {
-                    entry.state = JobState::Running;
-                    Arc::clone(&entry.cancel)
-                }
-                None => Arc::new(AtomicBool::new(false)),
-            }
-        };
         let progress = |u: ProgressUpdate| {
             shared.fan_out(
                 id,
@@ -341,12 +804,23 @@ fn worker_loop(shared: &Arc<Shared>, rx: &Receiver<(u64, ValidatedJob)>) {
                 },
             );
         };
+        let tick = |round: u64| {
+            heartbeat.store(shared.now_ms(), Ordering::Relaxed);
+            if let Some(chaos) = &shared.chaos {
+                chaos.inject(id, generation, round);
+            }
+        };
         let ctx = ExecContext {
             threads: shared.job_threads,
             cancel: &cancel,
+            deadline,
+            tick: &tick,
             progress: &progress,
         };
-        let outcome = exec::execute(&vjob, &ctx);
+        // Panic isolation: an execution that panics (a simulator bug
+        // slipping the sampler's own guard, or an injected chaos kill)
+        // must not take the worker's queue consumption with it.
+        let outcome = catch_unwind(AssertUnwindSafe(|| exec::execute(&vjob, &ctx)));
         shared
             .metrics
             .timing(
@@ -358,28 +832,11 @@ fn worker_loop(shared: &Arc<Shared>, rx: &Receiver<(u64, ValidatedJob)>) {
             .record(started.elapsed());
         shared.stats.running.fetch_sub(1, Ordering::Relaxed);
         match outcome {
-            Ok(result) => {
-                // Publish to the cache *before* the terminal fan-out:
-                // any submission that saw this job as in-flight has
-                // already registered its waiter (it held the jobs lock
-                // to do so), and any later one sees the completed entry.
-                shared.cache.complete(&vjob.key, result.clone());
-                shared.stats.completed.fetch_add(1, Ordering::Relaxed);
-                let resp = Response::Report {
-                    job: id,
-                    cached: false,
-                    result: result.clone(),
-                };
-                shared.finish(id, JobState::Done(result), &resp);
-            }
-            Err(error) => {
-                shared.cache.invalidate(&vjob.key);
-                shared.stats.failed.fetch_add(1, Ordering::Relaxed);
-                let resp = Response::Failed {
-                    job: id,
-                    error: error.clone(),
-                };
-                shared.finish(id, JobState::Failed(error), &resp);
+            Ok(Ok(result)) => shared.publish_success(id, generation, &vjob.key, result),
+            Ok(Err(error)) => shared.fail_job(id, generation, &vjob.key, &error),
+            Err(payload) => {
+                let reason = format!("worker panicked: {}", panic_message(payload.as_ref()));
+                requeue_or_fail(shared, id, generation, &reason);
             }
         }
     }
@@ -424,8 +881,27 @@ impl LineReader<'_> {
 }
 
 fn handle_conn(shared: &Arc<Shared>, stream: &TcpStream) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    if stream.set_nodelay(true).is_err() {
+        // Latency pessimization only — carry on, but count it.
+        shared
+            .metrics
+            .counter(obs_names::CONN_SOCKOPT_ERRORS)
+            .incr();
+    }
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(200)))
+        .is_err()
+    {
+        // Without a read timeout the poll loop could never observe
+        // shutdown — refuse the connection rather than leak an
+        // unkillable handler thread.
+        shared
+            .metrics
+            .counter(obs_names::CONN_SOCKOPT_ERRORS)
+            .incr();
+        return;
+    }
+    let peer = stream.peer_addr().ok().map(|a| a.ip());
     let mut reader = LineReader {
         stream,
         buf: Vec::new(),
@@ -474,7 +950,7 @@ fn handle_conn(shared: &Arc<Shared>, stream: &TcpStream) {
                 shared.begin_shutdown();
                 ok
             }
-            Request::Submit { spec } => handle_submit(shared, &mut writer, spec).is_ok(),
+            Request::Submit { spec } => handle_submit(shared, &mut writer, spec, peer).is_ok(),
         };
         if !ok {
             break;
@@ -494,6 +970,7 @@ fn handle_submit<W: Write>(
     shared: &Arc<Shared>,
     writer: &mut W,
     spec: crate::spec::JobSpec,
+    peer: Option<IpAddr>,
 ) -> Result<(), crate::ServerError> {
     shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
     let vjob = match validate(spec) {
@@ -520,6 +997,9 @@ fn handle_submit<W: Write>(
     let id = shared.next_job.fetch_add(1, Ordering::Relaxed) + 1;
     let key = vjob.key.clone();
     let (ev_tx, ev_rx) = unbounded::<Response>();
+    // Held (alive) for the whole streaming loop; its Drop releases the
+    // client's quota slot even on disconnect mid-stream.
+    let mut _quota: Option<QuotaGuard<'_>> = None;
 
     // Single-flight critical section: the jobs lock spans the cache
     // lookup, waiter registration, and the enqueue, so racing identical
@@ -540,48 +1020,87 @@ fn handle_submit<W: Write>(
                         JobState::Done(result) => Plan::Hit(result.clone()),
                         JobState::Failed(error) => Plan::AlreadyFailed(job, error.clone()),
                         JobState::Queued | JobState::Running => {
-                            entry.waiters.push(ev_tx.clone());
-                            Plan::Stream(job)
+                            match shared.try_acquire_quota(peer) {
+                                Ok(guard) => {
+                                    _quota = guard;
+                                    entry.waiters.push(ev_tx.clone());
+                                    Plan::Stream(job)
+                                }
+                                Err(limit) => {
+                                    shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                                    Plan::Reject(RejectReason::QuotaExceeded { limit })
+                                }
+                            }
                         }
                     },
-                    None => Plan::AlreadyFailed(job, "in-flight job record missing".to_string()),
-                }
-            }
-            Lookup::Reserved => {
-                jobs.insert(
-                    id,
-                    JobEntry {
-                        state: JobState::Queued,
-                        waiters: vec![ev_tx.clone()],
-                        cancel: Arc::new(AtomicBool::new(false)),
-                    },
-                );
-                let sent = match shared.queue_tx.lock().as_ref() {
-                    Some(tx) => tx.try_send((id, vjob)).map_err(|e| match e {
-                        TrySendError::Full(_) => RejectReason::QueueFull {
-                            depth: shared.queue_depth,
-                        },
-                        TrySendError::Disconnected(_) => RejectReason::ShuttingDown,
-                    }),
-                    None => Err(RejectReason::ShuttingDown),
-                };
-                match sent {
-                    Ok(()) => {
-                        shared.stats.queued.fetch_add(1, Ordering::Relaxed);
-                        shared.metrics.counter(obs_names::CACHE_MISSES).incr();
-                        shared.metrics.gauge(obs_names::QUEUE_DEPTH).add(1);
-                        Plan::Stream(id)
-                    }
-                    Err(reason) => {
-                        // Undo the reservation so a later submission can
-                        // try again once there is room.
-                        jobs.remove(&id);
+                    None => {
+                        // The in-flight marker points at a job record
+                        // that no longer exists — a wedged key. Release
+                        // the marker so the *next* submission executes
+                        // instead of hitting this dead end forever.
                         shared.cache.invalidate(&key);
-                        shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
-                        Plan::Reject(reason)
+                        Plan::AlreadyFailed(
+                            job,
+                            "in-flight job record missing; resubmit".to_string(),
+                        )
                     }
                 }
             }
+            Lookup::Reserved => match shared.try_acquire_quota(peer) {
+                Err(limit) => {
+                    shared.cache.invalidate(&key);
+                    shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                    Plan::Reject(RejectReason::QuotaExceeded { limit })
+                }
+                Ok(guard) => {
+                    _quota = guard;
+                    let deadline = vjob
+                        .spec
+                        .deadline_ms
+                        .map(Duration::from_millis)
+                        .or(shared.default_deadline)
+                        .map(|d| Instant::now() + d);
+                    jobs.insert(
+                        id,
+                        JobEntry {
+                            state: JobState::Queued,
+                            waiters: vec![ev_tx.clone()],
+                            cancel: Arc::new(AtomicBool::new(false)),
+                            vjob,
+                            deadline,
+                            heartbeat: Arc::new(AtomicU64::new(shared.now_ms())),
+                            generation: 0,
+                            attempts: 1,
+                        },
+                    );
+                    let sent = match shared.queue_tx.lock().as_ref() {
+                        Some(tx) => tx.try_send((id, 0)).map_err(|e| match e {
+                            TrySendError::Full(_) => RejectReason::QueueFull {
+                                depth: shared.queue_depth,
+                            },
+                            TrySendError::Disconnected(_) => RejectReason::ShuttingDown,
+                        }),
+                        None => Err(RejectReason::ShuttingDown),
+                    };
+                    match sent {
+                        Ok(()) => {
+                            shared.stats.queued.fetch_add(1, Ordering::Relaxed);
+                            shared.metrics.counter(obs_names::CACHE_MISSES).incr();
+                            shared.metrics.gauge(obs_names::QUEUE_DEPTH).add(1);
+                            Plan::Stream(id)
+                        }
+                        Err(reason) => {
+                            // Undo the reservation (and quota) so a later
+                            // submission can try again once there is room.
+                            jobs.remove(&id);
+                            shared.cache.invalidate(&key);
+                            _quota = None;
+                            shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                            Plan::Reject(reason)
+                        }
+                    }
+                }
+            },
         }
     };
     drop(ev_tx);

@@ -179,6 +179,13 @@ pub struct JobSpec {
     /// Extra attempts per seed after a failed execution (default 2).
     #[serde(default = "default_retries")]
     pub retries: u32,
+    /// Wall-clock budget for the job in milliseconds, checked at round
+    /// boundaries (`None` = the server's default, which may be
+    /// unlimited). A QoS knob, not a result parameter: it is excluded
+    /// from the canonical key, so deadline variants of one spec share a
+    /// cache slot.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub deadline_ms: Option<u64>,
 }
 
 impl JobSpec {
@@ -195,6 +202,7 @@ impl JobSpec {
             seed_start: 0,
             round_size: default_round_size(),
             retries: default_retries(),
+            deadline_ms: None,
         }
     }
 }
@@ -440,7 +448,10 @@ mod tests {
     fn property_specs_validate_and_parse_the_formula() {
         let v = validate(property_spec("G[0,end] (ipc > 0.8)")).unwrap();
         let formula = v.property.expect("property mode stores the parsed AST");
-        assert_eq!(formula, spa_stl::parser::parse("G[0,inf] (ipc > 0.8)").unwrap());
+        assert_eq!(
+            formula,
+            spa_stl::parser::parse("G[0,inf] (ipc > 0.8)").unwrap()
+        );
         // Non-property modes leave the slot empty.
         assert!(validate(interval_spec()).unwrap().property.is_none());
     }
@@ -484,6 +495,23 @@ mod tests {
         // And a different formula is a different job.
         let d = property_spec("G[0,end](ipc>0.9)");
         assert_ne!(canonical_key(&a), canonical_key(&d));
+    }
+
+    #[test]
+    fn deadline_is_a_qos_knob_not_a_cache_key() {
+        let base = interval_spec();
+        let mut with_deadline = base.clone();
+        with_deadline.deadline_ms = Some(5_000);
+        // Same result either way — one cache slot.
+        assert_eq!(canonical_key(&base), canonical_key(&with_deadline));
+        // And absent deadlines stay off the wire, so pre-deadline specs
+        // serialize byte-identically.
+        let json = serde_json::to_string(&base).unwrap();
+        assert!(!json.contains("deadline"), "{json}");
+        let with_json = serde_json::to_string(&with_deadline).unwrap();
+        assert!(with_json.contains("\"deadline_ms\":5000"), "{with_json}");
+        let back: JobSpec = serde_json::from_str(&with_json).unwrap();
+        assert_eq!(back.deadline_ms, Some(5_000));
     }
 
     #[test]

@@ -1,0 +1,528 @@
+//! The crash-safe result store backing [`ResultCache`](crate::cache).
+//!
+//! Layout inside the server's `--state-dir`:
+//!
+//! * `snapshot.spastore` — the compacted base: every completed result at
+//!   the last compaction, written whole via tempfile + atomic rename.
+//! * `journal.spastore` — an append-only log of results completed since
+//!   that snapshot; one record is appended (and flushed) per published
+//!   `JobResult`.
+//!
+//! Both files share one format: a 12-byte header (`b"SPASTORE"` magic +
+//! little-endian [`STORE_VERSION`]) followed by length-prefixed records
+//! `[u32 len][u32 crc32][len bytes of JSON]`, where the JSON is a
+//! `{key, result}` pair keyed by the spec's canonical cache key. The
+//! version is tied to the canonical-key scheme (keys start `"v1;"`): a
+//! key-scheme change must bump both, so a stale store can never alias a
+//! result under the new scheme.
+//!
+//! **Recovery** replays the snapshot and then the journal, later
+//! records winning. A short, CRC-mismatched, oversized, or unparsable
+//! record ends the replay of its file: everything before it is kept,
+//! the journal is physically truncated at that point, and the event is
+//! counted in [`RecoveryStats::truncated`]. A `kill -9` between the
+//! length prefix and the flush therefore loses at most the in-flight
+//! record — never the store. A header from a different version (or no
+//! valid header at all) discards that file entirely for the same
+//! reason: serving a result under a reinterpreted key would be worse
+//! than re-simulating it.
+//!
+//! **Compaction** (every [`compact_threshold`](DurableStore::should_compact)
+//! appends, and on graceful shutdown) writes the full entry set to
+//! `snapshot.spastore.tmp.<pid>`, renames it over the snapshot, and
+//! truncates the journal back to its header. A crash between the rename
+//! and the truncate leaves the journal's records duplicated in the
+//! snapshot; replay is idempotent (same key, same bytes), so the next
+//! startup converges to the identical cache.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::protocol::JobResult;
+
+/// On-disk format version; tied to the canonical cache-key scheme
+/// (`spec::canonical_key`'s `"v1;"` prefix). Bump both together.
+pub const STORE_VERSION: u32 = 1;
+
+const MAGIC: &[u8; 8] = b"SPASTORE";
+const HEADER_LEN: u64 = 12;
+/// Replay rejects records claiming to be larger than this — a corrupt
+/// length prefix must not trigger a giant allocation.
+const MAX_RECORD_LEN: u32 = 64 * 1024 * 1024;
+/// Journal appends between automatic compactions.
+const DEFAULT_COMPACT_THRESHOLD: u64 = 1024;
+
+const CRC_TABLE: [u32; 256] = crc32_table();
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut n = 0;
+    while n < 256 {
+        let mut c = n as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[n] = c;
+        n += 1;
+    }
+    table
+}
+
+/// IEEE CRC-32 (the zlib/PNG polynomial), table-driven.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// One journaled completion: canonical key plus the finished result.
+#[derive(Debug, Serialize, Deserialize)]
+struct Record {
+    key: String,
+    result: JobResult,
+}
+
+/// What startup recovery found.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Completed results recovered (snapshot + journal, before
+    /// last-wins dedup).
+    pub replayed: u64,
+    /// Files whose unreadable tail — or, on a version mismatch, whole
+    /// body — was discarded.
+    pub truncated: u64,
+}
+
+/// What reading one store file yielded: the valid record prefix, the
+/// byte offset it ends at, and whether anything after it was discarded.
+struct FileScan {
+    records: Vec<Record>,
+    valid_len: u64,
+    discarded_tail: bool,
+}
+
+fn scan_file(path: &Path) -> io::Result<Option<FileScan>> {
+    let bytes = match fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    if bytes.len() < HEADER_LEN as usize
+        || &bytes[..8] != MAGIC
+        || bytes[8..12] != STORE_VERSION.to_le_bytes()
+    {
+        // Wrong magic or version: nothing in this file is trustworthy
+        // under the current key scheme.
+        return Ok(Some(FileScan {
+            records: Vec::new(),
+            valid_len: 0,
+            discarded_tail: true,
+        }));
+    }
+    let mut records = Vec::new();
+    let mut off = HEADER_LEN as usize;
+    let mut discarded_tail = false;
+    while off < bytes.len() {
+        let Some(frame) = bytes.get(off..off + 8) else {
+            discarded_tail = true;
+            break;
+        };
+        let len = u32::from_le_bytes(frame[..4].try_into().expect("4-byte slice"));
+        let crc = u32::from_le_bytes(frame[4..8].try_into().expect("4-byte slice"));
+        if len > MAX_RECORD_LEN {
+            discarded_tail = true;
+            break;
+        }
+        let Some(payload) = bytes.get(off + 8..off + 8 + len as usize) else {
+            // Short read: the record's tail never made it to disk.
+            discarded_tail = true;
+            break;
+        };
+        if crc32(payload) != crc {
+            discarded_tail = true;
+            break;
+        }
+        match serde_json::from_slice::<Record>(payload) {
+            Ok(record) => records.push(record),
+            Err(_) => {
+                discarded_tail = true;
+                break;
+            }
+        }
+        off += 8 + len as usize;
+    }
+    Ok(Some(FileScan {
+        records,
+        valid_len: off as u64,
+        discarded_tail,
+    }))
+}
+
+fn write_header(w: &mut impl Write) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&STORE_VERSION.to_le_bytes())
+}
+
+fn write_record(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    debug_assert!(payload.len() as u64 <= u64::from(MAX_RECORD_LEN));
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(&crc32(payload).to_le_bytes())?;
+    w.write_all(payload)
+}
+
+fn encode(key: &str, result: &JobResult) -> io::Result<Vec<u8>> {
+    serde_json::to_vec(&Record {
+        key: key.to_string(),
+        result: result.clone(),
+    })
+    .map_err(io::Error::other)
+}
+
+/// The append-only durable result store (snapshot + journal).
+#[derive(Debug)]
+pub struct DurableStore {
+    snapshot_path: PathBuf,
+    journal_path: PathBuf,
+    journal: File,
+    /// Records appended since the last compaction (journal length in
+    /// records, seeded from recovery).
+    journal_records: u64,
+    compact_threshold: u64,
+}
+
+impl DurableStore {
+    /// Opens (creating if necessary) the store under `state_dir` and
+    /// recovers every readable completed result.
+    ///
+    /// Returned entries are in replay order (snapshot first, then
+    /// journal), so inserting them into a map in order applies
+    /// last-wins semantics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation and file I/O failures. Corrupt
+    /// *contents* are not errors: they surface as truncation in the
+    /// returned [`RecoveryStats`].
+    pub fn open(
+        state_dir: impl AsRef<Path>,
+    ) -> io::Result<(Self, Vec<(String, JobResult)>, RecoveryStats)> {
+        let dir = state_dir.as_ref();
+        fs::create_dir_all(dir)?;
+        let snapshot_path = dir.join("snapshot.spastore");
+        let journal_path = dir.join("journal.spastore");
+        let mut stats = RecoveryStats::default();
+        let mut entries: Vec<(String, JobResult)> = Vec::new();
+
+        if let Some(scan) = scan_file(&snapshot_path)? {
+            stats.replayed += scan.records.len() as u64;
+            stats.truncated += u64::from(scan.discarded_tail);
+            entries.extend(scan.records.into_iter().map(|r| (r.key, r.result)));
+        }
+
+        let journal_scan = scan_file(&journal_path)?;
+        let mut journal = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&journal_path)?;
+        let journal_records = match journal_scan {
+            Some(scan) => {
+                stats.replayed += scan.records.len() as u64;
+                stats.truncated += u64::from(scan.discarded_tail);
+                let count = scan.records.len() as u64;
+                entries.extend(scan.records.into_iter().map(|r| (r.key, r.result)));
+                if scan.valid_len < HEADER_LEN {
+                    // Unreadable header: start the journal over.
+                    journal.set_len(0)?;
+                    journal.seek(SeekFrom::Start(0))?;
+                    write_header(&mut journal)?;
+                } else if scan.discarded_tail {
+                    // Drop the corrupt tail so the next append starts at
+                    // a clean record boundary.
+                    journal.set_len(scan.valid_len)?;
+                }
+                count
+            }
+            None => {
+                write_header(&mut journal)?;
+                0
+            }
+        };
+        journal.seek(SeekFrom::End(0))?;
+        journal.flush()?;
+        Ok((
+            DurableStore {
+                snapshot_path,
+                journal_path,
+                journal,
+                journal_records,
+                compact_threshold: DEFAULT_COMPACT_THRESHOLD,
+            },
+            entries,
+            stats,
+        ))
+    }
+
+    /// Overrides the automatic-compaction threshold (appends between
+    /// compactions).
+    pub fn with_compact_threshold(mut self, records: u64) -> Self {
+        self.compact_threshold = records.max(1);
+        self
+    }
+
+    /// Appends one completed result to the journal and flushes it.
+    ///
+    /// # Errors
+    ///
+    /// Serialization or file I/O failure; the journal's previous
+    /// records stay readable either way (a partial append is cut off at
+    /// the next recovery).
+    pub fn append(&mut self, key: &str, result: &JobResult) -> io::Result<()> {
+        let payload = encode(key, result)?;
+        write_record(&mut self.journal, &payload)?;
+        self.journal.flush()?;
+        self.journal_records += 1;
+        Ok(())
+    }
+
+    /// Whether the journal has grown past the compaction threshold.
+    pub fn should_compact(&self) -> bool {
+        self.journal_records >= self.compact_threshold
+    }
+
+    /// Rewrites the snapshot to exactly `entries` and empties the
+    /// journal.
+    ///
+    /// The snapshot is written to a tempfile and atomically renamed into
+    /// place before the journal is touched, so a crash at any point
+    /// leaves a recoverable (at worst duplicated, never lossy) store.
+    ///
+    /// # Errors
+    ///
+    /// File I/O failure; on error the previous snapshot and the journal
+    /// are still intact.
+    pub fn compact(&mut self, entries: &[(String, JobResult)]) -> io::Result<()> {
+        let tmp = self
+            .snapshot_path
+            .with_extension(format!("spastore.tmp.{}", std::process::id()));
+        {
+            let mut f = File::create(&tmp)?;
+            write_header(&mut f)?;
+            for (key, result) in entries {
+                let payload = encode(key, result)?;
+                write_record(&mut f, &payload)?;
+            }
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &self.snapshot_path)?;
+        self.journal.set_len(HEADER_LEN)?;
+        self.journal.seek(SeekFrom::End(0))?;
+        self.journal_records = 0;
+        Ok(())
+    }
+
+    /// The journal's path (tests corrupt it directly).
+    pub fn journal_path(&self) -> &Path {
+        &self.journal_path
+    }
+
+    /// Records appended to the journal since the last compaction.
+    pub fn journal_records(&self) -> u64 {
+        self.journal_records
+    }
+}
+
+/// Reads every byte of `path` (test helper for corruption checks).
+#[cfg(test)]
+fn read_raw(path: &Path) -> Vec<u8> {
+    let mut buf = Vec::new();
+    File::open(path)
+        .expect("open store file")
+        .read_to_end(&mut buf)
+        .expect("read store file");
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spa_core::rounds::RoundsOutcome;
+
+    fn result(tag: u64) -> JobResult {
+        JobResult::Hypothesis {
+            outcome: RoundsOutcome {
+                outcome: None,
+                rounds_used: tag,
+                samples_used: tag * 4,
+                last_confidence: 0.25,
+            },
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("spa-store-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn crc32_matches_ieee_test_vector() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn append_and_recover_round_trips() {
+        let dir = tmp_dir("roundtrip");
+        {
+            let (mut store, entries, stats) = DurableStore::open(&dir).unwrap();
+            assert!(entries.is_empty());
+            assert_eq!(stats, RecoveryStats::default());
+            store.append("k1", &result(1)).unwrap();
+            store.append("k2", &result(2)).unwrap();
+            // A rewrite of k1 after an invalidation: last record wins.
+            store.append("k1", &result(3)).unwrap();
+        }
+        let (store, entries, stats) = DurableStore::open(&dir).unwrap();
+        assert_eq!(stats.replayed, 3);
+        assert_eq!(stats.truncated, 0);
+        assert_eq!(store.journal_records(), 3);
+        assert_eq!(entries.len(), 3, "replay order, dedup is the caller's");
+        assert_eq!(entries[2].0, "k1");
+        assert_eq!(entries[2].1, result(3));
+    }
+
+    #[test]
+    fn corrupt_tail_is_truncated_and_prefix_survives() {
+        let dir = tmp_dir("corrupt-tail");
+        let journal_path = {
+            let (mut store, _, _) = DurableStore::open(&dir).unwrap();
+            store.append("k1", &result(1)).unwrap();
+            store.append("k2", &result(2)).unwrap();
+            store.journal_path().to_path_buf()
+        };
+        let clean_len = read_raw(&journal_path).len() as u64;
+        // A torn final append: a length prefix promising more bytes than
+        // the file holds.
+        let mut f = OpenOptions::new().append(true).open(&journal_path).unwrap();
+        f.write_all(&[0xAA; 11]).unwrap();
+        drop(f);
+
+        let (mut store, entries, stats) = DurableStore::open(&dir).unwrap();
+        assert_eq!(stats.replayed, 2);
+        assert_eq!(stats.truncated, 1);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(
+            read_raw(&journal_path).len() as u64,
+            clean_len,
+            "the torn tail is physically removed"
+        );
+        // The truncated journal accepts new appends cleanly.
+        store.append("k3", &result(3)).unwrap();
+        let (_, entries, stats) = DurableStore::open(&dir).unwrap();
+        assert_eq!(stats.replayed, 3);
+        assert_eq!(stats.truncated, 0);
+        assert_eq!(entries[2].0, "k3");
+    }
+
+    #[test]
+    fn flipped_payload_byte_fails_the_crc() {
+        let dir = tmp_dir("bitflip");
+        let journal_path = {
+            let (mut store, _, _) = DurableStore::open(&dir).unwrap();
+            store.append("k1", &result(1)).unwrap();
+            store.journal_path().to_path_buf()
+        };
+        let mut bytes = read_raw(&journal_path);
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        fs::write(&journal_path, &bytes).unwrap();
+        let (_, entries, stats) = DurableStore::open(&dir).unwrap();
+        assert!(entries.is_empty());
+        assert_eq!(stats.truncated, 1);
+    }
+
+    #[test]
+    fn version_mismatch_discards_the_file() {
+        let dir = tmp_dir("version");
+        let journal_path = {
+            let (mut store, _, _) = DurableStore::open(&dir).unwrap();
+            store.append("k1", &result(1)).unwrap();
+            store.journal_path().to_path_buf()
+        };
+        let mut bytes = read_raw(&journal_path);
+        bytes[8..12].copy_from_slice(&(STORE_VERSION + 1).to_le_bytes());
+        fs::write(&journal_path, &bytes).unwrap();
+        let (store, entries, stats) = DurableStore::open(&dir).unwrap();
+        assert!(entries.is_empty(), "a stale-keyed result is never served");
+        assert_eq!(stats.replayed, 0);
+        assert_eq!(stats.truncated, 1);
+        assert_eq!(store.journal_records(), 0);
+        assert_eq!(read_raw(store.journal_path()).len() as u64, HEADER_LEN);
+    }
+
+    #[test]
+    fn compaction_moves_journal_into_snapshot() {
+        let dir = tmp_dir("compact");
+        {
+            let (mut store, _, _) = DurableStore::open(&dir).unwrap();
+            store.append("k1", &result(1)).unwrap();
+            store.append("k2", &result(2)).unwrap();
+            store
+                .compact(&[("k1".into(), result(1)), ("k2".into(), result(2))])
+                .unwrap();
+            assert_eq!(store.journal_records(), 0);
+            assert_eq!(read_raw(store.journal_path()).len() as u64, HEADER_LEN);
+            // Post-compaction appends land in the fresh journal.
+            store.append("k3", &result(3)).unwrap();
+        }
+        let (_, entries, stats) = DurableStore::open(&dir).unwrap();
+        assert_eq!(stats.replayed, 3);
+        let keys: Vec<&str> = entries.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["k1", "k2", "k3"], "snapshot first, then journal");
+    }
+
+    #[test]
+    fn replay_is_idempotent_when_compaction_crashed_before_truncate() {
+        // Simulate a crash between the snapshot rename and the journal
+        // truncate: both files carry the same records.
+        let dir = tmp_dir("idempotent");
+        {
+            let (mut store, _, _) = DurableStore::open(&dir).unwrap();
+            store.append("k1", &result(1)).unwrap();
+            store.compact(&[("k1".into(), result(1))]).unwrap();
+            // Re-append the same record, as if the pre-compaction
+            // journal had survived.
+            store.append("k1", &result(1)).unwrap();
+        }
+        let (_, entries, stats) = DurableStore::open(&dir).unwrap();
+        assert_eq!(stats.replayed, 2, "duplicate records replay harmlessly");
+        assert!(entries.iter().all(|(k, r)| k == "k1" && *r == result(1)));
+    }
+
+    #[test]
+    fn automatic_compaction_threshold() {
+        let dir = tmp_dir("threshold");
+        let (store, _, _) = DurableStore::open(&dir).unwrap();
+        let mut store = store.with_compact_threshold(2);
+        assert!(!store.should_compact());
+        store.append("k1", &result(1)).unwrap();
+        assert!(!store.should_compact());
+        store.append("k2", &result(2)).unwrap();
+        assert!(store.should_compact());
+        store.compact(&[]).unwrap();
+        assert!(!store.should_compact());
+    }
+}

@@ -19,6 +19,7 @@ fn config(workers: usize, queue_depth: usize) -> ServerConfig {
         workers,
         queue_depth,
         job_threads: 2,
+        ..ServerConfig::default()
     }
 }
 
@@ -373,6 +374,62 @@ fn metrics_request_exposes_live_counters_and_latency() {
         handle_metrics.counter(spa_server::obs_names::CACHE_HITS),
         Some(1)
     );
+    handle.shutdown();
+}
+
+#[test]
+fn per_client_quota_rejects_excess_in_flight_submissions() {
+    let handle = start(ServerConfig {
+        client_quota: 1,
+        ..config(1, 8)
+    })
+    .unwrap();
+    let addr = handle.addr().to_string();
+    // One slow streaming submission occupies this client's whole quota.
+    let first = {
+        let addr = addr.clone();
+        let spec = slow_spec(42_900);
+        std::thread::spawn(move || client::submit(&addr, &spec, |_| {}))
+    };
+    assert!(
+        wait_for(Duration::from_secs(10), || handle.stats().running == 1),
+        "slow job never started: {:?}",
+        handle.stats()
+    );
+    // A second, distinct job from the same IP exceeds the quota.
+    let err = client::submit(&addr, &slow_spec(42_950), |_| {}).unwrap_err();
+    match err {
+        ServerError::Rejected(RejectReason::QuotaExceeded { limit }) => assert_eq!(limit, 1),
+        other => panic!("expected a typed quota rejection, got {other}"),
+    }
+    assert_eq!(handle.stats().rejected, 1);
+
+    handle.cancel_all();
+    match first.join().unwrap() {
+        Err(ServerError::JobFailed(msg)) => assert!(msg.contains("cancelled"), "{msg}"),
+        other => panic!("cancelled job must fail, got {other:?}"),
+    }
+    // With the first stream finished, the quota slot is released (the
+    // handler thread drops its guard moments after the client sees the
+    // response, hence the retry) and a fresh submission is admitted.
+    let mut outcome = None;
+    assert!(
+        wait_for(Duration::from_secs(10), || {
+            match client::submit(&addr, &interval_spec(42_990), |_| {}) {
+                Ok(o) => {
+                    outcome = Some(o);
+                    true
+                }
+                Err(ServerError::Rejected(RejectReason::QuotaExceeded { .. })) => false,
+                Err(other) => panic!("unexpected error after quota release: {other}"),
+            }
+        }),
+        "quota slot was never released"
+    );
+    assert!(matches!(
+        outcome.unwrap().result,
+        JobResult::Interval { .. }
+    ));
     handle.shutdown();
 }
 
