@@ -1,0 +1,21 @@
+//! PR 7 bench: anytime-valid samples-to-decision vs the fixed-`N`
+//! budget, plus per-update confidence-sequence overhead.
+//!
+//! A plain `main` (no criterion) so the CI bench-smoke job can run it in
+//! seconds: `cargo bench -p spa-bench --bench pr7_anytime`. Emits
+//! `BENCH_pr7.json` at the workspace root; the measurement itself lives
+//! in [`spa_bench::seq_bench`] so the test suite's quick smoke run and
+//! this full run share one code path.
+
+use spa_bench::seq_bench;
+
+fn main() {
+    let report = seq_bench::measure(2000);
+    let path = seq_bench::default_path();
+    seq_bench::write_json(&report, &path).expect("write BENCH_pr7.json");
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&report).expect("report serializes")
+    );
+    eprintln!("wrote {}", path.display());
+}

@@ -24,6 +24,7 @@ pub mod obs_bench;
 pub mod pipeline_bench;
 pub mod population;
 pub mod report;
+pub mod seq_bench;
 pub mod trial;
 
 mod error;

@@ -1,0 +1,219 @@
+//! The PR 7 perf measurement: what the anytime-valid engine buys and
+//! costs, written to `BENCH_pr7.json` at the workspace root.
+//!
+//! The workload is a seeded synthetic Bernoulli stream (a splitmix64
+//! hash of the seed mapped to `[0, 1)`, satisfied below a 0.9
+//! threshold) run through [`spa_core::seq::run_anytime`] — the same
+//! driver the server's streaming jobs use, minus the simulator so the
+//! numbers isolate the statistics. Three things are measured:
+//!
+//! * samples-to-decision: how many observations each anytime boundary
+//!   needs before its interval reaches the target width, vs the
+//!   a-priori fixed-`N` Hoeffding budget ([`hoeffding_fixed_n`]) at the
+//!   same confidence and width — the "commit before looking" baseline,
+//! * the headline `betting_savings_ratio` — fixed-`N` samples over the
+//!   betting sequence's samples-to-decision (> 1 means the anytime mode
+//!   reaches the same-width verdict on less data *and* stays valid at
+//!   every earlier stopping time, which fixed-`N` does not),
+//! * per-update cost of [`AnytimeRun::observe`] for each boundary, ns —
+//!   the price a streaming round pays over plain counting (Hoeffding is
+//!   closed-form; betting runs two bisections over `ln_beta`).
+//!
+//! Before timing anything, [`measure`] cross-checks the engine the way
+//! the PR 3–5 harnesses do: both anytime runs must stop on
+//! `TargetWidth` with a clean failure ledger, and the betting run must
+//! beat the fixed-`N` budget (the bench-smoke CI job enforces the same
+//! floor on the emitted JSON).
+//!
+//! Like the PR 3–6 baselines, the same measurement runs three ways: the
+//! `pr7_anytime` bench binary, the CI bench-smoke job (which uploads
+//! the JSON), and a quick smoke test so every `cargo test` refreshes
+//! the file.
+
+use std::hint::black_box;
+use std::path::{Path, PathBuf};
+
+use spa_core::fault::{RetryPolicy, SampleError};
+use spa_core::property::{Direction, MetricProperty};
+use spa_core::seq::{
+    hoeffding_fixed_n, run_anytime, AnytimeConfig, AnytimeReport, AnytimeRun, Boundary, StopReason,
+};
+
+/// Nominal simultaneous confidence for every run in this harness.
+pub const CONFIDENCE: f64 = 0.9;
+/// Interval width both anytime runs and the fixed-`N` baseline target.
+pub const TARGET_WIDTH: f64 = 0.2;
+/// Satisfaction threshold on the uniform synthetic metric — the true
+/// proportion of the stream.
+pub const THRESHOLD: f64 = 0.9;
+/// Observations folded per update round (the server's default order of
+/// magnitude).
+pub const ROUND_SIZE: u64 = 8;
+
+/// Measured PR 7 anytime-engine numbers (serialized as
+/// `BENCH_pr7.json`).
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Pr7Report {
+    /// Harness identifier.
+    pub bench: &'static str,
+    /// Nominal confidence shared by every run.
+    pub confidence: f64,
+    /// Interval width all decisions target.
+    pub target_width: f64,
+    /// True satisfaction proportion of the synthetic stream.
+    pub true_proportion: f64,
+    /// The a-priori fixed-`N` Hoeffding budget at the same confidence
+    /// and width.
+    pub fixed_n_samples: u64,
+    /// Samples until the betting sequence's interval reached the width.
+    pub betting_samples_to_width: u64,
+    /// Samples until the stitched Hoeffding sequence reached the width.
+    pub hoeffding_samples_to_width: u64,
+    /// `fixed_n_samples / betting_samples_to_width` — the headline.
+    pub betting_savings_ratio: f64,
+    /// Final betting interval width at its stop (≤ `target_width`).
+    pub betting_final_width: f64,
+    /// One betting `observe` round (bisections included), ns.
+    pub betting_update_ns: u64,
+    /// One Hoeffding `observe` round (closed form), ns.
+    pub hoeffding_update_ns: u64,
+}
+
+/// A splitmix64 step — the synthetic metric is its output mapped to
+/// `[0, 1)`, so the stream is seeded, i.i.d.-looking, and free of the
+/// simulator's cost.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The synthetic metric at `seed`: uniform on `[0, 1)`.
+fn metric(seed: u64) -> f64 {
+    (splitmix64(seed) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Runs one anytime stream to its width target and returns the report.
+fn run_to_width(boundary: Boundary, seed_start: u64) -> AnytimeReport {
+    let sampler = |seed: u64| -> std::result::Result<f64, SampleError> { Ok(metric(seed)) };
+    let property = MetricProperty::new(Direction::AtMost, THRESHOLD);
+    let config = AnytimeConfig {
+        boundary,
+        confidence: CONFIDENCE,
+        target_width: Some(TARGET_WIDTH),
+        max_samples: 1 << 20,
+        round_size: ROUND_SIZE,
+    };
+    run_anytime(
+        &sampler,
+        &property,
+        seed_start,
+        &RetryPolicy::no_retry(),
+        &config,
+        None,
+        |_| {},
+    )
+    .expect("anytime run on a clean synthetic stream")
+}
+
+/// Mean ns per `observe` round for one boundary: a long pre-generated
+/// outcome stream folded round by round, restarting the run when the
+/// stream is exhausted so state stays in the regime the server sees.
+fn update_ns(boundary: Boundary, iters: u32) -> u64 {
+    let outcomes: Vec<bool> = (0..4096u64).map(|i| metric(i) <= THRESHOLD).collect();
+    let rounds: Vec<&[bool]> = outcomes.chunks(ROUND_SIZE as usize).collect();
+    let mut run = AnytimeRun::new(boundary.sequence(CONFIDENCE).expect("valid confidence"));
+    let mut next = 0usize;
+    crate::obs_bench::mean_ns(iters, || {
+        if next == rounds.len() {
+            run = AnytimeRun::new(boundary.sequence(CONFIDENCE).expect("valid confidence"));
+            next = 0;
+        }
+        black_box(run.observe(black_box(rounds[next])));
+        next += 1;
+    })
+}
+
+/// Runs the measurement: both boundaries to the width target
+/// (deterministic sample counts — no timing involved), the fixed-`N`
+/// baseline budget, and `update_iters` timed `observe` rounds per
+/// boundary.
+///
+/// Panics if either anytime run fails to stop on `TargetWidth`, records
+/// a sampling failure, or the betting run needs at least the fixed-`N`
+/// budget — this harness doubles as the PR's acceptance check.
+pub fn measure(update_iters: u32) -> Pr7Report {
+    let fixed_n = hoeffding_fixed_n(CONFIDENCE, TARGET_WIDTH);
+    let betting = run_to_width(Boundary::Betting, 0x5EC7_0000);
+    let hoeffding = run_to_width(Boundary::Hoeffding, 0x5EC7_0000);
+    for report in [&betting, &hoeffding] {
+        assert_eq!(report.stop, StopReason::TargetWidth, "{report:?}");
+        assert!(report.failures.is_clean(), "{report:?}");
+        assert!(report.width() <= TARGET_WIDTH, "{report:?}");
+    }
+    assert!(
+        betting.samples < fixed_n,
+        "betting needed {} samples, fixed-N budget is {fixed_n}",
+        betting.samples
+    );
+
+    Pr7Report {
+        bench: "pr7_anytime",
+        confidence: CONFIDENCE,
+        target_width: TARGET_WIDTH,
+        true_proportion: THRESHOLD,
+        fixed_n_samples: fixed_n,
+        betting_samples_to_width: betting.samples,
+        hoeffding_samples_to_width: hoeffding.samples,
+        betting_savings_ratio: fixed_n as f64 / betting.samples.max(1) as f64,
+        betting_final_width: betting.width(),
+        betting_update_ns: update_ns(Boundary::Betting, update_iters),
+        hoeffding_update_ns: update_ns(Boundary::Hoeffding, update_iters),
+    }
+}
+
+/// The canonical output location: `BENCH_pr7.json` at the workspace
+/// root, next to `Cargo.toml`.
+pub fn default_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pr7.json")
+}
+
+/// Serializes `report` as pretty JSON (with a trailing newline) to
+/// `path`.
+///
+/// # Errors
+///
+/// I/O failures writing the file.
+pub fn write_json(report: &Pr7Report, path: &Path) -> std::io::Result<()> {
+    let mut text = serde_json::to_string_pretty(report).expect("report serializes");
+    text.push('\n');
+    std::fs::write(path, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_to_decision_beats_the_fixed_n_budget() {
+        // The cheap half of the measurement (no timing loops): the
+        // anytime runs are deterministic, so this doubles as the
+        // sample-savings regression `cargo test` re-checks every run.
+        let report = measure(50);
+        assert!(report.betting_savings_ratio > 1.0, "{report:?}");
+        assert!(report.betting_samples_to_width > 0);
+        assert_eq!(report.fixed_n_samples, 150);
+    }
+
+    #[test]
+    fn report_serializes_with_required_fields() {
+        let report = measure(10);
+        let v: serde_json::Value =
+            serde_json::from_str(&serde_json::to_string(&report).unwrap()).unwrap();
+        assert_eq!(v["bench"], "pr7_anytime");
+        assert!(v["betting_savings_ratio"].as_f64().unwrap() > 1.0);
+        assert!(v["fixed_n_samples"].as_u64().unwrap() > 0);
+        assert!(v["betting_update_ns"].as_u64().unwrap() > 0);
+    }
+}

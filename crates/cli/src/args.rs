@@ -1,6 +1,7 @@
 //! Hand-rolled argument parsing (no external dependencies).
 
 use spa_core::property::Direction;
+use spa_core::seq::Boundary;
 use spa_server::spec::{JobSpec, ModeSpec, NoiseSpec, SystemSpec};
 use spa_sim::fault::FaultSpec;
 use spa_sim::workload::parsec::Benchmark;
@@ -172,6 +173,21 @@ pub enum Command {
         /// Emit the raw JSON report instead of text.
         json: bool,
     },
+    /// Attach to a running job's live interval stream.
+    Watch {
+        /// Server address.
+        addr: String,
+        /// Job id to watch.
+        job: u64,
+        /// Detach once the interval width is at or below this (the
+        /// anytime guarantee makes that interval already valid).
+        width: Option<f64>,
+        /// Expected confidence level; a mismatch with the job's actual
+        /// level is an error, not a silent reinterpretation.
+        confidence: Option<f64>,
+        /// Emit raw JSON events instead of text.
+        json: bool,
+    },
     /// Query a running server's counters.
     Status {
         /// Server address.
@@ -340,11 +356,17 @@ pub fn parse(argv: &[String]) -> Result<Command> {
     let mut round_size = 8u64;
     let mut state_dir: Option<String> = None;
     let mut deadline_ms: Option<u64> = None;
+    let mut stream = false;
+    let mut boundary = Boundary::Betting;
+    let mut width: Option<f64> = None;
+    let mut max_samples = 4096u64;
+    let mut confidence_set = false;
 
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--confidence" | "-c" => {
                 stat.confidence = parse_f64(arg, parse_flag_value(arg, &mut it)?)?;
+                confidence_set = true;
             }
             "--proportion" | "-f" => {
                 stat.proportion = parse_f64(arg, parse_flag_value(arg, &mut it)?)?;
@@ -418,6 +440,18 @@ pub fn parse(argv: &[String]) -> Result<Command> {
             }
             "--deadline" => {
                 deadline_ms = Some(parse_u64(arg, parse_flag_value(arg, &mut it)?)?);
+            }
+            "--stream" => stream = true,
+            "--boundary" => {
+                boundary = parse_flag_value(arg, &mut it)?
+                    .parse::<Boundary>()
+                    .map_err(|e| CliError::Usage(format!("flag --boundary: {e}")))?;
+            }
+            "--width" | "-w" => {
+                width = Some(parse_f64(arg, parse_flag_value(arg, &mut it)?)?);
+            }
+            "--max-samples" => {
+                max_samples = parse_u64(arg, parse_flag_value(arg, &mut it)?)?;
             }
             other if other.starts_with('-') => {
                 return Err(CliError::Usage(format!("unknown flag `{other}`")));
@@ -516,15 +550,30 @@ pub fn parse(argv: &[String]) -> Result<Command> {
                         "submit takes --property or --threshold, not both".into(),
                     ))
                 }
+                (Some(_), None) if stream => {
+                    return Err(CliError::Usage(
+                        "submit --stream works on a threshold property, not --property".into(),
+                    ))
+                }
                 (Some(formula), None) => ModeSpec::Property {
                     formula,
                     robustness,
+                },
+                (None, Some(threshold)) if stream => ModeSpec::Streaming {
+                    direction: stat.direction,
+                    threshold,
+                    boundary,
+                    target_width: width,
+                    max_samples,
                 },
                 (None, Some(threshold)) => ModeSpec::Hypothesis {
                     direction: stat.direction,
                     threshold,
                     max_rounds,
                 },
+                (None, None) if stream => {
+                    return Err(CliError::Usage("submit --stream needs --threshold".into()))
+                }
                 (None, None) => ModeSpec::Interval {
                     direction: stat.direction,
                 },
@@ -549,6 +598,20 @@ pub fn parse(argv: &[String]) -> Result<Command> {
                     retries,
                     deadline_ms,
                 },
+                json,
+            })
+        }
+        "watch" => {
+            let raw =
+                file.ok_or_else(|| CliError::Usage("watch needs a job id argument".into()))?;
+            let job = raw
+                .parse::<u64>()
+                .map_err(|_| CliError::Usage(format!("watch: `{raw}` is not a job id")))?;
+            Ok(Command::Watch {
+                addr,
+                job,
+                width,
+                confidence: confidence_set.then_some(stat.confidence),
                 json,
             })
         }
@@ -811,6 +874,77 @@ mod tests {
                 max_rounds: 32,
             }
         );
+    }
+
+    #[test]
+    fn submit_stream_selects_streaming_mode() {
+        let c = parse(&argv(
+            "submit -b ferret --stream -t 1.5 --boundary hoeffding --width 0.2 --max-samples 512",
+        ))
+        .unwrap();
+        let Command::Submit { spec, .. } = c else {
+            panic!("{c:?}");
+        };
+        assert_eq!(
+            spec.mode,
+            ModeSpec::Streaming {
+                direction: Direction::AtMost,
+                threshold: 1.5,
+                boundary: Boundary::Hoeffding,
+                target_width: Some(0.2),
+                max_samples: 512,
+            }
+        );
+        // Streaming defaults: betting boundary, no width target, 4096 cap.
+        let c = parse(&argv("submit -b ferret --stream -t 1.5")).unwrap();
+        let Command::Submit { spec, .. } = c else {
+            panic!("{c:?}");
+        };
+        assert_eq!(
+            spec.mode,
+            ModeSpec::Streaming {
+                direction: Direction::AtMost,
+                threshold: 1.5,
+                boundary: Boundary::Betting,
+                target_width: None,
+                max_samples: 4096,
+            }
+        );
+        // A stream needs an indicator; a formula is not one.
+        assert!(parse(&argv("submit -b ferret --stream")).is_err());
+        assert!(parse(&argv("submit -b ferret --stream -p G[0,end](ipc>0.8)")).is_err());
+        assert!(parse(&argv(
+            "submit -b ferret --stream -t 1.5 --boundary martingale"
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn watch_parses_job_id_and_flags() {
+        let c = parse(&argv("watch 7")).unwrap();
+        assert_eq!(
+            c,
+            Command::Watch {
+                addr: DEFAULT_ADDR.into(),
+                job: 7,
+                width: None,
+                confidence: None,
+                json: false,
+            }
+        );
+        let c = parse(&argv("watch 12 -a 127.0.0.1:9 --width 0.1 -c 0.95 --json")).unwrap();
+        assert_eq!(
+            c,
+            Command::Watch {
+                addr: "127.0.0.1:9".into(),
+                job: 12,
+                width: Some(0.1),
+                confidence: Some(0.95),
+                json: true,
+            }
+        );
+        assert!(parse(&argv("watch")).is_err());
+        assert!(parse(&argv("watch sixty")).is_err());
     }
 
     #[test]

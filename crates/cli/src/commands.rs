@@ -123,6 +123,13 @@ pub fn execute(command: Command) -> Result<String> {
             deadline_ms,
         } => serve(&addr, workers, queue_depth, threads, state_dir, deadline_ms),
         Command::Submit { addr, spec, json } => submit_job(&addr, &spec, json),
+        Command::Watch {
+            addr,
+            job,
+            width,
+            confidence,
+            json,
+        } => watch_job(&addr, job, width, confidence, json),
         Command::Status { addr } => status_text(&addr),
         Command::Metrics { addr, json } => metrics_text(&addr, json),
         Command::Shutdown { addr } => shutdown_server(&addr),
@@ -716,12 +723,20 @@ fn submit_job(addr: &str, spec: &JobSpec, json: bool) -> Result<String> {
                 samples,
                 confidence,
                 rounds,
-                ..
+                interval,
             } = event
             {
-                eprintln!(
-                    "  progress: {samples} samples over {rounds} rounds, C_CP bound {confidence:.4}"
-                );
+                match interval {
+                    Some((lo, hi)) => eprintln!(
+                        "  progress: {samples} samples over {rounds} rounds, \
+                         [{lo:.6}, {hi:.6}] (width {:.6}) at C={confidence}",
+                        hi - lo
+                    ),
+                    None => eprintln!(
+                        "  progress: {samples} samples over {rounds} rounds, \
+                         C_CP bound {confidence:.4}"
+                    ),
+                }
             }
         }
     })?;
@@ -800,6 +815,25 @@ fn submit_job(addr: &str, spec: &JobSpec, json: bool) -> Result<String> {
                 writeln!(out, "failures: {}", report.failures).expect("write to string");
             }
         }
+        JobResult::Streaming { report } => {
+            writeln!(
+                out,
+                "anytime ({} boundary): {} samples, {} satisfying; with {:.1}% confidence \
+                 the satisfaction proportion is in [{:.6}, {:.6}] (width {:.6})",
+                report.boundary,
+                report.samples,
+                report.successes,
+                report.confidence * 100.0,
+                report.lower,
+                report.upper,
+                report.width(),
+            )
+            .expect("write to string");
+            writeln!(out, "stopped: {}", report.stop).expect("write to string");
+            if !report.failures.is_clean() {
+                writeln!(out, "failures: {}", report.failures).expect("write to string");
+            }
+        }
         JobResult::Hypothesis { outcome: rounds } => match rounds.outcome {
             Some(o) => {
                 let verdict = match o.assertion {
@@ -824,9 +858,115 @@ fn submit_job(addr: &str, spec: &JobSpec, json: bool) -> Result<String> {
     Ok(out)
 }
 
+fn watch_job(
+    addr: &str,
+    job: u64,
+    width: Option<f64>,
+    confidence: Option<f64>,
+    json: bool,
+) -> Result<String> {
+    // State threaded out of the event closure: the last interval seen
+    // (for the detach summary) and a confidence mismatch, which aborts
+    // the watch instead of silently reinterpreting the stream.
+    let mut last: Option<(u64, f64, f64)> = None;
+    let mut mismatch: Option<f64> = None;
+    let outcome = client::watch(addr, job, |event| {
+        if json {
+            if let Ok(line) = serde_json::to_string(event) {
+                println!("{line}");
+            }
+        }
+        let Response::Progress {
+            samples,
+            confidence: level,
+            interval,
+            ..
+        } = event
+        else {
+            return true;
+        };
+        if let Some(expected) = confidence {
+            if (level - expected).abs() > 1e-9 {
+                mismatch = Some(*level);
+                return false;
+            }
+        }
+        if let Some((lo, hi)) = interval {
+            last = Some((*samples, *lo, *hi));
+            if !json {
+                eprintln!(
+                    "  n={samples}  [{lo:.6}, {hi:.6}]  width {:.6}  (C={level})",
+                    hi - lo
+                );
+            }
+            if let Some(target) = width {
+                // Anytime validity: the interval already shown is a
+                // sound answer, so detaching here loses nothing.
+                if hi - lo <= target {
+                    return false;
+                }
+            }
+        } else if !json {
+            eprintln!("  n={samples}  (C={level})");
+        }
+        true
+    })?;
+    if let Some(actual) = mismatch {
+        return Err(CliError::Usage(format!(
+            "job {job} runs at confidence {actual}, not {}",
+            confidence.unwrap_or(actual)
+        )));
+    }
+    match outcome.result {
+        Some(JobResult::Streaming { report }) => {
+            if json {
+                return Ok(String::new());
+            }
+            let mut out = String::new();
+            writeln!(
+                out,
+                "job {job} finished ({}): {} samples, {} satisfying; \
+                 [{:.6}, {:.6}] (width {:.6}) at {:.1}% confidence",
+                report.stop,
+                report.samples,
+                report.successes,
+                report.lower,
+                report.upper,
+                report.width(),
+                report.confidence * 100.0,
+            )
+            .expect("write to string");
+            if !report.failures.is_clean() {
+                writeln!(out, "failures: {}", report.failures).expect("write to string");
+            }
+            Ok(out)
+        }
+        Some(other) => {
+            if json {
+                return Ok(String::new());
+            }
+            Ok(format!("job {job} finished\n{}", to_json_line(&other)?))
+        }
+        None => {
+            if json {
+                return Ok(String::new());
+            }
+            match last {
+                Some((n, lo, hi)) => Ok(format!(
+                    "detached at n={n}: [{lo:.6}, {hi:.6}] (width {:.6}) — \
+                     anytime-valid, job keeps running\n",
+                    hi - lo
+                )),
+                None => Ok(format!("detached from job {job} before any interval\n")),
+            }
+        }
+    }
+}
+
 fn status_text(addr: &str) -> Result<String> {
-    let stats = client::status(addr)?;
-    Ok(format!(
+    let report = client::status_report(addr)?;
+    let stats = &report.stats;
+    let mut out = format!(
         "server at {addr}{}\n\
          submissions: {} total, {} cache hits, {} coalesced, {} rejected\n\
          jobs: {} executed, {} completed, {} failed, {} queued, {} running\n",
@@ -844,7 +984,20 @@ fn status_text(addr: &str) -> Result<String> {
         stats.failed,
         stats.queued,
         stats.running,
-    ))
+    );
+    for s in &report.streaming {
+        writeln!(
+            out,
+            "streaming job {}: n={} in [{:.6}, {:.6}] (width {:.6})",
+            s.job,
+            s.samples,
+            s.lower,
+            s.upper,
+            s.upper - s.lower,
+        )
+        .expect("write to string");
+    }
+    Ok(out)
 }
 
 fn fmt_ns(ns: u64) -> String {

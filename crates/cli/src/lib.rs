@@ -74,11 +74,15 @@ USAGE:
               [--threads N] [--state-dir DIR] [--deadline MS]
   spa submit  --benchmark NAME [--addr HOST:PORT] [--threshold T]
               [--property FORMULA] [--robustness]
+              [--stream] [--boundary betting|hoeffding] [--width W]
+              [--max-samples N]
               [--system table2|l2-small|l2-large] [--metric KEY]
               [--noise paper|jitter:N|real-machine] [--confidence C]
               [--proportion F] [--direction at-most|at-least]
               [--seed-start S] [--round-size N] [--max-rounds N]
               [--retries N] [--deadline MS] [--json]
+  spa watch   JOB [--addr HOST:PORT] [--width W] [--confidence C]
+              [--json]
   spa status   [--addr HOST:PORT]
   spa metrics  [--addr HOST:PORT] [--json]
   spa shutdown [--addr HOST:PORT]
@@ -99,7 +103,15 @@ and answers them from cache after a crash or restart; --deadline sets a
 default per-job time budget in milliseconds (submit's --deadline
 overrides it per job). Submit without --threshold requests a confidence
 interval; with --threshold it runs one sequential hypothesis test; with
---property it checks an STL formula against recorded traces.
+--property it checks an STL formula against recorded traces. Adding
+--stream to a --threshold submission runs it as an anytime-valid
+streaming job: a time-uniform confidence sequence for the satisfaction
+proportion that shrinks live, stops early once --width is reached, and
+checkpoints every round so a killed server resumes it without bias.
+Watch attaches to a running job's event stream by id and prints each
+interval snapshot; its --width detaches once the live interval is
+narrow enough (still valid — the sequence is anytime), and its
+--confidence cross-checks the job's level.
 Check runs seeded traced executions and evaluates an STL property per
 trace, e.g. `spa check -b ferret --property \"G[0,end](ipc > 0.8)\"`;
 traced signals are ipc, l1d_miss_rate, l2_miss_rate, and occupancy.

@@ -32,7 +32,12 @@
 //! * [`pipeline`] — the staged sampling pipeline (observation source →
 //!   evaluator) that every collection loop is an adapter over, letting
 //!   trace-valued workloads (STL properties over simulator traces) plug
-//!   into the same SMC machinery as scalar metrics.
+//!   into the same SMC machinery as scalar metrics, and
+//! * [`seq`] — anytime-valid inference: time-uniform confidence
+//!   sequences (Hoeffding and betting/e-process boundaries) and the
+//!   [`AnytimeRun`](seq::AnytimeRun) driver whose intervals stay valid
+//!   under optional stopping, powering streaming jobs with live
+//!   early-stop and bias-free preempt/resume.
 //!
 //! # Quick start
 //!
@@ -65,6 +70,7 @@ pub mod obs_names;
 pub mod pipeline;
 pub mod property;
 pub mod rounds;
+pub mod seq;
 pub mod smc;
 pub mod spa;
 pub mod sprt;

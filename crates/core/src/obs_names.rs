@@ -51,3 +51,10 @@ pub const CI_INDEX_HITS: &str = "core.ci.index_hits";
 /// [`CiEngine`](crate::ci_engine::CiEngine) memo cache or its monotone
 /// early-exit bounds instead of fresh incomplete-beta evaluations.
 pub const CP_CACHE_HITS: &str = "core.ci.cp_cache_hits";
+/// Counter: anytime-valid interval updates folded by
+/// [`AnytimeRun::observe`](crate::seq::AnytimeRun::observe) (bumped per
+/// round, never per sample).
+pub const SEQ_UPDATES: &str = "core.seq.updates";
+/// Counter: anytime runs stopped early because the interval width
+/// reached its target.
+pub const SEQ_EARLY_STOPS: &str = "core.seq.early_stops";

@@ -1,0 +1,1011 @@
+//! Anytime-valid inference: time-uniform confidence sequences and the
+//! streaming `AnytimeRun` driver.
+//!
+//! Algorithm 1 of the paper fixes the sample count `N` up front (Eq. 8)
+//! and only then reports a confidence interval, so a job can neither be
+//! watched while it converges nor stopped early without invalidating
+//! the guarantee. This module supplies the missing engine mode: a
+//! *confidence sequence* is a sequence of intervals `(L_n, U_n)` that
+//! covers the true success proportion `p` **simultaneously for every
+//! `n`** with probability at least the nominal confidence. Stopping at
+//! any data-dependent time — a width target, a deadline, a `kill -9` —
+//! keeps the guarantee intact ("stop-at-any-time" semantics).
+//!
+//! Two constructions are provided, both over Bernoulli success
+//! indicators (the same `successes / n` query shape Clopper–Pearson
+//! answers for the fixed-`N` engine):
+//!
+//! * [`HoeffdingSequence`] — a stitched Hoeffding boundary: the error
+//!   budget `α` is spent over sample counts as `α_n = α / (n(n+1))`
+//!   (which sums to exactly `α` over `n ≥ 1`), giving the closed-form
+//!   time-uniform radius `sqrt(ln(2n(n+1)/α) / (2n))`.
+//! * [`BettingSequence`] — a betting / e-process construction: the
+//!   Beta(1,1)-mixture martingale of Robbins. The wealth against a
+//!   candidate `p₀` is `M_n(p₀) = B(S+1, F+1) / (p₀^S (1-p₀)^F)`; by
+//!   Ville's inequality the set `{p₀ : M_n(p₀) < 1/α}` is a
+//!   time-uniform confidence sequence. Its endpoints are found by
+//!   bisection on the concave log-likelihood and are substantially
+//!   tighter than the Hoeffding boundary once `p̂` is away from ½.
+//!
+//! [`AnytimeRun`] folds batches of Bernoulli outcomes into a running
+//! *intersection* of the per-`n` intervals — the stream of emitted
+//! [`SeqSnapshot`]s is monotonically shrinking by construction, and the
+//! intersection of simultaneously-valid intervals is itself valid. The
+//! snapshot doubles as the checkpoint type: because the interval is a
+//! deterministic function of the journaled `(n, successes, lower,
+//! upper)` state and the seed stream is deterministic in `n`, a resumed
+//! run is bit-identical to an uninterrupted one — resuming introduces
+//! no bias (see DESIGN.md § Anytime-valid inference).
+//!
+//! Observability: every fold bumps [`obs_names::SEQ_UPDATES`] and every
+//! width-triggered stop bumps [`obs_names::SEQ_EARLY_STOPS`].
+
+use serde::{Deserialize, Serialize};
+use spa_obs::metrics::global;
+use spa_stats::special::ln_beta;
+
+use crate::fault::{derive_retry_seed, FailureCounts, FallibleSampler, RetryPolicy, SampleError};
+use crate::obs_names;
+use crate::property::MetricProperty;
+use crate::{CoreError, Result};
+
+/// Bisection iterations for [`BettingSequence`] endpoints. 80 halvings
+/// of the unit interval put the bracket far below `f64` resolution, so
+/// the returned endpoint is a deterministic function of `(n, successes,
+/// α)` alone.
+const BISECTION_ITERS: u32 = 80;
+
+fn check_level(name: &'static str, value: f64) -> Result<()> {
+    if value.is_finite() && value > 0.0 && value < 1.0 {
+        Ok(())
+    } else {
+        Err(CoreError::InvalidParameter {
+            name,
+            value,
+            expected: "a probability strictly between 0 and 1",
+        })
+    }
+}
+
+/// A time-uniform confidence sequence over Bernoulli success
+/// indicators.
+///
+/// Implementations must guarantee that with probability at least
+/// [`confidence`](Self::confidence), the true success proportion lies
+/// inside [`interval`](Self::interval)`(n, successes)` **for every
+/// `n ≥ 1` simultaneously** — not merely for each `n` marginally. That
+/// simultaneity is what makes optional stopping (width targets,
+/// deadlines, preemption) statistically free.
+pub trait ConfidenceSequence: Sync {
+    /// Short identifier for reports and cache keys.
+    fn name(&self) -> &'static str;
+
+    /// The nominal simultaneous coverage level `1 − α`.
+    fn confidence(&self) -> f64;
+
+    /// The interval after `n` observations with `successes` successes.
+    ///
+    /// `n = 0` returns the vacuous `(0, 1)`. Implementations clamp to
+    /// `[0, 1]` and always contain the point estimate `successes / n`.
+    fn interval(&self, n: u64, successes: u64) -> (f64, f64);
+}
+
+/// Which confidence-sequence construction a streaming run uses.
+///
+/// Serialized in job specs and reports, hence the stable snake_case
+/// wire names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Boundary {
+    /// The stitched Hoeffding boundary ([`HoeffdingSequence`]).
+    Hoeffding,
+    /// The Beta-mixture betting boundary ([`BettingSequence`]).
+    Betting,
+}
+
+impl Boundary {
+    /// Stable identifier used in canonical cache keys and reports.
+    pub fn key(self) -> &'static str {
+        match self {
+            Boundary::Hoeffding => "hoeffding",
+            Boundary::Betting => "betting",
+        }
+    }
+
+    /// Builds the chosen construction at `confidence`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] unless `confidence` lies
+    /// strictly inside `(0, 1)`.
+    pub fn sequence(self, confidence: f64) -> Result<BoundarySequence> {
+        Ok(match self {
+            Boundary::Hoeffding => BoundarySequence::Hoeffding(HoeffdingSequence::new(confidence)?),
+            Boundary::Betting => BoundarySequence::Betting(BettingSequence::new(confidence)?),
+        })
+    }
+}
+
+impl std::fmt::Display for Boundary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+impl std::str::FromStr for Boundary {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        match s {
+            "hoeffding" => Ok(Boundary::Hoeffding),
+            "betting" => Ok(Boundary::Betting),
+            other => Err(format!(
+                "unknown boundary `{other}`; expected hoeffding or betting"
+            )),
+        }
+    }
+}
+
+/// Enum dispatch over the two built-in constructions, so callers that
+/// pick a boundary at runtime (the server's streaming mode) need no
+/// trait objects.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BoundarySequence {
+    /// A [`HoeffdingSequence`].
+    Hoeffding(HoeffdingSequence),
+    /// A [`BettingSequence`].
+    Betting(BettingSequence),
+}
+
+impl ConfidenceSequence for BoundarySequence {
+    fn name(&self) -> &'static str {
+        match self {
+            BoundarySequence::Hoeffding(s) => s.name(),
+            BoundarySequence::Betting(s) => s.name(),
+        }
+    }
+
+    fn confidence(&self) -> f64 {
+        match self {
+            BoundarySequence::Hoeffding(s) => s.confidence(),
+            BoundarySequence::Betting(s) => s.confidence(),
+        }
+    }
+
+    fn interval(&self, n: u64, successes: u64) -> (f64, f64) {
+        match self {
+            BoundarySequence::Hoeffding(s) => s.interval(n, successes),
+            BoundarySequence::Betting(s) => s.interval(n, successes),
+        }
+    }
+}
+
+/// The stitched Hoeffding time-uniform boundary.
+///
+/// Spending `α_n = α / (n(n+1))` at sample count `n` keeps the union
+/// bound tight (`Σ_{n≥1} α_n = α`) while the per-`n` two-sided
+/// Hoeffding radius is `sqrt(ln(2/α_n) / (2n)) =
+/// sqrt(ln(2n(n+1)/α) / (2n))`. Closed-form and distribution-free, but
+/// its `O(sqrt(ln n / n))` width ignores the observed variance, so it
+/// is the conservative reference construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HoeffdingSequence {
+    alpha: f64,
+}
+
+impl HoeffdingSequence {
+    /// A boundary with simultaneous coverage `confidence`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] unless `confidence` lies
+    /// strictly inside `(0, 1)`.
+    pub fn new(confidence: f64) -> Result<Self> {
+        check_level("confidence", confidence)?;
+        Ok(Self {
+            alpha: 1.0 - confidence,
+        })
+    }
+}
+
+impl ConfidenceSequence for HoeffdingSequence {
+    fn name(&self) -> &'static str {
+        "hoeffding"
+    }
+
+    fn confidence(&self) -> f64 {
+        1.0 - self.alpha
+    }
+
+    fn interval(&self, n: u64, successes: u64) -> (f64, f64) {
+        if n == 0 {
+            return (0.0, 1.0);
+        }
+        let nf = n as f64;
+        let estimate = successes as f64 / nf;
+        // ln(2 n (n+1) / α), assembled in log space so huge n cannot
+        // overflow the product.
+        let spend = 2.0_f64.ln() + nf.ln() + (nf + 1.0).ln() - self.alpha.ln();
+        let radius = (spend / (2.0 * nf)).sqrt();
+        ((estimate - radius).max(0.0), (estimate + radius).min(1.0))
+    }
+}
+
+/// The Beta(1,1)-mixture betting (e-process) boundary.
+///
+/// Against each candidate proportion `p₀` the bettor's wealth after
+/// `S` successes and `F = n − S` failures is the mixture likelihood
+/// ratio `M_n(p₀) = B(S+1, F+1) / (p₀^S (1−p₀)^F)` — a nonnegative
+/// martingale with initial wealth 1 when `p₀` is the truth. Ville's
+/// inequality bounds the probability that it ever exceeds `1/α` by
+/// `α`, so the running set `{p₀ : M_n(p₀) < 1/α}` is a time-uniform
+/// confidence sequence. In log space the membership test is
+///
+/// ```text
+/// S·ln p₀ + F·ln(1−p₀)  >  ln B(S+1, F+1) + ln α
+/// ```
+///
+/// whose left side is concave with maximum at `p̂ = S/n`, so each
+/// endpoint is a bisection on a monotone flank.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BettingSequence {
+    alpha: f64,
+}
+
+impl BettingSequence {
+    /// A boundary with simultaneous coverage `confidence`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] unless `confidence` lies
+    /// strictly inside `(0, 1)`.
+    pub fn new(confidence: f64) -> Result<Self> {
+        check_level("confidence", confidence)?;
+        Ok(Self {
+            alpha: 1.0 - confidence,
+        })
+    }
+}
+
+/// `S·ln p + F·ln(1−p)` with the `0·ln 0 = 0` convention.
+fn log_likelihood(successes: f64, failures: f64, p: f64) -> f64 {
+    let mut ll = 0.0;
+    if successes > 0.0 {
+        ll += successes * p.ln();
+    }
+    if failures > 0.0 {
+        ll += failures * (1.0 - p).ln();
+    }
+    ll
+}
+
+impl ConfidenceSequence for BettingSequence {
+    fn name(&self) -> &'static str {
+        "betting"
+    }
+
+    fn confidence(&self) -> f64 {
+        1.0 - self.alpha
+    }
+
+    fn interval(&self, n: u64, successes: u64) -> (f64, f64) {
+        if n == 0 {
+            return (0.0, 1.0);
+        }
+        let s = successes.min(n) as f64;
+        let f = (n - successes.min(n)) as f64;
+        let estimate = s / n as f64;
+        // Membership threshold: p is in the sequence iff the
+        // log-likelihood at p exceeds it. The wealth at p̂ is at most 1
+        // (a mixture cannot beat the maximum it averages over), so p̂
+        // is always a member and both flanks bracket a crossing.
+        let threshold = ln_beta(s + 1.0, f + 1.0) + self.alpha.ln();
+        let lower = if successes == 0 {
+            0.0
+        } else {
+            // Increasing flank: outside at 0, inside at p̂. Keep the
+            // outside end of the bracket — rounding outward never
+            // undercovers.
+            let (mut lo, mut hi) = (0.0_f64, estimate);
+            for _ in 0..BISECTION_ITERS {
+                let mid = 0.5 * (lo + hi);
+                if log_likelihood(s, f, mid) > threshold {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+            }
+            lo
+        };
+        let upper = if successes >= n {
+            1.0
+        } else {
+            // Decreasing flank: inside at p̂, outside at 1.
+            let (mut lo, mut hi) = (estimate, 1.0_f64);
+            for _ in 0..BISECTION_ITERS {
+                let mid = 0.5 * (lo + hi);
+                if log_likelihood(s, f, mid) > threshold {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            hi
+        };
+        (lower, upper)
+    }
+}
+
+/// The state of an anytime run after `n` observations — both the live
+/// update pushed to watchers and the checkpoint journaled for
+/// preempt/resume. `lower`/`upper` carry the *running intersection* of
+/// every interval emitted so far, so a resumed run continues shrinking
+/// from exactly where the interrupted one stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeqSnapshot {
+    /// Bernoulli observations folded so far.
+    pub n: u64,
+    /// How many of them were successes.
+    pub successes: u64,
+    /// Running lower confidence bound.
+    pub lower: f64,
+    /// Running upper confidence bound.
+    pub upper: f64,
+}
+
+impl SeqSnapshot {
+    /// The vacuous pre-data state: `n = 0`, interval `[0, 1]`.
+    pub fn fresh() -> Self {
+        Self {
+            n: 0,
+            successes: 0,
+            lower: 0.0,
+            upper: 1.0,
+        }
+    }
+
+    /// Current interval width.
+    pub fn width(&self) -> f64 {
+        self.upper - self.lower
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.successes > self.n {
+            return Err(CoreError::InvalidParameter {
+                name: "successes",
+                value: self.successes as f64,
+                expected: "at most n",
+            });
+        }
+        let ordered = self.lower.is_finite() && self.upper.is_finite() && self.lower <= self.upper;
+        if !ordered || self.lower < 0.0 || self.upper > 1.0 {
+            return Err(CoreError::InvalidParameter {
+                name: "interval",
+                value: self.lower,
+                expected: "0 <= lower <= upper <= 1",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Why an anytime run stopped. Every reason yields a *valid* interval —
+/// that is the whole point of the construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum StopReason {
+    /// The interval width reached the requested target.
+    TargetWidth,
+    /// The sample budget was exhausted before the width target.
+    MaxSamples,
+    /// An external deadline expired; the interval at expiry is
+    /// reported instead of a failure.
+    Deadline,
+}
+
+impl std::fmt::Display for StopReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            StopReason::TargetWidth => "target_width",
+            StopReason::MaxSamples => "max_samples",
+            StopReason::Deadline => "deadline",
+        })
+    }
+}
+
+/// The terminal report of an anytime run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnytimeReport {
+    /// Which construction produced the interval.
+    pub boundary: Boundary,
+    /// Nominal simultaneous coverage.
+    pub confidence: f64,
+    /// Observations folded (including any resumed prefix).
+    pub samples: u64,
+    /// Successes among them.
+    pub successes: u64,
+    /// Final lower confidence bound (running intersection).
+    pub lower: f64,
+    /// Final upper confidence bound (running intersection).
+    pub upper: f64,
+    /// Why the run stopped.
+    pub stop: StopReason,
+    /// Fault-tolerant sampling bookkeeping for the freshly executed
+    /// portion (a resumed prefix's failures were journaled with it).
+    pub failures: FailureCounts,
+}
+
+impl AnytimeReport {
+    /// Final interval width.
+    pub fn width(&self) -> f64 {
+        self.upper - self.lower
+    }
+}
+
+/// Folds Bernoulli outcomes into a monotone stream of anytime-valid
+/// intervals.
+///
+/// The driver keeps the running intersection of the boundary's per-`n`
+/// intervals: since all of them hold simultaneously with probability
+/// `≥ 1 − α`, so does their intersection, and the emitted stream is
+/// monotonically shrinking by construction. [`observe`](Self::observe)
+/// is deterministic in the prior [`SeqSnapshot`] and the outcome batch,
+/// which is the entire bias-free resume argument: replaying the same
+/// outcome stream through [`resume`](Self::resume) reproduces an
+/// uninterrupted run bit for bit.
+#[derive(Debug, Clone)]
+pub struct AnytimeRun<B> {
+    boundary: B,
+    state: SeqSnapshot,
+}
+
+impl<B: ConfidenceSequence> AnytimeRun<B> {
+    /// A fresh run: no data, vacuous interval.
+    pub fn new(boundary: B) -> Self {
+        Self {
+            boundary,
+            state: SeqSnapshot::fresh(),
+        }
+    }
+
+    /// Resumes from a journaled checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] if the snapshot is
+    /// internally inconsistent (`successes > n` or a malformed
+    /// interval) — a corrupt checkpoint must not silently seed a run.
+    pub fn resume(boundary: B, state: SeqSnapshot) -> Result<Self> {
+        state.validate()?;
+        Ok(Self { boundary, state })
+    }
+
+    /// The boundary construction in use.
+    pub fn boundary(&self) -> &B {
+        &self.boundary
+    }
+
+    /// The current state (update payload / checkpoint).
+    pub fn snapshot(&self) -> SeqSnapshot {
+        self.state
+    }
+
+    /// Observations folded so far.
+    pub fn samples(&self) -> u64 {
+        self.state.n
+    }
+
+    /// Current interval width.
+    pub fn width(&self) -> f64 {
+        self.state.width()
+    }
+
+    /// Whether the width target has been reached.
+    pub fn reached(&self, target_width: f64) -> bool {
+        self.state.n > 0 && self.width() <= target_width
+    }
+
+    /// Folds one batch of Bernoulli outcomes and returns the new state.
+    ///
+    /// Bumps [`obs_names::SEQ_UPDATES`] once per call (per round, not
+    /// per sample, matching the engine's counter conventions).
+    pub fn observe(&mut self, outcomes: &[bool]) -> SeqSnapshot {
+        self.state.n += outcomes.len() as u64;
+        self.state.successes += outcomes.iter().filter(|&&b| b).count() as u64;
+        let (lower, upper) = self.boundary.interval(self.state.n, self.state.successes);
+        self.state.lower = self.state.lower.max(lower);
+        self.state.upper = self.state.upper.min(upper);
+        if self.state.lower > self.state.upper {
+            // The simultaneous-coverage failure event (probability
+            // ≤ α) or pure float noise: collapse deterministically.
+            let mid = 0.5 * (self.state.lower + self.state.upper);
+            self.state.lower = mid;
+            self.state.upper = mid;
+        }
+        global().counter(obs_names::SEQ_UPDATES).incr();
+        self.state
+    }
+}
+
+/// Configuration for [`run_anytime`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnytimeConfig {
+    /// Which confidence-sequence construction to use.
+    pub boundary: Boundary,
+    /// Nominal simultaneous coverage `1 − α`.
+    pub confidence: f64,
+    /// Stop as soon as the interval width is at most this (`None`
+    /// disables early stopping — the fixed-`N` mode).
+    pub target_width: Option<f64>,
+    /// Hard sample budget; the run stops here even if the width target
+    /// was never reached. The result is still valid — just wider.
+    pub max_samples: u64,
+    /// Observations folded per update round.
+    pub round_size: u64,
+}
+
+impl AnytimeConfig {
+    fn validate(&self) -> Result<()> {
+        check_level("confidence", self.confidence)?;
+        if let Some(w) = self.target_width {
+            if !(w.is_finite() && w > 0.0) {
+                return Err(CoreError::InvalidParameter {
+                    name: "target_width",
+                    value: w,
+                    expected: "a finite positive width",
+                });
+            }
+        }
+        if self.max_samples == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "max_samples",
+                value: 0.0,
+                expected: "at least 1",
+            });
+        }
+        if self.round_size == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "round_size",
+                value: 0.0,
+                expected: "at least 1",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The a-priori fixed-`N` sample size a (non-sequential) two-sided
+/// Hoeffding bound needs to guarantee width `width` at `confidence` —
+/// the Eq. 8-style "commit before looking" baseline the anytime mode is
+/// benchmarked against: `N = ceil(ln(2/α) / (width²/2))`.
+///
+/// # Panics
+///
+/// Never panics for `confidence` and `width` in `(0, 1)`; out-of-range
+/// inputs saturate rather than panic.
+pub fn hoeffding_fixed_n(confidence: f64, width: f64) -> u64 {
+    let alpha = (1.0 - confidence).clamp(f64::MIN_POSITIVE, 1.0);
+    let radius = (width / 2.0).clamp(f64::MIN_POSITIVE, 0.5);
+    ((2.0_f64 / alpha).ln() / (2.0 * radius * radius)).ceil() as u64
+}
+
+/// Runs the anytime engine over a fault-tolerant sampler until a stop
+/// condition fires, journaling nothing itself but reporting every
+/// update through `on_update` (the server layers checkpointing and
+/// live snapshots on top of that callback).
+///
+/// Observation `i` (0-based, counting any resumed prefix) is drawn at
+/// seed `seed_start + i`, with retries at [`derive_retry_seed`] — the
+/// same deterministic stream discipline as the fixed-`N` engine, which
+/// is what makes `resume` bias-free: a resumed run draws exactly the
+/// seeds the uninterrupted run would have drawn.
+///
+/// # Errors
+///
+/// * [`CoreError::InvalidParameter`] for a malformed config or resume
+///   snapshot.
+/// * [`CoreError::SeedOverflow`] if the seed stream would wrap.
+/// * [`CoreError::SamplingFailed`] if any seed exhausts its retry
+///   budget — a permanently missing observation would desynchronize
+///   the seed↔index correspondence that resume relies on.
+pub fn run_anytime<S: FallibleSampler + ?Sized>(
+    sampler: &S,
+    property: &MetricProperty,
+    seed_start: u64,
+    policy: &RetryPolicy,
+    config: &AnytimeConfig,
+    resume: Option<SeqSnapshot>,
+    mut on_update: impl FnMut(&SeqSnapshot),
+) -> Result<AnytimeReport> {
+    config.validate()?;
+    let boundary = config.boundary.sequence(config.confidence)?;
+    let mut run = match resume {
+        Some(state) => AnytimeRun::resume(boundary, state)?,
+        None => AnytimeRun::new(boundary),
+    };
+    let mut failures = FailureCounts::default();
+    let stop = loop {
+        if let Some(width) = config.target_width {
+            if run.reached(width) {
+                global().counter(obs_names::SEQ_EARLY_STOPS).incr();
+                break StopReason::TargetWidth;
+            }
+        }
+        if run.samples() >= config.max_samples {
+            break StopReason::MaxSamples;
+        }
+        let take = config.round_size.min(config.max_samples - run.samples());
+        let bounds = seed_start
+            .checked_add(run.samples())
+            .and_then(|first| first.checked_add(take).map(|end| (first, end)));
+        let Some((first, end)) = bounds else {
+            return Err(CoreError::SeedOverflow {
+                seed_start,
+                round: run.samples() / config.round_size,
+                round_size: config.round_size,
+            });
+        };
+        let mut outcomes = Vec::with_capacity(take as usize);
+        for seed in first..end {
+            let value = sample_with_retries(sampler, seed, policy, &mut failures).ok_or(
+                CoreError::SamplingFailed {
+                    requested: take,
+                    collected: outcomes.len() as u64,
+                },
+            )?;
+            outcomes.push(property.satisfies(value));
+        }
+        let snapshot = run.observe(&outcomes);
+        on_update(&snapshot);
+    };
+    let state = run.snapshot();
+    Ok(AnytimeReport {
+        boundary: config.boundary,
+        confidence: config.confidence,
+        samples: state.n,
+        successes: state.successes,
+        lower: state.lower,
+        upper: state.upper,
+        stop,
+        failures,
+    })
+}
+
+/// One seed through the retry policy; `None` when the budget is
+/// exhausted (the seed is recorded as abandoned).
+fn sample_with_retries<S: FallibleSampler + ?Sized>(
+    sampler: &S,
+    seed: u64,
+    policy: &RetryPolicy,
+    failures: &mut FailureCounts,
+) -> Option<f64> {
+    for attempt in 0..policy.max_attempts() {
+        if attempt > 0 {
+            failures.retries += 1;
+            let delay = policy.backoff_delay(seed, attempt);
+            if !delay.is_zero() {
+                std::thread::sleep(delay);
+            }
+        }
+        match sampler.sample(derive_retry_seed(seed, attempt)) {
+            Ok(value) if value.is_finite() => return Some(value),
+            Ok(value) => failures.record(&SampleError::InvalidMetric { value }),
+            Err(e) => failures.record(&e),
+        }
+    }
+    failures.abandoned_seeds += 1;
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::property::Direction;
+
+    fn hoeffding() -> HoeffdingSequence {
+        HoeffdingSequence::new(0.9).unwrap()
+    }
+
+    fn betting() -> BettingSequence {
+        BettingSequence::new(0.9).unwrap()
+    }
+
+    #[test]
+    fn invalid_confidence_is_rejected() {
+        for bad in [0.0, 1.0, -0.1, 1.5, f64::NAN] {
+            assert!(HoeffdingSequence::new(bad).is_err(), "{bad}");
+            assert!(BettingSequence::new(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn zero_samples_give_the_vacuous_interval() {
+        assert_eq!(hoeffding().interval(0, 0), (0.0, 1.0));
+        assert_eq!(betting().interval(0, 0), (0.0, 1.0));
+    }
+
+    #[test]
+    fn intervals_contain_the_point_estimate_and_stay_in_unit_range() {
+        for seq in [
+            BoundarySequence::Hoeffding(hoeffding()),
+            BoundarySequence::Betting(betting()),
+        ] {
+            for n in [1u64, 2, 5, 22, 100, 1000] {
+                for s in [0, n / 3, n / 2, n] {
+                    let (lo, hi) = seq.interval(n, s);
+                    let estimate = s as f64 / n as f64;
+                    assert!(
+                        (0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi),
+                        "{} n={n} s={s}: [{lo}, {hi}]",
+                        seq.name()
+                    );
+                    assert!(
+                        lo <= estimate && estimate <= hi,
+                        "{} n={n} s={s}: {estimate} outside [{lo}, {hi}]",
+                        seq.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn betting_is_tighter_than_hoeffding_away_from_half() {
+        // At p̂ = 1 the likelihood is extreme and the betting boundary
+        // exploits it; the distribution-free Hoeffding radius cannot.
+        let (h_lo, _) = hoeffding().interval(50, 50);
+        let (b_lo, _) = betting().interval(50, 50);
+        assert!(
+            b_lo > h_lo,
+            "betting lower {b_lo} should beat hoeffding {h_lo}"
+        );
+    }
+
+    #[test]
+    fn betting_edge_cases_pin_the_boundary_endpoints() {
+        let (lo, hi) = betting().interval(10, 0);
+        assert_eq!(lo, 0.0);
+        assert!(hi < 1.0);
+        let (lo, hi) = betting().interval(10, 10);
+        assert!(lo > 0.0);
+        assert_eq!(hi, 1.0);
+    }
+
+    #[test]
+    fn running_intersection_is_monotone() {
+        let mut run = AnytimeRun::new(betting());
+        let mut previous = run.snapshot();
+        // A worst-case alternating stream: raw intervals wobble, the
+        // intersection must not.
+        for i in 0..200 {
+            let snap = run.observe(&[i % 2 == 0]);
+            assert!(
+                snap.lower >= previous.lower && snap.upper <= previous.upper,
+                "round {i}: [{}, {}] grew past [{}, {}]",
+                snap.lower,
+                snap.upper,
+                previous.lower,
+                previous.upper
+            );
+            previous = snap;
+        }
+        assert!(previous.width() < 0.5);
+    }
+
+    #[test]
+    fn resume_is_bit_identical_to_an_uninterrupted_run() {
+        let outcomes: Vec<bool> = (0..96).map(|i| i % 7 != 0).collect();
+        let mut straight = AnytimeRun::new(betting());
+        for chunk in outcomes.chunks(8) {
+            straight.observe(chunk);
+        }
+        // Interrupt after 4 rounds, serialize the checkpoint through
+        // JSON (the journal's encoding), resume, and finish.
+        let mut first_half = AnytimeRun::new(betting());
+        for chunk in outcomes[..32].chunks(8) {
+            first_half.observe(chunk);
+        }
+        let journaled = serde_json::to_string(&first_half.snapshot()).unwrap();
+        let restored: SeqSnapshot = serde_json::from_str(&journaled).unwrap();
+        let mut resumed = AnytimeRun::resume(betting(), restored).unwrap();
+        for chunk in outcomes[32..].chunks(8) {
+            resumed.observe(chunk);
+        }
+        assert_eq!(
+            serde_json::to_string(&straight.snapshot()).unwrap(),
+            serde_json::to_string(&resumed.snapshot()).unwrap(),
+            "resumed state must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn resume_rejects_corrupt_snapshots() {
+        let bad = SeqSnapshot {
+            n: 5,
+            successes: 9,
+            lower: 0.0,
+            upper: 1.0,
+        };
+        assert!(AnytimeRun::resume(betting(), bad).is_err());
+        let bad = SeqSnapshot {
+            n: 5,
+            successes: 3,
+            lower: 0.8,
+            upper: 0.2,
+        };
+        assert!(AnytimeRun::resume(betting(), bad).is_err());
+    }
+
+    #[test]
+    fn driver_early_stops_at_the_width_target() {
+        let sampler = |_seed: u64| -> std::result::Result<f64, SampleError> { Ok(1.0) };
+        let property = MetricProperty::new(Direction::AtMost, 2.0);
+        let config = AnytimeConfig {
+            boundary: Boundary::Betting,
+            confidence: 0.9,
+            target_width: Some(0.5),
+            max_samples: 10_000,
+            round_size: 4,
+        };
+        let mut updates = Vec::new();
+        let report = run_anytime(
+            &sampler,
+            &property,
+            0,
+            &RetryPolicy::no_retry(),
+            &config,
+            None,
+            |s| updates.push(*s),
+        )
+        .unwrap();
+        assert_eq!(report.stop, StopReason::TargetWidth);
+        assert!(report.width() <= 0.5);
+        assert!(
+            report.samples < 100,
+            "an all-success stream reaches width 0.5 fast, used {}",
+            report.samples
+        );
+        assert_eq!(report.successes, report.samples);
+        assert_eq!(updates.last().unwrap().n, report.samples);
+        // Updates arrive in round_size strides.
+        assert!(updates.iter().all(|u| u.n % 4 == 0));
+    }
+
+    #[test]
+    fn driver_respects_the_sample_budget() {
+        let sampler = |seed: u64| -> std::result::Result<f64, SampleError> { Ok(seed as f64) };
+        let property = MetricProperty::new(Direction::AtMost, 0.5);
+        let config = AnytimeConfig {
+            boundary: Boundary::Hoeffding,
+            confidence: 0.9,
+            target_width: Some(1e-6),
+            max_samples: 40,
+            round_size: 16,
+        };
+        let report = run_anytime(
+            &sampler,
+            &property,
+            0,
+            &RetryPolicy::no_retry(),
+            &config,
+            None,
+            |_| {},
+        )
+        .unwrap();
+        assert_eq!(report.stop, StopReason::MaxSamples);
+        // The final round is clipped to the budget, not overrun.
+        assert_eq!(report.samples, 40);
+        assert_eq!(report.successes, 1, "only seed 0 satisfies <= 0.5");
+    }
+
+    #[test]
+    fn driver_resume_draws_the_exact_remaining_seed_stream() {
+        use std::sync::Mutex;
+        let seen = Mutex::new(Vec::new());
+        let sampler = |seed: u64| -> std::result::Result<f64, SampleError> {
+            seen.lock().unwrap().push(seed);
+            Ok(if seed % 3 == 0 { 0.0 } else { 1.0 })
+        };
+        let property = MetricProperty::new(Direction::AtMost, 0.5);
+        let config = AnytimeConfig {
+            boundary: Boundary::Betting,
+            confidence: 0.9,
+            target_width: None,
+            max_samples: 48,
+            round_size: 8,
+        };
+        // Uninterrupted reference.
+        let reference = run_anytime(
+            &sampler,
+            &property,
+            1000,
+            &RetryPolicy::no_retry(),
+            &config,
+            None,
+            |_| {},
+        )
+        .unwrap();
+        seen.lock().unwrap().clear();
+        // Interrupted at n = 24, resumed from the journaled state.
+        let mut checkpoint = None;
+        let half = AnytimeConfig {
+            max_samples: 24,
+            ..config.clone()
+        };
+        run_anytime(
+            &sampler,
+            &property,
+            1000,
+            &RetryPolicy::no_retry(),
+            &half,
+            None,
+            |s| checkpoint = Some(*s),
+        )
+        .unwrap();
+        seen.lock().unwrap().clear();
+        let resumed = run_anytime(
+            &sampler,
+            &property,
+            1000,
+            &RetryPolicy::no_retry(),
+            &config,
+            checkpoint,
+            |_| {},
+        )
+        .unwrap();
+        // The resumed half drew seeds 1024..1048 — exactly the suffix.
+        assert_eq!(*seen.lock().unwrap(), (1024..1048).collect::<Vec<_>>());
+        assert_eq!(
+            serde_json::to_string(&reference).unwrap(),
+            serde_json::to_string(&resumed).unwrap(),
+            "resume must reproduce the uninterrupted report bit for bit"
+        );
+    }
+
+    #[test]
+    fn driver_fails_when_a_seed_exhausts_retries() {
+        let sampler = |seed: u64| -> std::result::Result<f64, SampleError> {
+            if seed == 5 || derive_retry_seed(5, 1) == seed || derive_retry_seed(5, 2) == seed {
+                Err(SampleError::Timeout)
+            } else {
+                Ok(1.0)
+            }
+        };
+        let property = MetricProperty::new(Direction::AtMost, 2.0);
+        let config = AnytimeConfig {
+            boundary: Boundary::Betting,
+            confidence: 0.9,
+            target_width: None,
+            max_samples: 16,
+            round_size: 8,
+        };
+        let err = run_anytime(
+            &sampler,
+            &property,
+            0,
+            &RetryPolicy::new(3),
+            &config,
+            None,
+            |_| {},
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::SamplingFailed { .. }), "{err}");
+    }
+
+    #[test]
+    fn fixed_n_baseline_matches_the_closed_form() {
+        // α = 0.1, width 0.2 → N = ceil(ln 20 / 0.02) = ceil(149.8).
+        assert_eq!(hoeffding_fixed_n(0.9, 0.2), 150);
+        assert!(hoeffding_fixed_n(0.9, 0.5) < hoeffding_fixed_n(0.9, 0.1));
+    }
+
+    #[test]
+    fn boundary_round_trips_through_serde_and_fromstr() {
+        for b in [Boundary::Hoeffding, Boundary::Betting] {
+            let json = serde_json::to_string(&b).unwrap();
+            assert_eq!(serde_json::from_str::<Boundary>(&json).unwrap(), b);
+            assert_eq!(b.key().parse::<Boundary>().unwrap(), b);
+        }
+        assert!("brownian".parse::<Boundary>().is_err());
+    }
+}

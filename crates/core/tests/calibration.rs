@@ -23,7 +23,10 @@ use rand_chacha::ChaCha8Rng;
 use spa_baselines::bootstrap::bca_ci;
 use spa_baselines::BaselineError;
 use spa_core::ci::{ci_adaptive, ci_exact, ci_granular, ConfidenceInterval};
-use spa_core::property::Direction;
+use spa_core::fault::{RetryPolicy, SampleError};
+use spa_core::property::{Direction, MetricProperty};
+use spa_core::rounds::round_seeds;
+use spa_core::seq::{run_anytime, AnytimeConfig, AnytimeRun, Boundary, SeqSnapshot, StopReason};
 use spa_core::smc::SmcEngine;
 use spa_stats::descriptive::{quantile, QuantileMethod};
 
@@ -204,4 +207,181 @@ fn bca_always_degenerates_on_constant_data() {
     let engine = SmcEngine::new(CONFIDENCE, 0.5).unwrap();
     let ci = ci_exact(&engine, &xs, Direction::AtMost).unwrap();
     assert!(ci.contains(4.0));
+}
+
+// ---------------------------------------------------------------------
+// Anytime-valid confidence sequences (the `spa_core::seq` engine).
+//
+// Fixed-N coverage above is checked at one predeclared stopping time;
+// the claim a confidence sequence makes is stronger — coverage holds
+// simultaneously over *every* stopping time, including data-dependent
+// ones. The adversary below uses the worst stopping rule there is:
+// stop at the first update whose interval excludes the truth (a rule
+// that makes any fixed-N interval's coverage collapse toward zero as
+// the horizon grows). Time-uniform validity means even this adversary
+// wins at most `α` of the trials.
+// ---------------------------------------------------------------------
+
+const SEQ_TRIALS: usize = 500;
+const SEQ_MAX_N: u64 = 512;
+const SEQ_ROUND: u64 = 8;
+
+/// Runs `SEQ_TRIALS` Bernoulli(`p`) streams against one boundary and
+/// counts the trials where the adversary (stop at the first interval
+/// excluding `p`) never gets to stop — i.e. the sequence covered `p`
+/// uniformly over the whole horizon.
+fn seq_uniform_coverage(boundary: Boundary, p: f64, seed: u64) -> usize {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut covered = 0usize;
+    for _ in 0..SEQ_TRIALS {
+        let mut run = AnytimeRun::new(boundary.sequence(CONFIDENCE).unwrap());
+        let mut excluded = false;
+        while run.samples() < SEQ_MAX_N {
+            let outcomes: Vec<bool> = (0..SEQ_ROUND).map(|_| rng.gen_bool(p)).collect();
+            let snap = run.observe(&outcomes);
+            if p < snap.lower || snap.upper < p {
+                excluded = true;
+                break;
+            }
+        }
+        covered += usize::from(!excluded);
+    }
+    covered
+}
+
+fn assert_uniform_coverage(boundary: Boundary, p: f64, seed: u64) {
+    let covered = seq_uniform_coverage(boundary, p, seed);
+    let rate = covered as f64 / SEQ_TRIALS as f64;
+    assert!(
+        rate >= CONFIDENCE,
+        "{boundary} sequence at p={p}: optional-stopping coverage \
+         {rate:.3} < nominal {CONFIDENCE}"
+    );
+}
+
+#[test]
+fn hoeffding_sequence_survives_adversarial_optional_stopping() {
+    assert_uniform_coverage(Boundary::Hoeffding, 0.5, 0xCA11B_0010);
+    assert_uniform_coverage(Boundary::Hoeffding, 0.9, 0xCA11B_0011);
+}
+
+#[test]
+fn betting_sequence_survives_adversarial_optional_stopping() {
+    assert_uniform_coverage(Boundary::Betting, 0.5, 0xCA11B_0012);
+    assert_uniform_coverage(Boundary::Betting, 0.9, 0xCA11B_0013);
+}
+
+#[test]
+fn anytime_intervals_shrink_while_staying_valid() {
+    // One long stream per boundary: the emitted running-intersection
+    // widths must be non-increasing, end genuinely narrow, and still
+    // contain the truth at the horizon.
+    let mut rng = ChaCha8Rng::seed_from_u64(0xCA11B_0014);
+    for boundary in [Boundary::Hoeffding, Boundary::Betting] {
+        let mut run = AnytimeRun::new(boundary.sequence(CONFIDENCE).unwrap());
+        let mut last_width = f64::INFINITY;
+        let mut snap = SeqSnapshot::fresh();
+        while run.samples() < 4096 {
+            let outcomes: Vec<bool> = (0..64).map(|_| rng.gen_bool(0.8)).collect();
+            snap = run.observe(&outcomes);
+            assert!(
+                snap.width() <= last_width,
+                "{boundary}: width grew from {last_width} to {}",
+                snap.width()
+            );
+            last_width = snap.width();
+        }
+        assert!(
+            0.0 <= snap.lower && snap.lower <= snap.upper && snap.upper <= 1.0,
+            "{boundary}: final interval [{}, {}] is malformed",
+            snap.lower,
+            snap.upper
+        );
+        assert!(
+            snap.width() < 0.1,
+            "{boundary}: width {} still loose after 4096 draws",
+            snap.width()
+        );
+    }
+}
+
+#[test]
+fn fixed_n_streaming_mode_is_byte_identical_to_the_fixed_n_engine() {
+    // With no width target the anytime engine is "fixed-N mode": it
+    // must consume exactly the seed stream the existing round-based
+    // engine defines (`round_seeds`, observation i at seed_start + i)
+    // and count exactly the satisfying executions a direct fold counts.
+    const N: u64 = 96;
+    const SEED_START: u64 = 0xCA11B_0015;
+    let value = |seed: u64| (seed % 17) as f64;
+    let seen = std::cell::RefCell::new(Vec::new());
+    let recording = |seed: u64| -> std::result::Result<f64, SampleError> {
+        seen.borrow_mut().push(seed);
+        Ok(value(seed))
+    };
+    let property = MetricProperty::new(Direction::AtMost, 8.0);
+    let config = AnytimeConfig {
+        boundary: Boundary::Hoeffding,
+        confidence: CONFIDENCE,
+        target_width: None,
+        max_samples: N,
+        round_size: SEQ_ROUND,
+    };
+    let policy = RetryPolicy::no_retry();
+    let report = run_anytime(
+        &recording,
+        &property,
+        SEED_START,
+        &policy,
+        &config,
+        None,
+        |_| {},
+    )
+    .unwrap();
+
+    let expected_seeds: Vec<u64> = (0..N / SEQ_ROUND)
+        .flat_map(|r| round_seeds(SEED_START, r, SEQ_ROUND).unwrap())
+        .collect();
+    assert_eq!(*seen.borrow(), expected_seeds, "seed discipline diverged");
+    let values: Vec<f64> = expected_seeds.iter().map(|&s| value(s)).collect();
+    assert_eq!(report.stop, StopReason::MaxSamples);
+    assert_eq!(report.samples, N);
+    assert_eq!(report.successes, property.count_satisfying(&values));
+    assert!(report.failures.is_clean());
+
+    // And preempt/resume changes nothing: stop a second run after its
+    // third round, resume from that snapshot, and the final report
+    // serializes byte-for-byte like the uninterrupted one.
+    let plain = |seed: u64| -> std::result::Result<f64, SampleError> { Ok(value(seed)) };
+    let mut third_round: Option<SeqSnapshot> = None;
+    let truncated = AnytimeConfig {
+        max_samples: 3 * SEQ_ROUND,
+        ..config.clone()
+    };
+    let prefix = run_anytime(
+        &plain,
+        &property,
+        SEED_START,
+        &policy,
+        &truncated,
+        None,
+        |snap| third_round = Some(*snap),
+    )
+    .unwrap();
+    assert_eq!(prefix.samples, 3 * SEQ_ROUND);
+    let resumed = run_anytime(
+        &plain,
+        &property,
+        SEED_START,
+        &policy,
+        &config,
+        third_round,
+        |_| {},
+    )
+    .unwrap();
+    assert_eq!(
+        serde_json::to_string(&report).unwrap(),
+        serde_json::to_string(&resumed).unwrap(),
+        "a resumed fixed-N run must reproduce the uninterrupted bytes"
+    );
 }

@@ -19,6 +19,7 @@ use std::time::Duration;
 
 use crate::protocol::{
     read_message, write_message, JobResult, MetricsReport, Request, Response, ServerStats,
+    StreamingSnapshot,
 };
 use crate::spec::JobSpec;
 use crate::ServerError;
@@ -219,6 +220,105 @@ pub fn submit_with(
     })
 }
 
+/// What a [`watch`] produced.
+#[derive(Debug, Clone)]
+pub struct WatchOutcome {
+    /// The finished result, or `None` when `on_event` detached the
+    /// watch before the job reached a terminal event (the interval
+    /// already seen is valid — stop-at-any-time).
+    pub result: Option<JobResult>,
+    /// How many progress events were streamed.
+    pub progress_events: u64,
+}
+
+/// Attaches to an existing job's event stream (live interval snapshots
+/// for streaming jobs) and blocks until its terminal response, with the
+/// default [`ClientConfig`].
+///
+/// `on_event` sees every server message as it arrives and returns
+/// whether to keep watching: returning `false` detaches immediately —
+/// anytime validity means the last interval seen is already a sound
+/// answer.
+///
+/// # Errors
+///
+/// [`ServerError::JobFailed`] if the watched job failed (or is
+/// unknown), [`ClientError::TimedOut`] when the server goes silent past
+/// the time and reconnect budgets, plus the usual I/O, protocol, and
+/// [`ServerError::Disconnected`] failures.
+pub fn watch(
+    addr: &str,
+    job: u64,
+    on_event: impl FnMut(&Response) -> bool,
+) -> Result<WatchOutcome, ServerError> {
+    watch_with(addr, job, &ClientConfig::default(), on_event)
+}
+
+/// [`watch`] with explicit time budgets and reconnect policy.
+/// Reconnects only happen before the server's first response; after
+/// that, failures surface directly.
+///
+/// # Errors
+///
+/// As [`watch`].
+pub fn watch_with(
+    addr: &str,
+    job: u64,
+    config: &ClientConfig,
+    mut on_event: impl FnMut(&Response) -> bool,
+) -> Result<WatchOutcome, ServerError> {
+    with_retries(addr, config, |stream| {
+        let mut responded = false;
+        let mut run = || -> Result<WatchOutcome, ServerError> {
+            let mut writer = &stream;
+            write_message(&mut writer, &Request::Watch { job })?;
+            let mut reader = BufReader::new(&stream);
+            let mut progress_events = 0u64;
+            loop {
+                let resp: Response = read_message(&mut reader)?.ok_or(ServerError::Disconnected)?;
+                responded = true;
+                let keep_going = on_event(&resp);
+                match resp {
+                    Response::Progress { .. } => {
+                        progress_events += 1;
+                        if !keep_going {
+                            return Ok(WatchOutcome {
+                                result: None,
+                                progress_events,
+                            });
+                        }
+                    }
+                    Response::Report { result, .. } => {
+                        return Ok(WatchOutcome {
+                            result: Some(result),
+                            progress_events,
+                        })
+                    }
+                    Response::Failed { error, .. } => return Err(ServerError::JobFailed(error)),
+                    Response::Error { detail } => return Err(ServerError::Protocol(detail)),
+                    other => {
+                        return Err(ServerError::Protocol(format!(
+                            "unexpected response to watch: {other:?}"
+                        )))
+                    }
+                }
+            }
+        };
+        run().map_err(|e| (responded, e))
+    })
+}
+
+/// A full `status` exchange: the counter snapshot plus the live
+/// streaming jobs' latest intervals.
+#[derive(Debug, Clone)]
+pub struct StatusReport {
+    /// Server counters.
+    pub stats: ServerStats,
+    /// Live streaming jobs that have folded at least one round, with
+    /// their latest interval snapshots.
+    pub streaming: Vec<StreamingSnapshot>,
+}
+
 /// Fetches the server's counter snapshot with the default config.
 ///
 /// # Errors
@@ -235,13 +335,35 @@ pub fn status(addr: &str) -> Result<ServerStats, ServerError> {
 ///
 /// As [`status`].
 pub fn status_with(addr: &str, config: &ClientConfig) -> Result<ServerStats, ServerError> {
+    status_report_with(addr, config).map(|report| report.stats)
+}
+
+/// Fetches the full status report — counters *and* live streaming
+/// snapshots — with the default config.
+///
+/// # Errors
+///
+/// As [`status`].
+pub fn status_report(addr: &str) -> Result<StatusReport, ServerError> {
+    status_report_with(addr, &ClientConfig::default())
+}
+
+/// [`status_report`] with explicit time budgets (idempotent, retried
+/// whole).
+///
+/// # Errors
+///
+/// As [`status`].
+pub fn status_report_with(addr: &str, config: &ClientConfig) -> Result<StatusReport, ServerError> {
     with_retries(addr, config, |stream| {
-        let mut run = || -> Result<ServerStats, ServerError> {
+        let mut run = || -> Result<StatusReport, ServerError> {
             let mut writer = &stream;
             write_message(&mut writer, &Request::Status)?;
             let mut reader = BufReader::new(&stream);
             match read_message::<_, Response>(&mut reader)?.ok_or(ServerError::Disconnected)? {
-                Response::Status { stats, .. } => Ok(stats),
+                Response::Status {
+                    stats, streaming, ..
+                } => Ok(StatusReport { stats, streaming }),
                 other => Err(ServerError::Protocol(format!(
                     "unexpected response to status: {other:?}"
                 ))),

@@ -16,6 +16,14 @@
 //!   threads claim round indices, execute whole rounds, and a shared
 //!   [`RoundAggregator`] folds them in index order so the stopping rule
 //!   never depends on thread scheduling (Bulychev et al.).
+//! * **Streaming** jobs run the anytime-valid engine
+//!   ([`spa_core::seq`]): the same round-partitioned seed stream, but
+//!   each round's Bernoulli outcomes fold into a time-uniform
+//!   confidence sequence, every round emits a live interval snapshot
+//!   (over [`ProgressUpdate`]) and a resume checkpoint
+//!   ([`ExecContext::on_checkpoint`]), and the job may stop at any
+//!   time — width target, sample budget, or deadline — with a valid
+//!   interval.
 //! * **Property** jobs run the trace-to-verdict pipeline: traced
 //!   executions, one STL verdict per trace, and the fixed-sample SMC
 //!   test over the verdicts — delegated wholesale to
@@ -46,6 +54,7 @@ use spa_core::obs_names;
 use spa_core::pipeline::collect_indexed;
 use spa_core::property::{Direction, MetricProperty};
 use spa_core::rounds::{round_seeds, RoundAggregator, RoundsOutcome};
+use spa_core::seq::{AnytimeReport, AnytimeRun, Boundary, SeqSnapshot, StopReason};
 use spa_core::smc::SmcEngine;
 use spa_core::spa::Spa;
 use spa_obs::metrics::global;
@@ -67,6 +76,9 @@ pub struct ProgressUpdate {
     pub confidence: f64,
     /// Rounds folded so far.
     pub rounds: u64,
+    /// For streaming jobs, the anytime-valid interval after this round
+    /// (`None` for the fixed-`N` modes).
+    pub interval: Option<(f64, f64)>,
 }
 
 /// Why a job stopped without a result.
@@ -120,6 +132,13 @@ pub struct ExecContext<'a> {
     /// Progress sink (invoked between rounds, possibly from multiple
     /// threads — events arrive in aggregation order).
     pub progress: &'a (dyn Fn(ProgressUpdate) + Sync),
+    /// Journaled anytime state a streaming job resumes from (`None`
+    /// starts fresh; ignored by the fixed-`N` modes).
+    pub resume: Option<SeqSnapshot>,
+    /// Checkpoint sink for streaming jobs: called with the new
+    /// [`SeqSnapshot`] after every folded round, before the progress
+    /// event, so the journal is never behind what watchers saw.
+    pub on_checkpoint: Option<&'a (dyn Fn(&SeqSnapshot) + Sync)>,
 }
 
 impl ExecContext<'_> {
@@ -263,7 +282,9 @@ pub fn execute(vjob: &ValidatedJob, ctx: &ExecContext<'_>) -> Result<JobResult, 
     // untouched by the pipeline work.
     let config = match &spec.mode {
         ModeSpec::Property { .. } => spec.system.variant().config().with_trace(),
-        ModeSpec::Interval { .. } | ModeSpec::Hypothesis { .. } => spec.system.variant().config(),
+        ModeSpec::Interval { .. } | ModeSpec::Hypothesis { .. } | ModeSpec::Streaming { .. } => {
+            spec.system.variant().config()
+        }
     };
     let machine = Machine::new(config, &workload)
         .map_err(failed)?
@@ -291,6 +312,22 @@ pub fn execute(vjob: &ValidatedJob, ctx: &ExecContext<'_>) -> Result<JobResult, 
         ModeSpec::Property { robustness, .. } => {
             run_property(vjob, ctx, &spa, &policy, &machine, *robustness)
         }
+        ModeSpec::Streaming {
+            direction,
+            threshold,
+            boundary,
+            target_width,
+            max_samples,
+        } => run_streaming(
+            vjob,
+            ctx,
+            &policy,
+            &sampler,
+            MetricProperty::new(*direction, *threshold),
+            *boundary,
+            *target_width,
+            *max_samples,
+        ),
     }
 }
 
@@ -332,6 +369,7 @@ fn run_interval(
             samples: total,
             confidence: spec.confidence,
             rounds,
+            interval: None,
         });
         let batch = SampleBatch {
             samples: pop.metric(vjob.metric),
@@ -364,6 +402,7 @@ fn run_interval(
             samples: rows.len() as u64,
             confidence: interval_bound(rows.len() as u64, spec.confidence, spec.proportion),
             rounds: r + 1,
+            interval: None,
         });
     }
 
@@ -434,6 +473,7 @@ fn run_property(
         samples: report.evaluated,
         confidence: interval_bound(report.evaluated, spec.confidence, spec.proportion),
         rounds: report.evaluated.div_ceil(spec.round_size.max(1)),
+        interval: None,
     });
     Ok(JobResult::Property { report })
 }
@@ -504,6 +544,7 @@ fn run_hypothesis(
                             samples: agg.samples_seen(),
                             confidence: agg.current_confidence(),
                             rounds: agg.rounds_folded(),
+                            interval: None,
                         });
                         if concluded.is_some() {
                             stop.store(true, Ordering::Relaxed);
@@ -541,6 +582,105 @@ fn run_hypothesis(
     })
 }
 
+/// Executes a streaming (anytime-valid) job: rounds of parallel
+/// sampling folded into a running confidence sequence
+/// ([`AnytimeRun`]), with a checkpoint and a live interval snapshot
+/// after every round.
+///
+/// A resume state in [`ExecContext::resume`] continues the
+/// deterministic seed stream at `seed_start + n`, so a resumed run
+/// draws exactly the seeds the uninterrupted run would have drawn —
+/// resumption introduces no bias. A deadline expiring mid-stream is
+/// *not* a failure here: the current interval is valid at any stopping
+/// time, so the job completes with [`StopReason::Deadline`] and its
+/// interval so far.
+#[allow(clippy::too_many_arguments)]
+fn run_streaming(
+    vjob: &ValidatedJob,
+    ctx: &ExecContext<'_>,
+    policy: &RetryPolicy,
+    sampler: &SimSampler<'_, '_>,
+    property: MetricProperty,
+    boundary: Boundary,
+    target_width: Option<f64>,
+    max_samples: u64,
+) -> Result<JobResult, ExecError> {
+    let spec = &vjob.spec;
+    let sequence = boundary.sequence(spec.confidence).map_err(failed)?;
+    let mut run = match ctx.resume {
+        Some(state) => AnytimeRun::resume(sequence, state).map_err(failed)?,
+        None => AnytimeRun::new(sequence),
+    };
+    // Fail fast if the stream could run the seed space past u64::MAX;
+    // the per-round arithmetic below then stays in range.
+    spec.seed_start
+        .checked_add(max_samples)
+        .ok_or_else(|| failed("seed stream exhausted: seed_start + max_samples overflows"))?;
+    let mut failures = FailureCounts::default();
+    let stop = loop {
+        if let Some(width) = target_width {
+            if run.reached(width) {
+                global().counter(obs_names::SEQ_EARLY_STOPS).incr();
+                break StopReason::TargetWidth;
+            }
+        }
+        if run.samples() >= max_samples {
+            break StopReason::MaxSamples;
+        }
+        let round = run.samples() / spec.round_size;
+        match ctx.checkpoint(round) {
+            Ok(()) => {}
+            // The interval is valid at any stopping time, so an
+            // expiring job reports what it has instead of failing.
+            Err(ExecError::Deadline) => break StopReason::Deadline,
+            Err(e) => return Err(e),
+        }
+        let take = spec.round_size.min(max_samples - run.samples());
+        let first = spec.seed_start + run.samples();
+        let (chunk, counts) = collect_round(first..first + take, ctx.threads, policy, &|seed| {
+            sampler.sample(seed)
+        });
+        failures.merge(&counts);
+        if (chunk.len() as u64) < take {
+            // A permanently missing observation would desynchronize the
+            // seed↔index correspondence that bias-free resume relies on.
+            return Err(ExecError::Failed(format!(
+                "round {round}: {} of {take} executions failed permanently ({counts})",
+                take - chunk.len() as u64,
+            )));
+        }
+        let outcomes: Vec<bool> = chunk
+            .iter()
+            .map(|&(_, value)| property.satisfies(value))
+            .collect();
+        let snapshot = run.observe(&outcomes);
+        // Journal before announcing: the checkpoint is never behind
+        // what a watcher saw.
+        if let Some(sink) = ctx.on_checkpoint {
+            sink(&snapshot);
+        }
+        (ctx.progress)(ProgressUpdate {
+            samples: snapshot.n,
+            confidence: spec.confidence,
+            rounds: snapshot.n.div_ceil(spec.round_size),
+            interval: Some((snapshot.lower, snapshot.upper)),
+        });
+    };
+    let state = run.snapshot();
+    Ok(JobResult::Streaming {
+        report: AnytimeReport {
+            boundary,
+            confidence: spec.confidence,
+            samples: state.n,
+            successes: state.successes,
+            lower: state.lower,
+            upper: state.upper,
+            stop,
+            failures,
+        },
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -556,6 +696,8 @@ mod tests {
             deadline: None,
             tick: &|_| (),
             progress,
+            resume: None,
+            on_checkpoint: None,
         }
     }
 
@@ -721,6 +863,8 @@ mod tests {
             deadline: Some(Instant::now() - std::time::Duration::from_millis(1)),
             tick: &tick,
             progress: &progress,
+            resume: None,
+            on_checkpoint: None,
         };
         let err = execute(&vjob, &c).unwrap_err();
         assert_eq!(err, ExecError::Deadline);
@@ -795,6 +939,8 @@ mod tests {
                 deadline: None,
                 tick: &|_| (),
                 progress: &progress,
+                resume: None,
+                on_checkpoint: None,
             };
             execute(&vjob, &c).unwrap()
         };
@@ -841,6 +987,8 @@ mod tests {
                 deadline: None,
                 tick: &|_| (),
                 progress: &progress,
+                resume: None,
+                on_checkpoint: None,
             };
             execute(&vjob, &c).unwrap()
         };
@@ -857,5 +1005,150 @@ mod tests {
         // The verdict is identical across worker counts (bias-free
         // round aggregation).
         assert_eq!(a, b);
+    }
+
+    fn streaming_spec(seed_start: u64, target_width: Option<f64>, max_samples: u64) -> JobSpec {
+        JobSpec {
+            noise: NoiseSpec::Jitter { max_cycles: 0 },
+            seed_start,
+            round_size: 8,
+            mode: ModeSpec::Streaming {
+                direction: Direction::AtMost,
+                // Runtime is always far below 1e6 seconds, so every
+                // outcome is a success — fast, deterministic shrink.
+                threshold: 1e6,
+                boundary: Boundary::Betting,
+                target_width,
+                max_samples,
+            },
+            ..JobSpec::new(
+                "blackscholes",
+                ModeSpec::Interval {
+                    direction: Direction::AtMost,
+                },
+            )
+        }
+    }
+
+    #[test]
+    fn streaming_job_shrinks_monotonically_to_the_budget() {
+        let vjob = validate(streaming_spec(77_700, None, 48)).unwrap();
+        let cancel = AtomicBool::new(false);
+        let events: Mutex<Vec<ProgressUpdate>> = Mutex::new(Vec::new());
+        let progress = |u: ProgressUpdate| events.lock().push(u);
+        let result = execute(&vjob, &ctx(&cancel, &progress)).unwrap();
+        let JobResult::Streaming { report } = result else {
+            panic!("streaming job must return a streaming result");
+        };
+        assert_eq!(report.stop, StopReason::MaxSamples);
+        assert_eq!(report.samples, 48);
+        assert_eq!(report.successes, 48);
+        assert!(report.failures.is_clean());
+        let events = events.into_inner();
+        assert_eq!(events.len(), 6, "one update per round of 8");
+        for pair in events.windows(2) {
+            let (a_lo, a_hi) = pair[0]
+                .interval
+                .expect("streaming progress carries an interval");
+            let (b_lo, b_hi) = pair[1]
+                .interval
+                .expect("streaming progress carries an interval");
+            assert!(
+                b_lo >= a_lo && b_hi <= a_hi,
+                "intervals must shrink monotonically"
+            );
+        }
+        let (lo, hi) = events.last().unwrap().interval.unwrap();
+        assert_eq!((lo, hi), (report.lower, report.upper));
+    }
+
+    #[test]
+    fn streaming_job_early_stops_at_the_width_target() {
+        let vjob = validate(streaming_spec(77_800, Some(0.5), 4096)).unwrap();
+        let cancel = AtomicBool::new(false);
+        let progress = |_: ProgressUpdate| {};
+        let result = execute(&vjob, &ctx(&cancel, &progress)).unwrap();
+        let JobResult::Streaming { report } = result else {
+            panic!("streaming job must return a streaming result");
+        };
+        assert_eq!(report.stop, StopReason::TargetWidth);
+        assert!(report.width() <= 0.5);
+        assert!(
+            report.samples < 100,
+            "an all-success stream early-stops fast, used {}",
+            report.samples
+        );
+    }
+
+    #[test]
+    fn streaming_resume_matches_the_uninterrupted_run() {
+        let spec = streaming_spec(77_900, None, 48);
+        let cancel = AtomicBool::new(false);
+        let progress = |_: ProgressUpdate| {};
+
+        // Uninterrupted reference, capturing every checkpoint.
+        let vjob = validate(spec.clone()).unwrap();
+        let checkpoints: Mutex<Vec<SeqSnapshot>> = Mutex::new(Vec::new());
+        let sink = |s: &SeqSnapshot| checkpoints.lock().push(*s);
+        let c = ExecContext {
+            threads: 2,
+            cancel: &cancel,
+            deadline: None,
+            tick: &|_| (),
+            progress: &progress,
+            resume: None,
+            on_checkpoint: Some(&sink),
+        };
+        let JobResult::Streaming { report: reference } = execute(&vjob, &c).unwrap() else {
+            panic!("streaming job must return a streaming result");
+        };
+        let checkpoints = checkpoints.into_inner();
+        assert_eq!(checkpoints.len(), 6);
+        assert_eq!(checkpoints.last().unwrap().n, 48);
+
+        // Resume from the round-3 checkpoint (n = 24), as the server
+        // does after a crash: the suffix must land on the same report.
+        let vjob = validate(spec).unwrap();
+        let c = ExecContext {
+            threads: 2,
+            cancel: &cancel,
+            deadline: None,
+            tick: &|_| (),
+            progress: &progress,
+            resume: Some(checkpoints[2]),
+            on_checkpoint: None,
+        };
+        let JobResult::Streaming { report: resumed } = execute(&vjob, &c).unwrap() else {
+            panic!("streaming job must return a streaming result");
+        };
+        assert_eq!(
+            serde_json::to_string(&reference).unwrap(),
+            serde_json::to_string(&resumed).unwrap(),
+            "resume must reproduce the uninterrupted report bit for bit"
+        );
+    }
+
+    #[test]
+    fn expiring_streaming_job_returns_its_current_interval() {
+        let vjob = validate(streaming_spec(77_950, None, 48)).unwrap();
+        let cancel = AtomicBool::new(false);
+        let progress = |_: ProgressUpdate| {};
+        let c = ExecContext {
+            threads: 2,
+            cancel: &cancel,
+            deadline: Some(Instant::now() - std::time::Duration::from_millis(1)),
+            tick: &|_| (),
+            progress: &progress,
+            resume: None,
+            on_checkpoint: None,
+        };
+        // The fixed-N modes fail on an expired deadline; streaming
+        // completes with the (here still vacuous) valid interval.
+        let JobResult::Streaming { report } = execute(&vjob, &c).unwrap() else {
+            panic!("streaming job must return a streaming result");
+        };
+        assert_eq!(report.stop, StopReason::Deadline);
+        assert_eq!(report.samples, 0);
+        assert_eq!((report.lower, report.upper), (0.0, 1.0));
     }
 }

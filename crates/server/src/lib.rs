@@ -23,17 +23,19 @@
 //!   snapshot, replayed (and truncated at the first corrupt record) on
 //!   startup.
 //! * [`exec`] — job execution: fault-tolerant simulator sampling
-//!   (PR 1's retry machinery), round-partitioned seed streams, and the
+//!   (PR 1's retry machinery), round-partitioned seed streams, the
 //!   bias-free parallel hypothesis runner built on
-//!   [`spa_core::rounds`].
+//!   [`spa_core::rounds`], and the anytime-valid streaming runner
+//!   built on [`spa_core::seq`] — live interval snapshots every round,
+//!   checkpointed for preempt/resume.
 //! * [`server`] — the daemon: accept/handler threads, the bounded job
 //!   queue with typed backpressure, per-job deadlines and per-client
 //!   quotas, a supervisor that requeues jobs whose workers panic or
 //!   hang, counters, and drain-then-exit shutdown.
 //! * [`chaos`] — seeded fault injection (worker kills and stalls at
 //!   round boundaries) for the crash-recovery test suite.
-//! * [`client`] — blocking helpers (`submit`/`status`/`shutdown`) the
-//!   CLI and tests use, with timeouts and bounded
+//! * [`client`] — blocking helpers (`submit`/`watch`/`status`/
+//!   `shutdown`) the CLI and tests use, with timeouts and bounded
 //!   reconnect-with-backoff.
 //!
 //! # Example

@@ -36,3 +36,11 @@ pub const WORKERS_RESTARTED: &str = "server.workers.restarted";
 /// Counter: socket-option failures (`TCP_NODELAY`, read timeout) on
 /// accepted connections.
 pub const CONN_SOCKOPT_ERRORS: &str = "server.conn.sockopt_errors";
+/// Counter: streaming-job checkpoints journaled (one per folded round).
+pub const STREAM_CHECKPOINTS: &str = "server.stream.checkpoints";
+/// Counter: streaming checkpoints recovered from the checkpoint journal
+/// at startup (live, after last-wins and tombstones).
+pub const STREAM_RECOVERED: &str = "server.stream.recovered";
+/// Counter: streaming jobs seeded from a journaled checkpoint instead
+/// of starting their seed stream from scratch.
+pub const STREAM_RESUMED: &str = "server.stream.resumed";

@@ -2,13 +2,19 @@
 //!
 //! One message per line, each a single JSON object tagged by `type`.
 //! A client sends a [`Request`]; the server answers with one or more
-//! [`Response`] lines. `submit` is the only streaming exchange: the
-//! server acknowledges with `accepted` (or `rejected`), emits zero or
-//! more `progress` events as rounds of samples land, and terminates the
-//! exchange with exactly one `report` or `failed`. Reports round-trip
-//! through the same serde types the library uses (`SpaReport`,
-//! `RoundsOutcome`), so a CLI client deserializes straight into the
-//! types a direct `Spa::run` would have produced.
+//! [`Response`] lines. `submit` and `watch` are the streaming
+//! exchanges: the server acknowledges with `accepted` (or `rejected`),
+//! emits zero or more `progress` events as rounds of samples land, and
+//! terminates the exchange with exactly one `report` or `failed`.
+//! Reports round-trip through the same serde types the library uses
+//! (`SpaReport`, `RoundsOutcome`, `AnytimeReport`), so a CLI client
+//! deserializes straight into the types a direct `Spa::run` would have
+//! produced.
+//!
+//! **Back-compat:** fields added for streaming jobs — `interval` on
+//! `progress`, `streaming` on `status` — carry `#[serde(default)]` and
+//! are skipped when empty, so an old client and a new server (or vice
+//! versa) interoperate on the fixed-`N` modes byte for byte.
 
 use std::collections::BTreeMap;
 use std::io::{BufRead, Write};
@@ -17,6 +23,7 @@ use serde::de::DeserializeOwned;
 use serde::{Deserialize, Serialize};
 
 use spa_core::rounds::RoundsOutcome;
+use spa_core::seq::AnytimeReport;
 use spa_core::spa::SpaReport;
 use spa_obs::{MetricsSnapshot, TimingSnapshot};
 
@@ -31,6 +38,12 @@ pub enum Request {
     Submit {
         /// The job to run.
         spec: JobSpec,
+    },
+    /// Attach to a running (or finished) job and stream its progress
+    /// to the terminal report, live — the `spa watch` verb.
+    Watch {
+        /// Server-assigned job id (from [`Response::Accepted`]).
+        job: u64,
     },
     /// Ask for the server's counters.
     Status,
@@ -102,6 +115,11 @@ pub enum JobResult {
         /// [`spa_sim::check::run_check`] over the same seed stream
         /// produces.
         report: spa_sim::check::PropertyReport,
+    },
+    /// A streaming-mode job: the anytime-valid terminal report.
+    Streaming {
+        /// Final interval, stop reason, and sample accounting.
+        report: AnytimeReport,
     },
 }
 
@@ -221,6 +239,21 @@ impl From<MetricsSnapshot> for MetricsReport {
     }
 }
 
+/// The latest anytime-valid interval of one live streaming job, as
+/// embedded in [`Response::Status`] — `spa status` shows where every
+/// stream stands without attaching to it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreamingSnapshot {
+    /// Server-assigned job id.
+    pub job: u64,
+    /// Observations folded so far.
+    pub samples: u64,
+    /// Current lower confidence bound.
+    pub lower: f64,
+    /// Current upper confidence bound.
+    pub upper: f64,
+}
+
 /// A server-to-client message.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[serde(tag = "type", rename_all = "snake_case")]
@@ -249,6 +282,11 @@ pub enum Response {
         confidence: f64,
         /// Rounds folded so far.
         rounds: u64,
+        /// For streaming jobs, the anytime-valid interval after this
+        /// round; absent for fixed-`N` modes and on lines from
+        /// pre-streaming servers.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        interval: Option<(f64, f64)>,
     },
     /// Terminal: the job's result.
     Report {
@@ -274,6 +312,10 @@ pub enum Response {
         /// (absent in messages from pre-metrics servers).
         #[serde(default)]
         metrics: MetricsReport,
+        /// Latest interval snapshot of every live streaming job
+        /// (absent in messages from pre-streaming servers).
+        #[serde(default, skip_serializing_if = "Vec::is_empty")]
+        streaming: Vec<StreamingSnapshot>,
     },
     /// Answer to [`Request::Metrics`].
     Metrics {
@@ -372,6 +414,14 @@ mod tests {
                 samples: 16,
                 confidence: 0.42,
                 rounds: 2,
+                interval: None,
+            },
+            Response::Progress {
+                job: 4,
+                samples: 16,
+                confidence: 0.9,
+                rounds: 2,
+                interval: Some((0.25, 0.75)),
             },
             Response::Failed {
                 job: 3,
@@ -380,6 +430,17 @@ mod tests {
             Response::Status {
                 stats: ServerStats::default(),
                 metrics: MetricsReport::default(),
+                streaming: Vec::new(),
+            },
+            Response::Status {
+                stats: ServerStats::default(),
+                metrics: MetricsReport::default(),
+                streaming: vec![StreamingSnapshot {
+                    job: 7,
+                    samples: 64,
+                    lower: 0.4,
+                    upper: 0.6,
+                }],
             },
             Response::Metrics {
                 metrics: MetricsReport {
@@ -504,12 +565,64 @@ mod tests {
         let json = r#"{"type":"status","stats":{"submitted":1,"executed":1,"cache_hits":0,"coalesced":0,"completed":1,"failed":0,"rejected":0,"queued":0,"running":0,"shutting_down":false}}"#;
         let resp: Response = serde_json::from_str(json).unwrap();
         match resp {
-            Response::Status { stats, metrics } => {
+            Response::Status {
+                stats,
+                metrics,
+                streaming,
+            } => {
                 assert_eq!(stats.submitted, 1);
                 assert_eq!(metrics, MetricsReport::default());
+                assert!(streaming.is_empty());
             }
             other => panic!("expected status, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn watch_request_json_shape() {
+        let json = serde_json::to_string(&Request::Watch { job: 12 }).unwrap();
+        assert_eq!(json, r#"{"type":"watch","job":12}"#);
+        let back: Request = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, Request::Watch { job: 12 });
+    }
+
+    #[test]
+    fn streaming_results_round_trip() {
+        let resp = Response::Report {
+            job: 11,
+            cached: false,
+            result: JobResult::Streaming {
+                report: AnytimeReport {
+                    boundary: spa_core::seq::Boundary::Betting,
+                    confidence: 0.9,
+                    samples: 64,
+                    successes: 60,
+                    lower: 0.81,
+                    upper: 0.99,
+                    stop: spa_core::seq::StopReason::TargetWidth,
+                    failures: spa_core::fault::FailureCounts::default(),
+                },
+            },
+        };
+        let json = serde_json::to_string(&resp).unwrap();
+        assert!(json.contains(r#""kind":"streaming""#), "{json}");
+        assert!(json.contains(r#""boundary":"betting""#), "{json}");
+        let back: Response = serde_json::from_str(&json).unwrap();
+        assert_eq!(resp, back);
+    }
+
+    #[test]
+    fn progress_without_interval_still_parses_and_elides_none() {
+        // Old-server line: no `interval` field at all.
+        let json = r#"{"type":"progress","job":3,"samples":16,"confidence":0.42,"rounds":2}"#;
+        let resp: Response = serde_json::from_str(json).unwrap();
+        let Response::Progress { interval, .. } = &resp else {
+            panic!("expected progress");
+        };
+        assert_eq!(*interval, None);
+        // New-server line for a fixed-N job: byte-identical to the old
+        // wire format (the None is skipped, not serialized as null).
+        assert_eq!(serde_json::to_string(&resp).unwrap(), json);
     }
 
     #[test]

@@ -44,13 +44,15 @@
 //!   with [`RejectReason::ShuttingDown`], and idle connections close at
 //!   their next read-poll tick.
 //!
-//! Lock order: a handler takes `jobs → cache`, `jobs → quota`, and
-//! `jobs → queue_tx`; workers publish under `jobs → cache` and persist
-//! under `store → cache`; the supervisor takes `jobs`, `worker_handles`,
+//! Lock order: a handler takes `jobs → cache`, `jobs → quota`,
+//! `jobs → queue_tx`, and `jobs → resume`; workers publish under
+//! `jobs → cache`, persist under `store → cache`, and checkpoint under
+//! `jobs`, then `resume`, then `checkpoints` — released one after the
+//! other, never nested; the supervisor takes `jobs`, `worker_handles`,
 //! and `jobs → queue_tx` one at a time (plus the hypothesis executor's
 //! `aggregator → jobs` via the progress callback). No path takes
-//! `cache → jobs`, `quota → jobs`, or `cache → store`, so the graph is
-//! acyclic.
+//! `cache → jobs`, `quota → jobs`, `cache → store`, `resume → jobs`,
+//! or `checkpoints → resume`, so the graph is acyclic.
 
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -65,6 +67,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use parking_lot::Mutex;
 use spa_core::fault::RetryPolicy;
+use spa_core::seq::{SeqSnapshot, StopReason};
 use spa_obs::MetricsRegistry;
 
 use crate::cache::{Lookup, ResultCache};
@@ -73,9 +76,10 @@ use crate::exec::{self, ExecContext, ExecError, ProgressUpdate};
 use crate::obs_names;
 use crate::protocol::{
     write_message, JobResult, MetricsReport, RejectReason, Request, Response, ServerStats,
+    StreamingSnapshot,
 };
-use crate::spec::{validate, ValidatedJob};
-use crate::store::DurableStore;
+use crate::spec::{validate, ModeSpec, ValidatedJob};
+use crate::store::{CheckpointStore, DurableStore};
 
 /// Shape of the job-latency histogram: dequeue-to-terminal latencies
 /// from tens of microseconds (cache-adjacent trivial jobs) to a minute.
@@ -165,6 +169,11 @@ struct JobEntry {
     /// Executions started (1 for the initial attempt), bounded by the
     /// requeue policy.
     attempts: u32,
+    /// Latest anytime snapshot of a streaming job: seeded from a
+    /// recovered checkpoint at submission, refreshed every folded
+    /// round. `spa status` surfaces it, `spa watch` is primed with it,
+    /// and a requeued execution resumes from it.
+    latest: Option<SeqSnapshot>,
 }
 
 #[derive(Default)]
@@ -187,6 +196,14 @@ struct Shared {
     /// compactions are best-effort: an I/O error counts under
     /// `server.store.errors` and the in-memory cache still answers.
     store: Mutex<Option<DurableStore>>,
+    /// The streaming-checkpoint journal, if a `state_dir` was
+    /// configured. Best-effort like [`Shared::store`].
+    checkpoints: Mutex<Option<CheckpointStore>>,
+    /// Latest checkpoint per canonical key (recovered at startup,
+    /// refreshed every folded round, cleared when a stream completes):
+    /// the in-memory mirror of `checkpoints`, consulted at submission
+    /// so a resubmitted streaming job resumes instead of restarting.
+    resume: Mutex<HashMap<String, SeqSnapshot>>,
     next_job: AtomicU64,
     queue_tx: Mutex<Option<Sender<(u64, u64)>>>,
     /// Kept so replacement workers can be spawned after startup.
@@ -262,6 +279,15 @@ impl Shared {
     /// result produced by a superseded execution (the job was requeued
     /// out from under it) is discarded.
     fn publish_success(&self, job: u64, generation: u64, key: &str, result: JobResult) {
+        // A deadline-stopped stream's interval is a QoS artifact, not
+        // the canonical answer for the spec: deliver it to this
+        // submission's waiters, but leave the key uncached and the
+        // checkpoint alive so a resubmission resumes sampling instead
+        // of replaying the truncated verdict.
+        let resumable = matches!(
+            &result,
+            JobResult::Streaming { report } if report.stop == StopReason::Deadline
+        );
         let published = {
             let mut jobs = self.jobs.lock();
             match jobs.get_mut(&job) {
@@ -271,7 +297,11 @@ impl Shared {
                     // already registered its waiter (it held the jobs
                     // lock to do so), and any later one sees the
                     // completed entry.
-                    self.cache.complete(key, result.clone());
+                    if resumable {
+                        self.cache.invalidate(key);
+                    } else {
+                        self.cache.complete(key, result.clone());
+                    }
                     self.stats.completed.fetch_add(1, Ordering::Relaxed);
                     entry.state = JobState::Done(result.clone());
                     let resp = Response::Report {
@@ -287,8 +317,13 @@ impl Shared {
                 _ => false,
             }
         };
-        if published {
+        if published && !resumable {
             self.persist(key, &result);
+            // A finished stream's checkpoint is spent: the durable
+            // result now answers the key.
+            if matches!(&result, JobResult::Streaming { .. }) {
+                self.clear_checkpoint(key);
+            }
         }
     }
 
@@ -337,6 +372,78 @@ impl Shared {
                 self.metrics.counter(obs_names::STORE_ERRORS).incr();
             }
         }
+    }
+
+    /// Records a streaming job's round checkpoint: the job entry's
+    /// `latest` snapshot (for status, watch priming, and requeue
+    /// resume), the in-memory resume map, and — best-effort — the
+    /// checkpoint journal. Generation-gated like result publication: a
+    /// superseded execution's checkpoints cannot clobber its
+    /// successor's progress.
+    fn record_checkpoint(&self, job: u64, generation: u64, key: &str, snap: &SeqSnapshot) {
+        {
+            let mut jobs = self.jobs.lock();
+            match jobs.get_mut(&job) {
+                Some(entry) if entry.generation == generation => entry.latest = Some(*snap),
+                _ => return,
+            }
+        }
+        // Snapshot the live set while the resume lock is held so a
+        // due compaction below never has to reach back into it (the
+        // lock graph stays acyclic).
+        let entries: Vec<(String, SeqSnapshot)> = {
+            let mut resume = self.resume.lock();
+            resume.insert(key.to_string(), *snap);
+            resume.iter().map(|(k, s)| (k.clone(), *s)).collect()
+        };
+        self.metrics.counter(obs_names::STREAM_CHECKPOINTS).incr();
+        let mut checkpoints = self.checkpoints.lock();
+        let Some(store) = checkpoints.as_mut() else {
+            return;
+        };
+        if store.append(key, snap).is_err() {
+            self.metrics.counter(obs_names::STORE_ERRORS).incr();
+        }
+        if store.should_compact() && store.compact(&entries).is_err() {
+            self.metrics.counter(obs_names::STORE_ERRORS).incr();
+        }
+    }
+
+    /// Drops a completed stream's checkpoint: the in-memory resume
+    /// entry and, via a journal tombstone, its durable records. A key
+    /// that never checkpointed is a no-op (no spurious tombstones).
+    fn clear_checkpoint(&self, key: &str) {
+        if self.resume.lock().remove(key).is_none() {
+            return;
+        }
+        let mut checkpoints = self.checkpoints.lock();
+        let Some(store) = checkpoints.as_mut() else {
+            return;
+        };
+        if store.remove(key).is_err() {
+            self.metrics.counter(obs_names::STORE_ERRORS).incr();
+        }
+    }
+
+    /// The live streaming jobs (queued or running) that have folded at
+    /// least one round, sorted by job id — the `status` response's
+    /// streaming section.
+    fn streaming_snapshots(&self) -> Vec<StreamingSnapshot> {
+        let jobs = self.jobs.lock();
+        let mut live: Vec<StreamingSnapshot> = jobs
+            .iter()
+            .filter(|(_, entry)| matches!(entry.state, JobState::Queued | JobState::Running))
+            .filter_map(|(&id, entry)| {
+                entry.latest.map(|s| StreamingSnapshot {
+                    job: id,
+                    samples: s.n,
+                    lower: s.lower,
+                    upper: s.upper,
+                })
+            })
+            .collect();
+        live.sort_by_key(|s| s.job);
+        live
     }
 
     /// Charges one in-flight submission against `peer`'s quota.
@@ -484,10 +591,22 @@ impl ServerHandle {
             }
         }
         if self.shared.compact_on_exit.load(Ordering::SeqCst) {
-            let mut store = self.shared.store.lock();
-            if let Some(store) = store.as_mut() {
-                let entries = self.shared.cache.completed_entries();
-                if store.compact(&entries).is_err() {
+            {
+                let mut store = self.shared.store.lock();
+                if let Some(store) = store.as_mut() {
+                    let entries = self.shared.cache.completed_entries();
+                    if store.compact(&entries).is_err() {
+                        self.shared.metrics.counter(obs_names::STORE_ERRORS).incr();
+                    }
+                }
+            }
+            let live: Vec<(String, SeqSnapshot)> = {
+                let resume = self.shared.resume.lock();
+                resume.iter().map(|(k, s)| (k.clone(), *s)).collect()
+            };
+            let mut checkpoints = self.shared.checkpoints.lock();
+            if let Some(store) = checkpoints.as_mut() {
+                if store.compact(&live).is_err() {
                     self.shared.metrics.counter(obs_names::STORE_ERRORS).incr();
                 }
             }
@@ -516,17 +635,27 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
     let mut store = None;
     let mut recovered = Vec::new();
     let mut recovery = crate::store::RecoveryStats::default();
+    let mut checkpoints = None;
+    let mut resume_entries: Vec<(String, SeqSnapshot)> = Vec::new();
+    let mut checkpoint_recovery = crate::store::RecoveryStats::default();
     if let Some(dir) = &config.state_dir {
         let (opened, entries, stats) = DurableStore::open(dir)?;
         store = Some(opened);
         recovered = entries;
         recovery = stats;
+        let (opened, live, stats) = CheckpointStore::open(dir)?;
+        checkpoints = Some(opened);
+        resume_entries = live;
+        checkpoint_recovery = stats;
     }
+    let stream_recovered = resume_entries.len() as u64;
 
     let shared = Arc::new(Shared {
         jobs: Mutex::new(HashMap::new()),
         cache: ResultCache::new(),
         store: Mutex::new(store),
+        checkpoints: Mutex::new(checkpoints),
+        resume: Mutex::new(resume_entries.into_iter().collect()),
         next_job: AtomicU64::new(0),
         queue_tx: Mutex::new(Some(queue_tx)),
         queue_rx,
@@ -554,7 +683,11 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
     shared
         .metrics
         .counter(obs_names::STORE_TRUNCATED)
-        .add(recovery.truncated);
+        .add(recovery.truncated + checkpoint_recovery.truncated);
+    shared
+        .metrics
+        .counter(obs_names::STREAM_RECOVERED)
+        .add(stream_recovered);
 
     {
         let mut workers = shared.worker_handles.lock();
@@ -776,12 +909,13 @@ fn worker_loop(shared: &Arc<Shared>, rx: &Receiver<(u64, u64)>) {
                         Arc::clone(&entry.cancel),
                         Arc::clone(&entry.heartbeat),
                         entry.deadline,
+                        entry.latest,
                     ))
                 }
                 _ => None,
             }
         };
-        let Some((vjob, cancel, heartbeat, deadline)) = claim else {
+        let Some((vjob, cancel, heartbeat, deadline, resume)) = claim else {
             continue;
         };
         // A deadline that expired while the job sat in the queue fails
@@ -801,6 +935,7 @@ fn worker_loop(shared: &Arc<Shared>, rx: &Receiver<(u64, u64)>) {
                     samples: u.samples,
                     confidence: u.confidence,
                     rounds: u.rounds,
+                    interval: u.interval,
                 },
             );
         };
@@ -810,12 +945,17 @@ fn worker_loop(shared: &Arc<Shared>, rx: &Receiver<(u64, u64)>) {
                 chaos.inject(id, generation, round);
             }
         };
+        let on_checkpoint = |snap: &SeqSnapshot| {
+            shared.record_checkpoint(id, generation, &vjob.key, snap);
+        };
         let ctx = ExecContext {
             threads: shared.job_threads,
             cancel: &cancel,
             deadline,
             tick: &tick,
             progress: &progress,
+            resume,
+            on_checkpoint: Some(&on_checkpoint),
         };
         // Panic isolation: an execution that panics (a simulator bug
         // slipping the sampler's own guard, or an injected chaos kill)
@@ -935,9 +1075,11 @@ fn handle_conn(shared: &Arc<Shared>, stream: &TcpStream) {
                 &Response::Status {
                     stats: shared.snapshot(),
                     metrics: shared.metrics_report(),
+                    streaming: shared.streaming_snapshots(),
                 },
             )
             .is_ok(),
+            Request::Watch { job } => handle_watch(shared, &mut writer, job).is_ok(),
             Request::Metrics => write_message(
                 &mut writer,
                 &Response::Metrics {
@@ -1060,6 +1202,20 @@ fn handle_submit<W: Write>(
                         .map(Duration::from_millis)
                         .or(shared.default_deadline)
                         .map(|d| Instant::now() + d);
+                    // A streaming spec whose key has a journaled
+                    // checkpoint resumes from it instead of restarting
+                    // its seed stream. The map entry is kept (not
+                    // taken): the execution overwrites it at its first
+                    // folded round.
+                    let latest = if matches!(vjob.spec.mode, ModeSpec::Streaming { .. }) {
+                        let resumed = shared.resume.lock().get(&key).copied();
+                        if resumed.is_some() {
+                            shared.metrics.counter(obs_names::STREAM_RESUMED).incr();
+                        }
+                        resumed
+                    } else {
+                        None
+                    };
                     jobs.insert(
                         id,
                         JobEntry {
@@ -1071,6 +1227,7 @@ fn handle_submit<W: Write>(
                             heartbeat: Arc::new(AtomicU64::new(shared.now_ms())),
                             generation: 0,
                             attempts: 1,
+                            latest,
                         },
                     );
                     let sent = match shared.queue_tx.lock().as_ref() {
@@ -1124,28 +1281,105 @@ fn handle_submit<W: Write>(
         }
         Plan::Stream(job) => {
             write_message(writer, &Response::Accepted { job, key })?;
-            loop {
-                match ev_rx.recv_timeout(Duration::from_millis(100)) {
-                    Ok(resp) => {
-                        let terminal =
-                            matches!(resp, Response::Report { .. } | Response::Failed { .. });
-                        write_message(writer, &resp)?;
-                        if terminal {
-                            return Ok(());
-                        }
-                    }
-                    Err(RecvTimeoutError::Timeout) => continue,
-                    Err(RecvTimeoutError::Disconnected) => {
-                        return write_message(
-                            writer,
-                            &Response::Failed {
-                                job,
-                                error: "event stream dropped".to_string(),
-                            },
-                        );
-                    }
+            stream_events(writer, job, &ev_rx)
+        }
+    }
+}
+
+/// Forwards a job's event stream to one client until a terminal event
+/// (report or failure); shared by `submit` and `watch`. The timeout
+/// tick keeps the loop responsive to a dropped channel.
+fn stream_events<W: Write>(
+    writer: &mut W,
+    job: u64,
+    ev_rx: &Receiver<Response>,
+) -> Result<(), crate::ServerError> {
+    loop {
+        match ev_rx.recv_timeout(Duration::from_millis(100)) {
+            Ok(resp) => {
+                let terminal = matches!(resp, Response::Report { .. } | Response::Failed { .. });
+                write_message(writer, &resp)?;
+                if terminal {
+                    return Ok(());
                 }
             }
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => {
+                return write_message(
+                    writer,
+                    &Response::Failed {
+                        job,
+                        error: "event stream dropped".to_string(),
+                    },
+                );
+            }
+        }
+    }
+}
+
+/// What a `watch` request resolved to while the jobs lock was held.
+enum WatchPlan {
+    Missing,
+    Done(JobResult),
+    Failed(String),
+    Stream { prime: Option<Response> },
+}
+
+/// Attaches a client to an existing job's event stream without
+/// resubmitting its spec. Terminal jobs answer immediately (a cached
+/// report or the recorded failure); live streaming jobs are primed
+/// with their latest interval snapshot so the watcher sees the current
+/// state before the next round folds.
+fn handle_watch<W: Write>(
+    shared: &Arc<Shared>,
+    writer: &mut W,
+    job: u64,
+) -> Result<(), crate::ServerError> {
+    let (ev_tx, ev_rx) = unbounded::<Response>();
+    let plan = {
+        let mut jobs = shared.jobs.lock();
+        match jobs.get_mut(&job) {
+            None => WatchPlan::Missing,
+            Some(entry) => match &entry.state {
+                JobState::Done(result) => WatchPlan::Done(result.clone()),
+                JobState::Failed(error) => WatchPlan::Failed(error.clone()),
+                JobState::Queued | JobState::Running => {
+                    let prime = entry.latest.map(|s| Response::Progress {
+                        job,
+                        samples: s.n,
+                        confidence: entry.vjob.spec.confidence,
+                        rounds: s.n.div_ceil(entry.vjob.spec.round_size.max(1)),
+                        interval: Some((s.lower, s.upper)),
+                    });
+                    entry.waiters.push(ev_tx.clone());
+                    WatchPlan::Stream { prime }
+                }
+            },
+        }
+    };
+    drop(ev_tx);
+    match plan {
+        WatchPlan::Missing => write_message(
+            writer,
+            &Response::Failed {
+                job,
+                error: format!("unknown job {job}"),
+            },
+        ),
+        WatchPlan::Done(result) => write_message(
+            writer,
+            &Response::Report {
+                job,
+                cached: true,
+                result,
+            },
+        ),
+        WatchPlan::Failed(error) => write_message(writer, &Response::Failed { job, error }),
+        WatchPlan::Stream { prime } => {
+            if let Some(resp) = prime {
+                write_message(writer, &resp)?;
+            }
+            stream_events(writer, job, &ev_rx)
         }
     }
 }

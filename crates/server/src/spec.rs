@@ -20,6 +20,7 @@ use serde::{Deserialize, Serialize};
 
 use spa_bench::population::{NoiseModel, SystemVariant};
 use spa_core::property::Direction;
+use spa_core::seq::Boundary;
 use spa_sim::metrics::Metric;
 use spa_sim::workload::parsec::Benchmark;
 
@@ -126,10 +127,43 @@ pub enum ModeSpec {
         #[serde(default)]
         robustness: bool,
     },
+    /// An anytime-valid streaming estimate of the proportion of
+    /// executions satisfying `metric direction threshold`: a
+    /// time-uniform confidence sequence ([`spa_core::seq`]) whose live
+    /// interval snapshots ride the progress channel, with early stop at
+    /// a width target, checkpointed preempt/resume, and
+    /// valid-at-deadline semantics (an expiring job reports its current
+    /// interval instead of failing).
+    Streaming {
+        /// Property direction.
+        direction: Direction,
+        /// Property threshold.
+        threshold: f64,
+        /// Which confidence-sequence construction to run (default:
+        /// betting, the tighter of the two).
+        #[serde(default = "default_boundary")]
+        boundary: Boundary,
+        /// Stop early once the interval width is at most this (`None`:
+        /// run to the sample budget — the fixed-`N` mode).
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        target_width: Option<f64>,
+        /// Hard sample budget (default 4096). The interval at the
+        /// budget is still valid — just as wide as the data allows.
+        #[serde(default = "default_max_samples")]
+        max_samples: u64,
+    },
 }
 
 fn default_max_rounds() -> u64 {
     1024
+}
+
+fn default_boundary() -> Boundary {
+    Boundary::Betting
+}
+
+fn default_max_samples() -> u64 {
+    4096
 }
 
 fn default_metric() -> String {
@@ -244,6 +278,20 @@ pub fn canonical_key(spec: &JobSpec) -> String {
                 .unwrap_or_else(|_| formula.clone());
             format!("property:{semantics}:{canonical}")
         }
+        ModeSpec::Streaming {
+            direction,
+            threshold,
+            boundary,
+            target_width,
+            max_samples,
+        } => {
+            let width = target_width.map_or_else(|| "none".to_string(), |w| w.to_string());
+            format!(
+                "streaming:{}:{}:{threshold}:{width}:{max_samples}",
+                boundary.key(),
+                direction_key(*direction)
+            )
+        }
     };
     format!(
         "v1;bench={};system={};noise={};metric={};mode={};c={};f={};seed={};round={};retries={}",
@@ -329,6 +377,26 @@ pub fn validate(spec: JobSpec) -> Result<ValidatedJob, String> {
             }
             if *max_rounds == 0 {
                 return Err("max_rounds must be at least 1".into());
+            }
+        }
+        ModeSpec::Streaming {
+            threshold,
+            target_width,
+            max_samples,
+            ..
+        } => {
+            if !threshold.is_finite() {
+                return Err(format!("threshold `{threshold}` is not finite"));
+            }
+            if let Some(w) = target_width {
+                if !(w.is_finite() && *w > 0.0) {
+                    return Err(format!(
+                        "target_width `{w}` must be a positive finite width"
+                    ));
+                }
+            }
+            if *max_samples == 0 {
+                return Err("max_samples must be at least 1".into());
             }
         }
         ModeSpec::Interval { .. } | ModeSpec::Property { .. } => {}
@@ -495,6 +563,111 @@ mod tests {
         // And a different formula is a different job.
         let d = property_spec("G[0,end](ipc>0.9)");
         assert_ne!(canonical_key(&a), canonical_key(&d));
+    }
+
+    fn streaming_spec() -> JobSpec {
+        JobSpec::new(
+            "blackscholes",
+            ModeSpec::Streaming {
+                direction: Direction::AtMost,
+                threshold: 1.0,
+                boundary: Boundary::Betting,
+                target_width: Some(0.2),
+                max_samples: 512,
+            },
+        )
+    }
+
+    #[test]
+    fn streaming_defaults_apply_on_the_wire() {
+        let json = r#"{"benchmark":"ferret",
+            "mode":{"mode":"streaming","direction":"AtMost","threshold":1.0}}"#;
+        let spec: JobSpec = serde_json::from_str(json).unwrap();
+        assert_eq!(
+            spec.mode,
+            ModeSpec::Streaming {
+                direction: Direction::AtMost,
+                threshold: 1.0,
+                boundary: Boundary::Betting,
+                target_width: None,
+                max_samples: 4096,
+            }
+        );
+        assert!(validate(spec).is_ok());
+    }
+
+    #[test]
+    fn streaming_keys_separate_every_result_affecting_knob() {
+        let base = streaming_spec();
+        let mut other = base.clone();
+        other.mode = ModeSpec::Streaming {
+            direction: Direction::AtMost,
+            threshold: 1.0,
+            boundary: Boundary::Hoeffding,
+            target_width: Some(0.2),
+            max_samples: 512,
+        };
+        assert_ne!(canonical_key(&base), canonical_key(&other));
+        let mut other = base.clone();
+        other.mode = ModeSpec::Streaming {
+            direction: Direction::AtMost,
+            threshold: 1.0,
+            boundary: Boundary::Betting,
+            target_width: None,
+            max_samples: 512,
+        };
+        assert_ne!(canonical_key(&base), canonical_key(&other));
+        let mut other = base.clone();
+        other.mode = ModeSpec::Streaming {
+            direction: Direction::AtMost,
+            threshold: 1.0,
+            boundary: Boundary::Betting,
+            target_width: Some(0.2),
+            max_samples: 1024,
+        };
+        assert_ne!(canonical_key(&base), canonical_key(&other));
+        // And streaming never aliases a hypothesis job at the same
+        // threshold.
+        let mut other = base.clone();
+        other.mode = ModeSpec::Hypothesis {
+            direction: Direction::AtMost,
+            threshold: 1.0,
+            max_rounds: 1024,
+        };
+        assert_ne!(canonical_key(&base), canonical_key(&other));
+    }
+
+    #[test]
+    fn streaming_validation_rejects_bad_parameters() {
+        let mut s = streaming_spec();
+        s.mode = ModeSpec::Streaming {
+            direction: Direction::AtMost,
+            threshold: f64::NAN,
+            boundary: Boundary::Betting,
+            target_width: None,
+            max_samples: 512,
+        };
+        assert!(validate(s).unwrap_err().contains("finite"));
+
+        let mut s = streaming_spec();
+        s.mode = ModeSpec::Streaming {
+            direction: Direction::AtMost,
+            threshold: 1.0,
+            boundary: Boundary::Betting,
+            target_width: Some(0.0),
+            max_samples: 512,
+        };
+        assert!(validate(s).unwrap_err().contains("target_width"));
+
+        let mut s = streaming_spec();
+        s.mode = ModeSpec::Streaming {
+            direction: Direction::AtMost,
+            threshold: 1.0,
+            boundary: Boundary::Betting,
+            target_width: None,
+            max_samples: 0,
+        };
+        assert!(validate(s).unwrap_err().contains("max_samples"));
     }
 
     #[test]

@@ -7,6 +7,13 @@
 //! * `journal.spastore` — an append-only log of results completed since
 //!   that snapshot; one record is appended (and flushed) per published
 //!   `JobResult`.
+//! * `checkpoints.spastore` — the streaming-job checkpoint journal
+//!   ([`CheckpointStore`]): one record per folded round carrying the
+//!   job's latest [`SeqSnapshot`], plus tombstones once a stream
+//!   completes. Same framing, same recovery discipline; replay applies
+//!   last-wins and tombstones, so a `kill -9` mid-stream loses at most
+//!   the in-flight round and the job resumes from the previous one —
+//!   which is statistically free for an anytime-valid run.
 //!
 //! Both files share one format: a 12-byte header (`b"SPASTORE"` magic +
 //! little-endian [`STORE_VERSION`]) followed by length-prefixed records
@@ -39,7 +46,10 @@ use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
+use serde::de::DeserializeOwned;
 use serde::{Deserialize, Serialize};
+
+use spa_core::seq::SeqSnapshot;
 
 use crate::protocol::JobResult;
 
@@ -106,13 +116,13 @@ pub struct RecoveryStats {
 
 /// What reading one store file yielded: the valid record prefix, the
 /// byte offset it ends at, and whether anything after it was discarded.
-struct FileScan {
-    records: Vec<Record>,
+struct FileScan<R> {
+    records: Vec<R>,
     valid_len: u64,
     discarded_tail: bool,
 }
 
-fn scan_file(path: &Path) -> io::Result<Option<FileScan>> {
+fn scan_file<R: DeserializeOwned>(path: &Path) -> io::Result<Option<FileScan<R>>> {
     let bytes = match fs::read(path) {
         Ok(bytes) => bytes,
         Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
@@ -153,7 +163,7 @@ fn scan_file(path: &Path) -> io::Result<Option<FileScan>> {
             discarded_tail = true;
             break;
         }
-        match serde_json::from_slice::<Record>(payload) {
+        match serde_json::from_slice::<R>(payload) {
             Ok(record) => records.push(record),
             Err(_) => {
                 discarded_tail = true;
@@ -181,12 +191,8 @@ fn write_record(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
     w.write_all(payload)
 }
 
-fn encode(key: &str, result: &JobResult) -> io::Result<Vec<u8>> {
-    serde_json::to_vec(&Record {
-        key: key.to_string(),
-        result: result.clone(),
-    })
-    .map_err(io::Error::other)
+fn encode<T: Serialize>(record: &T) -> io::Result<Vec<u8>> {
+    serde_json::to_vec(record).map_err(io::Error::other)
 }
 
 /// The append-only durable result store (snapshot + journal).
@@ -224,13 +230,13 @@ impl DurableStore {
         let mut stats = RecoveryStats::default();
         let mut entries: Vec<(String, JobResult)> = Vec::new();
 
-        if let Some(scan) = scan_file(&snapshot_path)? {
+        if let Some(scan) = scan_file::<Record>(&snapshot_path)? {
             stats.replayed += scan.records.len() as u64;
             stats.truncated += u64::from(scan.discarded_tail);
             entries.extend(scan.records.into_iter().map(|r| (r.key, r.result)));
         }
 
-        let journal_scan = scan_file(&journal_path)?;
+        let journal_scan = scan_file::<Record>(&journal_path)?;
         let mut journal = OpenOptions::new()
             .read(true)
             .write(true)
@@ -290,7 +296,10 @@ impl DurableStore {
     /// records stay readable either way (a partial append is cut off at
     /// the next recovery).
     pub fn append(&mut self, key: &str, result: &JobResult) -> io::Result<()> {
-        let payload = encode(key, result)?;
+        let payload = encode(&Record {
+            key: key.to_string(),
+            result: result.clone(),
+        })?;
         write_record(&mut self.journal, &payload)?;
         self.journal.flush()?;
         self.journal_records += 1;
@@ -321,7 +330,10 @@ impl DurableStore {
             let mut f = File::create(&tmp)?;
             write_header(&mut f)?;
             for (key, result) in entries {
-                let payload = encode(key, result)?;
+                let payload = encode(&Record {
+                    key: key.to_string(),
+                    result: result.clone(),
+                })?;
                 write_record(&mut f, &payload)?;
             }
             f.sync_all()?;
@@ -341,6 +353,193 @@ impl DurableStore {
     /// Records appended to the journal since the last compaction.
     pub fn journal_records(&self) -> u64 {
         self.journal_records
+    }
+}
+
+/// One journaled streaming checkpoint: canonical key plus the latest
+/// anytime state, or a tombstone (`state: None`) once the stream
+/// finished and its checkpoint is dead.
+#[derive(Debug, Serialize, Deserialize)]
+struct CheckpointRecord {
+    key: String,
+    state: Option<SeqSnapshot>,
+}
+
+/// The streaming-job checkpoint journal (`checkpoints.spastore`).
+///
+/// A single append-only file in the [`DurableStore`] framing: one
+/// record per folded round with the job's latest [`SeqSnapshot`], and a
+/// tombstone when the job completes. Recovery replays last-wins and
+/// applies tombstones, so [`open`](CheckpointStore::open) hands back
+/// exactly the streams that died mid-flight — the server resumes their
+/// suffixes through [`spa_core::seq::AnytimeRun::resume`] without
+/// bias. Compaction rewrites the file to the live set via tempfile +
+/// atomic rename.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    path: PathBuf,
+    file: File,
+    /// Raw records in the file (checkpoints + tombstones), seeded from
+    /// recovery.
+    records: u64,
+    compact_threshold: u64,
+}
+
+impl CheckpointStore {
+    /// Opens (creating if necessary) the checkpoint journal under
+    /// `state_dir` and recovers the latest state of every stream that
+    /// has a live (non-tombstoned) checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation and file I/O failures; corrupt
+    /// contents surface as truncation in the returned
+    /// [`RecoveryStats`], exactly like [`DurableStore::open`].
+    pub fn open(
+        state_dir: impl AsRef<Path>,
+    ) -> io::Result<(Self, Vec<(String, SeqSnapshot)>, RecoveryStats)> {
+        let dir = state_dir.as_ref();
+        fs::create_dir_all(dir)?;
+        let path = dir.join("checkpoints.spastore");
+        let mut stats = RecoveryStats::default();
+        let scan = scan_file::<CheckpointRecord>(&path)?;
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let mut latest: Vec<(String, Option<SeqSnapshot>)> = Vec::new();
+        let records = match scan {
+            Some(scan) => {
+                stats.replayed += scan.records.len() as u64;
+                stats.truncated += u64::from(scan.discarded_tail);
+                let count = scan.records.len() as u64;
+                for record in scan.records {
+                    match latest.iter_mut().find(|(k, _)| *k == record.key) {
+                        Some((_, state)) => *state = record.state,
+                        None => latest.push((record.key, record.state)),
+                    }
+                }
+                if scan.valid_len < HEADER_LEN {
+                    file.set_len(0)?;
+                    file.seek(SeekFrom::Start(0))?;
+                    write_header(&mut file)?;
+                } else if scan.discarded_tail {
+                    file.set_len(scan.valid_len)?;
+                }
+                count
+            }
+            None => {
+                write_header(&mut file)?;
+                0
+            }
+        };
+        file.seek(SeekFrom::End(0))?;
+        file.flush()?;
+        let live = latest
+            .into_iter()
+            .filter_map(|(key, state)| state.map(|s| (key, s)))
+            .collect();
+        Ok((
+            CheckpointStore {
+                path,
+                file,
+                records,
+                compact_threshold: DEFAULT_COMPACT_THRESHOLD,
+            },
+            live,
+            stats,
+        ))
+    }
+
+    /// Overrides the automatic-compaction threshold (raw records in the
+    /// file between compactions).
+    pub fn with_compact_threshold(mut self, records: u64) -> Self {
+        self.compact_threshold = records.max(1);
+        self
+    }
+
+    /// Journals one round's checkpoint and flushes it. Later records
+    /// for the same key win at recovery.
+    ///
+    /// # Errors
+    ///
+    /// Serialization or file I/O failure; previous records stay
+    /// readable either way.
+    pub fn append(&mut self, key: &str, state: &SeqSnapshot) -> io::Result<()> {
+        self.write(CheckpointRecord {
+            key: key.to_string(),
+            state: Some(*state),
+        })
+    }
+
+    /// Journals a tombstone: the stream completed and must not be
+    /// resumed again.
+    ///
+    /// # Errors
+    ///
+    /// Serialization or file I/O failure.
+    pub fn remove(&mut self, key: &str) -> io::Result<()> {
+        self.write(CheckpointRecord {
+            key: key.to_string(),
+            state: None,
+        })
+    }
+
+    fn write(&mut self, record: CheckpointRecord) -> io::Result<()> {
+        let payload = encode(&record)?;
+        write_record(&mut self.file, &payload)?;
+        self.file.flush()?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Whether the journal has grown past the compaction threshold.
+    pub fn should_compact(&self) -> bool {
+        self.records >= self.compact_threshold
+    }
+
+    /// Rewrites the file to exactly the live `entries` (tempfile +
+    /// atomic rename), squashing per-round duplicates and tombstones.
+    ///
+    /// # Errors
+    ///
+    /// File I/O failure; on error the previous file is still intact.
+    pub fn compact(&mut self, entries: &[(String, SeqSnapshot)]) -> io::Result<()> {
+        let tmp = self
+            .path
+            .with_extension(format!("spastore.tmp.{}", std::process::id()));
+        {
+            let mut f = File::create(&tmp)?;
+            write_header(&mut f)?;
+            for (key, state) in entries {
+                let payload = encode(&CheckpointRecord {
+                    key: key.clone(),
+                    state: Some(*state),
+                })?;
+                write_record(&mut f, &payload)?;
+            }
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &self.path)?;
+        // The old handle points at the replaced inode; reopen so the
+        // next append lands in the new file.
+        let mut file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        file.seek(SeekFrom::End(0))?;
+        self.file = file;
+        self.records = entries.len() as u64;
+        Ok(())
+    }
+
+    /// The journal's path (tests corrupt it directly).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Raw records currently in the file (checkpoints + tombstones).
+    pub fn records(&self) -> u64 {
+        self.records
     }
 }
 
@@ -524,5 +723,88 @@ mod tests {
         assert!(store.should_compact());
         store.compact(&[]).unwrap();
         assert!(!store.should_compact());
+    }
+
+    fn snap(n: u64) -> SeqSnapshot {
+        SeqSnapshot {
+            n,
+            successes: n / 2,
+            lower: 0.2,
+            upper: 0.8,
+        }
+    }
+
+    #[test]
+    fn checkpoint_last_write_wins_and_tombstones_apply() {
+        let dir = tmp_dir("ckpt-roundtrip");
+        {
+            let (mut store, live, stats) = CheckpointStore::open(&dir).unwrap();
+            assert!(live.is_empty());
+            assert_eq!(stats, RecoveryStats::default());
+            store.append("s1", &snap(8)).unwrap();
+            store.append("s2", &snap(8)).unwrap();
+            store.append("s1", &snap(16)).unwrap();
+            // s2 completed: its checkpoint dies.
+            store.remove("s2").unwrap();
+        }
+        let (store, live, stats) = CheckpointStore::open(&dir).unwrap();
+        assert_eq!(stats.replayed, 4);
+        assert_eq!(stats.truncated, 0);
+        assert_eq!(store.records(), 4);
+        assert_eq!(live, vec![("s1".to_string(), snap(16))]);
+    }
+
+    #[test]
+    fn checkpoint_torn_tail_loses_only_the_last_round() {
+        let dir = tmp_dir("ckpt-torn");
+        let path = {
+            let (mut store, _, _) = CheckpointStore::open(&dir).unwrap();
+            store.append("s1", &snap(8)).unwrap();
+            store.append("s1", &snap(16)).unwrap();
+            store.path().to_path_buf()
+        };
+        // Tear the final record: its length prefix survives, its
+        // payload doesn't.
+        let bytes = read_raw(&path);
+        fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let (mut store, live, stats) = CheckpointStore::open(&dir).unwrap();
+        assert_eq!(stats.truncated, 1);
+        assert_eq!(
+            live,
+            vec![("s1".to_string(), snap(8))],
+            "the stream resumes from the previous round"
+        );
+        // The truncated journal accepts new appends cleanly.
+        store.append("s1", &snap(16)).unwrap();
+        let (_, live, stats) = CheckpointStore::open(&dir).unwrap();
+        assert_eq!(stats.truncated, 0);
+        assert_eq!(live, vec![("s1".to_string(), snap(16))]);
+    }
+
+    #[test]
+    fn checkpoint_compaction_squashes_rounds_and_survives_reopen() {
+        let dir = tmp_dir("ckpt-compact");
+        {
+            let (store, _, _) = CheckpointStore::open(&dir).unwrap();
+            let mut store = store.with_compact_threshold(3);
+            store.append("s1", &snap(8)).unwrap();
+            store.append("s1", &snap(16)).unwrap();
+            assert!(!store.should_compact());
+            store.append("s2", &snap(8)).unwrap();
+            assert!(store.should_compact());
+            store
+                .compact(&[("s1".into(), snap(16)), ("s2".into(), snap(8))])
+                .unwrap();
+            assert_eq!(store.records(), 2);
+            assert!(!store.should_compact());
+            // Post-compaction appends land in the new file.
+            store.append("s2", &snap(16)).unwrap();
+        }
+        let (_, live, stats) = CheckpointStore::open(&dir).unwrap();
+        assert_eq!(stats.replayed, 3, "two compacted entries + one append");
+        assert_eq!(
+            live,
+            vec![("s1".to_string(), snap(16)), ("s2".to_string(), snap(16))]
+        );
     }
 }

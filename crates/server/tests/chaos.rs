@@ -18,12 +18,13 @@ use std::sync::atomic::AtomicBool;
 use std::time::{Duration, Instant};
 
 use spa_core::property::Direction;
+use spa_core::seq::Boundary;
 use spa_server::chaos::ChaosSpec;
 use spa_server::client;
 use spa_server::exec::{self, ExecContext, ProgressUpdate};
 use spa_server::obs_names;
 use spa_server::spec::{validate, JobSpec, ModeSpec, NoiseSpec};
-use spa_server::{start, JobResult, Request, ServerConfig, ServerError};
+use spa_server::{start, JobResult, Request, Response, ServerConfig, ServerError};
 
 fn config(workers: usize, queue_depth: usize) -> ServerConfig {
     ServerConfig {
@@ -40,6 +41,31 @@ fn interval_spec(seed_start: u64) -> JobSpec {
         noise: NoiseSpec::Jitter { max_cycles: 2 },
         seed_start,
         round_size: 8,
+        ..JobSpec::new(
+            "blackscholes",
+            ModeSpec::Interval {
+                direction: Direction::AtMost,
+            },
+        )
+    }
+}
+
+/// A streaming job over a threshold every execution satisfies: the
+/// betting interval narrows toward 1 and hits the width target at a
+/// deterministic, seed-independent sample count (a few hundred rounds
+/// of 8), leaving a wide window to kill the server mid-stream.
+fn streaming_spec(seed_start: u64) -> JobSpec {
+    JobSpec {
+        noise: NoiseSpec::Jitter { max_cycles: 0 },
+        seed_start,
+        round_size: 8,
+        mode: ModeSpec::Streaming {
+            direction: Direction::AtMost,
+            threshold: 1e6,
+            boundary: Boundary::Betting,
+            target_width: Some(0.02),
+            max_samples: 4096,
+        },
         ..JobSpec::new(
             "blackscholes",
             ModeSpec::Interval {
@@ -95,8 +121,103 @@ fn direct_result(spec: &JobSpec) -> JobResult {
         deadline: None,
         tick: &|_| (),
         progress: &progress,
+        resume: None,
+        on_checkpoint: None,
     };
     exec::execute(&vjob, &ctx).expect("direct execution succeeds")
+}
+
+#[test]
+fn killed_server_resumes_a_streaming_job_without_bias() {
+    let dir = state_dir("stream-resume");
+    let spec = streaming_spec(44_000);
+
+    // Phase 1: kill the server (abort, like the crash-restart test's
+    // simulated kill -9 — no compaction, no goodbye) once at least two
+    // round checkpoints have been journaled. Waiting for the second
+    // guarantees the first record's append+flush fully returned, so the
+    // kill can tear at most the in-flight tail record.
+    let submitter = {
+        let handle = start(ServerConfig {
+            state_dir: Some(dir.clone()),
+            ..config(1, 8)
+        })
+        .unwrap();
+        let addr = handle.addr().to_string();
+        let submitter = {
+            let addr = addr.clone();
+            let spec = spec.clone();
+            std::thread::spawn(move || client::submit(&addr, &spec, |_| {}))
+        };
+        assert!(
+            wait_for(Duration::from_secs(30), || {
+                handle
+                    .metrics()
+                    .counter(obs_names::STREAM_CHECKPOINTS)
+                    .unwrap_or(0)
+                    >= 2
+            }),
+            "no round checkpoint was ever journaled"
+        );
+        handle.abort();
+        submitter
+    };
+    assert!(
+        submitter.join().unwrap().is_err(),
+        "the killed stream must surface an error to its client"
+    );
+
+    // Phase 2: restart on the same state dir and resubmit the identical
+    // spec — it must resume from the recovered checkpoint, not restart.
+    let handle = start(ServerConfig {
+        state_dir: Some(dir.clone()),
+        ..config(1, 8)
+    })
+    .unwrap();
+    assert!(
+        handle
+            .metrics()
+            .counter(obs_names::STREAM_RECOVERED)
+            .unwrap_or(0)
+            >= 1,
+        "restart must recover the journaled stream state"
+    );
+    let addr = handle.addr().to_string();
+    let mut first_event_samples = None;
+    let outcome = client::submit(&addr, &spec, |event| {
+        if let Response::Progress { samples, .. } = event {
+            first_event_samples.get_or_insert(*samples);
+        }
+    })
+    .unwrap();
+    assert!(
+        !outcome.cached,
+        "a preempted stream resumes, it isn't cached"
+    );
+    assert_eq!(
+        handle.metrics().counter(obs_names::STREAM_RESUMED),
+        Some(1),
+        "the resubmission must pick up the checkpoint"
+    );
+    assert!(
+        first_event_samples.unwrap_or(0) >= 16,
+        "the resumed stream continues past the checkpoint instead of \
+         restarting from n=0: first event at n={first_event_samples:?}"
+    );
+
+    // The bias-free contract: kill + resume lands on the exact result of
+    // an uninterrupted run stopped at the same width target.
+    assert_eq!(
+        json(&outcome.result),
+        json(&direct_result(&spec)),
+        "resumed stream must be byte-identical to an undisturbed run"
+    );
+    let JobResult::Streaming { report } = &outcome.result else {
+        panic!("streaming job must return a streaming result");
+    };
+    assert!(report.width() <= 0.02, "{report:?}");
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

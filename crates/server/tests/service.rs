@@ -5,13 +5,17 @@
 //! uses. Seed starts are unique per test so the shared on-disk
 //! population cache never couples them.
 
+use std::io::{BufRead, BufReader, Write};
 use std::time::{Duration, Instant};
 
 use spa_core::property::Direction;
+use spa_core::seq::{Boundary, StopReason};
 use spa_core::spa::Spa;
 use spa_server::client;
 use spa_server::spec::{JobSpec, ModeSpec, NoiseSpec};
-use spa_server::{start, JobResult, RejectReason, ServerConfig, ServerError, ServerStats};
+use spa_server::{
+    start, JobResult, RejectReason, Response, ServerConfig, ServerError, ServerStats,
+};
 
 fn config(workers: usize, queue_depth: usize) -> ServerConfig {
     ServerConfig {
@@ -28,6 +32,29 @@ fn interval_spec(seed_start: u64) -> JobSpec {
         noise: NoiseSpec::Jitter { max_cycles: 2 },
         seed_start,
         round_size: 8,
+        ..JobSpec::new(
+            "blackscholes",
+            ModeSpec::Interval {
+                direction: Direction::AtMost,
+            },
+        )
+    }
+}
+
+/// A streaming (anytime-valid) job over a threshold every execution
+/// satisfies, so the interval shrinks toward 1 deterministically.
+fn streaming_spec(seed_start: u64, target_width: Option<f64>, max_samples: u64) -> JobSpec {
+    JobSpec {
+        noise: NoiseSpec::Jitter { max_cycles: 0 },
+        seed_start,
+        round_size: 8,
+        mode: ModeSpec::Streaming {
+            direction: Direction::AtMost,
+            threshold: 1e6,
+            boundary: Boundary::Betting,
+            target_width,
+            max_samples,
+        },
         ..JobSpec::new(
             "blackscholes",
             ModeSpec::Interval {
@@ -430,6 +457,143 @@ fn per_client_quota_rejects_excess_in_flight_submissions() {
         outcome.unwrap().result,
         JobResult::Interval { .. }
     ));
+    handle.shutdown();
+}
+
+#[test]
+fn streaming_job_streams_shrinking_intervals_and_early_stops() {
+    let handle = start(config(2, 8)).unwrap();
+    let addr = handle.addr().to_string();
+    let spec = streaming_spec(41_500, Some(0.5), 4096);
+    let mut widths: Vec<f64> = Vec::new();
+    let outcome = client::submit(&addr, &spec, |event| {
+        if let Response::Progress {
+            interval: Some((lo, hi)),
+            ..
+        } = event
+        {
+            widths.push(hi - lo);
+        }
+    })
+    .unwrap();
+    let JobResult::Streaming { report } = &outcome.result else {
+        panic!("streaming job must return a streaming result");
+    };
+    assert_eq!(report.stop, StopReason::TargetWidth);
+    assert!(report.width() <= 0.5, "{report:?}");
+    assert!(
+        report.samples < 4096,
+        "the width target must stop the stream long before the cap"
+    );
+    assert!(!widths.is_empty(), "intervals stream live");
+    for pair in widths.windows(2) {
+        assert!(
+            pair[1] <= pair[0] + 1e-12,
+            "emitted widths shrink monotonically: {widths:?}"
+        );
+    }
+    // A watch of the finished job answers immediately with the report.
+    let watched = client::watch(&addr, outcome.job, |_| true).unwrap();
+    assert_eq!(watched.result.as_ref(), Some(&outcome.result));
+    handle.shutdown();
+}
+
+#[test]
+fn status_surfaces_the_latest_streaming_interval_snapshot() {
+    let handle = start(config(1, 8)).unwrap();
+    let addr = handle.addr().to_string();
+    // A stream with an unreachable cap stays live until cancelled.
+    let submitter = {
+        let addr = addr.clone();
+        let spec = streaming_spec(41_600, None, 10_000_000);
+        std::thread::spawn(move || client::submit(&addr, &spec, |_| {}))
+    };
+    let mut snap = None;
+    assert!(
+        wait_for(Duration::from_secs(20), || {
+            let report = client::status_report(&addr).unwrap();
+            match report.streaming.first() {
+                Some(s) => {
+                    snap = Some(*s);
+                    true
+                }
+                None => false,
+            }
+        }),
+        "status never surfaced a streaming snapshot"
+    );
+    let snap = snap.unwrap();
+    assert!(snap.samples > 0 && snap.samples % 8 == 0, "{snap:?}");
+    assert!(
+        0.0 <= snap.lower && snap.lower <= snap.upper && snap.upper <= 1.0,
+        "{snap:?}"
+    );
+    // A watcher attaching mid-stream is primed with the latest snapshot
+    // and may detach at any time — the interval it saw is already valid.
+    let watched = client::watch(&addr, snap.job, |_| false).unwrap();
+    assert!(watched.result.is_none());
+    assert_eq!(watched.progress_events, 1);
+    handle.cancel_all();
+    assert!(matches!(
+        submitter.join().unwrap(),
+        Err(ServerError::JobFailed(_))
+    ));
+    handle.shutdown();
+}
+
+#[test]
+fn watch_of_an_unknown_job_fails_typed() {
+    let handle = start(config(1, 4)).unwrap();
+    let addr = handle.addr().to_string();
+    match client::watch(&addr, 777, |_| true).unwrap_err() {
+        ServerError::JobFailed(msg) => assert!(msg.contains("unknown job"), "{msg}"),
+        other => panic!("expected a job failure, got {other}"),
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn old_client_wire_lines_round_trip_with_a_new_server() {
+    let handle = start(config(1, 4)).unwrap();
+    let stream = std::net::TcpStream::connect(handle.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut writer = &stream;
+    // Exactly the request line a pre-streaming client sends: the spec
+    // carries no streaming-era fields.
+    let spec_json = serde_json::to_string(&interval_spec(41_700)).unwrap();
+    assert!(!spec_json.contains("streaming"), "{spec_json}");
+    writeln!(writer, "{{\"type\":\"submit\",\"spec\":{spec_json}}}").unwrap();
+    let mut reader = BufReader::new(&stream);
+    let mut line = String::new();
+    let mut saw_report = false;
+    loop {
+        line.clear();
+        assert!(reader.read_line(&mut line).unwrap() > 0, "server hung up");
+        let v: serde_json::Value = serde_json::from_str(line.trim()).unwrap();
+        match v["type"].as_str().unwrap() {
+            "accepted" => {}
+            // Fixed-N progress lines elide the `interval` key entirely,
+            // so an old client's strict parser sees its exact old shape.
+            "progress" => assert!(v.get("interval").is_none(), "{v}"),
+            "report" => {
+                assert_eq!(v["result"]["kind"], "interval", "{v}");
+                saw_report = true;
+                break;
+            }
+            other => panic!("unexpected wire line {other}: {v}"),
+        }
+    }
+    assert!(saw_report);
+    // The status response elides its streaming section when empty, so
+    // the old status shape survives byte-for-byte too.
+    writeln!(writer, "{{\"type\":\"status\"}}").unwrap();
+    line.clear();
+    assert!(reader.read_line(&mut line).unwrap() > 0);
+    let v: serde_json::Value = serde_json::from_str(line.trim()).unwrap();
+    assert_eq!(v["type"], "status");
+    assert!(v.get("streaming").is_none(), "{v}");
     handle.shutdown();
 }
 

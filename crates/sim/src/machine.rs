@@ -931,7 +931,10 @@ mod tests {
             .trace()
             .value_at("ipc", data.trace().end_time())
             .unwrap();
-        assert!((end_ipc - r.metrics.ipc).abs() < 0.25, "ipc close to metric");
+        assert!(
+            (end_ipc - r.metrics.ipc).abs() < 0.25,
+            "ipc close to metric"
+        );
         // Untraced runs return None.
         let m2 = Machine::new(single_thread_config(), &w).unwrap();
         assert!(m2.run(0).unwrap().stl_data.is_none());

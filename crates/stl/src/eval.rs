@@ -384,8 +384,8 @@ mod tests {
     #[test]
     fn interval_bounds_past_end_of_trace_clamp() {
         let t = trace(); // end_time() = 20, x holds 4 from 20 on.
-        // Window [50,100] lies entirely past the trace end; it clamps to
-        // the single instant 50, where x's held value is 4.
+                         // Window [50,100] lies entirely past the trace end; it clamps to
+                         // the single instant 50, where x's held value is 4.
         assert!(satisfies(&parse("G[50,100] x < 5").unwrap(), &t, 0).unwrap());
         assert!(!satisfies(&parse("F[50,100] x > 5").unwrap(), &t, 0).unwrap());
         assert_eq!(

@@ -93,12 +93,20 @@ pub(crate) fn tokenize(src: &str) -> Result<Vec<Token>> {
                 i += 1;
             }
             '&' => {
-                let len = if bytes.get(i + 1) == Some(&b'&') { 2 } else { 1 };
+                let len = if bytes.get(i + 1) == Some(&b'&') {
+                    2
+                } else {
+                    1
+                };
                 push(TokenKind::And, pos, len);
                 i += len;
             }
             '|' => {
-                let len = if bytes.get(i + 1) == Some(&b'|') { 2 } else { 1 };
+                let len = if bytes.get(i + 1) == Some(&b'|') {
+                    2
+                } else {
+                    1
+                };
                 push(TokenKind::Or, pos, len);
                 i += len;
             }
