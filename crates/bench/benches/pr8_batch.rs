@@ -1,0 +1,22 @@
+//! PR 8 bench: the batch-of-machines population engine vs the
+//! sequential per-seed loop.
+//!
+//! A plain `main` (no criterion) so the CI bench-smoke job can run it in
+//! seconds: `cargo bench -p spa-bench --bench pr8_batch`. Emits
+//! `BENCH_pr8.json` at the workspace root; the measurement itself lives
+//! in [`spa_bench::batch_bench`] so the test suite's quick smoke run and
+//! this full run share one code path (including the byte-identity
+//! cross-check that runs before any timing).
+
+use spa_bench::batch_bench;
+
+fn main() {
+    let report = batch_bench::measure(64, 3);
+    let path = batch_bench::default_path();
+    batch_bench::write_json(&report, &path).expect("write BENCH_pr8.json");
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&report).expect("report serializes")
+    );
+    eprintln!("wrote {}", path.display());
+}

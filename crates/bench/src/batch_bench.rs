@@ -1,0 +1,173 @@
+//! The PR 8 perf measurement: what the batch-of-machines population
+//! engine buys over the sequential per-seed loop, written to
+//! `BENCH_pr8.json` at the workspace root.
+//!
+//! The workload is a quarter-scale blackscholes population on the
+//! Table 2 machine, fixed seeds. Two costs are measured:
+//!
+//! * the sequential path — `run_population_batch` pinned to one job,
+//!   which is exactly the pre-PR per-seed loop (construct the machine
+//!   once, run each seed in order on the calling thread),
+//! * the batched path — the same call fanned across
+//!   [`available_jobs`] workers through the claim-by-index engine.
+//!
+//! The headline is `speedup` — sequential wall-clock over batched
+//! wall-clock for the same population. Before timing anything,
+//! [`measure`] cross-checks the tentpole's determinism contract the way
+//! the PR 3/4/5 harnesses do: the batched population must be *equal*
+//! (not just statistically alike) to the sequential one at every job
+//! count it times, so a measured speedup can never come from computing
+//! something different.
+//!
+//! Like the earlier baselines, the same measurement runs three ways:
+//! the `pr8_batch` bench binary, the CI bench-smoke job (which
+//! validates the schema, enforces the ≥2× floor, and uploads the
+//! JSON), and a quick smoke test so `cargo test` exercises the
+//! harness.
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use spa_sim::batch::{available_jobs, run_population_batch};
+use spa_sim::config::SystemConfig;
+use spa_sim::workload::parsec::Benchmark;
+
+/// Measured PR 8 batch-engine numbers (serialized as `BENCH_pr8.json`).
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Pr8Report {
+    /// Harness identifier.
+    pub bench: &'static str,
+    /// Population size per timed pass (seeds `0..samples`).
+    pub samples: u64,
+    /// Worker count used for the batched path.
+    pub jobs: usize,
+    /// Timed passes per path; the fastest pass is reported.
+    pub passes: u32,
+    /// Fastest sequential (one-job) pass, milliseconds.
+    pub sequential_total_ms: f64,
+    /// Fastest batched pass at `jobs` workers, milliseconds.
+    pub batched_total_ms: f64,
+    /// Samples per second through the sequential path.
+    pub sequential_samples_per_sec: f64,
+    /// Samples per second through the batched path.
+    pub batched_samples_per_sec: f64,
+    /// `sequential_total_ms / batched_total_ms` — the PR's headline:
+    /// what fanning one population across the pool buys.
+    pub speedup: f64,
+}
+
+/// One timed pass over the fixed population; returns seconds.
+fn timed_pass(count: u64, jobs: usize) -> f64 {
+    let spec = Benchmark::Blackscholes.workload_scaled(0.25);
+    let start = Instant::now();
+    let population = run_population_batch(SystemConfig::table2(), &spec, 0, count, jobs)
+        .expect("benchmark population");
+    let secs = start.elapsed().as_secs_f64();
+    assert_eq!(population.len() as u64, count, "short population");
+    secs
+}
+
+/// Runs the measurement: cross-checks batched-vs-sequential equality on
+/// the Table 2 blackscholes population, then times `passes` full
+/// populations per path (sequential = one job, batched =
+/// [`available_jobs`] workers, floor two) and keeps each path's fastest
+/// pass.
+///
+/// Panics on simulator errors and on any cross-check disagreement —
+/// this is a bench harness with a known-valid fixed configuration.
+pub fn measure(count: u64, passes: u32) -> Pr8Report {
+    assert!(count > 0 && passes > 0, "empty measurement");
+    let jobs = available_jobs().max(2);
+    let spec = Benchmark::Blackscholes.workload_scaled(0.25);
+
+    // Cross-check before timing: the tentpole's byte-identity contract.
+    // A speedup over a *different* computation would be meaningless.
+    let sequential = run_population_batch(SystemConfig::table2(), &spec, 0, count, 1)
+        .expect("sequential population");
+    for candidate_jobs in [2, jobs] {
+        let batched = run_population_batch(SystemConfig::table2(), &spec, 0, count, candidate_jobs)
+            .expect("batched population");
+        assert_eq!(
+            sequential, batched,
+            "batched population diverged at {candidate_jobs} jobs"
+        );
+    }
+
+    let fastest = |jobs: usize| {
+        (0..passes)
+            .map(|_| timed_pass(count, jobs))
+            .fold(f64::INFINITY, f64::min)
+    };
+    let sequential_secs = fastest(1);
+    let batched_secs = fastest(jobs);
+
+    Pr8Report {
+        bench: "pr8_batch",
+        samples: count,
+        jobs,
+        passes,
+        sequential_total_ms: sequential_secs * 1e3,
+        batched_total_ms: batched_secs * 1e3,
+        sequential_samples_per_sec: count as f64 / sequential_secs.max(1e-9),
+        batched_samples_per_sec: count as f64 / batched_secs.max(1e-9),
+        speedup: sequential_secs / batched_secs.max(1e-9),
+    }
+}
+
+/// The canonical output location: `BENCH_pr8.json` at the workspace
+/// root, next to `Cargo.toml`.
+pub fn default_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pr8.json")
+}
+
+/// Serializes `report` as pretty JSON (with a trailing newline) to
+/// `path`.
+///
+/// # Errors
+///
+/// I/O failures writing the file.
+pub fn write_json(report: &Pr8Report, path: &Path) -> std::io::Result<()> {
+    let mut text = serde_json::to_string_pretty(report).expect("report serializes");
+    text.push('\n');
+    std::fs::write(path, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_serializes_with_required_fields() {
+        let report = Pr8Report {
+            bench: "pr8_batch",
+            samples: 64,
+            jobs: 8,
+            passes: 3,
+            sequential_total_ms: 800.0,
+            batched_total_ms: 150.0,
+            sequential_samples_per_sec: 80.0,
+            batched_samples_per_sec: 426.0,
+            speedup: 5.33,
+        };
+        let v: serde_json::Value =
+            serde_json::from_str(&serde_json::to_string(&report).unwrap()).unwrap();
+        assert_eq!(v["bench"], "pr8_batch");
+        assert!(v["speedup"].as_f64().unwrap() > 1.0);
+        assert!(v["batched_samples_per_sec"].as_f64().unwrap() > 0.0);
+        assert!(v["jobs"].as_u64().unwrap() >= 2);
+    }
+
+    #[test]
+    fn small_measurement_is_consistent() {
+        // No speedup assertion here — a loaded or single-core test
+        // machine may not deliver one. CI enforces the ≥2× floor on
+        // the real bench run.
+        let report = measure(4, 1);
+        assert_eq!(report.bench, "pr8_batch");
+        assert_eq!(report.samples, 4);
+        assert!(report.jobs >= 2);
+        assert!(report.sequential_samples_per_sec > 0.0);
+        assert!(report.batched_samples_per_sec > 0.0);
+        assert!(report.speedup > 0.0);
+    }
+}

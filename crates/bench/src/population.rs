@@ -289,6 +289,11 @@ pub fn try_population(key: PopulationKey) -> Result<Population, PopulationError>
         Err(e) => return Err(e),
     }
     let spec = key.benchmark.workload();
+    // run_population_with fans the seeds across the sim crate's batch
+    // engine (one worker per available core); its output is
+    // byte-identical to the sequential loop, so cached populations from
+    // before the batch engine remain valid and cache keys need no
+    // job-count component.
     let runs = run_population_with(
         key.system.config(),
         &spec,

@@ -12,8 +12,9 @@ use crate::{CliError, Result};
 /// `spa submit`/`status`/`shutdown` connect to it).
 pub const DEFAULT_ADDR: &str = "127.0.0.1:7411";
 
-/// Worker-thread default: one per available hardware thread, falling
-/// back to 4 when the parallelism cannot be queried.
+/// Default for `--jobs` (alias `--threads`): one worker per available
+/// hardware thread, falling back to 4 when the parallelism cannot be
+/// queried.
 pub fn default_threads() -> usize {
     std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
@@ -401,7 +402,7 @@ pub fn parse(argv: &[String]) -> Result<Command> {
             }
             "--l2-kb" => l2_kib = parse_u64(arg, parse_flag_value(arg, &mut it)?)?,
             "--noise" => noise = parse_noise(parse_flag_value(arg, &mut it)?)?,
-            "--threads" => {
+            "--jobs" | "-j" | "--threads" => {
                 threads = parse_u64(arg, parse_flag_value(arg, &mut it)?)?.max(1) as usize;
             }
             "--out" | "-o" => out = Some(parse_flag_value(arg, &mut it)?.to_owned()),
@@ -794,6 +795,25 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn jobs_is_an_alias_for_threads() {
+        for flags in ["--jobs 3", "-j 3", "--threads 3"] {
+            let c = parse(&argv(&format!("simulate -b ferret {flags}"))).unwrap();
+            match c {
+                Command::Simulate { threads, .. } => assert_eq!(threads, 3, "{flags}"),
+                other => panic!("{other:?}"),
+            }
+        }
+        assert!(parse(&argv("simulate -b ferret --jobs")).is_err());
+        assert!(parse(&argv("simulate -b ferret --jobs zero")).is_err());
+        // `--jobs 0` is clamped to one worker, not rejected.
+        let c = parse(&argv("simulate -b ferret --jobs 0")).unwrap();
+        match c {
+            Command::Simulate { threads, .. } => assert_eq!(threads, 1),
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

@@ -538,62 +538,47 @@ fn simulate(opts: &SimulateOpts) -> Result<String> {
     let machine = Machine::new(config, &spec)?.with_variability(variability);
     let timeout = opts.timeout.map(Duration::from_secs_f64);
 
-    // Fan seeds out over worker threads with a crossbeam channel; the
-    // receiver reassembles results in seed order. Each seed gets
+    // Fan seeds out across the sim batch engine (`--jobs N` workers);
+    // results come back already in seed order. Each seed gets
     // 1 + retries attempts; attempt k re-runs with a derived seed so a
     // deterministic fault does not simply repeat.
-    let (seed_tx, seed_rx) = crossbeam::channel::unbounded::<u64>();
-    let (res_tx, res_rx) =
-        crossbeam::channel::unbounded::<(u64, Option<ExecutionMetrics>, FailureCounts)>();
-    for seed in opts.seed_start..opts.seed_start + runs {
-        seed_tx.send(seed).expect("receiver alive");
+    if opts.seed_start.checked_add(runs).is_none() {
+        return Err(CliError::Input(format!(
+            "seed range {}..+{runs} overflows u64",
+            opts.seed_start
+        )));
     }
-    drop(seed_tx);
-
-    std::thread::scope(|scope| {
-        for _ in 0..opts.threads.min(runs as usize).max(1) {
-            let seed_rx = seed_rx.clone();
-            let res_tx = res_tx.clone();
-            let machine = &machine;
-            let fault = &opts.fault;
-            scope.spawn(move || {
-                while let Ok(seed) = seed_rx.recv() {
-                    let mut counts = FailureCounts::default();
-                    let mut metrics = None;
-                    for attempt in 0..=opts.retries {
-                        if attempt > 0 {
-                            counts.retries += 1;
-                        }
-                        let derived = derive_retry_seed(seed, attempt);
-                        match run_attempt(machine, derived, fault, timeout) {
-                            Ok(m) => {
-                                metrics = Some(m);
-                                break;
-                            }
-                            Err(e) => counts.record(&e),
-                        }
-                    }
-                    if metrics.is_none() {
-                        counts.abandoned_seeds += 1;
-                    }
-                    if res_tx.send((seed, metrics, counts)).is_err() {
-                        break;
-                    }
+    let outcomes = spa_sim::batch::batch_map(runs, opts.threads, |index| {
+        let seed = opts.seed_start + index;
+        let mut counts = FailureCounts::default();
+        let mut metrics = None;
+        for attempt in 0..=opts.retries {
+            if attempt > 0 {
+                counts.retries += 1;
+            }
+            let derived = derive_retry_seed(seed, attempt);
+            match run_attempt(&machine, derived, &opts.fault, timeout) {
+                Ok(m) => {
+                    metrics = Some(m);
+                    break;
                 }
-            });
+                Err(e) => counts.record(&e),
+            }
         }
+        if metrics.is_none() {
+            counts.abandoned_seeds += 1;
+        }
+        (seed, metrics, counts)
     });
-    drop(res_tx);
 
     let mut failures = FailureCounts::default();
     let mut rows: Vec<(u64, ExecutionMetrics)> = Vec::new();
-    for (seed, metrics, counts) in res_rx {
+    for (seed, metrics, counts) in outcomes {
         failures.merge(&counts);
         if let Some(m) = metrics {
             rows.push((seed, m));
         }
     }
-    rows.sort_by_key(|&(seed, _)| seed);
 
     if rows.is_empty() && runs > 0 {
         return Err(CliError::Input(format!(
@@ -1222,17 +1207,33 @@ mod tests {
         let csv = std::fs::read_to_string(&path).unwrap();
         assert!(csv.starts_with("seed,runtime,"), "{csv}");
         assert_eq!(csv.lines().count(), 5);
-        // Determinism: rerunning produces identical output.
-        let _ = execute(
+        // Determinism: rerunning at any job count produces identical
+        // output (`--jobs` and `--threads` are the same knob).
+        for flags in ["--threads 4", "--jobs 1", "--jobs 8"] {
+            let _ = execute(
+                parse(&argv(&format!(
+                    "simulate -b blackscholes -n 4 {flags} --noise jitter:4 -o {}",
+                    path.display()
+                )))
+                .unwrap(),
+            )
+            .unwrap();
+            assert_eq!(csv, std::fs::read_to_string(&path).unwrap(), "{flags}");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn simulate_rejects_overflowing_seed_range() {
+        let err = execute(
             parse(&argv(&format!(
-                "simulate -b blackscholes -n 4 --threads 4 --noise jitter:4 -o {}",
-                path.display()
+                "simulate -b blackscholes -n 4 --seed-start {}",
+                u64::MAX - 1
             )))
             .unwrap(),
         )
-        .unwrap();
-        assert_eq!(csv, std::fs::read_to_string(&path).unwrap());
-        let _ = std::fs::remove_file(&path);
+        .unwrap_err();
+        assert!(err.to_string().contains("overflows"), "{err}");
     }
 
     #[test]

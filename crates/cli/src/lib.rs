@@ -64,11 +64,11 @@ USAGE:
   spa min-samples [--confidence C] [--proportion F]
   spa simulate --benchmark NAME [--runs N] [--seed-start S]
               [--l2-kb KB] [--noise paper|jitter:N|real-machine]
-              [--threads N] [--out FILE] [--retries N] [--timeout SECS]
+              [--jobs N] [--out FILE] [--retries N] [--timeout SECS]
               [--fault crash=P,timeout=P,nan=P] [--json]
   spa check   --benchmark NAME --property FORMULA [--robustness]
               [--runs N] [--seed-start S] [--l2-kb KB]
-              [--noise paper|jitter:N|real-machine] [--threads N]
+              [--noise paper|jitter:N|real-machine] [--jobs N]
               [--retries N] [--confidence C] [--proportion F] [--json]
   spa serve   [--addr HOST:PORT] [--workers N] [--queue-depth N]
               [--threads N] [--state-dir DIR] [--deadline MS]
@@ -89,8 +89,10 @@ USAGE:
   spa help
 
 Defaults: --confidence 0.9 --proportion 0.9 --direction at-most --column 0;
---threads defaults to the machine's available parallelism and --addr to
-127.0.0.1:7411.
+--jobs (alias --threads) defaults to the machine's available parallelism
+and --addr to 127.0.0.1:7411. Simulate and check fan seeded executions
+across --jobs worker threads; the output is byte-identical for every
+job count, so parallelism never changes a result.
 A global --trace flag (valid with any command, any position) logs
 tracing spans to stderr as they close. Metrics fetches a running
 server's live snapshot: engine counters, queue depth, cache hit/miss

@@ -186,10 +186,11 @@ impl Evaluator for IdentityEvaluator {
 /// of indices onto threads is scheduling-dependent — but the *output* is
 /// not: each index's work is a pure function of `i`, results are
 /// reassembled in index order, and `work` returning `None` (a
-/// permanently failed index) simply leaves a gap. Every collection loop
-/// in the workspace (scalar, fault-tolerant, and the server's
-/// round-partitioned collector) is an adapter over this one engine, so
-/// they cannot drift apart.
+/// permanently failed index) simply leaves a gap. The scalar and
+/// fault-tolerant collection loops in this crate are adapters over this
+/// engine; the simulator and server fan out through the sim crate's
+/// batch population engine, which makes the same determinism guarantee
+/// with bounded-channel backpressure.
 ///
 /// Spans and observability counters stay at the call sites: the engine
 /// itself is accounting-neutral.

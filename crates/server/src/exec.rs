@@ -51,13 +51,13 @@ use spa_core::fault::{
 };
 use spa_core::min_samples::achievable_confidence;
 use spa_core::obs_names;
-use spa_core::pipeline::collect_indexed;
 use spa_core::property::{Direction, MetricProperty};
 use spa_core::rounds::{round_seeds, RoundAggregator, RoundsOutcome};
 use spa_core::seq::{AnytimeReport, AnytimeRun, Boundary, SeqSnapshot, StopReason};
 use spa_core::smc::SmcEngine;
 use spa_core::spa::Spa;
 use spa_obs::metrics::global;
+use spa_sim::batch::batch_map;
 use spa_sim::check::run_check;
 use spa_sim::machine::Machine;
 use spa_sim::metrics::{ExecutionMetrics, Metric};
@@ -199,12 +199,12 @@ impl FallibleSampler for SimSampler<'_, '_> {
 
 /// Collects one round of seeds in parallel with per-seed retries.
 ///
-/// An adapter over the workspace's shared claim-by-index engine
-/// ([`collect_indexed`]): index `i` maps to the round's `i`-th seed,
-/// the retry loop runs inside the per-index work function, and the
-/// engine reassembles rows in index (= seed) order. Each seed gets up
-/// to [`RetryPolicy::max_attempts`] attempts at deterministically
-/// derived seeds, so the output depends only on
+/// An adapter over the sim crate's batch population engine
+/// ([`batch_map`]): index `i` maps to the round's `i`-th seed, the
+/// retry loop runs inside the per-index work function, and the engine
+/// returns rows in index (= seed) order through its bounded channel.
+/// Each seed gets up to [`RetryPolicy::max_attempts`] attempts at
+/// deterministically derived seeds, so the output depends only on
 /// `(attempt, seeds, policy)` — never on thread scheduling. Seeds whose
 /// budget is exhausted are dropped and counted.
 fn collect_round<T: Send>(
@@ -220,7 +220,7 @@ fn collect_round<T: Send>(
         .add(seeds.len() as u64);
     let failures: Mutex<FailureCounts> = Mutex::new(FailureCounts::default());
     let workers = threads.clamp(1, seeds.len().max(1));
-    let pairs = collect_indexed(seeds.len() as u64, workers, &|i| {
+    let collected = batch_map(seeds.len() as u64, workers, |i| {
         let seed = seeds[i as usize];
         let mut local = FailureCounts::default();
         let mut collected = None;
@@ -246,8 +246,9 @@ fn collect_round<T: Send>(
         failures.lock().merge(&local);
         collected.map(|value| (seed, value))
     });
-    // Seeds ascend within a round, so index order is seed order.
-    let rows: Vec<(u64, T)> = pairs.into_iter().map(|(_, row)| row).collect();
+    // Seeds ascend within a round, so index order is seed order;
+    // abandoned seeds (`None` slots) drop out here.
+    let rows: Vec<(u64, T)> = collected.into_iter().flatten().collect();
     let counts = failures.into_inner();
     let registry = global();
     registry

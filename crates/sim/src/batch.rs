@@ -1,0 +1,425 @@
+//! Batch-of-machines population engine: one [`Machine`], many seeds,
+//! a pool of worker threads, byte-identical output.
+//!
+//! The paper's ground-truth populations (§5.3: "we run 500 simulations
+//! to determine the ground truth") are embarrassingly parallel: each
+//! execution is a pure function of `(config, workload, seed)` and the
+//! seeds are independent by construction — every seed derives its own
+//! RNG stream via [`Variability::state_for_run`], so no run observes
+//! another run's randomness. This module exploits that:
+//!
+//! * the `Machine` is constructed (and validated) **once**,
+//! * seeds are claimed by worker threads from a shared atomic cursor,
+//! * finished results flow through a **bounded** channel back to the
+//!   calling thread, which places each one in its seed-indexed slot,
+//! * the assembled output is returned in ascending-seed order.
+//!
+//! # Determinism
+//!
+//! The output is byte-identical to the sequential path for every job
+//! count: per-seed RNG streams make each execution independent of
+//! scheduling, and ordered collection makes the assembled vector
+//! independent of completion order. The golden-trace guard and the
+//! differential tests in `tests/batch_differential.rs` enforce this.
+//!
+//! # Error semantics
+//!
+//! [`try_batch_map`] reports the error of the **lowest-indexed** failing
+//! item — exactly what the sequential loop reports. Workers may execute
+//! a few items beyond the first failure before the cancellation flag is
+//! observed, but those results are discarded, never reordered into the
+//! output.
+//!
+//! The bounded channel doubles as backpressure for the streaming metric
+//! path ([`run_metric_population_batch_with`]): each [`ExecutionResult`]
+//! is reduced to its `f64` sample *inside the worker*, so the scalar
+//! path never materializes the population no matter how many jobs run.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+
+use spa_obs::metrics::global;
+
+use crate::config::SystemConfig;
+use crate::machine::Machine;
+use crate::metrics::{ExecutionResult, Metric};
+use crate::pipeline::MetricEvaluator;
+use crate::variability::Variability;
+use crate::workload::WorkloadSpec;
+use crate::{Result, SimError};
+
+/// Counter: population batches executed through the engine.
+pub const BATCHES: &str = "sim.batch.batches";
+/// Counter: executions requested across all batches (bumped once per
+/// batch with the batch size, never per sample).
+pub const RUNS: &str = "sim.batch.runs";
+/// Gauge: worker count of the most recent batch.
+pub const JOBS: &str = "sim.batch.jobs";
+
+/// In-flight results the bounded channel may hold per worker before
+/// senders block; keeps peak memory proportional to the job count, not
+/// the population size.
+const CHANNEL_SLACK: usize = 4;
+
+/// Worker-pool default: one job per available hardware thread, falling
+/// back to 1 when the parallelism cannot be queried.
+pub fn available_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Validates that `seed_start..seed_start + count` fits in `u64`.
+fn check_seed_range(seed_start: u64, count: u64) -> Result<()> {
+    // The unchecked `seed_start..seed_start + count` this replaces
+    // panicked in debug builds and produced a silently empty range in
+    // release builds (same bug class as `round_seeds` before PR 3).
+    match seed_start.checked_add(count) {
+        Some(_) => Ok(()),
+        None => Err(SimError::SeedOverflow { seed_start, count }),
+    }
+}
+
+/// Records one batch in the process-global metrics registry.
+fn note_batch(count: u64, jobs: usize) {
+    let registry = global();
+    registry.counter(BATCHES).incr();
+    registry.counter(RUNS).add(count);
+    registry.gauge(JOBS).set(jobs as i64);
+}
+
+/// Clamps a requested job count to something useful for `count` items:
+/// at least 1, at most one job per item.
+fn effective_jobs(jobs: usize, count: u64) -> usize {
+    let per_item = usize::try_from(count).unwrap_or(usize::MAX).max(1);
+    jobs.clamp(1, per_item)
+}
+
+/// Maps `work` over `0..count` on a pool of `jobs` threads, returning
+/// results in index order — or the error of the lowest failing index.
+///
+/// With `jobs <= 1` (or a single item) this **is** the sequential loop,
+/// so the parallel path can be differentially tested against it. With
+/// more jobs, indices are claimed from an atomic cursor, results return
+/// through a bounded channel, and the calling thread drops each into
+/// its slot; a failure raises a cancellation flag so workers stop
+/// claiming new indices.
+///
+/// # Errors
+///
+/// The error of the lowest-indexed failing item, exactly as the
+/// sequential loop would report. (The sequential loop stops immediately;
+/// the pool may complete a few higher indices first, but their results
+/// are discarded.)
+pub fn try_batch_map<T, E, F>(count: u64, jobs: usize, work: F) -> std::result::Result<Vec<T>, E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(u64) -> std::result::Result<T, E> + Sync,
+{
+    let total = usize::try_from(count).expect("population count exceeds address space");
+    let jobs = effective_jobs(jobs, count);
+    if jobs <= 1 {
+        let mut out = Vec::with_capacity(total);
+        for index in 0..count {
+            out.push(work(index)?);
+        }
+        return Ok(out);
+    }
+
+    let next = AtomicU64::new(0);
+    let cancelled = AtomicBool::new(false);
+    let (tx, rx) = mpsc::sync_channel::<(u64, std::result::Result<T, E>)>(jobs * CHANNEL_SLACK);
+    let mut slots: Vec<Option<std::result::Result<T, E>>> = Vec::new();
+    slots.resize_with(total, || None);
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            let tx = tx.clone();
+            let next = &next;
+            let cancelled = &cancelled;
+            let work = &work;
+            scope.spawn(move || loop {
+                if cancelled.load(Ordering::Relaxed) {
+                    return;
+                }
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= count {
+                    return;
+                }
+                let result = work(index);
+                if result.is_err() {
+                    cancelled.store(true, Ordering::Relaxed);
+                }
+                if tx.send((index, result)).is_err() {
+                    return;
+                }
+            });
+        }
+        drop(tx);
+        // Collect on the calling thread while the workers run; the
+        // bounded channel throttles workers that get far ahead.
+        for (index, result) in rx {
+            slots[index as usize] = Some(result);
+        }
+    });
+
+    let mut out = Vec::with_capacity(total);
+    for slot in slots {
+        match slot {
+            Some(Ok(value)) => out.push(value),
+            Some(Err(error)) => return Err(error),
+            // Unreachable before the first error: the atomic cursor
+            // hands out indices in a total order, so claimed indices
+            // always form a prefix of `0..count`; every claimed index
+            // runs to completion and sends its slot (the receiver
+            // drains until all senders drop). The cancellation flag is
+            // raised only *after* some claimed index failed, so any
+            // index skipped because of it lies strictly above the
+            // lowest failing index — and the scan returns that error
+            // before reaching an empty slot.
+            None => unreachable!("unfilled slot below the first error"),
+        }
+    }
+    Ok(out)
+}
+
+/// Infallible [`try_batch_map`]: maps `work` over `0..count` on `jobs`
+/// threads, returning results in index order.
+pub fn batch_map<T, F>(count: u64, jobs: usize, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    let result: std::result::Result<Vec<T>, std::convert::Infallible> =
+        try_batch_map(count, jobs, |index| Ok(work(index)));
+    match result {
+        Ok(out) => out,
+        Err(never) => match never {},
+    }
+}
+
+/// Runs `count` executions with seeds `seed_start..seed_start + count`
+/// on a pool of `jobs` worker threads, in ascending-seed order.
+///
+/// Output is byte-identical to the sequential runner for every `jobs`
+/// value (see the module docs).
+///
+/// # Errors
+///
+/// [`SimError::SeedOverflow`] if the seed range leaves `u64`; otherwise
+/// the lowest-seeded simulation error, exactly as sequential execution
+/// reports.
+///
+/// # Examples
+///
+/// ```
+/// use spa_sim::batch::run_population_batch;
+/// use spa_sim::config::SystemConfig;
+/// use spa_sim::runner::run_population;
+/// use spa_sim::workload::parsec::Benchmark;
+///
+/// let spec = Benchmark::Blackscholes.workload_scaled(0.25);
+/// let batched = run_population_batch(SystemConfig::table2(), &spec, 0, 4, 2)?;
+/// let reference = run_population(SystemConfig::table2(), &spec, 0, 4)?;
+/// assert_eq!(batched, reference);
+/// # Ok::<(), spa_sim::SimError>(())
+/// ```
+pub fn run_population_batch(
+    config: SystemConfig,
+    workload: &WorkloadSpec,
+    seed_start: u64,
+    count: u64,
+    jobs: usize,
+) -> Result<Vec<ExecutionResult>> {
+    run_population_batch_with(
+        config,
+        workload,
+        Variability::paper_default(),
+        seed_start,
+        count,
+        jobs,
+    )
+}
+
+/// As [`run_population_batch`] with an explicit variability model.
+///
+/// # Errors
+///
+/// As [`run_population_batch`].
+pub fn run_population_batch_with(
+    config: SystemConfig,
+    workload: &WorkloadSpec,
+    variability: Variability,
+    seed_start: u64,
+    count: u64,
+    jobs: usize,
+) -> Result<Vec<ExecutionResult>> {
+    check_seed_range(seed_start, count)?;
+    let machine = Machine::new(config, workload)?.with_variability(variability);
+    let jobs = effective_jobs(jobs, count);
+    note_batch(count, jobs);
+    try_batch_map(count, jobs, |index| machine.run(seed_start + index))
+}
+
+/// Runs `count` executions on `jobs` threads and streams each through
+/// the metric evaluation stage, returning only the metric samples in
+/// ascending-seed order.
+///
+/// Each [`ExecutionResult`] is reduced to its `f64` sample *inside the
+/// worker that produced it*, so only scalars cross the bounded channel
+/// and the scalar path never materializes the population — the same
+/// guarantee the sequential streaming runner gives, at any job count.
+///
+/// # Errors
+///
+/// As [`run_population_batch`].
+pub fn run_metric_population_batch(
+    config: SystemConfig,
+    workload: &WorkloadSpec,
+    seed_start: u64,
+    count: u64,
+    metric: Metric,
+    jobs: usize,
+) -> Result<Vec<f64>> {
+    run_metric_population_batch_with(
+        config,
+        workload,
+        Variability::paper_default(),
+        seed_start,
+        count,
+        metric,
+        jobs,
+    )
+}
+
+/// As [`run_metric_population_batch`] with an explicit variability
+/// model.
+///
+/// # Errors
+///
+/// As [`run_population_batch`].
+pub fn run_metric_population_batch_with(
+    config: SystemConfig,
+    workload: &WorkloadSpec,
+    variability: Variability,
+    seed_start: u64,
+    count: u64,
+    metric: Metric,
+    jobs: usize,
+) -> Result<Vec<f64>> {
+    check_seed_range(seed_start, count)?;
+    let machine = Machine::new(config, workload)?.with_variability(variability);
+    let evaluator = MetricEvaluator::new(metric);
+    let jobs = effective_jobs(jobs, count);
+    note_batch(count, jobs);
+    try_batch_map(count, jobs, |index| {
+        machine
+            .run(seed_start + index)
+            .map(|run| evaluator.extract(&run))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::parsec::Benchmark;
+
+    #[test]
+    fn batch_map_preserves_index_order() {
+        for jobs in [1, 2, 8] {
+            let out = batch_map(100, jobs, |i| i * i);
+            let expected: Vec<u64> = (0..100).map(|i| i * i).collect();
+            assert_eq!(out, expected, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn first_error_in_index_order_wins() {
+        // Indices 3 and upward fail; every job count must report 3,
+        // exactly as the sequential loop does.
+        for jobs in [1, 2, 8] {
+            let result: std::result::Result<Vec<u64>, u64> =
+                try_batch_map(64, jobs, |i| if i >= 3 { Err(i) } else { Ok(i) });
+            assert_eq!(result, Err(3), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let out: Vec<u64> = batch_map(0, 8, |i| i);
+        assert!(out.is_empty());
+        let ok: std::result::Result<Vec<u64>, ()> = try_batch_map(0, 8, Ok);
+        assert_eq!(ok, Ok(Vec::new()));
+    }
+
+    #[test]
+    fn oversized_job_counts_are_clamped() {
+        assert_eq!(effective_jobs(64, 2), 2);
+        assert_eq!(effective_jobs(0, 2), 1);
+        assert_eq!(effective_jobs(4, 0), 1);
+        assert_eq!(effective_jobs(4, 100), 4);
+        assert!(available_jobs() >= 1);
+    }
+
+    #[test]
+    fn populations_are_identical_across_job_counts() {
+        let spec = Benchmark::Blackscholes.workload_scaled(0.25);
+        let reference = run_population_batch(SystemConfig::table2(), &spec, 7, 6, 1).unwrap();
+        for jobs in [2, 8] {
+            let batched = run_population_batch(SystemConfig::table2(), &spec, 7, 6, jobs).unwrap();
+            assert_eq!(batched, reference, "jobs={jobs}");
+        }
+        assert_eq!(reference.len(), 6);
+        assert_eq!(reference[0].seed, 7);
+    }
+
+    #[test]
+    fn metric_samples_are_identical_across_job_counts() {
+        let spec = Benchmark::Blackscholes.workload_scaled(0.25);
+        let reference =
+            run_metric_population_batch(SystemConfig::table2(), &spec, 0, 6, Metric::Ipc, 1)
+                .unwrap();
+        for jobs in [2, 8] {
+            let batched =
+                run_metric_population_batch(SystemConfig::table2(), &spec, 0, 6, Metric::Ipc, jobs)
+                    .unwrap();
+            assert_eq!(batched, reference, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn seed_overflow_is_a_typed_error() {
+        let spec = Benchmark::Blackscholes.workload_scaled(0.25);
+        let err = run_population_batch(SystemConfig::table2(), &spec, u64::MAX - 2, 8, 4)
+            .expect_err("overflowing range must be rejected");
+        assert_eq!(
+            err,
+            SimError::SeedOverflow {
+                seed_start: u64::MAX - 2,
+                count: 8,
+            }
+        );
+        let err =
+            run_metric_population_batch(SystemConfig::table2(), &spec, u64::MAX, 1, Metric::Ipc, 2)
+                .expect_err("overflowing range must be rejected");
+        assert!(matches!(err, SimError::SeedOverflow { .. }));
+        // The largest non-overflowing range is still accepted (checked
+        // before any simulation starts, so use an empty count).
+        assert!(run_population_batch(SystemConfig::table2(), &spec, u64::MAX, 0, 2).is_ok());
+    }
+
+    #[test]
+    fn batch_counters_are_bumped_once_per_batch() {
+        let spec = Benchmark::Blackscholes.workload_scaled(0.25);
+        let registry = global();
+        let batches_before = registry.counter(BATCHES).get();
+        let runs_before = registry.counter(RUNS).get();
+        run_population_batch(SystemConfig::table2(), &spec, 0, 3, 2).unwrap();
+        // Other tests in this binary share the process-global registry,
+        // so assert on minimum deltas rather than exact values.
+        assert!(registry.counter(BATCHES).get() >= batches_before + 1);
+        assert!(registry.counter(RUNS).get() >= runs_before + 3);
+        assert!(registry.gauge(JOBS).get() >= 1);
+    }
+}

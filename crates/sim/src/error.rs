@@ -17,6 +17,16 @@ pub enum SimError {
         /// Simulated cycle at which the deadlock was detected.
         cycle: u64,
     },
+    /// A seed range `seed_start..seed_start + count` leaves `u64`.
+    /// (Before this variant the runner computed the range unchecked:
+    /// a panic in debug builds, a silently empty population in release
+    /// builds.)
+    SeedOverflow {
+        /// First seed of the requested range.
+        seed_start: u64,
+        /// Number of executions requested.
+        count: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -27,6 +37,12 @@ impl fmt::Display for SimError {
             }
             SimError::Deadlock { cycle } => {
                 write!(f, "simulated workload deadlocked at cycle {cycle}")
+            }
+            SimError::SeedOverflow { seed_start, count } => {
+                write!(
+                    f,
+                    "seed range {seed_start}..{seed_start}+{count} overflows u64"
+                )
             }
         }
     }
@@ -46,5 +62,12 @@ mod tests {
         };
         assert!(e.to_string().contains("l2_ways"));
         assert!(SimError::Deadlock { cycle: 42 }.to_string().contains("42"));
+        let overflow = SimError::SeedOverflow {
+            seed_start: u64::MAX,
+            count: 2,
+        }
+        .to_string();
+        assert!(overflow.contains("overflows"));
+        assert!(overflow.contains(&u64::MAX.to_string()));
     }
 }

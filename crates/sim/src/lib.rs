@@ -30,7 +30,10 @@
 //!   cycles) sampled at quantum boundaries ([`trace_recorder`]),
 //! * pipeline stages adapting the machine to `spa-core`'s staged
 //!   sampling abstraction — scalar metrics or per-trace STL verdicts
-//!   ([`pipeline`]), and
+//!   ([`pipeline`]),
+//! * a batch-of-machines population engine that fans independent seeds
+//!   across a worker pool with byte-identical, seed-ordered output
+//!   ([`batch`]), and
 //! * the end-to-end trace-to-verdict property check shared by the CLI
 //!   and server ([`check`]).
 //!
@@ -53,6 +56,7 @@
 //! # }
 //! ```
 
+pub mod batch;
 pub mod branch;
 pub mod cache;
 pub mod check;

@@ -33,6 +33,9 @@ const LOCK_BASE: u64 = 0x7000_0000;
 const CODE_BASE: u64 = 0x0040_0000;
 /// Cap on recorded STL events per stream (keeps traces bounded).
 const EVENT_CAP: usize = 20_000;
+/// Counter: STL events discarded because a traced run hit [`EVENT_CAP`]
+/// (bumped once per affected run with the drop total, never per event).
+const EVENTS_DROPPED_COUNTER: &str = "sim.trace.events_dropped";
 
 /// A configured machine ready to run a workload.
 ///
@@ -150,7 +153,10 @@ struct Run<'m, 'w> {
     seed: u64,
     // Trace collection (only when config.collect_trace).
     events: Vec<(u64, &'static str)>,
-    active_samples: Vec<(u64, u32)>,
+    dropped_events: u64,
+    /// `(time, thread, active-count)` — per-thread times are monotone;
+    /// the global order is not (thread-local clocks run ahead).
+    active_samples: Vec<(u64, u32, u32)>,
     active: u32,
     recorder: Option<TraceRecorder>,
 }
@@ -197,6 +203,7 @@ impl<'m, 'w> Run<'m, 'w> {
             done_count: 0,
             seed,
             events: Vec::new(),
+            dropped_events: 0,
             active_samples: Vec::new(),
             active: cores as u32,
             recorder: machine
@@ -216,15 +223,27 @@ impl<'m, 'w> Run<'m, 'w> {
     }
 
     fn record_event(&mut self, name: &'static str, at: u64) {
-        if self.machine.config.collect_trace && self.events.len() < EVENT_CAP {
+        if !self.machine.config.collect_trace {
+            return;
+        }
+        if self.events.len() < EVENT_CAP {
             self.events.push((at, name));
+        } else {
+            // Past the cap, events used to vanish silently; count them
+            // so truncated traces are visible in the result and obs.
+            self.dropped_events += 1;
         }
     }
 
-    fn record_active(&mut self, at: u64, delta: i32) {
-        self.active = (self.active as i32 + delta).max(0) as u32;
+    fn record_active(&mut self, tid: usize, at: u64, delta: i32) {
+        let next = self.active as i32 + delta;
+        debug_assert!(
+            next >= 0,
+            "active-thread count underflow (thread {tid}, delta {delta})"
+        );
+        self.active = next.max(0) as u32;
         if self.machine.config.collect_trace {
-            self.active_samples.push((at, self.active));
+            self.active_samples.push((at, tid as u32, self.active));
         }
     }
 
@@ -253,6 +272,14 @@ impl<'m, 'w> Run<'m, 'w> {
     }
 
     fn execute(mut self) -> Result<ExecutionResult> {
+        self.drive()?;
+        Ok(self.finish())
+    }
+
+    /// Advances the event loop to completion. Split from [`Self::finish`]
+    /// so tests can inspect the raw per-thread samples before they are
+    /// folded into trace signals.
+    fn drive(&mut self) -> Result<()> {
         while let Some(Reverse((at, _, tid))) = self.heap.pop() {
             let tid = tid as usize;
             if self.threads[tid].done {
@@ -267,7 +294,12 @@ impl<'m, 'w> Run<'m, 'w> {
                     t.pc += 1;
                 }
                 t.parked = Parked::No;
-                self.record_active(at, 1);
+                // Stamp the resume at the thread's post-stall local
+                // time. The heap-pop time `at` comes from the waker's
+                // clock and can precede this thread's own park sample
+                // (which used its local time), misordering the trace.
+                let resumed = self.threads[tid].time;
+                self.record_active(tid, resumed, 1);
             } else {
                 let t = &mut self.threads[tid];
                 t.time = t.time.max(at);
@@ -281,7 +313,7 @@ impl<'m, 'w> Run<'m, 'w> {
             let cycle = self.threads.iter().map(|t| t.time).max().unwrap_or(0);
             return Err(SimError::Deadlock { cycle });
         }
-        Ok(self.finish())
+        Ok(())
     }
 
     /// Delivers any pending OS events (timer interrupts, migrations) to
@@ -334,13 +366,13 @@ impl<'m, 'w> Run<'m, 'w> {
             match self.step(tid)? {
                 Step::Continue => {}
                 Step::Blocked => {
-                    self.record_active(self.threads[tid].time, -1);
+                    self.record_active(tid, self.threads[tid].time, -1);
                     return Ok(());
                 }
                 Step::Finished => {
                     self.threads[tid].done = true;
                     self.done_count += 1;
-                    self.record_active(self.threads[tid].time, -1);
+                    self.record_active(tid, self.threads[tid].time, -1);
                     return Ok(());
                 }
             }
@@ -617,9 +649,15 @@ impl<'m, 'w> Run<'m, 'w> {
         } else {
             None
         };
+        if self.dropped_events > 0 {
+            spa_obs::metrics::global()
+                .counter(EVENTS_DROPPED_COUNTER)
+                .add(self.dropped_events);
+        }
         ExecutionResult {
             seed: self.seed,
             metrics: m,
+            dropped_events: self.dropped_events,
             stl_data,
         }
     }
@@ -650,9 +688,9 @@ impl<'m, 'w> Run<'m, 'w> {
         }
         // Active-thread signal plus a simple power proxy.
         let mut samples = self.active_samples.clone();
-        samples.sort_unstable_by_key(|&(at, _)| at);
+        samples.sort_unstable_by_key(|&(at, _, _)| at);
         let mut last_time = None;
-        for (at, active) in samples {
+        for (at, _tid, active) in samples {
             if last_time == Some(at) {
                 continue; // keep strictly increasing times
             }
@@ -938,5 +976,107 @@ mod tests {
         // Untraced runs return None.
         let m2 = Machine::new(single_thread_config(), &w).unwrap();
         assert!(m2.run(0).unwrap().stl_data.is_none());
+    }
+
+    #[test]
+    fn active_sample_times_are_per_thread_monotone() {
+        // Regression for the wake-up timestamp bug: resume samples were
+        // stamped at the heap-pop time, which comes from the *waker's*
+        // clock and can precede the parked thread's own park sample
+        // under the real-machine model's timer-interrupt clock skew.
+        // Two threads fight over one lock across a shared work pool, so
+        // every seed produces plenty of park/resume pairs.
+        let prog = vec![
+            PInstr::PoolPop {
+                pool: 0,
+                jump_if_empty: 5,
+            },
+            PInstr::LockAcquire(0),
+            compute(60),
+            PInstr::LockRelease(0),
+            PInstr::Jump(0),
+            PInstr::End,
+        ];
+        let w = WorkloadSpec {
+            name: "contended".into(),
+            programs: vec![prog.clone(), prog],
+            locks: 1,
+            pools: vec![PoolSpec {
+                start: 0,
+                end: 40,
+                counter_addr: 0xC000,
+            }],
+            code_bytes: 1024,
+            ..WorkloadSpec::default()
+        };
+        let mut c = SystemConfig::table2();
+        c.cores = 2;
+        let m = Machine::new(c.with_trace(), &w)
+            .unwrap()
+            .with_variability(Variability::real_machine());
+        let mut contentions = 0;
+        for seed in 0..8 {
+            let mut run = Run::new(&m, seed);
+            run.drive().unwrap();
+            assert!(
+                run.active_samples.len() > 2,
+                "expected park/resume samples (seed {seed})"
+            );
+            let mut last = [0u64; 2];
+            for &(at, tid, _) in &run.active_samples {
+                let tid = tid as usize;
+                assert!(
+                    at >= last[tid],
+                    "sample times went backwards on thread {tid} (seed {seed})"
+                );
+                last[tid] = at;
+            }
+            contentions += run.finish().metrics.lock_contentions;
+        }
+        assert!(contentions > 0, "workload must actually contend");
+    }
+
+    #[test]
+    fn overflowing_event_stream_is_counted_not_silent() {
+        let w = WorkloadSpec {
+            name: "tiny".into(),
+            programs: vec![vec![compute(5), PInstr::End]],
+            code_bytes: 64,
+            ..WorkloadSpec::default()
+        };
+        let m = Machine::new(single_thread_config().with_trace(), &w).unwrap();
+        let mut run = Run::new(&m, 0);
+        for _ in 0..EVENT_CAP + 7 {
+            run.record_event("tlb_miss", 1);
+        }
+        assert_eq!(run.events.len(), EVENT_CAP);
+        assert_eq!(run.dropped_events, 7);
+        run.drive().unwrap();
+        assert_eq!(run.events.len(), EVENT_CAP, "cap still enforced");
+        // The run itself may drop more events on top of the 7 stuffed
+        // ones; all of them must surface in the result.
+        let dropped = run.dropped_events;
+        assert!(dropped >= 7);
+        let result = run.finish();
+        assert_eq!(result.dropped_events, dropped);
+        // A run that stays under the cap reports zero drops.
+        assert_eq!(m.run(0).unwrap().dropped_events, 0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "active-thread count underflow")]
+    fn active_count_underflow_is_caught_in_debug() {
+        let w = WorkloadSpec {
+            name: "tiny".into(),
+            programs: vec![vec![PInstr::End]],
+            code_bytes: 64,
+            ..WorkloadSpec::default()
+        };
+        let m = Machine::new(single_thread_config(), &w).unwrap();
+        let mut run = Run::new(&m, 0);
+        // One core ⇒ active starts at 1; the second decrement underflows.
+        run.record_active(0, 10, -1);
+        run.record_active(0, 20, -1);
     }
 }

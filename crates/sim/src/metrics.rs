@@ -144,6 +144,9 @@ pub struct ExecutionResult {
     pub seed: u64,
     /// Scalar metrics.
     pub metrics: ExecutionMetrics,
+    /// STL events discarded because the trace hit its per-run event
+    /// cap; nonzero means `stl_data`'s event streams are truncated.
+    pub dropped_events: u64,
     /// STL trace/events (only when the config enables collection).
     pub stl_data: Option<ExecutionData>,
 }

@@ -4,11 +4,15 @@
 //! determine the ground truth." The runner executes seeds
 //! `0, 1, …, n−1` (or any explicit range) and returns the metric
 //! vectors the statistics layer consumes.
+//!
+//! Since the batch engine landed, these entry points fan the seeds
+//! across one worker per available hardware thread ([`crate::batch`]).
+//! That is safe to do silently: per-seed RNG streams plus seed-ordered
+//! collection make the output byte-identical to sequential execution.
 
+use crate::batch::{available_jobs, run_metric_population_batch_with, run_population_batch_with};
 use crate::config::SystemConfig;
-use crate::machine::Machine;
 use crate::metrics::{ExecutionResult, Metric};
-use crate::pipeline::MetricEvaluator;
 use crate::variability::Variability;
 use crate::workload::WorkloadSpec;
 use crate::Result;
@@ -17,7 +21,8 @@ use crate::Result;
 ///
 /// # Errors
 ///
-/// Propagates the first simulation error (e.g. a workload deadlock).
+/// Propagates the first simulation error (e.g. a workload deadlock),
+/// or [`crate::SimError::SeedOverflow`] if the range leaves `u64`.
 ///
 /// # Examples
 ///
@@ -50,7 +55,8 @@ pub fn run_population(
 ///
 /// # Errors
 ///
-/// Propagates the first simulation error.
+/// Propagates the first simulation error, or
+/// [`crate::SimError::SeedOverflow`] if the range leaves `u64`.
 pub fn run_population_with(
     config: SystemConfig,
     workload: &WorkloadSpec,
@@ -58,10 +64,14 @@ pub fn run_population_with(
     seed_start: u64,
     count: u64,
 ) -> Result<Vec<ExecutionResult>> {
-    let machine = Machine::new(config, workload)?.with_variability(variability);
-    (seed_start..seed_start + count)
-        .map(|seed| machine.run(seed))
-        .collect()
+    run_population_batch_with(
+        config,
+        workload,
+        variability,
+        seed_start,
+        count,
+        available_jobs(),
+    )
 }
 
 /// Extracts one metric from a population of runs.
@@ -120,7 +130,8 @@ pub fn run_metric_population(
 ///
 /// # Errors
 ///
-/// Propagates the first simulation error.
+/// Propagates the first simulation error, or
+/// [`crate::SimError::SeedOverflow`] if the range leaves `u64`.
 pub fn run_metric_population_with(
     config: SystemConfig,
     workload: &WorkloadSpec,
@@ -129,11 +140,15 @@ pub fn run_metric_population_with(
     count: u64,
     metric: Metric,
 ) -> Result<Vec<f64>> {
-    let machine = Machine::new(config, workload)?.with_variability(variability);
-    let evaluator = MetricEvaluator::new(metric);
-    (seed_start..seed_start + count)
-        .map(|seed| machine.run(seed).map(|run| evaluator.extract(&run)))
-        .collect()
+    run_metric_population_batch_with(
+        config,
+        workload,
+        variability,
+        seed_start,
+        count,
+        metric,
+        available_jobs(),
+    )
 }
 
 #[cfg(test)]
@@ -174,6 +189,25 @@ mod tests {
         let streamed =
             run_metric_population(SystemConfig::table2(), &spec, 5, 4, Metric::Ipc).unwrap();
         assert_eq!(materialized, streamed);
+    }
+
+    #[test]
+    fn overflowing_seed_range_is_rejected() {
+        // Regression: `seed_start..seed_start + count` used to be
+        // computed unchecked — a debug panic, a silently empty
+        // population in release builds.
+        let spec = Benchmark::Blackscholes.workload_scaled(0.25);
+        let err = run_population(SystemConfig::table2(), &spec, u64::MAX - 1, 4).unwrap_err();
+        assert_eq!(
+            err,
+            crate::SimError::SeedOverflow {
+                seed_start: u64::MAX - 1,
+                count: 4,
+            }
+        );
+        let err = run_metric_population(SystemConfig::table2(), &spec, u64::MAX, 2, Metric::Ipc)
+            .unwrap_err();
+        assert!(matches!(err, crate::SimError::SeedOverflow { .. }));
     }
 
     #[test]

@@ -1,0 +1,128 @@
+//! Differential guard for the batch population engine: for every tested
+//! job count the batched output — `ExecutionResult`s, metric samples,
+//! and recorded traces — must be byte-identical to sequential
+//! execution, and every error path must surface exactly as it does
+//! sequentially.
+
+use spa_sim::batch::{run_metric_population_batch, run_population_batch};
+use spa_sim::config::SystemConfig;
+use spa_sim::machine::Machine;
+use spa_sim::metrics::Metric;
+use spa_sim::runner::{run_metric_population, run_population};
+use spa_sim::workload::parsec::Benchmark;
+use spa_sim::workload::{PInstr, QueueSpec, WorkloadSpec};
+use spa_sim::SimError;
+
+const JOB_COUNTS: [usize; 3] = [1, 2, 8];
+
+#[test]
+fn batched_population_matches_hand_rolled_sequential_loop() {
+    // The reference is an independent sequential loop over the same
+    // machine, not the batch engine's own jobs=1 path.
+    let spec = Benchmark::Blackscholes.workload_scaled(0.25);
+    let machine = Machine::new(SystemConfig::table2(), &spec).unwrap();
+    let reference: Vec<_> = (3..9).map(|seed| machine.run(seed).unwrap()).collect();
+    for jobs in JOB_COUNTS {
+        let batched = run_population_batch(SystemConfig::table2(), &spec, 3, 6, jobs).unwrap();
+        assert_eq!(batched, reference, "jobs={jobs}");
+    }
+    // The public runner (now parallel by default) agrees too.
+    assert_eq!(
+        run_population(SystemConfig::table2(), &spec, 3, 6).unwrap(),
+        reference
+    );
+}
+
+#[test]
+fn recorded_traces_are_byte_identical_across_job_counts() {
+    let spec = Benchmark::Blackscholes.workload_scaled(0.2);
+    let config = SystemConfig::table2().with_trace();
+    let render = |jobs: usize| -> Vec<String> {
+        run_population_batch(config, &spec, 40, 4, jobs)
+            .unwrap()
+            .into_iter()
+            .map(|run| {
+                let data = run.stl_data.expect("trace collection enabled");
+                serde_json::to_string_pretty(&data).expect("trace serializes")
+            })
+            .collect()
+    };
+    let reference = render(1);
+    for jobs in JOB_COUNTS {
+        assert_eq!(render(jobs), reference, "jobs={jobs}");
+    }
+}
+
+#[test]
+fn metric_samples_match_sequential_streaming_runner() {
+    let spec = Benchmark::Blackscholes.workload_scaled(0.25);
+    let reference =
+        run_metric_population(SystemConfig::table2(), &spec, 0, 6, Metric::RuntimeSeconds).unwrap();
+    for jobs in JOB_COUNTS {
+        let batched = run_metric_population_batch(
+            SystemConfig::table2(),
+            &spec,
+            0,
+            6,
+            Metric::RuntimeSeconds,
+            jobs,
+        )
+        .unwrap();
+        assert_eq!(batched, reference, "jobs={jobs}");
+    }
+}
+
+#[test]
+fn seed_overflow_is_rejected_before_any_simulation() {
+    let spec = Benchmark::Blackscholes.workload_scaled(0.25);
+    for jobs in JOB_COUNTS {
+        let err = run_population_batch(SystemConfig::table2(), &spec, u64::MAX - 3, 16, jobs)
+            .expect_err("overflowing seed range must be rejected");
+        assert_eq!(
+            err,
+            SimError::SeedOverflow {
+                seed_start: u64::MAX - 3,
+                count: 16,
+            },
+            "jobs={jobs}"
+        );
+    }
+}
+
+/// A consumer on a queue nobody ever closes or fills: deadlocks at a
+/// deterministic cycle.
+fn deadlocking_workload() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "dead".into(),
+        programs: vec![vec![
+            PInstr::QueuePop {
+                queue: 0,
+                jump_if_closed: 1,
+            },
+            PInstr::End,
+        ]],
+        queues: vec![QueueSpec {
+            capacity: 1,
+            producers: 1,
+        }],
+        code_bytes: 64,
+        ..WorkloadSpec::default()
+    }
+}
+
+#[test]
+fn deadlock_error_surfaces_identically_under_the_batch_runner() {
+    let w = deadlocking_workload();
+    let mut config = SystemConfig::table2();
+    config.cores = 1;
+    let machine = Machine::new(config, &w).unwrap();
+    let sequential = machine.run(0).expect_err("workload deadlocks");
+    assert!(matches!(sequential, SimError::Deadlock { .. }));
+    for jobs in JOB_COUNTS {
+        let batched = run_population_batch(config, &w, 0, 8, jobs)
+            .expect_err("workload deadlocks under the batch runner");
+        // Seed 0 is the lowest failing seed, so every job count must
+        // report its error — the same one sequential execution reports.
+        assert_eq!(batched, sequential, "jobs={jobs}");
+    }
+}
