@@ -1,0 +1,21 @@
+//! PR 9 bench: one whole-CDF DKW band answering k quantile queries vs
+//! k repeated per-quantile SPA searches.
+//!
+//! A plain `main` (no criterion) so the CI bench-smoke job can run it in
+//! seconds: `cargo bench -p spa-bench --bench pr9_band`. Emits
+//! `BENCH_pr9.json` at the workspace root; the measurement itself lives
+//! in [`spa_bench::band_bench`] so the test suite's quick smoke run and
+//! this full run share one code path.
+
+use spa_bench::band_bench;
+
+fn main() {
+    let report = band_bench::measure(200);
+    let path = band_bench::default_path();
+    band_bench::write_json(&report, &path).expect("write BENCH_pr9.json");
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&report).expect("report serializes")
+    );
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,261 @@
+//! The PR 9 perf measurement: one whole-CDF DKW band answering `k`
+//! quantile queries against `k` repeated per-quantile SPA searches,
+//! written to `BENCH_pr9.json` at the workspace root.
+//!
+//! The repeated baseline is the pre-band way to get `k` quantile CIs
+//! from one sample set: for each level `q`, configure a fresh
+//! `SmcEngine` at proportion `q` and run a full `ci_exact` threshold
+//! search (bisection over order statistics with Clopper–Pearson
+//! evaluations). The band pays one `O(n log n)` sort plus one DKW
+//! epsilon, then answers every quantile with two order-statistic
+//! lookups — so the band should win from `k >= 2` and the margin should
+//! grow roughly linearly in `k`.
+//!
+//! The two methods answer *different but compatible* questions: each
+//! per-quantile search is marginally valid at confidence `C`, while the
+//! band's read-offs are simultaneously valid at `C`. Before timing
+//! anything, [`measure`] asserts that at every level the band CI and
+//! the SPA CI overlap (a disjoint pair would mean one of the
+//! constructions is wrong), so the reported speedup never compares
+//! disagreeing answers.
+//!
+//! The measurement runs three ways: the `pr9_band` bench binary, the CI
+//! bench-smoke job (which checks the ≥ 2× floor at `k = 4` and uploads
+//! the JSON), and a quick smoke test so every `cargo test` refreshes
+//! the file.
+
+use std::hint::black_box;
+use std::path::{Path, PathBuf};
+
+use spa_core::band::CdfBand;
+use spa_core::ci::ci_exact;
+use spa_core::ci_engine::SortedSamples;
+use spa_core::obs_names;
+use spa_core::property::Direction;
+use spa_core::smc::SmcEngine;
+use spa_obs::metrics::global;
+use spa_sim::machine::Machine;
+use spa_sim::workload::parsec::Benchmark;
+
+use crate::obs_bench::mean_ns;
+use crate::population::SystemVariant;
+
+/// One `k`-queries comparison point.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct KPoint {
+    /// How many quantile levels were answered.
+    pub k: u64,
+    /// Band path, ns: sort + DKW build + `k` read-offs.
+    pub band_ns: u64,
+    /// Repeated path, ns: `k` × (fresh engine + full `ci_exact`
+    /// threshold search).
+    pub repeated_ns: u64,
+    /// `repeated_ns / band_ns` — the PR's acceptance headline
+    /// (floor: 2× at `k = 4`).
+    pub speedup: f64,
+}
+
+/// Measured PR 9 band-vs-repeated numbers (serialized as
+/// `BENCH_pr9.json`).
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Pr9Report {
+    /// Harness identifier.
+    pub bench: &'static str,
+    /// Runtime samples in the population.
+    pub samples: u64,
+    /// Confidence level shared by both methods.
+    pub confidence: f64,
+    /// One comparison per `k` in ascending order.
+    pub points: Vec<KPoint>,
+    /// `core.band.builds` accumulated by one band pass.
+    pub band_builds_per_pass: u64,
+    /// `core.band.quantile_queries` accumulated by one band pass at the
+    /// largest `k`.
+    pub quantile_queries_per_pass: u64,
+}
+
+/// The population: quarter-scale blackscholes runtimes under paper
+/// variability, fixed seeds. 64 samples — enough that every grid level
+/// in [`levels`] has both endpoints bounded at `C = 0.9`
+/// (`eps ≈ 0.147`).
+fn runtime_sample() -> Vec<f64> {
+    let spec = Benchmark::Blackscholes.workload_scaled(0.25);
+    let machine = Machine::new(SystemVariant::Table2.config(), &spec)
+        .expect("machine config")
+        .with_variability(spa_sim::variability::Variability::paper_default());
+    (0..64)
+        .map(|seed| {
+            machine
+                .run(seed)
+                .expect("simulation failed")
+                .metrics
+                .runtime_seconds
+        })
+        .collect()
+}
+
+/// `k` evenly spaced interior levels: `i / (k + 1)` for `i = 1..=k`.
+fn levels(k: u64) -> Vec<f64> {
+    (1..=k).map(|i| i as f64 / (k + 1) as f64).collect()
+}
+
+/// The repeated baseline: one fresh per-quantile SPA search per level.
+/// `Direction::AtMost` at proportion `q` makes `ci_exact` bracket the
+/// `q`-quantile.
+fn repeated_quantile_cis(samples: &[f64], confidence: f64, qs: &[f64]) -> Vec<(f64, f64)> {
+    qs.iter()
+        .map(|&q| {
+            let engine = SmcEngine::new(confidence, q).expect("valid C/F");
+            let ci = ci_exact(&engine, samples, Direction::AtMost).expect("ci");
+            (ci.lower(), ci.upper())
+        })
+        .collect()
+}
+
+/// The band path: sort once, one DKW build, `k` read-offs.
+fn band_quantile_cis(samples: &[f64], confidence: f64, qs: &[f64]) -> Vec<(f64, f64)> {
+    let index = SortedSamples::new(samples).expect("clean samples");
+    let band = CdfBand::dkw(&index, confidence).expect("valid confidence");
+    qs.iter()
+        .map(|&q| {
+            let ci = band.quantile_ci(q).expect("valid level");
+            (
+                ci.lower.unwrap_or(f64::NEG_INFINITY),
+                ci.upper.unwrap_or(f64::INFINITY),
+            )
+        })
+        .collect()
+}
+
+/// Runs the measurement: builds the runtime population, asserts the
+/// band and repeated answers overlap at every level of the largest
+/// grid, then times both paths at each `k` (`iters` timed repetitions
+/// each) and reads the band counters off one extra pass.
+///
+/// Panics on simulator or engine configuration errors, and on any
+/// disjoint band/SPA interval pair — this is a bench harness with a
+/// known-valid fixed configuration.
+pub fn measure(iters: u32) -> Pr9Report {
+    let samples = runtime_sample();
+    let confidence = 0.9;
+    let ks: [u64; 4] = [1, 2, 4, 8];
+    let max_levels = levels(*ks.last().expect("non-empty"));
+
+    // Correctness gate: at every level the two constructions must
+    // overlap — the band is simultaneously valid, the repeated search
+    // marginally valid, and both cover the true quantile with
+    // probability >= C, so disjointness means a bug.
+    let band_cis = band_quantile_cis(&samples, confidence, &max_levels);
+    let spa_cis = repeated_quantile_cis(&samples, confidence, &max_levels);
+    for ((&q, &(b_lo, b_hi)), &(s_lo, s_hi)) in max_levels.iter().zip(&band_cis).zip(&spa_cis) {
+        assert!(
+            b_lo <= s_hi && s_lo <= b_hi,
+            "disjoint intervals at q = {q}: band [{b_lo}, {b_hi}] vs SPA [{s_lo}, {s_hi}]"
+        );
+    }
+
+    let points = ks
+        .iter()
+        .map(|&k| {
+            let qs = levels(k);
+            let band_ns = mean_ns(iters, || {
+                black_box(band_quantile_cis(black_box(&samples), confidence, &qs));
+            });
+            let repeated_ns = mean_ns(iters, || {
+                black_box(repeated_quantile_cis(black_box(&samples), confidence, &qs));
+            });
+            KPoint {
+                k,
+                band_ns,
+                repeated_ns,
+                speedup: repeated_ns as f64 / band_ns.max(1) as f64,
+            }
+        })
+        .collect();
+
+    // One extra pass with counter deltas around it.
+    let before = global().snapshot();
+    let _ = band_quantile_cis(&samples, confidence, &max_levels);
+    let after = global().snapshot();
+    let delta = |name: &str| after.counter(name).unwrap_or(0) - before.counter(name).unwrap_or(0);
+
+    Pr9Report {
+        bench: "pr9_band",
+        samples: samples.len() as u64,
+        confidence,
+        points,
+        band_builds_per_pass: delta(obs_names::BAND_BUILDS),
+        quantile_queries_per_pass: delta(obs_names::BAND_QUANTILE_QUERIES),
+    }
+}
+
+/// The canonical output location: `BENCH_pr9.json` at the workspace
+/// root, next to `Cargo.toml`.
+pub fn default_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pr9.json")
+}
+
+/// Serializes `report` as pretty JSON (with a trailing newline) to
+/// `path`.
+///
+/// # Errors
+///
+/// I/O failures writing the file.
+pub fn write_json(report: &Pr9Report, path: &Path) -> std::io::Result<()> {
+    let mut text = serde_json::to_string_pretty(report).expect("report serializes");
+    text.push('\n');
+    std::fs::write(path, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_serializes_with_required_fields() {
+        let report = Pr9Report {
+            bench: "pr9_band",
+            samples: 64,
+            confidence: 0.9,
+            points: vec![KPoint {
+                k: 4,
+                band_ns: 1_000,
+                repeated_ns: 9_000,
+                speedup: 9.0,
+            }],
+            band_builds_per_pass: 1,
+            quantile_queries_per_pass: 8,
+        };
+        let v: serde_json::Value =
+            serde_json::from_str(&serde_json::to_string(&report).unwrap()).unwrap();
+        assert_eq!(v["bench"], "pr9_band");
+        assert_eq!(v["points"][0]["k"], 4);
+        assert!(v["points"][0]["speedup"].as_f64().unwrap() > 1.0);
+        assert_eq!(v["band_builds_per_pass"], 1);
+    }
+
+    #[test]
+    fn band_and_repeated_answers_overlap_on_synthetic_data() {
+        // Cheap cross-check that does not touch the simulator.
+        let xs: Vec<f64> = (0..80).map(|i| (i as f64 * 0.37).sin() + 2.0).collect();
+        let qs = levels(8);
+        let band = band_quantile_cis(&xs, 0.9, &qs);
+        let repeated = repeated_quantile_cis(&xs, 0.9, &qs);
+        for ((&q, &(b_lo, b_hi)), &(s_lo, s_hi)) in qs.iter().zip(&band).zip(&repeated) {
+            assert!(
+                b_lo <= s_hi && s_lo <= b_hi,
+                "disjoint at q = {q}: band [{b_lo}, {b_hi}] vs SPA [{s_lo}, {s_hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn level_grids_are_interior_and_ascending() {
+        for k in [1, 2, 4, 8] {
+            let qs = levels(k);
+            assert_eq!(qs.len() as u64, k);
+            assert!(qs.iter().all(|&q| 0.0 < q && q < 1.0), "{qs:?}");
+            assert!(qs.windows(2).all(|w| w[0] < w[1]), "{qs:?}");
+        }
+    }
+}

@@ -18,6 +18,7 @@
 //! * `SPA_TRIALS` — trials per evaluation (default 1000),
 //! * `SPA_RESAMPLES` — bootstrap resamples (default 2000).
 
+pub mod band_bench;
 pub mod batch_bench;
 pub mod ci_bench;
 pub mod experiment;

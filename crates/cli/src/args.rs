@@ -42,6 +42,21 @@ impl Default for StatOpts {
     }
 }
 
+/// A whole-CDF band request: which quantile CIs to read off the DKW
+/// band and which CVaR level to bracket. Built whenever `--band`,
+/// `--quantile`, or `--cvar` appears; a bare `--band` asks for
+/// [`DEFAULT_BAND_QUANTILES`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandRequest {
+    /// Quantile levels to answer (canonicalized downstream).
+    pub quantiles: Vec<f64>,
+    /// CVaR level to bracket, when requested.
+    pub cvar_alpha: Option<f64>,
+}
+
+/// The quantiles a bare `--band` asks for: median, P90, and P99.
+pub const DEFAULT_BAND_QUANTILES: [f64; 3] = [0.5, 0.9, 0.99];
+
 /// Noise model selection for `spa simulate`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum NoiseArg {
@@ -68,6 +83,9 @@ pub enum Command {
         all_methods: bool,
         /// Emit the report as JSON instead of text.
         json: bool,
+        /// Report a DKW band (quantile CIs + CVaR) instead of the SPA
+        /// interval.
+        band: Option<BandRequest>,
     },
     /// Single hypothesis test (Table 1 row 1).
     Hypothesis {
@@ -129,8 +147,11 @@ pub enum Command {
     Check {
         /// Benchmark to run.
         benchmark: Benchmark,
-        /// The STL formula source text.
-        property: String,
+        /// The STL formula source text (`None`: band mode).
+        property: Option<String>,
+        /// A DKW band request over the runtime metric — the
+        /// property-free form of `check`.
+        band: Option<BandRequest>,
         /// Report quantitative robustness instead of boolean verdicts.
         robustness: bool,
         /// Number of executions (`None`: the Eq. 8 minimum).
@@ -362,6 +383,9 @@ pub fn parse(argv: &[String]) -> Result<Command> {
     let mut width: Option<f64> = None;
     let mut max_samples = 4096u64;
     let mut confidence_set = false;
+    let mut band = false;
+    let mut quantiles: Vec<f64> = Vec::new();
+    let mut cvar: Option<f64> = None;
 
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -454,6 +478,13 @@ pub fn parse(argv: &[String]) -> Result<Command> {
             "--max-samples" => {
                 max_samples = parse_u64(arg, parse_flag_value(arg, &mut it)?)?;
             }
+            "--band" => band = true,
+            "--quantile" | "-q" => {
+                quantiles.push(parse_f64(arg, parse_flag_value(arg, &mut it)?)?);
+            }
+            "--cvar" => {
+                cvar = Some(parse_f64(arg, parse_flag_value(arg, &mut it)?)?);
+            }
             other if other.starts_with('-') => {
                 return Err(CliError::Usage(format!("unknown flag `{other}`")));
             }
@@ -472,6 +503,23 @@ pub fn parse(argv: &[String]) -> Result<Command> {
         file.ok_or_else(|| CliError::Usage("this command needs an input file".into()))
     };
 
+    // `--quantile` or `--cvar` implies a band request; a bare `--band`
+    // asks for the default quantile set. Value validation (strictly
+    // inside (0, 1)) happens downstream with typed errors.
+    let band_request = if band || !quantiles.is_empty() || cvar.is_some() {
+        let quantiles = if quantiles.is_empty() && cvar.is_none() {
+            DEFAULT_BAND_QUANTILES.to_vec()
+        } else {
+            quantiles
+        };
+        Some(BandRequest {
+            quantiles,
+            cvar_alpha: cvar,
+        })
+    } else {
+        None
+    };
+
     match cmd.as_str() {
         "analyze" => Ok(Command::Analyze {
             file: need_file(file)?,
@@ -479,6 +527,7 @@ pub fn parse(argv: &[String]) -> Result<Command> {
             stat,
             all_methods,
             json,
+            band: band_request,
         }),
         "hypothesis" => Ok(Command::Hypothesis {
             file: need_file(file)?,
@@ -520,20 +569,35 @@ pub fn parse(argv: &[String]) -> Result<Command> {
             fault,
             json,
         }),
-        "check" => Ok(Command::Check {
-            benchmark: benchmark
-                .ok_or_else(|| CliError::Usage("check needs --benchmark".into()))?,
-            property: property.ok_or_else(|| CliError::Usage("check needs --property".into()))?,
-            robustness,
-            runs,
-            seed_start,
-            l2_kib,
-            noise,
-            threads,
-            retries,
-            stat,
-            json,
-        }),
+        "check" => {
+            if property.is_some() && band_request.is_some() {
+                return Err(CliError::Usage(
+                    "check takes --property or a band request (--band/--quantile/--cvar), \
+                     not both"
+                        .into(),
+                ));
+            }
+            if property.is_none() && band_request.is_none() {
+                return Err(CliError::Usage(
+                    "check needs --property or a band request (--band/--quantile/--cvar)".into(),
+                ));
+            }
+            Ok(Command::Check {
+                benchmark: benchmark
+                    .ok_or_else(|| CliError::Usage("check needs --benchmark".into()))?,
+                property,
+                band: band_request,
+                robustness,
+                runs,
+                seed_start,
+                l2_kib,
+                noise,
+                threads,
+                retries,
+                stat,
+                json,
+            })
+        }
         "serve" => Ok(Command::Serve {
             addr,
             workers,
@@ -545,39 +609,53 @@ pub fn parse(argv: &[String]) -> Result<Command> {
         "submit" => {
             let benchmark =
                 benchmark.ok_or_else(|| CliError::Usage("submit needs --benchmark".into()))?;
-            let mode = match (property, threshold) {
-                (Some(_), Some(_)) => {
+            let mode = if let Some(req) = band_request {
+                if property.is_some() || threshold.is_some() || stream {
                     return Err(CliError::Usage(
-                        "submit takes --property or --threshold, not both".into(),
-                    ))
+                        "submit band mode (--band/--quantile/--cvar) excludes --property, \
+                         --threshold, and --stream"
+                            .into(),
+                    ));
                 }
-                (Some(_), None) if stream => {
-                    return Err(CliError::Usage(
-                        "submit --stream works on a threshold property, not --property".into(),
-                    ))
+                ModeSpec::Band {
+                    quantiles: req.quantiles,
+                    cvar_alpha: req.cvar_alpha,
                 }
-                (Some(formula), None) => ModeSpec::Property {
-                    formula,
-                    robustness,
-                },
-                (None, Some(threshold)) if stream => ModeSpec::Streaming {
-                    direction: stat.direction,
-                    threshold,
-                    boundary,
-                    target_width: width,
-                    max_samples,
-                },
-                (None, Some(threshold)) => ModeSpec::Hypothesis {
-                    direction: stat.direction,
-                    threshold,
-                    max_rounds,
-                },
-                (None, None) if stream => {
-                    return Err(CliError::Usage("submit --stream needs --threshold".into()))
+            } else {
+                match (property, threshold) {
+                    (Some(_), Some(_)) => {
+                        return Err(CliError::Usage(
+                            "submit takes --property or --threshold, not both".into(),
+                        ))
+                    }
+                    (Some(_), None) if stream => {
+                        return Err(CliError::Usage(
+                            "submit --stream works on a threshold property, not --property".into(),
+                        ))
+                    }
+                    (Some(formula), None) => ModeSpec::Property {
+                        formula,
+                        robustness,
+                    },
+                    (None, Some(threshold)) if stream => ModeSpec::Streaming {
+                        direction: stat.direction,
+                        threshold,
+                        boundary,
+                        target_width: width,
+                        max_samples,
+                    },
+                    (None, Some(threshold)) => ModeSpec::Hypothesis {
+                        direction: stat.direction,
+                        threshold,
+                        max_rounds,
+                    },
+                    (None, None) if stream => {
+                        return Err(CliError::Usage("submit --stream needs --threshold".into()))
+                    }
+                    (None, None) => ModeSpec::Interval {
+                        direction: stat.direction,
+                    },
                 }
-                (None, None) => ModeSpec::Interval {
-                    direction: stat.direction,
-                },
             };
             let noise = match noise {
                 NoiseArg::Paper => NoiseSpec::Paper,
@@ -650,6 +728,7 @@ mod tests {
                 stat: StatOpts::default(),
                 all_methods: false,
                 json: false,
+                band: None,
             }
         );
     }
@@ -983,6 +1062,7 @@ mod tests {
             Command::Check {
                 benchmark,
                 property,
+                band,
                 robustness,
                 runs,
                 seed_start,
@@ -994,7 +1074,8 @@ mod tests {
                 json,
             } => {
                 assert_eq!(benchmark, Benchmark::Ferret);
-                assert_eq!(property, "G[0,end](ipc>0.8)");
+                assert_eq!(property.as_deref(), Some("G[0,end](ipc>0.8)"));
+                assert_eq!(band, None);
                 assert!(!robustness);
                 assert_eq!(runs, None);
                 assert_eq!(seed_start, 0);
@@ -1024,7 +1105,7 @@ mod tests {
                 json,
                 ..
             } => {
-                assert_eq!(property, "F[0,100](occupancy>=1)");
+                assert_eq!(property.as_deref(), Some("F[0,100](occupancy>=1)"));
                 assert!(robustness);
                 assert_eq!(runs, Some(8));
                 assert_eq!(seed_start, 42);
@@ -1042,6 +1123,120 @@ mod tests {
     fn check_requires_benchmark_and_property() {
         assert!(parse(&argv("check -p G[0,end](ipc>0.8)")).is_err());
         assert!(parse(&argv("check -b ferret")).is_err());
+    }
+
+    #[test]
+    fn check_band_request_replaces_the_property() {
+        let c = parse(&argv("check -b blackscholes --quantile 0.99 --cvar 0.95")).unwrap();
+        match c {
+            Command::Check { property, band, .. } => {
+                assert_eq!(property, None);
+                assert_eq!(
+                    band,
+                    Some(BandRequest {
+                        quantiles: vec![0.99],
+                        cvar_alpha: Some(0.95),
+                    })
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        // A bare --band asks for the default quantile set.
+        let c = parse(&argv("check -b ferret --band")).unwrap();
+        match c {
+            Command::Check { band, .. } => {
+                assert_eq!(
+                    band,
+                    Some(BandRequest {
+                        quantiles: DEFAULT_BAND_QUANTILES.to_vec(),
+                        cvar_alpha: None,
+                    })
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        // -q is repeatable; an explicit --cvar alone keeps quantiles
+        // empty instead of injecting defaults.
+        let c = parse(&argv("check -b ferret -q 0.5 -q 0.9 --cvar 0.9")).unwrap();
+        match c {
+            Command::Check { band, .. } => {
+                let band = band.unwrap();
+                assert_eq!(band.quantiles, vec![0.5, 0.9]);
+                assert_eq!(band.cvar_alpha, Some(0.9));
+            }
+            other => panic!("{other:?}"),
+        }
+        let c = parse(&argv("check -b ferret --cvar 0.9")).unwrap();
+        match c {
+            Command::Check { band, .. } => {
+                assert_eq!(
+                    band,
+                    Some(BandRequest {
+                        quantiles: vec![],
+                        cvar_alpha: Some(0.9),
+                    })
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        // A property and a band request are mutually exclusive.
+        assert!(parse(&argv("check -b ferret -p G[0,end](ipc>0.8) --band")).is_err());
+        assert!(parse(&argv("check -b ferret -p G[0,end](ipc>0.8) -q 0.5")).is_err());
+        assert!(parse(&argv("check -b ferret --quantile")).is_err());
+        assert!(parse(&argv("check -b ferret --cvar ninety")).is_err());
+    }
+
+    #[test]
+    fn analyze_band_flags_build_a_request() {
+        let c = parse(&argv("analyze data.txt --band -q 0.5 --cvar 0.95 --json")).unwrap();
+        match c {
+            Command::Analyze { band, json, .. } => {
+                assert!(json);
+                assert_eq!(
+                    band,
+                    Some(BandRequest {
+                        quantiles: vec![0.5],
+                        cvar_alpha: Some(0.95),
+                    })
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        let c = parse(&argv("analyze data.txt")).unwrap();
+        match c {
+            Command::Analyze { band, .. } => assert_eq!(band, None),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn submit_band_flags_select_band_mode() {
+        let c = parse(&argv("submit -b ferret -q 0.9 -q 0.5 --cvar 0.95")).unwrap();
+        let Command::Submit { spec, .. } = c else {
+            panic!("{c:?}");
+        };
+        assert_eq!(
+            spec.mode,
+            ModeSpec::Band {
+                quantiles: vec![0.9, 0.5],
+                cvar_alpha: Some(0.95),
+            }
+        );
+        let c = parse(&argv("submit -b ferret --band")).unwrap();
+        let Command::Submit { spec, .. } = c else {
+            panic!("{c:?}");
+        };
+        assert_eq!(
+            spec.mode,
+            ModeSpec::Band {
+                quantiles: DEFAULT_BAND_QUANTILES.to_vec(),
+                cvar_alpha: None,
+            }
+        );
+        // Band mode excludes the other mode selectors.
+        assert!(parse(&argv("submit -b ferret --band -t 1.5")).is_err());
+        assert!(parse(&argv("submit -b ferret --band -p G[0,end](ipc>0.8)")).is_err());
+        assert!(parse(&argv("submit -b ferret --band --stream")).is_err());
     }
 
     #[test]

@@ -10,8 +10,9 @@ use rand::SeedableRng;
 use spa_baselines::bootstrap::bca_ci;
 use spa_baselines::rank::rank_ci_normal;
 use spa_baselines::zscore::z_ci;
+use spa_core::band::BandReport;
 use spa_core::clopper_pearson::Assertion;
-use spa_core::fault::{derive_retry_seed, FailureCounts, RetryPolicy, SampleError};
+use spa_core::fault::{derive_retry_seed, FailureCounts, RetryPolicy, SampleBatch, SampleError};
 use spa_core::min_samples::{min_samples, n_negative, n_positive};
 use spa_core::property::MetricProperty;
 use spa_core::spa::{Spa, SpaReport};
@@ -29,7 +30,7 @@ use spa_sim::variability::Variability;
 use spa_sim::workload::parsec::Benchmark;
 use spa_stl::StlError;
 
-use crate::args::{Command, NoiseArg, StatOpts};
+use crate::args::{BandRequest, Command, NoiseArg, StatOpts};
 use crate::data::{read_column, read_column_counted};
 use crate::{CliError, Result, USAGE};
 
@@ -49,7 +50,8 @@ pub fn execute(command: Command) -> Result<String> {
             stat,
             all_methods,
             json,
-        } => analyze(&file, column, &stat, all_methods, json),
+            band,
+        } => analyze(&file, column, &stat, all_methods, json, band.as_ref()),
         Command::Hypothesis {
             file,
             column,
@@ -92,6 +94,7 @@ pub fn execute(command: Command) -> Result<String> {
         Command::Check {
             benchmark,
             property,
+            band,
             robustness,
             runs,
             seed_start,
@@ -104,6 +107,7 @@ pub fn execute(command: Command) -> Result<String> {
         } => check(&CheckOpts {
             benchmark,
             property,
+            band,
             robustness,
             runs,
             seed_start,
@@ -154,7 +158,8 @@ struct SimulateOpts {
 /// Bundled `check` parameters (mirrors [`Command::Check`]).
 struct CheckOpts {
     benchmark: Benchmark,
-    property: String,
+    property: Option<String>,
+    band: Option<BandRequest>,
     robustness: bool,
     runs: Option<u64>,
     seed_start: u64,
@@ -204,12 +209,19 @@ fn render_parse_error(formula: &str, position: usize, len: usize, message: &str)
 }
 
 fn check(opts: &CheckOpts) -> Result<String> {
-    let formula = spa_stl::parser::parse(&opts.property).map_err(|e| match e {
+    if let Some(req) = &opts.band {
+        return check_band(opts, req);
+    }
+    let property = opts
+        .property
+        .as_deref()
+        .expect("the parser guarantees a property when no band is requested");
+    let formula = spa_stl::parser::parse(property).map_err(|e| match e {
         StlError::Parse {
             position,
             len,
             message,
-        } => CliError::Usage(render_parse_error(&opts.property, position, len, &message)),
+        } => CliError::Usage(render_parse_error(property, position, len, &message)),
         other => CliError::Usage(format!("invalid property: {other}")),
     })?;
     let config = SystemConfig::table2()
@@ -295,6 +307,120 @@ fn check(opts: &CheckOpts) -> Result<String> {
     Ok(out)
 }
 
+/// The property-free form of `spa check`: collect the Eq. 8 population
+/// (or `--runs`) of seeded runtime samples and answer every quantile
+/// and CVaR query from one simultaneous DKW band.
+///
+/// The same retry scheme as `simulate` (attempt `k` re-rolls a derived
+/// seed) and the same determinism contract: results return in seed
+/// order for every `--jobs` value, so the report never depends on
+/// parallelism.
+fn check_band(opts: &CheckOpts, req: &BandRequest) -> Result<String> {
+    let config = SystemConfig::table2().with_l2_capacity(opts.l2_kib * 1024);
+    let spec = opts.benchmark.workload();
+    let machine = Machine::new(config, &spec)?.with_variability(variability_for(opts.noise));
+    let spa = spa_for(&opts.stat)?;
+    let total = opts.runs.unwrap_or_else(|| spa.required_samples());
+    if opts.seed_start.checked_add(total).is_none() {
+        return Err(CliError::Input(format!(
+            "seed range {}..+{total} overflows u64",
+            opts.seed_start
+        )));
+    }
+    let outcomes = spa_sim::batch::batch_map(total, opts.threads.max(1), |index| {
+        let seed = opts.seed_start + index;
+        let mut counts = FailureCounts::default();
+        let mut metrics = None;
+        for attempt in 0..=opts.retries {
+            if attempt > 0 {
+                counts.retries += 1;
+            }
+            let derived = derive_retry_seed(seed, attempt);
+            match run_attempt(&machine, derived, &FaultSpec::none(), None) {
+                Ok(m) => {
+                    metrics = Some(m);
+                    break;
+                }
+                Err(e) => counts.record(&e),
+            }
+        }
+        if metrics.is_none() {
+            counts.abandoned_seeds += 1;
+        }
+        (metrics, counts)
+    });
+    let mut failures = FailureCounts::default();
+    let mut samples = Vec::new();
+    for (metrics, counts) in outcomes {
+        failures.merge(&counts);
+        if let Some(m) = metrics {
+            samples.push(Metric::RuntimeSeconds.extract(&m));
+        }
+    }
+    let batch = SampleBatch {
+        samples,
+        failures,
+        requested: total,
+    };
+    let report =
+        BandReport::from_batch(&batch, opts.stat.confidence, &req.quantiles, req.cvar_alpha)?;
+    if opts.json {
+        return to_json_line(&report);
+    }
+    Ok(render_band_report(
+        &report,
+        &format!("{} runtime", opts.benchmark),
+    ))
+}
+
+/// Renders a band report as text: the simultaneous band parameters, one
+/// line per quantile CI (`-inf`/`+inf` for endpoints the band cannot
+/// bound at this sample count), and the CVaR brackets for both tails.
+fn render_band_report(report: &BandReport, subject: &str) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "DKW band over {subject}: {} samples, eps = {:.6}, {:.1}% simultaneous confidence",
+        report.samples,
+        report.epsilon,
+        report.confidence * 100.0,
+    )
+    .expect("write to string");
+    writeln!(
+        out,
+        "observed support: [{:.6}, {:.6}]",
+        report.min, report.max
+    )
+    .expect("write to string");
+    for q in &report.quantiles {
+        let lo = q
+            .lower
+            .map_or_else(|| "-inf".to_string(), |v| format!("{v:.6}"));
+        let hi = q
+            .upper
+            .map_or_else(|| "+inf".to_string(), |v| format!("{v:.6}"));
+        writeln!(out, "  q = {:<5} in [{lo}, {hi}]", q.q).expect("write to string");
+    }
+    if let Some(cvar) = &report.cvar {
+        writeln!(
+            out,
+            "  CVaR[{}] upper tail in [{:.6}, {:.6}]",
+            cvar.alpha, cvar.upper_tail.lower, cvar.upper_tail.upper,
+        )
+        .expect("write to string");
+        writeln!(
+            out,
+            "  CVaR[{}] lower tail in [{:.6}, {:.6}]",
+            cvar.alpha, cvar.lower_tail.lower, cvar.lower_tail.upper,
+        )
+        .expect("write to string");
+    }
+    if !report.failures.is_clean() {
+        writeln!(out, "failures: {}", report.failures).expect("write to string");
+    }
+    out
+}
+
 fn to_json_line<T: serde::Serialize>(value: &T) -> Result<String> {
     let mut s = serde_json::to_string_pretty(value)
         .map_err(|e| CliError::Input(format!("cannot serialize report: {e}")))?;
@@ -340,13 +466,42 @@ fn analyze(
     stat: &StatOpts,
     all_methods: bool,
     json: bool,
+    band: Option<&BandRequest>,
 ) -> Result<String> {
     if json && all_methods {
         return Err(CliError::Usage(
             "--json cannot be combined with --all-methods".into(),
         ));
     }
+    if band.is_some() && all_methods {
+        return Err(CliError::Usage(
+            "--band cannot be combined with --all-methods".into(),
+        ));
+    }
     let (samples, skipped) = read_column_counted(file, column)?;
+    if let Some(req) = band {
+        // The DKW band is valid at every sample count (small n just
+        // widens eps toward vacuity), so no Eq. 8 floor applies here.
+        let report =
+            BandReport::from_samples(&samples, stat.confidence, &req.quantiles, req.cvar_alpha)?;
+        if json {
+            return to_json_line(&report);
+        }
+        let mut out = String::new();
+        writeln!(
+            out,
+            "{} samples from {file} (column {column}){}",
+            samples.len(),
+            if skipped > 0 {
+                format!(", skipped {skipped} non-numeric rows")
+            } else {
+                String::new()
+            }
+        )
+        .expect("write to string");
+        out.push_str(&render_band_report(&report, &format!("column {column}")));
+        return Ok(out);
+    }
     let spa = spa_for(stat)?;
     let needed = spa.required_samples();
     if (samples.len() as u64) < needed {
@@ -818,6 +973,9 @@ fn submit_job(addr: &str, spec: &JobSpec, json: bool) -> Result<String> {
             if !report.failures.is_clean() {
                 writeln!(out, "failures: {}", report.failures).expect("write to string");
             }
+        }
+        JobResult::Band { report } => {
+            out.push_str(&render_band_report(report, "the sampled metric"));
         }
         JobResult::Hypothesis { outcome: rounds } => match rounds.outcome {
             Some(o) => {
@@ -1423,6 +1581,86 @@ mod tests {
         assert_eq!(v["robustness"], true);
         assert!(v["robustness_interval"].is_object(), "{v}");
         assert!(v["satisfaction_rate"].is_number(), "{v}");
+    }
+
+    #[test]
+    fn analyze_band_reports_quantiles_and_cvar() {
+        let file = sample_file();
+        let out = execute(
+            parse(&argv(&format!(
+                "analyze {file} --band -q 0.5 -q 0.9 --cvar 0.9"
+            )))
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("DKW band"), "{out}");
+        assert!(out.contains("q = 0.5"), "{out}");
+        assert!(out.contains("q = 0.9"), "{out}");
+        assert!(out.contains("CVaR[0.9] upper tail"), "{out}");
+        assert!(out.contains("CVaR[0.9] lower tail"), "{out}");
+        // n = 30 at C = 0.9 gives eps ≈ 0.22, so the q = 0.9 upper
+        // endpoint is unbounded and renders as +inf.
+        assert!(out.contains("+inf"), "{out}");
+    }
+
+    #[test]
+    fn analyze_band_json_round_trips_and_rejects_all_methods() {
+        let file = sample_file();
+        let out = execute(parse(&argv(&format!("analyze {file} --band --json"))).unwrap()).unwrap();
+        let report: spa_core::band::BandReport = serde_json::from_str(&out).unwrap();
+        assert_eq!(report.samples, 30);
+        assert_eq!(report.quantiles.len(), 3); // the default set
+        assert!(report.cvar.is_none());
+        assert!(report.epsilon > 0.0);
+
+        let err = execute(parse(&argv(&format!("analyze {file} --band --all-methods"))).unwrap())
+            .unwrap_err();
+        assert!(err.to_string().contains("--all-methods"), "{err}");
+    }
+
+    #[test]
+    fn analyze_band_has_no_min_sample_floor() {
+        // Three samples are far below the Eq. 8 floor of 22, but the
+        // band is still valid — just wide (here: fully vacuous).
+        let file = temp_file("spa_cli_test_band_tiny.txt", "1.0\n2.0\n3.0\n");
+        let out = execute(parse(&argv(&format!("analyze {file} --band"))).unwrap()).unwrap();
+        assert!(out.contains("3 samples"), "{out}");
+        assert!(out.contains("DKW band"), "{out}");
+    }
+
+    #[test]
+    fn check_band_end_to_end() {
+        let out = execute(
+            parse(&argv(
+                "check -b blackscholes --quantile 0.99 --cvar 0.95 --noise jitter:0",
+            ))
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(out.contains("DKW band over blackscholes runtime"), "{out}");
+        assert!(out.contains("22 samples"), "{out}");
+        assert!(out.contains("q = 0.99"), "{out}");
+        assert!(out.contains("CVaR[0.95]"), "{out}");
+    }
+
+    #[test]
+    fn check_band_json_is_byte_identical_across_thread_counts() {
+        let run = |threads: usize| {
+            execute(
+                parse(&argv(&format!(
+                    "check -b blackscholes -q 0.5 --cvar 0.9 -n 12 --seed-start 9 \
+                     --noise jitter:2 --threads {threads} --json"
+                )))
+                .unwrap(),
+            )
+            .unwrap()
+        };
+        let one = run(1);
+        assert_eq!(one, run(4), "band must not depend on parallelism");
+        let report: spa_core::band::BandReport = serde_json::from_str(&one).unwrap();
+        assert_eq!(report.samples, 12);
+        assert_eq!(report.requested, 12);
+        assert!(report.failures.is_clean());
     }
 
     #[test]

@@ -57,6 +57,7 @@ spa — SMC for Processor Analysis (statistically rigorous evaluation)
 USAGE:
   spa analyze <file> [--column N] [--confidence C] [--proportion F]
               [--direction at-most|at-least] [--all-methods] [--json]
+              [--band] [--quantile Q]... [--cvar A]
   spa hypothesis <file> --threshold T [--column N] [--confidence C]
               [--proportion F] [--direction at-most|at-least]
   spa sweep <file> --from A --to B --step S [--column N]
@@ -66,7 +67,8 @@ USAGE:
               [--l2-kb KB] [--noise paper|jitter:N|real-machine]
               [--jobs N] [--out FILE] [--retries N] [--timeout SECS]
               [--fault crash=P,timeout=P,nan=P] [--json]
-  spa check   --benchmark NAME --property FORMULA [--robustness]
+  spa check   --benchmark NAME (--property FORMULA [--robustness]
+              | --band | --quantile Q ... | --cvar A)
               [--runs N] [--seed-start S] [--l2-kb KB]
               [--noise paper|jitter:N|real-machine] [--jobs N]
               [--retries N] [--confidence C] [--proportion F] [--json]
@@ -74,6 +76,7 @@ USAGE:
               [--threads N] [--state-dir DIR] [--deadline MS]
   spa submit  --benchmark NAME [--addr HOST:PORT] [--threshold T]
               [--property FORMULA] [--robustness]
+              [--band] [--quantile Q]... [--cvar A]
               [--stream] [--boundary betting|hoeffding] [--width W]
               [--max-samples N]
               [--system table2|l2-small|l2-large] [--metric KEY]
@@ -119,6 +122,13 @@ trace, e.g. `spa check -b ferret --property \"G[0,end](ipc > 0.8)\"`;
 traced signals are ipc, l1d_miss_rate, l2_miss_rate, and occupancy.
 --runs defaults to the Eq. 8 minimum; --robustness reports quantitative
 margins with a confidence interval instead of boolean verdicts.
+Band mode (--band, --quantile, --cvar on analyze, check, and submit)
+builds one simultaneous DKW confidence band over the whole empirical
+CDF and reads every requested quantile CI plus both-tail CVaR bounds
+off that single band, e.g.
+`spa check -b blackscholes --quantile 0.99 --cvar 0.95`. A bare --band
+asks for the median, P90, and P99; --quantile is repeatable; check's
+band mode samples the runtime metric and needs no --property.
 Simulate retries failed executions up to --retries extra times (default
 2), discards runs exceeding the soft --timeout budget, and can inject
 faults with --fault for robustness experiments; failure counts are

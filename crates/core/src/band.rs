@@ -1,0 +1,773 @@
+//! Whole-CDF confidence bands, quantile CIs, and CVaR bounds via the
+//! Dvoretzky–Kiefer–Wolfowitz (DKW) inequality.
+//!
+//! SPA's threshold search ([`ci`](crate::ci)) answers *one* quantile
+//! question per construction: every new proportion `F` re-runs the
+//! Clopper–Pearson bisection over the sample set. The DKW inequality
+//! ("Statistical Model Checking Beyond Means", see PAPERS.md) gives a
+//! *simultaneous* guarantee instead: with probability at least `C`, the
+//! entire true CDF lies within `±ε` of the empirical CDF, where
+//!
+//! ```text
+//! ε = sqrt( ln(2 / (1 − C)) / (2 n) )
+//! ```
+//!
+//! is the exact finite-sample constant of Massart's tight version of the
+//! inequality (valid at every `n ≥ 1`, no asymptotics). One band
+//! therefore yields confidence intervals for *all* quantiles at once —
+//! each a constant-time order-statistic read-off against PR 4's
+//! [`SortedSamples`] index — plus bounds on tail-risk functionals
+//! (CVaR / expected shortfall) by integrating the band envelopes over
+//! the sorted samples.
+//!
+//! # Quantile read-off
+//!
+//! On the event that the band holds, the true `q`-quantile is bracketed
+//! by the points where the band envelopes cross `q`: the lower endpoint
+//! is the smallest sample at which the *upper* envelope reaches `q`
+//! (the order statistic of rank `⌈n (q − ε)⌉`), the upper endpoint the
+//! smallest sample at which the *lower* envelope reaches `q` (rank
+//! `⌈n (q + ε)⌉`). A rank that falls off the sample range means the
+//! band cannot bound that side — the endpoint is honestly reported as
+//! unbounded ([`None`]) rather than clamped.
+//!
+//! # CVaR envelopes
+//!
+//! `CVaR_α` is the average of the quantile function over a tail:
+//! `(1/(1−α)) ∫_α^1 Q(u) du` for the upper tail (expected shortfall of
+//! the worst `1−α` fraction of the highest outcomes) and
+//! `(1/(1−α)) ∫_0^{1−α} Q(u) du` for the lower tail. Since a larger CDF
+//! means a smaller quantile function, the band's envelopes bracket
+//! `Q(u)` between two shifted empirical quantile functions, and the tail
+//! integrals of those step functions bracket the true CVaR. Where a
+//! shifted rank leaves `(0, 1]`, the envelope is clamped to the observed
+//! extremes — so the CVaR bounds are exact under a bounded-support
+//! assumption anchored at the sample min/max (the usual SMC setting of
+//! bounded reward; see DESIGN.md § CDF bands and tail risk).
+//!
+//! Everything here is pure arithmetic over one [`SortedSamples`] index:
+//! no Clopper–Pearson evaluations, no threshold bisection — which is why
+//! `k` quantile queries from one band beat `k` repeated per-quantile
+//! SPA searches (BENCH_pr9.json enforces the margin in CI).
+
+use serde::{Deserialize, Serialize};
+
+use crate::ci_engine::SortedSamples;
+use crate::fault::{FailureCounts, SampleBatch};
+use crate::obs_names;
+use crate::{CoreError, Result};
+use spa_obs::metrics::global;
+
+/// A simultaneous two-sided DKW confidence band over the empirical CDF
+/// of one sample set.
+///
+/// # Examples
+///
+/// ```
+/// use spa_core::band::CdfBand;
+/// use spa_core::ci_engine::SortedSamples;
+///
+/// # fn main() -> Result<(), spa_core::CoreError> {
+/// let samples: Vec<f64> = (1..=100).map(f64::from).collect();
+/// let index = SortedSamples::new(&samples)?;
+/// let band = CdfBand::dkw(&index, 0.9)?;
+/// // One band answers every quantile question on this sample set.
+/// let median = band.quantile_ci(0.5)?;
+/// assert!(median.lower.unwrap() < 50.0 && median.upper.unwrap() > 50.0);
+/// let p90 = band.quantile_ci(0.9)?;
+/// assert!(p90.lower.unwrap() >= median.lower.unwrap());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CdfBand {
+    sorted: Vec<f64>,
+    confidence: f64,
+    epsilon: f64,
+}
+
+/// A confidence interval for one quantile, read off a [`CdfBand`].
+///
+/// `None` endpoints are honest: a rank pushed outside `(0, 1]` by the
+/// band's half-width means the data cannot bound that side at this
+/// confidence (common for extreme quantiles at small `n`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuantileCi {
+    /// The quantile the interval targets.
+    pub q: f64,
+    /// Lower endpoint (`None` = unbounded below).
+    pub lower: Option<f64>,
+    /// Upper endpoint (`None` = unbounded above).
+    pub upper: Option<f64>,
+}
+
+impl QuantileCi {
+    /// Whether `value` lies inside the (possibly half-unbounded)
+    /// interval.
+    pub fn covers(&self, value: f64) -> bool {
+        self.lower.is_none_or(|l| value >= l) && self.upper.is_none_or(|u| value <= u)
+    }
+
+    /// Interval width; infinite when either side is unbounded.
+    pub fn width(&self) -> f64 {
+        match (self.lower, self.upper) {
+            (Some(l), Some(u)) => u - l,
+            _ => f64::INFINITY,
+        }
+    }
+}
+
+/// Lower/upper bounds on one tail's CVaR, from the band envelopes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TailBounds {
+    /// Lower bound on the tail expectation.
+    pub lower: f64,
+    /// Upper bound on the tail expectation.
+    pub upper: f64,
+}
+
+impl TailBounds {
+    /// Whether `value` lies inside the closed bounds.
+    pub fn covers(&self, value: f64) -> bool {
+        self.lower <= value && value <= self.upper
+    }
+}
+
+/// CVaR bounds at one level `α`, for both tails.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CvarCi {
+    /// The CVaR level `α` (both tails average a `1 − α` mass).
+    pub alpha: f64,
+    /// Bounds on `(1/(1−α)) ∫_α^1 Q(u) du` — the expected shortfall of
+    /// the highest `1 − α` fraction of outcomes.
+    pub upper_tail: TailBounds,
+    /// Bounds on `(1/(1−α)) ∫_0^{1−α} Q(u) du` — the expectation of the
+    /// lowest `1 − α` fraction of outcomes.
+    pub lower_tail: TailBounds,
+}
+
+/// A level parameter (confidence, quantile, CVaR α) must lie strictly
+/// inside the unit interval.
+fn check_unit_open(name: &'static str, v: f64) -> Result<()> {
+    if v.is_finite() && 0.0 < v && v < 1.0 {
+        Ok(())
+    } else {
+        Err(CoreError::InvalidParameter {
+            name,
+            value: v,
+            expected: "a value strictly inside (0, 1)",
+        })
+    }
+}
+
+impl CdfBand {
+    /// Builds the DKW band at confidence `C` over an existing
+    /// [`SortedSamples`] index: `ε = sqrt(ln(2/(1−C)) / (2n))`, the
+    /// exact finite-sample constant (Massart's tight DKW).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] for a confidence outside `(0, 1)`.
+    pub fn dkw(index: &SortedSamples, confidence: f64) -> Result<Self> {
+        check_unit_open("confidence", confidence)?;
+        let n = index.len() as f64;
+        let alpha = 1.0 - confidence;
+        let epsilon = ((2.0 / alpha).ln() / (2.0 * n)).sqrt();
+        global().counter(obs_names::BAND_BUILDS).incr();
+        Ok(Self {
+            sorted: index.values().to_vec(),
+            confidence,
+            epsilon,
+        })
+    }
+
+    /// Convenience constructor: index the raw samples, then
+    /// [`dkw`](Self::dkw).
+    ///
+    /// # Errors
+    ///
+    /// As [`SortedSamples::new`] plus [`dkw`](Self::dkw).
+    pub fn from_samples(samples: &[f64], confidence: f64) -> Result<Self> {
+        let index = SortedSamples::new(samples)?;
+        Self::dkw(&index, confidence)
+    }
+
+    /// The simultaneous confidence level `C` of the band.
+    pub fn confidence(&self) -> f64 {
+        self.confidence
+    }
+
+    /// The band half-width `ε`. A value `≥ 1` means the sample set is
+    /// too small for this confidence and the band is vacuous.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Number of samples `n`.
+    pub fn len(&self) -> u64 {
+        self.sorted.len() as u64
+    }
+
+    /// Always false — [`SortedSamples`] rejects empty sample sets.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("construction rejects empty data")
+    }
+
+    /// The empirical CDF `F̂(x)` — the fraction of samples `≤ x`.
+    pub fn empirical_cdf(&self, x: f64) -> f64 {
+        if x.is_nan() {
+            return 0.0;
+        }
+        self.sorted.partition_point(|&s| s <= x) as f64 / self.sorted.len() as f64
+    }
+
+    /// The band's lower envelope `max(0, F̂(x) − ε)`: with probability
+    /// `≥ C`, the true CDF is at least this everywhere.
+    pub fn lower_envelope(&self, x: f64) -> f64 {
+        (self.empirical_cdf(x) - self.epsilon).max(0.0)
+    }
+
+    /// The band's upper envelope `min(1, F̂(x) + ε)`: with probability
+    /// `≥ C`, the true CDF is at most this everywhere.
+    pub fn upper_envelope(&self, x: f64) -> f64 {
+        (self.empirical_cdf(x) + self.epsilon).min(1.0)
+    }
+
+    /// The order statistic of rank `⌈n c⌉` for `c ∈ (0, 1]` — the
+    /// partition point where the empirical CDF first reaches `c`.
+    fn order_stat(&self, c: f64) -> f64 {
+        let n = self.sorted.len();
+        let rank = ((c * n as f64).ceil() as usize).clamp(1, n);
+        self.sorted[rank - 1]
+    }
+
+    /// The simultaneous confidence interval for the `q`-quantile, read
+    /// off the band: the lower endpoint is where the upper envelope
+    /// first reaches `q`, the upper endpoint where the lower envelope
+    /// does. Because the whole band holds at once with probability
+    /// `≥ C`, *every* interval this returns covers its true quantile on
+    /// the same event — no multiplicity correction needed across
+    /// queries.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] for `q` outside `(0, 1)`.
+    pub fn quantile_ci(&self, q: f64) -> Result<QuantileCi> {
+        check_unit_open("quantile", q)?;
+        global().counter(obs_names::BAND_QUANTILE_QUERIES).incr();
+        let eps = self.epsilon;
+        // inf{x : F̂(x) + ε ≥ q}: unbounded below once q ≤ ε (the
+        // envelope already clears q left of every sample).
+        let lower = (q > eps).then(|| self.order_stat(q - eps));
+        // inf{x : F̂(x) − ε ≥ q}: unbounded above once q + ε > 1 (the
+        // lower envelope never reaches q inside the sample range).
+        let upper = (q + eps <= 1.0).then(|| self.order_stat(q + eps));
+        Ok(QuantileCi { q, lower, upper })
+    }
+
+    /// `∫_a^b Q̂(v) dv` over the empirical quantile function — the step
+    /// function taking the `i`-th order statistic on `(i/n, (i+1)/n]`.
+    fn quantile_integral(&self, a: f64, b: f64) -> f64 {
+        let n = self.sorted.len();
+        let nf = n as f64;
+        let a = a.clamp(0.0, 1.0);
+        let b = b.clamp(0.0, 1.0);
+        if b <= a {
+            return 0.0;
+        }
+        let first = ((a * nf).floor() as usize).min(n - 1);
+        let last = ((b * nf).ceil() as usize).clamp(first + 1, n);
+        let mut total = 0.0;
+        for i in first..last {
+            let lo = (i as f64 / nf).max(a);
+            let hi = ((i + 1) as f64 / nf).min(b);
+            if hi > lo {
+                total += self.sorted[i] * (hi - lo);
+            }
+        }
+        total
+    }
+
+    /// CVaR bounds at level `α` for both tails, by integrating the band
+    /// envelopes over the sorted samples.
+    ///
+    /// The quantile function is bracketed by the empirical quantile
+    /// function evaluated at ranks shifted by `±ε`; ranks pushed outside
+    /// `(0, 1]` are clamped to the observed extremes, so the bounds are
+    /// exact under a bounded-support assumption anchored at the sample
+    /// min/max (see the module docs). Both tails average a `1 − α`
+    /// mass: the upper tail is the classical expected shortfall of the
+    /// highest outcomes, the lower tail its mirror over the lowest.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] for `α` outside `(0, 1)`.
+    pub fn cvar_ci(&self, alpha: f64) -> Result<CvarCi> {
+        check_unit_open("cvar_alpha", alpha)?;
+        global().counter(obs_names::BAND_CVAR_QUERIES).incr();
+        // A vacuous band (ε ≥ 1) degenerates cleanly to [min, max]
+        // bounds under the same clamped-rank arithmetic.
+        let e = self.epsilon.min(1.0);
+        let (lo_clamp, hi_clamp) = (self.min(), self.max());
+        let tail = 1.0 - alpha;
+
+        // Upper tail: (1/(1−α)) ∫_α^1 Q(u) du with Q bracketed by
+        // Q̂(u − ε) (below) and Q̂(u + ε) (above), clamp mass at the ends.
+        let upper_tail = TailBounds {
+            lower: (lo_clamp * (e - alpha).max(0.0)
+                + self.quantile_integral((alpha - e).max(0.0), 1.0 - e))
+                / tail,
+            upper: (self.quantile_integral((alpha + e).min(1.0), 1.0)
+                + hi_clamp * ((1.0 + e) - (alpha + e).max(1.0)))
+                / tail,
+        };
+        // Lower tail: (1/(1−α)) ∫_0^{1−α} Q(u) du, same bracketing.
+        let lower_tail = TailBounds {
+            lower: (lo_clamp * e.min(tail) + self.quantile_integral(0.0, (tail - e).max(0.0)))
+                / tail,
+            upper: (self.quantile_integral(e, (tail + e).min(1.0))
+                + hi_clamp * (e - alpha).max(0.0))
+                / tail,
+        };
+        Ok(CvarCi {
+            alpha,
+            upper_tail,
+            lower_tail,
+        })
+    }
+}
+
+/// The serializable result of one band construction: the band's
+/// parameters plus the quantile CIs and CVaR bounds that were requested
+/// from it — the payload of `ModeSpec::Band` server jobs and
+/// `spa analyze --band`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BandReport {
+    /// The simultaneous confidence level `C` of the band.
+    pub confidence: f64,
+    /// The DKW half-width `ε = sqrt(ln(2/(1−C)) / (2n))` at the
+    /// *collected* sample count — a shortfall widens the band honestly
+    /// instead of failing the job.
+    pub epsilon: f64,
+    /// Samples the band was built over.
+    pub samples: u64,
+    /// Executions requested (equals [`samples`](Self::samples) on a
+    /// clean collection).
+    pub requested: u64,
+    /// Smallest sample (the lower clamp of the CVaR envelopes).
+    pub min: f64,
+    /// Largest sample (the upper clamp of the CVaR envelopes).
+    pub max: f64,
+    /// One simultaneous CI per requested quantile, in canonical
+    /// (ascending, deduplicated) order.
+    pub quantiles: Vec<QuantileCi>,
+    /// CVaR bounds at the requested level, if one was requested.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub cvar: Option<CvarCi>,
+    /// Per-kind counts of failed sampler attempts (all-zero away from
+    /// the fault-tolerant collection path).
+    pub failures: FailureCounts,
+}
+
+impl BandReport {
+    /// Builds a report from a fault-tolerant collection pass: the band
+    /// is constructed over whatever samples arrived, and the requested
+    /// quantile list is canonicalized (validated, sorted ascending,
+    /// exact-duplicates removed) so respelled requests produce
+    /// byte-identical reports.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::EmptyData`] when the batch collected nothing,
+    /// [`CoreError::InvalidParameter`] for NaN samples or any quantile
+    /// or `cvar_alpha` outside `(0, 1)`, as the underlying
+    /// constructions.
+    pub fn from_batch(
+        batch: &SampleBatch,
+        confidence: f64,
+        quantiles: &[f64],
+        cvar_alpha: Option<f64>,
+    ) -> Result<Self> {
+        let qs = canonical_quantiles(quantiles)?;
+        if let Some(a) = cvar_alpha {
+            check_unit_open("cvar_alpha", a)?;
+        }
+        let index = SortedSamples::new(&batch.samples)?;
+        let band = CdfBand::dkw(&index, confidence)?;
+        let quantiles = qs
+            .iter()
+            .map(|&q| band.quantile_ci(q))
+            .collect::<Result<Vec<_>>>()?;
+        let cvar = cvar_alpha.map(|a| band.cvar_ci(a)).transpose()?;
+        Ok(Self {
+            confidence,
+            epsilon: band.epsilon(),
+            samples: band.len(),
+            requested: batch.requested,
+            min: band.min(),
+            max: band.max(),
+            quantiles,
+            cvar,
+            failures: batch.failures,
+        })
+    }
+
+    /// Builds a report from a clean sample set (no collection
+    /// failures).
+    ///
+    /// # Errors
+    ///
+    /// As [`from_batch`](Self::from_batch).
+    pub fn from_samples(
+        samples: &[f64],
+        confidence: f64,
+        quantiles: &[f64],
+        cvar_alpha: Option<f64>,
+    ) -> Result<Self> {
+        let batch = SampleBatch {
+            samples: samples.to_vec(),
+            failures: FailureCounts::default(),
+            requested: samples.len() as u64,
+        };
+        Self::from_batch(&batch, confidence, quantiles, cvar_alpha)
+    }
+}
+
+/// Validates and canonicalizes a quantile list: every entry strictly
+/// inside `(0, 1)`, sorted ascending, exact duplicates removed. The
+/// same normal form the server's canonical cache key uses, so respelled
+/// lists share one cache slot *and* one report rendering.
+///
+/// # Errors
+///
+/// [`CoreError::InvalidParameter`] for any entry outside `(0, 1)`.
+pub fn canonical_quantiles(quantiles: &[f64]) -> Result<Vec<f64>> {
+    for &q in quantiles {
+        check_unit_open("quantile", q)?;
+    }
+    let mut qs = quantiles.to_vec();
+    qs.sort_by(|a, b| a.partial_cmp(b).expect("validated finite above"));
+    qs.dedup();
+    Ok(qs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ci::ci_exact;
+    use crate::property::Direction;
+    use crate::smc::SmcEngine;
+    use proptest::prelude::*;
+
+    fn band_of(samples: &[f64], c: f64) -> CdfBand {
+        CdfBand::from_samples(samples, c).unwrap()
+    }
+
+    fn assert_close(got: f64, want: f64) {
+        assert!((got - want).abs() < 1e-9, "expected {want}, got {got}");
+    }
+
+    fn assert_tail_close(tail: TailBounds, lower: f64, upper: f64) {
+        assert_close(tail.lower, lower);
+        assert_close(tail.upper, upper);
+    }
+
+    #[test]
+    fn epsilon_is_the_exact_dkw_constant() {
+        // C = 0.9, n = 100: ε = sqrt(ln 20 / 200).
+        let xs: Vec<f64> = (1..=100).map(f64::from).collect();
+        let band = band_of(&xs, 0.9);
+        let want = (20.0_f64.ln() / 200.0).sqrt();
+        assert!((band.epsilon() - want).abs() < 1e-15, "{}", band.epsilon());
+        assert_eq!(band.confidence(), 0.9);
+        assert_eq!(band.len(), 100);
+        assert!(!band.is_empty());
+        // More samples tighten the band; more confidence widens it.
+        let more: Vec<f64> = (1..=400).map(f64::from).collect();
+        assert!(band_of(&more, 0.9).epsilon() < band.epsilon());
+        assert!(band_of(&xs, 0.99).epsilon() > band.epsilon());
+    }
+
+    #[test]
+    fn typed_errors_on_bad_input() {
+        assert!(matches!(
+            CdfBand::from_samples(&[], 0.9),
+            Err(CoreError::EmptyData)
+        ));
+        assert!(matches!(
+            CdfBand::from_samples(&[1.0, f64::NAN], 0.9),
+            Err(CoreError::InvalidParameter {
+                name: "samples",
+                ..
+            })
+        ));
+        for c in [0.0, 1.0, -0.1, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                CdfBand::from_samples(&[1.0, 2.0], c),
+                Err(CoreError::InvalidParameter {
+                    name: "confidence",
+                    ..
+                })
+            ));
+        }
+        let band = band_of(&[1.0, 2.0, 3.0], 0.9);
+        for q in [0.0, 1.0, -1.0, f64::NAN] {
+            assert!(matches!(
+                band.quantile_ci(q),
+                Err(CoreError::InvalidParameter {
+                    name: "quantile",
+                    ..
+                })
+            ));
+            assert!(matches!(
+                band.cvar_ci(q),
+                Err(CoreError::InvalidParameter {
+                    name: "cvar_alpha",
+                    ..
+                })
+            ));
+        }
+    }
+
+    #[test]
+    fn single_sample_band_is_vacuous_but_typed() {
+        // n = 1 at C = 0.9: ε = sqrt(ln 20 / 2) ≈ 1.22 > 1 — the band
+        // cannot bound any quantile, and says so with None endpoints
+        // rather than fabricating finite ones.
+        let band = band_of(&[5.0], 0.9);
+        assert!(band.epsilon() > 1.0);
+        let ci = band.quantile_ci(0.5).unwrap();
+        assert_eq!((ci.lower, ci.upper), (None, None));
+        assert!(ci.covers(-1e300) && ci.covers(1e300));
+        assert!(ci.width().is_infinite());
+        // CVaR bounds degenerate cleanly to the sample point.
+        let cvar = band.cvar_ci(0.9).unwrap();
+        assert_tail_close(cvar.upper_tail, 5.0, 5.0);
+        assert_tail_close(cvar.lower_tail, 5.0, 5.0);
+    }
+
+    #[test]
+    fn all_equal_samples_collapse_bounded_endpoints() {
+        let band = band_of(&[4.0; 200], 0.9);
+        let ci = band.quantile_ci(0.5).unwrap();
+        assert_eq!(ci.lower, Some(4.0));
+        assert_eq!(ci.upper, Some(4.0));
+        assert_eq!(ci.width(), 0.0);
+        let cvar = band.cvar_ci(0.8).unwrap();
+        assert_tail_close(cvar.upper_tail, 4.0, 4.0);
+        assert_tail_close(cvar.lower_tail, 4.0, 4.0);
+    }
+
+    #[test]
+    fn count_satisfying_tie_behavior_is_pinned_at_duplicated_thresholds() {
+        // The band read-off leans on SortedSamples' tie semantics:
+        // AtMost counts x <= t inclusively, AtLeast counts x >= t
+        // inclusively, and the empirical CDF here must agree with the
+        // AtMost count at every duplicated value. Regression-pin all
+        // three at thresholds sitting exactly on runs of duplicates.
+        let xs = [2.0, 2.0, 2.0, 5.0, 7.0, 7.0];
+        let idx = SortedSamples::new(&xs).unwrap();
+        assert_eq!(idx.count_satisfying(Direction::AtMost, 2.0), 3);
+        assert_eq!(idx.count_satisfying(Direction::AtLeast, 2.0), 6);
+        assert_eq!(idx.count_satisfying(Direction::AtMost, 5.0), 4);
+        assert_eq!(idx.count_satisfying(Direction::AtLeast, 5.0), 3);
+        assert_eq!(idx.count_satisfying(Direction::AtMost, 7.0), 6);
+        assert_eq!(idx.count_satisfying(Direction::AtLeast, 7.0), 2);
+        assert_eq!(idx.count_satisfying(Direction::AtMost, 1.999), 0);
+        assert_eq!(idx.count_satisfying(Direction::AtMost, f64::NAN), 0);
+        let band = CdfBand::dkw(&idx, 0.9).unwrap();
+        for t in [1.0, 2.0, 3.0, 5.0, 6.9, 7.0, 8.0] {
+            assert_eq!(
+                band.empirical_cdf(t),
+                idx.count_satisfying(Direction::AtMost, t) as f64 / 6.0,
+                "empirical CDF diverged from the AtMost count at {t}"
+            );
+        }
+        // Quantile endpoints land on the duplicated values themselves.
+        let wide = band_of(&[2.0, 2.0, 2.0, 2.0, 7.0, 7.0, 7.0, 7.0].repeat(25), 0.9);
+        let ci = wide.quantile_ci(0.5).unwrap();
+        assert_eq!(ci.lower, Some(2.0));
+        assert_eq!(ci.upper, Some(7.0));
+    }
+
+    #[test]
+    fn report_canonicalizes_quantiles_and_serializes() {
+        let xs: Vec<f64> = (1..=100).map(f64::from).collect();
+        let a = BandReport::from_samples(&xs, 0.9, &[0.9, 0.5, 0.5, 0.25], Some(0.95)).unwrap();
+        let b = BandReport::from_samples(&xs, 0.9, &[0.25, 0.50, 0.90], Some(0.95)).unwrap();
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "respelled quantile lists must render identically"
+        );
+        assert_eq!(
+            a.quantiles.iter().map(|c| c.q).collect::<Vec<_>>(),
+            vec![0.25, 0.5, 0.9]
+        );
+        assert_eq!(a.samples, 100);
+        assert_eq!(a.requested, 100);
+        assert!(a.failures.is_clean());
+        assert!(a.cvar.is_some());
+        // Unbounded endpoints survive a JSON round trip as null.
+        let tiny = BandReport::from_samples(&[1.0, 2.0], 0.9, &[0.5], None).unwrap();
+        let json = serde_json::to_string(&tiny).unwrap();
+        let back: BandReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(tiny, back);
+        assert_eq!(back.quantiles[0].lower, None);
+        // No cvar requested → the field stays off the wire.
+        assert!(!json.contains("cvar"), "{json}");
+    }
+
+    #[test]
+    fn report_rejects_bad_requests() {
+        let xs: Vec<f64> = (1..=30).map(f64::from).collect();
+        assert!(matches!(
+            BandReport::from_samples(&xs, 0.9, &[0.5, 1.5], None),
+            Err(CoreError::InvalidParameter {
+                name: "quantile",
+                ..
+            })
+        ));
+        assert!(matches!(
+            BandReport::from_samples(&xs, 0.9, &[0.5], Some(0.0)),
+            Err(CoreError::InvalidParameter {
+                name: "cvar_alpha",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn cvar_bounds_bracket_the_empirical_cvar() {
+        // The empirical CVaR (ε = 0 analogue) must sit inside the
+        // bounds, and the bounds must straddle the target quantile
+        // sensibly: upper tail above the empirical mean, lower below.
+        let xs: Vec<f64> = (1..=1000).map(f64::from).collect();
+        let band = band_of(&xs, 0.9);
+        let cvar = band.cvar_ci(0.9).unwrap();
+        // Empirical upper CVaR of uniform 1..=1000 at α = 0.9: mean of
+        // the top 100 values = 950.5.
+        assert!(cvar.upper_tail.lower <= 950.5 && 950.5 <= cvar.upper_tail.upper);
+        // Empirical lower CVaR: mean of the bottom 100 values = 50.5.
+        assert!(cvar.lower_tail.lower <= 50.5 && 50.5 <= cvar.lower_tail.upper);
+        let mean = 500.5;
+        assert!(cvar.upper_tail.lower > mean);
+        assert!(cvar.lower_tail.upper < mean);
+    }
+
+    #[test]
+    fn band_quantile_ci_is_consistent_with_ci_exact() {
+        // Spot-check the differential claim the workspace suite runs at
+        // scale: same samples, same C, quantile q vs proportion F = q.
+        let xs: Vec<f64> = (0..80)
+            .map(|i| (i as f64 * 0.37).sin() * 10.0 + 20.0)
+            .collect();
+        for q in [0.3, 0.5, 0.8] {
+            let band = band_of(&xs, 0.9);
+            let dkw = band.quantile_ci(q).unwrap();
+            let engine = SmcEngine::new(0.9, q).unwrap();
+            let spa = ci_exact(&engine, &xs, Direction::AtMost).unwrap();
+            let dkw_lo = dkw.lower.unwrap_or(f64::NEG_INFINITY);
+            let dkw_hi = dkw.upper.unwrap_or(f64::INFINITY);
+            assert!(
+                dkw_lo <= spa.upper() && spa.lower() <= dkw_hi,
+                "q={q}: DKW [{dkw_lo}, {dkw_hi}] disjoint from SPA [{}, {}]",
+                spa.lower(),
+                spa.upper()
+            );
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn envelopes_are_monotone_and_bracket_the_edf(
+            xs in proptest::collection::vec(-100.0_f64..100.0, 1..120),
+            points in proptest::collection::vec(-120.0_f64..120.0, 1..40),
+            c in 0.5_f64..0.999,
+        ) {
+            let band = CdfBand::from_samples(&xs, c).unwrap();
+            let mut points = points;
+            points.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let mut prev = (0.0_f64, 0.0_f64, 0.0_f64);
+            for (i, &x) in points.iter().enumerate() {
+                let lo = band.lower_envelope(x);
+                let edf = band.empirical_cdf(x);
+                let hi = band.upper_envelope(x);
+                prop_assert!((0.0..=1.0).contains(&lo));
+                prop_assert!((0.0..=1.0).contains(&hi));
+                prop_assert!(lo <= edf && edf <= hi, "envelope order broke at {x}");
+                if i > 0 {
+                    prop_assert!(lo >= prev.0, "lower envelope decreased at {x}");
+                    prop_assert!(edf >= prev.1, "EDF decreased at {x}");
+                    prop_assert!(hi >= prev.2, "upper envelope decreased at {x}");
+                }
+                prev = (lo, edf, hi);
+            }
+        }
+
+        #[test]
+        fn quantile_endpoints_are_monotone_in_q(
+            xs in proptest::collection::vec(-50.0_f64..50.0, 2..150),
+            c in 0.5_f64..0.99,
+        ) {
+            let band = CdfBand::from_samples(&xs, c).unwrap();
+            let qs: Vec<f64> = (1..20).map(|i| i as f64 / 20.0).collect();
+            let cis: Vec<QuantileCi> =
+                qs.iter().map(|&q| band.quantile_ci(q).unwrap()).collect();
+            for pair in cis.windows(2) {
+                let (a, b) = (&pair[0], &pair[1]);
+                let a_lo = a.lower.unwrap_or(f64::NEG_INFINITY);
+                let b_lo = b.lower.unwrap_or(f64::NEG_INFINITY);
+                let a_hi = a.upper.unwrap_or(f64::INFINITY);
+                let b_hi = b.upper.unwrap_or(f64::INFINITY);
+                prop_assert!(b_lo >= a_lo, "lower endpoint fell from q={} to q={}", a.q, b.q);
+                prop_assert!(b_hi >= a_hi, "upper endpoint fell from q={} to q={}", a.q, b.q);
+                prop_assert!(a_lo <= a_hi, "inverted interval at q={}", a.q);
+            }
+        }
+
+        #[test]
+        fn quantile_ci_contains_the_sample_quantile(
+            xs in proptest::collection::vec(0.0_f64..1e3, 5..100),
+            qi in 1_usize..10,
+        ) {
+            // The band is centred on the empirical CDF, so the sample
+            // q-quantile (the ⌈nq⌉-th order statistic) always lies
+            // inside its own band interval.
+            let q = qi as f64 / 10.0;
+            let band = CdfBand::from_samples(&xs, 0.9).unwrap();
+            let ci = band.quantile_ci(q).unwrap();
+            let mut sorted = xs.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            prop_assert!(ci.covers(sorted[rank - 1]));
+        }
+
+        #[test]
+        fn cvar_bounds_are_ordered_and_within_support(
+            xs in proptest::collection::vec(-1e3_f64..1e3, 2..120),
+            ai in 1_usize..20,
+        ) {
+            let alpha = ai as f64 / 20.0;
+            let band = CdfBand::from_samples(&xs, 0.9).unwrap();
+            let cvar = band.cvar_ci(alpha).unwrap();
+            for tail in [cvar.upper_tail, cvar.lower_tail] {
+                prop_assert!(tail.lower <= tail.upper + 1e-9);
+                prop_assert!(tail.lower >= band.min() - 1e-9);
+                prop_assert!(tail.upper <= band.max() + 1e-9);
+            }
+            // The upper tail averages larger outcomes than the lower.
+            prop_assert!(cvar.upper_tail.upper >= cvar.lower_tail.lower - 1e-9);
+        }
+    }
+}

@@ -117,6 +117,12 @@ impl SortedSamples {
         &self.distinct
     }
 
+    /// All samples in ascending order (duplicates kept) — the order
+    /// statistics that [`band`](crate::band) read-offs index into.
+    pub fn values(&self) -> &[f64] {
+        &self.sorted
+    }
+
     /// The success count `M` of `metric direction threshold` — Eq. 3's
     /// numerator — in O(log n).
     ///

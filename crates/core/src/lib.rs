@@ -37,7 +37,11 @@
 //!   sequences (Hoeffding and betting/e-process boundaries) and the
 //!   [`AnytimeRun`](seq::AnytimeRun) driver whose intervals stay valid
 //!   under optional stopping, powering streaming jobs with live
-//!   early-stop and bias-free preempt/resume.
+//!   early-stop and bias-free preempt/resume, and
+//! * [`band`] — simultaneous whole-CDF confidence bands via the exact
+//!   finite-sample DKW inequality: one band per sample set answers
+//!   every quantile CI and brackets tail risk (CVaR) by integrating
+//!   the band envelopes over the sorted samples.
 //!
 //! # Quick start
 //!
@@ -60,6 +64,7 @@
 //! # }
 //! ```
 
+pub mod band;
 pub mod ci;
 pub mod ci_engine;
 pub mod clopper_pearson;

@@ -58,3 +58,12 @@ pub const SEQ_UPDATES: &str = "core.seq.updates";
 /// Counter: anytime runs stopped early because the interval width
 /// reached its target.
 pub const SEQ_EARLY_STOPS: &str = "core.seq.early_stops";
+/// Counter: DKW confidence bands constructed
+/// ([`CdfBand::dkw`](crate::band::CdfBand::dkw)).
+pub const BAND_BUILDS: &str = "core.band.builds";
+/// Counter: quantile CIs read off a band
+/// ([`CdfBand::quantile_ci`](crate::band::CdfBand::quantile_ci)).
+pub const BAND_QUANTILE_QUERIES: &str = "core.band.quantile_queries";
+/// Counter: CVaR bound queries answered from a band
+/// ([`CdfBand::cvar_ci`](crate::band::CdfBand::cvar_ci)).
+pub const BAND_CVAR_QUERIES: &str = "core.band.cvar_queries";

@@ -29,6 +29,11 @@
 //!   test over the verdicts — delegated wholesale to
 //!   [`spa_sim::check::run_check`] so the server, CLI, and library
 //!   entry points share one code path.
+//! * **Band** jobs collect exactly the population an interval job would
+//!   (same Eq. 8 count, same seed order, same on-disk population-cache
+//!   slot), then build one simultaneous DKW band
+//!   ([`spa_core::band`]) and read every requested quantile CI and
+//!   CVaR bound off it — a whole-CDF answer for one collection cost.
 //!
 //! Every execution goes through PR 1's fault machinery: the simulator
 //! call is panic-isolated, failures are classified
@@ -46,6 +51,7 @@ use std::time::Instant;
 use parking_lot::Mutex;
 
 use spa_bench::population::{load_cached, store_cache, Population, PopulationKey};
+use spa_core::band::BandReport;
 use spa_core::fault::{
     derive_retry_seed, FailureCounts, FallibleSampler, RetryPolicy, SampleBatch, SampleError,
 };
@@ -283,9 +289,10 @@ pub fn execute(vjob: &ValidatedJob, ctx: &ExecContext<'_>) -> Result<JobResult, 
     // untouched by the pipeline work.
     let config = match &spec.mode {
         ModeSpec::Property { .. } => spec.system.variant().config().with_trace(),
-        ModeSpec::Interval { .. } | ModeSpec::Hypothesis { .. } | ModeSpec::Streaming { .. } => {
-            spec.system.variant().config()
-        }
+        ModeSpec::Interval { .. }
+        | ModeSpec::Hypothesis { .. }
+        | ModeSpec::Streaming { .. }
+        | ModeSpec::Band { .. } => spec.system.variant().config(),
     };
     let machine = Machine::new(config, &workload)
         .map_err(failed)?
@@ -329,6 +336,10 @@ pub fn execute(vjob: &ValidatedJob, ctx: &ExecContext<'_>) -> Result<JobResult, 
             *target_width,
             *max_samples,
         ),
+        ModeSpec::Band {
+            quantiles,
+            cvar_alpha,
+        } => run_band(vjob, ctx, &spa, &policy, &sampler, quantiles, *cvar_alpha),
     }
 }
 
@@ -426,6 +437,99 @@ fn run_interval(
     };
     let report = spa.report_from_batch(batch, direction).map_err(failed)?;
     Ok(JobResult::Interval { report })
+}
+
+/// Executes a band-mode job: the interval mode's collection loop (same
+/// Eq. 8 sample count, same round-partitioned seed stream, same
+/// population-cache slot — a spec whose interval population is already
+/// on disk never re-simulates) followed by one DKW band construction
+/// answering every requested quantile and CVaR query at once.
+///
+/// The collection is seed-ordered and the quantile list is
+/// canonicalized inside [`BandReport::from_batch`], so the report is
+/// byte-identical across thread counts *and* across respelled quantile
+/// lists.
+fn run_band(
+    vjob: &ValidatedJob,
+    ctx: &ExecContext<'_>,
+    spa: &Spa,
+    policy: &RetryPolicy,
+    sampler: &SimSampler<'_, '_>,
+    quantiles: &[f64],
+    cvar_alpha: Option<f64>,
+) -> Result<JobResult, ExecError> {
+    let spec = &vjob.spec;
+    let total = spa.required_samples();
+    let rounds = total.div_ceil(spec.round_size);
+    let key = PopulationKey {
+        benchmark: vjob.benchmark,
+        system: spec.system.variant(),
+        noise: spec.noise.model(),
+        count: total as usize,
+        seed_start: spec.seed_start,
+    };
+
+    // Fast path: reuse the on-disk population an interval job (or a
+    // figure harness) already simulated for this exact spec.
+    if let Ok(Some(pop)) = load_cached(key) {
+        (ctx.progress)(ProgressUpdate {
+            samples: total,
+            confidence: spec.confidence,
+            rounds,
+            interval: None,
+        });
+        let batch = SampleBatch {
+            samples: pop.metric(vjob.metric),
+            failures: FailureCounts::default(),
+            requested: total,
+        };
+        let report = BandReport::from_batch(&batch, spec.confidence, quantiles, cvar_alpha)
+            .map_err(failed)?;
+        return Ok(JobResult::Band { report });
+    }
+
+    // Fail fast if the final round would run the seed stream past
+    // u64::MAX; rounds below can then unwrap safely.
+    round_seeds(spec.seed_start, rounds - 1, spec.round_size).map_err(failed)?;
+
+    let mut rows: Vec<(u64, ExecutionMetrics)> = Vec::new();
+    let mut failures = FailureCounts::default();
+    for r in 0..rounds {
+        ctx.checkpoint(r)?;
+        let all = round_seeds(spec.seed_start, r, spec.round_size)
+            .expect("r < rounds was range-checked above");
+        let seeds = all.start..all.end.min(spec.seed_start + total);
+        let (chunk, counts) = collect_round(seeds, ctx.threads, policy, &|seed| {
+            sampler.run_metrics(seed)
+        });
+        failures.merge(&counts);
+        rows.extend(chunk);
+        (ctx.progress)(ProgressUpdate {
+            samples: rows.len() as u64,
+            confidence: interval_bound(rows.len() as u64, spec.confidence, spec.proportion),
+            rounds: r + 1,
+            interval: None,
+        });
+    }
+
+    // Same sharing rule as interval jobs: a complete, clean collection
+    // is the population itself — store it for the next process.
+    if rows.len() as u64 == total && failures.is_clean() {
+        let population = Population {
+            key,
+            runs: rows.iter().map(|&(_, m)| m).collect(),
+        };
+        let _ = store_cache(&population);
+    }
+
+    let batch = SampleBatch {
+        samples: rows.iter().map(|(_, m)| vjob.metric.extract(m)).collect(),
+        failures,
+        requested: total,
+    };
+    let report =
+        BandReport::from_batch(&batch, spec.confidence, quantiles, cvar_alpha).map_err(failed)?;
+    Ok(JobResult::Band { report })
 }
 
 /// Executes a property-mode job: a thin wrapper over the library's
@@ -813,6 +917,79 @@ mod tests {
             .run(&sampler, spec.seed_start, Direction::AtMost)
             .unwrap();
         assert_eq!(report, direct);
+    }
+
+    fn band_job(seed_start: u64, quantiles: &[f64], cvar_alpha: Option<f64>) -> JobSpec {
+        JobSpec {
+            noise: NoiseSpec::Jitter { max_cycles: 2 },
+            seed_start,
+            round_size: 5, // uneven final round exercises the chunk clamp
+            ..JobSpec::new(
+                "blackscholes",
+                ModeSpec::Band {
+                    quantiles: quantiles.to_vec(),
+                    cvar_alpha,
+                },
+            )
+        }
+    }
+
+    #[test]
+    fn band_job_matches_direct_report_over_the_same_seed_stream() {
+        let spec = band_job(78_000, &[0.5, 0.9], Some(0.9));
+        let vjob = validate(spec.clone()).unwrap();
+        let cancel = AtomicBool::new(false);
+        let progress = |_: ProgressUpdate| {};
+        let result = execute(&vjob, &ctx(&cancel, &progress)).unwrap();
+        let JobResult::Band { report } = result else {
+            panic!("band job must return a band result");
+        };
+        assert_eq!(report.samples, 22);
+        assert_eq!(report.requested, 22);
+        assert!(report.failures.is_clean());
+        assert_eq!(report.quantiles.len(), 2);
+        assert!(report.cvar.is_some());
+
+        // Direct collection over the same machine and seed stream.
+        let workload = vjob.benchmark.workload();
+        let machine = Machine::new(spec.system.variant().config(), &workload)
+            .unwrap()
+            .with_variability(spec.noise.model().variability());
+        let samples: Vec<f64> = (spec.seed_start..spec.seed_start + 22)
+            .map(|seed| vjob.metric.extract(&machine.run(seed).unwrap().metrics))
+            .collect();
+        let direct = BandReport::from_samples(&samples, 0.9, &[0.5, 0.9], Some(0.9)).unwrap();
+        assert_eq!(report, direct);
+    }
+
+    #[test]
+    fn band_job_is_byte_identical_across_thread_counts_and_spellings() {
+        let run = |threads: usize, quantiles: &[f64]| -> Vec<u8> {
+            let vjob = validate(band_job(78_100, quantiles, Some(0.95))).unwrap();
+            let cancel = AtomicBool::new(false);
+            let progress = |_: ProgressUpdate| {};
+            let context = ExecContext {
+                threads,
+                cancel: &cancel,
+                deadline: None,
+                tick: &|_| (),
+                progress: &progress,
+                resume: None,
+                on_checkpoint: None,
+            };
+            let result = execute(&vjob, &context).unwrap();
+            let JobResult::Band { report } = result else {
+                panic!("band job must return a band result");
+            };
+            serde_json::to_vec(&report).unwrap()
+        };
+        let one = run(1, &[0.5, 0.9]);
+        assert_eq!(one, run(4, &[0.5, 0.9]), "thread count must not leak");
+        assert_eq!(
+            one,
+            run(2, &[0.9, 0.5, 0.50]),
+            "respelled quantile lists must render identically"
+        );
     }
 
     #[test]

@@ -22,6 +22,7 @@ use std::io::{BufRead, Write};
 use serde::de::DeserializeOwned;
 use serde::{Deserialize, Serialize};
 
+use spa_core::band::BandReport;
 use spa_core::rounds::RoundsOutcome;
 use spa_core::seq::AnytimeReport;
 use spa_core::spa::SpaReport;
@@ -120,6 +121,14 @@ pub enum JobResult {
     Streaming {
         /// Final interval, stop reason, and sample accounting.
         report: AnytimeReport,
+    },
+    /// A band-mode job: the simultaneous DKW band with its quantile CIs
+    /// and CVaR bounds.
+    Band {
+        /// The report, identical to a direct
+        /// [`BandReport::from_batch`](spa_core::band::BandReport::from_batch)
+        /// over the same collected samples.
+        report: BandReport,
     },
 }
 
@@ -607,6 +616,24 @@ mod tests {
         let json = serde_json::to_string(&resp).unwrap();
         assert!(json.contains(r#""kind":"streaming""#), "{json}");
         assert!(json.contains(r#""boundary":"betting""#), "{json}");
+        let back: Response = serde_json::from_str(&json).unwrap();
+        assert_eq!(resp, back);
+    }
+
+    #[test]
+    fn band_results_round_trip() {
+        // Build the report through the real constructor so the wire test
+        // exercises exactly what exec produces — including an unbounded
+        // (None → null) endpoint at the extreme quantile.
+        let samples: Vec<f64> = (1..=22).map(f64::from).collect();
+        let report = BandReport::from_samples(&samples, 0.9, &[0.5, 0.99], Some(0.9)).unwrap();
+        let resp = Response::Report {
+            job: 13,
+            cached: false,
+            result: JobResult::Band { report },
+        };
+        let json = serde_json::to_string(&resp).unwrap();
+        assert!(json.contains(r#""kind":"band""#), "{json}");
         let back: Response = serde_json::from_str(&json).unwrap();
         assert_eq!(resp, back);
     }

@@ -4,7 +4,8 @@
 //! benchmark/system/noise model to sample, which metric to evaluate,
 //! and whether to build a confidence interval (the SPA Fig. 3 flow),
 //! run a single sequential hypothesis test with round-based parallel
-//! aggregation, or check an STL property over recorded traces. All
+//! aggregation, check an STL property over recorded traces, or build a
+//! simultaneous whole-CDF DKW band (quantile CIs plus CVaR bounds). All
 //! statistical parameters carry defaults matching the paper's
 //! `C = F = 0.9`.
 //!
@@ -152,6 +153,24 @@ pub enum ModeSpec {
         #[serde(default = "default_max_samples")]
         max_samples: u64,
     },
+    /// A whole-CDF workload ([`spa_core::band`]): collect the Eq. 8
+    /// minimum number of executions, build one simultaneous DKW
+    /// confidence band at confidence `C`, and read every requested
+    /// quantile CI — plus optional CVaR bounds for both tails — off
+    /// that single band.
+    Band {
+        /// Quantiles to read off the band, each strictly inside
+        /// `(0, 1)`. Order and duplicates never matter: the list is
+        /// canonicalized (sorted ascending, deduplicated) for both the
+        /// cache key and the report, so respelled lists share one cache
+        /// slot.
+        #[serde(default)]
+        quantiles: Vec<f64>,
+        /// CVaR level `α` to bound (both tails), if any. At least one
+        /// of `quantiles`/`cvar_alpha` must be requested.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        cvar_alpha: Option<f64>,
+    },
 }
 
 fn default_max_rounds() -> u64 {
@@ -292,6 +311,21 @@ pub fn canonical_key(spec: &JobSpec) -> String {
                 direction_key(*direction)
             )
         }
+        // The quantile list is canonicalized (sorted, deduplicated)
+        // before rendering, so `[0.9, 0.5]`, `[0.5, 0.90]`, and
+        // `[0.5, 0.5, 0.9]` all share a cache slot — the band they
+        // request is the same object.
+        ModeSpec::Band {
+            quantiles,
+            cvar_alpha,
+        } => {
+            let mut qs = quantiles.clone();
+            qs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            qs.dedup();
+            let qs = qs.iter().map(f64::to_string).collect::<Vec<_>>().join(",");
+            let cvar = cvar_alpha.map_or_else(|| "none".to_string(), |a| a.to_string());
+            format!("band:{qs}:{cvar}")
+        }
     };
     format!(
         "v1;bench={};system={};noise={};metric={};mode={};c={};f={};seed={};round={};retries={}",
@@ -352,7 +386,8 @@ fn check_level(name: &str, v: f64) -> Result<(), String> {
 ///
 /// A human-readable description of the first problem (unknown benchmark
 /// or metric, out-of-range `C`/`F`, zero round size, non-finite
-/// threshold, zero round budget, unparseable STL formula).
+/// threshold, zero round budget, unparseable STL formula, empty or
+/// out-of-range band request).
 pub fn validate(spec: JobSpec) -> Result<ValidatedJob, String> {
     let benchmark = Benchmark::from_name(&spec.benchmark)
         .ok_or_else(|| format!("unknown benchmark `{}`", spec.benchmark))?;
@@ -397,6 +432,20 @@ pub fn validate(spec: JobSpec) -> Result<ValidatedJob, String> {
             }
             if *max_samples == 0 {
                 return Err("max_samples must be at least 1".into());
+            }
+        }
+        ModeSpec::Band {
+            quantiles,
+            cvar_alpha,
+        } => {
+            if quantiles.is_empty() && cvar_alpha.is_none() {
+                return Err("band mode needs at least one quantile or a cvar_alpha".into());
+            }
+            for q in quantiles {
+                check_level("quantile", *q)?;
+            }
+            if let Some(a) = cvar_alpha {
+                check_level("cvar_alpha", *a)?;
             }
         }
         ModeSpec::Interval { .. } | ModeSpec::Property { .. } => {}
@@ -668,6 +717,65 @@ mod tests {
             max_samples: 0,
         };
         assert!(validate(s).unwrap_err().contains("max_samples"));
+    }
+
+    fn band_spec(quantiles: &[f64], cvar_alpha: Option<f64>) -> JobSpec {
+        JobSpec::new(
+            "blackscholes",
+            ModeSpec::Band {
+                quantiles: quantiles.to_vec(),
+                cvar_alpha,
+            },
+        )
+    }
+
+    #[test]
+    fn band_defaults_apply_on_the_wire() {
+        let json = r#"{"benchmark":"ferret",
+            "mode":{"mode":"band","quantiles":[0.5,0.9]}}"#;
+        let spec: JobSpec = serde_json::from_str(json).unwrap();
+        assert_eq!(
+            spec.mode,
+            ModeSpec::Band {
+                quantiles: vec![0.5, 0.9],
+                cvar_alpha: None,
+            }
+        );
+        assert!(validate(spec.clone()).is_ok());
+        // Absent cvar_alpha stays off the wire.
+        let out = serde_json::to_string(&spec).unwrap();
+        assert!(!out.contains("cvar_alpha"), "{out}");
+    }
+
+    #[test]
+    fn band_keys_canonicalize_quantile_spelling() {
+        // Reordered, duplicated, and respelled quantile lists request
+        // the same band — one cache slot.
+        let a = band_spec(&[0.9, 0.5], Some(0.95));
+        let b = band_spec(&[0.5, 0.5, 0.90], Some(0.95));
+        assert_eq!(canonical_key(&a), canonical_key(&b));
+        // A different quantile set, a different cvar level, or dropping
+        // the cvar request each split the slot.
+        let c = band_spec(&[0.5, 0.95], Some(0.95));
+        assert_ne!(canonical_key(&a), canonical_key(&c));
+        let d = band_spec(&[0.9, 0.5], Some(0.99));
+        assert_ne!(canonical_key(&a), canonical_key(&d));
+        let e = band_spec(&[0.9, 0.5], None);
+        assert_ne!(canonical_key(&a), canonical_key(&e));
+        // And a band job never aliases an interval job.
+        assert_ne!(canonical_key(&e), canonical_key(&interval_spec()));
+    }
+
+    #[test]
+    fn band_validation_rejects_bad_requests() {
+        let err = validate(band_spec(&[], None)).unwrap_err();
+        assert!(err.contains("band"), "{err}");
+        let err = validate(band_spec(&[0.5, 1.0], None)).unwrap_err();
+        assert!(err.contains("quantile"), "{err}");
+        let err = validate(band_spec(&[0.5], Some(f64::NAN))).unwrap_err();
+        assert!(err.contains("cvar_alpha"), "{err}");
+        // CVaR-only requests are fine: the band itself is the product.
+        assert!(validate(band_spec(&[], Some(0.95))).is_ok());
     }
 
     #[test]

@@ -64,6 +64,23 @@ fn streaming_spec(seed_start: u64, target_width: Option<f64>, max_samples: u64) 
     }
 }
 
+/// A whole-CDF band job: one DKW band, read at `quantiles` plus an
+/// optional CVaR level.
+fn band_spec(seed_start: u64, quantiles: &[f64], cvar_alpha: Option<f64>) -> JobSpec {
+    JobSpec {
+        noise: NoiseSpec::Jitter { max_cycles: 2 },
+        seed_start,
+        round_size: 8,
+        ..JobSpec::new(
+            "blackscholes",
+            ModeSpec::Band {
+                quantiles: quantiles.to_vec(),
+                cvar_alpha,
+            },
+        )
+    }
+}
+
 /// An interval job whose Eq. 8 sample requirement is astronomically
 /// large — it occupies a worker until cancelled.
 fn slow_spec(seed_start: u64) -> JobSpec {
@@ -610,4 +627,82 @@ fn status_request_reports_counters() {
         "shutdown request must flip the flag"
     );
     handle.join();
+}
+
+#[test]
+fn band_jobs_share_one_cache_slot_across_respelled_quantile_lists() {
+    // The canonical cache key sorts and dedups the quantile list, so a
+    // respelled-but-equivalent request is the *same* job: the second
+    // submission below must be answered from the result cache without
+    // executing anything, and the payloads must be identical — the
+    // single-flight guarantee the band mode inherits from the interval
+    // path.
+    let handle = start(config(2, 8)).unwrap();
+    let addr = handle.addr().to_string();
+
+    let first = client::submit(&addr, &band_spec(43_000, &[0.5, 0.9], Some(0.95)), |_| {}).unwrap();
+    assert!(!first.cached);
+    let JobResult::Band { report } = &first.result else {
+        panic!("band job must return a band result, got {:?}", first.result);
+    };
+    assert_eq!(report.samples, 22, "C = F = 0.9 needs Eq. 8's 22 samples");
+    assert_eq!(report.requested, 22);
+    assert!(report.failures.is_clean());
+    assert_eq!(report.quantiles.len(), 2);
+    assert_eq!(report.quantiles[0].q, 0.5);
+    assert_eq!(report.quantiles[1].q, 0.9);
+    assert_eq!(report.cvar.map(|c| c.alpha), Some(0.95));
+
+    let second = client::submit(
+        &addr,
+        &band_spec(43_000, &[0.9, 0.5, 0.50], Some(0.95)),
+        |_| {},
+    )
+    .unwrap();
+    assert!(
+        second.cached,
+        "a respelled quantile list must hit the canonical cache slot"
+    );
+    assert_eq!(second.progress_events, 0, "a cache hit does no sampling");
+    assert_eq!(first.result, second.result);
+
+    let stats = handle.stats();
+    assert_eq!(stats.executed, 1, "single-flight: {stats:?}");
+    assert_eq!(stats.cache_hits, 1);
+    assert_eq!(stats.submitted, 2);
+
+    // A genuinely different quantile list is a different job.
+    let third = client::submit(
+        &addr,
+        &band_spec(43_000, &[0.5, 0.9, 0.99], Some(0.95)),
+        |_| {},
+    )
+    .unwrap();
+    assert!(!third.cached, "adding a quantile must change the cache key");
+
+    // The metrics surface carries the band engine's process-global
+    // counters: at least one build per executed band job, and at least
+    // one quantile query per requested level.
+    let metrics = client::metrics(&addr).unwrap();
+    assert!(
+        metrics
+            .counter(spa_core::obs_names::BAND_BUILDS)
+            .unwrap_or(0)
+            >= 2,
+        "two executed band jobs build two bands"
+    );
+    assert!(
+        metrics
+            .counter(spa_core::obs_names::BAND_QUANTILE_QUERIES)
+            .unwrap_or(0)
+            >= 5,
+        "2 + 3 quantile levels were read off the bands"
+    );
+    assert!(
+        metrics
+            .counter(spa_core::obs_names::BAND_CVAR_QUERIES)
+            .unwrap_or(0)
+            >= 2
+    );
+    handle.shutdown();
 }

@@ -2,7 +2,15 @@
 //! simulation data … to ensure replicability"): identical inputs must
 //! give bit-identical outputs across every layer.
 
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use spa::core::band::{BandReport, CdfBand};
+use spa::core::ci::ci_exact;
+use spa::core::ci_engine::SortedSamples;
+use spa::core::smc::SmcEngine;
 use spa::core::spa::{Direction, Spa};
+use spa::sim::batch::batch_map;
 use spa::sim::config::SystemConfig;
 use spa::sim::machine::Machine;
 use spa::sim::variability::Variability;
@@ -84,4 +92,116 @@ fn spa_pipeline_is_reproducible_across_batch_sizes() {
     let b = parallel.run(&sampler, 0, Direction::AtMost).unwrap();
     assert_eq!(a.samples, b.samples);
     assert_eq!(a.interval, b.interval);
+}
+
+/// One standard normal by Box–Muller (the workspace adds no
+/// distribution crates).
+fn standard_normal(rng: &mut ChaCha8Rng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0_f64 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[test]
+fn dkw_quantile_cis_never_disagree_with_smc_searches() {
+    // Differential battery: the DKW band's quantile CI and the
+    // per-quantile SMC search (`ci_exact` at proportion q) answer
+    // sibling questions — simultaneous vs marginal coverage of the same
+    // true quantile at the same confidence — so on any shared sample
+    // set the two intervals must overlap. 4 population shapes × 4
+    // sample sizes × 20 seeds × 4 quantiles = 1280 seeded cases, and
+    // for the median (where both sides are always bounded) the two
+    // constructions must also land in the same width regime.
+    const CONFIDENCE: f64 = 0.9;
+    let sizes = [30usize, 64, 120, 240];
+    let qs = [0.25, 0.5, 0.75, 0.9]; // all satisfy Eq. 8 at n >= 30
+    let shapes: [(&str, fn(&mut ChaCha8Rng) -> f64); 4] = [
+        ("gaussian", |rng| 10.0 + 2.0 * standard_normal(rng)),
+        ("bimodal", |rng| {
+            let mode = if rng.gen_bool(0.7) { 5.0 } else { 15.0 };
+            mode + standard_normal(rng)
+        }),
+        ("duplicate-heavy", |rng| {
+            ((10.0 + 2.0 * standard_normal(rng)) / 2.0).round() * 2.0
+        }),
+        ("heavy-tailed", |rng| {
+            10.0 * (0.75 * standard_normal(rng)).exp()
+        }),
+    ];
+
+    let mut cases = 0usize;
+    let mut band_median_width = 0.0f64;
+    let mut smc_median_width = 0.0f64;
+    for (shape_idx, &(shape, draw)) in shapes.iter().enumerate() {
+        for (size_idx, &n) in sizes.iter().enumerate() {
+            for rep in 0..20u64 {
+                let seed =
+                    0xD1FF_0000 + (shape_idx as u64) * 0x1000 + (size_idx as u64) * 0x100 + rep;
+                let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                let xs: Vec<f64> = (0..n).map(|_| draw(&mut rng)).collect();
+                let index = SortedSamples::new(&xs).unwrap();
+                let band = CdfBand::dkw(&index, CONFIDENCE).unwrap();
+                for &q in &qs {
+                    let engine = SmcEngine::new(CONFIDENCE, q).unwrap();
+                    let smc = ci_exact(&engine, &xs, Direction::AtMost).unwrap();
+                    let ci = band.quantile_ci(q).unwrap();
+                    let lo = ci.lower.unwrap_or(f64::NEG_INFINITY);
+                    let hi = ci.upper.unwrap_or(f64::INFINITY);
+                    assert!(
+                        lo <= smc.upper() && smc.lower() <= hi,
+                        "{shape} n={n} seed={seed} q={q}: disjoint band [{lo}, {hi}] \
+                         vs SMC [{}, {}]",
+                        smc.lower(),
+                        smc.upper()
+                    );
+                    if q == 0.5 {
+                        band_median_width += ci.width();
+                        smc_median_width += smc.upper() - smc.lower();
+                    }
+                    cases += 1;
+                }
+            }
+        }
+    }
+    assert_eq!(cases, 1280);
+    // Width comparability at the median: the band pays for simultaneity
+    // with a modestly wider interval (~1.5× in rank space), never a
+    // different regime in either direction.
+    assert!(band_median_width.is_finite() && smc_median_width > 0.0);
+    let ratio = band_median_width / smc_median_width;
+    assert!(
+        (0.5..=4.0).contains(&ratio),
+        "mean median-CI width ratio band/SMC = {ratio:.3} left the comparable regime"
+    );
+}
+
+#[test]
+fn band_report_json_is_byte_identical_across_worker_counts_and_spellings() {
+    // The band path inherits the batch runner's worker-count invariance,
+    // and canonicalization makes respelled quantile lists the same
+    // report: every (jobs, spelling) combination below must serialize to
+    // the same bytes, so the server's canonical cache key can treat them
+    // as one job.
+    let spec = Benchmark::Blackscholes.workload_scaled(0.25);
+    let machine = Machine::new(SystemConfig::table2(), &spec).unwrap();
+    let combos: [(usize, Vec<f64>); 3] = [
+        (1, vec![0.5, 0.9]),
+        (2, vec![0.9, 0.5]),
+        (8, vec![0.5, 0.50, 0.9]),
+    ];
+    let reports: Vec<Vec<u8>> = combos
+        .iter()
+        .map(|(jobs, quantiles)| {
+            let samples = batch_map(24, *jobs, |seed| {
+                machine.run(seed).unwrap().metrics.runtime_seconds
+            });
+            let report = BandReport::from_samples(&samples, 0.9, quantiles, Some(0.95)).unwrap();
+            serde_json::to_vec(&report).unwrap()
+        })
+        .collect();
+    assert_eq!(reports[0], reports[1], "jobs 1 vs 2 diverged");
+    assert_eq!(
+        reports[0], reports[2],
+        "jobs 1 vs 8 / respelled list diverged"
+    );
 }
