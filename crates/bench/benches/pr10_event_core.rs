@@ -1,0 +1,22 @@
+//! PR 10 bench: the event-driven simulator core vs the pre-refactor
+//! quantum-stepped loop.
+//!
+//! A plain `main` (no criterion) so the CI bench-smoke job can run it in
+//! seconds: `cargo bench -p spa-bench --bench pr10_event_core`. Emits
+//! `BENCH_pr10.json` at the workspace root; the measurement itself
+//! lives in [`spa_bench::event_bench`] so the test suite's quick smoke
+//! run and this full run share one code path (including the per-seed
+//! equality cross-check that runs before any timing).
+
+use spa_bench::event_bench;
+
+fn main() {
+    let report = event_bench::measure(64, 3);
+    let path = event_bench::default_path();
+    event_bench::write_json(&report, &path).expect("write BENCH_pr10.json");
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&report).expect("report serializes")
+    );
+    eprintln!("wrote {}", path.display());
+}

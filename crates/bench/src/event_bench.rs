@@ -1,0 +1,177 @@
+//! The PR 10 perf measurement: what the event-driven simulator core
+//! (idle-skip + run-ahead scheduling) buys over the pre-refactor
+//! quantum-stepped loop, written to `BENCH_pr10.json` at the workspace
+//! root.
+//!
+//! The workload is a quarter-scale blackscholes sample stream on the
+//! Table 2 machine, fixed seeds, one machine, one thread — this
+//! measures the single-machine engine itself, not the PR 8 worker pool
+//! (the two compose: each batch worker runs this engine). Two costs
+//! are measured:
+//!
+//! * the quantum-stepped path — `Machine::run_quantum_stepped`, the
+//!   old loop kept verbatim inside spa-sim as the differential oracle,
+//! * the event-driven path — `Machine::run`, the `sched`-module core.
+//!
+//! The headline is `speedup` — quantum wall-clock over event-driven
+//! wall-clock for the same seeds. Before timing anything, [`measure`]
+//! cross-checks the tentpole's determinism contract the way the
+//! PR 3/4/5/8 harnesses do: both engines must produce *equal* (not
+//! just statistically alike) `ExecutionResult`s on every seed it
+//! times, so a measured speedup can never come from computing
+//! something different.
+//!
+//! Like the earlier baselines, the same measurement runs three ways:
+//! the `pr10_event_core` bench binary, the CI bench-smoke job (which
+//! validates the schema, enforces the ≥1.3× floor, and uploads the
+//! JSON), and a quick smoke test so `cargo test` exercises the harness.
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use spa_sim::config::SystemConfig;
+use spa_sim::machine::Machine;
+use spa_sim::workload::parsec::Benchmark;
+use spa_sim::workload::WorkloadSpec;
+
+/// Measured PR 10 event-core numbers (serialized as `BENCH_pr10.json`).
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Pr10Report {
+    /// Harness identifier.
+    pub bench: &'static str,
+    /// Executions per timed pass (seeds `0..samples`).
+    pub samples: u64,
+    /// Timed passes per engine; the fastest pass is reported.
+    pub passes: u32,
+    /// Fastest quantum-stepped pass, milliseconds.
+    pub quantum_total_ms: f64,
+    /// Fastest event-driven pass, milliseconds.
+    pub event_total_ms: f64,
+    /// Samples per second through the quantum-stepped loop.
+    pub quantum_samples_per_sec: f64,
+    /// Samples per second through the event-driven core.
+    pub event_samples_per_sec: f64,
+    /// `quantum_total_ms / event_total_ms` — the PR's headline: what
+    /// idle-skip and run-ahead buy on one machine.
+    pub speedup: f64,
+}
+
+fn bench_workload() -> WorkloadSpec {
+    Benchmark::Blackscholes.workload_scaled(0.25)
+}
+
+/// One timed pass over the fixed seed range with one engine; returns
+/// seconds.
+fn timed_pass(machine: &Machine<'_>, count: u64, event_driven: bool) -> f64 {
+    let start = Instant::now();
+    let mut cycles = 0u64;
+    for seed in 0..count {
+        let result = if event_driven {
+            machine.run(seed)
+        } else {
+            machine.run_quantum_stepped(seed)
+        }
+        .expect("benchmark execution");
+        cycles = cycles.max(result.metrics.runtime_cycles);
+    }
+    let secs = start.elapsed().as_secs_f64();
+    assert!(cycles > 0, "executions must simulate something");
+    secs
+}
+
+/// Runs the measurement: cross-checks event-vs-quantum equality on
+/// every seed of the Table 2 blackscholes stream, then times `passes`
+/// full passes per engine and keeps each engine's fastest pass.
+///
+/// Panics on simulator errors and on any cross-check disagreement —
+/// this is a bench harness with a known-valid fixed configuration.
+pub fn measure(count: u64, passes: u32) -> Pr10Report {
+    assert!(count > 0 && passes > 0, "empty measurement");
+    let spec = bench_workload();
+    let machine = Machine::new(SystemConfig::table2(), &spec).expect("benchmark machine");
+
+    // Cross-check before timing: the tentpole's identity contract. A
+    // speedup over a *different* computation would be meaningless.
+    for seed in 0..count {
+        let event = machine.run(seed).expect("event-driven execution");
+        let quantum = machine
+            .run_quantum_stepped(seed)
+            .expect("quantum-stepped execution");
+        assert_eq!(event, quantum, "engines diverged at seed {seed}");
+    }
+
+    let fastest = |event_driven: bool| {
+        (0..passes)
+            .map(|_| timed_pass(&machine, count, event_driven))
+            .fold(f64::INFINITY, f64::min)
+    };
+    let quantum_secs = fastest(false);
+    let event_secs = fastest(true);
+
+    Pr10Report {
+        bench: "pr10_event_core",
+        samples: count,
+        passes,
+        quantum_total_ms: quantum_secs * 1e3,
+        event_total_ms: event_secs * 1e3,
+        quantum_samples_per_sec: count as f64 / quantum_secs.max(1e-9),
+        event_samples_per_sec: count as f64 / event_secs.max(1e-9),
+        speedup: quantum_secs / event_secs.max(1e-9),
+    }
+}
+
+/// The canonical output location: `BENCH_pr10.json` at the workspace
+/// root, next to `Cargo.toml`.
+pub fn default_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pr10.json")
+}
+
+/// Serializes `report` as pretty JSON (with a trailing newline) to
+/// `path`.
+///
+/// # Errors
+///
+/// I/O failures writing the file.
+pub fn write_json(report: &Pr10Report, path: &Path) -> std::io::Result<()> {
+    let mut text = serde_json::to_string_pretty(report).expect("report serializes");
+    text.push('\n');
+    std::fs::write(path, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_serializes_with_required_fields() {
+        let report = Pr10Report {
+            bench: "pr10_event_core",
+            samples: 64,
+            passes: 3,
+            quantum_total_ms: 900.0,
+            event_total_ms: 500.0,
+            quantum_samples_per_sec: 71.0,
+            event_samples_per_sec: 128.0,
+            speedup: 1.8,
+        };
+        let v: serde_json::Value =
+            serde_json::from_str(&serde_json::to_string(&report).unwrap()).unwrap();
+        assert_eq!(v["bench"], "pr10_event_core");
+        assert!(v["speedup"].as_f64().unwrap() > 1.0);
+        assert!(v["event_samples_per_sec"].as_f64().unwrap() > 0.0);
+        assert!(v["quantum_samples_per_sec"].as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn small_measurement_is_consistent() {
+        // No speedup assertion here — a loaded test machine may not
+        // deliver one on a tiny pass. CI enforces the ≥1.3× floor on
+        // the real bench run.
+        let report = measure(4, 1);
+        assert_eq!(report.bench, "pr10_event_core");
+        assert_eq!(report.samples, 4);
+        assert!(report.quantum_samples_per_sec > 0.0);
+        assert!(report.event_samples_per_sec > 0.0);
+        assert!(report.speedup > 0.0);
+    }
+}

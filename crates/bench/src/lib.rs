@@ -21,6 +21,7 @@
 pub mod band_bench;
 pub mod batch_bench;
 pub mod ci_bench;
+pub mod event_bench;
 pub mod experiment;
 pub mod obs_bench;
 pub mod pipeline_bench;

@@ -1,0 +1,29 @@
+//! Quick run of the PR 10 event-core-vs-quantum measurement: checks
+//! the numbers are sane and refreshes `BENCH_pr10.json` at the
+//! workspace root, so the perf file exists after any `cargo test`. The
+//! bench binary and the CI bench-smoke job produce the same file at
+//! higher iteration counts — and CI enforces the ≥1.3× floor on that
+//! run, where the machine is idle; here only positivity and the
+//! per-seed equality cross-check (inside `measure`) guard against
+//! regressions without flaking under parallel test load.
+
+use spa_bench::event_bench;
+
+#[test]
+fn pr10_event_core_measures_and_writes_bench_json() {
+    let report = event_bench::measure(8, 1);
+    assert_eq!(report.bench, "pr10_event_core");
+    assert_eq!(report.samples, 8);
+    assert!(report.quantum_total_ms > 0.0);
+    assert!(report.event_total_ms > 0.0);
+    assert!(report.quantum_samples_per_sec > 0.0);
+    assert!(report.event_samples_per_sec > 0.0);
+    assert!(report.speedup > 0.0);
+
+    let path = event_bench::default_path();
+    event_bench::write_json(&report, &path).expect("write BENCH_pr10.json");
+    let back: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&path).expect("read back")).expect("json");
+    assert_eq!(back["bench"], "pr10_event_core");
+    assert!(back["speedup"].as_f64().expect("field") > 0.0);
+}

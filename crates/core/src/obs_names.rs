@@ -7,6 +7,18 @@
 //! observe events, and nothing here is ever consulted by a sampling or
 //! stopping decision. Counters are bumped once per batch or round, never
 //! per sample, so the hot loops stay hot.
+//!
+//! The simulation substrate follows the same conventions with its own
+//! families, defined next to the code that flushes them (spa-core does
+//! not depend on spa-sim, so they cannot live here):
+//!
+//! * `sim.batch.*` — population batches, runs, and worker counts
+//!   (`spa_sim::batch`);
+//! * `sim.trace.*` — trace-collection anomalies such as
+//!   `sim.trace.events_dropped`;
+//! * `sim.sched.*` — the event-driven core's per-run totals
+//!   (`spa_sim::sched`): `events_popped`, `idle_skips`, and
+//!   `runahead_cycles`, flushed once per execution.
 
 /// Span around [`Spa::collect_samples`](crate::spa::Spa::collect_samples).
 pub const SPAN_COLLECT: &str = "spa.collect_samples";

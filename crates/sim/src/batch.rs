@@ -415,11 +415,20 @@ mod tests {
         let registry = global();
         let batches_before = registry.counter(BATCHES).get();
         let runs_before = registry.counter(RUNS).get();
-        run_population_batch(SystemConfig::table2(), &spec, 0, 3, 2).unwrap();
+        let popped_before = registry.counter(crate::sched::EVENTS_POPPED).get();
+        let first = run_population_batch(SystemConfig::table2(), &spec, 0, 3, 2).unwrap();
         // Other tests in this binary share the process-global registry,
         // so assert on minimum deltas rather than exact values.
         assert!(registry.counter(BATCHES).get() >= batches_before + 1);
         assert!(registry.counter(RUNS).get() >= runs_before + 3);
         assert!(registry.gauge(JOBS).get() >= 1);
+        // Every run flushes its scheduler stats: at least one popped
+        // event per run (the initial per-core events alone guarantee
+        // more).
+        assert!(registry.counter(crate::sched::EVENTS_POPPED).get() >= popped_before + 3);
+        // Verdict neutrality: observability is write-only — rerunning
+        // with counters already accumulated changes no result.
+        let second = run_population_batch(SystemConfig::table2(), &spec, 0, 3, 2).unwrap();
+        assert_eq!(first, second);
     }
 }

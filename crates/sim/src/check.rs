@@ -6,6 +6,11 @@
 //! test (Algorithm 2) on the counts. Both the CLI's `spa check` and the
 //! server's `property` job mode are thin wrappers over [`run_check`],
 //! so the three entry points (library, CLI, server) cannot drift apart.
+//! Each traced execution runs on the event-driven core
+//! ([`crate::sched`]); long property-check traces that would overflow
+//! the event budget can raise
+//! [`SystemConfig::event_cap`](crate::config::SystemConfig::event_cap)
+//! instead of silently truncating.
 //!
 //! # Examples
 //!

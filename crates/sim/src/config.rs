@@ -18,6 +18,15 @@ use serde::{Deserialize, Serialize};
 
 use crate::{Result, SimError};
 
+/// Default cap on recorded STL events per traced run (see
+/// [`SystemConfig::event_cap`]). This is the value that used to be a
+/// hardcoded constant in `machine.rs`.
+pub const DEFAULT_EVENT_CAP: usize = 20_000;
+
+fn default_event_cap() -> usize {
+    DEFAULT_EVENT_CAP
+}
+
 /// Geometry and latency of one cache level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct CacheConfig {
@@ -74,6 +83,13 @@ pub struct SystemConfig {
     /// Whether to collect an STL trace and event streams during the run
     /// (costs time and memory; population generation leaves it off).
     pub collect_trace: bool,
+    /// Cap on recorded STL events per traced run; past it, further
+    /// events are counted as dropped (`sim.trace.events_dropped`)
+    /// instead of recorded. Long property-check traces can raise it
+    /// instead of silently truncating at a magic constant. Must be
+    /// nonzero; defaults to [`DEFAULT_EVENT_CAP`].
+    #[serde(default = "default_event_cap")]
+    pub event_cap: usize,
     /// Enables a next-line L2 prefetcher: every demand L2 miss also
     /// fetches the following block into the L2 in the background.
     /// Table 2 lists no prefetcher, so the default is off; the
@@ -114,6 +130,7 @@ impl SystemConfig {
             tlb_miss_penalty: 30,
             clock_hz: 2_000_000_000,
             collect_trace: false,
+            event_cap: DEFAULT_EVENT_CAP,
             l2_next_line_prefetch: false,
             mesh_network: false,
         }
@@ -129,6 +146,12 @@ impl SystemConfig {
     /// Enables STL trace/event collection.
     pub fn with_trace(mut self) -> Self {
         self.collect_trace = true;
+        self
+    }
+
+    /// Replaces the cap on recorded STL events per traced run.
+    pub fn with_event_cap(mut self, cap: usize) -> Self {
+        self.event_cap = cap;
         self
     }
 
@@ -192,6 +215,12 @@ impl SystemConfig {
             return Err(SimError::InvalidConfig {
                 field: "clock_hz",
                 message: "must be nonzero".into(),
+            });
+        }
+        if self.event_cap == 0 {
+            return Err(SimError::InvalidConfig {
+                field: "event_cap",
+                message: "must be nonzero (raise it for long traces instead)".into(),
             });
         }
         Ok(())
@@ -278,6 +307,24 @@ mod tests {
         let mut c = SystemConfig::table2();
         c.clock_hz = 0;
         assert!(c.validate().is_err());
+
+        let mut c = SystemConfig::table2();
+        c.event_cap = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn event_cap_defaults_and_deserializes() {
+        let c = SystemConfig::table2();
+        assert_eq!(c.event_cap, DEFAULT_EVENT_CAP);
+        assert_eq!(c.with_event_cap(50).event_cap, 50);
+        // Configs serialized before the field existed still load, with
+        // the historical cap.
+        let mut v = serde_json::to_value(SystemConfig::table2()).unwrap();
+        v.as_object_mut().unwrap().remove("event_cap");
+        let old: SystemConfig = serde_json::from_value(v).unwrap();
+        assert_eq!(old.event_cap, DEFAULT_EVENT_CAP);
+        assert!(old.validate().is_ok());
     }
 
     #[test]

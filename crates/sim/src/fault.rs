@@ -8,7 +8,11 @@
 //! variability-injection idiom ([`crate::variability`]) with one roll
 //! per execution on a dedicated RNG stream
 //! ([`Stream::FaultInjection`]), so enabling faults never perturbs the
-//! jitter or OS-noise numbers of the executions that survive.
+//! jitter or OS-noise numbers of the executions that survive. The roll
+//! also happens before any simulation, so its outcome is independent of
+//! the execution engine — the event-driven core and the quantum-stepped
+//! oracle fault on exactly the same seeds
+//! (`tests/event_differential.rs`).
 
 use serde::{Deserialize, Serialize};
 

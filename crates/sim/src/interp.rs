@@ -1,0 +1,575 @@
+//! The per-core interpreter and the shared machine context, decomposed
+//! out of the old `machine.rs` monolith.
+//!
+//! [`CoreInterpreter`] owns everything private to one core — thread
+//! state and branch predictor — and implements
+//! [`Component`](crate::sched::Component): one `tick` runs one
+//! scheduling quantum (OS-event delivery, then up to
+//! [`QUANTUM`] cycles of ops) and returns the core's next event time,
+//! or `None` when the thread parked on a sync primitive or finished.
+//!
+//! [`MachineCtx`] owns everything shared: the memory hierarchy, the
+//! variability state, sync primitives, pool cursors, and the trace
+//! buffers. Sync primitives act as wake sources — a tick that releases
+//! a lock, fills a barrier, or moves a queue buffers the resulting
+//! [`Wake`]s in the context, and the scheduler drains them into the
+//! heap in production order ([`WakeSink`]).
+//!
+//! Everything here is a line-for-line behavioural port of the old
+//! quantum loop (kept verbatim in `crate::quantum` as the differential
+//! oracle); the only intentional differences are mechanical speed-ups
+//! that cannot change observable state: the per-item op slice is
+//! resolved once per quantum instead of per op, the code footprint is
+//! hoisted out of the fetch path, and the run-wide instruction total is
+//! maintained incrementally instead of summed over cores at every
+//! trace point.
+
+use crate::branch::BranchPredictor;
+use crate::config::SystemConfig;
+use crate::memhier::MemoryHierarchy;
+use crate::sched::{Component, ComponentId, WakeSink};
+use crate::sync::{Barrier, BoundedQueue, Lock, PopResult, PushResult, Wake};
+use crate::trace_recorder::TraceRecorder;
+use crate::variability::VariabilityState;
+use crate::workload::{Op, PInstr, WorkloadSpec};
+
+/// Cycles a core may run ahead before yielding to the event heap.
+pub(crate) const QUANTUM: u64 = 400;
+/// Fixed cost of an atomic read-modify-write beyond its store.
+pub(crate) const RMW_COST: u64 = 3;
+/// Fixed cost of queue bookkeeping per push/pop.
+pub(crate) const QUEUE_COST: u64 = 4;
+/// Address of lock line `i`: `LOCK_BASE + 64·i`.
+pub(crate) const LOCK_BASE: u64 = 0x7000_0000;
+/// Base of the instruction address space.
+pub(crate) const CODE_BASE: u64 = 0x0040_0000;
+/// Counter: STL events discarded because a traced run hit the
+/// configured event cap (bumped once per affected run with the drop
+/// total, never per event).
+pub(crate) const EVENTS_DROPPED_COUNTER: &str = "sim.trace.events_dropped";
+
+/// Park state of a thread blocked on a sync primitive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Parked {
+    /// Running or runnable.
+    No,
+    /// On wake, the blocking instruction has completed: advance.
+    AdvanceOnWake,
+    /// On wake, re-execute the blocking instruction (queue pops).
+    RetryOnWake,
+}
+
+/// Architectural state of one thread.
+#[derive(Debug)]
+pub(crate) struct ThreadState {
+    pub(crate) pc: usize,
+    pub(crate) time: u64,
+    pub(crate) item: u64,
+    pub(crate) in_item: Option<usize>,
+    pub(crate) parked: Parked,
+    pub(crate) done: bool,
+    pub(crate) instructions: u64,
+    pub(crate) op_counter: u64,
+    pub(crate) mispredicts: u64,
+}
+
+/// What a single interpreter step decided.
+enum Step {
+    Continue,
+    Blocked,
+    Finished,
+}
+
+/// Shared machine state a core ticks against: memory hierarchy,
+/// variability, sync primitives, and trace buffers.
+pub(crate) struct MachineCtx<'w> {
+    pub(crate) config: SystemConfig,
+    pub(crate) workload: &'w WorkloadSpec,
+    pub(crate) hier: MemoryHierarchy,
+    pub(crate) vstate: VariabilityState,
+    pub(crate) locks: Vec<Lock>,
+    pub(crate) barriers: Vec<Barrier>,
+    pub(crate) queues: Vec<BoundedQueue>,
+    pub(crate) queue_producers_left: Vec<u32>,
+    pub(crate) pool_cursors: Vec<u64>,
+    pub(crate) done_count: usize,
+    /// Running total of committed instructions across all cores, kept
+    /// incrementally so trace points are O(1) instead of O(cores).
+    pub(crate) instructions_total: u64,
+    /// Wakes produced during the current tick, drained by the
+    /// scheduler in production order before the tick's own yield.
+    pub(crate) wakes: Vec<Wake>,
+    /// `workload.code_bytes.max(64)`, hoisted out of the fetch path.
+    pub(crate) code_bytes: u64,
+    // Trace collection (only when config.collect_trace).
+    pub(crate) events: Vec<(u64, &'static str)>,
+    pub(crate) dropped_events: u64,
+    /// `(time, thread, active-count)` — per-thread times are monotone;
+    /// the global order is not (thread-local clocks run ahead).
+    pub(crate) active_samples: Vec<(u64, u32, u32)>,
+    pub(crate) active: u32,
+    pub(crate) recorder: Option<TraceRecorder>,
+}
+
+impl<'w> MachineCtx<'w> {
+    pub(crate) fn new(
+        config: SystemConfig,
+        workload: &'w WorkloadSpec,
+        vstate: VariabilityState,
+    ) -> Self {
+        Self {
+            config,
+            workload,
+            hier: MemoryHierarchy::new(config),
+            vstate,
+            locks: (0..workload.locks).map(|_| Lock::new(8)).collect(),
+            barriers: workload
+                .barriers
+                .iter()
+                .map(|&p| Barrier::new(p, 10))
+                .collect(),
+            queues: workload
+                .queues
+                .iter()
+                .map(|q| BoundedQueue::new(q.capacity as usize, 6))
+                .collect(),
+            queue_producers_left: workload.queues.iter().map(|q| q.producers).collect(),
+            pool_cursors: workload.pools.iter().map(|p| p.start).collect(),
+            done_count: 0,
+            instructions_total: 0,
+            wakes: Vec::new(),
+            code_bytes: workload.code_bytes.max(64),
+            events: Vec::new(),
+            dropped_events: 0,
+            active_samples: Vec::new(),
+            active: config.cores,
+            recorder: config
+                .collect_trace
+                .then(|| TraceRecorder::new(config.cores)),
+        }
+    }
+
+    pub(crate) fn record_event(&mut self, name: &'static str, at: u64) {
+        if !self.config.collect_trace {
+            return;
+        }
+        if self.events.len() < self.config.event_cap {
+            self.events.push((at, name));
+        } else {
+            // Past the cap, events used to vanish silently; count them
+            // so truncated traces are visible in the result and obs.
+            self.dropped_events += 1;
+        }
+    }
+
+    pub(crate) fn record_active(&mut self, tid: usize, at: u64, delta: i32) {
+        let next = self.active as i32 + delta;
+        debug_assert!(
+            next >= 0,
+            "active-thread count underflow (thread {tid}, delta {delta})"
+        );
+        self.active = next.max(0) as u32;
+        if self.config.collect_trace {
+            self.active_samples.push((at, tid as u32, self.active));
+        }
+    }
+
+    /// Samples the recorder's performance signals after a core's
+    /// quantum ends (so every quantum produces at most one sample per
+    /// core, at that core's current time).
+    pub(crate) fn record_trace_point(&mut self, at: u64) {
+        let instructions = self.instructions_total;
+        let l1d_misses = self.hier.l1d_misses();
+        let l1d_accesses = self.hier.l1d_accesses();
+        let l2_misses = self.hier.l2_misses();
+        let l2_accesses = self.hier.l2_accesses();
+        let active = self.active;
+        if let Some(recorder) = self.recorder.as_mut() {
+            recorder.record(
+                at,
+                instructions,
+                l1d_misses,
+                l1d_accesses,
+                l2_misses,
+                l2_accesses,
+                active,
+            );
+        }
+    }
+}
+
+impl WakeSink for MachineCtx<'_> {
+    fn drain_wakes(&mut self, schedule: &mut dyn FnMut(ComponentId, u64)) {
+        for wake in self.wakes.drain(..) {
+            schedule(wake.thread, wake.at);
+        }
+    }
+}
+
+/// One core: the interpreter over its thread's program, plus the
+/// core-private branch predictor.
+#[derive(Debug)]
+pub(crate) struct CoreInterpreter {
+    tid: u32,
+    pub(crate) thread: ThreadState,
+    predictor: BranchPredictor,
+}
+
+impl CoreInterpreter {
+    /// A core for thread `tid`, runnable from `start`.
+    pub(crate) fn new(tid: u32, start: u64) -> Self {
+        Self {
+            tid,
+            thread: ThreadState {
+                pc: 0,
+                time: start,
+                item: 0,
+                in_item: None,
+                parked: Parked::No,
+                done: false,
+                instructions: 0,
+                op_counter: 0,
+                mispredicts: 0,
+            },
+            predictor: BranchPredictor::new(12),
+        }
+    }
+
+    /// Delivers any pending OS events (timer interrupts, migrations) to
+    /// this core at its current time.
+    fn deliver_os_events(&mut self, ctx: &mut MachineCtx<'_>) {
+        use crate::variability::OsEvent;
+        let now = self.thread.time;
+        while let Some(event) = ctx.vstate.os_event(self.tid, now) {
+            match event {
+                OsEvent::TimerInterrupt { cycles } => {
+                    self.thread.time += cycles;
+                    self.kernel_activity(ctx, 16);
+                }
+                OsEvent::Migration { cycles } => {
+                    // The thread lands on a cold core: direct switch cost
+                    // plus flushed private caches and predictor state.
+                    self.thread.time += cycles;
+                    ctx.hier.flush_core(self.tid);
+                    self.predictor = BranchPredictor::new(12);
+                    self.kernel_activity(ctx, 64);
+                    ctx.record_event("migration", now);
+                }
+            }
+        }
+    }
+
+    /// Kernel work on this core touches kernel cache lines, displacing
+    /// application state in the shared L2 exactly as a full-system
+    /// simulation would.
+    fn kernel_activity(&mut self, ctx: &mut MachineCtx<'_>, lines: usize) {
+        for _ in 0..lines {
+            let block = ctx.vstate.kernel_block();
+            let now = self.thread.time;
+            let out = ctx
+                .hier
+                .data_access(self.tid, block * 64, false, now, &mut ctx.vstate);
+            self.thread.time += out.latency;
+        }
+    }
+
+    /// Runs one scheduling quantum. Returns the core's next event time
+    /// (a yield back to the scheduler), or `None` when the thread
+    /// blocked or finished.
+    fn run_quantum(&mut self, ctx: &mut MachineCtx<'_>) -> Option<u64> {
+        self.deliver_os_events(ctx);
+        let quantum_end = self.thread.time + QUANTUM;
+        let w = ctx.workload;
+        let tid = self.tid as usize;
+        loop {
+            if self.thread.time >= quantum_end {
+                return Some(self.thread.time);
+            }
+            // Inside an item: run its ops back to back. The op slice is
+            // resolved once here rather than once per op; `in_item` is
+            // written back only when control leaves the loop.
+            if let Some(start) = self.thread.in_item {
+                let table = match w.programs[tid][self.thread.pc] {
+                    PInstr::RunItem { table } => table as usize,
+                    _ => unreachable!("in_item only set while at a RunItem instruction"),
+                };
+                let ops = &w.tables[table][self.thread.item as usize].ops;
+                let mut pos = start;
+                loop {
+                    if pos >= ops.len() {
+                        self.thread.in_item = None;
+                        self.thread.pc += 1;
+                        break;
+                    }
+                    let op = ops[pos];
+                    pos += 1;
+                    self.exec_op(op, ctx);
+                    if self.thread.time >= quantum_end {
+                        self.thread.in_item = Some(pos);
+                        return Some(self.thread.time);
+                    }
+                }
+                continue;
+            }
+            match self.instr_step(ctx) {
+                Step::Continue => {}
+                Step::Blocked => {
+                    ctx.record_active(tid, self.thread.time, -1);
+                    return None;
+                }
+                Step::Finished => {
+                    self.thread.done = true;
+                    ctx.done_count += 1;
+                    ctx.record_active(tid, self.thread.time, -1);
+                    return None;
+                }
+            }
+        }
+    }
+
+    /// Executes one program instruction (ops inside items take the fast
+    /// path in [`Self::run_quantum`] instead).
+    fn instr_step(&mut self, ctx: &mut MachineCtx<'_>) -> Step {
+        let tid = self.tid as usize;
+        let instr = ctx.workload.programs[tid][self.thread.pc];
+        match instr {
+            PInstr::Basic(op) => {
+                self.exec_op(op, ctx);
+                self.thread.pc += 1;
+                Step::Continue
+            }
+            PInstr::LockAcquire(l) => {
+                // The lock line bounces to this core (store semantics).
+                let now = self.thread.time;
+                let addr = LOCK_BASE + 64 * l as u64;
+                let lat = ctx
+                    .hier
+                    .data_access(self.tid, addr, true, now, &mut ctx.vstate)
+                    .latency;
+                self.thread.time += lat + RMW_COST;
+                let now = self.thread.time;
+                if ctx.locks[l as usize].acquire(self.tid, now).is_none() {
+                    self.thread.pc += 1;
+                    Step::Continue
+                } else {
+                    ctx.record_event("lock_contention", now);
+                    self.thread.parked = Parked::AdvanceOnWake;
+                    Step::Blocked
+                }
+            }
+            PInstr::LockRelease(l) => {
+                let now = self.thread.time;
+                let addr = LOCK_BASE + 64 * l as u64;
+                let lat = ctx
+                    .hier
+                    .data_access(self.tid, addr, true, now, &mut ctx.vstate)
+                    .latency;
+                self.thread.time += lat;
+                let now = self.thread.time;
+                if let Some(wake) = ctx.locks[l as usize].release(self.tid, now) {
+                    ctx.wakes.push(wake);
+                }
+                self.thread.pc += 1;
+                Step::Continue
+            }
+            PInstr::Barrier(b) => {
+                let now = self.thread.time;
+                match ctx.barriers[b as usize].arrive(self.tid, now) {
+                    None => {
+                        self.thread.parked = Parked::AdvanceOnWake;
+                        Step::Blocked
+                    }
+                    Some(wakes) => {
+                        for wake in wakes {
+                            if wake.thread == self.tid {
+                                self.thread.time = wake.at;
+                            } else {
+                                ctx.wakes.push(wake);
+                            }
+                        }
+                        self.thread.pc += 1;
+                        Step::Continue
+                    }
+                }
+            }
+            PInstr::PoolPop {
+                pool,
+                jump_if_empty,
+            } => {
+                // Atomic fetch-and-increment on the pool counter line.
+                let spec = ctx.workload.pools[pool as usize];
+                let now = self.thread.time;
+                let lat = ctx
+                    .hier
+                    .data_access(self.tid, spec.counter_addr, true, now, &mut ctx.vstate)
+                    .latency;
+                self.thread.time += lat + RMW_COST;
+                let cursor = &mut ctx.pool_cursors[pool as usize];
+                if *cursor < spec.end {
+                    self.thread.item = *cursor;
+                    *cursor += 1;
+                    self.thread.pc += 1;
+                } else {
+                    self.thread.pc = jump_if_empty as usize;
+                }
+                Step::Continue
+            }
+            PInstr::RunItem { .. } => {
+                self.thread.in_item = Some(0);
+                Step::Continue
+            }
+            PInstr::QueuePush(q) => {
+                let now = self.thread.time;
+                let item = self.thread.item;
+                match ctx.queues[q as usize].push(self.tid, item, now) {
+                    PushResult::Stored(wake) => {
+                        if let Some(w) = wake {
+                            ctx.wakes.push(w);
+                        }
+                        self.thread.time += QUEUE_COST;
+                        self.thread.pc += 1;
+                        Step::Continue
+                    }
+                    PushResult::Blocked => {
+                        self.thread.parked = Parked::AdvanceOnWake;
+                        Step::Blocked
+                    }
+                }
+            }
+            PInstr::QueuePop {
+                queue,
+                jump_if_closed,
+            } => {
+                let now = self.thread.time;
+                match ctx.queues[queue as usize].pop(self.tid, now) {
+                    PopResult::Item(item) => {
+                        self.thread.item = item;
+                        self.thread.time += QUEUE_COST;
+                        // Space freed: a parked producer may proceed.
+                        if let Some(w) = ctx.queues[queue as usize].admit_parked_producer(now) {
+                            ctx.wakes.push(w);
+                        }
+                        self.thread.pc += 1;
+                        Step::Continue
+                    }
+                    PopResult::Blocked => {
+                        self.thread.parked = Parked::RetryOnWake;
+                        Step::Blocked
+                    }
+                    PopResult::Closed => {
+                        self.thread.pc = jump_if_closed as usize;
+                        Step::Continue
+                    }
+                }
+            }
+            PInstr::CloseQueue(q) => {
+                let left = &mut ctx.queue_producers_left[q as usize];
+                *left = left.saturating_sub(1);
+                if *left == 0 {
+                    let now = self.thread.time;
+                    let wakes = ctx.queues[q as usize].close(now);
+                    ctx.wakes.extend(wakes);
+                }
+                self.thread.pc += 1;
+                Step::Continue
+            }
+            PInstr::SetItem(v) => {
+                self.thread.item = v;
+                self.thread.pc += 1;
+                Step::Continue
+            }
+            PInstr::Jump(t) => {
+                // Jumps cost one cycle so zero-progress loops cannot hang
+                // the scheduler.
+                self.thread.time += 1;
+                self.thread.pc = t as usize;
+                Step::Continue
+            }
+            PInstr::End => Step::Finished,
+        }
+    }
+
+    fn exec_op(&mut self, op: Op, ctx: &mut MachineCtx<'_>) {
+        // Instruction fetch: stride through the benchmark's code
+        // footprint; only misses cost cycles.
+        self.thread.op_counter += 1;
+        let fetch_addr = CODE_BASE + (self.thread.op_counter * 16) % ctx.code_bytes;
+        let now = self.thread.time;
+        let fetch = ctx
+            .hier
+            .inst_fetch(self.tid, fetch_addr, now, &mut ctx.vstate);
+        self.thread.time += fetch.latency;
+        let instructions = op.instructions();
+        self.thread.instructions += instructions;
+        ctx.instructions_total += instructions;
+
+        match op {
+            Op::Compute { cycles, .. } => {
+                self.thread.time += cycles as u64;
+            }
+            Op::Load { addr } => self.data_op(addr, false, ctx),
+            Op::Store { addr } => self.data_op(addr, true, ctx),
+            Op::Branch { pc, taken } => {
+                let correct = self.predictor.predict_and_train(pc as u64, taken);
+                if !correct {
+                    self.thread.time += ctx.config.mispredict_penalty;
+                    self.thread.mispredicts += 1;
+                    let at = self.thread.time;
+                    ctx.record_event("branch_mispredict", at);
+                }
+            }
+        }
+    }
+
+    fn data_op(&mut self, addr: u64, is_store: bool, ctx: &mut MachineCtx<'_>) {
+        let now = self.thread.time;
+        let out = ctx
+            .hier
+            .data_access(self.tid, addr, is_store, now, &mut ctx.vstate);
+        self.thread.time += out.latency;
+        if out.l2_miss {
+            ctx.record_event("l2_miss", now);
+        }
+        if out.tlb_miss {
+            ctx.record_event("tlb_miss", now);
+        }
+    }
+}
+
+impl<'w> Component<MachineCtx<'w>> for CoreInterpreter {
+    fn next_tick(&self) -> Option<u64> {
+        (!self.thread.done && self.thread.parked == Parked::No).then_some(self.thread.time)
+    }
+
+    fn tick(&mut self, now: u64, ctx: &mut MachineCtx<'w>) -> Option<u64> {
+        if self.thread.done {
+            // Defensive: finished cores never reschedule themselves and
+            // wakes only target parked threads, so a stale entry would
+            // indicate a sync-primitive bug; ignore it either way.
+            return None;
+        }
+        if self.thread.parked != Parked::No {
+            // Resume from a wake. Stamp the resume at the thread's
+            // post-stall local time: the pop time `now` comes from the
+            // *waker's* clock and may trail this thread's own park
+            // sample. (The scheduler's monotone-pop debug_assert rules
+            // out the heap itself going backwards.)
+            let stall = ctx.vstate.preemption_stall();
+            let t = &mut self.thread;
+            t.time = t.time.max(now) + stall;
+            if t.parked == Parked::AdvanceOnWake {
+                t.pc += 1;
+            }
+            t.parked = Parked::No;
+            let resumed = self.thread.time;
+            ctx.record_active(self.tid as usize, resumed, 1);
+        } else {
+            self.thread.time = self.thread.time.max(now);
+        }
+        let next = self.run_quantum(ctx);
+        if ctx.recorder.is_some() {
+            ctx.record_trace_point(self.thread.time);
+        }
+        next
+    }
+}

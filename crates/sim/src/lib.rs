@@ -14,7 +14,10 @@
 //!   blocks, MESI directory coherence, a crossbar with 16 B links, and
 //!   90-cycle DRAM ([`config::SystemConfig`]);
 //! * deterministic, seeded executions: a `(config, benchmark, seed)`
-//!   triple always reproduces the identical run ([`machine::Machine`]);
+//!   triple always reproduces the identical run ([`machine::Machine`]),
+//!   driven by an event-driven component scheduler that skips idle
+//!   cores and runs uncontended cores ahead without heap round-trips
+//!   ([`sched`]);
 //! * emergent variability: the injected DRAM jitter perturbs lock
 //!   acquisition and pipeline-queue order across threads, so workload
 //!   *assignment* — and therefore every metric — varies run to run
@@ -71,6 +74,7 @@ pub mod metrics;
 pub mod pipeline;
 pub mod rng;
 pub mod runner;
+pub mod sched;
 pub mod sync;
 pub mod tlb;
 pub mod trace_recorder;
@@ -78,6 +82,8 @@ pub mod variability;
 pub mod workload;
 
 mod error;
+mod interp;
+mod quantum;
 
 pub use error::SimError;
 

@@ -1,41 +1,27 @@
 //! The simulated machine: cores executing thread programs over the
-//! memory hierarchy, coordinated by a discrete-event scheduler.
+//! memory hierarchy, coordinated by the event-driven component
+//! scheduler in [`crate::sched`].
 //!
-//! Each core runs one workload thread. Cores advance in small time
-//! quanta ordered by a global event heap, so cross-core interactions
-//! (coherence, DRAM banks, locks, queues) happen in near-causal order
-//! and the whole execution is a deterministic function of
-//! `(config, workload, seed)` — the seed feeds only the variability
-//! model, exactly as in the paper's gem5 methodology (§5.2).
+//! Each core runs one workload thread as a [`CoreInterpreter`]
+//! component; the [`EventScheduler`] pops `(time, seq, core)` events,
+//! skips idle (parked/finished) cores entirely, and lets a core whose
+//! next event is strictly earliest *run ahead* without a heap round
+//! trip. Cross-core interactions (coherence, DRAM banks, locks,
+//! queues) still happen in exactly the pop order the old quantum loop
+//! produced, so the whole execution remains a deterministic function
+//! of `(config, workload, seed)` — the seed feeds only the variability
+//! model, exactly as in the paper's gem5 methodology (§5.2). The old
+//! loop itself survives verbatim in `crate::quantum` as the
+//! differential oracle and bench baseline.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
-use crate::branch::BranchPredictor;
 use crate::config::SystemConfig;
-use crate::memhier::MemoryHierarchy;
+use crate::interp::{CoreInterpreter, MachineCtx, EVENTS_DROPPED_COUNTER};
 use crate::metrics::{ExecutionMetrics, ExecutionResult};
-use crate::sync::{Barrier, BoundedQueue, Lock, PopResult, PushResult, Wake};
-use crate::trace_recorder::TraceRecorder;
-use crate::variability::{Variability, VariabilityState};
-use crate::workload::{Op, PInstr, WorkloadSpec};
+use crate::sched::EventScheduler;
+use crate::sync::Lock;
+use crate::variability::Variability;
+use crate::workload::WorkloadSpec;
 use crate::{Result, SimError};
-
-/// Cycles a core may run ahead before yielding to the event heap.
-const QUANTUM: u64 = 400;
-/// Fixed cost of an atomic read-modify-write beyond its store.
-const RMW_COST: u64 = 3;
-/// Fixed cost of queue bookkeeping per push/pop.
-const QUEUE_COST: u64 = 4;
-/// Address of lock line `i`: `LOCK_BASE + 64·i`.
-const LOCK_BASE: u64 = 0x7000_0000;
-/// Base of the instruction address space.
-const CODE_BASE: u64 = 0x0040_0000;
-/// Cap on recorded STL events per stream (keeps traces bounded).
-const EVENT_CAP: usize = 20_000;
-/// Counter: STL events discarded because a traced run hit [`EVENT_CAP`]
-/// (bumped once per affected run with the drop total, never per event).
-const EVENTS_DROPPED_COUNTER: &str = "sim.trace.events_dropped";
 
 /// A configured machine ready to run a workload.
 ///
@@ -54,39 +40,9 @@ const EVENTS_DROPPED_COUNTER: &str = "sim.trace.events_dropped";
 /// ```
 #[derive(Debug, Clone)]
 pub struct Machine<'w> {
-    config: SystemConfig,
-    workload: &'w WorkloadSpec,
-    variability: Variability,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Parked {
-    /// Running or runnable.
-    No,
-    /// On wake, the blocking instruction has completed: advance.
-    AdvanceOnWake,
-    /// On wake, re-execute the blocking instruction (queue pops).
-    RetryOnWake,
-}
-
-#[derive(Debug)]
-struct ThreadState {
-    pc: usize,
-    time: u64,
-    item: u64,
-    in_item: Option<usize>,
-    parked: Parked,
-    done: bool,
-    instructions: u64,
-    op_counter: u64,
-    mispredicts: u64,
-}
-
-/// What a single interpreter step decided.
-enum Step {
-    Continue,
-    Blocked,
-    Finished,
+    pub(crate) config: SystemConfig,
+    pub(crate) workload: &'w WorkloadSpec,
+    pub(crate) variability: Variability,
 }
 
 impl<'w> Machine<'w> {
@@ -133,141 +89,55 @@ impl<'w> Machine<'w> {
     pub fn run(&self, seed: u64) -> Result<ExecutionResult> {
         Run::new(self, seed).execute()
     }
+
+    /// Runs one execution with the pre-refactor quantum-stepped loop.
+    ///
+    /// This is the legacy engine kept verbatim in `crate::quantum` as
+    /// the differential oracle (see `tests/event_differential.rs`) and
+    /// the `pr10_event_core` bench baseline. It must produce results
+    /// identical to [`Machine::run`]; it is hidden because nothing
+    /// outside those two callers should ever prefer it.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Machine::run`].
+    #[doc(hidden)]
+    pub fn run_quantum_stepped(&self, seed: u64) -> Result<ExecutionResult> {
+        crate::quantum::run(self, seed)
+    }
 }
 
-/// Mutable state of one execution.
-struct Run<'m, 'w> {
-    machine: &'m Machine<'w>,
-    hier: MemoryHierarchy,
-    vstate: VariabilityState,
-    predictors: Vec<BranchPredictor>,
-    locks: Vec<Lock>,
-    barriers: Vec<Barrier>,
-    queues: Vec<BoundedQueue>,
-    queue_producers_left: Vec<u32>,
-    pool_cursors: Vec<u64>,
-    threads: Vec<ThreadState>,
-    heap: BinaryHeap<Reverse<(u64, u64, u32)>>,
-    seq: u64,
-    done_count: usize,
+/// Mutable state of one event-driven execution: the per-core
+/// components, the shared context they tick against, and the scheduler
+/// that orders them.
+struct Run<'w> {
+    cores: Vec<CoreInterpreter>,
+    ctx: MachineCtx<'w>,
+    sched: EventScheduler,
     seed: u64,
-    // Trace collection (only when config.collect_trace).
-    events: Vec<(u64, &'static str)>,
-    dropped_events: u64,
-    /// `(time, thread, active-count)` — per-thread times are monotone;
-    /// the global order is not (thread-local clocks run ahead).
-    active_samples: Vec<(u64, u32, u32)>,
-    active: u32,
-    recorder: Option<TraceRecorder>,
 }
 
-impl<'m, 'w> Run<'m, 'w> {
-    fn new(machine: &'m Machine<'w>, seed: u64) -> Self {
-        let w = machine.workload;
-        let cores = machine.config.cores as usize;
-        let mut heap = BinaryHeap::new();
-        let mut threads = Vec::with_capacity(cores);
-        for tid in 0..cores {
-            // Slight staggering models thread-spawn order.
+impl<'w> Run<'w> {
+    fn new(machine: &Machine<'w>, seed: u64) -> Self {
+        let n = machine.config.cores as usize;
+        let mut sched = EventScheduler::new(n);
+        let mut cores = Vec::with_capacity(n);
+        for tid in 0..n {
+            // Slight staggering models thread-spawn order. Scheduling
+            // in tid order preserves the old loop's seq tie-break.
             let start = tid as u64 * 20;
-            heap.push(Reverse((start, tid as u64, tid as u32)));
-            threads.push(ThreadState {
-                pc: 0,
-                time: start,
-                item: 0,
-                in_item: None,
-                parked: Parked::No,
-                done: false,
-                instructions: 0,
-                op_counter: 0,
-                mispredicts: 0,
-            });
+            sched.schedule(tid as u32, start);
+            cores.push(CoreInterpreter::new(tid as u32, start));
         }
         Self {
-            machine,
-            hier: MemoryHierarchy::new(machine.config),
-            vstate: machine.variability.state_for_run(seed),
-            predictors: (0..cores).map(|_| BranchPredictor::new(12)).collect(),
-            locks: (0..w.locks).map(|_| Lock::new(8)).collect(),
-            barriers: w.barriers.iter().map(|&p| Barrier::new(p, 10)).collect(),
-            queues: w
-                .queues
-                .iter()
-                .map(|q| BoundedQueue::new(q.capacity as usize, 6))
-                .collect(),
-            queue_producers_left: w.queues.iter().map(|q| q.producers).collect(),
-            pool_cursors: w.pools.iter().map(|p| p.start).collect(),
-            threads,
-            heap,
-            seq: cores as u64,
-            done_count: 0,
+            cores,
+            ctx: MachineCtx::new(
+                machine.config,
+                machine.workload,
+                machine.variability.state_for_run(seed),
+            ),
+            sched,
             seed,
-            events: Vec::new(),
-            dropped_events: 0,
-            active_samples: Vec::new(),
-            active: cores as u32,
-            recorder: machine
-                .config
-                .collect_trace
-                .then(|| TraceRecorder::new(machine.config.cores)),
-        }
-    }
-
-    fn schedule(&mut self, tid: u32, at: u64) {
-        self.seq += 1;
-        self.heap.push(Reverse((at, self.seq, tid)));
-    }
-
-    fn schedule_wake(&mut self, wake: Wake) {
-        self.schedule(wake.thread, wake.at);
-    }
-
-    fn record_event(&mut self, name: &'static str, at: u64) {
-        if !self.machine.config.collect_trace {
-            return;
-        }
-        if self.events.len() < EVENT_CAP {
-            self.events.push((at, name));
-        } else {
-            // Past the cap, events used to vanish silently; count them
-            // so truncated traces are visible in the result and obs.
-            self.dropped_events += 1;
-        }
-    }
-
-    fn record_active(&mut self, tid: usize, at: u64, delta: i32) {
-        let next = self.active as i32 + delta;
-        debug_assert!(
-            next >= 0,
-            "active-thread count underflow (thread {tid}, delta {delta})"
-        );
-        self.active = next.max(0) as u32;
-        if self.machine.config.collect_trace {
-            self.active_samples.push((at, tid as u32, self.active));
-        }
-    }
-
-    /// Samples the recorder's performance signals after a core yields
-    /// to the event heap (so every quantum boundary produces at most
-    /// one sample per core, at that core's current time).
-    fn record_trace_point(&mut self, tid: usize) {
-        let at = self.threads[tid].time;
-        let instructions = self.threads.iter().map(|t| t.instructions).sum();
-        let l1d_misses = self.hier.l1d_misses();
-        let l1d_accesses = self.hier.l1d_accesses();
-        let l2_misses = self.hier.l2_misses();
-        let l2_accesses = self.hier.l2_accesses();
-        let active = self.active;
-        if let Some(recorder) = self.recorder.as_mut() {
-            recorder.record(
-                at,
-                instructions,
-                l1d_misses,
-                l1d_accesses,
-                l2_misses,
-                l2_accesses,
-                active,
-            );
         }
     }
 
@@ -280,366 +150,42 @@ impl<'m, 'w> Run<'m, 'w> {
     /// so tests can inspect the raw per-thread samples before they are
     /// folded into trace signals.
     fn drive(&mut self) -> Result<()> {
-        while let Some(Reverse((at, _, tid))) = self.heap.pop() {
-            let tid = tid as usize;
-            if self.threads[tid].done {
-                continue;
-            }
-            // Resume a parked thread.
-            if self.threads[tid].parked != Parked::No {
-                let stall = self.vstate.preemption_stall();
-                let t = &mut self.threads[tid];
-                t.time = t.time.max(at) + stall;
-                if t.parked == Parked::AdvanceOnWake {
-                    t.pc += 1;
-                }
-                t.parked = Parked::No;
-                // Stamp the resume at the thread's post-stall local
-                // time. The heap-pop time `at` comes from the waker's
-                // clock and can precede this thread's own park sample
-                // (which used its local time), misordering the trace.
-                let resumed = self.threads[tid].time;
-                self.record_active(tid, resumed, 1);
-            } else {
-                let t = &mut self.threads[tid];
-                t.time = t.time.max(at);
-            }
-            self.run_quantum(tid)?;
-            if self.recorder.is_some() {
-                self.record_trace_point(tid);
-            }
-        }
-        if self.done_count < self.threads.len() {
-            let cycle = self.threads.iter().map(|t| t.time).max().unwrap_or(0);
+        self.sched.drive(&mut self.cores, &mut self.ctx);
+        if self.ctx.done_count < self.cores.len() {
+            let cycle = self.cores.iter().map(|c| c.thread.time).max().unwrap_or(0);
             return Err(SimError::Deadlock { cycle });
         }
         Ok(())
     }
 
-    /// Delivers any pending OS events (timer interrupts, migrations) to
-    /// this core at its current time.
-    fn deliver_os_events(&mut self, tid: usize) {
-        use crate::variability::OsEvent;
-        let now = self.threads[tid].time;
-        while let Some(event) = self.vstate.os_event(tid as u32, now) {
-            match event {
-                OsEvent::TimerInterrupt { cycles } => {
-                    self.threads[tid].time += cycles;
-                    self.kernel_activity(tid, 16);
-                }
-                OsEvent::Migration { cycles } => {
-                    // The thread lands on a cold core: direct switch cost
-                    // plus flushed private caches and predictor state.
-                    self.threads[tid].time += cycles;
-                    self.hier.flush_core(tid as u32);
-                    self.predictors[tid] = BranchPredictor::new(12);
-                    self.kernel_activity(tid, 64);
-                    self.record_event("migration", now);
-                }
-            }
-        }
-    }
-
-    /// Kernel work on this core touches kernel cache lines, displacing
-    /// application state in the shared L2 exactly as a full-system
-    /// simulation would.
-    fn kernel_activity(&mut self, tid: usize, lines: usize) {
-        for _ in 0..lines {
-            let block = self.vstate.kernel_block();
-            let now = self.threads[tid].time;
-            let out = self
-                .hier
-                .data_access(tid as u32, block * 64, false, now, &mut self.vstate);
-            self.threads[tid].time += out.latency;
-        }
-    }
-
-    fn run_quantum(&mut self, tid: usize) -> Result<()> {
-        self.deliver_os_events(tid);
-        let quantum_end = self.threads[tid].time + QUANTUM;
-        loop {
-            if self.threads[tid].time >= quantum_end {
-                let at = self.threads[tid].time;
-                self.schedule(tid as u32, at);
-                return Ok(());
-            }
-            match self.step(tid)? {
-                Step::Continue => {}
-                Step::Blocked => {
-                    self.record_active(tid, self.threads[tid].time, -1);
-                    return Ok(());
-                }
-                Step::Finished => {
-                    self.threads[tid].done = true;
-                    self.done_count += 1;
-                    self.record_active(tid, self.threads[tid].time, -1);
-                    return Ok(());
-                }
-            }
-        }
-    }
-
-    /// Executes one program instruction (or one op of the current item).
-    fn step(&mut self, tid: usize) -> Result<Step> {
-        // Inside an item: run its next op.
-        if let Some(pos) = self.threads[tid].in_item {
-            let table = match self.machine.workload.programs[tid][self.threads[tid].pc] {
-                PInstr::RunItem { table } => table as usize,
-                _ => unreachable!("in_item only set while at a RunItem instruction"),
-            };
-            let item = self.threads[tid].item as usize;
-            let ops = &self.machine.workload.tables[table][item].ops;
-            if pos < ops.len() {
-                let op = ops[pos];
-                self.threads[tid].in_item = Some(pos + 1);
-                self.exec_op(tid, op);
-                return Ok(Step::Continue);
-            }
-            self.threads[tid].in_item = None;
-            self.threads[tid].pc += 1;
-            return Ok(Step::Continue);
-        }
-
-        let pc = self.threads[tid].pc;
-        let instr = self.machine.workload.programs[tid][pc];
-        match instr {
-            PInstr::Basic(op) => {
-                self.exec_op(tid, op);
-                self.threads[tid].pc += 1;
-                Ok(Step::Continue)
-            }
-            PInstr::LockAcquire(l) => {
-                // The lock line bounces to this core (store semantics).
-                let now = self.threads[tid].time;
-                let addr = LOCK_BASE + 64 * l as u64;
-                let lat = self
-                    .hier
-                    .data_access(tid as u32, addr, true, now, &mut self.vstate)
-                    .latency;
-                let t = &mut self.threads[tid];
-                t.time += lat + RMW_COST;
-                let now = t.time;
-                if self.locks[l as usize].acquire(tid as u32, now).is_none() {
-                    self.threads[tid].pc += 1;
-                    Ok(Step::Continue)
-                } else {
-                    self.record_event("lock_contention", now);
-                    self.threads[tid].parked = Parked::AdvanceOnWake;
-                    Ok(Step::Blocked)
-                }
-            }
-            PInstr::LockRelease(l) => {
-                let now = self.threads[tid].time;
-                let addr = LOCK_BASE + 64 * l as u64;
-                let lat = self
-                    .hier
-                    .data_access(tid as u32, addr, true, now, &mut self.vstate)
-                    .latency;
-                self.threads[tid].time += lat;
-                let now = self.threads[tid].time;
-                if let Some(wake) = self.locks[l as usize].release(tid as u32, now) {
-                    self.schedule_wake(wake);
-                }
-                self.threads[tid].pc += 1;
-                Ok(Step::Continue)
-            }
-            PInstr::Barrier(b) => {
-                let now = self.threads[tid].time;
-                match self.barriers[b as usize].arrive(tid as u32, now) {
-                    None => {
-                        self.threads[tid].parked = Parked::AdvanceOnWake;
-                        Ok(Step::Blocked)
-                    }
-                    Some(wakes) => {
-                        for wake in wakes {
-                            if wake.thread as usize == tid {
-                                self.threads[tid].time = wake.at;
-                            } else {
-                                self.schedule_wake(wake);
-                            }
-                        }
-                        self.threads[tid].pc += 1;
-                        Ok(Step::Continue)
-                    }
-                }
-            }
-            PInstr::PoolPop {
-                pool,
-                jump_if_empty,
-            } => {
-                // Atomic fetch-and-increment on the pool counter line.
-                let spec = self.machine.workload.pools[pool as usize];
-                let now = self.threads[tid].time;
-                let lat = self
-                    .hier
-                    .data_access(tid as u32, spec.counter_addr, true, now, &mut self.vstate)
-                    .latency;
-                let t = &mut self.threads[tid];
-                t.time += lat + RMW_COST;
-                let cursor = &mut self.pool_cursors[pool as usize];
-                if *cursor < spec.end {
-                    self.threads[tid].item = *cursor;
-                    *cursor += 1;
-                    self.threads[tid].pc += 1;
-                } else {
-                    self.threads[tid].pc = jump_if_empty as usize;
-                }
-                Ok(Step::Continue)
-            }
-            PInstr::RunItem { .. } => {
-                self.threads[tid].in_item = Some(0);
-                Ok(Step::Continue)
-            }
-            PInstr::QueuePush(q) => {
-                let now = self.threads[tid].time;
-                let item = self.threads[tid].item;
-                match self.queues[q as usize].push(tid as u32, item, now) {
-                    PushResult::Stored(wake) => {
-                        if let Some(w) = wake {
-                            self.schedule_wake(w);
-                        }
-                        self.threads[tid].time += QUEUE_COST;
-                        self.threads[tid].pc += 1;
-                        Ok(Step::Continue)
-                    }
-                    PushResult::Blocked => {
-                        self.threads[tid].parked = Parked::AdvanceOnWake;
-                        Ok(Step::Blocked)
-                    }
-                }
-            }
-            PInstr::QueuePop {
-                queue,
-                jump_if_closed,
-            } => {
-                let now = self.threads[tid].time;
-                match self.queues[queue as usize].pop(tid as u32, now) {
-                    PopResult::Item(item) => {
-                        self.threads[tid].item = item;
-                        self.threads[tid].time += QUEUE_COST;
-                        // Space freed: a parked producer may proceed.
-                        if let Some(w) = self.queues[queue as usize].admit_parked_producer(now) {
-                            self.schedule_wake(w);
-                        }
-                        self.threads[tid].pc += 1;
-                        Ok(Step::Continue)
-                    }
-                    PopResult::Blocked => {
-                        self.threads[tid].parked = Parked::RetryOnWake;
-                        Ok(Step::Blocked)
-                    }
-                    PopResult::Closed => {
-                        self.threads[tid].pc = jump_if_closed as usize;
-                        Ok(Step::Continue)
-                    }
-                }
-            }
-            PInstr::CloseQueue(q) => {
-                let left = &mut self.queue_producers_left[q as usize];
-                *left = left.saturating_sub(1);
-                if *left == 0 {
-                    let now = self.threads[tid].time;
-                    for wake in self.queues[q as usize].close(now) {
-                        self.schedule_wake(wake);
-                    }
-                }
-                self.threads[tid].pc += 1;
-                Ok(Step::Continue)
-            }
-            PInstr::SetItem(v) => {
-                self.threads[tid].item = v;
-                self.threads[tid].pc += 1;
-                Ok(Step::Continue)
-            }
-            PInstr::Jump(t) => {
-                // Jumps cost one cycle so zero-progress loops cannot hang
-                // the scheduler.
-                self.threads[tid].time += 1;
-                self.threads[tid].pc = t as usize;
-                Ok(Step::Continue)
-            }
-            PInstr::End => Ok(Step::Finished),
-        }
-    }
-
-    fn exec_op(&mut self, tid: usize, op: Op) {
-        let core = tid as u32;
-        // Instruction fetch: stride through the benchmark's code
-        // footprint; only misses cost cycles.
-        let t = &mut self.threads[tid];
-        t.op_counter += 1;
-        let code_bytes = self.machine.workload.code_bytes.max(64);
-        let fetch_addr = CODE_BASE + (t.op_counter * 16) % code_bytes;
-        let now = t.time;
-        let fetch = self
-            .hier
-            .inst_fetch(core, fetch_addr, now, &mut self.vstate);
-        let t = &mut self.threads[tid];
-        t.time += fetch.latency;
-        t.instructions += op.instructions();
-
-        match op {
-            Op::Compute { cycles, .. } => {
-                self.threads[tid].time += cycles as u64;
-            }
-            Op::Load { addr } => {
-                let now = self.threads[tid].time;
-                let out = self
-                    .hier
-                    .data_access(core, addr, false, now, &mut self.vstate);
-                self.threads[tid].time += out.latency;
-                if out.l2_miss {
-                    self.record_event("l2_miss", now);
-                }
-                if out.tlb_miss {
-                    self.record_event("tlb_miss", now);
-                }
-            }
-            Op::Store { addr } => {
-                let now = self.threads[tid].time;
-                let out = self
-                    .hier
-                    .data_access(core, addr, true, now, &mut self.vstate);
-                self.threads[tid].time += out.latency;
-                if out.l2_miss {
-                    self.record_event("l2_miss", now);
-                }
-                if out.tlb_miss {
-                    self.record_event("tlb_miss", now);
-                }
-            }
-            Op::Branch { pc, taken } => {
-                let correct = self.predictors[tid].predict_and_train(pc as u64, taken);
-                if !correct {
-                    let t = &mut self.threads[tid];
-                    t.time += self.machine.config.mispredict_penalty;
-                    t.mispredicts += 1;
-                    let at = self.threads[tid].time;
-                    self.record_event("branch_mispredict", at);
-                }
-            }
-        }
-    }
-
     fn finish(self) -> ExecutionResult {
-        let config = &self.machine.config;
+        self.sched.flush_stats();
+        let config = &self.ctx.config;
+        debug_assert_eq!(
+            self.ctx.instructions_total,
+            self.cores
+                .iter()
+                .map(|c| c.thread.instructions)
+                .sum::<u64>(),
+            "incremental instruction total must match the per-core sum"
+        );
         let mut m = ExecutionMetrics {
-            runtime_cycles: self.threads.iter().map(|t| t.time).max().unwrap_or(0),
-            instructions: self.threads.iter().map(|t| t.instructions).sum(),
-            l1d_misses: self.hier.l1d_misses(),
-            l1d_accesses: self.hier.l1d_accesses(),
-            l1i_misses: self.hier.l1i_misses(),
-            l1i_accesses: self.hier.l1i_accesses(),
-            l2_misses: self.hier.l2_misses(),
-            l2_accesses: self.hier.l2_accesses(),
-            max_load_latency: self.hier.max_load_latency(),
-            avg_load_latency: self.hier.avg_load_latency(),
-            branch_mispredicts: self.threads.iter().map(|t| t.mispredicts).sum(),
-            tlb_misses: self.hier.tlb_misses(),
-            lock_contentions: self.locks.iter().map(Lock::contended).sum(),
-            invalidations: self.hier.invalidations(),
-            dram_accesses: self.hier.dram_accesses(),
-            jitter_cycles: self.hier.jitter_cycles(),
+            runtime_cycles: self.cores.iter().map(|c| c.thread.time).max().unwrap_or(0),
+            instructions: self.ctx.instructions_total,
+            l1d_misses: self.ctx.hier.l1d_misses(),
+            l1d_accesses: self.ctx.hier.l1d_accesses(),
+            l1i_misses: self.ctx.hier.l1i_misses(),
+            l1i_accesses: self.ctx.hier.l1i_accesses(),
+            l2_misses: self.ctx.hier.l2_misses(),
+            l2_accesses: self.ctx.hier.l2_accesses(),
+            max_load_latency: self.ctx.hier.max_load_latency(),
+            avg_load_latency: self.ctx.hier.avg_load_latency(),
+            branch_mispredicts: self.cores.iter().map(|c| c.thread.mispredicts).sum(),
+            tlb_misses: self.ctx.hier.tlb_misses(),
+            lock_contentions: self.ctx.locks.iter().map(Lock::contended).sum(),
+            invalidations: self.ctx.hier.invalidations(),
+            dram_accesses: self.ctx.hier.dram_accesses(),
+            jitter_cycles: self.ctx.hier.jitter_cycles(),
             ..ExecutionMetrics::default()
         };
         m.finalize(config.clock_hz);
@@ -649,15 +195,15 @@ impl<'m, 'w> Run<'m, 'w> {
         } else {
             None
         };
-        if self.dropped_events > 0 {
+        if self.ctx.dropped_events > 0 {
             spa_obs::metrics::global()
                 .counter(EVENTS_DROPPED_COUNTER)
-                .add(self.dropped_events);
+                .add(self.ctx.dropped_events);
         }
         ExecutionResult {
             seed: self.seed,
             metrics: m,
-            dropped_events: self.dropped_events,
+            dropped_events: self.ctx.dropped_events,
             stl_data,
         }
     }
@@ -681,13 +227,13 @@ impl<'m, 'w> Run<'m, 'w> {
             data.declare_stream(stream);
         }
         // Events, sorted by time (threads emit out of order).
-        let mut events = self.events.clone();
+        let mut events = self.ctx.events.clone();
         events.sort_unstable();
         for (at, name) in events {
             data.record_event(name, at).expect("events sorted by time");
         }
         // Active-thread signal plus a simple power proxy.
-        let mut samples = self.active_samples.clone();
+        let mut samples = self.ctx.active_samples.clone();
         samples.sort_unstable_by_key(|&(at, _, _)| at);
         let mut last_time = None;
         for (at, _tid, active) in samples {
@@ -705,7 +251,7 @@ impl<'m, 'w> Run<'m, 'w> {
         }
         if last_time.is_none() {
             let trace = data.trace_mut();
-            let n = self.machine.config.cores as f64;
+            let n = self.ctx.config.cores as f64;
             trace.push("active_threads", 0, n).expect("fresh signal");
             trace
                 .push("power", 0, 8.0 + 23.0 * n)
@@ -713,7 +259,7 @@ impl<'m, 'w> Run<'m, 'w> {
         }
         // Performance signals (IPC, miss rates, occupancy) sampled at
         // quantum boundaries by the recorder.
-        if let Some(recorder) = &self.recorder {
+        if let Some(recorder) = &self.ctx.recorder {
             recorder.write_into(data.trace_mut());
         }
         data
@@ -723,7 +269,8 @@ impl<'m, 'w> Run<'m, 'w> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::workload::{PoolSpec, QueueSpec, WorkItem};
+    use crate::config::DEFAULT_EVENT_CAP;
+    use crate::workload::{Op, PInstr, PoolSpec, QueueSpec, WorkItem};
 
     fn compute(cycles: u16) -> PInstr {
         PInstr::Basic(Op::Compute {
@@ -1019,11 +566,11 @@ mod tests {
             let mut run = Run::new(&m, seed);
             run.drive().unwrap();
             assert!(
-                run.active_samples.len() > 2,
+                run.ctx.active_samples.len() > 2,
                 "expected park/resume samples (seed {seed})"
             );
             let mut last = [0u64; 2];
-            for &(at, tid, _) in &run.active_samples {
+            for &(at, tid, _) in &run.ctx.active_samples {
                 let tid = tid as usize;
                 assert!(
                     at >= last[tid],
@@ -1046,16 +593,20 @@ mod tests {
         };
         let m = Machine::new(single_thread_config().with_trace(), &w).unwrap();
         let mut run = Run::new(&m, 0);
-        for _ in 0..EVENT_CAP + 7 {
-            run.record_event("tlb_miss", 1);
+        for _ in 0..DEFAULT_EVENT_CAP + 7 {
+            run.ctx.record_event("tlb_miss", 1);
         }
-        assert_eq!(run.events.len(), EVENT_CAP);
-        assert_eq!(run.dropped_events, 7);
+        assert_eq!(run.ctx.events.len(), DEFAULT_EVENT_CAP);
+        assert_eq!(run.ctx.dropped_events, 7);
         run.drive().unwrap();
-        assert_eq!(run.events.len(), EVENT_CAP, "cap still enforced");
+        assert_eq!(
+            run.ctx.events.len(),
+            DEFAULT_EVENT_CAP,
+            "cap still enforced"
+        );
         // The run itself may drop more events on top of the 7 stuffed
         // ones; all of them must surface in the result.
-        let dropped = run.dropped_events;
+        let dropped = run.ctx.dropped_events;
         assert!(dropped >= 7);
         let result = run.finish();
         assert_eq!(result.dropped_events, dropped);
@@ -1076,7 +627,7 @@ mod tests {
         let m = Machine::new(single_thread_config(), &w).unwrap();
         let mut run = Run::new(&m, 0);
         // One core ⇒ active starts at 1; the second decrement underflows.
-        run.record_active(0, 10, -1);
-        run.record_active(0, 20, -1);
+        run.ctx.record_active(0, 10, -1);
+        run.ctx.record_active(0, 20, -1);
     }
 }

@@ -6,8 +6,9 @@
 //! stages for simulator workloads:
 //!
 //! * [`MachineSource`] — stage 1: one seeded [`Machine`] execution per
-//!   observation, with simulator errors and panics classified as
-//!   [`SampleError`]s so SPA's retry machinery can handle them,
+//!   observation (driven by the event-driven core, [`crate::sched`]),
+//!   with simulator errors and panics classified as [`SampleError`]s
+//!   so SPA's retry machinery can handle them,
 //! * [`MetricEvaluator`] — stage 2 for the scalar path: extract one
 //!   [`Metric`] from the execution's end-of-run counters,
 //! * [`StlEvaluator`] — stage 2 for the trace path: evaluate a parsed

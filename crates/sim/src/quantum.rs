@@ -1,0 +1,633 @@
+//! The pre-refactor quantum-stepped execution loop, preserved verbatim.
+//!
+//! This is the old `machine.rs` run loop exactly as it existed before
+//! the event-driven core landed (PR 4-style oracle retention): every
+//! runnable core round-trips through the heap after each fixed
+//! 400-cycle quantum, the interpreter re-resolves the current item per
+//! op, and trace points re-sum instructions over all cores. It exists
+//! for two callers only:
+//!
+//! * the seeded differential suite (`tests/event_differential.rs`),
+//!   which asserts the event-driven core produces identical
+//!   [`ExecutionResult`]s and serialized traces, and
+//! * the `pr10_event_core` bench, which times the event-driven core
+//!   against this loop after cross-checking equality.
+//!
+//! The only change from the historical text is that the hardcoded
+//! `EVENT_CAP` now reads `config.event_cap` (both paths must share the
+//! cap for the differential to be meaningful). Do not optimize this
+//! module; it is the baseline.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::branch::BranchPredictor;
+use crate::interp::{CODE_BASE, EVENTS_DROPPED_COUNTER, LOCK_BASE, QUANTUM, QUEUE_COST, RMW_COST};
+use crate::machine::Machine;
+use crate::memhier::MemoryHierarchy;
+use crate::metrics::{ExecutionMetrics, ExecutionResult};
+use crate::sync::{Barrier, BoundedQueue, Lock, PopResult, PushResult, Wake};
+use crate::trace_recorder::TraceRecorder;
+use crate::variability::VariabilityState;
+use crate::workload::{Op, PInstr};
+use crate::{Result, SimError};
+
+/// Runs one execution of `machine` with the legacy quantum-stepped
+/// loop.
+pub(crate) fn run(machine: &Machine<'_>, seed: u64) -> Result<ExecutionResult> {
+    QuantumRun::new(machine, seed).execute()
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Parked {
+    /// Running or runnable.
+    No,
+    /// On wake, the blocking instruction has completed: advance.
+    AdvanceOnWake,
+    /// On wake, re-execute the blocking instruction (queue pops).
+    RetryOnWake,
+}
+
+#[derive(Debug)]
+struct ThreadState {
+    pc: usize,
+    time: u64,
+    item: u64,
+    in_item: Option<usize>,
+    parked: Parked,
+    done: bool,
+    instructions: u64,
+    op_counter: u64,
+    mispredicts: u64,
+}
+
+/// What a single interpreter step decided.
+enum Step {
+    Continue,
+    Blocked,
+    Finished,
+}
+
+/// Mutable state of one legacy-loop execution.
+struct QuantumRun<'m, 'w> {
+    machine: &'m Machine<'w>,
+    hier: MemoryHierarchy,
+    vstate: VariabilityState,
+    predictors: Vec<BranchPredictor>,
+    locks: Vec<Lock>,
+    barriers: Vec<Barrier>,
+    queues: Vec<BoundedQueue>,
+    queue_producers_left: Vec<u32>,
+    pool_cursors: Vec<u64>,
+    threads: Vec<ThreadState>,
+    heap: BinaryHeap<Reverse<(u64, u64, u32)>>,
+    seq: u64,
+    done_count: usize,
+    seed: u64,
+    // Trace collection (only when config.collect_trace).
+    events: Vec<(u64, &'static str)>,
+    dropped_events: u64,
+    active_samples: Vec<(u64, u32, u32)>,
+    active: u32,
+    recorder: Option<TraceRecorder>,
+}
+
+impl<'m, 'w> QuantumRun<'m, 'w> {
+    fn new(machine: &'m Machine<'w>, seed: u64) -> Self {
+        let w = machine.workload;
+        let cores = machine.config.cores as usize;
+        let mut heap = BinaryHeap::new();
+        let mut threads = Vec::with_capacity(cores);
+        for tid in 0..cores {
+            // Slight staggering models thread-spawn order.
+            let start = tid as u64 * 20;
+            heap.push(Reverse((start, tid as u64, tid as u32)));
+            threads.push(ThreadState {
+                pc: 0,
+                time: start,
+                item: 0,
+                in_item: None,
+                parked: Parked::No,
+                done: false,
+                instructions: 0,
+                op_counter: 0,
+                mispredicts: 0,
+            });
+        }
+        Self {
+            machine,
+            hier: MemoryHierarchy::new(machine.config),
+            vstate: machine.variability.state_for_run(seed),
+            predictors: (0..cores).map(|_| BranchPredictor::new(12)).collect(),
+            locks: (0..w.locks).map(|_| Lock::new(8)).collect(),
+            barriers: w.barriers.iter().map(|&p| Barrier::new(p, 10)).collect(),
+            queues: w
+                .queues
+                .iter()
+                .map(|q| BoundedQueue::new(q.capacity as usize, 6))
+                .collect(),
+            queue_producers_left: w.queues.iter().map(|q| q.producers).collect(),
+            pool_cursors: w.pools.iter().map(|p| p.start).collect(),
+            threads,
+            heap,
+            seq: cores as u64,
+            done_count: 0,
+            seed,
+            events: Vec::new(),
+            dropped_events: 0,
+            active_samples: Vec::new(),
+            active: cores as u32,
+            recorder: machine
+                .config
+                .collect_trace
+                .then(|| TraceRecorder::new(machine.config.cores)),
+        }
+    }
+
+    fn schedule(&mut self, tid: u32, at: u64) {
+        self.seq += 1;
+        self.heap.push(Reverse((at, self.seq, tid)));
+    }
+
+    fn schedule_wake(&mut self, wake: Wake) {
+        self.schedule(wake.thread, wake.at);
+    }
+
+    fn record_event(&mut self, name: &'static str, at: u64) {
+        if !self.machine.config.collect_trace {
+            return;
+        }
+        if self.events.len() < self.machine.config.event_cap {
+            self.events.push((at, name));
+        } else {
+            self.dropped_events += 1;
+        }
+    }
+
+    fn record_active(&mut self, tid: usize, at: u64, delta: i32) {
+        let next = self.active as i32 + delta;
+        debug_assert!(
+            next >= 0,
+            "active-thread count underflow (thread {tid}, delta {delta})"
+        );
+        self.active = next.max(0) as u32;
+        if self.machine.config.collect_trace {
+            self.active_samples.push((at, tid as u32, self.active));
+        }
+    }
+
+    fn record_trace_point(&mut self, tid: usize) {
+        let at = self.threads[tid].time;
+        let instructions = self.threads.iter().map(|t| t.instructions).sum();
+        let l1d_misses = self.hier.l1d_misses();
+        let l1d_accesses = self.hier.l1d_accesses();
+        let l2_misses = self.hier.l2_misses();
+        let l2_accesses = self.hier.l2_accesses();
+        let active = self.active;
+        if let Some(recorder) = self.recorder.as_mut() {
+            recorder.record(
+                at,
+                instructions,
+                l1d_misses,
+                l1d_accesses,
+                l2_misses,
+                l2_accesses,
+                active,
+            );
+        }
+    }
+
+    fn execute(mut self) -> Result<ExecutionResult> {
+        self.drive()?;
+        Ok(self.finish())
+    }
+
+    fn drive(&mut self) -> Result<()> {
+        while let Some(Reverse((at, _, tid))) = self.heap.pop() {
+            let tid = tid as usize;
+            if self.threads[tid].done {
+                continue;
+            }
+            // Resume a parked thread.
+            if self.threads[tid].parked != Parked::No {
+                let stall = self.vstate.preemption_stall();
+                let t = &mut self.threads[tid];
+                t.time = t.time.max(at) + stall;
+                if t.parked == Parked::AdvanceOnWake {
+                    t.pc += 1;
+                }
+                t.parked = Parked::No;
+                let resumed = self.threads[tid].time;
+                self.record_active(tid, resumed, 1);
+            } else {
+                let t = &mut self.threads[tid];
+                t.time = t.time.max(at);
+            }
+            self.run_quantum(tid)?;
+            if self.recorder.is_some() {
+                self.record_trace_point(tid);
+            }
+        }
+        if self.done_count < self.threads.len() {
+            let cycle = self.threads.iter().map(|t| t.time).max().unwrap_or(0);
+            return Err(SimError::Deadlock { cycle });
+        }
+        Ok(())
+    }
+
+    fn deliver_os_events(&mut self, tid: usize) {
+        use crate::variability::OsEvent;
+        let now = self.threads[tid].time;
+        while let Some(event) = self.vstate.os_event(tid as u32, now) {
+            match event {
+                OsEvent::TimerInterrupt { cycles } => {
+                    self.threads[tid].time += cycles;
+                    self.kernel_activity(tid, 16);
+                }
+                OsEvent::Migration { cycles } => {
+                    self.threads[tid].time += cycles;
+                    self.hier.flush_core(tid as u32);
+                    self.predictors[tid] = BranchPredictor::new(12);
+                    self.kernel_activity(tid, 64);
+                    self.record_event("migration", now);
+                }
+            }
+        }
+    }
+
+    fn kernel_activity(&mut self, tid: usize, lines: usize) {
+        for _ in 0..lines {
+            let block = self.vstate.kernel_block();
+            let now = self.threads[tid].time;
+            let out = self
+                .hier
+                .data_access(tid as u32, block * 64, false, now, &mut self.vstate);
+            self.threads[tid].time += out.latency;
+        }
+    }
+
+    fn run_quantum(&mut self, tid: usize) -> Result<()> {
+        self.deliver_os_events(tid);
+        let quantum_end = self.threads[tid].time + QUANTUM;
+        loop {
+            if self.threads[tid].time >= quantum_end {
+                let at = self.threads[tid].time;
+                self.schedule(tid as u32, at);
+                return Ok(());
+            }
+            match self.step(tid)? {
+                Step::Continue => {}
+                Step::Blocked => {
+                    self.record_active(tid, self.threads[tid].time, -1);
+                    return Ok(());
+                }
+                Step::Finished => {
+                    self.threads[tid].done = true;
+                    self.done_count += 1;
+                    self.record_active(tid, self.threads[tid].time, -1);
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// Executes one program instruction (or one op of the current item).
+    fn step(&mut self, tid: usize) -> Result<Step> {
+        // Inside an item: run its next op.
+        if let Some(pos) = self.threads[tid].in_item {
+            let table = match self.machine.workload.programs[tid][self.threads[tid].pc] {
+                PInstr::RunItem { table } => table as usize,
+                _ => unreachable!("in_item only set while at a RunItem instruction"),
+            };
+            let item = self.threads[tid].item as usize;
+            let ops = &self.machine.workload.tables[table][item].ops;
+            if pos < ops.len() {
+                let op = ops[pos];
+                self.threads[tid].in_item = Some(pos + 1);
+                self.exec_op(tid, op);
+                return Ok(Step::Continue);
+            }
+            self.threads[tid].in_item = None;
+            self.threads[tid].pc += 1;
+            return Ok(Step::Continue);
+        }
+
+        let pc = self.threads[tid].pc;
+        let instr = self.machine.workload.programs[tid][pc];
+        match instr {
+            PInstr::Basic(op) => {
+                self.exec_op(tid, op);
+                self.threads[tid].pc += 1;
+                Ok(Step::Continue)
+            }
+            PInstr::LockAcquire(l) => {
+                // The lock line bounces to this core (store semantics).
+                let now = self.threads[tid].time;
+                let addr = LOCK_BASE + 64 * l as u64;
+                let lat = self
+                    .hier
+                    .data_access(tid as u32, addr, true, now, &mut self.vstate)
+                    .latency;
+                let t = &mut self.threads[tid];
+                t.time += lat + RMW_COST;
+                let now = t.time;
+                if self.locks[l as usize].acquire(tid as u32, now).is_none() {
+                    self.threads[tid].pc += 1;
+                    Ok(Step::Continue)
+                } else {
+                    self.record_event("lock_contention", now);
+                    self.threads[tid].parked = Parked::AdvanceOnWake;
+                    Ok(Step::Blocked)
+                }
+            }
+            PInstr::LockRelease(l) => {
+                let now = self.threads[tid].time;
+                let addr = LOCK_BASE + 64 * l as u64;
+                let lat = self
+                    .hier
+                    .data_access(tid as u32, addr, true, now, &mut self.vstate)
+                    .latency;
+                self.threads[tid].time += lat;
+                let now = self.threads[tid].time;
+                if let Some(wake) = self.locks[l as usize].release(tid as u32, now) {
+                    self.schedule_wake(wake);
+                }
+                self.threads[tid].pc += 1;
+                Ok(Step::Continue)
+            }
+            PInstr::Barrier(b) => {
+                let now = self.threads[tid].time;
+                match self.barriers[b as usize].arrive(tid as u32, now) {
+                    None => {
+                        self.threads[tid].parked = Parked::AdvanceOnWake;
+                        Ok(Step::Blocked)
+                    }
+                    Some(wakes) => {
+                        for wake in wakes {
+                            if wake.thread as usize == tid {
+                                self.threads[tid].time = wake.at;
+                            } else {
+                                self.schedule_wake(wake);
+                            }
+                        }
+                        self.threads[tid].pc += 1;
+                        Ok(Step::Continue)
+                    }
+                }
+            }
+            PInstr::PoolPop {
+                pool,
+                jump_if_empty,
+            } => {
+                // Atomic fetch-and-increment on the pool counter line.
+                let spec = self.machine.workload.pools[pool as usize];
+                let now = self.threads[tid].time;
+                let lat = self
+                    .hier
+                    .data_access(tid as u32, spec.counter_addr, true, now, &mut self.vstate)
+                    .latency;
+                let t = &mut self.threads[tid];
+                t.time += lat + RMW_COST;
+                let cursor = &mut self.pool_cursors[pool as usize];
+                if *cursor < spec.end {
+                    self.threads[tid].item = *cursor;
+                    *cursor += 1;
+                    self.threads[tid].pc += 1;
+                } else {
+                    self.threads[tid].pc = jump_if_empty as usize;
+                }
+                Ok(Step::Continue)
+            }
+            PInstr::RunItem { .. } => {
+                self.threads[tid].in_item = Some(0);
+                Ok(Step::Continue)
+            }
+            PInstr::QueuePush(q) => {
+                let now = self.threads[tid].time;
+                let item = self.threads[tid].item;
+                match self.queues[q as usize].push(tid as u32, item, now) {
+                    PushResult::Stored(wake) => {
+                        if let Some(w) = wake {
+                            self.schedule_wake(w);
+                        }
+                        self.threads[tid].time += QUEUE_COST;
+                        self.threads[tid].pc += 1;
+                        Ok(Step::Continue)
+                    }
+                    PushResult::Blocked => {
+                        self.threads[tid].parked = Parked::AdvanceOnWake;
+                        Ok(Step::Blocked)
+                    }
+                }
+            }
+            PInstr::QueuePop {
+                queue,
+                jump_if_closed,
+            } => {
+                let now = self.threads[tid].time;
+                match self.queues[queue as usize].pop(tid as u32, now) {
+                    PopResult::Item(item) => {
+                        self.threads[tid].item = item;
+                        self.threads[tid].time += QUEUE_COST;
+                        // Space freed: a parked producer may proceed.
+                        if let Some(w) = self.queues[queue as usize].admit_parked_producer(now) {
+                            self.schedule_wake(w);
+                        }
+                        self.threads[tid].pc += 1;
+                        Ok(Step::Continue)
+                    }
+                    PopResult::Blocked => {
+                        self.threads[tid].parked = Parked::RetryOnWake;
+                        Ok(Step::Blocked)
+                    }
+                    PopResult::Closed => {
+                        self.threads[tid].pc = jump_if_closed as usize;
+                        Ok(Step::Continue)
+                    }
+                }
+            }
+            PInstr::CloseQueue(q) => {
+                let left = &mut self.queue_producers_left[q as usize];
+                *left = left.saturating_sub(1);
+                if *left == 0 {
+                    let now = self.threads[tid].time;
+                    for wake in self.queues[q as usize].close(now) {
+                        self.schedule_wake(wake);
+                    }
+                }
+                self.threads[tid].pc += 1;
+                Ok(Step::Continue)
+            }
+            PInstr::SetItem(v) => {
+                self.threads[tid].item = v;
+                self.threads[tid].pc += 1;
+                Ok(Step::Continue)
+            }
+            PInstr::Jump(t) => {
+                // Jumps cost one cycle so zero-progress loops cannot hang
+                // the scheduler.
+                self.threads[tid].time += 1;
+                self.threads[tid].pc = t as usize;
+                Ok(Step::Continue)
+            }
+            PInstr::End => Ok(Step::Finished),
+        }
+    }
+
+    fn exec_op(&mut self, tid: usize, op: Op) {
+        let core = tid as u32;
+        // Instruction fetch: stride through the benchmark's code
+        // footprint; only misses cost cycles.
+        let t = &mut self.threads[tid];
+        t.op_counter += 1;
+        let code_bytes = self.machine.workload.code_bytes.max(64);
+        let fetch_addr = CODE_BASE + (t.op_counter * 16) % code_bytes;
+        let now = t.time;
+        let fetch = self
+            .hier
+            .inst_fetch(core, fetch_addr, now, &mut self.vstate);
+        let t = &mut self.threads[tid];
+        t.time += fetch.latency;
+        t.instructions += op.instructions();
+
+        match op {
+            Op::Compute { cycles, .. } => {
+                self.threads[tid].time += cycles as u64;
+            }
+            Op::Load { addr } => {
+                let now = self.threads[tid].time;
+                let out = self
+                    .hier
+                    .data_access(core, addr, false, now, &mut self.vstate);
+                self.threads[tid].time += out.latency;
+                if out.l2_miss {
+                    self.record_event("l2_miss", now);
+                }
+                if out.tlb_miss {
+                    self.record_event("tlb_miss", now);
+                }
+            }
+            Op::Store { addr } => {
+                let now = self.threads[tid].time;
+                let out = self
+                    .hier
+                    .data_access(core, addr, true, now, &mut self.vstate);
+                self.threads[tid].time += out.latency;
+                if out.l2_miss {
+                    self.record_event("l2_miss", now);
+                }
+                if out.tlb_miss {
+                    self.record_event("tlb_miss", now);
+                }
+            }
+            Op::Branch { pc, taken } => {
+                let correct = self.predictors[tid].predict_and_train(pc as u64, taken);
+                if !correct {
+                    let t = &mut self.threads[tid];
+                    t.time += self.machine.config.mispredict_penalty;
+                    t.mispredicts += 1;
+                    let at = self.threads[tid].time;
+                    self.record_event("branch_mispredict", at);
+                }
+            }
+        }
+    }
+
+    fn finish(self) -> ExecutionResult {
+        let config = &self.machine.config;
+        let mut m = ExecutionMetrics {
+            runtime_cycles: self.threads.iter().map(|t| t.time).max().unwrap_or(0),
+            instructions: self.threads.iter().map(|t| t.instructions).sum(),
+            l1d_misses: self.hier.l1d_misses(),
+            l1d_accesses: self.hier.l1d_accesses(),
+            l1i_misses: self.hier.l1i_misses(),
+            l1i_accesses: self.hier.l1i_accesses(),
+            l2_misses: self.hier.l2_misses(),
+            l2_accesses: self.hier.l2_accesses(),
+            max_load_latency: self.hier.max_load_latency(),
+            avg_load_latency: self.hier.avg_load_latency(),
+            branch_mispredicts: self.threads.iter().map(|t| t.mispredicts).sum(),
+            tlb_misses: self.hier.tlb_misses(),
+            lock_contentions: self.locks.iter().map(Lock::contended).sum(),
+            invalidations: self.hier.invalidations(),
+            dram_accesses: self.hier.dram_accesses(),
+            jitter_cycles: self.hier.jitter_cycles(),
+            ..ExecutionMetrics::default()
+        };
+        m.finalize(config.clock_hz);
+
+        let stl_data = if config.collect_trace {
+            Some(self.build_stl_data(&m))
+        } else {
+            None
+        };
+        if self.dropped_events > 0 {
+            spa_obs::metrics::global()
+                .counter(EVENTS_DROPPED_COUNTER)
+                .add(self.dropped_events);
+        }
+        ExecutionResult {
+            seed: self.seed,
+            metrics: m,
+            dropped_events: self.dropped_events,
+            stl_data,
+        }
+    }
+
+    fn build_stl_data(&self, m: &ExecutionMetrics) -> spa_stl::execution::ExecutionData {
+        let mut data = spa_stl::execution::ExecutionData::new(m.runtime_cycles);
+        for metric in crate::metrics::Metric::ALL {
+            data.set_metric(metric.key(), metric.extract(m));
+        }
+        data.set_metric("avg_load_latency", m.avg_load_latency);
+        data.set_metric("lock_contentions", m.lock_contentions as f64);
+        // Standard streams exist even when empty so properties can ask
+        // about events that happened zero times.
+        for stream in [
+            "tlb_miss",
+            "l2_miss",
+            "lock_contention",
+            "branch_mispredict",
+            "migration",
+        ] {
+            data.declare_stream(stream);
+        }
+        // Events, sorted by time (threads emit out of order).
+        let mut events = self.events.clone();
+        events.sort_unstable();
+        for (at, name) in events {
+            data.record_event(name, at).expect("events sorted by time");
+        }
+        // Active-thread signal plus a simple power proxy.
+        let mut samples = self.active_samples.clone();
+        samples.sort_unstable_by_key(|&(at, _, _)| at);
+        let mut last_time = None;
+        for (at, _tid, active) in samples {
+            if last_time == Some(at) {
+                continue; // keep strictly increasing times
+            }
+            last_time = Some(at);
+            let trace = data.trace_mut();
+            trace
+                .push("active_threads", at, active as f64)
+                .expect("times strictly increasing");
+            trace
+                .push("power", at, 8.0 + 23.0 * active as f64)
+                .expect("times strictly increasing");
+        }
+        if last_time.is_none() {
+            let trace = data.trace_mut();
+            let n = self.machine.config.cores as f64;
+            trace.push("active_threads", 0, n).expect("fresh signal");
+            trace
+                .push("power", 0, 8.0 + 23.0 * n)
+                .expect("fresh signal");
+        }
+        // Performance signals (IPC, miss rates, occupancy) sampled at
+        // quantum boundaries by the recorder.
+        if let Some(recorder) = &self.recorder {
+            recorder.write_into(data.trace_mut());
+        }
+        data
+    }
+}

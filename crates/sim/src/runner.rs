@@ -9,6 +9,8 @@
 //! across one worker per available hardware thread ([`crate::batch`]).
 //! That is safe to do silently: per-seed RNG streams plus seed-ordered
 //! collection make the output byte-identical to sequential execution.
+//! Each worker drives the event-driven core ([`crate::sched`]), so the
+//! two performance layers compose without touching any result.
 
 use crate::batch::{available_jobs, run_metric_population_batch_with, run_population_batch_with};
 use crate::config::SystemConfig;

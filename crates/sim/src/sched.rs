@@ -1,0 +1,376 @@
+//! The discrete-event component scheduler at the heart of the machine.
+//!
+//! Before this module existed, `machine.rs` owned a bare
+//! `BinaryHeap<Reverse<(time, seq, thread)>>` and hopped every runnable
+//! core forward in fixed 400-cycle quanta — a straight-line compute
+//! burst of 10k cycles cost 25 heap round-trips that decided nothing.
+//! This module names the pieces:
+//!
+//! * [`Component`] — anything the scheduler can advance. `next_tick`
+//!   reports the component's next self-scheduled event time (`None` =
+//!   idle/parked/finished); `tick` advances it from a popped event and
+//!   returns the time it next wants to run (`None` = it parked or
+//!   finished and must not be rescheduled).
+//! * [`WakeSink`] — how cross-component wake-ups (lock hand-offs,
+//!   barrier releases, queue transfers) flow back into the heap: a
+//!   component's `tick` buffers wakes in its context, and the scheduler
+//!   drains them into the heap *in production order, before the
+//!   component's own yield* — exactly the order the old loop pushed
+//!   them, so seq tie-breaks are preserved.
+//! * [`EventScheduler`] — the heap plus the *run-ahead* rule: when a
+//!   component yields at a time strictly earlier than every queued
+//!   event, the push-then-pop round trip is provably a no-op (a fresh
+//!   push carries the globally largest seq, so it loses every tie) and
+//!   the component keeps running inline. Parked and finished components
+//!   never re-enter the heap at all; wakes re-admit parked ones.
+//!
+//! Ordering contract: events are popped in ascending `(time, seq)`
+//! order, where `seq` is assigned in push order — ties between
+//! simultaneous events resolve first-pushed-first. Because every push
+//! happens at or after the currently popped time (yields come from a
+//! component's own monotone clock; wakes carry the running component's
+//! clock plus a hand-off cost), pop times are globally — and therefore
+//! per-component — monotone non-decreasing. [`EventScheduler::pop`]
+//! enforces the per-component invariant with a `debug_assert`.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use spa_obs::metrics::global;
+
+/// Counter: events popped from the scheduler heap (flushed once per
+/// run with the run's total, never per event).
+pub const EVENTS_POPPED: &str = "sim.sched.events_popped";
+/// Counter: heap round-trips elided by the run-ahead rule — yields
+/// that were strictly earlier than every queued event and so continued
+/// inline (flushed once per run).
+pub const IDLE_SKIPS: &str = "sim.sched.idle_skips";
+/// Counter: cycles advanced by run-ahead quanta — quanta entered
+/// inline (without a heap pop) that yielded again (flushed once per
+/// run).
+pub const RUNAHEAD_CYCLES: &str = "sim.sched.runahead_cycles";
+
+/// Index of a component in the scheduler's component slice.
+pub type ComponentId = u32;
+
+/// A schedulable simulation component.
+///
+/// `Ctx` is the shared machine state a component needs while ticking
+/// (memory hierarchy, sync primitives, trace buffers); it is a type
+/// parameter so the scheduler stays independent of the machine's
+/// internals.
+pub trait Component<Ctx> {
+    /// The component's next self-scheduled event time, or `None` when
+    /// it is idle (parked on a sync primitive) or finished. Idle
+    /// components have no heap entry; only a wake re-admits them.
+    fn next_tick(&self) -> Option<u64>;
+
+    /// Advances the component from an event popped at `now`. Returns
+    /// the time the component next wants to run, or `None` when it
+    /// parked or finished — in which case it must not be rescheduled.
+    fn tick(&mut self, now: u64, ctx: &mut Ctx) -> Option<u64>;
+}
+
+/// A context that buffers cross-component wake-ups during a tick.
+pub trait WakeSink {
+    /// Drains buffered wakes in production order into `schedule`.
+    /// Called by the scheduler after every tick, before the ticking
+    /// component's own yield is pushed.
+    fn drain_wakes(&mut self, schedule: &mut dyn FnMut(ComponentId, u64));
+}
+
+/// Per-run scheduler statistics (the `sim.sched.*` counters).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Events popped from the heap.
+    pub events_popped: u64,
+    /// Heap round-trips elided by run-ahead.
+    pub idle_skips: u64,
+    /// Cycles advanced by run-ahead quanta that yielded again.
+    pub runahead_cycles: u64,
+}
+
+/// The event heap: ascending `(time, seq, component)` with seq assigned
+/// in push order, so simultaneous events pop first-pushed-first.
+#[derive(Debug, Clone, Default)]
+pub struct EventScheduler {
+    heap: BinaryHeap<Reverse<(u64, u64, ComponentId)>>,
+    seq: u64,
+    /// Last popped time per component, for the monotonicity invariant.
+    last_pop: Vec<u64>,
+    stats: SchedStats,
+}
+
+impl EventScheduler {
+    /// An empty scheduler for `components` components (ids
+    /// `0..components`).
+    pub fn new(components: usize) -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            last_pop: vec![0; components],
+            stats: SchedStats::default(),
+        }
+    }
+
+    /// Schedules component `id` at time `at`. Pushes made later always
+    /// lose ties against pushes made earlier (seq tie-break).
+    pub fn schedule(&mut self, id: ComponentId, at: u64) {
+        self.seq += 1;
+        self.heap.push(Reverse((at, self.seq, id)));
+    }
+
+    /// Pops the earliest event, ties broken by push order.
+    ///
+    /// In debug builds, asserts that popped times are monotone
+    /// non-decreasing per component — the single enforced invariant
+    /// behind every "the pop time cannot precede …" argument in the
+    /// machine (notably the parked-resume clamp, which only has to
+    /// guard against the *waker's* clock trailing the parked thread's
+    /// own, never against the scheduler going backwards).
+    pub fn pop(&mut self) -> Option<(u64, ComponentId)> {
+        let Reverse((at, _, id)) = self.heap.pop()?;
+        self.stats.events_popped += 1;
+        let last = self.last_pop[id as usize];
+        debug_assert!(
+            at >= last,
+            "scheduler popped time {at} for component {id} after {last}: \
+             per-component pop times must be monotone non-decreasing"
+        );
+        self.last_pop[id as usize] = at;
+        Some((at, id))
+    }
+
+    /// Whether an event at `at` would run before everything queued:
+    /// true when the heap is empty or `at` is *strictly* earlier than
+    /// the earliest queued event. Strictness matters — a fresh push
+    /// carries the globally largest seq, so it loses ties against every
+    /// queued event and must go through the heap when times are equal.
+    pub fn runs_next(&self, at: u64) -> bool {
+        match self.heap.peek() {
+            None => true,
+            Some(Reverse((head, _, _))) => at < *head,
+        }
+    }
+
+    /// Queued events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are queued.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// This scheduler's per-run statistics so far.
+    pub fn stats(&self) -> SchedStats {
+        self.stats
+    }
+
+    /// Flushes the per-run statistics to the process-global `sim.sched.*`
+    /// counters (call once per run, like `sim.batch.*`).
+    pub fn flush_stats(&self) {
+        let registry = global();
+        registry
+            .counter(EVENTS_POPPED)
+            .add(self.stats.events_popped);
+        registry.counter(IDLE_SKIPS).add(self.stats.idle_skips);
+        registry
+            .counter(RUNAHEAD_CYCLES)
+            .add(self.stats.runahead_cycles);
+    }
+
+    /// Runs components to completion: pops events, ticks the popped
+    /// component, drains its wakes into the heap (production order,
+    /// before its own yield), and applies the run-ahead rule — a yield
+    /// strictly earlier than every queued event continues inline
+    /// instead of round-tripping through the heap.
+    ///
+    /// The loop ends when the heap is empty; the caller decides whether
+    /// that means completion or deadlock (components that parked and
+    /// were never woken).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event's component id is out of range for
+    /// `components`.
+    pub fn drive<Ctx, C>(&mut self, components: &mut [C], ctx: &mut Ctx)
+    where
+        Ctx: WakeSink,
+        C: Component<Ctx>,
+    {
+        while let Some((at, id)) = self.pop() {
+            let component = &mut components[id as usize];
+            let mut now = at;
+            let mut ran_ahead = false;
+            loop {
+                let next = component.tick(now, ctx);
+                ctx.drain_wakes(&mut |wake_id, wake_at| self.schedule(wake_id, wake_at));
+                if ran_ahead {
+                    self.stats.runahead_cycles += next.map_or(0, |t| t.saturating_sub(now));
+                }
+                let Some(next_at) = next else { break };
+                debug_assert_eq!(
+                    component.next_tick(),
+                    Some(next_at),
+                    "a component's yield time must agree with its next_tick"
+                );
+                if self.runs_next(next_at) {
+                    // Run-ahead: the push-then-pop pair would return
+                    // this very event (its seq is maximal, so it wins
+                    // only strictly-earlier comparisons, which is what
+                    // `runs_next` checked). Elide the round trip.
+                    self.stats.idle_skips += 1;
+                    ran_ahead = true;
+                    now = next_at;
+                } else {
+                    self.schedule(id, next_at);
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_ascend_by_time_then_insertion_order() {
+        let mut s = EventScheduler::new(4);
+        s.schedule(0, 30);
+        s.schedule(1, 10);
+        s.schedule(2, 10);
+        s.schedule(3, 20);
+        let order: Vec<(u64, ComponentId)> = std::iter::from_fn(|| s.pop()).collect();
+        // Equal times pop in insertion order (1 before 2).
+        assert_eq!(order, vec![(10, 1), (10, 2), (20, 3), (30, 0)]);
+        assert_eq!(s.stats().events_popped, 4);
+    }
+
+    #[test]
+    fn runs_next_requires_strictly_earlier() {
+        let mut s = EventScheduler::new(2);
+        assert!(s.runs_next(100), "empty heap: anything runs next");
+        s.schedule(0, 50);
+        assert!(s.runs_next(49));
+        assert!(!s.runs_next(50), "ties must go through the heap");
+        assert!(!s.runs_next(51));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "monotone non-decreasing")]
+    fn backwards_pop_is_caught_in_debug() {
+        let mut s = EventScheduler::new(1);
+        s.schedule(0, 100);
+        s.pop();
+        // Scheduling the same component earlier than its last popped
+        // time violates the push-at-or-after-now contract.
+        s.schedule(0, 10);
+        s.pop();
+    }
+
+    /// A toy component: runs a fixed list of quantum lengths, parking
+    /// forever after the last one.
+    struct Toy {
+        time: u64,
+        quanta: Vec<u64>,
+        next: usize,
+        ticks: u64,
+    }
+
+    struct ToyCtx {
+        wakes: Vec<(ComponentId, u64)>,
+    }
+
+    impl WakeSink for ToyCtx {
+        fn drain_wakes(&mut self, schedule: &mut dyn FnMut(ComponentId, u64)) {
+            for (id, at) in self.wakes.drain(..) {
+                schedule(id, at);
+            }
+        }
+    }
+
+    impl Component<ToyCtx> for Toy {
+        fn next_tick(&self) -> Option<u64> {
+            (self.next < self.quanta.len()).then_some(self.time)
+        }
+        fn tick(&mut self, now: u64, _ctx: &mut ToyCtx) -> Option<u64> {
+            self.time = self.time.max(now) + self.quanta.get(self.next).copied()?;
+            self.next += 1;
+            self.ticks += 1;
+            self.next_tick()
+        }
+    }
+
+    #[test]
+    fn drive_runs_ahead_when_alone() {
+        // One component: every yield is strictly earliest, so after the
+        // single initial pop it runs entirely inline.
+        let mut toys = vec![Toy {
+            time: 0,
+            quanta: vec![5; 10],
+            next: 0,
+            ticks: 0,
+        }];
+        let mut ctx = ToyCtx { wakes: Vec::new() };
+        let mut s = EventScheduler::new(1);
+        s.schedule(0, 0);
+        s.drive(&mut toys, &mut ctx);
+        assert_eq!(toys[0].ticks, 10);
+        assert_eq!(toys[0].time, 50);
+        let stats = s.stats();
+        assert_eq!(stats.events_popped, 1, "one pop, nine elisions");
+        assert_eq!(stats.idle_skips, 9);
+        // Eight of the nine inline quanta yielded again (the last one
+        // parked), 5 cycles each.
+        assert_eq!(stats.runahead_cycles, 40);
+    }
+
+    #[test]
+    fn drive_interleaves_contending_components() {
+        // Two components with equal quanta: neither is ever strictly
+        // earliest while the other is queued, so no run-ahead happens
+        // and they alternate through the heap.
+        let mut toys = vec![
+            Toy {
+                time: 0,
+                quanta: vec![10; 4],
+                next: 0,
+                ticks: 0,
+            },
+            Toy {
+                time: 0,
+                quanta: vec![10; 4],
+                next: 0,
+                ticks: 0,
+            },
+        ];
+        let mut ctx = ToyCtx { wakes: Vec::new() };
+        let mut s = EventScheduler::new(2);
+        s.schedule(0, 0);
+        s.schedule(1, 0);
+        s.drive(&mut toys, &mut ctx);
+        assert_eq!(toys[0].ticks, 4);
+        assert_eq!(toys[1].ticks, 4);
+        let stats = s.stats();
+        // Every quantum goes through the heap: each yield ties the
+        // other component's queued event, and ties never run ahead.
+        assert_eq!(stats.events_popped, 8);
+        assert_eq!(stats.idle_skips, 0);
+    }
+
+    #[test]
+    fn flush_stats_accumulates_counters() {
+        let mut s = EventScheduler::new(1);
+        s.schedule(0, 1);
+        s.pop();
+        let before = global().counter(EVENTS_POPPED).get();
+        s.flush_stats();
+        s.flush_stats();
+        assert_eq!(global().counter(EVENTS_POPPED).get(), before + 2);
+    }
+}

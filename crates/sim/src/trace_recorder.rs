@@ -6,17 +6,19 @@
 //! records event streams and an active-thread signal; this module adds
 //! the derived performance signals properties most often reference —
 //! cumulative IPC, L1D/L2 miss rates, and core occupancy — each sampled
-//! whenever a core yields to the event heap. Samples are buffered here
-//! and written into a [`spa_stl::trace::Trace`] at the end of the run,
-//! where per-signal times must be strictly increasing.
+//! at the end of every core's scheduling quantum, including quanta the
+//! event scheduler runs ahead without a heap round-trip (the sample
+//! schedule is part of the engines' identity contract). Samples are
+//! buffered here and written into a [`spa_stl::trace::Trace`] at the
+//! end of the run, where per-signal times must be strictly increasing.
 
 use spa_stl::trace::Trace;
 
 /// The signals a [`TraceRecorder`] emits, in emission order.
 pub const RECORDED_SIGNALS: [&str; 4] = ["ipc", "l1d_miss_rate", "l2_miss_rate", "occupancy"];
 
-/// Cap on recorded samples per run (keeps traces bounded, mirroring the
-/// machine's event cap).
+/// Cap on recorded samples per run (keeps traces bounded, mirroring
+/// [`crate::config::DEFAULT_EVENT_CAP`]).
 const SAMPLE_CAP: usize = 20_000;
 
 /// One buffered observation of every recorded signal at a given cycle.
@@ -32,7 +34,7 @@ struct Point {
 /// Buffers piecewise-constant signal samples during a run and writes
 /// them into an STL trace afterwards.
 ///
-/// Recording order follows the (deterministic) event-heap schedule, so
+/// Recording order follows the (deterministic) event schedule, so
 /// for a fixed `(config, workload, seed)` the emitted trace is
 /// byte-stable — the determinism guard in `tests/trace_golden.rs`
 /// enforces this.
